@@ -1,0 +1,230 @@
+//! Shared infrastructure for the baseline detectors: a method-key space
+//! that covers out-of-program callees, sink/source matching against the
+//! shared catalogs, and a crude flow-insensitive taint derivation.
+
+use std::collections::HashSet;
+use tabby_ir::{
+    Expr, Hierarchy, IdentityRef, InvokeExpr, Local, MethodId, Operand, Place, Program, Stmt,
+    Symbol,
+};
+use tabby_pathfinder::{SinkCatalog, SinkSpec};
+
+/// A method in the baseline call graphs: analyzed or external.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MKey {
+    /// A method of the analyzed program.
+    Real(MethodId),
+    /// An external callee, keyed by (class, name, arity).
+    Phantom(Symbol, Symbol, u16),
+}
+
+impl MKey {
+    /// `Class.method` signature.
+    pub fn signature(self, program: &Program) -> String {
+        match self {
+            MKey::Real(id) => {
+                let class = program.class(id.class);
+                let method = program.method(id);
+                format!(
+                    "{}.{}",
+                    program.name(class.name),
+                    program.name(method.name)
+                )
+            }
+            MKey::Phantom(class, name, _) => {
+                format!("{}.{}", program.name(class), program.name(name))
+            }
+        }
+    }
+
+    /// (class name, method name) of the key.
+    pub fn class_and_name(self, program: &Program) -> (String, String) {
+        match self {
+            MKey::Real(id) => (
+                program.name(program.class(id.class).name).to_owned(),
+                program.name(program.method(id).name).to_owned(),
+            ),
+            MKey::Phantom(class, name, _) => (
+                program.name(class).to_owned(),
+                program.name(name).to_owned(),
+            ),
+        }
+    }
+}
+
+/// Matches a method key against the sink catalog.
+pub fn sink_spec_for<'c>(
+    catalog: &'c SinkCatalog,
+    program: &Program,
+    key: MKey,
+) -> Option<&'c SinkSpec> {
+    let (class, name) = key.class_and_name(program);
+    catalog
+        .entries()
+        .iter()
+        .find(|s| s.class == class && s.method == name)
+}
+
+/// The deserialization source set shared with Tabby (readObject et al. of
+/// serializable classes).
+pub fn native_sources(program: &Program, hierarchy: &Hierarchy<'_>) -> Vec<MethodId> {
+    const NAMES: [(&str, usize); 6] = [
+        ("readObject", 1),
+        ("readExternal", 1),
+        ("readResolve", 0),
+        ("readObjectNoData", 0),
+        ("validateObject", 0),
+        ("finalize", 0),
+    ];
+    let mut out = Vec::new();
+    for id in program.method_ids() {
+        let m = program.method(id);
+        if m.body.is_none() {
+            continue;
+        }
+        let name = program.name(m.name);
+        if NAMES
+            .iter()
+            .any(|(n, p)| *n == name && m.params.len() == *p)
+            && hierarchy.is_serializable(id.class)
+        {
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// Flow-insensitive, never-killing taint derivation: the set of locals that
+/// (transitively) derive from `this`, the parameters, or any value computed
+/// from them — with reassignment *not* clearing taint. This is the
+/// "default to it not changing (still controllable)" behaviour §III-C
+/// ascribes to the prior tools.
+pub fn derived_locals(program: &Program, id: MethodId) -> HashSet<Local> {
+    let Some(body) = program.method(id).body.as_ref() else {
+        return HashSet::new();
+    };
+    let mut tainted: HashSet<Local> = HashSet::new();
+    for stmt in &body.stmts {
+        if let Stmt::Identity { local, source } = stmt {
+            if matches!(source, IdentityRef::This | IdentityRef::Param(_)) {
+                tainted.insert(*local);
+            }
+        }
+    }
+    let operand_tainted = |t: &HashSet<Local>, op: &Operand| match op {
+        Operand::Local(l) => t.contains(l),
+        Operand::Const(_) => false,
+    };
+    loop {
+        let mut changed = false;
+        for stmt in &body.stmts {
+            if let Stmt::Assign { place, rhs } = stmt {
+                let rhs_tainted = match rhs {
+                    Expr::Use(op) | Expr::Cast { value: op, .. } | Expr::Unary { value: op, .. } => {
+                        operand_tainted(&tainted, op)
+                    }
+                    Expr::Load(place) => match place {
+                        Place::Local(l) => tainted.contains(l),
+                        Place::InstanceField { base, .. } => tainted.contains(base),
+                        Place::ArrayElem { base, .. } => tainted.contains(base),
+                        Place::StaticField(_) => false,
+                    },
+                    Expr::Binary { lhs, rhs, .. } => {
+                        operand_tainted(&tainted, lhs) || operand_tainted(&tainted, rhs)
+                    }
+                    Expr::Invoke(inv) => invoke_has_tainted_input(&tainted, inv),
+                    Expr::New(_) | Expr::NewArray { .. } => false,
+                    Expr::InstanceOf { .. } | Expr::ArrayLength(_) => false,
+                };
+                if rhs_tainted {
+                    if let Place::Local(l) = place {
+                        if tainted.insert(*l) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}
+
+/// Whether any input (receiver or argument) of an invoke is tainted.
+pub fn invoke_has_tainted_input(tainted: &HashSet<Local>, inv: &InvokeExpr) -> bool {
+    let check = |op: &Operand| matches!(op, Operand::Local(l) if tainted.contains(l));
+    inv.base.as_ref().map(check).unwrap_or(false) || inv.args.iter().any(check)
+}
+
+/// The invoke expressions of a method body, in order.
+pub fn invokes_of(program: &Program, id: MethodId) -> Vec<InvokeExpr> {
+    program
+        .method(id)
+        .body
+        .as_ref()
+        .map(|b| {
+            b.stmts
+                .iter()
+                .filter_map(|s| s.invoke().cloned())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_ir::{JType, ProgramBuilder};
+
+    #[test]
+    fn derived_locals_never_kill() {
+        // x = p0; x = new Object(); — the baseline still considers x tainted.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m", vec![obj.clone()], JType::Void).static_();
+        let p0 = mb.param(0);
+        let x = mb.fresh();
+        mb.copy(x, p0);
+        mb.new_obj(x, "java.lang.Object");
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let t = derived_locals(&p, id);
+        assert!(t.contains(&x));
+    }
+
+    #[test]
+    fn constants_stay_untainted() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m", vec![obj.clone()], JType::Void).static_();
+        let y = mb.fresh();
+        mb.copy(y, mb.c_int(1));
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let t = derived_locals(&p, id);
+        assert!(!t.contains(&y));
+    }
+
+    #[test]
+    fn source_detection_matches_tabby() {
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("t.S").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("readObject", vec![obj], JType::Void);
+        mb.nop();
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let h = Hierarchy::new(&p);
+        assert_eq!(native_sources(&p, &h).len(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! The GadgetInspector baseline (Black Hat 2018), reimplemented at the
+//! fidelity the paper describes (§IV-C, §IV-F):
+//!
+//! - forward taint search from deserialization sources over an
+//!   ASM-style call graph;
+//! - **incomplete polymorphism handling**: virtual calls resolve only to
+//!   the statically declared target; interface dispatch and subclass
+//!   overrides are not expanded ("a less comprehensive call graph");
+//! - **assume-still-controllable** interprocedural taint: a value passed
+//!   into a method is assumed to stay attacker-controlled, and
+//!   reassignments never clear taint (§III-C's critique);
+//! - **visited-node skipping** during the search ("skips nodes that have
+//!   already been traversed … may also lead to the loss of potential
+//!   chains").
+
+use crate::common::{
+    derived_locals, invoke_has_tainted_input, invokes_of, native_sources, sink_spec_for, MKey,
+};
+use std::collections::HashSet;
+use tabby_ir::{Hierarchy, InvokeKind, Program};
+use tabby_pathfinder::{GadgetChain, SinkCatalog};
+
+/// Result of one baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Reported chains, source-first.
+    pub chains: Vec<GadgetChain>,
+    /// Whether the work budget was exhausted before completion.
+    pub timed_out: bool,
+}
+
+/// Configuration of the GadgetInspector simulacrum.
+#[derive(Debug, Clone)]
+pub struct GiConfig {
+    /// Maximum chain depth.
+    pub max_depth: usize,
+    /// Expansion work budget.
+    pub max_expansions: usize,
+    /// Restrict detection to GadgetInspector's built-in sink predicates
+    /// (command execution, reflection/code loading, and file deletion) —
+    /// the released tool has no JNDI/SSRF/XXE/JDBC sink support, which is
+    /// part of why its Known column is so sparse in Table IX.
+    pub narrow_sinks: bool,
+}
+
+impl Default for GiConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            max_expansions: 500_000,
+            narrow_sinks: true,
+        }
+    }
+}
+
+/// GadgetInspector's built-in sink coverage.
+fn gi_recognizes(config: &GiConfig, spec: &tabby_pathfinder::SinkSpec) -> bool {
+    use tabby_pathfinder::SinkCategory;
+    if !config.narrow_sinks {
+        return true;
+    }
+    matches!(spec.category, SinkCategory::Exec | SinkCategory::Code)
+        || (spec.class == "java.io.File" && spec.method == "delete")
+}
+
+/// The GadgetInspector baseline detector.
+#[derive(Debug, Default)]
+pub struct GadgetInspector {
+    /// Tuning knobs.
+    pub config: GiConfig,
+}
+
+impl GadgetInspector {
+    /// Runs the detector over a program.
+    pub fn run(&self, program: &Program) -> BaselineOutcome {
+        let hierarchy = Hierarchy::new(program);
+        let sinks = SinkCatalog::paper();
+        let sources = native_sources(program, &hierarchy);
+        let mut chains = Vec::new();
+        let mut expansions = 0usize;
+        let mut timed_out = false;
+        // The visited-node shortcut is global across the whole run — the
+        // behaviour the paper criticizes for losing chains.
+        let mut visited: HashSet<MKey> = HashSet::new();
+
+        for source in sources {
+            let start = MKey::Real(source);
+            if !visited.insert(start) {
+                continue;
+            }
+            let mut stack: Vec<(MKey, Vec<MKey>)> = vec![(start, vec![start])];
+            while let Some((key, path)) = stack.pop() {
+                let MKey::Real(id) = key else {
+                    continue;
+                };
+                let tainted = derived_locals(program, id);
+                for inv in invokes_of(program, id) {
+                    expansions += 1;
+                    if expansions > self.config.max_expansions {
+                        timed_out = true;
+                        break;
+                    }
+                    // Only taint-carrying calls are followed.
+                    if !invoke_has_tainted_input(&tainted, &inv) {
+                        continue;
+                    }
+                    // Incomplete polymorphism: interface dispatch is not
+                    // modeled; invokedynamic is opaque.
+                    if matches!(inv.kind, InvokeKind::Interface | InvokeKind::Dynamic) {
+                        continue;
+                    }
+                    let target = resolve_declared(program, &hierarchy, &inv);
+                    if let Some(spec) = sink_spec_for(&sinks, program, target)
+                        .filter(|spec| gi_recognizes(&self.config, spec))
+                    {
+                        let mut signatures: Vec<String> =
+                            path.iter().map(|k| k.signature(program)).collect();
+                        signatures.push(target.signature(program));
+                        chains.push(GadgetChain {
+                            signatures,
+                            sink_category: spec.category.as_str().to_owned(),
+                            nodes: vec![],
+                        });
+                        continue;
+                    }
+                    if path.len() >= self.config.max_depth {
+                        continue;
+                    }
+                    // Visited-node skipping (global).
+                    if visited.insert(target) {
+                        if let MKey::Real(_) = target {
+                            let mut next = path.clone();
+                            next.push(target);
+                            stack.push((target, next));
+                        }
+                    }
+                }
+                if timed_out {
+                    break;
+                }
+            }
+            if timed_out {
+                break;
+            }
+        }
+        dedupe(&mut chains);
+        BaselineOutcome {
+            chains,
+            timed_out,
+        }
+    }
+}
+
+/// Declared-target resolution only — no override expansion.
+fn resolve_declared(
+    program: &Program,
+    hierarchy: &Hierarchy<'_>,
+    inv: &tabby_ir::InvokeExpr,
+) -> MKey {
+    if let Some(class) = program.class_by_name(inv.callee.class) {
+        if let Some(id) = hierarchy.resolve_method(class, inv.callee.name, inv.callee.params.len())
+        {
+            return MKey::Real(id);
+        }
+    }
+    MKey::Phantom(
+        inv.callee.class,
+        inv.callee.name,
+        inv.callee.params.len() as u16,
+    )
+}
+
+pub(crate) fn dedupe(chains: &mut Vec<GadgetChain>) {
+    let mut seen = HashSet::new();
+    chains.retain(|c| seen.insert(c.signatures.clone()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_ir::{JType, ProgramBuilder};
+
+    /// A direct readObject → Runtime.exec chain GI can find.
+    fn direct_chain_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("g.Direct").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        cb.field("cmd", obj.clone());
+        let mut mb = cb.method("readObject", vec![obj.clone()], JType::Void);
+        let this = mb.this();
+        let cmd = mb.fresh();
+        mb.get_field(cmd, this, "g.Direct", "cmd", obj.clone());
+        let s = mb.fresh();
+        mb.cast(s, string.clone(), cmd);
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+        mb.call_virtual(None, rt, exec, &[s.into()]);
+        mb.finish();
+        cb.finish();
+        pb.build()
+    }
+
+    #[test]
+    fn gi_finds_direct_chain() {
+        let p = direct_chain_program();
+        let out = GadgetInspector::default().run(&p);
+        assert_eq!(out.chains.len(), 1);
+        assert_eq!(out.chains[0].source(), "g.Direct.readObject");
+        assert_eq!(out.chains[0].sink(), "java.lang.Runtime.exec");
+        assert!(!out.timed_out);
+    }
+
+    #[test]
+    fn gi_skips_interface_dispatch() {
+        // source -> iface.run(payload); Impl.run -> exec. GI cannot cross
+        // the interface call.
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("g.Runner").interface();
+        let obj = cb.object_type("java.lang.Object");
+        cb.method("run", vec![obj.clone()], JType::Void)
+            .abstract_()
+            .finish();
+        cb.finish();
+        let mut cb = pb.class("g.Impl").serializable().implements(&["g.Runner"]);
+        let obj = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        let mut mb = cb.method("run", vec![obj.clone()], JType::Void);
+        let x = mb.param(0);
+        let s = mb.fresh();
+        mb.cast(s, string.clone(), x);
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+        mb.call_virtual(None, rt, exec, &[s.into()]);
+        mb.finish();
+        cb.finish();
+        let mut cb = pb.class("g.Src").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let runner = cb.object_type("g.Runner");
+        cb.field("r", runner.clone());
+        cb.field("payload", obj.clone());
+        let mut mb = cb.method("readObject", vec![obj.clone()], JType::Void);
+        let this = mb.this();
+        let r = mb.fresh();
+        mb.get_field(r, this, "g.Src", "r", runner.clone());
+        let payload = mb.fresh();
+        mb.get_field(payload, this, "g.Src", "payload", obj.clone());
+        let run = mb.sig("g.Runner", "run", &[obj.clone()], JType::Void);
+        mb.call_interface(None, r, run, &[payload.into()]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let out = GadgetInspector::default().run(&p);
+        assert!(out.chains.is_empty());
+    }
+
+    #[test]
+    fn gi_reports_sanitized_route() {
+        // readObject -> process(payload); process replaces the value before
+        // exec — Tabby prunes this, GI does not.
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("g.Bait").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        cb.field("payload", obj.clone());
+        let mut mb = cb.method("readObject", vec![obj.clone()], JType::Void);
+        let this = mb.this();
+        let payload = mb.fresh();
+        mb.get_field(payload, this, "g.Bait", "payload", obj.clone());
+        let process = mb.sig("g.Bait", "process", &[obj.clone()], JType::Void);
+        mb.call_virtual(None, this, process, &[payload.into()]);
+        mb.finish();
+        let mut mb = cb.method("process", vec![obj.clone()], JType::Void);
+        let x = mb.param(0);
+        mb.new_obj(x, "java.lang.Object");
+        let s = mb.fresh();
+        mb.cast(s, string.clone(), x);
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+        mb.call_virtual(None, rt, exec, &[s.into()]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let out = GadgetInspector::default().run(&p);
+        assert_eq!(out.chains.len(), 1);
+    }
+
+    #[test]
+    fn gi_visited_skipping_loses_second_chain() {
+        // Two sources share a middle method; the global visited set lets
+        // only the first one through.
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        // Shared middle.
+        let mut cb = pb.class("g.Mid");
+        let obj = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        let mut mb = cb.method("go", vec![obj.clone()], JType::Void).static_();
+        let x = mb.param(0);
+        let s = mb.fresh();
+        mb.cast(s, string.clone(), x);
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+        mb.call_virtual(None, rt, exec, &[s.into()]);
+        mb.finish();
+        cb.finish();
+        for name in ["g.SrcA", "g.SrcB"] {
+            let mut cb = pb.class(name).serializable();
+            let obj = cb.object_type("java.lang.Object");
+            cb.field("payload", obj.clone());
+            let mut mb = cb.method("readObject", vec![obj.clone()], JType::Void);
+            let this = mb.this();
+            let payload = mb.fresh();
+            mb.get_field(payload, this, name, "payload", obj.clone());
+            let go = mb.sig("g.Mid", "go", &[obj.clone()], JType::Void);
+            mb.call_static(None, go, &[payload.into()]);
+            mb.finish();
+            cb.finish();
+        }
+        let p = pb.build();
+        let out = GadgetInspector::default().run(&p);
+        // Both sources call into g.Mid.go; the visited shortcut reports only
+        // one full chain (the second stops at the already-visited node).
+        assert_eq!(out.chains.len(), 1);
+    }
+}

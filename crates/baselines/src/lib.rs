@@ -1,0 +1,23 @@
+//! # tabby-baselines — the comparison detectors of Table IX
+//!
+//! Reimplementations of the two baseline tools the paper evaluates against,
+//! at the fidelity §IV-C/§IV-F describe — each with exactly the design
+//! decisions the paper identifies as the source of its accuracy gap:
+//!
+//! - [`GadgetInspector`] (Black Hat 2018): forward taint with
+//!   assume-still-controllable interprocedural defaults, incomplete
+//!   polymorphism handling, and global visited-node skipping;
+//! - [`Serianalyzer`]: backwards reachability over an unpruned call graph
+//!   with loose entry points and no argument-position tracking, which
+//!   floods output and blows its work budget on dense call webs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod common;
+pub mod gadget_inspector;
+pub mod serianalyzer;
+
+pub use gadget_inspector::{BaselineOutcome, GadgetInspector, GiConfig};
+pub use serianalyzer::{Serianalyzer, SlConfig};
+pub use tabby_pathfinder::GadgetChain;

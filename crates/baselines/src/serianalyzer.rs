@@ -1,0 +1,338 @@
+//! The Serianalyzer baseline, reimplemented at the fidelity the paper
+//! describes (§IV-C, §IV-F):
+//!
+//! - backwards reachability from sink methods over a *fully* expanded call
+//!   graph (all overrides, interface dispatch included) with **no
+//!   argument-position tracking** — every caller edge is followed;
+//! - a loose notion of deserialization entry point: any concrete public
+//!   method of a serializable class is assumed reachable during
+//!   deserialization, which floods the output with "often … hundreds per
+//!   component" of invalid chains;
+//! - weak pruning: the unpruned graph makes the search exceed any
+//!   reasonable work budget on components with dense call webs — "unable to
+//!   output results for some components within an acceptable time",
+//!   rendered as the paper's `X`.
+
+use crate::common::{invokes_of, sink_spec_for, MKey};
+use crate::gadget_inspector::{dedupe, BaselineOutcome};
+use std::collections::{HashMap, HashSet};
+use tabby_ir::{Hierarchy, InvokeKind, MethodId, Program};
+use tabby_pathfinder::SinkCatalog;
+
+/// Configuration of the Serianalyzer simulacrum.
+#[derive(Debug, Clone)]
+pub struct SlConfig {
+    /// Maximum chain depth. Serianalyzer explores shallowly relative to the
+    /// long dispatch-heavy dataset chains, which is where its false
+    /// negatives come from.
+    pub max_depth: usize,
+    /// Expansion work budget; exceeding it aborts the run (`X`).
+    pub max_expansions: usize,
+    /// Stop each backward path at the *first* entry-point hit: the shortest
+    /// suffix is reported as the chain, so a pivot method (`toString`,
+    /// `compare`, …) of a serializable class shadows the genuine
+    /// deserialization source behind it — a large share of Serianalyzer's
+    /// false negatives *and* false positives at once.
+    pub stop_at_first_entry: bool,
+    /// Restrict detection to the sink families the released tool models
+    /// well (file access, reflective invocation, class loading).
+    pub narrow_sinks: bool,
+}
+
+impl Default for SlConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            max_expansions: 150_000,
+            stop_at_first_entry: true,
+            narrow_sinks: true,
+        }
+    }
+}
+
+/// Serianalyzer's sink coverage.
+fn sl_recognizes(config: &SlConfig, spec: &tabby_pathfinder::SinkSpec) -> bool {
+    use tabby_pathfinder::SinkCategory;
+    if !config.narrow_sinks {
+        return true;
+    }
+    matches!(spec.category, SinkCategory::File)
+        || (spec.class == "java.lang.reflect.Method" && spec.method == "invoke")
+        || spec.class == "java.lang.ClassLoader"
+        || (spec.class == "java.lang.Class" && spec.method == "forName")
+}
+
+/// The Serianalyzer baseline detector.
+#[derive(Debug, Default)]
+pub struct Serianalyzer {
+    /// Tuning knobs.
+    pub config: SlConfig,
+}
+
+impl Serianalyzer {
+    /// Runs the detector over a program.
+    pub fn run(&self, program: &Program) -> BaselineOutcome {
+        let hierarchy = Hierarchy::new(program);
+        let sinks = SinkCatalog::paper();
+
+        // Fully expanded reverse call graph: callee-key -> callers.
+        let mut callers: HashMap<MKey, Vec<MethodId>> = HashMap::new();
+        let mut expansions = 0usize;
+        for id in program.method_ids() {
+            for inv in invokes_of(program, id) {
+                if inv.kind == InvokeKind::Dynamic {
+                    continue;
+                }
+                for target in dispatch_all(program, &hierarchy, &inv) {
+                    callers.entry(target).or_default().push(id);
+                }
+            }
+        }
+
+        // Entry points: any concrete public method of a serializable class.
+        let mut entries: HashSet<MKey> = HashSet::new();
+        for id in program.method_ids() {
+            let m = program.method(id);
+            if m.body.is_some()
+                && m.flags.is_public()
+                && program.name(m.name) != "<init>"
+                && hierarchy.is_serializable(id.class)
+            {
+                entries.insert(MKey::Real(id));
+            }
+        }
+
+        // Backwards DFS from every sink occurrence.
+        let mut chains = Vec::new();
+        let mut timed_out = false;
+        let sink_keys: Vec<(MKey, String)> = callers
+            .keys()
+            .filter_map(|k| {
+                sink_spec_for(&sinks, program, *k)
+                    .filter(|s| sl_recognizes(&self.config, s))
+                    .map(|s| (*k, s.category.as_str().to_owned()))
+            })
+            .collect();
+        'outer: for (sink, category) in sink_keys {
+            let mut stack: Vec<Vec<MKey>> = vec![vec![sink]];
+            while let Some(path) = stack.pop() {
+                let end = *path.last().expect("non-empty path");
+                if path.len() > 1 && entries.contains(&end) {
+                    let signatures: Vec<String> =
+                        path.iter().rev().map(|k| k.signature(program)).collect();
+                    // Paths are sink-first; report source-first.
+                    chains.push(crate::GadgetChain {
+                        signatures,
+                        sink_category: category.clone(),
+                        nodes: vec![],
+                    });
+                    if self.config.stop_at_first_entry {
+                        continue;
+                    }
+                }
+                if path.len() > self.config.max_depth {
+                    continue;
+                }
+                if let Some(cs) = callers.get(&end) {
+                    for &caller in cs {
+                        expansions += 1;
+                        if expansions > self.config.max_expansions {
+                            timed_out = true;
+                            break 'outer;
+                        }
+                        let key = MKey::Real(caller);
+                        if !path.contains(&key) {
+                            let mut next = path.clone();
+                            next.push(key);
+                            stack.push(next);
+                        }
+                    }
+                }
+            }
+        }
+        if timed_out {
+            // The paper's X: the run produced nothing usable.
+            return BaselineOutcome {
+                chains: Vec::new(),
+                timed_out: true,
+            };
+        }
+        dedupe(&mut chains);
+        BaselineOutcome {
+            chains,
+            timed_out: false,
+        }
+    }
+}
+
+/// Full dispatch: declared target plus every override in the subtype
+/// closure; interface calls expand to all implementations.
+fn dispatch_all(
+    program: &Program,
+    hierarchy: &Hierarchy<'_>,
+    inv: &tabby_ir::InvokeExpr,
+) -> Vec<MKey> {
+    let arity = inv.callee.params.len();
+    let Some(class) = program.class_by_name(inv.callee.class) else {
+        return vec![MKey::Phantom(
+            inv.callee.class,
+            inv.callee.name,
+            arity as u16,
+        )];
+    };
+    let Some(declared) = hierarchy.resolve_method(class, inv.callee.name, arity) else {
+        return vec![MKey::Phantom(
+            inv.callee.class,
+            inv.callee.name,
+            arity as u16,
+        )];
+    };
+    if matches!(inv.kind, InvokeKind::Static | InvokeKind::Special) {
+        return vec![MKey::Real(declared)];
+    }
+    hierarchy
+        .dispatch_targets(declared, inv.callee.name, arity)
+        .into_iter()
+        .map(MKey::Real)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_ir::{JType, ProgramBuilder};
+
+    #[test]
+    fn sl_reports_every_serializable_suffix() {
+        // entry1.step -> helper.go -> forName; helper.go is itself an entry.
+        // With stop-at-first-entry the shortest suffix shadows the longer
+        // chain; without it both are reported.
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("s.Helper").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        let mut mb = cb.method("go", vec![obj.clone()], JType::Void);
+        let x = mb.param(0);
+        let s = mb.fresh();
+        mb.cast(s, string.clone(), x);
+        let class_ty = mb.object_type("java.lang.Class");
+        let for_name = mb.sig("java.lang.Class", "forName", &[string], class_ty);
+        let c = mb.fresh();
+        mb.call_static(Some(c), for_name, &[s.into()]);
+        mb.finish();
+        cb.finish();
+        let mut cb = pb.class("s.Outer").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let helper = cb.object_type("s.Helper");
+        cb.field("h", helper.clone());
+        cb.field("payload", obj.clone());
+        let mut mb = cb.method("step", vec![], JType::Void);
+        let this = mb.this();
+        let h = mb.fresh();
+        mb.get_field(h, this, "s.Outer", "h", helper.clone());
+        let payload = mb.fresh();
+        mb.get_field(payload, this, "s.Outer", "payload", obj.clone());
+        let go = mb.sig("s.Helper", "go", &[obj.clone()], JType::Void);
+        mb.call_virtual(None, h, go, &[payload.into()]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        // Default config: the first entry (helper.go) shadows the real
+        // deserialization-adjacent chain.
+        let out = Serianalyzer::default().run(&p);
+        assert!(!out.timed_out);
+        assert_eq!(out.chains.len(), 1);
+        assert_eq!(out.chains[0].source(), "s.Helper.go");
+        // Without the shortcut both suffixes are reported.
+        let sl = Serianalyzer {
+            config: SlConfig {
+                stop_at_first_entry: false,
+                ..SlConfig::default()
+            },
+        };
+        let out = sl.run(&p);
+        assert_eq!(out.chains.len(), 2);
+    }
+
+    #[test]
+    fn sl_misses_deep_chains() {
+        // A chain longer than the depth budget yields nothing.
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let depth = 9;
+        let string_sig = "java.lang.String";
+        for i in 0..depth {
+            let fqcn = format!("s.Stage{i}");
+            let mut cb = pb.class(&fqcn);
+            if i == 0 {
+                cb.serializable_in_place();
+            }
+            let obj = cb.object_type("java.lang.Object");
+            let string = cb.object_type(string_sig);
+            let mut mb = cb.method("go", vec![obj.clone()], JType::Void);
+            let x = mb.param(0);
+            if i + 1 < depth {
+                let next = format!("s.Stage{}", i + 1);
+                let callee = mb.sig(&next, "go", &[obj.clone()], JType::Void);
+                let n = mb.fresh();
+                mb.copy(n, mb.c_null());
+                mb.call_virtual(None, n, callee, &[x.into()]);
+            } else {
+                let s = mb.fresh();
+                mb.cast(s, string.clone(), x);
+                let rt = mb.fresh();
+                mb.copy(rt, mb.c_null());
+                let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+                mb.call_virtual(None, rt, exec, &[s.into()]);
+            }
+            mb.finish();
+            cb.finish();
+        }
+        let p = pb.build();
+        let out = Serianalyzer::default().run(&p);
+        assert!(out.chains.is_empty());
+    }
+
+    #[test]
+    fn sl_times_out_on_dense_web() {
+        // A complete static-call web with a sink at the far end explodes the
+        // unpruned backward search.
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let k = 14;
+        let fqcn = "s.Dispatch";
+        let mut cb = pb.class(fqcn);
+        let object = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        for i in 0..k {
+            let mut mb = cb
+                .method(&format!("stage{i}"), vec![object.clone()], JType::Void)
+                .static_();
+            let fresh = mb.fresh();
+            mb.new_obj(fresh, "java.lang.Object");
+            for j in 0..k {
+                if i != j {
+                    let callee =
+                        mb.sig(fqcn, &format!("stage{j}"), &[object.clone()], JType::Void);
+                    mb.call_static(None, callee, &[fresh.into()]);
+                }
+            }
+            if i == 0 {
+                let s = mb.fresh();
+                mb.cast(s, string.clone(), fresh);
+                let class_ty = mb.object_type("java.lang.Class");
+                let for_name =
+                    mb.sig("java.lang.Class", "forName", &[string.clone()], class_ty);
+                let c = mb.fresh();
+                mb.call_static(Some(c), for_name, &[s.into()]);
+            }
+            mb.finish();
+        }
+        cb.finish();
+        let p = pb.build();
+        let out = Serianalyzer::default().run(&p);
+        assert!(out.timed_out);
+        assert!(out.chains.is_empty());
+    }
+}

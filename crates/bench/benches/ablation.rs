@@ -1,0 +1,88 @@
+//! Ablation benches for the design decisions DESIGN.md §5 calls out:
+//!
+//! 1. PCG pruning on/off (path-explosion remedy, §III-C);
+//! 2. Action cache on/off (the interprocedural memoisation);
+//! 3. field sensitivity on/off;
+//! 4. ALIAS edges on/off (polymorphic chains disappear without them);
+//! 5. GadgetInspector's visited-node shortcut applied to Tabby's search.
+//!
+//! Each variant runs end-to-end on the commons-collections 3.2.1 component;
+//! the companion correctness assertions live in `tests/ablation_effects.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tabby_bench::run_tabby_with;
+use tabby_core::AnalysisConfig;
+use tabby_graph::Uniqueness;
+use tabby_pathfinder::SearchConfig;
+use tabby_workloads::components;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let component = components::by_name("commons-colletions(3.2.1)").unwrap();
+    let run = |analysis: AnalysisConfig, search: SearchConfig| {
+        run_tabby_with(&component, analysis, search)
+    };
+    group.bench_function("paper_configuration", |b| {
+        b.iter(|| run(AnalysisConfig::default(), SearchConfig::default()));
+    });
+    group.bench_function("no_pcg_pruning", |b| {
+        b.iter(|| {
+            run(
+                AnalysisConfig {
+                    prune_uncontrollable_calls: false,
+                    ..AnalysisConfig::default()
+                },
+                SearchConfig::default(),
+            )
+        });
+    });
+    group.bench_function("no_action_cache", |b| {
+        b.iter(|| {
+            run(
+                AnalysisConfig {
+                    action_cache: false,
+                    ..AnalysisConfig::default()
+                },
+                SearchConfig::default(),
+            )
+        });
+    });
+    group.bench_function("field_insensitive", |b| {
+        b.iter(|| {
+            run(
+                AnalysisConfig {
+                    field_sensitive: false,
+                    ..AnalysisConfig::default()
+                },
+                SearchConfig::default(),
+            )
+        });
+    });
+    group.bench_function("no_alias_edges", |b| {
+        b.iter(|| {
+            run(
+                AnalysisConfig::default(),
+                SearchConfig {
+                    use_alias_edges: false,
+                    ..SearchConfig::default()
+                },
+            )
+        });
+    });
+    group.bench_function("visited_node_shortcut", |b| {
+        b.iter(|| {
+            run(
+                AnalysisConfig::default(),
+                SearchConfig {
+                    uniqueness: Uniqueness::NodeGlobal,
+                    ..SearchConfig::default()
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench comparing the three detectors end-to-end on one
+//! component — the per-row "time" comparison of Table IX. GadgetInspector
+//! is fast but wrong; Tabby pays for precision; Serianalyzer's unpruned
+//! search is the slowest terminating configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tabby_baselines::{GadgetInspector, Serianalyzer};
+use tabby_bench::run_tabby;
+use tabby_workloads::components;
+
+fn bench_baseline_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+    let component = components::by_name("commons-colletions(3.2.1)").unwrap();
+    group.bench_function("gadget_inspector", |b| {
+        let gi = GadgetInspector::default();
+        b.iter(|| gi.run(&component.program));
+    });
+    group.bench_function("serianalyzer", |b| {
+        let sl = Serianalyzer::default();
+        b.iter(|| sl.run(&component.program));
+    });
+    group.bench_function("tabby_full", |b| {
+        b.iter(|| run_tabby(&component));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_comparison);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the gadget-chain search (the Table IX/X "time"
+//! columns): CPG build and backward traversal on a machinery-rich
+//! component and on the Spring scene.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog};
+use tabby_workloads::{components, scenes};
+
+fn bench_chain_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_search");
+    group.sample_size(10);
+    let cc3 = components::by_name("commons-colletions(3.2.1)").unwrap();
+    group.bench_function("cc3_search_only", |b| {
+        // Pre-build once; benchmark the search (the paper's "searching
+        // time" column measures exactly this).
+        b.iter_batched(
+            || Cpg::build(&cc3.program, AnalysisConfig::default()),
+            |mut cpg| {
+                find_gadget_chains(
+                    &mut cpg,
+                    &SinkCatalog::paper(),
+                    &SourceCatalog::native_serialization(),
+                    &SearchConfig::default(),
+                )
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    let spring = scenes::spring();
+    group.bench_function("spring_scene_end_to_end", |b| {
+        b.iter(|| {
+            let mut cpg = Cpg::build(&spring.component.program, AnalysisConfig::default());
+            find_gadget_chains(
+                &mut cpg,
+                &SinkCatalog::paper(),
+                &SourceCatalog::native_serialization(),
+                &SearchConfig::default(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_search);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the class-file substrate: compile IR to bytes,
+//! parse, and lift back (the Soot front-end role).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tabby_ir::compile::compile_program;
+use tabby_ir::lift::lift_program;
+use tabby_ir::ProgramBuilder;
+use tabby_workloads::jdk::add_jdk_model;
+
+fn bench_classfile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classfile");
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let program = pb.build();
+    group.bench_function("compile_jdk_model", |b| {
+        b.iter(|| compile_program(&program));
+    });
+    let blobs: Vec<Vec<u8>> = compile_program(&program)
+        .into_iter()
+        .map(|(_, b)| b)
+        .collect();
+    group.bench_function("parse_jdk_model", |b| {
+        b.iter(|| {
+            for blob in &blobs {
+                std::hint::black_box(tabby_classfile::parse_class(blob).unwrap());
+            }
+        });
+    });
+    group.bench_function("lift_jdk_model", |b| {
+        b.iter(|| lift_program(&blobs).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classfile);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the controllability analysis (Algorithm 1) in
+//! isolation: per-method summaries over the JDK model and a random library.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tabby_core::{AnalysisConfig, Analyzer};
+use tabby_ir::ProgramBuilder;
+use tabby_workloads::jdk::add_jdk_model;
+use tabby_workloads::random_lib::{generate, RandomLibConfig};
+
+fn bench_controllability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controllability");
+    group.sample_size(20);
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let jdk = pb.build();
+    group.bench_function("jdk_model_all_methods", |b| {
+        b.iter(|| {
+            let mut analyzer = Analyzer::new(&jdk, AnalysisConfig::default());
+            for id in jdk.method_ids() {
+                if jdk.method(id).body.is_some() {
+                    std::hint::black_box(analyzer.summarize(id));
+                }
+            }
+        });
+    });
+    let lib = generate(&RandomLibConfig {
+        classes: 150,
+        ..RandomLibConfig::default()
+    });
+    group.bench_function("random_lib_150_classes", |b| {
+        b.iter(|| {
+            let mut analyzer = Analyzer::new(&lib, AnalysisConfig::default());
+            for id in lib.method_ids() {
+                if lib.method(id).body.is_some() {
+                    std::hint::black_box(analyzer.summarize(id));
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllability);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Table VIII's quantity: CPG construction time as a
+//! function of library size (expects ~linear growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_workloads::random_lib::{generate, RandomLibConfig};
+
+fn bench_cpg_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpg_generation");
+    group.sample_size(10);
+    for classes in [100usize, 200, 400] {
+        let program = generate(&RandomLibConfig {
+            classes,
+            ..RandomLibConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &program,
+            |b, program| {
+                b.iter(|| Cpg::build(program, AnalysisConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpg_generation);
+criterion_main!(benches);

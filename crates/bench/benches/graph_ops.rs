@@ -1,0 +1,59 @@
+//! Criterion bench for the embedded property-graph substrate: node/edge
+//! insertion, indexed lookup, and traversal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tabby_graph::{
+    follow, Direction, Evaluation, Graph, Path, Traversal, Uniqueness, Value,
+};
+
+fn ring_graph(n: u32) -> Graph {
+    let mut g = Graph::new();
+    let l = g.label("N");
+    let t = g.edge_type("E");
+    let name = g.prop_key("NAME");
+    g.create_index(l, name);
+    let nodes: Vec<_> = (0..n).map(|_| g.add_node(l)).collect();
+    for (i, &node) in nodes.iter().enumerate() {
+        g.set_node_prop(node, name, Value::from(format!("n{i}")));
+        g.add_edge(t, node, nodes[(i + 1) % nodes.len()]);
+        g.add_edge(t, node, nodes[(i * 7 + 3) as usize % nodes.len()]);
+    }
+    g
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_ops");
+    group.bench_function("build_ring_10k", |b| {
+        b.iter(|| ring_graph(10_000));
+    });
+    let g = ring_graph(10_000);
+    let l = g.get_label("N").unwrap();
+    let name = g.get_prop_key("NAME").unwrap();
+    group.bench_function("indexed_lookup", |b| {
+        b.iter(|| {
+            std::hint::black_box(g.nodes_by(l, name, &Value::from("n5000")));
+        });
+    });
+    let t = g.get_edge_type("E").unwrap();
+    group.bench_function("bounded_dfs_depth6", |b| {
+        let start = g.nodes_by(l, name, &Value::from("n0"))[0];
+        b.iter(|| {
+            Traversal::new(
+                follow(vec![(t, Direction::Outgoing)]),
+                |_: &Graph, path: &Path, _: &()| {
+                    if path.len() >= 6 {
+                        Evaluation::IncludeAndPrune
+                    } else {
+                        Evaluation::ExcludeAndContinue
+                    }
+                },
+            )
+            .uniqueness(Uniqueness::NodePath)
+            .run(&g, start, ())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates Figure 6: the Expander/Evaluator walk-through on the
+//! hand-built method graph A…J — E and I are excluded by the Expander
+//! (their Polluted_Position turns the Trigger_Condition to ∞), G by the
+//! Evaluator (depth), and the H chain survives.
+//!
+//! ```text
+//! cargo run -p tabby-bench --release --bin fig6
+//! ```
+
+use std::collections::HashSet;
+use tabby_core::CpgSchema;
+use tabby_graph::{Graph, NodeId, Value};
+use tabby_pathfinder::{find_chains_raw, SearchConfig, TriggerCondition};
+
+fn main() {
+    let mut g = Graph::new();
+    let schema = CpgSchema::install(&mut g);
+    let names = ["A", "C", "C1", "C2", "E", "G", "H", "I", "E1", "J"];
+    let nodes: Vec<NodeId> = names
+        .iter()
+        .map(|n| {
+            let node = g.add_node(schema.method_label);
+            g.set_node_prop(node, schema.name, Value::from(*n));
+            g.set_node_prop(node, schema.class_name, Value::from("fig6"));
+            node
+        })
+        .collect();
+    let idx = |n: &str| nodes[names.iter().position(|x| *x == n).unwrap()];
+    let mut call = |from: &str, to: &str, pp: Vec<i64>| {
+        let e = g.add_edge(schema.call, idx(from), idx(to));
+        g.set_edge_prop(e, schema.polluted_position, Value::IntList(pp));
+    };
+    call("C", "A", vec![-1, 1]);
+    call("E", "A", vec![-1, -1]); // Expander cuts: ∞ at the required position
+    call("G", "C2", vec![-1, 1]);
+    call("H", "C1", vec![0, 0]);
+    call("I", "C1", vec![-1, -1]); // Expander cuts (the paper's example)
+    call("J", "E1", vec![0, 1]);
+    for (from, to) in [("C1", "C"), ("C2", "C"), ("E1", "E")] {
+        g.add_edge(schema.alias, idx(from), idx(to));
+    }
+
+    println!("FIGURE 6 — gadget-chain finding example");
+    println!("sink = A with TC [1]; source = H; depth budget = 3\n");
+    let config = SearchConfig {
+        max_depth: 3,
+        ..SearchConfig::default()
+    };
+    let chains = find_chains_raw(
+        &g,
+        &schema,
+        vec![(idx("A"), TriggerCondition::from([1u16]))],
+        vec![(idx("A"), "EXEC".to_owned())],
+        &HashSet::from([idx("H")]),
+        &config,
+    );
+    for chain in &chains {
+        println!("found: {}", chain.signatures.join(" -CALL/ALIAS-> "));
+    }
+    assert_eq!(chains.len(), 1, "exactly the H chain survives");
+    println!("\nexclusions reproduced:");
+    println!("  E  — Expander: PP [∞,∞] turns A's TC to ∞ (uncontrollable)");
+    println!("  I  — Expander: \"one of the values in A's TC becomes ∞ when it");
+    println!("       passes through I-CALL->C1\" (§III-D)");
+    println!("  G  — Evaluator: the G branch exceeds the depth budget");
+}

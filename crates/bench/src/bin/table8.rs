@@ -1,0 +1,74 @@
+//! Regenerates Table VIII: code-property-graph generation efficiency.
+//!
+//! For each of the paper's seven rows, a random library is generated whose
+//! class/method counts track the row at a configurable scale (default 0.1
+//! — the paper's corpus is jar-scale; the shape, not the absolute time, is
+//! the claim: build time grows ~linearly in the class/method count).
+//! Each row is repeated `REPS` times; the min and max are dropped and the
+//! rest averaged, exactly as §IV-B describes.
+//!
+//! ```text
+//! cargo run -p tabby-bench --release --bin table8 [scale]
+//! ```
+
+use std::time::Instant;
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_workloads::random_lib::{config_for_row, generate, TABLE8_PAPER};
+
+const REPS: usize = 10;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    println!("TABLE VIII — CPG generation efficiency (scale ×{scale})\n");
+    println!(
+        "{:>6} | {:>9} {:>9} {:>10} {:>9} | {:>9} {:>9} {:>10} {:>10}",
+        "MB", "classes", "methods", "edges", "min(pap)", "classes", "methods", "edges", "sec(meas)"
+    );
+    let mut rows = Vec::new();
+    for row in &TABLE8_PAPER {
+        let config = config_for_row(row, scale);
+        let program = generate(&config);
+        let mut times: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let start = Instant::now();
+                let cpg = Cpg::build(&program, AnalysisConfig::default());
+                let dt = start.elapsed().as_secs_f64();
+                std::hint::black_box(cpg.stats.relationship_edges);
+                dt
+            })
+            .collect();
+        // Drop min and max, average the rest (§IV-B's protocol).
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let kept = &times[1..times.len() - 1];
+        let avg = kept.iter().sum::<f64>() / kept.len() as f64;
+        let cpg = Cpg::build(&program, AnalysisConfig::default());
+        println!(
+            "{:>6} | {:>9} {:>9} {:>10} {:>9.1} | {:>9} {:>9} {:>10} {:>10.3}",
+            row.code_mb,
+            row.class_nodes,
+            row.method_nodes,
+            row.edges,
+            row.minutes,
+            cpg.stats.class_nodes,
+            cpg.stats.method_nodes,
+            cpg.stats.relationship_edges,
+            avg
+        );
+        rows.push((cpg.stats.method_nodes as f64, avg));
+    }
+    // Linearity check: correlation between method count and build time.
+    let n = rows.len() as f64;
+    let (sx, sy): (f64, f64) = rows.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+    let (mx, my) = (sx / n, sy / n);
+    let cov: f64 = rows.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = rows.iter().map(|(x, _)| (x - mx).powi(2)).sum();
+    let vy: f64 = rows.iter().map(|(_, y)| (y - my).powi(2)).sum();
+    let r = cov / (vx.sqrt() * vy.sqrt());
+    println!(
+        "\nPearson r(method count, build time) = {r:.3} — the paper reports an \
+         \"approximately linear correlation\" (§IV-B)"
+    );
+}

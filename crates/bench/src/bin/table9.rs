@@ -1,0 +1,93 @@
+//! Regenerates Table IX: the three-tool comparison over the 26 evaluated
+//! components — result counts, fake/known/unknown splits, FPR/FNR per
+//! Formulas 5–6, and per-component wall-clock (paper-vs-measured).
+//!
+//! ```text
+//! cargo run -p tabby-bench --release --bin table9
+//! ```
+
+use tabby_bench::{run_gadget_inspector, run_serianalyzer, run_tabby, CellResult};
+use tabby_workloads::components;
+use tabby_workloads::EvalCounts;
+
+fn fmt_pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}"),
+        None => "0".to_owned(),
+    }
+}
+
+fn main() {
+    println!("TABLE IX — comparison with state-of-the-art tools (GI / TB / SL)");
+    println!("(`X` = the tool exhausted its work budget, as in the paper)\n");
+    println!(
+        "{:<28} {:>3} | {:>11} | {:>11} | {:>11} | {:>11} | {:>13} | {:>13} | {:>14}",
+        "Component",
+        "K",
+        "Result",
+        "Fake",
+        "Known",
+        "Unknown",
+        "FPR(%)",
+        "FNR(%)",
+        "time(s)"
+    );
+    let mut totals = [EvalCounts::default(), EvalCounts::default(), EvalCounts::default()];
+    let mut sl_timeouts = 0usize;
+    for component in components::all() {
+        let gi = run_gadget_inspector(&component);
+        let tb = run_tabby(&component);
+        let sl = run_serianalyzer(&component);
+        let cells: [&CellResult; 3] = [&gi, &tb, &sl];
+        let col = |f: &dyn Fn(&CellResult) -> String| -> String {
+            format!(
+                "{:>3} {:>3} {:>3}",
+                f(&gi),
+                f(&tb),
+                if sl.timed_out { "X".to_owned() } else { f(&sl) }
+            )
+        };
+        println!(
+            "{:<28} {:>3} | {} | {} | {} | {} | {:>4} {:>4} {:>4} | {:>4} {:>4} {:>4} | {:>4.1} {:>4.1} {:>4.1}",
+            component.name,
+            component.truth.known_in_dataset(),
+            col(&|c| c.counts.result.to_string()),
+            col(&|c| c.counts.fake.to_string()),
+            col(&|c| c.counts.known.to_string()),
+            col(&|c| c.counts.unknown.to_string()),
+            fmt_pct(gi.counts.fpr()),
+            fmt_pct(tb.counts.fpr()),
+            if sl.timed_out { "X".into() } else { fmt_pct(sl.counts.fpr()) },
+            fmt_pct(gi.counts.fnr()),
+            fmt_pct(tb.counts.fnr()),
+            if sl.timed_out { "X".into() } else { fmt_pct(sl.counts.fnr()) },
+            gi.seconds,
+            tb.seconds,
+            sl.seconds,
+        );
+        for (i, cell) in cells.iter().enumerate() {
+            if !(i == 2 && cell.timed_out) {
+                totals[i].add(&cell.counts);
+            }
+        }
+        if sl.timed_out {
+            sl_timeouts += 1;
+        }
+    }
+    println!("\n--- totals (paper: GI 129/120/5/4, TB 79/26/26/27, SL 593/585/7/1) ---");
+    for (name, t) in ["GI", "TB", "SL"].iter().zip(&totals) {
+        println!(
+            "{name}: result={} fake={} known={} unknown={}  FPR={}  FNR={}",
+            t.result,
+            t.fake,
+            t.known,
+            t.unknown,
+            fmt_pct(t.fpr()),
+            fmt_pct(Some(
+                (38 - t.known) as f64 / 38.0 * 100.0
+            )),
+        );
+    }
+    println!("SL non-terminations: {sl_timeouts} (paper: 2 — Clojure, Jython1)");
+    println!("\npaper averages: FPR GI 93.0 / TB 32.9 / SL 98.6; FNR GI 86.8 / TB 31.6 / SL 81.6");
+}

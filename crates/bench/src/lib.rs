@@ -1,0 +1,15 @@
+//! # tabby-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§IV); see
+//! the `table8`/`table9`/`table10`/`table11`/`fig6` binaries and the
+//! Criterion benches under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod runner;
+
+pub use runner::{
+    run_gadget_inspector, run_scene, run_serianalyzer, run_tabby, run_tabby_with, CellResult,
+    SceneResult,
+};

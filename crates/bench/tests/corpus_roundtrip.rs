@@ -1,0 +1,44 @@
+//! The heaviest round-trip gate: every Table IX component survives
+//! IR → `.class` bytes → lift with its Tabby verdict unchanged. This is
+//! the guarantee that the evaluation does not depend on authoring the
+//! workloads in IR — the detector sees what it would see in real class
+//! files.
+
+use std::collections::BTreeSet;
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_ir::compile::compile_program;
+use tabby_ir::lift::lift_program;
+use tabby_pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog};
+use tabby_workloads::components;
+
+fn chain_pairs(program: &tabby_ir::Program) -> BTreeSet<(String, String)> {
+    let mut cpg = Cpg::build(program, AnalysisConfig::default());
+    find_gadget_chains(
+        &mut cpg,
+        &SinkCatalog::paper(),
+        &SourceCatalog::native_serialization(),
+        &SearchConfig::default(),
+    )
+    .into_iter()
+    .map(|c| (c.source().to_owned(), c.sink().to_owned()))
+    .collect()
+}
+
+#[test]
+fn every_component_survives_the_class_file_round_trip() {
+    for component in components::all() {
+        let direct = chain_pairs(&component.program);
+        let blobs: Vec<Vec<u8>> = compile_program(&component.program)
+            .into_iter()
+            .map(|(_, b)| b)
+            .collect();
+        let lifted_program = lift_program(&blobs)
+            .unwrap_or_else(|e| panic!("{}: lift failed: {e}", component.name));
+        let lifted = chain_pairs(&lifted_program);
+        assert_eq!(
+            direct, lifted,
+            "{}: chain set changed across the class-file round trip",
+            component.name
+        );
+    }
+}

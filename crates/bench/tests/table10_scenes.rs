@@ -1,0 +1,70 @@
+//! End-to-end validation of the Table X reproduction: result counts,
+//! effective-chain counts (oracle-judged), and FPR must match the paper's
+//! cells for every scene.
+
+use tabby_bench::run_scene;
+use tabby_workloads::scenes;
+
+#[test]
+fn scenes_match_table10_cells() {
+    let mut mismatches = Vec::new();
+    for scene in scenes::all() {
+        let got = run_scene(&scene);
+        if got.result != scene.paper.result || got.effective != scene.paper.effective {
+            mismatches.push(format!(
+                "{}: got result={} effective={}, paper result={} effective={}; chains:\n{}",
+                scene.component.name,
+                got.result,
+                got.effective,
+                scene.paper.result,
+                scene.paper.effective,
+                got.chains
+                    .iter()
+                    .map(|c| format!("  {} -> {}", c.source(), c.sink()))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            ));
+        } else {
+            let fpr = got.fpr();
+            assert!(
+                (fpr - scene.paper.fpr_pct).abs() < 0.5,
+                "{} FPR {fpr} vs paper {}",
+                scene.component.name,
+                scene.paper.fpr_pct
+            );
+        }
+    }
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+}
+
+#[test]
+fn spring_reports_the_table11_chains() {
+    let scene = scenes::spring();
+    let got = run_scene(&scene);
+    let has = |needle: &str| {
+        got.chains
+            .iter()
+            .any(|c| c.signatures.iter().any(|s| s.contains(needle)))
+    };
+    // The Table XI chain skeleton: getTarget -> getBean -> lookup ->
+    // Context.lookup.
+    assert!(has("LazyInitTargetSource.getTarget"));
+    assert!(has("PrototypeTargetSource.getTarget"));
+    assert!(has("SimpleJndiBeanFactory.getBean"));
+    assert!(has("JndiLocatorSupport.lookup"));
+    // And the CVE-2020-11619 shape.
+    assert!(has("JndiObjectTargetSource.getTarget"));
+}
+
+#[test]
+fn scene_searches_complete_in_seconds() {
+    for scene in scenes::all() {
+        let got = run_scene(&scene);
+        assert!(
+            got.search_s < 30.0,
+            "{} searched for {:.1}s",
+            scene.component.name,
+            got.search_s
+        );
+    }
+}

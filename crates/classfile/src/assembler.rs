@@ -1,0 +1,647 @@
+//! Bytecode assembly: label-based code emission plus a whole-class builder.
+//!
+//! This is the write side of the substrate: the IR compiler in `tabby-ir`
+//! uses [`CodeAsm`] and [`ClassAsm`] to emit genuine `.class` bytes, which
+//! the reader/lifter pipeline then consumes — giving the workloads a real
+//! class-file round trip.
+
+use crate::constant_pool::ConstantPool;
+use crate::error::{ClassFileError, Result};
+use crate::model::{
+    encode_code_attribute, AttributeInfo, ClassFile, CodeAttribute, MemberInfo, MAJOR_JAVA8,
+};
+use std::collections::HashMap;
+
+/// A forward-referencable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsmLabel(u32);
+
+/// A label-based bytecode emitter for one method body.
+#[derive(Debug, Default)]
+pub struct CodeAsm {
+    bytes: Vec<u8>,
+    labels: HashMap<AsmLabel, u32>,
+    /// (patch position, opcode position, label) for 16-bit branch offsets.
+    fixups: Vec<(usize, u32, AsmLabel)>,
+    /// (patch position, opcode position, label) for 32-bit switch offsets.
+    fixups32: Vec<(usize, u32, AsmLabel)>,
+    next_label: u32,
+    depth: i32,
+    max_depth: i32,
+}
+
+impl CodeAsm {
+    /// Creates an empty emitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current code offset.
+    pub fn offset(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    fn bump(&mut self, delta: i32) {
+        self.depth += delta;
+        self.max_depth = self.max_depth.max(self.depth);
+        // Branch joins may make the static estimate dip below zero; clamp.
+        if self.depth < 0 {
+            self.depth = 0;
+        }
+    }
+
+    fn op(&mut self, opcode: u8, delta: i32) {
+        self.bytes.push(opcode);
+        self.bump(delta);
+    }
+
+    fn op_u8(&mut self, opcode: u8, operand: u8, delta: i32) {
+        self.bytes.push(opcode);
+        self.bytes.push(operand);
+        self.bump(delta);
+    }
+
+    fn op_u16(&mut self, opcode: u8, operand: u16, delta: i32) {
+        self.bytes.push(opcode);
+        self.bytes.extend_from_slice(&operand.to_be_bytes());
+        self.bump(delta);
+    }
+
+    // ----- labels -----------------------------------------------------------
+
+    /// Allocates a fresh label.
+    pub fn fresh_label(&mut self) -> AsmLabel {
+        let l = AsmLabel(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Places `label` at the current offset.
+    pub fn place(&mut self, label: AsmLabel) {
+        let prev = self.labels.insert(label, self.offset());
+        debug_assert!(prev.is_none(), "label placed twice");
+    }
+
+    fn branch(&mut self, opcode: u8, label: AsmLabel, delta: i32) {
+        let at = self.offset();
+        self.bytes.push(opcode);
+        self.fixups.push((self.bytes.len(), at, label));
+        self.bytes.extend_from_slice(&[0, 0]);
+        self.bump(delta);
+    }
+
+    // ----- constants --------------------------------------------------------
+
+    /// `aconst_null`.
+    pub fn aconst_null(&mut self) {
+        self.op(0x01, 1);
+    }
+
+    /// Loads an `int` constant with the smallest encoding.
+    pub fn iconst(&mut self, v: i32, cp: &mut ConstantPool) {
+        match v {
+            -1..=5 => self.op((v + 3) as u8, 1),
+            -128..=127 => self.op_u8(0x10, v as u8, 1),
+            -32768..=32767 => self.op_u16(0x11, v as u16, 1),
+            _ => {
+                let idx = cp.add_integer(v);
+                self.op_u16(0x13, idx, 1); // ldc_w
+            }
+        }
+    }
+
+    /// Loads a `long` constant via `ldc2_w`.
+    pub fn lconst(&mut self, v: i64, cp: &mut ConstantPool) {
+        let idx = cp.add_long(v);
+        self.op_u16(0x14, idx, 2);
+    }
+
+    /// Loads a string constant.
+    pub fn ldc_string(&mut self, s: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_string(s);
+        self.op_u16(0x13, idx, 1); // ldc_w
+    }
+
+    /// Loads a class constant (internal name).
+    pub fn ldc_class(&mut self, internal: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_class(internal);
+        self.op_u16(0x13, idx, 1);
+    }
+
+    // ----- locals -----------------------------------------------------------
+
+    /// `aload` with short forms.
+    pub fn aload(&mut self, index: u16) {
+        match index {
+            0..=3 => self.op(0x2a + index as u8, 1),
+            4..=255 => self.op_u8(0x19, index as u8, 1),
+            _ => {
+                self.op(0xc4, 0);
+                self.op_u16(0x19, index, 1);
+            }
+        }
+    }
+
+    /// `astore` with short forms.
+    pub fn astore(&mut self, index: u16) {
+        match index {
+            0..=3 => self.op(0x4b + index as u8, -1),
+            4..=255 => self.op_u8(0x3a, index as u8, -1),
+            _ => {
+                self.op(0xc4, 0);
+                self.op_u16(0x3a, index, -1);
+            }
+        }
+    }
+
+    /// `iload` with short forms.
+    pub fn iload(&mut self, index: u16) {
+        match index {
+            0..=3 => self.op(0x1a + index as u8, 1),
+            4..=255 => self.op_u8(0x15, index as u8, 1),
+            _ => {
+                self.op(0xc4, 0);
+                self.op_u16(0x15, index, 1);
+            }
+        }
+    }
+
+    /// `istore` with short forms.
+    pub fn istore(&mut self, index: u16) {
+        match index {
+            0..=3 => self.op(0x3b + index as u8, -1),
+            4..=255 => self.op_u8(0x36, index as u8, -1),
+            _ => {
+                self.op(0xc4, 0);
+                self.op_u16(0x36, index, -1);
+            }
+        }
+    }
+
+    // ----- stack ------------------------------------------------------------
+
+    /// `dup`.
+    pub fn dup(&mut self) {
+        self.op(0x59, 1);
+    }
+
+    /// `pop`.
+    pub fn pop(&mut self) {
+        self.op(0x57, -1);
+    }
+
+    /// `swap`.
+    pub fn swap(&mut self) {
+        self.op(0x5f, 0);
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.op(0x00, 0);
+    }
+
+    // ----- arithmetic -------------------------------------------------------
+
+    /// An `int` arithmetic/bitwise op by opcode (e.g. `0x60` = iadd).
+    pub fn iarith(&mut self, opcode: u8) {
+        self.op(opcode, -1);
+    }
+
+    /// `ineg`.
+    pub fn ineg(&mut self) {
+        self.op(0x74, 0);
+    }
+
+    // ----- fields -----------------------------------------------------------
+
+    /// `getfield`.
+    pub fn getfield(&mut self, class: &str, name: &str, desc: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_field_ref(class, name, desc);
+        self.op_u16(0xb4, idx, 0);
+    }
+
+    /// `putfield`.
+    pub fn putfield(&mut self, class: &str, name: &str, desc: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_field_ref(class, name, desc);
+        self.op_u16(0xb5, idx, -2);
+    }
+
+    /// `getstatic`.
+    pub fn getstatic(&mut self, class: &str, name: &str, desc: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_field_ref(class, name, desc);
+        self.op_u16(0xb2, idx, 1);
+    }
+
+    /// `putstatic`.
+    pub fn putstatic(&mut self, class: &str, name: &str, desc: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_field_ref(class, name, desc);
+        self.op_u16(0xb3, idx, -1);
+    }
+
+    // ----- objects / arrays --------------------------------------------------
+
+    /// `new`.
+    pub fn new_object(&mut self, class: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_class(class);
+        self.op_u16(0xbb, idx, 1);
+    }
+
+    /// `anewarray`.
+    pub fn anewarray(&mut self, class: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_class(class);
+        self.op_u16(0xbd, idx, 0);
+    }
+
+    /// `newarray` with a primitive element tag (e.g. 10 = int).
+    pub fn newarray(&mut self, tag: u8) {
+        self.op_u8(0xbc, tag, 0);
+    }
+
+    /// `arraylength`.
+    pub fn arraylength(&mut self) {
+        self.op(0xbe, 0);
+    }
+
+    /// `aaload`.
+    pub fn aaload(&mut self) {
+        self.op(0x32, -1);
+    }
+
+    /// `aastore`.
+    pub fn aastore(&mut self) {
+        self.op(0x53, -3);
+    }
+
+    /// `checkcast`.
+    pub fn checkcast(&mut self, class: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_class(class);
+        self.op_u16(0xc0, idx, 0);
+    }
+
+    /// `instanceof`.
+    pub fn instanceof(&mut self, class: &str, cp: &mut ConstantPool) {
+        let idx = cp.add_class(class);
+        self.op_u16(0xc1, idx, 0);
+    }
+
+    /// `athrow`.
+    pub fn athrow(&mut self) {
+        self.op(0xbf, -1);
+    }
+
+    /// `monitorenter`.
+    pub fn monitorenter(&mut self) {
+        self.op(0xc2, -1);
+    }
+
+    /// `monitorexit`.
+    pub fn monitorexit(&mut self) {
+        self.op(0xc3, -1);
+    }
+
+    // ----- calls ------------------------------------------------------------
+
+    /// `invokevirtual`.
+    pub fn invokevirtual(
+        &mut self,
+        class: &str,
+        name: &str,
+        desc: &str,
+        stack_delta: i32,
+        cp: &mut ConstantPool,
+    ) {
+        let idx = cp.add_method_ref(class, name, desc);
+        self.op_u16(0xb6, idx, stack_delta);
+    }
+
+    /// `invokespecial`.
+    pub fn invokespecial(
+        &mut self,
+        class: &str,
+        name: &str,
+        desc: &str,
+        stack_delta: i32,
+        cp: &mut ConstantPool,
+    ) {
+        let idx = cp.add_method_ref(class, name, desc);
+        self.op_u16(0xb7, idx, stack_delta);
+    }
+
+    /// `invokestatic`.
+    pub fn invokestatic(
+        &mut self,
+        class: &str,
+        name: &str,
+        desc: &str,
+        stack_delta: i32,
+        cp: &mut ConstantPool,
+    ) {
+        let idx = cp.add_method_ref(class, name, desc);
+        self.op_u16(0xb8, idx, stack_delta);
+    }
+
+    /// `invokeinterface` (the count operand is computed from `argc`).
+    pub fn invokeinterface(
+        &mut self,
+        class: &str,
+        name: &str,
+        desc: &str,
+        argc: u8,
+        stack_delta: i32,
+        cp: &mut ConstantPool,
+    ) {
+        let idx = cp.add_interface_method_ref(class, name, desc);
+        self.bytes.push(0xb9);
+        self.bytes.extend_from_slice(&idx.to_be_bytes());
+        self.bytes.push(argc + 1);
+        self.bytes.push(0);
+        self.bump(stack_delta);
+    }
+
+    // ----- control flow -----------------------------------------------------
+
+    /// `goto`.
+    pub fn goto(&mut self, label: AsmLabel) {
+        self.branch(0xa7, label, 0);
+    }
+
+    /// `ifeq` … `ifle` family by opcode (pops one int).
+    pub fn if_zero(&mut self, opcode: u8, label: AsmLabel) {
+        debug_assert!((0x99..=0x9e).contains(&opcode));
+        self.branch(opcode, label, -1);
+    }
+
+    /// `if_icmp*` family by opcode (pops two ints).
+    pub fn if_icmp(&mut self, opcode: u8, label: AsmLabel) {
+        debug_assert!((0x9f..=0xa4).contains(&opcode));
+        self.branch(opcode, label, -2);
+    }
+
+    /// `if_acmpeq` / `if_acmpne`.
+    pub fn if_acmp(&mut self, eq: bool, label: AsmLabel) {
+        self.branch(if eq { 0xa5 } else { 0xa6 }, label, -2);
+    }
+
+    /// `lookupswitch` (labels must be placed before `finish`).
+    pub fn lookupswitch(&mut self, pairs: &[(i32, AsmLabel)], default: AsmLabel) {
+        let at = self.offset();
+        self.bytes.push(0xab);
+        while self.bytes.len() % 4 != 0 {
+            self.bytes.push(0);
+        }
+        // 32-bit fixups are encoded as label placeholders resolved in
+        // finish(); record them with a distinct marker (patch length 4).
+        self.fixups32.push((self.bytes.len(), at, default));
+        self.bytes.extend_from_slice(&[0; 4]);
+        self.bytes
+            .extend_from_slice(&(pairs.len() as i32).to_be_bytes());
+        for (k, l) in pairs {
+            self.bytes.extend_from_slice(&k.to_be_bytes());
+            self.fixups32.push((self.bytes.len(), at, *l));
+            self.bytes.extend_from_slice(&[0; 4]);
+        }
+        self.bump(-1);
+    }
+
+    /// Typed returns: `return` / `areturn` / `ireturn`.
+    pub fn return_void(&mut self) {
+        self.op(0xb1, 0);
+    }
+
+    /// `areturn`.
+    pub fn areturn(&mut self) {
+        self.op(0xb0, -1);
+    }
+
+    /// `ireturn`.
+    pub fn ireturn(&mut self) {
+        self.op(0xac, -1);
+    }
+
+    /// Resolves fixups and produces the `Code` attribute.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a referenced label was never placed or a 16-bit branch
+    /// offset overflows.
+    pub fn finish(self, max_locals: u16) -> Result<CodeAttribute> {
+        let mut bytes = self.bytes;
+        for (patch_at, opcode_at, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| ClassFileError::new("unplaced label"))?;
+            let rel = i64::from(target) - i64::from(*opcode_at);
+            let rel16 = i16::try_from(rel)
+                .map_err(|_| ClassFileError::new("branch offset exceeds 16 bits"))?;
+            bytes[*patch_at..*patch_at + 2].copy_from_slice(&(rel16 as u16).to_be_bytes());
+        }
+        for (patch_at, opcode_at, label) in &self.fixups32 {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| ClassFileError::new("unplaced label"))?;
+            let rel = (i64::from(target) - i64::from(*opcode_at)) as i32;
+            bytes[*patch_at..*patch_at + 4].copy_from_slice(&rel.to_be_bytes());
+        }
+        Ok(CodeAttribute {
+            max_stack: self.max_depth.max(1) as u16,
+            max_locals,
+            code: bytes,
+            exception_table: Vec::new(),
+            attributes: Vec::new(),
+        })
+    }
+}
+
+/// A whole-class assembler.
+#[derive(Debug)]
+pub struct ClassAsm {
+    /// The pool under construction.
+    pub cp: ConstantPool,
+    access_flags: u16,
+    this_class: u16,
+    super_class: u16,
+    interfaces: Vec<u16>,
+    fields: Vec<MemberInfo>,
+    methods: Vec<MemberInfo>,
+}
+
+impl ClassAsm {
+    /// Starts a class with dotted names.
+    pub fn new(name: &str, super_name: &str, access_flags: u16) -> Self {
+        let mut cp = ConstantPool::new();
+        let this_class = cp.add_class(&name.replace('.', "/"));
+        let super_class = cp.add_class(&super_name.replace('.', "/"));
+        Self {
+            cp,
+            access_flags,
+            this_class,
+            super_class,
+            interfaces: Vec::new(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Declares an implemented interface (dotted name).
+    pub fn add_interface(&mut self, name: &str) {
+        let idx = self.cp.add_class(&name.replace('.', "/"));
+        self.interfaces.push(idx);
+    }
+
+    /// Adds a field.
+    pub fn add_field(&mut self, access_flags: u16, name: &str, descriptor: &str) {
+        let name_index = self.cp.add_utf8(name);
+        let descriptor_index = self.cp.add_utf8(descriptor);
+        self.fields.push(MemberInfo {
+            access_flags,
+            name_index,
+            descriptor_index,
+            attributes: Vec::new(),
+        });
+    }
+
+    /// Adds a method, optionally with code.
+    pub fn add_method(
+        &mut self,
+        access_flags: u16,
+        name: &str,
+        descriptor: &str,
+        code: Option<CodeAttribute>,
+    ) {
+        let name_index = self.cp.add_utf8(name);
+        let descriptor_index = self.cp.add_utf8(descriptor);
+        let mut attributes = Vec::new();
+        if let Some(code) = code {
+            let code_name = self.cp.add_utf8("Code");
+            attributes.push(AttributeInfo {
+                name_index: code_name,
+                info: encode_code_attribute(&code),
+            });
+        }
+        self.methods.push(MemberInfo {
+            access_flags,
+            name_index,
+            descriptor_index,
+            attributes,
+        });
+    }
+
+    /// Finalizes into a [`ClassFile`].
+    pub fn finish(self) -> ClassFile {
+        ClassFile {
+            minor_version: 0,
+            major_version: MAJOR_JAVA8,
+            constant_pool: self.cp,
+            access_flags: self.access_flags,
+            this_class: self.this_class,
+            super_class: self.super_class,
+            interfaces: self.interfaces,
+            fields: self.fields,
+            methods: self.methods,
+            attributes: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::{decode, Insn, Kind};
+    use crate::reader::parse_class;
+    use crate::writer::write_class;
+
+    #[test]
+    fn assembles_and_decodes_a_method() {
+        let mut class = ClassAsm::new("demo.Greeter", "java.lang.Object", 0x0021);
+        let mut asm = CodeAsm::new();
+        asm.aload(0);
+        asm.getfield("demo/Greeter", "cmd", "Ljava/lang/String;", &mut class.cp);
+        asm.astore(1);
+        asm.aload(1);
+        asm.invokestatic(
+            "java/lang/Runtime",
+            "getRuntime",
+            "()Ljava/lang/Runtime;",
+            1,
+            &mut class.cp,
+        );
+        asm.swap();
+        asm.invokevirtual(
+            "java/lang/Runtime",
+            "exec",
+            "(Ljava/lang/String;)Ljava/lang/Process;",
+            -1,
+            &mut class.cp,
+        );
+        asm.pop();
+        asm.return_void();
+        let code = asm.finish(2).unwrap();
+        assert!(code.max_stack >= 2);
+        class.add_method(0x0001, "run", "()V", Some(code));
+        let bytes = write_class(&class.finish());
+        let parsed = parse_class(&bytes).unwrap();
+        assert_eq!(parsed.name().unwrap(), "demo.Greeter");
+        let method = &parsed.methods[0];
+        let code = parsed.code_of(method).unwrap().unwrap();
+        let insns = decode(&code.code).unwrap();
+        assert_eq!(insns[0].1, Insn::Load(Kind::Ref, 0));
+        assert!(matches!(insns[1].1, Insn::GetField(_)));
+        assert!(matches!(insns.last().unwrap().1, Insn::Return(None)));
+    }
+
+    #[test]
+    fn branch_fixups_resolve() {
+        let mut cp = ConstantPool::new();
+        let mut asm = CodeAsm::new();
+        let end = asm.fresh_label();
+        asm.iconst(0, &mut cp);
+        asm.if_zero(0x99, end); // ifeq -> end
+        asm.nop();
+        asm.place(end);
+        asm.return_void();
+        let code = asm.finish(1).unwrap();
+        let insns = decode(&code.code).unwrap();
+        // The nop sits at offset 4 (iconst_0=1 byte, ifeq=3 bytes); end = 5.
+        match insns[1].1 {
+            Insn::IfZero(_, target) => assert_eq!(target, 5),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unplaced_label_errors() {
+        let mut asm = CodeAsm::new();
+        let l = asm.fresh_label();
+        asm.goto(l);
+        assert!(asm.finish(0).is_err());
+    }
+
+    #[test]
+    fn lookupswitch_round_trips() {
+        let mut cp = ConstantPool::new();
+        let mut asm = CodeAsm::new();
+        let a = asm.fresh_label();
+        let d = asm.fresh_label();
+        asm.iconst(1, &mut cp);
+        asm.lookupswitch(&[(1, a)], d);
+        asm.place(a);
+        asm.nop();
+        asm.place(d);
+        asm.return_void();
+        let code = asm.finish(0).unwrap();
+        let insns = decode(&code.code).unwrap();
+        let (off_a, _) = insns
+            .iter()
+            .find(|(_, i)| matches!(i, Insn::Nop))
+            .unwrap();
+        match &insns[1].1 {
+            Insn::LookupSwitch { default, pairs } => {
+                assert_eq!(pairs, &[(1, *off_a)]);
+                assert_eq!(*default, off_a + 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The constant pool (JVMS §4.4).
+
+use crate::error::{ClassFileError, Result};
+use std::collections::HashMap;
+
+/// A constant-pool entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpInfo {
+    /// `CONSTANT_Utf8`.
+    Utf8(String),
+    /// `CONSTANT_Integer`.
+    Integer(i32),
+    /// `CONSTANT_Float`.
+    Float(f32),
+    /// `CONSTANT_Long` (occupies two slots).
+    Long(i64),
+    /// `CONSTANT_Double` (occupies two slots).
+    Double(f64),
+    /// `CONSTANT_Class` → Utf8 index of the internal name.
+    Class(u16),
+    /// `CONSTANT_String` → Utf8 index.
+    Str(u16),
+    /// `CONSTANT_Fieldref` (class index, name-and-type index).
+    FieldRef(u16, u16),
+    /// `CONSTANT_Methodref`.
+    MethodRef(u16, u16),
+    /// `CONSTANT_InterfaceMethodref`.
+    InterfaceMethodRef(u16, u16),
+    /// `CONSTANT_NameAndType` (name Utf8 index, descriptor Utf8 index).
+    NameAndType(u16, u16),
+    /// `CONSTANT_MethodHandle` (reference kind, reference index).
+    MethodHandle(u8, u16),
+    /// `CONSTANT_MethodType` (descriptor Utf8 index).
+    MethodType(u16),
+    /// `CONSTANT_InvokeDynamic` (bootstrap index, name-and-type index).
+    InvokeDynamic(u16, u16),
+    /// Placeholder for the unusable slot after a Long/Double.
+    Unusable,
+}
+
+impl CpInfo {
+    /// Whether the entry occupies two pool slots.
+    pub fn is_wide(&self) -> bool {
+        matches!(self, CpInfo::Long(_) | CpInfo::Double(_))
+    }
+}
+
+/// The constant pool: 1-indexed, with wide entries occupying two slots.
+#[derive(Debug, Clone, Default)]
+pub struct ConstantPool {
+    entries: Vec<CpInfo>, // entries[0] corresponds to index 1
+    dedup: HashMap<DedupKey, u16>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum DedupKey {
+    Utf8(String),
+    Integer(i32),
+    Long(i64),
+    Class(u16),
+    Str(u16),
+    FieldRef(u16, u16),
+    MethodRef(u16, u16),
+    InterfaceMethodRef(u16, u16),
+    NameAndType(u16, u16),
+}
+
+impl ConstantPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of slots plus one (the `constant_pool_count` of the format).
+    pub fn count(&self) -> u16 {
+        self.entries.len() as u16 + 1
+    }
+
+    /// Fetches an entry by its 1-based index.
+    pub fn get(&self, index: u16) -> Result<&CpInfo> {
+        if index == 0 {
+            return Err(ClassFileError::new("constant pool index 0"));
+        }
+        self.entries
+            .get(index as usize - 1)
+            .ok_or_else(|| ClassFileError::new(format!("constant pool index {index} out of range")))
+    }
+
+    /// The UTF-8 string at `index`.
+    pub fn utf8(&self, index: u16) -> Result<&str> {
+        match self.get(index)? {
+            CpInfo::Utf8(s) => Ok(s),
+            other => Err(ClassFileError::new(format!(
+                "expected Utf8 at {index}, found {other:?}"
+            ))),
+        }
+    }
+
+    /// The class name (internal, slash-separated) referenced at `index`.
+    pub fn class_name(&self, index: u16) -> Result<&str> {
+        match self.get(index)? {
+            CpInfo::Class(utf8) => self.utf8(*utf8),
+            other => Err(ClassFileError::new(format!(
+                "expected Class at {index}, found {other:?}"
+            ))),
+        }
+    }
+
+    /// The (name, descriptor) strings of a NameAndType at `index`.
+    pub fn name_and_type(&self, index: u16) -> Result<(&str, &str)> {
+        match self.get(index)? {
+            CpInfo::NameAndType(n, d) => Ok((self.utf8(*n)?, self.utf8(*d)?)),
+            other => Err(ClassFileError::new(format!(
+                "expected NameAndType at {index}, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Resolves a field/method/interface-method reference into
+    /// `(class name, member name, descriptor)`.
+    pub fn member_ref(&self, index: u16) -> Result<(&str, &str, &str)> {
+        let (class_idx, nat_idx) = match self.get(index)? {
+            CpInfo::FieldRef(c, n)
+            | CpInfo::MethodRef(c, n)
+            | CpInfo::InterfaceMethodRef(c, n) => (*c, *n),
+            other => {
+                return Err(ClassFileError::new(format!(
+                    "expected member ref at {index}, found {other:?}"
+                )))
+            }
+        };
+        let class = self.class_name(class_idx)?;
+        let (name, desc) = self.name_and_type(nat_idx)?;
+        Ok((class, name, desc))
+    }
+
+    /// Appends a raw entry (used by the reader); returns its index.
+    pub fn push_raw(&mut self, info: CpInfo) -> u16 {
+        let wide = info.is_wide();
+        self.entries.push(info);
+        let index = self.entries.len() as u16;
+        if wide {
+            self.entries.push(CpInfo::Unusable);
+        }
+        index
+    }
+
+    /// Iterates over `(index, entry)` pairs, skipping unusable slots.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &CpInfo)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !matches!(e, CpInfo::Unusable))
+            .map(|(i, e)| (i as u16 + 1, e))
+    }
+
+    // ----- deduplicating writers (assembler surface) ------------------------
+
+    /// Interns a UTF-8 constant.
+    pub fn add_utf8(&mut self, s: &str) -> u16 {
+        if let Some(&i) = self.dedup.get(&DedupKey::Utf8(s.to_owned())) {
+            return i;
+        }
+        let i = self.push_raw(CpInfo::Utf8(s.to_owned()));
+        self.dedup.insert(DedupKey::Utf8(s.to_owned()), i);
+        i
+    }
+
+    /// Interns an integer constant.
+    pub fn add_integer(&mut self, v: i32) -> u16 {
+        if let Some(&i) = self.dedup.get(&DedupKey::Integer(v)) {
+            return i;
+        }
+        let i = self.push_raw(CpInfo::Integer(v));
+        self.dedup.insert(DedupKey::Integer(v), i);
+        i
+    }
+
+    /// Interns a long constant.
+    pub fn add_long(&mut self, v: i64) -> u16 {
+        if let Some(&i) = self.dedup.get(&DedupKey::Long(v)) {
+            return i;
+        }
+        let i = self.push_raw(CpInfo::Long(v));
+        self.dedup.insert(DedupKey::Long(v), i);
+        i
+    }
+
+    /// Interns a class constant for an internal (slash-separated) name.
+    pub fn add_class(&mut self, internal_name: &str) -> u16 {
+        let utf8 = self.add_utf8(internal_name);
+        if let Some(&i) = self.dedup.get(&DedupKey::Class(utf8)) {
+            return i;
+        }
+        let i = self.push_raw(CpInfo::Class(utf8));
+        self.dedup.insert(DedupKey::Class(utf8), i);
+        i
+    }
+
+    /// Interns a string constant.
+    pub fn add_string(&mut self, s: &str) -> u16 {
+        let utf8 = self.add_utf8(s);
+        if let Some(&i) = self.dedup.get(&DedupKey::Str(utf8)) {
+            return i;
+        }
+        let i = self.push_raw(CpInfo::Str(utf8));
+        self.dedup.insert(DedupKey::Str(utf8), i);
+        i
+    }
+
+    /// Interns a NameAndType constant.
+    pub fn add_name_and_type(&mut self, name: &str, descriptor: &str) -> u16 {
+        let n = self.add_utf8(name);
+        let d = self.add_utf8(descriptor);
+        if let Some(&i) = self.dedup.get(&DedupKey::NameAndType(n, d)) {
+            return i;
+        }
+        let i = self.push_raw(CpInfo::NameAndType(n, d));
+        self.dedup.insert(DedupKey::NameAndType(n, d), i);
+        i
+    }
+
+    /// Interns a field reference.
+    pub fn add_field_ref(&mut self, class: &str, name: &str, descriptor: &str) -> u16 {
+        let c = self.add_class(class);
+        let nat = self.add_name_and_type(name, descriptor);
+        if let Some(&i) = self.dedup.get(&DedupKey::FieldRef(c, nat)) {
+            return i;
+        }
+        let i = self.push_raw(CpInfo::FieldRef(c, nat));
+        self.dedup.insert(DedupKey::FieldRef(c, nat), i);
+        i
+    }
+
+    /// Interns a method reference.
+    pub fn add_method_ref(&mut self, class: &str, name: &str, descriptor: &str) -> u16 {
+        let c = self.add_class(class);
+        let nat = self.add_name_and_type(name, descriptor);
+        if let Some(&i) = self.dedup.get(&DedupKey::MethodRef(c, nat)) {
+            return i;
+        }
+        let i = self.push_raw(CpInfo::MethodRef(c, nat));
+        self.dedup.insert(DedupKey::MethodRef(c, nat), i);
+        i
+    }
+
+    /// Interns an interface-method reference.
+    pub fn add_interface_method_ref(&mut self, class: &str, name: &str, descriptor: &str) -> u16 {
+        let c = self.add_class(class);
+        let nat = self.add_name_and_type(name, descriptor);
+        if let Some(&i) = self.dedup.get(&DedupKey::InterfaceMethodRef(c, nat)) {
+            return i;
+        }
+        let i = self.push_raw(CpInfo::InterfaceMethodRef(c, nat));
+        self.dedup.insert(DedupKey::InterfaceMethodRef(c, nat), i);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_indexed_access() {
+        let mut cp = ConstantPool::new();
+        let i = cp.add_utf8("hello");
+        assert_eq!(i, 1);
+        assert_eq!(cp.utf8(1).unwrap(), "hello");
+        assert!(cp.get(0).is_err());
+        assert!(cp.get(2).is_err());
+    }
+
+    #[test]
+    fn wide_entries_take_two_slots() {
+        let mut cp = ConstantPool::new();
+        let l = cp.add_long(42);
+        let after = cp.add_utf8("next");
+        assert_eq!(l, 1);
+        assert_eq!(after, 3);
+        assert_eq!(cp.count(), 4);
+    }
+
+    #[test]
+    fn dedup_interning() {
+        let mut cp = ConstantPool::new();
+        let a = cp.add_method_ref("java/lang/Runtime", "exec", "(Ljava/lang/String;)V");
+        let b = cp.add_method_ref("java/lang/Runtime", "exec", "(Ljava/lang/String;)V");
+        assert_eq!(a, b);
+        let (class, name, desc) = cp.member_ref(a).unwrap();
+        assert_eq!(class, "java/lang/Runtime");
+        assert_eq!(name, "exec");
+        assert_eq!(desc, "(Ljava/lang/String;)V");
+    }
+
+    #[test]
+    fn class_and_string_helpers() {
+        let mut cp = ConstantPool::new();
+        let c = cp.add_class("java/util/HashMap");
+        assert_eq!(cp.class_name(c).unwrap(), "java/util/HashMap");
+        let s = cp.add_string("payload");
+        match cp.get(s).unwrap() {
+            CpInfo::Str(utf8) => assert_eq!(cp.utf8(*utf8).unwrap(), "payload"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iter_skips_unusable() {
+        let mut cp = ConstantPool::new();
+        cp.add_long(7);
+        cp.add_utf8("x");
+        let indices: Vec<u16> = cp.iter().map(|(i, _)| i).collect();
+        assert_eq!(indices, vec![1, 3]);
+    }
+}

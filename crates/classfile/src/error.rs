@@ -1,0 +1,44 @@
+//! Error type for class-file parsing and assembly.
+
+use std::fmt;
+
+/// Error produced when reading or writing a `.class` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassFileError {
+    /// Byte offset where the problem was detected (reading only).
+    pub offset: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ClassFileError {
+    /// Creates an error at a byte offset.
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset: Some(offset),
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error without positional information.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            offset: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ClassFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "class file error at byte {o}: {}", self.message),
+            None => write!(f, "class file error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ClassFileError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ClassFileError>;

@@ -1,0 +1,46 @@
+//! # tabby-classfile — JVM class-file parsing, writing, and assembly
+//!
+//! The class-file substrate of the Tabby reproduction: the role Soot's
+//! front end plays in the paper. It provides
+//!
+//! - a `.class` **reader** ([`parse_class`]) covering the constant pool,
+//!   members, attributes, and a full bytecode decoder ([`opcode::decode`]);
+//! - a **writer** ([`write_class`]) and a label-based **assembler**
+//!   ([`CodeAsm`], [`ClassAsm`]) so the synthetic workloads can emit genuine
+//!   class-file bytes;
+//! - the `Code` attribute codec and modified-UTF-8 handling.
+//!
+//! The IR lifter/compiler pair lives in `tabby-ir` (`lift`/`compile`),
+//! completing the round trip: IR → bytes → IR.
+//!
+//! # Examples
+//!
+//! ```
+//! use tabby_classfile::{parse_class, write_class, ClassAsm};
+//!
+//! let class = ClassAsm::new("demo.Empty", "java.lang.Object", 0x0021).finish();
+//! let bytes = write_class(&class);
+//! let parsed = parse_class(&bytes).unwrap();
+//! assert_eq!(parsed.name().unwrap(), "demo.Empty");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod assembler;
+pub mod constant_pool;
+pub mod error;
+pub mod model;
+pub mod opcode;
+pub mod reader;
+pub mod writer;
+
+pub use assembler::{AsmLabel, ClassAsm, CodeAsm};
+pub use constant_pool::{ConstantPool, CpInfo};
+pub use error::{ClassFileError, Result};
+pub use model::{
+    decode_code_attribute, encode_code_attribute, AttributeInfo, ClassFile, CodeAttribute,
+    ExceptionTableEntry, MemberInfo, MAGIC, MAJOR_JAVA8,
+};
+pub use reader::parse_class;
+pub use writer::write_class;

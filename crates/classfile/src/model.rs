@@ -1,0 +1,214 @@
+//! The class-file object model (JVMS §4.1).
+
+use crate::constant_pool::ConstantPool;
+use crate::error::{ClassFileError, Result};
+
+/// The `0xCAFEBABE` magic.
+pub const MAGIC: u32 = 0xCAFE_BABE;
+
+/// Major version for Java 8 class files (the format we emit).
+pub const MAJOR_JAVA8: u16 = 52;
+
+/// A field or method member.
+#[derive(Debug, Clone)]
+pub struct MemberInfo {
+    /// Access flags (raw).
+    pub access_flags: u16,
+    /// Utf8 index of the member name.
+    pub name_index: u16,
+    /// Utf8 index of the descriptor.
+    pub descriptor_index: u16,
+    /// Attributes.
+    pub attributes: Vec<AttributeInfo>,
+}
+
+/// A raw attribute: name index plus undecoded payload.
+#[derive(Debug, Clone)]
+pub struct AttributeInfo {
+    /// Utf8 index of the attribute name.
+    pub name_index: u16,
+    /// Raw attribute bytes.
+    pub info: Vec<u8>,
+}
+
+/// One `exception_table` row of a Code attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExceptionTableEntry {
+    /// Start of the protected range (inclusive).
+    pub start_pc: u16,
+    /// End of the protected range (exclusive).
+    pub end_pc: u16,
+    /// Handler entry point.
+    pub handler_pc: u16,
+    /// Class index of the caught type (0 = any).
+    pub catch_type: u16,
+}
+
+/// A decoded `Code` attribute (JVMS §4.7.3).
+#[derive(Debug, Clone, Default)]
+pub struct CodeAttribute {
+    /// Operand-stack budget.
+    pub max_stack: u16,
+    /// Local-variable slots.
+    pub max_locals: u16,
+    /// Raw bytecode.
+    pub code: Vec<u8>,
+    /// Exception handlers.
+    pub exception_table: Vec<ExceptionTableEntry>,
+    /// Nested attributes (kept raw).
+    pub attributes: Vec<AttributeInfo>,
+}
+
+/// A parsed class file.
+#[derive(Debug, Clone)]
+pub struct ClassFile {
+    /// Minor version.
+    pub minor_version: u16,
+    /// Major version.
+    pub major_version: u16,
+    /// The constant pool.
+    pub constant_pool: ConstantPool,
+    /// Class access flags (raw).
+    pub access_flags: u16,
+    /// Class index of this class.
+    pub this_class: u16,
+    /// Class index of the superclass (0 for `java.lang.Object`).
+    pub super_class: u16,
+    /// Class indices of the direct interfaces.
+    pub interfaces: Vec<u16>,
+    /// Fields.
+    pub fields: Vec<MemberInfo>,
+    /// Methods.
+    pub methods: Vec<MemberInfo>,
+    /// Class-level attributes.
+    pub attributes: Vec<AttributeInfo>,
+}
+
+impl ClassFile {
+    /// The dotted binary name of this class.
+    pub fn name(&self) -> Result<String> {
+        Ok(self
+            .constant_pool
+            .class_name(self.this_class)?
+            .replace('/', "."))
+    }
+
+    /// The dotted binary name of the superclass, if any.
+    pub fn super_name(&self) -> Result<Option<String>> {
+        if self.super_class == 0 {
+            return Ok(None);
+        }
+        Ok(Some(
+            self.constant_pool
+                .class_name(self.super_class)?
+                .replace('/', "."),
+        ))
+    }
+
+    /// Dotted names of the direct interfaces.
+    pub fn interface_names(&self) -> Result<Vec<String>> {
+        self.interfaces
+            .iter()
+            .map(|&i| Ok(self.constant_pool.class_name(i)?.replace('/', ".")))
+            .collect()
+    }
+
+    /// Finds and decodes the `Code` attribute of a member, if present.
+    pub fn code_of(&self, member: &MemberInfo) -> Result<Option<CodeAttribute>> {
+        for attr in &member.attributes {
+            if self.constant_pool.utf8(attr.name_index)? == "Code" {
+                return Ok(Some(decode_code_attribute(&attr.info)?));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Decodes the payload of a `Code` attribute.
+pub fn decode_code_attribute(info: &[u8]) -> Result<CodeAttribute> {
+    let mut r = crate::reader::Cursor::new(info);
+    let max_stack = r.u16()?;
+    let max_locals = r.u16()?;
+    let code_len = r.u32()? as usize;
+    let code = r.bytes(code_len)?.to_vec();
+    let handler_count = r.u16()? as usize;
+    let mut exception_table = Vec::with_capacity(handler_count);
+    for _ in 0..handler_count {
+        exception_table.push(ExceptionTableEntry {
+            start_pc: r.u16()?,
+            end_pc: r.u16()?,
+            handler_pc: r.u16()?,
+            catch_type: r.u16()?,
+        });
+    }
+    let attr_count = r.u16()? as usize;
+    let mut attributes = Vec::with_capacity(attr_count);
+    for _ in 0..attr_count {
+        let name_index = r.u16()?;
+        let len = r.u32()? as usize;
+        attributes.push(AttributeInfo {
+            name_index,
+            info: r.bytes(len)?.to_vec(),
+        });
+    }
+    if !r.is_empty() {
+        return Err(ClassFileError::new("trailing bytes in Code attribute"));
+    }
+    Ok(CodeAttribute {
+        max_stack,
+        max_locals,
+        code,
+        exception_table,
+        attributes,
+    })
+}
+
+/// Encodes a `Code` attribute payload.
+pub fn encode_code_attribute(code: &CodeAttribute) -> Vec<u8> {
+    let mut out = Vec::with_capacity(code.code.len() + 16);
+    out.extend_from_slice(&code.max_stack.to_be_bytes());
+    out.extend_from_slice(&code.max_locals.to_be_bytes());
+    out.extend_from_slice(&(code.code.len() as u32).to_be_bytes());
+    out.extend_from_slice(&code.code);
+    out.extend_from_slice(&(code.exception_table.len() as u16).to_be_bytes());
+    for e in &code.exception_table {
+        out.extend_from_slice(&e.start_pc.to_be_bytes());
+        out.extend_from_slice(&e.end_pc.to_be_bytes());
+        out.extend_from_slice(&e.handler_pc.to_be_bytes());
+        out.extend_from_slice(&e.catch_type.to_be_bytes());
+    }
+    out.extend_from_slice(&(code.attributes.len() as u16).to_be_bytes());
+    for a in &code.attributes {
+        out.extend_from_slice(&a.name_index.to_be_bytes());
+        out.extend_from_slice(&(a.info.len() as u32).to_be_bytes());
+        out.extend_from_slice(&a.info);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_attribute_round_trip() {
+        let code = CodeAttribute {
+            max_stack: 3,
+            max_locals: 5,
+            code: vec![0x2a, 0xb1], // aload_0; return
+            exception_table: vec![ExceptionTableEntry {
+                start_pc: 0,
+                end_pc: 1,
+                handler_pc: 1,
+                catch_type: 0,
+            }],
+            attributes: vec![],
+        };
+        let bytes = encode_code_attribute(&code);
+        let back = decode_code_attribute(&bytes).unwrap();
+        assert_eq!(back.max_stack, 3);
+        assert_eq!(back.max_locals, 5);
+        assert_eq!(back.code, code.code);
+        assert_eq!(back.exception_table, code.exception_table);
+    }
+}

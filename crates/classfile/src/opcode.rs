@@ -1,0 +1,490 @@
+//! Bytecode decoding: raw `code[]` bytes to structured instructions.
+//!
+//! The decoder covers the full JVM instruction set (JVMS §6.5), collapsing
+//! the per-type load/store/arith families into kind-parameterized variants
+//! and resolving relative branch offsets into absolute code offsets. The
+//! IR lifter in `tabby-ir` consumes this stream.
+
+use crate::error::{ClassFileError, Result};
+use crate::reader::Cursor;
+
+/// The JVM computational-type kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kind {
+    Int,
+    Long,
+    Float,
+    Double,
+    Ref,
+    /// byte/boolean/char/short array accesses (collapse to Int values).
+    Small,
+}
+
+impl Kind {
+    /// Whether values of this kind take two stack slots.
+    pub fn is_wide(self) -> bool {
+        matches!(self, Kind::Long | Kind::Double)
+    }
+}
+
+/// Arithmetic / bitwise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Ushr,
+    And,
+    Or,
+    Xor,
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Gt,
+    Le,
+}
+
+/// A decoded instruction. Branch targets are absolute code offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Insn {
+    /// `nop`.
+    Nop,
+    /// `aconst_null`.
+    ConstNull,
+    /// Integer constant (`iconst_*`, `bipush`, `sipush`).
+    ConstInt(i32),
+    /// Long constant (`lconst_*`).
+    ConstLong(i64),
+    /// Float constant (`fconst_*`).
+    ConstFloat(f32),
+    /// Double constant (`dconst_*`).
+    ConstDouble(f64),
+    /// `ldc` / `ldc_w` / `ldc2_w` — constant-pool load.
+    Ldc(u16),
+    /// Local load.
+    Load(Kind, u16),
+    /// Local store.
+    Store(Kind, u16),
+    /// Array element load.
+    ArrayLoad(Kind),
+    /// Array element store.
+    ArrayStore(Kind),
+    /// `pop`.
+    Pop,
+    /// `pop2`.
+    Pop2,
+    /// `dup`.
+    Dup,
+    /// `dup_x1`.
+    DupX1,
+    /// `dup_x2`.
+    DupX2,
+    /// `dup2`.
+    Dup2,
+    /// `dup2_x1`.
+    Dup2X1,
+    /// `dup2_x2`.
+    Dup2X2,
+    /// `swap`.
+    Swap,
+    /// Binary arithmetic.
+    Arith(ArithOp, Kind),
+    /// Numeric negation.
+    Neg(Kind),
+    /// `iinc`.
+    Iinc(u16, i16),
+    /// Numeric conversion (`i2l` … `i2s`), keeping the raw opcode.
+    Convert(u8),
+    /// `lcmp` / `fcmpl` / `fcmpg` / `dcmpl` / `dcmpg`.
+    Cmp,
+    /// `ifeq` … `ifle` — compare int with zero.
+    IfZero(Cond, u32),
+    /// `if_icmpeq` … `if_icmple`.
+    IfICmp(Cond, u32),
+    /// `if_acmpeq` / `if_acmpne`.
+    IfACmp(Cond, u32),
+    /// `ifnull`.
+    IfNull(u32),
+    /// `ifnonnull`.
+    IfNonNull(u32),
+    /// `goto` / `goto_w`.
+    Goto(u32),
+    /// `jsr` / `jsr_w` (obsolete subroutines).
+    Jsr(u32),
+    /// `ret`.
+    Ret(u16),
+    /// `tableswitch`.
+    TableSwitch {
+        /// Default target.
+        default: u32,
+        /// Lowest matched value.
+        low: i32,
+        /// Jump targets for `low..=high`.
+        offsets: Vec<u32>,
+    },
+    /// `lookupswitch`.
+    LookupSwitch {
+        /// Default target.
+        default: u32,
+        /// `(match, target)` pairs.
+        pairs: Vec<(i32, u32)>,
+    },
+    /// Typed `return` (None = `return` void).
+    Return(Option<Kind>),
+    /// `getstatic`.
+    GetStatic(u16),
+    /// `putstatic`.
+    PutStatic(u16),
+    /// `getfield`.
+    GetField(u16),
+    /// `putfield`.
+    PutField(u16),
+    /// `invokevirtual`.
+    InvokeVirtual(u16),
+    /// `invokespecial`.
+    InvokeSpecial(u16),
+    /// `invokestatic`.
+    InvokeStatic(u16),
+    /// `invokeinterface`.
+    InvokeInterface(u16),
+    /// `invokedynamic`.
+    InvokeDynamic(u16),
+    /// `new`.
+    New(u16),
+    /// `newarray` (primitive element tag).
+    NewArray(u8),
+    /// `anewarray`.
+    ANewArray(u16),
+    /// `arraylength`.
+    ArrayLength,
+    /// `athrow`.
+    AThrow,
+    /// `checkcast`.
+    CheckCast(u16),
+    /// `instanceof`.
+    InstanceOf(u16),
+    /// `monitorenter`.
+    MonitorEnter,
+    /// `monitorexit`.
+    MonitorExit,
+    /// `multianewarray`.
+    MultiANewArray(u16, u8),
+    /// `breakpoint` (reserved).
+    Breakpoint,
+}
+
+/// Decodes `code` into `(offset, instruction)` pairs.
+pub fn decode(code: &[u8]) -> Result<Vec<(u32, Insn)>> {
+    let mut r = Cursor::new(code);
+    let mut out = Vec::new();
+    while !r.is_empty() {
+        let at = r.position() as u32;
+        let op = r.u8()?;
+        let insn = decode_one(op, at, &mut r, code.len())?;
+        out.push((at, insn));
+    }
+    Ok(out)
+}
+
+fn rel16(r: &mut Cursor<'_>, at: u32) -> Result<u32> {
+    let off = r.u16()? as i16;
+    Ok((at as i64 + i64::from(off)) as u32)
+}
+
+fn rel32(r: &mut Cursor<'_>, at: u32) -> Result<u32> {
+    let off = r.i32()?;
+    Ok((at as i64 + i64::from(off)) as u32)
+}
+
+#[allow(clippy::too_many_lines)]
+fn decode_one(op: u8, at: u32, r: &mut Cursor<'_>, code_len: usize) -> Result<Insn> {
+    use Kind::*;
+    Ok(match op {
+        0x00 => Insn::Nop,
+        0x01 => Insn::ConstNull,
+        0x02..=0x08 => Insn::ConstInt(i32::from(op) - 3),
+        0x09 | 0x0a => Insn::ConstLong(i64::from(op - 0x09)),
+        0x0b..=0x0d => Insn::ConstFloat(f32::from(op - 0x0b)),
+        0x0e | 0x0f => Insn::ConstDouble(f64::from(op - 0x0e)),
+        0x10 => Insn::ConstInt(i32::from(r.u8()? as i8)),
+        0x11 => Insn::ConstInt(i32::from(r.u16()? as i16)),
+        0x12 => Insn::Ldc(u16::from(r.u8()?)),
+        0x13 | 0x14 => Insn::Ldc(r.u16()?),
+        0x15 => Insn::Load(Int, u16::from(r.u8()?)),
+        0x16 => Insn::Load(Long, u16::from(r.u8()?)),
+        0x17 => Insn::Load(Float, u16::from(r.u8()?)),
+        0x18 => Insn::Load(Double, u16::from(r.u8()?)),
+        0x19 => Insn::Load(Ref, u16::from(r.u8()?)),
+        0x1a..=0x1d => Insn::Load(Int, u16::from(op - 0x1a)),
+        0x1e..=0x21 => Insn::Load(Long, u16::from(op - 0x1e)),
+        0x22..=0x25 => Insn::Load(Float, u16::from(op - 0x22)),
+        0x26..=0x29 => Insn::Load(Double, u16::from(op - 0x26)),
+        0x2a..=0x2d => Insn::Load(Ref, u16::from(op - 0x2a)),
+        0x2e => Insn::ArrayLoad(Int),
+        0x2f => Insn::ArrayLoad(Long),
+        0x30 => Insn::ArrayLoad(Float),
+        0x31 => Insn::ArrayLoad(Double),
+        0x32 => Insn::ArrayLoad(Ref),
+        0x33..=0x35 => Insn::ArrayLoad(Small),
+        0x36 => Insn::Store(Int, u16::from(r.u8()?)),
+        0x37 => Insn::Store(Long, u16::from(r.u8()?)),
+        0x38 => Insn::Store(Float, u16::from(r.u8()?)),
+        0x39 => Insn::Store(Double, u16::from(r.u8()?)),
+        0x3a => Insn::Store(Ref, u16::from(r.u8()?)),
+        0x3b..=0x3e => Insn::Store(Int, u16::from(op - 0x3b)),
+        0x3f..=0x42 => Insn::Store(Long, u16::from(op - 0x3f)),
+        0x43..=0x46 => Insn::Store(Float, u16::from(op - 0x43)),
+        0x47..=0x4a => Insn::Store(Double, u16::from(op - 0x47)),
+        0x4b..=0x4e => Insn::Store(Ref, u16::from(op - 0x4b)),
+        0x4f => Insn::ArrayStore(Int),
+        0x50 => Insn::ArrayStore(Long),
+        0x51 => Insn::ArrayStore(Float),
+        0x52 => Insn::ArrayStore(Double),
+        0x53 => Insn::ArrayStore(Ref),
+        0x54..=0x56 => Insn::ArrayStore(Small),
+        0x57 => Insn::Pop,
+        0x58 => Insn::Pop2,
+        0x59 => Insn::Dup,
+        0x5a => Insn::DupX1,
+        0x5b => Insn::DupX2,
+        0x5c => Insn::Dup2,
+        0x5d => Insn::Dup2X1,
+        0x5e => Insn::Dup2X2,
+        0x5f => Insn::Swap,
+        0x60..=0x63 => Insn::Arith(ArithOp::Add, [Int, Long, Float, Double][(op - 0x60) as usize]),
+        0x64..=0x67 => Insn::Arith(ArithOp::Sub, [Int, Long, Float, Double][(op - 0x64) as usize]),
+        0x68..=0x6b => Insn::Arith(ArithOp::Mul, [Int, Long, Float, Double][(op - 0x68) as usize]),
+        0x6c..=0x6f => Insn::Arith(ArithOp::Div, [Int, Long, Float, Double][(op - 0x6c) as usize]),
+        0x70..=0x73 => Insn::Arith(ArithOp::Rem, [Int, Long, Float, Double][(op - 0x70) as usize]),
+        0x74..=0x77 => Insn::Neg([Int, Long, Float, Double][(op - 0x74) as usize]),
+        0x78 | 0x79 => Insn::Arith(ArithOp::Shl, [Int, Long][(op - 0x78) as usize]),
+        0x7a | 0x7b => Insn::Arith(ArithOp::Shr, [Int, Long][(op - 0x7a) as usize]),
+        0x7c | 0x7d => Insn::Arith(ArithOp::Ushr, [Int, Long][(op - 0x7c) as usize]),
+        0x7e | 0x7f => Insn::Arith(ArithOp::And, [Int, Long][(op - 0x7e) as usize]),
+        0x80 | 0x81 => Insn::Arith(ArithOp::Or, [Int, Long][(op - 0x80) as usize]),
+        0x82 | 0x83 => Insn::Arith(ArithOp::Xor, [Int, Long][(op - 0x82) as usize]),
+        0x84 => Insn::Iinc(u16::from(r.u8()?), i16::from(r.u8()? as i8)),
+        0x85..=0x93 => Insn::Convert(op),
+        0x94..=0x98 => Insn::Cmp,
+        0x99..=0x9e => Insn::IfZero(
+            [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Gt, Cond::Le][(op - 0x99) as usize],
+            rel16(r, at)?,
+        ),
+        0x9f..=0xa4 => Insn::IfICmp(
+            [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Gt, Cond::Le][(op - 0x9f) as usize],
+            rel16(r, at)?,
+        ),
+        0xa5 => Insn::IfACmp(Cond::Eq, rel16(r, at)?),
+        0xa6 => Insn::IfACmp(Cond::Ne, rel16(r, at)?),
+        0xa7 => Insn::Goto(rel16(r, at)?),
+        0xa8 => Insn::Jsr(rel16(r, at)?),
+        0xa9 => Insn::Ret(u16::from(r.u8()?)),
+        0xaa => {
+            // tableswitch: skip padding to a 4-byte boundary.
+            while r.position() % 4 != 0 {
+                r.u8()?;
+            }
+            let default = rel32(r, at)?;
+            let low = r.i32()?;
+            let high = r.i32()?;
+            if high < low {
+                return Err(ClassFileError::at(
+                    r.position(),
+                    "tableswitch high < low",
+                ));
+            }
+            let n = (i64::from(high) - i64::from(low) + 1) as usize;
+            if n > code_len {
+                return Err(ClassFileError::at(r.position(), "tableswitch too large"));
+            }
+            let mut offsets = Vec::with_capacity(n);
+            for _ in 0..n {
+                offsets.push(rel32(r, at)?);
+            }
+            Insn::TableSwitch {
+                default,
+                low,
+                offsets,
+            }
+        }
+        0xab => {
+            while r.position() % 4 != 0 {
+                r.u8()?;
+            }
+            let default = rel32(r, at)?;
+            let n = r.i32()?;
+            if n < 0 || n as usize > code_len {
+                return Err(ClassFileError::at(r.position(), "lookupswitch too large"));
+            }
+            let mut pairs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let k = r.i32()?;
+                pairs.push((k, rel32(r, at)?));
+            }
+            Insn::LookupSwitch {
+                default,
+                pairs,
+            }
+        }
+        0xac => Insn::Return(Some(Int)),
+        0xad => Insn::Return(Some(Long)),
+        0xae => Insn::Return(Some(Float)),
+        0xaf => Insn::Return(Some(Double)),
+        0xb0 => Insn::Return(Some(Ref)),
+        0xb1 => Insn::Return(None),
+        0xb2 => Insn::GetStatic(r.u16()?),
+        0xb3 => Insn::PutStatic(r.u16()?),
+        0xb4 => Insn::GetField(r.u16()?),
+        0xb5 => Insn::PutField(r.u16()?),
+        0xb6 => Insn::InvokeVirtual(r.u16()?),
+        0xb7 => Insn::InvokeSpecial(r.u16()?),
+        0xb8 => Insn::InvokeStatic(r.u16()?),
+        0xb9 => {
+            let index = r.u16()?;
+            let _count = r.u8()?;
+            let _zero = r.u8()?;
+            Insn::InvokeInterface(index)
+        }
+        0xba => {
+            let index = r.u16()?;
+            let _zero = r.u16()?;
+            Insn::InvokeDynamic(index)
+        }
+        0xbb => Insn::New(r.u16()?),
+        0xbc => Insn::NewArray(r.u8()?),
+        0xbd => Insn::ANewArray(r.u16()?),
+        0xbe => Insn::ArrayLength,
+        0xbf => Insn::AThrow,
+        0xc0 => Insn::CheckCast(r.u16()?),
+        0xc1 => Insn::InstanceOf(r.u16()?),
+        0xc2 => Insn::MonitorEnter,
+        0xc3 => Insn::MonitorExit,
+        0xc4 => {
+            // wide
+            let inner = r.u8()?;
+            let index = r.u16()?;
+            match inner {
+                0x15 => Insn::Load(Int, index),
+                0x16 => Insn::Load(Long, index),
+                0x17 => Insn::Load(Float, index),
+                0x18 => Insn::Load(Double, index),
+                0x19 => Insn::Load(Ref, index),
+                0x36 => Insn::Store(Int, index),
+                0x37 => Insn::Store(Long, index),
+                0x38 => Insn::Store(Float, index),
+                0x39 => Insn::Store(Double, index),
+                0x3a => Insn::Store(Ref, index),
+                0x84 => Insn::Iinc(index, r.u16()? as i16),
+                0xa9 => Insn::Ret(index),
+                other => {
+                    return Err(ClassFileError::at(
+                        r.position(),
+                        format!("invalid wide target {other:#04x}"),
+                    ))
+                }
+            }
+        }
+        0xc5 => Insn::MultiANewArray(r.u16()?, r.u8()?),
+        0xc6 => Insn::IfNull(rel16(r, at)?),
+        0xc7 => Insn::IfNonNull(rel16(r, at)?),
+        0xc8 => Insn::Goto(rel32(r, at)?),
+        0xc9 => Insn::Jsr(rel32(r, at)?),
+        0xca => Insn::Breakpoint,
+        other => {
+            return Err(ClassFileError::at(
+                at as usize,
+                format!("unknown opcode {other:#04x}"),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_simple_sequence() {
+        // aload_0; iconst_1; istore_1; return
+        let code = [0x2a, 0x04, 0x3c, 0xb1];
+        let insns = decode(&code).unwrap();
+        assert_eq!(
+            insns,
+            vec![
+                (0, Insn::Load(Kind::Ref, 0)),
+                (1, Insn::ConstInt(1)),
+                (2, Insn::Store(Kind::Int, 1)),
+                (3, Insn::Return(None)),
+            ]
+        );
+    }
+
+    #[test]
+    fn decodes_branches_to_absolute_offsets() {
+        // 0: iload_1; 1: ifeq +5 (-> 6); 4: nop; 5: nop; 6: return
+        let code = [0x1b, 0x99, 0x00, 0x05, 0x00, 0x00, 0xb1];
+        let insns = decode(&code).unwrap();
+        assert_eq!(insns[1].1, Insn::IfZero(Cond::Eq, 6));
+    }
+
+    #[test]
+    fn decodes_tableswitch_with_padding() {
+        // 0: tableswitch (1 byte opcode + 3 pad) default->16 low=1 high=2
+        let mut code = vec![0xaa, 0, 0, 0];
+        code.extend_from_slice(&16i32.to_be_bytes());
+        code.extend_from_slice(&1i32.to_be_bytes());
+        code.extend_from_slice(&2i32.to_be_bytes());
+        code.extend_from_slice(&20i32.to_be_bytes());
+        code.extend_from_slice(&24i32.to_be_bytes());
+        let insns = decode(&code).unwrap();
+        match &insns[0].1 {
+            Insn::TableSwitch {
+                default,
+                low,
+                offsets,
+            } => {
+                assert_eq!(*default, 16);
+                assert_eq!(*low, 1);
+                assert_eq!(offsets, &[20, 24]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decodes_wide_forms() {
+        // wide iload 300; wide iinc 300 -2
+        let mut code = vec![0xc4, 0x15];
+        code.extend_from_slice(&300u16.to_be_bytes());
+        code.push(0xc4);
+        code.push(0x84);
+        code.extend_from_slice(&300u16.to_be_bytes());
+        code.extend_from_slice(&(-2i16 as u16).to_be_bytes());
+        let insns = decode(&code).unwrap();
+        assert_eq!(insns[0].1, Insn::Load(Kind::Int, 300));
+        assert_eq!(insns[1].1, Insn::Iinc(300, -2));
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        assert!(decode(&[0xff]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_operand() {
+        assert!(decode(&[0xb6, 0x00]).is_err());
+    }
+}

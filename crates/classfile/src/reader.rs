@@ -1,0 +1,274 @@
+//! Parsing `.class` bytes into the object model.
+
+use crate::constant_pool::{ConstantPool, CpInfo};
+use crate::error::{ClassFileError, Result};
+use crate::model::{AttributeInfo, ClassFile, MemberInfo, MAGIC};
+
+/// A bounds-checked big-endian byte cursor.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+        }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether all bytes were consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| ClassFileError::at(self.pos, "length overflow"))?;
+        if end > self.data.len() {
+            return Err(ClassFileError::at(
+                self.pos,
+                format!("unexpected end of input (wanted {n} bytes)"),
+            ));
+        }
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32> {
+        Ok(self.u32()? as i32)
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Parses a whole `.class` file.
+pub fn parse_class(bytes: &[u8]) -> Result<ClassFile> {
+    let mut r = Cursor::new(bytes);
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(ClassFileError::at(0, format!("bad magic {magic:#010x}")));
+    }
+    let minor_version = r.u16()?;
+    let major_version = r.u16()?;
+    let constant_pool = parse_constant_pool(&mut r)?;
+    let access_flags = r.u16()?;
+    let this_class = r.u16()?;
+    let super_class = r.u16()?;
+    let interface_count = r.u16()? as usize;
+    let mut interfaces = Vec::with_capacity(interface_count);
+    for _ in 0..interface_count {
+        interfaces.push(r.u16()?);
+    }
+    let fields = parse_members(&mut r)?;
+    let methods = parse_members(&mut r)?;
+    let attributes = parse_attributes(&mut r)?;
+    if !r.is_empty() {
+        return Err(ClassFileError::at(r.position(), "trailing bytes"));
+    }
+    Ok(ClassFile {
+        minor_version,
+        major_version,
+        constant_pool,
+        access_flags,
+        this_class,
+        super_class,
+        interfaces,
+        fields,
+        methods,
+        attributes,
+    })
+}
+
+fn parse_constant_pool(r: &mut Cursor<'_>) -> Result<ConstantPool> {
+    let count = r.u16()?;
+    let mut cp = ConstantPool::new();
+    while cp.count() < count {
+        let tag = r.u8()?;
+        let info = match tag {
+            1 => {
+                let len = r.u16()? as usize;
+                let raw = r.bytes(len)?;
+                // Modified UTF-8: decode the common subset (no embedded
+                // NULs or surrogates in names we produce); fall back to
+                // lossy decoding for exotic input.
+                CpInfo::Utf8(decode_modified_utf8(raw))
+            }
+            3 => CpInfo::Integer(r.i32()?),
+            4 => CpInfo::Float(f32::from_bits(r.u32()?)),
+            5 => CpInfo::Long(r.u64()? as i64),
+            6 => CpInfo::Double(f64::from_bits(r.u64()?)),
+            7 => CpInfo::Class(r.u16()?),
+            8 => CpInfo::Str(r.u16()?),
+            9 => CpInfo::FieldRef(r.u16()?, r.u16()?),
+            10 => CpInfo::MethodRef(r.u16()?, r.u16()?),
+            11 => CpInfo::InterfaceMethodRef(r.u16()?, r.u16()?),
+            12 => CpInfo::NameAndType(r.u16()?, r.u16()?),
+            15 => CpInfo::MethodHandle(r.u8()?, r.u16()?),
+            16 => CpInfo::MethodType(r.u16()?),
+            18 => CpInfo::InvokeDynamic(r.u16()?, r.u16()?),
+            other => {
+                return Err(ClassFileError::at(
+                    r.position(),
+                    format!("unknown constant tag {other}"),
+                ))
+            }
+        };
+        cp.push_raw(info);
+    }
+    Ok(cp)
+}
+
+fn parse_members(r: &mut Cursor<'_>) -> Result<Vec<MemberInfo>> {
+    let count = r.u16()? as usize;
+    let mut members = Vec::with_capacity(count);
+    for _ in 0..count {
+        let access_flags = r.u16()?;
+        let name_index = r.u16()?;
+        let descriptor_index = r.u16()?;
+        let attributes = parse_attributes(r)?;
+        members.push(MemberInfo {
+            access_flags,
+            name_index,
+            descriptor_index,
+            attributes,
+        });
+    }
+    Ok(members)
+}
+
+fn parse_attributes(r: &mut Cursor<'_>) -> Result<Vec<AttributeInfo>> {
+    let count = r.u16()? as usize;
+    let mut attributes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_index = r.u16()?;
+        let len = r.u32()? as usize;
+        attributes.push(AttributeInfo {
+            name_index,
+            info: r.bytes(len)?.to_vec(),
+        });
+    }
+    Ok(attributes)
+}
+
+/// Decodes JVM modified UTF-8 (handles the two-byte NUL encoding; six-byte
+/// surrogate pairs are decoded to the replacement character).
+pub fn decode_modified_utf8(raw: &[u8]) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        let b = raw[i];
+        if b & 0x80 == 0 {
+            out.push(b as char);
+            i += 1;
+        } else if b & 0xE0 == 0xC0 && i + 1 < raw.len() {
+            let c = (u32::from(b & 0x1F) << 6) | u32::from(raw[i + 1] & 0x3F);
+            out.push(char::from_u32(c).unwrap_or('\u{FFFD}'));
+            i += 2;
+        } else if b & 0xF0 == 0xE0 && i + 2 < raw.len() {
+            let c = (u32::from(b & 0x0F) << 12)
+                | (u32::from(raw[i + 1] & 0x3F) << 6)
+                | u32::from(raw[i + 2] & 0x3F);
+            out.push(char::from_u32(c).unwrap_or('\u{FFFD}'));
+            i += 3;
+        } else {
+            out.push('\u{FFFD}');
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Encodes JVM modified UTF-8.
+pub fn encode_modified_utf8(s: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(s.len());
+    for c in s.chars() {
+        let v = c as u32;
+        match v {
+            0 => out.extend_from_slice(&[0xC0, 0x80]),
+            1..=0x7F => out.push(v as u8),
+            0x80..=0x7FF => {
+                out.push(0xC0 | (v >> 6) as u8);
+                out.push(0x80 | (v & 0x3F) as u8);
+            }
+            _ => {
+                // BMP three-byte form (supplementary planes would need the
+                // surrogate-pair form; class names never contain them).
+                out.push(0xE0 | (v >> 12) as u8);
+                out.push(0x80 | ((v >> 6) & 0x3F) as u8);
+                out.push(0x80 | (v & 0x3F) as u8);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_bounds() {
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert_eq!(c.u16().unwrap(), 0x0102);
+        assert!(c.u16().is_err());
+        assert_eq!(c.u8().unwrap(), 3);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = parse_class(&[0, 0, 0, 0]).unwrap_err();
+        assert!(err.message.contains("bad magic"));
+    }
+
+    #[test]
+    fn modified_utf8_round_trip() {
+        for s in ["hello", "java/lang/Object", "ünïcødé", "a\u{0}b"] {
+            let enc = encode_modified_utf8(s);
+            assert_eq!(decode_modified_utf8(&enc), s);
+        }
+    }
+
+    #[test]
+    fn nul_uses_two_byte_form() {
+        let enc = encode_modified_utf8("\u{0}");
+        assert_eq!(enc, vec![0xC0, 0x80]);
+    }
+}

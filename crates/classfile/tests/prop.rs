@@ -1,0 +1,72 @@
+//! Property-based tests for the class-file codec.
+
+use proptest::prelude::*;
+use tabby_classfile::model::{decode_code_attribute, encode_code_attribute};
+use tabby_classfile::reader::{decode_modified_utf8, encode_modified_utf8};
+use tabby_classfile::{parse_class, write_class, ClassAsm, CodeAttribute, ConstantPool};
+
+proptest! {
+    #[test]
+    fn modified_utf8_round_trips_bmp_strings(s in "\\PC{0,60}") {
+        // Restrict to BMP (the encoder documents no surrogate-pair support).
+        let s: String = s.chars().filter(|c| (*c as u32) < 0x10000).collect();
+        prop_assert_eq!(decode_modified_utf8(&encode_modified_utf8(&s)), s);
+    }
+
+    #[test]
+    fn code_attribute_round_trips(max_stack in 0u16..100, max_locals in 0u16..100,
+                                  code in prop::collection::vec(any::<u8>(), 0..64)) {
+        let attr = CodeAttribute {
+            max_stack,
+            max_locals,
+            code,
+            exception_table: vec![],
+            attributes: vec![],
+        };
+        let bytes = encode_code_attribute(&attr);
+        let back = decode_code_attribute(&bytes).unwrap();
+        prop_assert_eq!(back.max_stack, attr.max_stack);
+        prop_assert_eq!(back.max_locals, attr.max_locals);
+        prop_assert_eq!(back.code, attr.code);
+    }
+
+    #[test]
+    fn constant_pool_dedup_is_stable(names in prop::collection::vec("[a-z/]{1,20}", 1..30)) {
+        let mut cp = ConstantPool::new();
+        let first: Vec<u16> = names.iter().map(|n| cp.add_class(n)).collect();
+        let second: Vec<u16> = names.iter().map(|n| cp.add_class(n)).collect();
+        prop_assert_eq!(first.clone(), second);
+        for (name, idx) in names.iter().zip(&first) {
+            prop_assert_eq!(cp.class_name(*idx).unwrap(), name.as_str());
+        }
+    }
+
+    #[test]
+    fn class_files_round_trip_structurally(field_count in 0usize..6, iface_count in 0usize..4) {
+        let mut asm = ClassAsm::new("p.Gen", "java.lang.Object", 0x0021);
+        for i in 0..iface_count {
+            asm.add_interface(&format!("p.Iface{i}"));
+        }
+        for i in 0..field_count {
+            asm.add_field(0x0002, &format!("f{i}"), "Ljava/lang/Object;");
+        }
+        let bytes = write_class(&asm.finish());
+        let back = parse_class(&bytes).unwrap();
+        prop_assert_eq!(back.name().unwrap(), "p.Gen");
+        prop_assert_eq!(back.fields.len(), field_count);
+        prop_assert_eq!(back.interfaces.len(), iface_count);
+        // Writing the parsed structure is byte-stable.
+        prop_assert_eq!(write_class(&back), bytes);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Arbitrary bytes must produce an error, never a panic.
+        let _ = parse_class(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_noise(bytes in prop::collection::vec(any::<u8>(), 0..100)) {
+        let _ = tabby_classfile::opcode::decode(&bytes);
+    }
+}

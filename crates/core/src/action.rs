@@ -1,0 +1,291 @@
+//! The `Action` method summary (Table III) and Formulas 2–3.
+//!
+//! An Action abstracts a whole method body as a map from *outputs* (final
+//! parameter states, their fields, and the return value) to *origins*
+//! (the receiver, its fields, initial parameters, their fields, or `null`
+//! for "uncontrollable"). It is the interprocedural currency of the
+//! controllability analysis and also its memoization cache ("the Action
+//! property also serves as a caching mechanism", §III-C).
+
+use crate::weight::Weight;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tabby_ir::Symbol;
+
+/// An output slot of a method call (Table III's key domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ActionKey {
+    /// `this` — the receiver after the call.
+    This,
+    /// `this.x` — a field of the receiver after the call.
+    ThisField(Symbol),
+    /// `final-param-i` — the final status of parameter *i* (1-based).
+    FinalParam(u16),
+    /// `final-param-i.x` — a field of parameter *i* after the call.
+    FinalParamField(u16, Symbol),
+    /// `return` — the return value.
+    Return,
+}
+
+/// An origin of a value (Table III's value domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionValue {
+    /// `this`.
+    This,
+    /// `this.x`.
+    ThisField(Symbol),
+    /// `init-param-j` — the value parameter *j* held on entry (1-based).
+    InitParam(u16),
+    /// `init-param-j.x`.
+    InitParamField(u16, Symbol),
+    /// `null` — uncontrollable.
+    Null,
+}
+
+/// A method summary: the ⟨key, value⟩ pair array of §III-C.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    entries: BTreeMap<ActionKey, ActionValue>,
+}
+
+impl Action {
+    /// An empty action (every output defaults to its identity / null).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The conservative *identity* action used to break interprocedural
+    /// recursion cycles: parameters keep their initial controllability and
+    /// the return value is assumed uncontrollable.
+    pub fn identity(param_count: usize) -> Self {
+        let mut a = Action::new();
+        a.set(ActionKey::This, ActionValue::This);
+        for i in 1..=param_count as u16 {
+            a.set(ActionKey::FinalParam(i), ActionValue::InitParam(i));
+        }
+        a.set(ActionKey::Return, ActionValue::Null);
+        a
+    }
+
+    /// The *taint-through* action used for unresolved (phantom) callees:
+    /// parameters keep their controllability and the return value is assumed
+    /// to flow from the receiver — the permissive default the paper ascribes
+    /// to prior tools for unanalyzed code.
+    pub fn taint_through(param_count: usize, has_receiver: bool) -> Self {
+        let mut a = Action::identity(param_count);
+        let ret = if has_receiver {
+            ActionValue::This
+        } else if param_count > 0 {
+            ActionValue::InitParam(1)
+        } else {
+            ActionValue::Null
+        };
+        a.set(ActionKey::Return, ret);
+        a
+    }
+
+    /// Sets an entry.
+    pub fn set(&mut self, key: ActionKey, value: ActionValue) {
+        self.entries.insert(key, value);
+    }
+
+    /// Gets an entry.
+    pub fn get(&self, key: ActionKey) -> Option<ActionValue> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Iterates over the entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (ActionKey, ActionValue)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the action has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Formula 2 — `f_calc(Action, in) = {⟨x,z⟩ | ⟨x,y⟩ ∈ Action, ⟨y,z⟩ ∈ in}`:
+    /// translate each output's *origin* (an [`ActionValue`] in the callee's
+    /// frame) into a *weight* in the caller's frame using `in`, the snapshot
+    /// of weights flowing into the call.
+    pub fn calc(&self, input: &ActionInput) -> Vec<(ActionKey, Weight)> {
+        self.iter()
+            .map(|(k, v)| (k, input.weight_of(v)))
+            .collect()
+    }
+
+    /// Renders the action with the paper's key/value names (for the graph's
+    /// `ACTION` property and debugging; see Fig. 5(b)).
+    pub fn to_named(&self, resolve: impl Fn(Symbol) -> String) -> Vec<(String, String)> {
+        let key_name = |k: ActionKey| match k {
+            ActionKey::This => "this".to_owned(),
+            ActionKey::ThisField(f) => format!("this.{}", resolve(f)),
+            ActionKey::FinalParam(i) => format!("final-param-{i}"),
+            ActionKey::FinalParamField(i, f) => format!("final-param-{i}.{}", resolve(f)),
+            ActionKey::Return => "return".to_owned(),
+        };
+        let value_name = |v: ActionValue| match v {
+            ActionValue::This => "this".to_owned(),
+            ActionValue::ThisField(f) => format!("this.{}", resolve(f)),
+            ActionValue::InitParam(j) => format!("init-param-{j}"),
+            ActionValue::InitParamField(j, f) => format!("init-param-{j}.{}", resolve(f)),
+            ActionValue::Null => "null".to_owned(),
+        };
+        self.iter()
+            .map(|(k, v)| (key_name(k), value_name(v)))
+            .collect()
+    }
+}
+
+/// The `in` map of Formulas 2–3: weights (in the caller's frame) of the
+/// values flowing into a call — the receiver, its fields, the arguments,
+/// and their fields.
+#[derive(Debug, Clone, Default)]
+pub struct ActionInput {
+    /// Weight of the receiver (`None` for static calls).
+    pub this: Option<Weight>,
+    /// Weights of receiver fields observed at the call site.
+    pub this_fields: BTreeMap<Symbol, Weight>,
+    /// Weight of each argument, 1-based (index 0 unused).
+    pub params: Vec<Weight>,
+    /// Weights of argument fields observed at the call site.
+    pub param_fields: BTreeMap<(u16, Symbol), Weight>,
+}
+
+impl ActionInput {
+    /// Creates an input for a call with the given receiver and argument
+    /// weights.
+    pub fn new(this: Option<Weight>, args: &[Weight]) -> Self {
+        let mut params = vec![Weight::Unknown; args.len() + 1];
+        params[1..].copy_from_slice(args);
+        Self {
+            this,
+            this_fields: BTreeMap::new(),
+            params,
+            param_fields: BTreeMap::new(),
+        }
+    }
+
+    /// The caller-frame weight of a callee-frame origin.
+    pub fn weight_of(&self, v: ActionValue) -> Weight {
+        match v {
+            ActionValue::This => self.this.unwrap_or(Weight::Unknown),
+            ActionValue::ThisField(f) => self
+                .this_fields
+                .get(&f)
+                .copied()
+                .unwrap_or_else(|| self.this.unwrap_or(Weight::Unknown)),
+            ActionValue::InitParam(j) => self
+                .params
+                .get(j as usize)
+                .copied()
+                .unwrap_or(Weight::Unknown),
+            ActionValue::InitParamField(j, f) => self
+                .param_fields
+                .get(&(j, f))
+                .copied()
+                .unwrap_or_else(|| {
+                    self.params
+                        .get(j as usize)
+                        .copied()
+                        .unwrap_or(Weight::Unknown)
+                }),
+            ActionValue::Null => Weight::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_ir::Interner;
+
+    #[test]
+    fn identity_action_shape() {
+        let a = Action::identity(2);
+        assert_eq!(a.get(ActionKey::FinalParam(1)), Some(ActionValue::InitParam(1)));
+        assert_eq!(a.get(ActionKey::FinalParam(2)), Some(ActionValue::InitParam(2)));
+        assert_eq!(a.get(ActionKey::Return), Some(ActionValue::Null));
+        assert_eq!(a.get(ActionKey::This), Some(ActionValue::This));
+    }
+
+    #[test]
+    fn taint_through_prefers_receiver() {
+        let a = Action::taint_through(1, true);
+        assert_eq!(a.get(ActionKey::Return), Some(ActionValue::This));
+        let b = Action::taint_through(1, false);
+        assert_eq!(b.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+        let c = Action::taint_through(0, false);
+        assert_eq!(c.get(ActionKey::Return), Some(ActionValue::Null));
+    }
+
+    #[test]
+    fn calc_translates_origins_to_caller_weights() {
+        // Fig. 5(d): exchange's Action maps return -> init-param-2;
+        // the caller's arg2 has weight 2, so `out[return]` is Param(2).
+        let mut action = Action::new();
+        action.set(ActionKey::Return, ActionValue::InitParam(2));
+        action.set(ActionKey::FinalParam(1), ActionValue::InitParam(1));
+        let input = ActionInput::new(None, &[Weight::Unknown, Weight::Param(2)]);
+        let out = action.calc(&input);
+        let ret = out
+            .iter()
+            .find(|(k, _)| *k == ActionKey::Return)
+            .unwrap()
+            .1;
+        assert_eq!(ret, Weight::Param(2));
+        let p1 = out
+            .iter()
+            .find(|(k, _)| *k == ActionKey::FinalParam(1))
+            .unwrap()
+            .1;
+        assert_eq!(p1, Weight::Unknown);
+    }
+
+    #[test]
+    fn field_origins_fall_back_to_base_weight() {
+        let mut i = Interner::new();
+        let f = i.intern("b");
+        let input = ActionInput::new(Some(Weight::This), &[Weight::Param(1)]);
+        assert_eq!(input.weight_of(ActionValue::ThisField(f)), Weight::This);
+        assert_eq!(
+            input.weight_of(ActionValue::InitParamField(1, f)),
+            Weight::Param(1)
+        );
+    }
+
+    #[test]
+    fn explicit_field_weights_override_base() {
+        let mut i = Interner::new();
+        let f = i.intern("b");
+        let mut input = ActionInput::new(Some(Weight::Unknown), &[Weight::Unknown]);
+        input.param_fields.insert((1, f), Weight::Param(2));
+        assert_eq!(
+            input.weight_of(ActionValue::InitParamField(1, f)),
+            Weight::Param(2)
+        );
+        assert_eq!(input.weight_of(ActionValue::InitParam(1)), Weight::Unknown);
+    }
+
+    #[test]
+    fn named_rendering_matches_fig5() {
+        let mut i = Interner::new();
+        let b = i.intern("b");
+        let mut action = Action::new();
+        action.set(ActionKey::FinalParam(1), ActionValue::InitParam(1));
+        action.set(ActionKey::FinalParamField(1, b), ActionValue::InitParam(2));
+        action.set(ActionKey::FinalParam(2), ActionValue::Null);
+        action.set(ActionKey::Return, ActionValue::InitParam(2));
+        action.set(ActionKey::This, ActionValue::Null);
+        let named = action.to_named(|s| i.resolve(s).to_owned());
+        assert!(named.contains(&("final-param-1".into(), "init-param-1".into())));
+        assert!(named.contains(&("final-param-1.b".into(), "init-param-2".into())));
+        assert!(named.contains(&("return".into(), "init-param-2".into())));
+        assert!(named.contains(&("this".into(), "null".into())));
+    }
+}

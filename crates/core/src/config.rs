@@ -1,0 +1,66 @@
+//! Analysis configuration knobs.
+//!
+//! Every knob corresponds either to a design decision the paper calls out
+//! (and which `benches/ablation.rs` measures) or to a robustness bound the
+//! paper leaves implicit.
+
+/// Configuration for the controllability analysis and CPG construction.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Track one-level field paths (`a.f`) in the local map — Fig. 5's
+    /// field-sensitive points-to analysis. Turning this off collapses
+    /// `a.f` to `a` (ablation: precision loss).
+    pub field_sensitive: bool,
+    /// Memoize per-method [`crate::Action`] summaries — "the Action property
+    /// also serves as a caching mechanism" (§III-C). Turning this off
+    /// re-analyzes callees at every call site (ablation: analysis cost).
+    pub action_cache: bool,
+    /// Drop CALL edges whose Polluted_Position is all-∞, turning the Method
+    /// Call Graph into the Precise Call Graph (§III-B2). Turning this off
+    /// keeps the full MCG (ablation: path explosion, FPR).
+    pub prune_uncontrollable_calls: bool,
+    /// For calls whose target has no analyzable body (phantom classes,
+    /// `native` methods), assume the permissive taint-through summary
+    /// instead of the conservative identity summary.
+    pub taint_through_unresolved: bool,
+    /// Maximum interprocedural analysis depth before falling back to the
+    /// identity summary (recursion/depth bound; the paper is silent, see
+    /// DESIGN.md §6).
+    pub max_call_depth: usize,
+    /// Maximum fixed-point sweeps over one method body (safety bound; the
+    /// weight lattice converges long before this in practice).
+    pub max_iterations: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            field_sensitive: true,
+            action_cache: true,
+            prune_uncontrollable_calls: true,
+            taint_through_unresolved: true,
+            max_call_depth: 48,
+            max_iterations: 32,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The paper's configuration (all precision features on).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let c = AnalysisConfig::default();
+        assert!(c.field_sensitive);
+        assert!(c.action_cache);
+        assert!(c.prune_uncontrollable_calls);
+    }
+}

@@ -1,0 +1,965 @@
+//! The variable-controllability analysis — Algorithm 1 and Tables III–V.
+//!
+//! For each method the analysis runs a forward dataflow over the statement
+//! CFG whose state is the `localMap`: a map from locals (and one-level field
+//! paths `local.f`, plus statics) to controllability [`Weight`]s. Method
+//! calls are handled interprocedurally: the callee is summarized as an
+//! [`Action`] (memoized), the call's [`ActionInput`] is snapshotted from the
+//! current state, and Formulas 2 (`calc`) and 3 (`correct`) propagate the
+//! callee's effects back into the caller's state.
+//!
+//! Alongside the Action, the analysis records every call statement with its
+//! **Polluted_Position** — the weights flowing into the callee's receiver
+//! and arguments — which is exactly what the Precise Call Graph stores on
+//! CALL edges and what the gadget-chain search later consumes.
+
+use crate::action::{Action, ActionInput, ActionKey, ActionValue};
+use crate::config::AnalysisConfig;
+use crate::weight::{PollutedPosition, Weight};
+use std::collections::{HashMap, HashSet};
+use tabby_ir::{
+    Cfg, Expr, Hierarchy, IdentityRef, InvokeExpr, InvokeKind, Local, MethodId, MethodRef,
+    Operand, Place, Program, Stmt, Symbol,
+};
+
+/// The dataflow state: the paper's `localMap`.
+///
+/// Missing keys mean [`Weight::Unknown`] (the lattice bottom).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalMap {
+    locals: HashMap<Local, Weight>,
+    /// One-level field paths `local.f` (only when field-sensitive).
+    fields: HashMap<(Local, Symbol), Weight>,
+    /// Static fields `Class.f` touched in this method.
+    statics: HashMap<(Symbol, Symbol), Weight>,
+}
+
+impl LocalMap {
+    /// Weight of a local (Unknown when untracked).
+    pub fn local(&self, l: Local) -> Weight {
+        self.locals.get(&l).copied().unwrap_or(Weight::Unknown)
+    }
+
+    /// Weight of an operand (constants are never controllable).
+    pub fn operand(&self, op: &Operand) -> Weight {
+        match op {
+            Operand::Local(l) => self.local(*l),
+            Operand::Const(_) => Weight::Unknown,
+        }
+    }
+
+    /// Strong update of a local: destroys the previous controllability of
+    /// the local *and of its tracked fields* (Table IV, "create a new
+    /// variable: destroy the original CA of a").
+    pub fn set_local(&mut self, l: Local, w: Weight) {
+        self.locals.insert(l, w);
+        self.fields.retain(|(base, _), _| *base != l);
+    }
+
+    /// Weight of a field path, falling back to the base's weight — fields of
+    /// a controllable object are controllable (the deserialization insight).
+    pub fn field(&self, base: Local, name: Symbol, field_sensitive: bool) -> Weight {
+        if field_sensitive {
+            if let Some(w) = self.fields.get(&(base, name)) {
+                return *w;
+            }
+        }
+        self.local(base)
+    }
+
+    /// Records a field store.
+    pub fn set_field(&mut self, base: Local, name: Symbol, w: Weight, field_sensitive: bool) {
+        if field_sensitive {
+            self.fields.insert((base, name), w);
+        } else {
+            // Collapsed: storing a controllable value into a field makes the
+            // whole object at least that controllable.
+            let joined = self.local(base).join(w);
+            self.locals.insert(base, joined);
+        }
+    }
+
+    /// Weight of a static field.
+    pub fn static_field(&self, class: Symbol, name: Symbol) -> Weight {
+        self.statics
+            .get(&(class, name))
+            .copied()
+            .unwrap_or(Weight::Unknown)
+    }
+
+    /// Records a static-field store.
+    pub fn set_static(&mut self, class: Symbol, name: Symbol, w: Weight) {
+        self.statics.insert((class, name), w);
+    }
+
+    /// Pointwise join; returns whether `self` changed.
+    pub fn join_with(&mut self, other: &LocalMap) -> bool {
+        let mut changed = false;
+        for (k, w) in &other.locals {
+            let cur = self.locals.get(k).copied().unwrap_or(Weight::Unknown);
+            let joined = cur.join(*w);
+            if joined != cur {
+                self.locals.insert(*k, joined);
+                changed = true;
+            }
+        }
+        for (k, w) in &other.fields {
+            let cur = self.fields.get(k).copied().unwrap_or(Weight::Unknown);
+            let joined = cur.join(*w);
+            if joined != cur {
+                self.fields.insert(*k, joined);
+                changed = true;
+            }
+        }
+        for (k, w) in &other.statics {
+            let cur = self.statics.get(k).copied().unwrap_or(Weight::Unknown);
+            let joined = cur.join(*w);
+            if joined != cur {
+                self.statics.insert(*k, joined);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Tracked field entries whose base is `base`.
+    fn fields_of(&self, base: Local) -> impl Iterator<Item = (Symbol, Weight)> + '_ {
+        self.fields
+            .iter()
+            .filter(move |((b, _), _)| *b == base)
+            .map(|((_, f), w)| (*f, *w))
+    }
+}
+
+/// One analyzed call statement: what the Precise Call Graph turns into a
+/// CALL edge.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Statement index in the caller's body.
+    pub stmt_index: usize,
+    /// The symbolic callee as written at the call site.
+    pub callee_ref: MethodRef,
+    /// The declared target after hierarchy resolution, if the class is
+    /// loaded.
+    pub resolved: Option<MethodId>,
+    /// Invocation kind.
+    pub kind: InvokeKind,
+    /// Polluted_Position: weights of `[receiver, arg1, …, argn]` in the
+    /// caller's frame.
+    pub pp: PollutedPosition,
+}
+
+impl CallSite {
+    /// Whether at least one position is controllable — uncontrollable calls
+    /// are pruned from the PCG.
+    pub fn is_controllable(&self) -> bool {
+        self.pp.iter().any(|w| w.is_controllable())
+    }
+}
+
+/// The per-method result of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct MethodSummary {
+    /// The method's Action (Table III).
+    pub action: Action,
+    /// All call statements with their Polluted_Positions.
+    pub calls: Vec<CallSite>,
+}
+
+/// Counters describing one analysis run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyzerStats {
+    /// Methods whose body was analyzed (cache misses).
+    pub methods_analyzed: usize,
+    /// Action-cache hits.
+    pub cache_hits: usize,
+    /// Recursion cycles broken with the identity summary.
+    pub cycles_broken: usize,
+    /// Calls whose PP was all-∞ (prunable).
+    pub uncontrollable_calls: usize,
+}
+
+/// The interprocedural controllability analyzer.
+///
+/// # Examples
+///
+/// ```
+/// use tabby_core::{Analyzer, AnalysisConfig};
+/// use tabby_ir::{JType, ProgramBuilder};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut cb = pb.class("t.C");
+/// let obj = cb.object_type("java.lang.Object");
+/// let mut mb = cb.method("id", vec![obj.clone()], obj.clone());
+/// let p0 = mb.param(0);
+/// mb.ret(p0);
+/// mb.finish();
+/// cb.finish();
+/// let program = pb.build();
+/// let mut analyzer = Analyzer::new(&program, AnalysisConfig::default());
+/// let id = program.method_ids().next().unwrap();
+/// let summary = analyzer.summarize(id);
+/// // `id` returns its first parameter.
+/// use tabby_core::{ActionKey, ActionValue};
+/// assert_eq!(summary.action.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+/// ```
+pub struct Analyzer<'p> {
+    program: &'p Program,
+    hierarchy: Hierarchy<'p>,
+    config: AnalysisConfig,
+    action_cache: HashMap<MethodId, Action>,
+    summary_cache: HashMap<MethodId, MethodSummary>,
+    in_progress: HashSet<MethodId>,
+    stats: AnalyzerStats,
+}
+
+impl<'p> Analyzer<'p> {
+    /// Creates an analyzer over `program`.
+    pub fn new(program: &'p Program, config: AnalysisConfig) -> Self {
+        Self {
+            program,
+            hierarchy: Hierarchy::new(program),
+            config,
+            action_cache: HashMap::new(),
+            summary_cache: HashMap::new(),
+            in_progress: HashSet::new(),
+            stats: AnalyzerStats::default(),
+        }
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The hierarchy built for the program.
+    pub fn hierarchy(&self) -> &Hierarchy<'p> {
+        &self.hierarchy
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> AnalyzerStats {
+        self.stats
+    }
+
+    /// `doMethodAnalysis` (Algorithm 1), memoized: the Action summary of
+    /// `id`.
+    pub fn analyze(&mut self, id: MethodId) -> Action {
+        self.analyze_at_depth(id, 0)
+    }
+
+    /// Full per-method summary (Action plus call sites), memoized.
+    pub fn summarize(&mut self, id: MethodId) -> MethodSummary {
+        if let Some(s) = self.summary_cache.get(&id) {
+            return s.clone();
+        }
+        let summary = self.run_method(id, 0);
+        self.summary_cache.insert(id, summary.clone());
+        summary
+    }
+
+    fn analyze_at_depth(&mut self, id: MethodId, depth: usize) -> Action {
+        let param_count = self.program.method(id).params.len();
+        if self.config.action_cache {
+            if let Some(a) = self.action_cache.get(&id) {
+                self.stats.cache_hits += 1;
+                return a.clone();
+            }
+        }
+        if self.in_progress.contains(&id) || depth > self.config.max_call_depth {
+            self.stats.cycles_broken += 1;
+            return Action::identity(param_count);
+        }
+        let summary = self.run_method(id, depth);
+        let action = summary.action.clone();
+        if self.config.action_cache {
+            self.action_cache.insert(id, action.clone());
+            self.summary_cache.insert(id, summary);
+        }
+        action
+    }
+
+    /// Analyzes one method body to a fixed point and extracts its summary.
+    fn run_method(&mut self, id: MethodId, depth: usize) -> MethodSummary {
+        let method = self.program.method(id);
+        let param_count = method.params.len();
+        let Some(body) = method.body.clone() else {
+            // Abstract/native: permissive or identity summary per config.
+            let action = if self.config.taint_through_unresolved {
+                Action::taint_through(param_count, !method.is_static())
+            } else {
+                Action::identity(param_count)
+            };
+            return MethodSummary {
+                action,
+                calls: Vec::new(),
+            };
+        };
+        self.in_progress.insert(id);
+        self.stats.methods_analyzed += 1;
+        let cfg = Cfg::new(&body);
+        let n = body.stmts.len();
+        // in-states per statement; entry starts from the empty map (identity
+        // statements introduce this/params).
+        let mut states: Vec<Option<LocalMap>> = vec![None; n];
+        if n > 0 {
+            states[0] = Some(LocalMap::default());
+        }
+        let rpo = cfg.reverse_post_order();
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let mut changed = false;
+            for &i in &rpo {
+                let Some(in_state) = states[i].clone() else {
+                    continue;
+                };
+                let out = self.transfer(&body.stmts[i], i, &in_state, depth, None);
+                for &succ in cfg.succs(i) {
+                    match &mut states[succ] {
+                        Some(s) => {
+                            if s.join_with(&out) {
+                                changed = true;
+                            }
+                        }
+                        None => {
+                            states[succ] = Some(out.clone());
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed || iterations >= self.config.max_iterations {
+                break;
+            }
+        }
+        // Replay over the converged states to collect call sites and the
+        // merged exit state.
+        let mut calls = Vec::new();
+        let mut exit = LocalMap::default();
+        let mut returned: Option<Weight> = None;
+        for i in 0..n {
+            let Some(in_state) = states[i].clone() else {
+                continue;
+            };
+            if let Stmt::Return(value) = &body.stmts[i] {
+                exit.join_with(&in_state);
+                if let Some(v) = value {
+                    let w = in_state.operand(v);
+                    returned = Some(match returned {
+                        Some(r) => r.join(w),
+                        None => w,
+                    });
+                }
+            }
+            self.transfer(&body.stmts[i], i, &in_state, depth, Some(&mut calls));
+        }
+        self.in_progress.remove(&id);
+
+        // Build the Action from the merged exit state (Table III).
+        let mut action = Action::new();
+        let (this_local, param_locals) = identity_locals(&body.stmts, param_count);
+        if let Some(this) = this_local {
+            action.set(
+                ActionKey::This,
+                weight_to_value(exit.local(this)),
+            );
+            for (f, w) in exit.fields_of(this) {
+                action.set(ActionKey::ThisField(f), weight_to_value(w));
+            }
+        }
+        for (i, pl) in param_locals.iter().enumerate() {
+            let idx = (i + 1) as u16;
+            match pl {
+                Some(l) => {
+                    action.set(ActionKey::FinalParam(idx), weight_to_value(exit.local(*l)));
+                    for (f, w) in exit.fields_of(*l) {
+                        action.set(ActionKey::FinalParamField(idx, f), weight_to_value(w));
+                    }
+                }
+                None => {
+                    // Untouched parameter: identity.
+                    action.set(ActionKey::FinalParam(idx), ActionValue::InitParam(idx));
+                }
+            }
+        }
+        action.set(
+            ActionKey::Return,
+            returned.map_or(ActionValue::Null, weight_to_value),
+        );
+        MethodSummary {
+            action,
+            calls,
+        }
+    }
+
+    /// The per-statement transfer function (`doAssignStmtAnalysis`,
+    /// Table IV). When `calls` is provided, call statements are also
+    /// recorded as [`CallSite`]s.
+    fn transfer(
+        &mut self,
+        stmt: &Stmt,
+        stmt_index: usize,
+        in_state: &LocalMap,
+        depth: usize,
+        calls: Option<&mut Vec<CallSite>>,
+    ) -> LocalMap {
+        let mut state = in_state.clone();
+        match stmt {
+            Stmt::Identity { local, source } => {
+                let w = match source {
+                    IdentityRef::This => Weight::This,
+                    IdentityRef::Param(i) => Weight::Param(i + 1),
+                    IdentityRef::CaughtException => Weight::Unknown,
+                };
+                state.set_local(*local, w);
+            }
+            Stmt::Assign { place, rhs } => {
+                let w = match rhs {
+                    Expr::Invoke(inv) => {
+                        self.transfer_call(inv, stmt_index, &mut state, depth, calls)
+                    }
+                    other => self.expr_weight(other, &state),
+                };
+                match place {
+                    Place::Local(l) => state.set_local(*l, w),
+                    Place::InstanceField { base, field } => {
+                        state.set_field(*base, field.name, w, self.config.field_sensitive);
+                    }
+                    Place::StaticField(field) => {
+                        state.set_static(field.class, field.name, w);
+                    }
+                    Place::ArrayElem { base, .. } => {
+                        // Array contents collapse onto the array value.
+                        let joined = state.local(*base).join(w);
+                        state.set_local(*base, joined);
+                    }
+                }
+            }
+            Stmt::Invoke(inv) => {
+                let _ = self.transfer_call(inv, stmt_index, &mut state, depth, calls);
+            }
+            // Return / branches / monitors / nop: no state change.
+            _ => {}
+        }
+        state
+    }
+
+    /// Weight of a non-call right-hand side.
+    fn expr_weight(&self, expr: &Expr, state: &LocalMap) -> Weight {
+        match expr {
+            Expr::Use(op) => state.operand(op),
+            Expr::Load(place) => match place {
+                Place::Local(l) => state.local(*l),
+                Place::InstanceField { base, field } => {
+                    state.field(*base, field.name, self.config.field_sensitive)
+                }
+                Place::StaticField(field) => state.static_field(field.class, field.name),
+                Place::ArrayElem { base, .. } => state.local(*base),
+            },
+            // Allocation destroys controllability (Table IV).
+            Expr::New(_) | Expr::NewArray { .. } => Weight::Unknown,
+            Expr::Cast { value, .. } => state.operand(value),
+            Expr::InstanceOf { .. } => Weight::Unknown,
+            // Taint propagates through arithmetic (e.g. string concat is
+            // compiled to calls, but IR-level binops keep the join).
+            Expr::Binary { lhs, rhs, .. } => state.operand(lhs).join(state.operand(rhs)),
+            Expr::Unary { value, .. } => state.operand(value),
+            Expr::ArrayLength(_) => Weight::Unknown,
+            Expr::Invoke(_) => unreachable!("handled by transfer_call"),
+        }
+    }
+
+    /// Handles a call statement: computes PP, fetches the callee Action,
+    /// applies `calc`/`correct`, and returns the weight of the call's
+    /// result.
+    fn transfer_call(
+        &mut self,
+        inv: &InvokeExpr,
+        stmt_index: usize,
+        state: &mut LocalMap,
+        depth: usize,
+        calls: Option<&mut Vec<CallSite>>,
+    ) -> Weight {
+        // Polluted_Position: [receiver, arg1, …, argn].
+        let base_weight = inv.base.as_ref().map(|b| state.operand(b));
+        let arg_weights: Vec<Weight> = inv.args.iter().map(|a| state.operand(a)).collect();
+        let mut pp = Vec::with_capacity(arg_weights.len() + 1);
+        pp.push(base_weight.unwrap_or(Weight::Unknown));
+        pp.extend(arg_weights.iter().copied());
+
+        // invokedynamic is opaque (§V-B): record nothing, result unknown.
+        if inv.kind == InvokeKind::Dynamic {
+            return Weight::Unknown;
+        }
+
+        let resolved = self.resolve_callee(inv);
+        let controllable = pp.iter().any(|w| w.is_controllable());
+        if !controllable {
+            self.stats.uncontrollable_calls += 1;
+        }
+        if let Some(calls) = calls {
+            calls.push(CallSite {
+                stmt_index,
+                callee_ref: inv.callee.clone(),
+                resolved,
+                kind: inv.kind,
+                pp: pp.clone(),
+            });
+        }
+        if !controllable && self.config.prune_uncontrollable_calls {
+            // Uncontrollable call: skip interprocedural analysis entirely
+            // (Algorithm 1's guard) — with all-∞ inputs no output can become
+            // controllable, so the result is ∞.
+            return Weight::Unknown;
+        }
+
+        // Snapshot the `in` map for Formula 2.
+        let mut input = ActionInput::new(base_weight, &arg_weights);
+        if let Some(Operand::Local(base)) = &inv.base {
+            for (f, w) in state.fields_of(*base) {
+                input.this_fields.insert(f, w);
+            }
+        }
+        for (i, arg) in inv.args.iter().enumerate() {
+            if let Operand::Local(l) = arg {
+                for (f, w) in state.fields_of(*l) {
+                    input.param_fields.insert(((i + 1) as u16, f), w);
+                }
+            }
+        }
+
+        // Callee Action: analyzed, or a default for phantom targets.
+        let action = match resolved {
+            Some(mid) => self.analyze_at_depth(mid, depth + 1),
+            None => {
+                if self.config.taint_through_unresolved {
+                    Action::taint_through(inv.args.len(), inv.kind.has_receiver())
+                } else {
+                    Action::identity(inv.args.len())
+                }
+            }
+        };
+
+        // Formula 2 (`calc`) then Formula 3 (`correct`).
+        let out = action.calc(&input);
+        let mut result = Weight::Unknown;
+        for (key, w) in out {
+            match key {
+                ActionKey::Return => result = w,
+                ActionKey::FinalParam(i) => {
+                    if let Some(Operand::Local(l)) = inv.args.get((i - 1) as usize) {
+                        state.set_local(*l, w);
+                    }
+                }
+                ActionKey::FinalParamField(i, f) => {
+                    if let Some(Operand::Local(l)) = inv.args.get((i - 1) as usize) {
+                        state.set_field(*l, f, w, self.config.field_sensitive);
+                    }
+                }
+                ActionKey::ThisField(f) => {
+                    if let Some(Operand::Local(base)) = &inv.base {
+                        state.set_field(*base, f, w, self.config.field_sensitive);
+                    }
+                }
+                // The receiver reference itself cannot be rebound.
+                ActionKey::This => {}
+            }
+        }
+        result
+    }
+
+    /// Resolves the declared target of a call through the hierarchy.
+    fn resolve_callee(&self, inv: &InvokeExpr) -> Option<MethodId> {
+        let class = self.program.class_by_name(inv.callee.class)?;
+        self.hierarchy
+            .resolve_method(class, inv.callee.name, inv.callee.params.len())
+    }
+}
+
+/// Converts a controllability weight to an Action origin.
+fn weight_to_value(w: Weight) -> ActionValue {
+    match w {
+        Weight::Unknown => ActionValue::Null,
+        Weight::This => ActionValue::This,
+        Weight::Param(i) => ActionValue::InitParam(i),
+    }
+}
+
+/// Finds the locals bound to `this` and each parameter by the body's
+/// identity statements.
+fn identity_locals(stmts: &[Stmt], param_count: usize) -> (Option<Local>, Vec<Option<Local>>) {
+    let mut this = None;
+    let mut params = vec![None; param_count];
+    for stmt in stmts {
+        if let Stmt::Identity { local, source } = stmt {
+            match source {
+                IdentityRef::This => this = Some(*local),
+                IdentityRef::Param(i) => {
+                    if (*i as usize) < param_count {
+                        params[*i as usize] = Some(*local);
+                    }
+                }
+                IdentityRef::CaughtException => {}
+            }
+        }
+    }
+    (this, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_ir::{CmpOp, JType, ProgramBuilder};
+
+    /// Builds the exact program of Fig. 5: `example` and `exchange`.
+    fn fig5_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.class("p.A").finish();
+        let mut cb = pb.class("p.B");
+        let ta = cb.object_type("p.A");
+        let tb = cb.object_type("p.B");
+        // static B exchange(A a, B b) { a.b = b; b = new B(); return a.b; }
+        let mut mb = cb
+            .method("exchange", vec![ta.clone(), tb.clone()], tb.clone())
+            .static_();
+        let a = mb.param(0);
+        let b = mb.param(1);
+        mb.put_field(a, "p.A", "b", tb.clone(), b);
+        mb.new_obj(b, "p.B");
+        let r = mb.fresh();
+        mb.get_field(r, a, "p.A", "b", tb.clone());
+        mb.ret(r);
+        mb.finish();
+        cb.finish();
+
+        let mut cb = pb.class("p.Example");
+        let ta = cb.object_type("p.A");
+        let tb = cb.object_type("p.B");
+        // A example(A a, B b) { A a1 = new A(); A a2 = a; a = a1;
+        //                       B b1 = B.exchange(a, b); return a2; }
+        let mut mb = cb.method("example", vec![ta.clone(), tb.clone()], ta.clone());
+        let a = mb.param(0);
+        let b = mb.param(1);
+        let a1 = mb.fresh();
+        let a2 = mb.fresh();
+        let b1 = mb.fresh();
+        mb.new_obj(a1, "p.A");
+        mb.copy(a2, a);
+        mb.copy(a, a1);
+        let exchange = mb.sig("p.B", "exchange", &[ta.clone(), tb.clone()], tb.clone());
+        mb.call_static(Some(b1), exchange, &[a.into(), b.into()]);
+        mb.ret(a2);
+        mb.finish();
+        cb.finish();
+        pb.build()
+    }
+
+    fn method_named(p: &Program, name: &str) -> MethodId {
+        p.method_ids()
+            .find(|id| p.name(p.method(*id).name) == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn fig5_exchange_action() {
+        let p = fig5_program();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let exchange = method_named(&p, "exchange");
+        let action = an.analyze(exchange);
+        let b = p.interner().get("b").unwrap();
+        // Fig. 5(b): the Action of exchange.
+        assert_eq!(
+            action.get(ActionKey::FinalParam(1)),
+            Some(ActionValue::InitParam(1))
+        );
+        assert_eq!(
+            action.get(ActionKey::FinalParamField(1, b)),
+            Some(ActionValue::InitParam(2))
+        );
+        assert_eq!(action.get(ActionKey::FinalParam(2)), Some(ActionValue::Null));
+        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(2)));
+    }
+
+    #[test]
+    fn fig5_example_pp_and_return() {
+        let p = fig5_program();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let example = method_named(&p, "example");
+        let summary = an.summarize(example);
+        // Fig. 5(c): PP of the exchange call is [∞, ∞, 2].
+        assert_eq!(summary.calls.len(), 1);
+        assert_eq!(
+            summary.calls[0].pp,
+            vec![Weight::Unknown, Weight::Unknown, Weight::Param(2)]
+        );
+        // `example` returns a2 = the original parameter a.
+        assert_eq!(
+            summary.action.get(ActionKey::Return),
+            Some(ActionValue::InitParam(1))
+        );
+    }
+
+    #[test]
+    fn fig5_correct_makes_caller_b_uncontrollable() {
+        // After the call, out[final-param-2] = null must *correct* the
+        // caller's `b` to ∞ even though `b` was Param(2) before — Fig. 5(d).
+        let p = fig5_program();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let example = method_named(&p, "example");
+        // Rebuild the exit state indirectly: append a method that returns b.
+        // Instead, check via the Action: example's final-param-2 is null
+        // because `b` was corrected to ∞ by the callee's effect.
+        let action = an.analyze(example);
+        assert_eq!(action.get(ActionKey::FinalParam(2)), Some(ActionValue::Null));
+        // And `a` itself was reassigned to a1 (new A()) before the call.
+        assert_eq!(action.get(ActionKey::FinalParam(1)), Some(ActionValue::Null));
+    }
+
+    #[test]
+    fn branch_join_prefers_controllable() {
+        // if (p1 == 0) { v = p1 } else { v = new Object() }; call(v)
+        // The join makes v controllable — the paper's residual-FP mechanism.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m", vec![obj.clone(), JType::Int], JType::Void);
+        let p0 = mb.param(0);
+        let p1 = mb.param(1);
+        let v = mb.fresh();
+        let else_l = mb.fresh_label();
+        let end = mb.fresh_label();
+        mb.if_(CmpOp::Ne, p1, mb.c_int(0), else_l);
+        mb.copy(v, p0);
+        mb.goto(end);
+        mb.place(else_l);
+        mb.new_obj(v, "java.lang.Object");
+        mb.place(end);
+        let callee = mb.sig("t.Sink", "consume", &[obj.clone()], JType::Void);
+        mb.call_static(None, callee, &[v.into()]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let m = p.method_ids().next().unwrap();
+        let summary = an.summarize(m);
+        assert_eq!(summary.calls.len(), 1);
+        assert_eq!(summary.calls[0].pp[1], Weight::Param(1));
+    }
+
+    #[test]
+    fn uncontrollable_call_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m", vec![], JType::Void);
+        let v = mb.fresh();
+        mb.new_obj(v, "java.lang.Object");
+        let callee = mb.sig("t.Sink", "consume", &[obj.clone()], JType::Void);
+        mb.call_static(None, callee, &[v.into()]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let m = p.method_ids().next().unwrap();
+        let summary = an.summarize(m);
+        assert!(!summary.calls[0].is_controllable());
+        assert!(an.stats().uncontrollable_calls > 0);
+    }
+
+    #[test]
+    fn recursion_breaks_with_identity() {
+        // void r(Object o) { r(o); }
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("r", vec![obj.clone()], JType::Void).static_();
+        let p0 = mb.param(0);
+        let callee = mb.sig("t.C", "r", &[obj.clone()], JType::Void);
+        mb.call_static(None, callee, &[p0.into()]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let m = p.method_ids().next().unwrap();
+        let action = an.analyze(m);
+        assert_eq!(
+            action.get(ActionKey::FinalParam(1)),
+            Some(ActionValue::InitParam(1))
+        );
+        assert!(an.stats().cycles_broken > 0);
+    }
+
+    #[test]
+    fn field_insensitive_mode_loses_precision() {
+        // exchange-style store: with field sensitivity the return is
+        // Param(2); without, it collapses to the base (Param(1) join ...).
+        let p = fig5_program();
+        let exchange = method_named(&p, "exchange");
+        let mut field_sensitive = Analyzer::new(&p, AnalysisConfig::default());
+        let precise = field_sensitive.analyze(exchange);
+        assert_eq!(precise.get(ActionKey::Return), Some(ActionValue::InitParam(2)));
+        let mut insensitive = Analyzer::new(
+            &p,
+            AnalysisConfig {
+                field_sensitive: false,
+                ..AnalysisConfig::default()
+            },
+        );
+        let coarse = insensitive.analyze(exchange);
+        // Collapsed onto the base object: returns init-param-1.
+        assert_eq!(coarse.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+    }
+
+    #[test]
+    fn action_cache_hits_on_repeated_calls() {
+        let p = fig5_program();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let exchange = method_named(&p, "exchange");
+        an.analyze(exchange);
+        an.analyze(exchange);
+        assert!(an.stats().cache_hits >= 1);
+        assert_eq!(an.stats().methods_analyzed, 1);
+    }
+
+    #[test]
+    fn phantom_callee_taints_through() {
+        // v = Unknown.lib(p0); return v — with taint-through the return is
+        // controllable via the receiver/args.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m", vec![obj.clone()], obj.clone()).static_();
+        let p0 = mb.param(0);
+        let v = mb.fresh();
+        let callee = mb.sig("ext.Lib", "passThrough", &[obj.clone()], obj.clone());
+        mb.call_static(Some(v), callee, &[p0.into()]);
+        mb.ret(v);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let m = p.method_ids().next().unwrap();
+        let action = an.analyze(m);
+        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+        // Conservative mode: the phantom return is uncontrollable.
+        let mut strict = Analyzer::new(
+            &p,
+            AnalysisConfig {
+                taint_through_unresolved: false,
+                ..AnalysisConfig::default()
+            },
+        );
+        let action = strict.analyze(m);
+        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::Null));
+    }
+
+    #[test]
+    fn caught_exception_is_uncontrollable() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m", vec![], obj.clone()).static_();
+        let e = mb.fresh();
+        mb.push(Stmt::Identity {
+            local: e,
+            source: IdentityRef::CaughtException,
+        });
+        mb.ret(e);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let m = p.method_ids().next().unwrap();
+        let action = an.analyze(m);
+        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::Null));
+    }
+
+    #[test]
+    fn this_field_load_is_controllable() {
+        // return this.f — flows from the receiver: weight 0 / This.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        cb.field("f", obj.clone());
+        let mut mb = cb.method("getF", vec![], obj.clone());
+        let this = mb.this();
+        let v = mb.fresh();
+        mb.get_field(v, this, "t.C", "f", obj.clone());
+        mb.ret(v);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let m = p.method_ids().next().unwrap();
+        let action = an.analyze(m);
+        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::This));
+    }
+
+    #[test]
+    fn static_field_flow() {
+        // Class.f = p1; return Class.f — flows through the static.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        cb.static_field("f", obj.clone());
+        let mut mb = cb.method("m", vec![obj.clone()], obj.clone()).static_();
+        let p0 = mb.param(0);
+        mb.put_static("t.C", "f", obj.clone(), p0);
+        let v = mb.fresh();
+        mb.get_static(v, "t.C", "f", obj.clone());
+        mb.ret(v);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let m = p.method_ids().next().unwrap();
+        let action = an.analyze(m);
+        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+    }
+
+    #[test]
+    fn array_flow_collapses_to_array() {
+        // arr[0] = p1; return arr[1] — array contents collapse.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let arr_ty = JType::array(obj.clone());
+        let mut mb = cb.method("m", vec![obj.clone()], obj.clone()).static_();
+        let p0 = mb.param(0);
+        let arr = mb.fresh();
+        mb.new_array(arr, obj.clone(), mb.c_int(2));
+        mb.array_put(arr, mb.c_int(0), p0);
+        let v = mb.fresh();
+        mb.array_get(v, arr, mb.c_int(1));
+        mb.ret(v);
+        mb.finish();
+        cb.finish();
+        let _ = arr_ty;
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let m = p.method_ids().next().unwrap();
+        let action = an.analyze(m);
+        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+    }
+
+    #[test]
+    fn cast_preserves_weight() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let str_ty = cb.object_type("java.lang.String");
+        let mut mb = cb.method("m", vec![obj.clone()], str_ty.clone()).static_();
+        let p0 = mb.param(0);
+        let v = mb.fresh();
+        mb.cast(v, str_ty.clone(), p0);
+        mb.ret(v);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        let m = p.method_ids().next().unwrap();
+        let action = an.analyze(m);
+        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+    }
+}

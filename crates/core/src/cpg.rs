@@ -1,0 +1,781 @@
+//! Code Property Graph construction (§III-B).
+//!
+//! The CPG is assembled from three sub-graphs over Class and Method nodes:
+//!
+//! - **ORG** (Object Relationship Graph): `EXTEND`, `INTERFACE`, and `HAS`
+//!   edges from the extracted class information;
+//! - **PCG** (Precise Call Graph): `CALL` edges from the controllability
+//!   analysis, each carrying its `POLLUTED_POSITION`; uncontrollable calls
+//!   (all-∞ PP) are pruned unless configured otherwise;
+//! - **MAG** (Method Alias Graph): `ALIAS` edges from an overriding method
+//!   to the nearest declaration in a supertype (Formula 1).
+//!
+//! Calls to classes outside the analyzed set produce *phantom* nodes (as
+//! Soot does), so sink methods such as `java.lang.Runtime.exec` are present
+//! even when the JDK model is not loaded.
+
+use crate::config::AnalysisConfig;
+use crate::controllability::Analyzer;
+use crate::weight::pp_to_ints;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tabby_graph::{EdgeType, Graph, Label, NodeId, PropKey, Value};
+use tabby_ir::{method_descriptor, ClassId, InvokeKind, MethodId, Program, Symbol};
+
+/// Property-key and label handles of the CPG schema, pre-interned so the
+/// analysis layers never pay string lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct CpgSchema {
+    /// `Class` node label.
+    pub class_label: Label,
+    /// `Method` node label.
+    pub method_label: Label,
+    /// `EXTEND` edge type (Table II).
+    pub extend: EdgeType,
+    /// `INTERFACE` edge type.
+    pub interface: EdgeType,
+    /// `HAS` edge type.
+    pub has: EdgeType,
+    /// `CALL` edge type.
+    pub call: EdgeType,
+    /// `ALIAS` edge type.
+    pub alias: EdgeType,
+    /// Simple name (`readObject`).
+    pub name: PropKey,
+    /// Owning class name on method nodes.
+    pub class_name: PropKey,
+    /// Full signature `class.name(desc)`.
+    pub signature: PropKey,
+    /// Number of declared parameters.
+    pub param_count: PropKey,
+    /// Whether the method is static.
+    pub is_static: PropKey,
+    /// Whether the method is abstract (no body).
+    pub is_abstract: PropKey,
+    /// Whether the owning class is serializable.
+    pub is_serializable: PropKey,
+    /// Whether the class node is an interface.
+    pub is_interface: PropKey,
+    /// Whether the node is a phantom (outside the analyzed set).
+    pub is_phantom: PropKey,
+    /// `POLLUTED_POSITION` on CALL edges (paper encoding, -1 = ∞).
+    pub polluted_position: PropKey,
+    /// Invoke kind on CALL edges.
+    pub invoke_kind: PropKey,
+    /// Caller statement index on CALL edges.
+    pub stmt_index: PropKey,
+    /// The method's `ACTION` summary, rendered with the paper's names.
+    pub action: PropKey,
+}
+
+impl CpgSchema {
+    /// Interns the schema into `graph` and declares the standard indexes.
+    /// Public so hand-built graphs (e.g. the Fig. 6 example) can share the
+    /// schema with the path finder.
+    pub fn install(graph: &mut Graph) -> Self {
+        let schema = Self {
+            class_label: graph.label("Class"),
+            method_label: graph.label("Method"),
+            extend: graph.edge_type("EXTEND"),
+            interface: graph.edge_type("INTERFACE"),
+            has: graph.edge_type("HAS"),
+            call: graph.edge_type("CALL"),
+            alias: graph.edge_type("ALIAS"),
+            name: graph.prop_key("NAME"),
+            class_name: graph.prop_key("CLASS_NAME"),
+            signature: graph.prop_key("SIGNATURE"),
+            param_count: graph.prop_key("PARAM_COUNT"),
+            is_static: graph.prop_key("IS_STATIC"),
+            is_abstract: graph.prop_key("IS_ABSTRACT"),
+            is_serializable: graph.prop_key("IS_SERIALIZABLE"),
+            is_interface: graph.prop_key("IS_INTERFACE"),
+            is_phantom: graph.prop_key("IS_PHANTOM"),
+            polluted_position: graph.prop_key("POLLUTED_POSITION"),
+            invoke_kind: graph.prop_key("INVOKE_KIND"),
+            stmt_index: graph.prop_key("STMT_INDEX"),
+            action: graph.prop_key("ACTION"),
+        };
+        graph.create_index(schema.method_label, schema.name);
+        graph.create_index(schema.method_label, schema.signature);
+        graph.create_index(schema.class_label, schema.name);
+        schema
+    }
+}
+
+/// Size and timing statistics of one CPG build (the quantities Table VIII
+/// reports).
+#[derive(Debug, Clone, Default)]
+pub struct CpgStats {
+    /// Class nodes (including phantoms).
+    pub class_nodes: usize,
+    /// Method nodes (including phantoms).
+    pub method_nodes: usize,
+    /// Total relationship edges.
+    pub relationship_edges: usize,
+    /// Phantom method nodes created for out-of-set callees.
+    pub phantom_methods: usize,
+    /// CALL edges pruned because their PP was all-∞.
+    pub pruned_calls: usize,
+    /// Wall-clock time of semantic extraction + graph construction.
+    pub build_time: Duration,
+}
+
+/// The code property graph: the underlying property graph plus the
+/// IR ↔ graph correspondence.
+#[derive(Debug)]
+pub struct Cpg {
+    /// The property graph (persistable via serde).
+    pub graph: Graph,
+    /// Pre-interned labels, edge types, and property keys.
+    pub schema: CpgSchema,
+    /// Build statistics.
+    pub stats: CpgStats,
+    method_nodes: HashMap<MethodId, NodeId>,
+    node_methods: HashMap<NodeId, MethodId>,
+    class_nodes: HashMap<ClassId, NodeId>,
+}
+
+impl Cpg {
+    /// Builds the CPG for `program` with the given configuration.
+    pub fn build(program: &Program, config: AnalysisConfig) -> Cpg {
+        CpgBuilder::new(program, config).build()
+    }
+
+    /// Like [`Cpg::build`], but the per-method controllability analysis
+    /// runs on `threads` workers (bit-identical output; see
+    /// [`crate::parallel::summarize_program`]).
+    pub fn build_parallel(program: &Program, config: AnalysisConfig, threads: usize) -> Cpg {
+        let summaries = crate::parallel::summarize_program(program, &config, threads);
+        let mut builder = CpgBuilder::new(program, config);
+        builder.precomputed = Some(summaries);
+        builder.build()
+    }
+
+    /// The graph node of an analyzed method.
+    pub fn method_node(&self, id: MethodId) -> Option<NodeId> {
+        self.method_nodes.get(&id).copied()
+    }
+
+    /// The analyzed method behind a node (`None` for phantom/class nodes).
+    pub fn node_method(&self, node: NodeId) -> Option<MethodId> {
+        self.node_methods.get(&node).copied()
+    }
+
+    /// The graph node of a class.
+    pub fn class_node(&self, id: ClassId) -> Option<NodeId> {
+        self.class_nodes.get(&id).copied()
+    }
+
+    /// Method nodes (including phantoms) with the given simple name.
+    pub fn methods_named(&self, name: &str) -> Vec<NodeId> {
+        self.graph.nodes_by(
+            self.schema.method_label,
+            self.schema.name,
+            &Value::from(name),
+        )
+    }
+
+    /// Method nodes with the given full signature (`class.name(desc)`).
+    pub fn methods_with_signature(&self, signature: &str) -> Vec<NodeId> {
+        self.graph.nodes_by(
+            self.schema.method_label,
+            self.schema.signature,
+            &Value::from(signature),
+        )
+    }
+
+    /// Human-readable `Class.method` description of a method node.
+    pub fn describe(&self, node: NodeId) -> String {
+        let class = self
+            .graph
+            .node_prop(node, self.schema.class_name)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        let name = self
+            .graph
+            .node_prop(node, self.schema.name)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        format!("{class}.{name}")
+    }
+}
+
+struct CpgBuilder<'p> {
+    program: &'p Program,
+    analyzer: Analyzer<'p>,
+    precomputed: Option<std::collections::HashMap<MethodId, crate::controllability::MethodSummary>>,
+    config: AnalysisConfig,
+    graph: Graph,
+    schema: CpgSchema,
+    method_nodes: HashMap<MethodId, NodeId>,
+    node_methods: HashMap<NodeId, MethodId>,
+    class_nodes: HashMap<ClassId, NodeId>,
+    phantom_classes: HashMap<Symbol, NodeId>,
+    phantom_methods: HashMap<(Symbol, Symbol, usize), NodeId>,
+    pruned_calls: usize,
+}
+
+impl<'p> CpgBuilder<'p> {
+    fn new(program: &'p Program, config: AnalysisConfig) -> Self {
+        let mut graph = Graph::new();
+        let schema = CpgSchema::install(&mut graph);
+        Self {
+            program,
+            analyzer: Analyzer::new(program, config.clone()),
+            precomputed: None,
+            config,
+            graph,
+            schema,
+            method_nodes: HashMap::new(),
+            node_methods: HashMap::new(),
+            class_nodes: HashMap::new(),
+            phantom_classes: HashMap::new(),
+            phantom_methods: HashMap::new(),
+            pruned_calls: 0,
+        }
+    }
+
+    fn build(mut self) -> Cpg {
+        let start = Instant::now();
+        self.build_org();
+        // PCG before MAG: alias edges may target phantom methods that only
+        // exist once call sites have been processed.
+        self.build_pcg();
+        self.build_mag();
+        self.attach_actions();
+        let phantom_methods = self.phantom_methods.len();
+        let stats = CpgStats {
+            class_nodes: self.class_nodes.len() + self.phantom_classes.len(),
+            method_nodes: self.method_nodes.len() + phantom_methods,
+            relationship_edges: self.graph.edge_count(),
+            phantom_methods,
+            pruned_calls: self.pruned_calls,
+            build_time: start.elapsed(),
+        };
+        Cpg {
+            graph: self.graph,
+            schema: self.schema,
+            stats,
+            method_nodes: self.method_nodes,
+            node_methods: self.node_methods,
+            class_nodes: self.class_nodes,
+        }
+    }
+
+    /// ORG: class and method nodes, EXTEND/INTERFACE/HAS edges.
+    fn build_org(&mut self) {
+        let hierarchy_serializable: Vec<bool> = {
+            let h = self.analyzer.hierarchy();
+            (0..self.program.classes().len())
+                .map(|i| h.is_serializable(ClassId(i as u32)))
+                .collect()
+        };
+        // Class nodes first.
+        for (i, class) in self.program.classes().iter().enumerate() {
+            let id = ClassId(i as u32);
+            let node = self.graph.add_node(self.schema.class_label);
+            self.graph.set_node_prop(
+                node,
+                self.schema.name,
+                Value::from(self.program.name(class.name)),
+            );
+            self.graph.set_node_prop(
+                node,
+                self.schema.is_interface,
+                Value::from(class.flags.is_interface()),
+            );
+            self.graph.set_node_prop(
+                node,
+                self.schema.is_serializable,
+                Value::from(hierarchy_serializable[i]),
+            );
+            self.graph
+                .set_node_prop(node, self.schema.is_phantom, Value::from(false));
+            self.class_nodes.insert(id, node);
+        }
+        // EXTEND / INTERFACE edges (to phantoms when the supertype is not
+        // loaded) and method nodes with HAS edges.
+        for (i, class) in self.program.classes().iter().enumerate() {
+            let id = ClassId(i as u32);
+            let class_node = self.class_nodes[&id];
+            if let Some(sup) = class.superclass {
+                let sup_node = self.class_node_for(sup);
+                self.graph.add_edge(self.schema.extend, class_node, sup_node);
+            }
+            for &itf in &class.interfaces {
+                let itf_node = self.class_node_for(itf);
+                self.graph
+                    .add_edge(self.schema.interface, class_node, itf_node);
+            }
+            for (mi, method) in class.methods.iter().enumerate() {
+                let mid = MethodId {
+                    class: id,
+                    index: mi as u32,
+                };
+                let node = self.graph.add_node(self.schema.method_label);
+                self.graph.set_node_prop(
+                    node,
+                    self.schema.name,
+                    Value::from(self.program.name(method.name)),
+                );
+                self.graph.set_node_prop(
+                    node,
+                    self.schema.class_name,
+                    Value::from(self.program.name(class.name)),
+                );
+                let desc =
+                    method_descriptor(self.program.interner(), &method.params, &method.ret);
+                self.graph.set_node_prop(
+                    node,
+                    self.schema.signature,
+                    Value::from(format!(
+                        "{}.{}{desc}",
+                        self.program.name(class.name),
+                        self.program.name(method.name)
+                    )),
+                );
+                self.graph.set_node_prop(
+                    node,
+                    self.schema.param_count,
+                    Value::from(method.params.len() as i64),
+                );
+                self.graph.set_node_prop(
+                    node,
+                    self.schema.is_static,
+                    Value::from(method.is_static()),
+                );
+                self.graph.set_node_prop(
+                    node,
+                    self.schema.is_abstract,
+                    Value::from(method.body.is_none()),
+                );
+                self.graph.set_node_prop(
+                    node,
+                    self.schema.is_serializable,
+                    Value::from(hierarchy_serializable[i]),
+                );
+                self.graph
+                    .set_node_prop(node, self.schema.is_phantom, Value::from(false));
+                self.graph.add_edge(self.schema.has, class_node, node);
+                self.method_nodes.insert(mid, node);
+                self.node_methods.insert(node, mid);
+            }
+        }
+    }
+
+    /// MAG: ALIAS edges from each method to the nearest declaration of the
+    /// same (name, arity) in each supertype branch (Formula 1). Supertypes
+    /// outside the analyzed set are matched against phantom method nodes
+    /// (the call-site-created stand-ins), so overriding e.g. an unloaded
+    /// `java.lang.Object.toString` still yields an alias edge — as Soot's
+    /// phantom classes do.
+    fn build_mag(&mut self) {
+        enum AliasTarget {
+            Real(MethodId),
+            Phantom(NodeId),
+        }
+        let mut edges: Vec<(MethodId, AliasTarget)> = Vec::new();
+        for (i, class) in self.program.classes().iter().enumerate() {
+            let id = ClassId(i as u32);
+            for (mi, method) in class.methods.iter().enumerate() {
+                if method.is_static() {
+                    continue;
+                }
+                let name = self.program.name(method.name);
+                if name == "<init>" || name == "<clinit>" {
+                    continue;
+                }
+                let mid = MethodId {
+                    class: id,
+                    index: mi as u32,
+                };
+                // DFS up each supertype branch over *symbolic* names; stop
+                // a branch at the first declaration found (real or
+                // phantom).
+                let mut stack: Vec<Symbol> = Vec::new();
+                if let Some(sup) = class.superclass {
+                    stack.push(sup);
+                }
+                stack.extend_from_slice(&class.interfaces);
+                let mut seen = std::collections::HashSet::new();
+                while let Some(sup_name) = stack.pop() {
+                    if !seen.insert(sup_name) {
+                        continue;
+                    }
+                    match self.program.class_by_name(sup_name) {
+                        Some(sup) => {
+                            match self
+                                .program
+                                .class(sup)
+                                .find_method(method.name, method.params.len())
+                            {
+                                Some(idx) => edges.push((
+                                    mid,
+                                    AliasTarget::Real(MethodId {
+                                        class: sup,
+                                        index: idx,
+                                    }),
+                                )),
+                                None => {
+                                    let sup_class = self.program.class(sup);
+                                    if let Some(s) = sup_class.superclass {
+                                        stack.push(s);
+                                    }
+                                    stack.extend_from_slice(&sup_class.interfaces);
+                                }
+                            }
+                        }
+                        None => {
+                            // Unloaded supertype: alias to a call-site
+                            // phantom if one exists; nothing above it is
+                            // knowable.
+                            if let Some(&node) = self.phantom_methods.get(&(
+                                sup_name,
+                                method.name,
+                                method.params.len(),
+                            )) {
+                                edges.push((mid, AliasTarget::Phantom(node)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (from, to) in edges {
+            let f = self.method_nodes[&from];
+            let t = match to {
+                AliasTarget::Real(mid) => self.method_nodes[&mid],
+                AliasTarget::Phantom(node) => node,
+            };
+            self.graph.add_edge(self.schema.alias, f, t);
+        }
+    }
+
+    /// PCG: CALL edges with POLLUTED_POSITION, pruning all-∞ calls.
+    fn build_pcg(&mut self) {
+        let ids: Vec<MethodId> = self.program.method_ids().collect();
+        for id in ids {
+            if self.program.method(id).body.is_none() {
+                continue;
+            }
+            let summary = match self.precomputed.as_ref().and_then(|m| m.get(&id)) {
+                Some(s) => s.clone(),
+                None => self.analyzer.summarize(id),
+            };
+            let caller_node = self.method_nodes[&id];
+            for call in &summary.calls {
+                if !call.is_controllable() && self.config.prune_uncontrollable_calls {
+                    self.pruned_calls += 1;
+                    continue;
+                }
+                let target_node = match call.resolved {
+                    Some(mid) => self.method_nodes[&mid],
+                    None => self.phantom_method_node(
+                        call.callee_ref.class,
+                        call.callee_ref.name,
+                        call.callee_ref.params.len(),
+                    ),
+                };
+                let edge = self.graph.add_edge(self.schema.call, caller_node, target_node);
+                self.graph.set_edge_prop(
+                    edge,
+                    self.schema.polluted_position,
+                    Value::IntList(pp_to_ints(&call.pp)),
+                );
+                self.graph.set_edge_prop(
+                    edge,
+                    self.schema.invoke_kind,
+                    Value::from(invoke_kind_name(call.kind)),
+                );
+                self.graph.set_edge_prop(
+                    edge,
+                    self.schema.stmt_index,
+                    Value::from(call.stmt_index as i64),
+                );
+            }
+        }
+    }
+
+    /// Stores each analyzed method's ACTION map on its node.
+    fn attach_actions(&mut self) {
+        let ids: Vec<MethodId> = self.program.method_ids().collect();
+        for id in ids {
+            if self.program.method(id).body.is_none() {
+                continue;
+            }
+            let action = match self.precomputed.as_ref().and_then(|m| m.get(&id)) {
+                Some(s) => s.action.clone(),
+                None => self.analyzer.analyze(id),
+            };
+            let named = action.to_named(|s| self.program.name(s).to_owned());
+            let node = self.method_nodes[&id];
+            self.graph
+                .set_node_prop(node, self.schema.action, Value::Map(named));
+        }
+    }
+
+    /// Class node for a name, creating a phantom when not loaded.
+    fn class_node_for(&mut self, name: Symbol) -> NodeId {
+        if let Some(id) = self.program.class_by_name(name) {
+            return self.class_nodes[&id];
+        }
+        if let Some(&node) = self.phantom_classes.get(&name) {
+            return node;
+        }
+        let node = self.graph.add_node(self.schema.class_label);
+        self.graph.set_node_prop(
+            node,
+            self.schema.name,
+            Value::from(self.program.name(name)),
+        );
+        self.graph
+            .set_node_prop(node, self.schema.is_phantom, Value::from(true));
+        self.phantom_classes.insert(name, node);
+        node
+    }
+
+    /// Phantom method node for an out-of-set callee, linked to its phantom
+    /// class with HAS.
+    fn phantom_method_node(&mut self, class: Symbol, name: Symbol, arity: usize) -> NodeId {
+        if let Some(&node) = self.phantom_methods.get(&(class, name, arity)) {
+            return node;
+        }
+        let class_node = self.class_node_for(class);
+        let node = self.graph.add_node(self.schema.method_label);
+        self.graph.set_node_prop(
+            node,
+            self.schema.name,
+            Value::from(self.program.name(name)),
+        );
+        self.graph.set_node_prop(
+            node,
+            self.schema.class_name,
+            Value::from(self.program.name(class)),
+        );
+        self.graph.set_node_prop(
+            node,
+            self.schema.signature,
+            Value::from(format!(
+                "{}.{}/{arity}",
+                self.program.name(class),
+                self.program.name(name)
+            )),
+        );
+        self.graph
+            .set_node_prop(node, self.schema.param_count, Value::from(arity as i64));
+        self.graph
+            .set_node_prop(node, self.schema.is_phantom, Value::from(true));
+        self.graph.add_edge(self.schema.has, class_node, node);
+        self.phantom_methods.insert((class, name, arity), node);
+        node
+    }
+}
+
+fn invoke_kind_name(kind: InvokeKind) -> &'static str {
+    match kind {
+        InvokeKind::Virtual => "virtual",
+        InvokeKind::Interface => "interface",
+        InvokeKind::Special => "special",
+        InvokeKind::Static => "static",
+        InvokeKind::Dynamic => "dynamic",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_graph::Direction;
+    use tabby_ir::{JType, ProgramBuilder};
+
+    /// A tiny program shaped like the URLDNS core (Fig. 3 / Fig. 4):
+    /// HashMap.readObject -> HashMap.hash -> Object.hashCode, with
+    /// URL.hashCode aliasing Object.hashCode.
+    fn urldns_like() -> Program {
+        let mut pb = ProgramBuilder::new();
+        // java.lang.Object with hashCode.
+        let mut cb = pb.class("java.lang.Object");
+        cb.method("hashCode", vec![], JType::Int).abstract_().finish();
+        cb.finish();
+        // HashMap: readObject calls hash(key); hash calls key.hashCode().
+        let mut cb = pb.class("java.util.HashMap").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let ois = cb.object_type("java.io.ObjectInputStream");
+        let mut mb = cb.method("readObject", vec![ois.clone()], JType::Void);
+        let this = mb.this();
+        let key = mb.fresh();
+        mb.get_field(key, this, "java.util.HashMap", "key", obj.clone());
+        let hash = mb.sig("java.util.HashMap", "hash", &[obj.clone()], JType::Int);
+        let h = mb.fresh();
+        mb.call_static(Some(h), hash, &[key.into()]);
+        mb.finish();
+        let mut mb = cb.method("hash", vec![obj.clone()], JType::Int).static_();
+        let k = mb.param(0);
+        let hc = mb.sig("java.lang.Object", "hashCode", &[], JType::Int);
+        let r = mb.fresh();
+        mb.call_virtual(Some(r), k, hc, &[]);
+        mb.ret(r);
+        mb.finish();
+        cb.field("key", obj.clone());
+        cb.finish();
+        // URL.hashCode overriding Object.hashCode, calling a phantom.
+        let mut cb = pb.class("java.net.URL").serializable();
+        let str_ty = cb.object_type("java.lang.String");
+        let mut mb = cb.method("hashCode", vec![], JType::Int);
+        let this = mb.this();
+        let host = mb.fresh();
+        mb.get_field(host, this, "java.net.URL", "host", str_ty.clone());
+        let gbn = mb.sig(
+            "java.net.InetAddress",
+            "getByName",
+            &[str_ty.clone()],
+            JType::Int,
+        );
+        let r = mb.fresh();
+        mb.call_static(Some(r), gbn, &[host.into()]);
+        mb.ret(r);
+        mb.finish();
+        cb.field("host", str_ty);
+        cb.finish();
+        pb.build()
+    }
+
+    #[test]
+    fn org_has_class_and_method_nodes() {
+        let p = urldns_like();
+        let cpg = Cpg::build(&p, AnalysisConfig::default());
+        // 3 loaded classes (+ phantom InetAddress + phantom
+        // java.io.Serializable interface node).
+        assert!(cpg.stats.class_nodes >= 4);
+        assert!(cpg.stats.method_nodes >= 4);
+        let hm = p.class_by_str("java.util.HashMap").unwrap();
+        assert!(cpg.class_node(hm).is_some());
+    }
+
+    #[test]
+    fn alias_edge_links_url_hashcode_to_object_hashcode() {
+        let p = urldns_like();
+        let cpg = Cpg::build(&p, AnalysisConfig::default());
+        let url_hc = cpg
+            .methods_named("hashCode")
+            .into_iter()
+            .find(|n| {
+                cpg.graph
+                    .node_prop(*n, cpg.schema.class_name)
+                    .and_then(|v| v.as_str())
+                    == Some("java.net.URL")
+            })
+            .unwrap();
+        let alias_edges = cpg
+            .graph
+            .edges_of(url_hc, Direction::Outgoing, Some(cpg.schema.alias));
+        assert_eq!(alias_edges.len(), 1);
+        let target = cpg.graph.other_node(alias_edges[0], url_hc);
+        assert_eq!(cpg.describe(target), "java.lang.Object.hashCode");
+    }
+
+    #[test]
+    fn call_edges_carry_polluted_position() {
+        let p = urldns_like();
+        let cpg = Cpg::build(&p, AnalysisConfig::default());
+        // HashMap.hash -> Object.hashCode with PP [1] on the receiver slot:
+        // the receiver of hashCode is hash's parameter 1.
+        let hash = cpg
+            .methods_named("hash")
+            .into_iter()
+            .next()
+            .expect("hash node");
+        let calls = cpg
+            .graph
+            .edges_of(hash, Direction::Outgoing, Some(cpg.schema.call));
+        assert_eq!(calls.len(), 1);
+        let pp = cpg
+            .graph
+            .edge_prop(calls[0], cpg.schema.polluted_position)
+            .unwrap()
+            .as_int_list()
+            .unwrap()
+            .to_vec();
+        assert_eq!(pp, vec![1]);
+    }
+
+    #[test]
+    fn phantom_sink_node_created() {
+        let p = urldns_like();
+        let cpg = Cpg::build(&p, AnalysisConfig::default());
+        let gbn = cpg.methods_named("getByName");
+        assert_eq!(gbn.len(), 1);
+        assert_eq!(
+            cpg.graph
+                .node_prop(gbn[0], cpg.schema.is_phantom)
+                .and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert!(cpg.node_method(gbn[0]).is_none());
+        assert_eq!(cpg.stats.phantom_methods, 1);
+    }
+
+    #[test]
+    fn readobject_call_chain_is_connected() {
+        let p = urldns_like();
+        let cpg = Cpg::build(&p, AnalysisConfig::default());
+        let ro = cpg.methods_named("readObject")[0];
+        let out = cpg
+            .graph
+            .edges_of(ro, Direction::Outgoing, Some(cpg.schema.call));
+        assert_eq!(out.len(), 1);
+        let hash = cpg.graph.other_node(out[0], ro);
+        assert_eq!(cpg.describe(hash), "java.util.HashMap.hash");
+    }
+
+    #[test]
+    fn action_property_attached() {
+        let p = urldns_like();
+        let cpg = Cpg::build(&p, AnalysisConfig::default());
+        let hash = cpg.methods_named("hash")[0];
+        let action = cpg
+            .graph
+            .node_prop(hash, cpg.schema.action)
+            .and_then(|v| v.as_map())
+            .expect("ACTION map");
+        assert!(action.iter().any(|(k, _)| k == "return"));
+    }
+
+    #[test]
+    fn mcg_mode_keeps_uncontrollable_calls() {
+        // Add a method with an uncontrollable call and compare edge counts.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m", vec![], JType::Void).static_();
+        let v = mb.fresh();
+        mb.new_obj(v, "java.lang.Object");
+        let callee = mb.sig("t.D", "d", &[obj.clone()], JType::Void);
+        mb.call_static(None, callee, &[v.into()]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let pruned = Cpg::build(&p, AnalysisConfig::default());
+        let full = Cpg::build(
+            &p,
+            AnalysisConfig {
+                prune_uncontrollable_calls: false,
+                ..AnalysisConfig::default()
+            },
+        );
+        assert_eq!(pruned.stats.pruned_calls, 1);
+        assert!(full.stats.relationship_edges > pruned.stats.relationship_edges);
+    }
+
+    #[test]
+    fn serializable_flag_on_nodes() {
+        let p = urldns_like();
+        let cpg = Cpg::build(&p, AnalysisConfig::default());
+        let ro = cpg.methods_named("readObject")[0];
+        assert_eq!(
+            cpg.graph
+                .node_prop(ro, cpg.schema.is_serializable)
+                .and_then(|v| v.as_bool()),
+            Some(true)
+        );
+    }
+}

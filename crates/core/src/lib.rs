@@ -1,0 +1,52 @@
+//! # tabby-core — code-property-graph construction & controllability analysis
+//!
+//! The core algorithms of *Tabby: Automated Gadget Chain Detection for Java
+//! Deserialization Vulnerabilities* (DSN 2023):
+//!
+//! - the **variable-controllability analysis** (§III-C, Algorithm 1): a
+//!   field-sensitive, interprocedural dataflow that classifies every value as
+//!   ∞ / this / param-*i* ([`Weight`]), summarizes methods as [`Action`]s
+//!   (Table III), and computes each call's `Polluted_Position`;
+//! - **CPG construction** (§III-B): the ORG + PCG + MAG assembly into a
+//!   property graph ([`Cpg`]) stored in the embedded `tabby-graph` database.
+//!
+//! Gadget-chain *search* over the CPG lives in `tabby-pathfinder`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tabby_core::{AnalysisConfig, Cpg};
+//! use tabby_ir::{JType, ProgramBuilder};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut cb = pb.class("demo.A").serializable();
+//! let obj = cb.object_type("java.lang.Object");
+//! let mut mb = cb.method("readObject", vec![obj.clone()], JType::Void);
+//! let this = mb.this();
+//! let v = mb.fresh();
+//! mb.get_field(v, this, "demo.A", "member", obj.clone());
+//! let to_string = mb.sig("java.lang.Object", "toString", &[], obj);
+//! mb.call_virtual(None, v, to_string, &[]);
+//! mb.finish();
+//! cb.finish();
+//! let program = pb.build();
+//! let cpg = Cpg::build(&program, AnalysisConfig::default());
+//! assert!(cpg.stats.method_nodes >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod action;
+pub mod config;
+pub mod controllability;
+pub mod cpg;
+pub mod parallel;
+pub mod weight;
+
+pub use action::{Action, ActionInput, ActionKey, ActionValue};
+pub use config::AnalysisConfig;
+pub use controllability::{Analyzer, AnalyzerStats, CallSite, LocalMap, MethodSummary};
+pub use cpg::{Cpg, CpgSchema, CpgStats};
+pub use parallel::summarize_program;
+pub use weight::{pp_from_ints, pp_to_ints, PollutedPosition, Weight};

@@ -1,0 +1,116 @@
+//! Parallel whole-program summarization.
+//!
+//! Per-method summaries are independent given the (deterministic) callee
+//! Actions, so the per-method analysis parallelizes by sharding the method
+//! list over worker threads, each with its own analyzer and Action cache.
+//! Callee summaries demanded across shard boundaries are recomputed
+//! locally — some duplicated work in exchange for zero synchronization —
+//! and the result is bit-identical to the sequential run (asserted by
+//! tests), because Algorithm 1 is deterministic.
+
+use crate::config::AnalysisConfig;
+use crate::controllability::{Analyzer, MethodSummary};
+use std::collections::HashMap;
+use tabby_ir::{MethodId, Program};
+
+/// Summarizes every method with a body, using up to `threads` workers.
+///
+/// Equivalent to calling [`Analyzer::summarize`] for every method; with
+/// `threads <= 1` it does exactly that.
+pub fn summarize_program(
+    program: &Program,
+    config: &AnalysisConfig,
+    threads: usize,
+) -> HashMap<MethodId, MethodSummary> {
+    let ids: Vec<MethodId> = program
+        .method_ids()
+        .filter(|id| program.method(*id).body.is_some())
+        .collect();
+    if threads <= 1 || ids.len() < 64 {
+        let mut analyzer = Analyzer::new(program, config.clone());
+        return ids
+            .into_iter()
+            .map(|id| (id, analyzer.summarize(id)))
+            .collect();
+    }
+    let shards: Vec<Vec<MethodId>> = {
+        let mut shards = vec![Vec::new(); threads];
+        for (i, id) in ids.into_iter().enumerate() {
+            shards[i % threads].push(id);
+        }
+        shards
+    };
+    let (tx, rx) = crossbeam::channel::unbounded();
+    crossbeam::thread::scope(|scope| {
+        for shard in &shards {
+            let tx = tx.clone();
+            scope.spawn(move |_| {
+                let mut analyzer = Analyzer::new(program, config.clone());
+                for &id in shard {
+                    let summary = analyzer.summarize(id);
+                    tx.send((id, summary)).expect("collector alive");
+                }
+            });
+        }
+        drop(tx);
+        rx.iter().collect()
+    })
+    .expect("analysis worker panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_ir::{JType, ProgramBuilder};
+
+    fn corpus(classes: usize) -> Program {
+        let mut pb = ProgramBuilder::new();
+        for i in 0..classes {
+            let fqcn = format!("p.C{i}");
+            let mut cb = pb.class(&fqcn);
+            let obj = cb.object_type("java.lang.Object");
+            cb.field("f", obj.clone());
+            for j in 0..4 {
+                let mut mb = cb.method(&format!("m{j}"), vec![obj.clone()], obj.clone());
+                let this = mb.this();
+                let p0 = mb.param(0);
+                mb.put_field(this, &fqcn, "f", obj.clone(), p0);
+                let peer = format!("p.C{}", (i + j + 1) % classes);
+                let callee = mb.sig(&peer, "m0", &[obj.clone()], obj.clone());
+                let v = mb.fresh();
+                mb.get_field(v, this, &fqcn, "f", obj.clone());
+                let r = mb.fresh();
+                mb.call_virtual(Some(r), this, callee, &[v.into()]);
+                mb.ret(r);
+                mb.finish();
+            }
+            cb.finish();
+        }
+        let _ = JType::Int;
+        pb.build()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let p = corpus(40); // 160 methods: above the parallel threshold
+        let sequential = summarize_program(&p, &AnalysisConfig::default(), 1);
+        let parallel = summarize_program(&p, &AnalysisConfig::default(), 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (id, seq) in &sequential {
+            let par = &parallel[id];
+            assert_eq!(seq.action, par.action, "{}", p.describe_method(*id));
+            assert_eq!(seq.calls.len(), par.calls.len());
+            for (a, b) in seq.calls.iter().zip(&par.calls) {
+                assert_eq!(a.pp, b.pp);
+                assert_eq!(a.resolved, b.resolved);
+            }
+        }
+    }
+
+    #[test]
+    fn small_programs_stay_sequential() {
+        let p = corpus(3);
+        let out = summarize_program(&p, &AnalysisConfig::default(), 8);
+        assert_eq!(out.len(), 12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Controllability weights (Table V) and the variable map (`localMap`) of
+//! Algorithm 1.
+//!
+//! A weight records *where a value originates* relative to the frame of the
+//! method being analyzed:
+//!
+//! | paper | here | meaning |
+//! |---|---|---|
+//! | `∞` | [`Weight::Unknown`] | not controllable by the deserialized input |
+//! | `0` | [`Weight::This`] | comes from the caller class or a class property |
+//! | `i ∈ [1,n]` | [`Weight::Param`]`(i)` | comes from method parameter *i* (1-based) |
+//!
+//! At the graph boundary (`Polluted_Position` edge property), weights are
+//! stored with the paper's integer encoding, using `-1` for ∞.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A controllability weight (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weight {
+    /// `∞` — the value cannot be influenced by attacker-controlled input.
+    Unknown,
+    /// `0` — the value flows from `this` (the receiver) or one of its
+    /// fields. During deserialization the receiver *is* the attacker's
+    /// object, so this is controllable.
+    This,
+    /// `i ∈ [1, n]` — the value flows from the i-th method parameter
+    /// (1-based, matching the paper and Table VII's Trigger_Conditions).
+    Param(u16),
+}
+
+impl Weight {
+    /// Whether the value is attacker-controllable.
+    pub fn is_controllable(self) -> bool {
+        !matches!(self, Weight::Unknown)
+    }
+
+    /// The paper's integer encoding: `-1` for ∞, `0` for this, `i` for
+    /// parameter *i*.
+    pub fn to_paper_int(self) -> i64 {
+        match self {
+            Weight::Unknown => -1,
+            Weight::This => 0,
+            Weight::Param(i) => i64::from(i),
+        }
+    }
+
+    /// Parses the paper's integer encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on values below `-1` or above `u16::MAX`.
+    pub fn from_paper_int(v: i64) -> Weight {
+        match v {
+            -1 => Weight::Unknown,
+            0 => Weight::This,
+            i if i > 0 && i <= i64::from(u16::MAX) => Weight::Param(i as u16),
+            other => panic!("invalid weight encoding {other}"),
+        }
+    }
+
+    /// The join of two weights at a control-flow merge: prefer the
+    /// controllable origin (the analysis over-approximates "can the attacker
+    /// influence this value on *some* path", which is the question gadget
+    /// chains ask — and the source of the paper's residual false positives
+    /// from conditional statements, §IV-E).
+    pub fn join(self, other: Weight) -> Weight {
+        match (self, other) {
+            (Weight::Unknown, w) | (w, Weight::Unknown) => w,
+            (Weight::This, _) | (_, Weight::This) => Weight::This,
+            (Weight::Param(a), Weight::Param(b)) => Weight::Param(a.min(b)),
+        }
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Weight::Unknown => f.write_str("∞"),
+            Weight::This => f.write_str("0"),
+            Weight::Param(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A `Polluted_Position` vector: position 0 is the callee's receiver,
+/// positions `1..=n` are its arguments; each entry records the weight (in
+/// the *caller's* frame) of the value flowing into that position.
+pub type PollutedPosition = Vec<Weight>;
+
+/// Encodes a PP vector with the paper's integer convention.
+pub fn pp_to_ints(pp: &[Weight]) -> Vec<i64> {
+    pp.iter().map(|w| w.to_paper_int()).collect()
+}
+
+/// Decodes a PP vector from the paper's integer convention.
+pub fn pp_from_ints(ints: &[i64]) -> PollutedPosition {
+    ints.iter().map(|&i| Weight::from_paper_int(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_encoding_round_trips() {
+        for w in [Weight::Unknown, Weight::This, Weight::Param(1), Weight::Param(7)] {
+            assert_eq!(Weight::from_paper_int(w.to_paper_int()), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight encoding")]
+    fn bad_encoding_panics() {
+        Weight::from_paper_int(-2);
+    }
+
+    #[test]
+    fn join_prefers_controllable() {
+        assert_eq!(Weight::Unknown.join(Weight::Param(2)), Weight::Param(2));
+        assert_eq!(Weight::Param(2).join(Weight::Unknown), Weight::Param(2));
+        assert_eq!(Weight::This.join(Weight::Param(2)), Weight::This);
+        assert_eq!(Weight::Param(3).join(Weight::Param(2)), Weight::Param(2));
+        assert_eq!(Weight::Unknown.join(Weight::Unknown), Weight::Unknown);
+    }
+
+    #[test]
+    fn controllability() {
+        assert!(!Weight::Unknown.is_controllable());
+        assert!(Weight::This.is_controllable());
+        assert!(Weight::Param(1).is_controllable());
+    }
+
+    #[test]
+    fn pp_round_trip() {
+        let pp = vec![Weight::Unknown, Weight::Unknown, Weight::Param(2)];
+        assert_eq!(pp_to_ints(&pp), vec![-1, -1, 2]);
+        assert_eq!(pp_from_ints(&pp_to_ints(&pp)), pp);
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(Weight::Unknown.to_string(), "∞");
+        assert_eq!(Weight::This.to_string(), "0");
+        assert_eq!(Weight::Param(2).to_string(), "2");
+    }
+}

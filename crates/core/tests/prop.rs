@@ -1,0 +1,138 @@
+//! Property-based tests for the analysis domain: weight-lattice laws,
+//! paper-encoding round trips, and analyzer robustness over generated
+//! programs.
+
+use proptest::prelude::*;
+use tabby_core::{pp_from_ints, pp_to_ints, AnalysisConfig, Analyzer, Cpg, Weight};
+use tabby_ir::{Program, ProgramBuilder};
+
+fn weight() -> impl Strategy<Value = Weight> {
+    prop_oneof![
+        Just(Weight::Unknown),
+        Just(Weight::This),
+        (1u16..6).prop_map(Weight::Param),
+    ]
+}
+
+/// Deterministic mini-library generator (tabby-core cannot depend on
+/// tabby-workloads, so the corpus lives here).
+fn mini_lib(classes: usize, seed: u64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    for i in 0..classes {
+        let fqcn = format!("g.C{i}");
+        let mut cb = pb.class(&fqcn);
+        let obj = cb.object_type("java.lang.Object");
+        cb.field("f", obj.clone());
+        let mut mb = cb.method("m", vec![obj.clone()], obj.clone());
+        let this = mb.this();
+        let p0 = mb.param(0);
+        let peer = (i as u64 + seed) % classes as u64;
+        let callee = mb.sig(&format!("g.C{peer}"), "m", &[obj.clone()], obj.clone());
+        mb.put_field(this, &fqcn, "f", obj.clone(), p0);
+        let v = mb.fresh();
+        mb.get_field(v, this, &fqcn, "f", obj.clone());
+        let r = mb.fresh();
+        mb.call_virtual(Some(r), this, callee, &[v.into()]);
+        mb.ret(r);
+        mb.finish();
+        cb.finish();
+    }
+    pb.build()
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative_associative_idempotent(a in weight(), b in weight(), c in weight()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.join(a), a);
+        // Unknown is the identity.
+        prop_assert_eq!(a.join(Weight::Unknown), a);
+    }
+
+    #[test]
+    fn join_never_loses_controllability(a in weight(), b in weight()) {
+        let j = a.join(b);
+        prop_assert_eq!(j.is_controllable(), a.is_controllable() || b.is_controllable());
+    }
+
+    #[test]
+    fn pp_encoding_round_trips(pp in prop::collection::vec(weight(), 0..8)) {
+        prop_assert_eq!(pp_from_ints(&pp_to_ints(&pp)), pp);
+    }
+
+    #[test]
+    fn analyzer_is_total_over_generated_chains(depth in 1usize..10, with_field in any::<bool>()) {
+        // A call chain of the given depth, alternating direct and
+        // field-loaded argument passing; the analyzer must terminate and
+        // the final Action must keep the parameter controllable.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.Chain");
+        let obj = cb.object_type("java.lang.Object");
+        cb.field("hold", obj.clone());
+        for i in 0..depth {
+            let mut mb = cb.method(&format!("step{i}"), vec![obj.clone()], obj.clone());
+            let this = mb.this();
+            let p0 = mb.param(0);
+            let arg = if with_field && i % 2 == 0 {
+                mb.put_field(this, "t.Chain", "hold", obj.clone(), p0);
+                let v = mb.fresh();
+                mb.get_field(v, this, "t.Chain", "hold", obj.clone());
+                v
+            } else {
+                p0
+            };
+            if i + 1 < depth {
+                let callee = mb.sig("t.Chain", &format!("step{}", i + 1), &[obj.clone()], obj.clone());
+                let r = mb.fresh();
+                mb.call_virtual(Some(r), this, callee, &[arg.into()]);
+                mb.ret(r);
+            } else {
+                mb.ret(arg);
+            }
+            mb.finish();
+        }
+        cb.finish();
+        let p = pb.build();
+        let mut analyzer = Analyzer::new(&p, AnalysisConfig::default());
+        let step0 = p
+            .method_ids()
+            .find(|id| p.name(p.method(*id).name) == "step0")
+            .unwrap();
+        let action = analyzer.analyze(step0);
+        use tabby_core::{ActionKey, ActionValue};
+        let ret = action.get(ActionKey::Return).unwrap();
+        prop_assert_ne!(ret, ActionValue::Null, "the chained value stays controllable");
+    }
+
+    #[test]
+    fn cpg_build_is_deterministic(classes in 2usize..20, seed in 0u64..50) {
+        let p1 = mini_lib(classes, seed);
+        let p2 = mini_lib(classes, seed);
+        let a = Cpg::build(&p1, AnalysisConfig::default());
+        let b = Cpg::build(&p2, AnalysisConfig::default());
+        prop_assert_eq!(a.stats.class_nodes, b.stats.class_nodes);
+        prop_assert_eq!(a.stats.method_nodes, b.stats.method_nodes);
+        prop_assert_eq!(a.stats.relationship_edges, b.stats.relationship_edges);
+    }
+
+    #[test]
+    fn pruning_only_removes_edges(classes in 2usize..15, seed in 0u64..20) {
+        // The MCG (pruning off) always has at least as many edges as the
+        // PCG, and pruning never invents edges.
+        let p = mini_lib(classes, seed);
+        let pcg = Cpg::build(&p, AnalysisConfig::default());
+        let mcg = Cpg::build(
+            &p,
+            AnalysisConfig {
+                prune_uncontrollable_calls: false,
+                ..AnalysisConfig::default()
+            },
+        );
+        prop_assert!(mcg.stats.relationship_edges >= pcg.stats.relationship_edges);
+        prop_assert_eq!(
+            mcg.stats.relationship_edges - pcg.stats.relationship_edges,
+            pcg.stats.pruned_calls
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Generic graph algorithms used by the analysis layers and the benchmark
+//! harness: reachability, shortest paths, degree statistics, and strongly
+//! connected components.
+
+use crate::store::{Direction, EdgeType, Graph, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Nodes reachable from `start` following edges of the given types in the
+/// given direction (including `start`).
+pub fn reachable(
+    graph: &Graph,
+    start: NodeId,
+    types: &[(EdgeType, Direction)],
+) -> HashSet<NodeId> {
+    let mut seen = HashSet::from([start]);
+    let mut queue = VecDeque::from([start]);
+    while let Some(n) = queue.pop_front() {
+        for &(ty, dir) in types {
+            for e in graph.edges_of(n, dir, Some(ty)) {
+                let m = graph.other_node(e, n);
+                if seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Shortest path (by hop count) from `start` to `goal`, as a node sequence,
+/// or `None` if unreachable.
+pub fn shortest_path(
+    graph: &Graph,
+    start: NodeId,
+    goal: NodeId,
+    types: &[(EdgeType, Direction)],
+) -> Option<Vec<NodeId>> {
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut seen = HashSet::from([start]);
+    let mut queue = VecDeque::from([start]);
+    while let Some(n) = queue.pop_front() {
+        if n == goal {
+            let mut path = vec![goal];
+            let mut cur = goal;
+            while let Some(&p) = prev.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &(ty, dir) in types {
+            for e in graph.edges_of(n, dir, Some(ty)) {
+                let m = graph.other_node(e, n);
+                if seen.insert(m) {
+                    prev.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Degree statistics over all nodes for one edge type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Maximum out-degree.
+    pub max_out: usize,
+    /// Mean out-degree.
+    pub mean_out: f64,
+    /// Number of nodes with no outgoing edge of the type.
+    pub sinks: usize,
+}
+
+/// Computes out-degree statistics for `ty`.
+pub fn degree_stats(graph: &Graph, ty: EdgeType) -> DegreeStats {
+    let mut max_out = 0usize;
+    let mut total = 0usize;
+    let mut sinks = 0usize;
+    let n = graph.node_count().max(1);
+    for node in graph.node_ids() {
+        let d = graph.edges_of(node, Direction::Outgoing, Some(ty)).len();
+        max_out = max_out.max(d);
+        total += d;
+        if d == 0 {
+            sinks += 1;
+        }
+    }
+    DegreeStats {
+        max_out,
+        mean_out: total as f64 / n as f64,
+        sinks,
+    }
+}
+
+/// Strongly connected components over edges of the given types (Tarjan,
+/// iterative). Returns components in reverse topological order; singleton
+/// components without self-loops are included.
+pub fn strongly_connected_components(
+    graph: &Graph,
+    types: &[EdgeType],
+) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let succs = |v: NodeId| -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for &ty in types {
+            for e in graph.edges_of(v, Direction::Outgoing, Some(ty)) {
+                out.push(graph.other_node(e, v));
+            }
+        }
+        out
+    };
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    for start in graph.node_ids() {
+        if index[start.index()] != usize::MAX {
+            continue;
+        }
+        // Iterative Tarjan with an explicit work stack.
+        let mut work: Vec<(NodeId, Vec<NodeId>, usize)> = vec![(start, succs(start), 0)];
+        index[start.index()] = next_index;
+        low[start.index()] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start.index()] = true;
+        while let Some((v, children, mut i)) = work.pop() {
+            let mut descended = false;
+            while i < children.len() {
+                let w = children[i];
+                i += 1;
+                if index[w.index()] == usize::MAX {
+                    work.push((v, children, i));
+                    index[w.index()] = next_index;
+                    low[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    work.push((w, succs(w), 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w.index()] {
+                    low[v.index()] = low[v.index()].min(index[w.index()]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            if low[v.index()] == index[v.index()] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w.index()] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                components.push(comp);
+            }
+            if let Some((parent, _, _)) = work.last() {
+                let p = parent.index();
+                low[p] = low[p].min(low[v.index()]);
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_with_cycle() -> (Graph, Vec<NodeId>, EdgeType) {
+        // 0 -> 1 -> 2 -> 3, 3 -> 1 (cycle {1,2,3}), 4 isolated
+        let mut g = Graph::new();
+        let l = g.label("N");
+        let t = g.edge_type("E");
+        let ns: Vec<_> = (0..5).map(|_| g.add_node(l)).collect();
+        g.add_edge(t, ns[0], ns[1]);
+        g.add_edge(t, ns[1], ns[2]);
+        g.add_edge(t, ns[2], ns[3]);
+        g.add_edge(t, ns[3], ns[1]);
+        (g, ns, t)
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, ns, t) = chain_with_cycle();
+        let r = reachable(&g, ns[0], &[(t, Direction::Outgoing)]);
+        assert_eq!(r.len(), 4);
+        assert!(!r.contains(&ns[4]));
+        let back = reachable(&g, ns[3], &[(t, Direction::Incoming)]);
+        assert!(back.contains(&ns[0]));
+    }
+
+    #[test]
+    fn shortest_path_exists() {
+        let (g, ns, t) = chain_with_cycle();
+        let p = shortest_path(&g, ns[0], ns[3], &[(t, Direction::Outgoing)]).unwrap();
+        assert_eq!(p, vec![ns[0], ns[1], ns[2], ns[3]]);
+        assert!(shortest_path(&g, ns[0], ns[4], &[(t, Direction::Outgoing)]).is_none());
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let (g, _, t) = chain_with_cycle();
+        let s = degree_stats(&g, t);
+        assert_eq!(s.max_out, 1);
+        assert_eq!(s.sinks, 1); // only the isolated node 4 has no out-edge
+        assert!((s.mean_out - 4.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scc_finds_cycle() {
+        let (g, ns, t) = chain_with_cycle();
+        let comps = strongly_connected_components(&g, &[t]);
+        let big = comps.iter().find(|c| c.len() == 3).expect("cycle SCC");
+        for n in [ns[1], ns[2], ns[3]] {
+            assert!(big.contains(&n));
+        }
+        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn scc_on_empty_graph() {
+        let g = Graph::new();
+        assert!(strongly_connected_components(&g, &[]).is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # tabby-graph — an embedded property graph with Neo4j-style traversal
+//!
+//! This crate is the graph-database substrate of the Tabby reproduction
+//! (DSN 2023). The paper stores its code property graph in Neo4j and searches
+//! it with a traversal plugin (*tabby-path-finder*) built from an Expander
+//! and an Evaluator (Algorithms 2–3). Here the same roles are provided by an
+//! embedded store:
+//!
+//! - [`Graph`]: labeled nodes and typed, directed edges, both carrying
+//!   property maps ([`Value`]); label+property indexes; serde persistence
+//!   (the "store it in the database" step).
+//! - [`Traversal`]: the Expander/Evaluator framework, generic over a
+//!   caller-defined state (Tabby threads the Trigger_Condition set).
+//! - [`algo`]: reachability, shortest paths, SCCs, degree statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use tabby_graph::{Graph, Value};
+//!
+//! let mut g = Graph::new();
+//! let method = g.label("Method");
+//! let call = g.edge_type("CALL");
+//! let name = g.prop_key("NAME");
+//! let a = g.add_node(method);
+//! let b = g.add_node(method);
+//! g.set_node_prop(a, name, Value::from("readObject"));
+//! let e = g.add_edge(call, a, b);
+//! let pp = g.prop_key("POLLUTED_POSITION");
+//! g.set_edge_prop(e, pp, Value::IntList(vec![0, 1]));
+//! assert_eq!(g.edge_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algo;
+pub mod query;
+pub mod store;
+pub mod traversal;
+pub mod value;
+
+pub use store::{Direction, EdgeId, EdgeType, Graph, Label, NodeId, PropKey};
+pub use traversal::{
+    follow, Evaluation, Evaluator, Expander, Expansion, Order, Path, Traversal, Uniqueness,
+};
+pub use query::{NodePattern, Query};
+pub use value::Value;

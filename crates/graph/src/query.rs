@@ -1,0 +1,358 @@
+//! A small declarative path-query layer over the property graph — the
+//! "researchers can re-use the graph database query syntax" workflow of
+//! §II-B, without shipping a full Cypher. A query is a node pattern
+//! followed by hop patterns; execution returns all matching paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use tabby_graph::{Graph, Value};
+//! use tabby_graph::query::{NodePattern, Query};
+//!
+//! let mut g = Graph::new();
+//! let method = g.label("Method");
+//! let call = g.edge_type("CALL");
+//! let name = g.prop_key("NAME");
+//! let a = g.add_node(method);
+//! let b = g.add_node(method);
+//! g.set_node_prop(a, name, Value::from("readObject"));
+//! g.set_node_prop(b, name, Value::from("exec"));
+//! g.add_edge(call, a, b);
+//!
+//! // MATCH (m:Method {NAME: "readObject"})-[:CALL]->(s:Method {NAME: "exec"})
+//! let rows = Query::new(NodePattern::label(method).prop(name, Value::from("readObject")))
+//!     .out(call, NodePattern::label(method).prop(name, Value::from("exec")))
+//!     .run(&g);
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0].nodes(), &[a, b]);
+//! ```
+
+use crate::store::{Direction, EdgeType, Graph, Label, NodeId, PropKey};
+use crate::traversal::Path;
+use crate::value::Value;
+
+/// A predicate over one node: optional label, property equalities, and an
+/// arbitrary filter.
+pub struct NodePattern {
+    label: Option<Label>,
+    props: Vec<(PropKey, Value)>,
+    #[allow(clippy::type_complexity)]
+    filter: Option<Box<dyn Fn(&Graph, NodeId) -> bool>>,
+}
+
+impl std::fmt::Debug for NodePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodePattern")
+            .field("label", &self.label)
+            .field("props", &self.props)
+            .field("has_filter", &self.filter.is_some())
+            .finish()
+    }
+}
+
+impl NodePattern {
+    /// Matches any node.
+    pub fn any() -> Self {
+        Self {
+            label: None,
+            props: Vec::new(),
+            filter: None,
+        }
+    }
+
+    /// Matches nodes with the given label.
+    pub fn label(label: Label) -> Self {
+        Self {
+            label: Some(label),
+            props: Vec::new(),
+            filter: None,
+        }
+    }
+
+    /// Adds a property-equality constraint.
+    #[must_use]
+    pub fn prop(mut self, key: PropKey, value: Value) -> Self {
+        self.props.push((key, value));
+        self
+    }
+
+    /// Adds an arbitrary filter.
+    #[must_use]
+    pub fn filter(mut self, f: impl Fn(&Graph, NodeId) -> bool + 'static) -> Self {
+        self.filter = Some(Box::new(f));
+        self
+    }
+
+    /// Tests a node against the pattern.
+    pub fn matches(&self, graph: &Graph, node: NodeId) -> bool {
+        if let Some(label) = self.label {
+            if graph.node_label(node) != label {
+                return false;
+            }
+        }
+        for (key, value) in &self.props {
+            if graph.node_prop(node, *key) != Some(value) {
+                return false;
+            }
+        }
+        if let Some(f) = &self.filter {
+            if !f(graph, node) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Candidate start nodes, using an index when the pattern pins a label
+    /// plus an indexed property, otherwise scanning.
+    fn candidates(&self, graph: &Graph) -> Vec<NodeId> {
+        if let (Some(label), Some((key, value))) = (self.label, self.props.first()) {
+            let hits = graph.nodes_by(label, *key, value);
+            return hits
+                .into_iter()
+                .filter(|n| self.matches(graph, *n))
+                .collect();
+        }
+        graph
+            .node_ids()
+            .filter(|n| self.matches(graph, *n))
+            .collect()
+    }
+}
+
+/// One hop of a query: an edge type with a direction and bounded
+/// repetition, ending at a node pattern.
+#[derive(Debug)]
+struct Hop {
+    ty: EdgeType,
+    direction: Direction,
+    min: usize,
+    max: usize,
+    end: NodePattern,
+}
+
+/// A path query: a start pattern plus hops.
+#[derive(Debug)]
+pub struct Query {
+    start: NodePattern,
+    hops: Vec<Hop>,
+    limit: usize,
+}
+
+impl Query {
+    /// Starts a query at nodes matching `start`.
+    pub fn new(start: NodePattern) -> Self {
+        Self {
+            start,
+            hops: Vec::new(),
+            limit: usize::MAX,
+        }
+    }
+
+    /// Follows one outgoing edge of type `ty` to a node matching `end`.
+    #[must_use]
+    pub fn out(self, ty: EdgeType, end: NodePattern) -> Self {
+        self.hop(ty, Direction::Outgoing, 1, 1, end)
+    }
+
+    /// Follows one incoming edge of type `ty`.
+    #[must_use]
+    pub fn in_(self, ty: EdgeType, end: NodePattern) -> Self {
+        self.hop(ty, Direction::Incoming, 1, 1, end)
+    }
+
+    /// Follows between `min` and `max` edges of type `ty` in `direction`
+    /// (Cypher's `-[:T*min..max]->`).
+    #[must_use]
+    pub fn repeat(
+        self,
+        ty: EdgeType,
+        direction: Direction,
+        min: usize,
+        max: usize,
+        end: NodePattern,
+    ) -> Self {
+        self.hop(ty, direction, min, max, end)
+    }
+
+    fn hop(mut self, ty: EdgeType, direction: Direction, min: usize, max: usize, end: NodePattern) -> Self {
+        self.hops.push(Hop {
+            ty,
+            direction,
+            min,
+            max,
+            end,
+        });
+        self
+    }
+
+    /// Caps the number of returned paths.
+    #[must_use]
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = n;
+        self
+    }
+
+    /// Executes the query, returning matching paths (nodes may repeat only
+    /// across, not within, a repetition hop).
+    pub fn run(&self, graph: &Graph) -> Vec<Path> {
+        let mut results = Vec::new();
+        for start in self.start.candidates(graph) {
+            self.extend(graph, Path::start(start), 0, &mut results);
+            if results.len() >= self.limit {
+                results.truncate(self.limit);
+                break;
+            }
+        }
+        results
+    }
+
+    fn extend(&self, graph: &Graph, path: Path, hop_index: usize, out: &mut Vec<Path>) {
+        if out.len() >= self.limit {
+            return;
+        }
+        let Some(hop) = self.hops.get(hop_index) else {
+            out.push(path);
+            return;
+        };
+        // Repetition: explore 0..=max steps, accepting the end pattern at
+        // any count ≥ min.
+        self.expand_hop(graph, path, hop, 0, hop_index, out);
+    }
+
+    fn expand_hop(
+        &self,
+        graph: &Graph,
+        path: Path,
+        hop: &Hop,
+        steps: usize,
+        hop_index: usize,
+        out: &mut Vec<Path>,
+    ) {
+        if steps >= hop.min && hop.end.matches(graph, path.end()) {
+            self.extend(graph, path.clone(), hop_index + 1, out);
+        }
+        if steps >= hop.max {
+            return;
+        }
+        for e in graph.edges_of(path.end(), hop.direction, Some(hop.ty)) {
+            let next = graph.other_node(e, path.end());
+            if !path.contains(next) {
+                self.expand_hop(graph, path.extend(e, next), hop, steps + 1, hop_index, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a -CALL-> b -CALL-> c ; a -ALIAS-> c
+    fn fixture() -> (Graph, [NodeId; 3]) {
+        let mut g = Graph::new();
+        let l = g.label("Method");
+        let call = g.edge_type("CALL");
+        let alias = g.edge_type("ALIAS");
+        let name = g.prop_key("NAME");
+        g.create_index(l, name);
+        let a = g.add_node(l);
+        let b = g.add_node(l);
+        let c = g.add_node(l);
+        for (n, v) in [(a, "a"), (b, "b"), (c, "c")] {
+            g.set_node_prop(n, name, Value::from(v));
+        }
+        g.add_edge(call, a, b);
+        g.add_edge(call, b, c);
+        g.add_edge(alias, a, c);
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn single_hop_match() {
+        let (g, [a, b, _]) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let call = g.get_edge_type("CALL").unwrap();
+        let name = g.get_prop_key("NAME").unwrap();
+        let rows = Query::new(NodePattern::label(l).prop(name, Value::from("a")))
+            .out(call, NodePattern::any())
+            .run(&g);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].nodes(), &[a, b]);
+    }
+
+    #[test]
+    fn repetition_hop_finds_all_depths() {
+        let (g, [a, _, c]) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let call = g.get_edge_type("CALL").unwrap();
+        let name = g.get_prop_key("NAME").unwrap();
+        // a -[:CALL*1..3]-> (NAME=c)
+        let rows = Query::new(NodePattern::label(l).prop(name, Value::from("a")))
+            .repeat(
+                call,
+                Direction::Outgoing,
+                1,
+                3,
+                NodePattern::label(l).prop(name, Value::from("c")),
+            )
+            .run(&g);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].first(), a);
+        assert_eq!(rows[0].end(), c);
+        assert_eq!(rows[0].len(), 2);
+    }
+
+    #[test]
+    fn zero_repetition_matches_in_place() {
+        let (g, [a, ..]) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let call = g.get_edge_type("CALL").unwrap();
+        let name = g.get_prop_key("NAME").unwrap();
+        let rows = Query::new(NodePattern::label(l).prop(name, Value::from("a")))
+            .repeat(call, Direction::Outgoing, 0, 2, NodePattern::any())
+            .run(&g);
+        // depth 0 (a), depth 1 (a,b), depth 2 (a,b,c)
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().any(|p| p.nodes() == [a]));
+    }
+
+    #[test]
+    fn incoming_hop() {
+        let (g, [_, b, c]) = fixture();
+        let call = g.get_edge_type("CALL").unwrap();
+        let name = g.get_prop_key("NAME").unwrap();
+        let l = g.get_label("Method").unwrap();
+        let rows = Query::new(NodePattern::label(l).prop(name, Value::from("c")))
+            .in_(call, NodePattern::any())
+            .run(&g);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].nodes(), &[c, b]);
+    }
+
+    #[test]
+    fn filter_and_limit() {
+        let (g, _) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let name = g.get_prop_key("NAME").unwrap();
+        let rows = Query::new(NodePattern::label(l).filter(move |g, n| {
+            g.node_prop(n, name).and_then(|v| v.as_str()) != Some("b")
+        }))
+        .limit(1)
+        .run(&g);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn mixed_edge_types() {
+        let (g, [a, _, c]) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let alias = g.get_edge_type("ALIAS").unwrap();
+        let name = g.get_prop_key("NAME").unwrap();
+        let rows = Query::new(NodePattern::label(l).prop(name, Value::from("a")))
+            .out(alias, NodePattern::any())
+            .run(&g);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].nodes(), &[a, c]);
+    }
+}

@@ -1,0 +1,599 @@
+//! The embedded property-graph store.
+//!
+//! This is the reproduction's stand-in for Neo4j (§II-B): a directed
+//! multigraph whose nodes carry a label and a property map, whose edges
+//! carry a type and a property map, with label+property indexes for O(1)
+//! lookup and full serde round-tripping (persisting the graph to disk plays
+//! the role of "storing the CPG in the database").
+
+use crate::value::{IndexKey, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an edge (relationship).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interned node label (e.g. `Class`, `Method`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(pub u16);
+
+/// Interned relationship type (e.g. `CALL`, `ALIAS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeType(pub u16);
+
+/// Interned property key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PropKey(pub u16);
+
+/// Direction of edge traversal relative to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow edges from source to target.
+    Outgoing,
+    /// Follow edges from target to source.
+    Incoming,
+    /// Follow edges either way.
+    Both,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeData {
+    label: Label,
+    props: HashMap<PropKey, Value>,
+    out: Vec<EdgeId>,
+    inc: Vec<EdgeId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EdgeData {
+    ty: EdgeType,
+    from: NodeId,
+    to: NodeId,
+    props: HashMap<PropKey, Value>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct SmallInterner {
+    names: Vec<String>,
+    #[serde(skip)]
+    map: HashMap<String, u16>,
+}
+
+impl SmallInterner {
+    fn rebuild(&mut self) {
+        self.map = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u16))
+            .collect();
+    }
+
+    fn intern(&mut self, s: &str) -> u16 {
+        if self.map.is_empty() && !self.names.is_empty() {
+            self.rebuild();
+        }
+        if let Some(&i) = self.map.get(s) {
+            return i;
+        }
+        let i = u16::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(s.to_owned());
+        self.map.insert(s.to_owned(), i);
+        i
+    }
+
+    fn get(&self, s: &str) -> Option<u16> {
+        if !self.map.is_empty() || self.names.is_empty() {
+            self.map.get(s).copied()
+        } else {
+            self.names.iter().position(|n| n == s).map(|i| i as u16)
+        }
+    }
+
+    fn resolve(&self, i: u16) -> &str {
+        &self.names[i as usize]
+    }
+}
+
+/// An embedded directed property multigraph.
+///
+/// # Examples
+///
+/// ```
+/// use tabby_graph::{Graph, Value, Direction};
+///
+/// let mut g = Graph::new();
+/// let class = g.label("Class");
+/// let name = g.prop_key("NAME");
+/// let n = g.add_node(class);
+/// g.set_node_prop(n, name, Value::from("java.util.HashMap"));
+/// assert_eq!(g.node_prop(n, name).unwrap().as_str(), Some("java.util.HashMap"));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    labels: SmallInterner,
+    edge_types: SmallInterner,
+    prop_keys: SmallInterner,
+    /// (label, key) pairs with an index, plus the index contents.
+    indexed: Vec<(Label, PropKey)>,
+    #[serde(skip)]
+    index: HashMap<(Label, PropKey, IndexKey), Vec<NodeId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- interning --------------------------------------------------------
+
+    /// Interns a node label.
+    pub fn label(&mut self, name: &str) -> Label {
+        Label(self.labels.intern(name))
+    }
+
+    /// Looks up a node label without interning.
+    pub fn get_label(&self, name: &str) -> Option<Label> {
+        self.labels.get(name).map(Label)
+    }
+
+    /// Resolves a label name.
+    pub fn label_name(&self, label: Label) -> &str {
+        self.labels.resolve(label.0)
+    }
+
+    /// Interns a relationship type.
+    pub fn edge_type(&mut self, name: &str) -> EdgeType {
+        EdgeType(self.edge_types.intern(name))
+    }
+
+    /// Looks up a relationship type without interning.
+    pub fn get_edge_type(&self, name: &str) -> Option<EdgeType> {
+        self.edge_types.get(name).map(EdgeType)
+    }
+
+    /// Resolves a relationship-type name.
+    pub fn edge_type_name(&self, ty: EdgeType) -> &str {
+        self.edge_types.resolve(ty.0)
+    }
+
+    /// Interns a property key.
+    pub fn prop_key(&mut self, name: &str) -> PropKey {
+        PropKey(self.prop_keys.intern(name))
+    }
+
+    /// Looks up a property key without interning.
+    pub fn get_prop_key(&self, name: &str) -> Option<PropKey> {
+        self.prop_keys.get(name).map(PropKey)
+    }
+
+    // ----- construction -----------------------------------------------------
+
+    /// Adds a node with the given label.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node overflow"));
+        self.nodes.push(NodeData {
+            label,
+            props: HashMap::new(),
+            out: Vec::new(),
+            inc: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds an edge of type `ty` from `from` to `to`.
+    pub fn add_edge(&mut self, ty: EdgeType, from: NodeId, to: NodeId) -> EdgeId {
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("edge overflow"));
+        self.edges.push(EdgeData {
+            ty,
+            from,
+            to,
+            props: HashMap::new(),
+        });
+        self.nodes[from.index()].out.push(id);
+        self.nodes[to.index()].inc.push(id);
+        id
+    }
+
+    /// Sets a node property, maintaining any matching index.
+    pub fn set_node_prop(&mut self, node: NodeId, key: PropKey, value: Value) {
+        let label = self.nodes[node.index()].label;
+        if self.indexed.contains(&(label, key)) {
+            if let Some(old) = self.nodes[node.index()].props.get(&key) {
+                if let Some(k) = IndexKey::from_value(old) {
+                    if let Some(v) = self.index.get_mut(&(label, key, k)) {
+                        v.retain(|&n| n != node);
+                    }
+                }
+            }
+            if let Some(k) = IndexKey::from_value(&value) {
+                self.index.entry((label, key, k)).or_default().push(node);
+            }
+        }
+        self.nodes[node.index()].props.insert(key, value);
+    }
+
+    /// Sets an edge property.
+    pub fn set_edge_prop(&mut self, edge: EdgeId, key: PropKey, value: Value) {
+        self.edges[edge.index()].props.insert(key, value);
+    }
+
+    /// Declares an index over `(label, key)`; existing nodes are back-filled.
+    pub fn create_index(&mut self, label: Label, key: PropKey) {
+        if self.indexed.contains(&(label, key)) {
+            return;
+        }
+        self.indexed.push((label, key));
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.label == label {
+                if let Some(v) = node.props.get(&key) {
+                    if let Some(k) = IndexKey::from_value(v) {
+                        self.index
+                            .entry((label, key, k))
+                            .or_default()
+                            .push(NodeId(i as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds transient state (indexes, interner maps) after
+    /// deserialization.
+    pub fn rebuild_after_deserialize(&mut self) {
+        self.labels.rebuild();
+        self.edge_types.rebuild();
+        self.prop_keys.rebuild();
+        self.index.clear();
+        let indexed = self.indexed.clone();
+        self.indexed.clear();
+        for (label, key) in indexed {
+            self.create_index(label, key);
+        }
+    }
+
+    // ----- access -----------------------------------------------------------
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label of `node`.
+    pub fn node_label(&self, node: NodeId) -> Label {
+        self.nodes[node.index()].label
+    }
+
+    /// A node property.
+    pub fn node_prop(&self, node: NodeId, key: PropKey) -> Option<&Value> {
+        self.nodes[node.index()].props.get(&key)
+    }
+
+    /// An edge property.
+    pub fn edge_prop(&self, edge: EdgeId, key: PropKey) -> Option<&Value> {
+        self.edges[edge.index()].props.get(&key)
+    }
+
+    /// The type of `edge`.
+    pub fn edge_ty(&self, edge: EdgeId) -> EdgeType {
+        self.edges[edge.index()].ty
+    }
+
+    /// Source and target of `edge`.
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[edge.index()];
+        (e.from, e.to)
+    }
+
+    /// The endpoint of `edge` other than `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of `edge`.
+    pub fn other_node(&self, edge: EdgeId, node: NodeId) -> NodeId {
+        let (from, to) = self.endpoints(edge);
+        if node == from {
+            to
+        } else if node == to {
+            from
+        } else {
+            panic!("node {node:?} is not an endpoint of edge {edge:?}")
+        }
+    }
+
+    /// Edges incident to `node` in the given direction, optionally filtered
+    /// by type.
+    pub fn edges_of(
+        &self,
+        node: NodeId,
+        direction: Direction,
+        ty: Option<EdgeType>,
+    ) -> Vec<EdgeId> {
+        let data = &self.nodes[node.index()];
+        let mut out = Vec::new();
+        let keep = |e: EdgeId, edges: &Vec<EdgeData>| match ty {
+            Some(t) => edges[e.index()].ty == t,
+            None => true,
+        };
+        if matches!(direction, Direction::Outgoing | Direction::Both) {
+            out.extend(data.out.iter().copied().filter(|&e| keep(e, &self.edges)));
+        }
+        if matches!(direction, Direction::Incoming | Direction::Both) {
+            out.extend(data.inc.iter().copied().filter(|&e| keep(e, &self.edges)));
+        }
+        out
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(|i| EdgeId(i as u32))
+    }
+
+    /// All nodes with the given label.
+    pub fn nodes_with_label(&self, label: Label) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|n| self.nodes[n.index()].label == label)
+            .collect()
+    }
+
+    /// Index lookup: nodes with `label` whose `key` property equals `value`.
+    /// Falls back to a scan when no index exists for `(label, key)`.
+    pub fn nodes_by(&self, label: Label, key: PropKey, value: &Value) -> Vec<NodeId> {
+        if self.indexed.contains(&(label, key)) {
+            match IndexKey::from_value(value) {
+                Some(k) => self
+                    .index
+                    .get(&(label, key, k))
+                    .cloned()
+                    .unwrap_or_default(),
+                None => Vec::new(),
+            }
+        } else {
+            self.node_ids()
+                .filter(|n| {
+                    self.nodes[n.index()].label == label
+                        && self.nodes[n.index()].props.get(&key) == Some(value)
+                })
+                .collect()
+        }
+    }
+
+    /// Count of edges by type name, for stats reporting.
+    pub fn edge_type_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: HashMap<EdgeType, usize> = HashMap::new();
+        for e in &self.edges {
+            *counts.entry(e.ty).or_insert(0) += 1;
+        }
+        let mut out: Vec<_> = counts
+            .into_iter()
+            .map(|(t, c)| (self.edge_types.resolve(t.0).to_owned(), c))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Graph, NodeId, NodeId, EdgeId) {
+        let mut g = Graph::new();
+        let l = g.label("N");
+        let t = g.edge_type("E");
+        let a = g.add_node(l);
+        let b = g.add_node(l);
+        let e = g.add_edge(t, a, b);
+        (g, a, b, e)
+    }
+
+    #[test]
+    fn nodes_and_edges() {
+        let (g, a, b, e) = tiny();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.endpoints(e), (a, b));
+        assert_eq!(g.other_node(e, a), b);
+        assert_eq!(g.other_node(e, b), a);
+    }
+
+    #[test]
+    fn directional_edge_queries() {
+        let (g, a, b, e) = tiny();
+        assert_eq!(g.edges_of(a, Direction::Outgoing, None), vec![e]);
+        assert!(g.edges_of(a, Direction::Incoming, None).is_empty());
+        assert_eq!(g.edges_of(b, Direction::Incoming, None), vec![e]);
+        assert_eq!(g.edges_of(a, Direction::Both, None), vec![e]);
+    }
+
+    #[test]
+    fn typed_edge_filter() {
+        let mut g = Graph::new();
+        let l = g.label("N");
+        let t1 = g.edge_type("CALL");
+        let t2 = g.edge_type("ALIAS");
+        let a = g.add_node(l);
+        let b = g.add_node(l);
+        let e1 = g.add_edge(t1, a, b);
+        let e2 = g.add_edge(t2, a, b);
+        assert_eq!(g.edges_of(a, Direction::Outgoing, Some(t1)), vec![e1]);
+        assert_eq!(g.edges_of(a, Direction::Outgoing, Some(t2)), vec![e2]);
+        assert_eq!(g.edges_of(a, Direction::Outgoing, None).len(), 2);
+    }
+
+    #[test]
+    fn index_lookup_and_update() {
+        let mut g = Graph::new();
+        let l = g.label("Method");
+        let k = g.prop_key("NAME");
+        g.create_index(l, k);
+        let a = g.add_node(l);
+        g.set_node_prop(a, k, Value::from("readObject"));
+        assert_eq!(g.nodes_by(l, k, &Value::from("readObject")), vec![a]);
+        // Overwrite moves the index entry.
+        g.set_node_prop(a, k, Value::from("hashCode"));
+        assert!(g.nodes_by(l, k, &Value::from("readObject")).is_empty());
+        assert_eq!(g.nodes_by(l, k, &Value::from("hashCode")), vec![a]);
+    }
+
+    #[test]
+    fn index_backfill() {
+        let mut g = Graph::new();
+        let l = g.label("Method");
+        let k = g.prop_key("NAME");
+        let a = g.add_node(l);
+        g.set_node_prop(a, k, Value::from("m"));
+        g.create_index(l, k);
+        assert_eq!(g.nodes_by(l, k, &Value::from("m")), vec![a]);
+    }
+
+    #[test]
+    fn unindexed_lookup_scans() {
+        let mut g = Graph::new();
+        let l = g.label("Method");
+        let k = g.prop_key("NAME");
+        let a = g.add_node(l);
+        g.set_node_prop(a, k, Value::from("m"));
+        assert_eq!(g.nodes_by(l, k, &Value::from("m")), vec![a]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_graph() {
+        let (mut g, a, _b, e) = tiny();
+        let k = g.prop_key("PP");
+        g.set_edge_prop(e, k, Value::IntList(vec![-1, 0, 2]));
+        let nk = g.prop_key("NAME");
+        let label = g.node_label(a);
+        g.create_index(label, nk);
+        g.set_node_prop(a, nk, Value::from("x"));
+        let json = serde_json::to_string(&g).unwrap();
+        let mut g2: Graph = serde_json::from_str(&json).unwrap();
+        g2.rebuild_after_deserialize();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_prop(e, k), g.edge_prop(e, k));
+        assert_eq!(g2.nodes_by(label, nk, &Value::from("x")), vec![a]);
+        assert_eq!(g2.label_name(label), "N");
+    }
+}
+
+impl Graph {
+    /// Renders the graph in Graphviz DOT syntax. `node_label_prop` selects
+    /// the property used as the node caption (falling back to the node id);
+    /// edge captions are the relationship-type names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tabby_graph::{Graph, Value};
+    ///
+    /// let mut g = Graph::new();
+    /// let l = g.label("Method");
+    /// let t = g.edge_type("CALL");
+    /// let name = g.prop_key("NAME");
+    /// let a = g.add_node(l);
+    /// let b = g.add_node(l);
+    /// g.set_node_prop(a, name, Value::from("readObject"));
+    /// g.set_node_prop(b, name, Value::from("exec"));
+    /// g.add_edge(t, a, b);
+    /// let dot = g.to_dot(Some(name));
+    /// assert!(dot.contains("readObject"));
+    /// assert!(dot.contains("-> n1"));
+    /// ```
+    pub fn to_dot(&self, node_label_prop: Option<PropKey>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph cpg {\n  rankdir=LR;\n  node [shape=box];\n");
+        for node in self.node_ids() {
+            let caption = node_label_prop
+                .and_then(|k| self.node_prop(node, k))
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| format!("n{}", node.0));
+            let caption = caption
+                .trim_matches('"')
+                .replace('\\', "")
+                .replace('"', "'");
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\\n:{}\"];",
+                node.0,
+                caption,
+                self.label_name(self.node_label(node))
+            );
+        }
+        for edge in self.edge_ids() {
+            let (from, to) = self.endpoints(edge);
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                from.0,
+                to.0,
+                self.edge_type_name(self.edge_ty(edge))
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let mut g = Graph::new();
+        let l = g.label("Method");
+        let t = g.edge_type("CALL");
+        let name = g.prop_key("NAME");
+        let a = g.add_node(l);
+        let b = g.add_node(l);
+        g.set_node_prop(a, name, Value::from("read\"Object"));
+        g.add_edge(t, a, b);
+        let dot = g.to_dot(Some(name));
+        assert!(dot.starts_with("digraph cpg {"));
+        assert!(dot.ends_with("}\n"));
+        // Quotes in captions are sanitized.
+        assert!(dot.contains("read'Object"));
+        assert!(dot.contains("n0 -> n1 [label=\"CALL\"]"));
+    }
+
+    #[test]
+    fn dot_without_caption_prop_uses_ids() {
+        let mut g = Graph::new();
+        let l = g.label("N");
+        g.add_node(l);
+        let dot = g.to_dot(None);
+        assert!(dot.contains("n0 [label=\"n0"));
+    }
+}

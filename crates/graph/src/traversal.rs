@@ -1,0 +1,492 @@
+//! A Neo4j-style traversal framework with stateful expansion.
+//!
+//! The paper implements gadget-chain search as a Neo4j traversal plugin
+//! (*tabby-path-finder*) built from an **Expander** (which relationships to
+//! follow from the end of a path, and with what updated state) and an
+//! **Evaluator** (whether the current path is a result and whether to keep
+//! going) — Algorithms 2 and 3. This module provides the same two
+//! extension points over the embedded [`Graph`], generic over a
+//! caller-defined state type `S` (the Trigger_Condition set, for Tabby).
+
+use crate::store::{Direction, EdgeId, Graph, NodeId};
+
+/// A path through the graph: `nodes.len() == edges.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// A single-node path.
+    pub fn start(node: NodeId) -> Self {
+        Self {
+            nodes: vec![node],
+            edges: Vec::new(),
+        }
+    }
+
+    /// The node the path currently ends at.
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().expect("paths are never empty")
+    }
+
+    /// The node the path started from.
+    pub fn first(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Number of edges in the path (the traversal depth).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path is a single node.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Nodes along the path, in order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Edges along the path, in order.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Whether `node` already occurs on the path.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Returns a new path extended by `edge` to `node`.
+    #[must_use]
+    pub fn extend(&self, edge: EdgeId, node: NodeId) -> Self {
+        let mut p = self.clone();
+        p.edges.push(edge);
+        p.nodes.push(node);
+        p
+    }
+}
+
+/// One expansion step produced by an [`Expander`]: follow `edge` to `node`,
+/// continuing with `state`.
+#[derive(Debug, Clone)]
+pub struct Expansion<S> {
+    /// The edge to traverse.
+    pub edge: EdgeId,
+    /// The node at its far end.
+    pub node: NodeId,
+    /// The traversal state after crossing the edge.
+    pub state: S,
+}
+
+/// Chooses which edges to follow from the end of a path, threading a state
+/// value (Algorithm 2's role).
+pub trait Expander<S> {
+    /// Expansions from the end of `path` given the current `state`.
+    fn expand(&self, graph: &Graph, path: &Path, state: &S) -> Vec<Expansion<S>>;
+}
+
+impl<S, F> Expander<S> for F
+where
+    F: Fn(&Graph, &Path, &S) -> Vec<Expansion<S>>,
+{
+    fn expand(&self, graph: &Graph, path: &Path, state: &S) -> Vec<Expansion<S>> {
+        self(graph, path, state)
+    }
+}
+
+/// The verdict an [`Evaluator`] renders for a path (Neo4j's four-valued
+/// `Evaluation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evaluation {
+    /// Emit the path as a result and keep expanding it.
+    IncludeAndContinue,
+    /// Emit the path and stop expanding it.
+    IncludeAndPrune,
+    /// Do not emit, but keep expanding.
+    ExcludeAndContinue,
+    /// Do not emit and stop expanding.
+    ExcludeAndPrune,
+}
+
+impl Evaluation {
+    /// Whether the path should be emitted.
+    pub fn includes(self) -> bool {
+        matches!(
+            self,
+            Evaluation::IncludeAndContinue | Evaluation::IncludeAndPrune
+        )
+    }
+
+    /// Whether expansion continues past this path.
+    pub fn continues(self) -> bool {
+        matches!(
+            self,
+            Evaluation::IncludeAndContinue | Evaluation::ExcludeAndContinue
+        )
+    }
+}
+
+/// Decides whether a path is a result and whether to continue (Algorithm 3's
+/// role).
+pub trait Evaluator<S> {
+    /// Evaluates the path that traversal just produced.
+    fn evaluate(&self, graph: &Graph, path: &Path, state: &S) -> Evaluation;
+}
+
+impl<S, F> Evaluator<S> for F
+where
+    F: Fn(&Graph, &Path, &S) -> Evaluation,
+{
+    fn evaluate(&self, graph: &Graph, path: &Path, state: &S) -> Evaluation {
+        self(graph, path, state)
+    }
+}
+
+/// Node-revisiting policy, mirroring Neo4j's `Uniqueness`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uniqueness {
+    /// A node may appear any number of times (cycles bounded only by depth).
+    None,
+    /// A node may appear at most once per path (Neo4j `NODE_PATH`); the
+    /// default for gadget-chain search.
+    NodePath,
+    /// A node may be visited at most once in the whole traversal (Neo4j
+    /// `NODE_GLOBAL`) — the shortcut GadgetInspector takes, which the paper
+    /// criticizes for losing chains (§IV-F).
+    NodeGlobal,
+}
+
+/// Traversal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Depth-first (the paper's §III-A "Depth-First algorithm").
+    DepthFirst,
+    /// Breadth-first.
+    BreadthFirst,
+}
+
+/// A configured traversal, built with [`Traversal::new`] and executed with
+/// [`Traversal::run`].
+///
+/// # Examples
+///
+/// ```
+/// use tabby_graph::{Graph, Direction, Expansion, Evaluation, Traversal, Uniqueness};
+///
+/// let mut g = Graph::new();
+/// let l = g.label("N");
+/// let t = g.edge_type("E");
+/// let a = g.add_node(l);
+/// let b = g.add_node(l);
+/// g.add_edge(t, a, b);
+///
+/// let paths = Traversal::new(
+///     |g: &Graph, path: &tabby_graph::Path, _state: &()| {
+///         g.edges_of(path.end(), Direction::Outgoing, None)
+///             .into_iter()
+///             .map(|e| Expansion { edge: e, node: g.other_node(e, path.end()), state: () })
+///             .collect()
+///     },
+///     |_: &Graph, path: &tabby_graph::Path, _: &()| {
+///         if path.len() == 1 { Evaluation::IncludeAndPrune } else { Evaluation::ExcludeAndContinue }
+///     },
+/// )
+/// .run(&g, a, ());
+/// assert_eq!(paths.len(), 1);
+/// assert_eq!(paths[0].0.end(), b);
+/// ```
+pub struct Traversal<S, X, E> {
+    expander: X,
+    evaluator: E,
+    uniqueness: Uniqueness,
+    order: Order,
+    max_results: usize,
+    max_expansions: usize,
+    _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: Clone, X: Expander<S>, E: Evaluator<S>> Traversal<S, X, E> {
+    /// Creates a traversal with the default policy (depth-first,
+    /// per-path node uniqueness, unbounded results).
+    pub fn new(expander: X, evaluator: E) -> Self {
+        Self {
+            expander,
+            evaluator,
+            uniqueness: Uniqueness::NodePath,
+            order: Order::DepthFirst,
+            max_results: usize::MAX,
+            max_expansions: usize::MAX,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the node-uniqueness policy.
+    #[must_use]
+    pub fn uniqueness(mut self, u: Uniqueness) -> Self {
+        self.uniqueness = u;
+        self
+    }
+
+    /// Sets the traversal order.
+    #[must_use]
+    pub fn order(mut self, o: Order) -> Self {
+        self.order = o;
+        self
+    }
+
+    /// Stops after emitting `n` result paths.
+    #[must_use]
+    pub fn max_results(mut self, n: usize) -> Self {
+        self.max_results = n;
+        self
+    }
+
+    /// Aborts after `n` expansion steps — the work-limit knob used to model
+    /// baseline timeouts and protect against path explosion.
+    #[must_use]
+    pub fn max_expansions(mut self, n: usize) -> Self {
+        self.max_expansions = n;
+        self
+    }
+
+    /// Runs the traversal from `start` with initial state `state`,
+    /// returning all included paths with their final states.
+    pub fn run(&self, graph: &Graph, start: NodeId, state: S) -> Vec<(Path, S)> {
+        self.run_many(graph, vec![(start, state)])
+    }
+
+    /// Runs the traversal from several start nodes in one pass (sharing
+    /// global uniqueness and work limits).
+    pub fn run_many(&self, graph: &Graph, starts: Vec<(NodeId, S)>) -> Vec<(Path, S)> {
+        let mut results = Vec::new();
+        let mut frontier: std::collections::VecDeque<(Path, S)> = starts
+            .into_iter()
+            .map(|(n, s)| (Path::start(n), s))
+            .collect();
+        let mut visited_global: std::collections::HashSet<NodeId> = frontier
+            .iter()
+            .map(|(p, _)| p.first())
+            .collect();
+        let mut expansions = 0usize;
+        while let Some((path, state)) = match self.order {
+            Order::DepthFirst => frontier.pop_back(),
+            Order::BreadthFirst => frontier.pop_front(),
+        } {
+            let eval = self.evaluator.evaluate(graph, &path, &state);
+            if eval.includes() {
+                results.push((path.clone(), state.clone()));
+                if results.len() >= self.max_results {
+                    break;
+                }
+            }
+            if !eval.continues() {
+                continue;
+            }
+            for exp in self.expander.expand(graph, &path, &state) {
+                expansions += 1;
+                if expansions > self.max_expansions {
+                    return results;
+                }
+                let admissible = match self.uniqueness {
+                    Uniqueness::None => true,
+                    Uniqueness::NodePath => !path.contains(exp.node),
+                    Uniqueness::NodeGlobal => visited_global.insert(exp.node),
+                };
+                if admissible {
+                    frontier.push_back((path.extend(exp.edge, exp.node), exp.state));
+                }
+            }
+        }
+        results
+    }
+}
+
+/// A ready-made expander that follows every edge of the given types in the
+/// given direction, passing state through unchanged.
+pub fn follow(types: Vec<(crate::store::EdgeType, Direction)>) -> impl Expander<()> {
+    move |g: &Graph, path: &Path, _state: &()| {
+        let mut out = Vec::new();
+        for &(ty, dir) in &types {
+            for e in g.edges_of(path.end(), dir, Some(ty)) {
+                out.push(Expansion {
+                    edge: e,
+                    node: g.other_node(e, path.end()),
+                    state: (),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::EdgeType;
+
+    /// a -> b -> c, a -> c, c -> a (cycle)
+    fn diamondish() -> (Graph, Vec<NodeId>, EdgeType) {
+        let mut g = Graph::new();
+        let l = g.label("N");
+        let t = g.edge_type("E");
+        let a = g.add_node(l);
+        let b = g.add_node(l);
+        let c = g.add_node(l);
+        g.add_edge(t, a, b);
+        g.add_edge(t, b, c);
+        g.add_edge(t, a, c);
+        g.add_edge(t, c, a);
+        (g, vec![a, b, c], t)
+    }
+
+    fn all_paths_to(
+        g: &Graph,
+        from: NodeId,
+        to: NodeId,
+        uniqueness: Uniqueness,
+        depth: usize,
+    ) -> Vec<Path> {
+        let t = g.get_edge_type("E").unwrap();
+        Traversal::new(
+            follow(vec![(t, Direction::Outgoing)]),
+            move |_: &Graph, path: &Path, _: &()| {
+                if path.end() == to && path.len() > 0 {
+                    Evaluation::IncludeAndPrune
+                } else if path.len() < depth {
+                    Evaluation::ExcludeAndContinue
+                } else {
+                    Evaluation::ExcludeAndPrune
+                }
+            },
+        )
+        .uniqueness(uniqueness)
+        .run(g, from, ())
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect()
+    }
+
+    #[test]
+    fn node_path_uniqueness_finds_both_routes() {
+        let (g, nodes, _) = diamondish();
+        let paths = all_paths_to(&g, nodes[0], nodes[2], Uniqueness::NodePath, 5);
+        assert_eq!(paths.len(), 2); // a->c and a->b->c
+    }
+
+    #[test]
+    fn node_global_uniqueness_loses_a_route() {
+        let (g, nodes, _) = diamondish();
+        let paths = all_paths_to(&g, nodes[0], nodes[2], Uniqueness::NodeGlobal, 5);
+        assert_eq!(paths.len(), 1); // the GadgetInspector shortcut
+    }
+
+    #[test]
+    fn depth_limit_prunes() {
+        let (g, nodes, _) = diamondish();
+        let paths = all_paths_to(&g, nodes[0], nodes[2], Uniqueness::NodePath, 1);
+        assert_eq!(paths.len(), 1); // only the direct a->c edge fits
+    }
+
+    #[test]
+    fn cycle_is_cut_by_node_path_uniqueness() {
+        let (g, nodes, _) = diamondish();
+        // Search for paths back to `a`: the cycle c->a would revisit a.
+        let paths = all_paths_to(&g, nodes[0], nodes[0], Uniqueness::NodePath, 10);
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn max_results_short_circuits() {
+        let (g, nodes, t) = diamondish();
+        let paths = Traversal::new(
+            follow(vec![(t, Direction::Outgoing)]),
+            |_: &Graph, path: &Path, _: &()| {
+                if path.len() > 0 {
+                    Evaluation::IncludeAndContinue
+                } else {
+                    Evaluation::ExcludeAndContinue
+                }
+            },
+        )
+        .max_results(1)
+        .run(&g, nodes[0], ());
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn max_expansions_aborts() {
+        let (g, nodes, t) = diamondish();
+        let paths = Traversal::new(
+            follow(vec![(t, Direction::Outgoing)]),
+            |_: &Graph, _: &Path, _: &()| Evaluation::ExcludeAndContinue,
+        )
+        .uniqueness(Uniqueness::None)
+        .max_expansions(3)
+        .run(&g, nodes[0], ());
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn incoming_direction_reverses() {
+        let (g, nodes, _) = diamondish();
+        let t = g.get_edge_type("E").unwrap();
+        let paths = Traversal::new(
+            follow(vec![(t, Direction::Incoming)]),
+            |_: &Graph, path: &Path, _: &()| {
+                if path.len() == 1 {
+                    Evaluation::IncludeAndPrune
+                } else {
+                    Evaluation::ExcludeAndContinue
+                }
+            },
+        )
+        .run(&g, nodes[2], ());
+        // c has incoming edges from b and a.
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn stateful_expansion_threads_state() {
+        let (g, nodes, t) = diamondish();
+        // Count hops in the state.
+        let paths = Traversal::new(
+            move |g: &Graph, path: &Path, state: &usize| {
+                g.edges_of(path.end(), Direction::Outgoing, Some(t))
+                    .into_iter()
+                    .map(|e| Expansion {
+                        edge: e,
+                        node: g.other_node(e, path.end()),
+                        state: state + 1,
+                    })
+                    .collect()
+            },
+            |_: &Graph, path: &Path, state: &usize| {
+                assert_eq!(path.len(), *state);
+                if path.len() == 2 {
+                    Evaluation::IncludeAndPrune
+                } else {
+                    Evaluation::ExcludeAndContinue
+                }
+            },
+        )
+        .run(&g, nodes[0], 0usize);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].1, 2);
+    }
+
+    #[test]
+    fn path_extend_is_persistent() {
+        let p = Path::start(NodeId(0));
+        let q = p.extend(EdgeId(0), NodeId(1));
+        assert_eq!(p.len(), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.end(), NodeId(1));
+        assert_eq!(q.first(), NodeId(0));
+        assert!(q.contains(NodeId(0)));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property values stored on graph nodes and edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A property value, mirroring the value types Neo4j properties support
+/// (scalars and homogeneous lists) plus a string-keyed map used for the
+/// paper's `Action` property.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// List of integers — e.g. the paper's `Polluted_Position`, where
+    /// `-1` encodes ∞ at the storage boundary.
+    IntList(Vec<i64>),
+    /// List of strings.
+    StrList(Vec<String>),
+    /// String-keyed map — e.g. the paper's `Action` property.
+    Map(Vec<(String, String)>),
+}
+
+impl Value {
+    /// The integer value, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer list, if this is an [`Value::IntList`].
+    pub fn as_int_list(&self) -> Option<&[i64]> {
+        match self {
+            Value::IntList(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string list, if this is a [`Value::StrList`].
+    pub fn as_str_list(&self) -> Option<&[String]> {
+        match self {
+            Value::StrList(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, String)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::IntList(v) => write!(f, "{v:?}"),
+            Value::StrList(v) => write!(f, "{v:?}"),
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<i64>> for Value {
+    fn from(v: Vec<i64>) -> Self {
+        Value::IntList(v)
+    }
+}
+
+/// Hash-compatible key for indexing: only value variants with total equality
+/// participate in indexes (floats are rejected).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum IndexKey {
+    Int(i64),
+    Bool(bool),
+    Str(String),
+}
+
+impl IndexKey {
+    pub(crate) fn from_value(v: &Value) -> Option<IndexKey> {
+        match v {
+            Value::Int(i) => Some(IndexKey::Int(*i)),
+            Value::Bool(b) => Some(IndexKey::Bool(*b)),
+            Value::Str(s) => Some(IndexKey::Str(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::IntList(vec![1, 2]).as_int_list(), Some(&[1, 2][..]));
+        assert_eq!(Value::Int(3).as_str(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Str("a".into()).to_string(), "\"a\"");
+        assert_eq!(
+            Value::Map(vec![("k".into(), "v".into())]).to_string(),
+            "{k: v}"
+        );
+    }
+
+    #[test]
+    fn index_keys_reject_floats() {
+        assert!(IndexKey::from_value(&Value::Float(1.0)).is_none());
+        assert!(IndexKey::from_value(&Value::Int(1)).is_some());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the property-graph substrate.
+
+use proptest::prelude::*;
+use tabby_graph::{follow, Direction, Evaluation, Graph, NodeId, Path, Traversal, Uniqueness, Value};
+
+proptest! {
+    #[test]
+    fn adjacency_is_consistent(edges in prop::collection::vec((0u32..30, 0u32..30), 0..120)) {
+        let mut g = Graph::new();
+        let l = g.label("N");
+        let t = g.edge_type("E");
+        let nodes: Vec<NodeId> = (0..30).map(|_| g.add_node(l)).collect();
+        for (a, b) in &edges {
+            g.add_edge(t, nodes[*a as usize], nodes[*b as usize]);
+        }
+        prop_assert_eq!(g.edge_count(), edges.len());
+        // Every out-edge appears as an in-edge of its other endpoint.
+        let mut out_total = 0;
+        let mut in_total = 0;
+        for &n in &nodes {
+            for e in g.edges_of(n, Direction::Outgoing, Some(t)) {
+                let (from, to) = g.endpoints(e);
+                prop_assert_eq!(from, n);
+                prop_assert!(g.edges_of(to, Direction::Incoming, Some(t)).contains(&e));
+            }
+            out_total += g.edges_of(n, Direction::Outgoing, Some(t)).len();
+            in_total += g.edges_of(n, Direction::Incoming, Some(t)).len();
+        }
+        prop_assert_eq!(out_total, edges.len());
+        prop_assert_eq!(in_total, edges.len());
+    }
+
+    #[test]
+    fn index_lookup_matches_scan(values in prop::collection::vec(0i64..8, 1..40)) {
+        let mut g = Graph::new();
+        let l = g.label("N");
+        let k = g.prop_key("V");
+        g.create_index(l, k);
+        for v in &values {
+            let n = g.add_node(l);
+            g.set_node_prop(n, k, Value::Int(*v));
+        }
+        for probe in 0..8i64 {
+            let mut indexed = g.nodes_by(l, k, &Value::Int(probe));
+            indexed.sort();
+            let mut scanned: Vec<NodeId> = g
+                .node_ids()
+                .filter(|n| g.node_prop(*n, k) == Some(&Value::Int(probe)))
+                .collect();
+            scanned.sort();
+            prop_assert_eq!(indexed, scanned);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_any_graph(edges in prop::collection::vec((0u32..12, 0u32..12), 0..40)) {
+        let mut g = Graph::new();
+        let l = g.label("N");
+        let t = g.edge_type("CALL");
+        let pp = g.prop_key("PP");
+        let nodes: Vec<NodeId> = (0..12).map(|_| g.add_node(l)).collect();
+        for (i, (a, b)) in edges.iter().enumerate() {
+            let e = g.add_edge(t, nodes[*a as usize], nodes[*b as usize]);
+            g.set_edge_prop(e, pp, Value::IntList(vec![i as i64, -1]));
+        }
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: Graph = serde_json::from_str(&json).unwrap();
+        back.rebuild_after_deserialize();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for e in g.edge_ids() {
+            prop_assert_eq!(back.endpoints(e), g.endpoints(e));
+            prop_assert_eq!(back.edge_prop(e, pp), g.edge_prop(e, pp));
+        }
+    }
+
+    #[test]
+    fn node_path_traversal_never_repeats_nodes(edges in prop::collection::vec((0u32..10, 0u32..10), 0..40)) {
+        let mut g = Graph::new();
+        let l = g.label("N");
+        let t = g.edge_type("E");
+        let nodes: Vec<NodeId> = (0..10).map(|_| g.add_node(l)).collect();
+        for (a, b) in &edges {
+            g.add_edge(t, nodes[*a as usize], nodes[*b as usize]);
+        }
+        let paths = Traversal::new(
+            follow(vec![(t, Direction::Outgoing)]),
+            |_: &Graph, path: &Path, _: &()| {
+                if path.len() >= 1 {
+                    Evaluation::IncludeAndContinue
+                } else {
+                    Evaluation::ExcludeAndContinue
+                }
+            },
+        )
+        .uniqueness(Uniqueness::NodePath)
+        .max_results(500)
+        .max_expansions(20_000)
+        .run(&g, nodes[0], ());
+        for (path, _) in paths {
+            let mut seen = path.nodes().to_vec();
+            seen.sort();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), path.nodes().len(), "node repeated on path");
+            prop_assert_eq!(path.edges().len() + 1, path.nodes().len());
+        }
+    }
+}

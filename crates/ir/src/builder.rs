@@ -1,0 +1,942 @@
+//! Fluent builders for constructing IR programs in Rust code.
+//!
+//! The builders are the main authoring surface for the synthetic workloads:
+//! they let a gadget-chain skeleton be written in a few lines per method
+//! while guaranteeing well-formedness (placed labels, identity statements in
+//! canonical order, a trailing `return` for void bodies).
+//!
+//! # Examples
+//!
+//! ```
+//! use tabby_ir::{JType, ProgramBuilder};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut cb = pb.class("com.example.Evil");
+//! cb.serializable_in_place();
+//! let string = cb.object_type("java.lang.String");
+//! let mut mb = cb.method("toString", vec![], string.clone());
+//! let this = mb.this();
+//! let v = mb.fresh();
+//! mb.get_field(v, this, "com.example.Evil", "cmd", string.clone());
+//! mb.ret(v);
+//! mb.finish();
+//! cb.finish();
+//! let program = pb.build();
+//! assert_eq!(program.method_count(), 1);
+//! ```
+
+use crate::flags::{ClassFlags, FieldFlags, MethodFlags};
+use crate::model::{Body, Class, ClassId, Field, Method, Program};
+use crate::stmt::{
+    BinOp, CmpOp, Condition, Constant, Expr, FieldRef, IdentityRef, InvokeExpr, InvokeKind, Label,
+    Local, MethodRef, Operand, Place, Stmt,
+};
+use crate::symbol::{Interner, Symbol};
+use crate::types::JType;
+use std::collections::HashMap;
+
+/// Builds a [`Program`] class by class.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    interner: Interner,
+    classes: Vec<Class>,
+    index: HashMap<Symbol, ClassId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a name.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Mutable access to the interner (used by the class-file lifter, whose
+    /// symbols must come from the same table as the classes it registers).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Registers an externally constructed class (e.g. a lifted one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class with the same name was already added.
+    pub fn push_class(&mut self, class: Class) {
+        let id = ClassId(self.classes.len() as u32);
+        let prev = self.index.insert(class.name, id);
+        assert!(
+            prev.is_none(),
+            "duplicate class {}",
+            self.interner.resolve(class.name)
+        );
+        self.classes.push(class);
+    }
+
+    /// Convenience for an object type.
+    pub fn object_type(&mut self, name: &str) -> JType {
+        JType::Object(self.intern(name))
+    }
+
+    /// Starts a new class. Unless overridden, the superclass defaults to
+    /// `java.lang.Object` (cleared automatically when building
+    /// `java.lang.Object` itself or an interface).
+    pub fn class(&mut self, name: &str) -> ClassBuilder<'_> {
+        let name_sym = self.intern(name);
+        let superclass = if name == "java.lang.Object" {
+            None
+        } else {
+            Some(self.intern("java.lang.Object"))
+        };
+        ClassBuilder {
+            pb: self,
+            class: Class {
+                name: name_sym,
+                superclass,
+                interfaces: Vec::new(),
+                fields: Vec::new(),
+                methods: Vec::new(),
+                flags: ClassFlags::new().public(),
+            },
+        }
+    }
+
+    /// Finishes building and produces the immutable [`Program`].
+    pub fn build(self) -> Program {
+        Program {
+            interner: self.interner,
+            classes: self.classes,
+            index: self.index,
+        }
+    }
+}
+
+/// Builds one [`Class`]; created by [`ProgramBuilder::class`].
+#[derive(Debug)]
+pub struct ClassBuilder<'p> {
+    pb: &'p mut ProgramBuilder,
+    class: Class,
+}
+
+impl<'p> ClassBuilder<'p> {
+    /// Sets the superclass (chaining form).
+    #[must_use]
+    pub fn extends(mut self, name: &str) -> Self {
+        self.extends_in_place(name);
+        self
+    }
+
+    /// Sets the superclass (in-place form).
+    pub fn extends_in_place(&mut self, name: &str) -> &mut Self {
+        self.class.superclass = Some(self.pb.intern(name));
+        self
+    }
+
+    /// Adds implemented interfaces (chaining form).
+    #[must_use]
+    pub fn implements(mut self, names: &[&str]) -> Self {
+        self.implements_in_place(names);
+        self
+    }
+
+    /// Adds implemented interfaces (in-place form).
+    pub fn implements_in_place(&mut self, names: &[&str]) -> &mut Self {
+        for n in names {
+            let sym = self.pb.intern(n);
+            self.class.interfaces.push(sym);
+        }
+        self
+    }
+
+    /// Marks the class `java.io.Serializable` (chaining form).
+    #[must_use]
+    pub fn serializable(self) -> Self {
+        self.implements(&["java.io.Serializable"])
+    }
+
+    /// Marks the class `java.io.Serializable` (in-place form).
+    pub fn serializable_in_place(&mut self) -> &mut Self {
+        self.implements_in_place(&["java.io.Serializable"])
+    }
+
+    /// Marks the class as an interface (clears the implicit superclass).
+    #[must_use]
+    pub fn interface(mut self) -> Self {
+        self.class.flags = self.class.flags.interface().abstract_();
+        self.class.superclass = None;
+        self
+    }
+
+    /// Marks the class abstract.
+    #[must_use]
+    pub fn abstract_(mut self) -> Self {
+        self.class.flags = self.class.flags.abstract_();
+        self
+    }
+
+    /// Interns a name through the underlying program builder.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.pb.intern(s)
+    }
+
+    /// Convenience for an object type.
+    pub fn object_type(&mut self, name: &str) -> JType {
+        self.pb.object_type(name)
+    }
+
+    /// Adds an instance field.
+    pub fn field(&mut self, name: &str, ty: JType) -> &mut Self {
+        let name = self.pb.intern(name);
+        self.class.fields.push(Field {
+            name,
+            ty,
+            flags: FieldFlags::new().private(),
+        });
+        self
+    }
+
+    /// Adds a static field.
+    pub fn static_field(&mut self, name: &str, ty: JType) -> &mut Self {
+        let name = self.pb.intern(name);
+        self.class.fields.push(Field {
+            name,
+            ty,
+            flags: FieldFlags::new().private().static_(),
+        });
+        self
+    }
+
+    /// Starts a method with the given name, parameter types, and return type.
+    pub fn method(&mut self, name: &str, params: Vec<JType>, ret: JType) -> MethodBuilder<'_, 'p> {
+        let name = self.pb.intern(name);
+        let param_count = params.len();
+        MethodBuilder {
+            cb: self,
+            name,
+            params,
+            ret,
+            flags: MethodFlags::new().public(),
+            stmts: Vec::new(),
+            labels: HashMap::new(),
+            next_label: 0,
+            next_local: 0,
+            this_local: None,
+            param_locals: vec![None; param_count],
+            no_body: false,
+        }
+    }
+
+    /// Finalizes the class and registers it with the program builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class with the same name was already finished.
+    pub fn finish(self) {
+        let id = ClassId(self.pb.classes.len() as u32);
+        let prev = self.pb.index.insert(self.class.name, id);
+        assert!(
+            prev.is_none(),
+            "duplicate class {}",
+            self.pb.interner.resolve(self.class.name)
+        );
+        self.pb.classes.push(self.class);
+    }
+}
+
+/// Builds one [`Method`]; created by [`ClassBuilder::method`].
+#[derive(Debug)]
+pub struct MethodBuilder<'c, 'p> {
+    cb: &'c mut ClassBuilder<'p>,
+    name: Symbol,
+    params: Vec<JType>,
+    ret: JType,
+    flags: MethodFlags,
+    stmts: Vec<Stmt>,
+    labels: HashMap<Label, usize>,
+    next_label: u32,
+    next_local: u32,
+    this_local: Option<Local>,
+    param_locals: Vec<Option<Local>>,
+    no_body: bool,
+}
+
+impl<'c, 'p> MethodBuilder<'c, 'p> {
+    // ----- modifiers -------------------------------------------------------
+
+    /// Marks the method `static`.
+    #[must_use]
+    pub fn static_(mut self) -> Self {
+        self.flags = self.flags.static_();
+        self
+    }
+
+    /// Marks the method `abstract` (no body will be attached).
+    #[must_use]
+    pub fn abstract_(mut self) -> Self {
+        self.flags = self.flags.abstract_();
+        self.no_body = true;
+        self
+    }
+
+    /// Marks the method `native` (no body will be attached).
+    #[must_use]
+    pub fn native(mut self) -> Self {
+        self.flags = self.flags.native();
+        self.no_body = true;
+        self
+    }
+
+    /// Marks the method `private`.
+    #[must_use]
+    pub fn private(mut self) -> Self {
+        self.flags = MethodFlags::from_bits(
+            (self.flags.bits() & !MethodFlags::PUBLIC) | MethodFlags::PRIVATE,
+        );
+        self
+    }
+
+    // ----- names, types, values -------------------------------------------
+
+    /// Interns a name.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.cb.pb.intern(s)
+    }
+
+    /// Convenience for an object type.
+    pub fn object_type(&mut self, name: &str) -> JType {
+        self.cb.pb.object_type(name)
+    }
+
+    /// Allocates a fresh local slot.
+    pub fn fresh(&mut self) -> Local {
+        let l = Local(self.next_local);
+        self.next_local += 1;
+        l
+    }
+
+    /// The local bound to `this` (allocated and identity-bound lazily).
+    ///
+    /// # Panics
+    ///
+    /// Panics on static methods.
+    pub fn this(&mut self) -> Local {
+        assert!(!self.flags.is_static(), "`this` in a static method");
+        if let Some(l) = self.this_local {
+            return l;
+        }
+        let l = self.fresh();
+        self.this_local = Some(l);
+        l
+    }
+
+    /// The local bound to parameter `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&mut self, i: usize) -> Local {
+        assert!(i < self.params.len(), "parameter index out of range");
+        if let Some(l) = self.param_locals[i] {
+            return l;
+        }
+        let l = self.fresh();
+        self.param_locals[i] = Some(l);
+        l
+    }
+
+    /// Integer constant operand.
+    pub fn c_int(&self, v: i64) -> Operand {
+        Operand::Const(Constant::Int(v))
+    }
+
+    /// String constant operand.
+    pub fn c_str(&mut self, v: &str) -> Operand {
+        let s = self.intern(v);
+        Operand::Const(Constant::Str(s))
+    }
+
+    /// `null` constant operand.
+    pub fn c_null(&self) -> Operand {
+        Operand::Const(Constant::Null)
+    }
+
+    /// Class-literal constant operand.
+    pub fn c_class(&mut self, name: &str) -> Operand {
+        let s = self.intern(name);
+        Operand::Const(Constant::Class(s))
+    }
+
+    /// Builds a symbolic method reference.
+    pub fn sig(
+        &mut self,
+        class: &str,
+        name: &str,
+        params: &[JType],
+        ret: JType,
+    ) -> MethodRef {
+        MethodRef {
+            class: self.intern(class),
+            name: self.intern(name),
+            params: params.to_vec(),
+            ret,
+        }
+    }
+
+    /// Builds a symbolic field reference.
+    pub fn fref(&mut self, class: &str, name: &str, ty: JType) -> FieldRef {
+        FieldRef {
+            class: self.intern(class),
+            name: self.intern(name),
+            ty,
+        }
+    }
+
+    // ----- statements ------------------------------------------------------
+
+    /// Appends a raw statement.
+    pub fn push(&mut self, stmt: Stmt) -> &mut Self {
+        assert!(!self.no_body, "statement in an abstract/native method");
+        self.stmts.push(stmt);
+        self
+    }
+
+    /// `dst = src`
+    pub fn copy(&mut self, dst: Local, src: impl Into<Operand>) -> &mut Self {
+        self.push(Stmt::Assign {
+            place: Place::Local(dst),
+            rhs: Expr::Use(src.into()),
+        })
+    }
+
+    /// `dst = new C` (allocation only; pair with [`Self::ctor`]).
+    pub fn new_obj(&mut self, dst: Local, class: &str) -> &mut Self {
+        let c = self.intern(class);
+        self.push(Stmt::Assign {
+            place: Place::Local(dst),
+            rhs: Expr::New(c),
+        })
+    }
+
+    /// `base.<init>(args)` — constructor call (`invokespecial`).
+    pub fn ctor(&mut self, base: Local, class: &str, params: &[JType], args: &[Operand]) -> &mut Self {
+        let callee = self.sig(class, "<init>", params, JType::Void);
+        self.push(Stmt::Invoke(InvokeExpr {
+            kind: InvokeKind::Special,
+            base: Some(base.into()),
+            callee,
+            args: args.to_vec(),
+        }))
+    }
+
+    /// Allocate-and-construct helper: `dst = new C(args)`.
+    pub fn new_with_ctor(
+        &mut self,
+        dst: Local,
+        class: &str,
+        params: &[JType],
+        args: &[Operand],
+    ) -> &mut Self {
+        self.new_obj(dst, class);
+        self.ctor(dst, class, params, args)
+    }
+
+    /// `dst = base.field`
+    pub fn get_field(
+        &mut self,
+        dst: Local,
+        base: Local,
+        class: &str,
+        field: &str,
+        ty: JType,
+    ) -> &mut Self {
+        let f = self.fref(class, field, ty);
+        self.push(Stmt::Assign {
+            place: Place::Local(dst),
+            rhs: Expr::Load(Place::InstanceField {
+                base,
+                field: f,
+            }),
+        })
+    }
+
+    /// `base.field = value`
+    pub fn put_field(
+        &mut self,
+        base: Local,
+        class: &str,
+        field: &str,
+        ty: JType,
+        value: impl Into<Operand>,
+    ) -> &mut Self {
+        let f = self.fref(class, field, ty);
+        self.push(Stmt::Assign {
+            place: Place::InstanceField {
+                base,
+                field: f,
+            },
+            rhs: Expr::Use(value.into()),
+        })
+    }
+
+    /// `dst = Class.field`
+    pub fn get_static(
+        &mut self,
+        dst: Local,
+        class: &str,
+        field: &str,
+        ty: JType,
+    ) -> &mut Self {
+        let f = self.fref(class, field, ty);
+        self.push(Stmt::Assign {
+            place: Place::Local(dst),
+            rhs: Expr::Load(Place::StaticField(f)),
+        })
+    }
+
+    /// `Class.field = value`
+    pub fn put_static(
+        &mut self,
+        class: &str,
+        field: &str,
+        ty: JType,
+        value: impl Into<Operand>,
+    ) -> &mut Self {
+        let f = self.fref(class, field, ty);
+        self.push(Stmt::Assign {
+            place: Place::StaticField(f),
+            rhs: Expr::Use(value.into()),
+        })
+    }
+
+    /// `dst = base[index]`
+    pub fn array_get(
+        &mut self,
+        dst: Local,
+        base: Local,
+        index: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Stmt::Assign {
+            place: Place::Local(dst),
+            rhs: Expr::Load(Place::ArrayElem {
+                base,
+                index: index.into(),
+            }),
+        })
+    }
+
+    /// `base[index] = value`
+    pub fn array_put(
+        &mut self,
+        base: Local,
+        index: impl Into<Operand>,
+        value: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Stmt::Assign {
+            place: Place::ArrayElem {
+                base,
+                index: index.into(),
+            },
+            rhs: Expr::Use(value.into()),
+        })
+    }
+
+    /// `dst = new T[len]`
+    pub fn new_array(&mut self, dst: Local, elem: JType, len: impl Into<Operand>) -> &mut Self {
+        self.push(Stmt::Assign {
+            place: Place::Local(dst),
+            rhs: Expr::NewArray {
+                elem,
+                len: len.into(),
+            },
+        })
+    }
+
+    /// `dst = (T) value`
+    pub fn cast(&mut self, dst: Local, ty: JType, value: impl Into<Operand>) -> &mut Self {
+        self.push(Stmt::Assign {
+            place: Place::Local(dst),
+            rhs: Expr::Cast {
+                ty,
+                value: value.into(),
+            },
+        })
+    }
+
+    /// `dst = lhs <op> rhs`
+    pub fn binop(
+        &mut self,
+        dst: Local,
+        op: BinOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Stmt::Assign {
+            place: Place::Local(dst),
+            rhs: Expr::Binary {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+        })
+    }
+
+    fn invoke(
+        &mut self,
+        kind: InvokeKind,
+        dst: Option<Local>,
+        base: Option<Local>,
+        callee: MethodRef,
+        args: &[Operand],
+    ) -> &mut Self {
+        let inv = InvokeExpr {
+            kind,
+            base: base.map(Operand::from),
+            callee,
+            args: args.to_vec(),
+        };
+        match dst {
+            Some(dst) => self.push(Stmt::Assign {
+                place: Place::Local(dst),
+                rhs: Expr::Invoke(inv),
+            }),
+            None => self.push(Stmt::Invoke(inv)),
+        }
+    }
+
+    /// `dst = base.name(args)` via `invokevirtual`.
+    pub fn call_virtual(
+        &mut self,
+        dst: Option<Local>,
+        base: Local,
+        callee: MethodRef,
+        args: &[Operand],
+    ) -> &mut Self {
+        self.invoke(InvokeKind::Virtual, dst, Some(base), callee, args)
+    }
+
+    /// `dst = base.name(args)` via `invokeinterface`.
+    pub fn call_interface(
+        &mut self,
+        dst: Option<Local>,
+        base: Local,
+        callee: MethodRef,
+        args: &[Operand],
+    ) -> &mut Self {
+        self.invoke(InvokeKind::Interface, dst, Some(base), callee, args)
+    }
+
+    /// `dst = base.name(args)` via `invokespecial` (super/private calls).
+    pub fn call_special(
+        &mut self,
+        dst: Option<Local>,
+        base: Local,
+        callee: MethodRef,
+        args: &[Operand],
+    ) -> &mut Self {
+        self.invoke(InvokeKind::Special, dst, Some(base), callee, args)
+    }
+
+    /// `dst = Class.name(args)` via `invokestatic`.
+    pub fn call_static(
+        &mut self,
+        dst: Option<Local>,
+        callee: MethodRef,
+        args: &[Operand],
+    ) -> &mut Self {
+        self.invoke(InvokeKind::Static, dst, None, callee, args)
+    }
+
+    /// `return value;`
+    pub fn ret(&mut self, value: impl Into<Operand>) -> &mut Self {
+        self.push(Stmt::Return(Some(value.into())))
+    }
+
+    /// `return;`
+    pub fn ret_void(&mut self) -> &mut Self {
+        self.push(Stmt::Return(None))
+    }
+
+    /// Allocates a fresh label (place it with [`Self::place`]).
+    pub fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Places `label` at the next statement position.
+    pub fn place(&mut self, label: Label) -> &mut Self {
+        let prev = self.labels.insert(label, self.stmts.len());
+        assert!(prev.is_none(), "label placed twice");
+        self
+    }
+
+    /// `goto label;`
+    pub fn goto(&mut self, label: Label) -> &mut Self {
+        self.push(Stmt::Goto(label))
+    }
+
+    /// `if (lhs <op> rhs) goto label;`
+    pub fn if_(
+        &mut self,
+        op: CmpOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+        label: Label,
+    ) -> &mut Self {
+        self.push(Stmt::If {
+            cond: Condition {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+            target: label,
+        })
+    }
+
+    /// `switch (key) { … }`
+    pub fn switch(
+        &mut self,
+        key: impl Into<Operand>,
+        cases: Vec<(i64, Label)>,
+        default: Label,
+    ) -> &mut Self {
+        self.push(Stmt::Switch {
+            key: key.into(),
+            cases,
+            default,
+        })
+    }
+
+    /// `throw value;`
+    pub fn throw_(&mut self, value: impl Into<Operand>) -> &mut Self {
+        self.push(Stmt::Throw(value.into()))
+    }
+
+    /// No-op statement.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Stmt::Nop)
+    }
+
+    // ----- finalization ----------------------------------------------------
+
+    /// Validates and attaches the method to its class.
+    ///
+    /// Identity statements for `this` and every used parameter are prepended
+    /// in canonical order; for a `void` body that does not end in a
+    /// terminator, a trailing `return;` is appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never placed, or if a non-void body
+    /// falls off the end without returning.
+    pub fn finish(self) {
+        let Self {
+            cb,
+            name,
+            params,
+            ret,
+            flags,
+            mut stmts,
+            mut labels,
+            next_local,
+            this_local,
+            param_locals,
+            no_body,
+            ..
+        } = self;
+        let body = if no_body {
+            assert!(stmts.is_empty(), "abstract/native method with statements");
+            None
+        } else {
+            // Prepend identity statements in canonical order.
+            let mut prologue = Vec::new();
+            if let Some(l) = this_local {
+                prologue.push(Stmt::Identity {
+                    local: l,
+                    source: IdentityRef::This,
+                });
+            }
+            for (i, pl) in param_locals.iter().enumerate() {
+                if let Some(l) = pl {
+                    prologue.push(Stmt::Identity {
+                        local: *l,
+                        source: IdentityRef::Param(i as u16),
+                    });
+                }
+            }
+            let shift = prologue.len();
+            for idx in labels.values_mut() {
+                *idx += shift;
+            }
+            prologue.append(&mut stmts);
+            stmts = prologue;
+            // Implicit `return;` for void bodies.
+            let needs_ret = stmts.last().map_or(true, |s| !s.is_terminator());
+            if needs_ret {
+                assert!(
+                    ret == JType::Void,
+                    "non-void body falls off the end"
+                );
+                stmts.push(Stmt::Return(None));
+            }
+            // All referenced labels must be placed.
+            for (i, s) in stmts.iter().enumerate() {
+                for t in s.targets() {
+                    assert!(
+                        labels.contains_key(&t),
+                        "statement {i} references unplaced label {t:?}"
+                    );
+                }
+            }
+            Some(Body {
+                locals: next_local,
+                stmts,
+                labels,
+            })
+        };
+        cb.class.methods.push(Method {
+            name,
+            params,
+            ret,
+            flags,
+            body,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_prepended_in_order() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m", vec![obj.clone(), obj.clone()], JType::Void);
+        let p1 = mb.param(1);
+        let p0 = mb.param(0);
+        let this = mb.this();
+        let tmp = mb.fresh();
+        mb.copy(tmp, p0);
+        mb.copy(tmp, p1);
+        mb.copy(tmp, this);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let body = p.method(id).body.as_ref().unwrap();
+        assert!(matches!(
+            body.stmts[0],
+            Stmt::Identity {
+                source: IdentityRef::This,
+                ..
+            }
+        ));
+        assert!(matches!(
+            body.stmts[1],
+            Stmt::Identity {
+                source: IdentityRef::Param(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            body.stmts[2],
+            Stmt::Identity {
+                source: IdentityRef::Param(1),
+                ..
+            }
+        ));
+        // Implicit trailing return.
+        assert!(matches!(body.stmts.last(), Some(Stmt::Return(None))));
+    }
+
+    #[test]
+    fn labels_are_shifted_with_prologue() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![JType::Int], JType::Void);
+        let p0 = mb.param(0);
+        let end = mb.fresh_label();
+        mb.if_(CmpOp::Eq, p0, mb.c_int(0), end);
+        mb.nop();
+        mb.place(end);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let body = p.method(id).body.as_ref().unwrap();
+        // stmts: identity, if, nop, return — label points at the return.
+        let target = body.target(Label(0));
+        assert!(matches!(body.stmts[target], Stmt::Return(None)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unplaced label")]
+    fn unplaced_label_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![], JType::Void);
+        let l = mb.fresh_label();
+        mb.goto(l);
+        mb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "falls off the end")]
+    fn non_void_fallthrough_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![], JType::Int);
+        mb.nop();
+        mb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class")]
+    fn duplicate_class_panics() {
+        let mut pb = ProgramBuilder::new();
+        pb.class("t.C").finish();
+        pb.class("t.C").finish();
+    }
+
+    #[test]
+    fn abstract_method_has_no_body() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        cb.method("m", vec![], JType::Void).abstract_().finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        assert!(p.method(id).body.is_none());
+        assert!(p.method(id).flags.is_abstract());
+    }
+
+    #[test]
+    fn new_with_ctor_emits_alloc_then_init() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![], JType::Void);
+        let v = mb.fresh();
+        mb.new_with_ctor(v, "t.D", &[], &[]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let body = p.method(id).body.as_ref().unwrap();
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Assign {
+                rhs: Expr::New(_),
+                ..
+            }
+        ));
+        let inv = body.stmts[1].invoke().unwrap();
+        assert_eq!(inv.kind, InvokeKind::Special);
+        assert_eq!(p.name(inv.callee.name), "<init>");
+    }
+}

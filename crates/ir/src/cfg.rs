@@ -1,0 +1,205 @@
+//! Statement-level control-flow graphs.
+//!
+//! The controllability analysis (§III-C, Algorithm 1) walks "Jimple Control
+//! flow graphs"; we provide statement-granularity successor/predecessor
+//! tables plus a reverse-post-order, which is the iteration order the
+//! fixed-point dataflow uses.
+
+use crate::model::Body;
+use crate::stmt::Stmt;
+
+/// A statement-level CFG for one method body.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `body`.
+    ///
+    /// Fall-through edges connect consecutive statements unless the earlier
+    /// one is a terminator; branch edges follow [`Stmt::targets`]. `throw`
+    /// and `ret` end their path (exceptional edges are not modeled, matching
+    /// the paper's intraprocedural treatment).
+    pub fn new(body: &Body) -> Self {
+        let n = body.stmts.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, stmt) in body.stmts.iter().enumerate() {
+            let add = |to: usize, succs: &mut Vec<Vec<usize>>, preds: &mut Vec<Vec<usize>>| {
+                if to < n && !succs[i].contains(&to) {
+                    succs[i].push(to);
+                    preds[to].push(i);
+                }
+            };
+            if !stmt.is_terminator() && i + 1 < n {
+                add(i + 1, &mut succs, &mut preds);
+            }
+            match stmt {
+                Stmt::Return(_) | Stmt::Throw(_) | Stmt::Ret(_) => {}
+                _ => {
+                    for label in stmt.targets() {
+                        add(body.target(label), &mut succs, &mut preds);
+                    }
+                }
+            }
+        }
+        Self {
+            succs,
+            preds,
+        }
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors of statement `i`.
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Predecessors of statement `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Statements in reverse post-order from the entry (index 0); statements
+    /// unreachable from the entry are appended at the end in index order so
+    /// every statement is visited exactly once.
+    pub fn reverse_post_order(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        if n > 0 {
+            // Iterative DFS computing postorder.
+            let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+            visited[0] = true;
+            while let Some((node, child)) = stack.pop() {
+                if child < self.succs[node].len() {
+                    stack.push((node, child + 1));
+                    let next = self.succs[node][child];
+                    if !visited[next] {
+                        visited[next] = true;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    post.push(node);
+                }
+            }
+        }
+        post.reverse();
+        for i in 0..n {
+            if !visited[i] {
+                post.push(i);
+            }
+        }
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::CmpOp;
+    use crate::types::JType;
+
+    fn body_of(build: impl FnOnce(&mut crate::builder::MethodBuilder<'_, '_>)) -> Body {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![JType::Int], JType::Void);
+        build(&mut mb);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        p.method(id).body.clone().unwrap()
+    }
+
+    #[test]
+    fn straight_line_cfg() {
+        let body = body_of(|mb| {
+            mb.nop();
+            mb.nop();
+            mb.ret_void();
+        });
+        let cfg = Cfg::new(&body);
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg.succs(0), &[1]);
+        assert_eq!(cfg.succs(1), &[2]);
+        assert!(cfg.succs(2).is_empty());
+        assert_eq!(cfg.preds(1), &[0]);
+    }
+
+    #[test]
+    fn branch_creates_two_successors() {
+        let body = body_of(|mb| {
+            let p0 = mb.param(0);
+            let end = mb.fresh_label();
+            mb.if_(CmpOp::Eq, p0, mb.c_int(0), end);
+            mb.nop();
+            mb.place(end);
+            mb.ret_void();
+        });
+        // stmts: identity(p0), if, nop, return
+        let cfg = Cfg::new(&body);
+        assert_eq!(cfg.succs(1).len(), 2);
+        assert!(cfg.succs(1).contains(&2));
+        assert!(cfg.succs(1).contains(&3));
+        assert_eq!(cfg.preds(3).len(), 2);
+    }
+
+    #[test]
+    fn goto_has_no_fallthrough() {
+        let body = body_of(|mb| {
+            let end = mb.fresh_label();
+            mb.goto(end);
+            mb.nop(); // unreachable
+            mb.place(end);
+            mb.ret_void();
+        });
+        let cfg = Cfg::new(&body);
+        assert_eq!(cfg.succs(0), &[2]);
+        assert!(cfg.preds(1).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_everything() {
+        let body = body_of(|mb| {
+            let end = mb.fresh_label();
+            mb.goto(end);
+            mb.nop(); // unreachable
+            mb.place(end);
+            mb.ret_void();
+        });
+        let cfg = Cfg::new(&body);
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo.len(), 3);
+        assert_eq!(rpo[0], 0);
+        assert!(rpo.contains(&1));
+    }
+
+    #[test]
+    fn loop_cfg_has_back_edge() {
+        let body = body_of(|mb| {
+            let p0 = mb.param(0);
+            let head = mb.fresh_label();
+            mb.place(head);
+            mb.nop();
+            mb.if_(CmpOp::Ne, p0, mb.c_int(0), head);
+            mb.ret_void();
+        });
+        // stmts: identity, nop(head), if, return
+        let cfg = Cfg::new(&body);
+        assert!(cfg.succs(2).contains(&1));
+        assert!(cfg.succs(2).contains(&3));
+    }
+}

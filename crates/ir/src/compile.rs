@@ -1,0 +1,567 @@
+//! Compiling IR classes to genuine `.class` bytes.
+//!
+//! Together with [`crate::lift`], this completes the class-file round trip:
+//! workloads authored in IR can be emitted as real class files, re-parsed,
+//! and lifted back — exercising the same front-end path the paper drives
+//! through Soot. The emitted code uses a straightforward
+//! one-IR-statement-at-a-time strategy (operands loaded from locals,
+//! results stored back), so the stack is empty at every branch target.
+//!
+//! Known simplifications (documented, asserted by tests): numeric locals are
+//! classified int-vs-reference by their defining statements; wide numeric
+//! arithmetic is compiled with `int` opcodes (the lifter treats widths
+//! uniformly, and the analysis is width-agnostic).
+
+use crate::model::{Body, Class, Method, Program};
+use crate::stmt::{
+    BinOp, CmpOp, Constant, Expr, IdentityRef, InvokeExpr, InvokeKind, Label, Local, Operand,
+    Place, Stmt, UnOp,
+};
+use crate::types::{method_descriptor, JType};
+use std::collections::{HashMap, HashSet};
+use tabby_classfile::{ClassAsm, CodeAsm, ConstantPool};
+
+/// Compiles every class of `program` to `.class` bytes.
+pub fn compile_program(program: &Program) -> Vec<(String, Vec<u8>)> {
+    program
+        .classes()
+        .iter()
+        .map(|c| (program.name(c.name).to_owned(), compile_class(program, c)))
+        .collect()
+}
+
+/// Compiles one class to `.class` bytes.
+pub fn compile_class(program: &Program, class: &Class) -> Vec<u8> {
+    let name = program.name(class.name);
+    let super_name = class
+        .superclass
+        .map(|s| program.name(s).to_owned())
+        .unwrap_or_else(|| "java.lang.Object".to_owned());
+    let mut asm = ClassAsm::new(name, &super_name, class.flags.bits());
+    for &itf in &class.interfaces {
+        asm.add_interface(program.name(itf));
+    }
+    for field in &class.fields {
+        let desc = field.ty.to_descriptor(program.interner());
+        asm.add_field(field.flags.bits(), program.name(field.name), &desc);
+    }
+    for method in &class.methods {
+        let desc = method_descriptor(program.interner(), &method.params, &method.ret);
+        let code = method
+            .body
+            .as_ref()
+            .map(|body| compile_body(program, method, body, &mut asm.cp));
+        asm.add_method(method.flags.bits(), program.name(method.name), &desc, code);
+    }
+    tabby_classfile::write_class(&asm.finish())
+}
+
+/// Kind classification for a local: reference or int.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Ref,
+    Int,
+}
+
+fn int_type(ty: &JType) -> bool {
+    matches!(
+        ty,
+        JType::Boolean | JType::Byte | JType::Char | JType::Short | JType::Int
+    )
+}
+
+fn classify_locals(method: &Method, body: &Body) -> Vec<Slot> {
+    let mut kinds = vec![Slot::Ref; body.locals as usize];
+    for stmt in &body.stmts {
+        match stmt {
+            Stmt::Identity {
+                local,
+                source: IdentityRef::Param(i),
+            } => {
+                if let Some(ty) = method.params.get(*i as usize) {
+                    if int_type(ty) {
+                        kinds[local.index()] = Slot::Int;
+                    }
+                }
+            }
+            Stmt::Assign {
+                place: Place::Local(l),
+                rhs,
+            } => {
+                let int = match rhs {
+                    Expr::Use(Operand::Const(Constant::Int(_)))
+                    | Expr::Binary { .. }
+                    | Expr::Unary { .. }
+                    | Expr::ArrayLength(_)
+                    | Expr::InstanceOf { .. } => true,
+                    Expr::Cast { ty, .. } => int_type(ty),
+                    Expr::Load(Place::StaticField(f)) => int_type(&f.ty),
+                    Expr::Load(Place::InstanceField { field, .. }) => int_type(&field.ty),
+                    Expr::Invoke(inv) => int_type(&inv.callee.ret),
+                    _ => false,
+                };
+                if int {
+                    kinds[l.index()] = Slot::Int;
+                }
+            }
+            _ => {}
+        }
+    }
+    kinds
+}
+
+struct BodyCompiler<'a> {
+    program: &'a Program,
+    asm: CodeAsm,
+    labels: HashMap<Label, tabby_classfile::AsmLabel>,
+    kinds: Vec<Slot>,
+    /// IR locals map to JVM slots after `this` and the parameters.
+    slot_base: u16,
+    is_static: bool,
+}
+
+impl<'a> BodyCompiler<'a> {
+    fn slot(&self, l: Local) -> u16 {
+        self.slot_base + l.0 as u16
+    }
+
+    fn internal(&self, sym: crate::symbol::Symbol) -> String {
+        self.program.name(sym).replace('.', "/")
+    }
+
+    fn load_local(&mut self, l: Local) {
+        let slot = self.slot(l);
+        match self.kinds[l.index()] {
+            Slot::Ref => self.asm.aload(slot),
+            Slot::Int => self.asm.iload(slot),
+        }
+    }
+
+    fn store_local(&mut self, l: Local) {
+        let slot = self.slot(l);
+        match self.kinds[l.index()] {
+            Slot::Ref => self.asm.astore(slot),
+            Slot::Int => self.asm.istore(slot),
+        }
+    }
+
+    fn push_operand(&mut self, op: &Operand, cp: &mut ConstantPool) {
+        match op {
+            Operand::Local(l) => self.load_local(*l),
+            Operand::Const(c) => match c {
+                Constant::Int(v) => {
+                    if let Ok(v32) = i32::try_from(*v) {
+                        self.asm.iconst(v32, cp);
+                    } else {
+                        self.asm.lconst(*v, cp);
+                    }
+                }
+                Constant::Float(v) => {
+                    // The analysis never distinguishes float values; the
+                    // integer pool keeps the codec simple.
+                    self.asm.iconst(*v as i32, cp);
+                }
+                Constant::Str(s) => {
+                    let s = self.program.name(*s).to_owned();
+                    self.asm.ldc_string(&s, cp);
+                }
+                Constant::Class(s) => {
+                    let internal = self.internal(*s);
+                    self.asm.ldc_class(&internal, cp);
+                }
+                Constant::Null => self.asm.aconst_null(),
+            },
+        }
+    }
+
+    fn asm_label(&mut self, l: Label) -> tabby_classfile::AsmLabel {
+        if let Some(&al) = self.labels.get(&l) {
+            return al;
+        }
+        let al = self.asm.fresh_label();
+        self.labels.insert(l, al);
+        al
+    }
+
+    fn push_invoke(&mut self, inv: &InvokeExpr, cp: &mut ConstantPool) {
+        if let Some(base) = &inv.base {
+            self.push_operand(base, cp);
+        }
+        for arg in &inv.args {
+            self.push_operand(arg, cp);
+        }
+        let class = self.internal(inv.callee.class);
+        let name = self.program.name(inv.callee.name).to_owned();
+        let desc =
+            method_descriptor(self.program.interner(), &inv.callee.params, &inv.callee.ret);
+        let ret_slots = i32::from(inv.callee.ret != JType::Void);
+        let popped = inv.args.len() as i32 + i32::from(inv.base.is_some());
+        let delta = ret_slots - popped;
+        match inv.kind {
+            InvokeKind::Virtual => self.asm.invokevirtual(&class, &name, &desc, delta, cp),
+            InvokeKind::Special => self.asm.invokespecial(&class, &name, &desc, delta, cp),
+            InvokeKind::Static => self.asm.invokestatic(&class, &name, &desc, delta, cp),
+            InvokeKind::Interface => {
+                self.asm
+                    .invokeinterface(&class, &name, &desc, inv.args.len() as u8, delta, cp)
+            }
+            // invokedynamic needs bootstrap-method plumbing; compile as a
+            // static call to a marker owner the lifter maps back to Dynamic.
+            InvokeKind::Dynamic => {
+                let marker = format!("tabby/runtime/Indy${}", class.replace('/', "$"));
+                self.asm.invokestatic(&marker, &name, &desc, delta, cp);
+            }
+        }
+    }
+
+    fn push_expr(&mut self, expr: &Expr, cp: &mut ConstantPool) {
+        match expr {
+            Expr::Use(op) => self.push_operand(op, cp),
+            Expr::Load(place) => match place {
+                Place::Local(l) => self.load_local(*l),
+                Place::InstanceField { base, field } => {
+                    self.asm.aload(self.slot(*base));
+                    let class = self.internal(field.class);
+                    let name = self.program.name(field.name).to_owned();
+                    let desc = field.ty.to_descriptor(self.program.interner());
+                    self.asm.getfield(&class, &name, &desc, cp);
+                }
+                Place::StaticField(field) => {
+                    let class = self.internal(field.class);
+                    let name = self.program.name(field.name).to_owned();
+                    let desc = field.ty.to_descriptor(self.program.interner());
+                    self.asm.getstatic(&class, &name, &desc, cp);
+                }
+                Place::ArrayElem { base, index } => {
+                    self.asm.aload(self.slot(*base));
+                    self.push_operand(index, cp);
+                    self.asm.aaload();
+                }
+            },
+            Expr::New(class) => {
+                let internal = self.internal(*class);
+                self.asm.new_object(&internal, cp);
+            }
+            Expr::NewArray { elem, len } => {
+                self.push_operand(len, cp);
+                match elem {
+                    JType::Object(s) => {
+                        let internal = self.internal(*s);
+                        self.asm.anewarray(&internal, cp);
+                    }
+                    JType::Array(_) => self.asm.anewarray("[Ljava/lang/Object;", cp),
+                    // Primitive newarray tags (JVMS Table 6.5.newarray-A).
+                    JType::Boolean => self.asm.newarray(4),
+                    JType::Char => self.asm.newarray(5),
+                    JType::Float => self.asm.newarray(6),
+                    JType::Double => self.asm.newarray(7),
+                    JType::Byte => self.asm.newarray(8),
+                    JType::Short => self.asm.newarray(9),
+                    JType::Int | JType::Void => self.asm.newarray(10),
+                    JType::Long => self.asm.newarray(11),
+                }
+            }
+            Expr::Cast { ty, value } => {
+                self.push_operand(value, cp);
+                match ty {
+                    JType::Object(s) => {
+                        let internal = self.internal(*s);
+                        self.asm.checkcast(&internal, cp);
+                    }
+                    JType::Array(_) => self.asm.checkcast("[Ljava/lang/Object;", cp),
+                    // Primitive narrowing is a no-op at this fidelity.
+                    _ => {}
+                }
+            }
+            Expr::InstanceOf { ty, value } => {
+                self.push_operand(value, cp);
+                let internal = match ty {
+                    JType::Object(s) => self.internal(*s),
+                    _ => "java/lang/Object".to_owned(),
+                };
+                self.asm.instanceof(&internal, cp);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.push_operand(lhs, cp);
+                self.push_operand(rhs, cp);
+                let opcode = match op {
+                    BinOp::Add => 0x60,
+                    BinOp::Sub | BinOp::Cmp => 0x64,
+                    BinOp::Mul => 0x68,
+                    BinOp::Div => 0x6c,
+                    BinOp::Rem => 0x70,
+                    BinOp::Shl => 0x78,
+                    BinOp::Shr => 0x7a,
+                    BinOp::Ushr => 0x7c,
+                    BinOp::And => 0x7e,
+                    BinOp::Or => 0x80,
+                    BinOp::Xor => 0x82,
+                };
+                self.asm.iarith(opcode);
+            }
+            Expr::Unary {
+                op: UnOp::Neg,
+                value,
+            } => {
+                self.push_operand(value, cp);
+                self.asm.ineg();
+            }
+            Expr::ArrayLength(v) => {
+                self.push_operand(v, cp);
+                self.asm.arraylength();
+            }
+            Expr::Invoke(inv) => self.push_invoke(inv, cp),
+        }
+    }
+
+    fn compile_stmt(&mut self, stmt: &Stmt, ret: &JType, cp: &mut ConstantPool) {
+        match stmt {
+            Stmt::Assign { place, rhs } => match place {
+                Place::Local(l) => {
+                    self.push_expr(rhs, cp);
+                    self.store_local(*l);
+                }
+                Place::InstanceField { base, field } => {
+                    self.asm.aload(self.slot(*base));
+                    self.push_expr(rhs, cp);
+                    let class = self.internal(field.class);
+                    let name = self.program.name(field.name).to_owned();
+                    let desc = field.ty.to_descriptor(self.program.interner());
+                    self.asm.putfield(&class, &name, &desc, cp);
+                }
+                Place::StaticField(field) => {
+                    self.push_expr(rhs, cp);
+                    let class = self.internal(field.class);
+                    let name = self.program.name(field.name).to_owned();
+                    let desc = field.ty.to_descriptor(self.program.interner());
+                    self.asm.putstatic(&class, &name, &desc, cp);
+                }
+                Place::ArrayElem { base, index } => {
+                    self.asm.aload(self.slot(*base));
+                    self.push_operand(index, cp);
+                    self.push_expr(rhs, cp);
+                    self.asm.aastore();
+                }
+            },
+            Stmt::Identity { local, source } => {
+                match source {
+                    IdentityRef::This => self.asm.aload(0),
+                    IdentityRef::Param(i) => {
+                        let slot = u16::from(*i) + u16::from(!self.is_static);
+                        match self.kinds[local.index()] {
+                            Slot::Ref => self.asm.aload(slot),
+                            Slot::Int => self.asm.iload(slot),
+                        }
+                    }
+                    IdentityRef::CaughtException => {
+                        // No handler context at this fidelity: bind null.
+                        self.asm.aconst_null();
+                    }
+                }
+                self.store_local(*local);
+            }
+            Stmt::Invoke(inv) => {
+                self.push_invoke(inv, cp);
+                if inv.callee.ret != JType::Void {
+                    self.asm.pop();
+                }
+            }
+            Stmt::Return(None) => self.asm.return_void(),
+            Stmt::Return(Some(v)) => {
+                self.push_operand(v, cp);
+                if int_type(ret) || matches!(ret, JType::Long | JType::Float | JType::Double) {
+                    self.asm.ireturn();
+                } else {
+                    self.asm.areturn();
+                }
+            }
+            Stmt::If { cond, target } => {
+                let label = self.asm_label(*target);
+                let ref_compare = matches!(&cond.lhs, Operand::Const(Constant::Null))
+                    || matches!(&cond.rhs, Operand::Const(Constant::Null))
+                    || cond
+                        .lhs
+                        .as_local()
+                        .map(|l| self.kinds[l.index()] == Slot::Ref)
+                        .unwrap_or(false);
+                self.push_operand(&cond.lhs, cp);
+                self.push_operand(&cond.rhs, cp);
+                if ref_compare {
+                    self.asm.if_acmp(cond.op == CmpOp::Eq, label);
+                } else {
+                    let opcode = match cond.op {
+                        CmpOp::Eq => 0x9f,
+                        CmpOp::Ne => 0xa0,
+                        CmpOp::Lt => 0xa1,
+                        CmpOp::Ge => 0xa2,
+                        CmpOp::Gt => 0xa3,
+                        CmpOp::Le => 0xa4,
+                    };
+                    self.asm.if_icmp(opcode, label);
+                }
+            }
+            Stmt::Goto(target) => {
+                let label = self.asm_label(*target);
+                self.asm.goto(label);
+            }
+            Stmt::Switch {
+                key,
+                cases,
+                default,
+            } => {
+                self.push_operand(key, cp);
+                let pairs: Vec<(i32, tabby_classfile::AsmLabel)> = cases
+                    .iter()
+                    .map(|(k, l)| (*k as i32, self.asm_label(*l)))
+                    .collect();
+                let d = self.asm_label(*default);
+                self.asm.lookupswitch(&pairs, d);
+            }
+            Stmt::Throw(v) => {
+                self.push_operand(v, cp);
+                self.asm.athrow();
+            }
+            Stmt::EnterMonitor(v) => {
+                self.push_operand(v, cp);
+                self.asm.monitorenter();
+            }
+            Stmt::ExitMonitor(v) => {
+                self.push_operand(v, cp);
+                self.asm.monitorexit();
+            }
+            Stmt::Nop | Stmt::Breakpoint | Stmt::Ret(_) => self.asm.nop(),
+        }
+    }
+}
+
+fn compile_body(
+    program: &Program,
+    method: &Method,
+    body: &Body,
+    cp: &mut ConstantPool,
+) -> tabby_classfile::CodeAttribute {
+    let is_static = method.flags.is_static();
+    let param_count = method.params.len() as u16;
+    let slot_base = param_count + u16::from(!is_static);
+    let mut compiler = BodyCompiler {
+        program,
+        asm: CodeAsm::new(),
+        labels: HashMap::new(),
+        kinds: classify_locals(method, body),
+        slot_base,
+        is_static,
+    };
+    let mut targets_at: HashMap<usize, Vec<Label>> = HashMap::new();
+    for (label, idx) in &body.labels {
+        targets_at.entry(*idx).or_default().push(*label);
+    }
+    // Only place labels that are actually referenced.
+    let referenced: HashSet<Label> = body.stmts.iter().flat_map(|s| s.targets()).collect();
+    for (i, stmt) in body.stmts.iter().enumerate() {
+        if let Some(labels) = targets_at.get(&i) {
+            for l in labels {
+                if referenced.contains(l) {
+                    let al = compiler.asm_label(*l);
+                    compiler.asm.place(al);
+                }
+            }
+        }
+        compiler.compile_stmt(stmt, &method.ret, cp);
+    }
+    let max_locals = slot_base + body.locals as u16;
+    compiler
+        .asm
+        .finish(max_locals)
+        .expect("all referenced labels are placed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use tabby_classfile::opcode::{decode, Insn};
+    use tabby_classfile::parse_class;
+
+    fn fig1_like() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("demo.Evil").serializable();
+        let string = cb.object_type("java.lang.String");
+        let ois = cb.object_type("java.io.ObjectInputStream");
+        let runtime = cb.object_type("java.lang.Runtime");
+        let process = cb.object_type("java.lang.Process");
+        cb.field("cmd", string.clone());
+        let mut mb = cb.method("readObject", vec![ois], JType::Void);
+        let this = mb.this();
+        let cmd = mb.fresh();
+        mb.get_field(cmd, this, "demo.Evil", "cmd", string.clone());
+        let rt = mb.fresh();
+        let get_rt = mb.sig("java.lang.Runtime", "getRuntime", &[], runtime);
+        mb.call_static(Some(rt), get_rt, &[]);
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], process);
+        mb.call_virtual(None, rt, exec, &[cmd.into()]);
+        mb.finish();
+        cb.finish();
+        pb.build()
+    }
+
+    #[test]
+    fn compiles_to_parseable_class_bytes() {
+        let p = fig1_like();
+        let out = compile_program(&p);
+        assert_eq!(out.len(), 1);
+        let class = parse_class(&out[0].1).unwrap();
+        assert_eq!(class.name().unwrap(), "demo.Evil");
+        assert_eq!(
+            class.interface_names().unwrap(),
+            vec!["java.io.Serializable"]
+        );
+        let ro = &class.methods[0];
+        assert_eq!(
+            class.constant_pool.utf8(ro.name_index).unwrap(),
+            "readObject"
+        );
+        let code = class.code_of(ro).unwrap().unwrap();
+        let insns = decode(&code.code).unwrap();
+        assert!(insns.iter().any(|(_, i)| matches!(i, Insn::GetField(_))));
+        assert!(insns
+            .iter()
+            .any(|(_, i)| matches!(i, Insn::InvokeVirtual(_))));
+        assert!(matches!(insns.last().unwrap().1, Insn::Return(None)));
+    }
+
+    #[test]
+    fn compiles_branches_and_switches() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("demo.Branchy");
+        let mut mb = cb.method("m", vec![JType::Int], JType::Int).static_();
+        let p0 = mb.param(0);
+        let alt = mb.fresh_label();
+        let end = mb.fresh_label();
+        let d = mb.fresh_label();
+        mb.if_(CmpOp::Gt, p0, mb.c_int(10), alt);
+        mb.switch(p0, vec![(1, end)], d);
+        mb.place(d);
+        mb.nop();
+        mb.place(alt);
+        mb.nop();
+        mb.place(end);
+        let r = mb.fresh();
+        mb.copy(r, mb.c_int(7));
+        mb.ret(r);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let bytes = compile_class(&p, &p.classes()[0]);
+        let class = parse_class(&bytes).unwrap();
+        let code = class.code_of(&class.methods[0]).unwrap().unwrap();
+        let insns = decode(&code.code).unwrap();
+        assert!(insns.iter().any(|(_, i)| matches!(i, Insn::IfICmp(..))));
+        assert!(insns
+            .iter()
+            .any(|(_, i)| matches!(i, Insn::LookupSwitch { .. })));
+        assert!(matches!(
+            insns.last().unwrap().1,
+            Insn::Return(Some(tabby_classfile::opcode::Kind::Int))
+        ));
+    }
+}

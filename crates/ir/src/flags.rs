@@ -1,0 +1,157 @@
+//! Access-flag sets for classes, methods, and fields.
+//!
+//! These mirror the JVM access-flag bit masks (JVMS §4.1/§4.5/§4.6) so the
+//! class-file front end can pass them through unchanged, while offering typed
+//! accessors to the analysis layers.
+
+use std::fmt;
+
+macro_rules! flag_type {
+    ($(#[$doc:meta])* $name:ident { $($(#[$fdoc:meta])* $flag:ident = $bit:expr => $is:ident / $set:ident;)+ }) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+        pub struct $name(u16);
+
+        impl $name {
+            $(
+                $(#[$fdoc])*
+                pub const $flag: u16 = $bit;
+            )+
+
+            /// Creates an empty flag set.
+            pub const fn new() -> Self {
+                Self(0)
+            }
+
+            /// Creates a flag set from raw JVM access-flag bits.
+            pub const fn from_bits(bits: u16) -> Self {
+                Self(bits)
+            }
+
+            /// Raw JVM access-flag bits.
+            pub const fn bits(self) -> u16 {
+                self.0
+            }
+
+            $(
+                /// Tests the corresponding flag bit.
+                pub const fn $is(self) -> bool {
+                    self.0 & Self::$flag != 0
+                }
+
+                /// Returns a copy with the corresponding flag bit set.
+                #[must_use]
+                pub const fn $set(self) -> Self {
+                    Self(self.0 | Self::$flag)
+                }
+            )+
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut first = true;
+                write!(f, concat!(stringify!($name), "("))?;
+                $(
+                    if self.$is() {
+                        if !first {
+                            write!(f, "|")?;
+                        }
+                        first = false;
+                        write!(f, stringify!($flag))?;
+                    }
+                )+
+                if first {
+                    write!(f, "0")?;
+                }
+                write!(f, ")")
+            }
+        }
+    };
+}
+
+flag_type! {
+    /// Class access flags (JVMS Table 4.1-B).
+    ClassFlags {
+        /// `ACC_PUBLIC`
+        PUBLIC = 0x0001 => is_public / public;
+        /// `ACC_FINAL`
+        FINAL = 0x0010 => is_final / final_;
+        /// `ACC_INTERFACE`
+        INTERFACE = 0x0200 => is_interface / interface;
+        /// `ACC_ABSTRACT`
+        ABSTRACT = 0x0400 => is_abstract / abstract_;
+        /// `ACC_ENUM`
+        ENUM = 0x4000 => is_enum / enum_;
+    }
+}
+
+flag_type! {
+    /// Method access flags (JVMS Table 4.6-A).
+    MethodFlags {
+        /// `ACC_PUBLIC`
+        PUBLIC = 0x0001 => is_public / public;
+        /// `ACC_PRIVATE`
+        PRIVATE = 0x0002 => is_private / private;
+        /// `ACC_PROTECTED`
+        PROTECTED = 0x0004 => is_protected / protected;
+        /// `ACC_STATIC`
+        STATIC = 0x0008 => is_static / static_;
+        /// `ACC_FINAL`
+        FINAL = 0x0010 => is_final / final_;
+        /// `ACC_SYNCHRONIZED`
+        SYNCHRONIZED = 0x0020 => is_synchronized / synchronized;
+        /// `ACC_NATIVE`
+        NATIVE = 0x0100 => is_native / native;
+        /// `ACC_ABSTRACT`
+        ABSTRACT = 0x0400 => is_abstract / abstract_;
+    }
+}
+
+flag_type! {
+    /// Field access flags (JVMS Table 4.5-A).
+    FieldFlags {
+        /// `ACC_PUBLIC`
+        PUBLIC = 0x0001 => is_public / public;
+        /// `ACC_PRIVATE`
+        PRIVATE = 0x0002 => is_private / private;
+        /// `ACC_PROTECTED`
+        PROTECTED = 0x0004 => is_protected / protected;
+        /// `ACC_STATIC`
+        STATIC = 0x0008 => is_static / static_;
+        /// `ACC_FINAL`
+        FINAL = 0x0010 => is_final / final_;
+        /// `ACC_TRANSIENT`
+        TRANSIENT = 0x0080 => is_transient / transient;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_compose() {
+        let f = MethodFlags::new().public().static_();
+        assert!(f.is_public());
+        assert!(f.is_static());
+        assert!(!f.is_abstract());
+        assert_eq!(f.bits(), 0x0009);
+    }
+
+    #[test]
+    fn raw_bits_round_trip() {
+        let f = ClassFlags::from_bits(0x0601);
+        assert!(f.is_public());
+        assert!(f.is_interface());
+        assert!(f.is_abstract());
+        assert_eq!(f.bits(), 0x0601);
+    }
+
+    #[test]
+    fn debug_lists_set_flags() {
+        let f = FieldFlags::new().private().transient();
+        let s = format!("{f:?}");
+        assert!(s.contains("PRIVATE"));
+        assert!(s.contains("TRANSIENT"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Class-hierarchy queries: supertypes, subtypes, serializability, and
+//! virtual-method resolution.
+//!
+//! The Method Alias Graph (§III-B2, Formula 1) and the precise-call-graph
+//! construction both need fast hierarchy queries, so [`Hierarchy`] is built
+//! once per [`Program`] and memoizes the supertype/subtype relations.
+
+use crate::model::{ClassId, MethodId, Program};
+use crate::symbol::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// Precomputed hierarchy relations over a [`Program`].
+#[derive(Debug)]
+pub struct Hierarchy<'p> {
+    program: &'p Program,
+    /// Direct supertypes (superclass + interfaces), resolved to ids; unknown
+    /// names (classes outside the analyzed set) are skipped, mirroring how
+    /// the paper analyzes jar sets without the full runtime.
+    direct_supers: Vec<Vec<ClassId>>,
+    /// Direct subtypes (reverse of `direct_supers`).
+    direct_subs: Vec<Vec<ClassId>>,
+    serializable: Symbol,
+    externalizable: Symbol,
+}
+
+impl<'p> Hierarchy<'p> {
+    /// Builds hierarchy tables for `program`.
+    pub fn new(program: &'p Program) -> Self {
+        let n = program.classes().len();
+        let mut direct_supers: Vec<Vec<ClassId>> = vec![Vec::new(); n];
+        let mut direct_subs: Vec<Vec<ClassId>> = vec![Vec::new(); n];
+        for (i, class) in program.classes().iter().enumerate() {
+            let id = ClassId(i as u32);
+            let mut supers = Vec::new();
+            if let Some(sup) = class.superclass {
+                if let Some(sid) = program.class_by_name(sup) {
+                    supers.push(sid);
+                }
+            }
+            for itf in &class.interfaces {
+                if let Some(sid) = program.class_by_name(*itf) {
+                    supers.push(sid);
+                }
+            }
+            for s in &supers {
+                direct_subs[s.index()].push(id);
+            }
+            direct_supers[id.index()] = supers;
+        }
+        // A marker name that was never interned cannot match any class name.
+        let serializable = program
+            .interner()
+            .get("java.io.Serializable")
+            .unwrap_or(Symbol::SENTINEL);
+        let externalizable = program
+            .interner()
+            .get("java.io.Externalizable")
+            .unwrap_or(Symbol::SENTINEL);
+        Self {
+            program,
+            direct_supers,
+            direct_subs,
+            serializable,
+            externalizable,
+        }
+    }
+
+    /// The program this hierarchy was built for.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Direct supertypes (superclass followed by interfaces) that are present
+    /// in the program.
+    pub fn direct_supertypes(&self, id: ClassId) -> &[ClassId] {
+        &self.direct_supers[id.index()]
+    }
+
+    /// Direct subtypes present in the program.
+    pub fn direct_subtypes(&self, id: ClassId) -> &[ClassId] {
+        &self.direct_subs[id.index()]
+    }
+
+    /// All transitive supertypes of `id` (excluding `id` itself), in BFS
+    /// order.
+    pub fn supertypes(&self, id: ClassId) -> Vec<ClassId> {
+        self.closure(id, |h, c| h.direct_supertypes(c))
+    }
+
+    /// All transitive subtypes of `id` (excluding `id` itself), in BFS order.
+    pub fn subtypes(&self, id: ClassId) -> Vec<ClassId> {
+        self.closure(id, |h, c| h.direct_subtypes(c))
+    }
+
+    fn closure(
+        &self,
+        id: ClassId,
+        step: impl Fn(&Self, ClassId) -> &[ClassId],
+    ) -> Vec<ClassId> {
+        let mut seen = HashSet::new();
+        let mut order = Vec::new();
+        let mut queue = vec![id];
+        seen.insert(id);
+        while let Some(c) = queue.pop() {
+            for &s in step(self, c) {
+                if seen.insert(s) {
+                    order.push(s);
+                    queue.push(s);
+                }
+            }
+        }
+        order
+    }
+
+    /// Whether `sub` is `sup` or a transitive subtype of it.
+    pub fn is_subtype_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        self.supertypes(sub).contains(&sup)
+    }
+
+    /// Whether the class participates in Java-native serialization, i.e.
+    /// implements `java.io.Serializable` or `java.io.Externalizable`
+    /// (directly or through any supertype).
+    pub fn is_serializable(&self, id: ClassId) -> bool {
+        let matches_marker = |c: ClassId| {
+            let name = self.program.class(c).name;
+            name == self.serializable || name == self.externalizable
+        };
+        // Interfaces named but not loaded still count: check raw names too.
+        let class = self.program.class(id);
+        if class.interfaces.iter().any(|&i| i == self.serializable || i == self.externalizable) {
+            return true;
+        }
+        self.supertypes(id).iter().any(|&s| {
+            matches_marker(s)
+                || self
+                    .program
+                    .class(s)
+                    .interfaces
+                    .iter()
+                    .any(|&i| i == self.serializable || i == self.externalizable)
+        })
+    }
+
+    /// Resolves a method *declaration*: starting at `class`, walks up the
+    /// hierarchy until a method with the given name and parameter count is
+    /// declared (JVMS §5.4.3.3 resolution, arity-keyed like the paper's
+    /// alias matching).
+    pub fn resolve_method(
+        &self,
+        class: ClassId,
+        name: Symbol,
+        param_count: usize,
+    ) -> Option<MethodId> {
+        if let Some(idx) = self.program.class(class).find_method(name, param_count) {
+            return Some(MethodId {
+                class,
+                index: idx,
+            });
+        }
+        for sup in self.supertypes(class) {
+            if let Some(idx) = self.program.class(sup).find_method(name, param_count) {
+                return Some(MethodId {
+                    class: sup,
+                    index: idx,
+                });
+            }
+        }
+        None
+    }
+
+    /// All concrete *override* candidates for a declared method: methods with
+    /// the same name/arity declared in `declared.class` itself or any of its
+    /// subtypes. This is the dispatch set that the Method Alias Graph encodes
+    /// as ALIAS edges.
+    pub fn dispatch_targets(&self, declared: MethodId, name: Symbol, param_count: usize) -> Vec<MethodId> {
+        let mut targets = vec![declared];
+        for sub in self.subtypes(declared.class) {
+            if let Some(idx) = self.program.class(sub).find_method(name, param_count) {
+                targets.push(MethodId {
+                    class: sub,
+                    index: idx,
+                });
+            }
+        }
+        targets
+    }
+
+    /// A map from (name, arity) to every method declaring that key, used by
+    /// graph construction to enumerate alias pairs in O(methods).
+    pub fn methods_by_key(&self) -> HashMap<(Symbol, usize), Vec<MethodId>> {
+        let mut map: HashMap<(Symbol, usize), Vec<MethodId>> = HashMap::new();
+        for id in self.program.method_ids() {
+            let m = self.program.method(id);
+            map.entry((m.name, m.params.len())).or_default().push(id);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::JType;
+
+    fn diamond() -> Program {
+        // I (interface) <- A <- B ; I <- C
+        let mut pb = ProgramBuilder::new();
+        pb.class("p.I").interface().finish();
+        pb.class("p.A").implements(&["p.I"]).finish();
+        pb.class("p.B").extends("p.A").finish();
+        pb.class("p.C").implements(&["p.I"]).finish();
+        pb.build()
+    }
+
+    #[test]
+    fn supertype_closure() {
+        let p = diamond();
+        let h = Hierarchy::new(&p);
+        let b = p.class_by_str("p.B").unwrap();
+        let supers = h.supertypes(b);
+        assert!(supers.contains(&p.class_by_str("p.A").unwrap()));
+        assert!(supers.contains(&p.class_by_str("p.I").unwrap()));
+        assert_eq!(supers.len(), 2);
+    }
+
+    #[test]
+    fn subtype_closure() {
+        let p = diamond();
+        let h = Hierarchy::new(&p);
+        let i = p.class_by_str("p.I").unwrap();
+        let subs = h.subtypes(i);
+        assert_eq!(subs.len(), 3);
+    }
+
+    #[test]
+    fn is_subtype_reflexive_and_transitive() {
+        let p = diamond();
+        let h = Hierarchy::new(&p);
+        let b = p.class_by_str("p.B").unwrap();
+        let i = p.class_by_str("p.I").unwrap();
+        let c = p.class_by_str("p.C").unwrap();
+        assert!(h.is_subtype_of(b, b));
+        assert!(h.is_subtype_of(b, i));
+        assert!(!h.is_subtype_of(i, b));
+        assert!(!h.is_subtype_of(c, b));
+    }
+
+    #[test]
+    fn serializable_via_interface_and_inheritance() {
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        pb.class("p.S").serializable().finish();
+        pb.class("p.T").extends("p.S").finish();
+        pb.class("p.U").finish();
+        let p = pb.build();
+        let h = Hierarchy::new(&p);
+        assert!(h.is_serializable(p.class_by_str("p.S").unwrap()));
+        assert!(h.is_serializable(p.class_by_str("p.T").unwrap()));
+        assert!(!h.is_serializable(p.class_by_str("p.U").unwrap()));
+    }
+
+    #[test]
+    fn serializable_without_loaded_marker_class() {
+        // java.io.Serializable is referenced but not itself loaded.
+        let mut pb = ProgramBuilder::new();
+        pb.class("p.S").serializable().finish();
+        let p = pb.build();
+        let h = Hierarchy::new(&p);
+        assert!(h.is_serializable(p.class_by_str("p.S").unwrap()));
+    }
+
+    #[test]
+    fn method_resolution_walks_up() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("p.Base");
+        cb.method("m", vec![JType::Int], JType::Void)
+            .abstract_()
+            .finish();
+        cb.finish();
+        pb.class("p.Derived").extends("p.Base").finish();
+        let p = pb.build();
+        let h = Hierarchy::new(&p);
+        let derived = p.class_by_str("p.Derived").unwrap();
+        let base = p.class_by_str("p.Base").unwrap();
+        let name = p.interner().get("m").unwrap();
+        let resolved = h.resolve_method(derived, name, 1).unwrap();
+        assert_eq!(resolved.class, base);
+        assert!(h.resolve_method(derived, name, 2).is_none());
+    }
+
+    #[test]
+    fn dispatch_targets_include_overrides() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("p.Base");
+        cb.method("m", vec![], JType::Void).abstract_().finish();
+        cb.finish();
+        let mut cb = pb.class("p.D1");
+        cb.extends_in_place("p.Base");
+        cb.method("m", vec![], JType::Void).abstract_().finish();
+        cb.finish();
+        let p = pb.build();
+        let h = Hierarchy::new(&p);
+        let base = p.class_by_str("p.Base").unwrap();
+        let name = p.interner().get("m").unwrap();
+        let declared = h.resolve_method(base, name, 0).unwrap();
+        let targets = h.dispatch_targets(declared, name, 0);
+        assert_eq!(targets.len(), 2);
+    }
+}

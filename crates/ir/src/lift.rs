@@ -1,0 +1,889 @@
+//! Lifting `.class` bytes to the IR — the Soot front-end role.
+//!
+//! Stack-machine code is converted to three-address statements by giving
+//! every operand-stack cell a dedicated local (Soot's classic naive-Jimple
+//! construction): the cell holding stack depth *d* is `Local(max_locals +
+//! d)`. Because every push/pop becomes an assignment to a fixed local,
+//! control-flow merges need no phi handling — the lifter only has to know
+//! the stack depth at each instruction, which a forward worklist computes.
+//!
+//! Fidelity notes: wide values (`long`/`double`) occupy one abstract cell
+//! (`pop2`/`dup2` are treated as two-cell operations, which matches code
+//! produced by [`crate::compile`] and common javac output on reference
+//! values); `jsr` lifts to a goto; `invokedynamic` lifts to
+//! [`InvokeKind::Dynamic`], which the analysis treats as opaque (§V-B).
+
+use crate::builder::ProgramBuilder;
+use crate::flags::{ClassFlags, FieldFlags, MethodFlags};
+use crate::model::{Body, Class, Field, Method, Program};
+use crate::stmt::{
+    BinOp, CmpOp, Condition, Constant, Expr, FieldRef, InvokeExpr, InvokeKind, Label, Local,
+    MethodRef, Operand, Place, Stmt, UnOp,
+};
+use crate::symbol::Interner;
+use crate::types::{parse_method_descriptor, JType};
+use std::collections::HashMap;
+use tabby_classfile::opcode::{decode, ArithOp, Cond, Insn};
+use tabby_classfile::{ClassFile, ClassFileError, CodeAttribute, ConstantPool, CpInfo};
+
+/// Lifts a set of `.class` byte blobs into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first parse/lift error encountered.
+pub fn lift_program(classes: &[Vec<u8>]) -> Result<Program, ClassFileError> {
+    let mut pb = ProgramBuilder::new();
+    let mut lifted = Vec::new();
+    for bytes in classes {
+        let cf = tabby_classfile::parse_class(bytes)?;
+        lifted.push(lift_class(pb.interner_mut(), &cf)?);
+    }
+    for class in lifted {
+        pb.push_class(class);
+    }
+    Ok(pb.build())
+}
+
+/// Lifts one parsed class file into an IR [`Class`].
+pub fn lift_class(interner: &mut Interner, cf: &ClassFile) -> Result<Class, ClassFileError> {
+    let name = interner.intern(&cf.name()?);
+    let superclass = cf.super_name()?.map(|s| interner.intern(&s));
+    let interfaces = cf
+        .interface_names()?
+        .iter()
+        .map(|i| interner.intern(i))
+        .collect();
+    let mut fields = Vec::new();
+    for f in &cf.fields {
+        let fname = interner.intern(cf.constant_pool.utf8(f.name_index)?);
+        let desc = cf.constant_pool.utf8(f.descriptor_index)?.to_owned();
+        let (ty, _) = JType::parse_descriptor(interner, &desc)
+            .map_err(|e| ClassFileError::new(e.to_string()))?;
+        fields.push(Field {
+            name: fname,
+            ty,
+            flags: FieldFlags::from_bits(f.access_flags),
+        });
+    }
+    let mut methods = Vec::new();
+    for m in &cf.methods {
+        let mname = interner.intern(cf.constant_pool.utf8(m.name_index)?);
+        let desc = cf.constant_pool.utf8(m.descriptor_index)?.to_owned();
+        let (params, ret) = parse_method_descriptor(interner, &desc)
+            .map_err(|e| ClassFileError::new(e.to_string()))?;
+        let flags = MethodFlags::from_bits(m.access_flags);
+        let body = match cf.code_of(m)? {
+            Some(code) => Some(lift_body(
+                interner,
+                &cf.constant_pool,
+                &code,
+                &params,
+                flags.is_static(),
+            )?),
+            None => None,
+        };
+        methods.push(Method {
+            name: mname,
+            params,
+            ret,
+            flags,
+            body,
+        });
+    }
+    Ok(Class {
+        name,
+        superclass,
+        interfaces,
+        fields,
+        methods,
+        flags: ClassFlags::from_bits(cf.access_flags),
+    })
+}
+
+/// Per-offset lift state.
+struct Lifter<'a> {
+    interner: &'a mut Interner,
+    cp: &'a ConstantPool,
+    max_locals: u16,
+    stmts: Vec<Stmt>,
+    /// Code offset → statement index (start of that instruction's stmts).
+    stmt_at: HashMap<u32, usize>,
+}
+
+impl Lifter<'_> {
+    fn cell(&self, depth: u32) -> Local {
+        Local(u32::from(self.max_locals) + depth)
+    }
+
+    fn member(&mut self, index: u16) -> Result<(MethodRef, usize), ClassFileError> {
+        let (class, name, desc) = self.cp.member_ref(index)?;
+        let class = class.replace('/', ".");
+        let (params, ret) = parse_method_descriptor(self.interner, desc)
+            .map_err(|e| ClassFileError::new(e.to_string()))?;
+        let argc = params.len();
+        Ok((
+            MethodRef {
+                class: self.interner.intern(&class),
+                name: self.interner.intern(name),
+                params,
+                ret,
+            },
+            argc,
+        ))
+    }
+
+    fn field(&mut self, index: u16) -> Result<FieldRef, ClassFileError> {
+        let (class, name, desc) = self.cp.member_ref(index)?;
+        let class = class.replace('/', ".");
+        let (ty, _) = JType::parse_descriptor(self.interner, desc)
+            .map_err(|e| ClassFileError::new(e.to_string()))?;
+        Ok(FieldRef {
+            class: self.interner.intern(&class),
+            name: self.interner.intern(name),
+            ty,
+        })
+    }
+
+    fn class_type(&mut self, index: u16) -> Result<JType, ClassFileError> {
+        let internal = self.cp.class_name(index)?.to_owned();
+        if internal.starts_with('[') {
+            let (ty, _) = JType::parse_descriptor(self.interner, &internal)
+                .map_err(|e| ClassFileError::new(e.to_string()))?;
+            Ok(ty)
+        } else {
+            Ok(JType::Object(self.interner.intern(&internal.replace('/', "."))))
+        }
+    }
+
+    fn assign(&mut self, dst: Local, rhs: Expr) {
+        self.stmts.push(Stmt::Assign {
+            place: Place::Local(dst),
+            rhs,
+        });
+    }
+
+    fn copy_cell(&mut self, dst: Local, src: Local) {
+        self.assign(dst, Expr::Use(Operand::Local(src)));
+    }
+}
+
+fn cond_of(c: Cond) -> CmpOp {
+    match c {
+        Cond::Eq => CmpOp::Eq,
+        Cond::Ne => CmpOp::Ne,
+        Cond::Lt => CmpOp::Lt,
+        Cond::Ge => CmpOp::Ge,
+        Cond::Gt => CmpOp::Gt,
+        Cond::Le => CmpOp::Le,
+    }
+}
+
+fn binop_of(op: ArithOp) -> BinOp {
+    match op {
+        ArithOp::Add => BinOp::Add,
+        ArithOp::Sub => BinOp::Sub,
+        ArithOp::Mul => BinOp::Mul,
+        ArithOp::Div => BinOp::Div,
+        ArithOp::Rem => BinOp::Rem,
+        ArithOp::Shl => BinOp::Shl,
+        ArithOp::Shr => BinOp::Shr,
+        ArithOp::Ushr => BinOp::Ushr,
+        ArithOp::And => BinOp::And,
+        ArithOp::Or => BinOp::Or,
+        ArithOp::Xor => BinOp::Xor,
+    }
+}
+
+/// Stack effect (pop, push) of an instruction, with wide values as one cell.
+fn stack_effect(insn: &Insn, cp: &ConstantPool) -> (u32, u32) {
+    use Insn::*;
+    match insn {
+        Nop | Breakpoint | Iinc(..) | Goto(_) | Ret(_) => (0, 0),
+        ConstNull | ConstInt(_) | ConstLong(_) | ConstFloat(_) | ConstDouble(_) | Ldc(_)
+        | Load(..) | New(_) | GetStatic(_) | Jsr(_) => (0, 1),
+        Store(..) | Pop | Pop2 | IfZero(..) | IfNull(_) | IfNonNull(_) | TableSwitch { .. }
+        | LookupSwitch { .. } | PutStatic(_) | AThrow | MonitorEnter | MonitorExit => (1, 0),
+        ArrayLoad(_) => (2, 1),
+        ArrayStore(_) => (3, 0),
+        Dup => (1, 2),
+        DupX1 => (2, 3),
+        DupX2 => (3, 4),
+        Dup2 => (2, 4),
+        Dup2X1 => (3, 5),
+        Dup2X2 => (4, 6),
+        Swap => (2, 2),
+        Arith(..) | Cmp => (2, 1),
+        Neg(_) | Convert(_) | NewArray(_) | ANewArray(_) | ArrayLength | CheckCast(_)
+        | InstanceOf(_) => (1, 1),
+        IfICmp(..) | IfACmp(..) | PutField(_) => (2, 0),
+        GetField(_) => (1, 1),
+        Return(Some(_)) => (1, 0),
+        Return(None) => (0, 0),
+        InvokeVirtual(i) | InvokeSpecial(i) | InvokeInterface(i) => {
+            let (argc, ret) = invoke_shape(cp, *i);
+            (argc + 1, ret)
+        }
+        InvokeStatic(i) | InvokeDynamic(i) => {
+            let (argc, ret) = invoke_shape(cp, *i);
+            (argc, ret)
+        }
+        MultiANewArray(_, dims) => (u32::from(*dims), 1),
+    }
+}
+
+fn invoke_shape(cp: &ConstantPool, index: u16) -> (u32, u32) {
+    let desc = match cp.get(index) {
+        Ok(CpInfo::InvokeDynamic(_, nat)) => cp.name_and_type(*nat).map(|(_, d)| d).ok(),
+        _ => cp.member_ref(index).map(|(_, _, d)| d).ok(),
+    };
+    let Some(desc) = desc else { return (0, 0) };
+    // Count parameters without interning types.
+    let mut argc = 0u32;
+    let bytes = desc.as_bytes();
+    let mut i = 1; // skip '('
+    while i < bytes.len() && bytes[i] != b')' {
+        argc += 1;
+        while bytes[i] == b'[' {
+            i += 1;
+        }
+        if bytes[i] == b'L' {
+            while i < bytes.len() && bytes[i] != b';' {
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    let ret = if desc.ends_with('V') { 0 } else { 1 };
+    (argc, ret)
+}
+
+/// Computes the stack depth at every instruction offset.
+fn compute_depths(
+    insns: &[(u32, Insn)],
+    code: &CodeAttribute,
+    cp: &ConstantPool,
+) -> Result<HashMap<u32, u32>, ClassFileError> {
+    let index_of: HashMap<u32, usize> =
+        insns.iter().enumerate().map(|(i, (o, _))| (*o, i)).collect();
+    let mut depths: HashMap<u32, u32> = HashMap::new();
+    let mut work: Vec<(u32, u32)> = vec![(0, 0)];
+    for h in &code.exception_table {
+        work.push((u32::from(h.handler_pc), 1));
+    }
+    while let Some((offset, depth)) = work.pop() {
+        match depths.get(&offset) {
+            Some(&d) => {
+                if d != depth {
+                    // Inconsistent merge: keep the larger estimate (the
+                    // analysis is depth-tolerant; cells simply stay stale).
+                    if depth > d {
+                        depths.insert(offset, depth);
+                    } else {
+                        continue;
+                    }
+                } else {
+                    continue;
+                }
+            }
+            None => {
+                depths.insert(offset, depth);
+            }
+        }
+        let Some(&i) = index_of.get(&offset) else {
+            return Err(ClassFileError::new(format!(
+                "branch into the middle of an instruction at {offset}"
+            )));
+        };
+        let insn = &insns[i].1;
+        let (pop, push) = stack_effect(insn, cp);
+        let next = depth.saturating_sub(pop) + push;
+        let follow = |target: u32, work: &mut Vec<(u32, u32)>| {
+            work.push((target, next));
+        };
+        match insn {
+            Insn::Goto(t) | Insn::Jsr(t) => follow(*t, &mut work),
+            Insn::IfZero(_, t)
+            | Insn::IfICmp(_, t)
+            | Insn::IfACmp(_, t)
+            | Insn::IfNull(t)
+            | Insn::IfNonNull(t) => {
+                follow(*t, &mut work);
+                if let Some((o, _)) = insns.get(i + 1) {
+                    follow(*o, &mut work);
+                }
+            }
+            Insn::TableSwitch { default, offsets, .. } => {
+                follow(*default, &mut work);
+                for &t in offsets {
+                    follow(t, &mut work);
+                }
+            }
+            Insn::LookupSwitch { default, pairs } => {
+                follow(*default, &mut work);
+                for (_, t) in pairs {
+                    follow(*t, &mut work);
+                }
+            }
+            Insn::Return(_) | Insn::AThrow | Insn::Ret(_) => {}
+            _ => {
+                if let Some((o, _)) = insns.get(i + 1) {
+                    follow(*o, &mut work);
+                }
+            }
+        }
+    }
+    Ok(depths)
+}
+
+/// Lifts one `Code` attribute into a [`Body`].
+pub fn lift_body(
+    interner: &mut Interner,
+    cp: &ConstantPool,
+    code: &CodeAttribute,
+    params: &[JType],
+    is_static: bool,
+) -> Result<Body, ClassFileError> {
+    let insns = decode(&code.code)?;
+    let depths = compute_depths(&insns, code, cp)?;
+    let mut lifter = Lifter {
+        interner,
+        cp,
+        max_locals: code.max_locals.max(1),
+        stmts: Vec::new(),
+        stmt_at: HashMap::new(),
+    };
+
+    // Identity statements: this and parameters into their JVM slots (wide
+    // parameters consume two slots).
+    let mut slot = 0u16;
+    if !is_static {
+        lifter.stmts.push(Stmt::Identity {
+            local: Local(0),
+            source: crate::stmt::IdentityRef::This,
+        });
+        slot = 1;
+    }
+    for (i, ty) in params.iter().enumerate() {
+        lifter.stmts.push(Stmt::Identity {
+            local: Local(u32::from(slot)),
+            source: crate::stmt::IdentityRef::Param(i as u16),
+        });
+        slot += if ty.is_wide() { 2 } else { 1 };
+    }
+
+    let mut max_cell_depth = 0u32;
+    for (offset, insn) in &insns {
+        lifter.stmt_at.insert(*offset, lifter.stmts.len());
+        let d = depths.get(offset).copied().unwrap_or(0);
+        max_cell_depth = max_cell_depth.max(d + 4);
+        lift_insn(&mut lifter, insn, d)?;
+        // Guarantee instruction boundaries are visible for branch targets
+        // even when an instruction lifts to no statements.
+        if lifter.stmt_at[offset] == lifter.stmts.len() {
+            lifter.stmts.push(Stmt::Nop);
+        }
+    }
+
+    // Resolve labels: one label per referenced code offset.
+    let mut labels: HashMap<Label, usize> = HashMap::new();
+    let mut label_of: HashMap<u32, Label> = HashMap::new();
+    let mut next_label = 0u32;
+    let mut resolve = |offset: u32,
+                       label_of: &mut HashMap<u32, Label>,
+                       labels: &mut HashMap<Label, usize>,
+                       stmt_at: &HashMap<u32, usize>|
+     -> Result<Label, ClassFileError> {
+        if let Some(&l) = label_of.get(&offset) {
+            return Ok(l);
+        }
+        let idx = *stmt_at
+            .get(&offset)
+            .ok_or_else(|| ClassFileError::new(format!("branch to bad offset {offset}")))?;
+        let l = Label(next_label);
+        next_label += 1;
+        label_of.insert(offset, l);
+        labels.insert(l, idx);
+        Ok(l)
+    };
+    let stmt_at = lifter.stmt_at.clone();
+    for stmt in &mut lifter.stmts {
+        match stmt {
+            Stmt::If { target, .. } | Stmt::Goto(target) => {
+                let offset = target.0;
+                *target = resolve(offset, &mut label_of, &mut labels, &stmt_at)?;
+            }
+            Stmt::Switch { cases, default, .. } => {
+                for (_, l) in cases.iter_mut() {
+                    *l = resolve(l.0, &mut label_of, &mut labels, &stmt_at)?;
+                }
+                *default = resolve(default.0, &mut label_of, &mut labels, &stmt_at)?;
+            }
+            _ => {}
+        }
+    }
+
+    Ok(Body {
+        locals: u32::from(lifter.max_locals) + max_cell_depth + 4,
+        stmts: lifter.stmts,
+        labels,
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn lift_insn(l: &mut Lifter<'_>, insn: &Insn, d: u32) -> Result<(), ClassFileError> {
+    use Insn::*;
+    // NOTE: branch targets are stored as `Label(code_offset)` placeholders
+    // and rewritten to real labels afterwards.
+    let placeholder = Label;
+    match insn {
+        Nop | Breakpoint => l.stmts.push(Stmt::Nop),
+        ConstNull => {
+            let c = l.cell(d);
+            l.assign(c, Expr::Use(Operand::Const(Constant::Null)));
+        }
+        ConstInt(v) => {
+            let c = l.cell(d);
+            l.assign(c, Expr::Use(Operand::Const(Constant::Int(i64::from(*v)))));
+        }
+        ConstLong(v) => {
+            let c = l.cell(d);
+            l.assign(c, Expr::Use(Operand::Const(Constant::Int(*v))));
+        }
+        ConstFloat(v) => {
+            let c = l.cell(d);
+            l.assign(c, Expr::Use(Operand::Const(Constant::Float(f64::from(*v)))));
+        }
+        ConstDouble(v) => {
+            let c = l.cell(d);
+            l.assign(c, Expr::Use(Operand::Const(Constant::Float(*v))));
+        }
+        Ldc(index) => {
+            let c = l.cell(d);
+            let constant = match l.cp.get(*index)? {
+                CpInfo::Integer(v) => Constant::Int(i64::from(*v)),
+                CpInfo::Long(v) => Constant::Int(*v),
+                CpInfo::Float(v) => Constant::Float(f64::from(*v)),
+                CpInfo::Double(v) => Constant::Float(*v),
+                CpInfo::Str(utf8) => {
+                    let s = l.cp.utf8(*utf8)?.to_owned();
+                    Constant::Str(l.interner.intern(&s))
+                }
+                CpInfo::Class(utf8) => {
+                    let s = l.cp.utf8(*utf8)?.replace('/', ".");
+                    Constant::Class(l.interner.intern(&s))
+                }
+                other => {
+                    return Err(ClassFileError::new(format!("ldc of {other:?}")));
+                }
+            };
+            l.assign(c, Expr::Use(Operand::Const(constant)));
+        }
+        Load(_, idx) => {
+            let c = l.cell(d);
+            l.copy_cell(c, Local(u32::from(*idx)));
+        }
+        Store(_, idx) => {
+            let c = l.cell(d - 1);
+            l.copy_cell(Local(u32::from(*idx)), c);
+        }
+        ArrayLoad(_) => {
+            let base = l.cell(d - 2);
+            let idx = l.cell(d - 1);
+            l.assign(
+                base,
+                Expr::Load(Place::ArrayElem {
+                    base,
+                    index: Operand::Local(idx),
+                }),
+            );
+        }
+        ArrayStore(_) => {
+            let base = l.cell(d - 3);
+            let idx = l.cell(d - 2);
+            let val = l.cell(d - 1);
+            l.stmts.push(Stmt::Assign {
+                place: Place::ArrayElem {
+                    base,
+                    index: Operand::Local(idx),
+                },
+                rhs: Expr::Use(Operand::Local(val)),
+            });
+        }
+        Pop => l.stmts.push(Stmt::Nop),
+        Pop2 => l.stmts.push(Stmt::Nop),
+        Dup => {
+            let top = l.cell(d - 1);
+            let c = l.cell(d);
+            l.copy_cell(c, top);
+        }
+        DupX1 => {
+            // [a b] -> [b a b]: save a, rewrite the three cells bottom-up.
+            let a = l.cell(d - 2);
+            let b = l.cell(d - 1);
+            let t = l.cell(d + 1);
+            l.copy_cell(t, a);
+            l.copy_cell(a, b);
+            l.copy_cell(b, t);
+            l.copy_cell(l.cell(d), a);
+        }
+        DupX2 | Dup2X1 | Dup2X2 => {
+            // Rare forms: approximate by duplicating the top cell upward.
+            let top = l.cell(d - 1);
+            let c = l.cell(d);
+            l.copy_cell(c, top);
+        }
+        Dup2 => {
+            let a = l.cell(d - 2);
+            let b = l.cell(d - 1);
+            l.copy_cell(l.cell(d), a);
+            l.copy_cell(l.cell(d + 1), b);
+        }
+        Swap => {
+            let a = l.cell(d - 2);
+            let b = l.cell(d - 1);
+            let t = l.cell(d);
+            l.copy_cell(t, a);
+            l.copy_cell(a, b);
+            l.copy_cell(b, t);
+        }
+        Arith(op, _) => {
+            let a = l.cell(d - 2);
+            let b = l.cell(d - 1);
+            l.assign(
+                a,
+                Expr::Binary {
+                    op: binop_of(*op),
+                    lhs: Operand::Local(a),
+                    rhs: Operand::Local(b),
+                },
+            );
+        }
+        Neg(_) => {
+            let a = l.cell(d - 1);
+            l.assign(
+                a,
+                Expr::Unary {
+                    op: UnOp::Neg,
+                    value: Operand::Local(a),
+                },
+            );
+        }
+        Iinc(idx, delta) => {
+            let local = Local(u32::from(*idx));
+            l.assign(
+                local,
+                Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: Operand::Local(local),
+                    rhs: Operand::Const(Constant::Int(i64::from(*delta))),
+                },
+            );
+        }
+        Convert(_) => {
+            // Width/precision changes do not affect controllability.
+            l.stmts.push(Stmt::Nop);
+        }
+        Cmp => {
+            let a = l.cell(d - 2);
+            let b = l.cell(d - 1);
+            l.assign(
+                a,
+                Expr::Binary {
+                    op: BinOp::Cmp,
+                    lhs: Operand::Local(a),
+                    rhs: Operand::Local(b),
+                },
+            );
+        }
+        IfZero(c, t) => {
+            let v = l.cell(d - 1);
+            l.stmts.push(Stmt::If {
+                cond: Condition {
+                    op: cond_of(*c),
+                    lhs: Operand::Local(v),
+                    rhs: Operand::Const(Constant::Int(0)),
+                },
+                target: placeholder(*t),
+            });
+        }
+        IfICmp(c, t) => {
+            let a = l.cell(d - 2);
+            let b = l.cell(d - 1);
+            l.stmts.push(Stmt::If {
+                cond: Condition {
+                    op: cond_of(*c),
+                    lhs: Operand::Local(a),
+                    rhs: Operand::Local(b),
+                },
+                target: placeholder(*t),
+            });
+        }
+        IfACmp(c, t) => {
+            let a = l.cell(d - 2);
+            let b = l.cell(d - 1);
+            l.stmts.push(Stmt::If {
+                cond: Condition {
+                    op: cond_of(*c),
+                    lhs: Operand::Local(a),
+                    rhs: Operand::Local(b),
+                },
+                target: placeholder(*t),
+            });
+        }
+        IfNull(t) => {
+            let v = l.cell(d - 1);
+            l.stmts.push(Stmt::If {
+                cond: Condition {
+                    op: CmpOp::Eq,
+                    lhs: Operand::Local(v),
+                    rhs: Operand::Const(Constant::Null),
+                },
+                target: placeholder(*t),
+            });
+        }
+        IfNonNull(t) => {
+            let v = l.cell(d - 1);
+            l.stmts.push(Stmt::If {
+                cond: Condition {
+                    op: CmpOp::Ne,
+                    lhs: Operand::Local(v),
+                    rhs: Operand::Const(Constant::Null),
+                },
+                target: placeholder(*t),
+            });
+        }
+        Goto(t) | Jsr(t) => l.stmts.push(Stmt::Goto(placeholder(*t))),
+        Ret(idx) => l.stmts.push(Stmt::Ret(Local(u32::from(*idx)))),
+        TableSwitch {
+            default,
+            low,
+            offsets,
+        } => {
+            let key = l.cell(d - 1);
+            let cases = offsets
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i64::from(*low) + i as i64, placeholder(*t)))
+                .collect();
+            l.stmts.push(Stmt::Switch {
+                key: Operand::Local(key),
+                cases,
+                default: placeholder(*default),
+            });
+        }
+        LookupSwitch { default, pairs } => {
+            let key = l.cell(d - 1);
+            let cases = pairs
+                .iter()
+                .map(|(k, t)| (i64::from(*k), placeholder(*t)))
+                .collect();
+            l.stmts.push(Stmt::Switch {
+                key: Operand::Local(key),
+                cases,
+                default: placeholder(*default),
+            });
+        }
+        Return(Some(_)) => {
+            let v = l.cell(d - 1);
+            l.stmts.push(Stmt::Return(Some(Operand::Local(v))));
+        }
+        Return(None) => l.stmts.push(Stmt::Return(None)),
+        GetStatic(i) => {
+            let field = l.field(*i)?;
+            let c = l.cell(d);
+            l.assign(c, Expr::Load(Place::StaticField(field)));
+        }
+        PutStatic(i) => {
+            let field = l.field(*i)?;
+            let v = l.cell(d - 1);
+            l.stmts.push(Stmt::Assign {
+                place: Place::StaticField(field),
+                rhs: Expr::Use(Operand::Local(v)),
+            });
+        }
+        GetField(i) => {
+            let field = l.field(*i)?;
+            let base = l.cell(d - 1);
+            l.assign(
+                base,
+                Expr::Load(Place::InstanceField {
+                    base,
+                    field,
+                }),
+            );
+        }
+        PutField(i) => {
+            let field = l.field(*i)?;
+            let base = l.cell(d - 2);
+            let v = l.cell(d - 1);
+            l.stmts.push(Stmt::Assign {
+                place: Place::InstanceField {
+                    base,
+                    field,
+                },
+                rhs: Expr::Use(Operand::Local(v)),
+            });
+        }
+        InvokeVirtual(i) | InvokeSpecial(i) | InvokeInterface(i) | InvokeStatic(i)
+        | InvokeDynamic(i) => {
+            let has_receiver =
+                matches!(insn, InvokeVirtual(_) | InvokeSpecial(_) | InvokeInterface(_));
+            let (callee, argc, kind) = match insn {
+                InvokeDynamic(_) => {
+                    // Resolve name/descriptor through the NameAndType; the
+                    // callee class is a synthetic dynamic marker.
+                    let (bootstrap_nat, name, desc) = match l.cp.get(*i)? {
+                        CpInfo::InvokeDynamic(_, nat) => {
+                            let (n, dsc) = l.cp.name_and_type(*nat)?;
+                            (*nat, n.to_owned(), dsc.to_owned())
+                        }
+                        other => {
+                            return Err(ClassFileError::new(format!(
+                                "invokedynamic of {other:?}"
+                            )))
+                        }
+                    };
+                    let _ = bootstrap_nat;
+                    let (params, ret) = parse_method_descriptor(l.interner, &desc)
+                        .map_err(|e| ClassFileError::new(e.to_string()))?;
+                    let argc = params.len();
+                    (
+                        MethodRef {
+                            class: l.interner.intern("java.lang.invoke.CallSite"),
+                            name: l.interner.intern(&name),
+                            params,
+                            ret,
+                        },
+                        argc,
+                        InvokeKind::Dynamic,
+                    )
+                }
+                _ => {
+                    let (callee, argc) = l.member(*i)?;
+                    // The compiler encodes Dynamic calls as static calls to
+                    // a marker owner; map them back.
+                    let kind = if l.interner.resolve(callee.class).starts_with("tabby.runtime.Indy$")
+                    {
+                        InvokeKind::Dynamic
+                    } else {
+                        match insn {
+                            InvokeVirtual(_) => InvokeKind::Virtual,
+                            InvokeSpecial(_) => InvokeKind::Special,
+                            InvokeInterface(_) => InvokeKind::Interface,
+                            _ => InvokeKind::Static,
+                        }
+                    };
+                    (callee, argc, kind)
+                }
+            };
+            let total_popped = argc as u32 + u32::from(has_receiver);
+            let base_cell = d - total_popped;
+            let base = if has_receiver {
+                Some(Operand::Local(l.cell(base_cell)))
+            } else {
+                None
+            };
+            let args: Vec<Operand> = (0..argc)
+                .map(|k| Operand::Local(l.cell(base_cell + u32::from(has_receiver) + k as u32)))
+                .collect();
+            let ret_void = callee.ret == JType::Void;
+            let inv = InvokeExpr {
+                kind,
+                base,
+                callee,
+                args,
+            };
+            if ret_void {
+                l.stmts.push(Stmt::Invoke(inv));
+            } else {
+                let dst = l.cell(base_cell);
+                l.assign(dst, Expr::Invoke(inv));
+            }
+        }
+        New(i) => {
+            let ty = l.class_type(*i)?;
+            let c = l.cell(d);
+            match ty {
+                JType::Object(sym) => l.assign(c, Expr::New(sym)),
+                other => l.assign(
+                    c,
+                    Expr::NewArray {
+                        elem: other,
+                        len: Operand::Const(Constant::Int(0)),
+                    },
+                ),
+            }
+        }
+        NewArray(_) => {
+            let len = l.cell(d - 1);
+            l.assign(
+                len,
+                Expr::NewArray {
+                    elem: JType::Int,
+                    len: Operand::Local(len),
+                },
+            );
+        }
+        ANewArray(i) => {
+            let ty = l.class_type(*i)?;
+            let len = l.cell(d - 1);
+            l.assign(
+                len,
+                Expr::NewArray {
+                    elem: ty,
+                    len: Operand::Local(len),
+                },
+            );
+        }
+        ArrayLength => {
+            let v = l.cell(d - 1);
+            l.assign(v, Expr::ArrayLength(Operand::Local(v)));
+        }
+        AThrow => {
+            let v = l.cell(d - 1);
+            l.stmts.push(Stmt::Throw(Operand::Local(v)));
+        }
+        CheckCast(i) => {
+            let ty = l.class_type(*i)?;
+            let v = l.cell(d - 1);
+            l.assign(
+                v,
+                Expr::Cast {
+                    ty,
+                    value: Operand::Local(v),
+                },
+            );
+        }
+        InstanceOf(i) => {
+            let ty = l.class_type(*i)?;
+            let v = l.cell(d - 1);
+            l.assign(
+                v,
+                Expr::InstanceOf {
+                    ty,
+                    value: Operand::Local(v),
+                },
+            );
+        }
+        MonitorEnter => {
+            let v = l.cell(d - 1);
+            l.stmts.push(Stmt::EnterMonitor(Operand::Local(v)));
+        }
+        MonitorExit => {
+            let v = l.cell(d - 1);
+            l.stmts.push(Stmt::ExitMonitor(Operand::Local(v)));
+        }
+        MultiANewArray(i, dims) => {
+            let ty = l.class_type(*i)?;
+            let dst = l.cell(d - u32::from(*dims));
+            l.assign(
+                dst,
+                Expr::NewArray {
+                    elem: ty,
+                    len: Operand::Const(Constant::Int(0)),
+                },
+            );
+        }
+    }
+    Ok(())
+}

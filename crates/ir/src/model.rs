@@ -1,0 +1,266 @@
+//! The program model: classes, fields, methods, and bodies.
+
+use crate::flags::{ClassFlags, FieldFlags, MethodFlags};
+use crate::stmt::{Label, Stmt};
+use crate::symbol::{Interner, Symbol};
+use crate::types::JType;
+use std::collections::HashMap;
+
+/// Index of a class within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identity of a method within a [`Program`]: its class plus its index in
+/// the class's method table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId {
+    /// Owning class.
+    pub class: ClassId,
+    /// Index within [`Class::methods`].
+    pub index: u32,
+}
+
+/// A field declaration.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: Symbol,
+    /// Declared type.
+    pub ty: JType,
+    /// Access flags.
+    pub flags: FieldFlags,
+}
+
+/// A method body: a flat statement list plus label resolution.
+#[derive(Debug, Clone, Default)]
+pub struct Body {
+    /// Number of local slots used ([`crate::Local`] indices are `< locals`).
+    pub locals: u32,
+    /// The statements, in textual order.
+    pub stmts: Vec<Stmt>,
+    /// Label → statement-index resolution.
+    pub labels: HashMap<Label, usize>,
+}
+
+impl Body {
+    /// Resolves a branch label to its statement index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was never placed; bodies produced by
+    /// [`crate::builder::MethodBuilder`] are checked at build time.
+    pub fn target(&self, label: Label) -> usize {
+        *self
+            .labels
+            .get(&label)
+            .unwrap_or_else(|| panic!("unresolved label {label:?}"))
+    }
+}
+
+/// A method declaration, possibly with a body.
+#[derive(Debug, Clone)]
+pub struct Method {
+    /// Method name.
+    pub name: Symbol,
+    /// Parameter types (excluding the receiver).
+    pub params: Vec<JType>,
+    /// Return type.
+    pub ret: JType,
+    /// Access flags.
+    pub flags: MethodFlags,
+    /// Body; `None` for `abstract` and `native` methods.
+    pub body: Option<Body>,
+}
+
+impl Method {
+    /// Whether this method has no receiver.
+    pub fn is_static(&self) -> bool {
+        self.flags.is_static()
+    }
+
+    /// Number of *value* parameters including the receiver slot, i.e. the
+    /// length of a Polluted_Position vector for calls to this method.
+    pub fn arity_with_receiver(&self) -> usize {
+        self.params.len() + 1
+    }
+}
+
+/// A class or interface declaration.
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// Dotted binary name (`java.util.HashMap`).
+    pub name: Symbol,
+    /// Superclass; `None` only for `java.lang.Object` and interfaces modeled
+    /// without an explicit superclass.
+    pub superclass: Option<Symbol>,
+    /// Directly implemented interfaces.
+    pub interfaces: Vec<Symbol>,
+    /// Declared fields.
+    pub fields: Vec<Field>,
+    /// Declared methods.
+    pub methods: Vec<Method>,
+    /// Access flags.
+    pub flags: ClassFlags,
+}
+
+impl Class {
+    /// Finds a declared method by name and parameter count.
+    ///
+    /// The paper matches alias candidates by "the same method name, return
+    /// value, and number of method parameters" (§III-B2); declared-method
+    /// lookup uses the same key.
+    pub fn find_method(&self, name: Symbol, param_count: usize) -> Option<u32> {
+        self.methods
+            .iter()
+            .position(|m| m.name == name && m.params.len() == param_count)
+            .map(|i| i as u32)
+    }
+
+    /// Finds a declared field by name.
+    pub fn find_field(&self, name: Symbol) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A whole-program view: all classes loaded for analysis, plus the interner
+/// that owns their names.
+///
+/// # Examples
+///
+/// ```
+/// use tabby_ir::ProgramBuilder;
+///
+/// let mut pb = ProgramBuilder::new();
+/// pb.class("java.lang.Object").finish();
+/// let program = pb.build();
+/// assert_eq!(program.classes().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) interner: Interner,
+    pub(crate) classes: Vec<Class>,
+    pub(crate) index: HashMap<Symbol, ClassId>,
+}
+
+impl Program {
+    /// All classes, indexable by [`ClassId`].
+    pub fn classes(&self) -> &[Class] {
+        &self.classes
+    }
+
+    /// The class with the given id.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.index()]
+    }
+
+    /// The method with the given id.
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.class(id.class).methods[id.index as usize]
+    }
+
+    /// Looks up a class by its interned name.
+    pub fn class_by_name(&self, name: Symbol) -> Option<ClassId> {
+        self.index.get(&name).copied()
+    }
+
+    /// Looks up a class by its string name.
+    pub fn class_by_str(&self, name: &str) -> Option<ClassId> {
+        let sym = self.interner.get(name)?;
+        self.class_by_name(sym)
+    }
+
+    /// The interner that owns all names in this program.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Resolves an interned name.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Iterates over every method id in the program, in class order.
+    pub fn method_ids(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.classes.iter().enumerate().flat_map(|(ci, c)| {
+            (0..c.methods.len() as u32).map(move |mi| MethodId {
+                class: ClassId(ci as u32),
+                index: mi,
+            })
+        })
+    }
+
+    /// Total number of methods across all classes.
+    pub fn method_count(&self) -> usize {
+        self.classes.iter().map(|c| c.methods.len()).sum()
+    }
+
+    /// A human-readable method signature, `Class.name(n args)` style.
+    pub fn describe_method(&self, id: MethodId) -> String {
+        let class = self.class(id.class);
+        let method = self.method(id);
+        format!(
+            "{}.{}({})",
+            self.name(class.name),
+            self.name(method.name),
+            method
+                .params
+                .iter()
+                .map(|p| p.display(&self.interner).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn program_lookup() {
+        let mut pb = ProgramBuilder::new();
+        pb.class("a.A").finish();
+        pb.class("b.B").finish();
+        let p = pb.build();
+        let a = p.class_by_str("a.A").unwrap();
+        assert_eq!(p.name(p.class(a).name), "a.A");
+        assert!(p.class_by_str("c.C").is_none());
+    }
+
+    #[test]
+    fn method_ids_cover_all_methods() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("a.A");
+        cb.method("m1", vec![], JType::Void).abstract_().finish();
+        cb.method("m2", vec![], JType::Void).abstract_().finish();
+        cb.finish();
+        let p = pb.build();
+        assert_eq!(p.method_ids().count(), 2);
+        assert_eq!(p.method_count(), 2);
+    }
+
+    #[test]
+    fn find_method_by_name_and_arity() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("a.A");
+        cb.method("m", vec![], JType::Void).abstract_().finish();
+        cb.method("m", vec![JType::Int], JType::Void)
+            .abstract_()
+            .finish();
+        cb.finish();
+        let p = pb.build();
+        let a = p.class_by_str("a.A").unwrap();
+        let name = p.interner().get("m").unwrap();
+        assert_eq!(p.class(a).find_method(name, 0), Some(0));
+        assert_eq!(p.class(a).find_method(name, 1), Some(1));
+        assert_eq!(p.class(a).find_method(name, 2), None);
+    }
+}

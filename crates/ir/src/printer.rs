@@ -1,0 +1,328 @@
+//! Textual rendering of IR programs in a Jimple-like concrete syntax.
+//!
+//! The printer exists for debugging, documentation, and golden tests; it is
+//! not meant to be re-parsed.
+
+use crate::model::{Body, Class, Method, MethodId, Program};
+use crate::stmt::{
+    BinOp, CmpOp, Constant, Expr, IdentityRef, InvokeExpr, InvokeKind, Operand, Place, Stmt, UnOp,
+};
+use std::fmt::Write as _;
+
+/// Renders the whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for class in program.classes() {
+        print_class(program, class, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one method (declaration plus body).
+pub fn print_method(program: &Program, id: MethodId) -> String {
+    let mut out = String::new();
+    let method = program.method(id);
+    write_method(program, method, &mut out);
+    out
+}
+
+fn print_class(program: &Program, class: &Class, out: &mut String) {
+    let kind = if class.flags.is_interface() {
+        "interface"
+    } else {
+        "class"
+    };
+    let _ = write!(out, "{kind} {}", program.name(class.name));
+    if let Some(sup) = class.superclass {
+        let _ = write!(out, " extends {}", program.name(sup));
+    }
+    if !class.interfaces.is_empty() {
+        let names: Vec<_> = class
+            .interfaces
+            .iter()
+            .map(|i| program.name(*i))
+            .collect();
+        let _ = write!(out, " implements {}", names.join(", "));
+    }
+    out.push_str(" {\n");
+    for field in &class.fields {
+        let _ = writeln!(
+            out,
+            "    {}{} {};",
+            if field.flags.is_static() {
+                "static "
+            } else {
+                ""
+            },
+            field.ty.display(program.interner()),
+            program.name(field.name)
+        );
+    }
+    for method in &class.methods {
+        write_method(program, method, out);
+    }
+    out.push_str("}\n");
+}
+
+fn write_method(program: &Program, method: &Method, out: &mut String) {
+    let params: Vec<_> = method
+        .params
+        .iter()
+        .map(|p| p.display(program.interner()).to_string())
+        .collect();
+    let _ = write!(
+        out,
+        "    {}{}{} {}({})",
+        if method.flags.is_static() {
+            "static "
+        } else {
+            ""
+        },
+        if method.flags.is_abstract() {
+            "abstract "
+        } else {
+            ""
+        },
+        method.ret.display(program.interner()),
+        program.name(method.name),
+        params.join(", ")
+    );
+    match &method.body {
+        None => out.push_str(";\n"),
+        Some(body) => {
+            out.push_str(" {\n");
+            write_body(program, body, out);
+            out.push_str("    }\n");
+        }
+    }
+}
+
+fn write_body(program: &Program, body: &Body, out: &mut String) {
+    // Invert the label map so placements print as `Ln:`.
+    let mut at: Vec<Vec<u32>> = vec![Vec::new(); body.stmts.len() + 1];
+    for (label, idx) in &body.labels {
+        at[*idx].push(label.0);
+    }
+    for (i, stmt) in body.stmts.iter().enumerate() {
+        for l in &at[i] {
+            let _ = writeln!(out, "      L{l}:");
+        }
+        let _ = writeln!(out, "        {};", render_stmt(program, stmt));
+    }
+}
+
+fn render_stmt(p: &Program, stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Assign { place, rhs } => {
+            format!("{} = {}", render_place(p, place), render_expr(p, rhs))
+        }
+        Stmt::Identity { local, source } => format!(
+            "v{} := {}",
+            local.0,
+            match source {
+                IdentityRef::This => "@this".to_owned(),
+                IdentityRef::Param(i) => format!("@parameter{i}"),
+                IdentityRef::CaughtException => "@caughtexception".to_owned(),
+            }
+        ),
+        Stmt::Invoke(inv) => render_invoke(p, inv),
+        Stmt::Return(None) => "return".to_owned(),
+        Stmt::Return(Some(v)) => format!("return {}", render_operand(p, v)),
+        Stmt::If { cond, target } => format!(
+            "if {} {} {} goto L{}",
+            render_operand(p, &cond.lhs),
+            render_cmp(cond.op),
+            render_operand(p, &cond.rhs),
+            target.0
+        ),
+        Stmt::Goto(t) => format!("goto L{}", t.0),
+        Stmt::Switch {
+            key,
+            cases,
+            default,
+        } => {
+            let arms: Vec<_> = cases
+                .iter()
+                .map(|(v, l)| format!("case {v}: L{}", l.0))
+                .collect();
+            format!(
+                "switch({}) {{ {}; default: L{} }}",
+                render_operand(p, key),
+                arms.join("; "),
+                default.0
+            )
+        }
+        Stmt::Throw(v) => format!("throw {}", render_operand(p, v)),
+        Stmt::EnterMonitor(v) => format!("entermonitor {}", render_operand(p, v)),
+        Stmt::ExitMonitor(v) => format!("exitmonitor {}", render_operand(p, v)),
+        Stmt::Nop => "nop".to_owned(),
+        Stmt::Breakpoint => "breakpoint".to_owned(),
+        Stmt::Ret(l) => format!("ret v{}", l.0),
+    }
+}
+
+fn render_place(p: &Program, place: &Place) -> String {
+    match place {
+        Place::Local(l) => format!("v{}", l.0),
+        Place::InstanceField { base, field } => {
+            format!("v{}.<{}: {}>", base.0, p.name(field.class), p.name(field.name))
+        }
+        Place::StaticField(field) => {
+            format!("<{}: {}>", p.name(field.class), p.name(field.name))
+        }
+        Place::ArrayElem { base, index } => {
+            format!("v{}[{}]", base.0, render_operand(p, index))
+        }
+    }
+}
+
+fn render_expr(p: &Program, expr: &Expr) -> String {
+    match expr {
+        Expr::Use(v) => render_operand(p, v),
+        Expr::Load(place) => render_place(p, place),
+        Expr::New(c) => format!("new {}", p.name(*c)),
+        Expr::NewArray { elem, len } => format!(
+            "new {}[{}]",
+            elem.display(p.interner()),
+            render_operand(p, len)
+        ),
+        Expr::Cast { ty, value } => format!(
+            "({}) {}",
+            ty.display(p.interner()),
+            render_operand(p, value)
+        ),
+        Expr::InstanceOf { ty, value } => format!(
+            "{} instanceof {}",
+            render_operand(p, value),
+            ty.display(p.interner())
+        ),
+        Expr::Binary { op, lhs, rhs } => format!(
+            "{} {} {}",
+            render_operand(p, lhs),
+            render_binop(*op),
+            render_operand(p, rhs)
+        ),
+        Expr::Unary { op, value } => match op {
+            UnOp::Neg => format!("-{}", render_operand(p, value)),
+        },
+        Expr::ArrayLength(v) => format!("lengthof {}", render_operand(p, v)),
+        Expr::Invoke(inv) => render_invoke(p, inv),
+    }
+}
+
+fn render_invoke(p: &Program, inv: &InvokeExpr) -> String {
+    let kind = match inv.kind {
+        InvokeKind::Virtual => "virtualinvoke",
+        InvokeKind::Interface => "interfaceinvoke",
+        InvokeKind::Special => "specialinvoke",
+        InvokeKind::Static => "staticinvoke",
+        InvokeKind::Dynamic => "dynamicinvoke",
+    };
+    let args: Vec<_> = inv.args.iter().map(|a| render_operand(p, a)).collect();
+    match &inv.base {
+        Some(base) => format!(
+            "{kind} {}.<{}: {}>({})",
+            render_operand(p, base),
+            p.name(inv.callee.class),
+            p.name(inv.callee.name),
+            args.join(", ")
+        ),
+        None => format!(
+            "{kind} <{}: {}>({})",
+            p.name(inv.callee.class),
+            p.name(inv.callee.name),
+            args.join(", ")
+        ),
+    }
+}
+
+fn render_operand(p: &Program, v: &Operand) -> String {
+    match v {
+        Operand::Local(l) => format!("v{}", l.0),
+        Operand::Const(c) => match c {
+            Constant::Int(i) => i.to_string(),
+            Constant::Float(f) => f.to_string(),
+            Constant::Str(s) => format!("{:?}", p.name(*s)),
+            Constant::Class(s) => format!("class {}", p.name(*s)),
+            Constant::Null => "null".to_owned(),
+        },
+    }
+}
+
+fn render_binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Ushr => ">>>",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Cmp => "cmp",
+    }
+}
+
+fn render_cmp(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::JType;
+
+    #[test]
+    fn prints_class_and_method() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        cb.serializable_in_place();
+        let obj = cb.object_type("java.lang.Object");
+        cb.field("f", obj.clone());
+        let mut mb = cb.method("m", vec![obj.clone()], JType::Void);
+        let this = mb.this();
+        let p0 = mb.param(0);
+        mb.put_field(this, "t.C", "f", obj.clone(), p0);
+        let callee = mb.sig("java.lang.Object", "toString", &[], obj.clone());
+        mb.call_virtual(None, p0, callee, &[]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let text = print_program(&p);
+        assert!(text.contains("class t.C"));
+        assert!(text.contains("implements java.io.Serializable"));
+        assert!(text.contains("@this"));
+        assert!(text.contains("virtualinvoke"));
+        assert!(text.contains("toString"));
+    }
+
+    #[test]
+    fn prints_labels() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![], JType::Void);
+        let l = mb.fresh_label();
+        mb.goto(l);
+        mb.place(l);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let text = print_method(&p, id);
+        assert!(text.contains("goto L0"));
+        assert!(text.contains("L0:"));
+    }
+}

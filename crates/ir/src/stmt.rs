@@ -1,0 +1,462 @@
+//! Statements, expressions, and values of the three-address IR.
+//!
+//! The IR mirrors Soot's Jimple: every method body is a flat list of
+//! statements over typed locals, with at most one side effect per statement.
+//! The fifteen statement kinds (see [`Stmt`]) correspond to Jimple's fifteen
+//! statement classes, which are exactly the statements the paper's
+//! `doAssignStmtAnalysis` enumerates (§III-C, Table IV).
+
+use crate::symbol::Symbol;
+use crate::types::JType;
+
+/// A method-local variable slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Local(pub u32);
+
+impl Local {
+    /// Raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A branch target inside a method body.
+///
+/// Labels are resolved to statement indices by [`crate::Body::target`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+/// A compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// Any integral constant (`boolean`/`byte`/`char`/`short`/`int`/`long`).
+    Int(i64),
+    /// A floating-point constant (`float`/`double`).
+    Float(f64),
+    /// A string literal.
+    Str(Symbol),
+    /// A class literal (`Foo.class`).
+    Class(Symbol),
+    /// The `null` reference.
+    Null,
+}
+
+/// A simple value: a local or a constant.
+///
+/// Jimple guarantees that operands of compound expressions are simple, which
+/// keeps every dataflow transfer function a single table lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Read of a local variable.
+    Local(Local),
+    /// A constant.
+    Const(Constant),
+}
+
+impl Operand {
+    /// The local read by this operand, if any.
+    pub fn as_local(&self) -> Option<Local> {
+        match self {
+            Operand::Local(l) => Some(*l),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl From<Local> for Operand {
+    fn from(l: Local) -> Self {
+        Operand::Local(l)
+    }
+}
+
+impl From<Constant> for Operand {
+    fn from(c: Constant) -> Self {
+        Operand::Const(c)
+    }
+}
+
+/// A reference to a field, by owner class, name, and type.
+///
+/// Field references are symbolic: they name the *declared* owner and are
+/// resolved against the class hierarchy by the analysis layers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldRef {
+    /// Declaring class (dotted binary name).
+    pub class: Symbol,
+    /// Field name.
+    pub name: Symbol,
+    /// Declared field type.
+    pub ty: JType,
+}
+
+/// A reference to a method, by owner class, name, and signature.
+///
+/// Like [`FieldRef`], method references are symbolic; virtual-dispatch
+/// resolution happens during code-property-graph construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodRef {
+    /// Declared owner class (dotted binary name).
+    pub class: Symbol,
+    /// Method name.
+    pub name: Symbol,
+    /// Parameter types (excluding the receiver).
+    pub params: Vec<JType>,
+    /// Return type.
+    pub ret: JType,
+}
+
+/// JVM invocation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvokeKind {
+    /// `invokevirtual` — virtual dispatch on the receiver's runtime class.
+    Virtual,
+    /// `invokeinterface` — like virtual, through an interface type.
+    Interface,
+    /// `invokespecial` — constructors, `super.…`, private methods.
+    Special,
+    /// `invokestatic` — no receiver.
+    Static,
+    /// `invokedynamic` — call-site bootstrapped at runtime (lambdas, string
+    /// concat). Modeled opaquely; the paper lists reflection/dynamic features
+    /// as a limitation (§V-B).
+    Dynamic,
+}
+
+impl InvokeKind {
+    /// Whether calls of this kind dispatch on the runtime type of the
+    /// receiver (and therefore interact with ALIAS edges).
+    pub fn is_dispatched(self) -> bool {
+        matches!(self, InvokeKind::Virtual | InvokeKind::Interface)
+    }
+
+    /// Whether calls of this kind take a receiver.
+    pub fn has_receiver(self) -> bool {
+        !matches!(self, InvokeKind::Static | InvokeKind::Dynamic)
+    }
+}
+
+/// A method invocation expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvokeExpr {
+    /// How the call dispatches.
+    pub kind: InvokeKind,
+    /// Receiver, present unless [`InvokeKind::has_receiver`] is false.
+    pub base: Option<Operand>,
+    /// The symbolic callee.
+    pub callee: MethodRef,
+    /// Argument values, one per parameter.
+    pub args: Vec<Operand>,
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Place {
+    /// A local variable.
+    Local(Local),
+    /// An instance field `base.field`.
+    InstanceField {
+        /// Object whose field is accessed.
+        base: Local,
+        /// The field.
+        field: FieldRef,
+    },
+    /// A static field `Class.field`.
+    StaticField(FieldRef),
+    /// An array element `base[index]`.
+    ArrayElem {
+        /// The array.
+        base: Local,
+        /// Element index.
+        index: Operand,
+    },
+}
+
+/// Binary operators (arithmetic, comparison producing int, bitwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Ushr,
+    And,
+    Or,
+    Xor,
+    /// Three-way compare (`lcmp` / `fcmpl` / …) producing -1/0/1.
+    Cmp,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+}
+
+/// Conditional-branch comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// The right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A simple value copy: `a = b` / `a = const`.
+    Use(Operand),
+    /// A load from a field or array element: `a = b.f`, `a = b[i]`,
+    /// `a = Class.field`.
+    Load(Place),
+    /// Object allocation: `a = new C` (constructor invoked separately, as in
+    /// Jimple).
+    New(Symbol),
+    /// Array allocation: `a = new T[len]`.
+    NewArray {
+        /// Element type.
+        elem: JType,
+        /// Array length.
+        len: Operand,
+    },
+    /// Checked cast: `a = (T) b`.
+    Cast {
+        /// Target type.
+        ty: JType,
+        /// Value being cast.
+        value: Operand,
+    },
+    /// Type test: `a = b instanceof T`.
+    InstanceOf {
+        /// Tested type.
+        ty: JType,
+        /// Value being tested.
+        value: Operand,
+    },
+    /// Arithmetic / bitwise binary expression.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Unary expression.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        value: Operand,
+    },
+    /// Array length: `a = b.length`.
+    ArrayLength(Operand),
+    /// Call with a result: `a = b.f(c)`.
+    Invoke(InvokeExpr),
+}
+
+/// The source of an identity statement (Jimple `IdentityStmt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdentityRef {
+    /// `this` of an instance method.
+    This,
+    /// The i-th declared parameter (0-based, excluding the receiver).
+    Param(u16),
+    /// The exception object at the start of a handler.
+    CaughtException,
+}
+
+/// A branch condition `lhs <op> rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: Operand,
+    /// Right operand.
+    pub rhs: Operand,
+}
+
+/// A statement of the IR.
+///
+/// The fifteen variants map one-to-one to Jimple's statement classes
+/// (`JAssignStmt`, `JIdentityStmt`, `JInvokeStmt`, `JReturnStmt`,
+/// `JReturnVoidStmt`, `JIfStmt`, `JGotoStmt`, `JTableSwitchStmt`,
+/// `JLookupSwitchStmt`, `JThrowStmt`, `JEnterMonitorStmt`,
+/// `JExitMonitorStmt`, `JNopStmt`, `JBreakpointStmt`, `JRetStmt`) — "all 15
+/// statements, which contain semantic information" per §III-C. Table and
+/// lookup switches share [`Stmt::Switch`]; subroutine return is [`Stmt::Ret`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `place = expr`
+    Assign {
+        /// Destination.
+        place: Place,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// `local := @this | @parameterN | @caughtexception`
+    Identity {
+        /// Bound local.
+        local: Local,
+        /// What it is bound to.
+        source: IdentityRef,
+    },
+    /// A call whose result (if any) is discarded.
+    Invoke(InvokeExpr),
+    /// `return value;` / `return;`
+    Return(Option<Operand>),
+    /// `if (cond) goto target;`
+    If {
+        /// The branch condition.
+        cond: Condition,
+        /// Taken branch target.
+        target: Label,
+    },
+    /// `goto target;`
+    Goto(Label),
+    /// `switch (key) { case v: goto …; default: goto …; }` — covers both
+    /// `tableswitch` and `lookupswitch`.
+    Switch {
+        /// Scrutinee.
+        key: Operand,
+        /// `(match value, target)` pairs.
+        cases: Vec<(i64, Label)>,
+        /// Default target.
+        default: Label,
+    },
+    /// `throw value;`
+    Throw(Operand),
+    /// `monitorenter value;`
+    EnterMonitor(Operand),
+    /// `monitorexit value;`
+    ExitMonitor(Operand),
+    /// No operation.
+    Nop,
+    /// Debugger breakpoint (never emitted by javac; kept for Jimple parity).
+    Breakpoint,
+    /// `ret` from a JSR subroutine (obsolete since class-file v51; kept for
+    /// Jimple parity, treated as an opaque terminator).
+    Ret(Local),
+}
+
+impl Stmt {
+    /// The invocation contained in this statement, if any — either a bare
+    /// [`Stmt::Invoke`] or an [`Expr::Invoke`] right-hand side.
+    pub fn invoke(&self) -> Option<&InvokeExpr> {
+        match self {
+            Stmt::Invoke(inv) => Some(inv),
+            Stmt::Assign {
+                rhs: Expr::Invoke(inv),
+                ..
+            } => Some(inv),
+            _ => None,
+        }
+    }
+
+    /// Whether this statement unconditionally ends the current control-flow
+    /// path (no fall-through successor).
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Stmt::Return(_) | Stmt::Goto(_) | Stmt::Switch { .. } | Stmt::Throw(_) | Stmt::Ret(_)
+        )
+    }
+
+    /// Branch targets referenced by this statement.
+    pub fn targets(&self) -> Vec<Label> {
+        match self {
+            Stmt::If { target, .. } => vec![*target],
+            Stmt::Goto(t) => vec![*t],
+            Stmt::Switch { cases, default, .. } => {
+                let mut ts: Vec<Label> = cases.iter().map(|(_, l)| *l).collect();
+                ts.push(*default);
+                ts
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_invoke() -> InvokeExpr {
+        InvokeExpr {
+            kind: InvokeKind::Static,
+            base: None,
+            callee: MethodRef {
+                class: Symbol::default_for_test(),
+                name: Symbol::default_for_test(),
+                params: vec![],
+                ret: JType::Void,
+            },
+            args: vec![],
+        }
+    }
+
+    impl Symbol {
+        fn default_for_test() -> Symbol {
+            let mut i = crate::Interner::new();
+            i.intern("t")
+        }
+    }
+
+    #[test]
+    fn invoke_extraction() {
+        let s = Stmt::Invoke(dummy_invoke());
+        assert!(s.invoke().is_some());
+        let s = Stmt::Assign {
+            place: Place::Local(Local(0)),
+            rhs: Expr::Invoke(dummy_invoke()),
+        };
+        assert!(s.invoke().is_some());
+        let s = Stmt::Nop;
+        assert!(s.invoke().is_none());
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Stmt::Return(None).is_terminator());
+        assert!(Stmt::Goto(Label(0)).is_terminator());
+        assert!(Stmt::Throw(Operand::Const(Constant::Null)).is_terminator());
+        assert!(!Stmt::Nop.is_terminator());
+        assert!(!Stmt::If {
+            cond: Condition {
+                op: CmpOp::Eq,
+                lhs: Operand::Const(Constant::Int(0)),
+                rhs: Operand::Const(Constant::Int(0)),
+            },
+            target: Label(0),
+        }
+        .is_terminator());
+    }
+
+    #[test]
+    fn switch_targets_include_default() {
+        let s = Stmt::Switch {
+            key: Operand::Local(Local(1)),
+            cases: vec![(1, Label(10)), (2, Label(20))],
+            default: Label(30),
+        };
+        assert_eq!(s.targets(), vec![Label(10), Label(20), Label(30)]);
+    }
+
+    #[test]
+    fn invoke_kind_properties() {
+        assert!(InvokeKind::Virtual.is_dispatched());
+        assert!(InvokeKind::Interface.is_dispatched());
+        assert!(!InvokeKind::Special.is_dispatched());
+        assert!(!InvokeKind::Static.has_receiver());
+        assert!(InvokeKind::Special.has_receiver());
+    }
+}

@@ -1,0 +1,132 @@
+//! String interning for class, method, and field names.
+//!
+//! Every name that appears in a [`crate::Program`] is interned into a
+//! [`Symbol`], a cheap copyable handle. Interning keeps the IR compact and
+//! makes name comparisons O(1), which matters because the controllability
+//! analysis compares method names on every call-site visit.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to an interned string.
+///
+/// Symbols are only meaningful together with the [`Interner`] (usually owned
+/// by a [`crate::Program`]) that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// A symbol that can never be produced by interning (index `u32::MAX`).
+    /// Used internally as a "name not present in this program" marker; it is
+    /// only ever compared, never resolved.
+    pub(crate) const SENTINEL: Symbol = Symbol(u32::MAX);
+
+    /// Raw index of the symbol inside its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// # Examples
+///
+/// ```
+/// use tabby_ir::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("java.lang.Object");
+/// let b = interner.intern("java.lang.Object");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "java.lang.Object");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner and is out of
+    /// range for this one.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let names = ["x", "", "java.util.HashMap", "readObject"];
+        let syms: Vec<_> = names.iter().map(|n| i.intern(n)).collect();
+        for (n, s) in names.iter().zip(&syms) {
+            assert_eq!(i.resolve(*s), *n);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Java type representation and JVM descriptor syntax.
+
+use crate::symbol::{Interner, Symbol};
+use std::fmt;
+
+/// A Java type, as it appears in field and method signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JType {
+    /// `boolean`
+    Boolean,
+    /// `byte`
+    Byte,
+    /// `char`
+    Char,
+    /// `short`
+    Short,
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `void` (only valid as a return type)
+    Void,
+    /// A class or interface type, referenced by its dotted binary name
+    /// (e.g. `java.lang.Object`).
+    Object(Symbol),
+    /// An array of the element type.
+    Array(Box<JType>),
+}
+
+impl JType {
+    /// Convenience constructor for an object type.
+    pub fn object(interner: &mut Interner, name: &str) -> JType {
+        JType::Object(interner.intern(name))
+    }
+
+    /// Convenience constructor for an array type.
+    pub fn array(elem: JType) -> JType {
+        JType::Array(Box::new(elem))
+    }
+
+    /// Whether this is a reference type (object or array).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, JType::Object(_) | JType::Array(_))
+    }
+
+    /// Whether this type occupies two JVM stack slots (`long` / `double`).
+    pub fn is_wide(&self) -> bool {
+        matches!(self, JType::Long | JType::Double)
+    }
+
+    /// The class name if this is an object type.
+    pub fn class_name(&self) -> Option<Symbol> {
+        match self {
+            JType::Object(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Parses a single JVM type descriptor such as `I`, `[J`, or
+    /// `Ljava/lang/String;`.
+    ///
+    /// Returns the parsed type and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescriptorError`] on malformed input.
+    pub fn parse_descriptor(
+        interner: &mut Interner,
+        desc: &str,
+    ) -> Result<(JType, usize), DescriptorError> {
+        let bytes = desc.as_bytes();
+        let Some(&first) = bytes.first() else {
+            return Err(DescriptorError::empty());
+        };
+        let simple = |t: JType| Ok((t, 1));
+        match first {
+            b'Z' => simple(JType::Boolean),
+            b'B' => simple(JType::Byte),
+            b'C' => simple(JType::Char),
+            b'S' => simple(JType::Short),
+            b'I' => simple(JType::Int),
+            b'J' => simple(JType::Long),
+            b'F' => simple(JType::Float),
+            b'D' => simple(JType::Double),
+            b'V' => simple(JType::Void),
+            b'L' => {
+                let end = desc
+                    .find(';')
+                    .ok_or_else(|| DescriptorError::new(desc, "unterminated class descriptor"))?;
+                let internal = &desc[1..end];
+                let dotted = internal.replace('/', ".");
+                Ok((JType::Object(interner.intern(&dotted)), end + 1))
+            }
+            b'[' => {
+                let (elem, used) = JType::parse_descriptor(interner, &desc[1..])?;
+                if elem == JType::Void {
+                    return Err(DescriptorError::new(desc, "array of void"));
+                }
+                Ok((JType::Array(Box::new(elem)), used + 1))
+            }
+            _ => Err(DescriptorError::new(desc, "unknown type tag")),
+        }
+    }
+
+    /// Renders this type as a JVM descriptor (`Ljava/lang/String;` style).
+    pub fn to_descriptor(&self, interner: &Interner) -> String {
+        let mut out = String::new();
+        self.write_descriptor(interner, &mut out);
+        out
+    }
+
+    fn write_descriptor(&self, interner: &Interner, out: &mut String) {
+        match self {
+            JType::Boolean => out.push('Z'),
+            JType::Byte => out.push('B'),
+            JType::Char => out.push('C'),
+            JType::Short => out.push('S'),
+            JType::Int => out.push('I'),
+            JType::Long => out.push('J'),
+            JType::Float => out.push('F'),
+            JType::Double => out.push('D'),
+            JType::Void => out.push('V'),
+            JType::Object(sym) => {
+                out.push('L');
+                out.push_str(&interner.resolve(*sym).replace('.', "/"));
+                out.push(';');
+            }
+            JType::Array(elem) => {
+                out.push('[');
+                elem.write_descriptor(interner, out);
+            }
+        }
+    }
+
+    /// Renders this type in Java source syntax (`java.lang.String[]`).
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        DisplayType {
+            ty: self,
+            interner,
+        }
+    }
+}
+
+struct DisplayType<'a> {
+    ty: &'a JType,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayType<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            JType::Boolean => f.write_str("boolean"),
+            JType::Byte => f.write_str("byte"),
+            JType::Char => f.write_str("char"),
+            JType::Short => f.write_str("short"),
+            JType::Int => f.write_str("int"),
+            JType::Long => f.write_str("long"),
+            JType::Float => f.write_str("float"),
+            JType::Double => f.write_str("double"),
+            JType::Void => f.write_str("void"),
+            JType::Object(s) => f.write_str(self.interner.resolve(*s)),
+            JType::Array(elem) => write!(
+                f,
+                "{}[]",
+                DisplayType {
+                    ty: elem,
+                    interner: self.interner
+                }
+            ),
+        }
+    }
+}
+
+/// Parses a full JVM method descriptor such as `(ILjava/lang/String;)V`.
+///
+/// # Errors
+///
+/// Returns [`DescriptorError`] on malformed input.
+pub fn parse_method_descriptor(
+    interner: &mut Interner,
+    desc: &str,
+) -> Result<(Vec<JType>, JType), DescriptorError> {
+    if !desc.starts_with('(') {
+        return Err(DescriptorError::new(desc, "missing opening parenthesis"));
+    }
+    let close = desc
+        .find(')')
+        .ok_or_else(|| DescriptorError::new(desc, "missing closing parenthesis"))?;
+    let mut params = Vec::new();
+    let mut rest = &desc[1..close];
+    while !rest.is_empty() {
+        let (ty, used) = JType::parse_descriptor(interner, rest)?;
+        if ty == JType::Void {
+            return Err(DescriptorError::new(desc, "void parameter"));
+        }
+        params.push(ty);
+        rest = &rest[used..];
+    }
+    let (ret, used) = JType::parse_descriptor(interner, &desc[close + 1..])?;
+    if close + 1 + used != desc.len() {
+        return Err(DescriptorError::new(desc, "trailing characters"));
+    }
+    Ok((params, ret))
+}
+
+/// Renders a full JVM method descriptor.
+pub fn method_descriptor(interner: &Interner, params: &[JType], ret: &JType) -> String {
+    let mut out = String::from("(");
+    for p in params {
+        p.write_descriptor(interner, &mut out);
+    }
+    out.push(')');
+    ret.write_descriptor(interner, &mut out);
+    out
+}
+
+/// Error produced when parsing a malformed type or method descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescriptorError {
+    descriptor: String,
+    reason: &'static str,
+}
+
+impl DescriptorError {
+    fn new(descriptor: &str, reason: &'static str) -> Self {
+        Self {
+            descriptor: descriptor.to_owned(),
+            reason,
+        }
+    }
+
+    fn empty() -> Self {
+        Self::new("", "empty descriptor")
+    }
+}
+
+impl fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid descriptor {:?}: {}", self.descriptor, self.reason)
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(desc: &str) {
+        let mut i = Interner::new();
+        let (ty, used) = JType::parse_descriptor(&mut i, desc).unwrap();
+        assert_eq!(used, desc.len());
+        assert_eq!(ty.to_descriptor(&i), desc);
+    }
+
+    #[test]
+    fn primitive_descriptors_round_trip() {
+        for d in ["Z", "B", "C", "S", "I", "J", "F", "D", "V"] {
+            roundtrip(d);
+        }
+    }
+
+    #[test]
+    fn object_and_array_descriptors_round_trip() {
+        roundtrip("Ljava/lang/String;");
+        roundtrip("[I");
+        roundtrip("[[Ljava/util/Map;");
+    }
+
+    #[test]
+    fn object_names_are_dotted_internally() {
+        let mut i = Interner::new();
+        let (ty, _) = JType::parse_descriptor(&mut i, "Ljava/lang/String;").unwrap();
+        let sym = ty.class_name().unwrap();
+        assert_eq!(i.resolve(sym), "java.lang.String");
+    }
+
+    #[test]
+    fn method_descriptor_round_trips() {
+        let mut i = Interner::new();
+        let desc = "(ILjava/lang/String;[J)Ljava/lang/Object;";
+        let (params, ret) = parse_method_descriptor(&mut i, desc).unwrap();
+        assert_eq!(params.len(), 3);
+        assert_eq!(method_descriptor(&i, &params, &ret), desc);
+    }
+
+    #[test]
+    fn malformed_descriptors_error() {
+        let mut i = Interner::new();
+        assert!(JType::parse_descriptor(&mut i, "").is_err());
+        assert!(JType::parse_descriptor(&mut i, "Q").is_err());
+        assert!(JType::parse_descriptor(&mut i, "Ljava/lang/String").is_err());
+        assert!(JType::parse_descriptor(&mut i, "[V").is_err());
+        assert!(parse_method_descriptor(&mut i, "I)V").is_err());
+        assert!(parse_method_descriptor(&mut i, "(V)V").is_err());
+        assert!(parse_method_descriptor(&mut i, "(I)VX").is_err());
+    }
+
+    #[test]
+    fn wide_types() {
+        assert!(JType::Long.is_wide());
+        assert!(JType::Double.is_wide());
+        assert!(!JType::Int.is_wide());
+    }
+
+    #[test]
+    fn display_java_syntax() {
+        let mut i = Interner::new();
+        let ty = JType::array(JType::object(&mut i, "java.lang.String"));
+        assert_eq!(ty.display(&i).to_string(), "java.lang.String[]");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the IR substrate: descriptor round trips,
+//! interner behaviour, CFG well-formedness, and the compile→lift pipeline
+//! on generated bodies.
+
+use proptest::prelude::*;
+use tabby_ir::{
+    method_descriptor, parse_method_descriptor, CmpOp, Interner, JType, ProgramBuilder,
+};
+
+/// Strategy for arbitrary JVM types (bounded nesting).
+fn jtype() -> impl Strategy<Value = fn(&mut Interner) -> JType> {
+    prop_oneof![
+        Just((|_: &mut Interner| JType::Int) as fn(&mut Interner) -> JType),
+        Just((|_: &mut Interner| JType::Boolean) as fn(&mut Interner) -> JType),
+        Just((|_: &mut Interner| JType::Long) as fn(&mut Interner) -> JType),
+        Just((|_: &mut Interner| JType::Double) as fn(&mut Interner) -> JType),
+        Just((|i: &mut Interner| JType::object(i, "java.lang.String")) as fn(&mut Interner) -> JType),
+        Just((|i: &mut Interner| JType::object(i, "a.b.C$Inner")) as fn(&mut Interner) -> JType),
+        Just(
+            (|i: &mut Interner| JType::array(JType::object(i, "java.util.Map")))
+                as fn(&mut Interner) -> JType
+        ),
+        Just((|_: &mut Interner| JType::array(JType::array(JType::Byte))) as fn(&mut Interner) -> JType),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn method_descriptors_round_trip(params in prop::collection::vec(jtype(), 0..6), ret in jtype()) {
+        let mut interner = Interner::new();
+        let params: Vec<JType> = params.into_iter().map(|f| f(&mut interner)).collect();
+        let ret = ret(&mut interner);
+        let desc = method_descriptor(&interner, &params, &ret);
+        let (back_params, back_ret) = parse_method_descriptor(&mut interner, &desc).unwrap();
+        prop_assert_eq!(back_params, params);
+        prop_assert_eq!(back_ret, ret);
+    }
+
+    #[test]
+    fn interner_is_stable_under_any_input(names in prop::collection::vec("[a-zA-Z0-9$./_]{1,40}", 1..50)) {
+        let mut interner = Interner::new();
+        let syms: Vec<_> = names.iter().map(|n| interner.intern(n)).collect();
+        for (name, sym) in names.iter().zip(&syms) {
+            prop_assert_eq!(interner.resolve(*sym), name.as_str());
+            prop_assert_eq!(interner.intern(name), *sym);
+        }
+    }
+
+    #[test]
+    fn cfg_successors_are_in_bounds(stmt_count in 1usize..20, branch_at in 0usize..20, target in 0usize..20) {
+        // Build a body with a branch from `branch_at` to `target` (both
+        // clamped) plus padding nops; the CFG must stay in bounds and the
+        // RPO must cover every statement exactly once.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![JType::Int], JType::Void).static_();
+        let p0 = mb.param(0);
+        let label = mb.fresh_label();
+        let branch_at = branch_at % stmt_count;
+        for i in 0..stmt_count {
+            if i == branch_at {
+                mb.if_(CmpOp::Eq, p0, mb.c_int(0), label);
+            } else {
+                mb.nop();
+            }
+        }
+        let target = target % 2; // place the label before the trailing return or at it
+        if target == 0 {
+            mb.place(label);
+            mb.nop();
+        } else {
+            mb.place(label);
+        }
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let body = p.method(id).body.as_ref().unwrap();
+        let cfg = tabby_ir::Cfg::new(body);
+        for i in 0..cfg.len() {
+            for &s in cfg.succs(i) {
+                prop_assert!(s < cfg.len());
+                prop_assert!(cfg.preds(s).contains(&i));
+            }
+        }
+        let rpo = cfg.reverse_post_order();
+        prop_assert_eq!(rpo.len(), cfg.len());
+        let mut seen = rpo.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), cfg.len());
+    }
+
+    #[test]
+    fn compile_lift_preserves_invoke_count(calls in 1usize..8, fields in 0usize..4) {
+        // A generated body with `fields` field loads and `calls` static
+        // calls must keep its call count through compile -> parse -> lift.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.Gen").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        for f in 0..fields {
+            cb.field(&format!("f{f}"), obj.clone());
+        }
+        let mut mb = cb.method("readObject", vec![obj.clone()], JType::Void);
+        let this = mb.this();
+        let mut cursor = mb.param(0);
+        for f in 0..fields {
+            let v = mb.fresh();
+            mb.get_field(v, this, "t.Gen", &format!("f{f}"), obj.clone());
+            cursor = v;
+        }
+        for k in 0..calls {
+            let callee = mb.sig("t.Ext", &format!("step{k}"), &[obj.clone()], obj.clone());
+            let r = mb.fresh();
+            mb.call_static(Some(r), callee, &[cursor.into()]);
+            cursor = r;
+        }
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let bytes: Vec<Vec<u8>> = tabby_ir::compile::compile_program(&p)
+            .into_iter()
+            .map(|(_, b)| b)
+            .collect();
+        let lifted = tabby_ir::lift::lift_program(&bytes).unwrap();
+        let id = lifted
+            .method_ids()
+            .find(|id| lifted.name(lifted.method(*id).name) == "readObject")
+            .unwrap();
+        let body = lifted.method(id).body.as_ref().unwrap();
+        let lifted_calls = body.stmts.iter().filter(|s| s.invoke().is_some()).count();
+        prop_assert_eq!(lifted_calls, calls);
+    }
+}

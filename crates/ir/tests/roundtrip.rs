@@ -1,0 +1,228 @@
+//! Class-file round-trip tests: IR → `.class` bytes → lifted IR.
+//!
+//! The lifted program is not syntactically identical to the original (the
+//! lifter materializes stack cells as extra locals), but it must preserve
+//! the *semantics the analysis consumes*: class hierarchy, field layout,
+//! method signatures, and — crucially — the call structure and the dataflow
+//! from fields/parameters into call arguments.
+
+use tabby_ir::compile::compile_program;
+use tabby_ir::lift::lift_program;
+use tabby_ir::{CmpOp, InvokeKind, JType, Program, ProgramBuilder, Stmt};
+
+fn roundtrip(p: &Program) -> Program {
+    let bytes: Vec<Vec<u8>> = compile_program(p).into_iter().map(|(_, b)| b).collect();
+    lift_program(&bytes).expect("lift")
+}
+
+fn method_by_name<'p>(p: &'p Program, name: &str) -> &'p tabby_ir::Method {
+    let id = p
+        .method_ids()
+        .find(|id| p.name(p.method(*id).name) == name)
+        .unwrap_or_else(|| panic!("method {name} not found"));
+    p.method(id)
+}
+
+#[test]
+fn hierarchy_and_members_survive() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("p.Iface").interface().finish();
+    let mut cb = pb
+        .class("p.Impl")
+        .extends("p.Base")
+        .implements(&["p.Iface", "java.io.Serializable"]);
+    let obj = cb.object_type("java.lang.Object");
+    cb.field("payload", obj.clone());
+    cb.field("count", JType::Int);
+    cb.method("run", vec![obj.clone()], obj.clone())
+        .abstract_()
+        .finish();
+    cb.finish();
+    pb.class("p.Base").finish();
+    let p = pb.build();
+    let lifted = roundtrip(&p);
+
+    let impl_id = lifted.class_by_str("p.Impl").expect("p.Impl");
+    let class = lifted.class(impl_id);
+    assert_eq!(lifted.name(class.superclass.unwrap()), "p.Base");
+    let itf_names: Vec<&str> = class
+        .interfaces
+        .iter()
+        .map(|i| lifted.name(*i))
+        .collect();
+    assert_eq!(itf_names, vec!["p.Iface", "java.io.Serializable"]);
+    assert_eq!(class.fields.len(), 2);
+    assert_eq!(lifted.name(class.fields[0].name), "payload");
+    assert_eq!(class.fields[1].ty, JType::Int);
+    // Abstract method: no body after the round trip either.
+    assert!(class.methods[0].body.is_none());
+    assert!(lifted.class_by_str("p.Iface").is_some());
+    assert!(lifted
+        .class(lifted.class_by_str("p.Iface").unwrap())
+        .flags
+        .is_interface());
+}
+
+#[test]
+fn call_structure_survives() {
+    let mut pb = ProgramBuilder::new();
+    let mut cb = pb.class("p.Caller").serializable();
+    let obj = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    cb.field("cmd", string.clone());
+    let mut mb = cb.method("readObject", vec![obj.clone()], JType::Void);
+    let this = mb.this();
+    let cmd = mb.fresh();
+    mb.get_field(cmd, this, "p.Caller", "cmd", string.clone());
+    let rt_ty = mb.object_type("java.lang.Runtime");
+    let rt = mb.fresh();
+    let get_rt = mb.sig("java.lang.Runtime", "getRuntime", &[], rt_ty);
+    mb.call_static(Some(rt), get_rt, &[]);
+    let process = mb.object_type("java.lang.Process");
+    let exec = mb.sig("java.lang.Runtime", "exec", &[string.clone()], process);
+    mb.call_virtual(None, rt, exec, &[cmd.into()]);
+    mb.finish();
+    cb.finish();
+    let p = pb.build();
+    let lifted = roundtrip(&p);
+    let method = method_by_name(&lifted, "readObject");
+    let body = method.body.as_ref().unwrap();
+    let invokes: Vec<_> = body.stmts.iter().filter_map(|s| s.invoke()).collect();
+    assert_eq!(invokes.len(), 2);
+    assert_eq!(lifted.name(invokes[0].callee.name), "getRuntime");
+    assert_eq!(invokes[0].kind, InvokeKind::Static);
+    assert_eq!(lifted.name(invokes[1].callee.name), "exec");
+    assert_eq!(invokes[1].kind, InvokeKind::Virtual);
+    assert_eq!(lifted.name(invokes[1].callee.class), "java.lang.Runtime");
+    assert_eq!(invokes[1].args.len(), 1);
+}
+
+#[test]
+fn branches_survive() {
+    let mut pb = ProgramBuilder::new();
+    let mut cb = pb.class("p.Branchy");
+    let mut mb = cb.method("m", vec![JType::Int], JType::Int).static_();
+    let p0 = mb.param(0);
+    let end = mb.fresh_label();
+    mb.if_(CmpOp::Eq, p0, mb.c_int(0), end);
+    mb.nop();
+    mb.place(end);
+    let r = mb.fresh();
+    mb.copy(r, mb.c_int(9));
+    mb.ret(r);
+    mb.finish();
+    cb.finish();
+    let p = pb.build();
+    let lifted = roundtrip(&p);
+    let body = method_by_name(&lifted, "m").body.as_ref().unwrap();
+    let has_if = body.stmts.iter().any(|s| matches!(s, Stmt::If { .. }));
+    assert!(has_if);
+    // The branch target must resolve inside the body.
+    for stmt in &body.stmts {
+        for t in stmt.targets() {
+            assert!(body.target(t) < body.stmts.len());
+        }
+    }
+}
+
+#[test]
+fn switch_survives() {
+    let mut pb = ProgramBuilder::new();
+    let mut cb = pb.class("p.Switchy");
+    let mut mb = cb.method("m", vec![JType::Int], JType::Void).static_();
+    let p0 = mb.param(0);
+    let a = mb.fresh_label();
+    let d = mb.fresh_label();
+    mb.switch(p0, vec![(4, a), (9, a)], d);
+    mb.place(a);
+    mb.nop();
+    mb.place(d);
+    mb.ret_void();
+    mb.finish();
+    cb.finish();
+    let p = pb.build();
+    let lifted = roundtrip(&p);
+    let body = method_by_name(&lifted, "m").body.as_ref().unwrap();
+    let switch = body
+        .stmts
+        .iter()
+        .find_map(|s| match s {
+            Stmt::Switch { cases, .. } => Some(cases.clone()),
+            _ => None,
+        })
+        .expect("switch survived");
+    let keys: Vec<i64> = switch.iter().map(|(k, _)| *k).collect();
+    assert_eq!(keys, vec![4, 9]);
+}
+
+#[test]
+fn dynamic_invoke_round_trips_to_dynamic() {
+    use tabby_ir::{InvokeExpr, Operand};
+    let mut pb = ProgramBuilder::new();
+    let mut cb = pb.class("p.Dyn").serializable();
+    let obj = cb.object_type("java.lang.Object");
+    let mut mb = cb.method("readObject", vec![obj.clone()], JType::Void);
+    let this = mb.this();
+    let callee = mb.sig("p.Dyn", "lambda$0", &[obj.clone()], JType::Void);
+    mb.push(Stmt::Invoke(InvokeExpr {
+        kind: InvokeKind::Dynamic,
+        base: None,
+        callee,
+        args: vec![Operand::Local(this)],
+    }));
+    mb.finish();
+    cb.finish();
+    let p = pb.build();
+    let lifted = roundtrip(&p);
+    let body = method_by_name(&lifted, "readObject").body.as_ref().unwrap();
+    let inv = body
+        .stmts
+        .iter()
+        .find_map(|s| s.invoke())
+        .expect("invoke survived");
+    assert_eq!(inv.kind, InvokeKind::Dynamic);
+}
+
+#[test]
+fn static_fields_and_arrays_survive() {
+    let mut pb = ProgramBuilder::new();
+    let mut cb = pb.class("p.Arr");
+    let obj = cb.object_type("java.lang.Object");
+    cb.static_field("shared", obj.clone());
+    let mut mb = cb.method("m", vec![obj.clone()], obj.clone()).static_();
+    let p0 = mb.param(0);
+    mb.put_static("p.Arr", "shared", obj.clone(), p0);
+    let arr = mb.fresh();
+    mb.new_array(arr, obj.clone(), mb.c_int(2));
+    mb.array_put(arr, mb.c_int(0), p0);
+    let v = mb.fresh();
+    mb.array_get(v, arr, mb.c_int(0));
+    mb.ret(v);
+    mb.finish();
+    cb.finish();
+    let p = pb.build();
+    let lifted = roundtrip(&p);
+    let body = method_by_name(&lifted, "m").body.as_ref().unwrap();
+    use tabby_ir::{Expr, Place};
+    assert!(body.stmts.iter().any(|s| matches!(
+        s,
+        Stmt::Assign {
+            place: Place::StaticField(_),
+            ..
+        }
+    )));
+    assert!(body.stmts.iter().any(|s| matches!(
+        s,
+        Stmt::Assign {
+            place: Place::ArrayElem { .. },
+            ..
+        }
+    )));
+    assert!(body.stmts.iter().any(|s| matches!(
+        s,
+        Stmt::Assign {
+            rhs: Expr::NewArray { .. },
+            ..
+        }
+    )));
+}

@@ -1,0 +1,62 @@
+//! # tabby-pathfinder — gadget-chain search over the code property graph
+//!
+//! The *tabby-path-finder* role of the paper (§III-D): given a built
+//! [`tabby_core::Cpg`], annotate **sink** methods (Table VII, with
+//! Trigger_Conditions) and **source** methods (deserialization entry
+//! points), then search backwards from every sink with the
+//! Expander/Evaluator pair of Algorithms 2–3, translating the
+//! Trigger_Condition through each CALL edge's Polluted_Position (Formula 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use tabby_core::{AnalysisConfig, Cpg};
+//! use tabby_ir::{JType, ProgramBuilder};
+//! use tabby_pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog};
+//!
+//! // A one-hop chain: Evil.readObject -> Runtime.exec(cmd from a field).
+//! let mut pb = ProgramBuilder::new();
+//! let mut cb = pb.class("demo.Evil").serializable();
+//! let string = cb.object_type("java.lang.String");
+//! let ois = cb.object_type("java.io.ObjectInputStream");
+//! cb.field("cmd", string.clone());
+//! let mut mb = cb.method("readObject", vec![ois], JType::Void);
+//! let this = mb.this();
+//! let cmd = mb.fresh();
+//! mb.get_field(cmd, this, "demo.Evil", "cmd", string.clone());
+//! let rt = mb.fresh();
+//! let get_rt = mb.sig("java.lang.Runtime", "getRuntime", &[], string.clone());
+//! mb.call_static(Some(rt), get_rt, &[]);
+//! let exec = mb.sig("java.lang.Runtime", "exec", &[string.clone()], JType::Void);
+//! mb.call_virtual(None, rt, exec, &[cmd.into()]);
+//! mb.finish();
+//! cb.finish();
+//! let program = pb.build();
+//!
+//! let mut cpg = Cpg::build(&program, AnalysisConfig::default());
+//! let chains = find_gadget_chains(
+//!     &mut cpg,
+//!     &SinkCatalog::paper(),
+//!     &SourceCatalog::native_serialization(),
+//!     &SearchConfig::default(),
+//! );
+//! assert_eq!(chains.len(), 1);
+//! assert_eq!(chains[0].source(), "demo.Evil.readObject");
+//! assert_eq!(chains[0].sink(), "java.lang.Runtime.exec");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod report;
+pub mod search;
+pub mod sinks;
+pub mod sources;
+
+pub use report::AuditReport;
+pub use search::{
+    find_chains_raw, find_gadget_chains, traverse_tc, ChainFinder, GadgetChain, SearchConfig,
+    TriggerCondition,
+};
+pub use sinks::{SinkCatalog, SinkCategory, SinkSpec};
+pub use sources::{SourceCatalog, SourceSpec};

@@ -1,0 +1,96 @@
+//! Reporting found chains (the output side of RQ3/RQ4).
+
+use crate::search::GadgetChain;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The result of auditing one component or scene.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// The analyzed component/scene name.
+    pub target: String,
+    /// All chains reported by the detector, source-first.
+    pub chains: Vec<GadgetChain>,
+    /// CPG size at search time (nodes, edges).
+    pub graph_size: (usize, usize),
+    /// Search wall-clock time in seconds.
+    pub search_seconds: f64,
+}
+
+impl AuditReport {
+    /// Number of reported chains.
+    pub fn result_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Chains grouped by sink category.
+    pub fn by_category(&self) -> BTreeMap<String, usize> {
+        let mut map = BTreeMap::new();
+        for c in &self.chains {
+            *map.entry(c.sink_category.clone()).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== {} — {} chain(s), graph {}n/{}e, search {:.1}s ===",
+            self.target,
+            self.chains.len(),
+            self.graph_size.0,
+            self.graph_size.1,
+            self.search_seconds
+        )?;
+        for (i, chain) in self.chains.iter().enumerate() {
+            writeln!(f, "--- chain #{} [{}] ---", i + 1, chain.sink_category)?;
+            writeln!(f, "{chain}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditReport {
+        AuditReport {
+            target: "demo".into(),
+            chains: vec![GadgetChain {
+                signatures: vec!["a.A.readObject".into(), "b.B.exec".into()],
+                sink_category: "EXEC".into(),
+                nodes: vec![],
+            }],
+            graph_size: (10, 20),
+            search_seconds: 0.5,
+        }
+    }
+
+    #[test]
+    fn report_counts_and_groups() {
+        let r = sample();
+        assert_eq!(r.result_count(), 1);
+        assert_eq!(r.by_category().get("EXEC"), Some(&1));
+    }
+
+    #[test]
+    fn report_displays_chains() {
+        let text = sample().to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("(source)a.A.readObject()"));
+        assert!(text.contains("(sink)b.B.exec()"));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.chains.len(), 1);
+        assert_eq!(back.chains[0].signatures, r.chains[0].signatures);
+    }
+}

@@ -1,0 +1,464 @@
+//! Gadget-chain search (§III-D, Algorithms 2–3).
+//!
+//! The search starts at each sink method node with the sink's
+//! Trigger_Condition (TC) and walks *backwards*: CALL edges are crossed from
+//! callee to caller, translating the TC through the edge's Polluted_Position
+//! (Formula 4) and rejecting the edge if any required position maps to ∞;
+//! ALIAS edges are crossed from an overriding method to the declaration its
+//! callers actually invoke, passing the TC through unchanged. A path that
+//! reaches a source method is a gadget chain.
+
+use crate::sinks::{SinkCatalog, SinkSpec};
+use crate::sources::SourceCatalog;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashSet};
+use tabby_core::{Cpg, CpgSchema};
+use tabby_graph::{
+    Direction, Evaluation, Expansion, Graph, NodeId, Path, Traversal, Uniqueness,
+};
+
+/// A Trigger_Condition: the set of call positions (0 = receiver,
+/// i = parameter *i*) that must be attacker-controllable.
+pub type TriggerCondition = BTreeSet<u16>;
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Maximum chain length in edges (the `depth` of Algorithm 3).
+    pub max_depth: usize,
+    /// Stop after this many chains.
+    pub max_results: usize,
+    /// Abort after this many edge expansions (path-explosion guard).
+    pub max_expansions: usize,
+    /// Follow ALIAS edges (ablation: without them polymorphic chains like
+    /// URLDNS disappear).
+    pub use_alias_edges: bool,
+    /// Node-uniqueness policy. `NodeGlobal` reproduces GadgetInspector's
+    /// visited-node shortcut, which the paper criticizes (§IV-F).
+    pub uniqueness: Uniqueness,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            max_results: 10_000,
+            max_expansions: 2_000_000,
+            use_alias_edges: true,
+            uniqueness: Uniqueness::NodePath,
+        }
+    }
+}
+
+/// A found gadget chain, reported source-first (as in Tables I and XI).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GadgetChain {
+    /// Method signatures from source to sink.
+    pub signatures: Vec<String>,
+    /// The sink's exploit-effect category.
+    pub sink_category: String,
+    /// Graph nodes from source to sink.
+    #[serde(skip)]
+    pub nodes: Vec<NodeId>,
+}
+
+impl GadgetChain {
+    /// The source method's signature.
+    pub fn source(&self) -> &str {
+        self.signatures.first().map(String::as_str).unwrap_or("?")
+    }
+
+    /// The sink method's signature.
+    pub fn sink(&self) -> &str {
+        self.signatures.last().map(String::as_str).unwrap_or("?")
+    }
+
+    /// Chain length in calls.
+    pub fn len(&self) -> usize {
+        self.signatures.len().saturating_sub(1)
+    }
+
+    /// Whether the chain is trivial (source == sink).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Display for GadgetChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, sig) in self.signatures.iter().enumerate() {
+            if i == 0 {
+                writeln!(f, "(source){sig}()")?;
+            } else if i + 1 == self.signatures.len() {
+                write!(f, "(sink){sig}()")?;
+            } else {
+                writeln!(f, "{sig}()")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formula 4 — `f_Traverse(TC, PP) = {PP[x] | x ∈ TC}`: translate a TC
+/// through a CALL edge's Polluted_Position into the caller's frame.
+/// Returns `None` when any required position is ∞ (the Expander's rejection
+/// branch in Algorithm 2).
+pub fn traverse_tc(tc: &TriggerCondition, pp: &[i64]) -> Option<TriggerCondition> {
+    let mut next = TriggerCondition::new();
+    for &pos in tc {
+        let w = pp.get(pos as usize).copied().unwrap_or(-1);
+        if w < 0 {
+            return None; // ∞: uncontrollable during the passing process
+        }
+        next.insert(w as u16);
+    }
+    Some(next)
+}
+
+/// The gadget-chain finder over a CPG (the *tabby-path-finder* role).
+///
+/// # Examples
+///
+/// See `examples/quickstart.rs` for an end-to-end run over the Fig. 1
+/// program.
+pub struct ChainFinder<'c> {
+    cpg: &'c Cpg,
+    config: SearchConfig,
+}
+
+impl<'c> ChainFinder<'c> {
+    /// Creates a finder over a built CPG.
+    pub fn new(cpg: &'c Cpg) -> Self {
+        Self {
+            cpg,
+            config: SearchConfig::default(),
+        }
+    }
+
+    /// Replaces the search configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Searches from the given sinks toward the given sources.
+    pub fn search(
+        &self,
+        sinks: &[(NodeId, SinkSpec)],
+        sources: &HashSet<NodeId>,
+    ) -> Vec<GadgetChain> {
+        find_chains_raw(
+            &self.cpg.graph,
+            &self.cpg.schema,
+            sinks
+                .iter()
+                .map(|(n, s)| (*n, s.trigger_condition.iter().copied().collect()))
+                .collect(),
+            sinks
+                .iter()
+                .map(|(n, s)| (*n, s.category.as_str().to_owned()))
+                .collect(),
+            sources,
+            &self.config,
+        )
+    }
+}
+
+/// One-call convenience: annotate catalogs and search.
+///
+/// This is the function the benchmark harness and examples use: build the
+/// CPG, then `find_gadget_chains(&mut cpg, &sinks, &sources, &config)`.
+pub fn find_gadget_chains(
+    cpg: &mut Cpg,
+    sinks: &SinkCatalog,
+    sources: &SourceCatalog,
+    config: &SearchConfig,
+) -> Vec<GadgetChain> {
+    let sink_nodes = sinks.annotate(cpg);
+    let source_nodes = sources.annotate(cpg);
+    let categories = sink_nodes
+        .iter()
+        .map(|(n, s)| (*n, s.category.as_str().to_owned()))
+        .collect();
+    find_chains_raw(
+        &cpg.graph,
+        &cpg.schema,
+        sink_nodes
+            .iter()
+            .map(|(n, s)| (*n, s.trigger_condition.iter().copied().collect()))
+            .collect(),
+        categories,
+        &source_nodes,
+        config,
+    )
+}
+
+/// The raw search over any graph carrying the CPG schema (usable for
+/// hand-built graphs such as the Fig. 6 example).
+pub fn find_chains_raw(
+    graph: &Graph,
+    schema: &CpgSchema,
+    sinks: Vec<(NodeId, TriggerCondition)>,
+    sink_categories: Vec<(NodeId, String)>,
+    sources: &HashSet<NodeId>,
+    config: &SearchConfig,
+) -> Vec<GadgetChain> {
+    let call = schema.call;
+    let alias = schema.alias;
+    let pp_key = schema.polluted_position;
+    let use_alias = config.use_alias_edges;
+    let max_depth = config.max_depth;
+    let sources_for_eval = sources.clone();
+
+    // Algorithm 2: expand backwards over CALL (incoming) and ALIAS
+    // (outgoing), translating the TC through PP on CALL edges.
+    let expander = move |g: &Graph, path: &Path, tc: &TriggerCondition| {
+        let end = path.end();
+        let mut out = Vec::new();
+        for e in g.edges_of(end, Direction::Incoming, Some(call)) {
+            let caller = g.other_node(e, end);
+            let pp = g
+                .edge_prop(e, pp_key)
+                .and_then(|v| v.as_int_list())
+                .unwrap_or(&[]);
+            if let Some(next) = traverse_tc(tc, pp) {
+                out.push(Expansion {
+                    edge: e,
+                    node: caller,
+                    state: next,
+                });
+            }
+        }
+        if use_alias {
+            // ALIAS edges are crossed in both directions, passing the TC
+            // through unchanged: override→declared reaches the node callers
+            // actually invoke (the URLDNS hop, Fig. 4), and declared→override
+            // reaches the bodies dispatch may select (the C→C1 hop of the
+            // paper's Fig. 6 walk-through).
+            for e in g.edges_of(end, Direction::Both, Some(alias)) {
+                out.push(Expansion {
+                    edge: e,
+                    node: g.other_node(e, end),
+                    state: tc.clone(),
+                });
+            }
+        }
+        out
+    };
+
+    // Algorithm 3: a path ending at a source is a gadget chain; otherwise
+    // continue while depth allows.
+    let evaluator = move |_: &Graph, path: &Path, _tc: &TriggerCondition| {
+        if path.len() > 0 && sources_for_eval.contains(&path.end()) {
+            Evaluation::IncludeAndPrune
+        } else if path.len() < max_depth {
+            Evaluation::ExcludeAndContinue
+        } else {
+            Evaluation::ExcludeAndPrune
+        }
+    };
+
+    let traversal = Traversal::new(expander, evaluator)
+        .uniqueness(config.uniqueness)
+        .max_results(config.max_results)
+        .max_expansions(config.max_expansions);
+    let results = traversal.run_many(graph, sinks);
+
+    let category_of = |sink: NodeId| {
+        sink_categories
+            .iter()
+            .find(|(n, _)| *n == sink)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_default()
+    };
+    let describe = |n: NodeId| {
+        let class = graph
+            .node_prop(n, schema.class_name)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        let name = graph
+            .node_prop(n, schema.name)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        format!("{class}.{name}")
+    };
+
+    let mut seen = HashSet::new();
+    let mut chains = Vec::new();
+    for (path, _tc) in results {
+        // Paths run sink → source; report source → sink.
+        let mut nodes: Vec<NodeId> = path.nodes().to_vec();
+        nodes.reverse();
+        if !seen.insert(nodes.clone()) {
+            continue;
+        }
+        let signatures: Vec<String> = nodes.iter().map(|&n| describe(n)).collect();
+        chains.push(GadgetChain {
+            signatures,
+            sink_category: category_of(path.first()),
+            nodes,
+        });
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_graph::Value;
+
+    /// Builds the Fig. 6 graph: method nodes A…J with CALL/ALIAS edges.
+    ///
+    /// Sink A (TC [1]); source H. Expected: chains through C/C1 and G's
+    /// branch is cut by depth, E and I are cut by the Expander (∞ in PP).
+    fn fig6() -> (Graph, CpgSchema, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let schema = CpgSchema::install(&mut g);
+        let names = ["A", "C", "C1", "C2", "E", "G", "H", "I", "E1", "J"];
+        let nodes: Vec<NodeId> = names
+            .iter()
+            .map(|n| {
+                let node = g.add_node(schema.method_label);
+                g.set_node_prop(node, schema.name, Value::from(*n));
+                g.set_node_prop(node, schema.class_name, Value::from("fig6"));
+                node
+            })
+            .collect();
+        let idx = |n: &str| nodes[names.iter().position(|x| *x == n).unwrap()];
+        let mut call = |from: &str, to: &str, pp: Vec<i64>| {
+            let e = g.add_edge(schema.call, idx(from), idx(to));
+            g.set_edge_prop(e, schema.polluted_position, Value::IntList(pp));
+        };
+        // C calls A with the TC-relevant parameter flowing from C's param 1.
+        call("C", "A", vec![-1, 1]);
+        // E calls A but the relevant position is ∞ — Expander cuts it.
+        call("E", "A", vec![-1, -1]);
+        // G calls C2; C2 aliases C. G is only reachable through a long tail
+        // that exceeds the depth bound — Evaluator cuts it.
+        call("G", "C2", vec![-1, 1]);
+        // H (the source) calls C1.
+        call("H", "C1", vec![0, 0]);
+        // I calls C1 but with ∞ at the required position.
+        call("I", "C1", vec![-1, -1]);
+        // J calls E1.
+        call("J", "E1", vec![0, 1]);
+        let mut alias = |from: &str, to: &str| {
+            g.add_edge(schema.alias, idx(from), idx(to));
+        };
+        // C1 and C2 are overrides whose declared target is C.
+        alias("C1", "C");
+        alias("C2", "C");
+        // E1 aliases E.
+        alias("E1", "E");
+        (g, schema, nodes)
+    }
+
+    fn chains_from_fig6(max_depth: usize) -> Vec<GadgetChain> {
+        let (g, schema, nodes) = fig6();
+        let sink = nodes[0]; // A
+        let source = nodes[6]; // H
+        let config = SearchConfig {
+            max_depth,
+            ..SearchConfig::default()
+        };
+        find_chains_raw(
+            &g,
+            &schema,
+            vec![(sink, TriggerCondition::from([1u16]))],
+            vec![(sink, "EXEC".to_owned())],
+            &HashSet::from([source]),
+            &config,
+        )
+    }
+
+    #[test]
+    fn fig6_finds_the_h_chain() {
+        let chains = chains_from_fig6(8);
+        // H -CALL-> C1 -ALIAS-> C -CALL-> A.
+        assert_eq!(chains.len(), 1);
+        assert_eq!(
+            chains[0].signatures,
+            vec!["fig6.H", "fig6.C1", "fig6.C", "fig6.A"]
+        );
+        assert_eq!(chains[0].sink_category, "EXEC");
+        assert_eq!(chains[0].len(), 3);
+    }
+
+    #[test]
+    fn fig6_expander_excludes_uncontrollable_branches() {
+        // Even with generous depth, E and I never appear: the TC becomes ∞
+        // crossing their CALL edges (the I-CALL->C1 example of §III-D).
+        let chains = chains_from_fig6(20);
+        for chain in &chains {
+            assert!(!chain.signatures.contains(&"fig6.E".to_owned()));
+            assert!(!chain.signatures.contains(&"fig6.I".to_owned()));
+        }
+    }
+
+    #[test]
+    fn fig6_evaluator_cuts_by_depth() {
+        // Depth 2 cannot reach H (3 edges needed).
+        let chains = chains_from_fig6(2);
+        assert!(chains.is_empty());
+    }
+
+    #[test]
+    fn traverse_tc_formula4() {
+        // TC {1} through PP [∞, 2]: position 1 holds caller-param-2.
+        let tc = TriggerCondition::from([1u16]);
+        let next = traverse_tc(&tc, &[-1, 2]).unwrap();
+        assert_eq!(next, TriggerCondition::from([2u16]));
+        // TC {0,1} through PP [0, -1]: position 1 is ∞ — rejected.
+        let tc = TriggerCondition::from([0u16, 1]);
+        assert!(traverse_tc(&tc, &[0, -1]).is_none());
+        // Out-of-range positions are treated as ∞.
+        let tc = TriggerCondition::from([3u16]);
+        assert!(traverse_tc(&tc, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn tc_zero_maps_to_receiver() {
+        // TC {1} through PP [.., 0]: the callee's param-1 comes from the
+        // caller's receiver — the new TC is {0}.
+        let tc = TriggerCondition::from([1u16]);
+        let next = traverse_tc(&tc, &[-1, 0]).unwrap();
+        assert_eq!(next, TriggerCondition::from([0u16]));
+    }
+
+    #[test]
+    fn alias_disabled_loses_polymorphic_chain() {
+        let (g, schema, nodes) = fig6();
+        let sink = nodes[0];
+        let source = nodes[6];
+        let config = SearchConfig {
+            use_alias_edges: false,
+            ..SearchConfig::default()
+        };
+        let chains = find_chains_raw(
+            &g,
+            &schema,
+            vec![(sink, TriggerCondition::from([1u16]))],
+            vec![(sink, "EXEC".to_owned())],
+            &HashSet::from([source]),
+            &config,
+        );
+        assert!(chains.is_empty());
+    }
+
+    #[test]
+    fn display_renders_source_and_sink_markers() {
+        let chain = GadgetChain {
+            signatures: vec![
+                "a.Src.readObject".to_owned(),
+                "b.Mid.call".to_owned(),
+                "c.Sink.exec".to_owned(),
+            ],
+            sink_category: "EXEC".to_owned(),
+            nodes: vec![],
+        };
+        let text = chain.to_string();
+        assert!(text.starts_with("(source)a.Src.readObject()"));
+        assert!(text.ends_with("(sink)c.Sink.exec()"));
+    }
+}

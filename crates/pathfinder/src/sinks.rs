@@ -1,0 +1,282 @@
+//! The sink-method catalog (Table VII) with Trigger_Conditions.
+//!
+//! The paper summarizes 38 sink methods across eight exploit-effect
+//! categories and tags each with a **Trigger_Condition** — which call
+//! positions (0 = receiver, i = parameter *i*) must be attacker-controllable
+//! for the call to have its effect (Table VI). The thirteen rows printed in
+//! Table VII appear here verbatim; the remainder fill out the categories the
+//! paper names, following the released tool's sink set.
+
+use serde::{Deserialize, Serialize};
+use tabby_core::Cpg;
+use tabby_graph::{NodeId, Value};
+
+/// Exploit-effect category of a sink (the `Type` column of Table VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SinkCategory {
+    File,
+    Code,
+    Jndi,
+    Exec,
+    Xxe,
+    Ssrf,
+    Jdv,
+    Jdbc,
+}
+
+impl SinkCategory {
+    /// The paper's label for the category.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SinkCategory::File => "FILE",
+            SinkCategory::Code => "CODE",
+            SinkCategory::Jndi => "JNDI",
+            SinkCategory::Exec => "EXEC",
+            SinkCategory::Xxe => "XXE",
+            SinkCategory::Ssrf => "SSRF",
+            SinkCategory::Jdv => "JDV",
+            SinkCategory::Jdbc => "JDBC",
+        }
+    }
+}
+
+/// One sink-method entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SinkSpec {
+    /// Declaring class (dotted binary name).
+    pub class: String,
+    /// Method name.
+    pub method: String,
+    /// Exploit-effect category.
+    pub category: SinkCategory,
+    /// Trigger_Condition: positions that must be controllable
+    /// (0 = receiver, i = parameter *i*).
+    pub trigger_condition: Vec<u16>,
+}
+
+impl SinkSpec {
+    fn new(class: &str, method: &str, category: SinkCategory, tc: &[u16]) -> Self {
+        Self {
+            class: class.to_owned(),
+            method: method.to_owned(),
+            category,
+            trigger_condition: tc.to_vec(),
+        }
+    }
+}
+
+/// The catalog of sink methods.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SinkCatalog {
+    entries: Vec<SinkSpec>,
+}
+
+impl Default for SinkCatalog {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl SinkCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The 38-entry catalog of the paper (§III-D). The 13 sinks printed in
+    /// Table VII are verbatim, including the paper's `java.net.ClassLoader`
+    /// spelling.
+    pub fn paper() -> Self {
+        use SinkCategory::*;
+        let entries = vec![
+            // --- the 13 rows of Table VII, verbatim -------------------------
+            SinkSpec::new("java.nio.file.Files", "newOutputStream", File, &[1]),
+            SinkSpec::new("java.io.File", "delete", File, &[0]),
+            SinkSpec::new("java.lang.reflect.Method", "invoke", Code, &[0, 1]),
+            SinkSpec::new("java.net.ClassLoader", "loadClass", Code, &[0, 1]),
+            SinkSpec::new("javax.naming.Context", "lookup", Jndi, &[1]),
+            SinkSpec::new("java.rmi.registry.Registry", "lookup", Jndi, &[1]),
+            SinkSpec::new("java.lang.Runtime", "exec", Exec, &[1]),
+            SinkSpec::new("java.lang.ProcessImpl", "start", Exec, &[1]),
+            SinkSpec::new("javax.xml.parsers.DocumentBuilder", "parse", Xxe, &[1]),
+            SinkSpec::new("javax.xml.transform.Transformer", "transform", Xxe, &[1]),
+            SinkSpec::new("java.net.InetAddress", "getByName", Ssrf, &[1]),
+            SinkSpec::new("java.net.URL", "openConnection", Ssrf, &[0]),
+            SinkSpec::new("java.lang.Object", "readObject", Jdv, &[0]),
+            // --- the rest of the 38 -----------------------------------------
+            SinkSpec::new("java.io.FileOutputStream", "<init>", File, &[1]),
+            SinkSpec::new("java.io.FileInputStream", "<init>", File, &[1]),
+            SinkSpec::new("java.nio.file.Files", "delete", File, &[1]),
+            SinkSpec::new("java.nio.file.Files", "write", File, &[1]),
+            SinkSpec::new("java.io.File", "renameTo", File, &[0]),
+            SinkSpec::new("java.lang.ClassLoader", "defineClass", Code, &[1]),
+            SinkSpec::new("java.lang.Class", "forName", Code, &[1]),
+            SinkSpec::new("javax.script.ScriptEngine", "eval", Code, &[1]),
+            SinkSpec::new("java.beans.Expression", "<init>", Code, &[1]),
+            SinkSpec::new("bsh.Interpreter", "eval", Code, &[1]),
+            SinkSpec::new("groovy.lang.GroovyShell", "evaluate", Code, &[1]),
+            SinkSpec::new("org.mozilla.javascript.Context", "evaluateString", Code, &[2]),
+            SinkSpec::new(
+                "com.sun.org.apache.xalan.internal.xsltc.trax.TemplatesImpl",
+                "newTransformer",
+                Code,
+                &[0],
+            ),
+            SinkSpec::new("java.lang.System", "loadLibrary", Code, &[1]),
+            SinkSpec::new("javax.naming.InitialContext", "doLookup", Jndi, &[1]),
+            SinkSpec::new(
+                "javax.management.remote.JMXConnectorFactory",
+                "connect",
+                Jndi,
+                &[1],
+            ),
+            SinkSpec::new("java.lang.ProcessBuilder", "start", Exec, &[0]),
+            SinkSpec::new("org.xml.sax.XMLReader", "parse", Xxe, &[1]),
+            SinkSpec::new(
+                "javax.xml.stream.XMLInputFactory",
+                "createXMLStreamReader",
+                Xxe,
+                &[1],
+            ),
+            SinkSpec::new("java.net.URL", "openStream", Ssrf, &[0]),
+            SinkSpec::new("java.net.Socket", "<init>", Ssrf, &[1]),
+            SinkSpec::new("java.net.URLConnection", "getInputStream", Ssrf, &[0]),
+            SinkSpec::new("java.io.ObjectInputStream", "readObject", Jdv, &[0]),
+            SinkSpec::new("java.sql.DriverManager", "getConnection", Jdbc, &[1]),
+            SinkSpec::new("javax.sql.DataSource", "getConnection", Jdbc, &[0]),
+        ];
+        debug_assert_eq!(entries.len(), 38);
+        Self {
+            entries,
+        }
+    }
+
+    /// Adds a custom sink.
+    pub fn push(&mut self, spec: SinkSpec) {
+        self.entries.push(spec);
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[SinkSpec] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finds the catalog entry matching a method node's class and name.
+    pub fn match_node(&self, cpg: &Cpg, node: NodeId) -> Option<&SinkSpec> {
+        let class = cpg
+            .graph
+            .node_prop(node, cpg.schema.class_name)?
+            .as_str()?
+            .to_owned();
+        let name = cpg.graph.node_prop(node, cpg.schema.name)?.as_str()?;
+        self.entries
+            .iter()
+            .find(|s| s.class == class && s.method == name)
+    }
+
+    /// All method nodes in the CPG matching a catalog entry, with their
+    /// Trigger_Conditions. Also annotates the nodes with `IS_SINK`,
+    /// `SINK_CATEGORY`, and `TRIGGER_CONDITION` properties (the tagging step
+    /// of §III-D).
+    pub fn annotate(&self, cpg: &mut Cpg) -> Vec<(NodeId, SinkSpec)> {
+        let is_sink = cpg.graph.prop_key("IS_SINK");
+        let category = cpg.graph.prop_key("SINK_CATEGORY");
+        let tc_key = cpg.graph.prop_key("TRIGGER_CONDITION");
+        let mut found = Vec::new();
+        for spec in &self.entries {
+            for node in cpg.methods_named(&spec.method) {
+                let class_matches = cpg
+                    .graph
+                    .node_prop(node, cpg.schema.class_name)
+                    .and_then(|v| v.as_str())
+                    == Some(spec.class.as_str());
+                if class_matches {
+                    found.push((node, spec.clone()));
+                }
+            }
+        }
+        for (node, spec) in &found {
+            cpg.graph.set_node_prop(*node, is_sink, Value::from(true));
+            cpg.graph
+                .set_node_prop(*node, category, Value::from(spec.category.as_str()));
+            cpg.graph.set_node_prop(
+                *node,
+                tc_key,
+                Value::IntList(spec.trigger_condition.iter().map(|&p| i64::from(p)).collect()),
+            );
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_38_sinks() {
+        assert_eq!(SinkCatalog::paper().len(), 38);
+    }
+
+    #[test]
+    fn table7_rows_are_verbatim() {
+        let c = SinkCatalog::paper();
+        let find = |class: &str, method: &str| {
+            c.entries()
+                .iter()
+                .find(|s| s.class == class && s.method == method)
+                .unwrap_or_else(|| panic!("missing sink {class}.{method}"))
+        };
+        assert_eq!(
+            find("java.lang.reflect.Method", "invoke").trigger_condition,
+            vec![0, 1]
+        );
+        assert_eq!(find("java.lang.Runtime", "exec").trigger_condition, vec![1]);
+        assert_eq!(find("java.io.File", "delete").trigger_condition, vec![0]);
+        assert_eq!(
+            find("java.net.URL", "openConnection").trigger_condition,
+            vec![0]
+        );
+        assert_eq!(
+            find("java.net.InetAddress", "getByName").category,
+            SinkCategory::Ssrf
+        );
+        assert_eq!(
+            find("javax.naming.Context", "lookup").category,
+            SinkCategory::Jndi
+        );
+    }
+
+    #[test]
+    fn categories_cover_the_paper_set() {
+        let c = SinkCatalog::paper();
+        for cat in [
+            SinkCategory::File,
+            SinkCategory::Code,
+            SinkCategory::Jndi,
+            SinkCategory::Exec,
+            SinkCategory::Xxe,
+            SinkCategory::Ssrf,
+            SinkCategory::Jdv,
+        ] {
+            assert!(
+                c.entries().iter().any(|s| s.category == cat),
+                "no sink in category {}",
+                cat.as_str()
+            );
+        }
+    }
+}

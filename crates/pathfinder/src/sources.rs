@@ -1,0 +1,182 @@
+//! The source-method catalog: deserialization entry points.
+//!
+//! Sources are "various methods that have a deserialization effect" (§II-A):
+//! methods the deserialization machinery invokes automatically on
+//! attacker-supplied objects. The default set is the Java-native
+//! serialization callbacks of serializable classes; XStream-style scenarios
+//! add the implicit entry points (`hashCode`, `equals`, `compareTo`,
+//! `toString`) that collection reconstruction triggers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use tabby_core::Cpg;
+use tabby_graph::{NodeId, Value};
+
+/// One source pattern: a method name + arity that the deserializer calls.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// Method name.
+    pub method: String,
+    /// Required parameter count.
+    pub param_count: usize,
+    /// Whether the declaring class must be serializable.
+    pub requires_serializable: bool,
+}
+
+impl SourceSpec {
+    fn new(method: &str, param_count: usize, requires_serializable: bool) -> Self {
+        Self {
+            method: method.to_owned(),
+            param_count,
+            requires_serializable,
+        }
+    }
+}
+
+/// The catalog of source methods.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceCatalog {
+    entries: Vec<SourceSpec>,
+}
+
+impl Default for SourceCatalog {
+    fn default() -> Self {
+        Self::native_serialization()
+    }
+}
+
+impl SourceCatalog {
+    /// The Java-native serialization callbacks: `readObject`,
+    /// `readExternal`, `readResolve`, `readObjectNoData`, `validateObject`,
+    /// and `finalize` of serializable classes.
+    pub fn native_serialization() -> Self {
+        Self {
+            entries: vec![
+                SourceSpec::new("readObject", 1, true),
+                SourceSpec::new("readExternal", 1, true),
+                SourceSpec::new("readResolve", 0, true),
+                SourceSpec::new("readObjectNoData", 0, true),
+                SourceSpec::new("validateObject", 0, true),
+                SourceSpec::new("finalize", 0, true),
+            ],
+        }
+    }
+
+    /// The extended set used for XStream-style scenarios, where collection
+    /// reconstruction also triggers `hashCode`/`equals`/`compareTo`/
+    /// `toString` on arbitrary (not necessarily `Serializable`) classes.
+    pub fn extended() -> Self {
+        let mut c = Self::native_serialization();
+        c.entries.push(SourceSpec::new("hashCode", 0, true));
+        c.entries.push(SourceSpec::new("equals", 1, true));
+        c.entries.push(SourceSpec::new("compareTo", 1, true));
+        c.entries.push(SourceSpec::new("toString", 0, true));
+        c
+    }
+
+    /// Adds a custom source pattern.
+    pub fn push(&mut self, spec: SourceSpec) {
+        self.entries.push(spec);
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[SourceSpec] {
+        &self.entries
+    }
+
+    /// All matching method nodes in the CPG. Also annotates them with
+    /// `IS_SOURCE`.
+    pub fn annotate(&self, cpg: &mut Cpg) -> HashSet<NodeId> {
+        let is_source = cpg.graph.prop_key("IS_SOURCE");
+        let mut found = HashSet::new();
+        for spec in &self.entries {
+            for node in cpg.methods_named(&spec.method) {
+                let param_ok = cpg
+                    .graph
+                    .node_prop(node, cpg.schema.param_count)
+                    .and_then(|v| v.as_int())
+                    == Some(spec.param_count as i64);
+                if !param_ok {
+                    continue;
+                }
+                if spec.requires_serializable {
+                    let serializable = cpg
+                        .graph
+                        .node_prop(node, cpg.schema.is_serializable)
+                        .and_then(|v| v.as_bool())
+                        .unwrap_or(false);
+                    if !serializable {
+                        continue;
+                    }
+                }
+                // Phantom methods cannot start a chain: there is no body to
+                // deserialize into.
+                let phantom = cpg
+                    .graph
+                    .node_prop(node, cpg.schema.is_phantom)
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false);
+                if phantom {
+                    continue;
+                }
+                found.insert(node);
+            }
+        }
+        for &node in &found {
+            cpg.graph.set_node_prop(node, is_source, Value::from(true));
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_core::AnalysisConfig;
+    use tabby_ir::{JType, ProgramBuilder};
+
+    fn program_with_sources() -> tabby_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        // Serializable class with readObject: a source.
+        let mut cb = pb.class("p.Ser").serializable();
+        let ois = cb.object_type("java.io.ObjectInputStream");
+        let mut mb = cb.method("readObject", vec![ois.clone()], JType::Void);
+        mb.nop();
+        mb.finish();
+        cb.finish();
+        // Non-serializable class with readObject: not a source.
+        let mut cb = pb.class("p.Plain");
+        let ois = cb.object_type("java.io.ObjectInputStream");
+        let mut mb = cb.method("readObject", vec![ois], JType::Void);
+        mb.nop();
+        mb.finish();
+        cb.finish();
+        // Serializable with readResolve (0 params): a source.
+        let mut cb = pb.class("p.Res").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("readResolve", vec![], obj.clone());
+        mb.ret(mb.c_null());
+        mb.finish();
+        cb.finish();
+        pb.build()
+    }
+
+    #[test]
+    fn native_sources_respect_serializability_and_arity() {
+        let p = program_with_sources();
+        let mut cpg = Cpg::build(&p, AnalysisConfig::default());
+        let sources = SourceCatalog::native_serialization().annotate(&mut cpg);
+        assert_eq!(sources.len(), 2);
+        let names: HashSet<String> = sources.iter().map(|n| cpg.describe(*n)).collect();
+        assert!(names.contains("p.Ser.readObject"));
+        assert!(names.contains("p.Res.readResolve"));
+        assert!(!names.contains("p.Plain.readObject"));
+    }
+
+    #[test]
+    fn extended_catalog_adds_collection_entry_points() {
+        let ext = SourceCatalog::extended();
+        assert!(ext.entries().iter().any(|s| s.method == "hashCode"));
+        assert!(ext.entries().len() > SourceCatalog::native_serialization().entries().len());
+    }
+}

@@ -1,0 +1,104 @@
+//! The extended source catalog (XStream-style entry points): collection
+//! reconstruction triggers `toString`/`hashCode`/`equals`/`compareTo`
+//! directly, so those methods of serializable classes become chain heads —
+//! this is how the paper's JDK8 experiment finds the XStream blacklist
+//! bypasses (§IV-D2).
+
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_ir::{JType, Program, ProgramBuilder};
+use tabby_pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog};
+
+/// A serializable class whose `toString` execs a field — with no
+/// `BadAttributeValueExpException`-style bridge in the program.
+fn tostring_only_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.class("java.io.Serializable").interface().finish();
+    let mut cb = pb.class("x.Renderer").serializable();
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    let process = cb.object_type("java.lang.Process");
+    cb.field("template", object.clone());
+    let mut mb = cb.method("toString", vec![], string.clone());
+    let this = mb.this();
+    let t = mb.fresh();
+    mb.get_field(t, this, "x.Renderer", "template", object.clone());
+    let cmd = mb.fresh();
+    mb.cast(cmd, string.clone(), t);
+    let rt = mb.fresh();
+    mb.copy(rt, mb.c_null());
+    let exec = mb.sig("java.lang.Runtime", "exec", &[string.clone()], process);
+    mb.call_virtual(None, rt, exec, &[cmd.into()]);
+    let s = mb.fresh();
+    mb.cast(s, string.clone(), t);
+    mb.ret(s);
+    mb.finish();
+    cb.finish();
+    pb.build()
+}
+
+#[test]
+fn native_catalog_misses_tostring_heads() {
+    let p = tostring_only_program();
+    let mut cpg = Cpg::build(&p, AnalysisConfig::default());
+    let chains = find_gadget_chains(
+        &mut cpg,
+        &SinkCatalog::paper(),
+        &SourceCatalog::native_serialization(),
+        &SearchConfig::default(),
+    );
+    assert!(chains.is_empty(), "native sources should not fire: {chains:?}");
+}
+
+#[test]
+fn extended_catalog_finds_tostring_heads() {
+    let p = tostring_only_program();
+    let mut cpg = Cpg::build(&p, AnalysisConfig::default());
+    let chains = find_gadget_chains(
+        &mut cpg,
+        &SinkCatalog::paper(),
+        &SourceCatalog::extended(),
+        &SearchConfig::default(),
+    );
+    assert_eq!(chains.len(), 1);
+    assert_eq!(chains[0].source(), "x.Renderer.toString");
+    assert_eq!(chains[0].sink(), "java.lang.Runtime.exec");
+}
+
+#[test]
+fn custom_sink_catalog_extension() {
+    // Downstream users can extend the sink catalog (the paper's
+    // customization workflow); a bespoke sink becomes searchable.
+    let mut pb = ProgramBuilder::new();
+    pb.class("java.io.Serializable").interface().finish();
+    let mut cb = pb.class("x.Logger").serializable();
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    cb.field("dest", object.clone());
+    let mut mb = cb.method("readObject", vec![object.clone()], JType::Void);
+    let this = mb.this();
+    let d = mb.fresh();
+    mb.get_field(d, this, "x.Logger", "dest", object.clone());
+    let s = mb.fresh();
+    mb.cast(s, string.clone(), d);
+    let callee = mb.sig("com.vendor.Audit", "record", &[string.clone()], JType::Void);
+    mb.call_static(None, callee, &[s.into()]);
+    mb.finish();
+    cb.finish();
+    let p = pb.build();
+    let mut cpg = Cpg::build(&p, AnalysisConfig::default());
+    let mut sinks = SinkCatalog::new();
+    sinks.push(tabby_pathfinder::SinkSpec {
+        class: "com.vendor.Audit".to_owned(),
+        method: "record".to_owned(),
+        category: tabby_pathfinder::SinkCategory::File,
+        trigger_condition: vec![1],
+    });
+    let chains = find_gadget_chains(
+        &mut cpg,
+        &sinks,
+        &SourceCatalog::native_serialization(),
+        &SearchConfig::default(),
+    );
+    assert_eq!(chains.len(), 1);
+    assert_eq!(chains[0].sink(), "com.vendor.Audit.record");
+}

@@ -1,0 +1,101 @@
+//! A workload component: a synthetic library plus its ground truth.
+
+use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+use tabby_ir::Program;
+use tabby_pathfinder::GadgetChain;
+
+/// One detector's row cells in Table IX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowCells {
+    /// "Result count".
+    pub result: usize,
+    /// "Fake".
+    pub fake: usize,
+    /// "Known".
+    pub known: usize,
+    /// "Unknown".
+    pub unknown: usize,
+}
+
+/// The paper's Table IX numbers for one component (for EXPERIMENTS.md
+/// comparison; `sl: None` renders the paper's `X` — non-termination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperRow {
+    /// "Known in dataset".
+    pub known_in_dataset: usize,
+    /// GadgetInspector's cells.
+    pub gi: RowCells,
+    /// Tabby's cells.
+    pub tb: RowCells,
+    /// Serianalyzer's cells (`None` = did not terminate).
+    pub sl: Option<RowCells>,
+}
+
+/// One analyzable component (a Table IX row, a Table X scene, or a custom
+/// workload).
+#[derive(Debug)]
+pub struct Component {
+    /// Component name as the paper prints it (e.g. `commons-colletions(3.2.1)`,
+    /// keeping the paper's spelling).
+    pub name: String,
+    /// The component's classes plus the JDK model.
+    pub program: Program,
+    /// Ground-truth chain manifest.
+    pub truth: GroundTruth,
+    /// Package prefixes owned by the component; chains that never pass
+    /// through them are filtered out, exactly as the paper filters
+    /// Serianalyzer output ("chains that do not contain the package name of
+    /// the component", §IV-C).
+    pub packages: Vec<String>,
+    /// The paper's Table IX row, when the component reproduces one.
+    pub paper: Option<PaperRow>,
+    /// Free-form notes on what the synthetic structure mirrors.
+    pub notes: String,
+}
+
+impl Component {
+    /// Creates a component.
+    pub fn new(name: &str, program: Program, truth: GroundTruth, packages: &[&str]) -> Self {
+        Self {
+            name: name.to_owned(),
+            program,
+            truth,
+            packages: packages.iter().map(|p| (*p).to_owned()).collect(),
+            paper: None,
+            notes: String::new(),
+        }
+    }
+
+    /// Attaches the paper's Table IX row.
+    #[must_use]
+    pub fn with_paper_row(mut self, paper: PaperRow) -> Self {
+        self.paper = Some(paper);
+        self
+    }
+
+    /// Attaches notes.
+    #[must_use]
+    pub fn with_notes(mut self, notes: &str) -> Self {
+        self.notes = notes.to_owned();
+        self
+    }
+
+    /// The paper's output filter: does the chain pass through a class of
+    /// this component?
+    pub fn chain_in_component(&self, chain: &GadgetChain) -> bool {
+        chain.signatures.iter().any(|sig| {
+            self.packages
+                .iter()
+                .any(|pkg| sig.starts_with(pkg.as_str()))
+        })
+    }
+
+    /// Applies the component filter to a detector's raw output.
+    pub fn filter_chains(&self, chains: Vec<GadgetChain>) -> Vec<GadgetChain> {
+        chains
+            .into_iter()
+            .filter(|c| self.chain_in_component(c))
+            .collect()
+    }
+}

@@ -1,0 +1,739 @@
+//! The kit-composed Table IX components (all rows except the two
+//! commons-collections variants, which have bespoke machinery in
+//! [`super::commons_collections`]).
+//!
+//! Each component mirrors the gadget-relevant structure of its real
+//! counterpart: which deserialization trigger reaches its code, which sink
+//! family it ends in, whether the dataset chain rides a dynamic proxy
+//! (missed by every static tool, §V-B), and how much bycatch each baseline
+//! sees (guarded fakes, sanitize baits, serializable filler for
+//! Serianalyzer's loose entry points, and the call-graph blow-up cluster
+//! that makes Serianalyzer exceed its work budget on Clojure and Jython).
+
+use crate::component::{Component, PaperRow, RowCells};
+use crate::gadget_kit::{add_gadget, Sink, Trigger, Twist};
+use crate::jdk::add_jdk_model;
+use crate::truth::{GroundTruth, TruthChain};
+use tabby_ir::{JType, ProgramBuilder};
+
+/// Declarative description of one kit-composed component.
+pub struct Spec<'a> {
+    /// Component name (paper spelling).
+    pub name: &'a str,
+    /// Package prefix owned by the component.
+    pub pkg: &'a str,
+    /// Class-name pool (taken in order; generated names afterwards).
+    pub class_names: &'a [&'a str],
+    /// Dataset chains Tabby finds: (trigger, sink). Multi-source triggers
+    /// (HashCode) contribute several pairs; `known_of_trigger` says how many
+    /// of a trigger's pairs the dataset records (the rest become unknowns).
+    pub known_found: Vec<(Trigger, Sink, usize)>,
+    /// Dataset chains behind dynamic proxies (missed by all tools): sinks.
+    pub known_missed: Vec<Sink>,
+    /// Planted effective chains outside the dataset.
+    pub unknowns: Vec<(Trigger, Sink)>,
+    /// Guard-dead chains (reported by guard-blind detectors; fake).
+    pub fakes: Vec<(Trigger, Sink)>,
+    /// Sanitize baits (pruned by Tabby's Action; reported by
+    /// assume-controllable baselines).
+    pub baits: Vec<(Trigger, Sink)>,
+    /// Additional sanitize-bait classes (readObject → exec variants), used
+    /// to scale per-row GadgetInspector bycatch to the paper's Result
+    /// counts.
+    pub extra_baits: usize,
+    /// Serializable filler classes whose methods reach a sink but are not
+    /// deserialization-triggered (Serianalyzer bycatch).
+    pub fillers: usize,
+    /// Add the pruned-by-Tabby call-graph blow-up cluster (Serianalyzer
+    /// work-budget killer).
+    pub blowup: bool,
+    /// The paper's row.
+    pub paper: PaperRow,
+    /// What the structure mirrors.
+    pub notes: &'a str,
+}
+
+/// Assembles a [`Component`] from a [`Spec`].
+pub fn compose(spec: Spec<'_>) -> Component {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let mut names = spec.class_names.iter();
+    let mut fallback = 0usize;
+    let mut next_name = |hint: &str| -> String {
+        match names.next() {
+            Some(n) => format!("{}.{n}", spec.pkg),
+            None => {
+                fallback += 1;
+                format!("{}.{}{}", spec.pkg, hint, fallback)
+            }
+        }
+    };
+
+    let mut truth_chains = Vec::new();
+
+    for (trigger, sink, dataset_count) in &spec.known_found {
+        let fqcn = next_name("Gadget");
+        let pairs = add_gadget(&mut pb, &fqcn, *trigger, sink, Twist::Plain).pairs;
+        for (i, (source, sink_sig)) in pairs.into_iter().enumerate() {
+            if i < *dataset_count {
+                truth_chains.push(TruthChain::known(&source, &sink_sig));
+            } else {
+                truth_chains.push(TruthChain::unknown(&source, &sink_sig));
+            }
+        }
+    }
+    for sink in &spec.known_missed {
+        let fqcn = next_name("ProxyGadget");
+        let pairs =
+            add_gadget(&mut pb, &fqcn, Trigger::ReadObject, sink, Twist::DynamicProxy).pairs;
+        for (source, sink_sig) in pairs {
+            truth_chains.push(TruthChain::known(&source, &sink_sig));
+        }
+    }
+    for (trigger, sink) in &spec.unknowns {
+        let fqcn = next_name("Extra");
+        let pairs = add_gadget(&mut pb, &fqcn, *trigger, sink, Twist::Plain).pairs;
+        for (source, sink_sig) in pairs {
+            truth_chains.push(TruthChain::unknown(&source, &sink_sig));
+        }
+    }
+    for (trigger, sink) in &spec.fakes {
+        // Guard-dead: discoverable but absent from the manifest → Fake.
+        let fqcn = next_name("Conditional");
+        add_gadget(&mut pb, &fqcn, *trigger, sink, Twist::Guarded);
+    }
+    for (trigger, sink) in &spec.baits {
+        let fqcn = next_name("Sanitizing");
+        add_gadget(&mut pb, &fqcn, *trigger, sink, Twist::Sanitized);
+    }
+    for i in 0..spec.extra_baits {
+        let fqcn = format!("{}.internal.Callback{i}", spec.pkg);
+        add_gadget(&mut pb, &fqcn, Trigger::ReadObject, &Sink::Exec, Twist::Sanitized);
+    }
+    if spec.fillers > 0 {
+        add_fillers(&mut pb, spec.pkg, spec.fillers);
+    }
+    if spec.blowup {
+        add_blowup_cluster(&mut pb, spec.pkg, 14);
+    }
+
+    Component::new(
+        spec.name,
+        pb.build(),
+        GroundTruth::new(truth_chains),
+        &[spec.pkg],
+    )
+    .with_paper_row(spec.paper)
+    .with_notes(spec.notes)
+}
+
+/// Serializable classes whose helper methods reach a sink but are never
+/// invoked by deserialization machinery — Serianalyzer's loose entry-point
+/// definition reports these; Tabby's source catalog does not.
+pub fn add_fillers(pb: &mut ProgramBuilder, pkg: &str, n: usize) {
+    for i in 0..n {
+        let fqcn = format!("{pkg}.support.Helper{i}");
+        let mut cb = pb.class(&fqcn).serializable();
+        let object = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        cb.field("resource", object.clone());
+        let mut mb = cb.method("refresh", vec![], JType::Void);
+        let this = mb.this();
+        let r = mb.fresh();
+        mb.get_field(r, this, &fqcn, "resource", object.clone());
+        let name = mb.fresh();
+        mb.cast(name, string.clone(), r);
+        let class_ty = mb.object_type("java.lang.Class");
+        let for_name = mb.sig("java.lang.Class", "forName", &[string.clone()], class_ty);
+        let c = mb.fresh();
+        mb.call_static(Some(c), for_name, &[name.into()]);
+        mb.finish();
+        cb.finish();
+    }
+}
+
+/// A dense cluster of static calls whose arguments are freshly allocated:
+/// every Polluted_Position is all-∞, so Tabby's PCG drops the whole cluster
+/// (§III-C's path-explosion remedy); unpruned baselines walk its
+/// exponentially many paths toward the sink at the far end.
+fn add_blowup_cluster(pb: &mut ProgramBuilder, pkg: &str, k: usize) {
+    let fqcn = format!("{pkg}.internal.Dispatch");
+    let mut cb = pb.class(&fqcn);
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    for i in 0..k {
+        let mut mb = cb
+            .method(&format!("stage{i}"), vec![object.clone()], JType::Void)
+            .static_();
+        let fresh = mb.fresh();
+        mb.new_obj(fresh, "java.lang.Object");
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let callee = mb.sig(&fqcn, &format!("stage{j}"), &[object.clone()], JType::Void);
+            mb.call_static(None, callee, &[fresh.into()]);
+        }
+        if i == 0 {
+            // The far-end sink the baselines chase through the cluster.
+            let name = mb.fresh();
+            mb.cast(name, string.clone(), fresh);
+            let class_ty = mb.object_type("java.lang.Class");
+            let for_name = mb.sig("java.lang.Class", "forName", &[string.clone()], class_ty);
+            let c = mb.fresh();
+            mb.call_static(Some(c), for_name, &[name.into()]);
+        }
+        mb.finish();
+    }
+    cb.finish();
+}
+
+fn cells(result: usize, fake: usize, known: usize, unknown: usize) -> RowCells {
+    RowCells {
+        result,
+        fake,
+        known,
+        unknown,
+    }
+}
+
+/// All kit-composed Table IX rows (24 of 26; commons-collections is
+/// bespoke).
+pub fn kit_components() -> Vec<Component> {
+    let eval_sink = |class: &str, method: &str| Sink::Custom {
+        class: class.to_owned(),
+        method: method.to_owned(),
+        arity: 1,
+        tainted_pos: 1,
+    };
+    let files_sink = Sink::Custom {
+        class: "java.nio.file.Files".to_owned(),
+        method: "newOutputStream".to_owned(),
+        arity: 1,
+        tainted_pos: 1,
+    };
+    vec![
+        compose(Spec {
+            name: "AspectJWeaver",
+            pkg: "org.aspectj",
+            class_names: &["weaver.tools.cache.SimpleCache"],
+            known_found: vec![(Trigger::ReadObject, files_sink.clone(), 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::Delete)],
+            extra_baits: 7,
+            fillers: 24,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(8, 8, 0, 0),
+                tb: cells(1, 0, 1, 0),
+                sl: Some(cells(27, 27, 0, 0)),
+            },
+            notes: "SimpleCache StoreableCachingMap writes attacker bytes to disk on readObject",
+        }),
+        compose(Spec {
+            name: "BeanShell1",
+            pkg: "bsh",
+            class_names: &["XThis", "ScriptedHandler", "CollectionManager"],
+            known_found: vec![(Trigger::ReadObject, eval_sink("bsh.Interpreter", "eval"), 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![
+                (Trigger::ReadObject, Sink::Exec),
+                (Trigger::ReadObject, Sink::ForName),
+            ],
+            baits: vec![],
+            extra_baits: 0,
+            fillers: 0,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(3, 2, 1, 0),
+                sl: Some(cells(1, 1, 0, 0)),
+            },
+            notes: "XThis invocation handler evaluates a scripted method on deserialization",
+        }),
+        compose(Spec {
+            name: "C3P0",
+            pkg: "com.mchange.v2.c3p0",
+            class_names: &[
+                "impl.PoolBackedDataSourceBase",
+                "JndiRefForwardingDataSource",
+                "WrapperConnectionPoolDataSource",
+                "ComboPooledDataSource",
+            ],
+            known_found: vec![(Trigger::ReadObject, Sink::Lookup, 1)],
+            known_missed: vec![],
+            unknowns: vec![
+                (Trigger::ReadObject, Sink::GetConnection),
+                (Trigger::ReadObject, Sink::SecondaryDeserialization),
+                (Trigger::ToString, Sink::Lookup),
+            ],
+            fakes: vec![
+                (Trigger::ReadObject, Sink::ForName),
+                (Trigger::ReadObject, Sink::Exec),
+            ],
+            baits: vec![],
+            extra_baits: 0,
+            fillers: 0,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(6, 2, 1, 3),
+                sl: Some(cells(1, 0, 0, 1)),
+            },
+            notes: "JNDI-forwarding data sources dereference attacker names on readObject",
+        }),
+        compose(Spec {
+            name: "Click1",
+            pkg: "org.apache.click",
+            class_names: &["control.Column"],
+            known_found: vec![(Trigger::ReadObject, Sink::Invoke, 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::ForName)],
+            extra_baits: 2,
+            fillers: 50,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(4, 3, 1, 0),
+                tb: cells(1, 0, 1, 0),
+                sl: Some(cells(56, 56, 0, 0)),
+            },
+            notes: "Column comparator reflects a property getter during table sort",
+        }),
+        compose(Spec {
+            name: "Clojure",
+            pkg: "clojure",
+            class_names: &["core.proxy$clojure", "lang.AFn"],
+            known_found: vec![(Trigger::ReadObject, Sink::Invoke, 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![(Trigger::ReadObject, Sink::ForName)],
+            baits: vec![(Trigger::HashCode, Sink::Invoke)],
+            extra_baits: 9,
+            fillers: 2,
+            blowup: true,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(12, 9, 1, 2),
+                tb: cells(2, 1, 1, 0),
+                sl: None,
+            },
+            notes: "fn-composition objects invoke arbitrary methods; IFn dispatch web defeats Serianalyzer",
+        }),
+        compose(Spec {
+            name: "CommonsBeanutils1",
+            pkg: "org.apache.commons.beanutils",
+            class_names: &["BeanComparator"],
+            known_found: vec![(Trigger::Compare, Sink::Invoke, 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::ForName)],
+            extra_baits: 1,
+            fillers: 45,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(1, 0, 1, 0),
+                sl: Some(cells(50, 50, 0, 0)),
+            },
+            notes: "BeanComparator.compare reflects the property getter of its operands",
+        }),
+        compose(Spec {
+            name: "FileUpload1",
+            pkg: "org.apache.commons.fileupload",
+            class_names: &["disk.DiskFileItem", "DeferredFileOutputStream"],
+            known_found: vec![
+                (Trigger::ReadObject, Sink::Delete, 1),
+                (Trigger::ReadObject, files_sink.clone(), 1),
+            ],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::ForName)],
+            extra_baits: 1,
+            fillers: 2,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 2,
+                gi: cells(3, 2, 1, 0),
+                tb: cells(2, 0, 2, 0),
+                sl: Some(cells(6, 4, 2, 0)),
+            },
+            notes: "DiskFileItem readObject re-creates its temp file: write + delete primitives",
+        }),
+        compose(Spec {
+            name: "Groovy1",
+            pkg: "org.codehaus.groovy",
+            class_names: &["runtime.MethodClosure", "runtime.ConvertedClosure"],
+            known_found: vec![],
+            known_missed: vec![eval_sink("groovy.lang.GroovyShell", "evaluate")],
+            unknowns: vec![],
+            fakes: vec![
+                (Trigger::ReadObject, Sink::Exec),
+                (Trigger::ReadObject, Sink::Invoke),
+            ],
+            baits: vec![],
+            extra_baits: 2,
+            fillers: 128,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(4, 4, 0, 0),
+                tb: cells(2, 2, 0, 0),
+                sl: Some(cells(137, 137, 0, 0)),
+            },
+            notes: "the dataset chain rides ConvertedClosure's dynamic proxy — invisible statically",
+        }),
+        compose(Spec {
+            name: "Hibernate",
+            pkg: "org.hibernate",
+            class_names: &["engine.spi.TypedValue", "tuple.component.AbstractComponentTuplizer"],
+            known_found: vec![
+                (Trigger::HashCode, Sink::Invoke, 2),
+                (Trigger::ToString, Sink::Invoke, 0),
+            ],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![],
+            extra_baits: 2,
+            fillers: 48,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 2,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(4, 0, 2, 2),
+                sl: Some(cells(55, 55, 0, 0)),
+            },
+            notes: "TypedValue.hashCode walks getter tuplizers that reflect component properties",
+        }),
+        compose(Spec {
+            name: "JBossInterceptors1",
+            pkg: "org.jboss.interceptor",
+            class_names: &["proxy.InterceptorMethodHandler"],
+            known_found: vec![(Trigger::ReadObject, Sink::Invoke, 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![
+                (Trigger::ReadObject, Sink::ForName),
+                (Trigger::ReadObject, Sink::Exec),
+            ],
+            baits: vec![],
+            extra_baits: 0,
+            fillers: 3,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(3, 2, 1, 0),
+                sl: Some(cells(7, 6, 1, 0)),
+            },
+            notes: "InterceptorMethodHandler replays interceptor bindings reflectively",
+        }),
+        compose(Spec {
+            name: "JSON1",
+            pkg: "net.sf.json",
+            class_names: &["JSONObject"],
+            known_found: vec![],
+            known_missed: vec![Sink::Invoke],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![],
+            extra_baits: 4,
+            fillers: 0,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(4, 4, 0, 0),
+                tb: cells(0, 0, 0, 0),
+                sl: Some(cells(0, 0, 0, 0)),
+            },
+            notes: "JSON1 drives property getters through a java.lang.reflect.Proxy — invisible statically",
+        }),
+        compose(Spec {
+            name: "JavaassistWeld1",
+            pkg: "org.jboss.weld",
+            class_names: &["interceptor.proxy.InterceptorMethodHandler"],
+            known_found: vec![(Trigger::ReadObject, Sink::Invoke, 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![
+                (Trigger::ReadObject, Sink::ForName),
+                (Trigger::ReadObject, Sink::Exec),
+            ],
+            baits: vec![],
+            extra_baits: 0,
+            fillers: 1,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(3, 2, 1, 0),
+                sl: Some(cells(3, 2, 1, 0)),
+            },
+            notes: "Weld's interceptor handler mirrors the JBossInterceptors gadget",
+        }),
+        compose(Spec {
+            name: "Jython1",
+            pkg: "org.python",
+            class_names: &["core.PyObject", "core.PyMethod", "core.PyFunction"],
+            known_found: vec![],
+            known_missed: vec![files_sink.clone()],
+            unknowns: vec![],
+            fakes: vec![
+                (Trigger::ReadObject, Sink::Exec),
+                (Trigger::ReadObject, Sink::ForName),
+            ],
+            baits: vec![],
+            extra_baits: 40,
+            fillers: 30,
+            blowup: true,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(42, 42, 0, 0),
+                tb: cells(2, 2, 0, 0),
+                sl: None,
+            },
+            notes: "PyFunction table writing rides dynamic dispatch; Py* web defeats Serianalyzer",
+        }),
+        compose(Spec {
+            name: "MozillaRhino",
+            pkg: "org.mozilla.javascript",
+            class_names: &["NativeError", "IdScriptableObject"],
+            known_found: vec![(Trigger::ToString, Sink::Invoke, 1)],
+            known_missed: vec![eval_sink("org.mozilla.javascript.Context", "evaluateString")],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![],
+            extra_baits: 3,
+            fillers: 88,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 2,
+                gi: cells(3, 3, 0, 0),
+                tb: cells(1, 0, 1, 0),
+                sl: Some(cells(93, 93, 0, 0)),
+            },
+            notes: "NativeError.toString re-enters the script runtime; the second dataset chain needs a live Context",
+        }),
+        compose(Spec {
+            name: "Myface",
+            pkg: "org.apache.myfaces",
+            class_names: &["el.ValueBindingImpl"],
+            known_found: vec![(Trigger::ReadObject, Sink::Invoke, 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::Invoke)],
+            extra_baits: 0,
+            fillers: 0,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(1, 0, 1, 0),
+                sl: Some(cells(0, 0, 0, 0)),
+            },
+            notes: "ValueBindingImpl evaluates an attacker EL expression on restore",
+        }),
+        compose(Spec {
+            name: "Rome",
+            pkg: "com.sun.syndication",
+            class_names: &["feed.impl.ToStringBean", "feed.impl.EqualsBean"],
+            known_found: vec![(Trigger::ToString, Sink::Invoke, 1)],
+            known_missed: vec![],
+            unknowns: vec![(Trigger::Equals, Sink::Invoke)],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::ForName)],
+            extra_baits: 1,
+            fillers: 15,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(2, 0, 1, 1),
+                sl: Some(cells(19, 18, 1, 0)),
+            },
+            notes: "ToStringBean reflects all getters; EqualsBean is the equals-triggered twin",
+        }),
+        compose(Spec {
+            name: "Spring",
+            pkg: "org.springframework",
+            class_names: &[
+                "core.SerializableTypeWrapper$MethodInvokeTypeProvider",
+                "aop.framework.JdkDynamicAopProxy",
+            ],
+            known_found: vec![],
+            known_missed: vec![Sink::Invoke, Sink::Lookup],
+            unknowns: vec![],
+            fakes: vec![
+                (Trigger::ReadObject, Sink::Invoke),
+                (Trigger::ReadObject, Sink::ForName),
+            ],
+            baits: vec![],
+            extra_baits: 0,
+            fillers: 2,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 2,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(2, 2, 0, 0),
+                sl: Some(cells(4, 4, 0, 0)),
+            },
+            notes: "both Spring1/Spring2 dataset chains ride JDK dynamic proxies (§V-B)",
+        }),
+        compose(Spec {
+            name: "Vaadin1",
+            pkg: "com.vaadin",
+            class_names: &["data.util.PropertysetItem"],
+            known_found: vec![(Trigger::ToString, Sink::Invoke, 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::ForName)],
+            extra_baits: 5,
+            fillers: 15,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(6, 5, 1, 0),
+                tb: cells(1, 0, 1, 0),
+                sl: Some(cells(18, 18, 0, 0)),
+            },
+            notes: "PropertysetItem.toString walks NestedMethodProperty getters reflectively",
+        }),
+        compose(Spec {
+            name: "Wicket1",
+            pkg: "org.apache.wicket",
+            class_names: &["util.upload.DiskFileItem", "util.io.DeferredFileOutputStream"],
+            known_found: vec![
+                (Trigger::ReadObject, Sink::Delete, 1),
+                (Trigger::ReadObject, files_sink.clone(), 1),
+            ],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::ForName)],
+            extra_baits: 1,
+            fillers: 2,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 2,
+                gi: cells(3, 2, 1, 0),
+                tb: cells(2, 0, 2, 0),
+                sl: Some(cells(5, 3, 2, 0)),
+            },
+            notes: "wicket-util vendors the FileUpload DiskFileItem primitives",
+        }),
+        compose(Spec {
+            name: "commons-configration",
+            pkg: "org.apache.commons.configuration",
+            class_names: &["ConfigurationMap"],
+            known_found: vec![],
+            known_missed: vec![Sink::Invoke],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![],
+            extra_baits: 2,
+            fillers: 0,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(0, 0, 0, 0),
+                sl: Some(cells(0, 0, 0, 0)),
+            },
+            notes: "the dataset chain needs a runtime-registered event listener proxy",
+        }),
+        compose(Spec {
+            name: "spring-beans",
+            pkg: "org.springframework.beans",
+            class_names: &["factory.ObjectFactory", "factory.support.DefaultListableBeanFactory"],
+            known_found: vec![(Trigger::ReadObject, Sink::Invoke, 1)],
+            known_missed: vec![Sink::Lookup],
+            unknowns: vec![],
+            fakes: vec![(Trigger::ReadObject, Sink::ForName)],
+            baits: vec![],
+            extra_baits: 0,
+            fillers: 0,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 2,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(2, 1, 1, 0),
+                sl: Some(cells(0, 0, 0, 0)),
+            },
+            notes: "ObjectFactory replay reflects bean getters; the second chain rides a proxy",
+        }),
+        compose(Spec {
+            name: "spring-aop",
+            pkg: "org.springframework.aop",
+            class_names: &["target.JndiObjectTargetSource", "framework.AdvisedSupport"],
+            known_found: vec![(Trigger::ReadObject, Sink::Lookup, 1)],
+            known_missed: vec![Sink::Invoke],
+            unknowns: vec![],
+            fakes: vec![(Trigger::ReadObject, Sink::ForName)],
+            baits: vec![(Trigger::ReadObject, Sink::Exec)],
+            extra_baits: 4,
+            fillers: 0,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 2,
+                gi: cells(6, 6, 0, 0),
+                tb: cells(2, 1, 1, 0),
+                sl: Some(cells(0, 0, 0, 0)),
+            },
+            notes: "JndiObjectTargetSource.getTarget JNDI-dereferences on restore (cf. Table XI / CVE-2020-11619)",
+        }),
+        compose(Spec {
+            name: "XBean",
+            pkg: "org.apache.xbean",
+            class_names: &["naming.context.ContextUtil$ReadOnlyBinding"],
+            known_found: vec![(Trigger::ReadObject, Sink::Lookup, 1)],
+            known_missed: vec![],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::ForName)],
+            extra_baits: 1,
+            fillers: 0,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(1, 0, 1, 0),
+                sl: Some(cells(0, 0, 0, 0)),
+            },
+            notes: "ReadOnlyBinding resolves its naming reference on deserialization",
+        }),
+        compose(Spec {
+            name: "Resin",
+            pkg: "com.caucho",
+            class_names: &["naming.QName"],
+            known_found: vec![],
+            known_missed: vec![Sink::Lookup],
+            unknowns: vec![],
+            fakes: vec![],
+            baits: vec![(Trigger::ReadObject, Sink::ForName)],
+            extra_baits: 1,
+            fillers: 0,
+            blowup: false,
+            paper: PaperRow {
+                known_in_dataset: 1,
+                gi: cells(2, 2, 0, 0),
+                tb: cells(0, 0, 0, 0),
+                sl: Some(cells(0, 0, 0, 0)),
+            },
+            notes: "QName's context dereference rides a dynamic naming proxy",
+        }),
+    ]
+}

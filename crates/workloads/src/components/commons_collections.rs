@@ -1,0 +1,484 @@
+//! The two commons-collections rows of Table IX, with the real Transformer
+//! machinery modeled class-by-class.
+//!
+//! The structure mirrors the genuine library: a `Transformer` functional
+//! interface with several implementations (`InvokerTransformer` ends in
+//! `Method.invoke`, `InstantiateTransformer` in `Class.forName`,
+//! `FactoryTransformer` in secondary deserialization), decorated maps
+//! (`LazyMap.get` applies the factory transformer), and the `TiedMapEntry`
+//! pivot whose `hashCode`/`toString` re-enter `Map.get` — which is exactly
+//! how the ysoserial CC chains compose. The 3.2.1 dataset's proxy-based
+//! `AnnotationInvocationHandler` chain is modeled with a dynamic hop, which
+//! no static tool crosses (§V-B).
+
+use super::catalog::add_fillers;
+use crate::component::{Component, PaperRow, RowCells};
+use crate::gadget_kit::{add_gadget, Sink, Trigger, Twist};
+use crate::jdk::add_jdk_model;
+use crate::truth::{GroundTruth, TruthChain};
+use tabby_ir::{JType, ProgramBuilder};
+
+/// Sources that reach `Transformer.transform` through the map/entry
+/// machinery (TiedMapEntry.hashCode / toString routes).
+const MACHINERY_SOURCES: [&str; 4] = [
+    "java.util.HashMap.readObject",
+    "java.util.Hashtable.readObject",
+    "java.util.HashSet.readObject",
+    "javax.management.BadAttributeValueExpException.readObject",
+];
+
+/// Adds the Transformer machinery; returns the sink signatures reachable
+/// from `Transformer.transform`.
+fn add_machinery(
+    pb: &mut ProgramBuilder,
+    pkg: &str,
+    with_comparator: bool,
+    with_factory: bool,
+) -> Vec<String> {
+    // Transformer interface.
+    let iface = format!("{pkg}.Transformer");
+    let mut cb = pb.class(&iface).interface();
+    let object = cb.object_type("java.lang.Object");
+    cb.method("transform", vec![object.clone()], object)
+        .abstract_()
+        .finish();
+    cb.finish();
+
+    // ConstantTransformer — returns its field, sink-free.
+    let fqcn = format!("{pkg}.functors.ConstantTransformer");
+    let mut cb = pb.class(&fqcn).serializable().implements(&[&iface]);
+    let object = cb.object_type("java.lang.Object");
+    cb.field("iConstant", object.clone());
+    let mut mb = cb.method("transform", vec![object.clone()], object.clone());
+    let this = mb.this();
+    let v = mb.fresh();
+    mb.get_field(v, this, &fqcn, "iConstant", object.clone());
+    mb.ret(v);
+    mb.finish();
+    cb.finish();
+
+    // InvokerTransformer — transform(input) reflects a method on input.
+    let fqcn = format!("{pkg}.functors.InvokerTransformer");
+    let mut cb = pb.class(&fqcn).serializable().implements(&[&iface]);
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    let class_ty = cb.object_type("java.lang.Class");
+    let method_ty = cb.object_type("java.lang.reflect.Method");
+    cb.field("iMethodName", string.clone());
+    cb.field("iArgs", JType::array(object.clone()));
+    let mut mb = cb.method("transform", vec![object.clone()], object.clone());
+    let this = mb.this();
+    let input = mb.param(0);
+    let cls = mb.fresh();
+    let get_class = mb.sig("java.lang.Object", "getClass", &[], class_ty.clone());
+    mb.call_virtual(Some(cls), input, get_class, &[]);
+    let mname = mb.fresh();
+    mb.get_field(mname, this, &fqcn, "iMethodName", string.clone());
+    let m = mb.fresh();
+    let get_method = mb.sig("java.lang.Class", "getMethod", &[string.clone()], method_ty);
+    mb.call_virtual(Some(m), cls, get_method, &[mname.into()]);
+    let args = mb.fresh();
+    mb.get_field(args, this, &fqcn, "iArgs", JType::array(object.clone()));
+    let invoke = mb.sig(
+        "java.lang.reflect.Method",
+        "invoke",
+        &[object.clone(), JType::array(object.clone())],
+        object.clone(),
+    );
+    let r = mb.fresh();
+    mb.call_virtual(Some(r), m, invoke, &[input.into(), args.into()]);
+    mb.ret(r);
+    mb.finish();
+    cb.finish();
+
+    // InstantiateTransformer — transform(input) loads input as a class name.
+    let fqcn = format!("{pkg}.functors.InstantiateTransformer");
+    let mut cb = pb.class(&fqcn).serializable().implements(&[&iface]);
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    let class_ty = cb.object_type("java.lang.Class");
+    let mut mb = cb.method("transform", vec![object.clone()], object.clone());
+    let input = mb.param(0);
+    let name = mb.fresh();
+    mb.cast(name, string.clone(), input);
+    let for_name = mb.sig("java.lang.Class", "forName", &[string.clone()], class_ty);
+    let c = mb.fresh();
+    mb.call_static(Some(c), for_name, &[name.into()]);
+    mb.ret(c);
+    mb.finish();
+    cb.finish();
+
+    // FactoryTransformer — transform(input) re-deserializes (3.2.1 only;
+    // collections4 dropped the stream path).
+    if with_factory {
+    let fqcn = format!("{pkg}.functors.FactoryTransformer");
+    let mut cb = pb.class(&fqcn).serializable().implements(&[&iface]);
+    let object = cb.object_type("java.lang.Object");
+    let ois_ty = cb.object_type("java.io.ObjectInputStream");
+    let mut mb = cb.method("transform", vec![object.clone()], object.clone());
+    let input = mb.param(0);
+    let stream = mb.fresh();
+    mb.cast(stream, ois_ty, input);
+    let ro = mb.sig("java.io.ObjectInputStream", "readObject", &[], object.clone());
+    let r = mb.fresh();
+    mb.call_virtual(Some(r), stream, ro, &[]);
+    mb.ret(r);
+    mb.finish();
+    cb.finish();
+    }
+
+    // ChainedTransformer — iterates nested transformers.
+    let fqcn = format!("{pkg}.functors.ChainedTransformer");
+    let mut cb = pb.class(&fqcn).serializable().implements(&[&iface]);
+    let object = cb.object_type("java.lang.Object");
+    let iface_ty = cb.object_type(&iface);
+    cb.field("iTransformers", JType::array(iface_ty.clone()));
+    let mut mb = cb.method("transform", vec![object.clone()], object.clone());
+    let this = mb.this();
+    let input = mb.param(0);
+    let arr = mb.fresh();
+    mb.get_field(arr, this, &fqcn, "iTransformers", JType::array(iface_ty.clone()));
+    let t = mb.fresh();
+    mb.array_get(t, arr, mb.c_int(0));
+    let transform = mb.sig(&iface, "transform", &[object.clone()], object.clone());
+    let r = mb.fresh();
+    mb.call_interface(Some(r), t, transform, &[input.into()]);
+    mb.ret(r);
+    mb.finish();
+    cb.finish();
+
+    // LazyMap — get(key) applies the factory.
+    let fqcn = format!("{pkg}.map.LazyMap");
+    let mut cb = pb
+        .class(&fqcn)
+        .serializable()
+        .implements(&["java.util.Map"]);
+    let object = cb.object_type("java.lang.Object");
+    let iface_ty = cb.object_type(&iface);
+    cb.field("factory", iface_ty.clone());
+    let mut mb = cb.method("get", vec![object.clone()], object.clone());
+    let this = mb.this();
+    let key = mb.param(0);
+    let factory = mb.fresh();
+    mb.get_field(factory, this, &fqcn, "factory", iface_ty.clone());
+    let transform = mb.sig(&iface, "transform", &[object.clone()], object.clone());
+    let v = mb.fresh();
+    mb.call_interface(Some(v), factory, transform, &[key.into()]);
+    mb.ret(v);
+    mb.finish();
+    let mut mb = cb.method("put", vec![object.clone(), object.clone()], object.clone());
+    let v = mb.param(1);
+    mb.ret(v);
+    mb.finish();
+    cb.finish();
+
+    // TiedMapEntry — hashCode/toString re-enter Map.get.
+    let fqcn = format!("{pkg}.keyvalue.TiedMapEntry");
+    let mut cb = pb.class(&fqcn).serializable();
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    let map_ty = cb.object_type("java.util.Map");
+    cb.field("map", map_ty.clone());
+    cb.field("key", object.clone());
+    let mut mb = cb.method("getValue", vec![], object.clone());
+    let this = mb.this();
+    let map = mb.fresh();
+    mb.get_field(map, this, &fqcn, "map", map_ty.clone());
+    let key = mb.fresh();
+    mb.get_field(key, this, &fqcn, "key", object.clone());
+    let get = mb.sig("java.util.Map", "get", &[object.clone()], object.clone());
+    let v = mb.fresh();
+    mb.call_interface(Some(v), map, get, &[key.into()]);
+    mb.ret(v);
+    mb.finish();
+    let mut mb = cb.method("hashCode", vec![], JType::Int);
+    let this = mb.this();
+    let get_value = mb.sig(&fqcn, "getValue", &[], object.clone());
+    let v = mb.fresh();
+    mb.call_virtual(Some(v), this, get_value, &[]);
+    let r = mb.fresh();
+    mb.copy(r, mb.c_int(0));
+    mb.ret(r);
+    mb.finish();
+    let mut mb = cb.method("toString", vec![], string.clone());
+    let this = mb.this();
+    let get_value = mb.sig(&fqcn, "getValue", &[], object.clone());
+    let v = mb.fresh();
+    mb.call_virtual(Some(v), this, get_value, &[]);
+    let s = mb.fresh();
+    mb.cast(s, string.clone(), v);
+    mb.ret(s);
+    mb.finish();
+    cb.finish();
+
+    // TransformingComparator (collections4) — compare applies the
+    // transformer, wiring PriorityQueue.readObject into the machinery.
+    if with_comparator {
+        let fqcn = format!("{pkg}.comparators.TransformingComparator");
+        let mut cb = pb
+            .class(&fqcn)
+            .serializable()
+            .implements(&["java.util.Comparator"]);
+        let object = cb.object_type("java.lang.Object");
+        let iface_ty = cb.object_type(&iface);
+        cb.field("transformer", iface_ty.clone());
+        let mut mb = cb.method(
+            "compare",
+            vec![object.clone(), object.clone()],
+            JType::Int,
+        );
+        let this = mb.this();
+        let a = mb.param(0);
+        let t = mb.fresh();
+        mb.get_field(t, this, &fqcn, "transformer", iface_ty.clone());
+        let transform = mb.sig(&iface, "transform", &[object.clone()], object.clone());
+        let v = mb.fresh();
+        mb.call_interface(Some(v), t, transform, &[a.into()]);
+        let r = mb.fresh();
+        mb.copy(r, mb.c_int(0));
+        mb.ret(r);
+        mb.finish();
+        cb.finish();
+    }
+
+    let mut sinks = vec![Sink::Invoke.signature(), Sink::ForName.signature()];
+    if with_factory {
+        sinks.push(Sink::SecondaryDeserialization.signature());
+    }
+    sinks
+}
+
+fn cells(result: usize, fake: usize, known: usize, unknown: usize) -> RowCells {
+    RowCells {
+        result,
+        fake,
+        known,
+        unknown,
+    }
+}
+
+/// `commons-colletions(3.2.1)` (paper spelling) — 5 dataset chains, one of
+/// which (AnnotationInvocationHandler) rides a dynamic proxy.
+pub fn cc3() -> Component {
+    let pkg = "org.apache.commons.collections";
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let machinery_sinks = add_machinery(&mut pb, pkg, false, true);
+
+    let mut chains = Vec::new();
+    // The four map/entry sources × three transformer sinks: the dataset
+    // records the Method.invoke family; the rest are effective unknowns.
+    for source in MACHINERY_SOURCES {
+        for sink in &machinery_sinks {
+            if sink == &Sink::Invoke.signature() {
+                chains.push(TruthChain::known(source, sink));
+            } else {
+                chains.push(TruthChain::unknown(source, sink));
+            }
+        }
+    }
+    // The fifth dataset chain: AnnotationInvocationHandler's proxy hop.
+    let aih = "sun.reflect.annotation.AnnotationInvocationHandler";
+    add_gadget(&mut pb, aih, Trigger::ReadObject, &Sink::Invoke, Twist::DynamicProxy);
+    chains.push(TruthChain::known(
+        &format!("{aih}.readObject"),
+        &Sink::Invoke.signature(),
+    ));
+    // DefaultedMap's own readObject invokes directly — a planted unknown.
+    let dm = format!("{pkg}.map.DefaultedMap");
+    add_gadget(&mut pb, &dm, Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
+    chains.push(TruthChain::unknown(
+        &format!("{dm}.readObject"),
+        &Sink::Invoke.signature(),
+    ));
+    // Guard-dead fakes: a pivot whose dangerous call can never execute.
+    add_gadget(
+        &mut pb,
+        &format!("{pkg}.functors.SwitchTransformer"),
+        Trigger::HashCode,
+        &Sink::Exec,
+        Twist::Guarded,
+    );
+    add_gadget(
+        &mut pb,
+        &format!("{pkg}.functors.StringValueTransformer"),
+        Trigger::ToString,
+        &Sink::Exec,
+        Twist::Guarded,
+    );
+    // Sanitize baits for the assume-controllable baselines.
+    for (i, sink) in [Sink::Exec, Sink::ForName, Sink::Lookup, Sink::Exec]
+        .iter()
+        .enumerate()
+    {
+        add_gadget(
+            &mut pb,
+            &format!("{pkg}.functors.CloneTransformer{i}"),
+            Trigger::ReadObject,
+            sink,
+            Twist::Sanitized,
+        );
+    }
+
+    add_fillers(&mut pb, pkg, 50);
+
+    Component::new(
+        "commons-colletions(3.2.1)",
+        pb.build(),
+        GroundTruth::new(chains),
+        &[pkg, "sun.reflect.annotation"],
+    )
+    .with_paper_row(PaperRow {
+        known_in_dataset: 5,
+        gi: cells(4, 3, 0, 1),
+        tb: cells(17, 4, 4, 9),
+        sl: Some(cells(73, 73, 0, 0)),
+    })
+    .with_notes(
+        "full Transformer machinery: InvokerTransformer / InstantiateTransformer / \
+         FactoryTransformer behind LazyMap.get and TiedMapEntry pivots; AIH chain \
+         rides a dynamic proxy",
+    )
+}
+
+/// `commons-colletions(4.0.0)` — 2 dataset chains through
+/// `TransformingComparator`; the TemplatesImpl variant is proxy-driven.
+pub fn cc4() -> Component {
+    let pkg = "org.apache.commons.collections4";
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let machinery_sinks = add_machinery(&mut pb, pkg, true, false);
+
+    let mut chains = Vec::new();
+    // Five sources (the four map/entry routes plus PriorityQueue via
+    // TransformingComparator) × two transformer sinks, minus the secondary
+    // deserialization family (collections4 dropped FactoryTransformer's
+    // stream path — keep pair space at 10).
+    let mut sources: Vec<&str> = MACHINERY_SOURCES.to_vec();
+    sources.push("java.util.PriorityQueue.readObject");
+    for source in &sources {
+        for sink in &machinery_sinks {
+            let is_cc2 = *source == "java.util.PriorityQueue.readObject"
+                && sink == &Sink::Invoke.signature();
+            if is_cc2 {
+                chains.push(TruthChain::known(source, sink));
+            } else {
+                chains.push(TruthChain::unknown(source, sink));
+            }
+        }
+    }
+    // The second dataset chain (CC4-style TemplatesImpl.newTransformer) is
+    // reached through a proxy-bridged transformer: missed by all tools.
+    let bridge = format!("{pkg}.functors.PrototypeFactory");
+    add_gadget(
+        &mut pb,
+        &bridge,
+        Trigger::ReadObject,
+        &Sink::NewTransformer,
+        Twist::DynamicProxy,
+    );
+    chains.push(TruthChain::known(
+        &format!("{bridge}.readObject"),
+        &Sink::NewTransformer.signature(),
+    ));
+    // Planted unknowns beyond the machinery grid: DefaultedMap's direct
+    // invoke plus lookup-flavored pivots.
+    let dm = format!("{pkg}.map.DefaultedMap");
+    add_gadget(&mut pb, &dm, Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
+    chains.push(TruthChain::unknown(
+        &format!("{dm}.readObject"),
+        &Sink::Invoke.signature(),
+    ));
+    let tm = format!("{pkg}.map.TransformedMap");
+    add_gadget(&mut pb, &tm, Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
+    chains.push(TruthChain::unknown(
+        &format!("{tm}.readObject"),
+        &Sink::Lookup.signature(),
+    ));
+    let mv = format!("{pkg}.map.MultiValueMap");
+    add_gadget(
+        &mut pb,
+        &mv,
+        Trigger::ReadObject,
+        &Sink::GetConnection,
+        Twist::Plain,
+    );
+    chains.push(TruthChain::unknown(
+        &format!("{mv}.readObject"),
+        &Sink::GetConnection.signature(),
+    ));
+    // Guard-dead fakes: hashCode (3 pairs), toString (1), compare (1).
+    add_gadget(
+        &mut pb,
+        &format!("{pkg}.functors.SwitchTransformer"),
+        Trigger::HashCode,
+        &Sink::Exec,
+        Twist::Guarded,
+    );
+    add_gadget(
+        &mut pb,
+        &format!("{pkg}.functors.StringValueTransformer"),
+        Trigger::ToString,
+        &Sink::Exec,
+        Twist::Guarded,
+    );
+    add_gadget(
+        &mut pb,
+        &format!("{pkg}.comparators.FixedOrderComparator"),
+        Trigger::Compare,
+        &Sink::Exec,
+        Twist::Guarded,
+    );
+    // Baits for the baselines.
+    for (i, sink) in [Sink::Exec, Sink::ForName, Sink::Lookup, Sink::Exec]
+        .iter()
+        .enumerate()
+    {
+        add_gadget(
+            &mut pb,
+            &format!("{pkg}.functors.CloneTransformer{i}"),
+            Trigger::ReadObject,
+            sink,
+            Twist::Sanitized,
+        );
+    }
+
+    add_fillers(&mut pb, pkg, 16);
+
+    Component::new(
+        "commons-colletions(4.0.0)",
+        pb.build(),
+        GroundTruth::new(chains),
+        &[pkg],
+    )
+    .with_paper_row(PaperRow {
+        known_in_dataset: 2,
+        gi: cells(4, 3, 0, 1),
+        tb: cells(18, 5, 1, 12),
+        sl: Some(cells(38, 38, 0, 0)),
+    })
+    .with_notes(
+        "collections4 machinery adds TransformingComparator (PriorityQueue trigger); \
+         the TemplatesImpl variant is proxy-bridged",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc3_manifest_counts() {
+        let c = cc3();
+        assert_eq!(c.truth.known_in_dataset(), 5);
+        // 4 known-found + 1 known-missed + 9 unknowns.
+        assert_eq!(c.truth.chains.len(), 5 + 9);
+    }
+
+    #[test]
+    fn cc4_manifest_counts() {
+        let c = cc4();
+        assert_eq!(c.truth.known_in_dataset(), 2);
+        assert_eq!(c.truth.chains.len(), 2 + 12);
+    }
+}

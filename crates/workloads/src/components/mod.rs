@@ -1,0 +1,70 @@
+//! The 26 evaluated components of Table IX.
+//!
+//! Each component is a synthetic library mirroring the gadget-relevant
+//! structure of the real jar the paper analyzed, plus a ground-truth
+//! manifest (see DESIGN.md's substitution record). [`all`] returns them in
+//! the paper's row order.
+
+pub mod catalog;
+pub mod commons_collections;
+
+use crate::component::Component;
+
+/// All Table IX components, in the paper's row order.
+pub fn all() -> Vec<Component> {
+    let mut kit = catalog::kit_components();
+    // Row order: splice the two commons-collections rows after
+    // CommonsBeanutils1 (index 5 of the kit list).
+    let mut out = Vec::with_capacity(kit.len() + 2);
+    let tail = kit.split_off(6);
+    out.extend(kit);
+    out.push(commons_collections::cc3());
+    out.push(commons_collections::cc4());
+    out.extend(tail);
+    out
+}
+
+/// Looks up one component by (paper) name.
+pub fn by_name(name: &str) -> Option<Component> {
+    all().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_26_components() {
+        let components = all();
+        assert_eq!(components.len(), 26);
+        // Paper ordering: commons-collections rows sit at positions 6 and 7.
+        assert_eq!(components[6].name, "commons-colletions(3.2.1)");
+        assert_eq!(components[7].name, "commons-colletions(4.0.0)");
+        assert_eq!(components[0].name, "AspectJWeaver");
+        assert_eq!(components[25].name, "Resin");
+    }
+
+    #[test]
+    fn dataset_totals_match_table9() {
+        let total: usize = all()
+            .iter()
+            .map(|c| c.truth.known_in_dataset())
+            .sum();
+        assert_eq!(total, 38);
+    }
+
+    #[test]
+    fn every_component_has_paper_row_and_program() {
+        for c in all() {
+            assert!(c.paper.is_some(), "{} missing paper row", c.name);
+            assert!(c.program.classes().len() > 20, "{} too small", c.name);
+            assert!(!c.packages.is_empty());
+        }
+    }
+
+    #[test]
+    fn by_name_finds_components() {
+        assert!(by_name("Hibernate").is_some());
+        assert!(by_name("NoSuch").is_none());
+    }
+}

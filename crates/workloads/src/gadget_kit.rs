@@ -1,0 +1,532 @@
+//! Reusable gadget-structure builders.
+//!
+//! Every evaluated component (Table IX) is assembled from a handful of
+//! recurring structural motifs — a *trigger* (which deserialization entry
+//! point reaches the component's code) wired to a *sink* (Table VII), with
+//! optional twists: a constant guard (detector-visible but ineffective — a
+//! planted fake), a sanitizing callee (caught by Tabby's interprocedural
+//! Action, missed by assume-controllable baselines), or a dynamic-proxy hop
+//! (invisible to every static tool, §V-B). The builders return the
+//! `(source, sink)` signature pairs each motif makes discoverable so the
+//! component can assemble its ground-truth manifest.
+
+use tabby_ir::{CmpOp, InvokeExpr, InvokeKind, JType, Local, MethodBuilder, ProgramBuilder, Stmt};
+
+/// A sink to wire a gadget into.
+#[derive(Debug, Clone)]
+pub enum Sink {
+    /// `java.lang.Runtime.exec(cmd)` — EXEC.
+    Exec,
+    /// `java.lang.reflect.Method.invoke(target, args)` — CODE.
+    Invoke,
+    /// `javax.naming.Context.lookup(name)` — JNDI.
+    Lookup,
+    /// `java.lang.Class.forName(name)` — CODE.
+    ForName,
+    /// `java.io.File.delete()` — FILE.
+    Delete,
+    /// `java.net.InetAddress.getByName(host)` — SSRF.
+    GetByName,
+    /// `java.net.URL.openConnection()` — SSRF.
+    OpenConnection,
+    /// `TemplatesImpl.newTransformer()` — CODE.
+    NewTransformer,
+    /// `javax.sql.DataSource.getConnection()` — JDBC.
+    GetConnection,
+    /// `java.io.ObjectInputStream.readObject()` — JDV (secondary
+    /// deserialization).
+    SecondaryDeserialization,
+    /// Any single-argument instance sink `class.method(tainted)` resolved
+    /// against the catalog by name (e.g. `bsh.Interpreter.eval`).
+    Custom {
+        /// Sink class.
+        class: String,
+        /// Sink method.
+        method: String,
+        /// Total value arguments.
+        arity: usize,
+        /// Which position carries the tainted value (0 = receiver).
+        tainted_pos: usize,
+    },
+}
+
+impl Sink {
+    /// The `Class.method` signature the chain report will show.
+    pub fn signature(&self) -> String {
+        match self {
+            Sink::Exec => "java.lang.Runtime.exec".to_owned(),
+            Sink::Invoke => "java.lang.reflect.Method.invoke".to_owned(),
+            Sink::Lookup => "javax.naming.Context.lookup".to_owned(),
+            Sink::ForName => "java.lang.Class.forName".to_owned(),
+            Sink::Delete => "java.io.File.delete".to_owned(),
+            Sink::GetByName => "java.net.InetAddress.getByName".to_owned(),
+            Sink::OpenConnection => "java.net.URL.openConnection".to_owned(),
+            Sink::NewTransformer => {
+                "com.sun.org.apache.xalan.internal.xsltc.trax.TemplatesImpl.newTransformer"
+                    .to_owned()
+            }
+            Sink::GetConnection => "javax.sql.DataSource.getConnection".to_owned(),
+            Sink::SecondaryDeserialization => "java.io.ObjectInputStream.readObject".to_owned(),
+            Sink::Custom { class, method, .. } => format!("{class}.{method}"),
+        }
+    }
+
+    /// Emits the sink call with `tainted` flowing into the Trigger_Condition
+    /// position(s).
+    pub fn emit(&self, mb: &mut MethodBuilder<'_, '_>, tainted: Local) {
+        let object = mb.object_type("java.lang.Object");
+        let string = mb.object_type("java.lang.String");
+        match self {
+            Sink::Exec => {
+                let runtime = mb.object_type("java.lang.Runtime");
+                let process = mb.object_type("java.lang.Process");
+                let cmd = mb.fresh();
+                mb.cast(cmd, string.clone(), tainted);
+                let rt = mb.fresh();
+                let get_rt = mb.sig("java.lang.Runtime", "getRuntime", &[], runtime);
+                mb.call_static(Some(rt), get_rt, &[]);
+                let exec = mb.sig("java.lang.Runtime", "exec", &[string], process);
+                mb.call_virtual(None, rt, exec, &[cmd.into()]);
+            }
+            Sink::Invoke => {
+                let method_ty = mb.object_type("java.lang.reflect.Method");
+                let m = mb.fresh();
+                mb.cast(m, method_ty, tainted);
+                let invoke = mb.sig(
+                    "java.lang.reflect.Method",
+                    "invoke",
+                    &[object.clone(), JType::array(object.clone())],
+                    object,
+                );
+                mb.call_virtual(None, m, invoke, &[tainted.into(), tainted.into()]);
+            }
+            Sink::Lookup => {
+                let ctx_ty = mb.object_type("javax.naming.InitialContext");
+                let name = mb.fresh();
+                mb.cast(name, string.clone(), tainted);
+                let ctx = mb.fresh();
+                mb.new_with_ctor(ctx, "javax.naming.InitialContext", &[], &[]);
+                let _ = ctx_ty;
+                let lookup = mb.sig("javax.naming.Context", "lookup", &[string], object);
+                mb.call_interface(None, ctx, lookup, &[name.into()]);
+            }
+            Sink::ForName => {
+                let class_ty = mb.object_type("java.lang.Class");
+                let name = mb.fresh();
+                mb.cast(name, string.clone(), tainted);
+                let for_name = mb.sig("java.lang.Class", "forName", &[string], class_ty);
+                let c = mb.fresh();
+                mb.call_static(Some(c), for_name, &[name.into()]);
+            }
+            Sink::Delete => {
+                let file_ty = mb.object_type("java.io.File");
+                let f = mb.fresh();
+                mb.cast(f, file_ty, tainted);
+                let delete = mb.sig("java.io.File", "delete", &[], JType::Boolean);
+                let r = mb.fresh();
+                mb.call_virtual(Some(r), f, delete, &[]);
+            }
+            Sink::GetByName => {
+                let inet = mb.object_type("java.net.InetAddress");
+                let host = mb.fresh();
+                mb.cast(host, string.clone(), tainted);
+                let gbn = mb.sig("java.net.InetAddress", "getByName", &[string], inet);
+                let a = mb.fresh();
+                mb.call_static(Some(a), gbn, &[host.into()]);
+            }
+            Sink::OpenConnection => {
+                let url_ty = mb.object_type("java.net.URL");
+                let conn = mb.object_type("java.net.URLConnection");
+                let u = mb.fresh();
+                mb.cast(u, url_ty, tainted);
+                let oc = mb.sig("java.net.URL", "openConnection", &[], conn);
+                let c = mb.fresh();
+                mb.call_virtual(Some(c), u, oc, &[]);
+            }
+            Sink::NewTransformer => {
+                const TCLASS: &str =
+                    "com.sun.org.apache.xalan.internal.xsltc.trax.TemplatesImpl";
+                let t_ty = mb.object_type(TCLASS);
+                let transformer = mb.object_type("javax.xml.transform.Transformer");
+                let t = mb.fresh();
+                mb.cast(t, t_ty, tainted);
+                let nt = mb.sig(TCLASS, "newTransformer", &[], transformer);
+                let r = mb.fresh();
+                mb.call_virtual(Some(r), t, nt, &[]);
+            }
+            Sink::GetConnection => {
+                let ds_ty = mb.object_type("javax.sql.DataSource");
+                let conn = mb.object_type("java.sql.Connection");
+                let ds = mb.fresh();
+                mb.cast(ds, ds_ty, tainted);
+                let gc = mb.sig("javax.sql.DataSource", "getConnection", &[], conn);
+                let c = mb.fresh();
+                mb.call_virtual(Some(c), ds, gc, &[]);
+            }
+            Sink::SecondaryDeserialization => {
+                let ois_ty = mb.object_type("java.io.ObjectInputStream");
+                let s = mb.fresh();
+                mb.cast(s, ois_ty, tainted);
+                let ro = mb.sig("java.io.ObjectInputStream", "readObject", &[], object);
+                let o = mb.fresh();
+                mb.call_virtual(Some(o), s, ro, &[]);
+            }
+            Sink::Custom {
+                class,
+                method,
+                arity,
+                tainted_pos,
+            } => {
+                let recv = mb.fresh();
+                if *tainted_pos == 0 {
+                    let cls_ty = mb.object_type(class);
+                    mb.cast(recv, cls_ty, tainted);
+                } else {
+                    mb.copy(recv, mb.c_null());
+                }
+                let params: Vec<JType> = (0..*arity).map(|_| object.clone()).collect();
+                let callee = {
+                    let class = class.clone();
+                    let method = method.clone();
+                    mb.sig(&class, &method, &params, object.clone())
+                };
+                let args: Vec<tabby_ir::Operand> = (1..=*arity)
+                    .map(|i| {
+                        if i == *tainted_pos {
+                            tainted.into()
+                        } else {
+                            mb.c_null()
+                        }
+                    })
+                    .collect();
+                mb.call_virtual(None, recv, callee, &args);
+            }
+        }
+    }
+}
+
+/// Which deserialization machinery reaches the gadget's pivot method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// The class's own `readObject`.
+    ReadObject,
+    /// `toString`, fired by `BadAttributeValueExpException.readObject`.
+    ToString,
+    /// `hashCode`, fired by `HashMap`/`Hashtable`/`HashSet` readObject.
+    HashCode,
+    /// `equals`, fired by `HashMap.readObject` collision probing.
+    Equals,
+    /// `Comparator.compare`, fired by `PriorityQueue.readObject`.
+    Compare,
+    /// The class's own `readResolve`.
+    ReadResolve,
+}
+
+impl Trigger {
+    /// The source signatures that fire this trigger (each yields one
+    /// discoverable `(source, sink)` pair).
+    pub fn sources(self, fqcn: &str) -> Vec<String> {
+        match self {
+            Trigger::ReadObject => vec![format!("{fqcn}.readObject")],
+            Trigger::ReadResolve => vec![format!("{fqcn}.readResolve")],
+            Trigger::ToString => {
+                vec!["javax.management.BadAttributeValueExpException.readObject".to_owned()]
+            }
+            Trigger::HashCode => vec![
+                "java.util.HashMap.readObject".to_owned(),
+                "java.util.Hashtable.readObject".to_owned(),
+                "java.util.HashSet.readObject".to_owned(),
+            ],
+            Trigger::Equals => vec!["java.util.HashMap.readObject".to_owned()],
+            Trigger::Compare => vec!["java.util.PriorityQueue.readObject".to_owned()],
+        }
+    }
+}
+
+/// How the gadget body is twisted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Twist {
+    /// Straight field-to-sink flow: effective, found by Tabby.
+    Plain,
+    /// The sink call sits behind a constant-false guard: found by the
+    /// guard-blind detector, rejected by the PoC oracle — a planted fake.
+    Guarded,
+    /// The tainted value is routed through a helper that *replaces* it
+    /// before the sink: Tabby's Action analysis prunes the call (PP all-∞);
+    /// assume-controllable baselines still report it.
+    Sanitized,
+    /// The pivot is reached through a dynamic-proxy (`invokedynamic`) hop:
+    /// no static tool sees the edge (§V-B) — a dataset chain all tools miss.
+    DynamicProxy,
+}
+
+/// The discoverable pairs a motif contributes, for manifest assembly.
+#[derive(Debug, Clone)]
+pub struct MotifPairs {
+    /// `(source signature, sink signature)` pairs.
+    pub pairs: Vec<(String, String)>,
+}
+
+/// Adds one gadget class and returns the `(source, sink)` pairs it makes
+/// discoverable (empty for twists that hide the chain from the detector:
+/// the pairs are still real for `DynamicProxy` ground truth, so they *are*
+/// returned for it — the caller decides how to classify).
+pub fn add_gadget(
+    pb: &mut ProgramBuilder,
+    fqcn: &str,
+    trigger: Trigger,
+    sink: &Sink,
+    twist: Twist,
+) -> MotifPairs {
+    let mut cb = pb.class(fqcn).serializable();
+    if trigger == Trigger::Compare {
+        cb.implements_in_place(&["java.util.Comparator"]);
+    }
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    let ois = cb.object_type("java.io.ObjectInputStream");
+    cb.field("payload", object.clone());
+
+    // The pivot method the trigger invokes.
+    let (name, params, ret): (&str, Vec<JType>, JType) = match trigger {
+        Trigger::ReadObject => ("readObject", vec![ois.clone()], JType::Void),
+        Trigger::ReadResolve => ("readResolve", vec![], object.clone()),
+        Trigger::ToString => ("toString", vec![], string.clone()),
+        Trigger::HashCode => ("hashCode", vec![], JType::Int),
+        Trigger::Equals => ("equals", vec![object.clone()], JType::Boolean),
+        Trigger::Compare => (
+            "compare",
+            vec![object.clone(), object.clone()],
+            JType::Int,
+        ),
+    };
+    let mut mb = cb.method(name, params, ret.clone());
+    let this = mb.this();
+    let tainted = mb.fresh();
+    mb.get_field(tainted, this, fqcn, "payload", object.clone());
+    match twist {
+        Twist::Plain => sink.emit(&mut mb, tainted),
+        Twist::Guarded => {
+            // if (flag == 0) goto skip; <sink>; skip:
+            let flag = mb.fresh();
+            mb.copy(flag, mb.c_int(0));
+            let skip = mb.fresh_label();
+            mb.if_(CmpOp::Eq, flag, mb.c_int(0), skip);
+            sink.emit(&mut mb, tainted);
+            mb.place(skip);
+            mb.nop();
+        }
+        Twist::Sanitized => {
+            // helper(tainted) — helper replaces its parameter before the sink.
+            let helper = mb.sig(fqcn, "process", &[object.clone()], JType::Void);
+            mb.call_virtual(None, this, helper, &[tainted.into()]);
+        }
+        Twist::DynamicProxy => {
+            // The proxy hop: an invokedynamic call the analysis cannot model.
+            let callee = mb.sig(fqcn, "proxyTarget", &[object.clone()], JType::Void);
+            mb.push(Stmt::Invoke(InvokeExpr {
+                kind: InvokeKind::Dynamic,
+                base: None,
+                callee,
+                args: vec![tainted.into()],
+            }));
+        }
+    }
+    match ret {
+        JType::Void => {}
+        JType::Int | JType::Boolean => {
+            let r = mb.fresh();
+            mb.copy(r, mb.c_int(0));
+            mb.ret(r);
+        }
+        _ => {
+            mb.ret(tainted);
+        }
+    }
+    mb.finish();
+
+    if twist == Twist::Sanitized {
+        let mut mb = cb.method("process", vec![object.clone()], JType::Void);
+        let x = mb.param(0);
+        // The replacement Tabby's Action tracks and baselines ignore.
+        mb.new_obj(x, "java.lang.Object");
+        sink.emit(&mut mb, x);
+        mb.finish();
+    }
+    if twist == Twist::DynamicProxy {
+        let mut mb = cb.method("proxyTarget", vec![object.clone()], JType::Void);
+        let x = mb.param(0);
+        sink.emit(&mut mb, x);
+        mb.finish();
+    }
+    cb.finish();
+
+    let sink_sig = sink.signature();
+    MotifPairs {
+        pairs: trigger
+            .sources(fqcn)
+            .into_iter()
+            .map(|s| (s, sink_sig.clone()))
+            .collect(),
+    }
+}
+
+/// Adds a two-class delegation gadget: `fqcn.readObject` passes its payload
+/// to `helper_fqcn.run`, which calls the sink — exercising interprocedural
+/// Polluted_Position propagation.
+pub fn add_delegation_gadget(
+    pb: &mut ProgramBuilder,
+    fqcn: &str,
+    helper_fqcn: &str,
+    sink: &Sink,
+) -> MotifPairs {
+    let mut cb = pb.class(fqcn).serializable();
+    let object = cb.object_type("java.lang.Object");
+    let ois = cb.object_type("java.io.ObjectInputStream");
+    let helper_ty = cb.object_type(helper_fqcn);
+    cb.field("payload", object.clone());
+    cb.field("delegate", helper_ty.clone());
+    let mut mb = cb.method("readObject", vec![ois], JType::Void);
+    let this = mb.this();
+    let tainted = mb.fresh();
+    mb.get_field(tainted, this, fqcn, "payload", object.clone());
+    let delegate = mb.fresh();
+    mb.get_field(delegate, this, fqcn, "delegate", helper_ty.clone());
+    let run = mb.sig(helper_fqcn, "run", &[object.clone()], JType::Void);
+    mb.call_virtual(None, delegate, run, &[tainted.into()]);
+    mb.finish();
+    cb.finish();
+
+    let mut cb = pb.class(helper_fqcn).serializable();
+    let object = cb.object_type("java.lang.Object");
+    let mut mb = cb.method("run", vec![object.clone()], JType::Void);
+    let x = mb.param(0);
+    sink.emit(&mut mb, x);
+    mb.finish();
+    cb.finish();
+
+    MotifPairs {
+        pairs: vec![(format!("{fqcn}.readObject"), sink.signature())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jdk::add_jdk_model;
+    use tabby_core::{AnalysisConfig, Cpg};
+    use tabby_pathfinder::{find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog};
+
+    fn run(build: impl FnOnce(&mut ProgramBuilder) -> MotifPairs) -> (Vec<GadgetChain>, MotifPairs) {
+        let mut pb = ProgramBuilder::new();
+        add_jdk_model(&mut pb);
+        let pairs = build(&mut pb);
+        let p = pb.build();
+        let mut cpg = Cpg::build(&p, AnalysisConfig::default());
+        let chains = find_gadget_chains(
+            &mut cpg,
+            &SinkCatalog::paper(),
+            &SourceCatalog::native_serialization(),
+            &SearchConfig::default(),
+        );
+        (chains, pairs)
+    }
+
+    fn has_pair(chains: &[GadgetChain], pair: &(String, String)) -> bool {
+        chains
+            .iter()
+            .any(|c| c.source() == pair.0 && c.sink() == pair.1)
+    }
+
+    #[test]
+    fn plain_readobject_gadget_found() {
+        let (chains, pairs) = run(|pb| {
+            add_gadget(pb, "kit.A", Trigger::ReadObject, &Sink::Exec, Twist::Plain)
+        });
+        assert!(has_pair(&chains, &pairs.pairs[0]));
+    }
+
+    #[test]
+    fn hashcode_gadget_fires_from_all_three_maps() {
+        let (chains, pairs) = run(|pb| {
+            add_gadget(pb, "kit.H", Trigger::HashCode, &Sink::ForName, Twist::Plain)
+        });
+        assert_eq!(pairs.pairs.len(), 3);
+        for pair in &pairs.pairs {
+            assert!(has_pair(&chains, pair), "missing {pair:?}");
+        }
+    }
+
+    #[test]
+    fn tostring_gadget_fires_from_bavee() {
+        let (chains, pairs) = run(|pb| {
+            add_gadget(pb, "kit.T", Trigger::ToString, &Sink::Lookup, Twist::Plain)
+        });
+        assert!(has_pair(&chains, &pairs.pairs[0]));
+        assert_eq!(
+            pairs.pairs[0].0,
+            "javax.management.BadAttributeValueExpException.readObject"
+        );
+    }
+
+    #[test]
+    fn compare_gadget_fires_from_priority_queue() {
+        let (chains, pairs) = run(|pb| {
+            add_gadget(pb, "kit.C", Trigger::Compare, &Sink::Invoke, Twist::Plain)
+        });
+        assert!(has_pair(&chains, &pairs.pairs[0]));
+    }
+
+    #[test]
+    fn guarded_gadget_is_reported_by_detector() {
+        // The detector is guard-blind: the chain appears in the output (it
+        // will be classified fake by the manifest/oracle).
+        let (chains, pairs) = run(|pb| {
+            add_gadget(pb, "kit.G", Trigger::ReadObject, &Sink::Exec, Twist::Guarded)
+        });
+        assert!(has_pair(&chains, &pairs.pairs[0]));
+    }
+
+    #[test]
+    fn sanitized_gadget_is_pruned_by_tabby() {
+        let (chains, pairs) = run(|pb| {
+            add_gadget(
+                pb,
+                "kit.S",
+                Trigger::ReadObject,
+                &Sink::Exec,
+                Twist::Sanitized,
+            )
+        });
+        assert!(!has_pair(&chains, &pairs.pairs[0]));
+    }
+
+    #[test]
+    fn dynamic_proxy_gadget_is_invisible() {
+        let (chains, pairs) = run(|pb| {
+            add_gadget(
+                pb,
+                "kit.D",
+                Trigger::ReadObject,
+                &Sink::Exec,
+                Twist::DynamicProxy,
+            )
+        });
+        assert!(!has_pair(&chains, &pairs.pairs[0]));
+    }
+
+    #[test]
+    fn delegation_gadget_found_interprocedurally() {
+        let (chains, pairs) =
+            run(|pb| add_delegation_gadget(pb, "kit.Del", "kit.DelHelper", &Sink::Lookup));
+        assert!(has_pair(&chains, &pairs.pairs[0]));
+        // The route passes through the helper.
+        let chain = chains
+            .iter()
+            .find(|c| c.source() == pairs.pairs[0].0 && c.sink() == pairs.pairs[0].1)
+            .unwrap();
+        assert!(chain
+            .signatures
+            .contains(&"kit.DelHelper.run".to_owned()));
+    }
+}

@@ -1,0 +1,35 @@
+//! # tabby-workloads — synthetic Java-library corpora with ground truth
+//!
+//! The evaluation substrate of the Tabby reproduction. Real jar files
+//! (ysoserial/marshalsec components, Spring, JDK8, middleware) are not
+//! shippable; instead this crate generates IR programs that mirror each
+//! evaluated component's *gadget-relevant structure* — see DESIGN.md's
+//! substitution table — together with ground-truth manifests so the
+//! harness can compute the FPR/FNR of Table IX exactly as Formulas 5–6 do.
+//!
+//! - [`jdk`]: the runtime-class model chains execute through (HashMap,
+//!   PriorityQueue, URL, Runtime, Method, TemplatesImpl, …);
+//! - [`gadget_kit`]: the recurring structural motifs (trigger × sink ×
+//!   twist) components are assembled from;
+//! - [`components`]: one module per Table IX row;
+//! - [`scenes`]: the Table X development-environment scenes;
+//! - [`random_lib`]: the scalable random-library generator for Table VIII;
+//! - [`truth`]: manifests and the FPR/FNR arithmetic;
+//! - [`oracle`]: the guard-honouring effectiveness check standing in for
+//!   the paper's manual PoC verification.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod component;
+pub mod components;
+pub mod gadget_kit;
+pub mod jdk;
+pub mod oracle;
+pub mod random_lib;
+pub mod scenes;
+pub mod truth;
+
+pub use component::Component;
+pub use gadget_kit::{Sink, Trigger, Twist};
+pub use truth::{ChainClass, EvalCounts, GroundTruth, TruthChain};

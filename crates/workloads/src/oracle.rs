@@ -1,0 +1,335 @@
+//! The effectiveness oracle: the automated stand-in for the paper's manual
+//! PoC verification (§IV-C).
+//!
+//! The paper's authors instantiated each reported chain and ran it; a chain
+//! whose control flow is cut by a conditional the detector ignored is a
+//! *fake*. The oracle reproduces that judgment statically but **honouring
+//! guards**: for every call step of a chain it checks that the call
+//! statement is reachable from the method entry when branch conditions
+//! decidable by constant propagation are actually decided (the detector, by
+//! design, treats both branch arms as reachable — §IV-E names exactly this
+//! as its false-positive source).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use tabby_core::Cpg;
+use tabby_graph::Direction;
+use tabby_ir::{
+    Body, CmpOp, Constant, Expr, Local, Operand, Place, Program, Stmt,
+};
+use tabby_pathfinder::GadgetChain;
+
+/// Checks every step of `chain` (node pairs from source to sink) against
+/// the program: a step is valid if it is an ALIAS hop, or if the caller
+/// contains a *guard-reachable* call statement targeting the callee.
+pub fn chain_is_effective(program: &Program, cpg: &Cpg, chain: &GadgetChain) -> bool {
+    if chain.nodes.len() < 2 {
+        return false;
+    }
+    for pair in chain.nodes.windows(2) {
+        let (from, to) = (pair[0], pair[1]);
+        // ALIAS hops (either direction) carry no guard.
+        let alias_hop = cpg
+            .graph
+            .edges_of(from, Direction::Both, Some(cpg.schema.alias))
+            .iter()
+            .any(|&e| cpg.graph.other_node(e, from) == to);
+        if alias_hop {
+            continue;
+        }
+        // Otherwise this must be a call step from an analyzed caller.
+        let Some(caller_id) = cpg.node_method(from) else {
+            return false;
+        };
+        let Some(body) = program.method(caller_id).body.as_ref() else {
+            return false;
+        };
+        let callee_name = cpg
+            .graph
+            .node_prop(to, cpg.schema.name)
+            .and_then(|v| v.as_str())
+            .unwrap_or("");
+        let callee_arity = cpg
+            .graph
+            .node_prop(to, cpg.schema.param_count)
+            .and_then(|v| v.as_int())
+            .unwrap_or(-1);
+        let reachable = reachable_stmts(body);
+        let mut step_ok = false;
+        for (i, stmt) in body.stmts.iter().enumerate() {
+            if let Some(inv) = stmt.invoke() {
+                if program.name(inv.callee.name) == callee_name
+                    && inv.args.len() as i64 == callee_arity
+                    && reachable.contains(&i)
+                {
+                    step_ok = true;
+                    break;
+                }
+            }
+        }
+        if !step_ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Statement indices reachable from the entry when constant-decidable
+/// branches are decided.
+///
+/// Constant tracking is deliberately simple: a local is a known integer if
+/// it is assigned an integer literal exactly once in the body (the pattern
+/// the planted fake chains use). Branches whose comparison involves only
+/// known values follow a single arm; everything else follows both.
+pub fn reachable_stmts(body: &Body) -> HashSet<usize> {
+    let consts = single_assignment_constants(body);
+    let value_of = |op: &Operand| -> Option<i64> {
+        match op {
+            Operand::Const(Constant::Int(v)) => Some(*v),
+            Operand::Local(l) => consts.get(l).copied(),
+            _ => None,
+        }
+    };
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    if !body.stmts.is_empty() {
+        queue.push_back(0usize);
+        seen.insert(0usize);
+    }
+    while let Some(i) = queue.pop_front() {
+        let stmt = &body.stmts[i];
+        let push = |to: usize, seen: &mut HashSet<usize>, queue: &mut VecDeque<usize>| {
+            if to < body.stmts.len() && seen.insert(to) {
+                queue.push_back(to);
+            }
+        };
+        match stmt {
+            Stmt::If { cond, target } => {
+                let taken = body.target(*target);
+                match (value_of(&cond.lhs), value_of(&cond.rhs)) {
+                    (Some(a), Some(b)) => {
+                        let t = match cond.op {
+                            CmpOp::Eq => a == b,
+                            CmpOp::Ne => a != b,
+                            CmpOp::Lt => a < b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Gt => a > b,
+                            CmpOp::Ge => a >= b,
+                        };
+                        if t {
+                            push(taken, &mut seen, &mut queue);
+                        } else {
+                            push(i + 1, &mut seen, &mut queue);
+                        }
+                    }
+                    _ => {
+                        push(taken, &mut seen, &mut queue);
+                        push(i + 1, &mut seen, &mut queue);
+                    }
+                }
+            }
+            Stmt::Goto(target) => push(body.target(*target), &mut seen, &mut queue),
+            Stmt::Switch {
+                key,
+                cases,
+                default,
+            } => match value_of(key) {
+                Some(v) => {
+                    let arm = cases
+                        .iter()
+                        .find(|(c, _)| *c == v)
+                        .map(|(_, l)| *l)
+                        .unwrap_or(*default);
+                    push(body.target(arm), &mut seen, &mut queue);
+                }
+                None => {
+                    for (_, l) in cases {
+                        push(body.target(*l), &mut seen, &mut queue);
+                    }
+                    push(body.target(*default), &mut seen, &mut queue);
+                }
+            },
+            Stmt::Return(_) | Stmt::Throw(_) | Stmt::Ret(_) => {}
+            _ => push(i + 1, &mut seen, &mut queue),
+        }
+    }
+    seen
+}
+
+/// Locals assigned exactly once, to an integer literal.
+fn single_assignment_constants(body: &Body) -> HashMap<Local, i64> {
+    let mut counts: HashMap<Local, usize> = HashMap::new();
+    let mut values: HashMap<Local, i64> = HashMap::new();
+    for stmt in &body.stmts {
+        match stmt {
+            Stmt::Assign {
+                place: Place::Local(l),
+                rhs,
+            } => {
+                *counts.entry(*l).or_insert(0) += 1;
+                if let Expr::Use(Operand::Const(Constant::Int(v))) = rhs {
+                    values.insert(*l, *v);
+                }
+            }
+            Stmt::Identity { local, .. } => {
+                *counts.entry(*local).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    values
+        .into_iter()
+        .filter(|(l, _)| counts.get(l) == Some(&1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_core::AnalysisConfig;
+    use tabby_ir::{JType, ProgramBuilder};
+    use tabby_pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog};
+
+    /// A component with one real chain and one guard-dead chain.
+    fn program_with_guarded_fake() -> Program {
+        let mut pb = ProgramBuilder::new();
+        // Real: Evil.readObject -> Runtime.exec(field).
+        let mut cb = pb.class("w.Evil").serializable();
+        let string = cb.object_type("java.lang.String");
+        let ois = cb.object_type("java.io.ObjectInputStream");
+        cb.field("cmd", string.clone());
+        let mut mb = cb.method("readObject", vec![ois.clone()], JType::Void);
+        let this = mb.this();
+        let cmd = mb.fresh();
+        mb.get_field(cmd, this, "w.Evil", "cmd", string.clone());
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string.clone()], JType::Void);
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        mb.call_virtual(None, rt, exec, &[cmd.into()]);
+        mb.finish();
+        cb.finish();
+        // Fake: the dangerous call is behind a constant-false guard.
+        let mut cb = pb.class("w.Guarded").serializable();
+        let string = cb.object_type("java.lang.String");
+        let ois = cb.object_type("java.io.ObjectInputStream");
+        cb.field("cmd", string.clone());
+        let mut mb = cb.method("readObject", vec![ois], JType::Void);
+        let this = mb.this();
+        let cmd = mb.fresh();
+        mb.get_field(cmd, this, "w.Guarded", "cmd", string.clone());
+        let flag = mb.fresh();
+        mb.copy(flag, mb.c_int(0));
+        let skip = mb.fresh_label();
+        // if (flag == 0) goto skip — always taken; the call below is dead.
+        mb.if_(tabby_ir::CmpOp::Eq, flag, mb.c_int(0), skip);
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string.clone()], JType::Void);
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        mb.call_virtual(None, rt, exec, &[cmd.into()]);
+        mb.place(skip);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        pb.build()
+    }
+
+    #[test]
+    fn oracle_separates_real_from_guard_dead() {
+        let p = program_with_guarded_fake();
+        let mut cpg = tabby_core::Cpg::build(&p, AnalysisConfig::default());
+        let chains = find_gadget_chains(
+            &mut cpg,
+            &SinkCatalog::paper(),
+            &SourceCatalog::native_serialization(),
+            &SearchConfig::default(),
+        );
+        // The detector (guard-blind) reports both chains — the paper's FP
+        // mechanism.
+        assert_eq!(chains.len(), 2);
+        let effective: Vec<bool> = chains
+            .iter()
+            .map(|c| chain_is_effective(&p, &cpg, c))
+            .collect();
+        let real = chains
+            .iter()
+            .position(|c| c.source().starts_with("w.Evil"))
+            .unwrap();
+        let fake = chains
+            .iter()
+            .position(|c| c.source().starts_with("w.Guarded"))
+            .unwrap();
+        assert!(effective[real]);
+        assert!(!effective[fake]);
+    }
+
+    #[test]
+    fn reachability_decides_constant_branches() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![], JType::Void);
+        let flag = mb.fresh();
+        mb.copy(flag, mb.c_int(1));
+        let skip = mb.fresh_label();
+        mb.if_(tabby_ir::CmpOp::Ne, flag, mb.c_int(1), skip);
+        mb.nop(); // reachable (branch not taken)
+        mb.place(skip);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let body = p.method(id).body.as_ref().unwrap();
+        let r = reachable_stmts(body);
+        // stmts: assign, if, nop, return — all reachable except none.
+        assert!(r.contains(&2));
+    }
+
+    #[test]
+    fn reachability_kills_dead_arm() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![], JType::Void);
+        let flag = mb.fresh();
+        mb.copy(flag, mb.c_int(0));
+        let skip = mb.fresh_label();
+        mb.if_(tabby_ir::CmpOp::Eq, flag, mb.c_int(0), skip);
+        mb.nop(); // dead: branch always taken
+        mb.place(skip);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let body = p.method(id).body.as_ref().unwrap();
+        let r = reachable_stmts(body);
+        assert!(!r.contains(&2));
+        assert!(r.contains(&3));
+    }
+
+    #[test]
+    fn switch_with_constant_key_follows_one_arm() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        let mut mb = cb.method("m", vec![], JType::Void);
+        let k = mb.fresh();
+        mb.copy(k, mb.c_int(2));
+        let a = mb.fresh_label();
+        let b = mb.fresh_label();
+        let d = mb.fresh_label();
+        mb.switch(k, vec![(1, a), (2, b)], d);
+        mb.place(a);
+        mb.nop(); // dead
+        mb.place(b);
+        mb.nop(); // live (case 2)
+        mb.place(d);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let id = p.method_ids().next().unwrap();
+        let body = p.method(id).body.as_ref().unwrap();
+        let r = reachable_stmts(body);
+        // stmts: assign, switch, nop(a), nop(b), return(d)
+        assert!(!r.contains(&2));
+        assert!(r.contains(&3));
+    }
+}

@@ -1,0 +1,294 @@
+//! Deterministic random-library generation, for the CPG-efficiency
+//! experiment (Table VIII) and as scene filler (Table X).
+//!
+//! The generator produces class hierarchies with interface implementations,
+//! fields, and method bodies whose statements exercise every Table IV rule
+//! (assignments, field/array traffic, casts, branches, calls) with a
+//! configurable call fan-out — so CPG construction over generated libraries
+//! measures the same work as over real jars of comparable class/method
+//! counts.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tabby_ir::{CmpOp, JType, Program, ProgramBuilder};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct RandomLibConfig {
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+    /// Number of classes.
+    pub classes: usize,
+    /// Methods per class.
+    pub methods_per_class: usize,
+    /// Fields per class.
+    pub fields_per_class: usize,
+    /// Statements per method body (before calls).
+    pub stmts_per_method: usize,
+    /// Outgoing calls per method body.
+    pub fanout: usize,
+    /// One in `interface_ratio` classes is an interface.
+    pub interface_ratio: usize,
+}
+
+impl Default for RandomLibConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x7abb,
+            classes: 200,
+            methods_per_class: 6,
+            fields_per_class: 3,
+            stmts_per_method: 6,
+            fanout: 3,
+            interface_ratio: 10,
+        }
+    }
+}
+
+/// Generates a standalone random library.
+pub fn generate(config: &RandomLibConfig) -> Program {
+    let mut pb = ProgramBuilder::new();
+    generate_into(&mut pb, "gen", config);
+    pb.build()
+}
+
+/// Generates a random library into an existing builder under `pkg`.
+pub fn generate_into(pb: &mut ProgramBuilder, pkg: &str, config: &RandomLibConfig) {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let n = config.classes;
+    if n == 0 {
+        return;
+    }
+    let class_name = |i: usize| format!("{pkg}.p{}.C{i}", i % 17);
+    let is_interface = |i: usize| config.interface_ratio > 0 && i % config.interface_ratio == 0;
+    let method_name = |j: usize| format!("m{j}");
+
+    for i in 0..n {
+        let fqcn = class_name(i);
+        let cb = pb.class(&fqcn);
+        if is_interface(i) {
+            let mut cb = cb.interface();
+            let object = cb.object_type("java.lang.Object");
+            for j in 0..config.methods_per_class {
+                cb.method(&method_name(j), vec![object.clone()], object.clone())
+                    .abstract_()
+                    .finish();
+            }
+            cb.finish();
+            continue;
+        }
+        let mut cb = cb;
+        let object = cb.object_type("java.lang.Object");
+        // Hierarchy: extend an earlier non-interface class sometimes,
+        // implement an earlier interface sometimes.
+        if i > 1 && rng.random_bool(0.3) {
+            let sup = rng.random_range(0..i);
+            if !is_interface(sup) {
+                cb.extends_in_place(&class_name(sup));
+            }
+        }
+        if i > 0 && rng.random_bool(0.4) {
+            let ratio = config.interface_ratio.max(1);
+            let itf = (rng.random_range(0..i) / ratio) * ratio;
+            if itf < i && is_interface(itf) {
+                let name = class_name(itf);
+                cb.implements_in_place(&[name.as_str()]);
+            }
+        }
+        if rng.random_bool(0.25) {
+            cb.serializable_in_place();
+        }
+        for f in 0..config.fields_per_class {
+            let ty = if f % 2 == 0 {
+                object.clone()
+            } else {
+                JType::Int
+            };
+            cb.field(&format!("f{f}"), ty);
+        }
+        for j in 0..config.methods_per_class {
+            let mut mb = cb.method(&method_name(j), vec![object.clone()], object.clone());
+            let this = mb.this();
+            let p0 = mb.param(0);
+            let mut cursor = p0;
+            for s in 0..config.stmts_per_method {
+                match s % 5 {
+                    0 => {
+                        // Field load of a controllable object.
+                        let v = mb.fresh();
+                        mb.get_field(v, this, &fqcn, "f0", object.clone());
+                        cursor = v;
+                    }
+                    1 => {
+                        let v = mb.fresh();
+                        mb.copy(v, cursor);
+                        cursor = v;
+                    }
+                    2 => {
+                        // Field store.
+                        mb.put_field(this, &fqcn, "f0", object.clone(), cursor);
+                    }
+                    3 => {
+                        // A branch over an int field.
+                        let flag = mb.fresh();
+                        mb.get_field(flag, this, &fqcn, "f1", JType::Int);
+                        let skip = mb.fresh_label();
+                        mb.if_(CmpOp::Eq, flag, mb.c_int(0), skip);
+                        let fresh = mb.fresh();
+                        mb.new_obj(fresh, "java.lang.Object");
+                        mb.put_field(this, &fqcn, "f0", object.clone(), fresh);
+                        mb.place(skip);
+                        mb.nop();
+                    }
+                    _ => {
+                        let v = mb.fresh();
+                        mb.cast(v, object.clone(), cursor);
+                        cursor = v;
+                    }
+                }
+            }
+            // Calls to random methods elsewhere in the library.
+            for _ in 0..config.fanout {
+                let target_class = rng.random_range(0..n);
+                let target_method = rng.random_range(0..config.methods_per_class);
+                let callee_class = class_name(target_class);
+                let callee = mb.sig(
+                    &callee_class,
+                    &method_name(target_method),
+                    &[object.clone()],
+                    object.clone(),
+                );
+                let cast_ty = mb.object_type(&callee_class);
+                let recv = mb.fresh();
+                if is_interface(target_class) {
+                    mb.cast(recv, cast_ty, cursor);
+                    let r = mb.fresh();
+                    mb.call_interface(Some(r), recv, callee, &[cursor.into()]);
+                    cursor = r;
+                } else {
+                    let raw = mb.fresh();
+                    mb.get_field(raw, this, &fqcn, "f2", object.clone());
+                    mb.cast(recv, cast_ty, raw);
+                    let r = mb.fresh();
+                    mb.call_virtual(Some(r), recv, callee, &[cursor.into()]);
+                    cursor = r;
+                }
+            }
+            mb.ret(cursor);
+            mb.finish();
+        }
+        cb.finish();
+    }
+}
+
+/// The paper's Table VIII rows: code amount (MB), jar-file count, and the
+/// node/edge counts the paper measured.
+#[derive(Debug, Clone, Copy)]
+pub struct Table8Row {
+    /// "Code amount (MB)".
+    pub code_mb: u32,
+    /// "Jar file count".
+    pub jar_count: u32,
+    /// "Class node count".
+    pub class_nodes: u32,
+    /// "Method node count".
+    pub method_nodes: u32,
+    /// "Relationship Edge count".
+    pub edges: u32,
+    /// "Time consuming (min)".
+    pub minutes: f64,
+}
+
+/// Table VIII as printed in the paper.
+#[rustfmt::skip]
+pub const TABLE8_PAPER: [Table8Row; 7] = [
+    Table8Row { code_mb: 10,  jar_count: 29,  class_nodes: 9055,  method_nodes: 59508,  edges: 189021,  minutes: 1.9 },
+    Table8Row { code_mb: 20,  jar_count: 63,  class_nodes: 14765, method_nodes: 107623, edges: 341111,  minutes: 3.1 },
+    Table8Row { code_mb: 30,  jar_count: 88,  class_nodes: 21104, method_nodes: 153653, edges: 491651,  minutes: 6.0 },
+    Table8Row { code_mb: 40,  jar_count: 93,  class_nodes: 25532, method_nodes: 198130, edges: 628392,  minutes: 9.8 },
+    Table8Row { code_mb: 50,  jar_count: 95,  class_nodes: 30859, method_nodes: 249545, edges: 816421,  minutes: 12.7 },
+    Table8Row { code_mb: 100, jar_count: 113, class_nodes: 32713, method_nodes: 268670, edges: 857881,  minutes: 20.1 },
+    Table8Row { code_mb: 150, jar_count: 155, class_nodes: 66247, method_nodes: 503358, edges: 1587266, minutes: 36.3 },
+];
+
+/// A generation config whose class/method counts track a Table VIII row at
+/// `scale` (1.0 = the paper's size; benchmarks default to 0.1).
+pub fn config_for_row(row: &Table8Row, scale: f64) -> RandomLibConfig {
+    let classes = ((row.class_nodes as f64) * scale).max(1.0) as usize;
+    let methods = ((row.method_nodes as f64) / (row.class_nodes as f64)).round() as usize;
+    RandomLibConfig {
+        seed: u64::from(row.code_mb),
+        classes,
+        methods_per_class: methods.max(1),
+        ..RandomLibConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = RandomLibConfig {
+            classes: 30,
+            ..RandomLibConfig::default()
+        };
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.classes().len(), b.classes().len());
+        assert_eq!(a.method_count(), b.method_count());
+        let pa = tabby_ir::printer::print_program(&a);
+        let pb = tabby_ir::printer::print_program(&b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn class_and_method_counts_match_config() {
+        let config = RandomLibConfig {
+            classes: 50,
+            methods_per_class: 4,
+            ..RandomLibConfig::default()
+        };
+        let p = generate(&config);
+        assert_eq!(p.classes().len(), 50);
+        assert_eq!(p.method_count(), 200);
+    }
+
+    #[test]
+    fn generated_library_analyzes_cleanly() {
+        let config = RandomLibConfig {
+            classes: 60,
+            ..RandomLibConfig::default()
+        };
+        let p = generate(&config);
+        let cpg = tabby_core::Cpg::build(&p, tabby_core::AnalysisConfig::default());
+        assert!(cpg.stats.method_nodes >= p.method_count());
+        assert!(cpg.stats.relationship_edges > p.method_count());
+    }
+
+    #[test]
+    fn row_configs_scale() {
+        let c = config_for_row(&TABLE8_PAPER[0], 0.01);
+        assert_eq!(c.classes, 90);
+        assert!(c.methods_per_class >= 6);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&RandomLibConfig {
+            classes: 20,
+            seed: 1,
+            ..RandomLibConfig::default()
+        });
+        let b = generate(&RandomLibConfig {
+            classes: 20,
+            seed: 2,
+            ..RandomLibConfig::default()
+        });
+        assert_ne!(
+            tabby_ir::printer::print_program(&a),
+            tabby_ir::printer::print_program(&b)
+        );
+    }
+}

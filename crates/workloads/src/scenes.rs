@@ -1,0 +1,439 @@
+//! The Table X development-environment scenes: Spring, JDK8, Tomcat,
+//! Jetty, and Apache Dubbo.
+//!
+//! Each scene is a larger composite "deployment": the JDK model, the
+//! scene's own gadget-bearing classes (including, for Spring, the exact
+//! Table XI chain skeletons through `SimpleJndiBeanFactory` /
+//! `JndiLocatorSupport`), guard-dead fakes that account for the paper's
+//! per-scene FPR, and random-library filler scaled to the scene's code
+//! size. Scenes are scored with the effectiveness oracle rather than a
+//! pair manifest, because several effective routes share a (source, sink)
+//! pair (e.g. the three JNDI target-source chains of Table XI).
+
+use crate::component::Component;
+use crate::gadget_kit::{add_gadget, Sink, Trigger, Twist};
+use crate::jdk::add_jdk_model;
+use crate::random_lib::{generate_into, RandomLibConfig};
+use crate::truth::GroundTruth;
+use tabby_ir::{JType, ProgramBuilder};
+
+/// The paper's Table X row for one scene.
+#[derive(Debug, Clone)]
+pub struct SceneRow {
+    /// Version column.
+    pub version: &'static str,
+    /// "Jar file count".
+    pub jar_count: u32,
+    /// "Code size (MB)".
+    pub code_mb: f64,
+    /// "Result count".
+    pub result: usize,
+    /// "effective gadget chains".
+    pub effective: usize,
+    /// "FPR" (percent).
+    pub fpr_pct: f64,
+    /// "searching time (s)".
+    pub search_s: f64,
+}
+
+/// A development scene: the component plus its Table X row.
+#[derive(Debug)]
+pub struct Scene {
+    /// The analyzable composite.
+    pub component: Component,
+    /// The paper's row.
+    pub paper: SceneRow,
+}
+
+fn filler_for(pb: &mut ProgramBuilder, pkg: &str, code_mb: f64, seed: u64) {
+    // ~12 filler classes per MB keeps scene CPGs proportional to the
+    // paper's code sizes at laptop scale.
+    let classes = (code_mb * 12.0) as usize;
+    generate_into(
+        pb,
+        pkg,
+        &RandomLibConfig {
+            seed,
+            classes,
+            ..RandomLibConfig::default()
+        },
+    );
+}
+
+/// The Spring framework scene (Table X row 1; chains of Table XI).
+pub fn spring() -> Scene {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+
+    // --- the Table XI JNDI machinery --------------------------------------
+    // JndiLocatorSupport.lookup(name) -> Context.lookup(name).
+    let mut cb = pb.class("org.springframework.jndi.JndiLocatorSupport");
+    let string = cb.object_type("java.lang.String");
+    let object = cb.object_type("java.lang.Object");
+    let ctx_ty = cb.object_type("javax.naming.Context");
+    cb.field("ctx", ctx_ty.clone());
+    let mut mb = cb.method("lookup", vec![string.clone()], object.clone());
+    let this = mb.this();
+    let name = mb.param(0);
+    let ctx = mb.fresh();
+    mb.get_field(
+        ctx,
+        this,
+        "org.springframework.jndi.JndiLocatorSupport",
+        "ctx",
+        ctx_ty.clone(),
+    );
+    let lookup = mb.sig("javax.naming.Context", "lookup", &[string.clone()], object.clone());
+    let r = mb.fresh();
+    mb.call_interface(Some(r), ctx, lookup, &[name.into()]);
+    mb.ret(r);
+    mb.finish();
+    cb.finish();
+
+    // SimpleJndiBeanFactory.getBean(name) -> JndiLocatorSupport.lookup.
+    let mut cb = pb
+        .class("org.springframework.jndi.support.SimpleJndiBeanFactory")
+        .extends("org.springframework.jndi.JndiLocatorSupport")
+        .serializable();
+    let string = cb.object_type("java.lang.String");
+    let object = cb.object_type("java.lang.Object");
+    let mut mb = cb.method("getBean", vec![string.clone()], object.clone());
+    let this = mb.this();
+    let name = mb.param(0);
+    let lookup = mb.sig(
+        "org.springframework.jndi.JndiLocatorSupport",
+        "lookup",
+        &[string.clone()],
+        object.clone(),
+    );
+    let r = mb.fresh();
+    mb.call_virtual(Some(r), this, lookup, &[name.into()]);
+    mb.ret(r);
+    mb.finish();
+    cb.finish();
+
+    // TargetSource interface + the three target sources of Table XI.
+    let mut cb = pb.class("org.springframework.aop.TargetSource").interface();
+    let object = cb.object_type("java.lang.Object");
+    cb.method("getTarget", vec![], object).abstract_().finish();
+    cb.finish();
+    for ts in ["LazyInitTargetSource", "PrototypeTargetSource"] {
+        let fqcn = format!("org.springframework.aop.target.{ts}");
+        let mut cb = pb
+            .class(&fqcn)
+            .serializable()
+            .implements(&["org.springframework.aop.TargetSource"]);
+        let string = cb.object_type("java.lang.String");
+        let object = cb.object_type("java.lang.Object");
+        let bf_ty = cb.object_type("org.springframework.jndi.support.SimpleJndiBeanFactory");
+        cb.field("beanFactory", bf_ty.clone());
+        cb.field("targetBeanName", string.clone());
+        let mut mb = cb.method("getTarget", vec![], object.clone());
+        let this = mb.this();
+        let bf = mb.fresh();
+        mb.get_field(bf, this, &fqcn, "beanFactory", bf_ty.clone());
+        let name = mb.fresh();
+        mb.get_field(name, this, &fqcn, "targetBeanName", string.clone());
+        let get_bean = mb.sig(
+            "org.springframework.jndi.support.SimpleJndiBeanFactory",
+            "getBean",
+            &[string.clone()],
+            object.clone(),
+        );
+        let r = mb.fresh();
+        mb.call_virtual(Some(r), bf, get_bean, &[name.into()]);
+        mb.ret(r);
+        mb.finish();
+        cb.finish();
+    }
+    // JndiObjectTargetSource (CVE-2020-11619 shape): getTarget JNDI-derefs
+    // directly.
+    let fqcn = "org.springframework.aop.target.JndiObjectTargetSource";
+    let mut cb = pb
+        .class(fqcn)
+        .serializable()
+        .extends("org.springframework.jndi.JndiLocatorSupport")
+        .implements(&["org.springframework.aop.TargetSource"]);
+    let string = cb.object_type("java.lang.String");
+    let object = cb.object_type("java.lang.Object");
+    cb.field("jndiName", string.clone());
+    let mut mb = cb.method("getTarget", vec![], object.clone());
+    let this = mb.this();
+    let name = mb.fresh();
+    mb.get_field(name, this, fqcn, "jndiName", string.clone());
+    let lookup = mb.sig(
+        "org.springframework.jndi.JndiLocatorSupport",
+        "lookup",
+        &[string.clone()],
+        object.clone(),
+    );
+    let r = mb.fresh();
+    mb.call_virtual(Some(r), this, lookup, &[name.into()]);
+    mb.ret(r);
+    mb.finish();
+    cb.finish();
+
+    // The deserialization entry: AdvisedSupport restores its target source.
+    let fqcn = "org.springframework.aop.framework.AdvisedSupport";
+    let mut cb = pb.class(fqcn).serializable();
+    let ois = cb.object_type("java.io.ObjectInputStream");
+    let ts_ty = cb.object_type("org.springframework.aop.TargetSource");
+    let object = cb.object_type("java.lang.Object");
+    cb.field("targetSource", ts_ty.clone());
+    let mut mb = cb.method("readObject", vec![ois], JType::Void);
+    let this = mb.this();
+    let ts = mb.fresh();
+    mb.get_field(ts, this, fqcn, "targetSource", ts_ty.clone());
+    let get_target = mb.sig("org.springframework.aop.TargetSource", "getTarget", &[], object);
+    let t = mb.fresh();
+    mb.call_interface(Some(t), ts, get_target, &[]);
+    mb.finish();
+    cb.finish();
+
+    // --- further effective chains (spring-tx / logback-core flavored) -----
+    add_gadget(
+        &mut pb,
+        "org.springframework.transaction.jta.JtaTransactionManager",
+        Trigger::ReadObject,
+        &Sink::Lookup,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "org.springframework.core.SerializableTypeWrapper",
+        Trigger::ReadObject,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "ch.qos.logback.core.db.DriverManagerConnectionSource",
+        Trigger::ReadObject,
+        &Sink::GetConnection,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "org.springframework.beans.factory.support.AutowireUtils",
+        Trigger::ReadObject,
+        &Sink::ForName,
+        Twist::Plain,
+    );
+    // --- guard-dead fakes (the paper's 30 % scene FPR) ---------------------
+    for (i, sink) in [Sink::Exec, Sink::Invoke, Sink::ForName].iter().enumerate() {
+        add_gadget(
+            &mut pb,
+            &format!("org.springframework.web.support.Callback{i}"),
+            Trigger::ReadObject,
+            sink,
+            Twist::Guarded,
+        );
+    }
+    filler_for(&mut pb, "org.springframework.gen", 25.5, 101);
+
+    Scene {
+        component: Component::new(
+            "Spring",
+            pb.build(),
+            GroundTruth::default(),
+            &["org.springframework", "ch.qos.logback"],
+        )
+        .with_notes("Table XI chains: TargetSource.getTarget → SimpleJndiBeanFactory.getBean → JndiLocatorSupport.lookup → Context.lookup"),
+        paper: SceneRow {
+            version: "2.4.3",
+            jar_count: 66,
+            code_mb: 25.5,
+            result: 10,
+            effective: 7,
+            fpr_pct: 30.0,
+            search_s: 8.2,
+        },
+    }
+}
+
+/// The JDK8 scene (Table X row 2): URLDNS plus XStream-bypass style chains.
+pub fn jdk8() -> Scene {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    // URLDNS comes from the JDK model itself and fires from all three
+    // map-rehash sources (HashMap / Hashtable / HashSet); plant the other
+    // seven effective chains (five of which model the XStream blacklist
+    // bypasses reported as CVEs).
+    add_gadget(&mut pb, "com.sun.rowset.JdbcRowSetImpl", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
+    add_gadget(&mut pb, "com.sun.jndi.ldap.LdapAttribute", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
+    add_gadget(&mut pb, "javax.swing.UIDefaults$ProxyLazyValue", Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
+    add_gadget(&mut pb, "com.sun.org.apache.xpath.internal.objects.XString", Trigger::Equals, &Sink::Invoke, Twist::Plain);
+    add_gadget(&mut pb, "javax.activation.DataHandler", Trigger::ReadObject, &Sink::SecondaryDeserialization, Twist::Plain);
+    add_gadget(&mut pb, "javax.management.openmbean.TabularDataSupport", Trigger::ToString, &Sink::Invoke, Twist::Plain);
+    add_gadget(&mut pb, "sun.swing.SwingLazyValue", Trigger::Compare, &Sink::Invoke, Twist::Plain);
+    // Three guard-dead fakes (paper FPR 23.1 %).
+    for (i, sink) in [Sink::Exec, Sink::ForName, Sink::Invoke].iter().enumerate() {
+        add_gadget(
+            &mut pb,
+            &format!("com.sun.internal.Callback{i}"),
+            Trigger::ReadObject,
+            sink,
+            Twist::Guarded,
+        );
+    }
+    filler_for(&mut pb, "sun.gen", 102.2, 102);
+
+    Scene {
+        component: Component::new(
+            "JDK8",
+            pb.build(),
+            GroundTruth::default(),
+            &["java.", "javax.", "com.sun.", "sun."],
+        )
+        .with_notes("URLDNS from the runtime model plus nine planted chains; five model XStream blacklist bypasses"),
+        paper: SceneRow {
+            version: "8u242",
+            jar_count: 19,
+            code_mb: 102.2,
+            result: 13,
+            effective: 10,
+            fpr_pct: 23.1,
+            search_s: 10.2,
+        },
+    }
+}
+
+/// The Tomcat scene (Table X row 3).
+pub fn tomcat() -> Scene {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    add_gadget(&mut pb, "org.apache.catalina.ha.session.DeltaRequest", Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
+    add_gadget(&mut pb, "org.apache.catalina.users.MemoryUserDatabase", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
+    add_gadget(&mut pb, "org.apache.catalina.core.ApplicationDispatcher", Trigger::ReadObject, &Sink::ForName, Twist::Plain);
+    add_gadget(
+        &mut pb,
+        "org.apache.catalina.session.StandardSession",
+        Trigger::ReadObject,
+        &Sink::Exec,
+        Twist::Guarded,
+    );
+    filler_for(&mut pb, "org.apache.catalina.gen", 7.9, 103);
+    Scene {
+        component: Component::new(
+            "Tomcat",
+            pb.build(),
+            GroundTruth::default(),
+            &["org.apache.catalina"],
+        ),
+        paper: SceneRow {
+            version: "8.5.47",
+            jar_count: 25,
+            code_mb: 7.9,
+            result: 4,
+            effective: 3,
+            fpr_pct: 25.0,
+            search_s: 3.6,
+        },
+    }
+}
+
+/// The Jetty scene (Table X row 4).
+pub fn jetty() -> Scene {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    add_gadget(&mut pb, "org.eclipse.jetty.util.Scanner", Trigger::ReadObject, &Sink::Delete, Twist::Plain);
+    add_gadget(&mut pb, "org.eclipse.jetty.plus.jndi.NamingEntry", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
+    add_gadget(&mut pb, "org.eclipse.jetty.util.component.AttributeContainerMap", Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
+    add_gadget(&mut pb, "org.eclipse.jetty.http.pathmap.PathSpecSet", Trigger::ToString, &Sink::Invoke, Twist::Plain);
+    for (i, sink) in [Sink::Exec, Sink::ForName].iter().enumerate() {
+        add_gadget(
+            &mut pb,
+            &format!("org.eclipse.jetty.server.handler.Callback{i}"),
+            Trigger::ReadObject,
+            sink,
+            Twist::Guarded,
+        );
+    }
+    filler_for(&mut pb, "org.eclipse.jetty.gen", 10.3, 104);
+    Scene {
+        component: Component::new(
+            "Jetty",
+            pb.build(),
+            GroundTruth::default(),
+            &["org.eclipse.jetty"],
+        ),
+        paper: SceneRow {
+            version: "9.4.36",
+            jar_count: 67,
+            code_mb: 10.3,
+            result: 6,
+            effective: 4,
+            fpr_pct: 33.3,
+            search_s: 4.1,
+        },
+    }
+}
+
+/// The Apache Dubbo scene (Table X row 5).
+pub fn dubbo() -> Scene {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    add_gadget(&mut pb, "org.apache.dubbo.common.bytecode.Proxy", Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
+    add_gadget(&mut pb, "org.apache.dubbo.registry.support.SkipFailbackWrapperException", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
+    add_gadget(&mut pb, "org.apache.dubbo.rpc.cluster.directory.StaticDirectory", Trigger::ReadObject, &Sink::SecondaryDeserialization, Twist::Plain);
+    for (i, sink) in [Sink::Exec, Sink::ForName].iter().enumerate() {
+        add_gadget(
+            &mut pb,
+            &format!("org.apache.dubbo.remoting.transport.Callback{i}"),
+            Trigger::ReadObject,
+            sink,
+            Twist::Guarded,
+        );
+    }
+    filler_for(&mut pb, "org.apache.dubbo.gen", 13.6, 105);
+    Scene {
+        component: Component::new(
+            "Apache Dubbo",
+            pb.build(),
+            GroundTruth::default(),
+            &["org.apache.dubbo"],
+        )
+        .with_notes("the reported Dubbo chains led to CVE-2021-43297, CVE-2022-39198, CVE-2023-23638"),
+        paper: SceneRow {
+            version: "3.0.2",
+            jar_count: 15,
+            code_mb: 13.6,
+            result: 5,
+            effective: 3,
+            fpr_pct: 40.0,
+            search_s: 5.5,
+        },
+    }
+}
+
+/// All Table X scenes, in row order.
+pub fn all() -> Vec<Scene> {
+    vec![spring(), jdk8(), tomcat(), jetty(), dubbo()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenes_build() {
+        for scene in all() {
+            assert!(scene.component.program.classes().len() > 50, "{}", scene.component.name);
+        }
+    }
+
+    #[test]
+    fn spring_scene_contains_table11_machinery() {
+        let s = spring();
+        assert!(s
+            .component
+            .program
+            .class_by_str("org.springframework.jndi.support.SimpleJndiBeanFactory")
+            .is_some());
+        assert!(s
+            .component
+            .program
+            .class_by_str("org.springframework.aop.target.LazyInitTargetSource")
+            .is_some());
+    }
+}

@@ -1,0 +1,265 @@
+//! Ground-truth manifests and the accuracy metrics of §IV-C.
+//!
+//! Each synthetic component declares which (source, sink) chains are *known*
+//! (present in the ysoserial/marshalsec dataset the paper evaluates against)
+//! and which are *unknown-but-effective* (planted chains a PoC would
+//! confirm). Any other chain a detector reports is *fake*. The metrics are
+//! Formulas 5 and 6.
+
+use serde::{Deserialize, Serialize};
+use tabby_pathfinder::GadgetChain;
+
+/// How a reported chain classifies against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChainClass {
+    /// Matches a dataset chain.
+    Known,
+    /// Effective, but absent from the dataset.
+    Unknown,
+    /// Not effective (a false positive).
+    Fake,
+}
+
+/// An expected chain, identified by its source and sink signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthChain {
+    /// Source method signature (`Class.method`).
+    pub source: String,
+    /// Sink method signature (`Class.method`).
+    pub sink: String,
+    /// Whether the dataset records it or it is a planted unknown.
+    pub class: ChainClass,
+}
+
+impl TruthChain {
+    /// A dataset-known chain.
+    pub fn known(source: &str, sink: &str) -> Self {
+        Self {
+            source: source.to_owned(),
+            sink: sink.to_owned(),
+            class: ChainClass::Known,
+        }
+    }
+
+    /// A planted effective chain outside the dataset.
+    pub fn unknown(source: &str, sink: &str) -> Self {
+        Self {
+            source: source.to_owned(),
+            sink: sink.to_owned(),
+            class: ChainClass::Unknown,
+        }
+    }
+
+    fn matches(&self, chain: &GadgetChain) -> bool {
+        chain.source() == self.source && chain.sink() == self.sink
+    }
+}
+
+/// The ground truth of one component.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Effective chains (known + planted unknown).
+    pub chains: Vec<TruthChain>,
+}
+
+impl GroundTruth {
+    /// Creates a manifest from a chain list.
+    pub fn new(chains: Vec<TruthChain>) -> Self {
+        Self {
+            chains,
+        }
+    }
+
+    /// Number of dataset-known chains ("Known in dataset" column).
+    pub fn known_in_dataset(&self) -> usize {
+        self.chains
+            .iter()
+            .filter(|c| c.class == ChainClass::Known)
+            .count()
+    }
+
+    /// Classifies one reported chain.
+    pub fn classify(&self, chain: &GadgetChain) -> ChainClass {
+        self.chains
+            .iter()
+            .find(|t| t.matches(chain))
+            .map(|t| t.class)
+            .unwrap_or(ChainClass::Fake)
+    }
+
+    /// Evaluates a detector's full output against this truth.
+    pub fn evaluate(&self, found: &[GadgetChain]) -> EvalCounts {
+        let mut counts = EvalCounts {
+            result: found.len(),
+            ..EvalCounts::default()
+        };
+        // Distinct truth entries matched (finding the same chain twice does
+        // not double-count a Known).
+        let mut matched = vec![false; self.chains.len()];
+        for chain in found {
+            match self
+                .chains
+                .iter()
+                .position(|t| t.matches(chain))
+            {
+                Some(i) => {
+                    if matched[i] {
+                        // Duplicate route to an already-credited chain: the
+                        // paper counts every output row, so duplicates count
+                        // toward `result` but are neither known nor unknown
+                        // again; treat extra copies as fake output.
+                        counts.fake += 1;
+                    } else {
+                        matched[i] = true;
+                        match self.chains[i].class {
+                            ChainClass::Known => counts.known += 1,
+                            ChainClass::Unknown => counts.unknown += 1,
+                            ChainClass::Fake => counts.fake += 1,
+                        }
+                    }
+                }
+                None => counts.fake += 1,
+            }
+        }
+        counts.known_in_dataset = self.known_in_dataset();
+        counts
+    }
+}
+
+/// The per-component counters of Table IX.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalCounts {
+    /// Total chains reported ("Result count").
+    pub result: usize,
+    /// Reported chains that are not effective ("Fake").
+    pub fake: usize,
+    /// Reported chains present in the dataset ("Known").
+    pub known: usize,
+    /// Reported effective chains absent from the dataset ("Unknown").
+    pub unknown: usize,
+    /// Dataset size for this component ("Known in dataset").
+    pub known_in_dataset: usize,
+}
+
+impl EvalCounts {
+    /// Formula 5: `FPR = fake / result × 100`. `None` when nothing was
+    /// reported (the paper prints 0 or 100 depending on FNs; we keep the
+    /// distinction explicit).
+    pub fn fpr(&self) -> Option<f64> {
+        if self.result == 0 {
+            None
+        } else {
+            Some(self.fake as f64 / self.result as f64 * 100.0)
+        }
+    }
+
+    /// Formula 6: `FNR = (known_in_dataset − known) / known_in_dataset × 100`.
+    pub fn fnr(&self) -> Option<f64> {
+        if self.known_in_dataset == 0 {
+            None
+        } else {
+            Some(
+                (self.known_in_dataset - self.known) as f64 / self.known_in_dataset as f64
+                    * 100.0,
+            )
+        }
+    }
+
+    /// Sums counters across components (for the Total row).
+    pub fn add(&mut self, other: &EvalCounts) {
+        self.result += other.result;
+        self.fake += other.fake;
+        self.known += other.known;
+        self.unknown += other.unknown;
+        self.known_in_dataset += other.known_in_dataset;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(source: &str, sink: &str) -> GadgetChain {
+        GadgetChain {
+            signatures: vec![source.to_owned(), "mid.M.m".to_owned(), sink.to_owned()],
+            sink_category: "EXEC".to_owned(),
+            nodes: vec![],
+        }
+    }
+
+    fn truth() -> GroundTruth {
+        GroundTruth::new(vec![
+            TruthChain::known("a.A.readObject", "java.lang.Runtime.exec"),
+            TruthChain::known("b.B.readObject", "java.lang.Runtime.exec"),
+            TruthChain::unknown("c.C.readObject", "javax.naming.Context.lookup"),
+        ])
+    }
+
+    #[test]
+    fn classify_known_unknown_fake() {
+        let t = truth();
+        assert_eq!(
+            t.classify(&chain("a.A.readObject", "java.lang.Runtime.exec")),
+            ChainClass::Known
+        );
+        assert_eq!(
+            t.classify(&chain("c.C.readObject", "javax.naming.Context.lookup")),
+            ChainClass::Unknown
+        );
+        assert_eq!(
+            t.classify(&chain("z.Z.readObject", "java.lang.Runtime.exec")),
+            ChainClass::Fake
+        );
+    }
+
+    #[test]
+    fn evaluate_computes_table9_counters() {
+        let t = truth();
+        let found = vec![
+            chain("a.A.readObject", "java.lang.Runtime.exec"),
+            chain("c.C.readObject", "javax.naming.Context.lookup"),
+            chain("z.Z.readObject", "java.lang.Runtime.exec"),
+        ];
+        let counts = t.evaluate(&found);
+        assert_eq!(counts.result, 3);
+        assert_eq!(counts.known, 1);
+        assert_eq!(counts.unknown, 1);
+        assert_eq!(counts.fake, 1);
+        assert_eq!(counts.known_in_dataset, 2);
+        assert!((counts.fpr().unwrap() - 33.333).abs() < 0.01);
+        assert!((counts.fnr().unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_count_as_fake_output() {
+        let t = truth();
+        let found = vec![
+            chain("a.A.readObject", "java.lang.Runtime.exec"),
+            chain("a.A.readObject", "java.lang.Runtime.exec"),
+        ];
+        let counts = t.evaluate(&found);
+        assert_eq!(counts.result, 2);
+        assert_eq!(counts.known, 1);
+        assert_eq!(counts.fake, 1);
+    }
+
+    #[test]
+    fn empty_result_has_no_fpr() {
+        let t = truth();
+        let counts = t.evaluate(&[]);
+        assert_eq!(counts.fpr(), None);
+        assert_eq!(counts.fnr(), Some(100.0));
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let t = truth();
+        let mut total = EvalCounts::default();
+        total.add(&t.evaluate(&[chain("a.A.readObject", "java.lang.Runtime.exec")]));
+        total.add(&t.evaluate(&[chain("z.Z.x", "y.Y.z")]));
+        assert_eq!(total.result, 2);
+        assert_eq!(total.known, 1);
+        assert_eq!(total.fake, 1);
+        assert_eq!(total.known_in_dataset, 4);
+    }
+}

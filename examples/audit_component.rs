@@ -1,0 +1,79 @@
+//! Audit a synthetic component the way §IV-C audits ysoserial components:
+//! build its CPG, search for chains, and score them against ground truth
+//! and the PoC oracle.
+//!
+//! ```text
+//! cargo run --example audit_component [component-name]
+//! ```
+//!
+//! Defaults to `commons-colletions(3.2.1)` (the paper's spelling). Run with
+//! `--list` to see all 26 Table IX components.
+
+use tabby::prelude::*;
+use tabby::workloads::{components, oracle, ChainClass};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--list") {
+        for c in components::all() {
+            println!("{}", c.name);
+        }
+        return;
+    }
+    let name = arg.unwrap_or_else(|| "commons-colletions(3.2.1)".to_owned());
+    let component = components::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown component {name:?}; try --list");
+        std::process::exit(1);
+    });
+
+    println!("auditing {} — {}", component.name, component.notes);
+    println!(
+        "classes: {}, methods: {}",
+        component.program.classes().len(),
+        component.program.method_count()
+    );
+
+    let report = tabby::scan(&component.program, &ScanOptions::default());
+    let chains = component.filter_chains(report.chains);
+    println!(
+        "\nCPG: {} nodes / {} edges; {} chain(s) pass the component filter\n",
+        report.cpg.graph.node_count(),
+        report.cpg.graph.edge_count(),
+        chains.len()
+    );
+
+    let mut counts = [0usize; 3];
+    for chain in &chains {
+        let class = component.truth.classify(chain);
+        let oracle_says = oracle::chain_is_effective(&component.program, &report.cpg, chain);
+        let tag = match class {
+            ChainClass::Known => "KNOWN  ",
+            ChainClass::Unknown => "UNKNOWN",
+            ChainClass::Fake => "FAKE   ",
+        };
+        counts[class as usize] += 1;
+        println!(
+            "[{tag}] oracle={} {} -> {} ({} hops)",
+            if oracle_says { "effective " } else { "inert" },
+            chain.source(),
+            chain.sink(),
+            chain.len()
+        );
+    }
+    let eval = component.truth.evaluate(&chains);
+    println!(
+        "\nresult={} fake={} known={} unknown={}  FPR={:.1}%  FNR={:.1}%",
+        eval.result,
+        eval.fake,
+        eval.known,
+        eval.unknown,
+        eval.fpr().unwrap_or(0.0),
+        eval.fnr().unwrap_or(0.0),
+    );
+    if let Some(paper) = component.paper {
+        println!(
+            "paper (Table IX, Tabby columns): result={} fake={} known={} unknown={}",
+            paper.tb.result, paper.tb.fake, paper.tb.known, paper.tb.unknown
+        );
+    }
+}

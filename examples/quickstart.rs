@@ -1,0 +1,89 @@
+//! Quickstart: build the paper's Figure 1 program and find its gadget chain.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The program models `EvilObjectA`/`EvilObjectB` exactly as Fig. 1 shows:
+//! `readObject` restores `val1` and calls `val1.toString()`; if `val1` is an
+//! `EvilObjectB`, its `toString()` executes `Runtime.exec(val2.toString())`
+//! — the chain of Table I.
+
+use tabby::prelude::*;
+
+fn build_fig1() -> tabby::ir::Program {
+    let mut pb = ProgramBuilder::new();
+
+    // class EvilObjectA implements Serializable {
+    //     Object val1;
+    //     void readObject(ObjectInputStream is) { val1.toString(); }
+    // }
+    let mut cb = pb.class("example.EvilObjectA").serializable();
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    let ois = cb.object_type("java.io.ObjectInputStream");
+    cb.field("val1", object.clone());
+    let mut mb = cb.method("readObject", vec![ois], JType::Void);
+    let this = mb.this();
+    let val1 = mb.fresh();
+    mb.get_field(val1, this, "example.EvilObjectA", "val1", object.clone());
+    let to_string = mb.sig("java.lang.Object", "toString", &[], string.clone());
+    mb.call_virtual(None, val1, to_string, &[]);
+    mb.finish();
+    cb.finish();
+
+    // class EvilObjectB implements Serializable {
+    //     Object val2;
+    //     String toString() { Runtime.getRuntime().exec(val2.toString()); }
+    // }
+    let mut cb = pb.class("example.EvilObjectB").serializable();
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    let runtime = cb.object_type("java.lang.Runtime");
+    let process = cb.object_type("java.lang.Process");
+    cb.field("val2", object.clone());
+    let mut mb = cb.method("toString", vec![], string.clone());
+    let this = mb.this();
+    let val2 = mb.fresh();
+    mb.get_field(val2, this, "example.EvilObjectB", "val2", object.clone());
+    let ts = mb.sig("java.lang.Object", "toString", &[], string.clone());
+    let cmd = mb.fresh();
+    mb.call_virtual(Some(cmd), val2, ts, &[]);
+    let get_rt = mb.sig("java.lang.Runtime", "getRuntime", &[], runtime);
+    let rt = mb.fresh();
+    mb.call_static(Some(rt), get_rt, &[]);
+    let exec = mb.sig("java.lang.Runtime", "exec", &[string.clone()], process);
+    mb.call_virtual(None, rt, exec, &[cmd.into()]);
+    mb.ret(mb.c_null());
+    mb.finish();
+    cb.finish();
+
+    pb.build()
+}
+
+fn main() {
+    let program = build_fig1();
+    println!("== the program under audit (Jimple-style) ==\n");
+    println!("{}", tabby::ir::printer::print_program(&program));
+
+    let report = tabby::scan(&program, &ScanOptions::default());
+    println!(
+        "== {} gadget chain(s) found (CPG: {} nodes, {} edges) ==\n",
+        report.chains.len(),
+        report.cpg.graph.node_count(),
+        report.cpg.graph.edge_count()
+    );
+    for (i, chain) in report.chains.iter().enumerate() {
+        println!("--- chain #{} [{}] ---", i + 1, chain.sink_category);
+        println!("{chain}\n");
+    }
+    assert!(
+        report
+            .chains
+            .iter()
+            .any(|c| c.source() == "example.EvilObjectA.readObject"
+                && c.sink() == "java.lang.Runtime.exec"),
+        "the Table I chain must be found"
+    );
+    println!("ok: the Table I chain was recovered");
+}

@@ -1,0 +1,143 @@
+//! # tabby — automated gadget-chain detection for Java deserialization
+//!
+//! A from-scratch Rust reproduction of *Tabby: Automated Gadget Chain
+//! Detection for Java Deserialization Vulnerabilities* (DSN 2023): a code
+//! property graph is built from Java classes (lifted from `.class` bytes or
+//! authored in the bundled IR), enriched by a field-sensitive
+//! interprocedural controllability analysis, stored in an embedded property
+//! graph, and searched backwards from sink methods with
+//! Trigger_Condition-guided traversal.
+//!
+//! The workspace crates are re-exported here:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`classfile`] | `.class` parsing, writing, assembly (Soot front-end role) |
+//! | [`ir`] | Jimple-like IR, CFGs, builder DSL, lifter/compiler |
+//! | [`graph`] | embedded property graph + traversal (Neo4j role) |
+//! | [`core`] | controllability analysis + CPG construction (§III-B/C) |
+//! | [`pathfinder`] | sink/source catalogs + chain search (§III-D) |
+//! | [`baselines`] | GadgetInspector / Serianalyzer comparison detectors |
+//! | [`workloads`] | synthetic evaluation corpora with ground truth |
+//!
+//! # Quick start
+//!
+//! ```
+//! use tabby::prelude::*;
+//!
+//! // Build the paper's Fig. 1 program: EvilObjectA.readObject ->
+//! // val1.toString ~> EvilObjectB.toString -> Runtime.exec.
+//! let mut pb = ProgramBuilder::new();
+//! let mut cb = pb.class("example.EvilObjectA").serializable();
+//! let object = cb.object_type("java.lang.Object");
+//! let string = cb.object_type("java.lang.String");
+//! let ois = cb.object_type("java.io.ObjectInputStream");
+//! cb.field("val1", object.clone());
+//! let mut mb = cb.method("readObject", vec![ois], JType::Void);
+//! let this = mb.this();
+//! let val = mb.fresh();
+//! mb.get_field(val, this, "example.EvilObjectA", "val1", object.clone());
+//! let to_string = mb.sig("java.lang.Object", "toString", &[], string.clone());
+//! mb.call_virtual(None, val, to_string, &[]);
+//! mb.finish();
+//! cb.finish();
+//! let mut cb = pb.class("example.EvilObjectB").serializable();
+//! let object = cb.object_type("java.lang.Object");
+//! let string = cb.object_type("java.lang.String");
+//! let runtime = cb.object_type("java.lang.Runtime");
+//! let process = cb.object_type("java.lang.Process");
+//! cb.field("val2", object.clone());
+//! let mut mb = cb.method("toString", vec![], string.clone());
+//! let this = mb.this();
+//! let val2 = mb.fresh();
+//! mb.get_field(val2, this, "example.EvilObjectB", "val2", object.clone());
+//! let ts = mb.sig("java.lang.Object", "toString", &[], string.clone());
+//! let cmd = mb.fresh();
+//! mb.call_virtual(Some(cmd), val2, ts, &[]);
+//! let rt = mb.fresh();
+//! let get_rt = mb.sig("java.lang.Runtime", "getRuntime", &[], runtime);
+//! mb.call_static(Some(rt), get_rt, &[]);
+//! let exec = mb.sig("java.lang.Runtime", "exec", &[string.clone()], process);
+//! mb.call_virtual(None, rt, exec, &[cmd.into()]);
+//! mb.ret(mb.c_null());
+//! mb.finish();
+//! cb.finish();
+//! let program = pb.build();
+//!
+//! let report = tabby::scan(&program, &ScanOptions::default());
+//! assert_eq!(report.chains.len(), 1);
+//! assert_eq!(report.chains[0].source(), "example.EvilObjectA.readObject");
+//! assert_eq!(report.chains[0].sink(), "java.lang.Runtime.exec");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use tabby_baselines as baselines;
+pub use tabby_classfile as classfile;
+pub use tabby_core as core;
+pub use tabby_graph as graph;
+pub use tabby_ir as ir;
+pub use tabby_pathfinder as pathfinder;
+pub use tabby_workloads as workloads;
+
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_ir::Program;
+use tabby_pathfinder::{
+    find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
+};
+
+/// Commonly used items for building programs and scanning them.
+pub mod prelude {
+    pub use crate::{scan, scan_class_bytes, ScanOptions, ScanReport};
+    pub use tabby_core::{AnalysisConfig, Cpg};
+    pub use tabby_ir::{JType, ProgramBuilder};
+    pub use tabby_pathfinder::{GadgetChain, SearchConfig, SinkCatalog, SourceCatalog};
+}
+
+/// End-to-end scan configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOptions {
+    /// Controllability-analysis knobs (§III-C).
+    pub analysis: AnalysisConfig,
+    /// Chain-search knobs (§III-D).
+    pub search: SearchConfig,
+    /// Sink catalog (Table VII by default).
+    pub sinks: SinkCatalog,
+    /// Source catalog (native serialization callbacks by default).
+    pub sources: SourceCatalog,
+}
+
+/// The result of one scan.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// The gadget chains found, source-first.
+    pub chains: Vec<GadgetChain>,
+    /// The code property graph (kept for custom follow-up queries —
+    /// the paper's "researchers can re-use the graph" workflow, §II-B).
+    pub cpg: Cpg,
+}
+
+/// Builds the CPG for `program` and searches it for gadget chains.
+pub fn scan(program: &Program, options: &ScanOptions) -> ScanReport {
+    let mut cpg = Cpg::build(program, options.analysis.clone());
+    let chains = find_gadget_chains(&mut cpg, &options.sinks, &options.sources, &options.search);
+    ScanReport {
+        chains,
+        cpg,
+    }
+}
+
+/// Lifts `.class` byte blobs and scans the resulting program.
+///
+/// # Errors
+///
+/// Returns a [`classfile::ClassFileError`] when any blob fails to parse or
+/// lift.
+pub fn scan_class_bytes(
+    classes: &[Vec<u8>],
+    options: &ScanOptions,
+) -> Result<ScanReport, classfile::ClassFileError> {
+    let program = ir::lift::lift_program(classes)?;
+    Ok(scan(&program, options))
+}

@@ -1,0 +1,274 @@
+//! The `tabby` command-line scanner.
+//!
+//! ```text
+//! tabby scan <path>...        scan .class files (or directories of them)
+//! tabby demo                  scan the bundled JDK model (finds URLDNS)
+//! tabby sinks                 print the sink catalog (Table VII)
+//! ```
+//!
+//! Options for `scan`/`demo`:
+//!
+//! ```text
+//! --depth <n>        maximum chain length (default 12)
+//! --extended         use the extended source catalog (XStream-style entry points)
+//! --sinks <file>     custom sink catalog (JSON; `tabby sinks --json` emits one)
+//! --json             emit the chains as JSON
+//! --save-cpg <file>  persist the code property graph as JSON
+//! --dot <file>       export the code property graph as Graphviz DOT
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tabby::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "scan" => cmd_scan(rest),
+        "demo" => cmd_demo(rest),
+        "sinks" => cmd_sinks(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+tabby — automated gadget-chain detection for Java deserialization
+
+USAGE:
+    tabby scan [OPTIONS] <path>...   scan .class files / directories
+    tabby demo [OPTIONS]             scan the bundled JDK model
+    tabby sinks                      print the sink catalog (Table VII)
+
+OPTIONS:
+    --depth <n>        maximum chain length (default 12)
+    --extended         extended source catalog (hashCode/equals/compare/toString)
+    --sinks <file>     custom sink catalog (JSON; see `tabby sinks --json`)
+    --json             emit chains as JSON
+    --save-cpg <file>  persist the code property graph as JSON
+    --dot <file>       export the code property graph as Graphviz DOT";
+
+#[derive(Default)]
+struct CliOptions {
+    depth: Option<usize>,
+    extended: bool,
+    json: bool,
+    save_cpg: Option<PathBuf>,
+    dot: Option<PathBuf>,
+    sinks: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_options(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--depth" => {
+                let v = it.next().ok_or("--depth needs a value")?;
+                options.depth = Some(v.parse().map_err(|_| format!("bad depth {v:?}"))?);
+            }
+            "--extended" => options.extended = true,
+            "--json" => options.json = true,
+            "--save-cpg" => {
+                let v = it.next().ok_or("--save-cpg needs a path")?;
+                options.save_cpg = Some(PathBuf::from(v));
+            }
+            "--dot" => {
+                let v = it.next().ok_or("--dot needs a path")?;
+                options.dot = Some(PathBuf::from(v));
+            }
+            "--sinks" => {
+                let v = it.next().ok_or("--sinks needs a path")?;
+                options.sinks = Some(PathBuf::from(v));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            path => options.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(options)
+}
+
+fn scan_options(cli: &CliOptions) -> Result<ScanOptions, String> {
+    let mut options = ScanOptions::default();
+    if let Some(depth) = cli.depth {
+        options.search.max_depth = depth;
+    }
+    if cli.extended {
+        options.sources = SourceCatalog::extended();
+    }
+    if let Some(path) = &cli.sinks {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("--sinks {}: {e}", path.display()))?;
+        options.sinks = serde_json::from_str(&text)
+            .map_err(|e| format!("--sinks {}: {e}", path.display()))?;
+    }
+    Ok(options)
+}
+
+fn collect_class_files(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_dir() {
+        for entry in std::fs::read_dir(path)? {
+            collect_class_files(&entry?.path(), out)?;
+        }
+    } else if path.extension().and_then(|e| e.to_str()) == Some("class") {
+        out.push(path.to_owned());
+    }
+    Ok(())
+}
+
+fn cmd_scan(args: &[String]) -> ExitCode {
+    let cli = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.paths.is_empty() {
+        eprintln!("scan: no input paths\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut files = Vec::new();
+    for path in &cli.paths {
+        if let Err(e) = collect_class_files(path, &mut files) {
+            eprintln!("scan: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if files.is_empty() {
+        eprintln!("scan: no .class files under the given paths");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loading {} class file(s)…", files.len());
+    let mut blobs = Vec::with_capacity(files.len());
+    for file in &files {
+        match std::fs::read(file) {
+            Ok(bytes) => blobs.push(bytes),
+            Err(e) => {
+                eprintln!("scan: {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let options = match scan_options(&cli) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match tabby::scan_class_bytes(&blobs, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    emit(&cli, report)
+}
+
+fn cmd_demo(args: &[String]) -> ExitCode {
+    let cli = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut pb = tabby::ir::ProgramBuilder::new();
+    tabby::workloads::jdk::add_jdk_model(&mut pb);
+    let program = pb.build();
+    eprintln!(
+        "scanning the bundled JDK model ({} classes)…",
+        program.classes().len()
+    );
+    let options = match scan_options(&cli) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = tabby::scan(&program, &options);
+    emit(&cli, report)
+}
+
+fn emit(cli: &CliOptions, report: ScanReport) -> ExitCode {
+    if let Some(path) = &cli.dot {
+        let dot = report.cpg.graph.to_dot(Some(report.cpg.schema.signature));
+        if let Err(e) = std::fs::write(path, dot) {
+            eprintln!("dot: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("DOT graph saved to {}", path.display());
+    }
+    if let Some(path) = &cli.save_cpg {
+        match serde_json::to_string(&report.cpg.graph)
+            .map_err(|e| e.to_string())
+            .and_then(|json| std::fs::write(path, json).map_err(|e| e.to_string()))
+        {
+            Ok(()) => eprintln!("CPG saved to {}", path.display()),
+            Err(e) => {
+                eprintln!("save-cpg: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cli.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.chains).expect("chains serialize")
+        );
+    } else {
+        eprintln!(
+            "CPG: {} nodes, {} edges; {} chain(s) found\n",
+            report.cpg.graph.node_count(),
+            report.cpg.graph.edge_count(),
+            report.chains.len()
+        );
+        for (i, chain) in report.chains.iter().enumerate() {
+            println!("--- chain #{} [{}] ---", i + 1, chain.sink_category);
+            println!("{chain}\n");
+        }
+    }
+    if report.chains.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        // Nonzero exit when chains are found, for CI gating.
+        ExitCode::from(2)
+    }
+}
+
+fn cmd_sinks(args: &[String]) -> ExitCode {
+    let catalog = SinkCatalog::paper();
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&catalog).expect("catalog serializes")
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("{:<62} {:<6} TC", "Sink method", "Type");
+    for sink in catalog.entries() {
+        println!(
+            "{:<62} {:<6} {:?}",
+            format!("{}.{}()", sink.class, sink.method),
+            sink.category.as_str(),
+            sink.trigger_condition
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,122 @@
+//! Black-box tests of the `tabby` CLI binary: scan a directory of real
+//! `.class` files written to disk.
+
+use std::process::Command;
+use tabby::ir::compile::compile_program;
+use tabby::ir::ProgramBuilder;
+use tabby::workloads::jdk::add_jdk_model;
+
+fn write_corpus(dir: &std::path::Path) {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let program = pb.build();
+    std::fs::create_dir_all(dir).unwrap();
+    for (name, bytes) in compile_program(&program) {
+        let file = dir.join(format!("{}.class", name.replace('.', "_")));
+        std::fs::write(file, bytes).unwrap();
+    }
+}
+
+#[test]
+fn scan_directory_of_class_files() {
+    let dir = std::env::temp_dir().join("tabby-cli-test-corpus");
+    write_corpus(&dir);
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["scan", dir.to_str().unwrap()])
+        .output()
+        .expect("run tabby scan");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // Chains found → exit code 2 (the CI-gating convention).
+    assert_eq!(output.status.code(), Some(2), "stdout: {stdout}");
+    assert!(stdout.contains("java.net.InetAddress.getByName"));
+    assert!(stdout.contains("(source)java.util.HashMap.readObject()"));
+}
+
+#[test]
+fn scan_json_output_parses() {
+    let dir = std::env::temp_dir().join("tabby-cli-test-corpus-json");
+    write_corpus(&dir);
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["scan", "--json", dir.to_str().unwrap()])
+        .output()
+        .expect("run tabby scan --json");
+    let chains: serde_json::Value =
+        serde_json::from_slice(&output.stdout).expect("valid JSON chains");
+    assert!(chains.as_array().map(|a| !a.is_empty()).unwrap_or(false));
+}
+
+#[test]
+fn demo_with_depth_limit_finds_nothing() {
+    // URLDNS needs 6 hops; a depth budget of 2 must cut it (Algorithm 3).
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["demo", "--depth", "2"])
+        .output()
+        .expect("run tabby demo");
+    assert_eq!(output.status.code(), Some(0));
+}
+
+#[test]
+fn sinks_prints_the_catalog() {
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .arg("sinks")
+        .output()
+        .expect("run tabby sinks");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("java.lang.Runtime.exec()"));
+    assert!(stdout.contains("javax.naming.Context.lookup()"));
+    // All 38 catalog rows plus the header.
+    assert_eq!(stdout.lines().count(), 39);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .arg("bogus")
+        .output()
+        .expect("run tabby bogus");
+    assert_ne!(output.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("USAGE"));
+}
+
+#[test]
+fn dot_export_writes_graphviz() {
+    let out_file = std::env::temp_dir().join("tabby-cli-demo.dot");
+    let _ = std::fs::remove_file(&out_file);
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["demo", "--dot", out_file.to_str().unwrap()])
+        .output()
+        .expect("run tabby demo --dot");
+    assert!(output.status.code().is_some());
+    let dot = std::fs::read_to_string(&out_file).expect("dot file written");
+    assert!(dot.starts_with("digraph cpg {"));
+    assert!(dot.contains("CALL"));
+    assert!(dot.contains("ALIAS"));
+}
+
+#[test]
+fn custom_sink_catalog_from_json() {
+    // `tabby sinks --json` output must round-trip as a `--sinks` input.
+    let catalog = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["sinks", "--json"])
+        .output()
+        .expect("run tabby sinks --json");
+    let file = std::env::temp_dir().join("tabby-cli-sinks.json");
+    std::fs::write(&file, &catalog.stdout).unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["demo", "--sinks", file.to_str().unwrap()])
+        .output()
+        .expect("run tabby demo --sinks");
+    // Same catalog => same result as the plain demo (chains found: exit 2).
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn bad_sink_catalog_is_rejected() {
+    let file = std::env::temp_dir().join("tabby-cli-bad-sinks.json");
+    std::fs::write(&file, b"{not json").unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["demo", "--sinks", file.to_str().unwrap()])
+        .output()
+        .expect("run tabby demo --sinks bad");
+    assert_eq!(output.status.code(), Some(1));
+}
