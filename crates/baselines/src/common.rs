@@ -25,11 +25,7 @@ impl MKey {
             MKey::Real(id) => {
                 let class = program.class(id.class);
                 let method = program.method(id);
-                format!(
-                    "{}.{}",
-                    program.name(class.name),
-                    program.name(method.name)
-                )
+                format!("{}.{}", program.name(class.name), program.name(method.name))
             }
             MKey::Phantom(class, name, _) => {
                 format!("{}.{}", program.name(class), program.name(name))
@@ -120,9 +116,9 @@ pub fn derived_locals(program: &Program, id: MethodId) -> HashSet<Local> {
         for stmt in &body.stmts {
             if let Stmt::Assign { place, rhs } = stmt {
                 let rhs_tainted = match rhs {
-                    Expr::Use(op) | Expr::Cast { value: op, .. } | Expr::Unary { value: op, .. } => {
-                        operand_tainted(&tainted, op)
-                    }
+                    Expr::Use(op)
+                    | Expr::Cast { value: op, .. }
+                    | Expr::Unary { value: op, .. } => operand_tainted(&tainted, op),
                     Expr::Load(place) => match place {
                         Place::Local(l) => tainted.contains(l),
                         Place::InstanceField { base, .. } => tainted.contains(base),
@@ -164,12 +160,7 @@ pub fn invokes_of(program: &Program, id: MethodId) -> Vec<InvokeExpr> {
         .method(id)
         .body
         .as_ref()
-        .map(|b| {
-            b.stmts
-                .iter()
-                .filter_map(|s| s.invoke().cloned())
-                .collect()
-        })
+        .map(|b| b.stmts.iter().filter_map(|s| s.invoke().cloned()).collect())
         .unwrap_or_default()
 }
 

@@ -144,10 +144,7 @@ impl GadgetInspector {
             }
         }
         dedupe(&mut chains);
-        BaselineOutcome {
-            chains,
-            timed_out,
-        }
+        BaselineOutcome { chains, timed_out }
     }
 }
 

@@ -313,8 +313,7 @@ mod tests {
             mb.new_obj(fresh, "java.lang.Object");
             for j in 0..k {
                 if i != j {
-                    let callee =
-                        mb.sig(fqcn, &format!("stage{j}"), &[object.clone()], JType::Void);
+                    let callee = mb.sig(fqcn, &format!("stage{j}"), &[object.clone()], JType::Void);
                     mb.call_static(None, callee, &[fresh.into()]);
                 }
             }
@@ -322,8 +321,7 @@ mod tests {
                 let s = mb.fresh();
                 mb.cast(s, string.clone(), fresh);
                 let class_ty = mb.object_type("java.lang.Class");
-                let for_name =
-                    mb.sig("java.lang.Class", "forName", &[string.clone()], class_ty);
+                let for_name = mb.sig("java.lang.Class", "forName", &[string.clone()], class_ty);
                 let c = mb.fresh();
                 mb.call_static(Some(c), for_name, &[s.into()]);
             }

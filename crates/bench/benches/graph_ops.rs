@@ -2,9 +2,7 @@
 //! insertion, indexed lookup, and traversal.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tabby_graph::{
-    follow, Direction, Evaluation, Graph, Path, Traversal, Uniqueness, Value,
-};
+use tabby_graph::{follow, Direction, Evaluation, Graph, Path, Traversal, Uniqueness, Value};
 
 fn ring_graph(n: u32) -> Graph {
     let mut g = Graph::new();

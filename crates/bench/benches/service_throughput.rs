@@ -1,0 +1,74 @@
+//! Daemon round-trip throughput: cold submissions (cache bypassed) versus
+//! warm submissions (chain-cache hits) of the same component over real TCP.
+//!
+//! The gap between the two is the daemon's reason to exist: a warm submit
+//! pays only request framing, a cache lookup, and response serialization,
+//! while a cold submit pays the full lift → summarize → build → search
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use tabby_ir::compile::compile_program;
+use tabby_ir::ProgramBuilder;
+use tabby_service::{submit, Daemon, ScanRequestOptions, ServiceConfig};
+use tabby_workloads::jdk::add_jdk_model;
+
+fn corpus_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tabby-bench-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    for (name, bytes) in compile_program(&pb.build()) {
+        let file = dir.join(format!("{}.class", name.replace('.', "_")));
+        std::fs::write(file, bytes).unwrap();
+    }
+    dir
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let dir = corpus_dir();
+    let handle = Daemon::spawn(ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let paths = vec![dir.to_string_lossy().into_owned()];
+
+    let mut group = c.benchmark_group("service");
+    group.bench_function("submit_cold", |b| {
+        b.iter(|| {
+            let reply = submit(
+                &addr,
+                paths.clone(),
+                ScanRequestOptions {
+                    fresh: true,
+                    ..ScanRequestOptions::default()
+                },
+            )
+            .expect("cold submit");
+            assert!(reply.ok, "{:?}", reply.error);
+        })
+    });
+    group.bench_function("submit_warm", |b| {
+        // Prime the chain cache once, then measure pure cache-hit round trips.
+        let primed =
+            submit(&addr, paths.clone(), ScanRequestOptions::default()).expect("priming submit");
+        assert!(primed.ok, "{:?}", primed.error);
+        b.iter(|| {
+            let reply =
+                submit(&addr, paths.clone(), ScanRequestOptions::default()).expect("warm submit");
+            assert!(reply.ok, "{:?}", reply.error);
+            assert!(reply.stats.expect("stats").job_cache_hit);
+        })
+    });
+    group.finish();
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

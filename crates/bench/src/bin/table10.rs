@@ -12,9 +12,18 @@ fn main() {
     println!("TABLE X — development scenes (paper | measured)\n");
     println!(
         "{:<13} {:>8} {:>5} {:>8} | {:>7} {:>10} {:>7} {:>8} | {:>7} {:>10} {:>7} {:>9}",
-        "Scene", "Version", "Jars", "MB",
-        "result", "effective", "FPR%", "time(s)",
-        "result", "effective", "FPR%", "time(s)"
+        "Scene",
+        "Version",
+        "Jars",
+        "MB",
+        "result",
+        "effective",
+        "FPR%",
+        "time(s)",
+        "result",
+        "effective",
+        "FPR%",
+        "time(s)"
     );
     for scene in scenes::all() {
         let got = run_scene(&scene);

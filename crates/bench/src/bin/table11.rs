@@ -30,8 +30,16 @@ fn main() {
         println!();
     }
     println!("--- other chains in the scene ---");
-    for chain in got.chains.iter().filter(|c| !c.sink().ends_with("Context.lookup")) {
-        println!("  [{}] {}", chain.sink_category, chain.signatures.join(" -> "));
+    for chain in got
+        .chains
+        .iter()
+        .filter(|c| !c.sink().ends_with("Context.lookup"))
+    {
+        println!(
+            "  [{}] {}",
+            chain.sink_category,
+            chain.signatures.join(" -> ")
+        );
     }
     println!(
         "\n(the paper abbreviates org.springframework as org.#; chain #3's shape is \

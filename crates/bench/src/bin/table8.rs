@@ -61,7 +61,9 @@ fn main() {
     }
     // Linearity check: correlation between method count and build time.
     let n = rows.len() as f64;
-    let (sx, sy): (f64, f64) = rows.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+    let (sx, sy): (f64, f64) = rows
+        .iter()
+        .fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
     let (mx, my) = (sx / n, sy / n);
     let cov: f64 = rows.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
     let vx: f64 = rows.iter().map(|(x, _)| (x - mx).powi(2)).sum();

@@ -22,17 +22,13 @@ fn main() {
     println!("(`X` = the tool exhausted its work budget, as in the paper)\n");
     println!(
         "{:<28} {:>3} | {:>11} | {:>11} | {:>11} | {:>11} | {:>13} | {:>13} | {:>14}",
-        "Component",
-        "K",
-        "Result",
-        "Fake",
-        "Known",
-        "Unknown",
-        "FPR(%)",
-        "FNR(%)",
-        "time(s)"
+        "Component", "K", "Result", "Fake", "Known", "Unknown", "FPR(%)", "FNR(%)", "time(s)"
     );
-    let mut totals = [EvalCounts::default(), EvalCounts::default(), EvalCounts::default()];
+    let mut totals = [
+        EvalCounts::default(),
+        EvalCounts::default(),
+        EvalCounts::default(),
+    ];
     let mut sl_timeouts = 0usize;
     for component in components::all() {
         let gi = run_gadget_inspector(&component);
@@ -83,9 +79,7 @@ fn main() {
             t.known,
             t.unknown,
             fmt_pct(t.fpr()),
-            fmt_pct(Some(
-                (38 - t.known) as f64 / 38.0 * 100.0
-            )),
+            fmt_pct(Some((38 - t.known) as f64 / 38.0 * 100.0)),
         );
     }
     println!("SL non-terminations: {sl_timeouts} (paper: 2 — Clojure, Jython1)");

@@ -4,9 +4,7 @@
 use std::time::Instant;
 use tabby_baselines::{GadgetInspector, Serianalyzer};
 use tabby_core::{AnalysisConfig, Cpg};
-use tabby_pathfinder::{
-    find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
-};
+use tabby_pathfinder::{find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog};
 use tabby_workloads::{Component, EvalCounts};
 
 /// The outcome of one (tool, component) cell.
@@ -25,7 +23,11 @@ pub struct CellResult {
 /// Runs Tabby end-to-end on a component: CPG build → sink/source
 /// annotation → backward search → component filter → scoring.
 pub fn run_tabby(component: &Component) -> CellResult {
-    run_tabby_with(component, AnalysisConfig::default(), SearchConfig::default())
+    run_tabby_with(
+        component,
+        AnalysisConfig::default(),
+        SearchConfig::default(),
+    )
 }
 
 /// Runs Tabby with explicit configurations (used by the ablation bench).

@@ -32,8 +32,8 @@ fn every_component_survives_the_class_file_round_trip() {
             .into_iter()
             .map(|(_, b)| b)
             .collect();
-        let lifted_program = lift_program(&blobs)
-            .unwrap_or_else(|e| panic!("{}: lift failed: {e}", component.name));
+        let lifted_program =
+            lift_program(&blobs).unwrap_or_else(|e| panic!("{}: lift failed: {e}", component.name));
         let lifted = chain_pairs(&lifted_program);
         assert_eq!(
             direct, lifted,

@@ -632,10 +632,7 @@ mod tests {
         asm.return_void();
         let code = asm.finish(0).unwrap();
         let insns = decode(&code.code).unwrap();
-        let (off_a, _) = insns
-            .iter()
-            .find(|(_, i)| matches!(i, Insn::Nop))
-            .unwrap();
+        let (off_a, _) = insns.iter().find(|(_, i)| matches!(i, Insn::Nop)).unwrap();
         match &insns[1].1 {
             Insn::LookupSwitch { default, pairs } => {
                 assert_eq!(pairs, &[(1, *off_a)]);

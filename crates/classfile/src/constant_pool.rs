@@ -120,9 +120,9 @@ impl ConstantPool {
     /// `(class name, member name, descriptor)`.
     pub fn member_ref(&self, index: u16) -> Result<(&str, &str, &str)> {
         let (class_idx, nat_idx) = match self.get(index)? {
-            CpInfo::FieldRef(c, n)
-            | CpInfo::MethodRef(c, n)
-            | CpInfo::InterfaceMethodRef(c, n) => (*c, *n),
+            CpInfo::FieldRef(c, n) | CpInfo::MethodRef(c, n) | CpInfo::InterfaceMethodRef(c, n) => {
+                (*c, *n)
+            }
             other => {
                 return Err(ClassFileError::new(format!(
                     "expected member ref at {index}, found {other:?}"

@@ -264,11 +264,26 @@ fn decode_one(op: u8, at: u32, r: &mut Cursor<'_>, code_len: usize) -> Result<In
         0x5d => Insn::Dup2X1,
         0x5e => Insn::Dup2X2,
         0x5f => Insn::Swap,
-        0x60..=0x63 => Insn::Arith(ArithOp::Add, [Int, Long, Float, Double][(op - 0x60) as usize]),
-        0x64..=0x67 => Insn::Arith(ArithOp::Sub, [Int, Long, Float, Double][(op - 0x64) as usize]),
-        0x68..=0x6b => Insn::Arith(ArithOp::Mul, [Int, Long, Float, Double][(op - 0x68) as usize]),
-        0x6c..=0x6f => Insn::Arith(ArithOp::Div, [Int, Long, Float, Double][(op - 0x6c) as usize]),
-        0x70..=0x73 => Insn::Arith(ArithOp::Rem, [Int, Long, Float, Double][(op - 0x70) as usize]),
+        0x60..=0x63 => Insn::Arith(
+            ArithOp::Add,
+            [Int, Long, Float, Double][(op - 0x60) as usize],
+        ),
+        0x64..=0x67 => Insn::Arith(
+            ArithOp::Sub,
+            [Int, Long, Float, Double][(op - 0x64) as usize],
+        ),
+        0x68..=0x6b => Insn::Arith(
+            ArithOp::Mul,
+            [Int, Long, Float, Double][(op - 0x68) as usize],
+        ),
+        0x6c..=0x6f => Insn::Arith(
+            ArithOp::Div,
+            [Int, Long, Float, Double][(op - 0x6c) as usize],
+        ),
+        0x70..=0x73 => Insn::Arith(
+            ArithOp::Rem,
+            [Int, Long, Float, Double][(op - 0x70) as usize],
+        ),
         0x74..=0x77 => Insn::Neg([Int, Long, Float, Double][(op - 0x74) as usize]),
         0x78 | 0x79 => Insn::Arith(ArithOp::Shl, [Int, Long][(op - 0x78) as usize]),
         0x7a | 0x7b => Insn::Arith(ArithOp::Shr, [Int, Long][(op - 0x7a) as usize]),
@@ -301,10 +316,7 @@ fn decode_one(op: u8, at: u32, r: &mut Cursor<'_>, code_len: usize) -> Result<In
             let low = r.i32()?;
             let high = r.i32()?;
             if high < low {
-                return Err(ClassFileError::at(
-                    r.position(),
-                    "tableswitch high < low",
-                ));
+                return Err(ClassFileError::at(r.position(), "tableswitch high < low"));
             }
             let n = (i64::from(high) - i64::from(low) + 1) as usize;
             if n > code_len {
@@ -334,10 +346,7 @@ fn decode_one(op: u8, at: u32, r: &mut Cursor<'_>, code_len: usize) -> Result<In
                 let k = r.i32()?;
                 pairs.push((k, rel32(r, at)?));
             }
-            Insn::LookupSwitch {
-                default,
-                pairs,
-            }
+            Insn::LookupSwitch { default, pairs }
         }
         0xac => Insn::Return(Some(Int)),
         0xad => Insn::Return(Some(Long)),

@@ -14,10 +14,7 @@ pub struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     /// Creates a cursor over `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        Self {
-            data,
-            pos: 0,
-        }
+        Self { data, pos: 0 }
     }
 
     /// Current byte offset.

@@ -142,7 +142,10 @@ mod tests {
         let bytes = write_class(&class);
         let back = parse_class(&bytes).unwrap();
         assert_eq!(back.name().unwrap(), "demo.Empty");
-        assert_eq!(back.super_name().unwrap().as_deref(), Some("java.lang.Object"));
+        assert_eq!(
+            back.super_name().unwrap().as_deref(),
+            Some("java.lang.Object")
+        );
         assert_eq!(back.major_version, MAJOR_JAVA8);
         // Byte-for-byte stable through a second round trip.
         assert_eq!(write_class(&back), bytes);

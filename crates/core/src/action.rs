@@ -114,9 +114,7 @@ impl Action {
     /// frame) into a *weight* in the caller's frame using `in`, the snapshot
     /// of weights flowing into the call.
     pub fn calc(&self, input: &ActionInput) -> Vec<(ActionKey, Weight)> {
-        self.iter()
-            .map(|(k, v)| (k, input.weight_of(v)))
-            .collect()
+        self.iter().map(|(k, v)| (k, input.weight_of(v))).collect()
     }
 
     /// Renders the action with the paper's key/value names (for the graph's
@@ -185,16 +183,14 @@ impl ActionInput {
                 .get(j as usize)
                 .copied()
                 .unwrap_or(Weight::Unknown),
-            ActionValue::InitParamField(j, f) => self
-                .param_fields
-                .get(&(j, f))
-                .copied()
-                .unwrap_or_else(|| {
+            ActionValue::InitParamField(j, f) => {
+                self.param_fields.get(&(j, f)).copied().unwrap_or_else(|| {
                     self.params
                         .get(j as usize)
                         .copied()
                         .unwrap_or(Weight::Unknown)
-                }),
+                })
+            }
             ActionValue::Null => Weight::Unknown,
         }
     }
@@ -208,8 +204,14 @@ mod tests {
     #[test]
     fn identity_action_shape() {
         let a = Action::identity(2);
-        assert_eq!(a.get(ActionKey::FinalParam(1)), Some(ActionValue::InitParam(1)));
-        assert_eq!(a.get(ActionKey::FinalParam(2)), Some(ActionValue::InitParam(2)));
+        assert_eq!(
+            a.get(ActionKey::FinalParam(1)),
+            Some(ActionValue::InitParam(1))
+        );
+        assert_eq!(
+            a.get(ActionKey::FinalParam(2)),
+            Some(ActionValue::InitParam(2))
+        );
         assert_eq!(a.get(ActionKey::Return), Some(ActionValue::Null));
         assert_eq!(a.get(ActionKey::This), Some(ActionValue::This));
     }
@@ -233,11 +235,7 @@ mod tests {
         action.set(ActionKey::FinalParam(1), ActionValue::InitParam(1));
         let input = ActionInput::new(None, &[Weight::Unknown, Weight::Param(2)]);
         let out = action.calc(&input);
-        let ret = out
-            .iter()
-            .find(|(k, _)| *k == ActionKey::Return)
-            .unwrap()
-            .1;
+        let ret = out.iter().find(|(k, _)| *k == ActionKey::Return).unwrap().1;
         assert_eq!(ret, Weight::Param(2));
         let p1 = out
             .iter()

@@ -18,8 +18,8 @@ use crate::config::AnalysisConfig;
 use crate::weight::{PollutedPosition, Weight};
 use std::collections::{HashMap, HashSet};
 use tabby_ir::{
-    Cfg, Expr, Hierarchy, IdentityRef, InvokeExpr, InvokeKind, Local, MethodId, MethodRef,
-    Operand, Place, Program, Stmt, Symbol,
+    Cfg, Expr, Hierarchy, IdentityRef, InvokeExpr, InvokeKind, Local, MethodId, MethodRef, Operand,
+    Place, Program, Stmt, Symbol,
 };
 
 /// The dataflow state: the paper's `localMap`.
@@ -248,6 +248,16 @@ impl<'p> Analyzer<'p> {
         self.analyze_at_depth(id, 0)
     }
 
+    /// Pre-seeds the memoization caches with a summary computed earlier —
+    /// by another analyzer, or by a previous scan whose classes are
+    /// byte-identical (the daemon's cross-scan Action cache). Seeded methods
+    /// are served from cache by [`Self::summarize`] and [`Self::analyze`]
+    /// without re-running Algorithm 1.
+    pub fn seed_summary(&mut self, id: MethodId, summary: MethodSummary) {
+        self.action_cache.insert(id, summary.action.clone());
+        self.summary_cache.insert(id, summary);
+    }
+
     /// Full per-method summary (Action plus call sites), memoized.
     pub fn summarize(&mut self, id: MethodId) -> MethodSummary {
         if let Some(s) = self.summary_cache.get(&id) {
@@ -360,10 +370,7 @@ impl<'p> Analyzer<'p> {
         let mut action = Action::new();
         let (this_local, param_locals) = identity_locals(&body.stmts, param_count);
         if let Some(this) = this_local {
-            action.set(
-                ActionKey::This,
-                weight_to_value(exit.local(this)),
-            );
+            action.set(ActionKey::This, weight_to_value(exit.local(this)));
             for (f, w) in exit.fields_of(this) {
                 action.set(ActionKey::ThisField(f), weight_to_value(w));
             }
@@ -387,10 +394,7 @@ impl<'p> Analyzer<'p> {
             ActionKey::Return,
             returned.map_or(ActionValue::Null, weight_to_value),
         );
-        MethodSummary {
-            action,
-            calls,
-        }
+        MethodSummary { action, calls }
     }
 
     /// The per-statement transfer function (`doAssignStmtAnalysis`,
@@ -677,8 +681,14 @@ mod tests {
             action.get(ActionKey::FinalParamField(1, b)),
             Some(ActionValue::InitParam(2))
         );
-        assert_eq!(action.get(ActionKey::FinalParam(2)), Some(ActionValue::Null));
-        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(2)));
+        assert_eq!(
+            action.get(ActionKey::FinalParam(2)),
+            Some(ActionValue::Null)
+        );
+        assert_eq!(
+            action.get(ActionKey::Return),
+            Some(ActionValue::InitParam(2))
+        );
     }
 
     #[test]
@@ -711,9 +721,15 @@ mod tests {
         // Instead, check via the Action: example's final-param-2 is null
         // because `b` was corrected to ∞ by the callee's effect.
         let action = an.analyze(example);
-        assert_eq!(action.get(ActionKey::FinalParam(2)), Some(ActionValue::Null));
+        assert_eq!(
+            action.get(ActionKey::FinalParam(2)),
+            Some(ActionValue::Null)
+        );
         // And `a` itself was reassigned to a1 (new A()) before the call.
-        assert_eq!(action.get(ActionKey::FinalParam(1)), Some(ActionValue::Null));
+        assert_eq!(
+            action.get(ActionKey::FinalParam(1)),
+            Some(ActionValue::Null)
+        );
     }
 
     #[test]
@@ -798,7 +814,10 @@ mod tests {
         let exchange = method_named(&p, "exchange");
         let mut field_sensitive = Analyzer::new(&p, AnalysisConfig::default());
         let precise = field_sensitive.analyze(exchange);
-        assert_eq!(precise.get(ActionKey::Return), Some(ActionValue::InitParam(2)));
+        assert_eq!(
+            precise.get(ActionKey::Return),
+            Some(ActionValue::InitParam(2))
+        );
         let mut insensitive = Analyzer::new(
             &p,
             AnalysisConfig {
@@ -808,7 +827,10 @@ mod tests {
         );
         let coarse = insensitive.analyze(exchange);
         // Collapsed onto the base object: returns init-param-1.
-        assert_eq!(coarse.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+        assert_eq!(
+            coarse.get(ActionKey::Return),
+            Some(ActionValue::InitParam(1))
+        );
     }
 
     #[test]
@@ -841,7 +863,10 @@ mod tests {
         let mut an = Analyzer::new(&p, AnalysisConfig::default());
         let m = p.method_ids().next().unwrap();
         let action = an.analyze(m);
-        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+        assert_eq!(
+            action.get(ActionKey::Return),
+            Some(ActionValue::InitParam(1))
+        );
         // Conservative mode: the phantom return is uncontrollable.
         let mut strict = Analyzer::new(
             &p,
@@ -915,7 +940,10 @@ mod tests {
         let mut an = Analyzer::new(&p, AnalysisConfig::default());
         let m = p.method_ids().next().unwrap();
         let action = an.analyze(m);
-        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+        assert_eq!(
+            action.get(ActionKey::Return),
+            Some(ActionValue::InitParam(1))
+        );
     }
 
     #[test]
@@ -940,7 +968,10 @@ mod tests {
         let mut an = Analyzer::new(&p, AnalysisConfig::default());
         let m = p.method_ids().next().unwrap();
         let action = an.analyze(m);
-        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+        assert_eq!(
+            action.get(ActionKey::Return),
+            Some(ActionValue::InitParam(1))
+        );
     }
 
     #[test]
@@ -960,6 +991,9 @@ mod tests {
         let mut an = Analyzer::new(&p, AnalysisConfig::default());
         let m = p.method_ids().next().unwrap();
         let action = an.analyze(m);
-        assert_eq!(action.get(ActionKey::Return), Some(ActionValue::InitParam(1)));
+        assert_eq!(
+            action.get(ActionKey::Return),
+            Some(ActionValue::InitParam(1))
+        );
     }
 }

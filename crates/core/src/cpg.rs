@@ -100,6 +100,35 @@ impl CpgSchema {
         graph.create_index(schema.class_label, schema.name);
         schema
     }
+
+    /// Recovers the schema ids from a graph that already carries the CPG
+    /// vocabulary — e.g. one deserialized from a cache — without mutating
+    /// it. Returns `None` if any label, edge type, or property key is
+    /// missing (i.e. the graph was not built by [`CpgSchema::install`]).
+    pub fn lookup(graph: &Graph) -> Option<Self> {
+        Some(Self {
+            class_label: graph.get_label("Class")?,
+            method_label: graph.get_label("Method")?,
+            extend: graph.get_edge_type("EXTEND")?,
+            interface: graph.get_edge_type("INTERFACE")?,
+            has: graph.get_edge_type("HAS")?,
+            call: graph.get_edge_type("CALL")?,
+            alias: graph.get_edge_type("ALIAS")?,
+            name: graph.get_prop_key("NAME")?,
+            class_name: graph.get_prop_key("CLASS_NAME")?,
+            signature: graph.get_prop_key("SIGNATURE")?,
+            param_count: graph.get_prop_key("PARAM_COUNT")?,
+            is_static: graph.get_prop_key("IS_STATIC")?,
+            is_abstract: graph.get_prop_key("IS_ABSTRACT")?,
+            is_serializable: graph.get_prop_key("IS_SERIALIZABLE")?,
+            is_interface: graph.get_prop_key("IS_INTERFACE")?,
+            is_phantom: graph.get_prop_key("IS_PHANTOM")?,
+            polluted_position: graph.get_prop_key("POLLUTED_POSITION")?,
+            invoke_kind: graph.get_prop_key("INVOKE_KIND")?,
+            stmt_index: graph.get_prop_key("STMT_INDEX")?,
+            action: graph.get_prop_key("ACTION")?,
+        })
+    }
 }
 
 /// Size and timing statistics of one CPG build (the quantities Table VIII
@@ -146,6 +175,18 @@ impl Cpg {
     /// [`crate::parallel::summarize_program`]).
     pub fn build_parallel(program: &Program, config: AnalysisConfig, threads: usize) -> Cpg {
         let summaries = crate::parallel::summarize_program(program, &config, threads);
+        Cpg::build_with_summaries(program, config, summaries)
+    }
+
+    /// Builds the CPG from pre-computed per-method summaries (covering every
+    /// method with a body). The scan daemon uses this to assemble a CPG from
+    /// a mix of cached and freshly recomputed summaries after an incremental
+    /// re-scan; see [`crate::parallel::summarize_program_incremental`].
+    pub fn build_with_summaries(
+        program: &Program,
+        config: AnalysisConfig,
+        summaries: std::collections::HashMap<MethodId, crate::controllability::MethodSummary>,
+    ) -> Cpg {
         let mut builder = CpgBuilder::new(program, config);
         builder.precomputed = Some(summaries);
         builder.build()
@@ -300,7 +341,8 @@ impl<'p> CpgBuilder<'p> {
             let class_node = self.class_nodes[&id];
             if let Some(sup) = class.superclass {
                 let sup_node = self.class_node_for(sup);
-                self.graph.add_edge(self.schema.extend, class_node, sup_node);
+                self.graph
+                    .add_edge(self.schema.extend, class_node, sup_node);
             }
             for &itf in &class.interfaces {
                 let itf_node = self.class_node_for(itf);
@@ -323,8 +365,7 @@ impl<'p> CpgBuilder<'p> {
                     self.schema.class_name,
                     Value::from(self.program.name(class.name)),
                 );
-                let desc =
-                    method_descriptor(self.program.interner(), &method.params, &method.ret);
+                let desc = method_descriptor(self.program.interner(), &method.params, &method.ret);
                 self.graph.set_node_prop(
                     node,
                     self.schema.signature,
@@ -476,7 +517,9 @@ impl<'p> CpgBuilder<'p> {
                         call.callee_ref.params.len(),
                     ),
                 };
-                let edge = self.graph.add_edge(self.schema.call, caller_node, target_node);
+                let edge = self
+                    .graph
+                    .add_edge(self.schema.call, caller_node, target_node);
                 self.graph.set_edge_prop(
                     edge,
                     self.schema.polluted_position,
@@ -523,11 +566,8 @@ impl<'p> CpgBuilder<'p> {
             return node;
         }
         let node = self.graph.add_node(self.schema.class_label);
-        self.graph.set_node_prop(
-            node,
-            self.schema.name,
-            Value::from(self.program.name(name)),
-        );
+        self.graph
+            .set_node_prop(node, self.schema.name, Value::from(self.program.name(name)));
         self.graph
             .set_node_prop(node, self.schema.is_phantom, Value::from(true));
         self.phantom_classes.insert(name, node);
@@ -542,11 +582,8 @@ impl<'p> CpgBuilder<'p> {
         }
         let class_node = self.class_node_for(class);
         let node = self.graph.add_node(self.schema.method_label);
-        self.graph.set_node_prop(
-            node,
-            self.schema.name,
-            Value::from(self.program.name(name)),
-        );
+        self.graph
+            .set_node_prop(node, self.schema.name, Value::from(self.program.name(name)));
         self.graph.set_node_prop(
             node,
             self.schema.class_name,
@@ -594,7 +631,9 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         // java.lang.Object with hashCode.
         let mut cb = pb.class("java.lang.Object");
-        cb.method("hashCode", vec![], JType::Int).abstract_().finish();
+        cb.method("hashCode", vec![], JType::Int)
+            .abstract_()
+            .finish();
         cb.finish();
         // HashMap: readObject calls hash(key); hash calls key.hashCode().
         let mut cb = pb.class("java.util.HashMap").serializable();

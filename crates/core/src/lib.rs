@@ -48,5 +48,5 @@ pub use action::{Action, ActionInput, ActionKey, ActionValue};
 pub use config::AnalysisConfig;
 pub use controllability::{Analyzer, AnalyzerStats, CallSite, LocalMap, MethodSummary};
 pub use cpg::{Cpg, CpgSchema, CpgStats};
-pub use parallel::summarize_program;
+pub use parallel::{summarize_program, summarize_program_incremental};
 pub use weight::{pp_from_ints, pp_to_ints, PollutedPosition, Weight};

@@ -10,7 +10,7 @@
 
 use crate::config::AnalysisConfig;
 use crate::controllability::{Analyzer, MethodSummary};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use tabby_ir::{MethodId, Program};
 
 /// Summarizes every method with a body, using up to `threads` workers.
@@ -56,6 +56,82 @@ pub fn summarize_program(
         rx.iter().collect()
     })
     .expect("analysis worker panicked")
+}
+
+/// Incremental re-summarization: recomputes summaries for the methods in
+/// `dirty` and reuses `seed` for everything else.
+///
+/// The caller is responsible for the dirty-set invariant: a method may only
+/// be seeded if its body *and the bodies of everything its analysis can
+/// reach* (resolved callees, transitively) are unchanged since the seed
+/// summary was computed. The scan daemon establishes this by dirtying every
+/// changed class plus its reverse-dependency cone.
+///
+/// Returns a summary for every method with a body, exactly like
+/// [`summarize_program`]; methods missing from `seed` are treated as dirty.
+pub fn summarize_program_incremental(
+    program: &Program,
+    config: &AnalysisConfig,
+    threads: usize,
+    dirty: &HashSet<MethodId>,
+    seed: &HashMap<MethodId, MethodSummary>,
+) -> HashMap<MethodId, MethodSummary> {
+    let mut out: HashMap<MethodId, MethodSummary> = HashMap::new();
+    let mut todo: Vec<MethodId> = Vec::new();
+    for id in program.method_ids() {
+        if program.method(id).body.is_none() {
+            continue;
+        }
+        match seed.get(&id) {
+            Some(s) if !dirty.contains(&id) => {
+                out.insert(id, s.clone());
+            }
+            _ => todo.push(id),
+        }
+    }
+    if todo.is_empty() {
+        return out;
+    }
+    if threads <= 1 || todo.len() < 64 {
+        let mut analyzer = Analyzer::new(program, config.clone());
+        for (id, s) in &out {
+            analyzer.seed_summary(*id, s.clone());
+        }
+        for id in todo {
+            let summary = analyzer.summarize(id);
+            out.insert(id, summary);
+        }
+        return out;
+    }
+    let shards: Vec<Vec<MethodId>> = {
+        let mut shards = vec![Vec::new(); threads];
+        for (i, id) in todo.into_iter().enumerate() {
+            shards[i % threads].push(id);
+        }
+        shards
+    };
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let clean = &out;
+    let recomputed: Vec<(MethodId, MethodSummary)> = crossbeam::thread::scope(|scope| {
+        for shard in &shards {
+            let tx = tx.clone();
+            scope.spawn(move |_| {
+                let mut analyzer = Analyzer::new(program, config.clone());
+                for (id, s) in clean {
+                    analyzer.seed_summary(*id, s.clone());
+                }
+                for &id in shard {
+                    let summary = analyzer.summarize(id);
+                    tx.send((id, summary)).expect("collector alive");
+                }
+            });
+        }
+        drop(tx);
+        rx.iter().collect()
+    })
+    .expect("analysis worker panicked");
+    out.extend(recomputed);
+    out
 }
 
 #[cfg(test)]
@@ -112,5 +188,30 @@ mod tests {
         let p = corpus(3);
         let out = summarize_program(&p, &AnalysisConfig::default(), 8);
         assert_eq!(out.len(), 12);
+    }
+
+    #[test]
+    fn incremental_with_clean_seed_returns_seed() {
+        let p = corpus(10);
+        let cfg = AnalysisConfig::default();
+        let full = summarize_program(&p, &cfg, 1);
+        let out = summarize_program_incremental(&p, &cfg, 1, &HashSet::new(), &full);
+        assert_eq!(out.len(), full.len());
+        for (id, s) in &full {
+            assert_eq!(out[id].action, s.action);
+        }
+    }
+
+    #[test]
+    fn incremental_from_empty_seed_matches_full_run() {
+        let p = corpus(40);
+        let cfg = AnalysisConfig::default();
+        let full = summarize_program(&p, &cfg, 1);
+        let dirty: HashSet<MethodId> = p.method_ids().collect();
+        let out = summarize_program_incremental(&p, &cfg, 4, &dirty, &HashMap::new());
+        assert_eq!(out.len(), full.len());
+        for (id, s) in &full {
+            assert_eq!(out[id].action, s.action, "{}", p.describe_method(*id));
+        }
     }
 }

@@ -105,7 +105,12 @@ mod tests {
 
     #[test]
     fn paper_encoding_round_trips() {
-        for w in [Weight::Unknown, Weight::This, Weight::Param(1), Weight::Param(7)] {
+        for w in [
+            Weight::Unknown,
+            Weight::This,
+            Weight::Param(1),
+            Weight::Param(7),
+        ] {
             assert_eq!(Weight::from_paper_int(w.to_paper_int()), w);
         }
     }

@@ -7,11 +7,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Nodes reachable from `start` following edges of the given types in the
 /// given direction (including `start`).
-pub fn reachable(
-    graph: &Graph,
-    start: NodeId,
-    types: &[(EdgeType, Direction)],
-) -> HashSet<NodeId> {
+pub fn reachable(graph: &Graph, start: NodeId, types: &[(EdgeType, Direction)]) -> HashSet<NodeId> {
     let mut seen = HashSet::from([start]);
     let mut queue = VecDeque::from([start]);
     while let Some(n) = queue.pop_front() {
@@ -97,10 +93,7 @@ pub fn degree_stats(graph: &Graph, ty: EdgeType) -> DegreeStats {
 /// Strongly connected components over edges of the given types (Tarjan,
 /// iterative). Returns components in reverse topological order; singleton
 /// components without self-loops are included.
-pub fn strongly_connected_components(
-    graph: &Graph,
-    types: &[EdgeType],
-) -> Vec<Vec<NodeId>> {
+pub fn strongly_connected_components(graph: &Graph, types: &[EdgeType]) -> Vec<Vec<NodeId>> {
     let n = graph.node_count();
     let succs = |v: NodeId| -> Vec<NodeId> {
         let mut out = Vec::new();

@@ -1,0 +1,107 @@
+//! Content hashing for cache keys.
+//!
+//! The scan daemon (`tabby-service`) addresses its caches by content: a
+//! `.class` file is identified by the hash of its bytes, a stored CPG by the
+//! hash of its canonical serialization. The hashes only need to be fast,
+//! stable across runs, and well-distributed — FNV-1a over 64 bits fits, and
+//! keeps the crate dependency-free. They are *not* cryptographic; cache
+//! poisoning is out of scope for a local daemon reading local files.
+
+use crate::store::Graph;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a (64-bit) hasher for composing cache keys from
+/// several parts (e.g. a set of class hashes plus an options fingerprint).
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds a 64-bit value (little-endian), e.g. a sub-hash.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hashes a byte slice with 64-bit FNV-1a.
+pub fn content_hash64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+impl Graph {
+    /// Content hash of the graph: FNV-1a over its canonical JSON
+    /// serialization. Two graphs with identical nodes, edges, and
+    /// properties hash identically regardless of how they were built —
+    /// property maps serialize in key order (see `store::NodeData`).
+    pub fn content_hash(&self) -> u64 {
+        let bytes = serde_json::to_vec(self).expect("graph serialization cannot fail");
+        content_hash64(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Known FNV-1a/64 test vectors.
+        assert_eq!(content_hash64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(content_hash64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn composed_hash_differs_from_concatenation_order() {
+        let mut a = Fnv64::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn graph_hash_is_stable_and_content_sensitive() {
+        let build = |name: &str| {
+            let mut g = Graph::new();
+            let l = g.label("Method");
+            let k = g.prop_key("NAME");
+            let n = g.add_node(l);
+            g.set_node_prop(n, k, Value::from(name));
+            g
+        };
+        assert_eq!(build("a").content_hash(), build("a").content_hash());
+        assert_ne!(build("a").content_hash(), build("b").content_hash());
+    }
+}

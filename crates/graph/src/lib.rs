@@ -35,14 +35,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod algo;
+pub mod hash;
 pub mod query;
 pub mod store;
 pub mod traversal;
 pub mod value;
 
+pub use hash::{content_hash64, Fnv64};
+pub use query::{NodePattern, Query};
 pub use store::{Direction, EdgeId, EdgeType, Graph, Label, NodeId, PropKey};
 pub use traversal::{
     follow, Evaluation, Evaluator, Expander, Expansion, Order, Path, Traversal, Uniqueness,
 };
-pub use query::{NodePattern, Query};
 pub use value::Value;

@@ -175,7 +175,14 @@ impl Query {
         self.hop(ty, direction, min, max, end)
     }
 
-    fn hop(mut self, ty: EdgeType, direction: Direction, min: usize, max: usize, end: NodePattern) -> Self {
+    fn hop(
+        mut self,
+        ty: EdgeType,
+        direction: Direction,
+        min: usize,
+        max: usize,
+        end: NodePattern,
+    ) -> Self {
         self.hops.push(Hop {
             ty,
             direction,
@@ -335,9 +342,10 @@ mod tests {
         let (g, _) = fixture();
         let l = g.get_label("Method").unwrap();
         let name = g.get_prop_key("NAME").unwrap();
-        let rows = Query::new(NodePattern::label(l).filter(move |g, n| {
-            g.node_prop(n, name).and_then(|v| v.as_str()) != Some("b")
-        }))
+        let rows = Query::new(
+            NodePattern::label(l)
+                .filter(move |g, n| g.node_prop(n, name).and_then(|v| v.as_str()) != Some("b")),
+        )
         .limit(1)
         .run(&g);
         assert_eq!(rows.len(), 1);

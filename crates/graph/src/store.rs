@@ -8,7 +8,7 @@
 
 use crate::value::{IndexKey, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Identifier of a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -55,10 +55,13 @@ pub enum Direction {
     Both,
 }
 
+// Property maps are `BTreeMap`s (not `HashMap`s) on purpose: serialization
+// order must be deterministic so that the same graph always produces the
+// same bytes. Content-addressed caching (tabby-service) keys on those bytes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct NodeData {
     label: Label,
-    props: HashMap<PropKey, Value>,
+    props: BTreeMap<PropKey, Value>,
     out: Vec<EdgeId>,
     inc: Vec<EdgeId>,
 }
@@ -68,7 +71,7 @@ struct EdgeData {
     ty: EdgeType,
     from: NodeId,
     to: NodeId,
-    props: HashMap<PropKey, Value>,
+    props: BTreeMap<PropKey, Value>,
 }
 
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -196,7 +199,7 @@ impl Graph {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node overflow"));
         self.nodes.push(NodeData {
             label,
-            props: HashMap::new(),
+            props: BTreeMap::new(),
             out: Vec::new(),
             inc: Vec::new(),
         });
@@ -210,7 +213,7 @@ impl Graph {
             ty,
             from,
             to,
-            props: HashMap::new(),
+            props: BTreeMap::new(),
         });
         self.nodes[from.index()].out.push(id);
         self.nodes[to.index()].inc.push(id);

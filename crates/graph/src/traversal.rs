@@ -268,10 +268,8 @@ impl<S: Clone, X: Expander<S>, E: Evaluator<S>> Traversal<S, X, E> {
             .into_iter()
             .map(|(n, s)| (Path::start(n), s))
             .collect();
-        let mut visited_global: std::collections::HashSet<NodeId> = frontier
-            .iter()
-            .map(|(p, _)| p.first())
-            .collect();
+        let mut visited_global: std::collections::HashSet<NodeId> =
+            frontier.iter().map(|(p, _)| p.first()).collect();
         let mut expansions = 0usize;
         while let Some((path, state)) = match self.order {
             Order::DepthFirst => frontier.pop_back(),

@@ -1,7 +1,9 @@
 //! Property-based tests for the property-graph substrate.
 
 use proptest::prelude::*;
-use tabby_graph::{follow, Direction, Evaluation, Graph, NodeId, Path, Traversal, Uniqueness, Value};
+use tabby_graph::{
+    follow, Direction, Evaluation, Graph, NodeId, Path, Traversal, Uniqueness, Value,
+};
 
 proptest! {
     #[test]
@@ -72,6 +74,51 @@ proptest! {
             prop_assert_eq!(back.endpoints(e), g.endpoints(e));
             prop_assert_eq!(back.edge_prop(e, pp), g.edge_prop(e, pp));
         }
+    }
+
+    #[test]
+    fn serialization_is_byte_stable(
+        edges in prop::collection::vec((0u32..10, 0u32..10), 0..30),
+        props in prop::collection::vec((0u32..10, 0u8..4, -8i64..8), 0..40),
+    ) {
+        // The service cache keys on graph bytes, so serialize →
+        // deserialize → re-serialize must reproduce the exact bytes.
+        // Property maps used to be HashMaps, whose iteration order (and
+        // hence JSON field order) varied run to run; this pins the fix.
+        let mut g = Graph::new();
+        let l = g.label("Method");
+        let t = g.edge_type("CALL");
+        let keys = [
+            g.prop_key("NAME"),
+            g.prop_key("SIGNATURE"),
+            g.prop_key("PP"),
+            g.prop_key("IS_SINK"),
+        ];
+        g.create_index(l, keys[0]);
+        let nodes: Vec<NodeId> = (0..10).map(|_| g.add_node(l)).collect();
+        for (a, b) in &edges {
+            let e = g.add_edge(t, nodes[*a as usize], nodes[*b as usize]);
+            g.set_edge_prop(e, keys[2], Value::IntList(vec![*a as i64, *b as i64]));
+        }
+        for (n, k, v) in &props {
+            let value = match k % 4 {
+                0 => Value::from(format!("s{v}")),
+                1 => Value::Int(*v),
+                2 => Value::Bool(*v > 0),
+                _ => Value::IntList(vec![*v, -*v]),
+            };
+            g.set_node_prop(nodes[*n as usize], keys[(*k % 4) as usize], value);
+        }
+        let first = serde_json::to_vec(&g).unwrap();
+        let mut back: Graph = serde_json::from_slice(&first).unwrap();
+        // Stability must hold both before and after rebuilding the
+        // transient lookup state — neither may leak into the bytes.
+        let raw = serde_json::to_vec(&back).unwrap();
+        prop_assert_eq!(&raw, &first, "re-serialization before rebuild drifted");
+        back.rebuild_after_deserialize();
+        let second = serde_json::to_vec(&back).unwrap();
+        prop_assert_eq!(&second, &first, "re-serialization after rebuild drifted");
+        prop_assert_eq!(back.content_hash(), g.content_hash());
     }
 
     #[test]

@@ -49,6 +49,21 @@ impl ProgramBuilder {
         Self::default()
     }
 
+    /// Creates a builder seeded with an existing interner.
+    ///
+    /// The interner is append-only, so symbols already interned keep their
+    /// indices in the built program. The scan daemon relies on this: by
+    /// threading one long-lived interner through every job, symbols (and
+    /// therefore cached per-method summaries, which embed them) stay valid
+    /// across scans.
+    pub fn with_interner(interner: Interner) -> Self {
+        ProgramBuilder {
+            interner,
+            classes: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
     /// Interns a name.
     pub fn intern(&mut self, s: &str) -> Symbol {
         self.interner.intern(s)
@@ -370,13 +385,7 @@ impl<'c, 'p> MethodBuilder<'c, 'p> {
     }
 
     /// Builds a symbolic method reference.
-    pub fn sig(
-        &mut self,
-        class: &str,
-        name: &str,
-        params: &[JType],
-        ret: JType,
-    ) -> MethodRef {
+    pub fn sig(&mut self, class: &str, name: &str, params: &[JType], ret: JType) -> MethodRef {
         MethodRef {
             class: self.intern(class),
             name: self.intern(name),
@@ -421,7 +430,13 @@ impl<'c, 'p> MethodBuilder<'c, 'p> {
     }
 
     /// `base.<init>(args)` — constructor call (`invokespecial`).
-    pub fn ctor(&mut self, base: Local, class: &str, params: &[JType], args: &[Operand]) -> &mut Self {
+    pub fn ctor(
+        &mut self,
+        base: Local,
+        class: &str,
+        params: &[JType],
+        args: &[Operand],
+    ) -> &mut Self {
         let callee = self.sig(class, "<init>", params, JType::Void);
         self.push(Stmt::Invoke(InvokeExpr {
             kind: InvokeKind::Special,
@@ -455,10 +470,7 @@ impl<'c, 'p> MethodBuilder<'c, 'p> {
         let f = self.fref(class, field, ty);
         self.push(Stmt::Assign {
             place: Place::Local(dst),
-            rhs: Expr::Load(Place::InstanceField {
-                base,
-                field: f,
-            }),
+            rhs: Expr::Load(Place::InstanceField { base, field: f }),
         })
     }
 
@@ -473,22 +485,13 @@ impl<'c, 'p> MethodBuilder<'c, 'p> {
     ) -> &mut Self {
         let f = self.fref(class, field, ty);
         self.push(Stmt::Assign {
-            place: Place::InstanceField {
-                base,
-                field: f,
-            },
+            place: Place::InstanceField { base, field: f },
             rhs: Expr::Use(value.into()),
         })
     }
 
     /// `dst = Class.field`
-    pub fn get_static(
-        &mut self,
-        dst: Local,
-        class: &str,
-        field: &str,
-        ty: JType,
-    ) -> &mut Self {
+    pub fn get_static(&mut self, dst: Local, class: &str, field: &str, ty: JType) -> &mut Self {
         let f = self.fref(class, field, ty);
         self.push(Stmt::Assign {
             place: Place::Local(dst),
@@ -512,12 +515,7 @@ impl<'c, 'p> MethodBuilder<'c, 'p> {
     }
 
     /// `dst = base[index]`
-    pub fn array_get(
-        &mut self,
-        dst: Local,
-        base: Local,
-        index: impl Into<Operand>,
-    ) -> &mut Self {
+    pub fn array_get(&mut self, dst: Local, base: Local, index: impl Into<Operand>) -> &mut Self {
         self.push(Stmt::Assign {
             place: Place::Local(dst),
             rhs: Expr::Load(Place::ArrayElem {
@@ -776,10 +774,7 @@ impl<'c, 'p> MethodBuilder<'c, 'p> {
             // Implicit `return;` for void bodies.
             let needs_ret = stmts.last().map_or(true, |s| !s.is_terminator());
             if needs_ret {
-                assert!(
-                    ret == JType::Void,
-                    "non-void body falls off the end"
-                );
+                assert!(ret == JType::Void, "non-void body falls off the end");
                 stmts.push(Stmt::Return(None));
             }
             // All referenced labels must be placed.

@@ -45,10 +45,7 @@ impl Cfg {
                 }
             }
         }
-        Self {
-            succs,
-            preds,
-        }
+        Self { succs, preds }
     }
 
     /// Number of statements.

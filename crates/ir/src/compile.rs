@@ -192,8 +192,7 @@ impl<'a> BodyCompiler<'a> {
         }
         let class = self.internal(inv.callee.class);
         let name = self.program.name(inv.callee.name).to_owned();
-        let desc =
-            method_descriptor(self.program.interner(), &inv.callee.params, &inv.callee.ret);
+        let desc = method_descriptor(self.program.interner(), &inv.callee.params, &inv.callee.ret);
         let ret_slots = i32::from(inv.callee.ret != JType::Void);
         let popped = inv.args.len() as i32 + i32::from(inv.base.is_some());
         let delta = ret_slots - popped;

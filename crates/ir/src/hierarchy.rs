@@ -92,11 +92,7 @@ impl<'p> Hierarchy<'p> {
         self.closure(id, |h, c| h.direct_subtypes(c))
     }
 
-    fn closure(
-        &self,
-        id: ClassId,
-        step: impl Fn(&Self, ClassId) -> &[ClassId],
-    ) -> Vec<ClassId> {
+    fn closure(&self, id: ClassId, step: impl Fn(&Self, ClassId) -> &[ClassId]) -> Vec<ClassId> {
         let mut seen = HashSet::new();
         let mut order = Vec::new();
         let mut queue = vec![id];
@@ -130,7 +126,11 @@ impl<'p> Hierarchy<'p> {
         };
         // Interfaces named but not loaded still count: check raw names too.
         let class = self.program.class(id);
-        if class.interfaces.iter().any(|&i| i == self.serializable || i == self.externalizable) {
+        if class
+            .interfaces
+            .iter()
+            .any(|&i| i == self.serializable || i == self.externalizable)
+        {
             return true;
         }
         self.supertypes(id).iter().any(|&s| {
@@ -155,10 +155,7 @@ impl<'p> Hierarchy<'p> {
         param_count: usize,
     ) -> Option<MethodId> {
         if let Some(idx) = self.program.class(class).find_method(name, param_count) {
-            return Some(MethodId {
-                class,
-                index: idx,
-            });
+            return Some(MethodId { class, index: idx });
         }
         for sup in self.supertypes(class) {
             if let Some(idx) = self.program.class(sup).find_method(name, param_count) {
@@ -175,7 +172,12 @@ impl<'p> Hierarchy<'p> {
     /// the same name/arity declared in `declared.class` itself or any of its
     /// subtypes. This is the dispatch set that the Method Alias Graph encodes
     /// as ALIAS edges.
-    pub fn dispatch_targets(&self, declared: MethodId, name: Symbol, param_count: usize) -> Vec<MethodId> {
+    pub fn dispatch_targets(
+        &self,
+        declared: MethodId,
+        name: Symbol,
+        param_count: usize,
+    ) -> Vec<MethodId> {
         let mut targets = vec![declared];
         for sub in self.subtypes(declared.class) {
             if let Some(idx) = self.program.class(sub).find_method(name, param_count) {

@@ -151,7 +151,9 @@ impl Lifter<'_> {
                 .map_err(|e| ClassFileError::new(e.to_string()))?;
             Ok(ty)
         } else {
-            Ok(JType::Object(self.interner.intern(&internal.replace('/', "."))))
+            Ok(JType::Object(
+                self.interner.intern(&internal.replace('/', ".")),
+            ))
         }
     }
 
@@ -201,8 +203,18 @@ fn stack_effect(insn: &Insn, cp: &ConstantPool) -> (u32, u32) {
         Nop | Breakpoint | Iinc(..) | Goto(_) | Ret(_) => (0, 0),
         ConstNull | ConstInt(_) | ConstLong(_) | ConstFloat(_) | ConstDouble(_) | Ldc(_)
         | Load(..) | New(_) | GetStatic(_) | Jsr(_) => (0, 1),
-        Store(..) | Pop | Pop2 | IfZero(..) | IfNull(_) | IfNonNull(_) | TableSwitch { .. }
-        | LookupSwitch { .. } | PutStatic(_) | AThrow | MonitorEnter | MonitorExit => (1, 0),
+        Store(..)
+        | Pop
+        | Pop2
+        | IfZero(..)
+        | IfNull(_)
+        | IfNonNull(_)
+        | TableSwitch { .. }
+        | LookupSwitch { .. }
+        | PutStatic(_)
+        | AThrow
+        | MonitorEnter
+        | MonitorExit => (1, 0),
         ArrayLoad(_) => (2, 1),
         ArrayStore(_) => (3, 0),
         Dup => (1, 2),
@@ -263,8 +275,11 @@ fn compute_depths(
     code: &CodeAttribute,
     cp: &ConstantPool,
 ) -> Result<HashMap<u32, u32>, ClassFileError> {
-    let index_of: HashMap<u32, usize> =
-        insns.iter().enumerate().map(|(i, (o, _))| (*o, i)).collect();
+    let index_of: HashMap<u32, usize> = insns
+        .iter()
+        .enumerate()
+        .map(|(i, (o, _))| (*o, i))
+        .collect();
     let mut depths: HashMap<u32, u32> = HashMap::new();
     let mut work: Vec<(u32, u32)> = vec![(0, 0)];
     for h in &code.exception_table {
@@ -312,7 +327,9 @@ fn compute_depths(
                     follow(*o, &mut work);
                 }
             }
-            Insn::TableSwitch { default, offsets, .. } => {
+            Insn::TableSwitch {
+                default, offsets, ..
+            } => {
                 follow(*default, &mut work);
                 for &t in offsets {
                     follow(t, &mut work);
@@ -704,30 +721,23 @@ fn lift_insn(l: &mut Lifter<'_>, insn: &Insn, d: u32) -> Result<(), ClassFileErr
         GetField(i) => {
             let field = l.field(*i)?;
             let base = l.cell(d - 1);
-            l.assign(
-                base,
-                Expr::Load(Place::InstanceField {
-                    base,
-                    field,
-                }),
-            );
+            l.assign(base, Expr::Load(Place::InstanceField { base, field }));
         }
         PutField(i) => {
             let field = l.field(*i)?;
             let base = l.cell(d - 2);
             let v = l.cell(d - 1);
             l.stmts.push(Stmt::Assign {
-                place: Place::InstanceField {
-                    base,
-                    field,
-                },
+                place: Place::InstanceField { base, field },
                 rhs: Expr::Use(Operand::Local(v)),
             });
         }
         InvokeVirtual(i) | InvokeSpecial(i) | InvokeInterface(i) | InvokeStatic(i)
         | InvokeDynamic(i) => {
-            let has_receiver =
-                matches!(insn, InvokeVirtual(_) | InvokeSpecial(_) | InvokeInterface(_));
+            let has_receiver = matches!(
+                insn,
+                InvokeVirtual(_) | InvokeSpecial(_) | InvokeInterface(_)
+            );
             let (callee, argc, kind) = match insn {
                 InvokeDynamic(_) => {
                     // Resolve name/descriptor through the NameAndType; the
@@ -738,9 +748,7 @@ fn lift_insn(l: &mut Lifter<'_>, insn: &Insn, d: u32) -> Result<(), ClassFileErr
                             (*nat, n.to_owned(), dsc.to_owned())
                         }
                         other => {
-                            return Err(ClassFileError::new(format!(
-                                "invokedynamic of {other:?}"
-                            )))
+                            return Err(ClassFileError::new(format!("invokedynamic of {other:?}")))
                         }
                     };
                     let _ = bootstrap_nat;
@@ -762,7 +770,10 @@ fn lift_insn(l: &mut Lifter<'_>, insn: &Insn, d: u32) -> Result<(), ClassFileErr
                     let (callee, argc) = l.member(*i)?;
                     // The compiler encodes Dynamic calls as static calls to
                     // a marker owner; map them back.
-                    let kind = if l.interner.resolve(callee.class).starts_with("tabby.runtime.Indy$")
+                    let kind = if l
+                        .interner
+                        .resolve(callee.class)
+                        .starts_with("tabby.runtime.Indy$")
                     {
                         InvokeKind::Dynamic
                     } else {

@@ -38,11 +38,7 @@ fn print_class(program: &Program, class: &Class, out: &mut String) {
         let _ = write!(out, " extends {}", program.name(sup));
     }
     if !class.interfaces.is_empty() {
-        let names: Vec<_> = class
-            .interfaces
-            .iter()
-            .map(|i| program.name(*i))
-            .collect();
+        let names: Vec<_> = class.interfaces.iter().map(|i| program.name(*i)).collect();
         let _ = write!(out, " implements {}", names.join(", "));
     }
     out.push_str(" {\n");
@@ -166,7 +162,12 @@ fn render_place(p: &Program, place: &Place) -> String {
     match place {
         Place::Local(l) => format!("v{}", l.0),
         Place::InstanceField { base, field } => {
-            format!("v{}.<{}: {}>", base.0, p.name(field.class), p.name(field.name))
+            format!(
+                "v{}.<{}: {}>",
+                base.0,
+                p.name(field.class),
+                p.name(field.name)
+            )
         }
         Place::StaticField(field) => {
             format!("<{}: {}>", p.name(field.class), p.name(field.name))

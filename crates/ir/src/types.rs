@@ -138,10 +138,7 @@ impl JType {
 
     /// Renders this type in Java source syntax (`java.lang.String[]`).
     pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
-        DisplayType {
-            ty: self,
-            interner,
-        }
+        DisplayType { ty: self, interner }
     }
 }
 
@@ -240,7 +237,11 @@ impl DescriptorError {
 
 impl fmt::Display for DescriptorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid descriptor {:?}: {}", self.descriptor, self.reason)
+        write!(
+            f,
+            "invalid descriptor {:?}: {}",
+            self.descriptor, self.reason
+        )
     }
 }
 

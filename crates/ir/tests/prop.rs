@@ -14,13 +14,18 @@ fn jtype() -> impl Strategy<Value = fn(&mut Interner) -> JType> {
         Just((|_: &mut Interner| JType::Boolean) as fn(&mut Interner) -> JType),
         Just((|_: &mut Interner| JType::Long) as fn(&mut Interner) -> JType),
         Just((|_: &mut Interner| JType::Double) as fn(&mut Interner) -> JType),
-        Just((|i: &mut Interner| JType::object(i, "java.lang.String")) as fn(&mut Interner) -> JType),
+        Just(
+            (|i: &mut Interner| JType::object(i, "java.lang.String")) as fn(&mut Interner) -> JType
+        ),
         Just((|i: &mut Interner| JType::object(i, "a.b.C$Inner")) as fn(&mut Interner) -> JType),
         Just(
             (|i: &mut Interner| JType::array(JType::object(i, "java.util.Map")))
                 as fn(&mut Interner) -> JType
         ),
-        Just((|_: &mut Interner| JType::array(JType::array(JType::Byte))) as fn(&mut Interner) -> JType),
+        Just(
+            (|_: &mut Interner| JType::array(JType::array(JType::Byte)))
+                as fn(&mut Interner) -> JType
+        ),
     ]
 }
 

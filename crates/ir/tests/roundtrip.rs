@@ -45,11 +45,7 @@ fn hierarchy_and_members_survive() {
     let impl_id = lifted.class_by_str("p.Impl").expect("p.Impl");
     let class = lifted.class(impl_id);
     assert_eq!(lifted.name(class.superclass.unwrap()), "p.Base");
-    let itf_names: Vec<&str> = class
-        .interfaces
-        .iter()
-        .map(|i| lifted.name(*i))
-        .collect();
+    let itf_names: Vec<&str> = class.interfaces.iter().map(|i| lifted.name(*i)).collect();
     assert_eq!(itf_names, vec!["p.Iface", "java.io.Serializable"]);
     assert_eq!(class.fields.len(), 2);
     assert_eq!(lifted.name(class.fields[0].name), "payload");

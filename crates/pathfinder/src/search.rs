@@ -13,9 +13,7 @@ use crate::sources::SourceCatalog;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashSet};
 use tabby_core::{Cpg, CpgSchema};
-use tabby_graph::{
-    Direction, Evaluation, Expansion, Graph, NodeId, Path, Traversal, Uniqueness,
-};
+use tabby_graph::{Direction, Evaluation, Expansion, Graph, NodeId, Path, Traversal, Uniqueness};
 
 /// A Trigger_Condition: the set of call positions (0 = receiver,
 /// i = parameter *i*) that must be attacker-controllable.

@@ -118,7 +118,12 @@ impl SinkCatalog {
             SinkSpec::new("java.beans.Expression", "<init>", Code, &[1]),
             SinkSpec::new("bsh.Interpreter", "eval", Code, &[1]),
             SinkSpec::new("groovy.lang.GroovyShell", "evaluate", Code, &[1]),
-            SinkSpec::new("org.mozilla.javascript.Context", "evaluateString", Code, &[2]),
+            SinkSpec::new(
+                "org.mozilla.javascript.Context",
+                "evaluateString",
+                Code,
+                &[2],
+            ),
             SinkSpec::new(
                 "com.sun.org.apache.xalan.internal.xsltc.trax.TemplatesImpl",
                 "newTransformer",
@@ -149,9 +154,7 @@ impl SinkCatalog {
             SinkSpec::new("javax.sql.DataSource", "getConnection", Jdbc, &[0]),
         ];
         debug_assert_eq!(entries.len(), 38);
-        Self {
-            entries,
-        }
+        Self { entries }
     }
 
     /// Adds a custom sink.
@@ -215,7 +218,12 @@ impl SinkCatalog {
             cpg.graph.set_node_prop(
                 *node,
                 tc_key,
-                Value::IntList(spec.trigger_condition.iter().map(|&p| i64::from(p)).collect()),
+                Value::IntList(
+                    spec.trigger_condition
+                        .iter()
+                        .map(|&p| i64::from(p))
+                        .collect(),
+                ),
             );
         }
         found

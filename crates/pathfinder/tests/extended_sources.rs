@@ -46,7 +46,10 @@ fn native_catalog_misses_tostring_heads() {
         &SourceCatalog::native_serialization(),
         &SearchConfig::default(),
     );
-    assert!(chains.is_empty(), "native sources should not fire: {chains:?}");
+    assert!(
+        chains.is_empty(),
+        "native sources should not fire: {chains:?}"
+    );
 }
 
 #[test]

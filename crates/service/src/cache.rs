@@ -1,0 +1,336 @@
+//! The two-level content-addressed scan cache.
+//!
+//! **Level 1 — per class.** Keyed by the FNV-1a hash of the `.class` bytes:
+//! the lifted IR [`Class`]. Because every job's program is built from one
+//! shared append-only [`Interner`], the symbols inside a cached class stay
+//! valid across scans, so a class parsed and lifted once is never lifted
+//! again while its bytes are unchanged.
+//!
+//! **Level 2 — per job.** Keyed by the hash of the component's (sorted,
+//! deduplicated) class-content hashes plus the analysis/search options:
+//! the found chain set, and one level below it the assembled CPG with its
+//! annotated sink/source nodes. A warm re-scan of an unchanged component
+//! is a chain-cache hit (no work at all); a re-scan with different search
+//! options is a CPG-cache hit (search only).
+//!
+//! Between the two levels sits the per-component summary state: the
+//! Action/summary of every method from the previous scan of the same path
+//! set, used to re-summarize only changed classes and their
+//! reverse-dependency cone (see `engine`).
+//!
+//! Chain sets and CPGs persist to `cache_dir` (when configured) as JSON:
+//! `chains/<key>.json` and `cpgs/<key>.json`, written atomically via a
+//! temp file + rename. Per-class IR and method summaries are memory-only —
+//! they embed interner symbols that are only meaningful within the owning
+//! daemon process.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::Arc;
+use tabby_core::MethodSummary;
+use tabby_graph::Graph;
+use tabby_ir::{Class, Interner, MethodId, Symbol};
+use tabby_pathfinder::GadgetChain;
+
+/// A lifted class plus the metadata the engine needs without re-resolving
+/// symbols.
+#[derive(Debug, Clone)]
+pub struct CachedClass {
+    /// Dotted binary name (resolved once at lift time).
+    pub fqcn: String,
+    /// The lifted IR, symbols owned by the daemon's shared interner.
+    pub class: Class,
+}
+
+/// A cached assembled CPG: the graph plus the sink/source annotation the
+/// chain search needs, in serializable form.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct CachedCpg {
+    /// The property graph (serde round-trip; callers must have run
+    /// [`Graph::rebuild_after_deserialize`] — [`ScanCache::get_cpg`] does).
+    pub graph: Graph,
+    /// Annotated sink nodes: `(node id, Trigger_Condition, category)`.
+    pub sinks: Vec<(u32, Vec<u16>, String)>,
+    /// Annotated source nodes.
+    pub sources: Vec<u32>,
+}
+
+/// Per-component summary state from the previous scan of the same path
+/// set: everything needed to reuse clean methods' summaries in the next
+/// scan.
+#[derive(Debug)]
+pub struct ComponentState {
+    /// Class-content hash per FQCN at the time of the scan.
+    pub class_hashes: HashMap<String, u64>,
+    /// `ClassId.0 → name symbol` of the previous program, for remapping
+    /// the previous scan's `MethodId`s into the next program.
+    pub class_order: Vec<Symbol>,
+    /// Every body method's summary, keyed by the previous program's ids.
+    pub summaries: HashMap<MethodId, MethodSummary>,
+}
+
+/// The daemon-wide scan cache. One instance lives behind a mutex in the
+/// engine; entries handed out are `Arc`s or clones so the lock is never
+/// held across expensive work.
+pub struct ScanCache {
+    interner: Interner,
+    classes: HashMap<u64, CachedClass>,
+    classes_order: VecDeque<u64>,
+    chains: HashMap<u64, Vec<GadgetChain>>,
+    chains_order: VecDeque<u64>,
+    cpgs: HashMap<u64, Arc<CachedCpg>>,
+    cpgs_order: VecDeque<u64>,
+    components: HashMap<u64, Arc<ComponentState>>,
+    components_order: VecDeque<u64>,
+    dir: Option<PathBuf>,
+    capacity: usize,
+}
+
+impl ScanCache {
+    /// Creates a cache holding at most `capacity` per-job entries (class
+    /// entries get 1024× that), persisting job-level entries under `dir`
+    /// when given. The directory (with its `chains/` and `cpgs/`
+    /// subdirectories) is created eagerly; creation failure disables
+    /// persistence rather than failing the daemon.
+    pub fn new(dir: Option<PathBuf>, capacity: usize) -> Self {
+        let dir = dir.filter(|d| {
+            std::fs::create_dir_all(d.join("chains")).is_ok()
+                && std::fs::create_dir_all(d.join("cpgs")).is_ok()
+        });
+        ScanCache {
+            interner: Interner::default(),
+            classes: HashMap::new(),
+            classes_order: VecDeque::new(),
+            chains: HashMap::new(),
+            chains_order: VecDeque::new(),
+            cpgs: HashMap::new(),
+            cpgs_order: VecDeque::new(),
+            components: HashMap::new(),
+            components_order: VecDeque::new(),
+            dir,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A snapshot of the shared interner. Append-only, so symbols interned
+    /// before the snapshot keep their indices in every later snapshot —
+    /// the invariant that makes cached classes and summaries reusable.
+    pub fn interner_snapshot(&self) -> Interner {
+        self.interner.clone()
+    }
+
+    /// Mutable access to the shared interner (lifting interns through it).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    // ----- level 1: classes -------------------------------------------------
+
+    /// Looks up a lifted class by content hash.
+    pub fn get_class(&self, hash: u64) -> Option<&CachedClass> {
+        self.classes.get(&hash)
+    }
+
+    /// Inserts a lifted class, evicting the oldest entry beyond capacity.
+    pub fn put_class(&mut self, hash: u64, entry: CachedClass) {
+        if self.classes.insert(hash, entry).is_none() {
+            self.classes_order.push_back(hash);
+        }
+        while self.classes.len() > self.capacity * 1024 {
+            if let Some(old) = self.classes_order.pop_front() {
+                self.classes.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    // ----- level 2: chains + CPGs ------------------------------------------
+
+    /// Looks up a cached chain set, falling back to disk.
+    pub fn get_chains(&mut self, key: u64) -> Option<Vec<GadgetChain>> {
+        if let Some(c) = self.chains.get(&key) {
+            return Some(c.clone());
+        }
+        let path = self.dir.as_ref()?.join("chains").join(file_name(key));
+        let bytes = std::fs::read(path).ok()?;
+        let chains: Vec<GadgetChain> = serde_json::from_slice(&bytes).ok()?;
+        self.insert_chains_mem(key, chains.clone());
+        Some(chains)
+    }
+
+    /// Caches a chain set in memory and (best-effort) on disk.
+    pub fn put_chains(&mut self, key: u64, chains: &[GadgetChain]) {
+        self.insert_chains_mem(key, chains.to_vec());
+        if let Some(dir) = &self.dir {
+            if let Ok(bytes) = serde_json::to_vec(chains) {
+                write_atomic(&dir.join("chains").join(file_name(key)), &bytes);
+            }
+        }
+    }
+
+    fn insert_chains_mem(&mut self, key: u64, chains: Vec<GadgetChain>) {
+        if self.chains.insert(key, chains).is_none() {
+            self.chains_order.push_back(key);
+        }
+        while self.chains.len() > self.capacity {
+            if let Some(old) = self.chains_order.pop_front() {
+                self.chains.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Looks up a cached CPG, falling back to disk (rebuilding the graph's
+    /// transient state after deserialization).
+    pub fn get_cpg(&mut self, key: u64) -> Option<Arc<CachedCpg>> {
+        if let Some(c) = self.cpgs.get(&key) {
+            return Some(Arc::clone(c));
+        }
+        let path = self.dir.as_ref()?.join("cpgs").join(file_name(key));
+        let bytes = std::fs::read(path).ok()?;
+        let mut cached: CachedCpg = serde_json::from_slice(&bytes).ok()?;
+        cached.graph.rebuild_after_deserialize();
+        let cached = Arc::new(cached);
+        self.insert_cpg_mem(key, Arc::clone(&cached));
+        Some(cached)
+    }
+
+    /// Caches an assembled CPG in memory and (best-effort) on disk.
+    pub fn put_cpg(&mut self, key: u64, cpg: Arc<CachedCpg>) {
+        if let Some(dir) = &self.dir {
+            if let Ok(bytes) = serde_json::to_vec(cpg.as_ref()) {
+                write_atomic(&dir.join("cpgs").join(file_name(key)), &bytes);
+            }
+        }
+        self.insert_cpg_mem(key, cpg);
+    }
+
+    fn insert_cpg_mem(&mut self, key: u64, cpg: Arc<CachedCpg>) {
+        if self.cpgs.insert(key, cpg).is_none() {
+            self.cpgs_order.push_back(key);
+        }
+        while self.cpgs.len() > self.capacity {
+            if let Some(old) = self.cpgs_order.pop_front() {
+                self.cpgs.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    // ----- per-component summary state -------------------------------------
+
+    /// The previous scan's summary state for a component key.
+    pub fn get_component(&self, key: u64) -> Option<Arc<ComponentState>> {
+        self.components.get(&key).map(Arc::clone)
+    }
+
+    /// Replaces the summary state for a component key.
+    pub fn put_component(&mut self, key: u64, state: ComponentState) {
+        if self.components.insert(key, Arc::new(state)).is_none() {
+            self.components_order.push_back(key);
+        }
+        while self.components.len() > self.capacity {
+            if let Some(old) = self.components_order.pop_front() {
+                self.components.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    // ----- introspection ----------------------------------------------------
+
+    /// Lifted classes currently cached.
+    pub fn cached_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Chain sets currently cached in memory.
+    pub fn cached_jobs(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// CPGs currently cached in memory.
+    pub fn cached_cpgs(&self) -> usize {
+        self.cpgs.len()
+    }
+}
+
+fn file_name(key: u64) -> String {
+    format!("{key:016x}.json")
+}
+
+/// Best-effort atomic write: temp file in the same directory, then rename.
+/// Concurrent writers of the same key write identical content (the key is
+/// a content hash), so the race is benign.
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) {
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(sig: &str) -> GadgetChain {
+        GadgetChain {
+            signatures: vec![sig.to_owned()],
+            sink_category: "EXEC".to_owned(),
+            nodes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn chains_round_trip_through_memory() {
+        let mut cache = ScanCache::new(None, 4);
+        assert!(cache.get_chains(1).is_none());
+        cache.put_chains(1, &[chain("a.b()")]);
+        let got = cache.get_chains(1).unwrap();
+        assert_eq!(got[0].signatures, vec!["a.b()".to_owned()]);
+    }
+
+    #[test]
+    fn chains_evict_oldest_beyond_capacity() {
+        let mut cache = ScanCache::new(None, 2);
+        cache.put_chains(1, &[chain("one")]);
+        cache.put_chains(2, &[chain("two")]);
+        cache.put_chains(3, &[chain("three")]);
+        assert!(cache.get_chains(1).is_none(), "oldest entry survives");
+        assert!(cache.get_chains(2).is_some());
+        assert!(cache.get_chains(3).is_some());
+    }
+
+    #[test]
+    fn chains_persist_to_disk_across_instances() {
+        let dir = std::env::temp_dir().join(format!(
+            "tabby-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut cache = ScanCache::new(Some(dir.clone()), 4);
+            cache.put_chains(7, &[chain("persisted")]);
+        }
+        let mut fresh = ScanCache::new(Some(dir.clone()), 4);
+        let got = fresh.get_chains(7).expect("disk entry");
+        assert_eq!(got[0].signatures, vec!["persisted".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interner_snapshot_preserves_symbols() {
+        let mut cache = ScanCache::new(None, 4);
+        let a = cache.interner_mut().intern("java.util.HashMap");
+        let snap = cache.interner_snapshot();
+        let b = cache.interner_mut().intern("java.util.HashMap");
+        assert_eq!(a, b);
+        assert_eq!(snap.resolve(a), "java.util.HashMap");
+    }
+}

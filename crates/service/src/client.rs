@@ -1,0 +1,55 @@
+//! A minimal blocking client for the daemon protocol.
+//!
+//! One request, one reply, one connection — exactly what `tabby submit`
+//! and the integration tests need. Long-lived clients can keep a
+//! connection open and frame lines themselves; the protocol is plain
+//! JSON-lines either way.
+
+use crate::protocol::{Request, Response, ScanRequestOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Sends one request to the daemon at `addr` and waits for its reply.
+///
+/// # Errors
+///
+/// Fails on connection, encoding, transport, or reply-decoding errors —
+/// all as human-readable strings. A daemon-side failure is *not* an
+/// error here: it comes back as a [`Response`] with `ok == false`.
+pub fn request(addr: &str, req: &Request) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut line = serde_json::to_string(req).map_err(|e| format!("encode request: {e}"))?;
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    let n = reader
+        .read_line(&mut reply)
+        .map_err(|e| format!("read reply: {e}"))?;
+    if n == 0 {
+        return Err("connection closed before reply".to_owned());
+    }
+    serde_json::from_str(reply.trim()).map_err(|e| format!("malformed reply: {e}"))
+}
+
+/// Convenience wrapper: submits a scan of `paths` and returns the reply.
+///
+/// # Errors
+///
+/// Same failure modes as [`request`].
+pub fn submit(
+    addr: &str,
+    paths: Vec<String>,
+    options: ScanRequestOptions,
+) -> Result<Response, String> {
+    request(
+        addr,
+        &Request::Scan {
+            id: None,
+            paths,
+            options,
+        },
+    )
+}

@@ -1,0 +1,456 @@
+//! The TCP daemon: accept loop, worker pool, and graceful shutdown.
+//!
+//! Threading model:
+//!
+//! - the **accept loop** (the thread running [`Daemon::run`]) polls a
+//!   nonblocking listener every 25 ms so it can notice shutdown promptly;
+//! - each **connection** gets its own thread speaking the JSON-lines
+//!   protocol synchronously (one reply per request, malformed lines get
+//!   an error reply instead of a dropped connection);
+//! - scan jobs go through one **bounded queue** drained by a fixed pool
+//!   of worker threads; a full queue rejects the submission immediately
+//!   with a `"queue full"` error rather than blocking the connection.
+//!
+//! Shutdown (SIGTERM/SIGINT, a `shutdown` request, or
+//! [`DaemonHandle::stop`]) is graceful: the queue's sender is dropped so
+//! workers drain everything already accepted, connection threads notice
+//! the stop flag within one read timeout, and [`Daemon::run`] joins the
+//! workers before returning.
+
+use crate::engine::{Engine, JobOutcome};
+use crate::protocol::{DaemonInfo, Request, Response, ScanRequestOptions};
+use crate::signal;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps between polls of the nonblocking
+/// listener (also the latency bound for noticing a shutdown request).
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Per-read socket timeout on connection threads, so idle connections
+/// still notice the stop flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Daemon configuration; every field has a sensible default.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address, e.g. `127.0.0.1:7433` (port 0 picks an ephemeral
+    /// port — query it via [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded job-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Per-job compute deadline (queue wait not included).
+    pub job_timeout: Duration,
+    /// Directory for persistent chain/CPG cache entries (`None` keeps the
+    /// cache memory-only).
+    pub cache_dir: Option<PathBuf>,
+    /// Per-job cache capacity (chain sets / CPGs / component states each;
+    /// the per-class cache holds 1024× this).
+    pub cache_capacity: usize,
+    /// Threads used *within* one job's summarize phase. Defaults to 1:
+    /// the daemon parallelizes across jobs, not within them.
+    pub analysis_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7433".to_owned(),
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            queue_capacity: 64,
+            job_timeout: Duration::from_secs(300),
+            cache_dir: None,
+            cache_capacity: 32,
+            analysis_threads: 1,
+        }
+    }
+}
+
+/// One queued scan job, carrying its reply channel.
+struct Job {
+    id: Option<String>,
+    paths: Vec<String>,
+    options: ScanRequestOptions,
+    enqueued: Instant,
+    reply: Sender<Result<JobOutcome, String>>,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    engine: Engine,
+    config: ServiceConfig,
+    stop: AtomicBool,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    /// `None` once shutdown begins: dropping the sender is what lets
+    /// workers drain the queue and exit.
+    queue: Mutex<Option<Sender<Job>>>,
+    started: Instant,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        *self.queue.lock().expect("queue poisoned") = None;
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Daemon {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    jobs_rx: Receiver<Job>,
+}
+
+impl Daemon {
+    /// Binds the listener and builds the engine, without accepting yet.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn bind(config: ServiceConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = bounded(config.queue_capacity.max(1));
+        let engine = Engine::new(
+            config.cache_dir.clone(),
+            config.cache_capacity,
+            config.analysis_threads,
+        );
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            stop: AtomicBool::new(false),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            queue: Mutex::new(Some(tx)),
+            started: Instant::now(),
+        });
+        Ok(Daemon {
+            listener,
+            shared,
+            jobs_rx: rx,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the daemon on the calling thread until shutdown, then drains
+    /// in-flight jobs and joins the workers.
+    pub fn run(self) {
+        let Daemon {
+            listener,
+            shared,
+            jobs_rx,
+        } = self;
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for i in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            let rx = jobs_rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("tabby-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))
+                .expect("spawn worker thread");
+            workers.push(handle);
+        }
+        drop(jobs_rx);
+        loop {
+            if shared.stop.load(Ordering::SeqCst) || signal::termination_requested() {
+                shared.begin_shutdown();
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&shared);
+                    let _ = std::thread::Builder::new()
+                        .name("tabby-conn".to_owned())
+                        .spawn(move || {
+                            // Accepted sockets must poll, not block, so the
+                            // thread can notice shutdown while idle.
+                            let _ = stream.set_nonblocking(false);
+                            handle_conn(&shared, stream);
+                        });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Spawns the daemon on a background thread and returns a handle —
+    /// the form the integration tests and benchmarks use.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Daemon::bind`].
+    pub fn spawn(config: ServiceConfig) -> std::io::Result<DaemonHandle> {
+        let daemon = Daemon::bind(config)?;
+        let addr = daemon.local_addr()?;
+        let shared = Arc::clone(&daemon.shared);
+        let thread = std::thread::Builder::new()
+            .name("tabby-daemon".to_owned())
+            .spawn(move || daemon.run())?;
+        Ok(DaemonHandle {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a daemon spawned with [`Daemon::spawn`].
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the daemon (including in-flight
+    /// jobs) to finish.
+    pub fn stop(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
+    // `recv` on a disconnected-and-empty channel errors, so workers
+    // naturally drain whatever was accepted before shutdown.
+    while let Ok(job) = rx.recv() {
+        let queue_ms = job.enqueued.elapsed().as_millis() as u64;
+        let deadline = Instant::now() + shared.config.job_timeout;
+        let result = match shared.engine.run_scan(&job.paths, &job.options, deadline) {
+            Ok(mut outcome) => {
+                outcome.stats.queue_ms = queue_ms;
+                outcome.stats.total_ms += queue_ms;
+                shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+                Ok(outcome)
+            }
+            Err(e) => {
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        };
+        // A client that gave up (timeout, closed connection) is not an
+        // error worth tearing the worker down for.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let reply = handle_line(shared, text);
+            if write_reply(&mut stream, &reply).is_err() {
+                return;
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(shared: &Shared, line: &str) -> Response {
+    let req: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => return Response::failure(None, format!("malformed request: {e}")),
+    };
+    match req {
+        Request::Ping { id } => Response::ack(id),
+        Request::Stats { id } => {
+            let (cached_classes, cached_jobs, cached_cpgs) = shared.engine.cache_counts();
+            Response::info(
+                id,
+                DaemonInfo {
+                    uptime_ms: shared.started.elapsed().as_millis() as u64,
+                    workers: shared.config.workers,
+                    queue_capacity: shared.config.queue_capacity,
+                    jobs_done: shared.jobs_done.load(Ordering::Relaxed),
+                    jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
+                    jobs_rejected: shared.jobs_rejected.load(Ordering::Relaxed),
+                    cached_classes,
+                    cached_jobs,
+                    cached_cpgs,
+                },
+            )
+        }
+        Request::Shutdown { id } => {
+            shared.begin_shutdown();
+            Response::ack(id)
+        }
+        Request::Scan { id, paths, options } => submit_scan(shared, id, paths, options),
+    }
+}
+
+fn submit_scan(
+    shared: &Shared,
+    id: Option<String>,
+    paths: Vec<String>,
+    options: ScanRequestOptions,
+) -> Response {
+    let (reply_tx, reply_rx) = bounded(1);
+    let job = Job {
+        id: id.clone(),
+        paths,
+        options,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    let sent = {
+        let guard = shared.queue.lock().expect("queue poisoned");
+        match guard.as_ref() {
+            Some(tx) => tx.try_send(job),
+            None => return Response::failure(id, "daemon is shutting down"),
+        }
+    };
+    match sent {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::failure(id, "queue full");
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return Response::failure(id, "daemon is shutting down")
+        }
+    }
+    // Grace beyond the job's own deadline so a worker-side timeout error
+    // normally wins over this transport-level one.
+    match reply_rx.recv_timeout(shared.config.job_timeout + Duration::from_millis(250)) {
+        Ok(Ok(outcome)) => Response::scan(id, outcome.chains, outcome.stats),
+        Ok(Err(e)) => Response::failure(id, e),
+        Err(_) => Response::failure(id, "job timed out"),
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &Response) -> std::io::Result<()> {
+    let mut line = serde_json::to_vec(reply).map_err(std::io::Error::other)?;
+    line.push(b'\n');
+    stream.write_all(&line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn test_config() -> ServiceConfig {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            queue_capacity: 4,
+            job_timeout: Duration::from_secs(30),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn ping_and_stats_round_trip() {
+        let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+        let addr = handle.addr().to_string();
+        let pong = client::request(
+            &addr,
+            &Request::Ping {
+                id: Some("p1".into()),
+            },
+        )
+        .unwrap();
+        assert!(pong.ok);
+        assert_eq!(pong.id.as_deref(), Some("p1"));
+        let stats = client::request(&addr, &Request::Stats { id: None }).unwrap();
+        let daemon = stats.daemon.expect("daemon info");
+        assert_eq!(daemon.workers, 1);
+        assert_eq!(daemon.queue_capacity, 4);
+        handle.stop();
+    }
+
+    #[test]
+    fn malformed_line_gets_error_reply_and_connection_survives() {
+        let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"this is not json\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        let reply: Response = serde_json::from_str(line.trim()).unwrap();
+        assert!(!reply.ok);
+        assert!(reply.error.unwrap().contains("malformed"));
+        // Same connection still works.
+        stream.write_all(b"{\"cmd\":\"ping\"}\n").unwrap();
+        line.clear();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        let reply: Response = serde_json::from_str(line.trim()).unwrap();
+        assert!(reply.ok);
+        handle.stop();
+    }
+
+    #[test]
+    fn scan_of_bad_path_fails_without_killing_the_daemon() {
+        let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+        let addr = handle.addr().to_string();
+        let reply = client::submit(
+            &addr,
+            vec!["/no/such/path".to_owned()],
+            ScanRequestOptions::default(),
+        )
+        .unwrap();
+        assert!(!reply.ok);
+        assert!(reply.error.unwrap().contains("/no/such/path"));
+        let stats = client::request(&addr, &Request::Stats { id: None }).unwrap();
+        assert_eq!(stats.daemon.unwrap().jobs_failed, 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_daemon() {
+        let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+        let addr = handle.addr().to_string();
+        let reply = client::request(&addr, &Request::Shutdown { id: None }).unwrap();
+        assert!(reply.ok);
+        // The run loop notices the flag within one accept poll.
+        handle.stop();
+    }
+}

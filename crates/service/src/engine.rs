@@ -1,0 +1,687 @@
+//! The incremental scan engine.
+//!
+//! One [`Engine`] lives for the daemon's lifetime and executes every job.
+//! A scan resolves through four tiers, cheapest first:
+//!
+//! 1. **Chain cache** — same class bytes, same options: return the stored
+//!    chain set (no analysis at all).
+//! 2. **CPG cache** — same class bytes and analysis options but a
+//!    different search depth: re-run only the backwards search over the
+//!    stored graph.
+//! 3. **Incremental** — the same path set was scanned before and *k* of
+//!    its classes changed: re-lift the changed files (clean classes come
+//!    from the per-class cache), re-summarize the changed classes plus
+//!    their reverse-dependency cone, and reuse every other method's
+//!    summary from the previous scan.
+//! 4. **Cold** — full lift + summarize + build + search.
+//!
+//! The reverse-dependency cone is computed by name: a class is dirty if
+//! its bytes changed, it is new, or it (transitively) references a dirty
+//! name via its superclass, interfaces, or any call site. Because method
+//! resolution only ever walks loaded classes reachable through those same
+//! references, a clean method's summary — including its resolved callees
+//! and their Actions — cannot be affected by any change outside its cone.
+
+use crate::cache::{CachedClass, CachedCpg, ComponentState, ScanCache};
+use crate::protocol::{JobStats, ScanRequestOptions};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tabby_core::{summarize_program_incremental, AnalysisConfig, Cpg, CpgSchema, MethodSummary};
+use tabby_graph::{content_hash64, Fnv64, NodeId};
+use tabby_ir::lift::lift_class;
+use tabby_ir::{ClassId, MethodId, Program, ProgramBuilder, Symbol};
+use tabby_pathfinder::{
+    find_chains_raw, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog, TriggerCondition,
+};
+
+/// The result of one scan job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Found gadget chains, source-first.
+    pub chains: Vec<GadgetChain>,
+    /// Timing and cache-effectiveness stats.
+    pub stats: JobStats,
+}
+
+/// The daemon's scan engine: analysis configuration plus the shared cache.
+pub struct Engine {
+    cache: Mutex<ScanCache>,
+    config: AnalysisConfig,
+    analysis_threads: usize,
+    /// Fingerprint of the analysis configuration, folded into every cache
+    /// key so a config change can never serve stale entries.
+    analysis_fp: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the default analysis configuration.
+    pub fn new(
+        cache_dir: Option<PathBuf>,
+        cache_capacity: usize,
+        analysis_threads: usize,
+    ) -> Engine {
+        let config = AnalysisConfig::default();
+        let analysis_fp = content_hash64(format!("{config:?}").as_bytes());
+        Engine {
+            cache: Mutex::new(ScanCache::new(cache_dir, cache_capacity)),
+            config,
+            analysis_threads: analysis_threads.max(1),
+            analysis_fp,
+        }
+    }
+
+    /// Current cache occupancy: `(classes, chain sets, CPGs)`.
+    pub fn cache_counts(&self) -> (usize, usize, usize) {
+        let cache = self.cache.lock().expect("cache poisoned");
+        (
+            cache.cached_classes(),
+            cache.cached_jobs(),
+            cache.cached_cpgs(),
+        )
+    }
+
+    /// Runs one scan job to completion (or until `deadline`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on nonexistent/unreadable paths, paths that are neither
+    /// `.class` files nor directories, malformed class files, components
+    /// with no `.class` files, and deadline overruns.
+    pub fn run_scan(
+        &self,
+        paths: &[String],
+        options: &ScanRequestOptions,
+        deadline: Instant,
+    ) -> Result<JobOutcome, String> {
+        let started = Instant::now();
+        let mut stats = JobStats::default();
+
+        // ----- collect, read, hash ----------------------------------------
+        let mut files = Vec::new();
+        for p in paths {
+            collect_class_files(Path::new(p), &mut files)?;
+        }
+        files.sort();
+        files.dedup();
+        if files.is_empty() {
+            return Err("no .class files found under the given paths".to_owned());
+        }
+        let mut blobs = Vec::with_capacity(files.len());
+        for f in &files {
+            let bytes = std::fs::read(f).map_err(|e| format!("{}: {e}", f.display()))?;
+            let hash = content_hash64(&bytes);
+            blobs.push((bytes, hash));
+        }
+
+        // ----- cache keys --------------------------------------------------
+        let mut content: Vec<u64> = blobs.iter().map(|(_, h)| *h).collect();
+        content.sort_unstable();
+        content.dedup();
+        let cpg_key = {
+            let mut k = Fnv64::new();
+            for h in &content {
+                k.write_u64(*h);
+            }
+            k.write_u64(self.analysis_fp);
+            k.write_u64(u64::from(options.extended));
+            k.finish()
+        };
+        let chains_key = {
+            let mut k = Fnv64::new();
+            k.write_u64(cpg_key);
+            k.write_u64(options.depth as u64);
+            k.finish()
+        };
+        let component_key = {
+            let mut k = Fnv64::new();
+            for f in &files {
+                k.write(f.to_string_lossy().as_bytes());
+                k.write(&[0]);
+            }
+            k.write_u64(self.analysis_fp);
+            k.finish()
+        };
+        let search_cfg = SearchConfig {
+            max_depth: options.depth,
+            ..SearchConfig::default()
+        };
+
+        // ----- tier 1: chain cache ----------------------------------------
+        if !options.fresh {
+            if let Some(chains) = self
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .get_chains(chains_key)
+            {
+                stats.classes = content.len();
+                stats.job_cache_hit = true;
+                stats.cache_hit_ratio = 1.0;
+                stats.total_ms = ms_since(started);
+                return Ok(JobOutcome { chains, stats });
+            }
+
+            // ----- tier 2: CPG cache (search only) ------------------------
+            let cached = self.cache.lock().expect("cache poisoned").get_cpg(cpg_key);
+            if let Some(cpg) = cached {
+                let t = Instant::now();
+                let schema = CpgSchema::lookup(&cpg.graph)
+                    .ok_or("cached CPG is missing its schema vocabulary")?;
+                let sinks: Vec<(NodeId, TriggerCondition)> = cpg
+                    .sinks
+                    .iter()
+                    .map(|(n, tc, _)| (NodeId(*n), tc.iter().copied().collect()))
+                    .collect();
+                let categories: Vec<(NodeId, String)> = cpg
+                    .sinks
+                    .iter()
+                    .map(|(n, _, cat)| (NodeId(*n), cat.clone()))
+                    .collect();
+                let sources: HashSet<NodeId> = cpg.sources.iter().map(|&n| NodeId(n)).collect();
+                let chains = find_chains_raw(
+                    &cpg.graph,
+                    &schema,
+                    sinks,
+                    categories,
+                    &sources,
+                    &search_cfg,
+                );
+                stats.search_ms = ms_since(t);
+                stats.classes = content.len();
+                stats.cpg_cache_hit = true;
+                stats.cache_hit_ratio = 1.0;
+                self.cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .put_chains(chains_key, &chains);
+                stats.total_ms = ms_since(started);
+                return Ok(JobOutcome { chains, stats });
+            }
+        }
+        check_deadline(deadline, "cache lookup")?;
+
+        // ----- lift (per-class cache, shared interner) --------------------
+        let t_lift = Instant::now();
+        let (program, class_hashes) = {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            let mut resolved = Vec::with_capacity(blobs.len());
+            let mut seen = HashSet::new();
+            for ((bytes, hash), path) in blobs.iter().zip(&files) {
+                if !seen.insert(*hash) {
+                    continue;
+                }
+                if !options.fresh {
+                    if let Some(c) = cache.get_class(*hash) {
+                        resolved.push((c.fqcn.clone(), *hash, c.class.clone()));
+                        continue;
+                    }
+                }
+                let cf = tabby_classfile::parse_class(bytes)
+                    .map_err(|e| format!("{}: {e:?}", path.display()))?;
+                let interner = cache.interner_mut();
+                let class =
+                    lift_class(interner, &cf).map_err(|e| format!("{}: {e:?}", path.display()))?;
+                let fqcn = interner.resolve(class.name).to_owned();
+                stats.classes_lifted += 1;
+                cache.put_class(
+                    *hash,
+                    CachedClass {
+                        fqcn: fqcn.clone(),
+                        class: class.clone(),
+                    },
+                );
+                resolved.push((fqcn, *hash, class));
+            }
+            // Sort by FQCN so ClassIds are stable across scans regardless of
+            // input path order; duplicate names keep the first occurrence.
+            resolved.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut class_hashes: HashMap<String, u64> = HashMap::new();
+            let mut pb = ProgramBuilder::with_interner(cache.interner_snapshot());
+            for (fqcn, hash, class) in resolved {
+                if class_hashes.contains_key(&fqcn) {
+                    continue;
+                }
+                class_hashes.insert(fqcn, hash);
+                pb.push_class(class);
+            }
+            (pb.build(), class_hashes)
+        };
+        stats.lift_ms = ms_since(t_lift);
+        stats.classes = program.classes().len();
+        check_deadline(deadline, "lift")?;
+
+        // ----- summarize (incremental when a prior state exists) ----------
+        let t_sum = Instant::now();
+        stats.methods = program
+            .method_ids()
+            .filter(|id| program.method(*id).body.is_some())
+            .count();
+        let prior = if options.fresh {
+            None
+        } else {
+            self.cache
+                .lock()
+                .expect("cache poisoned")
+                .get_component(component_key)
+        };
+        let seed = match &prior {
+            Some(state) => remap_clean_summaries(state, &program, &class_hashes),
+            None => HashMap::new(),
+        };
+        stats.methods_summarized = stats.methods - seed.len();
+        stats.cache_hit_ratio = if stats.methods == 0 {
+            0.0
+        } else {
+            seed.len() as f64 / stats.methods as f64
+        };
+        let summaries = summarize_program_incremental(
+            &program,
+            &self.config,
+            self.analysis_threads,
+            &HashSet::new(),
+            &seed,
+        );
+        stats.summarize_ms = ms_since(t_sum);
+        check_deadline(deadline, "summarize")?;
+
+        // ----- build + annotate -------------------------------------------
+        let t_build = Instant::now();
+        let mut cpg = Cpg::build_with_summaries(&program, self.config.clone(), summaries.clone());
+        let sink_catalog = SinkCatalog::paper();
+        let source_catalog = if options.extended {
+            SourceCatalog::extended()
+        } else {
+            SourceCatalog::native_serialization()
+        };
+        let sink_nodes = sink_catalog.annotate(&mut cpg);
+        let source_nodes = source_catalog.annotate(&mut cpg);
+        stats.build_ms = ms_since(t_build);
+        check_deadline(deadline, "build")?;
+
+        // ----- search ------------------------------------------------------
+        let t_search = Instant::now();
+        let sinks_tc: Vec<(NodeId, TriggerCondition)> = sink_nodes
+            .iter()
+            .map(|(n, s)| (*n, s.trigger_condition.iter().copied().collect()))
+            .collect();
+        let categories: Vec<(NodeId, String)> = sink_nodes
+            .iter()
+            .map(|(n, s)| (*n, s.category.as_str().to_owned()))
+            .collect();
+        let chains = find_chains_raw(
+            &cpg.graph,
+            &cpg.schema,
+            sinks_tc,
+            categories,
+            &source_nodes,
+            &search_cfg,
+        );
+        stats.search_ms = ms_since(t_search);
+
+        // ----- populate caches --------------------------------------------
+        let class_order: Vec<Symbol> = program.classes().iter().map(|c| c.name).collect();
+        let mut sources: Vec<u32> = source_nodes.iter().map(|n| n.0).collect();
+        sources.sort_unstable();
+        let cached_cpg = CachedCpg {
+            graph: cpg.graph,
+            sinks: sink_nodes
+                .iter()
+                .map(|(n, s)| {
+                    (
+                        n.0,
+                        s.trigger_condition.clone(),
+                        s.category.as_str().to_owned(),
+                    )
+                })
+                .collect(),
+            sources,
+        };
+        {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            cache.put_component(
+                component_key,
+                ComponentState {
+                    class_hashes,
+                    class_order,
+                    summaries,
+                },
+            );
+            cache.put_cpg(cpg_key, Arc::new(cached_cpg));
+            cache.put_chains(chains_key, &chains);
+        }
+        stats.total_ms = ms_since(started);
+        Ok(JobOutcome { chains, stats })
+    }
+}
+
+/// Recursively collects `.class` files. Unlike a best-effort walk, every
+/// explicitly named path must exist and be a directory or a `.class` file —
+/// a typo'd path is an error, not an empty scan.
+fn collect_class_files(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if meta.is_dir() {
+        let entries = std::fs::read_dir(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut children = Vec::new();
+        for entry in entries {
+            children.push(
+                entry
+                    .map_err(|e| format!("{}: {e}", path.display()))?
+                    .path(),
+            );
+        }
+        children.sort();
+        for child in children {
+            // Inside a directory the walk is selective, not strict: only
+            // subdirectories and `.class` files are visited.
+            if child.is_dir() || child.extension().is_some_and(|e| e == "class") {
+                collect_class_files(&child, out)?;
+            }
+        }
+    } else if path.extension().is_some_and(|e| e == "class") {
+        out.push(path.to_path_buf());
+    } else {
+        return Err(format!(
+            "{}: not a .class file or a directory",
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+/// Remaps the previous scan's summaries into the new program, keeping only
+/// methods of *clean* classes — classes whose bytes are unchanged and whose
+/// reverse-dependency cone contains no changed, added, or removed class.
+fn remap_clean_summaries(
+    state: &ComponentState,
+    program: &Program,
+    new_hashes: &HashMap<String, u64>,
+) -> HashMap<MethodId, MethodSummary> {
+    // Changed or added classes are dirty by name; removed classes inject
+    // their name so anything referencing them goes dirty too.
+    let mut dirty: HashSet<&str> = HashSet::new();
+    for (fqcn, h) in new_hashes {
+        match state.class_hashes.get(fqcn) {
+            Some(old) if old == h => {}
+            _ => {
+                dirty.insert(fqcn.as_str());
+            }
+        }
+    }
+    for fqcn in state.class_hashes.keys() {
+        if !new_hashes.contains_key(fqcn) {
+            dirty.insert(fqcn.as_str());
+        }
+    }
+    if dirty.is_empty() {
+        // Nothing changed: still remap (ClassIds may differ if paths moved).
+    }
+    // Per-class referenced names in the new program: superclass,
+    // interfaces, and every call site's symbolic class.
+    let refs: Vec<(&str, HashSet<&str>)> = program
+        .classes()
+        .iter()
+        .map(|c| {
+            let mut r: HashSet<&str> = HashSet::new();
+            if let Some(s) = c.superclass {
+                r.insert(program.name(s));
+            }
+            for i in &c.interfaces {
+                r.insert(program.name(*i));
+            }
+            for m in &c.methods {
+                if let Some(body) = &m.body {
+                    for stmt in &body.stmts {
+                        if let Some(inv) = stmt.invoke() {
+                            r.insert(program.name(inv.callee.class));
+                        }
+                    }
+                }
+            }
+            (program.name(c.name), r)
+        })
+        .collect();
+    // Transitive closure: referencing a dirty name makes a class dirty.
+    loop {
+        let mut changed = false;
+        for (name, r) in &refs {
+            if !dirty.contains(name) && r.iter().any(|n| dirty.contains(n)) {
+                dirty.insert(name);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Remap clean classes' summaries: old ClassId → name symbol → new
+    // ClassId. Method indices are stable because the class bytes are.
+    let remap_class = |old: ClassId| -> Option<ClassId> {
+        let sym = *state.class_order.get(old.index())?;
+        program.class_by_name(sym)
+    };
+    let mut seed = HashMap::new();
+    for (old_id, summary) in &state.summaries {
+        let Some(new_class) = remap_class(old_id.class) else {
+            continue;
+        };
+        if dirty.contains(program.name(program.class(new_class).name)) {
+            continue;
+        }
+        if (old_id.index as usize) >= program.class(new_class).methods.len() {
+            continue;
+        }
+        let mut s = summary.clone();
+        let mut ok = true;
+        for call in &mut s.calls {
+            if let Some(r) = call.resolved {
+                match remap_class(r.class) {
+                    Some(nc) => {
+                        call.resolved = Some(MethodId {
+                            class: nc,
+                            index: r.index,
+                        })
+                    }
+                    // A resolved target vanished: the caller should have
+                    // been dirtied; recompute it defensively.
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ok {
+            seed.insert(
+                MethodId {
+                    class: new_class,
+                    index: old_id.index,
+                },
+                s,
+            );
+        }
+    }
+    seed
+}
+
+fn ms_since(t: Instant) -> u64 {
+    t.elapsed().as_millis() as u64
+}
+
+fn check_deadline(deadline: Instant, phase: &str) -> Result<(), String> {
+    if Instant::now() >= deadline {
+        Err(format!("job timed out during {phase}"))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tabby_ir::{compile::compile_program, JType, ProgramBuilder};
+
+    /// `t.A.m1 → t.B.m1 → t.C.m1`, plus `t.A.m2` (uncalled).
+    /// `with_extra` adds a method to `t.A`, changing only A's bytes.
+    fn corpus(with_extra: bool) -> Program {
+        let mut pb = ProgramBuilder::new();
+        for (class, callee) in [("t.A", Some("t.B")), ("t.B", Some("t.C")), ("t.C", None)] {
+            let mut cb = pb.class(class);
+            cb.serializable_in_place();
+            let obj = cb.object_type("java.lang.Object");
+            let mut mb = cb.method("m1", vec![obj.clone()], JType::Void);
+            let p0 = mb.param(0);
+            if let Some(peer) = callee {
+                let sig = mb.sig(peer, "m1", &[obj.clone()], JType::Void);
+                let v = mb.fresh();
+                mb.copy(v, p0);
+                let recv = mb.fresh();
+                mb.new_with_ctor(recv, peer, &[], &[]);
+                mb.call_virtual(None, recv, sig, &[v.into()]);
+            }
+            mb.ret_void();
+            mb.finish();
+            if class == "t.A" {
+                let mut m2 = cb.method("m2", vec![], JType::Void);
+                m2.nop();
+                m2.ret_void();
+                m2.finish();
+                if with_extra {
+                    let mut m3 = cb.method("m3", vec![], JType::Void);
+                    m3.nop();
+                    m3.ret_void();
+                    m3.finish();
+                }
+            }
+            cb.finish();
+        }
+        pb.build()
+    }
+
+    fn write_corpus(dir: &Path, with_extra: bool) {
+        std::fs::create_dir_all(dir).unwrap();
+        for (name, bytes) in compile_program(&corpus(with_extra)) {
+            std::fs::write(dir.join(format!("{name}.class")), bytes).unwrap();
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tabby-engine-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(300)
+    }
+
+    fn scan(engine: &Engine, dir: &Path) -> JobOutcome {
+        engine
+            .run_scan(
+                &[dir.to_string_lossy().into_owned()],
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .expect("scan succeeds")
+    }
+
+    #[test]
+    fn warm_rescan_is_a_job_cache_hit() {
+        let dir = temp_dir("warm");
+        write_corpus(&dir, false);
+        let engine = Engine::new(None, 8, 1);
+        let cold = scan(&engine, &dir);
+        assert!(!cold.stats.job_cache_hit);
+        assert_eq!(cold.stats.classes, 3);
+        assert_eq!(cold.stats.classes_lifted, 3);
+        assert_eq!(cold.stats.methods_summarized, cold.stats.methods);
+        let warm = scan(&engine, &dir);
+        assert!(warm.stats.job_cache_hit);
+        assert_eq!(warm.stats.cache_hit_ratio, 1.0);
+        assert_eq!(warm.chains, cold.chains);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn one_class_change_resummarizes_only_its_cone() {
+        let dir = temp_dir("incr");
+        write_corpus(&dir, false);
+        let engine = Engine::new(None, 8, 1);
+        let cold = scan(&engine, &dir);
+        // Adding a method to t.A changes only A's bytes; B and C are clean
+        // and nothing references A, so only A's methods recompute.
+        write_corpus(&dir, true);
+        let incr = scan(&engine, &dir);
+        assert!(!incr.stats.job_cache_hit);
+        assert_eq!(incr.stats.classes, 3);
+        assert_eq!(incr.stats.classes_lifted, 1, "only t.A re-lifted");
+        assert_eq!(incr.stats.methods, cold.stats.methods + 1);
+        assert_eq!(incr.stats.methods_summarized, 3, "t.A's m1, m2, m3");
+        assert!(incr.stats.cache_hit_ratio > 0.0);
+        assert_eq!(incr.chains, cold.chains);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn changing_a_callee_dirties_its_callers() {
+        let dir = temp_dir("cone");
+        write_corpus(&dir, false);
+        let engine = Engine::new(None, 8, 1);
+        scan(&engine, &dir);
+        // Rewrite t.C (same shape, but force different bytes by adding a
+        // method): C dirty → B references C → A references B: all dirty.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.C");
+        cb.serializable_in_place();
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m1", vec![obj.clone()], JType::Void);
+        mb.nop();
+        mb.ret_void();
+        mb.finish();
+        let mut extra = cb.method("m9", vec![], JType::Void);
+        extra.ret_void();
+        extra.finish();
+        cb.finish();
+        let bytes = &compile_program(&pb.build())[0].1;
+        std::fs::write(dir.join("t.C.class"), bytes).unwrap();
+        let incr = scan(&engine, &dir);
+        // A.m1→B, B.m1→C are in the cone; only A.m2 stays clean.
+        assert_eq!(incr.stats.methods_summarized, incr.stats.methods - 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nonexistent_path_is_an_error() {
+        let engine = Engine::new(None, 8, 1);
+        let err = engine
+            .run_scan(
+                &["/no/such/path".to_owned()],
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .unwrap_err();
+        assert!(err.contains("/no/such/path"), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let dir = temp_dir("deadline");
+        write_corpus(&dir, false);
+        let engine = Engine::new(None, 8, 1);
+        let err = engine
+            .run_scan(
+                &[dir.to_string_lossy().into_owned()],
+                &ScanRequestOptions::default(),
+                Instant::now() - Duration::from_secs(1),
+            )
+            .unwrap_err();
+        assert!(err.contains("timed out"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,45 @@
+//! # tabby-service — a persistent scan daemon with content-addressed caching
+//!
+//! Running Tabby as a one-shot CLI pays the full lift → summarize → build →
+//! search cost on every invocation, even when only one class in a component
+//! changed. This crate keeps the expensive state alive in a daemon:
+//!
+//! - a TCP front-end speaking a **JSON-lines protocol** ([`protocol`]):
+//!   one JSON object per line, synchronous request/reply, malformed input
+//!   answered with an error reply instead of a dropped connection;
+//! - a **bounded job queue** drained by a worker pool, with explicit
+//!   rejection when full, per-job timeouts, and graceful drain on
+//!   shutdown ([`daemon`]);
+//! - a **two-level content-addressed cache** ([`cache`]): per-class
+//!   (hash of the `.class` bytes → lifted IR) and per-job (hash of the
+//!   component's class hashes + options → chain set, and the assembled
+//!   CPG one level below), with chain/CPG entries persisted to disk;
+//! - an **incremental engine** ([`engine`]): re-scanning a component in
+//!   which *k* classes changed re-summarizes only those *k* plus their
+//!   reverse-dependency cone, reusing every other method's Action summary
+//!   from the previous scan.
+//!
+//! Every scan reply carries [`protocol::JobStats`] — queue wait, per-phase
+//! milliseconds, and the summarize-cache hit ratio — so cache behavior is
+//! observable, not inferred.
+//!
+//! The CLI front-ends are `tabby serve` and `tabby submit`; the protocol
+//! itself is plain enough for `nc` (see the repository README, "Running as
+//! a service").
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod engine;
+pub mod protocol;
+pub mod signal;
+
+pub use cache::{CachedClass, CachedCpg, ComponentState, ScanCache};
+pub use client::{request, submit};
+pub use daemon::{Daemon, DaemonHandle, ServiceConfig};
+pub use engine::{Engine, JobOutcome};
+pub use protocol::{DaemonInfo, JobStats, Request, Response, ScanRequestOptions};
+pub use signal::{install_handlers, termination_requested};

@@ -1,0 +1,266 @@
+//! The JSON-lines wire protocol.
+//!
+//! Every request and every response is one JSON object on one line,
+//! newline-terminated. A connection is a synchronous request/response
+//! conversation: the daemon replies to each request before reading the
+//! next, and malformed lines get an error reply instead of a dropped
+//! connection. The schema is documented in the repository README under
+//! "Running as a service".
+
+use serde::{Deserialize, Serialize};
+use tabby_pathfinder::GadgetChain;
+
+/// Default chain-search depth (the paper's Algorithm 3 default).
+fn default_depth() -> usize {
+    12
+}
+
+/// A client request, tagged by `cmd`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "cmd", rename_all = "lowercase")]
+pub enum Request {
+    /// Scan one or more `.class` files / directories for gadget chains.
+    Scan {
+        /// Optional client-chosen correlation id, echoed in the reply.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<String>,
+        /// Paths (files or directories) to collect `.class` files from.
+        /// Relative paths are resolved against the daemon's working
+        /// directory, so clients should send absolute paths.
+        paths: Vec<String>,
+        /// Scan options; every field has a default.
+        #[serde(default)]
+        options: ScanRequestOptions,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Optional correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<String>,
+    },
+    /// Daemon-wide statistics (uptime, job counters, cache occupancy).
+    Stats {
+        /// Optional correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<String>,
+    },
+    /// Graceful shutdown: stop accepting work, drain queued jobs, exit.
+    Shutdown {
+        /// Optional correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<String>,
+    },
+}
+
+/// Options of a [`Request::Scan`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanRequestOptions {
+    /// Maximum chain length in edges.
+    #[serde(default = "default_depth")]
+    pub depth: usize,
+    /// Use the extended source catalog (`hashCode`/`equals`/…) in addition
+    /// to native serialization entry points.
+    #[serde(default)]
+    pub extended: bool,
+    /// Bypass cache *reads* (results are still cached): forces a cold scan,
+    /// used for benchmarking and cache-invalidation escape hatches.
+    #[serde(default)]
+    pub fresh: bool,
+}
+
+impl Default for ScanRequestOptions {
+    fn default() -> Self {
+        Self {
+            depth: default_depth(),
+            extended: false,
+            fresh: false,
+        }
+    }
+}
+
+/// Timing and cache-effectiveness stats of one scan job, reported in every
+/// successful scan response.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Milliseconds spent waiting in the job queue.
+    pub queue_ms: u64,
+    /// Milliseconds spent parsing + lifting `.class` files (cache misses
+    /// only — cached classes cost nothing here).
+    pub lift_ms: u64,
+    /// Milliseconds spent in the controllability analysis (Algorithm 1).
+    pub summarize_ms: u64,
+    /// Milliseconds spent assembling the CPG and annotating sinks/sources.
+    pub build_ms: u64,
+    /// Milliseconds spent in the backwards chain search.
+    pub search_ms: u64,
+    /// End-to-end milliseconds including queue wait.
+    pub total_ms: u64,
+    /// Distinct classes in the scanned component.
+    pub classes: usize,
+    /// Classes actually parsed + lifted (the rest came from the per-class
+    /// content-addressed cache).
+    pub classes_lifted: usize,
+    /// Methods with bodies in the component.
+    pub methods: usize,
+    /// Methods whose summary was recomputed (the rest were reused from a
+    /// previous scan of the same component).
+    pub methods_summarized: usize,
+    /// Fraction of per-method summarization work served from cache:
+    /// `1 - methods_summarized / methods` (and `1.0` when the whole job —
+    /// chains or CPG — was a cache hit).
+    pub cache_hit_ratio: f64,
+    /// The chain set itself was served from the per-job cache; lift,
+    /// summarize, build, and search were all skipped.
+    pub job_cache_hit: bool,
+    /// The assembled CPG was served from the per-job cache; only the chain
+    /// search ran.
+    pub cpg_cache_hit: bool,
+}
+
+/// Daemon-wide statistics, returned by [`Request::Stats`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DaemonInfo {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Jobs completed successfully.
+    pub jobs_done: u64,
+    /// Jobs that failed (bad paths, timeouts, lift errors).
+    pub jobs_failed: u64,
+    /// Jobs rejected because the queue was full.
+    pub jobs_rejected: u64,
+    /// Lifted classes in the content-addressed class cache.
+    pub cached_classes: usize,
+    /// Chain sets in the per-job cache.
+    pub cached_jobs: usize,
+    /// Assembled CPGs in the per-job cache.
+    pub cached_cpgs: usize,
+}
+
+/// A daemon reply. Exactly one line of JSON per request; `ok` tells the
+/// client whether to look at the payload fields or at `error`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request's correlation id, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub id: Option<String>,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Human-readable failure description when `ok` is false.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// Found gadget chains (scan replies only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chains: Option<Vec<GadgetChain>>,
+    /// Per-job stats (scan replies only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stats: Option<JobStats>,
+    /// Daemon-wide stats (stats replies only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub daemon: Option<DaemonInfo>,
+}
+
+impl Response {
+    /// A successful reply with no payload (ping/shutdown acks).
+    pub fn ack(id: Option<String>) -> Self {
+        Response {
+            id,
+            ok: true,
+            ..Response::default()
+        }
+    }
+
+    /// An error reply.
+    pub fn failure(id: Option<String>, error: impl Into<String>) -> Self {
+        Response {
+            id,
+            ok: false,
+            error: Some(error.into()),
+            ..Response::default()
+        }
+    }
+
+    /// A successful scan reply.
+    pub fn scan(id: Option<String>, chains: Vec<GadgetChain>, stats: JobStats) -> Self {
+        Response {
+            id,
+            ok: true,
+            chains: Some(chains),
+            stats: Some(stats),
+            ..Response::default()
+        }
+    }
+
+    /// A successful stats reply.
+    pub fn info(id: Option<String>, daemon: DaemonInfo) -> Self {
+        Response {
+            id,
+            ok: true,
+            daemon: Some(daemon),
+            ..Response::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_request_round_trips() {
+        let req = Request::Scan {
+            id: Some("job-1".into()),
+            paths: vec!["/tmp/app".into()],
+            options: ScanRequestOptions {
+                depth: 8,
+                extended: true,
+                fresh: false,
+            },
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(line.contains("\"cmd\":\"scan\""));
+        let back: Request = serde_json::from_str(&line).unwrap();
+        match back {
+            Request::Scan { id, paths, options } => {
+                assert_eq!(id.as_deref(), Some("job-1"));
+                assert_eq!(paths, vec!["/tmp/app".to_owned()]);
+                assert_eq!(options.depth, 8);
+                assert!(options.extended);
+            }
+            other => panic!("unexpected request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_options_default_when_absent() {
+        let req: Request = serde_json::from_str(r#"{"cmd":"scan","paths":["a.class"]}"#).unwrap();
+        match req {
+            Request::Scan { id, options, .. } => {
+                assert!(id.is_none());
+                assert_eq!(options, ScanRequestOptions::default());
+                assert_eq!(options.depth, 12);
+            }
+            other => panic!("unexpected request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_a_parse_error() {
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"explode"}"#).is_err());
+        assert!(serde_json::from_str::<Request>("not json").is_err());
+    }
+
+    #[test]
+    fn error_response_omits_empty_payloads() {
+        let line = serde_json::to_string(&Response::failure(None, "queue full")).unwrap();
+        assert!(!line.contains("chains"));
+        assert!(!line.contains("stats"));
+        assert!(line.contains("queue full"));
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error.as_deref(), Some("queue full"));
+    }
+}

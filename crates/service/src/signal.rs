@@ -1,0 +1,46 @@
+//! SIGINT/SIGTERM flagging without a libc dependency.
+//!
+//! The daemon's accept loop polls [`termination_requested`] between
+//! accepts; when a termination signal arrives it stops accepting new
+//! connections, drops the job queue's sender, and lets the workers drain
+//! in-flight jobs before exiting. The handler itself only stores to an
+//! atomic, which is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// Whether a SIGINT/SIGTERM has been observed since
+/// [`install_handlers`] was called.
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT and SIGTERM handlers that flip the termination flag.
+///
+/// Only the `tabby serve` entry point calls this — libraries and tests
+/// must not, since handlers are process-global.
+#[cfg(unix)]
+pub fn install_handlers() {
+    // `std` does not expose signal(2) and the workspace deliberately has
+    // no libc-level dependency, so declare the one symbol we need.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// No-op on non-Unix targets (ctrl-c still terminates the process).
+#[cfg(not(unix))]
+pub fn install_handlers() {}

@@ -84,8 +84,14 @@ pub fn compose(spec: Spec<'_>) -> Component {
     }
     for sink in &spec.known_missed {
         let fqcn = next_name("ProxyGadget");
-        let pairs =
-            add_gadget(&mut pb, &fqcn, Trigger::ReadObject, sink, Twist::DynamicProxy).pairs;
+        let pairs = add_gadget(
+            &mut pb,
+            &fqcn,
+            Trigger::ReadObject,
+            sink,
+            Twist::DynamicProxy,
+        )
+        .pairs;
         for (source, sink_sig) in pairs {
             truth_chains.push(TruthChain::known(&source, &sink_sig));
         }
@@ -108,7 +114,13 @@ pub fn compose(spec: Spec<'_>) -> Component {
     }
     for i in 0..spec.extra_baits {
         let fqcn = format!("{}.internal.Callback{i}", spec.pkg);
-        add_gadget(&mut pb, &fqcn, Trigger::ReadObject, &Sink::Exec, Twist::Sanitized);
+        add_gadget(
+            &mut pb,
+            &fqcn,
+            Trigger::ReadObject,
+            &Sink::Exec,
+            Twist::Sanitized,
+        );
     }
     if spec.fillers > 0 {
         add_fillers(&mut pb, spec.pkg, spec.fillers);

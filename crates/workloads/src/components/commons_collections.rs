@@ -111,20 +111,25 @@ fn add_machinery(
     // FactoryTransformer — transform(input) re-deserializes (3.2.1 only;
     // collections4 dropped the stream path).
     if with_factory {
-    let fqcn = format!("{pkg}.functors.FactoryTransformer");
-    let mut cb = pb.class(&fqcn).serializable().implements(&[&iface]);
-    let object = cb.object_type("java.lang.Object");
-    let ois_ty = cb.object_type("java.io.ObjectInputStream");
-    let mut mb = cb.method("transform", vec![object.clone()], object.clone());
-    let input = mb.param(0);
-    let stream = mb.fresh();
-    mb.cast(stream, ois_ty, input);
-    let ro = mb.sig("java.io.ObjectInputStream", "readObject", &[], object.clone());
-    let r = mb.fresh();
-    mb.call_virtual(Some(r), stream, ro, &[]);
-    mb.ret(r);
-    mb.finish();
-    cb.finish();
+        let fqcn = format!("{pkg}.functors.FactoryTransformer");
+        let mut cb = pb.class(&fqcn).serializable().implements(&[&iface]);
+        let object = cb.object_type("java.lang.Object");
+        let ois_ty = cb.object_type("java.io.ObjectInputStream");
+        let mut mb = cb.method("transform", vec![object.clone()], object.clone());
+        let input = mb.param(0);
+        let stream = mb.fresh();
+        mb.cast(stream, ois_ty, input);
+        let ro = mb.sig(
+            "java.io.ObjectInputStream",
+            "readObject",
+            &[],
+            object.clone(),
+        );
+        let r = mb.fresh();
+        mb.call_virtual(Some(r), stream, ro, &[]);
+        mb.ret(r);
+        mb.finish();
+        cb.finish();
     }
 
     // ChainedTransformer — iterates nested transformers.
@@ -137,7 +142,13 @@ fn add_machinery(
     let this = mb.this();
     let input = mb.param(0);
     let arr = mb.fresh();
-    mb.get_field(arr, this, &fqcn, "iTransformers", JType::array(iface_ty.clone()));
+    mb.get_field(
+        arr,
+        this,
+        &fqcn,
+        "iTransformers",
+        JType::array(iface_ty.clone()),
+    );
     let t = mb.fresh();
     mb.array_get(t, arr, mb.c_int(0));
     let transform = mb.sig(&iface, "transform", &[object.clone()], object.clone());
@@ -222,11 +233,7 @@ fn add_machinery(
         let object = cb.object_type("java.lang.Object");
         let iface_ty = cb.object_type(&iface);
         cb.field("transformer", iface_ty.clone());
-        let mut mb = cb.method(
-            "compare",
-            vec![object.clone(), object.clone()],
-            JType::Int,
-        );
+        let mut mb = cb.method("compare", vec![object.clone(), object.clone()], JType::Int);
         let this = mb.this();
         let a = mb.param(0);
         let t = mb.fresh();
@@ -279,14 +286,26 @@ pub fn cc3() -> Component {
     }
     // The fifth dataset chain: AnnotationInvocationHandler's proxy hop.
     let aih = "sun.reflect.annotation.AnnotationInvocationHandler";
-    add_gadget(&mut pb, aih, Trigger::ReadObject, &Sink::Invoke, Twist::DynamicProxy);
+    add_gadget(
+        &mut pb,
+        aih,
+        Trigger::ReadObject,
+        &Sink::Invoke,
+        Twist::DynamicProxy,
+    );
     chains.push(TruthChain::known(
         &format!("{aih}.readObject"),
         &Sink::Invoke.signature(),
     ));
     // DefaultedMap's own readObject invokes directly — a planted unknown.
     let dm = format!("{pkg}.map.DefaultedMap");
-    add_gadget(&mut pb, &dm, Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
+    add_gadget(
+        &mut pb,
+        &dm,
+        Trigger::ReadObject,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
     chains.push(TruthChain::unknown(
         &format!("{dm}.readObject"),
         &Sink::Invoke.signature(),
@@ -384,13 +403,25 @@ pub fn cc4() -> Component {
     // Planted unknowns beyond the machinery grid: DefaultedMap's direct
     // invoke plus lookup-flavored pivots.
     let dm = format!("{pkg}.map.DefaultedMap");
-    add_gadget(&mut pb, &dm, Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
+    add_gadget(
+        &mut pb,
+        &dm,
+        Trigger::ReadObject,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
     chains.push(TruthChain::unknown(
         &format!("{dm}.readObject"),
         &Sink::Invoke.signature(),
     ));
     let tm = format!("{pkg}.map.TransformedMap");
-    add_gadget(&mut pb, &tm, Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
+    add_gadget(
+        &mut pb,
+        &tm,
+        Trigger::ReadObject,
+        &Sink::Lookup,
+        Twist::Plain,
+    );
     chains.push(TruthChain::unknown(
         &format!("{tm}.readObject"),
         &Sink::Lookup.signature(),

@@ -46,10 +46,7 @@ mod tests {
 
     #[test]
     fn dataset_totals_match_table9() {
-        let total: usize = all()
-            .iter()
-            .map(|c| c.truth.known_in_dataset())
-            .sum();
+        let total: usize = all().iter().map(|c| c.truth.known_in_dataset()).sum();
         assert_eq!(total, 38);
     }
 

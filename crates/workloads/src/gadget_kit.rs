@@ -144,8 +144,7 @@ impl Sink {
                 mb.call_virtual(Some(c), u, oc, &[]);
             }
             Sink::NewTransformer => {
-                const TCLASS: &str =
-                    "com.sun.org.apache.xalan.internal.xsltc.trax.TemplatesImpl";
+                const TCLASS: &str = "com.sun.org.apache.xalan.internal.xsltc.trax.TemplatesImpl";
                 let t_ty = mb.object_type(TCLASS);
                 let transformer = mb.object_type("javax.xml.transform.Transformer");
                 let t = mb.fresh();
@@ -294,11 +293,7 @@ pub fn add_gadget(
         Trigger::ToString => ("toString", vec![], string.clone()),
         Trigger::HashCode => ("hashCode", vec![], JType::Int),
         Trigger::Equals => ("equals", vec![object.clone()], JType::Boolean),
-        Trigger::Compare => (
-            "compare",
-            vec![object.clone(), object.clone()],
-            JType::Int,
-        ),
+        Trigger::Compare => ("compare", vec![object.clone(), object.clone()], JType::Int),
     };
     let mut mb = cb.method(name, params, ret.clone());
     let this = mb.this();
@@ -415,9 +410,13 @@ mod tests {
     use super::*;
     use crate::jdk::add_jdk_model;
     use tabby_core::{AnalysisConfig, Cpg};
-    use tabby_pathfinder::{find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog};
+    use tabby_pathfinder::{
+        find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
+    };
 
-    fn run(build: impl FnOnce(&mut ProgramBuilder) -> MotifPairs) -> (Vec<GadgetChain>, MotifPairs) {
+    fn run(
+        build: impl FnOnce(&mut ProgramBuilder) -> MotifPairs,
+    ) -> (Vec<GadgetChain>, MotifPairs) {
         let mut pb = ProgramBuilder::new();
         add_jdk_model(&mut pb);
         let pairs = build(&mut pb);
@@ -440,17 +439,15 @@ mod tests {
 
     #[test]
     fn plain_readobject_gadget_found() {
-        let (chains, pairs) = run(|pb| {
-            add_gadget(pb, "kit.A", Trigger::ReadObject, &Sink::Exec, Twist::Plain)
-        });
+        let (chains, pairs) =
+            run(|pb| add_gadget(pb, "kit.A", Trigger::ReadObject, &Sink::Exec, Twist::Plain));
         assert!(has_pair(&chains, &pairs.pairs[0]));
     }
 
     #[test]
     fn hashcode_gadget_fires_from_all_three_maps() {
-        let (chains, pairs) = run(|pb| {
-            add_gadget(pb, "kit.H", Trigger::HashCode, &Sink::ForName, Twist::Plain)
-        });
+        let (chains, pairs) =
+            run(|pb| add_gadget(pb, "kit.H", Trigger::HashCode, &Sink::ForName, Twist::Plain));
         assert_eq!(pairs.pairs.len(), 3);
         for pair in &pairs.pairs {
             assert!(has_pair(&chains, pair), "missing {pair:?}");
@@ -459,9 +456,8 @@ mod tests {
 
     #[test]
     fn tostring_gadget_fires_from_bavee() {
-        let (chains, pairs) = run(|pb| {
-            add_gadget(pb, "kit.T", Trigger::ToString, &Sink::Lookup, Twist::Plain)
-        });
+        let (chains, pairs) =
+            run(|pb| add_gadget(pb, "kit.T", Trigger::ToString, &Sink::Lookup, Twist::Plain));
         assert!(has_pair(&chains, &pairs.pairs[0]));
         assert_eq!(
             pairs.pairs[0].0,
@@ -471,9 +467,8 @@ mod tests {
 
     #[test]
     fn compare_gadget_fires_from_priority_queue() {
-        let (chains, pairs) = run(|pb| {
-            add_gadget(pb, "kit.C", Trigger::Compare, &Sink::Invoke, Twist::Plain)
-        });
+        let (chains, pairs) =
+            run(|pb| add_gadget(pb, "kit.C", Trigger::Compare, &Sink::Invoke, Twist::Plain));
         assert!(has_pair(&chains, &pairs.pairs[0]));
     }
 
@@ -482,7 +477,13 @@ mod tests {
         // The detector is guard-blind: the chain appears in the output (it
         // will be classified fake by the manifest/oracle).
         let (chains, pairs) = run(|pb| {
-            add_gadget(pb, "kit.G", Trigger::ReadObject, &Sink::Exec, Twist::Guarded)
+            add_gadget(
+                pb,
+                "kit.G",
+                Trigger::ReadObject,
+                &Sink::Exec,
+                Twist::Guarded,
+            )
         });
         assert!(has_pair(&chains, &pairs.pairs[0]));
     }
@@ -525,8 +526,6 @@ mod tests {
             .iter()
             .find(|c| c.source() == pairs.pairs[0].0 && c.sink() == pairs.pairs[0].1)
             .unwrap();
-        assert!(chain
-            .signatures
-            .contains(&"kit.DelHelper.run".to_owned()));
+        assert!(chain.signatures.contains(&"kit.DelHelper.run".to_owned()));
     }
 }

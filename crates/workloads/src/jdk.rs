@@ -70,7 +70,9 @@ fn add_lang(pb: &mut ProgramBuilder) {
     // java.lang.ProcessBuilder / ProcessImpl — the other EXEC sinks.
     let mut cb = pb.class("java.lang.ProcessBuilder");
     let process = cb.object_type("java.lang.Process");
-    cb.method("start", vec![], process.clone()).native().finish();
+    cb.method("start", vec![], process.clone())
+        .native()
+        .finish();
     cb.finish();
     let mut cb = pb.class("java.lang.ProcessImpl");
     let process = cb.object_type("java.lang.Process");
@@ -148,7 +150,9 @@ fn add_io(pb: &mut ProgramBuilder) {
     let string = cb.object_type("java.lang.String");
     let file = cb.object_type("java.io.File");
     cb.field("path", string);
-    cb.method("delete", vec![], JType::Boolean).native().finish();
+    cb.method("delete", vec![], JType::Boolean)
+        .native()
+        .finish();
     cb.method("renameTo", vec![file], JType::Boolean)
         .native()
         .finish();

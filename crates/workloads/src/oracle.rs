@@ -13,9 +13,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use tabby_core::Cpg;
 use tabby_graph::Direction;
-use tabby_ir::{
-    Body, CmpOp, Constant, Expr, Local, Operand, Place, Program, Stmt,
-};
+use tabby_ir::{Body, CmpOp, Constant, Expr, Local, Operand, Place, Program, Stmt};
 use tabby_pathfinder::GadgetChain;
 
 /// Checks every step of `chain` (node pairs from source to sink) against

@@ -83,7 +83,12 @@ pub fn spring() -> Scene {
         "ctx",
         ctx_ty.clone(),
     );
-    let lookup = mb.sig("javax.naming.Context", "lookup", &[string.clone()], object.clone());
+    let lookup = mb.sig(
+        "javax.naming.Context",
+        "lookup",
+        &[string.clone()],
+        object.clone(),
+    );
     let r = mb.fresh();
     mb.call_interface(Some(r), ctx, lookup, &[name.into()]);
     mb.ret(r);
@@ -184,7 +189,12 @@ pub fn spring() -> Scene {
     let this = mb.this();
     let ts = mb.fresh();
     mb.get_field(ts, this, fqcn, "targetSource", ts_ty.clone());
-    let get_target = mb.sig("org.springframework.aop.TargetSource", "getTarget", &[], object);
+    let get_target = mb.sig(
+        "org.springframework.aop.TargetSource",
+        "getTarget",
+        &[],
+        object,
+    );
     let t = mb.fresh();
     mb.call_interface(Some(t), ts, get_target, &[]);
     mb.finish();
@@ -259,13 +269,55 @@ pub fn jdk8() -> Scene {
     // map-rehash sources (HashMap / Hashtable / HashSet); plant the other
     // seven effective chains (five of which model the XStream blacklist
     // bypasses reported as CVEs).
-    add_gadget(&mut pb, "com.sun.rowset.JdbcRowSetImpl", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
-    add_gadget(&mut pb, "com.sun.jndi.ldap.LdapAttribute", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
-    add_gadget(&mut pb, "javax.swing.UIDefaults$ProxyLazyValue", Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
-    add_gadget(&mut pb, "com.sun.org.apache.xpath.internal.objects.XString", Trigger::Equals, &Sink::Invoke, Twist::Plain);
-    add_gadget(&mut pb, "javax.activation.DataHandler", Trigger::ReadObject, &Sink::SecondaryDeserialization, Twist::Plain);
-    add_gadget(&mut pb, "javax.management.openmbean.TabularDataSupport", Trigger::ToString, &Sink::Invoke, Twist::Plain);
-    add_gadget(&mut pb, "sun.swing.SwingLazyValue", Trigger::Compare, &Sink::Invoke, Twist::Plain);
+    add_gadget(
+        &mut pb,
+        "com.sun.rowset.JdbcRowSetImpl",
+        Trigger::ReadObject,
+        &Sink::Lookup,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "com.sun.jndi.ldap.LdapAttribute",
+        Trigger::ReadObject,
+        &Sink::Lookup,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "javax.swing.UIDefaults$ProxyLazyValue",
+        Trigger::ReadObject,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "com.sun.org.apache.xpath.internal.objects.XString",
+        Trigger::Equals,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "javax.activation.DataHandler",
+        Trigger::ReadObject,
+        &Sink::SecondaryDeserialization,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "javax.management.openmbean.TabularDataSupport",
+        Trigger::ToString,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "sun.swing.SwingLazyValue",
+        Trigger::Compare,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
     // Three guard-dead fakes (paper FPR 23.1 %).
     for (i, sink) in [Sink::Exec, Sink::ForName, Sink::Invoke].iter().enumerate() {
         add_gadget(
@@ -302,9 +354,27 @@ pub fn jdk8() -> Scene {
 pub fn tomcat() -> Scene {
     let mut pb = ProgramBuilder::new();
     add_jdk_model(&mut pb);
-    add_gadget(&mut pb, "org.apache.catalina.ha.session.DeltaRequest", Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
-    add_gadget(&mut pb, "org.apache.catalina.users.MemoryUserDatabase", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
-    add_gadget(&mut pb, "org.apache.catalina.core.ApplicationDispatcher", Trigger::ReadObject, &Sink::ForName, Twist::Plain);
+    add_gadget(
+        &mut pb,
+        "org.apache.catalina.ha.session.DeltaRequest",
+        Trigger::ReadObject,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "org.apache.catalina.users.MemoryUserDatabase",
+        Trigger::ReadObject,
+        &Sink::Lookup,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "org.apache.catalina.core.ApplicationDispatcher",
+        Trigger::ReadObject,
+        &Sink::ForName,
+        Twist::Plain,
+    );
     add_gadget(
         &mut pb,
         "org.apache.catalina.session.StandardSession",
@@ -336,10 +406,34 @@ pub fn tomcat() -> Scene {
 pub fn jetty() -> Scene {
     let mut pb = ProgramBuilder::new();
     add_jdk_model(&mut pb);
-    add_gadget(&mut pb, "org.eclipse.jetty.util.Scanner", Trigger::ReadObject, &Sink::Delete, Twist::Plain);
-    add_gadget(&mut pb, "org.eclipse.jetty.plus.jndi.NamingEntry", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
-    add_gadget(&mut pb, "org.eclipse.jetty.util.component.AttributeContainerMap", Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
-    add_gadget(&mut pb, "org.eclipse.jetty.http.pathmap.PathSpecSet", Trigger::ToString, &Sink::Invoke, Twist::Plain);
+    add_gadget(
+        &mut pb,
+        "org.eclipse.jetty.util.Scanner",
+        Trigger::ReadObject,
+        &Sink::Delete,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "org.eclipse.jetty.plus.jndi.NamingEntry",
+        Trigger::ReadObject,
+        &Sink::Lookup,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "org.eclipse.jetty.util.component.AttributeContainerMap",
+        Trigger::ReadObject,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "org.eclipse.jetty.http.pathmap.PathSpecSet",
+        Trigger::ToString,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
     for (i, sink) in [Sink::Exec, Sink::ForName].iter().enumerate() {
         add_gadget(
             &mut pb,
@@ -373,9 +467,27 @@ pub fn jetty() -> Scene {
 pub fn dubbo() -> Scene {
     let mut pb = ProgramBuilder::new();
     add_jdk_model(&mut pb);
-    add_gadget(&mut pb, "org.apache.dubbo.common.bytecode.Proxy", Trigger::ReadObject, &Sink::Invoke, Twist::Plain);
-    add_gadget(&mut pb, "org.apache.dubbo.registry.support.SkipFailbackWrapperException", Trigger::ReadObject, &Sink::Lookup, Twist::Plain);
-    add_gadget(&mut pb, "org.apache.dubbo.rpc.cluster.directory.StaticDirectory", Trigger::ReadObject, &Sink::SecondaryDeserialization, Twist::Plain);
+    add_gadget(
+        &mut pb,
+        "org.apache.dubbo.common.bytecode.Proxy",
+        Trigger::ReadObject,
+        &Sink::Invoke,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "org.apache.dubbo.registry.support.SkipFailbackWrapperException",
+        Trigger::ReadObject,
+        &Sink::Lookup,
+        Twist::Plain,
+    );
+    add_gadget(
+        &mut pb,
+        "org.apache.dubbo.rpc.cluster.directory.StaticDirectory",
+        Trigger::ReadObject,
+        &Sink::SecondaryDeserialization,
+        Twist::Plain,
+    );
     for (i, sink) in [Sink::Exec, Sink::ForName].iter().enumerate() {
         add_gadget(
             &mut pb,
@@ -393,7 +505,9 @@ pub fn dubbo() -> Scene {
             GroundTruth::default(),
             &["org.apache.dubbo"],
         )
-        .with_notes("the reported Dubbo chains led to CVE-2021-43297, CVE-2022-39198, CVE-2023-23638"),
+        .with_notes(
+            "the reported Dubbo chains led to CVE-2021-43297, CVE-2022-39198, CVE-2023-23638",
+        ),
         paper: SceneRow {
             version: "3.0.2",
             jar_count: 15,
@@ -418,7 +532,11 @@ mod tests {
     #[test]
     fn scenes_build() {
         for scene in all() {
-            assert!(scene.component.program.classes().len() > 50, "{}", scene.component.name);
+            assert!(
+                scene.component.program.classes().len() > 50,
+                "{}",
+                scene.component.name
+            );
         }
     }
 

@@ -65,9 +65,7 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Creates a manifest from a chain list.
     pub fn new(chains: Vec<TruthChain>) -> Self {
-        Self {
-            chains,
-        }
+        Self { chains }
     }
 
     /// Number of dataset-known chains ("Known in dataset" column).
@@ -97,11 +95,7 @@ impl GroundTruth {
         // not double-count a Known).
         let mut matched = vec![false; self.chains.len()];
         for chain in found {
-            match self
-                .chains
-                .iter()
-                .position(|t| t.matches(chain))
-            {
+            match self.chains.iter().position(|t| t.matches(chain)) {
                 Some(i) => {
                     if matched[i] {
                         // Duplicate route to an already-credited chain: the
@@ -158,10 +152,7 @@ impl EvalCounts {
         if self.known_in_dataset == 0 {
             None
         } else {
-            Some(
-                (self.known_in_dataset - self.known) as f64 / self.known_in_dataset as f64
-                    * 100.0,
-            )
+            Some((self.known_in_dataset - self.known) as f64 / self.known_in_dataset as f64 * 100.0)
         }
     }
 

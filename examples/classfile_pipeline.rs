@@ -57,9 +57,16 @@ fn main() {
     // 3. Lift the bytes back and scan.
     let blobs: Vec<Vec<u8>> = compiled.into_iter().map(|(_, b)| b).collect();
     let report = tabby::scan_class_bytes(&blobs, &ScanOptions::default()).expect("lift + scan");
-    println!("\n{} chain(s) found from lifted bytecode:", report.chains.len());
+    println!(
+        "\n{} chain(s) found from lifted bytecode:",
+        report.chains.len()
+    );
     for chain in &report.chains {
-        println!("  [{}] {}", chain.sink_category, chain.signatures.join(" -> "));
+        println!(
+            "  [{}] {}",
+            chain.sink_category,
+            chain.signatures.join(" -> ")
+        );
     }
 
     // Both the component chain and the JDK-resident URLDNS chain must

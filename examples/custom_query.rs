@@ -58,7 +58,10 @@ fn main() {
         .into_iter()
         .map(|n| (n, TriggerCondition::from([1u16])))
         .collect();
-    let categories = ssrf_sinks.iter().map(|(n, _)| (*n, "SSRF".to_owned())).collect();
+    let categories = ssrf_sinks
+        .iter()
+        .map(|(n, _)| (*n, "SSRF".to_owned()))
+        .collect();
     let chains = find_chains_raw(
         &graph,
         &schema,
@@ -92,7 +95,10 @@ fn main() {
             }),
         )
         .run(&graph);
-    println!("\npattern query: {} CALL edge(s) into java.net.*:", rows.len());
+    println!(
+        "\npattern query: {} CALL edge(s) into java.net.*:",
+        rows.len()
+    );
     for row in &rows {
         let describe = |n| {
             format!(
@@ -117,7 +123,9 @@ fn main() {
         .nodes_by(method_label, name_key, &Value::from("readObject"))
         .into_iter()
         .find(|n| {
-            graph.node_prop(*n, schema.class_name).and_then(|v| v.as_str())
+            graph
+                .node_prop(*n, schema.class_name)
+                .and_then(|v| v.as_str())
                 == Some("java.util.HashMap")
         })
         .expect("HashMap.readObject node");

@@ -19,6 +19,7 @@
 //! | [`pathfinder`] | sink/source catalogs + chain search (§III-D) |
 //! | [`baselines`] | GadgetInspector / Serianalyzer comparison detectors |
 //! | [`workloads`] | synthetic evaluation corpora with ground truth |
+//! | [`service`] | persistent scan daemon with content-addressed caching |
 //!
 //! # Quick start
 //!
@@ -79,13 +80,12 @@ pub use tabby_core as core;
 pub use tabby_graph as graph;
 pub use tabby_ir as ir;
 pub use tabby_pathfinder as pathfinder;
+pub use tabby_service as service;
 pub use tabby_workloads as workloads;
 
 use tabby_core::{AnalysisConfig, Cpg};
 use tabby_ir::Program;
-use tabby_pathfinder::{
-    find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
-};
+use tabby_pathfinder::{find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog};
 
 /// Commonly used items for building programs and scanning them.
 pub mod prelude {
@@ -96,7 +96,7 @@ pub mod prelude {
 }
 
 /// End-to-end scan configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ScanOptions {
     /// Controllability-analysis knobs (§III-C).
     pub analysis: AnalysisConfig,
@@ -106,6 +106,21 @@ pub struct ScanOptions {
     pub sinks: SinkCatalog,
     /// Source catalog (native serialization callbacks by default).
     pub sources: SourceCatalog,
+    /// Worker threads for the per-method controllability analysis
+    /// (`1` = sequential; output is bit-identical either way).
+    pub jobs: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            analysis: AnalysisConfig::default(),
+            search: SearchConfig::default(),
+            sinks: SinkCatalog::default(),
+            sources: SourceCatalog::default(),
+            jobs: 1,
+        }
+    }
 }
 
 /// The result of one scan.
@@ -120,12 +135,13 @@ pub struct ScanReport {
 
 /// Builds the CPG for `program` and searches it for gadget chains.
 pub fn scan(program: &Program, options: &ScanOptions) -> ScanReport {
-    let mut cpg = Cpg::build(program, options.analysis.clone());
+    let mut cpg = if options.jobs > 1 {
+        Cpg::build_parallel(program, options.analysis.clone(), options.jobs)
+    } else {
+        Cpg::build(program, options.analysis.clone())
+    };
     let chains = find_gadget_chains(&mut cpg, &options.sinks, &options.sources, &options.search);
-    ScanReport {
-        chains,
-        cpg,
-    }
+    ScanReport { chains, cpg }
 }
 
 /// Lifts `.class` byte blobs and scans the resulting program.

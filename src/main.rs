@@ -4,6 +4,8 @@
 //! tabby scan <path>...        scan .class files (or directories of them)
 //! tabby demo                  scan the bundled JDK model (finds URLDNS)
 //! tabby sinks                 print the sink catalog (Table VII)
+//! tabby serve                 run the persistent scan daemon
+//! tabby submit <path>...      submit a scan to a running daemon
 //! ```
 //!
 //! Options for `scan`/`demo`:
@@ -11,11 +13,15 @@
 //! ```text
 //! --depth <n>        maximum chain length (default 12)
 //! --extended         use the extended source catalog (XStream-style entry points)
+//! --jobs <n>         analysis worker threads (default: available parallelism)
 //! --sinks <file>     custom sink catalog (JSON; `tabby sinks --json` emits one)
 //! --json             emit the chains as JSON
 //! --save-cpg <file>  persist the code property graph as JSON
 //! --dot <file>       export the code property graph as Graphviz DOT
 //! ```
+//!
+//! The daemon protocol, its options, and the cache layout are documented in
+//! the repository README under "Running as a service".
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -31,6 +37,8 @@ fn main() -> ExitCode {
         "scan" => cmd_scan(rest),
         "demo" => cmd_demo(rest),
         "sinks" => cmd_sinks(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -49,24 +57,44 @@ USAGE:
     tabby scan [OPTIONS] <path>...   scan .class files / directories
     tabby demo [OPTIONS]             scan the bundled JDK model
     tabby sinks                      print the sink catalog (Table VII)
+    tabby serve [OPTIONS]            run the persistent scan daemon
+    tabby submit [OPTIONS] <path>... submit a scan to a running daemon
 
-OPTIONS:
+OPTIONS (scan/demo):
     --depth <n>        maximum chain length (default 12)
     --extended         extended source catalog (hashCode/equals/compare/toString)
+    --jobs <n>         analysis worker threads (default: available parallelism)
     --sinks <file>     custom sink catalog (JSON; see `tabby sinks --json`)
     --json             emit chains as JSON
     --save-cpg <file>  persist the code property graph as JSON
-    --dot <file>       export the code property graph as Graphviz DOT";
+    --dot <file>       export the code property graph as Graphviz DOT
+
+OPTIONS (serve):
+    --addr <ip:port>   listen address (default 127.0.0.1:7433)
+    --workers <n>      scan worker threads (default: available parallelism)
+    --cache-dir <dir>  persist chain/CPG cache entries under <dir>
+
+OPTIONS (submit):
+    --addr <ip:port>   daemon address (default 127.0.0.1:7433)
+    --depth <n>        maximum chain length (default 12)
+    --extended         extended source catalog
+    --fresh            bypass daemon cache reads (results are still cached)
+    --json             emit chains as JSON";
 
 #[derive(Default)]
 struct CliOptions {
     depth: Option<usize>,
     extended: bool,
     json: bool,
+    jobs: Option<usize>,
     save_cpg: Option<PathBuf>,
     dot: Option<PathBuf>,
     sinks: Option<PathBuf>,
     paths: Vec<PathBuf>,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn parse_options(args: &[String]) -> Result<CliOptions, String> {
@@ -80,6 +108,11 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             }
             "--extended" => options.extended = true,
             "--json" => options.json = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
+                options.jobs = Some(n.max(1));
+            }
             "--save-cpg" => {
                 let v = it.next().ok_or("--save-cpg needs a path")?;
                 options.save_cpg = Some(PathBuf::from(v));
@@ -106,14 +139,15 @@ fn scan_options(cli: &CliOptions) -> Result<ScanOptions, String> {
     if let Some(depth) = cli.depth {
         options.search.max_depth = depth;
     }
+    options.jobs = cli.jobs.unwrap_or_else(default_jobs);
     if cli.extended {
         options.sources = SourceCatalog::extended();
     }
     if let Some(path) = &cli.sinks {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("--sinks {}: {e}", path.display()))?;
-        options.sinks = serde_json::from_str(&text)
-            .map_err(|e| format!("--sinks {}: {e}", path.display()))?;
+        options.sinks =
+            serde_json::from_str(&text).map_err(|e| format!("--sinks {}: {e}", path.display()))?;
     }
     Ok(options)
 }
@@ -143,6 +177,13 @@ fn cmd_scan(args: &[String]) -> ExitCode {
     }
     let mut files = Vec::new();
     for path in &cli.paths {
+        // A nonexistent input must be a clear error, not a silent empty
+        // scan: the walk below skips non-`.class` names without checking
+        // that they exist.
+        if let Err(e) = std::fs::metadata(path) {
+            eprintln!("scan: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
         if let Err(e) = collect_class_files(path, &mut files) {
             eprintln!("scan: {}: {e}", path.display());
             return ExitCode::FAILURE;
@@ -248,6 +289,166 @@ fn emit(cli: &CliOptions, report: ScanReport) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         // Nonzero exit when chains are found, for CI gating.
+        ExitCode::from(2)
+    }
+}
+
+fn parse_serve_config(args: &[String]) -> Result<tabby::service::ServiceConfig, String> {
+    let mut config = tabby::service::ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+                config.workers = n.max(1);
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                config.cache_dir = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown serve option {other:?}")),
+        }
+    }
+    Ok(config)
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let config = match parse_serve_config(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    tabby::service::install_handlers();
+    let daemon = match tabby::service::Daemon::bind(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Ok(addr) = daemon.local_addr() {
+        eprintln!("tabby daemon listening on {addr} (ctrl-c or a shutdown request stops it)");
+    }
+    daemon.run();
+    eprintln!("tabby daemon stopped");
+    ExitCode::SUCCESS
+}
+
+struct SubmitOptions {
+    addr: String,
+    scan: tabby::service::ScanRequestOptions,
+    json: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
+    let mut options = SubmitOptions {
+        addr: "127.0.0.1:7433".to_owned(),
+        scan: tabby::service::ScanRequestOptions::default(),
+        json: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                options.addr = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--depth" => {
+                let v = it.next().ok_or("--depth needs a value")?;
+                options.scan.depth = v.parse().map_err(|_| format!("bad depth {v:?}"))?;
+            }
+            "--extended" => options.scan.extended = true,
+            "--fresh" => options.scan.fresh = true,
+            "--json" => options.json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown submit option {other:?}"));
+            }
+            path => options.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(options)
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let options = match parse_submit_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if options.paths.is_empty() {
+        eprintln!("submit: no input paths\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    // Resolve client-side: the daemon may run in another directory, and a
+    // typo'd path should fail here, not inside the daemon.
+    let mut paths = Vec::with_capacity(options.paths.len());
+    for p in &options.paths {
+        match std::fs::canonicalize(p) {
+            Ok(abs) => paths.push(abs.to_string_lossy().into_owned()),
+            Err(e) => {
+                eprintln!("submit: {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let response = match tabby::service::submit(&options.addr, paths, options.scan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !response.ok {
+        eprintln!(
+            "submit: {}",
+            response.error.as_deref().unwrap_or("unknown daemon error")
+        );
+        return ExitCode::FAILURE;
+    }
+    let chains = response.chains.unwrap_or_default();
+    let stats = response.stats.unwrap_or_default();
+    if options.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&chains).expect("chains serialize")
+        );
+    } else {
+        eprintln!(
+            "{} chain(s); queue {} ms, lift {} ms, summarize {} ms, build {} ms, \
+             search {} ms, total {} ms; cache hit {:.0}%{}",
+            chains.len(),
+            stats.queue_ms,
+            stats.lift_ms,
+            stats.summarize_ms,
+            stats.build_ms,
+            stats.search_ms,
+            stats.total_ms,
+            stats.cache_hit_ratio * 100.0,
+            if stats.job_cache_hit {
+                " (chains cached)"
+            } else if stats.cpg_cache_hit {
+                " (CPG cached)"
+            } else {
+                ""
+            }
+        );
+        for (i, chain) in chains.iter().enumerate() {
+            println!("--- chain #{} [{}] ---", i + 1, chain.sink_category);
+            println!("{chain}\n");
+        }
+    }
+    if chains.is_empty() {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::from(2)
     }
 }

@@ -69,6 +69,31 @@ fn sinks_prints_the_catalog() {
 }
 
 #[test]
+fn scan_nonexistent_path_is_a_clear_error() {
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["scan", "/no/such/tabby-path"])
+        .output()
+        .expect("run tabby scan on a missing path");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("/no/such/tabby-path"), "stderr: {stderr}");
+}
+
+#[test]
+fn scan_accepts_explicit_job_count() {
+    let dir = std::env::temp_dir().join("tabby-cli-test-corpus-jobs");
+    write_corpus(&dir);
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["scan", "--jobs", "2", dir.to_str().unwrap()])
+        .output()
+        .expect("run tabby scan --jobs 2");
+    // Parallel summarization is bit-identical: same chains, same exit code.
+    assert_eq!(output.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("java.net.InetAddress.getByName"));
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
         .arg("bogus")

@@ -1,0 +1,295 @@
+//! Integration tests of the scan daemon over real TCP: spawn on an
+//! ephemeral port, submit jobs through the JSON-lines protocol, and check
+//! the cache behavior reported in the per-job stats.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use tabby::ir::compile::compile_program;
+use tabby::ir::{JType, ProgramBuilder};
+use tabby::service::{self, Daemon, Request, Response, ScanRequestOptions, ServiceConfig};
+use tabby::workloads::jdk::add_jdk_model;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tabby-service-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_jdk_corpus(dir: &Path) {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let program = pb.build();
+    for (name, bytes) in compile_program(&program) {
+        let file = dir.join(format!("{}.class", name.replace('.', "_")));
+        std::fs::write(file, bytes).unwrap();
+    }
+}
+
+/// `t.A.m1 → t.B.m1 → t.C.m1`; `with_extra` grows `t.A` by one method so
+/// only A's bytes change between the two corpus versions.
+fn write_chain_corpus(dir: &Path, with_extra: bool) {
+    let mut pb = ProgramBuilder::new();
+    for (class, callee) in [("t.A", Some("t.B")), ("t.B", Some("t.C")), ("t.C", None)] {
+        let mut cb = pb.class(class);
+        cb.serializable_in_place();
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m1", vec![obj.clone()], JType::Void);
+        let p0 = mb.param(0);
+        if let Some(peer) = callee {
+            let sig = mb.sig(peer, "m1", &[obj.clone()], JType::Void);
+            let v = mb.fresh();
+            mb.copy(v, p0);
+            let recv = mb.fresh();
+            mb.new_with_ctor(recv, peer, &[], &[]);
+            mb.call_virtual(None, recv, sig, &[v.into()]);
+        }
+        mb.ret_void();
+        mb.finish();
+        if class == "t.A" && with_extra {
+            let mut extra = cb.method("m2", vec![], JType::Void);
+            extra.ret_void();
+            extra.finish();
+        }
+        cb.finish();
+    }
+    for (name, bytes) in compile_program(&pb.build()) {
+        std::fs::write(dir.join(format!("{name}.class")), bytes).unwrap();
+    }
+}
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn warm_rescan_hits_cache_with_identical_chains() {
+    let dir = temp_dir("warm");
+    write_jdk_corpus(&dir);
+    let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let paths = vec![dir.to_string_lossy().into_owned()];
+
+    let cold = service::submit(&addr, paths.clone(), ScanRequestOptions::default()).unwrap();
+    assert!(cold.ok, "cold scan failed: {:?}", cold.error);
+    let cold_chains = cold.chains.expect("cold chains");
+    let cold_stats = cold.stats.expect("cold stats");
+    assert!(!cold_chains.is_empty(), "the JDK model contains URLDNS");
+    assert!(!cold_stats.job_cache_hit);
+    assert_eq!(cold_stats.classes_lifted, cold_stats.classes);
+
+    let warm = service::submit(&addr, paths, ScanRequestOptions::default()).unwrap();
+    assert!(warm.ok, "warm scan failed: {:?}", warm.error);
+    let warm_stats = warm.stats.expect("warm stats");
+    assert!(
+        warm_stats.job_cache_hit,
+        "second scan must hit the job cache"
+    );
+    assert!(
+        warm_stats.cache_hit_ratio >= 0.9,
+        "cache hit ratio {} below 90%",
+        warm_stats.cache_hit_ratio
+    );
+    assert_eq!(
+        warm.chains.expect("warm chains"),
+        cold_chains,
+        "cached scan must return the identical chain set"
+    );
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn depth_change_reuses_the_cached_cpg() {
+    let dir = temp_dir("depth");
+    write_jdk_corpus(&dir);
+    let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let paths = vec![dir.to_string_lossy().into_owned()];
+
+    let cold = service::submit(&addr, paths.clone(), ScanRequestOptions::default()).unwrap();
+    assert!(cold.ok, "cold scan failed: {:?}", cold.error);
+
+    // Same component, different search depth: the chain cache misses but
+    // the assembled CPG is reused — only the search runs.
+    let shallow = service::submit(
+        &addr,
+        paths,
+        ScanRequestOptions {
+            depth: 2,
+            ..ScanRequestOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(shallow.ok, "shallow scan failed: {:?}", shallow.error);
+    let stats = shallow.stats.expect("stats");
+    assert!(!stats.job_cache_hit);
+    assert!(
+        stats.cpg_cache_hit,
+        "depth change must reuse the cached CPG"
+    );
+    assert_eq!(stats.cache_hit_ratio, 1.0);
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_class_rescan_is_incremental() {
+    let dir = temp_dir("incremental");
+    write_chain_corpus(&dir, false);
+    let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let paths = vec![dir.to_string_lossy().into_owned()];
+
+    let cold = service::submit(&addr, paths.clone(), ScanRequestOptions::default()).unwrap();
+    assert!(cold.ok, "cold scan failed: {:?}", cold.error);
+    let cold_chains = cold.chains.expect("cold chains");
+
+    // Grow t.A by one method: only A's bytes change, B and C recompile
+    // byte-identically, and nothing references A.
+    write_chain_corpus(&dir, true);
+    let incr = service::submit(&addr, paths, ScanRequestOptions::default()).unwrap();
+    assert!(incr.ok, "incremental scan failed: {:?}", incr.error);
+    let stats = incr.stats.expect("stats");
+    assert!(!stats.job_cache_hit);
+    assert_eq!(stats.classes_lifted, 1, "only the changed class re-lifts");
+    assert!(
+        stats.cache_hit_ratio > 0.0,
+        "unchanged classes' summaries must be reused"
+    );
+    assert!(stats.methods_summarized < stats.methods);
+    assert_eq!(incr.chains.expect("chains"), cold_chains);
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chains_cache_persists_across_daemon_restarts() {
+    let dir = temp_dir("persist-corpus");
+    let cache_dir = temp_dir("persist-cache");
+    write_jdk_corpus(&dir);
+    let paths = vec![dir.to_string_lossy().into_owned()];
+    let config = || ServiceConfig {
+        cache_dir: Some(cache_dir.clone()),
+        ..test_config()
+    };
+
+    let first = Daemon::spawn(config()).expect("spawn daemon");
+    let cold = service::submit(
+        &first.addr().to_string(),
+        paths.clone(),
+        ScanRequestOptions::default(),
+    )
+    .unwrap();
+    assert!(cold.ok, "cold scan failed: {:?}", cold.error);
+    let cold_chains = cold.chains.expect("cold chains");
+    first.stop();
+
+    // A fresh daemon process state, same cache directory: the chain set
+    // comes back from disk without any analysis.
+    let second = Daemon::spawn(config()).expect("respawn daemon");
+    let warm = service::submit(
+        &second.addr().to_string(),
+        paths,
+        ScanRequestOptions::default(),
+    )
+    .unwrap();
+    assert!(warm.ok, "warm scan failed: {:?}", warm.error);
+    assert!(warm.stats.expect("stats").job_cache_hit);
+    assert_eq!(warm.chains.expect("chains"), cold_chains);
+    second.stop();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn raw_json_lines_protocol_round_trips() {
+    let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+
+    stream
+        .write_all(b"{\"cmd\":\"ping\",\"id\":\"p-1\"}\n")
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let reply: Response = serde_json::from_str(line.trim()).unwrap();
+    assert!(reply.ok);
+    assert_eq!(reply.id.as_deref(), Some("p-1"));
+
+    // Malformed input gets an error reply; the connection stays usable.
+    line.clear();
+    stream.write_all(b"definitely not json\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let reply: Response = serde_json::from_str(line.trim()).unwrap();
+    assert!(!reply.ok);
+    assert!(reply.error.unwrap().contains("malformed"));
+
+    line.clear();
+    stream.write_all(b"{\"cmd\":\"stats\"}\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let reply: Response = serde_json::from_str(line.trim()).unwrap();
+    assert!(reply.ok);
+    let daemon = reply.daemon.expect("daemon info");
+    assert_eq!(daemon.workers, 2);
+
+    handle.stop();
+}
+
+#[test]
+fn full_queue_rejects_and_stalled_jobs_time_out() {
+    let dir = temp_dir("queue");
+    write_chain_corpus(&dir, false);
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 0,
+        queue_capacity: 1,
+        job_timeout: Duration::from_millis(300),
+        ..ServiceConfig::default()
+    };
+    let handle = Daemon::spawn(config).expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let path = dir.to_string_lossy().into_owned();
+
+    // With no workers the first job occupies the queue's only slot.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let req = serde_json::to_string(&Request::Scan {
+        id: Some("stalled".to_owned()),
+        paths: vec![path.clone()],
+        options: ScanRequestOptions::default(),
+    })
+    .unwrap();
+    stream.write_all(format!("{req}\n").as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The second submission is rejected immediately, not queued behind it.
+    let rejected = service::submit(&addr, vec![path], ScanRequestOptions::default()).unwrap();
+    assert!(!rejected.ok);
+    assert_eq!(rejected.error.as_deref(), Some("queue full"));
+
+    // The stalled job's connection gets a timeout reply, not a hang.
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply: Response = serde_json::from_str(line.trim()).unwrap();
+    assert!(!reply.ok);
+    assert_eq!(reply.id.as_deref(), Some("stalled"));
+    assert!(reply.error.unwrap().contains("timed out"));
+
+    // Daemon-wide counters saw the rejection.
+    let stats = service::request(&addr, &Request::Stats { id: None }).unwrap();
+    assert_eq!(stats.daemon.expect("daemon info").jobs_rejected, 1);
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
