@@ -30,6 +30,15 @@ pub struct AnalysisConfig {
     /// Maximum fixed-point sweeps over one method body (safety bound; the
     /// weight lattice converges long before this in practice).
     pub max_iterations: usize,
+    /// Maximum statement-transfer steps across one method's whole fixpoint
+    /// (all sweeps combined). When the budget runs out the summary computed
+    /// so far is kept and flagged truncated instead of hanging the phase.
+    pub max_fixpoint_steps: usize,
+    /// Fault-injection hook: panic when summarizing a method whose
+    /// `Class.method` name contains this substring. Used by the corruption
+    /// harness and the service's `inject_fault` option to prove panic
+    /// containment; `None` in production.
+    pub panic_on_method: Option<String>,
 }
 
 impl Default for AnalysisConfig {
@@ -41,6 +50,8 @@ impl Default for AnalysisConfig {
             taint_through_unresolved: true,
             max_call_depth: 48,
             max_iterations: 32,
+            max_fixpoint_steps: 4_000_000,
+            panic_on_method: None,
         }
     }
 }

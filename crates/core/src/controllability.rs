@@ -164,6 +164,10 @@ pub struct MethodSummary {
     pub action: Action,
     /// All call statements with their Polluted_Positions.
     pub calls: Vec<CallSite>,
+    /// The fixpoint stopped on an iteration/step/deadline budget before
+    /// converging: the summary is the partial state at that point (still a
+    /// sound under-approximation of controllability, possibly imprecise).
+    pub truncated: bool,
 }
 
 /// Counters describing one analysis run.
@@ -177,6 +181,8 @@ pub struct AnalyzerStats {
     pub cycles_broken: usize,
     /// Calls whose PP was all-∞ (prunable).
     pub uncontrollable_calls: usize,
+    /// Method fixpoints stopped early on an iteration/step/deadline budget.
+    pub fixpoint_truncations: usize,
 }
 
 /// The interprocedural controllability analyzer.
@@ -211,6 +217,7 @@ pub struct Analyzer<'p> {
     summary_cache: HashMap<MethodId, MethodSummary>,
     in_progress: HashSet<MethodId>,
     stats: AnalyzerStats,
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'p> Analyzer<'p> {
@@ -224,7 +231,16 @@ impl<'p> Analyzer<'p> {
             summary_cache: HashMap::new(),
             in_progress: HashSet::new(),
             stats: AnalyzerStats::default(),
+            deadline: None,
         }
+    }
+
+    /// Installs a wall-clock deadline: fixpoints past it stop with a
+    /// truncated partial summary. Deadlines are runtime state, not
+    /// configuration — they never enter the [`AnalysisConfig`] cache
+    /// fingerprint.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
     }
 
     /// The program under analysis.
@@ -262,6 +278,10 @@ impl<'p> Analyzer<'p> {
     pub fn summarize(&mut self, id: MethodId) -> MethodSummary {
         if let Some(s) = self.summary_cache.get(&id) {
             return s.clone();
+        }
+        if let Some(needle) = &self.config.panic_on_method {
+            let name = self.program.describe_method(id);
+            assert!(!name.contains(needle.as_str()), "injected fault in {name}");
         }
         let summary = self.run_method(id, 0);
         self.summary_cache.insert(id, summary.clone());
@@ -303,6 +323,7 @@ impl<'p> Analyzer<'p> {
             return MethodSummary {
                 action,
                 calls: Vec::new(),
+                truncated: false,
             };
         };
         self.in_progress.insert(id);
@@ -317,13 +338,30 @@ impl<'p> Analyzer<'p> {
         }
         let rpo = cfg.reverse_post_order();
         let mut iterations = 0;
-        loop {
+        let mut steps: usize = 0;
+        let mut truncated = false;
+        'fixpoint: loop {
             iterations += 1;
             let mut changed = false;
             for &i in &rpo {
                 let Some(in_state) = states[i].clone() else {
                     continue;
                 };
+                steps += 1;
+                if steps > self.config.max_fixpoint_steps {
+                    truncated = true;
+                    break 'fixpoint;
+                }
+                // Deadline checks are amortized: one clock read per 1024
+                // statement transfers.
+                if steps % 1024 == 0 {
+                    if let Some(deadline) = self.deadline {
+                        if std::time::Instant::now() >= deadline {
+                            truncated = true;
+                            break 'fixpoint;
+                        }
+                    }
+                }
                 let out = self.transfer(&body.stmts[i], i, &in_state, depth, None);
                 for &succ in cfg.succs(i) {
                     match &mut states[succ] {
@@ -339,9 +377,18 @@ impl<'p> Analyzer<'p> {
                     }
                 }
             }
-            if !changed || iterations >= self.config.max_iterations {
+            if !changed {
                 break;
             }
+            if iterations >= self.config.max_iterations {
+                // Converging bodies break on `!changed` above; stopping
+                // while the state was still moving is a truncation.
+                truncated = true;
+                break;
+            }
+        }
+        if truncated {
+            self.stats.fixpoint_truncations += 1;
         }
         // Replay over the converged states to collect call sites and the
         // merged exit state.
@@ -394,7 +441,11 @@ impl<'p> Analyzer<'p> {
             ActionKey::Return,
             returned.map_or(ActionValue::Null, weight_to_value),
         );
-        MethodSummary { action, calls }
+        MethodSummary {
+            action,
+            calls,
+            truncated,
+        }
     }
 
     /// The per-statement transfer function (`doAssignStmtAnalysis`,
@@ -470,7 +521,10 @@ impl<'p> Analyzer<'p> {
             Expr::Binary { lhs, rhs, .. } => state.operand(lhs).join(state.operand(rhs)),
             Expr::Unary { value, .. } => state.operand(value),
             Expr::ArrayLength(_) => Weight::Unknown,
-            Expr::Invoke(_) => unreachable!("handled by transfer_call"),
+            // Calls are handled by `transfer_call`; an invoke reaching here
+            // (a malformed statement shape) degrades to uncontrollable
+            // instead of panicking the pipeline.
+            Expr::Invoke(_) => Weight::Unknown,
         }
     }
 
@@ -972,6 +1026,75 @@ mod tests {
             action.get(ActionKey::Return),
             Some(ActionValue::InitParam(1))
         );
+    }
+
+    #[test]
+    fn step_budget_truncates_fixpoint_with_partial_summary() {
+        let p = fig5_program();
+        let mut an = Analyzer::new(
+            &p,
+            AnalysisConfig {
+                max_fixpoint_steps: 1,
+                ..AnalysisConfig::default()
+            },
+        );
+        let example = method_named(&p, "example");
+        let summary = an.summarize(example);
+        assert!(summary.truncated);
+        assert!(an.stats().fixpoint_truncations > 0);
+        // Unconstrained run of the same method converges untruncated.
+        let mut full = Analyzer::new(&p, AnalysisConfig::default());
+        assert!(!full.summarize(example).truncated);
+        assert_eq!(full.stats().fixpoint_truncations, 0);
+    }
+
+    #[test]
+    fn expired_deadline_truncates_large_fixpoints() {
+        // The deadline is only polled every 1024 transfer steps, so pad the
+        // body past that to make the expired deadline observable.
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.Big");
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("m", vec![obj.clone()], obj.clone()).static_();
+        let p0 = mb.param(0);
+        let mut prev = p0;
+        for _ in 0..1500 {
+            let v = mb.fresh();
+            mb.copy(v, prev);
+            prev = v;
+        }
+        mb.ret(prev);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let mut an = Analyzer::new(&p, AnalysisConfig::default());
+        an.set_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_secs(1),
+        ));
+        let m = p.method_ids().next().unwrap();
+        let summary = an.summarize(m);
+        assert!(summary.truncated);
+        assert!(an.stats().fixpoint_truncations > 0);
+    }
+
+    #[test]
+    fn injected_fault_panics_on_matching_method() {
+        let p = fig5_program();
+        let mut an = Analyzer::new(
+            &p,
+            AnalysisConfig {
+                panic_on_method: Some("exchange".into()),
+                ..AnalysisConfig::default()
+            },
+        );
+        let exchange = method_named(&p, "exchange");
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            an.summarize(exchange);
+        }));
+        assert!(hit.is_err());
+        // A non-matching method still summarizes fine on the same analyzer.
+        let example = method_named(&p, "example");
+        assert!(!an.summarize(example).calls.is_empty());
     }
 
     #[test]

@@ -338,7 +338,9 @@ impl<'p> CpgBuilder<'p> {
         // loaded) and method nodes with HAS edges.
         for (i, class) in self.program.classes().iter().enumerate() {
             let id = ClassId(i as u32);
-            let class_node = self.class_nodes[&id];
+            let Some(&class_node) = self.class_nodes.get(&id) else {
+                continue;
+            };
             if let Some(sup) = class.superclass {
                 let sup_node = self.class_node_for(sup);
                 self.graph
@@ -483,9 +485,21 @@ impl<'p> CpgBuilder<'p> {
             }
         }
         for (from, to) in edges {
-            let f = self.method_nodes[&from];
+            let Some(&f) = self.method_nodes.get(&from) else {
+                continue;
+            };
             let t = match to {
-                AliasTarget::Real(mid) => self.method_nodes[&mid],
+                AliasTarget::Real(mid) => match self.method_nodes.get(&mid).copied() {
+                    Some(node) => node,
+                    // A resolved-but-unmapped declaration (inconsistent
+                    // hierarchy from quarantined classes): degrade to a
+                    // phantom stand-in instead of panicking.
+                    None => {
+                        let m = self.program.method(mid);
+                        let class = self.program.class(mid.class).name;
+                        self.phantom_method_node(class, m.name, m.params.len())
+                    }
+                },
                 AliasTarget::Phantom(node) => node,
             };
             self.graph.add_edge(self.schema.alias, f, t);
@@ -503,14 +517,22 @@ impl<'p> CpgBuilder<'p> {
                 Some(s) => s.clone(),
                 None => self.analyzer.summarize(id),
             };
-            let caller_node = self.method_nodes[&id];
+            let Some(&caller_node) = self.method_nodes.get(&id) else {
+                continue;
+            };
             for call in &summary.calls {
                 if !call.is_controllable() && self.config.prune_uncontrollable_calls {
                     self.pruned_calls += 1;
                     continue;
                 }
-                let target_node = match call.resolved {
-                    Some(mid) => self.method_nodes[&mid],
+                let target_node = match call
+                    .resolved
+                    .and_then(|mid| self.method_nodes.get(&mid).copied())
+                {
+                    Some(node) => node,
+                    // Unresolved callee — or one resolved against a class
+                    // that was later quarantined: a phantom node keeps the
+                    // edge without panicking.
                     None => self.phantom_method_node(
                         call.callee_ref.class,
                         call.callee_ref.name,
@@ -551,7 +573,9 @@ impl<'p> CpgBuilder<'p> {
                 None => self.analyzer.analyze(id),
             };
             let named = action.to_named(|s| self.program.name(s).to_owned());
-            let node = self.method_nodes[&id];
+            let Some(&node) = self.method_nodes.get(&id) else {
+                continue;
+            };
             self.graph
                 .set_node_prop(node, self.schema.action, Value::Map(named));
         }
@@ -560,7 +584,9 @@ impl<'p> CpgBuilder<'p> {
     /// Class node for a name, creating a phantom when not loaded.
     fn class_node_for(&mut self, name: Symbol) -> NodeId {
         if let Some(id) = self.program.class_by_name(name) {
-            return self.class_nodes[&id];
+            if let Some(&node) = self.class_nodes.get(&id) {
+                return node;
+            }
         }
         if let Some(&node) = self.phantom_classes.get(&name) {
             return node;

@@ -1,0 +1,163 @@
+//! Degraded-mode scan diagnostics.
+//!
+//! Real-world corpora (§IV of the paper) contain truncated, obfuscated, and
+//! malformed class files. Instead of aborting a multi-thousand-class job on
+//! the first bad input, the pipeline quarantines the offending class or
+//! method, keeps going with the survivors, and records what was lost here.
+//! The report travels with [`crate::Cpg`]-level results through
+//! `ScanReport`, the service protocol, and the CLI, so a degraded scan is
+//! always visibly degraded rather than silently incomplete.
+
+use serde::{Deserialize, Serialize};
+
+/// One class that failed to parse or lift and was dropped from the scan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkippedClass {
+    /// Where the blob came from: a file path for disk scans, or
+    /// `blob[<index>]` for in-memory byte scans.
+    pub source: String,
+    /// Fully-qualified class name, when the header parsed far enough to
+    /// recover it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub class_name: Option<String>,
+    /// FNV-1a hash of the raw bytes, for locating the blob without a name.
+    pub byte_hash: u64,
+    /// Human-readable parse/lift error (or panic payload).
+    pub error: String,
+}
+
+/// One method whose summarization panicked and was replaced by a sound
+/// identity summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedMethod {
+    /// `Class.method` as the describe-method printer renders it.
+    pub method: String,
+    /// The contained panic's payload.
+    pub error: String,
+}
+
+/// Everything a scan gave up on: the degraded-mode report.
+///
+/// All-empty/false means the scan was complete and exact; anything else
+/// means the chain set is a lower bound (quarantined code was not searched)
+/// and should be read together with [`ScanDiagnostics::is_degraded`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScanDiagnostics {
+    /// Classes dropped at the lift phase.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub skipped_classes: Vec<SkippedClass>,
+    /// Methods whose controllability summary panicked and was replaced by
+    /// an identity summary.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub quarantined_methods: Vec<QuarantinedMethod>,
+    /// Methods whose controllability fixpoint hit its iteration/step/deadline
+    /// budget and kept a partial (still sound, possibly imprecise) summary.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub fixpoint_truncations: usize,
+    /// The backward chain search hit its expansion budget or deadline and
+    /// returned a partial chain set.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub search_truncated: bool,
+}
+
+fn is_zero(n: &usize) -> bool {
+    *n == 0
+}
+
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
+impl ScanDiagnostics {
+    /// True when any phase degraded: classes skipped, methods quarantined,
+    /// or a budget truncation anywhere.
+    pub fn is_degraded(&self) -> bool {
+        !self.skipped_classes.is_empty()
+            || !self.quarantined_methods.is_empty()
+            || self.fixpoint_truncations > 0
+            || self.search_truncated
+    }
+
+    /// Folds another report into this one (e.g. lift-phase + analysis-phase
+    /// diagnostics collected separately).
+    pub fn merge(&mut self, other: ScanDiagnostics) {
+        self.skipped_classes.extend(other.skipped_classes);
+        self.quarantined_methods.extend(other.quarantined_methods);
+        self.fixpoint_truncations += other.fixpoint_truncations;
+        self.search_truncated |= other.search_truncated;
+    }
+
+    /// One-line human summary, e.g.
+    /// `degraded: 2 classes skipped, 1 method quarantined, search truncated`.
+    pub fn summary(&self) -> String {
+        if !self.is_degraded() {
+            return "complete".to_owned();
+        }
+        let mut parts = Vec::new();
+        if !self.skipped_classes.is_empty() {
+            parts.push(format!("{} classes skipped", self.skipped_classes.len()));
+        }
+        if !self.quarantined_methods.is_empty() {
+            parts.push(format!(
+                "{} methods quarantined",
+                self.quarantined_methods.len()
+            ));
+        }
+        if self.fixpoint_truncations > 0 {
+            parts.push(format!("{} fixpoints truncated", self.fixpoint_truncations));
+        }
+        if self.search_truncated {
+            parts.push("search truncated".to_owned());
+        }
+        format!("degraded: {}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_complete() {
+        let d = ScanDiagnostics::default();
+        assert!(!d.is_degraded());
+        assert_eq!(d.summary(), "complete");
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = ScanDiagnostics {
+            skipped_classes: vec![SkippedClass {
+                source: "blob[0]".into(),
+                class_name: None,
+                byte_hash: 7,
+                error: "bad magic".into(),
+            }],
+            ..ScanDiagnostics::default()
+        };
+        a.merge(ScanDiagnostics {
+            quarantined_methods: vec![QuarantinedMethod {
+                method: "A.m".into(),
+                error: "boom".into(),
+            }],
+            fixpoint_truncations: 2,
+            search_truncated: true,
+            ..ScanDiagnostics::default()
+        });
+        assert!(a.is_degraded());
+        let s = a.summary();
+        assert!(s.contains("1 classes skipped"), "{s}");
+        assert!(s.contains("1 methods quarantined"), "{s}");
+        assert!(s.contains("2 fixpoints truncated"), "{s}");
+        assert!(s.contains("search truncated"), "{s}");
+    }
+
+    #[test]
+    fn serde_omits_empty_fields_and_defaults_on_read() {
+        let line = serde_json::to_string(&ScanDiagnostics::default()).unwrap();
+        assert_eq!(line, "{}");
+        let back: ScanDiagnostics = serde_json::from_str("{}").unwrap();
+        assert_eq!(back, ScanDiagnostics::default());
+    }
+}

@@ -36,11 +36,13 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod action;
 pub mod config;
 pub mod controllability;
 pub mod cpg;
+pub mod diagnostics;
 pub mod parallel;
 pub mod weight;
 
@@ -48,5 +50,9 @@ pub use action::{Action, ActionInput, ActionKey, ActionValue};
 pub use config::AnalysisConfig;
 pub use controllability::{Analyzer, AnalyzerStats, CallSite, LocalMap, MethodSummary};
 pub use cpg::{Cpg, CpgSchema, CpgStats};
-pub use parallel::{summarize_program, summarize_program_incremental};
+pub use diagnostics::{QuarantinedMethod, ScanDiagnostics, SkippedClass};
+pub use parallel::{
+    summarize_program, summarize_program_contained, summarize_program_incremental,
+    summarize_program_incremental_contained, SummarizeOutcome,
+};
 pub use weight::{pp_from_ints, pp_to_ints, PollutedPosition, Weight};

@@ -1,4 +1,4 @@
-//! Parallel whole-program summarization.
+//! Parallel whole-program summarization with per-method panic containment.
 //!
 //! Per-method summaries are independent given the (deterministic) callee
 //! Actions, so the per-method analysis parallelizes by sharding the method
@@ -7,59 +7,129 @@
 //! locally — some duplicated work in exchange for zero synchronization —
 //! and the result is bit-identical to the sequential run (asserted by
 //! tests), because Algorithm 1 is deterministic.
+//!
+//! Every per-method summarization runs under `catch_unwind`: a panic
+//! quarantines that one method (it gets a sound identity summary and a
+//! [`QuarantinedMethod`] diagnostic) and the worker carries on with the
+//! rest of its shard, instead of one degenerate body killing the whole
+//! analysis phase.
 
+use crate::action::Action;
 use crate::config::AnalysisConfig;
 use crate::controllability::{Analyzer, MethodSummary};
+use crate::diagnostics::QuarantinedMethod;
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 use tabby_ir::{MethodId, Program};
 
-/// Summarizes every method with a body, using up to `threads` workers.
+/// Summaries plus what the containment layer gave up on.
+#[derive(Debug, Default)]
+pub struct SummarizeOutcome {
+    /// A summary for every method with a body (quarantined methods get the
+    /// identity summary).
+    pub summaries: HashMap<MethodId, MethodSummary>,
+    /// Methods whose summarization panicked and was contained.
+    pub quarantined: Vec<QuarantinedMethod>,
+}
+
+impl SummarizeOutcome {
+    /// Methods whose fixpoint stopped on an iteration/step/deadline budget.
+    pub fn fixpoint_truncations(&self) -> usize {
+        self.summaries.values().filter(|s| s.truncated).count()
+    }
+}
+
+/// Extracts a readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+/// A fresh analyzer seeded with every summary already known.
+fn seeded_analyzer<'p>(
+    program: &'p Program,
+    config: &AnalysisConfig,
+    deadline: Option<Instant>,
+    seeds: &HashMap<MethodId, MethodSummary>,
+    produced: &[(MethodId, MethodSummary)],
+) -> Analyzer<'p> {
+    let mut analyzer = Analyzer::new(program, config.clone());
+    analyzer.set_deadline(deadline);
+    for (id, s) in seeds {
+        analyzer.seed_summary(*id, s.clone());
+    }
+    for (id, s) in produced {
+        analyzer.seed_summary(*id, s.clone());
+    }
+    analyzer
+}
+
+/// Summarizes one shard of methods, containing per-method panics.
 ///
-/// Equivalent to calling [`Analyzer::summarize`] for every method; with
-/// `threads <= 1` it does exactly that.
-pub fn summarize_program(
+/// After a contained panic the analyzer is rebuilt (its in-progress cycle
+/// set may be mid-flight) and re-seeded with everything produced so far,
+/// including the quarantined method's identity summary, so the rest of the
+/// shard is unaffected.
+fn run_shard_contained(
+    program: &Program,
+    config: &AnalysisConfig,
+    deadline: Option<Instant>,
+    seeds: &HashMap<MethodId, MethodSummary>,
+    shard: &[MethodId],
+) -> (Vec<(MethodId, MethodSummary)>, Vec<QuarantinedMethod>) {
+    let mut results: Vec<(MethodId, MethodSummary)> = Vec::with_capacity(shard.len());
+    let mut quarantined = Vec::new();
+    let mut analyzer = seeded_analyzer(program, config, deadline, seeds, &results);
+    for &id in shard {
+        match catch_unwind(AssertUnwindSafe(|| analyzer.summarize(id))) {
+            Ok(summary) => results.push((id, summary)),
+            Err(payload) => {
+                quarantined.push(QuarantinedMethod {
+                    method: program.describe_method(id),
+                    error: panic_message(payload.as_ref()).to_owned(),
+                });
+                let param_count = program.method(id).params.len();
+                results.push((
+                    id,
+                    MethodSummary {
+                        action: Action::identity(param_count),
+                        calls: Vec::new(),
+                        truncated: false,
+                    },
+                ));
+                analyzer = seeded_analyzer(program, config, deadline, seeds, &results);
+            }
+        }
+    }
+    (results, quarantined)
+}
+
+/// Summarizes every method with a body, using up to `threads` workers,
+/// quarantining methods whose analysis panics and honoring `deadline`.
+pub fn summarize_program_contained(
     program: &Program,
     config: &AnalysisConfig,
     threads: usize,
-) -> HashMap<MethodId, MethodSummary> {
-    let ids: Vec<MethodId> = program
-        .method_ids()
-        .filter(|id| program.method(*id).body.is_some())
-        .collect();
-    if threads <= 1 || ids.len() < 64 {
-        let mut analyzer = Analyzer::new(program, config.clone());
-        return ids
-            .into_iter()
-            .map(|id| (id, analyzer.summarize(id)))
-            .collect();
-    }
-    let shards: Vec<Vec<MethodId>> = {
-        let mut shards = vec![Vec::new(); threads];
-        for (i, id) in ids.into_iter().enumerate() {
-            shards[i % threads].push(id);
-        }
-        shards
-    };
-    let (tx, rx) = crossbeam::channel::unbounded();
-    crossbeam::thread::scope(|scope| {
-        for shard in &shards {
-            let tx = tx.clone();
-            scope.spawn(move |_| {
-                let mut analyzer = Analyzer::new(program, config.clone());
-                for &id in shard {
-                    let summary = analyzer.summarize(id);
-                    tx.send((id, summary)).expect("collector alive");
-                }
-            });
-        }
-        drop(tx);
-        rx.iter().collect()
-    })
-    .expect("analysis worker panicked")
+    deadline: Option<Instant>,
+) -> SummarizeOutcome {
+    summarize_program_incremental_contained(
+        program,
+        config,
+        threads,
+        &HashSet::new(),
+        &HashMap::new(),
+        deadline,
+    )
 }
 
-/// Incremental re-summarization: recomputes summaries for the methods in
-/// `dirty` and reuses `seed` for everything else.
+/// Incremental contained re-summarization: recomputes summaries for the
+/// methods in `dirty` and reuses `seed` for everything else.
 ///
 /// The caller is responsible for the dirty-set invariant: a method may only
 /// be seeded if its body *and the bodies of everything its analysis can
@@ -67,16 +137,17 @@ pub fn summarize_program(
 /// summary was computed. The scan daemon establishes this by dirtying every
 /// changed class plus its reverse-dependency cone.
 ///
-/// Returns a summary for every method with a body, exactly like
-/// [`summarize_program`]; methods missing from `seed` are treated as dirty.
-pub fn summarize_program_incremental(
+/// Returns a summary for every method with a body; methods missing from
+/// `seed` are treated as dirty.
+pub fn summarize_program_incremental_contained(
     program: &Program,
     config: &AnalysisConfig,
     threads: usize,
     dirty: &HashSet<MethodId>,
     seed: &HashMap<MethodId, MethodSummary>,
-) -> HashMap<MethodId, MethodSummary> {
-    let mut out: HashMap<MethodId, MethodSummary> = HashMap::new();
+    deadline: Option<Instant>,
+) -> SummarizeOutcome {
+    let mut summaries: HashMap<MethodId, MethodSummary> = HashMap::new();
     let mut todo: Vec<MethodId> = Vec::new();
     for id in program.method_ids() {
         if program.method(id).body.is_none() {
@@ -84,54 +155,101 @@ pub fn summarize_program_incremental(
         }
         match seed.get(&id) {
             Some(s) if !dirty.contains(&id) => {
-                out.insert(id, s.clone());
+                summaries.insert(id, s.clone());
             }
             _ => todo.push(id),
         }
     }
     if todo.is_empty() {
-        return out;
+        return SummarizeOutcome {
+            summaries,
+            quarantined: Vec::new(),
+        };
     }
     if threads <= 1 || todo.len() < 64 {
-        let mut analyzer = Analyzer::new(program, config.clone());
-        for (id, s) in &out {
-            analyzer.seed_summary(*id, s.clone());
-        }
-        for id in todo {
-            let summary = analyzer.summarize(id);
-            out.insert(id, summary);
-        }
-        return out;
+        let (results, quarantined) =
+            run_shard_contained(program, config, deadline, &summaries, &todo);
+        summaries.extend(results);
+        return SummarizeOutcome {
+            summaries,
+            quarantined,
+        };
     }
     let shards: Vec<Vec<MethodId>> = {
         let mut shards = vec![Vec::new(); threads];
-        for (i, id) in todo.into_iter().enumerate() {
-            shards[i % threads].push(id);
+        for (i, id) in todo.iter().enumerate() {
+            shards[i % threads].push(*id);
         }
         shards
     };
     let (tx, rx) = crossbeam::channel::unbounded();
-    let clean = &out;
-    let recomputed: Vec<(MethodId, MethodSummary)> = crossbeam::thread::scope(|scope| {
+    let clean = &summaries;
+    let joined = crossbeam::thread::scope(|scope| {
         for shard in &shards {
             let tx = tx.clone();
             scope.spawn(move |_| {
-                let mut analyzer = Analyzer::new(program, config.clone());
-                for (id, s) in clean {
-                    analyzer.seed_summary(*id, s.clone());
-                }
-                for &id in shard {
-                    let summary = analyzer.summarize(id);
-                    tx.send((id, summary)).expect("collector alive");
-                }
+                let batch = run_shard_contained(program, config, deadline, clean, shard);
+                // A closed channel means the collector is gone; the batch is
+                // then re-runnable by the sequential fallback below.
+                let _ = tx.send(batch);
             });
         }
         drop(tx);
-        rx.iter().collect()
-    })
-    .expect("analysis worker panicked");
-    out.extend(recomputed);
-    out
+        rx.iter()
+            .collect::<Vec<(Vec<(MethodId, MethodSummary)>, Vec<QuarantinedMethod>)>>()
+    });
+    match joined {
+        Ok(batches) => {
+            let mut quarantined = Vec::new();
+            for (results, q) in batches {
+                summaries.extend(results);
+                quarantined.extend(q);
+            }
+            SummarizeOutcome {
+                summaries,
+                quarantined,
+            }
+        }
+        Err(_) => {
+            // A worker died outside the per-method containment (should not
+            // happen): fall back to one sequential contained pass.
+            let (results, quarantined) =
+                run_shard_contained(program, config, deadline, &summaries, &todo);
+            summaries.extend(results);
+            SummarizeOutcome {
+                summaries,
+                quarantined,
+            }
+        }
+    }
+}
+
+/// Summarizes every method with a body, using up to `threads` workers.
+///
+/// Equivalent to calling [`Analyzer::summarize`] for every method; with
+/// `threads <= 1` it does exactly that. Panics are contained per method
+/// (see [`summarize_program_contained`] for the diagnostics-bearing form).
+pub fn summarize_program(
+    program: &Program,
+    config: &AnalysisConfig,
+    threads: usize,
+) -> HashMap<MethodId, MethodSummary> {
+    summarize_program_contained(program, config, threads, None).summaries
+}
+
+/// Incremental re-summarization: recomputes summaries for the methods in
+/// `dirty` and reuses `seed` for everything else.
+///
+/// See [`summarize_program_incremental_contained`] for the dirty-set
+/// invariant and the diagnostics-bearing form.
+pub fn summarize_program_incremental(
+    program: &Program,
+    config: &AnalysisConfig,
+    threads: usize,
+    dirty: &HashSet<MethodId>,
+    seed: &HashMap<MethodId, MethodSummary>,
+) -> HashMap<MethodId, MethodSummary> {
+    summarize_program_incremental_contained(program, config, threads, dirty, seed, None).summaries
 }
 
 #[cfg(test)]
@@ -213,5 +331,30 @@ mod tests {
         for (id, s) in &full {
             assert_eq!(out[id].action, s.action, "{}", p.describe_method(*id));
         }
+    }
+
+    #[test]
+    fn injected_panic_quarantines_one_method_and_workers_survive() {
+        let p = corpus(40); // above the parallel threshold
+        let cfg = AnalysisConfig {
+            panic_on_method: Some("C7.m2".into()),
+            ..AnalysisConfig::default()
+        };
+        for threads in [1, 4] {
+            let out = summarize_program_contained(&p, &cfg, threads, None);
+            assert_eq!(out.quarantined.len(), 1, "threads={threads}");
+            assert!(out.quarantined[0].method.contains("C7.m2"));
+            assert!(out.quarantined[0].error.contains("injected fault"));
+            // Every method still has a summary, including the quarantined one.
+            assert_eq!(out.summaries.len(), 160);
+        }
+    }
+
+    #[test]
+    fn clean_run_has_empty_diagnostics() {
+        let p = corpus(5);
+        let out = summarize_program_contained(&p, &AnalysisConfig::default(), 1, None);
+        assert!(out.quarantined.is_empty());
+        assert_eq!(out.fixpoint_truncations(), 0);
     }
 }

@@ -45,6 +45,7 @@ pub use hash::{content_hash64, Fnv64};
 pub use query::{NodePattern, Query};
 pub use store::{Direction, EdgeId, EdgeType, Graph, Label, NodeId, PropKey};
 pub use traversal::{
-    follow, Evaluation, Evaluator, Expander, Expansion, Order, Path, Traversal, Uniqueness,
+    follow, Evaluation, Evaluator, Expander, Expansion, Order, Path, Traversal, TraversalStats,
+    Uniqueness,
 };
 pub use value::Value;

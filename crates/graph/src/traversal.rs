@@ -207,7 +207,19 @@ pub struct Traversal<S, X, E> {
     order: Order,
     max_results: usize,
     max_expansions: usize,
+    deadline: Option<std::time::Instant>,
     _marker: std::marker::PhantomData<S>,
+}
+
+/// What a traversal run did, beyond the result paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Expansion steps performed.
+    pub expansions: usize,
+    /// The run stopped on its expansion budget or deadline with frontier
+    /// still unexplored (reaching `max_results` is a satisfied query, not a
+    /// truncation).
+    pub truncated: bool,
 }
 
 impl<S: Clone, X: Expander<S>, E: Evaluator<S>> Traversal<S, X, E> {
@@ -221,6 +233,7 @@ impl<S: Clone, X: Expander<S>, E: Evaluator<S>> Traversal<S, X, E> {
             order: Order::DepthFirst,
             max_results: usize::MAX,
             max_expansions: usize::MAX,
+            deadline: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -254,6 +267,14 @@ impl<S: Clone, X: Expander<S>, E: Evaluator<S>> Traversal<S, X, E> {
         self
     }
 
+    /// Aborts (with `truncated` set in the stats) once the wall clock
+    /// passes `deadline`; checked every 1024 expansions.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// Runs the traversal from `start` with initial state `state`,
     /// returning all included paths with their final states.
     pub fn run(&self, graph: &Graph, start: NodeId, state: S) -> Vec<(Path, S)> {
@@ -263,14 +284,24 @@ impl<S: Clone, X: Expander<S>, E: Evaluator<S>> Traversal<S, X, E> {
     /// Runs the traversal from several start nodes in one pass (sharing
     /// global uniqueness and work limits).
     pub fn run_many(&self, graph: &Graph, starts: Vec<(NodeId, S)>) -> Vec<(Path, S)> {
+        self.run_many_with_stats(graph, starts).0
+    }
+
+    /// Like [`Traversal::run_many`], also reporting whether the run was cut
+    /// short by its expansion budget or deadline.
+    pub fn run_many_with_stats(
+        &self,
+        graph: &Graph,
+        starts: Vec<(NodeId, S)>,
+    ) -> (Vec<(Path, S)>, TraversalStats) {
         let mut results = Vec::new();
+        let mut stats = TraversalStats::default();
         let mut frontier: std::collections::VecDeque<(Path, S)> = starts
             .into_iter()
             .map(|(n, s)| (Path::start(n), s))
             .collect();
         let mut visited_global: std::collections::HashSet<NodeId> =
             frontier.iter().map(|(p, _)| p.first()).collect();
-        let mut expansions = 0usize;
         while let Some((path, state)) = match self.order {
             Order::DepthFirst => frontier.pop_back(),
             Order::BreadthFirst => frontier.pop_front(),
@@ -286,9 +317,18 @@ impl<S: Clone, X: Expander<S>, E: Evaluator<S>> Traversal<S, X, E> {
                 continue;
             }
             for exp in self.expander.expand(graph, &path, &state) {
-                expansions += 1;
-                if expansions > self.max_expansions {
-                    return results;
+                stats.expansions += 1;
+                if stats.expansions > self.max_expansions {
+                    stats.truncated = true;
+                    return (results, stats);
+                }
+                if stats.expansions % 1024 == 0 {
+                    if let Some(deadline) = self.deadline {
+                        if std::time::Instant::now() >= deadline {
+                            stats.truncated = true;
+                            return (results, stats);
+                        }
+                    }
                 }
                 let admissible = match self.uniqueness {
                     Uniqueness::None => true,
@@ -300,7 +340,7 @@ impl<S: Clone, X: Expander<S>, E: Evaluator<S>> Traversal<S, X, E> {
                 }
             }
         }
-        results
+        (results, stats)
     }
 }
 
@@ -427,6 +467,52 @@ mod tests {
         .max_expansions(3)
         .run(&g, nodes[0], ());
         assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn expansion_budget_abort_is_flagged_truncated() {
+        let (g, nodes, t) = diamondish();
+        let (paths, stats) = Traversal::new(
+            follow(vec![(t, Direction::Outgoing)]),
+            |_: &Graph, _: &Path, _: &()| Evaluation::ExcludeAndContinue,
+        )
+        .uniqueness(Uniqueness::None)
+        .max_expansions(3)
+        .run_many_with_stats(&g, vec![(nodes[0], ())]);
+        assert!(paths.is_empty());
+        assert!(stats.truncated);
+        assert_eq!(stats.expansions, 4); // aborted on the step past the budget
+    }
+
+    #[test]
+    fn exhaustive_run_is_not_truncated() {
+        let (g, nodes, t) = diamondish();
+        let (_, stats) = Traversal::new(
+            follow(vec![(t, Direction::Outgoing)]),
+            |_: &Graph, _: &Path, _: &()| Evaluation::ExcludeAndContinue,
+        )
+        .run_many_with_stats(&g, vec![(nodes[0], ())]);
+        assert!(!stats.truncated);
+        assert!(stats.expansions > 0);
+    }
+
+    #[test]
+    fn max_results_stop_is_not_truncated() {
+        let (g, nodes, t) = diamondish();
+        let (paths, stats) = Traversal::new(
+            follow(vec![(t, Direction::Outgoing)]),
+            |_: &Graph, path: &Path, _: &()| {
+                if path.len() > 0 {
+                    Evaluation::IncludeAndContinue
+                } else {
+                    Evaluation::ExcludeAndContinue
+                }
+            },
+        )
+        .max_results(1)
+        .run_many_with_stats(&g, vec![(nodes[0], ())]);
+        assert_eq!(paths.len(), 1);
+        assert!(!stats.truncated);
     }
 
     #[test]

@@ -471,7 +471,7 @@ fn compile_body(
     compiler
         .asm
         .finish(max_locals)
-        .expect("all referenced labels are placed by construction")
+        .unwrap_or_else(|e| panic!("all referenced labels are placed by construction: {e}"))
 }
 
 #[cfg(test)]

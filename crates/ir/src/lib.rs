@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod builder;
 pub mod cfg;
@@ -62,6 +63,7 @@ pub use builder::{ClassBuilder, MethodBuilder, ProgramBuilder};
 pub use cfg::Cfg;
 pub use flags::{ClassFlags, FieldFlags, MethodFlags};
 pub use hierarchy::Hierarchy;
+pub use lift::{lift_class, lift_program, lift_program_tolerant, LiftDiagnostic, LiftOutcome};
 pub use model::{Body, Class, ClassId, Field, Method, MethodId, Program};
 pub use stmt::{
     BinOp, CmpOp, Condition, Constant, Expr, FieldRef, IdentityRef, InvokeExpr, InvokeKind, Label,

@@ -44,6 +44,94 @@ pub fn lift_program(classes: &[Vec<u8>]) -> Result<Program, ClassFileError> {
     Ok(pb.build())
 }
 
+/// Why one class was quarantined during a tolerant lift.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LiftDiagnostic {
+    /// Index of the blob in the input slice.
+    pub index: usize,
+    /// Fully-qualified class name, when the header parsed far enough to
+    /// recover it.
+    pub class_name: Option<String>,
+    /// FNV-1a hash of the raw bytes, so a skipped blob can be located even
+    /// without a name.
+    pub byte_hash: u64,
+    /// Human-readable parse/lift error (or panic payload).
+    pub error: String,
+}
+
+/// Result of [`lift_program_tolerant`]: the surviving program plus one
+/// diagnostic per quarantined class.
+#[derive(Debug)]
+pub struct LiftOutcome {
+    /// Program built from the classes that lifted cleanly.
+    pub program: Program,
+    /// One entry per class that failed to parse or lift.
+    pub skipped: Vec<LiftDiagnostic>,
+}
+
+/// FNV-1a over raw class bytes (the ir crate has no dependency on the graph
+/// crate's hashing helpers, so the identical constant-folded loop lives here).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Lifts every blob that parses, quarantining the rest.
+///
+/// Unlike [`lift_program`], a malformed class does not abort the whole
+/// batch: it becomes a [`LiftDiagnostic`] and the survivors still form a
+/// [`Program`]. Panics inside the per-class parse/lift are contained the
+/// same way (the interner is append-only, so partial interning from an
+/// aborted class is harmless).
+pub fn lift_program_tolerant(classes: &[Vec<u8>]) -> LiftOutcome {
+    let mut pb = ProgramBuilder::new();
+    let mut skipped = Vec::new();
+    for (index, bytes) in classes.iter().enumerate() {
+        let interner = pb.interner_mut();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<Class, (Option<String>, String)> {
+                let cf = tabby_classfile::parse_class(bytes).map_err(|e| (None, e.to_string()))?;
+                let name = cf.name().ok();
+                lift_class(interner, &cf).map_err(|e| (name.clone(), e.to_string()))
+            },
+        ));
+        match attempt {
+            Ok(Ok(class)) => pb.push_class(class),
+            Ok(Err((class_name, error))) => skipped.push(LiftDiagnostic {
+                index,
+                class_name,
+                byte_hash: fnv1a64(bytes),
+                error,
+            }),
+            Err(payload) => skipped.push(LiftDiagnostic {
+                index,
+                class_name: None,
+                byte_hash: fnv1a64(bytes),
+                error: format!("panic while lifting: {}", panic_message(payload.as_ref())),
+            }),
+        }
+    }
+    LiftOutcome {
+        program: pb.build(),
+        skipped,
+    }
+}
+
+/// Extracts a readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
 /// Lifts one parsed class file into an IR [`Class`].
 pub fn lift_class(interner: &mut Interner, cf: &ClassFile) -> Result<Class, ClassFileError> {
     let name = interner.intern(&cf.name()?);
@@ -249,16 +337,18 @@ fn invoke_shape(cp: &ConstantPool, index: u16) -> (u32, u32) {
         _ => cp.member_ref(index).map(|(_, _, d)| d).ok(),
     };
     let Some(desc) = desc else { return (0, 0) };
-    // Count parameters without interning types.
+    // Count parameters without interning types. Malformed descriptors (from
+    // corrupt constant pools) terminate the walk instead of running off the
+    // end of the byte slice.
     let mut argc = 0u32;
     let bytes = desc.as_bytes();
     let mut i = 1; // skip '('
     while i < bytes.len() && bytes[i] != b')' {
         argc += 1;
-        while bytes[i] == b'[' {
+        while i < bytes.len() && bytes[i] == b'[' {
             i += 1;
         }
-        if bytes[i] == b'L' {
+        if i < bytes.len() && bytes[i] == b'L' {
             while i < bytes.len() && bytes[i] != b';' {
                 i += 1;
             }
@@ -449,6 +539,16 @@ pub fn lift_body(
 #[allow(clippy::too_many_lines)]
 fn lift_insn(l: &mut Lifter<'_>, insn: &Insn, d: u32) -> Result<(), ClassFileError> {
     use Insn::*;
+    // Corrupt bytecode can claim a stack effect deeper than the computed
+    // depth at this offset; the `d - k` cell arithmetic below would then
+    // underflow. Reject the method instead of panicking (debug) or aliasing
+    // real locals (release).
+    let (pop, _) = stack_effect(insn, l.cp);
+    if d < pop {
+        return Err(ClassFileError::new(format!(
+            "operand stack underflow: depth {d} < pop {pop}"
+        )));
+    }
     // NOTE: branch targets are stored as `Label(code_offset)` placeholders
     // and rewritten to real labels afterwards.
     let placeholder = Label;

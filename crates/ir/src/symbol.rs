@@ -64,7 +64,9 @@ impl Interner {
         if let Some(&sym) = self.map.get(s) {
             return sym;
         }
-        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let sym = Symbol(u32::try_from(self.strings.len()).unwrap_or_else(|_| {
+            panic!("interner overflow: {} strings interned", self.strings.len())
+        }));
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
         self.map.insert(boxed, sym);

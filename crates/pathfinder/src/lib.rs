@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod report;
 pub mod search;
@@ -55,8 +56,8 @@ pub mod sources;
 
 pub use report::AuditReport;
 pub use search::{
-    find_chains_raw, find_gadget_chains, traverse_tc, ChainFinder, GadgetChain, SearchConfig,
-    TriggerCondition,
+    find_chains_raw, find_chains_raw_detailed, find_gadget_chains, find_gadget_chains_detailed,
+    traverse_tc, ChainFinder, GadgetChain, SearchConfig, SearchOutcome, TriggerCondition,
 };
 pub use sinks::{SinkCatalog, SinkCategory, SinkSpec};
 pub use sources::{SourceCatalog, SourceSpec};

@@ -34,6 +34,10 @@ pub struct SearchConfig {
     /// Node-uniqueness policy. `NodeGlobal` reproduces GadgetInspector's
     /// visited-node shortcut, which the paper criticizes (§IV-F).
     pub uniqueness: Uniqueness,
+    /// Wall-clock deadline for the whole search. When it passes, the chains
+    /// found so far are returned with [`SearchOutcome::truncated`] set
+    /// instead of letting one pathological scan hang the phase.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SearchConfig {
@@ -44,8 +48,21 @@ impl Default for SearchConfig {
             max_expansions: 2_000_000,
             use_alias_edges: true,
             uniqueness: Uniqueness::NodePath,
+            deadline: None,
         }
     }
+}
+
+/// The result of a chain search, including whether it ran to completion.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The chains found (all of them, or a prefix if truncated).
+    pub chains: Vec<GadgetChain>,
+    /// True when the search was cut short by its expansion budget or
+    /// deadline — the chain list is a valid but possibly incomplete answer.
+    pub truncated: bool,
+    /// Edge expansions performed (Algorithm 2 steps).
+    pub expansions: usize,
 }
 
 /// A found gadget chain, reported source-first (as in Tables I and XI).
@@ -173,13 +190,23 @@ pub fn find_gadget_chains(
     sources: &SourceCatalog,
     config: &SearchConfig,
 ) -> Vec<GadgetChain> {
+    find_gadget_chains_detailed(cpg, sinks, sources, config).chains
+}
+
+/// Like [`find_gadget_chains`], also reporting truncation and work done.
+pub fn find_gadget_chains_detailed(
+    cpg: &mut Cpg,
+    sinks: &SinkCatalog,
+    sources: &SourceCatalog,
+    config: &SearchConfig,
+) -> SearchOutcome {
     let sink_nodes = sinks.annotate(cpg);
     let source_nodes = sources.annotate(cpg);
     let categories = sink_nodes
         .iter()
         .map(|(n, s)| (*n, s.category.as_str().to_owned()))
         .collect();
-    find_chains_raw(
+    find_chains_raw_detailed(
         &cpg.graph,
         &cpg.schema,
         sink_nodes
@@ -202,6 +229,18 @@ pub fn find_chains_raw(
     sources: &HashSet<NodeId>,
     config: &SearchConfig,
 ) -> Vec<GadgetChain> {
+    find_chains_raw_detailed(graph, schema, sinks, sink_categories, sources, config).chains
+}
+
+/// Like [`find_chains_raw`], also reporting truncation and work done.
+pub fn find_chains_raw_detailed(
+    graph: &Graph,
+    schema: &CpgSchema,
+    sinks: Vec<(NodeId, TriggerCondition)>,
+    sink_categories: Vec<(NodeId, String)>,
+    sources: &HashSet<NodeId>,
+    config: &SearchConfig,
+) -> SearchOutcome {
     let call = schema.call;
     let alias = schema.alias;
     let pp_key = schema.polluted_position;
@@ -260,8 +299,9 @@ pub fn find_chains_raw(
     let traversal = Traversal::new(expander, evaluator)
         .uniqueness(config.uniqueness)
         .max_results(config.max_results)
-        .max_expansions(config.max_expansions);
-    let results = traversal.run_many(graph, sinks);
+        .max_expansions(config.max_expansions)
+        .deadline(config.deadline);
+    let (results, stats) = traversal.run_many_with_stats(graph, sinks);
 
     let category_of = |sink: NodeId| {
         sink_categories
@@ -298,7 +338,11 @@ pub fn find_chains_raw(
             nodes,
         });
     }
-    chains
+    SearchOutcome {
+        chains,
+        truncated: stats.truncated,
+        expansions: stats.expansions,
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +443,47 @@ mod tests {
         // Depth 2 cannot reach H (3 edges needed).
         let chains = chains_from_fig6(2);
         assert!(chains.is_empty());
+    }
+
+    #[test]
+    fn expansion_budget_truncates_search_with_partial_chains() {
+        let (g, schema, nodes) = fig6();
+        let sink = nodes[0];
+        let source = nodes[6];
+        let config = SearchConfig {
+            max_expansions: 1,
+            ..SearchConfig::default()
+        };
+        let outcome = find_chains_raw_detailed(
+            &g,
+            &schema,
+            vec![(sink, TriggerCondition::from([1u16]))],
+            vec![(sink, "EXEC".to_owned())],
+            &HashSet::from([source]),
+            &config,
+        );
+        assert!(outcome.truncated);
+        assert!(outcome.expansions > config.max_expansions);
+        // The chain needs 3 hops; one expansion cannot reach the source.
+        assert!(outcome.chains.is_empty());
+    }
+
+    #[test]
+    fn complete_search_is_not_truncated() {
+        let (g, schema, nodes) = fig6();
+        let sink = nodes[0];
+        let source = nodes[6];
+        let outcome = find_chains_raw_detailed(
+            &g,
+            &schema,
+            vec![(sink, TriggerCondition::from([1u16]))],
+            vec![(sink, "EXEC".to_owned())],
+            &HashSet::from([source]),
+            &SearchConfig::default(),
+        );
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.chains.len(), 1);
+        assert!(outcome.expansions > 0);
     }
 
     #[test]

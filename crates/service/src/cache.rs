@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
-use tabby_core::MethodSummary;
+use tabby_core::{MethodSummary, ScanDiagnostics};
 use tabby_graph::Graph;
 use tabby_ir::{Class, Interner, MethodId, Symbol};
 use tabby_pathfinder::GadgetChain;
@@ -43,6 +43,20 @@ pub struct CachedClass {
     pub class: Class,
 }
 
+/// A cached chain set together with the diagnostics of the scan that
+/// produced it, so a cache hit reports the same degradations as the
+/// original run did.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CachedChains {
+    /// The found gadget chains, source-first.
+    pub chains: Vec<GadgetChain>,
+    /// What was skipped/quarantined/truncated when they were computed.
+    /// `#[serde(default)]` lets pre-existing disk entries (written before
+    /// diagnostics existed) load as clean scans.
+    #[serde(default)]
+    pub diagnostics: ScanDiagnostics,
+}
+
 /// A cached assembled CPG: the graph plus the sink/source annotation the
 /// chain search needs, in serializable form.
 #[derive(Debug, Serialize, Deserialize)]
@@ -54,6 +68,10 @@ pub struct CachedCpg {
     pub sinks: Vec<(u32, Vec<u16>, String)>,
     /// Annotated source nodes.
     pub sources: Vec<u32>,
+    /// Lift/summarize-phase diagnostics of the scan that built this CPG
+    /// (search-phase degradations are per-query, not cached here).
+    #[serde(default)]
+    pub diagnostics: ScanDiagnostics,
 }
 
 /// Per-component summary state from the previous scan of the same path
@@ -77,7 +95,7 @@ pub struct ScanCache {
     interner: Interner,
     classes: HashMap<u64, CachedClass>,
     classes_order: VecDeque<u64>,
-    chains: HashMap<u64, Vec<GadgetChain>>,
+    chains: HashMap<u64, CachedChains>,
     chains_order: VecDeque<u64>,
     cpgs: HashMap<u64, Arc<CachedCpg>>,
     cpgs_order: VecDeque<u64>,
@@ -148,29 +166,38 @@ impl ScanCache {
 
     // ----- level 2: chains + CPGs ------------------------------------------
 
-    /// Looks up a cached chain set, falling back to disk.
-    pub fn get_chains(&mut self, key: u64) -> Option<Vec<GadgetChain>> {
+    /// Looks up a cached chain set (with its diagnostics), falling back to
+    /// disk. Disk entries written before diagnostics existed (a bare chain
+    /// array) load as clean scans.
+    pub fn get_chains(&mut self, key: u64) -> Option<CachedChains> {
         if let Some(c) = self.chains.get(&key) {
             return Some(c.clone());
         }
         let path = self.dir.as_ref()?.join("chains").join(file_name(key));
         let bytes = std::fs::read(path).ok()?;
-        let chains: Vec<GadgetChain> = serde_json::from_slice(&bytes).ok()?;
-        self.insert_chains_mem(key, chains.clone());
-        Some(chains)
+        let entry: CachedChains = serde_json::from_slice(&bytes)
+            .or_else(|_| {
+                serde_json::from_slice::<Vec<GadgetChain>>(&bytes).map(|chains| CachedChains {
+                    chains,
+                    diagnostics: ScanDiagnostics::default(),
+                })
+            })
+            .ok()?;
+        self.insert_chains_mem(key, entry.clone());
+        Some(entry)
     }
 
     /// Caches a chain set in memory and (best-effort) on disk.
-    pub fn put_chains(&mut self, key: u64, chains: &[GadgetChain]) {
-        self.insert_chains_mem(key, chains.to_vec());
+    pub fn put_chains(&mut self, key: u64, entry: &CachedChains) {
+        self.insert_chains_mem(key, entry.clone());
         if let Some(dir) = &self.dir {
-            if let Ok(bytes) = serde_json::to_vec(chains) {
+            if let Ok(bytes) = serde_json::to_vec(entry) {
                 write_atomic(&dir.join("chains").join(file_name(key)), &bytes);
             }
         }
     }
 
-    fn insert_chains_mem(&mut self, key: u64, chains: Vec<GadgetChain>) {
+    fn insert_chains_mem(&mut self, key: u64, chains: CachedChains) {
         if self.chains.insert(key, chains).is_none() {
             self.chains_order.push_back(key);
         }
@@ -278,11 +305,14 @@ fn write_atomic(path: &std::path::Path, bytes: &[u8]) {
 mod tests {
     use super::*;
 
-    fn chain(sig: &str) -> GadgetChain {
-        GadgetChain {
-            signatures: vec![sig.to_owned()],
-            sink_category: "EXEC".to_owned(),
-            nodes: Vec::new(),
+    fn chain(sig: &str) -> CachedChains {
+        CachedChains {
+            chains: vec![GadgetChain {
+                signatures: vec![sig.to_owned()],
+                sink_category: "EXEC".to_owned(),
+                nodes: Vec::new(),
+            }],
+            diagnostics: ScanDiagnostics::default(),
         }
     }
 
@@ -290,17 +320,18 @@ mod tests {
     fn chains_round_trip_through_memory() {
         let mut cache = ScanCache::new(None, 4);
         assert!(cache.get_chains(1).is_none());
-        cache.put_chains(1, &[chain("a.b()")]);
+        cache.put_chains(1, &chain("a.b()"));
         let got = cache.get_chains(1).unwrap();
-        assert_eq!(got[0].signatures, vec!["a.b()".to_owned()]);
+        assert_eq!(got.chains[0].signatures, vec!["a.b()".to_owned()]);
+        assert!(!got.diagnostics.is_degraded());
     }
 
     #[test]
     fn chains_evict_oldest_beyond_capacity() {
         let mut cache = ScanCache::new(None, 2);
-        cache.put_chains(1, &[chain("one")]);
-        cache.put_chains(2, &[chain("two")]);
-        cache.put_chains(3, &[chain("three")]);
+        cache.put_chains(1, &chain("one"));
+        cache.put_chains(2, &chain("two"));
+        cache.put_chains(3, &chain("three"));
         assert!(cache.get_chains(1).is_none(), "oldest entry survives");
         assert!(cache.get_chains(2).is_some());
         assert!(cache.get_chains(3).is_some());
@@ -316,11 +347,30 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         {
             let mut cache = ScanCache::new(Some(dir.clone()), 4);
-            cache.put_chains(7, &[chain("persisted")]);
+            cache.put_chains(7, &chain("persisted"));
         }
         let mut fresh = ScanCache::new(Some(dir.clone()), 4);
         let got = fresh.get_chains(7).expect("disk entry");
-        assert_eq!(got[0].signatures, vec!["persisted".to_owned()]);
+        assert_eq!(got.chains[0].signatures, vec!["persisted".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_bare_array_disk_entries_load_as_clean_scans() {
+        let dir = std::env::temp_dir().join(format!(
+            "tabby-cache-legacy-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("chains")).unwrap();
+        // Simulate a pre-diagnostics cache file: a bare chain array.
+        let legacy = serde_json::to_vec(&chain("old").chains).unwrap();
+        std::fs::write(dir.join("chains").join(super::file_name(9)), legacy).unwrap();
+        let mut cache = ScanCache::new(Some(dir.clone()), 4);
+        let got = cache.get_chains(9).expect("legacy entry still loads");
+        assert_eq!(got.chains[0].signatures, vec!["old".to_owned()]);
+        assert!(!got.diagnostics.is_degraded());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

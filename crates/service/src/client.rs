@@ -8,6 +8,7 @@
 use crate::protocol::{Request, Response, ScanRequestOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// Sends one request to the daemon at `addr` and waits for its reply.
 ///
@@ -52,4 +53,174 @@ pub fn submit(
             options,
         },
     )
+}
+
+/// Bounded-retry policy for [`submit_with_retry`]: exponential backoff
+/// with jitter, applied only to *transient* failures (connection refused,
+/// `"queue full"` rejections). Permanent failures — bad paths, malformed
+/// classes, job errors — surface immediately.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` disables retrying).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the `--no-retry` escape hatch).
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based): `base * 2^(retry-1)`,
+    /// capped at `max_delay`, plus up to 25% jitter so a burst of rejected
+    /// clients doesn't re-dogpile the queue in lockstep.
+    fn delay(&self, retry: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << (retry - 1).min(16));
+        let capped = exp.min(self.max_delay);
+        capped + jitter(capped / 4)
+    }
+}
+
+/// Pseudo-random jitter in `[0, bound)` from the clock's subsecond nanos —
+/// no RNG dependency needed for spreading retries out.
+fn jitter(bound: Duration) -> Duration {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    if bound.is_zero() {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos(nanos % bound.as_nanos() as u64)
+    }
+}
+
+/// Whether a transport-level error is worth retrying (the daemon may still
+/// be starting up, or restarting).
+fn transient_transport_error(err: &str) -> bool {
+    err.starts_with("connect ")
+}
+
+/// Whether a daemon reply is a transient rejection (the queue was full —
+/// capacity frees up as workers drain jobs).
+fn transient_rejection(resp: &Response) -> bool {
+    !resp.ok && resp.error.as_deref() == Some("queue full")
+}
+
+/// Like [`submit`], but retries transient failures — connection refused
+/// and `"queue full"` rejections — under the given policy. Everything else
+/// returns on the first attempt.
+///
+/// # Errors
+///
+/// Same failure modes as [`request`], after the policy's attempts are
+/// exhausted.
+pub fn submit_with_retry(
+    addr: &str,
+    paths: Vec<String>,
+    options: ScanRequestOptions,
+    policy: &RetryPolicy,
+) -> Result<Response, String> {
+    let attempts = policy.attempts.max(1);
+    let mut last_err = String::new();
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            std::thread::sleep(policy.delay(attempt - 1));
+        }
+        match submit(addr, paths.clone(), options.clone()) {
+            Ok(resp) if transient_rejection(&resp) && attempt < attempts => {
+                last_err = "queue full".to_owned();
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) if transient_transport_error(&e) && attempt < attempts => {
+                last_err = e;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(format!("gave up after {attempts} attempts: {last_err}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(300),
+        };
+        // Jitter adds at most 25%, so bounds are deterministic.
+        let d1 = policy.delay(1);
+        assert!(d1 >= Duration::from_millis(100) && d1 < Duration::from_millis(126));
+        let d2 = policy.delay(2);
+        assert!(d2 >= Duration::from_millis(200) && d2 < Duration::from_millis(251));
+        let d9 = policy.delay(9);
+        assert!(d9 >= Duration::from_millis(300) && d9 < Duration::from_millis(376));
+    }
+
+    #[test]
+    fn transient_predicates_classify_failures() {
+        assert!(transient_transport_error(
+            "connect 127.0.0.1:1: Connection refused"
+        ));
+        assert!(!transient_transport_error("read reply: broken pipe"));
+        assert!(transient_rejection(&Response::failure(None, "queue full")));
+        assert!(!transient_rejection(&Response::failure(None, "bad path")));
+        assert!(!transient_rejection(&Response::ack(None)));
+    }
+
+    #[test]
+    fn connection_refused_retries_then_surfaces_the_error() {
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(40),
+        };
+        let started = std::time::Instant::now();
+        // Nothing listens on this address; every attempt is refused.
+        let err = submit_with_retry(
+            "127.0.0.1:1",
+            vec!["/tmp/none".to_owned()],
+            ScanRequestOptions::default(),
+            &policy,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("connect "), "{err}");
+        // Two backoffs ran: >= 10ms + 20ms (jitter only adds).
+        assert!(started.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn no_retry_policy_fails_fast() {
+        let started = std::time::Instant::now();
+        let err = submit_with_retry(
+            "127.0.0.1:1",
+            vec!["/tmp/none".to_owned()],
+            ScanRequestOptions::default(),
+            &RetryPolicy::none(),
+        )
+        .unwrap_err();
+        assert!(err.starts_with("connect "), "{err}");
+        assert!(started.elapsed() < Duration::from_millis(500));
+    }
 }

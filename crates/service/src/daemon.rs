@@ -247,21 +247,41 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
     while let Ok(job) = rx.recv() {
         let queue_ms = job.enqueued.elapsed().as_millis() as u64;
         let deadline = Instant::now() + shared.config.job_timeout;
-        let result = match shared.engine.run_scan(&job.paths, &job.options, deadline) {
-            Ok(mut outcome) => {
+        // One job panicking must not take the worker (and with it a slot of
+        // the pool) down: contain it, report a structured error, move on.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.engine.run_scan(&job.paths, &job.options, deadline)
+        }));
+        let result = match run {
+            Ok(Ok(mut outcome)) => {
                 outcome.stats.queue_ms = queue_ms;
                 outcome.stats.total_ms += queue_ms;
                 shared.jobs_done.fetch_add(1, Ordering::Relaxed);
                 Ok(outcome)
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
                 Err(e)
+            }
+            Err(payload) => {
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                Err(format!("job panicked: {}", panic_message(payload.as_ref())))
             }
         };
         // A client that gave up (timeout, closed connection) is not an
         // error worth tearing the worker down for.
         let _ = job.reply.send(result);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
     }
 }
 
@@ -360,7 +380,7 @@ fn submit_scan(
     // Grace beyond the job's own deadline so a worker-side timeout error
     // normally wins over this transport-level one.
     match reply_rx.recv_timeout(shared.config.job_timeout + Duration::from_millis(250)) {
-        Ok(Ok(outcome)) => Response::scan(id, outcome.chains, outcome.stats),
+        Ok(Ok(outcome)) => Response::scan(id, outcome.chains, outcome.stats, outcome.diagnostics),
         Ok(Err(e)) => Response::failure(id, e),
         Err(_) => Response::failure(id, "job timed out"),
     }
@@ -442,6 +462,56 @@ mod tests {
         let stats = client::request(&addr, &Request::Stats { id: None }).unwrap();
         assert_eq!(stats.daemon.unwrap().jobs_failed, 1);
         handle.stop();
+    }
+
+    #[test]
+    fn injected_job_panic_gets_error_reply_and_daemon_survives() {
+        use tabby_ir::compile::compile_program;
+        use tabby_ir::{JType, ProgramBuilder};
+        let dir = std::env::temp_dir().join(format!(
+            "tabby-daemon-fault-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("f.A");
+        cb.serializable_in_place();
+        let mut mb = cb.method("m1", vec![], JType::Void);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        for (name, bytes) in compile_program(&pb.build()) {
+            std::fs::write(dir.join(format!("{name}.class")), bytes).unwrap();
+        }
+
+        let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+        let addr = handle.addr().to_string();
+        let paths = vec![dir.to_string_lossy().into_owned()];
+        // Job 1: injected panic inside the job itself. The worker contains
+        // it and the client gets a structured error, not a hung socket.
+        let reply = client::submit(
+            &addr,
+            paths.clone(),
+            ScanRequestOptions {
+                inject_fault: Some("job".to_owned()),
+                ..ScanRequestOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!reply.ok);
+        assert!(reply.error.unwrap().contains("job panicked"), "panic reply");
+        // Job 2 on the same (single-worker) daemon still succeeds.
+        let reply = client::submit(&addr, paths, ScanRequestOptions::default()).unwrap();
+        assert!(reply.ok, "worker survived the panic: {:?}", reply.error);
+        assert!(reply.diagnostics.is_none(), "clean scan has no diagnostics");
+        let stats = client::request(&addr, &Request::Stats { id: None }).unwrap();
+        let daemon = stats.daemon.unwrap();
+        assert_eq!(daemon.jobs_failed, 1);
+        assert_eq!(daemon.jobs_done, 1);
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,18 +22,22 @@
 //! references, a clean method's summary — including its resolved callees
 //! and their Actions — cannot be affected by any change outside its cone.
 
-use crate::cache::{CachedClass, CachedCpg, ComponentState, ScanCache};
+use crate::cache::{CachedChains, CachedClass, CachedCpg, ComponentState, ScanCache};
 use crate::protocol::{JobStats, ScanRequestOptions};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
-use tabby_core::{summarize_program_incremental, AnalysisConfig, Cpg, CpgSchema, MethodSummary};
+use tabby_core::{
+    summarize_program_incremental_contained, AnalysisConfig, Cpg, CpgSchema, MethodSummary,
+    ScanDiagnostics, SkippedClass,
+};
 use tabby_graph::{content_hash64, Fnv64, NodeId};
 use tabby_ir::lift::lift_class;
 use tabby_ir::{ClassId, MethodId, Program, ProgramBuilder, Symbol};
 use tabby_pathfinder::{
-    find_chains_raw, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog, TriggerCondition,
+    find_chains_raw_detailed, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
+    TriggerCondition,
 };
 
 /// The result of one scan job.
@@ -43,6 +47,9 @@ pub struct JobOutcome {
     pub chains: Vec<GadgetChain>,
     /// Timing and cache-effectiveness stats.
     pub stats: JobStats,
+    /// What was skipped, quarantined, or truncated (empty for a clean,
+    /// complete scan).
+    pub diagnostics: ScanDiagnostics,
 }
 
 /// The daemon's scan engine: analysis configuration plus the shared cache.
@@ -72,9 +79,17 @@ impl Engine {
         }
     }
 
+    /// Locks the cache, recovering from poisoning: a panic in another
+    /// worker (already contained and reported there) must not cascade into
+    /// every future job. The cache's invariants are append-only, so an
+    /// interrupted writer leaves at worst a missing entry.
+    fn lock_cache(&self) -> MutexGuard<'_, ScanCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Current cache occupancy: `(classes, chain sets, CPGs)`.
     pub fn cache_counts(&self) -> (usize, usize, usize) {
-        let cache = self.cache.lock().expect("cache poisoned");
+        let cache = self.lock_cache();
         (
             cache.cached_classes(),
             cache.cached_jobs(),
@@ -97,6 +112,21 @@ impl Engine {
     ) -> Result<JobOutcome, String> {
         let started = Instant::now();
         let mut stats = JobStats::default();
+        let mut diagnostics = ScanDiagnostics::default();
+
+        // Fault-injected jobs exist to test containment; they must neither
+        // read stale clean results nor poison the cache with faulty ones.
+        let faulty = options.inject_fault.is_some();
+        if options.inject_fault.as_deref() == Some("job") {
+            panic!("injected fault in job execution");
+        }
+        let config = {
+            let mut c = self.config.clone();
+            if let Some(f) = &options.inject_fault {
+                c.panic_on_method = Some(f.clone());
+            }
+            c
+        };
 
         // ----- collect, read, hash ----------------------------------------
         let mut files = Vec::new();
@@ -106,7 +136,10 @@ impl Engine {
         files.sort();
         files.dedup();
         if files.is_empty() {
-            return Err("no .class files found under the given paths".to_owned());
+            return Err(format!(
+                "no .class files found under the given paths: {}",
+                paths.join(", ")
+            ));
         }
         let mut blobs = Vec::with_capacity(files.len());
         for f in &files {
@@ -126,6 +159,9 @@ impl Engine {
             }
             k.write_u64(self.analysis_fp);
             k.write_u64(u64::from(options.extended));
+            // Strict and tolerant scans of the same bytes can include
+            // different classes, so they must never share cache entries.
+            k.write_u64(u64::from(options.strict));
             k.finish()
         };
         let chains_key = {
@@ -145,26 +181,26 @@ impl Engine {
         };
         let search_cfg = SearchConfig {
             max_depth: options.depth,
+            deadline: Some(deadline),
             ..SearchConfig::default()
         };
 
         // ----- tier 1: chain cache ----------------------------------------
-        if !options.fresh {
-            if let Some(chains) = self
-                .cache
-                .lock()
-                .expect("cache poisoned")
-                .get_chains(chains_key)
-            {
+        if !options.fresh && !faulty {
+            if let Some(cached) = self.lock_cache().get_chains(chains_key) {
                 stats.classes = content.len();
                 stats.job_cache_hit = true;
                 stats.cache_hit_ratio = 1.0;
                 stats.total_ms = ms_since(started);
-                return Ok(JobOutcome { chains, stats });
+                return Ok(JobOutcome {
+                    chains: cached.chains,
+                    stats,
+                    diagnostics: cached.diagnostics,
+                });
             }
 
             // ----- tier 2: CPG cache (search only) ------------------------
-            let cached = self.cache.lock().expect("cache poisoned").get_cpg(cpg_key);
+            let cached = self.lock_cache().get_cpg(cpg_key);
             if let Some(cpg) = cached {
                 let t = Instant::now();
                 let schema = CpgSchema::lookup(&cpg.graph)
@@ -180,7 +216,7 @@ impl Engine {
                     .map(|(n, _, cat)| (NodeId(*n), cat.clone()))
                     .collect();
                 let sources: HashSet<NodeId> = cpg.sources.iter().map(|&n| NodeId(n)).collect();
-                let chains = find_chains_raw(
+                let search = find_chains_raw_detailed(
                     &cpg.graph,
                     &schema,
                     sinks,
@@ -192,20 +228,37 @@ impl Engine {
                 stats.classes = content.len();
                 stats.cpg_cache_hit = true;
                 stats.cache_hit_ratio = 1.0;
-                self.cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .put_chains(chains_key, &chains);
+                diagnostics.merge(cpg.diagnostics.clone());
+                diagnostics.search_truncated = search.truncated;
+                // A truncated search is deadline-dependent, not
+                // content-addressed — never serve it to a later job.
+                if !search.truncated {
+                    self.lock_cache().put_chains(
+                        chains_key,
+                        &CachedChains {
+                            chains: search.chains.clone(),
+                            diagnostics: diagnostics.clone(),
+                        },
+                    );
+                }
                 stats.total_ms = ms_since(started);
-                return Ok(JobOutcome { chains, stats });
+                return Ok(JobOutcome {
+                    chains: search.chains,
+                    stats,
+                    diagnostics,
+                });
             }
         }
         check_deadline(deadline, "cache lookup")?;
 
         // ----- lift (per-class cache, shared interner) --------------------
+        // Each class lifts inside its own containment boundary: a malformed
+        // or even panic-inducing class is quarantined (recorded in the
+        // diagnostics with its path and byte hash) and the scan continues
+        // over the survivors — unless the job asked for strict mode.
         let t_lift = Instant::now();
         let (program, class_hashes) = {
-            let mut cache = self.cache.lock().expect("cache poisoned");
+            let mut cache = self.lock_cache();
             let mut resolved = Vec::with_capacity(blobs.len());
             let mut seen = HashSet::new();
             for ((bytes, hash), path) in blobs.iter().zip(&files) {
@@ -218,21 +271,46 @@ impl Engine {
                         continue;
                     }
                 }
-                let cf = tabby_classfile::parse_class(bytes)
-                    .map_err(|e| format!("{}: {e:?}", path.display()))?;
-                let interner = cache.interner_mut();
-                let class =
-                    lift_class(interner, &cf).map_err(|e| format!("{}: {e:?}", path.display()))?;
-                let fqcn = interner.resolve(class.name).to_owned();
-                stats.classes_lifted += 1;
-                cache.put_class(
-                    *hash,
-                    CachedClass {
-                        fqcn: fqcn.clone(),
-                        class: class.clone(),
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> Result<(String, tabby_ir::Class), (Option<String>, String)> {
+                        let cf = tabby_classfile::parse_class(bytes)
+                            .map_err(|e| (None, format!("{e:?}")))?;
+                        let name = cf.name().ok();
+                        let interner = cache.interner_mut();
+                        let class = lift_class(interner, &cf)
+                            .map_err(|e| (name.clone(), format!("{e:?}")))?;
+                        let fqcn = interner.resolve(class.name).to_owned();
+                        Ok((fqcn, class))
                     },
-                );
-                resolved.push((fqcn, *hash, class));
+                ));
+                let failure = match attempt {
+                    Ok(Ok((fqcn, class))) => {
+                        stats.classes_lifted += 1;
+                        cache.put_class(
+                            *hash,
+                            CachedClass {
+                                fqcn: fqcn.clone(),
+                                class: class.clone(),
+                            },
+                        );
+                        resolved.push((fqcn, *hash, class));
+                        continue;
+                    }
+                    Ok(Err((class_name, error))) => (class_name, error),
+                    Err(payload) => (
+                        None,
+                        format!("panic while lifting: {}", panic_message(payload.as_ref())),
+                    ),
+                };
+                if options.strict {
+                    return Err(format!("{}: {}", path.display(), failure.1));
+                }
+                diagnostics.skipped_classes.push(SkippedClass {
+                    source: path.display().to_string(),
+                    class_name: failure.0,
+                    byte_hash: *hash,
+                    error: failure.1,
+                });
             }
             // Sort by FQCN so ClassIds are stable across scans regardless of
             // input path order; duplicate names keep the first occurrence.
@@ -258,13 +336,10 @@ impl Engine {
             .method_ids()
             .filter(|id| program.method(*id).body.is_some())
             .count();
-        let prior = if options.fresh {
+        let prior = if options.fresh || faulty {
             None
         } else {
-            self.cache
-                .lock()
-                .expect("cache poisoned")
-                .get_component(component_key)
+            self.lock_cache().get_component(component_key)
         };
         let seed = match &prior {
             Some(state) => remap_clean_summaries(state, &program, &class_hashes),
@@ -276,19 +351,23 @@ impl Engine {
         } else {
             seed.len() as f64 / stats.methods as f64
         };
-        let summaries = summarize_program_incremental(
+        let outcome = summarize_program_incremental_contained(
             &program,
-            &self.config,
+            &config,
             self.analysis_threads,
             &HashSet::new(),
             &seed,
+            Some(deadline),
         );
+        diagnostics.fixpoint_truncations += outcome.fixpoint_truncations();
+        diagnostics.quarantined_methods.extend(outcome.quarantined);
+        let summaries = outcome.summaries;
         stats.summarize_ms = ms_since(t_sum);
         check_deadline(deadline, "summarize")?;
 
         // ----- build + annotate -------------------------------------------
         let t_build = Instant::now();
-        let mut cpg = Cpg::build_with_summaries(&program, self.config.clone(), summaries.clone());
+        let mut cpg = Cpg::build_with_summaries(&program, config.clone(), summaries.clone());
         let sink_catalog = SinkCatalog::paper();
         let source_catalog = if options.extended {
             SourceCatalog::extended()
@@ -310,7 +389,7 @@ impl Engine {
             .iter()
             .map(|(n, s)| (*n, s.category.as_str().to_owned()))
             .collect();
-        let chains = find_chains_raw(
+        let search = find_chains_raw_detailed(
             &cpg.graph,
             &cpg.schema,
             sinks_tc,
@@ -319,40 +398,77 @@ impl Engine {
             &search_cfg,
         );
         stats.search_ms = ms_since(t_search);
+        // Phase diagnostics so far cover lift + summarize; the CPG cache
+        // entry stores exactly those (search degradation is per-query).
+        let phase_diagnostics = diagnostics.clone();
+        diagnostics.search_truncated = search.truncated;
+        let chains = search.chains;
 
         // ----- populate caches --------------------------------------------
-        let class_order: Vec<Symbol> = program.classes().iter().map(|c| c.name).collect();
-        let mut sources: Vec<u32> = source_nodes.iter().map(|n| n.0).collect();
-        sources.sort_unstable();
-        let cached_cpg = CachedCpg {
-            graph: cpg.graph,
-            sinks: sink_nodes
-                .iter()
-                .map(|(n, s)| {
-                    (
-                        n.0,
-                        s.trigger_condition.clone(),
-                        s.category.as_str().to_owned(),
-                    )
-                })
-                .collect(),
-            sources,
-        };
-        {
-            let mut cache = self.cache.lock().expect("cache poisoned");
+        // Fault-injected jobs produced deliberately wrong summaries; keep
+        // them out of every cache tier.
+        if !faulty {
+            let class_order: Vec<Symbol> = program.classes().iter().map(|c| c.name).collect();
+            let mut sources: Vec<u32> = source_nodes.iter().map(|n| n.0).collect();
+            sources.sort_unstable();
+            let cached_cpg = CachedCpg {
+                graph: cpg.graph,
+                sinks: sink_nodes
+                    .iter()
+                    .map(|(n, s)| {
+                        (
+                            n.0,
+                            s.trigger_condition.clone(),
+                            s.category.as_str().to_owned(),
+                        )
+                    })
+                    .collect(),
+                sources,
+                diagnostics: phase_diagnostics,
+            };
+            // Budget-truncated summaries are deadline artifacts — drop them
+            // from the seed state so the next scan recomputes them.
+            let complete_summaries: HashMap<MethodId, MethodSummary> = summaries
+                .into_iter()
+                .filter(|(_, s)| !s.truncated)
+                .collect();
+            let mut cache = self.lock_cache();
             cache.put_component(
                 component_key,
                 ComponentState {
                     class_hashes,
                     class_order,
-                    summaries,
+                    summaries: complete_summaries,
                 },
             );
             cache.put_cpg(cpg_key, Arc::new(cached_cpg));
-            cache.put_chains(chains_key, &chains);
+            if !search.truncated {
+                cache.put_chains(
+                    chains_key,
+                    &CachedChains {
+                        chains: chains.clone(),
+                        diagnostics: diagnostics.clone(),
+                    },
+                );
+            }
         }
         stats.total_ms = ms_since(started);
-        Ok(JobOutcome { chains, stats })
+        Ok(JobOutcome {
+            chains,
+            stats,
+            diagnostics,
+        })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
     }
 }
 
@@ -667,6 +783,72 @@ mod tests {
             )
             .unwrap_err();
         assert!(err.contains("/no/such/path"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_class_is_quarantined_and_the_scan_continues() {
+        let dir = temp_dir("quarantine");
+        write_corpus(&dir, false);
+        std::fs::write(dir.join("t.B.class"), b"\xCA\xFE\xBA\xBEgarbage").unwrap();
+        let engine = Engine::new(None, 8, 1);
+        let outcome = scan(&engine, &dir);
+        assert_eq!(outcome.diagnostics.skipped_classes.len(), 1);
+        let skipped = &outcome.diagnostics.skipped_classes[0];
+        assert!(skipped.source.ends_with("t.B.class"), "{}", skipped.source);
+        assert!(!skipped.error.is_empty());
+        // The survivors still scan: t.A and t.C lift and summarize.
+        assert_eq!(outcome.stats.classes, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strict_mode_fails_on_a_corrupt_class() {
+        let dir = temp_dir("strict");
+        write_corpus(&dir, false);
+        std::fs::write(dir.join("t.B.class"), b"not a class file").unwrap();
+        let engine = Engine::new(None, 8, 1);
+        let err = engine
+            .run_scan(
+                &[dir.to_string_lossy().into_owned()],
+                &ScanRequestOptions {
+                    strict: true,
+                    ..ScanRequestOptions::default()
+                },
+                far_deadline(),
+            )
+            .unwrap_err();
+        assert!(err.contains("t.B.class"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_method_fault_is_quarantined_and_bypasses_the_cache() {
+        let dir = temp_dir("fault");
+        write_corpus(&dir, false);
+        let engine = Engine::new(None, 8, 1);
+        let clean = scan(&engine, &dir);
+        // The faulty job must not read the clean job's cached chains …
+        let faulty = engine
+            .run_scan(
+                &[dir.to_string_lossy().into_owned()],
+                &ScanRequestOptions {
+                    inject_fault: Some("t.B.m1".to_owned()),
+                    ..ScanRequestOptions::default()
+                },
+                far_deadline(),
+            )
+            .expect("fault is contained, not fatal");
+        assert!(!faulty.stats.job_cache_hit);
+        assert_eq!(faulty.diagnostics.quarantined_methods.len(), 1);
+        assert!(faulty.diagnostics.quarantined_methods[0]
+            .method
+            .contains("t.B.m1"));
+        // … and must not have poisoned it for the next clean job either.
+        let warm = scan(&engine, &dir);
+        assert!(warm.stats.job_cache_hit);
+        assert!(warm.diagnostics.quarantined_methods.is_empty());
+        assert_eq!(warm.chains, clean.chains);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

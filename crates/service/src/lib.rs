@@ -37,8 +37,8 @@ pub mod engine;
 pub mod protocol;
 pub mod signal;
 
-pub use cache::{CachedClass, CachedCpg, ComponentState, ScanCache};
-pub use client::{request, submit};
+pub use cache::{CachedChains, CachedClass, CachedCpg, ComponentState, ScanCache};
+pub use client::{request, submit, submit_with_retry, RetryPolicy};
 pub use daemon::{Daemon, DaemonHandle, ServiceConfig};
 pub use engine::{Engine, JobOutcome};
 pub use protocol::{DaemonInfo, JobStats, Request, Response, ScanRequestOptions};

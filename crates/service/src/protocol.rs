@@ -8,6 +8,7 @@
 //! "Running as a service".
 
 use serde::{Deserialize, Serialize};
+use tabby_core::ScanDiagnostics;
 use tabby_pathfinder::GadgetChain;
 
 /// Default chain-search depth (the paper's Algorithm 3 default).
@@ -66,6 +67,16 @@ pub struct ScanRequestOptions {
     /// used for benchmarking and cache-invalidation escape hatches.
     #[serde(default)]
     pub fresh: bool,
+    /// Fail the job on the first malformed class instead of quarantining it
+    /// and scanning the survivors in degraded mode.
+    #[serde(default)]
+    pub strict: bool,
+    /// Fault-injection hook for containment testing: `"job"` panics inside
+    /// the job itself (exercising the worker's panic isolation); any other
+    /// value panics while summarizing the first method whose name contains
+    /// it. Fault-injected jobs bypass the cache entirely.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub inject_fault: Option<String>,
 }
 
 impl Default for ScanRequestOptions {
@@ -74,6 +85,8 @@ impl Default for ScanRequestOptions {
             depth: default_depth(),
             extended: false,
             fresh: false,
+            strict: false,
+            inject_fault: None,
         }
     }
 }
@@ -158,6 +171,10 @@ pub struct Response {
     /// Per-job stats (scan replies only).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub stats: Option<JobStats>,
+    /// What was skipped, quarantined, or truncated during a degraded scan
+    /// (scan replies only; omitted when the scan was clean and complete).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub diagnostics: Option<ScanDiagnostics>,
     /// Daemon-wide stats (stats replies only).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub daemon: Option<DaemonInfo>,
@@ -183,13 +200,24 @@ impl Response {
         }
     }
 
-    /// A successful scan reply.
-    pub fn scan(id: Option<String>, chains: Vec<GadgetChain>, stats: JobStats) -> Self {
+    /// A successful scan reply. A clean, complete scan omits the
+    /// diagnostics field entirely.
+    pub fn scan(
+        id: Option<String>,
+        chains: Vec<GadgetChain>,
+        stats: JobStats,
+        diagnostics: ScanDiagnostics,
+    ) -> Self {
         Response {
             id,
             ok: true,
             chains: Some(chains),
             stats: Some(stats),
+            diagnostics: if diagnostics.is_degraded() {
+                Some(diagnostics)
+            } else {
+                None
+            },
             ..Response::default()
         }
     }
@@ -217,7 +245,7 @@ mod tests {
             options: ScanRequestOptions {
                 depth: 8,
                 extended: true,
-                fresh: false,
+                ..ScanRequestOptions::default()
             },
         };
         let line = serde_json::to_string(&req).unwrap();
@@ -251,6 +279,31 @@ mod tests {
     fn unknown_command_is_a_parse_error() {
         assert!(serde_json::from_str::<Request>(r#"{"cmd":"explode"}"#).is_err());
         assert!(serde_json::from_str::<Request>("not json").is_err());
+    }
+
+    #[test]
+    fn clean_scan_reply_omits_diagnostics() {
+        let reply = Response::scan(
+            None,
+            vec![],
+            JobStats::default(),
+            ScanDiagnostics::default(),
+        );
+        let line = serde_json::to_string(&reply).unwrap();
+        assert!(!line.contains("diagnostics"));
+    }
+
+    #[test]
+    fn degraded_scan_reply_carries_diagnostics() {
+        let d = ScanDiagnostics {
+            search_truncated: true,
+            ..ScanDiagnostics::default()
+        };
+        let reply = Response::scan(None, vec![], JobStats::default(), d);
+        let line = serde_json::to_string(&reply).unwrap();
+        assert!(line.contains("\"search_truncated\":true"));
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.diagnostics.unwrap().search_truncated);
     }
 
     #[test]

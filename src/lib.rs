@@ -83,14 +83,16 @@ pub use tabby_pathfinder as pathfinder;
 pub use tabby_service as service;
 pub use tabby_workloads as workloads;
 
-use tabby_core::{AnalysisConfig, Cpg};
+use tabby_core::{summarize_program_contained, AnalysisConfig, Cpg, ScanDiagnostics, SkippedClass};
 use tabby_ir::Program;
-use tabby_pathfinder::{find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog};
+use tabby_pathfinder::{
+    find_gadget_chains_detailed, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
+};
 
 /// Commonly used items for building programs and scanning them.
 pub mod prelude {
     pub use crate::{scan, scan_class_bytes, ScanOptions, ScanReport};
-    pub use tabby_core::{AnalysisConfig, Cpg};
+    pub use tabby_core::{AnalysisConfig, Cpg, ScanDiagnostics};
     pub use tabby_ir::{JType, ProgramBuilder};
     pub use tabby_pathfinder::{GadgetChain, SearchConfig, SinkCatalog, SourceCatalog};
 }
@@ -109,6 +111,9 @@ pub struct ScanOptions {
     /// Worker threads for the per-method controllability analysis
     /// (`1` = sequential; output is bit-identical either way).
     pub jobs: usize,
+    /// Fail fast on the first malformed class or analysis fault instead of
+    /// quarantining it and continuing in degraded mode.
+    pub strict: bool,
 }
 
 impl Default for ScanOptions {
@@ -119,6 +124,7 @@ impl Default for ScanOptions {
             sinks: SinkCatalog::default(),
             sources: SourceCatalog::default(),
             jobs: 1,
+            strict: false,
         }
     }
 }
@@ -131,29 +137,69 @@ pub struct ScanReport {
     /// The code property graph (kept for custom follow-up queries —
     /// the paper's "researchers can re-use the graph" workflow, §II-B).
     pub cpg: Cpg,
+    /// What (if anything) was skipped, quarantined, or truncated along the
+    /// way. Empty (`!is_degraded()`) for a clean, complete scan.
+    pub diagnostics: ScanDiagnostics,
 }
 
 /// Builds the CPG for `program` and searches it for gadget chains.
+///
+/// Every phase is fault-isolated: a panic while summarizing one method
+/// quarantines that method (it gets the conservative identity summary), and
+/// phase budgets ([`AnalysisConfig::max_fixpoint_steps`],
+/// [`SearchConfig::max_expansions`] / [`SearchConfig::deadline`]) convert
+/// runaway analyses into partial results. The [`ScanReport::diagnostics`]
+/// field records everything that was degraded.
 pub fn scan(program: &Program, options: &ScanOptions) -> ScanReport {
-    let mut cpg = if options.jobs > 1 {
-        Cpg::build_parallel(program, options.analysis.clone(), options.jobs)
-    } else {
-        Cpg::build(program, options.analysis.clone())
-    };
-    let chains = find_gadget_chains(&mut cpg, &options.sinks, &options.sources, &options.search);
-    ScanReport { chains, cpg }
+    let mut diagnostics = ScanDiagnostics::default();
+    let outcome = summarize_program_contained(
+        program,
+        &options.analysis,
+        options.jobs.max(1),
+        options.search.deadline,
+    );
+    diagnostics.fixpoint_truncations = outcome.fixpoint_truncations();
+    diagnostics.quarantined_methods = outcome.quarantined;
+    let mut cpg = Cpg::build_with_summaries(program, options.analysis.clone(), outcome.summaries);
+    let search =
+        find_gadget_chains_detailed(&mut cpg, &options.sinks, &options.sources, &options.search);
+    diagnostics.search_truncated = search.truncated;
+    ScanReport {
+        chains: search.chains,
+        cpg,
+        diagnostics,
+    }
 }
 
 /// Lifts `.class` byte blobs and scans the resulting program.
 ///
+/// With [`ScanOptions::strict`] unset (the default), malformed blobs are
+/// quarantined — recorded in [`ScanReport::diagnostics`] as
+/// `blob[<index>]` entries — and the scan continues over the survivors.
+///
 /// # Errors
 ///
-/// Returns a [`classfile::ClassFileError`] when any blob fails to parse or
-/// lift.
+/// In strict mode, returns a [`classfile::ClassFileError`] when any blob
+/// fails to parse or lift.
 pub fn scan_class_bytes(
     classes: &[Vec<u8>],
     options: &ScanOptions,
 ) -> Result<ScanReport, classfile::ClassFileError> {
-    let program = ir::lift::lift_program(classes)?;
-    Ok(scan(&program, options))
+    if options.strict {
+        let program = ir::lift::lift_program(classes)?;
+        return Ok(scan(&program, options));
+    }
+    let outcome = ir::lift::lift_program_tolerant(classes);
+    let mut report = scan(&outcome.program, options);
+    report.diagnostics.skipped_classes = outcome
+        .skipped
+        .into_iter()
+        .map(|d| SkippedClass {
+            source: format!("blob[{}]", d.index),
+            class_name: d.class_name,
+            byte_hash: d.byte_hash,
+            error: d.error,
+        })
+        .collect();
+    Ok(report)
 }

@@ -65,6 +65,8 @@ OPTIONS (scan/demo):
     --extended         extended source catalog (hashCode/equals/compare/toString)
     --jobs <n>         analysis worker threads (default: available parallelism)
     --sinks <file>     custom sink catalog (JSON; see `tabby sinks --json`)
+    --strict           fail on the first malformed class instead of
+                       quarantining it and scanning the survivors
     --json             emit chains as JSON
     --save-cpg <file>  persist the code property graph as JSON
     --dot <file>       export the code property graph as Graphviz DOT
@@ -79,6 +81,9 @@ OPTIONS (submit):
     --depth <n>        maximum chain length (default 12)
     --extended         extended source catalog
     --fresh            bypass daemon cache reads (results are still cached)
+    --strict           fail the job on the first malformed class
+    --no-retry         fail immediately on connection refused / queue full
+                       instead of retrying with backoff
     --json             emit chains as JSON";
 
 #[derive(Default)]
@@ -87,6 +92,7 @@ struct CliOptions {
     extended: bool,
     json: bool,
     jobs: Option<usize>,
+    strict: bool,
     save_cpg: Option<PathBuf>,
     dot: Option<PathBuf>,
     sinks: Option<PathBuf>,
@@ -108,6 +114,7 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             }
             "--extended" => options.extended = true,
             "--json" => options.json = true,
+            "--strict" => options.strict = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
@@ -140,6 +147,7 @@ fn scan_options(cli: &CliOptions) -> Result<ScanOptions, String> {
         options.search.max_depth = depth;
     }
     options.jobs = cli.jobs.unwrap_or_else(default_jobs);
+    options.strict = cli.strict;
     if cli.extended {
         options.sources = SourceCatalog::extended();
     }
@@ -190,7 +198,8 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         }
     }
     if files.is_empty() {
-        eprintln!("scan: no .class files under the given paths");
+        let searched: Vec<String> = cli.paths.iter().map(|p| p.display().to_string()).collect();
+        eprintln!("scan: no .class files found under: {}", searched.join(", "));
         return ExitCode::FAILURE;
     }
     eprintln!("loading {} class file(s)…", files.len());
@@ -247,7 +256,37 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     emit(&cli, report)
 }
 
+/// Prints a human-readable account of everything the scan skipped,
+/// quarantined, or truncated.
+fn print_degradation(diagnostics: &tabby::core::ScanDiagnostics) {
+    eprintln!("warning: scan {}", diagnostics.summary());
+    for s in &diagnostics.skipped_classes {
+        let name = s.class_name.as_deref().unwrap_or("<unparsed>");
+        eprintln!("  skipped class {name} from {}: {}", s.source, s.error);
+    }
+    for q in &diagnostics.quarantined_methods {
+        eprintln!("  quarantined method {}: {}", q.method, q.error);
+    }
+    if diagnostics.fixpoint_truncations > 0 {
+        eprintln!(
+            "  {} method fixpoint(s) hit their step budget (partial summaries kept)",
+            diagnostics.fixpoint_truncations
+        );
+    }
+    if diagnostics.search_truncated {
+        eprintln!("  chain search hit its budget — the chain list may be incomplete");
+    }
+}
+
 fn emit(cli: &CliOptions, report: ScanReport) -> ExitCode {
+    if report.diagnostics.is_degraded() {
+        if cli.strict {
+            eprintln!("scan: degraded result in strict mode");
+            print_degradation(&report.diagnostics);
+            return ExitCode::FAILURE;
+        }
+        print_degradation(&report.diagnostics);
+    }
     if let Some(path) = &cli.dot {
         let dot = report.cpg.graph.to_dot(Some(report.cpg.schema.signature));
         if let Err(e) = std::fs::write(path, dot) {
@@ -344,6 +383,7 @@ struct SubmitOptions {
     addr: String,
     scan: tabby::service::ScanRequestOptions,
     json: bool,
+    retry: bool,
     paths: Vec<PathBuf>,
 }
 
@@ -352,6 +392,7 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
         addr: "127.0.0.1:7433".to_owned(),
         scan: tabby::service::ScanRequestOptions::default(),
         json: false,
+        retry: true,
         paths: Vec::new(),
     };
     let mut it = args.iter();
@@ -366,6 +407,8 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
             }
             "--extended" => options.scan.extended = true,
             "--fresh" => options.scan.fresh = true,
+            "--strict" => options.scan.strict = true,
+            "--no-retry" => options.retry = false,
             "--json" => options.json = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown submit option {other:?}"));
@@ -400,19 +443,28 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             }
         }
     }
-    let response = match tabby::service::submit(&options.addr, paths, options.scan) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("submit: {e}");
-            return ExitCode::FAILURE;
-        }
+    let policy = if options.retry {
+        tabby::service::RetryPolicy::default()
+    } else {
+        tabby::service::RetryPolicy::none()
     };
+    let response =
+        match tabby::service::submit_with_retry(&options.addr, paths, options.scan, &policy) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     if !response.ok {
         eprintln!(
             "submit: {}",
             response.error.as_deref().unwrap_or("unknown daemon error")
         );
         return ExitCode::FAILURE;
+    }
+    if let Some(diagnostics) = &response.diagnostics {
+        print_degradation(diagnostics);
     }
     let chains = response.chains.unwrap_or_default();
     let stats = response.stats.unwrap_or_default();

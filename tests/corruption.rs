@@ -1,0 +1,174 @@
+//! Corruption harness: deterministic, seeded manglings of compiled class
+//! bytes must never panic the scanner, and the degraded-mode diagnostics
+//! must account for every class that was lost.
+//!
+//! The corpus is the workloads JDK model (the URLDNS chain lives in it)
+//! plus a few `noise.*` leaf classes that no chain passes through —
+//! quarantining those must leave the chain set bit-identical.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tabby::prelude::*;
+use tabby::workloads::jdk::add_jdk_model;
+
+/// Fixed seed: the manglings are deterministic across runs and platforms.
+const SEED: u64 = 0x7abb_5eed;
+
+/// The JDK model plus three chain-irrelevant noise classes, compiled to
+/// `.class` bytes.
+fn corpus() -> Vec<(String, Vec<u8>)> {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    for i in 0..3 {
+        let mut cb = pb.class(&format!("noise.Junk{i}")).serializable();
+        let string = cb.object_type("java.lang.String");
+        let mut mb = cb.method("describe", vec![], string);
+        mb.ret(mb.c_null());
+        mb.finish();
+        cb.finish();
+    }
+    tabby::ir::compile::compile_program(&pb.build())
+}
+
+fn bytes_of(corpus: &[(String, Vec<u8>)]) -> Vec<Vec<u8>> {
+    corpus.iter().map(|(_, b)| b.clone()).collect()
+}
+
+fn chain_key(chains: &[GadgetChain]) -> Vec<Vec<String>> {
+    let mut v: Vec<Vec<String>> = chains.iter().map(|c| c.signatures.clone()).collect();
+    v.sort();
+    v
+}
+
+/// Truncation, a bit-flip in the magic word, and a zero-length blob — three
+/// guaranteed-unparseable manglings — quarantine exactly the three victims
+/// and leave every chain intact.
+#[test]
+fn mangled_corpus_scans_without_panic_and_accounts_for_every_loss() {
+    let corpus = corpus();
+    let clean_bytes = bytes_of(&corpus);
+    let options = ScanOptions::default();
+    let clean = tabby::scan_class_bytes(&clean_bytes, &options).unwrap();
+    assert!(!clean.diagnostics.is_degraded());
+    assert!(!clean.chains.is_empty());
+
+    let victims: Vec<usize> = corpus
+        .iter()
+        .enumerate()
+        .filter(|(_, (name, _))| name.starts_with("noise."))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(victims.len(), 3);
+
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut mangled = clean_bytes.clone();
+    // Too short for even the magic + version header words.
+    let cut = rng.random_range(1..8);
+    mangled[victims[0]].truncate(cut);
+    // Any single-bit flip in the 0xCAFEBABE magic fails the parse.
+    let byte: usize = rng.random_range(0..4);
+    let bit: u32 = rng.random_range(0..8);
+    mangled[victims[1]][byte] ^= 1u8 << bit;
+    mangled[victims[2]].clear();
+
+    let report = tabby::scan_class_bytes(&mangled, &options).unwrap();
+    assert!(report.diagnostics.is_degraded());
+    assert_eq!(report.diagnostics.skipped_classes.len(), 3);
+    for v in &victims {
+        let entry = report
+            .diagnostics
+            .skipped_classes
+            .iter()
+            .find(|s| s.source == format!("blob[{v}]"))
+            .unwrap_or_else(|| panic!("blob[{v}] missing from diagnostics"));
+        assert!(!entry.error.is_empty());
+    }
+    // No chain passes through a noise class, so the chain set is unchanged.
+    assert_eq!(chain_key(&report.chains), chain_key(&clean.chains));
+    let summary = report.diagnostics.summary();
+    assert!(summary.contains("3 classes skipped"), "{summary}");
+}
+
+/// Quarantining a class that chains *do* pass through drops exactly the
+/// chains whose signatures touch it — graph removal is monotone, so nothing
+/// else appears or disappears.
+#[test]
+fn quarantining_a_chain_class_drops_only_its_chains() {
+    let corpus = corpus();
+    let clean_bytes = bytes_of(&corpus);
+    let options = ScanOptions::default();
+    let clean = tabby::scan_class_bytes(&clean_bytes, &options).unwrap();
+    assert!(clean
+        .chains
+        .iter()
+        .any(|c| c.signatures.iter().any(|s| s.starts_with("java.net.URL."))));
+
+    let url = corpus
+        .iter()
+        .position(|(name, _)| name == "java.net.URL")
+        .expect("JDK model contains java.net.URL");
+    let mut mangled = clean_bytes.clone();
+    mangled[url].clear();
+
+    let report = tabby::scan_class_bytes(&mangled, &options).unwrap();
+    assert_eq!(report.diagnostics.skipped_classes.len(), 1);
+    assert_eq!(
+        report.diagnostics.skipped_classes[0].source,
+        format!("blob[{url}]")
+    );
+    let expected: Vec<Vec<String>> = chain_key(&clean.chains)
+        .into_iter()
+        .filter(|sigs| !sigs.iter().any(|s| s.starts_with("java.net.URL.")))
+        .collect();
+    assert_eq!(chain_key(&report.chains), expected);
+}
+
+/// Strict mode restores fail-fast: the same corrupted corpus is an error,
+/// not a degraded report.
+#[test]
+fn strict_mode_fails_fast_on_a_corrupt_blob() {
+    let corpus = corpus();
+    let mut bytes = bytes_of(&corpus);
+    bytes[0][0] ^= 0xFF;
+    let strict = ScanOptions {
+        strict: true,
+        ..ScanOptions::default()
+    };
+    assert!(tabby::scan_class_bytes(&bytes, &strict).is_err());
+    // The untouched corpus still scans clean in strict mode.
+    let clean = tabby::scan_class_bytes(&bytes_of(&corpus), &strict).unwrap();
+    assert!(!clean.diagnostics.is_degraded());
+}
+
+/// Seeded fuzz rounds: arbitrary truncations and bit-flips anywhere in one
+/// blob. The scan must always complete, and anything quarantined must be
+/// the mangled blob — never an innocent bystander.
+#[test]
+fn random_manglings_never_panic_and_never_blame_bystanders() {
+    let corpus = corpus();
+    let clean_bytes = bytes_of(&corpus);
+    let options = ScanOptions::default();
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    for _round in 0..6 {
+        let victim = rng.random_range(0..clean_bytes.len());
+        let mut mangled = clean_bytes.clone();
+        match rng.random_range(0..3) {
+            0 => {
+                let cut = rng.random_range(0..mangled[victim].len());
+                mangled[victim].truncate(cut);
+            }
+            1 => {
+                let i = rng.random_range(0..mangled[victim].len());
+                let bit: u32 = rng.random_range(0..8);
+                mangled[victim][i] ^= 1u8 << bit;
+            }
+            _ => mangled[victim].clear(),
+        }
+        let report = tabby::scan_class_bytes(&mangled, &options).unwrap();
+        // A flip may still parse (no quarantine), but whatever *was*
+        // skipped must be the blob we touched.
+        for skipped in &report.diagnostics.skipped_classes {
+            assert_eq!(skipped.source, format!("blob[{victim}]"));
+        }
+    }
+}
