@@ -1,0 +1,93 @@
+//! Benchmark driver. Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p tabby-bench --release --bin bench -- search \
+//!     [--scenes smoke|full] [--only Spring,JDK8] [--repeat N] [--out PATH]
+//! ```
+//!
+//! `search` measures the parallel chain-search engine (1/2/8 threads, memo
+//! on/off) against the sequential reference on the Table X scenes and
+//! writes the report to `BENCH_search.json` (or `--out`). Exit status is
+//! nonzero if any configuration's chain set diverges from the reference —
+//! CI runs this on the smoke scenes as a determinism gate.
+
+use tabby_bench::{run_search_bench, SearchBenchConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench search [--scenes smoke|full] [--only NAME,NAME] [--repeat N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("search") => cmd_search(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_search(args: &[String]) {
+    let mut config = SearchBenchConfig::default();
+    let mut out = "BENCH_search.json".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenes" => match it.next().map(String::as_str) {
+                Some("smoke") => config.smoke = true,
+                Some("full") => config.smoke = false,
+                _ => usage(),
+            },
+            "--only" => match it.next() {
+                Some(v) => config
+                    .only
+                    .extend(v.split(',').map(|s| s.trim().to_owned())),
+                None => usage(),
+            },
+            "--repeat" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.repeat = n,
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let report = run_search_bench(&config);
+    for scene in &report.results {
+        println!(
+            "{:<13} {:>4} chains  sequential {:>8.3}s ({} expansions)",
+            scene.scene, scene.chains, scene.sequential_wall_s, scene.sequential_expansions
+        );
+        for v in &scene.variants {
+            println!(
+                "  {} threads, memo {:<3}  {:>8.3}s  x{:<6.2} vs sequential  \
+                 memo hit-rate {:>5.1}%  {}",
+                v.threads,
+                if v.tc_memo { "on" } else { "off" },
+                v.wall_s,
+                v.speedup_vs_sequential,
+                v.memo_hit_rate * 100.0,
+                if v.identical { "identical" } else { "DIVERGED" },
+            );
+        }
+        println!(
+            "  8-thread/1-thread speedup (memo off): x{:.2}",
+            scene.speedup_8v1_no_memo
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote {out}");
+    if !report.all_identical {
+        eprintln!("FAIL: some configuration diverged from the sequential reference");
+        std::process::exit(1);
+    }
+}

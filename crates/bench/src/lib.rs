@@ -2,14 +2,20 @@
 //!
 //! Regenerates every table and figure of the paper's evaluation (§IV); see
 //! the `table8`/`table9`/`table10`/`table11`/`fig6` binaries and the
-//! Criterion benches under `benches/`.
+//! Criterion benches under `benches/`. The `bench` binary's `search`
+//! subcommand ([`search_bench`]) measures the parallel chain-search engine
+//! against the sequential reference and emits `BENCH_search.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod runner;
+pub mod search_bench;
 
 pub use runner::{
     run_gadget_inspector, run_scene, run_serianalyzer, run_tabby, run_tabby_with, CellResult,
     SceneResult,
+};
+pub use search_bench::{
+    bench_scene, run_search_bench, SceneBench, SearchBenchConfig, SearchBenchReport, VariantResult,
 };

@@ -1,0 +1,284 @@
+//! The `bench search` runner: parallel-vs-sequential chain-search
+//! benchmarking over the Table X scenes, emitting `BENCH_search.json`.
+//!
+//! For each scene the CPG is built and annotated **once**; the raw search
+//! then runs under every engine configuration against the same graph:
+//!
+//! - the sequential reference walk (no memo, one thread — the paper's
+//!   Algorithm 3 as written), whose canonical chain JSON is the baseline
+//!   every other run must reproduce byte-for-byte;
+//! - the work-sharded engine at 1, 2, and 8 threads, memo on and off.
+//!
+//! All runs use an unbounded expansion budget and no deadline so the
+//! comparison is complete-search vs complete-search (a truncated run would
+//! make both the timing and the identical-output check meaningless). Wall
+//! times are the minimum over `repeat` runs.
+
+use serde::Serialize;
+use std::collections::HashSet;
+use std::time::Instant;
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_graph::NodeId;
+use tabby_pathfinder::{
+    find_chains_raw_detailed, find_chains_reference_detailed, SearchConfig, SinkCatalog,
+    SourceCatalog, TriggerCondition,
+};
+use tabby_workloads::scenes::Scene;
+
+/// What to run and how often.
+#[derive(Debug, Clone)]
+pub struct SearchBenchConfig {
+    /// Use the ~12×-smaller smoke scenes instead of the full ones.
+    pub smoke: bool,
+    /// Case-insensitive substring filters on scene names; empty = all.
+    pub only: Vec<String>,
+    /// Timed runs per configuration; the minimum wall time is reported.
+    pub repeat: usize,
+}
+
+impl Default for SearchBenchConfig {
+    fn default() -> Self {
+        SearchBenchConfig {
+            smoke: false,
+            only: Vec::new(),
+            repeat: 3,
+        }
+    }
+}
+
+/// One engine configuration's measurement on one scene.
+#[derive(Debug, Clone, Serialize)]
+pub struct VariantResult {
+    /// Search worker threads.
+    pub threads: usize,
+    /// Whether the TC-dominance memo was enabled.
+    pub tc_memo: bool,
+    /// Best wall time over the configured repeats, in seconds.
+    pub wall_s: f64,
+    /// States expanded (nondeterministic across runs when `threads > 1`
+    /// and the memo is on; the last run's value is reported).
+    pub expansions: usize,
+    /// States pruned by the memo.
+    pub memo_hits: usize,
+    /// `memo_hits / (memo_hits + expansions)`.
+    pub memo_hit_rate: f64,
+    /// Canonical chain JSON is byte-identical to the sequential reference.
+    pub identical: bool,
+    /// `sequential wall / this wall`.
+    pub speedup_vs_sequential: f64,
+}
+
+/// One scene's full measurement set.
+#[derive(Debug, Clone, Serialize)]
+pub struct SceneBench {
+    /// Scene name (Table X row).
+    pub scene: String,
+    /// Classes in the scene program.
+    pub classes: usize,
+    /// Chains the reference search finds.
+    pub chains: usize,
+    /// Sequential reference wall time, in seconds.
+    pub sequential_wall_s: f64,
+    /// Sequential reference expansions.
+    pub sequential_expansions: usize,
+    /// Every engine configuration measured against the same CPG.
+    pub variants: Vec<VariantResult>,
+    /// 8-thread over 1-thread speedup with the memo off (the pure
+    /// parallelization factor, uncontaminated by memo pruning).
+    pub speedup_8v1_no_memo: f64,
+    /// Every variant reproduced the reference chain JSON exactly.
+    pub all_identical: bool,
+}
+
+/// The `BENCH_search.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchBenchReport {
+    /// `"smoke"` or `"full"`.
+    pub scenes: String,
+    /// Timed runs per configuration.
+    pub repeat: usize,
+    /// Per-scene measurements.
+    pub results: Vec<SceneBench>,
+    /// Every variant of every scene matched its reference byte-for-byte.
+    pub all_identical: bool,
+}
+
+/// Thread counts × memo settings measured per scene.
+const VARIANTS: [(usize, bool); 6] = [
+    (1, true),
+    (2, true),
+    (8, true),
+    (1, false),
+    (2, false),
+    (8, false),
+];
+
+fn bench_config(threads: usize, tc_memo: bool) -> SearchConfig {
+    SearchConfig {
+        max_expansions: usize::MAX,
+        search_threads: threads,
+        tc_memo,
+        ..SearchConfig::default()
+    }
+}
+
+/// Benchmarks one scene; the CPG is built and annotated once.
+pub fn bench_scene(scene: &Scene, repeat: usize) -> SceneBench {
+    let repeat = repeat.max(1);
+    let program = &scene.component.program;
+    let mut cpg = Cpg::build(program, AnalysisConfig::default());
+    let sink_nodes = SinkCatalog::paper().annotate(&mut cpg);
+    let source_nodes = SourceCatalog::native_serialization().annotate(&mut cpg);
+    let sinks: Vec<(NodeId, TriggerCondition)> = sink_nodes
+        .iter()
+        .map(|(n, s)| (*n, s.trigger_condition.iter().copied().collect()))
+        .collect();
+    let categories: Vec<(NodeId, String)> = sink_nodes
+        .iter()
+        .map(|(n, s)| (*n, s.category.as_str().to_owned()))
+        .collect();
+    let sources: HashSet<NodeId> = source_nodes;
+
+    let reference_cfg = bench_config(1, false);
+    let mut sequential_wall_s = f64::INFINITY;
+    let mut reference = None;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        let out = find_chains_reference_detailed(
+            &cpg.graph,
+            &cpg.schema,
+            sinks.clone(),
+            categories.clone(),
+            &sources,
+            &reference_cfg,
+        );
+        sequential_wall_s = sequential_wall_s.min(t.elapsed().as_secs_f64());
+        reference = Some(out);
+    }
+    let reference = reference.expect("repeat >= 1");
+    let reference_json =
+        serde_json::to_string(&reference.chains).expect("chains serialize");
+
+    let mut variants = Vec::with_capacity(VARIANTS.len());
+    for (threads, tc_memo) in VARIANTS {
+        let cfg = bench_config(threads, tc_memo);
+        let mut wall_s = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..repeat {
+            let t = Instant::now();
+            let out = find_chains_raw_detailed(
+                &cpg.graph,
+                &cpg.schema,
+                sinks.clone(),
+                categories.clone(),
+                &sources,
+                &cfg,
+            );
+            wall_s = wall_s.min(t.elapsed().as_secs_f64());
+            last = Some(out);
+        }
+        let out = last.expect("repeat >= 1");
+        let identical =
+            serde_json::to_string(&out.chains).expect("chains serialize") == reference_json;
+        let work = out.memo_hits + out.expansions;
+        variants.push(VariantResult {
+            threads,
+            tc_memo,
+            wall_s,
+            expansions: out.expansions,
+            memo_hits: out.memo_hits,
+            memo_hit_rate: if work == 0 {
+                0.0
+            } else {
+                out.memo_hits as f64 / work as f64
+            },
+            identical,
+            speedup_vs_sequential: sequential_wall_s / wall_s.max(f64::EPSILON),
+        });
+    }
+
+    let wall_of = |threads: usize| {
+        variants
+            .iter()
+            .find(|v| v.threads == threads && !v.tc_memo)
+            .map_or(f64::EPSILON, |v| v.wall_s)
+    };
+    let all_identical = variants.iter().all(|v| v.identical);
+    SceneBench {
+        scene: scene.component.name.clone(),
+        classes: program.classes().len(),
+        chains: reference.chains.len(),
+        sequential_wall_s,
+        sequential_expansions: reference.expansions,
+        variants,
+        speedup_8v1_no_memo: wall_of(1) / wall_of(8).max(f64::EPSILON),
+        all_identical,
+    }
+}
+
+/// Runs the whole battery per `config`.
+pub fn run_search_bench(config: &SearchBenchConfig) -> SearchBenchReport {
+    let scenes = if config.smoke {
+        tabby_workloads::scenes::smoke()
+    } else {
+        tabby_workloads::scenes::all()
+    };
+    let keep = |name: &str| {
+        config.only.is_empty()
+            || config
+                .only
+                .iter()
+                .any(|f| name.to_lowercase().contains(&f.to_lowercase()))
+    };
+    let results: Vec<SceneBench> = scenes
+        .iter()
+        .filter(|s| keep(&s.component.name))
+        .map(|s| bench_scene(s, config.repeat))
+        .collect();
+    let all_identical = results.iter().all(|r| r.all_identical);
+    SearchBenchReport {
+        scenes: if config.smoke { "smoke" } else { "full" }.to_owned(),
+        repeat: config.repeat,
+        results,
+        all_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_is_identical_across_engines() {
+        let report = run_search_bench(&SearchBenchConfig {
+            smoke: true,
+            only: vec!["Jetty".to_owned()],
+            repeat: 1,
+        });
+        assert_eq!(report.results.len(), 1);
+        let scene = &report.results[0];
+        assert_eq!(scene.scene, "Jetty");
+        assert_eq!(scene.variants.len(), VARIANTS.len());
+        assert!(scene.all_identical, "{scene:?}");
+        // The memo fires on the scene's search web.
+        assert!(scene
+            .variants
+            .iter()
+            .any(|v| v.tc_memo && v.memo_hits > 0));
+        // Memo-off runs do exactly the reference engine's work.
+        for v in scene.variants.iter().filter(|v| !v.tc_memo && v.threads == 1) {
+            assert_eq!(v.expansions, scene.sequential_expansions);
+        }
+    }
+
+    #[test]
+    fn only_filter_is_case_insensitive_substring() {
+        let report = run_search_bench(&SearchBenchConfig {
+            smoke: true,
+            only: vec!["dubbo".to_owned()],
+            repeat: 1,
+        });
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.results[0].scene, "Apache Dubbo");
+    }
+}

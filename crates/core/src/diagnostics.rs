@@ -58,6 +58,15 @@ pub struct ScanDiagnostics {
     /// returned a partial chain set.
     #[serde(default, skip_serializing_if = "is_false")]
     pub search_truncated: bool,
+    /// States the backward chain search expanded. Informational (it sizes
+    /// the search against its expansion budget); not a degradation.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub search_expansions: usize,
+    /// Expansions the search skipped because a dominating
+    /// `(method, Trigger_Condition)` memo entry proved them chain-free.
+    /// Informational; not a degradation.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub search_memo_hits: usize,
 }
 
 fn is_zero(n: &usize) -> bool {
@@ -86,6 +95,8 @@ impl ScanDiagnostics {
         self.quarantined_methods.extend(other.quarantined_methods);
         self.fixpoint_truncations += other.fixpoint_truncations;
         self.search_truncated |= other.search_truncated;
+        self.search_expansions += other.search_expansions;
+        self.search_memo_hits += other.search_memo_hits;
     }
 
     /// One-line human summary, e.g.

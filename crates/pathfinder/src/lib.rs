@@ -49,6 +49,7 @@
 #![warn(rust_2018_idioms)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod parallel;
 pub mod report;
 pub mod search;
 pub mod sinks;
@@ -56,8 +57,10 @@ pub mod sources;
 
 pub use report::AuditReport;
 pub use search::{
-    find_chains_raw, find_chains_raw_detailed, find_gadget_chains, find_gadget_chains_detailed,
-    traverse_tc, ChainFinder, GadgetChain, SearchConfig, SearchOutcome, TriggerCondition,
+    canonical_chain_order, find_chains_raw, find_chains_raw_detailed,
+    find_chains_reference_detailed, find_gadget_chains, find_gadget_chains_detailed,
+    find_gadget_chains_reference_detailed, traverse_tc, ChainFinder, GadgetChain, SearchConfig,
+    SearchOutcome, TriggerCondition,
 };
 pub use sinks::{SinkCatalog, SinkCategory, SinkSpec};
 pub use sources::{SourceCatalog, SourceSpec};

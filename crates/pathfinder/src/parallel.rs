@@ -1,0 +1,491 @@
+//! Parallel sink-backward search with TC-dominance memoization.
+//!
+//! This is the work-sharded twin of the sequential Expander/Evaluator
+//! traversal in [`crate::search`]: the same Algorithm 2/3 semantics (reversed
+//! CALL edges translated through Polluted_Position, ALIAS edges crossed with
+//! the Trigger_Condition unchanged, per-path node uniqueness, no visited
+//! set), executed as one depth-first walk per *work unit* — a `(sink,
+//! first reversed-CALL hop)` pair — across a worker pool.
+//!
+//! # Why a memo table is sound here (and a visited set is not)
+//!
+//! The paper rejects GadgetInspector's global visited-node shortcut (§IV-F):
+//! whether a backward walk from a method finds a source depends on the
+//! Trigger_Condition it arrives with and on the depth budget it has left, so
+//! "I have seen this node" is not a reusable fact. What *is* reusable is the
+//! negative fact
+//!
+//! > starting at `node` with Trigger_Condition `TC` and `rem` edges of
+//! > remaining depth, no path reaches a source,
+//!
+//! provided it was established *prefix-independently* — i.e. the subtree
+//! exploration was complete, and every path-uniqueness cutoff it hit
+//! involved only nodes at or below the subtree root, never the prefix above
+//! it. Such a fact dominates any later state `(node, TC', rem')` with
+//! `TC ⊆ TC'` and `rem' ≤ rem`:
+//!
+//! * [`crate::search::traverse_tc`] is monotone — a smaller TC survives every
+//!   CALL edge a larger one survives (it checks fewer positions) and maps to
+//!   a smaller TC on the other side — so the recorded exploration covered a
+//!   *superset* of the edges the dominated state could take;
+//! * a smaller remaining depth explores a subset of the recorded paths;
+//! * result inclusion (Algorithm 3) looks only at the end node, never the TC.
+//!
+//! The property tests in `tests/tc_properties.rs` pin the monotonicity
+//! argument down.
+//!
+//! All budgets are global across workers: one shared expansion counter
+//! (compared against `max_expansions` exactly like the sequential
+//! traversal), one shared result counter for `max_results`, and the
+//! wall-clock deadline checked every 1024 expansions per worker.
+
+use crate::search::{traverse_tc, SearchConfig, TriggerCondition};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use tabby_core::CpgSchema;
+use tabby_graph::{Direction, EdgeType, Graph, NodeId, PropKey};
+
+/// What the parallel engine hands back to [`crate::search`] for chain
+/// assembly: raw node paths (sink-first, as walked) plus the global
+/// counters.
+pub(crate) struct EngineOutcome {
+    /// Found paths, sink-first (the walk order), possibly from many workers
+    /// in nondeterministic order — the caller canonicalizes.
+    pub hits: Vec<Vec<NodeId>>,
+    /// Edge expansions performed across all workers.
+    pub expansions: usize,
+    /// States pruned by the dominance memo.
+    pub memo_hits: usize,
+    /// The search hit its expansion budget or deadline.
+    pub truncated: bool,
+}
+
+/// Locks a mutex, recovering the guard if a worker panicked while holding
+/// it (the data is a monotone cache of facts, never left half-updated in a
+/// way that affects soundness: a torn entry list at worst loses pruning).
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+const MEMO_SHARDS: usize = 64;
+
+/// The sharded `(method, TriggerCondition)` dominance memo.
+///
+/// An entry `(tc, rem)` under `node` records the prefix-independent
+/// negative fact described in the module docs. `covered` asks whether a
+/// dominating entry exists; `record` inserts one, compressing away entries
+/// the new fact dominates.
+struct Memo {
+    shards: Vec<Mutex<HashMap<NodeId, Vec<(TriggerCondition, usize)>>>>,
+}
+
+impl Memo {
+    fn new() -> Self {
+        Self {
+            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, node: NodeId) -> &Mutex<HashMap<NodeId, Vec<(TriggerCondition, usize)>>> {
+        &self.shards[node.0 as usize % MEMO_SHARDS]
+    }
+
+    /// Is `(node, tc, rem)` dominated by a recorded fact?
+    fn covered(&self, node: NodeId, tc: &TriggerCondition, rem: usize) -> bool {
+        let shard = lock_or_recover(self.shard(node));
+        shard
+            .get(&node)
+            .is_some_and(|entries| entries.iter().any(|(t, r)| *r >= rem && t.is_subset(tc)))
+    }
+
+    /// Records the fact `(node, tc, rem)`, dropping entries it dominates.
+    fn record(&self, node: NodeId, tc: &TriggerCondition, rem: usize) {
+        let mut shard = lock_or_recover(self.shard(node));
+        let entries = shard.entry(node).or_default();
+        if entries.iter().any(|(t, r)| *r >= rem && t.is_subset(tc)) {
+            return; // already dominated
+        }
+        entries.retain(|(t, r)| !(*r <= rem && tc.is_subset(t)));
+        entries.push((tc.clone(), rem));
+    }
+}
+
+/// One shard of work: continue the walk `sink → first` with the TC already
+/// translated across the first reversed edge.
+struct Unit {
+    sink: NodeId,
+    first: NodeId,
+    tc: TriggerCondition,
+}
+
+/// What a finished subtree reports upward, for memo-recording decisions.
+struct Sub {
+    /// A source was reached somewhere below.
+    found: bool,
+    /// The subtree was fully explored (no budget/deadline/result-limit cut,
+    /// directly or in any child).
+    complete: bool,
+    /// The smallest path index of any node that a path-uniqueness check
+    /// blocked an expansion into, `usize::MAX` if none. Blocks at indices
+    /// at/after a subtree's root are internal to the subtree (the same
+    /// suffix re-blocks them under any prefix); blocks before it make the
+    /// subtree's outcome prefix-dependent and unrecordable.
+    min_block: usize,
+}
+
+impl Sub {
+    /// A leaf verdict that constrains nothing above it.
+    fn leaf(found: bool) -> Self {
+        Sub {
+            found,
+            complete: true,
+            min_block: usize::MAX,
+        }
+    }
+}
+
+/// The shared engine: graph handles, limits, and cross-worker state.
+struct Engine<'g> {
+    graph: &'g Graph,
+    sources: &'g HashSet<NodeId>,
+    call: EdgeType,
+    alias: EdgeType,
+    pp_key: PropKey,
+    use_alias: bool,
+    max_depth: usize,
+    max_results: usize,
+    max_expansions: usize,
+    deadline: Option<std::time::Instant>,
+    memo: Option<Memo>,
+    expansions: AtomicUsize,
+    memo_hits: AtomicUsize,
+    found: AtomicUsize,
+    truncated: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl<'g> Engine<'g> {
+    fn new(
+        graph: &'g Graph,
+        schema: &CpgSchema,
+        sources: &'g HashSet<NodeId>,
+        config: &SearchConfig,
+    ) -> Self {
+        Engine {
+            graph,
+            sources,
+            call: schema.call,
+            alias: schema.alias,
+            pp_key: schema.polluted_position,
+            use_alias: config.use_alias_edges,
+            max_depth: config.max_depth,
+            max_results: config.max_results,
+            max_expansions: config.max_expansions,
+            deadline: config.deadline,
+            memo: config.tc_memo.then(Memo::new),
+            expansions: AtomicUsize::new(0),
+            memo_hits: AtomicUsize::new(0),
+            found: AtomicUsize::new(0),
+            truncated: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Algorithm 2: reversed CALL edges filtered through Formula 4, then
+    /// ALIAS edges (both directions) with the TC unchanged — the same
+    /// expansion set, in the same order, as the sequential expander.
+    fn expand(&self, end: NodeId, tc: &TriggerCondition) -> Vec<(NodeId, TriggerCondition)> {
+        let g = self.graph;
+        let mut out = Vec::new();
+        for e in g.edges_of(end, Direction::Incoming, Some(self.call)) {
+            let caller = g.other_node(e, end);
+            let pp = g
+                .edge_prop(e, self.pp_key)
+                .and_then(|v| v.as_int_list())
+                .unwrap_or(&[]);
+            if let Some(next) = traverse_tc(tc, pp) {
+                out.push((caller, next));
+            }
+        }
+        if self.use_alias {
+            for e in g.edges_of(end, Direction::Both, Some(self.alias)) {
+                out.push((g.other_node(e, end), tc.clone()));
+            }
+        }
+        out
+    }
+
+    /// Counts one expansion against the global budget and the deadline.
+    /// Returns `false` when the search must stop (the caller abandons its
+    /// subtree as incomplete).
+    fn charge(&self, local: &mut usize) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        let n = self.expansions.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.max_expansions {
+            self.truncated.store(true, Ordering::Relaxed);
+            self.stop.store(true, Ordering::Relaxed);
+            return false;
+        }
+        *local += 1;
+        if *local % 1024 == 0 {
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() >= deadline {
+                    self.truncated.store(true, Ordering::Relaxed);
+                    self.stop.store(true, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        !self.stop.load(Ordering::Relaxed)
+    }
+
+    /// One level of seeding: expand every sink once and turn each admissible
+    /// first hop into a work unit. A sink is never a result by itself
+    /// (Algorithm 3 requires at least one edge), so nothing is lost by
+    /// starting workers one edge in.
+    fn seed(&self, sinks: &[(NodeId, TriggerCondition)], local: &mut usize) -> Vec<Unit> {
+        let mut units = Vec::new();
+        if self.max_depth == 0 {
+            return units; // the evaluator prunes every zero-length path
+        }
+        'sinks: for (sink, tc) in sinks {
+            for (first, next_tc) in self.expand(*sink, tc) {
+                if !self.charge(local) {
+                    break 'sinks;
+                }
+                if first == *sink {
+                    continue; // NodePath uniqueness on the self-loop
+                }
+                units.push(Unit {
+                    sink: *sink,
+                    first,
+                    tc: next_tc,
+                });
+            }
+        }
+        units
+    }
+
+    /// The depth-first walk below one path end. `path` runs sink-first;
+    /// found source paths are pushed into `out` (still sink-first).
+    fn dfs(
+        &self,
+        path: &mut Vec<NodeId>,
+        tc: &TriggerCondition,
+        out: &mut Vec<Vec<NodeId>>,
+        local: &mut usize,
+    ) -> Sub {
+        let Some(&end) = path.last() else {
+            return Sub::leaf(false);
+        };
+        let edges = path.len() - 1;
+        // Algorithm 3: a non-trivial path ending at a source is a chain —
+        // include and prune.
+        if edges > 0 && self.sources.contains(&end) {
+            out.push(path.clone());
+            let n = self.found.fetch_add(1, Ordering::Relaxed) + 1;
+            if n >= self.max_results {
+                self.stop.store(true, Ordering::Relaxed);
+            }
+            return Sub::leaf(true);
+        }
+        if edges >= self.max_depth {
+            return Sub::leaf(false);
+        }
+        let rem = self.max_depth - edges;
+        if let Some(memo) = &self.memo {
+            if memo.covered(end, tc, rem) {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                return Sub::leaf(false);
+            }
+        }
+        let my_index = path.len() - 1;
+        let mut found = false;
+        let mut complete = true;
+        let mut min_block = usize::MAX;
+        for (target, next_tc) in self.expand(end, tc) {
+            if !self.charge(local) {
+                return Sub {
+                    found,
+                    complete: false,
+                    min_block,
+                };
+            }
+            // NodePath uniqueness, with the block's path index tracked for
+            // the prefix-independence test.
+            if let Some(j) = path.iter().position(|&n| n == target) {
+                min_block = min_block.min(j);
+                continue;
+            }
+            path.push(target);
+            let sub = self.dfs(path, &next_tc, out, local);
+            path.pop();
+            found |= sub.found;
+            complete &= sub.complete;
+            min_block = min_block.min(sub.min_block);
+        }
+        if !found && complete && min_block >= my_index {
+            if let Some(memo) = &self.memo {
+                memo.record(end, tc, rem);
+            }
+        }
+        Sub {
+            found,
+            complete,
+            min_block,
+        }
+    }
+
+    fn run_unit(&self, unit: &Unit, out: &mut Vec<Vec<NodeId>>, local: &mut usize) {
+        let mut path = vec![unit.sink, unit.first];
+        self.dfs(&mut path, &unit.tc, out, local);
+    }
+
+    fn outcome(&self, hits: Vec<Vec<NodeId>>) -> EngineOutcome {
+        EngineOutcome {
+            hits,
+            expansions: self.expansions.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Resolves the configured thread count: `0` means one worker per available
+/// core.
+pub(crate) fn effective_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Runs the parallel engine. The returned hit list is unordered across
+/// workers; [`crate::search`] canonicalizes it, which makes the chain set
+/// byte-identical to the sequential reference for any thread count and
+/// either memo setting (the determinism battery in `tests/determinism.rs`
+/// asserts exactly this over every workloads scene).
+pub(crate) fn search(
+    graph: &Graph,
+    schema: &CpgSchema,
+    sinks: &[(NodeId, TriggerCondition)],
+    sources: &HashSet<NodeId>,
+    config: &SearchConfig,
+) -> EngineOutcome {
+    let threads = effective_threads(config.search_threads);
+    run_with_threads(graph, schema, sinks, sources, config, threads)
+}
+
+fn run_with_threads(
+    graph: &Graph,
+    schema: &CpgSchema,
+    sinks: &[(NodeId, TriggerCondition)],
+    sources: &HashSet<NodeId>,
+    config: &SearchConfig,
+    threads: usize,
+) -> EngineOutcome {
+    let engine = Engine::new(graph, schema, sources, config);
+    let mut local = 0usize;
+    let units = engine.seed(sinks, &mut local);
+    let threads = threads.min(units.len()).max(1);
+
+    if threads <= 1 {
+        let mut out = Vec::new();
+        for unit in &units {
+            if engine.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            engine.run_unit(unit, &mut out, &mut local);
+        }
+        return engine.outcome(out);
+    }
+
+    let engine_ref = &engine;
+    let joined = crossbeam::thread::scope(|scope| {
+        let (tx, rx) = crossbeam::channel::unbounded::<Unit>();
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<Vec<Vec<NodeId>>>();
+        for unit in units {
+            let _ = tx.send(unit);
+        }
+        drop(tx);
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move |_| {
+                let mut out = Vec::new();
+                let mut local = 0usize;
+                while let Ok(unit) = rx.try_recv() {
+                    if engine_ref.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    engine_ref.run_unit(&unit, &mut out, &mut local);
+                }
+                let _ = result_tx.send(out);
+            });
+        }
+        drop(result_tx);
+        result_rx.iter().flatten().collect::<Vec<_>>()
+    });
+    match joined {
+        Ok(hits) => engine.outcome(hits),
+        // A worker panicked (a bug, not an input condition): rerun
+        // sequentially on a fresh engine so the caller still gets a
+        // complete, correct answer.
+        Err(_) => run_with_threads(graph, schema, sinks, sources, config, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc(positions: &[u16]) -> TriggerCondition {
+        positions.iter().copied().collect()
+    }
+
+    #[test]
+    fn memo_covered_requires_subset_and_enough_depth() {
+        let memo = Memo::new();
+        let node = NodeId(7);
+        memo.record(node, &tc(&[1]), 5);
+        // Dominated: larger TC, less remaining depth.
+        assert!(memo.covered(node, &tc(&[1]), 5));
+        assert!(memo.covered(node, &tc(&[0, 1]), 4));
+        // Not dominated: disjoint TC, or more remaining depth than explored.
+        assert!(!memo.covered(node, &tc(&[0]), 5));
+        assert!(!memo.covered(node, &tc(&[1]), 6));
+        assert!(!memo.covered(NodeId(8), &tc(&[1]), 5));
+    }
+
+    #[test]
+    fn memo_record_compresses_dominated_entries() {
+        let memo = Memo::new();
+        let node = NodeId(3);
+        memo.record(node, &tc(&[0, 1]), 3);
+        // A stronger fact (smaller TC, deeper) replaces the weaker one.
+        memo.record(node, &tc(&[1]), 5);
+        let shard = lock_or_recover(memo.shard(node));
+        let entries = shard.get(&node).map(Vec::len);
+        assert_eq!(entries, Some(1));
+        drop(shard);
+        // Re-recording a dominated fact is a no-op.
+        memo.record(node, &tc(&[0, 1]), 3);
+        let shard = lock_or_recover(memo.shard(node));
+        assert_eq!(shard.get(&node).map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn effective_threads_zero_uses_available_parallelism() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

@@ -38,6 +38,15 @@ pub struct SearchConfig {
     /// found so far are returned with [`SearchOutcome::truncated`] set
     /// instead of letting one pathological scan hang the phase.
     pub deadline: Option<std::time::Instant>,
+    /// Worker threads for the backward search (`0` = one per available
+    /// core). Work is sharded per `(sink, first reversed-CALL hop)`; the
+    /// canonical chain set is byte-identical for every thread count.
+    pub search_threads: usize,
+    /// Prune states dominated by an already-explored
+    /// `(method, TriggerCondition)` at equal-or-smaller remaining depth.
+    /// Sound (unlike a visited set, §IV-F — see `parallel.rs` for the
+    /// argument); never changes the chain set, only the work done.
+    pub tc_memo: bool,
 }
 
 impl Default for SearchConfig {
@@ -49,6 +58,8 @@ impl Default for SearchConfig {
             use_alias_edges: true,
             uniqueness: Uniqueness::NodePath,
             deadline: None,
+            search_threads: 1,
+            tc_memo: true,
         }
     }
 }
@@ -56,13 +67,20 @@ impl Default for SearchConfig {
 /// The result of a chain search, including whether it ran to completion.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
-    /// The chains found (all of them, or a prefix if truncated).
+    /// The chains found (all of them, or a prefix if truncated), in
+    /// canonical order (sorted by signatures, then sink category, then
+    /// node ids).
     pub chains: Vec<GadgetChain>,
     /// True when the search was cut short by its expansion budget or
     /// deadline — the chain list is a valid but possibly incomplete answer.
     pub truncated: bool,
-    /// Edge expansions performed (Algorithm 2 steps).
+    /// Edge expansions performed (Algorithm 2 steps). Deterministic for
+    /// sequential runs; with multiple worker threads the exact value varies
+    /// run to run (memo races), though the chain set does not.
     pub expansions: usize,
+    /// States pruned by the TC-dominance memo (0 when disabled or when the
+    /// sequential reference engine ran).
+    pub memo_hits: usize,
 }
 
 /// A found gadget chain, reported source-first (as in Tables I and XI).
@@ -219,6 +237,35 @@ pub fn find_gadget_chains_detailed(
     )
 }
 
+/// Like [`find_gadget_chains_detailed`], but forcing the sequential
+/// reference engine regardless of [`SearchConfig::search_threads`] /
+/// [`SearchConfig::tc_memo`] — the baseline that `bench search` and the
+/// determinism battery compare the parallel engine against.
+pub fn find_gadget_chains_reference_detailed(
+    cpg: &mut Cpg,
+    sinks: &SinkCatalog,
+    sources: &SourceCatalog,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    let sink_nodes = sinks.annotate(cpg);
+    let source_nodes = sources.annotate(cpg);
+    let categories = sink_nodes
+        .iter()
+        .map(|(n, s)| (*n, s.category.as_str().to_owned()))
+        .collect();
+    find_chains_reference_detailed(
+        &cpg.graph,
+        &cpg.schema,
+        sink_nodes
+            .iter()
+            .map(|(n, s)| (*n, s.trigger_condition.iter().copied().collect()))
+            .collect(),
+        categories,
+        &source_nodes,
+        config,
+    )
+}
+
 /// The raw search over any graph carrying the CPG schema (usable for
 /// hand-built graphs such as the Fig. 6 example).
 pub fn find_chains_raw(
@@ -233,7 +280,53 @@ pub fn find_chains_raw(
 }
 
 /// Like [`find_chains_raw`], also reporting truncation and work done.
+///
+/// Dispatch: with the default `NodePath` uniqueness this runs the
+/// work-sharded engine in [`crate::parallel`] (even at one thread — the
+/// chain set is byte-identical to [`find_chains_reference_detailed`]
+/// either way, which `tests/determinism.rs` asserts over every workloads
+/// scene). `NodeGlobal` and `None` uniqueness keep the sequential
+/// traversal: a global visited set is inherently order-dependent and has
+/// no sound parallel decomposition.
 pub fn find_chains_raw_detailed(
+    graph: &Graph,
+    schema: &CpgSchema,
+    sinks: Vec<(NodeId, TriggerCondition)>,
+    sink_categories: Vec<(NodeId, String)>,
+    sources: &HashSet<NodeId>,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    if config.uniqueness != Uniqueness::NodePath {
+        return find_chains_reference_detailed(
+            graph,
+            schema,
+            sinks,
+            sink_categories,
+            sources,
+            config,
+        );
+    }
+    let outcome = crate::parallel::search(graph, schema, &sinks, sources, config);
+    let chains = assemble_chains(
+        graph,
+        schema,
+        &sink_categories,
+        outcome.hits,
+        config.max_results,
+    );
+    SearchOutcome {
+        chains,
+        truncated: outcome.truncated,
+        expansions: outcome.expansions,
+        memo_hits: outcome.memo_hits,
+    }
+}
+
+/// The sequential reference engine: the Expander/Evaluator traversal of
+/// Algorithms 2–3, verbatim, with no memoization and no work sharding.
+/// The determinism battery and `bench search` compare the parallel engine
+/// against this.
+pub fn find_chains_reference_detailed(
     graph: &Graph,
     schema: &CpgSchema,
     sinks: Vec<(NodeId, TriggerCondition)>,
@@ -303,6 +396,51 @@ pub fn find_chains_raw_detailed(
         .deadline(config.deadline);
     let (results, stats) = traversal.run_many_with_stats(graph, sinks);
 
+    let raw: Vec<Vec<NodeId>> = results
+        .into_iter()
+        .map(|(path, _tc)| path.nodes().to_vec())
+        .collect();
+    let chains = assemble_chains(graph, schema, &sink_categories, raw, config.max_results);
+    SearchOutcome {
+        chains,
+        truncated: stats.truncated,
+        expansions: stats.expansions,
+        memo_hits: 0,
+    }
+}
+
+/// Sorts chains into the canonical report order — by signatures, then sink
+/// category, then node ids — and drops duplicates. Both engines, the
+/// [`crate::report::AuditReport`] serializer, and the service cache all emit
+/// this order, so any two complete runs over the same graph compare
+/// byte-identical as JSON regardless of thread count, memo setting, or
+/// traversal order.
+pub fn canonical_chain_order(chains: &mut Vec<GadgetChain>) {
+    chains.sort_by(|a, b| {
+        a.signatures
+            .cmp(&b.signatures)
+            .then_with(|| a.sink_category.cmp(&b.sink_category))
+            .then_with(|| a.nodes.cmp(&b.nodes))
+    });
+    chains.dedup_by(|a, b| {
+        if a.nodes.is_empty() && b.nodes.is_empty() {
+            // Deserialized chains carry no node ids (`nodes` is #[serde(skip)]).
+            a.signatures == b.signatures && a.sink_category == b.sink_category
+        } else {
+            a.nodes == b.nodes
+        }
+    });
+}
+
+/// Turns raw sink-first node paths into source-first [`GadgetChain`]s in
+/// canonical order — the single assembly point shared by both engines.
+fn assemble_chains(
+    graph: &Graph,
+    schema: &CpgSchema,
+    sink_categories: &[(NodeId, String)],
+    raw: Vec<Vec<NodeId>>,
+    max_results: usize,
+) -> Vec<GadgetChain> {
     let category_of = |sink: NodeId| {
         sink_categories
             .iter()
@@ -322,27 +460,25 @@ pub fn find_chains_raw_detailed(
         format!("{class}.{name}")
     };
 
-    let mut seen = HashSet::new();
     let mut chains = Vec::new();
-    for (path, _tc) in results {
+    for path in raw {
+        let sink = match path.first() {
+            Some(&n) => n,
+            None => continue,
+        };
         // Paths run sink → source; report source → sink.
-        let mut nodes: Vec<NodeId> = path.nodes().to_vec();
+        let mut nodes = path;
         nodes.reverse();
-        if !seen.insert(nodes.clone()) {
-            continue;
-        }
         let signatures: Vec<String> = nodes.iter().map(|&n| describe(n)).collect();
         chains.push(GadgetChain {
             signatures,
-            sink_category: category_of(path.first()),
+            sink_category: category_of(sink),
             nodes,
         });
     }
-    SearchOutcome {
-        chains,
-        truncated: stats.truncated,
-        expansions: stats.expansions,
-    }
+    canonical_chain_order(&mut chains);
+    chains.truncate(max_results);
+    chains
 }
 
 #[cfg(test)]
@@ -527,6 +663,109 @@ mod tests {
             &config,
         );
         assert!(chains.is_empty());
+    }
+
+    #[test]
+    fn parallel_engine_matches_reference_on_fig6() {
+        let (g, schema, nodes) = fig6();
+        let sink = nodes[0];
+        let source = nodes[6];
+        let sinks = vec![(sink, TriggerCondition::from([1u16]))];
+        let cats = vec![(sink, "EXEC".to_owned())];
+        let sources = HashSet::from([source]);
+        let reference = find_chains_reference_detailed(
+            &g,
+            &schema,
+            sinks.clone(),
+            cats.clone(),
+            &sources,
+            &SearchConfig::default(),
+        );
+        let want = serde_json::to_string(&reference.chains).unwrap();
+        for threads in [1usize, 2, 8] {
+            for memo in [true, false] {
+                let config = SearchConfig {
+                    search_threads: threads,
+                    tc_memo: memo,
+                    ..SearchConfig::default()
+                };
+                let outcome =
+                    find_chains_raw_detailed(&g, &schema, sinks.clone(), cats.clone(), &sources, &config);
+                assert!(!outcome.truncated);
+                let got = serde_json::to_string(&outcome.chains).unwrap();
+                assert_eq!(got, want, "threads={threads} memo={memo}");
+            }
+        }
+    }
+
+    /// Two callers of the same sink converge on a shared caller ladder:
+    /// the second walk over the ladder is pruned by the dominance memo
+    /// (same method, same TC, same remaining depth) without changing the
+    /// (empty) chain set.
+    #[test]
+    fn memo_prunes_shared_substructure() {
+        let mut g = Graph::new();
+        let schema = CpgSchema::install(&mut g);
+        let names = ["A", "M1", "M2", "X", "Y"];
+        let nodes: Vec<NodeId> = names
+            .iter()
+            .map(|n| {
+                let node = g.add_node(schema.method_label);
+                g.set_node_prop(node, schema.name, tabby_graph::Value::from(*n));
+                g.set_node_prop(node, schema.class_name, tabby_graph::Value::from("memo"));
+                node
+            })
+            .collect();
+        let idx = |n: &str| nodes[names.iter().position(|x| *x == n).unwrap()];
+        let mut call = |from: &str, to: &str| {
+            let e = g.add_edge(schema.call, idx(from), idx(to));
+            g.set_edge_prop(e, schema.polluted_position, tabby_graph::Value::IntList(vec![-1, 1]));
+        };
+        call("M1", "A");
+        call("M2", "A");
+        call("X", "M1");
+        call("X", "M2");
+        call("Y", "X");
+        let sinks = vec![(idx("A"), TriggerCondition::from([1u16]))];
+        let cats = vec![(idx("A"), "EXEC".to_owned())];
+        let sources = HashSet::new(); // nothing to find: pure search work
+        let run = |memo: bool| {
+            find_chains_raw_detailed(
+                &g,
+                &schema,
+                sinks.clone(),
+                cats.clone(),
+                &sources,
+                &SearchConfig {
+                    tc_memo: memo,
+                    ..SearchConfig::default()
+                },
+            )
+        };
+        let with_memo = run(true);
+        let without = run(false);
+        assert!(with_memo.chains.is_empty() && without.chains.is_empty());
+        assert!(with_memo.memo_hits > 0);
+        assert_eq!(without.memo_hits, 0);
+        assert!(with_memo.expansions < without.expansions);
+    }
+
+    #[test]
+    fn canonical_order_sorts_and_dedups() {
+        let chain = |sig: &[&str], node_ids: &[u32]| GadgetChain {
+            signatures: sig.iter().map(|s| (*s).to_owned()).collect(),
+            sink_category: "EXEC".to_owned(),
+            nodes: node_ids.iter().map(|&i| NodeId(i)).collect(),
+        };
+        let mut chains = vec![
+            chain(&["b.B.f", "z.Z.sink"], &[2, 9]),
+            chain(&["a.A.f", "z.Z.sink"], &[1, 9]),
+            chain(&["b.B.f", "z.Z.sink"], &[2, 9]),
+        ];
+        canonical_chain_order(&mut chains);
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].signatures[0], "a.A.f");
+        assert_eq!(chains[1].signatures[0], "b.B.f");
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Property tests for Formula 4 (`traverse_tc`) — the algebra that makes
+//! TC-dominance memoization sound.
+//!
+//! The memo in the parallel engine prunes a state `(method, TC, rem)` when
+//! some explored `(method, TC*, rem*)` dominates it: `TC* ⊆ TC` and
+//! `rem* ≥ rem`. That is only sound because:
+//!
+//! 1. subset-dominance is a partial order on Trigger_Conditions,
+//! 2. propagation through a Polluted_Position array is monotone w.r.t.
+//!    that order (a dominating TC survives every edge the dominated one
+//!    survives, and maps to a dominating TC on the other side), and
+//! 3. any required position mapped to ∞ kills the path outright — there is
+//!    no way for a *larger* TC to resurrect an edge a smaller one lost.
+//!
+//! These are exactly the three properties exercised here, over arbitrary
+//! TCs and PP arrays.
+
+use proptest::prelude::*;
+use tabby_pathfinder::{traverse_tc, TriggerCondition};
+
+fn arb_tc() -> impl Strategy<Value = TriggerCondition> {
+    proptest::collection::btree_set(0u16..8, 0..6)
+}
+
+fn arb_pp() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-2i64..8, 0..10)
+}
+
+proptest! {
+    /// Subset dominance is a partial order: reflexive, antisymmetric,
+    /// transitive.
+    #[test]
+    fn dominance_is_a_partial_order(a in arb_tc(), b in arb_tc(), c in arb_tc()) {
+        prop_assert!(a.is_subset(&a));
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.is_subset(&b) && b.is_subset(&c) {
+            prop_assert!(a.is_subset(&c));
+        }
+    }
+
+    /// Monotonicity: if `small ⊆ large` and the large TC survives a PP
+    /// array, the small one survives it too and its image is dominated by
+    /// the large one's image. (This is why a memo entry recorded for a
+    /// small TC covers every larger TC.)
+    #[test]
+    fn propagation_is_monotone(small in arb_tc(), extra in arb_tc(), pp in arb_pp()) {
+        let large: TriggerCondition = small.union(&extra).copied().collect();
+        match traverse_tc(&large, &pp) {
+            Some(large_image) => {
+                let small_image = traverse_tc(&small, &pp);
+                prop_assert!(small_image.is_some());
+                if let Some(small_image) = small_image {
+                    prop_assert!(small_image.is_subset(&large_image));
+                }
+            }
+            None => {
+                // The large TC died; the small one may live or die, but if
+                // it lives its image must still be a valid translation of
+                // only its own positions.
+                if let Some(image) = traverse_tc(&small, &pp) {
+                    prop_assert!(image.len() <= small.len());
+                }
+            }
+        }
+    }
+
+    /// Any position mapped to ∞ (negative, or out of range) kills the
+    /// whole path: `traverse_tc` returns `None`, never a partial set.
+    #[test]
+    fn infinity_kills_the_path(tc in arb_tc(), pp in arb_pp()) {
+        let dead = tc.iter().any(|&pos| {
+            pp.get(pos as usize).copied().unwrap_or(-1) < 0
+        });
+        let image = traverse_tc(&tc, &pp);
+        if dead {
+            prop_assert!(image.is_none());
+        } else {
+            // Fully alive: the image is exactly {PP[x] | x ∈ TC}.
+            let want: TriggerCondition = tc
+                .iter()
+                .map(|&pos| pp[pos as usize] as u16)
+                .collect();
+            prop_assert_eq!(image, Some(want));
+        }
+    }
+
+    /// The empty TC survives every edge and stays empty — the bottom
+    /// element of the dominance order.
+    #[test]
+    fn empty_tc_is_bottom(pp in arb_pp()) {
+        prop_assert_eq!(traverse_tc(&TriggerCondition::new(), &pp), Some(TriggerCondition::new()));
+    }
+}

@@ -58,6 +58,10 @@ pub struct ServiceConfig {
     /// Threads used *within* one job's summarize phase. Defaults to 1:
     /// the daemon parallelizes across jobs, not within them.
     pub analysis_threads: usize,
+    /// Default threads for one job's backwards chain search (`0` means one
+    /// per CPU core; a request can override per job). Defaults to 1 for
+    /// the same reason as `analysis_threads`.
+    pub search_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +74,7 @@ impl Default for ServiceConfig {
             cache_dir: None,
             cache_capacity: 32,
             analysis_threads: 1,
+            search_threads: 1,
         }
     }
 }
@@ -125,7 +130,8 @@ impl Daemon {
             config.cache_dir.clone(),
             config.cache_capacity,
             config.analysis_threads,
-        );
+        )
+        .with_search_threads(config.search_threads);
         let shared = Arc::new(Shared {
             engine,
             config,

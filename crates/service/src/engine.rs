@@ -57,6 +57,10 @@ pub struct Engine {
     cache: Mutex<ScanCache>,
     config: AnalysisConfig,
     analysis_threads: usize,
+    /// Default worker threads for the backwards chain search; a job can
+    /// override it per request. Not part of any cache key: the search is
+    /// canonically ordered, so thread count never changes a result.
+    search_threads: usize,
     /// Fingerprint of the analysis configuration, folded into every cache
     /// key so a config change can never serve stale entries.
     analysis_fp: u64,
@@ -75,8 +79,17 @@ impl Engine {
             cache: Mutex::new(ScanCache::new(cache_dir, cache_capacity)),
             config,
             analysis_threads: analysis_threads.max(1),
+            search_threads: 1,
             analysis_fp,
         }
+    }
+
+    /// Sets the default search-thread count for jobs that don't request
+    /// one (`0` means one per CPU core).
+    #[must_use]
+    pub fn with_search_threads(mut self, search_threads: usize) -> Engine {
+        self.search_threads = search_threads;
+        self
     }
 
     /// Locks the cache, recovering from poisoning: a panic in another
@@ -179,9 +192,15 @@ impl Engine {
             k.write_u64(self.analysis_fp);
             k.finish()
         };
+        // Note that `chains_key` deliberately excludes `search_threads` and
+        // `tc_memo`: only complete (non-truncated) chain sets are cached,
+        // and complete sets are invariant to both knobs — they are
+        // byte-identical across every thread count and memo setting.
         let search_cfg = SearchConfig {
             max_depth: options.depth,
             deadline: Some(deadline),
+            search_threads: options.search_threads.unwrap_or(self.search_threads),
+            tc_memo: options.tc_memo,
             ..SearchConfig::default()
         };
 
@@ -230,6 +249,8 @@ impl Engine {
                 stats.cache_hit_ratio = 1.0;
                 diagnostics.merge(cpg.diagnostics.clone());
                 diagnostics.search_truncated = search.truncated;
+                diagnostics.search_expansions = search.expansions;
+                diagnostics.search_memo_hits = search.memo_hits;
                 // A truncated search is deadline-dependent, not
                 // content-addressed — never serve it to a later job.
                 if !search.truncated {
@@ -402,6 +423,8 @@ impl Engine {
         // entry stores exactly those (search degradation is per-query).
         let phase_diagnostics = diagnostics.clone();
         diagnostics.search_truncated = search.truncated;
+        diagnostics.search_expansions = search.expansions;
+        diagnostics.search_memo_hits = search.memo_hits;
         let chains = search.chains;
 
         // ----- populate caches --------------------------------------------
@@ -721,6 +744,37 @@ mod tests {
         assert!(warm.stats.job_cache_hit);
         assert_eq!(warm.stats.cache_hit_ratio, 1.0);
         assert_eq!(warm.chains, cold.chains);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_hit_returns_byte_identical_chains() {
+        let dir = temp_dir("bytes");
+        write_corpus(&dir, false);
+        let engine = Engine::new(None, 8, 1);
+        let cold = scan(&engine, &dir);
+        let cold_json = serde_json::to_string(&cold.chains).unwrap();
+        // The warm rescan serves tier 1 (chain cache); a multi-threaded
+        // memo-less rescan with `fresh` recomputes from scratch. All three
+        // must serialize to the same bytes: chains are stored and returned
+        // in canonical order, never re-sorted differently per path.
+        let warm = scan(&engine, &dir);
+        assert!(warm.stats.job_cache_hit);
+        assert_eq!(serde_json::to_string(&warm.chains).unwrap(), cold_json);
+        let recomputed = engine
+            .run_scan(
+                &[dir.to_string_lossy().into_owned()],
+                &ScanRequestOptions {
+                    fresh: true,
+                    search_threads: Some(4),
+                    tc_memo: false,
+                    ..ScanRequestOptions::default()
+                },
+                far_deadline(),
+            )
+            .expect("fresh rescan succeeds");
+        assert!(!recomputed.stats.job_cache_hit);
+        assert_eq!(serde_json::to_string(&recomputed.chains).unwrap(), cold_json);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -16,6 +16,12 @@ fn default_depth() -> usize {
     12
 }
 
+/// The TC-dominance memo defaults on: it only prunes provably chain-free
+/// subtrees, so the chain set is unchanged and the search is never slower.
+fn default_tc_memo() -> bool {
+    true
+}
+
 /// A client request, tagged by `cmd`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "cmd", rename_all = "lowercase")]
@@ -77,6 +83,17 @@ pub struct ScanRequestOptions {
     /// it. Fault-injected jobs bypass the cache entirely.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub inject_fault: Option<String>,
+    /// Worker threads for the backwards chain search. `None` uses the
+    /// daemon's configured default; `Some(0)` means one per CPU core.
+    /// Canonical chain ordering makes the result identical either way, so
+    /// this is a latency knob, not a semantics knob.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub search_threads: Option<usize>,
+    /// Enable the `(method, Trigger_Condition)` dominance memo in the
+    /// search (default true). Turning it off exists for benchmarking the
+    /// unmemoized walk; the chain set is identical either way.
+    #[serde(default = "default_tc_memo")]
+    pub tc_memo: bool,
 }
 
 impl Default for ScanRequestOptions {
@@ -87,6 +104,8 @@ impl Default for ScanRequestOptions {
             fresh: false,
             strict: false,
             inject_fault: None,
+            search_threads: None,
+            tc_memo: true,
         }
     }
 }

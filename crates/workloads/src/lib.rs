@@ -14,6 +14,8 @@
 //! - [`components`]: one module per Table IX row;
 //! - [`scenes`]: the Table X development-environment scenes;
 //! - [`random_lib`]: the scalable random-library generator for Table VIII;
+//! - [`search_web`]: layered caller lattices above real sinks that give the
+//!   backward search paper-shaped work without adding any chains;
 //! - [`truth`]: manifests and the FPR/FNR arithmetic;
 //! - [`oracle`]: the guard-honouring effectiveness check standing in for
 //!   the paper's manual PoC verification.
@@ -28,8 +30,10 @@ pub mod jdk;
 pub mod oracle;
 pub mod random_lib;
 pub mod scenes;
+pub mod search_web;
 pub mod truth;
 
 pub use component::Component;
 pub use gadget_kit::{Sink, Trigger, Twist};
+pub use search_web::{add_search_web, SearchWebConfig};
 pub use truth::{ChainClass, EvalCounts, GroundTruth, TruthChain};

@@ -14,6 +14,7 @@ use crate::component::Component;
 use crate::gadget_kit::{add_gadget, Sink, Trigger, Twist};
 use crate::jdk::add_jdk_model;
 use crate::random_lib::{generate_into, RandomLibConfig};
+use crate::search_web::{add_search_web, SearchWebConfig};
 use crate::truth::GroundTruth;
 use tabby_ir::{JType, ProgramBuilder};
 
@@ -60,8 +61,46 @@ fn filler_for(pb: &mut ProgramBuilder, pkg: &str, code_mb: f64, seed: u64) {
     );
 }
 
+/// Scene-proportional search-web shape: bigger scenes get deeper, wider
+/// caller lattices (the JDK8 scene's web is the `bench search` headline
+/// workload — tens of millions of backward paths for the memo-less
+/// sequential engine). Smoke scenes share one tiny lattice so debug-mode
+/// test batteries can run every engine configuration on every scene.
+fn web_for(code_mb: f64, smoke: bool) -> SearchWebConfig {
+    if smoke {
+        return SearchWebConfig::smoke();
+    }
+    let width = ((code_mb / 4.0) as usize).clamp(8, 24);
+    if code_mb > 50.0 {
+        SearchWebConfig {
+            levels: 11,
+            width,
+            fanin: 4,
+        }
+    } else {
+        SearchWebConfig {
+            levels: 8,
+            width,
+            fanin: 3,
+        }
+    }
+}
+
+/// Filler plus search web, scaled down ~12× for smoke scenes. Neither adds
+/// chains, so the smoke variant of a scene reports the same chain set as
+/// the full one — only build and search cost shrink.
+fn scene_bulk(pb: &mut ProgramBuilder, pkg: &str, code_mb: f64, seed: u64, smoke: bool) {
+    let filler_mb = if smoke { (code_mb * 0.08).max(0.5) } else { code_mb };
+    filler_for(pb, pkg, filler_mb, seed);
+    add_search_web(pb, pkg, &web_for(code_mb, smoke));
+}
+
 /// The Spring framework scene (Table X row 1; chains of Table XI).
 pub fn spring() -> Scene {
+    spring_opts(false)
+}
+
+fn spring_opts(smoke: bool) -> Scene {
     let mut pb = ProgramBuilder::new();
     add_jdk_model(&mut pb);
 
@@ -239,7 +278,7 @@ pub fn spring() -> Scene {
             Twist::Guarded,
         );
     }
-    filler_for(&mut pb, "org.springframework.gen", 25.5, 101);
+    scene_bulk(&mut pb, "org.springframework.gen", 25.5, 101, smoke);
 
     Scene {
         component: Component::new(
@@ -263,6 +302,10 @@ pub fn spring() -> Scene {
 
 /// The JDK8 scene (Table X row 2): URLDNS plus XStream-bypass style chains.
 pub fn jdk8() -> Scene {
+    jdk8_opts(false)
+}
+
+fn jdk8_opts(smoke: bool) -> Scene {
     let mut pb = ProgramBuilder::new();
     add_jdk_model(&mut pb);
     // URLDNS comes from the JDK model itself and fires from all three
@@ -328,7 +371,7 @@ pub fn jdk8() -> Scene {
             Twist::Guarded,
         );
     }
-    filler_for(&mut pb, "sun.gen", 102.2, 102);
+    scene_bulk(&mut pb, "sun.gen", 102.2, 102, smoke);
 
     Scene {
         component: Component::new(
@@ -352,6 +395,10 @@ pub fn jdk8() -> Scene {
 
 /// The Tomcat scene (Table X row 3).
 pub fn tomcat() -> Scene {
+    tomcat_opts(false)
+}
+
+fn tomcat_opts(smoke: bool) -> Scene {
     let mut pb = ProgramBuilder::new();
     add_jdk_model(&mut pb);
     add_gadget(
@@ -382,7 +429,7 @@ pub fn tomcat() -> Scene {
         &Sink::Exec,
         Twist::Guarded,
     );
-    filler_for(&mut pb, "org.apache.catalina.gen", 7.9, 103);
+    scene_bulk(&mut pb, "org.apache.catalina.gen", 7.9, 103, smoke);
     Scene {
         component: Component::new(
             "Tomcat",
@@ -404,6 +451,10 @@ pub fn tomcat() -> Scene {
 
 /// The Jetty scene (Table X row 4).
 pub fn jetty() -> Scene {
+    jetty_opts(false)
+}
+
+fn jetty_opts(smoke: bool) -> Scene {
     let mut pb = ProgramBuilder::new();
     add_jdk_model(&mut pb);
     add_gadget(
@@ -443,7 +494,7 @@ pub fn jetty() -> Scene {
             Twist::Guarded,
         );
     }
-    filler_for(&mut pb, "org.eclipse.jetty.gen", 10.3, 104);
+    scene_bulk(&mut pb, "org.eclipse.jetty.gen", 10.3, 104, smoke);
     Scene {
         component: Component::new(
             "Jetty",
@@ -465,6 +516,10 @@ pub fn jetty() -> Scene {
 
 /// The Apache Dubbo scene (Table X row 5).
 pub fn dubbo() -> Scene {
+    dubbo_opts(false)
+}
+
+fn dubbo_opts(smoke: bool) -> Scene {
     let mut pb = ProgramBuilder::new();
     add_jdk_model(&mut pb);
     add_gadget(
@@ -497,7 +552,7 @@ pub fn dubbo() -> Scene {
             Twist::Guarded,
         );
     }
-    filler_for(&mut pb, "org.apache.dubbo.gen", 13.6, 105);
+    scene_bulk(&mut pb, "org.apache.dubbo.gen", 13.6, 105, smoke);
     Scene {
         component: Component::new(
             "Apache Dubbo",
@@ -523,6 +578,20 @@ pub fn dubbo() -> Scene {
 /// All Table X scenes, in row order.
 pub fn all() -> Vec<Scene> {
     vec![spring(), jdk8(), tomcat(), jetty(), dubbo()]
+}
+
+/// Smoke variants of every scene: the same gadget machinery, fakes, and
+/// paper rows, with filler scaled down ~12× and a tiny search web — sized
+/// so a debug-mode test can scan all five under every engine configuration.
+/// Chain sets are identical to the full scenes (bulk never adds chains).
+pub fn smoke() -> Vec<Scene> {
+    vec![
+        spring_opts(true),
+        jdk8_opts(true),
+        tomcat_opts(true),
+        jetty_opts(true),
+        dubbo_opts(true),
+    ]
 }
 
 #[cfg(test)]

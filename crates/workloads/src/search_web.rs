@@ -1,0 +1,156 @@
+//! A search-stress "web": a layered caller lattice above a real sink.
+//!
+//! The Table X scenes carry plenty of *build*-side work (random-library
+//! filler scaled to the paper's code sizes) but, until this module, almost
+//! no *search*-side work: filler classes never call sinks, so the backward
+//! walk from each sink fans out over a handful of gadget classes and stops.
+//! The web fixes that: `levels` layers of `width` classes each, where every
+//! class of layer *k* calls `fanin` classes of layer *k − 1* and layer 0
+//! calls `Runtime.exec` with its own parameter. Backwards from the sink
+//! that is a DAG with `width · fanin^(levels−1)`-ish distinct paths — real,
+//! paper-shaped search pressure (shared substructure, one TC per method,
+//! uniform depth) for the parallel engine and its dominance memo.
+//!
+//! The web contributes **zero chains**: no web class is serializable, none
+//! has a source method, and nothing outside the web calls into it. Scene
+//! result counts, oracle verdicts, and FPRs are unchanged; only the search
+//! has more honest work to do.
+
+use tabby_ir::{JType, ProgramBuilder};
+
+/// Shape of the caller lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchWebConfig {
+    /// Layers above the sink (also the backward depth of the web; keep at
+    /// most `max_depth − 1` so the whole lattice is explorable).
+    pub levels: usize,
+    /// Classes per layer.
+    pub width: usize,
+    /// Calls each class makes into the layer below.
+    pub fanin: usize,
+}
+
+impl SearchWebConfig {
+    /// A tiny web for smoke tests: fully explored in well under a
+    /// millisecond even by the sequential reference engine.
+    pub fn smoke() -> Self {
+        Self {
+            levels: 4,
+            width: 4,
+            fanin: 2,
+        }
+    }
+
+    /// Approximate number of backward paths through the web (the work the
+    /// memo-less sequential engine performs), for sizing budgets.
+    pub fn approx_paths(&self) -> u128 {
+        let mut per_entry: u128 = 1;
+        let mut total: u128 = 0;
+        for _ in 0..self.levels {
+            total += self.width as u128 * per_entry;
+            per_entry = per_entry.saturating_mul(self.fanin as u128);
+        }
+        total
+    }
+}
+
+/// Adds the web under `{pkg}.web`. Layer-0 classes call
+/// `java.lang.Runtime.exec` with their own `step` parameter (so the sink's
+/// Trigger_Condition translates to `{1}` and keeps propagating upward —
+/// every lattice edge has `Polluted_Position[1] = 1`); layer-*k* classes
+/// call `step` on `fanin` layer-(k−1) classes held in fields.
+pub fn add_search_web(pb: &mut ProgramBuilder, pkg: &str, config: &SearchWebConfig) {
+    let class_name = |level: usize, i: usize| format!("{pkg}.web.L{level}C{i}");
+    for level in 0..config.levels {
+        for i in 0..config.width {
+            let fqcn = class_name(level, i);
+            let mut cb = pb.class(&fqcn);
+            let object = cb.object_type("java.lang.Object");
+            if level == 0 {
+                let string = cb.object_type("java.lang.String");
+                let runtime = cb.object_type("java.lang.Runtime");
+                let process = cb.object_type("java.lang.Process");
+                let mut mb = cb.method("step", vec![object.clone()], JType::Void);
+                let p = mb.param(0);
+                let cmd = mb.fresh();
+                mb.cast(cmd, string.clone(), p);
+                let rt = mb.fresh();
+                let get_rt = mb.sig("java.lang.Runtime", "getRuntime", &[], runtime);
+                mb.call_static(Some(rt), get_rt, &[]);
+                let exec = mb.sig("java.lang.Runtime", "exec", &[string], process);
+                mb.call_virtual(None, rt, exec, &[cmd.into()]);
+                mb.finish();
+            } else {
+                let callees: Vec<String> = (0..config.fanin)
+                    .map(|t| class_name(level - 1, (i * config.fanin + t) % config.width))
+                    .collect();
+                for (t, callee) in callees.iter().enumerate() {
+                    let callee_ty = cb.object_type(callee);
+                    cb.field(&format!("f{t}"), callee_ty);
+                }
+                let mut mb = cb.method("step", vec![object.clone()], JType::Void);
+                let this = mb.this();
+                let p = mb.param(0);
+                for (t, callee) in callees.iter().enumerate() {
+                    let callee_ty = mb.object_type(callee);
+                    let recv = mb.fresh();
+                    mb.get_field(recv, this, &fqcn, &format!("f{t}"), callee_ty);
+                    let step = mb.sig(
+                        callee,
+                        "step",
+                        &[mb.object_type("java.lang.Object")],
+                        JType::Void,
+                    );
+                    mb.call_virtual(None, recv, step, &[p.into()]);
+                }
+                mb.finish();
+            }
+            cb.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jdk::add_jdk_model;
+    use tabby_core::{AnalysisConfig, Cpg};
+    use tabby_pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog};
+
+    #[test]
+    fn web_adds_search_work_but_no_chains() {
+        let build = |with_web: bool| {
+            let mut pb = ProgramBuilder::new();
+            add_jdk_model(&mut pb);
+            if with_web {
+                add_search_web(&mut pb, "stress", &SearchWebConfig::smoke());
+            }
+            let program = pb.build();
+            let mut cpg = Cpg::build(&program, AnalysisConfig::default());
+            find_gadget_chains(
+                &mut cpg,
+                &SinkCatalog::paper(),
+                &SourceCatalog::native_serialization(),
+                &SearchConfig::default(),
+            )
+        };
+        let bare = build(false);
+        let webbed = build(true);
+        // Identical chain sets: the web is pure search pressure.
+        let key = |chains: &[tabby_pathfinder::GadgetChain]| {
+            chains.iter().map(|c| c.signatures.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(key(&bare), key(&webbed));
+        assert!(!webbed.iter().any(|c| c
+            .signatures
+            .iter()
+            .any(|s| s.starts_with("stress.web."))));
+    }
+
+    #[test]
+    fn approx_paths_counts_the_lattice() {
+        let smoke = SearchWebConfig::smoke();
+        // width * (1 + fanin + fanin^2 + fanin^3) = 4 * 15.
+        assert_eq!(smoke.approx_paths(), 60);
+    }
+}

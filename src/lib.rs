@@ -164,6 +164,8 @@ pub fn scan(program: &Program, options: &ScanOptions) -> ScanReport {
     let search =
         find_gadget_chains_detailed(&mut cpg, &options.sinks, &options.sources, &options.search);
     diagnostics.search_truncated = search.truncated;
+    diagnostics.search_expansions = search.expansions;
+    diagnostics.search_memo_hits = search.memo_hits;
     ScanReport {
         chains: search.chains,
         cpg,

@@ -11,13 +11,15 @@
 //! Options for `scan`/`demo`:
 //!
 //! ```text
-//! --depth <n>        maximum chain length (default 12)
-//! --extended         use the extended source catalog (XStream-style entry points)
-//! --jobs <n>         analysis worker threads (default: available parallelism)
-//! --sinks <file>     custom sink catalog (JSON; `tabby sinks --json` emits one)
-//! --json             emit the chains as JSON
-//! --save-cpg <file>  persist the code property graph as JSON
-//! --dot <file>       export the code property graph as Graphviz DOT
+//! --depth <n>           maximum chain length (default 12)
+//! --extended            use the extended source catalog (XStream-style entry points)
+//! --jobs <n>            analysis worker threads (default: available parallelism)
+//! --search-threads <n>  chain-search worker threads (0 = one per core)
+//! --no-tc-memo          disable the TC-dominance search memo
+//! --sinks <file>        custom sink catalog (JSON; `tabby sinks --json` emits one)
+//! --json                emit the chains as JSON
+//! --save-cpg <file>     persist the code property graph as JSON
+//! --dot <file>          export the code property graph as Graphviz DOT
 //! ```
 //!
 //! The daemon protocol, its options, and the cache layout are documented in
@@ -61,30 +63,37 @@ USAGE:
     tabby submit [OPTIONS] <path>... submit a scan to a running daemon
 
 OPTIONS (scan/demo):
-    --depth <n>        maximum chain length (default 12)
-    --extended         extended source catalog (hashCode/equals/compare/toString)
-    --jobs <n>         analysis worker threads (default: available parallelism)
-    --sinks <file>     custom sink catalog (JSON; see `tabby sinks --json`)
-    --strict           fail on the first malformed class instead of
-                       quarantining it and scanning the survivors
-    --json             emit chains as JSON
-    --save-cpg <file>  persist the code property graph as JSON
-    --dot <file>       export the code property graph as Graphviz DOT
+    --depth <n>           maximum chain length (default 12)
+    --extended            extended source catalog (hashCode/equals/compare/toString)
+    --jobs <n>            analysis worker threads (default: available parallelism)
+    --search-threads <n>  chain-search worker threads (default 1; 0 = one per
+                          core; the chain set is identical at any count)
+    --no-tc-memo          disable the TC-dominance search memo (same chains,
+                          more expansions — for benchmarking)
+    --sinks <file>        custom sink catalog (JSON; see `tabby sinks --json`)
+    --strict              fail on the first malformed class instead of
+                          quarantining it and scanning the survivors
+    --json                emit chains as JSON
+    --save-cpg <file>     persist the code property graph as JSON
+    --dot <file>          export the code property graph as Graphviz DOT
 
 OPTIONS (serve):
-    --addr <ip:port>   listen address (default 127.0.0.1:7433)
-    --workers <n>      scan worker threads (default: available parallelism)
-    --cache-dir <dir>  persist chain/CPG cache entries under <dir>
+    --addr <ip:port>      listen address (default 127.0.0.1:7433)
+    --workers <n>         scan worker threads (default: available parallelism)
+    --search-threads <n>  default per-job chain-search threads (default 1)
+    --cache-dir <dir>     persist chain/CPG cache entries under <dir>
 
 OPTIONS (submit):
-    --addr <ip:port>   daemon address (default 127.0.0.1:7433)
-    --depth <n>        maximum chain length (default 12)
-    --extended         extended source catalog
-    --fresh            bypass daemon cache reads (results are still cached)
-    --strict           fail the job on the first malformed class
-    --no-retry         fail immediately on connection refused / queue full
-                       instead of retrying with backoff
-    --json             emit chains as JSON";
+    --addr <ip:port>      daemon address (default 127.0.0.1:7433)
+    --depth <n>           maximum chain length (default 12)
+    --extended            extended source catalog
+    --fresh               bypass daemon cache reads (results are still cached)
+    --strict              fail the job on the first malformed class
+    --search-threads <n>  chain-search threads for this job (0 = one per core)
+    --no-tc-memo          disable the TC-dominance search memo
+    --no-retry            fail immediately on connection refused / queue full
+                          instead of retrying with backoff
+    --json                emit chains as JSON";
 
 #[derive(Default)]
 struct CliOptions {
@@ -92,6 +101,8 @@ struct CliOptions {
     extended: bool,
     json: bool,
     jobs: Option<usize>,
+    search_threads: Option<usize>,
+    no_tc_memo: bool,
     strict: bool,
     save_cpg: Option<PathBuf>,
     dot: Option<PathBuf>,
@@ -120,6 +131,12 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
                 let n: usize = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
                 options.jobs = Some(n.max(1));
             }
+            "--search-threads" => {
+                let v = it.next().ok_or("--search-threads needs a value")?;
+                options.search_threads =
+                    Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
+            }
+            "--no-tc-memo" => options.no_tc_memo = true,
             "--save-cpg" => {
                 let v = it.next().ok_or("--save-cpg needs a path")?;
                 options.save_cpg = Some(PathBuf::from(v));
@@ -146,6 +163,10 @@ fn scan_options(cli: &CliOptions) -> Result<ScanOptions, String> {
     if let Some(depth) = cli.depth {
         options.search.max_depth = depth;
     }
+    if let Some(threads) = cli.search_threads {
+        options.search.search_threads = threads;
+    }
+    options.search.tc_memo = !cli.no_tc_memo;
     options.jobs = cli.jobs.unwrap_or_else(default_jobs);
     options.strict = cli.strict;
     if cli.extended {
@@ -349,6 +370,11 @@ fn parse_serve_config(args: &[String]) -> Result<tabby::service::ServiceConfig, 
                 let v = it.next().ok_or("--cache-dir needs a path")?;
                 config.cache_dir = Some(PathBuf::from(v));
             }
+            "--search-threads" => {
+                let v = it.next().ok_or("--search-threads needs a value")?;
+                config.search_threads =
+                    v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
@@ -408,6 +434,12 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
             "--extended" => options.scan.extended = true,
             "--fresh" => options.scan.fresh = true,
             "--strict" => options.scan.strict = true,
+            "--search-threads" => {
+                let v = it.next().ok_or("--search-threads needs a value")?;
+                options.scan.search_threads =
+                    Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
+            }
+            "--no-tc-memo" => options.scan.tc_memo = false,
             "--no-retry" => options.retry = false,
             "--json" => options.json = true,
             other if other.starts_with("--") => {

@@ -1,0 +1,132 @@
+//! Parallel-search determinism: on every Table X smoke scene, the
+//! work-sharded engine must return a chain set that serializes to the
+//! *byte-identical* JSON of the sequential reference walk — at 1, 2, and 8
+//! threads, memo on and off.
+//!
+//! This is the contract that lets `tabby serve` cache chain sets without
+//! keying on thread count or memo setting, and lets `BENCH_search.json`
+//! compare engine configurations on timing alone.
+
+use std::collections::HashSet;
+use tabby::core::{AnalysisConfig, Cpg};
+use tabby::graph::NodeId;
+use tabby::pathfinder::{
+    find_chains_raw_detailed, find_chains_reference_detailed, SearchConfig, SinkCatalog,
+    SourceCatalog, TriggerCondition,
+};
+use tabby::workloads::scenes;
+
+#[test]
+fn parallel_search_is_byte_identical_on_every_smoke_scene() {
+    for scene in scenes::smoke() {
+        let program = &scene.component.program;
+        let mut cpg = Cpg::build(program, AnalysisConfig::default());
+        let sink_nodes = SinkCatalog::paper().annotate(&mut cpg);
+        let sources: HashSet<NodeId> = SourceCatalog::native_serialization().annotate(&mut cpg);
+        let sinks: Vec<(NodeId, TriggerCondition)> = sink_nodes
+            .iter()
+            .map(|(n, s)| (*n, s.trigger_condition.iter().copied().collect()))
+            .collect();
+        let categories: Vec<(NodeId, String)> = sink_nodes
+            .iter()
+            .map(|(n, s)| (*n, s.category.as_str().to_owned()))
+            .collect();
+        // Unbounded budget: a truncated run is allowed to differ, so the
+        // determinism claim is only over complete searches.
+        let base = SearchConfig {
+            max_expansions: usize::MAX,
+            ..SearchConfig::default()
+        };
+        let reference = find_chains_reference_detailed(
+            &cpg.graph,
+            &cpg.schema,
+            sinks.clone(),
+            categories.clone(),
+            &sources,
+            &base,
+        );
+        assert!(!reference.truncated, "{}", scene.component.name);
+        assert!(
+            !reference.chains.is_empty(),
+            "{}: smoke scene finds no chains at all",
+            scene.component.name
+        );
+        let want = serde_json::to_string(&reference.chains).expect("chains serialize");
+        for threads in [1, 2, 8] {
+            for tc_memo in [true, false] {
+                let cfg = SearchConfig {
+                    search_threads: threads,
+                    tc_memo,
+                    ..base.clone()
+                };
+                let got = find_chains_raw_detailed(
+                    &cpg.graph,
+                    &cpg.schema,
+                    sinks.clone(),
+                    categories.clone(),
+                    &sources,
+                    &cfg,
+                );
+                assert!(
+                    !got.truncated,
+                    "{}: {threads} threads, memo {tc_memo}",
+                    scene.component.name
+                );
+                assert_eq!(
+                    serde_json::to_string(&got.chains).expect("chains serialize"),
+                    want,
+                    "{}: {threads} threads, memo {tc_memo} diverged from the \
+                     sequential reference",
+                    scene.component.name
+                );
+            }
+        }
+    }
+}
+
+/// The memo only ever *removes* work: with it on, a complete single-thread
+/// search expands no more states than the reference walk, and on scenes
+/// with a search web it prunes a strictly positive number of states.
+#[test]
+fn memo_reduces_work_without_changing_chains() {
+    // JDK8 has the widest smoke web (most shared substructure).
+    let scene = scenes::smoke().into_iter().find(|s| s.component.name == "JDK8");
+    let scene = scene.expect("JDK8 smoke scene exists");
+    let mut cpg = Cpg::build(&scene.component.program, AnalysisConfig::default());
+    let sink_nodes = SinkCatalog::paper().annotate(&mut cpg);
+    let sources: HashSet<NodeId> = SourceCatalog::native_serialization().annotate(&mut cpg);
+    let sinks: Vec<(NodeId, TriggerCondition)> = sink_nodes
+        .iter()
+        .map(|(n, s)| (*n, s.trigger_condition.iter().copied().collect()))
+        .collect();
+    let categories: Vec<(NodeId, String)> = sink_nodes
+        .iter()
+        .map(|(n, s)| (*n, s.category.as_str().to_owned()))
+        .collect();
+    let run = |tc_memo: bool| {
+        find_chains_raw_detailed(
+            &cpg.graph,
+            &cpg.schema,
+            sinks.clone(),
+            categories.clone(),
+            &sources,
+            &SearchConfig {
+                max_expansions: usize::MAX,
+                search_threads: 1,
+                tc_memo,
+                ..SearchConfig::default()
+            },
+        )
+    };
+    let with_memo = run(true);
+    let without = run(false);
+    assert_eq!(with_memo.chains, without.chains);
+    assert!(with_memo.memo_hits > 0, "web gives the memo something to prune");
+    assert!(
+        with_memo.expansions < without.expansions,
+        "memo on: {} expansions, off: {}",
+        with_memo.expansions,
+        without.expansions
+    );
+    assert_eq!(without.memo_hits, 0);
+}

@@ -1,0 +1,65 @@
+//! Ground-truth regression gate over the Table IX component corpus.
+//!
+//! The bench crate's `table9_cells` test checks *exact* cell equality in
+//! release mode; this test is the debug-mode `cargo test -q` smoke version
+//! of the same contract, restricted to the small components: every
+//! known-true chain in the manifest is still found, and the false-positive
+//! count never exceeds the paper row — the recorded baseline. It runs the
+//! search both sequentially and with the parallel engine (8 threads, memo
+//! on) so a soundness bug in the memo or the work sharding fails the
+//! ordinary test suite, not just the benchmarks.
+
+use tabby::core::{AnalysisConfig, Cpg};
+use tabby::pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog};
+use tabby::workloads::components;
+
+/// Components above this size are left to the release-mode bench tests.
+const MAX_CLASSES: usize = 100;
+
+#[test]
+fn every_known_chain_is_found_and_fps_stay_at_baseline() {
+    let mut scored = 0;
+    for component in components::all() {
+        if component.program.classes().len() > MAX_CLASSES {
+            continue;
+        }
+        let Some(paper) = component.paper else {
+            continue;
+        };
+        scored += 1;
+        for (label, config) in [
+            ("sequential", SearchConfig::default()),
+            (
+                "parallel",
+                SearchConfig {
+                    search_threads: 8,
+                    tc_memo: true,
+                    ..SearchConfig::default()
+                },
+            ),
+        ] {
+            let mut cpg = Cpg::build(&component.program, AnalysisConfig::default());
+            let chains = find_gadget_chains(
+                &mut cpg,
+                &SinkCatalog::paper(),
+                &SourceCatalog::native_serialization(),
+                &config,
+            );
+            let chains = component.filter_chains(chains);
+            let counts = component.truth.evaluate(&chains);
+            assert_eq!(
+                counts.known, paper.tb.known,
+                "{} ({label}): found {} of {} known-true chains",
+                component.name, counts.known, paper.tb.known
+            );
+            assert!(
+                counts.fake <= paper.tb.fake,
+                "{} ({label}): {} false positives exceed the recorded baseline {}",
+                component.name,
+                counts.fake,
+                paper.tb.fake
+            );
+        }
+    }
+    assert!(scored > 0, "no small components with paper rows to score");
+}
