@@ -1,7 +1,9 @@
-//! Benchmark driver. Currently one subcommand:
+//! Benchmark driver. Two subcommands:
 //!
 //! ```text
 //! cargo run -p tabby-bench --release --bin bench -- search \
+//!     [--scenes smoke|full] [--only Spring,JDK8] [--repeat N] [--out PATH]
+//! cargo run -p tabby-bench --release --bin bench -- summarize \
 //!     [--scenes smoke|full] [--only Spring,JDK8] [--repeat N] [--out PATH]
 //! ```
 //!
@@ -10,52 +12,92 @@
 //! writes the report to `BENCH_search.json` (or `--out`). Exit status is
 //! nonzero if any configuration's chain set diverges from the reference —
 //! CI runs this on the smoke scenes as a determinism gate.
+//!
+//! `summarize` measures the SCC-wave summarization scheduler against the
+//! shard baseline (1/2/8 threads each) and writes `BENCH_summarize.json`
+//! (or `--out`). Exit status is nonzero if any configuration's summaries
+//! diverge from the sequential reference, or if any wave run's
+//! duplicated-work ratio is not exactly 1.0 — CI runs this on the smoke
+//! scenes as an exactly-once gate.
 
-use tabby_bench::{run_search_bench, SearchBenchConfig};
+use tabby_bench::{run_search_bench, run_summarize_bench, SearchBenchConfig, SummarizeBenchConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench search [--scenes smoke|full] [--only NAME,NAME] [--repeat N] [--out PATH]"
+        "usage: bench <search|summarize> [--scenes smoke|full] [--only NAME,NAME] \
+         [--repeat N] [--out PATH]"
     );
     std::process::exit(2);
+}
+
+/// The flags both subcommands share.
+struct CommonArgs {
+    smoke: bool,
+    only: Vec<String>,
+    repeat: usize,
+    out: String,
+}
+
+fn parse_common(args: &[String], default_out: &str, default_repeat: usize) -> CommonArgs {
+    let mut parsed = CommonArgs {
+        smoke: false,
+        only: Vec::new(),
+        repeat: default_repeat,
+        out: default_out.to_owned(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenes" => match it.next().map(String::as_str) {
+                Some("smoke") => parsed.smoke = true,
+                Some("full") => parsed.smoke = false,
+                _ => usage(),
+            },
+            "--only" => match it.next() {
+                Some(v) => parsed
+                    .only
+                    .extend(v.split(',').map(|s| s.trim().to_owned())),
+                None => usage(),
+            },
+            "--repeat" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => parsed.repeat = n,
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => parsed.out = v.clone(),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn write_report<T: serde::Serialize>(report: &T, out: &str) {
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote {out}");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("search") => cmd_search(&args[1..]),
+        Some("summarize") => cmd_summarize(&args[1..]),
         _ => usage(),
     }
 }
 
 fn cmd_search(args: &[String]) {
-    let mut config = SearchBenchConfig::default();
-    let mut out = "BENCH_search.json".to_owned();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scenes" => match it.next().map(String::as_str) {
-                Some("smoke") => config.smoke = true,
-                Some("full") => config.smoke = false,
-                _ => usage(),
-            },
-            "--only" => match it.next() {
-                Some(v) => config
-                    .only
-                    .extend(v.split(',').map(|s| s.trim().to_owned())),
-                None => usage(),
-            },
-            "--repeat" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) => config.repeat = n,
-                None => usage(),
-            },
-            "--out" => match it.next() {
-                Some(v) => out = v.clone(),
-                None => usage(),
-            },
-            _ => usage(),
-        }
-    }
+    let common = parse_common(args, "BENCH_search.json", 3);
+    let config = SearchBenchConfig {
+        smoke: common.smoke,
+        only: common.only,
+        repeat: common.repeat,
+    };
 
     let report = run_search_bench(&config);
     for scene in &report.results {
@@ -80,14 +122,56 @@ fn cmd_search(args: &[String]) {
             scene.speedup_8v1_no_memo
         );
     }
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out, json).unwrap_or_else(|e| {
-        eprintln!("cannot write {out}: {e}");
-        std::process::exit(1);
-    });
-    println!("\nwrote {out}");
+    write_report(&report, &common.out);
     if !report.all_identical {
         eprintln!("FAIL: some configuration diverged from the sequential reference");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_summarize(args: &[String]) {
+    let common = parse_common(args, "BENCH_summarize.json", 3);
+    let config = SummarizeBenchConfig {
+        smoke: common.smoke,
+        only: common.only,
+        repeat: common.repeat,
+    };
+
+    let report = run_summarize_bench(&config);
+    for scene in &report.results {
+        println!(
+            "{:<13} {:>5} methods  {} waves, {} SCCs (largest {})  sequential {:>8.3}s",
+            scene.scene,
+            scene.methods_with_bodies,
+            scene.waves,
+            scene.scc_groups,
+            scene.largest_scc,
+            scene.sequential_wall_s,
+        );
+        for v in &scene.variants {
+            println!(
+                "  {:<5} @ {} threads  {:>8.3}s  x{:<6.2} vs sequential  \
+                 ratio {:.3}  {}",
+                v.scheduler,
+                v.threads,
+                v.wall_s,
+                v.speedup_vs_sequential,
+                v.duplicated_work_ratio,
+                if v.identical { "identical" } else { "DIVERGED" },
+            );
+        }
+        println!(
+            "  wave@8 / shard@8 speedup: x{:.2}",
+            scene.speedup_wave8_vs_shard8
+        );
+    }
+    write_report(&report, &common.out);
+    if !report.all_identical {
+        eprintln!("FAIL: some scheduler diverged from the sequential reference");
+        std::process::exit(1);
+    }
+    if !report.all_wave_ratios_one {
+        eprintln!("FAIL: a wave run recomputed summaries (duplicated-work ratio > 1.0)");
         std::process::exit(1);
     }
 }

@@ -4,13 +4,17 @@
 //! the `table8`/`table9`/`table10`/`table11`/`fig6` binaries and the
 //! Criterion benches under `benches/`. The `bench` binary's `search`
 //! subcommand ([`search_bench`]) measures the parallel chain-search engine
-//! against the sequential reference and emits `BENCH_search.json`.
+//! against the sequential reference and emits `BENCH_search.json`; its
+//! `summarize` subcommand ([`summarize_bench`]) measures the SCC-wave
+//! summarization scheduler against the shard baseline and emits
+//! `BENCH_summarize.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod runner;
 pub mod search_bench;
+pub mod summarize_bench;
 
 pub use runner::{
     run_gadget_inspector, run_scene, run_serianalyzer, run_tabby, run_tabby_with, CellResult,
@@ -18,4 +22,8 @@ pub use runner::{
 };
 pub use search_bench::{
     bench_scene, run_search_bench, SceneBench, SearchBenchConfig, SearchBenchReport, VariantResult,
+};
+pub use summarize_bench::{
+    bench_summarize_scene, run_summarize_bench, SceneSummarizeBench, SummarizeBenchConfig,
+    SummarizeBenchReport, SummarizeVariantResult,
 };

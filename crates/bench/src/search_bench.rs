@@ -62,6 +62,10 @@ pub struct VariantResult {
     pub memo_hits: usize,
     /// `memo_hits / (memo_hits + expansions)`.
     pub memo_hit_rate: f64,
+    /// Wall time per expansion in nanoseconds. Comparable across variants
+    /// only at equal expansion counts (memo off), where it isolates the
+    /// per-expansion cost of the engine from the amount of work done.
+    pub ns_per_expansion: f64,
     /// Canonical chain JSON is byte-identical to the sequential reference.
     pub identical: bool,
     /// `sequential wall / this wall`.
@@ -81,6 +85,10 @@ pub struct SceneBench {
     pub sequential_wall_s: f64,
     /// Sequential reference expansions.
     pub sequential_expansions: usize,
+    /// Reference wall time per expansion in nanoseconds — the baseline for
+    /// the variants' `ns_per_expansion` (the reference walks the raw
+    /// property graph; the engine walks the frozen CSR snapshot).
+    pub sequential_ns_per_expansion: f64,
     /// Every engine configuration measured against the same CPG.
     pub variants: Vec<VariantResult>,
     /// 8-thread over 1-thread speedup with the memo off (the pure
@@ -112,6 +120,14 @@ const VARIANTS: [(usize, bool); 6] = [
     (2, false),
     (8, false),
 ];
+
+fn ns_per(wall_s: f64, expansions: usize) -> f64 {
+    if expansions == 0 {
+        0.0
+    } else {
+        wall_s * 1e9 / expansions as f64
+    }
+}
 
 fn bench_config(threads: usize, tc_memo: bool) -> SearchConfig {
     SearchConfig {
@@ -156,8 +172,7 @@ pub fn bench_scene(scene: &Scene, repeat: usize) -> SceneBench {
         reference = Some(out);
     }
     let reference = reference.expect("repeat >= 1");
-    let reference_json =
-        serde_json::to_string(&reference.chains).expect("chains serialize");
+    let reference_json = serde_json::to_string(&reference.chains).expect("chains serialize");
 
     let mut variants = Vec::with_capacity(VARIANTS.len());
     for (threads, tc_memo) in VARIANTS {
@@ -192,6 +207,7 @@ pub fn bench_scene(scene: &Scene, repeat: usize) -> SceneBench {
             } else {
                 out.memo_hits as f64 / work as f64
             },
+            ns_per_expansion: ns_per(wall_s, out.expansions),
             identical,
             speedup_vs_sequential: sequential_wall_s / wall_s.max(f64::EPSILON),
         });
@@ -210,6 +226,7 @@ pub fn bench_scene(scene: &Scene, repeat: usize) -> SceneBench {
         chains: reference.chains.len(),
         sequential_wall_s,
         sequential_expansions: reference.expansions,
+        sequential_ns_per_expansion: ns_per(sequential_wall_s, reference.expansions),
         variants,
         speedup_8v1_no_memo: wall_of(1) / wall_of(8).max(f64::EPSILON),
         all_identical,
@@ -261,14 +278,18 @@ mod tests {
         assert_eq!(scene.variants.len(), VARIANTS.len());
         assert!(scene.all_identical, "{scene:?}");
         // The memo fires on the scene's search web.
-        assert!(scene
+        assert!(scene.variants.iter().any(|v| v.tc_memo && v.memo_hits > 0));
+        // Memo-off runs do exactly the reference engine's work, so the
+        // per-expansion costs are directly comparable.
+        for v in scene
             .variants
             .iter()
-            .any(|v| v.tc_memo && v.memo_hits > 0));
-        // Memo-off runs do exactly the reference engine's work.
-        for v in scene.variants.iter().filter(|v| !v.tc_memo && v.threads == 1) {
+            .filter(|v| !v.tc_memo && v.threads == 1)
+        {
             assert_eq!(v.expansions, scene.sequential_expansions);
+            assert!(v.ns_per_expansion > 0.0);
         }
+        assert!(scene.sequential_ns_per_expansion > 0.0);
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The `bench summarize` runner: SCC-wave vs shard-scheduler
+//! summarization benchmarking over the Table X scenes, emitting
+//! `BENCH_summarize.json`.
+//!
+//! For each scene the program is summarized under every scheduler
+//! configuration:
+//!
+//! - the PR-2 **shard** scheduler at 1, 2, and 8 threads — at one thread it
+//!   is the exact sequential fixpoint, whose canonical summary dump is the
+//!   baseline every other run must reproduce byte-for-byte; at higher
+//!   thread counts each shard re-derives the summaries it needs from other
+//!   shards, so its duplicated-work ratio exceeds 1.0;
+//! - the **wave** scheduler (call-graph condensation + bottom-up topological
+//!   waves) at 1, 2, and 8 threads, which must summarize every method
+//!   exactly once at any thread count: its duplicated-work ratio is
+//!   required to be exactly 1.0.
+//!
+//! Wall times are the minimum over `repeat` runs. No deadline is set so the
+//! comparison is complete-fixpoint vs complete-fixpoint.
+
+use serde::Serialize;
+use std::time::Instant;
+use tabby_core::{
+    canonical_summary_dump, summarize_program_contained, summarize_program_sharded_contained,
+    AnalysisConfig,
+};
+use tabby_workloads::scenes::Scene;
+
+/// What to run and how often.
+#[derive(Debug, Clone)]
+pub struct SummarizeBenchConfig {
+    /// Use the ~12×-smaller smoke scenes instead of the full ones.
+    pub smoke: bool,
+    /// Case-insensitive substring filters on scene names; empty = all.
+    pub only: Vec<String>,
+    /// Timed runs per configuration; the minimum wall time is reported.
+    pub repeat: usize,
+}
+
+impl Default for SummarizeBenchConfig {
+    fn default() -> Self {
+        SummarizeBenchConfig {
+            smoke: false,
+            only: Vec::new(),
+            repeat: 3,
+        }
+    }
+}
+
+/// One scheduler configuration's measurement on one scene.
+#[derive(Debug, Clone, Serialize)]
+pub struct SummarizeVariantResult {
+    /// `"shard"` (the PR-2 baseline) or `"wave"` (the SCC-wave scheduler).
+    pub scheduler: String,
+    /// Analysis worker threads.
+    pub threads: usize,
+    /// Best wall time over the configured repeats, in seconds.
+    pub wall_s: f64,
+    /// Distinct methods whose summary this run produced.
+    pub summaries_computed: usize,
+    /// Fixpoint passes actually run, including duplicated cross-shard work.
+    pub methods_analyzed: usize,
+    /// `methods_analyzed / summaries_computed`; exactly 1.0 means every
+    /// method was summarized exactly once.
+    pub duplicated_work_ratio: f64,
+    /// Canonical summary dump is byte-identical to the sequential
+    /// reference.
+    pub identical: bool,
+    /// `sequential wall / this wall`.
+    pub speedup_vs_sequential: f64,
+}
+
+/// One scene's full measurement set.
+#[derive(Debug, Clone, Serialize)]
+pub struct SceneSummarizeBench {
+    /// Scene name (Table X row).
+    pub scene: String,
+    /// Classes in the scene program.
+    pub classes: usize,
+    /// Methods with bodies (the fixpoint's work list).
+    pub methods_with_bodies: usize,
+    /// Topological waves the SCC-wave scheduler ran.
+    pub waves: usize,
+    /// Recursion SCCs scheduled (including trivial single-method ones).
+    pub scc_groups: usize,
+    /// Methods in the largest recursion SCC.
+    pub largest_scc: usize,
+    /// Sequential (shard@1) wall time, in seconds.
+    pub sequential_wall_s: f64,
+    /// Every scheduler configuration measured on the same program.
+    pub variants: Vec<SummarizeVariantResult>,
+    /// Wave@8 over shard@8 speedup — the headline number: same thread
+    /// budget, recomputation eliminated.
+    pub speedup_wave8_vs_shard8: f64,
+    /// Every variant reproduced the reference summary dump exactly.
+    pub all_identical: bool,
+    /// Every wave variant's duplicated-work ratio was exactly 1.0.
+    pub wave_ratio_exactly_one: bool,
+}
+
+/// The `BENCH_summarize.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct SummarizeBenchReport {
+    /// `"smoke"` or `"full"`.
+    pub scenes: String,
+    /// Timed runs per configuration.
+    pub repeat: usize,
+    /// Per-scene measurements.
+    pub results: Vec<SceneSummarizeBench>,
+    /// Every variant of every scene matched its reference byte-for-byte.
+    pub all_identical: bool,
+    /// Every wave variant of every scene had ratio exactly 1.0.
+    pub all_wave_ratios_one: bool,
+}
+
+/// Thread counts measured per scheduler per scene.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Benchmarks one scene.
+pub fn bench_summarize_scene(scene: &Scene, repeat: usize) -> SceneSummarizeBench {
+    let repeat = repeat.max(1);
+    let program = &scene.component.program;
+    let config = AnalysisConfig::default();
+
+    // The sequential reference: the shard scheduler at one thread runs the
+    // plain whole-program fixpoint.
+    let mut sequential_wall_s = f64::INFINITY;
+    let mut reference = None;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        let out = summarize_program_sharded_contained(program, &config, 1, None);
+        sequential_wall_s = sequential_wall_s.min(t.elapsed().as_secs_f64());
+        reference = Some(out);
+    }
+    let reference = reference.expect("repeat >= 1");
+    let reference_dump = canonical_summary_dump(program, &reference.summaries);
+
+    let mut variants = Vec::new();
+    let mut waves = 0;
+    let mut scc_groups = 0;
+    let mut largest_scc = 0;
+    let mut methods_with_bodies = reference.scheduler.methods_with_bodies;
+    for scheduler in ["shard", "wave"] {
+        for threads in THREADS {
+            let mut wall_s = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..repeat {
+                let t = Instant::now();
+                let out = if scheduler == "shard" {
+                    summarize_program_sharded_contained(program, &config, threads, None)
+                } else {
+                    summarize_program_contained(program, &config, threads, None)
+                };
+                wall_s = wall_s.min(t.elapsed().as_secs_f64());
+                last = Some(out);
+            }
+            let out = last.expect("repeat >= 1");
+            if scheduler == "wave" {
+                waves = out.scheduler.waves;
+                scc_groups = out.scheduler.scc_groups;
+                largest_scc = out.scheduler.largest_scc;
+                methods_with_bodies = out.scheduler.methods_with_bodies;
+            }
+            let identical = canonical_summary_dump(program, &out.summaries) == reference_dump;
+            variants.push(SummarizeVariantResult {
+                scheduler: scheduler.to_owned(),
+                threads,
+                wall_s,
+                summaries_computed: out.scheduler.summaries_computed,
+                methods_analyzed: out.scheduler.methods_analyzed,
+                duplicated_work_ratio: out.scheduler.duplicated_work_ratio(),
+                identical,
+                speedup_vs_sequential: sequential_wall_s / wall_s.max(f64::EPSILON),
+            });
+        }
+    }
+
+    let wall_of = |scheduler: &str, threads: usize| {
+        variants
+            .iter()
+            .find(|v| v.scheduler == scheduler && v.threads == threads)
+            .map_or(f64::EPSILON, |v| v.wall_s)
+    };
+    let all_identical = variants.iter().all(|v| v.identical);
+    let wave_ratio_exactly_one = variants
+        .iter()
+        .filter(|v| v.scheduler == "wave")
+        .all(|v| v.duplicated_work_ratio == 1.0);
+    SceneSummarizeBench {
+        scene: scene.component.name.clone(),
+        classes: program.classes().len(),
+        methods_with_bodies,
+        waves,
+        scc_groups,
+        largest_scc,
+        sequential_wall_s,
+        variants,
+        speedup_wave8_vs_shard8: wall_of("shard", 8) / wall_of("wave", 8).max(f64::EPSILON),
+        all_identical,
+        wave_ratio_exactly_one,
+    }
+}
+
+/// Runs the whole battery per `config`.
+pub fn run_summarize_bench(config: &SummarizeBenchConfig) -> SummarizeBenchReport {
+    let scenes = if config.smoke {
+        tabby_workloads::scenes::smoke()
+    } else {
+        tabby_workloads::scenes::all()
+    };
+    let keep = |name: &str| {
+        config.only.is_empty()
+            || config
+                .only
+                .iter()
+                .any(|f| name.to_lowercase().contains(&f.to_lowercase()))
+    };
+    let results: Vec<SceneSummarizeBench> = scenes
+        .iter()
+        .filter(|s| keep(&s.component.name))
+        .map(|s| bench_summarize_scene(s, config.repeat))
+        .collect();
+    let all_identical = results.iter().all(|r| r.all_identical);
+    let all_wave_ratios_one = results.iter().all(|r| r.wave_ratio_exactly_one);
+    SummarizeBenchReport {
+        scenes: if config.smoke { "smoke" } else { "full" }.to_owned(),
+        repeat: config.repeat,
+        results,
+        all_identical,
+        all_wave_ratios_one,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_is_identical_across_schedulers() {
+        let report = run_summarize_bench(&SummarizeBenchConfig {
+            smoke: true,
+            only: vec!["Jetty".to_owned()],
+            repeat: 1,
+        });
+        assert_eq!(report.results.len(), 1);
+        let scene = &report.results[0];
+        assert_eq!(scene.scene, "Jetty");
+        assert_eq!(scene.variants.len(), 2 * THREADS.len());
+        assert!(scene.all_identical, "{scene:?}");
+        assert!(scene.wave_ratio_exactly_one, "{scene:?}");
+        assert!(scene.waves > 0);
+        assert!(scene.methods_with_bodies > 0);
+        // Every wave variant computed each summary exactly once.
+        for v in scene.variants.iter().filter(|v| v.scheduler == "wave") {
+            assert_eq!(v.summaries_computed, scene.methods_with_bodies);
+            assert_eq!(v.methods_analyzed, v.summaries_computed);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The static call graph and the SCC-wave summarization schedule.
+//!
+//! Algorithm 1's per-method summaries form a dependency graph: a method's
+//! Action is a deterministic function of its body and of the Actions of its
+//! resolved callees. This module materializes that graph once per program —
+//! the same hierarchy-based resolution the analyzer itself performs at each
+//! call site — condenses it with Tarjan's strongly-connected-components
+//! algorithm, and lays the condensation out in bottom-up *waves*: every SCC
+//! in wave *w* only calls into waves `< w`. A scheduler that publishes each
+//! wave's summaries before starting the next therefore never re-derives a
+//! callee summary: every method outside a genuine recursion cycle is
+//! analyzed exactly once, at any worker count.
+//!
+//! Recursion SCCs (mutual or self) are kept whole: one worker summarizes
+//! the members of a group in ascending [`MethodId`] order with a single
+//! analyzer, so the in-progress cycle breaking of
+//! [`crate::controllability::Analyzer`] unfolds exactly as it does in a
+//! sequential whole-program pass.
+
+use std::collections::{HashMap, HashSet};
+use tabby_ir::{Expr, Hierarchy, InvokeExpr, InvokeKind, MethodId, Program, Stmt};
+
+/// The method-level static call graph over methods *with bodies*.
+///
+/// Edges follow the analyzer's own resolution: for every non-`invokedynamic`
+/// call site, the declared target is resolved through the class hierarchy;
+/// targets without a body (abstract, native, phantom) have constant default
+/// Actions and impose no ordering, so they carry no edge.
+#[derive(Debug)]
+pub struct StaticCallGraph {
+    /// Methods with bodies, in program order (ascending [`MethodId`]).
+    methods: Vec<MethodId>,
+    index: HashMap<MethodId, u32>,
+    /// Deduplicated callee edges, in first-encounter statement order.
+    callees: Vec<Vec<u32>>,
+    /// Reverse edges, for dirty-cone queries.
+    callers: Vec<Vec<u32>>,
+}
+
+/// The bottom-up summarization schedule derived from the condensation.
+#[derive(Debug, Clone, Default)]
+pub struct WaveSchedule {
+    /// `waves[w]` is the list of SCC groups runnable once waves `< w` are
+    /// published; each group lists its members in ascending [`MethodId`]
+    /// order. Groups within a wave are mutually independent.
+    pub waves: Vec<Vec<Vec<MethodId>>>,
+    /// Number of SCC groups scheduled.
+    pub groups: usize,
+    /// Size of the largest recursion SCC (1 when the scheduled subgraph is
+    /// acyclic, 0 when nothing is scheduled).
+    pub largest_scc: usize,
+    /// Total methods scheduled.
+    pub scheduled: usize,
+}
+
+/// Extracts the invoke expression of a statement, if any.
+fn stmt_invoke(stmt: &Stmt) -> Option<&InvokeExpr> {
+    match stmt {
+        Stmt::Invoke(inv) => Some(inv),
+        Stmt::Assign {
+            rhs: Expr::Invoke(inv),
+            ..
+        } => Some(inv),
+        _ => None,
+    }
+}
+
+impl StaticCallGraph {
+    /// Builds the call graph for `program`, resolving every call site the
+    /// way [`crate::controllability::Analyzer`] does.
+    pub fn build(program: &Program) -> Self {
+        let hierarchy = Hierarchy::new(program);
+        let methods: Vec<MethodId> = program
+            .method_ids()
+            .filter(|&id| program.method(id).body.is_some())
+            .collect();
+        let index: HashMap<MethodId, u32> = methods
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        let mut callees: Vec<Vec<u32>> = vec![Vec::new(); methods.len()];
+        let mut callers: Vec<Vec<u32>> = vec![Vec::new(); methods.len()];
+        for (i, &id) in methods.iter().enumerate() {
+            let Some(body) = &program.method(id).body else {
+                continue;
+            };
+            let mut seen: HashSet<u32> = HashSet::new();
+            for stmt in &body.stmts {
+                let Some(inv) = stmt_invoke(stmt) else {
+                    continue;
+                };
+                // invokedynamic is opaque to the analysis (§V-B): no edge.
+                if inv.kind == InvokeKind::Dynamic {
+                    continue;
+                }
+                let resolved = program.class_by_name(inv.callee.class).and_then(|class| {
+                    hierarchy.resolve_method(class, inv.callee.name, inv.callee.params.len())
+                });
+                let Some(target) = resolved else { continue };
+                let Some(&j) = index.get(&target) else {
+                    continue; // bodiless target: constant default Action
+                };
+                if seen.insert(j) {
+                    callees[i].push(j);
+                    callers[j as usize].push(i as u32);
+                }
+            }
+        }
+        StaticCallGraph {
+            methods,
+            index,
+            callees,
+            callers,
+        }
+    }
+
+    /// Methods with bodies, in program order.
+    pub fn methods(&self) -> &[MethodId] {
+        &self.methods
+    }
+
+    /// The reverse-dependency cone of `roots`: every method that can reach
+    /// a root through call edges, roots included. This is the set a change
+    /// to the roots' bodies can invalidate summaries of.
+    pub fn transitive_callers<I: IntoIterator<Item = MethodId>>(
+        &self,
+        roots: I,
+    ) -> HashSet<MethodId> {
+        let mut cone: HashSet<u32> = HashSet::new();
+        let mut stack: Vec<u32> = roots
+            .into_iter()
+            .filter_map(|id| self.index.get(&id).copied())
+            .collect();
+        while let Some(i) = stack.pop() {
+            if !cone.insert(i) {
+                continue;
+            }
+            stack.extend(self.callers[i as usize].iter().copied());
+        }
+        cone.into_iter().map(|i| self.methods[i as usize]).collect()
+    }
+
+    /// The schedule over every method with a body.
+    pub fn schedule_all(&self) -> WaveSchedule {
+        self.schedule_included(&vec![true; self.methods.len()])
+    }
+
+    /// The schedule over the subgraph induced by `todo` (methods outside it
+    /// are assumed already summarized and published). For any caller-closed
+    /// `todo` — the shape the incremental dirty cone guarantees — the
+    /// induced SCCs and their entry order coincide with the full
+    /// program's, so incremental waves reproduce cold-scan summaries
+    /// byte-for-byte.
+    pub fn schedule(&self, todo: &HashSet<MethodId>) -> WaveSchedule {
+        let mut included = vec![false; self.methods.len()];
+        for id in todo {
+            if let Some(&i) = self.index.get(id) {
+                included[i as usize] = true;
+            }
+        }
+        self.schedule_included(&included)
+    }
+
+    /// Tarjan SCC over the induced subgraph, iteratively (corpora produce
+    /// call chains far deeper than the thread stack tolerates), emitting
+    /// components callees-first — which is exactly reverse topological
+    /// order of the condensation, so wave numbers fall out of emission
+    /// order.
+    fn schedule_included(&self, included: &[bool]) -> WaveSchedule {
+        let n = self.methods.len();
+        const UNVISITED: u32 = u32::MAX;
+        let mut order = vec![UNVISITED; n]; // discovery index
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![UNVISITED; n]; // SCC id per node
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_order = 0u32;
+        let mut comp_members: Vec<Vec<u32>> = Vec::new();
+
+        // Explicit DFS frames: (node, next-callee cursor).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if !included[root as usize] || order[root as usize] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            order[root as usize] = next_order;
+            low[root as usize] = next_order;
+            next_order += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+            while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+                let vs = v as usize;
+                let edges = &self.callees[vs];
+                if *cursor < edges.len() {
+                    let w = edges[*cursor];
+                    *cursor += 1;
+                    let ws = w as usize;
+                    if !included[ws] {
+                        continue;
+                    }
+                    if order[ws] == UNVISITED {
+                        frames.push((w, 0));
+                        order[ws] = next_order;
+                        low[ws] = next_order;
+                        next_order += 1;
+                        stack.push(w);
+                        on_stack[ws] = true;
+                    } else if on_stack[ws] {
+                        low[vs] = low[vs].min(order[ws]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (p, _)) = frames.last_mut() {
+                        low[p as usize] = low[p as usize].min(low[vs]);
+                    }
+                    if low[vs] == order[vs] {
+                        // Pop the completed component.
+                        let c = comp_members.len() as u32;
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().unwrap_or(v);
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = c;
+                            members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.sort_unstable();
+                        comp_members.push(members);
+                    }
+                }
+            }
+        }
+
+        // Components were emitted callees-first: assign each the wave one
+        // past its deepest callee component.
+        let mut comp_wave = vec![0usize; comp_members.len()];
+        let mut max_wave = 0usize;
+        for (c, members) in comp_members.iter().enumerate() {
+            let mut wave = 0usize;
+            for &m in members {
+                for &e in &self.callees[m as usize] {
+                    if !included[e as usize] {
+                        continue;
+                    }
+                    let ec = comp[e as usize] as usize;
+                    if ec != c {
+                        wave = wave.max(comp_wave[ec] + 1);
+                    }
+                }
+            }
+            comp_wave[c] = wave;
+            max_wave = max_wave.max(wave);
+        }
+
+        let wave_count = if comp_members.is_empty() {
+            0
+        } else {
+            max_wave + 1
+        };
+        let mut waves: Vec<Vec<Vec<MethodId>>> = vec![Vec::new(); wave_count];
+        let mut largest_scc = 0usize;
+        let mut scheduled = 0usize;
+        for (c, members) in comp_members.iter().enumerate() {
+            largest_scc = largest_scc.max(members.len());
+            scheduled += members.len();
+            let group: Vec<MethodId> = members.iter().map(|&m| self.methods[m as usize]).collect();
+            waves[comp_wave[c]].push(group);
+        }
+        // Canonical group order within a wave: by least member. Groups are
+        // independent, so this only fixes the report order.
+        for wave in &mut waves {
+            wave.sort_by_key(|g| g.first().copied());
+        }
+        WaveSchedule {
+            waves,
+            groups: comp_members.len(),
+            largest_scc,
+            scheduled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_ir::{JType, ProgramBuilder};
+
+    /// `a -> b -> c`, plus `r1 <-> r2` mutual recursion calling `c`.
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.T");
+        let obj = cb.object_type("java.lang.Object");
+        let spec = [
+            ("a", vec!["b"]),
+            ("b", vec!["c"]),
+            ("c", vec![]),
+            ("r1", vec!["r2", "c"]),
+            ("r2", vec!["r1"]),
+        ];
+        for (name, callees) in spec {
+            let mut mb = cb.method(name, vec![obj.clone()], obj.clone());
+            let p0 = mb.param(0);
+            let mut last = p0;
+            for callee in callees {
+                let sig = mb.sig("t.T", callee, &[obj.clone()], obj.clone());
+                let this = mb.this();
+                let r = mb.fresh();
+                mb.call_virtual(Some(r), this, sig, &[last.into()]);
+                last = r;
+            }
+            mb.ret(last);
+            mb.finish();
+        }
+        cb.finish();
+        let _ = JType::Int;
+        pb.build()
+    }
+
+    fn name_of(p: &Program, id: MethodId) -> String {
+        p.describe_method(id)
+    }
+
+    #[test]
+    fn waves_are_bottom_up_and_sccs_are_grouped() {
+        let p = sample();
+        let cg = StaticCallGraph::build(&p);
+        let schedule = cg.schedule_all();
+        assert_eq!(schedule.scheduled, 5);
+        assert_eq!(schedule.largest_scc, 2, "{schedule:?}");
+        // c must come strictly before b, b before a, c before the {r1, r2}
+        // group.
+        let wave_of = |needle: &str| {
+            schedule
+                .waves
+                .iter()
+                .position(|w| {
+                    w.iter()
+                        .any(|g| g.iter().any(|&m| name_of(&p, m).ends_with(needle)))
+                })
+                .unwrap()
+        };
+        assert!(wave_of(".c") < wave_of(".b"));
+        assert!(wave_of(".b") < wave_of(".a"));
+        assert!(wave_of(".c") < wave_of(".r1"));
+        // r1 and r2 share a group.
+        let group = schedule.waves[wave_of(".r1")]
+            .iter()
+            .find(|g| g.iter().any(|&m| name_of(&p, m).ends_with(".r1")))
+            .unwrap();
+        assert_eq!(group.len(), 2);
+        let names: Vec<String> = group.iter().map(|&m| name_of(&p, m)).collect();
+        assert!(names.contains(&"t.T.r2".to_owned()));
+    }
+
+    #[test]
+    fn induced_schedule_keeps_sccs_whole() {
+        let p = sample();
+        let cg = StaticCallGraph::build(&p);
+        let dirty: HashSet<MethodId> = cg
+            .methods()
+            .iter()
+            .copied()
+            .filter(|&m| {
+                let n = name_of(&p, m);
+                n.ends_with(".r1") || n.ends_with(".r2")
+            })
+            .collect();
+        let schedule = cg.schedule(&dirty);
+        assert_eq!(schedule.scheduled, 2);
+        assert_eq!(schedule.groups, 1);
+        assert_eq!(schedule.largest_scc, 2);
+        assert_eq!(schedule.waves.len(), 1);
+    }
+
+    #[test]
+    fn transitive_callers_is_the_reverse_cone() {
+        let p = sample();
+        let cg = StaticCallGraph::build(&p);
+        let c = cg
+            .methods()
+            .iter()
+            .copied()
+            .find(|&m| name_of(&p, m).ends_with(".c"))
+            .unwrap();
+        let cone: HashSet<String> = cg
+            .transitive_callers([c])
+            .into_iter()
+            .map(|m| name_of(&p, m))
+            .collect();
+        // Everything reaches c except nothing — a, b, r1, r2 all do.
+        assert_eq!(cone.len(), 5, "{cone:?}");
+    }
+
+    #[test]
+    fn empty_todo_schedules_nothing() {
+        let p = sample();
+        let cg = StaticCallGraph::build(&p);
+        let schedule = cg.schedule(&HashSet::new());
+        assert_eq!(schedule.scheduled, 0);
+        assert_eq!(schedule.waves.len(), 0);
+        assert_eq!(schedule.largest_scc, 0);
+    }
+}

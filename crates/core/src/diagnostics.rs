@@ -67,6 +67,23 @@ pub struct ScanDiagnostics {
     /// Informational; not a degradation.
     #[serde(default, skip_serializing_if = "is_zero")]
     pub search_memo_hits: usize,
+    /// Topological waves the SCC-wave summarization scheduler ran.
+    /// Informational; not a degradation.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub summarize_waves: usize,
+    /// Methods in the largest recursion SCC the scheduler condensed.
+    /// Informational; not a degradation.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub summarize_largest_scc: usize,
+    /// Distinct method summaries the scheduler computed (on a warm
+    /// incremental re-scan this is the dirty cone, not the whole program).
+    /// Informational; not a degradation.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub summaries_computed: usize,
+    /// Methods with bodies in the scanned program — the denominator for
+    /// `summaries_computed`. Informational; not a degradation.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub methods_with_bodies: usize,
 }
 
 fn is_zero(n: &usize) -> bool {
@@ -97,6 +114,10 @@ impl ScanDiagnostics {
         self.search_truncated |= other.search_truncated;
         self.search_expansions += other.search_expansions;
         self.search_memo_hits += other.search_memo_hits;
+        self.summarize_waves = self.summarize_waves.max(other.summarize_waves);
+        self.summarize_largest_scc = self.summarize_largest_scc.max(other.summarize_largest_scc);
+        self.summaries_computed += other.summaries_computed;
+        self.methods_with_bodies += other.methods_with_bodies;
     }
 
     /// One-line human summary, e.g.

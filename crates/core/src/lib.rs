@@ -39,6 +39,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod action;
+pub mod callgraph;
 pub mod config;
 pub mod controllability;
 pub mod cpg;
@@ -47,12 +48,14 @@ pub mod parallel;
 pub mod weight;
 
 pub use action::{Action, ActionInput, ActionKey, ActionValue};
+pub use callgraph::{StaticCallGraph, WaveSchedule};
 pub use config::AnalysisConfig;
 pub use controllability::{Analyzer, AnalyzerStats, CallSite, LocalMap, MethodSummary};
 pub use cpg::{Cpg, CpgSchema, CpgStats};
 pub use diagnostics::{QuarantinedMethod, ScanDiagnostics, SkippedClass};
 pub use parallel::{
-    summarize_program, summarize_program_contained, summarize_program_incremental,
-    summarize_program_incremental_contained, SummarizeOutcome,
+    canonical_summary_dump, summarize_program, summarize_program_contained,
+    summarize_program_incremental, summarize_program_incremental_contained,
+    summarize_program_sharded_contained, SchedulerStats, SummarizeOutcome,
 };
 pub use weight::{pp_from_ints, pp_to_ints, PollutedPosition, Weight};

@@ -1,20 +1,35 @@
-//! Parallel whole-program summarization with per-method panic containment.
+//! Parallel whole-program summarization on the SCC-wave scheduler, with
+//! per-method panic containment.
 //!
-//! Per-method summaries are independent given the (deterministic) callee
-//! Actions, so the per-method analysis parallelizes by sharding the method
-//! list over worker threads, each with its own analyzer and Action cache.
-//! Callee summaries demanded across shard boundaries are recomputed
-//! locally — some duplicated work in exchange for zero synchronization —
-//! and the result is bit-identical to the sequential run (asserted by
-//! tests), because Algorithm 1 is deterministic.
+//! Per-method summaries are pure functions of the method body and the
+//! Actions of its resolved callees, so the dependency structure is exactly
+//! the static call graph. The scheduler condenses that graph
+//! ([`crate::callgraph::StaticCallGraph`]) and runs the condensation
+//! bottom-up in topological *waves* over a persistent crossbeam worker
+//! pool: each wave's summaries are published to every worker before the
+//! next wave starts, so a callee demanded during wave *w* is always a
+//! cache hit. Every method outside a genuine recursion SCC is therefore
+//! summarized **exactly once** at any thread count — the duplicated-work
+//! ratio reported in [`SchedulerStats`] is 1.0 — where the earlier
+//! shard-and-recompute scheduler (kept as
+//! [`summarize_program_sharded_contained`] for benchmarking) re-derived
+//! cross-shard callees locally.
+//!
+//! Determinism: a recursion SCC is never split across workers; its members
+//! are summarized by one analyzer in ascending [`MethodId`] order, so
+//! Algorithm 1's in-progress cycle breaking unfolds exactly as in a
+//! sequential bottom-up pass, and the summary table is bit-identical to
+//! the single-thread run at any worker count (asserted by tests and the
+//! determinism battery).
 //!
 //! Every per-method summarization runs under `catch_unwind`: a panic
 //! quarantines that one method (it gets a sound identity summary and a
 //! [`QuarantinedMethod`] diagnostic) and the worker carries on with the
-//! rest of its shard, instead of one degenerate body killing the whole
+//! rest of its wave, instead of one degenerate body killing the whole
 //! analysis phase.
 
 use crate::action::Action;
+use crate::callgraph::{StaticCallGraph, WaveSchedule};
 use crate::config::AnalysisConfig;
 use crate::controllability::{Analyzer, MethodSummary};
 use crate::diagnostics::QuarantinedMethod;
@@ -22,6 +37,38 @@ use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use tabby_ir::{MethodId, Program};
+
+/// What the SCC-wave scheduler did, for diagnostics and benchmarking.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SchedulerStats {
+    /// Topological waves executed (0 when nothing needed recomputation).
+    pub waves: usize,
+    /// SCC groups scheduled across all waves.
+    pub scc_groups: usize,
+    /// Members in the largest recursion SCC (1 when the scheduled call
+    /// graph was acyclic, 0 when nothing was scheduled).
+    pub largest_scc: usize,
+    /// Methods with bodies in the program.
+    pub methods_with_bodies: usize,
+    /// Summaries actually (re)computed this run; the rest came from seeds.
+    pub summaries_computed: usize,
+    /// Fixpoint runs performed across all workers. Equal to
+    /// `summaries_computed` when no work is duplicated.
+    pub methods_analyzed: usize,
+}
+
+impl SchedulerStats {
+    /// Fixpoint runs per summary produced: 1.0 means every method was
+    /// analyzed exactly once; the shard scheduler exceeds 1.0 whenever a
+    /// callee summary is demanded across a shard boundary.
+    pub fn duplicated_work_ratio(&self) -> f64 {
+        if self.summaries_computed == 0 {
+            1.0
+        } else {
+            self.methods_analyzed as f64 / self.summaries_computed as f64
+        }
+    }
+}
 
 /// Summaries plus what the containment layer gave up on.
 #[derive(Debug, Default)]
@@ -31,6 +78,8 @@ pub struct SummarizeOutcome {
     pub summaries: HashMap<MethodId, MethodSummary>,
     /// Methods whose summarization panicked and was contained.
     pub quarantined: Vec<QuarantinedMethod>,
+    /// What the scheduler did to produce the table.
+    pub scheduler: SchedulerStats,
 }
 
 impl SummarizeOutcome {
@@ -38,6 +87,29 @@ impl SummarizeOutcome {
     pub fn fixpoint_truncations(&self) -> usize {
         self.summaries.values().filter(|s| s.truncated).count()
     }
+}
+
+/// A canonical, deterministic text dump of a summary table.
+///
+/// [`MethodSummary`] is deliberately not serializable (it holds interner
+/// symbols), so byte-identity comparisons across schedulers and thread
+/// counts go through this: entries sorted by [`MethodId`], rendered with
+/// the stable `Debug` format. Two tables for the same program are equal
+/// iff their dumps are equal.
+pub fn canonical_summary_dump(
+    program: &Program,
+    summaries: &HashMap<MethodId, MethodSummary>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut ids: Vec<MethodId> = summaries.keys().copied().collect();
+    ids.sort_unstable();
+    let mut out = String::new();
+    for id in ids {
+        if let Some(s) = summaries.get(&id) {
+            let _ = writeln!(out, "{} => {:?}", program.describe_method(id), s);
+        }
+    }
+    out
 }
 
 /// Extracts a readable message from a panic payload.
@@ -51,63 +123,249 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// A fresh analyzer seeded with every summary already known.
+/// A fresh analyzer seeded with every summary in `known`.
 fn seeded_analyzer<'p>(
     program: &'p Program,
     config: &AnalysisConfig,
     deadline: Option<Instant>,
-    seeds: &HashMap<MethodId, MethodSummary>,
-    produced: &[(MethodId, MethodSummary)],
+    known: &[(MethodId, MethodSummary)],
 ) -> Analyzer<'p> {
     let mut analyzer = Analyzer::new(program, config.clone());
     analyzer.set_deadline(deadline);
-    for (id, s) in seeds {
-        analyzer.seed_summary(*id, s.clone());
-    }
-    for (id, s) in produced {
+    for (id, s) in known {
         analyzer.seed_summary(*id, s.clone());
     }
     analyzer
 }
 
-/// Summarizes one shard of methods, containing per-method panics.
-///
-/// After a contained panic the analyzer is rebuilt (its in-progress cycle
-/// set may be mid-flight) and re-seeded with everything produced so far,
-/// including the quarantined method's identity summary, so the rest of the
-/// shard is unaffected.
-fn run_shard_contained(
-    program: &Program,
+/// The identity summary a quarantined method is given: sound for search
+/// (no calls, no flows claimed beyond pass-through).
+fn identity_summary(program: &Program, id: MethodId) -> MethodSummary {
+    MethodSummary {
+        action: Action::identity(program.method(id).params.len()),
+        calls: Vec::new(),
+        truncated: false,
+    }
+}
+
+/// Runs the SCC groups of one wave on `analyzer`, containing per-method
+/// panics. `known` is the append-only log of every summary this analyzer
+/// has been seeded with or produced; after a contained panic the analyzer
+/// is rebuilt from it (its in-progress cycle set may be mid-flight), with
+/// the quarantined method's identity summary included, so the rest of the
+/// wave is unaffected. `analyzed_lost` accumulates fixpoint-run counts
+/// from analyzers discarded by rebuilds.
+#[allow(clippy::too_many_arguments)]
+fn run_wave_groups<'p>(
+    program: &'p Program,
     config: &AnalysisConfig,
     deadline: Option<Instant>,
-    seeds: &HashMap<MethodId, MethodSummary>,
-    shard: &[MethodId],
-) -> (Vec<(MethodId, MethodSummary)>, Vec<QuarantinedMethod>) {
-    let mut results: Vec<(MethodId, MethodSummary)> = Vec::with_capacity(shard.len());
-    let mut quarantined = Vec::new();
-    let mut analyzer = seeded_analyzer(program, config, deadline, seeds, &results);
-    for &id in shard {
-        match catch_unwind(AssertUnwindSafe(|| analyzer.summarize(id))) {
-            Ok(summary) => results.push((id, summary)),
-            Err(payload) => {
-                quarantined.push(QuarantinedMethod {
-                    method: program.describe_method(id),
-                    error: panic_message(payload.as_ref()).to_owned(),
-                });
-                let param_count = program.method(id).params.len();
-                results.push((
-                    id,
-                    MethodSummary {
-                        action: Action::identity(param_count),
-                        calls: Vec::new(),
-                        truncated: false,
-                    },
-                ));
-                analyzer = seeded_analyzer(program, config, deadline, seeds, &results);
+    analyzer: &mut Analyzer<'p>,
+    known: &mut Vec<(MethodId, MethodSummary)>,
+    groups: &[Vec<MethodId>],
+    quarantined: &mut Vec<QuarantinedMethod>,
+    analyzed_lost: &mut usize,
+) -> Vec<(MethodId, MethodSummary)> {
+    let mut results = Vec::new();
+    for group in groups {
+        for &id in group {
+            match catch_unwind(AssertUnwindSafe(|| analyzer.summarize(id))) {
+                Ok(summary) => {
+                    known.push((id, summary.clone()));
+                    results.push((id, summary));
+                }
+                Err(payload) => {
+                    quarantined.push(QuarantinedMethod {
+                        method: program.describe_method(id),
+                        error: panic_message(payload.as_ref()).to_owned(),
+                    });
+                    let identity = identity_summary(program, id);
+                    known.push((id, identity.clone()));
+                    results.push((id, identity));
+                    *analyzed_lost += analyzer.stats().methods_analyzed;
+                    *analyzer = seeded_analyzer(program, config, deadline, known);
+                }
             }
         }
     }
-    (results, quarantined)
+    results
+}
+
+/// One wave's worth of work for a persistent worker: the groups it owns
+/// plus the summaries published by *other* workers since its last task.
+struct WaveTask {
+    groups: Vec<Vec<MethodId>>,
+    delta: Vec<(MethodId, MethodSummary)>,
+}
+
+/// A worker's results for one wave.
+struct WaveBatch {
+    results: Vec<(MethodId, MethodSummary)>,
+    quarantined: Vec<QuarantinedMethod>,
+    analyzed: usize,
+}
+
+/// A persistent wave worker: one analyzer (and one hierarchy) for the
+/// whole run, re-seeded with each wave's published delta.
+fn wave_worker(
+    program: &Program,
+    config: &AnalysisConfig,
+    deadline: Option<Instant>,
+    tasks: crossbeam::channel::Receiver<WaveTask>,
+    batches: crossbeam::channel::Sender<WaveBatch>,
+) {
+    let mut known: Vec<(MethodId, MethodSummary)> = Vec::new();
+    let mut analyzer = seeded_analyzer(program, config, deadline, &known);
+    let mut lost = 0usize;
+    while let Ok(task) = tasks.recv() {
+        for (id, s) in task.delta {
+            analyzer.seed_summary(id, s.clone());
+            known.push((id, s));
+        }
+        let before = lost + analyzer.stats().methods_analyzed;
+        let mut quarantined = Vec::new();
+        let results = run_wave_groups(
+            program,
+            config,
+            deadline,
+            &mut analyzer,
+            &mut known,
+            &task.groups,
+            &mut quarantined,
+            &mut lost,
+        );
+        let analyzed = lost + analyzer.stats().methods_analyzed - before;
+        if batches
+            .send(WaveBatch {
+                results,
+                quarantined,
+                analyzed,
+            })
+            .is_err()
+        {
+            return; // collector gone; the run is being abandoned
+        }
+    }
+}
+
+/// Sorted clean-seed list, the initial `known` log of every worker.
+fn seed_log(clean: &HashMap<MethodId, MethodSummary>) -> Vec<(MethodId, MethodSummary)> {
+    let mut log: Vec<(MethodId, MethodSummary)> =
+        clean.iter().map(|(id, s)| (*id, s.clone())).collect();
+    log.sort_unstable_by_key(|(id, _)| *id);
+    log
+}
+
+/// Runs the whole schedule on one analyzer, wave by wave, group by group,
+/// members in ascending id order — the reference execution every parallel
+/// run must match byte-for-byte.
+fn run_waves_sequential(
+    program: &Program,
+    config: &AnalysisConfig,
+    deadline: Option<Instant>,
+    clean: &HashMap<MethodId, MethodSummary>,
+    schedule: &WaveSchedule,
+) -> (
+    Vec<(MethodId, MethodSummary)>,
+    Vec<QuarantinedMethod>,
+    usize,
+) {
+    let mut known = seed_log(clean);
+    let mut analyzer = seeded_analyzer(program, config, deadline, &known);
+    let mut quarantined = Vec::new();
+    let mut lost = 0usize;
+    let mut results = Vec::new();
+    for wave in &schedule.waves {
+        results.extend(run_wave_groups(
+            program,
+            config,
+            deadline,
+            &mut analyzer,
+            &mut known,
+            wave,
+            &mut quarantined,
+            &mut lost,
+        ));
+    }
+    let analyzed = lost + analyzer.stats().methods_analyzed;
+    (results, quarantined, analyzed)
+}
+
+/// Runs the schedule over a persistent worker pool, one barrier per wave.
+///
+/// Groups within a wave are mutually independent, so assignment is plain
+/// round-robin; after the barrier every worker receives the summaries the
+/// *other* workers produced, so wave *w+1* starts with the full table
+/// published everywhere. Returns `None` if a worker or channel died
+/// outside the per-method containment (the caller falls back to the
+/// sequential pass, which recomputes deterministically from scratch).
+fn run_waves_parallel(
+    program: &Program,
+    config: &AnalysisConfig,
+    threads: usize,
+    deadline: Option<Instant>,
+    clean: &HashMap<MethodId, MethodSummary>,
+    schedule: &WaveSchedule,
+) -> Option<(
+    Vec<(MethodId, MethodSummary)>,
+    Vec<QuarantinedMethod>,
+    usize,
+)> {
+    type WaveRun = (
+        Vec<(MethodId, MethodSummary)>,
+        Vec<QuarantinedMethod>,
+        usize,
+    );
+    let joined = crossbeam::thread::scope(|scope| -> Option<WaveRun> {
+        let mut task_txs = Vec::with_capacity(threads);
+        let mut batch_rxs = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (task_tx, task_rx) = crossbeam::channel::unbounded::<WaveTask>();
+            let (batch_tx, batch_rx) = crossbeam::channel::unbounded::<WaveBatch>();
+            scope.spawn(move |_| wave_worker(program, config, deadline, task_rx, batch_tx));
+            task_txs.push(task_tx);
+            batch_rxs.push(batch_rx);
+        }
+        // Every worker starts from the clean seeds.
+        let seeds = seed_log(clean);
+        let mut pending: Vec<Vec<(MethodId, MethodSummary)>> = vec![seeds; threads];
+        let mut results = Vec::new();
+        let mut quarantined = Vec::new();
+        let mut analyzed = 0usize;
+        for wave in &schedule.waves {
+            let mut assignment: Vec<Vec<Vec<MethodId>>> = vec![Vec::new(); threads];
+            for (i, group) in wave.iter().enumerate() {
+                assignment[i % threads].push(group.clone());
+            }
+            for (i, groups) in assignment.into_iter().enumerate() {
+                let delta = std::mem::take(&mut pending[i]);
+                if task_txs[i].send(WaveTask { groups, delta }).is_err() {
+                    return None;
+                }
+            }
+            for (i, batch_rx) in batch_rxs.iter().enumerate() {
+                let Ok(batch) = batch_rx.recv() else {
+                    return None;
+                };
+                quarantined.extend(batch.quarantined);
+                analyzed += batch.analyzed;
+                for (id, s) in batch.results {
+                    for (j, p) in pending.iter_mut().enumerate() {
+                        if j != i {
+                            p.push((id, s.clone()));
+                        }
+                    }
+                    results.push((id, s));
+                }
+            }
+        }
+        drop(task_txs); // workers drain and exit
+        Some((results, quarantined, analyzed))
+    });
+    match joined {
+        Ok(run) => run,
+        Err(_) => None,
+    }
 }
 
 /// Summarizes every method with a body, using up to `threads` workers,
@@ -129,13 +387,17 @@ pub fn summarize_program_contained(
 }
 
 /// Incremental contained re-summarization: recomputes summaries for the
-/// methods in `dirty` and reuses `seed` for everything else.
+/// methods in `dirty` and reuses `seed` for everything else, scheduling
+/// the recomputation over the SCC waves of the call subgraph induced by
+/// the dirty set.
 ///
 /// The caller is responsible for the dirty-set invariant: a method may only
 /// be seeded if its body *and the bodies of everything its analysis can
 /// reach* (resolved callees, transitively) are unchanged since the seed
 /// summary was computed. The scan daemon establishes this by dirtying every
-/// changed class plus its reverse-dependency cone.
+/// changed class plus its reverse-dependency cone — a caller-closed set,
+/// which is exactly the shape under which the induced waves reproduce a
+/// cold scan's summaries byte-for-byte.
 ///
 /// Returns a summary for every method with a body; methods missing from
 /// `seed` are treated as dirty.
@@ -148,31 +410,104 @@ pub fn summarize_program_incremental_contained(
     deadline: Option<Instant>,
 ) -> SummarizeOutcome {
     let mut summaries: HashMap<MethodId, MethodSummary> = HashMap::new();
-    let mut todo: Vec<MethodId> = Vec::new();
+    let mut todo: HashSet<MethodId> = HashSet::new();
+    let mut bodies = 0usize;
     for id in program.method_ids() {
         if program.method(id).body.is_none() {
             continue;
         }
+        bodies += 1;
         match seed.get(&id) {
             Some(s) if !dirty.contains(&id) => {
                 summaries.insert(id, s.clone());
             }
-            _ => todo.push(id),
+            _ => {
+                todo.insert(id);
+            }
         }
     }
     if todo.is_empty() {
         return SummarizeOutcome {
             summaries,
             quarantined: Vec::new(),
+            scheduler: SchedulerStats {
+                methods_with_bodies: bodies,
+                ..SchedulerStats::default()
+            },
+        };
+    }
+    let callgraph = StaticCallGraph::build(program);
+    let schedule = callgraph.schedule(&todo);
+    let mut scheduler = SchedulerStats {
+        waves: schedule.waves.len(),
+        scc_groups: schedule.groups,
+        largest_scc: schedule.largest_scc,
+        methods_with_bodies: bodies,
+        summaries_computed: schedule.scheduled,
+        methods_analyzed: 0,
+    };
+    let parallel = threads > 1 && todo.len() >= 64;
+    let (results, quarantined, analyzed) = if parallel {
+        match run_waves_parallel(program, config, threads, deadline, &summaries, &schedule) {
+            Some(run) => run,
+            // A worker died outside the per-method containment (should not
+            // happen): fall back to one sequential contained pass.
+            None => run_waves_sequential(program, config, deadline, &summaries, &schedule),
+        }
+    } else {
+        run_waves_sequential(program, config, deadline, &summaries, &schedule)
+    };
+    scheduler.methods_analyzed = analyzed;
+    summaries.extend(results);
+    SummarizeOutcome {
+        summaries,
+        quarantined,
+        scheduler,
+    }
+}
+
+/// The PR-2 shard-and-recompute scheduler, kept as the benchmark baseline
+/// for `bench summarize`.
+///
+/// Methods are dealt round-robin to `threads` shards; each shard's
+/// analyzer recomputes any cross-shard callee summary it demands — zero
+/// synchronization, but duplicated work that grows with call depth (its
+/// [`SchedulerStats::duplicated_work_ratio`] exceeds 1.0 on anything
+/// non-trivial). At one thread this is exactly the sequential
+/// whole-program pass the wave scheduler's output is asserted against.
+pub fn summarize_program_sharded_contained(
+    program: &Program,
+    config: &AnalysisConfig,
+    threads: usize,
+    deadline: Option<Instant>,
+) -> SummarizeOutcome {
+    let todo: Vec<MethodId> = program
+        .method_ids()
+        .filter(|&id| program.method(id).body.is_some())
+        .collect();
+    let mut scheduler = SchedulerStats {
+        methods_with_bodies: todo.len(),
+        summaries_computed: todo.len(),
+        ..SchedulerStats::default()
+    };
+    let mut summaries: HashMap<MethodId, MethodSummary> = HashMap::new();
+    if todo.is_empty() {
+        scheduler.summaries_computed = 0;
+        return SummarizeOutcome {
+            summaries,
+            quarantined: Vec::new(),
+            scheduler,
         };
     }
     if threads <= 1 || todo.len() < 64 {
-        let (results, quarantined) =
-            run_shard_contained(program, config, deadline, &summaries, &todo);
+        let (results, quarantined, analyzed) =
+            run_shard_contained(program, config, deadline, &[], &todo);
+        scheduler.methods_analyzed = analyzed;
         summaries.extend(results);
         return SummarizeOutcome {
             summaries,
             quarantined,
+            scheduler,
         };
     }
     let shards: Vec<Vec<MethodId>> = {
@@ -183,52 +518,96 @@ pub fn summarize_program_incremental_contained(
         shards
     };
     let (tx, rx) = crossbeam::channel::unbounded();
-    let clean = &summaries;
     let joined = crossbeam::thread::scope(|scope| {
         for shard in &shards {
             let tx = tx.clone();
             scope.spawn(move |_| {
-                let batch = run_shard_contained(program, config, deadline, clean, shard);
+                let batch = run_shard_contained(program, config, deadline, &[], shard);
                 // A closed channel means the collector is gone; the batch is
                 // then re-runnable by the sequential fallback below.
                 let _ = tx.send(batch);
             });
         }
         drop(tx);
-        rx.iter()
-            .collect::<Vec<(Vec<(MethodId, MethodSummary)>, Vec<QuarantinedMethod>)>>()
+        rx.iter().collect::<Vec<_>>()
     });
     match joined {
         Ok(batches) => {
             let mut quarantined = Vec::new();
-            for (results, q) in batches {
+            for (results, q, analyzed) in batches {
                 summaries.extend(results);
                 quarantined.extend(q);
+                scheduler.methods_analyzed += analyzed;
             }
             SummarizeOutcome {
                 summaries,
                 quarantined,
+                scheduler,
             }
         }
         Err(_) => {
-            // A worker died outside the per-method containment (should not
-            // happen): fall back to one sequential contained pass.
-            let (results, quarantined) =
-                run_shard_contained(program, config, deadline, &summaries, &todo);
+            let (results, quarantined, analyzed) =
+                run_shard_contained(program, config, deadline, &[], &todo);
+            scheduler.methods_analyzed = analyzed;
             summaries.extend(results);
             SummarizeOutcome {
                 summaries,
                 quarantined,
+                scheduler,
             }
         }
     }
 }
 
+/// Summarizes one shard of methods with a fresh analyzer, containing
+/// per-method panics; cross-shard callee demands recompute locally.
+/// Returns the results, the quarantined methods, and the number of
+/// fixpoint runs performed (including duplicated cross-shard work).
+fn run_shard_contained(
+    program: &Program,
+    config: &AnalysisConfig,
+    deadline: Option<Instant>,
+    seeds: &[(MethodId, MethodSummary)],
+    shard: &[MethodId],
+) -> (
+    Vec<(MethodId, MethodSummary)>,
+    Vec<QuarantinedMethod>,
+    usize,
+) {
+    let mut known: Vec<(MethodId, MethodSummary)> = seeds.to_vec();
+    let mut analyzer = seeded_analyzer(program, config, deadline, &known);
+    let mut quarantined = Vec::new();
+    let mut lost = 0usize;
+    let mut results: Vec<(MethodId, MethodSummary)> = Vec::with_capacity(shard.len());
+    for &id in shard {
+        match catch_unwind(AssertUnwindSafe(|| analyzer.summarize(id))) {
+            Ok(summary) => {
+                known.push((id, summary.clone()));
+                results.push((id, summary));
+            }
+            Err(payload) => {
+                quarantined.push(QuarantinedMethod {
+                    method: program.describe_method(id),
+                    error: panic_message(payload.as_ref()).to_owned(),
+                });
+                let identity = identity_summary(program, id);
+                known.push((id, identity.clone()));
+                results.push((id, identity));
+                lost += analyzer.stats().methods_analyzed;
+                analyzer = seeded_analyzer(program, config, deadline, &known);
+            }
+        }
+    }
+    let analyzed = lost + analyzer.stats().methods_analyzed;
+    (results, quarantined, analyzed)
+}
+
 /// Summarizes every method with a body, using up to `threads` workers.
 ///
 /// Equivalent to calling [`Analyzer::summarize`] for every method; with
-/// `threads <= 1` it does exactly that. Panics are contained per method
-/// (see [`summarize_program_contained`] for the diagnostics-bearing form).
+/// `threads <= 1` it does exactly that, in bottom-up wave order. Panics
+/// are contained per method (see [`summarize_program_contained`] for the
+/// diagnostics-bearing form).
 pub fn summarize_program(
     program: &Program,
     config: &AnalysisConfig,
@@ -284,21 +663,82 @@ mod tests {
         pb.build()
     }
 
+    /// A call chain `C0.m <- C1.m <- ... <- C{n-1}.m` (Ci.m calls C{i-1}.m),
+    /// acyclic, for cone tests.
+    fn chain(classes: usize) -> Program {
+        let mut pb = ProgramBuilder::new();
+        for i in 0..classes {
+            let fqcn = format!("q.C{i}");
+            let mut cb = pb.class(&fqcn);
+            let obj = cb.object_type("java.lang.Object");
+            let mut mb = cb.method("m", vec![obj.clone()], obj.clone());
+            let p0 = mb.param(0);
+            if i == 0 {
+                mb.ret(p0);
+            } else {
+                let callee = mb.sig(&format!("q.C{}", i - 1), "m", &[obj.clone()], obj.clone());
+                let this = mb.this();
+                let r = mb.fresh();
+                mb.call_virtual(Some(r), this, callee, &[p0.into()]);
+                mb.ret(r);
+            }
+            mb.finish();
+            cb.finish();
+        }
+        pb.build()
+    }
+
     #[test]
     fn parallel_matches_sequential() {
         let p = corpus(40); // 160 methods: above the parallel threshold
         let sequential = summarize_program(&p, &AnalysisConfig::default(), 1);
         let parallel = summarize_program(&p, &AnalysisConfig::default(), 4);
         assert_eq!(sequential.len(), parallel.len());
-        for (id, seq) in &sequential {
-            let par = &parallel[id];
-            assert_eq!(seq.action, par.action, "{}", p.describe_method(*id));
-            assert_eq!(seq.calls.len(), par.calls.len());
-            for (a, b) in seq.calls.iter().zip(&par.calls) {
-                assert_eq!(a.pp, b.pp);
-                assert_eq!(a.resolved, b.resolved);
-            }
+        assert_eq!(
+            canonical_summary_dump(&p, &sequential),
+            canonical_summary_dump(&p, &parallel)
+        );
+    }
+
+    #[test]
+    fn wave_scheduler_matches_shard_baseline() {
+        let p = corpus(40);
+        let cfg = AnalysisConfig::default();
+        let waves = summarize_program_contained(&p, &cfg, 4, None);
+        let sharded = summarize_program_sharded_contained(&p, &cfg, 1, None);
+        assert_eq!(
+            canonical_summary_dump(&p, &waves.summaries),
+            canonical_summary_dump(&p, &sharded.summaries)
+        );
+    }
+
+    #[test]
+    fn wave_scheduler_analyzes_each_method_exactly_once() {
+        let p = corpus(40); // m0s form one 40-member recursion SCC
+        for threads in [1, 4] {
+            let out = summarize_program_contained(&p, &AnalysisConfig::default(), threads, None);
+            let s = out.scheduler;
+            assert_eq!(s.methods_with_bodies, 160);
+            assert_eq!(s.summaries_computed, 160, "threads={threads}");
+            assert_eq!(s.methods_analyzed, 160, "threads={threads}");
+            assert_eq!(s.duplicated_work_ratio(), 1.0);
+            assert_eq!(s.largest_scc, 40);
+            // Ring wave first, then the m1..m3 callers.
+            assert_eq!(s.waves, 2, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn shard_baseline_duplicates_cross_shard_work() {
+        let p = corpus(40);
+        let out = summarize_program_sharded_contained(&p, &AnalysisConfig::default(), 4, None);
+        assert_eq!(out.scheduler.summaries_computed, 160);
+        assert!(
+            out.scheduler.methods_analyzed > 160,
+            "sharding recomputes cross-shard callees: analyzed {}",
+            out.scheduler.methods_analyzed
+        );
+        assert!(out.scheduler.duplicated_work_ratio() > 1.0);
     }
 
     #[test]
@@ -313,11 +753,16 @@ mod tests {
         let p = corpus(10);
         let cfg = AnalysisConfig::default();
         let full = summarize_program(&p, &cfg, 1);
-        let out = summarize_program_incremental(&p, &cfg, 1, &HashSet::new(), &full);
-        assert_eq!(out.len(), full.len());
+        let out =
+            summarize_program_incremental_contained(&p, &cfg, 1, &HashSet::new(), &full, None);
+        assert_eq!(out.summaries.len(), full.len());
         for (id, s) in &full {
-            assert_eq!(out[id].action, s.action);
+            assert_eq!(out.summaries[id].action, s.action);
         }
+        // A clean re-scan schedules nothing at all.
+        assert_eq!(out.scheduler.summaries_computed, 0);
+        assert_eq!(out.scheduler.methods_analyzed, 0);
+        assert_eq!(out.scheduler.waves, 0);
     }
 
     #[test]
@@ -334,6 +779,37 @@ mod tests {
     }
 
     #[test]
+    fn incremental_dirty_method_recomputes_only_its_cone() {
+        let p = chain(8); // C7.m -> C6.m -> ... -> C0.m
+        let cfg = AnalysisConfig::default();
+        let full = summarize_program(&p, &cfg, 1);
+        assert_eq!(full.len(), 8);
+        // Dirtying the chain's root (C0.m) invalidates every caller above
+        // it: the caller-closed dirty cone is the whole chain.
+        let root: HashSet<MethodId> = p
+            .method_ids()
+            .filter(|&id| p.describe_method(id).ends_with("C0.m"))
+            .collect();
+        let cg = StaticCallGraph::build(&p);
+        let cone = cg.transitive_callers(root.iter().copied());
+        assert_eq!(cone.len(), 8);
+        // Dirtying the top caller (C7.m) touches nothing else: its cone is
+        // itself, and the incremental run recomputes exactly one summary.
+        let top: HashSet<MethodId> = p
+            .method_ids()
+            .filter(|&id| p.describe_method(id).ends_with("C7.m"))
+            .collect();
+        assert_eq!(cg.transitive_callers(top.iter().copied()).len(), 1);
+        let out = summarize_program_incremental_contained(&p, &cfg, 1, &top, &full, None);
+        assert_eq!(out.scheduler.summaries_computed, 1);
+        assert_eq!(out.scheduler.methods_analyzed, 1);
+        assert_eq!(
+            canonical_summary_dump(&p, &out.summaries),
+            canonical_summary_dump(&p, &full)
+        );
+    }
+
+    #[test]
     fn injected_panic_quarantines_one_method_and_workers_survive() {
         let p = corpus(40); // above the parallel threshold
         let cfg = AnalysisConfig {
@@ -346,6 +822,20 @@ mod tests {
             assert!(out.quarantined[0].method.contains("C7.m2"));
             assert!(out.quarantined[0].error.contains("injected fault"));
             // Every method still has a summary, including the quarantined one.
+            assert_eq!(out.summaries.len(), 160);
+        }
+    }
+
+    #[test]
+    fn injected_panic_in_shard_baseline_still_contained() {
+        let p = corpus(40);
+        let cfg = AnalysisConfig {
+            panic_on_method: Some("C7.m2".into()),
+            ..AnalysisConfig::default()
+        };
+        for threads in [1, 4] {
+            let out = summarize_program_sharded_contained(&p, &cfg, threads, None);
+            assert_eq!(out.quarantined.len(), 1, "threads={threads}");
             assert_eq!(out.summaries.len(), 160);
         }
     }

@@ -1,0 +1,260 @@
+//! A frozen CSR (compressed sparse row) snapshot of a graph, for search
+//! hot loops.
+//!
+//! The mutable [`Graph`] is the construction and serialization format: its
+//! per-node edge lists are unfiltered (`edges_of` allocates a fresh `Vec`
+//! per call to filter by type) and its edge properties live in per-edge
+//! `BTreeMap`s (every Polluted_Position read re-decodes a [`Value`]).
+//! Neither matters during CPG construction, but the sink-backward search
+//! reads the same adjacency millions of times.
+//!
+//! [`CsrSnapshot::freeze`] derives, once per search, a read-only index:
+//! per-edge-type forward and reverse adjacency arrays in CSR layout, with
+//! the payload property (Polluted_Position, for Tabby) pre-decoded into a
+//! shared arena. Lookups are a slice borrow — no allocation, no property
+//! decoding, no type filtering. Entry order is exactly the order
+//! [`Graph::edges_of`] returns ([`Graph::add_edge`] appends edge ids in
+//! increasing order, and the snapshot is built by one pass over
+//! [`Graph::edge_ids`]), so a traversal ported from `edges_of` onto the
+//! snapshot expands in the identical order — byte-identical results.
+//!
+//! The snapshot borrows nothing and is never cached or serialized; it is
+//! rebuilt from the graph for every search that wants one.
+
+use crate::store::{Direction, EdgeId, EdgeType, Graph, NodeId, PropKey};
+use crate::value::Value;
+
+/// One adjacency entry: the edge, the node at its far end, and the span of
+/// its pre-decoded payload in the snapshot's arena.
+type Entry = (EdgeId, NodeId, u32, u32);
+
+/// CSR adjacency for one edge type in one direction.
+#[derive(Debug, Clone)]
+struct CsrDir {
+    /// `offsets[i]..offsets[i + 1]` indexes `entries` for node *i*;
+    /// `len == node_count + 1`.
+    offsets: Vec<u32>,
+    entries: Vec<Entry>,
+}
+
+impl CsrDir {
+    fn flatten(per_node: Vec<Vec<Entry>>) -> Self {
+        let mut offsets = Vec::with_capacity(per_node.len() + 1);
+        let mut entries = Vec::new();
+        offsets.push(0);
+        for list in per_node {
+            entries.extend(list);
+            offsets.push(u32::try_from(entries.len()).expect("edge overflow"));
+        }
+        CsrDir { offsets, entries }
+    }
+
+    fn slice(&self, node: NodeId) -> &[Entry] {
+        let i = node.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// Forward (outgoing) and reverse (incoming) adjacency for one edge type.
+#[derive(Debug, Clone)]
+struct CsrLayer {
+    fwd: CsrDir,
+    rev: CsrDir,
+}
+
+/// A frozen per-edge-type adjacency snapshot of a [`Graph`] with
+/// pre-decoded integer-list edge payloads. See the module docs.
+#[derive(Debug, Clone)]
+pub struct CsrSnapshot {
+    types: Vec<EdgeType>,
+    layers: Vec<CsrLayer>,
+    /// Arena of decoded payload lists; entries carry `(start, len)` spans.
+    payload: Vec<i64>,
+}
+
+impl CsrSnapshot {
+    /// Builds the snapshot for the given edge `types`. When `payload_key`
+    /// is set, each edge's value under that key is decoded with
+    /// [`Value::as_int_list`] into the arena; edges without the property
+    /// (or with a non-int-list value) get an empty slice — the same view
+    /// `edge_prop(..).and_then(as_int_list).unwrap_or(&[])` produces.
+    pub fn freeze(graph: &Graph, types: &[EdgeType], payload_key: Option<PropKey>) -> Self {
+        let n = graph.node_count();
+        let mut payload: Vec<i64> = Vec::new();
+        let mut layers = Vec::with_capacity(types.len());
+        for &ty in types {
+            let mut fwd: Vec<Vec<Entry>> = vec![Vec::new(); n];
+            let mut rev: Vec<Vec<Entry>> = vec![Vec::new(); n];
+            for e in graph.edge_ids() {
+                if graph.edge_ty(e) != ty {
+                    continue;
+                }
+                let (from, to) = graph.endpoints(e);
+                let span = payload_key
+                    .and_then(|k| graph.edge_prop(e, k))
+                    .and_then(Value::as_int_list)
+                    .map(|list| {
+                        let start = u32::try_from(payload.len()).expect("payload overflow");
+                        payload.extend_from_slice(list);
+                        (start, u32::try_from(list.len()).expect("payload overflow"))
+                    })
+                    .unwrap_or((0, 0));
+                fwd[from.index()].push((e, to, span.0, span.1));
+                rev[to.index()].push((e, from, span.0, span.1));
+            }
+            layers.push(CsrLayer {
+                fwd: CsrDir::flatten(fwd),
+                rev: CsrDir::flatten(rev),
+            });
+        }
+        CsrSnapshot {
+            types: types.to_vec(),
+            layers,
+            payload,
+        }
+    }
+
+    /// The layer index for an edge type passed to [`CsrSnapshot::freeze`]
+    /// (its position in the `types` slice), or `None` if it was not frozen.
+    pub fn layer_of(&self, ty: EdgeType) -> Option<usize> {
+        self.types.iter().position(|&t| t == ty)
+    }
+
+    /// Adjacent `(edge, neighbor, payload)` triples of `node` over the
+    /// given layer, in the exact order [`Graph::edges_of`] yields for the
+    /// same `(node, direction, type)` query: outgoing entries in edge
+    /// insertion order, then (for [`Direction::Both`]) incoming entries in
+    /// edge insertion order.
+    pub fn neighbors(
+        &self,
+        layer: usize,
+        node: NodeId,
+        direction: Direction,
+    ) -> impl Iterator<Item = (EdgeId, NodeId, &[i64])> + '_ {
+        let l = &self.layers[layer];
+        let fwd: &[Entry] = match direction {
+            Direction::Outgoing | Direction::Both => l.fwd.slice(node),
+            Direction::Incoming => &[],
+        };
+        let rev: &[Entry] = match direction {
+            Direction::Incoming | Direction::Both => l.rev.slice(node),
+            Direction::Outgoing => &[],
+        };
+        fwd.iter()
+            .chain(rev.iter())
+            .map(move |&(e, n, start, len)| {
+                (
+                    e,
+                    n,
+                    &self.payload[start as usize..(start as usize + len as usize)],
+                )
+            })
+    }
+
+    /// Total adjacency entries in one layer (each edge appears once
+    /// forward and once reverse).
+    pub fn layer_len(&self, layer: usize) -> usize {
+        self.layers[layer].fwd.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small multigraph with interleaved CALL/ALIAS edges, a PP payload
+    /// on some CALL edges, and a self-loop.
+    fn sample() -> (Graph, EdgeType, EdgeType, PropKey, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let l = g.label("Method");
+        let call = g.edge_type("CALL");
+        let alias = g.edge_type("ALIAS");
+        let pp = g.prop_key("PP");
+        let nodes: Vec<NodeId> = (0..4).map(|_| g.add_node(l)).collect();
+        let e0 = g.add_edge(call, nodes[1], nodes[0]);
+        g.set_edge_prop(e0, pp, Value::IntList(vec![-1, 1]));
+        g.add_edge(alias, nodes[2], nodes[0]);
+        let e2 = g.add_edge(call, nodes[2], nodes[0]);
+        g.set_edge_prop(e2, pp, Value::IntList(vec![0]));
+        g.add_edge(call, nodes[3], nodes[2]); // no payload
+        g.add_edge(alias, nodes[0], nodes[3]);
+        g.add_edge(call, nodes[0], nodes[0]); // self-loop
+        (g, call, alias, pp, nodes)
+    }
+
+    #[test]
+    fn entry_order_matches_edges_of() {
+        let (g, call, alias, pp, nodes) = sample();
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], Some(pp));
+        let cl = csr.layer_of(call).unwrap();
+        let al = csr.layer_of(alias).unwrap();
+        for &n in &nodes {
+            for dir in [Direction::Outgoing, Direction::Incoming, Direction::Both] {
+                for (ty, layer) in [(call, cl), (alias, al)] {
+                    let want: Vec<EdgeId> = g.edges_of(n, dir, Some(ty));
+                    let got: Vec<EdgeId> = csr.neighbors(layer, n, dir).map(|(e, ..)| e).collect();
+                    assert_eq!(got, want, "node {n:?} dir {dir:?} ty {ty:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_match_other_node() {
+        let (g, call, alias, pp, nodes) = sample();
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], Some(pp));
+        for &n in &nodes {
+            for layer in [0usize, 1] {
+                for (e, nb, _) in csr.neighbors(layer, n, Direction::Both) {
+                    assert_eq!(nb, g.other_node(e, n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_matches_decoded_edge_prop() {
+        let (g, call, alias, pp, nodes) = sample();
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], Some(pp));
+        let cl = csr.layer_of(call).unwrap();
+        for &n in &nodes {
+            for (e, _, payload) in csr.neighbors(cl, n, Direction::Both) {
+                let want: &[i64] = g
+                    .edge_prop(e, pp)
+                    .and_then(Value::as_int_list)
+                    .unwrap_or(&[]);
+                assert_eq!(payload, want, "edge {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_payload_key_yields_empty_slices() {
+        let (g, call, alias, _pp, nodes) = sample();
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], None);
+        for &n in &nodes {
+            for (_, _, payload) in csr.neighbors(0, n, Direction::Both) {
+                assert!(payload.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_type_has_no_layer() {
+        let (g, call, _alias, _pp, _nodes) = sample();
+        let csr = CsrSnapshot::freeze(&g, &[call], None);
+        assert_eq!(csr.layer_of(call), Some(0));
+        assert_eq!(csr.layer_of(EdgeType(99)), None);
+        assert_eq!(csr.layer_len(0), 5);
+    }
+
+    #[test]
+    fn out_of_range_node_is_empty() {
+        let (g, call, _alias, _pp, _nodes) = sample();
+        let csr = CsrSnapshot::freeze(&g, &[call], None);
+        assert_eq!(csr.neighbors(0, NodeId(1000), Direction::Both).count(), 0);
+    }
+}

@@ -11,6 +11,8 @@
 //!   (the "store it in the database" step).
 //! - [`Traversal`]: the Expander/Evaluator framework, generic over a
 //!   caller-defined state (Tabby threads the Trigger_Condition set).
+//! - [`CsrSnapshot`]: a frozen per-edge-type CSR adjacency view derived
+//!   from a [`Graph`] right before search, for allocation-free hot loops.
 //! - [`algo`]: reachability, shortest paths, SCCs, degree statistics.
 //!
 //! # Examples
@@ -35,12 +37,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod algo;
+pub mod csr;
 pub mod hash;
 pub mod query;
 pub mod store;
 pub mod traversal;
 pub mod value;
 
+pub use csr::CsrSnapshot;
 pub use hash::{content_hash64, Fnv64};
 pub use query::{NodePattern, Query};
 pub use store::{Direction, EdgeId, EdgeType, Graph, Label, NodeId, PropKey};

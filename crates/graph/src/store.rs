@@ -6,6 +6,7 @@
 //! lookup and full serde round-tripping (persisting the graph to disk plays
 //! the role of "storing the CPG in the database").
 
+use crate::hash::content_hash64;
 use crate::value::{IndexKey, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -74,42 +75,72 @@ struct EdgeData {
     props: BTreeMap<PropKey, Value>,
 }
 
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 struct SmallInterner {
     names: Vec<String>,
+    /// FNV hash of a name → interned ids with that hash (a collision
+    /// bucket, almost always a single entry). Keying by hash instead of by
+    /// owned string leaves `names` holding the only copy of each name, so
+    /// `intern` allocates once per new name. Not serialized; the custom
+    /// `Deserialize` below rebuilds it eagerly, so lookups never fall back
+    /// to a linear scan.
     #[serde(skip)]
-    map: HashMap<String, u16>,
+    map: HashMap<u64, Vec<u16>>,
+}
+
+/// Deserializes the same shape the derived impl used (`{ names: [...] }`,
+/// the skipped map absent), then rebuilds the lookup map immediately.
+impl<'de> Deserialize<'de> for SmallInterner {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(Deserialize)]
+        struct Shadow {
+            names: Vec<String>,
+        }
+        let Shadow { names } = Shadow::deserialize(deserializer)?;
+        let mut interner = SmallInterner {
+            names,
+            map: HashMap::new(),
+        };
+        interner.rebuild();
+        Ok(interner)
+    }
 }
 
 impl SmallInterner {
     fn rebuild(&mut self) {
-        self.map = self
-            .names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), i as u16))
-            .collect();
+        self.map.clear();
+        for (i, n) in self.names.iter().enumerate() {
+            self.map
+                .entry(content_hash64(n.as_bytes()))
+                .or_default()
+                .push(i as u16);
+        }
     }
 
     fn intern(&mut self, s: &str) -> u16 {
-        if self.map.is_empty() && !self.names.is_empty() {
-            self.rebuild();
-        }
-        if let Some(&i) = self.map.get(s) {
-            return i;
+        let h = content_hash64(s.as_bytes());
+        if let Some(bucket) = self.map.get(&h) {
+            for &i in bucket {
+                if self.names[i as usize] == s {
+                    return i;
+                }
+            }
         }
         let i = u16::try_from(self.names.len()).expect("interner overflow");
         self.names.push(s.to_owned());
-        self.map.insert(s.to_owned(), i);
+        self.map.entry(h).or_default().push(i);
         i
     }
 
     fn get(&self, s: &str) -> Option<u16> {
-        if !self.map.is_empty() || self.names.is_empty() {
-            self.map.get(s).copied()
-        } else {
-            self.names.iter().position(|n| n == s).map(|i| i as u16)
-        }
+        self.map
+            .get(&content_hash64(s.as_bytes()))?
+            .iter()
+            .copied()
+            .find(|&i| self.names[i as usize] == s)
     }
 
     fn resolve(&self, i: u16) -> &str {
@@ -508,6 +539,31 @@ mod tests {
         assert_eq!(g2.edge_prop(e, k), g.edge_prop(e, k));
         assert_eq!(g2.nodes_by(label, nk, &Value::from("x")), vec![a]);
         assert_eq!(g2.label_name(label), "N");
+    }
+
+    #[test]
+    fn interner_lookups_work_right_after_deserialization() {
+        // The custom `Deserialize` rebuilds the interner maps eagerly, so
+        // name lookups work even before `rebuild_after_deserialize` (which
+        // is still required for the property indexes).
+        let (g, ..) = tiny();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.get_label("N"), g.get_label("N"));
+        assert_eq!(g2.get_edge_type("E"), g.get_edge_type("E"));
+        assert_eq!(g2.get_label("missing"), None);
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_lookup_consistent() {
+        let mut g = Graph::new();
+        let a = g.label("A");
+        let b = g.label("B");
+        assert_ne!(a, b);
+        assert_eq!(g.label("A"), a);
+        assert_eq!(g.get_label("A"), Some(a));
+        assert_eq!(g.get_label("B"), Some(b));
+        assert_eq!(g.get_label("C"), None);
     }
 }
 

@@ -5,7 +5,9 @@
 //! CALL edges translated through Polluted_Position, ALIAS edges crossed with
 //! the Trigger_Condition unchanged, per-path node uniqueness, no visited
 //! set), executed as one depth-first walk per *work unit* — a `(sink,
-//! first reversed-CALL hop)` pair — across a worker pool.
+//! first reversed-CALL hop)` pair — across a worker pool. The walk runs on a
+//! [`CsrSnapshot`] frozen from the CPG once per search, so the hot loop
+//! never allocates edge lists or decodes edge properties.
 //!
 //! # Why a memo table is sound here (and a visited set is not)
 //!
@@ -39,12 +41,14 @@
 //! traversal), one shared result counter for `max_results`, and the
 //! wall-clock deadline checked every 1024 expansions per worker.
 
-use crate::search::{traverse_tc, SearchConfig, TriggerCondition};
+use crate::search::{
+    freeze_cpg, traverse_tc, SearchConfig, TriggerCondition, ALIAS_LAYER, CALL_LAYER,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use tabby_core::CpgSchema;
-use tabby_graph::{Direction, EdgeType, Graph, NodeId, PropKey};
+use tabby_graph::{CsrSnapshot, Direction, Graph, NodeId};
 
 /// What the parallel engine hands back to [`crate::search`] for chain
 /// assembly: raw node paths (sink-first, as walked) plus the global
@@ -86,7 +90,9 @@ struct Memo {
 impl Memo {
     fn new() -> Self {
         Self {
-            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -148,13 +154,11 @@ impl Sub {
     }
 }
 
-/// The shared engine: graph handles, limits, and cross-worker state.
+/// The shared engine: the frozen CSR view of the CPG, limits, and
+/// cross-worker state.
 struct Engine<'g> {
-    graph: &'g Graph,
+    csr: &'g CsrSnapshot,
     sources: &'g HashSet<NodeId>,
-    call: EdgeType,
-    alias: EdgeType,
-    pp_key: PropKey,
     use_alias: bool,
     max_depth: usize,
     max_results: usize,
@@ -169,18 +173,10 @@ struct Engine<'g> {
 }
 
 impl<'g> Engine<'g> {
-    fn new(
-        graph: &'g Graph,
-        schema: &CpgSchema,
-        sources: &'g HashSet<NodeId>,
-        config: &SearchConfig,
-    ) -> Self {
+    fn new(csr: &'g CsrSnapshot, sources: &'g HashSet<NodeId>, config: &SearchConfig) -> Self {
         Engine {
-            graph,
+            csr,
             sources,
-            call: schema.call,
-            alias: schema.alias,
-            pp_key: schema.polluted_position,
             use_alias: config.use_alias_edges,
             max_depth: config.max_depth,
             max_results: config.max_results,
@@ -197,23 +193,20 @@ impl<'g> Engine<'g> {
 
     /// Algorithm 2: reversed CALL edges filtered through Formula 4, then
     /// ALIAS edges (both directions) with the TC unchanged — the same
-    /// expansion set, in the same order, as the sequential expander.
+    /// expansion set, in the same order, as the sequential expander. The CSR
+    /// snapshot makes each step a pair of slice scans: no per-step `Vec` of
+    /// edge ids, no `BTreeMap` property lookup, no Polluted_Position decode
+    /// (the payloads were decoded once at freeze time).
     fn expand(&self, end: NodeId, tc: &TriggerCondition) -> Vec<(NodeId, TriggerCondition)> {
-        let g = self.graph;
         let mut out = Vec::new();
-        for e in g.edges_of(end, Direction::Incoming, Some(self.call)) {
-            let caller = g.other_node(e, end);
-            let pp = g
-                .edge_prop(e, self.pp_key)
-                .and_then(|v| v.as_int_list())
-                .unwrap_or(&[]);
+        for (_, caller, pp) in self.csr.neighbors(CALL_LAYER, end, Direction::Incoming) {
             if let Some(next) = traverse_tc(tc, pp) {
                 out.push((caller, next));
             }
         }
         if self.use_alias {
-            for e in g.edges_of(end, Direction::Both, Some(self.alias)) {
-                out.push((g.other_node(e, end), tc.clone()));
+            for (_, other, _) in self.csr.neighbors(ALIAS_LAYER, end, Direction::Both) {
+                out.push((other, tc.clone()));
             }
         }
         out
@@ -381,19 +374,22 @@ pub(crate) fn search(
     sources: &HashSet<NodeId>,
     config: &SearchConfig,
 ) -> EngineOutcome {
+    // Freeze the CSR snapshot once per search; it is derived from the
+    // mutable graph, shared read-only by every worker, and dropped when the
+    // search returns (never cached across searches).
+    let csr = freeze_cpg(graph, schema);
     let threads = effective_threads(config.search_threads);
-    run_with_threads(graph, schema, sinks, sources, config, threads)
+    run_with_threads(&csr, sinks, sources, config, threads)
 }
 
 fn run_with_threads(
-    graph: &Graph,
-    schema: &CpgSchema,
+    csr: &CsrSnapshot,
     sinks: &[(NodeId, TriggerCondition)],
     sources: &HashSet<NodeId>,
     config: &SearchConfig,
     threads: usize,
 ) -> EngineOutcome {
-    let engine = Engine::new(graph, schema, sources, config);
+    let engine = Engine::new(csr, sources, config);
     let mut local = 0usize;
     let units = engine.seed(sinks, &mut local);
     let threads = threads.min(units.len()).max(1);
@@ -440,7 +436,7 @@ fn run_with_threads(
         // A worker panicked (a bug, not an input condition): rerun
         // sequentially on a fresh engine so the caller still gets a
         // complete, correct answer.
-        Err(_) => run_with_threads(graph, schema, sinks, sources, config, 1),
+        Err(_) => run_with_threads(csr, sinks, sources, config, 1),
     }
 }
 

@@ -13,7 +13,9 @@ use crate::sources::SourceCatalog;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashSet};
 use tabby_core::{Cpg, CpgSchema};
-use tabby_graph::{Direction, Evaluation, Expansion, Graph, NodeId, Path, Traversal, Uniqueness};
+use tabby_graph::{
+    CsrSnapshot, Direction, Evaluation, Expansion, Graph, NodeId, Path, Traversal, Uniqueness,
+};
 
 /// A Trigger_Condition: the set of call positions (0 = receiver,
 /// i = parameter *i*) that must be attacker-controllable.
@@ -146,6 +148,24 @@ pub fn traverse_tc(tc: &TriggerCondition, pp: &[i64]) -> Option<TriggerCondition
         next.insert(w as u16);
     }
     Some(next)
+}
+
+/// Layer index of the CALL edge type in a [`freeze_cpg`] snapshot.
+pub(crate) const CALL_LAYER: usize = 0;
+/// Layer index of the ALIAS edge type in a [`freeze_cpg`] snapshot.
+pub(crate) const ALIAS_LAYER: usize = 1;
+
+/// Freezes the CSR view of a CPG graph that the search hot loops run on:
+/// CALL and ALIAS adjacency with the Polluted_Position payload pre-decoded
+/// into a flat arena. Derived once per search and dropped with it, never
+/// cached — the mutable [`Graph`] stays the construction and serialization
+/// format.
+pub(crate) fn freeze_cpg(graph: &Graph, schema: &CpgSchema) -> CsrSnapshot {
+    CsrSnapshot::freeze(
+        graph,
+        &[schema.call, schema.alias],
+        Some(schema.polluted_position),
+    )
 }
 
 /// The gadget-chain finder over a CPG (the *tabby-path-finder* role).
@@ -285,9 +305,9 @@ pub fn find_chains_raw(
 /// work-sharded engine in [`crate::parallel`] (even at one thread — the
 /// chain set is byte-identical to [`find_chains_reference_detailed`]
 /// either way, which `tests/determinism.rs` asserts over every workloads
-/// scene). `NodeGlobal` and `None` uniqueness keep the sequential
-/// traversal: a global visited set is inherently order-dependent and has
-/// no sound parallel decomposition.
+/// scene). `NodeGlobal` and `None` uniqueness keep a sequential traversal
+/// (a global visited set is inherently order-dependent and has no sound
+/// parallel decomposition) but still run it over the frozen CSR snapshot.
 pub fn find_chains_raw_detailed(
     graph: &Graph,
     schema: &CpgSchema,
@@ -297,14 +317,7 @@ pub fn find_chains_raw_detailed(
     config: &SearchConfig,
 ) -> SearchOutcome {
     if config.uniqueness != Uniqueness::NodePath {
-        return find_chains_reference_detailed(
-            graph,
-            schema,
-            sinks,
-            sink_categories,
-            sources,
-            config,
-        );
+        return find_chains_traversal_csr(graph, schema, sinks, sink_categories, sources, config);
     }
     let outcome = crate::parallel::search(graph, schema, &sinks, sources, config);
     let chains = assemble_chains(
@@ -379,6 +392,84 @@ pub fn find_chains_reference_detailed(
 
     // Algorithm 3: a path ending at a source is a gadget chain; otherwise
     // continue while depth allows.
+    let evaluator = move |_: &Graph, path: &Path, _tc: &TriggerCondition| {
+        if path.len() > 0 && sources_for_eval.contains(&path.end()) {
+            Evaluation::IncludeAndPrune
+        } else if path.len() < max_depth {
+            Evaluation::ExcludeAndContinue
+        } else {
+            Evaluation::ExcludeAndPrune
+        }
+    };
+
+    let traversal = Traversal::new(expander, evaluator)
+        .uniqueness(config.uniqueness)
+        .max_results(config.max_results)
+        .max_expansions(config.max_expansions)
+        .deadline(config.deadline);
+    let (results, stats) = traversal.run_many_with_stats(graph, sinks);
+
+    let raw: Vec<Vec<NodeId>> = results
+        .into_iter()
+        .map(|(path, _tc)| path.nodes().to_vec())
+        .collect();
+    let chains = assemble_chains(graph, schema, &sink_categories, raw, config.max_results);
+    SearchOutcome {
+        chains,
+        truncated: stats.truncated,
+        expansions: stats.expansions,
+        memo_hits: 0,
+    }
+}
+
+/// The sequential Expander/Evaluator traversal over the frozen CSR
+/// snapshot — the engine behind the `NodeGlobal` and `None` uniqueness
+/// modes, which have no sound parallel decomposition but still benefit from
+/// the allocation-free adjacency. The snapshot preserves `edges_of` order,
+/// so expansion order — and therefore every result, including the
+/// order-dependent visited-set cutoffs of `NodeGlobal` — matches
+/// [`find_chains_reference_detailed`] exactly.
+fn find_chains_traversal_csr(
+    graph: &Graph,
+    schema: &CpgSchema,
+    sinks: Vec<(NodeId, TriggerCondition)>,
+    sink_categories: Vec<(NodeId, String)>,
+    sources: &HashSet<NodeId>,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    let csr = freeze_cpg(graph, schema);
+    let csr_ref = &csr;
+    let use_alias = config.use_alias_edges;
+    let max_depth = config.max_depth;
+    let sources_for_eval = sources.clone();
+
+    // Algorithm 2 on the snapshot: the `&Graph` the traversal hands the
+    // expander is ignored — adjacency and pre-decoded Polluted_Position come
+    // from the captured CSR.
+    let expander = move |_: &Graph, path: &Path, tc: &TriggerCondition| {
+        let end = path.end();
+        let mut out = Vec::new();
+        for (e, caller, pp) in csr_ref.neighbors(CALL_LAYER, end, Direction::Incoming) {
+            if let Some(next) = traverse_tc(tc, pp) {
+                out.push(Expansion {
+                    edge: e,
+                    node: caller,
+                    state: next,
+                });
+            }
+        }
+        if use_alias {
+            for (e, other, _) in csr_ref.neighbors(ALIAS_LAYER, end, Direction::Both) {
+                out.push(Expansion {
+                    edge: e,
+                    node: other,
+                    state: tc.clone(),
+                });
+            }
+        }
+        out
+    };
+
     let evaluator = move |_: &Graph, path: &Path, _tc: &TriggerCondition| {
         if path.len() > 0 && sources_for_eval.contains(&path.end()) {
             Evaluation::IncludeAndPrune
@@ -689,12 +780,61 @@ mod tests {
                     tc_memo: memo,
                     ..SearchConfig::default()
                 };
-                let outcome =
-                    find_chains_raw_detailed(&g, &schema, sinks.clone(), cats.clone(), &sources, &config);
+                let outcome = find_chains_raw_detailed(
+                    &g,
+                    &schema,
+                    sinks.clone(),
+                    cats.clone(),
+                    &sources,
+                    &config,
+                );
                 assert!(!outcome.truncated);
                 let got = serde_json::to_string(&outcome.chains).unwrap();
                 assert_eq!(got, want, "threads={threads} memo={memo}");
             }
+        }
+    }
+
+    #[test]
+    fn csr_traversal_matches_reference_on_every_uniqueness_mode() {
+        let (g, schema, nodes) = fig6();
+        let sink = nodes[0];
+        let source = nodes[6];
+        let sinks = vec![(sink, TriggerCondition::from([1u16]))];
+        let cats = vec![(sink, "EXEC".to_owned())];
+        let sources = HashSet::from([source]);
+        for uniqueness in [
+            Uniqueness::None,
+            Uniqueness::NodePath,
+            Uniqueness::NodeGlobal,
+        ] {
+            let config = SearchConfig {
+                uniqueness,
+                ..SearchConfig::default()
+            };
+            let reference = find_chains_reference_detailed(
+                &g,
+                &schema,
+                sinks.clone(),
+                cats.clone(),
+                &sources,
+                &config,
+            );
+            let csr = find_chains_traversal_csr(
+                &g,
+                &schema,
+                sinks.clone(),
+                cats.clone(),
+                &sources,
+                &config,
+            );
+            let want = serde_json::to_string(&reference.chains).unwrap();
+            let got = serde_json::to_string(&csr.chains).unwrap();
+            assert_eq!(got, want, "uniqueness={uniqueness:?}");
+            assert_eq!(
+                csr.expansions, reference.expansions,
+                "uniqueness={uniqueness:?}"
+            );
         }
     }
 
@@ -719,7 +859,11 @@ mod tests {
         let idx = |n: &str| nodes[names.iter().position(|x| *x == n).unwrap()];
         let mut call = |from: &str, to: &str| {
             let e = g.add_edge(schema.call, idx(from), idx(to));
-            g.set_edge_prop(e, schema.polluted_position, tabby_graph::Value::IntList(vec![-1, 1]));
+            g.set_edge_prop(
+                e,
+                schema.polluted_position,
+                tabby_graph::Value::IntList(vec![-1, 1]),
+            );
         };
         call("M1", "A");
         call("M2", "A");

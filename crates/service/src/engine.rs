@@ -382,6 +382,13 @@ impl Engine {
         );
         diagnostics.fixpoint_truncations += outcome.fixpoint_truncations();
         diagnostics.quarantined_methods.extend(outcome.quarantined);
+        stats.summarize_waves = outcome.scheduler.waves;
+        stats.summarize_largest_scc = outcome.scheduler.largest_scc;
+        stats.summaries_computed = outcome.scheduler.summaries_computed;
+        diagnostics.summarize_waves = outcome.scheduler.waves;
+        diagnostics.summarize_largest_scc = outcome.scheduler.largest_scc;
+        diagnostics.summaries_computed = outcome.scheduler.summaries_computed;
+        diagnostics.methods_with_bodies = outcome.scheduler.methods_with_bodies;
         let summaries = outcome.summaries;
         stats.summarize_ms = ms_since(t_sum);
         check_deadline(deadline, "summarize")?;
@@ -740,6 +747,10 @@ mod tests {
         assert_eq!(cold.stats.classes, 3);
         assert_eq!(cold.stats.classes_lifted, 3);
         assert_eq!(cold.stats.methods_summarized, cold.stats.methods);
+        // The wave scheduler computed each summary exactly once, and its
+        // own accounting agrees with the cache-delta accounting.
+        assert_eq!(cold.stats.summaries_computed, cold.stats.methods);
+        assert!(cold.stats.summarize_waves > 0);
         let warm = scan(&engine, &dir);
         assert!(warm.stats.job_cache_hit);
         assert_eq!(warm.stats.cache_hit_ratio, 1.0);
@@ -774,7 +785,10 @@ mod tests {
             )
             .expect("fresh rescan succeeds");
         assert!(!recomputed.stats.job_cache_hit);
-        assert_eq!(serde_json::to_string(&recomputed.chains).unwrap(), cold_json);
+        assert_eq!(
+            serde_json::to_string(&recomputed.chains).unwrap(),
+            cold_json
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -793,6 +807,10 @@ mod tests {
         assert_eq!(incr.stats.classes_lifted, 1, "only t.A re-lifted");
         assert_eq!(incr.stats.methods, cold.stats.methods + 1);
         assert_eq!(incr.stats.methods_summarized, 3, "t.A's m1, m2, m3");
+        assert_eq!(
+            incr.stats.summaries_computed, 3,
+            "only the dirty cone is re-run"
+        );
         assert!(incr.stats.cache_hit_ratio > 0.0);
         assert_eq!(incr.chains, cold.chains);
         let _ = std::fs::remove_dir_all(&dir);

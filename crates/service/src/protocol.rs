@@ -147,6 +147,19 @@ pub struct JobStats {
     /// The assembled CPG was served from the per-job cache; only the chain
     /// search ran.
     pub cpg_cache_hit: bool,
+    /// Topological waves the SCC-wave summarization scheduler ran (0 when
+    /// summarization was skipped entirely — a job or CPG cache hit, or a
+    /// warm re-scan with nothing dirty).
+    #[serde(default)]
+    pub summarize_waves: usize,
+    /// Methods in the largest recursion SCC the scheduler condensed.
+    #[serde(default)]
+    pub summarize_largest_scc: usize,
+    /// Summaries the scheduler actually computed, as counted by the
+    /// scheduler itself. Equals `methods_summarized` on a clean run — the
+    /// exactly-once invariant means no method is ever recomputed.
+    #[serde(default)]
+    pub summaries_computed: usize,
 }
 
 /// Daemon-wide statistics, returned by [`Request::Stats`].

@@ -16,6 +16,8 @@
 //! - [`random_lib`]: the scalable random-library generator for Table VIII;
 //! - [`search_web`]: layered caller lattices above real sinks that give the
 //!   backward search paper-shaped work without adding any chains;
+//! - [`recursion`]: mutual-recursion cliques chained into a DAG that give
+//!   the summarizer's SCC-wave scheduler real recursion, also chain-free;
 //! - [`truth`]: manifests and the FPR/FNR arithmetic;
 //! - [`oracle`]: the guard-honouring effectiveness check standing in for
 //!   the paper's manual PoC verification.
@@ -29,11 +31,13 @@ pub mod gadget_kit;
 pub mod jdk;
 pub mod oracle;
 pub mod random_lib;
+pub mod recursion;
 pub mod scenes;
 pub mod search_web;
 pub mod truth;
 
 pub use component::Component;
 pub use gadget_kit::{Sink, Trigger, Twist};
+pub use recursion::{add_recursion_web, RecursionWebConfig};
 pub use search_web::{add_search_web, SearchWebConfig};
 pub use truth::{ChainClass, EvalCounts, GroundTruth, TruthChain};

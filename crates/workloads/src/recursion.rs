@@ -1,0 +1,139 @@
+//! Mutual-recursion cliques chained into a DAG: summarizer-stress webs.
+//!
+//! The search web ([`crate::search_web`]) gives the backward *search*
+//! paper-shaped work; this module does the same for the *summarizer's*
+//! scheduler. Each clique is one class whose `spin0..spinK` methods call
+//! each other in a ring — a K-method recursion SCC that Tarjan condensation
+//! must keep whole — and each clique's entry method also calls the next
+//! clique's entry, so the condensed graph is a chain of SCCs that
+//! schedules as one topological wave per clique.
+//!
+//! Like the search web, the cliques contribute **zero chains**: no clique
+//! class is serializable, none has a source-shaped method name, none calls
+//! a sink, and nothing outside the web calls into it. Scene chain sets and
+//! FPRs are unchanged; only the controllability fixpoint has recursion to
+//! chew on.
+
+use tabby_ir::{JType, ProgramBuilder};
+
+/// Shape of the recursion web.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecursionWebConfig {
+    /// Mutual-recursion cliques (each becomes one SCC and one wave).
+    pub cliques: usize,
+    /// Methods per clique (the SCC size).
+    pub clique_size: usize,
+}
+
+impl RecursionWebConfig {
+    /// A small web for smoke scenes: three 4-method SCCs.
+    pub fn smoke() -> Self {
+        Self {
+            cliques: 3,
+            clique_size: 4,
+        }
+    }
+}
+
+/// Adds the web under `{pkg}.rec`. Clique *c* is class `R{c}` with methods
+/// `spin0..spin{K-1}`; `spin_m` calls `spin_{(m+1) mod K}` on `this` (the
+/// ring that makes the clique one SCC), and `spin0` additionally calls
+/// `R{c+1}.spin0` through a field (the DAG edge between SCCs).
+pub fn add_recursion_web(pb: &mut ProgramBuilder, pkg: &str, config: &RecursionWebConfig) {
+    let class_name = |c: usize| format!("{pkg}.rec.R{c}");
+    for c in 0..config.cliques {
+        let fqcn = class_name(c);
+        let mut cb = pb.class(&fqcn);
+        let object = cb.object_type("java.lang.Object");
+        if c + 1 < config.cliques {
+            let next_ty = cb.object_type(&class_name(c + 1));
+            cb.field("next", next_ty);
+        }
+        for m in 0..config.clique_size {
+            let mut mb = cb.method(&format!("spin{m}"), vec![object.clone()], JType::Void);
+            let this = mb.this();
+            let p = mb.param(0);
+            let succ = mb.sig(
+                &fqcn,
+                &format!("spin{}", (m + 1) % config.clique_size.max(1)),
+                &[mb.object_type("java.lang.Object")],
+                JType::Void,
+            );
+            mb.call_virtual(None, this, succ, &[p.into()]);
+            if m == 0 && c + 1 < config.cliques {
+                let next_name = class_name(c + 1);
+                let next_ty = mb.object_type(&next_name);
+                let recv = mb.fresh();
+                mb.get_field(recv, this, &fqcn, "next", next_ty);
+                let entry = mb.sig(
+                    &next_name,
+                    "spin0",
+                    &[mb.object_type("java.lang.Object")],
+                    JType::Void,
+                );
+                mb.call_virtual(None, recv, entry, &[p.into()]);
+            }
+            mb.finish();
+        }
+        cb.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_core::{
+        canonical_summary_dump, summarize_program_contained, summarize_program_sharded_contained,
+        AnalysisConfig, StaticCallGraph,
+    };
+
+    #[test]
+    fn cliques_condense_to_one_scc_and_one_wave_each() {
+        let config = RecursionWebConfig {
+            cliques: 5,
+            clique_size: 6,
+        };
+        let mut pb = ProgramBuilder::new();
+        add_recursion_web(&mut pb, "stress", &config);
+        let program = pb.build();
+        let schedule = StaticCallGraph::build(&program).schedule_all();
+        assert_eq!(schedule.scheduled, config.cliques * config.clique_size);
+        assert_eq!(schedule.largest_scc, config.clique_size);
+        // The cliques chain head→tail, so condensation yields one wave per
+        // clique, deepest callee first.
+        assert_eq!(schedule.waves.len(), config.cliques);
+        for wave in &schedule.waves {
+            assert_eq!(wave.len(), 1, "one SCC per wave");
+            assert_eq!(wave[0].len(), config.clique_size);
+        }
+    }
+
+    #[test]
+    fn wave_scheduler_handles_recursion_exactly_once() {
+        let mut pb = ProgramBuilder::new();
+        add_recursion_web(
+            &mut pb,
+            "stress",
+            &RecursionWebConfig {
+                cliques: 4,
+                clique_size: 5,
+            },
+        );
+        let program = pb.build();
+        let config = AnalysisConfig::default();
+        let reference = summarize_program_sharded_contained(&program, &config, 1, None);
+        let want = canonical_summary_dump(&program, &reference.summaries);
+        for threads in [1usize, 4] {
+            let outcome = summarize_program_contained(&program, &config, threads, None);
+            assert_eq!(
+                canonical_summary_dump(&program, &outcome.summaries),
+                want,
+                "threads={threads}"
+            );
+            // Exactly once, even inside the recursion SCCs.
+            assert_eq!(outcome.scheduler.summaries_computed, 20);
+            assert_eq!(outcome.scheduler.methods_analyzed, 20);
+            assert_eq!(outcome.scheduler.largest_scc, 5);
+        }
+    }
+}

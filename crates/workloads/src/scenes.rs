@@ -14,6 +14,7 @@ use crate::component::Component;
 use crate::gadget_kit::{add_gadget, Sink, Trigger, Twist};
 use crate::jdk::add_jdk_model;
 use crate::random_lib::{generate_into, RandomLibConfig};
+use crate::recursion::{add_recursion_web, RecursionWebConfig};
 use crate::search_web::{add_search_web, SearchWebConfig};
 use crate::truth::GroundTruth;
 use tabby_ir::{JType, ProgramBuilder};
@@ -86,13 +87,29 @@ fn web_for(code_mb: f64, smoke: bool) -> SearchWebConfig {
     }
 }
 
-/// Filler plus search web, scaled down ~12× for smoke scenes. Neither adds
-/// chains, so the smoke variant of a scene reports the same chain set as
-/// the full one — only build and search cost shrink.
+/// Filler plus search web plus recursion web, scaled down ~12× for smoke
+/// scenes. None of the three adds chains, so the smoke variant of a scene
+/// reports the same chain set as the full one — only build and search cost
+/// shrink.
 fn scene_bulk(pb: &mut ProgramBuilder, pkg: &str, code_mb: f64, seed: u64, smoke: bool) {
-    let filler_mb = if smoke { (code_mb * 0.08).max(0.5) } else { code_mb };
+    let filler_mb = if smoke {
+        (code_mb * 0.08).max(0.5)
+    } else {
+        code_mb
+    };
     filler_for(pb, pkg, filler_mb, seed);
     add_search_web(pb, pkg, &web_for(code_mb, smoke));
+    // Multi-method recursion SCCs for the summarizer's wave scheduler —
+    // every scene (smoke included) exercises non-trivial condensation.
+    let recursion = if smoke {
+        RecursionWebConfig::smoke()
+    } else {
+        RecursionWebConfig {
+            cliques: 6,
+            clique_size: 8,
+        }
+    };
+    add_recursion_web(pb, pkg, &recursion);
 }
 
 /// The Spring framework scene (Table X row 1; chains of Table XI).

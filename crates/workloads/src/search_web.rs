@@ -138,13 +138,15 @@ mod tests {
         let webbed = build(true);
         // Identical chain sets: the web is pure search pressure.
         let key = |chains: &[tabby_pathfinder::GadgetChain]| {
-            chains.iter().map(|c| c.signatures.clone()).collect::<Vec<_>>()
+            chains
+                .iter()
+                .map(|c| c.signatures.clone())
+                .collect::<Vec<_>>()
         };
         assert_eq!(key(&bare), key(&webbed));
-        assert!(!webbed.iter().any(|c| c
-            .signatures
+        assert!(!webbed
             .iter()
-            .any(|s| s.starts_with("stress.web."))));
+            .any(|c| c.signatures.iter().any(|s| s.starts_with("stress.web."))));
     }
 
     #[test]

@@ -159,6 +159,10 @@ pub fn scan(program: &Program, options: &ScanOptions) -> ScanReport {
         options.search.deadline,
     );
     diagnostics.fixpoint_truncations = outcome.fixpoint_truncations();
+    diagnostics.summarize_waves = outcome.scheduler.waves;
+    diagnostics.summarize_largest_scc = outcome.scheduler.largest_scc;
+    diagnostics.summaries_computed = outcome.scheduler.summaries_computed;
+    diagnostics.methods_with_bodies = outcome.scheduler.methods_with_bodies;
     diagnostics.quarantined_methods = outcome.quarantined;
     let mut cpg = Cpg::build_with_summaries(program, options.analysis.clone(), outcome.summaries);
     let search =

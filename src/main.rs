@@ -335,9 +335,14 @@ fn emit(cli: &CliOptions, report: ScanReport) -> ExitCode {
         );
     } else {
         eprintln!(
-            "CPG: {} nodes, {} edges; {} chain(s) found\n",
+            "CPG: {} nodes, {} edges; summarized {}/{} methods in {} wave(s) \
+             (largest SCC {}); {} chain(s) found\n",
             report.cpg.graph.node_count(),
             report.cpg.graph.edge_count(),
+            report.diagnostics.summaries_computed,
+            report.diagnostics.methods_with_bodies,
+            report.diagnostics.summarize_waves,
+            report.diagnostics.summarize_largest_scc,
             report.chains.len()
         );
         for (i, chain) in report.chains.iter().enumerate() {
@@ -372,8 +377,7 @@ fn parse_serve_config(args: &[String]) -> Result<tabby::service::ServiceConfig, 
             }
             "--search-threads" => {
                 let v = it.next().ok_or("--search-threads needs a value")?;
-                config.search_threads =
-                    v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                config.search_threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
             }
             other => return Err(format!("unknown serve option {other:?}")),
         }
@@ -525,6 +529,15 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                 ""
             }
         );
+        if stats.summarize_waves > 0 {
+            eprintln!(
+                "summarized {} of {} method(s) in {} wave(s) (largest SCC {})",
+                stats.summaries_computed,
+                stats.methods,
+                stats.summarize_waves,
+                stats.summarize_largest_scc
+            );
+        }
         for (i, chain) in chains.iter().enumerate() {
             println!("--- chain #{} [{}] ---", i + 1, chain.sink_category);
             println!("{chain}\n");

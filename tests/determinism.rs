@@ -8,7 +8,10 @@
 //! compare engine configurations on timing alone.
 
 use std::collections::HashSet;
-use tabby::core::{AnalysisConfig, Cpg};
+use tabby::core::{
+    canonical_summary_dump, summarize_program_contained, summarize_program_sharded_contained,
+    AnalysisConfig, Cpg,
+};
 use tabby::graph::NodeId;
 use tabby::pathfinder::{
     find_chains_raw_detailed, find_chains_reference_detailed, SearchConfig, SinkCatalog,
@@ -84,13 +87,60 @@ fn parallel_search_is_byte_identical_on_every_smoke_scene() {
     }
 }
 
+/// The SCC-wave summarizer side of the same contract: on every smoke scene
+/// the wave scheduler's summary table must serialize byte-identically to
+/// the single-shard sequential run at 1, 2, and 8 threads — and must have
+/// computed each summary exactly once (duplicated-work ratio 1.0), even
+/// though every scene now carries multi-method recursion SCCs.
+#[test]
+fn wave_summaries_are_byte_identical_on_every_smoke_scene() {
+    for scene in scenes::smoke() {
+        let program = &scene.component.program;
+        let config = AnalysisConfig::default();
+        let reference = summarize_program_sharded_contained(program, &config, 1, None);
+        let want = canonical_summary_dump(program, &reference.summaries);
+        for threads in [1usize, 2, 8] {
+            let outcome = summarize_program_contained(program, &config, threads, None);
+            assert_eq!(
+                canonical_summary_dump(program, &outcome.summaries),
+                want,
+                "{}: wave scheduler at {threads} threads diverged from the \
+                 sequential shard reference",
+                scene.component.name
+            );
+            let stats = &outcome.scheduler;
+            assert_eq!(
+                stats.summaries_computed, stats.methods_with_bodies,
+                "{}: {threads} threads computed a summary more or less than \
+                 once per method",
+                scene.component.name
+            );
+            assert_eq!(
+                stats.methods_analyzed,
+                stats.summaries_computed,
+                "{}: {threads} threads re-analyzed a method (ratio {})",
+                scene.component.name,
+                stats.duplicated_work_ratio()
+            );
+            assert!(
+                stats.largest_scc >= 4,
+                "{}: recursion web should give every scene a multi-method SCC",
+                scene.component.name
+            );
+            assert!(stats.waves > 0, "{}", scene.component.name);
+        }
+    }
+}
+
 /// The memo only ever *removes* work: with it on, a complete single-thread
 /// search expands no more states than the reference walk, and on scenes
 /// with a search web it prunes a strictly positive number of states.
 #[test]
 fn memo_reduces_work_without_changing_chains() {
     // JDK8 has the widest smoke web (most shared substructure).
-    let scene = scenes::smoke().into_iter().find(|s| s.component.name == "JDK8");
+    let scene = scenes::smoke()
+        .into_iter()
+        .find(|s| s.component.name == "JDK8");
     let scene = scene.expect("JDK8 smoke scene exists");
     let mut cpg = Cpg::build(&scene.component.program, AnalysisConfig::default());
     let sink_nodes = SinkCatalog::paper().annotate(&mut cpg);
@@ -121,7 +171,10 @@ fn memo_reduces_work_without_changing_chains() {
     let with_memo = run(true);
     let without = run(false);
     assert_eq!(with_memo.chains, without.chains);
-    assert!(with_memo.memo_hits > 0, "web gives the memo something to prune");
+    assert!(
+        with_memo.memo_hits > 0,
+        "web gives the memo something to prune"
+    );
     assert!(
         with_memo.expansions < without.expansions,
         "memo on: {} expansions, off: {}",
