@@ -1,9 +1,11 @@
-//! Benchmark driver. Two subcommands:
+//! Benchmark driver. Three subcommands:
 //!
 //! ```text
 //! cargo run -p tabby-bench --release --bin bench -- search \
 //!     [--scenes smoke|full] [--only Spring,JDK8] [--repeat N] [--out PATH]
 //! cargo run -p tabby-bench --release --bin bench -- summarize \
+//!     [--scenes smoke|full] [--only Spring,JDK8] [--repeat N] [--out PATH]
+//! cargo run -p tabby-bench --release --bin bench -- query \
 //!     [--scenes smoke|full] [--only Spring,JDK8] [--repeat N] [--out PATH]
 //! ```
 //!
@@ -19,12 +21,20 @@
 //! diverge from the sequential reference, or if any wave run's
 //! duplicated-work ratio is not exactly 1.0 — CI runs this on the smoke
 //! scenes as an exactly-once gate.
+//!
+//! `query` measures every TQL builtin against the annotated scene CPGs and
+//! writes `BENCH_query.json` (or `--out`). Exit status is nonzero if any
+//! query's rows differ across repeats or any query truncates under the
+//! default budgets — CI runs this on the smoke scenes as a query gate.
 
-use tabby_bench::{run_search_bench, run_summarize_bench, SearchBenchConfig, SummarizeBenchConfig};
+use tabby_bench::{
+    run_query_bench, run_search_bench, run_summarize_bench, QueryBenchConfig, SearchBenchConfig,
+    SummarizeBenchConfig,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench <search|summarize> [--scenes smoke|full] [--only NAME,NAME] \
+        "usage: bench <search|summarize|query> [--scenes smoke|full] [--only NAME,NAME] \
          [--repeat N] [--out PATH]"
     );
     std::process::exit(2);
@@ -87,6 +97,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("search") => cmd_search(&args[1..]),
         Some("summarize") => cmd_summarize(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         _ => usage(),
     }
 }
@@ -172,6 +183,45 @@ fn cmd_summarize(args: &[String]) {
     }
     if !report.all_wave_ratios_one {
         eprintln!("FAIL: a wave run recomputed summaries (duplicated-work ratio > 1.0)");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_query(args: &[String]) {
+    let common = parse_common(args, "BENCH_query.json", 3);
+    let config = QueryBenchConfig {
+        smoke: common.smoke,
+        only: common.only,
+        repeat: common.repeat,
+    };
+
+    let report = run_query_bench(&config);
+    for scene in &report.results {
+        println!(
+            "{:<13} {:>4} classes  CPG build+annotate {:>8.3}s",
+            scene.scene, scene.classes, scene.build_wall_s
+        );
+        for q in &scene.queries {
+            println!(
+                "  {:<14} {:>6} row(s)  {:>8} expansion(s)  {:>8.4}s  anchor {}  {}",
+                q.builtin,
+                q.rows,
+                q.expansions,
+                q.wall_s,
+                q.anchor,
+                if !q.deterministic {
+                    "NONDETERMINISTIC"
+                } else if q.truncated {
+                    "TRUNCATED"
+                } else {
+                    "ok"
+                },
+            );
+        }
+    }
+    write_report(&report, &common.out);
+    if !report.all_clean {
+        eprintln!("FAIL: a builtin was nondeterministic or truncated under default budgets");
         std::process::exit(1);
     }
 }

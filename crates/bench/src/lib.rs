@@ -7,15 +7,22 @@
 //! against the sequential reference and emits `BENCH_search.json`; its
 //! `summarize` subcommand ([`summarize_bench`]) measures the SCC-wave
 //! summarization scheduler against the shard baseline and emits
-//! `BENCH_summarize.json`.
+//! `BENCH_summarize.json`; its `query` subcommand ([`query_bench`])
+//! measures every TQL builtin against the annotated scene CPGs and emits
+//! `BENCH_query.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod query_bench;
 pub mod runner;
 pub mod search_bench;
 pub mod summarize_bench;
 
+pub use query_bench::{
+    bench_queries_on_scene, run_query_bench, QueryBenchConfig, QueryBenchReport, QueryResult,
+    SceneQueryBench,
+};
 pub use runner::{
     run_gadget_inspector, run_scene, run_serianalyzer, run_tabby, run_tabby_with, CellResult,
     SceneResult,

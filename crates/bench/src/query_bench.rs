@@ -1,0 +1,205 @@
+//! The `bench query` runner: TQL builtin latency over the Table X scenes,
+//! emitting `BENCH_query.json`.
+//!
+//! For each scene the CPG is built and annotated **once** (sinks tagged per
+//! Table VII, sources per the native-serialization catalog — the same
+//! tagging a scan applies), then every built-in named query runs `repeat`
+//! times against the same graph. Reported per query: best wall time, row
+//! and expansion counts, the planner's anchor choice, and whether the row
+//! set was byte-identical across repeats. The driver exits nonzero when
+//! any query is nondeterministic or truncated — default budgets must be
+//! ample for every builtin on every scene.
+
+use serde::Serialize;
+use std::time::Instant;
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_pathfinder::{SinkCatalog, SourceCatalog};
+use tabby_query::{builtins, run_query, ExecConfig};
+use tabby_workloads::scenes::Scene;
+
+/// What to run and how often.
+#[derive(Debug, Clone)]
+pub struct QueryBenchConfig {
+    /// Use the ~12×-smaller smoke scenes instead of the full ones.
+    pub smoke: bool,
+    /// Case-insensitive substring filters on scene names; empty = all.
+    pub only: Vec<String>,
+    /// Timed runs per query; the minimum wall time is reported.
+    pub repeat: usize,
+}
+
+impl Default for QueryBenchConfig {
+    fn default() -> Self {
+        QueryBenchConfig {
+            smoke: false,
+            only: Vec::new(),
+            repeat: 3,
+        }
+    }
+}
+
+/// One builtin's measurement on one scene.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryResult {
+    /// Builtin name (`tabby query --builtins`).
+    pub builtin: String,
+    /// Result rows.
+    pub rows: usize,
+    /// Edge expansions the pattern search performed (last run's value).
+    pub expansions: usize,
+    /// Best wall time over the configured repeats, in seconds.
+    pub wall_s: f64,
+    /// A budget cut the row stream short.
+    pub truncated: bool,
+    /// The planner's anchor choice, as reported in the output header.
+    pub anchor: String,
+    /// Row JSON was byte-identical across all repeats.
+    pub deterministic: bool,
+}
+
+/// One scene's full measurement set.
+#[derive(Debug, Clone, Serialize)]
+pub struct SceneQueryBench {
+    /// Scene name (Table X row).
+    pub scene: String,
+    /// Classes in the scene program.
+    pub classes: usize,
+    /// One-time CPG build + annotation cost, in seconds.
+    pub build_wall_s: f64,
+    /// Every builtin measured against the same CPG.
+    pub queries: Vec<QueryResult>,
+    /// Every query's rows were identical across repeats.
+    pub all_deterministic: bool,
+}
+
+/// The `BENCH_query.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryBenchReport {
+    /// `"smoke"` or `"full"`.
+    pub scenes: String,
+    /// Timed runs per query.
+    pub repeat: usize,
+    /// Per-scene measurements.
+    pub results: Vec<SceneQueryBench>,
+    /// Every query of every scene was deterministic and untruncated.
+    pub all_clean: bool,
+}
+
+/// A fixed argument per builtin parameter; `readObject` appears in every
+/// serialization-bearing scene, so arg-taking builtins do real matching.
+fn bench_args(builtin: &builtins::Builtin) -> Vec<String> {
+    builtin
+        .args
+        .iter()
+        .map(|_| "readObject".to_owned())
+        .collect()
+}
+
+/// Benchmarks every builtin on one scene; the CPG is built once.
+pub fn bench_queries_on_scene(scene: &Scene, repeat: usize) -> SceneQueryBench {
+    let repeat = repeat.max(1);
+    let program = &scene.component.program;
+    let t = Instant::now();
+    let mut cpg = Cpg::build(program, AnalysisConfig::default());
+    SinkCatalog::paper().annotate(&mut cpg);
+    SourceCatalog::native_serialization().annotate(&mut cpg);
+    let build_wall_s = t.elapsed().as_secs_f64();
+
+    let cfg = ExecConfig::default();
+    let mut queries = Vec::with_capacity(builtins::BUILTINS.len());
+    for builtin in builtins::BUILTINS {
+        let text = builtin
+            .instantiate(&bench_args(builtin))
+            .expect("builtin arity");
+        let mut wall_s = f64::INFINITY;
+        let mut first: Option<String> = None;
+        let mut deterministic = true;
+        let mut last = None;
+        for _ in 0..repeat {
+            let t = Instant::now();
+            let out = run_query(&cpg.graph, &text, &cfg).expect("builtin parses and plans");
+            wall_s = wall_s.min(t.elapsed().as_secs_f64());
+            let canon = serde_json::to_string(&out.rows).expect("rows serialize");
+            match &first {
+                None => first = Some(canon),
+                Some(reference) => deterministic &= *reference == canon,
+            }
+            last = Some(out);
+        }
+        let out = last.expect("repeat >= 1");
+        queries.push(QueryResult {
+            builtin: builtin.name.to_owned(),
+            rows: out.rows.len(),
+            expansions: out.expansions,
+            wall_s,
+            truncated: out.truncated,
+            anchor: out.anchor,
+            deterministic,
+        });
+    }
+    let all_deterministic = queries.iter().all(|q| q.deterministic);
+    SceneQueryBench {
+        scene: scene.component.name.clone(),
+        classes: program.classes().len(),
+        build_wall_s,
+        queries,
+        all_deterministic,
+    }
+}
+
+/// Runs the whole battery per `config`.
+pub fn run_query_bench(config: &QueryBenchConfig) -> QueryBenchReport {
+    let scenes = if config.smoke {
+        tabby_workloads::scenes::smoke()
+    } else {
+        tabby_workloads::scenes::all()
+    };
+    let keep = |name: &str| {
+        config.only.is_empty()
+            || config
+                .only
+                .iter()
+                .any(|f| name.to_lowercase().contains(&f.to_lowercase()))
+    };
+    let results: Vec<SceneQueryBench> = scenes
+        .iter()
+        .filter(|s| keep(&s.component.name))
+        .map(|s| bench_queries_on_scene(s, config.repeat))
+        .collect();
+    let all_clean = results
+        .iter()
+        .all(|r| r.all_deterministic && r.queries.iter().all(|q| !q.truncated));
+    QueryBenchReport {
+        scenes: if config.smoke { "smoke" } else { "full" }.to_owned(),
+        repeat: config.repeat,
+        results,
+        all_clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs_every_builtin_deterministically() {
+        let report = run_query_bench(&QueryBenchConfig {
+            smoke: true,
+            only: vec!["Jetty".to_owned()],
+            repeat: 2,
+        });
+        assert_eq!(report.results.len(), 1);
+        let scene = &report.results[0];
+        assert_eq!(scene.scene, "Jetty");
+        assert_eq!(scene.queries.len(), builtins::BUILTINS.len());
+        assert!(report.all_clean, "{scene:?}");
+        for q in &scene.queries {
+            assert!(
+                !q.truncated,
+                "{} truncated under default budgets",
+                q.builtin
+            );
+            assert!(!q.anchor.is_empty(), "{} reported no anchor", q.builtin);
+        }
+    }
+}

@@ -46,7 +46,7 @@ pub mod value;
 
 pub use csr::CsrSnapshot;
 pub use hash::{content_hash64, Fnv64};
-pub use query::{NodePattern, Query};
+pub use query::{ExecBudget, Match, NodePattern, Query, QueryStats, QueryStream};
 pub use store::{Direction, EdgeId, EdgeType, Graph, Label, NodeId, PropKey};
 pub use traversal::{
     follow, Evaluation, Evaluator, Expander, Expansion, Order, Path, Traversal, TraversalStats,

@@ -3,6 +3,11 @@
 //! §II-B, without shipping a full Cypher. A query is a node pattern
 //! followed by hop patterns; execution returns all matching paths.
 //!
+//! This module is the single pattern-matching backend of the repo: the
+//! textual TQL layer (`tabby-query`) plans onto these [`NodePattern`]s and
+//! [`Query`] hops and executes through [`Query::stream`], the streaming,
+//! budget-aware matcher. [`Query::run`] is the eager convenience wrapper.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,7 +32,10 @@
 //! assert_eq!(rows[0].nodes(), &[a, b]);
 //! ```
 
-use crate::store::{Direction, EdgeType, Graph, Label, NodeId, PropKey};
+use std::time::Instant;
+
+use crate::csr::CsrSnapshot;
+use crate::store::{Direction, EdgeId, EdgeType, Graph, Label, NodeId, PropKey};
 use crate::traversal::Path;
 use crate::value::Value;
 
@@ -103,20 +111,55 @@ impl NodePattern {
         true
     }
 
+    /// The property-equality constraint an index could serve, if any:
+    /// the first `(key, value)` pair for which `(label, key)` is indexed.
+    fn indexed_prop<'a>(&'a self, graph: &Graph) -> Option<(PropKey, &'a Value)> {
+        let label = self.label?;
+        self.props
+            .iter()
+            .find(|(key, _)| graph.has_index(label, *key))
+            .map(|(key, value)| (*key, value))
+    }
+
     /// Candidate start nodes, using an index when the pattern pins a label
     /// plus an indexed property, otherwise scanning.
     fn candidates(&self, graph: &Graph) -> Vec<NodeId> {
-        if let (Some(label), Some((key, value))) = (self.label, self.props.first()) {
-            let hits = graph.nodes_by(label, *key, value);
-            return hits
-                .into_iter()
-                .filter(|n| self.matches(graph, *n))
-                .collect();
+        if let Some(label) = self.label {
+            if let Some((key, value)) = self
+                .indexed_prop(graph)
+                .or_else(|| self.props.first().map(|(k, v)| (*k, v)))
+            {
+                let hits = graph.nodes_by(label, key, value);
+                return hits
+                    .into_iter()
+                    .filter(|n| self.matches(graph, *n))
+                    .collect();
+            }
         }
         graph
             .node_ids()
             .filter(|n| self.matches(graph, *n))
             .collect()
+    }
+
+    /// An estimate of how many candidate nodes this pattern anchors, used
+    /// by planners to pick the cheaper end of a pattern chain. Exact when
+    /// an index serves the pattern (index bucket size), otherwise the
+    /// label population (one scan) or the node count.
+    pub fn estimated_candidates(&self, graph: &Graph) -> usize {
+        if let Some(label) = self.label {
+            if let Some((key, value)) = self.indexed_prop(graph) {
+                return graph.nodes_by(label, key, value).len();
+            }
+            return graph.nodes_with_label(label).len();
+        }
+        graph.node_count()
+    }
+
+    /// Whether an index can anchor this pattern (label plus an indexed
+    /// property equality).
+    pub fn is_indexed(&self, graph: &Graph) -> bool {
+        self.indexed_prop(graph).is_some()
     }
 }
 
@@ -137,6 +180,79 @@ pub struct Query {
     start: NodePattern,
     hops: Vec<Hop>,
     limit: usize,
+}
+
+/// Execution budget for a [`QueryStream`]: caps edge expansions and wall
+/// time, mirroring the phase-budget knobs of the chain search. Exceeding
+/// either ends the stream early with [`QueryStats::truncated`] set instead
+/// of hanging.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecBudget {
+    /// Maximum number of edge expansions before the stream truncates.
+    pub max_expansions: usize,
+    /// Optional wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for ExecBudget {
+    fn default() -> Self {
+        Self {
+            max_expansions: usize::MAX,
+            deadline: None,
+        }
+    }
+}
+
+/// Counters reported by a [`QueryStream`] after (or during) iteration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Edge expansions performed.
+    pub expansions: usize,
+    /// True when the budget ended the stream before the match space was
+    /// exhausted.
+    pub truncated: bool,
+}
+
+/// One query match: the concrete path plus, for each pattern node of the
+/// query (start node and each hop end, in order), the index into
+/// [`Path::nodes`] where that pattern node was bound. Variable-length hops
+/// make these positions non-trivial; the anchors let callers project "the
+/// node variable of pattern position j" without re-matching.
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// The matched path.
+    pub path: Path,
+    /// For pattern node `j` (0 = start, `j` = end of hop `j-1`), the index
+    /// into `path.nodes()` where it matched. `anchors.len()` equals the
+    /// number of hops plus one.
+    pub anchors: Vec<usize>,
+}
+
+impl Match {
+    /// The node bound to pattern position `j`.
+    pub fn binding(&self, j: usize) -> NodeId {
+        self.path.nodes()[self.anchors[j]]
+    }
+
+    /// The single edge traversed by hop `j`, if that hop matched exactly
+    /// one edge (`None` for zero-length or multi-step repetitions).
+    pub fn hop_edge(&self, j: usize) -> Option<EdgeId> {
+        let (from, to) = (self.anchors[j], self.anchors[j + 1]);
+        if to == from + 1 {
+            Some(self.path.edges()[from])
+        } else {
+            None
+        }
+    }
+}
+
+/// A depth-first frame: a partial path about to attempt hop `hop_index`
+/// after `steps` repetitions of it.
+struct Frame {
+    path: Path,
+    anchors: Vec<usize>,
+    hop_index: usize,
+    steps: usize,
 }
 
 impl Query {
@@ -200,54 +316,209 @@ impl Query {
         self
     }
 
-    /// Executes the query, returning matching paths (nodes may repeat only
-    /// across, not within, a repetition hop).
+    /// The number of pattern nodes (start plus one per hop).
+    pub fn pattern_len(&self) -> usize {
+        self.hops.len() + 1
+    }
+
+    /// The edge types this query traverses, deduplicated in hop order —
+    /// the set a [`CsrSnapshot`] must cover to serve the whole query.
+    pub fn edge_types(&self) -> Vec<EdgeType> {
+        let mut types = Vec::new();
+        for hop in &self.hops {
+            if !types.contains(&hop.ty) {
+                types.push(hop.ty);
+            }
+        }
+        types
+    }
+
+    /// Executes the query eagerly, returning matching paths (nodes may
+    /// repeat only across, not within, a repetition hop).
     pub fn run(&self, graph: &Graph) -> Vec<Path> {
-        let mut results = Vec::new();
-        for start in self.start.candidates(graph) {
-            self.extend(graph, Path::start(start), 0, &mut results);
-            if results.len() >= self.limit {
-                results.truncate(self.limit);
-                break;
-            }
-        }
-        results
+        self.stream(graph, ExecBudget::default())
+            .map(|m| m.path)
+            .collect()
     }
 
-    fn extend(&self, graph: &Graph, path: Path, hop_index: usize, out: &mut Vec<Path>) {
-        if out.len() >= self.limit {
-            return;
-        }
-        let Some(hop) = self.hops.get(hop_index) else {
-            out.push(path);
-            return;
-        };
-        // Repetition: explore 0..=max steps, accepting the end pattern at
-        // any count ≥ min.
-        self.expand_hop(graph, path, hop, 0, hop_index, out);
+    /// Streams matches lazily under `budget`, expanding adjacency through
+    /// the store.
+    pub fn stream<'q, 'g>(&'q self, graph: &'g Graph, budget: ExecBudget) -> QueryStream<'q, 'g> {
+        self.stream_with(graph, budget, None)
     }
 
-    fn expand_hop(
-        &self,
-        graph: &Graph,
-        path: Path,
-        hop: &Hop,
-        steps: usize,
-        hop_index: usize,
-        out: &mut Vec<Path>,
-    ) {
-        if steps >= hop.min && hop.end.matches(graph, path.end()) {
-            self.extend(graph, path.clone(), hop_index + 1, out);
+    /// Streams matches lazily under `budget`, expanding adjacency through
+    /// `csr` for every hop whose edge type the snapshot covers (falling
+    /// back to the store otherwise). CSR entry order matches
+    /// [`Graph::edges_of`], so results and their order are identical with
+    /// or without a snapshot.
+    pub fn stream_with<'q, 'g>(
+        &'q self,
+        graph: &'g Graph,
+        budget: ExecBudget,
+        csr: Option<&'g CsrSnapshot>,
+    ) -> QueryStream<'q, 'g> {
+        let layers = self
+            .hops
+            .iter()
+            .map(|h| csr.and_then(|c| c.layer_of(h.ty)))
+            .collect();
+        let mut stack: Vec<Frame> = self
+            .start
+            .candidates(graph)
+            .into_iter()
+            .map(|n| Frame {
+                path: Path::start(n),
+                anchors: vec![0],
+                hop_index: 0,
+                steps: 0,
+            })
+            .collect();
+        // LIFO stack: reverse so the first candidate is explored first,
+        // preserving the historical depth-first result order.
+        stack.reverse();
+        QueryStream {
+            query: self,
+            graph,
+            csr,
+            layers,
+            stack,
+            emitted: 0,
+            stats: QueryStats::default(),
+            budget,
         }
-        if steps >= hop.max {
-            return;
+    }
+}
+
+/// A lazy, budget-aware stream of query [`Match`]es. Produced by
+/// [`Query::stream`]; iteration order is the same depth-first order
+/// [`Query::run`] returns.
+pub struct QueryStream<'q, 'g> {
+    query: &'q Query,
+    graph: &'g Graph,
+    csr: Option<&'g CsrSnapshot>,
+    /// Per-hop CSR layer index, when the snapshot covers that hop's type.
+    layers: Vec<Option<usize>>,
+    stack: Vec<Frame>,
+    emitted: usize,
+    stats: QueryStats,
+    budget: ExecBudget,
+}
+
+/// How many expansions happen between deadline checks.
+const DEADLINE_STRIDE: usize = 256;
+
+impl QueryStream<'_, '_> {
+    /// Execution counters so far; final once the iterator returns `None`.
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// True when the budget ended the stream early.
+    pub fn truncated(&self) -> bool {
+        self.stats.truncated
+    }
+
+    fn deadline_passed(&self) -> bool {
+        match self.budget.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
         }
-        for e in graph.edges_of(path.end(), hop.direction, Some(hop.ty)) {
-            let next = graph.other_node(e, path.end());
-            if !path.contains(next) {
-                self.expand_hop(graph, path.extend(e, next), hop, steps + 1, hop_index, out);
+    }
+
+    fn out_of_budget(&mut self) -> bool {
+        if self.stats.expansions >= self.budget.max_expansions {
+            return true;
+        }
+        self.stats.expansions % DEADLINE_STRIDE == 0 && self.deadline_passed()
+    }
+
+    /// Expands one frame, pushing its children so they pop in the same
+    /// order the historical recursive matcher visited them: first each
+    /// edge continuation (in adjacency order), preceded on the stack by
+    /// the accept-here continuation so acceptance is explored first.
+    fn expand(&mut self, frame: Frame) -> bool {
+        let hop = &self.query.hops[frame.hop_index];
+        let end = frame.path.end();
+        if frame.steps < hop.max {
+            // Children must pop in adjacency order after the accept
+            // continuation, so collect then push in reverse.
+            let next: Vec<(EdgeId, NodeId)> = match (self.layers[frame.hop_index], self.csr) {
+                (Some(layer), Some(csr)) => csr
+                    .neighbors(layer, end, hop.direction)
+                    .map(|(e, n, _)| (e, n))
+                    .collect(),
+                _ => self
+                    .graph
+                    .edges_of(end, hop.direction, Some(hop.ty))
+                    .into_iter()
+                    .map(|e| (e, self.graph.other_node(e, end)))
+                    .collect(),
+            };
+            for (e, n) in next.into_iter().rev() {
+                if frame.path.contains(n) {
+                    continue;
+                }
+                self.stats.expansions += 1;
+                if self.out_of_budget() {
+                    self.stats.truncated = true;
+                    self.stack.clear();
+                    return false;
+                }
+                self.stack.push(Frame {
+                    path: frame.path.extend(e, n),
+                    anchors: frame.anchors.clone(),
+                    hop_index: frame.hop_index,
+                    steps: frame.steps + 1,
+                });
             }
         }
+        if frame.steps >= hop.min && hop.end.matches(self.graph, end) {
+            let mut anchors = frame.anchors;
+            anchors.push(frame.path.nodes().len() - 1);
+            self.stack.push(Frame {
+                path: frame.path,
+                anchors,
+                hop_index: frame.hop_index + 1,
+                steps: 0,
+            });
+        }
+        true
+    }
+}
+
+impl Iterator for QueryStream<'_, '_> {
+    type Item = Match;
+
+    fn next(&mut self) -> Option<Match> {
+        if self.emitted >= self.query.limit {
+            self.stack.clear();
+            return None;
+        }
+        // Check the deadline once per emitted row here; long intra-row
+        // searches are covered by the stride check in `out_of_budget`.
+        if !self.stack.is_empty() && self.deadline_passed() {
+            self.stats.truncated = true;
+            self.stack.clear();
+            return None;
+        }
+        while let Some(frame) = self.stack.pop() {
+            if frame.hop_index == self.query.hops.len() {
+                self.emitted += 1;
+                let item = Match {
+                    path: frame.path,
+                    anchors: frame.anchors,
+                };
+                if self.emitted >= self.query.limit {
+                    self.stack.clear();
+                }
+                return Some(item);
+            }
+            if !self.expand(frame) {
+                return None;
+            }
+        }
+        None
     }
 }
 
@@ -362,5 +633,161 @@ mod tests {
             .run(&g);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].nodes(), &[a, c]);
+    }
+
+    #[test]
+    fn stream_matches_run_order() {
+        let (g, _) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let call = g.get_edge_type("CALL").unwrap();
+        let q = Query::new(NodePattern::label(l)).repeat(
+            call,
+            Direction::Outgoing,
+            0,
+            2,
+            NodePattern::any(),
+        );
+        let eager: Vec<_> = q.run(&g);
+        let lazy: Vec<_> = q
+            .stream(&g, ExecBudget::default())
+            .map(|m| m.path)
+            .collect();
+        assert_eq!(eager.len(), lazy.len());
+        for (a, b) in eager.iter().zip(&lazy) {
+            assert_eq!(a.nodes(), b.nodes());
+            assert_eq!(a.edges(), b.edges());
+        }
+    }
+
+    #[test]
+    fn anchors_bind_pattern_nodes() {
+        let (g, [a, _, c]) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let call = g.get_edge_type("CALL").unwrap();
+        let name = g.get_prop_key("NAME").unwrap();
+        // (a)-[:CALL*1..3]->(c)-[:CALL*0..1]->(any)
+        let q = Query::new(NodePattern::label(l).prop(name, Value::from("a")))
+            .repeat(
+                call,
+                Direction::Outgoing,
+                1,
+                3,
+                NodePattern::label(l).prop(name, Value::from("c")),
+            )
+            .repeat(call, Direction::Outgoing, 0, 1, NodePattern::any());
+        let matches: Vec<_> = q.stream(&g, ExecBudget::default()).collect();
+        assert_eq!(matches.len(), 1);
+        let m = &matches[0];
+        assert_eq!(m.anchors.len(), 3);
+        assert_eq!(m.binding(0), a);
+        assert_eq!(m.binding(1), c);
+        assert_eq!(m.binding(2), c);
+    }
+
+    #[test]
+    fn hop_edge_binds_single_step_hops() {
+        let (g, [a, b, _]) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let call = g.get_edge_type("CALL").unwrap();
+        let name = g.get_prop_key("NAME").unwrap();
+        let q = Query::new(NodePattern::label(l).prop(name, Value::from("a")))
+            .out(call, NodePattern::any());
+        let m = q.stream(&g, ExecBudget::default()).next().unwrap();
+        let e = m.hop_edge(0).unwrap();
+        assert_eq!(g.other_node(e, a), b);
+        // Zero-length repetition binds no edge.
+        let q0 = Query::new(NodePattern::label(l).prop(name, Value::from("a"))).repeat(
+            call,
+            Direction::Outgoing,
+            0,
+            0,
+            NodePattern::any(),
+        );
+        let m0 = q0.stream(&g, ExecBudget::default()).next().unwrap();
+        assert_eq!(m0.hop_edge(0), None);
+    }
+
+    #[test]
+    fn expansion_budget_truncates() {
+        let (g, _) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let call = g.get_edge_type("CALL").unwrap();
+        let q = Query::new(NodePattern::label(l)).repeat(
+            call,
+            Direction::Outgoing,
+            0,
+            2,
+            NodePattern::any(),
+        );
+        let mut stream = q.stream(
+            &g,
+            ExecBudget {
+                max_expansions: 1,
+                deadline: None,
+            },
+        );
+        let got: Vec<_> = stream.by_ref().collect();
+        assert!(stream.truncated());
+        assert!(stream.stats().expansions <= 1);
+        // Unbudgeted, the same query yields strictly more matches.
+        let full: Vec<_> = q.stream(&g, ExecBudget::default()).collect();
+        assert!(got.len() < full.len());
+    }
+
+    #[test]
+    fn deadline_budget_truncates() {
+        let (g, _) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let call = g.get_edge_type("CALL").unwrap();
+        let q = Query::new(NodePattern::label(l)).repeat(
+            call,
+            Direction::Outgoing,
+            0,
+            2,
+            NodePattern::any(),
+        );
+        let mut stream = q.stream(
+            &g,
+            ExecBudget {
+                max_expansions: usize::MAX,
+                deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+            },
+        );
+        let _drained: Vec<_> = stream.by_ref().collect();
+        assert!(stream.truncated());
+    }
+
+    #[test]
+    fn csr_stream_is_byte_identical() {
+        let (g, _) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let call = g.get_edge_type("CALL").unwrap();
+        let alias = g.get_edge_type("ALIAS").unwrap();
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], None);
+        let q = Query::new(NodePattern::label(l))
+            .repeat(call, Direction::Outgoing, 0, 2, NodePattern::any())
+            .repeat(alias, Direction::Incoming, 0, 1, NodePattern::any());
+        let plain: Vec<_> = q.stream(&g, ExecBudget::default()).collect();
+        let frozen: Vec<_> = q
+            .stream_with(&g, ExecBudget::default(), Some(&csr))
+            .collect();
+        assert_eq!(plain.len(), frozen.len());
+        for (a, b) in plain.iter().zip(&frozen) {
+            assert_eq!(a.path.nodes(), b.path.nodes());
+            assert_eq!(a.path.edges(), b.path.edges());
+            assert_eq!(a.anchors, b.anchors);
+        }
+    }
+
+    #[test]
+    fn estimated_candidates_prefers_index() {
+        let (g, _) = fixture();
+        let l = g.get_label("Method").unwrap();
+        let name = g.get_prop_key("NAME").unwrap();
+        let indexed = NodePattern::label(l).prop(name, Value::from("a"));
+        assert!(indexed.is_indexed(&g));
+        assert_eq!(indexed.estimated_candidates(&g), 1);
+        assert_eq!(NodePattern::label(l).estimated_candidates(&g), 3);
+        assert_eq!(NodePattern::any().estimated_candidates(&g), 3);
     }
 }

@@ -294,6 +294,11 @@ impl Graph {
         }
     }
 
+    /// Whether an index over `(label, key)` exists.
+    pub fn has_index(&self, label: Label, key: PropKey) -> bool {
+        self.indexed.contains(&(label, key))
+    }
+
     /// Rebuilds transient state (indexes, interner maps) after
     /// deserialization.
     pub fn rebuild_after_deserialize(&mut self) {

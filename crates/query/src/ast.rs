@@ -1,0 +1,303 @@
+//! The TQL abstract syntax tree and its canonical pretty-printer.
+//!
+//! The printer is the inverse of the parser: for every well-formed AST,
+//! `parse(&ast.to_string())` yields the same AST up to spans (a property
+//! the proptest suite enforces).
+
+use std::fmt;
+
+use crate::error::Span;
+use crate::lexer::escape_string;
+
+/// A complete query: `MATCH <pattern> [WHERE <expr>] RETURN <projections>
+/// [LIMIT <n>]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TqlQuery {
+    /// The linear node/edge pattern.
+    pub pattern: Pattern,
+    /// Optional row filter.
+    pub where_clause: Option<Expr>,
+    /// Projected columns, in order.
+    pub returns: Vec<Projection>,
+    /// Optional row cap requested by the query text.
+    pub limit: Option<usize>,
+}
+
+/// A linear pattern: `nodes[0] hops[0] nodes[1] hops[1] ... nodes[k]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// Node patterns; always one more than `hops`.
+    pub nodes: Vec<NodePat>,
+    /// Edge hops between consecutive nodes.
+    pub hops: Vec<HopPat>,
+}
+
+/// One node pattern: `(var:Label {KEY: lit, ...})`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePat {
+    /// Binding variable, if named.
+    pub var: Option<String>,
+    /// Label constraint, if any.
+    pub label: Option<String>,
+    /// Property equality constraints.
+    pub props: Vec<(String, Literal)>,
+    /// Source span of the node pattern.
+    pub span: Span,
+}
+
+/// Hop orientation relative to reading order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopDir {
+    /// `-[...]->`: edge from the left node to the right node.
+    Out,
+    /// `<-[...]-`: edge from the right node to the left node.
+    In,
+    /// `-[...]-`: either orientation.
+    Both,
+}
+
+/// One edge hop: `-[var:TY*min..max]->` (or `<-[...]-` / `-[...]-`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopPat {
+    /// Edge binding variable (only valid on single-step hops).
+    pub var: Option<String>,
+    /// Edge type name (required).
+    pub ty: String,
+    /// Orientation.
+    pub dir: HopDir,
+    /// Minimum repetitions.
+    pub min: usize,
+    /// Maximum repetitions.
+    pub max: usize,
+    /// Source span of the hop.
+    pub span: Span,
+}
+
+impl HopPat {
+    /// Whether the hop traverses exactly one edge (no `*` repetition).
+    pub fn is_single(&self) -> bool {
+        self.min == 1 && self.max == 1
+    }
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// String.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// One projected column: `var` or `var.PROP`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Projection {
+    /// The pattern variable.
+    pub var: String,
+    /// Property to project; bare variables project the graph id.
+    pub prop: Option<String>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` (also written `!=`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `CONTAINS` (strings)
+    Contains,
+    /// `STARTS WITH` (strings)
+    StartsWith,
+    /// `ENDS WITH` (strings)
+    EndsWith,
+}
+
+/// One comparison: `var.PROP <op> literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cmp {
+    /// The pattern variable.
+    pub var: String,
+    /// The property name.
+    pub prop: String,
+    /// The operator.
+    pub op: CmpOp,
+    /// The right-hand literal.
+    pub rhs: Literal,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A boolean filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A single comparison.
+    Cmp(Cmp),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl TqlQuery {
+    /// Zeroes every span in the tree, so structural equality ignores
+    /// source positions (used by the print/reparse property tests).
+    pub fn strip_spans(&mut self) {
+        for node in &mut self.pattern.nodes {
+            node.span = Span::ZERO;
+        }
+        for hop in &mut self.pattern.hops {
+            hop.span = Span::ZERO;
+        }
+        for proj in &mut self.returns {
+            proj.span = Span::ZERO;
+        }
+        if let Some(expr) = &mut self.where_clause {
+            strip_expr(expr);
+        }
+    }
+}
+
+fn strip_expr(expr: &mut Expr) {
+    match expr {
+        Expr::Cmp(cmp) => cmp.span = Span::ZERO,
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            strip_expr(a);
+            strip_expr(b);
+        }
+        Expr::Not(inner) => strip_expr(inner),
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "\"{}\"", escape_string(s)),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Bool(true) => write!(f, "TRUE"),
+            Literal::Bool(false) => write!(f, "FALSE"),
+        }
+    }
+}
+
+impl fmt::Display for NodePat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        if let Some(var) = &self.var {
+            write!(f, "{var}")?;
+        }
+        if let Some(label) = &self.label {
+            write!(f, ":{label}")?;
+        }
+        if !self.props.is_empty() {
+            if self.var.is_some() || self.label.is_some() {
+                write!(f, " ")?;
+            }
+            write!(f, "{{")?;
+            for (i, (key, value)) in self.props.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{key}: {value}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for HopPat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body = {
+            let mut body = String::new();
+            if let Some(var) = &self.var {
+                body.push_str(var);
+            }
+            body.push(':');
+            body.push_str(&self.ty);
+            if !self.is_single() {
+                body.push_str(&format!("*{}..{}", self.min, self.max));
+            }
+            body
+        };
+        match self.dir {
+            HopDir::Out => write!(f, "-[{body}]->"),
+            HopDir::In => write!(f, "<-[{body}]-"),
+            HopDir::Both => write!(f, "-[{body}]-"),
+        }
+    }
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prop {
+            Some(prop) => write!(f, "{}.{prop}", self.var),
+            None => write!(f, "{}", self.var),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Contains => "CONTAINS",
+            CmpOp::StartsWith => "STARTS WITH",
+            CmpOp::EndsWith => "ENDS WITH",
+        };
+        f.write_str(text)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Cmp(cmp) => write!(f, "{}.{} {} {}", cmp.var, cmp.prop, cmp.op, cmp.rhs),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(inner) => write!(f, "(NOT {inner})"),
+        }
+    }
+}
+
+impl fmt::Display for TqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MATCH {}", self.pattern.nodes[0])?;
+        for (hop, node) in self.pattern.hops.iter().zip(&self.pattern.nodes[1..]) {
+            write!(f, "{hop}{node}")?;
+        }
+        if let Some(expr) = &self.where_clause {
+            write!(f, " WHERE {expr}")?;
+        }
+        write!(f, " RETURN ")?;
+        for (i, proj) in self.returns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{proj}")?;
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,133 @@
+//! Built-in named queries reproducing the paper's analyst idioms —
+//! the questions §II-B expects researchers to ask of the stored CPG.
+//!
+//! Each builtin is a TQL template; `{0}`, `{1}`, ... are replaced by the
+//! caller's arguments (escaped as string-literal content).
+
+use crate::lexer::escape_string;
+
+/// One named query template.
+#[derive(Debug, Clone, Copy)]
+pub struct Builtin {
+    /// CLI name (`tabby query --builtin <name>`).
+    pub name: &'static str,
+    /// Argument names, in order.
+    pub args: &'static [&'static str],
+    /// One-line description.
+    pub description: &'static str,
+    /// TQL text with `{i}` placeholders inside string literals.
+    pub template: &'static str,
+}
+
+/// All built-in queries, in display order.
+pub const BUILTINS: &[Builtin] = &[
+    Builtin {
+        name: "sinks",
+        args: &[],
+        description: "annotated sink methods with their category (Table IV tagging)",
+        template: "MATCH (m:Method) WHERE m.IS_SINK = TRUE RETURN m.SIGNATURE, m.SINK_CATEGORY",
+    },
+    Builtin {
+        name: "sources",
+        args: &[],
+        description: "annotated deserialization entry points (source tagging)",
+        template: "MATCH (m:Method) WHERE m.IS_SOURCE = TRUE RETURN m.SIGNATURE, m.CLASS_NAME",
+    },
+    Builtin {
+        name: "method",
+        args: &["name"],
+        description: "profile of every method with the given simple name",
+        template: "MATCH (m:Method {NAME: \"{0}\"}) RETURN m.SIGNATURE, m.CLASS_NAME, m.PARAM_COUNT, m.IS_SERIALIZABLE",
+    },
+    Builtin {
+        name: "alias-fanout",
+        args: &["name"],
+        description: "overriding implementations reachable from a declaration over ALIAS edges (MAG fan-out)",
+        template: "MATCH (d:Method {NAME: \"{0}\"})<-[:ALIAS*1..4]-(o:Method) RETURN d.SIGNATURE, o.SIGNATURE",
+    },
+    Builtin {
+        name: "callers",
+        args: &["name"],
+        description: "CALL neighborhood within two hops into the given method (sink triage)",
+        template: "MATCH (c:Method)-[:CALL*1..2]->(m:Method {NAME: \"{0}\"}) RETURN c.SIGNATURE, m.SIGNATURE",
+    },
+    Builtin {
+        name: "pp-into",
+        args: &["name"],
+        description: "direct CALL edges into the given method with their Polluted_Position labels",
+        template: "MATCH (c:Method)-[e:CALL]->(m:Method {NAME: \"{0}\"}) RETURN c.SIGNATURE, e.POLLUTED_POSITION",
+    },
+];
+
+/// Looks a builtin up by name.
+pub fn find(name: &str) -> Option<&'static Builtin> {
+    BUILTINS.iter().find(|b| b.name == name)
+}
+
+impl Builtin {
+    /// Substitutes `args` into the template, escaping each for embedding
+    /// in a string literal. Errors on an argument-count mismatch.
+    pub fn instantiate(&self, args: &[String]) -> Result<String, String> {
+        if args.len() != self.args.len() {
+            return Err(format!(
+                "builtin `{}` takes {} argument(s) ({}), got {}",
+                self.name,
+                self.args.len(),
+                self.args.join(", "),
+                args.len()
+            ));
+        }
+        let mut text = self.template.to_owned();
+        for (i, arg) in args.iter().enumerate() {
+            text = text.replace(&format!("{{{i}}}"), &escape_string(arg));
+        }
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn every_builtin_template_parses() {
+        for builtin in BUILTINS {
+            let args: Vec<String> = builtin
+                .args
+                .iter()
+                .map(|_| "readObject".to_owned())
+                .collect();
+            let text = builtin.instantiate(&args).unwrap();
+            parse(&text).unwrap_or_else(|e| {
+                panic!(
+                    "builtin `{}` failed to parse: {}\n{}",
+                    builtin.name, e, text
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn instantiate_escapes_arguments() {
+        let b = find("method").unwrap();
+        let text = b.instantiate(&["a\"b".to_owned()]).unwrap();
+        assert!(text.contains("\"a\\\"b\""));
+        parse(&text).unwrap();
+    }
+
+    #[test]
+    fn instantiate_rejects_wrong_arity() {
+        assert!(find("sinks")
+            .unwrap()
+            .instantiate(&["x".to_owned()])
+            .is_err());
+        assert!(find("method").unwrap().instantiate(&[]).is_err());
+    }
+
+    #[test]
+    fn find_is_exact() {
+        assert!(find("sinks").is_some());
+        assert!(find("nope").is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! Span-carrying errors for TQL parsing and planning.
+
+use std::fmt;
+
+/// A byte range in the query source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the offending region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The zero span, used after [`crate::ast::TqlQuery::strip_spans`].
+    pub const ZERO: Span = Span { start: 0, end: 0 };
+
+    /// Constructs a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+}
+
+/// A parse (or plan) error anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the source the problem is.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Constructs an error.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with a caret line pointing at the span:
+    ///
+    /// ```text
+    /// error: expected `)` after node pattern
+    ///   MATCH (m:Method RETURN m
+    ///                   ^^^^^^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("error: {}", self.message);
+        if src.is_empty() {
+            return out;
+        }
+        out.push_str("\n  ");
+        out.push_str(src.trim_end());
+        out.push_str("\n  ");
+        let start = self.span.start.min(src.len());
+        let end = self.span.end.clamp(start, src.len());
+        let prefix_width = src[..start].chars().count();
+        let caret_width = src[start..end].chars().count().max(1);
+        for _ in 0..prefix_width {
+            out.push(' ');
+        }
+        for _ in 0..caret_width {
+            out.push('^');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at byte {}..{}",
+            self.message, self.span.start, self.span.end
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_span() {
+        let err = ParseError::new("boom", Span::new(6, 8));
+        let text = err.render("MATCH (m) RETURN m");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "error: boom");
+        assert_eq!(lines[1], "  MATCH (m) RETURN m");
+        assert_eq!(lines[2], "        ^^");
+    }
+
+    #[test]
+    fn render_clamps_out_of_range_spans() {
+        let err = ParseError::new("eof", Span::new(100, 120));
+        let text = err.render("MATCH");
+        assert!(text.contains('^'));
+    }
+}

@@ -1,0 +1,475 @@
+//! Streaming, budget-aware execution of planned TQL queries.
+//!
+//! [`rows`] returns an iterator that lazily pulls matches from the
+//! `tabby_graph` pattern backend, applies the WHERE filter, and projects
+//! each surviving match into a row of JSON cells. Budgets (expansion
+//! count, wall-clock deadline, row cap) end the stream early and are
+//! surfaced through [`RowIter::truncated`] — a malformed or explosive
+//! query truncates; it never hangs or panics.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use tabby_graph::csr::CsrSnapshot;
+use tabby_graph::query::{ExecBudget, Match, QueryStream};
+use tabby_graph::{Graph, Value};
+
+use crate::ast::{Cmp, CmpOp, Expr, Literal};
+use crate::error::ParseError;
+use crate::parser::parse;
+use crate::plan::{plan, Plan, VarBinding};
+
+/// Execution limits for one query.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Maximum rows produced (beyond any LIMIT in the query text).
+    pub max_rows: usize,
+    /// Maximum edge expansions in the pattern search.
+    pub max_expansions: usize,
+    /// Optional wall-clock budget.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            max_rows: 10_000,
+            max_expansions: 2_000_000,
+            timeout: None,
+        }
+    }
+}
+
+/// A fully-materialized query result (the collected form of [`rows`]).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct QueryOutput {
+    /// Column headers, one per RETURN projection.
+    pub columns: Vec<String>,
+    /// Row cells, in projection order.
+    pub rows: Vec<Vec<serde_json::Value>>,
+    /// True when a budget (expansions, deadline, or row cap) ended the
+    /// query before the match space was exhausted.
+    pub truncated: bool,
+    /// Edge expansions performed by the pattern search.
+    pub expansions: usize,
+    /// Planner notes (unknown names, anchor choice).
+    pub warnings: Vec<String>,
+    /// Human-readable anchor description.
+    pub anchor: String,
+}
+
+/// Column headers for a plan, one per RETURN projection.
+pub fn columns(plan: &Plan) -> Vec<String> {
+    plan.returns.iter().map(|p| p.to_string()).collect()
+}
+
+/// Converts a graph property value into a JSON cell.
+pub fn value_to_json(value: &Value) -> serde_json::Value {
+    match value {
+        Value::Int(i) => serde_json::Value::from(*i),
+        Value::Float(f) => serde_json::Number::from_f64(*f)
+            .map(serde_json::Value::Number)
+            .unwrap_or(serde_json::Value::Null),
+        Value::Bool(b) => serde_json::Value::from(*b),
+        Value::Str(s) => serde_json::Value::from(s.as_str()),
+        Value::IntList(xs) => {
+            serde_json::Value::Array(xs.iter().map(|x| serde_json::Value::from(*x)).collect())
+        }
+        Value::StrList(xs) => serde_json::Value::Array(
+            xs.iter()
+                .map(|x| serde_json::Value::from(x.as_str()))
+                .collect(),
+        ),
+        Value::Map(pairs) => serde_json::Value::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.clone(), serde_json::Value::from(v.as_str())))
+                .collect(),
+        ),
+    }
+}
+
+/// A lazy row stream over one planned query.
+pub struct RowIter<'a> {
+    graph: &'a Graph,
+    plan: &'a Plan,
+    stream: Option<QueryStream<'a, 'a>>,
+    emitted: usize,
+    max_rows: usize,
+    row_truncated: bool,
+}
+
+/// Starts streaming rows for `plan` over `graph`. Pass a [`CsrSnapshot`]
+/// covering [`Plan::edge_types`] to expand variable-length hops through
+/// frozen adjacency; results are identical either way.
+pub fn rows<'a>(
+    graph: &'a Graph,
+    plan: &'a Plan,
+    csr: Option<&'a CsrSnapshot>,
+    cfg: &ExecConfig,
+) -> RowIter<'a> {
+    let budget = ExecBudget {
+        max_expansions: cfg.max_expansions,
+        deadline: cfg.timeout.map(|t| Instant::now() + t),
+    };
+    let stream = if plan.empty {
+        None
+    } else {
+        Some(plan.query.stream_with(graph, budget, csr))
+    };
+    RowIter {
+        graph,
+        plan,
+        stream,
+        emitted: 0,
+        max_rows: cfg.max_rows,
+        row_truncated: false,
+    }
+}
+
+impl RowIter<'_> {
+    /// True when a budget ended the stream before exhaustion (the query's
+    /// own LIMIT does not count as truncation).
+    pub fn truncated(&self) -> bool {
+        self.row_truncated || self.stream.as_ref().map(|s| s.truncated()).unwrap_or(false)
+    }
+
+    /// Edge expansions performed so far.
+    pub fn expansions(&self) -> usize {
+        self.stream
+            .as_ref()
+            .map(|s| s.stats().expansions)
+            .unwrap_or(0)
+    }
+
+    fn project(&self, m: &Match) -> Vec<serde_json::Value> {
+        let plan = self.plan;
+        plan.returns
+            .iter()
+            .map(|proj| {
+                let Some(binding) = plan.vars.get(&proj.var) else {
+                    return serde_json::Value::Null;
+                };
+                match (binding, &proj.prop) {
+                    (VarBinding::Node(j), None) => {
+                        serde_json::Value::from(plan.node_of(m, *j).index() as u64)
+                    }
+                    (VarBinding::Node(j), Some(prop)) => {
+                        match plan.prop_keys.get(prop).copied().flatten() {
+                            Some(key) => self
+                                .graph
+                                .node_prop(plan.node_of(m, *j), key)
+                                .map(value_to_json)
+                                .unwrap_or(serde_json::Value::Null),
+                            None => serde_json::Value::Null,
+                        }
+                    }
+                    (VarBinding::Edge(h), None) => plan
+                        .edge_of(m, *h)
+                        .map(|e| serde_json::Value::from(e.index() as u64))
+                        .unwrap_or(serde_json::Value::Null),
+                    (VarBinding::Edge(h), Some(prop)) => {
+                        match (
+                            plan.edge_of(m, *h),
+                            plan.prop_keys.get(prop).copied().flatten(),
+                        ) {
+                            (Some(edge), Some(key)) => self
+                                .graph
+                                .edge_prop(edge, key)
+                                .map(value_to_json)
+                                .unwrap_or(serde_json::Value::Null),
+                            _ => serde_json::Value::Null,
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = Vec<serde_json::Value>;
+
+    fn next(&mut self) -> Option<Vec<serde_json::Value>> {
+        loop {
+            if let Some(limit) = self.plan.limit {
+                if self.emitted >= limit {
+                    return None;
+                }
+            }
+            let m = self.stream.as_mut()?.next()?;
+            if let Some(expr) = &self.plan.where_clause {
+                if !eval_expr(self.graph, self.plan, &m, expr) {
+                    continue;
+                }
+            }
+            if self.emitted >= self.max_rows {
+                // A row materialized past the cap: that is truncation, not
+                // a clean LIMIT stop.
+                self.row_truncated = true;
+                return None;
+            }
+            self.emitted += 1;
+            return Some(self.project(&m));
+        }
+    }
+}
+
+fn eval_expr(graph: &Graph, plan: &Plan, m: &Match, expr: &Expr) -> bool {
+    match expr {
+        Expr::Cmp(cmp) => eval_cmp(graph, plan, m, cmp),
+        Expr::And(a, b) => eval_expr(graph, plan, m, a) && eval_expr(graph, plan, m, b),
+        Expr::Or(a, b) => eval_expr(graph, plan, m, a) || eval_expr(graph, plan, m, b),
+        Expr::Not(inner) => !eval_expr(graph, plan, m, inner),
+    }
+}
+
+/// Missing variables, properties, or type-mismatched comparisons evaluate
+/// to false (the SQL/Cypher "null comparison" convention).
+fn eval_cmp(graph: &Graph, plan: &Plan, m: &Match, cmp: &Cmp) -> bool {
+    let Some(binding) = plan.vars.get(&cmp.var) else {
+        return false;
+    };
+    let Some(key) = plan.prop_keys.get(&cmp.prop).copied().flatten() else {
+        return false;
+    };
+    let value = match binding {
+        VarBinding::Node(j) => graph.node_prop(plan.node_of(m, *j), key),
+        VarBinding::Edge(h) => plan.edge_of(m, *h).and_then(|e| graph.edge_prop(e, key)),
+    };
+    let Some(value) = value else {
+        return false;
+    };
+    compare(value, cmp.op, &cmp.rhs)
+}
+
+fn compare(value: &Value, op: CmpOp, rhs: &Literal) -> bool {
+    match (value, rhs) {
+        (Value::Str(s), Literal::Str(r)) => match op {
+            CmpOp::Eq => s == r,
+            CmpOp::Ne => s != r,
+            CmpOp::Lt => s < r,
+            CmpOp::Le => s <= r,
+            CmpOp::Gt => s > r,
+            CmpOp::Ge => s >= r,
+            CmpOp::Contains => s.contains(r.as_str()),
+            CmpOp::StartsWith => s.starts_with(r.as_str()),
+            CmpOp::EndsWith => s.ends_with(r.as_str()),
+        },
+        (Value::Int(i), Literal::Int(r)) => match op {
+            CmpOp::Eq => i == r,
+            CmpOp::Ne => i != r,
+            CmpOp::Lt => i < r,
+            CmpOp::Le => i <= r,
+            CmpOp::Gt => i > r,
+            CmpOp::Ge => i >= r,
+            _ => false,
+        },
+        (Value::Bool(b), Literal::Bool(r)) => match op {
+            CmpOp::Eq => b == r,
+            CmpOp::Ne => b != r,
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Parses, plans, and runs `text` against `graph` in one call, freezing a
+/// CSR snapshot for variable-length patterns. This is the entry point the
+/// CLI and the daemon share, so both paths produce identical rows.
+pub fn run_query(graph: &Graph, text: &str, cfg: &ExecConfig) -> Result<QueryOutput, ParseError> {
+    let ast = parse(text)?;
+    let plan = plan(graph, &ast)?;
+    let csr = if plan.has_varlen && !plan.empty {
+        Some(CsrSnapshot::freeze(graph, &plan.edge_types(), None))
+    } else {
+        None
+    };
+    let mut iter = rows(graph, &plan, csr.as_ref(), cfg);
+    let collected: Vec<Vec<serde_json::Value>> = iter.by_ref().collect();
+    Ok(QueryOutput {
+        columns: columns(&plan),
+        rows: collected,
+        truncated: iter.truncated(),
+        expansions: iter.expansions(),
+        warnings: plan.warnings.clone(),
+        anchor: plan.anchor.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Methods a→b→c over CALL with NAME/SIGNATURE props and an indexed
+    /// NAME, plus POLLUTED_POSITION payloads on the edges.
+    fn fixture() -> Graph {
+        let mut g = Graph::new();
+        let method = g.label("Method");
+        let call = g.edge_type("CALL");
+        let name = g.prop_key("NAME");
+        let sig = g.prop_key("SIGNATURE");
+        let pp = g.prop_key("POLLUTED_POSITION");
+        g.create_index(method, name);
+        let names = ["a", "b", "c"];
+        let nodes: Vec<_> = names
+            .iter()
+            .map(|n| {
+                let node = g.add_node(method);
+                g.set_node_prop(node, name, Value::from(*n));
+                g.set_node_prop(node, sig, Value::from(format!("p.C.{n}()")));
+                node
+            })
+            .collect();
+        for w in nodes.windows(2) {
+            let e = g.add_edge(call, w[0], w[1]);
+            g.set_edge_prop(e, pp, Value::IntList(vec![0, -1]));
+        }
+        g
+    }
+
+    fn run(g: &Graph, text: &str) -> QueryOutput {
+        run_query(g, text, &ExecConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn projects_properties_and_ids() {
+        let g = fixture();
+        let out = run(&g, "MATCH (m:Method {NAME: \"a\"}) RETURN m, m.SIGNATURE");
+        assert_eq!(out.columns, vec!["m", "m.SIGNATURE"]);
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][1], serde_json::json!("p.C.a()"));
+    }
+
+    #[test]
+    fn variable_length_path_rows() {
+        let g = fixture();
+        let out = run(
+            &g,
+            "MATCH (m:Method {NAME: \"a\"})-[:CALL*1..2]->(s:Method) RETURN s.NAME",
+        );
+        let mut names: Vec<String> = out
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn where_filters_and_missing_props_are_false() {
+        let g = fixture();
+        let out = run(
+            &g,
+            "MATCH (m:Method) WHERE m.NAME = \"a\" OR m.NAME = \"c\" RETURN m.NAME",
+        );
+        assert_eq!(out.rows.len(), 2);
+        let out = run(&g, "MATCH (m:Method) WHERE m.NO_SUCH = 1 RETURN m");
+        assert!(out.rows.is_empty());
+        assert!(out.warnings.iter().any(|w| w.contains("NO_SUCH")));
+        // NOT over a missing property is true (missing comparisons are
+        // false, and NOT flips them).
+        let out = run(&g, "MATCH (m:Method) WHERE NOT m.NO_SUCH = 1 RETURN m");
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    #[test]
+    fn edge_variable_projects_payload() {
+        let g = fixture();
+        let out = run(
+            &g,
+            "MATCH (m:Method {NAME: \"a\"})-[e:CALL]->(s) RETURN s.NAME, e.POLLUTED_POSITION",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], serde_json::json!("b"));
+        assert_eq!(out.rows[0][1], serde_json::json!([0, -1]));
+    }
+
+    #[test]
+    fn limit_is_not_truncation_but_row_cap_is() {
+        let g = fixture();
+        let out = run(&g, "MATCH (m:Method) RETURN m LIMIT 1");
+        assert_eq!(out.rows.len(), 1);
+        assert!(!out.truncated);
+        let out = run_query(
+            &g,
+            "MATCH (m:Method) RETURN m",
+            &ExecConfig {
+                max_rows: 1,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn expansion_budget_truncates_varlen_queries() {
+        let g = fixture();
+        let out = run_query(
+            &g,
+            "MATCH (m:Method)-[:CALL*1..2]->(s) RETURN s",
+            &ExecConfig {
+                max_expansions: 1,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(out.truncated);
+        assert!(out.expansions <= 1);
+    }
+
+    #[test]
+    fn unknown_label_yields_empty_with_warning() {
+        let g = fixture();
+        let out = run(&g, "MATCH (m:Clazz) RETURN m");
+        assert!(out.rows.is_empty());
+        assert!(!out.truncated);
+        assert!(out.warnings.iter().any(|w| w.contains("Clazz")));
+    }
+
+    #[test]
+    fn reversed_plan_projects_original_variables() {
+        let g = fixture();
+        // The right end is index-anchored, so the planner reverses; rows
+        // must still read (m, s) in textual order.
+        let out = run(
+            &g,
+            "MATCH (m:Method)-[:CALL*1..2]->(s:Method {NAME: \"c\"}) RETURN m.NAME, s.NAME",
+        );
+        let mut starts: Vec<String> = out
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_owned())
+            .collect();
+        starts.sort();
+        assert_eq!(starts, vec!["a", "b"]);
+        for row in &out.rows {
+            assert_eq!(row[1], serde_json::json!("c"));
+        }
+    }
+
+    #[test]
+    fn malformed_queries_error_and_never_panic() {
+        let g = fixture();
+        for bad in [
+            "",
+            "MATCH",
+            "MATCH (",
+            "MATCH (m RETURN m",
+            "MATCH (m) WHERE RETURN m",
+            "MATCH (m) RETURN",
+            "MATCH (m)-[:CALL*5..1]->(s) RETURN m",
+            "MATCH (m) RETURN m LIMIT x",
+            "RETURN m",
+            "MATCH (m:Method) WHERE m.NAME ~ \"a\" RETURN m",
+        ] {
+            assert!(
+                run_query(&g, bad, &ExecConfig::default()).is_err(),
+                "expected parse error for {bad:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Tokenizer for TQL. Produces a flat token stream with byte spans; the
+//! parser assembles composite syntax (arrows, ranges) from the atoms.
+
+use crate::error::{ParseError, Span};
+
+/// One lexical atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Double-quoted string literal, unescaped.
+    Str(String),
+    /// Unsigned integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `*`
+    Star,
+    /// `-`
+    Dash,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The atom.
+    pub tok: Tok,
+    /// Byte range in the source text.
+    pub span: Span,
+}
+
+/// Tokenizes `src`, returning the token list or the first lexical error.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'(' => push(&mut out, Tok::LParen, start, &mut i, 1),
+            b')' => push(&mut out, Tok::RParen, start, &mut i, 1),
+            b'[' => push(&mut out, Tok::LBracket, start, &mut i, 1),
+            b']' => push(&mut out, Tok::RBracket, start, &mut i, 1),
+            b'{' => push(&mut out, Tok::LBrace, start, &mut i, 1),
+            b'}' => push(&mut out, Tok::RBrace, start, &mut i, 1),
+            b':' => push(&mut out, Tok::Colon, start, &mut i, 1),
+            b',' => push(&mut out, Tok::Comma, start, &mut i, 1),
+            b'*' => push(&mut out, Tok::Star, start, &mut i, 1),
+            b'-' => push(&mut out, Tok::Dash, start, &mut i, 1),
+            b'=' => push(&mut out, Tok::Eq, start, &mut i, 1),
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    push(&mut out, Tok::DotDot, start, &mut i, 2);
+                } else {
+                    push(&mut out, Tok::Dot, start, &mut i, 1);
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'>') => push(&mut out, Tok::Ne, start, &mut i, 2),
+                Some(&b'=') => push(&mut out, Tok::Le, start, &mut i, 2),
+                _ => push(&mut out, Tok::Lt, start, &mut i, 1),
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Tok::Ge, start, &mut i, 2);
+                } else {
+                    push(&mut out, Tok::Gt, start, &mut i, 1);
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Tok::Ne, start, &mut i, 2);
+                } else {
+                    return Err(ParseError::new(
+                        "unexpected `!` (did you mean `!=`?)",
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+            b'"' => {
+                let (text, next) = lex_string(src, i)?;
+                out.push(Token {
+                    tok: Tok::Str(text),
+                    span: Span::new(start, next),
+                });
+                i = next;
+            }
+            b'0'..=b'9' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &src[i..j];
+                let value: i64 = text.parse().map_err(|_| {
+                    ParseError::new(
+                        format!("integer literal `{text}` is out of range"),
+                        Span::new(i, j),
+                    )
+                })?;
+                out.push(Token {
+                    tok: Tok::Int(value),
+                    span: Span::new(i, j),
+                });
+                i = j;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'$')
+                {
+                    j += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[i..j].to_owned()),
+                    span: Span::new(i, j),
+                });
+                i = j;
+            }
+            _ => {
+                let ch = src[i..].chars().next().unwrap_or('?');
+                return Err(ParseError::new(
+                    format!("unexpected character `{ch}`"),
+                    Span::new(start, start + ch.len_utf8()),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Token>, tok: Tok, start: usize, i: &mut usize, len: usize) {
+    out.push(Token {
+        tok,
+        span: Span::new(start, start + len),
+    });
+    *i = start + len;
+}
+
+/// Lexes a double-quoted string starting at byte `start` (which holds the
+/// opening quote). Supports `\"`, `\\`, `\n`, and `\t` escapes. Returns
+/// the unescaped text and the byte index just past the closing quote.
+fn lex_string(src: &str, start: usize) -> Result<(String, usize), ParseError> {
+    let bytes = src.as_bytes();
+    let mut text = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((text, i + 1)),
+            b'\\' => {
+                match bytes.get(i + 1) {
+                    Some(&b'"') => {
+                        text.push('"');
+                        i += 2;
+                    }
+                    Some(&b'\\') => {
+                        text.push('\\');
+                        i += 2;
+                    }
+                    Some(&b'n') => {
+                        text.push('\n');
+                        i += 2;
+                    }
+                    Some(&b't') => {
+                        text.push('\t');
+                        i += 2;
+                    }
+                    _ => return Err(ParseError::new(
+                        "unsupported escape in string literal (expected \\\", \\\\, \\n, or \\t)",
+                        Span::new(i, (i + 2).min(bytes.len())),
+                    )),
+                }
+            }
+            _ => {
+                let ch = src[i..].chars().next().unwrap_or('?');
+                text.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    Err(ParseError::new(
+        "unterminated string literal",
+        Span::new(start, bytes.len()),
+    ))
+}
+
+/// Escapes `text` for embedding in a TQL double-quoted literal.
+pub fn escape_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_edge_syntax() {
+        assert_eq!(
+            toks("-[:CALL*1..5]->"),
+            vec![
+                Tok::Dash,
+                Tok::LBracket,
+                Tok::Colon,
+                Tok::Ident("CALL".into()),
+                Tok::Star,
+                Tok::Int(1),
+                Tok::DotDot,
+                Tok::Int(5),
+                Tok::RBracket,
+                Tok::Dash,
+                Tok::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            toks(r#""read\"Object\\""#),
+            vec![Tok::Str("read\"Object\\".into())]
+        );
+        let roundtrip = format!("\"{}\"", escape_string("a\"b\\c\nd\te"));
+        assert_eq!(toks(&roundtrip), vec![Tok::Str("a\"b\\c\nd\te".into())]);
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        assert_eq!(
+            toks("= <> != <= >= < >"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = lex("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.span.start, 0);
+    }
+
+    #[test]
+    fn rejects_stray_bang() {
+        let err = lex("a ! b").unwrap_err();
+        assert_eq!(err.span.start, 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! # tabby-query — TQL, a textual query language for the Tabby CPG
+//!
+//! The paper stores its code property graph in Neo4j precisely so that
+//! analysts can interrogate it with Cypher (§II-B, §III-E). This crate is
+//! that layer for the reproduction: a Cypher-inspired textual language
+//! (TQL) over the embedded `tabby_graph` store, with
+//!
+//! - a lexer + recursive-descent parser producing span-carrying errors
+//!   ([`parse`], [`ParseError::render`]),
+//! - a planner that lowers patterns onto store indices and picks the
+//!   cheaper end of the pattern chain as the anchor ([`plan`]),
+//! - a streaming, budget-aware executor over the programmatic
+//!   `tabby_graph::query` matcher ([`rows`], [`run_query`]), and
+//! - built-in named queries for the paper's analyst idioms
+//!   ([`builtins::BUILTINS`]).
+//!
+//! ```
+//! use tabby_graph::{Graph, Value};
+//! use tabby_query::{run_query, ExecConfig};
+//!
+//! let mut g = Graph::new();
+//! let method = g.label("Method");
+//! let call = g.edge_type("CALL");
+//! let name = g.prop_key("NAME");
+//! let a = g.add_node(method);
+//! let b = g.add_node(method);
+//! g.set_node_prop(a, name, Value::from("readObject"));
+//! g.set_node_prop(b, name, Value::from("exec"));
+//! g.add_edge(call, a, b);
+//!
+//! let out = run_query(
+//!     &g,
+//!     "MATCH (m:Method {NAME: \"readObject\"})-[:CALL*1..5]->(s:Method) RETURN s.NAME",
+//!     &ExecConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(out.rows, vec![vec![serde_json::json!("exec")]]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod builtins;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::TqlQuery;
+pub use error::{ParseError, Span};
+pub use exec::{columns, rows, run_query, value_to_json, ExecConfig, QueryOutput, RowIter};
+pub use parser::parse;
+pub use plan::{plan, Plan, VarBinding};

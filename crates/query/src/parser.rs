@@ -1,0 +1,623 @@
+//! Recursive-descent parser for TQL.
+//!
+//! Grammar (keywords case-insensitive, identifiers case-sensitive):
+//!
+//! ```text
+//! query   := MATCH pattern (WHERE expr)? RETURN proj (',' proj)* (LIMIT INT)?
+//! pattern := node (hop node)*
+//! node    := '(' IDENT? (':' IDENT)? ('{' IDENT ':' literal (',' ...)* '}')? ')'
+//! hop     := '-' '[' body ']' '->'   |   '<' '-' '[' body ']' '-'   |   '-' '[' body ']' '-'
+//! body    := IDENT? ':' IDENT ('*' range?)?
+//! range   := INT ('..' INT)?  |  '..' INT
+//! expr    := and (OR and)* ; and := unary (AND unary)*
+//! unary   := NOT unary | '(' expr ')' | IDENT '.' IDENT op literal
+//! op      := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>=' | CONTAINS | STARTS WITH | ENDS WITH
+//! literal := STRING | '-'? INT | TRUE | FALSE
+//! proj    := IDENT ('.' IDENT)?
+//! ```
+//!
+//! A bare `*` repetition means `*1..8` (TQL requires bounded repetition;
+//! the executor's budgets are the backstop, not the semantics).
+
+use crate::ast::{
+    Cmp, CmpOp, Expr, HopDir, HopPat, Literal, NodePat, Pattern, Projection, TqlQuery,
+};
+use crate::error::{ParseError, Span};
+use crate::lexer::{lex, Tok, Token};
+
+/// The repetition bound `*` expands to: `*1..8`.
+pub const DEFAULT_VARLEN_MAX: usize = 8;
+
+/// Parses one TQL query.
+pub fn parse(src: &str) -> Result<TqlQuery, ParseError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        end: src.len(),
+    };
+    let query = parser.query()?;
+    if let Some(token) = parser.peek() {
+        return Err(ParseError::new(
+            format!("unexpected trailing {}", describe(&token.tok)),
+            token.span,
+        ));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Byte length of the source, for end-of-input spans.
+    end: usize,
+}
+
+fn describe(tok: &Tok) -> String {
+    match tok {
+        Tok::Ident(name) => format!("`{name}`"),
+        Tok::Str(_) => "string literal".to_owned(),
+        Tok::Int(i) => format!("`{i}`"),
+        Tok::LParen => "`(`".to_owned(),
+        Tok::RParen => "`)`".to_owned(),
+        Tok::LBracket => "`[`".to_owned(),
+        Tok::RBracket => "`]`".to_owned(),
+        Tok::LBrace => "`{`".to_owned(),
+        Tok::RBrace => "`}`".to_owned(),
+        Tok::Colon => "`:`".to_owned(),
+        Tok::Comma => "`,`".to_owned(),
+        Tok::Dot => "`.`".to_owned(),
+        Tok::DotDot => "`..`".to_owned(),
+        Tok::Star => "`*`".to_owned(),
+        Tok::Dash => "`-`".to_owned(),
+        Tok::Lt => "`<`".to_owned(),
+        Tok::Gt => "`>`".to_owned(),
+        Tok::Eq => "`=`".to_owned(),
+        Tok::Ne => "`<>`".to_owned(),
+        Tok::Le => "`<=`".to_owned(),
+        Tok::Ge => "`>=`".to_owned(),
+    }
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eof_span(&self) -> Span {
+        Span::new(self.end, self.end)
+    }
+
+    fn here(&self) -> Span {
+        self.peek()
+            .map(|t| t.span)
+            .unwrap_or_else(|| self.eof_span())
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    /// Consumes the next token if it equals `tok`.
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek().map(|t| &t.tok) == Some(tok) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expect(&mut self, tok: &Tok, context: &str) -> Result<Span, ParseError> {
+        match self.peek() {
+            Some(t) if &t.tok == tok => {
+                let span = t.span;
+                self.pos += 1;
+                Ok(span)
+            }
+            Some(t) => Err(ParseError::new(
+                format!(
+                    "expected {} {}, found {}",
+                    describe(tok),
+                    context,
+                    describe(&t.tok)
+                ),
+                t.span,
+            )),
+            None => Err(ParseError::new(
+                format!("expected {} {}, found end of query", describe(tok), context),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    /// Consumes the next token if it is the given keyword
+    /// (case-insensitive identifier match).
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if let Some(Token {
+            tok: Tok::Ident(name),
+            ..
+        }) = self.peek()
+        {
+            if name.eq_ignore_ascii_case(word) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(word) {
+            return Ok(());
+        }
+        match self.peek() {
+            Some(t) => Err(ParseError::new(
+                format!("expected `{word}`, found {}", describe(&t.tok)),
+                t.span,
+            )),
+            None => Err(ParseError::new(
+                format!("expected `{word}`, found end of query"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    fn ident(&mut self, context: &str) -> Result<(String, Span), ParseError> {
+        match self.advance() {
+            Some(Token {
+                tok: Tok::Ident(name),
+                span,
+            }) => Ok((name, span)),
+            Some(t) => Err(ParseError::new(
+                format!("expected {context}, found {}", describe(&t.tok)),
+                t.span,
+            )),
+            None => Err(ParseError::new(
+                format!("expected {context}, found end of query"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    fn int(&mut self, context: &str) -> Result<(i64, Span), ParseError> {
+        match self.advance() {
+            Some(Token {
+                tok: Tok::Int(value),
+                span,
+            }) => Ok((value, span)),
+            Some(t) => Err(ParseError::new(
+                format!("expected {context}, found {}", describe(&t.tok)),
+                t.span,
+            )),
+            None => Err(ParseError::new(
+                format!("expected {context}, found end of query"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    // ----- grammar ----------------------------------------------------------
+
+    fn query(&mut self) -> Result<TqlQuery, ParseError> {
+        self.expect_keyword("MATCH")?;
+        let pattern = self.pattern()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_keyword("RETURN")?;
+        let mut returns = vec![self.projection()?];
+        while self.eat(&Tok::Comma) {
+            returns.push(self.projection()?);
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            let (value, span) = self.int("a row count after LIMIT")?;
+            if value < 0 {
+                return Err(ParseError::new("LIMIT must be non-negative", span));
+            }
+            Some(value as usize)
+        } else {
+            None
+        };
+        Ok(TqlQuery {
+            pattern,
+            where_clause,
+            returns,
+            limit,
+        })
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        let mut nodes = vec![self.node()?];
+        let mut hops = Vec::new();
+        while matches!(self.peek().map(|t| &t.tok), Some(Tok::Dash) | Some(Tok::Lt)) {
+            hops.push(self.hop()?);
+            nodes.push(self.node()?);
+        }
+        Ok(Pattern { nodes, hops })
+    }
+
+    fn node(&mut self) -> Result<NodePat, ParseError> {
+        let open = self.expect(&Tok::LParen, "to start a node pattern")?;
+        let mut node = NodePat {
+            var: None,
+            label: None,
+            props: Vec::new(),
+            span: open,
+        };
+        if let Some(Token {
+            tok: Tok::Ident(_), ..
+        }) = self.peek()
+        {
+            let (name, _) = self.ident("a variable name")?;
+            node.var = Some(name);
+        }
+        if self.eat(&Tok::Colon) {
+            let (label, _) = self.ident("a label after `:`")?;
+            node.label = Some(label);
+        }
+        if self.eat(&Tok::LBrace) {
+            loop {
+                let (key, _) = self.ident("a property name")?;
+                self.expect(&Tok::Colon, "after the property name")?;
+                let value = self.literal()?;
+                node.props.push((key, value));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RBrace, "to close the property map")?;
+        }
+        let close = self.expect(&Tok::RParen, "to close the node pattern")?;
+        node.span = Span::new(open.start, close.end);
+        Ok(node)
+    }
+
+    fn hop(&mut self) -> Result<HopPat, ParseError> {
+        let start = self.here();
+        // `<-[body]-` vs `-[body]->` vs `-[body]-`.
+        let leading_lt = self.eat(&Tok::Lt);
+        self.expect(&Tok::Dash, "to start an edge pattern")?;
+        self.expect(&Tok::LBracket, "to open the edge pattern")?;
+        let mut var = None;
+        if let Some(Token {
+            tok: Tok::Ident(_), ..
+        }) = self.peek()
+        {
+            let (name, _) = self.ident("an edge variable")?;
+            var = Some(name);
+        }
+        self.expect(
+            &Tok::Colon,
+            "before the edge type (edge patterns must name a type, e.g. -[:CALL]->)",
+        )?;
+        let (ty, _) = self.ident("an edge type after `:`")?;
+        let (min, max) = if self.eat(&Tok::Star) {
+            self.range()?
+        } else {
+            (1, 1)
+        };
+        let bracket = self.expect(&Tok::RBracket, "to close the edge pattern")?;
+        self.expect(&Tok::Dash, "after `]`")?;
+        let trailing_gt = self.eat(&Tok::Gt);
+        let dir = match (leading_lt, trailing_gt) {
+            (true, true) => {
+                return Err(ParseError::new(
+                    "an edge pattern cannot point both ways (`<-[..]->`)",
+                    Span::new(start.start, self.here().start),
+                ))
+            }
+            (true, false) => HopDir::In,
+            (false, true) => HopDir::Out,
+            (false, false) => HopDir::Both,
+        };
+        let span = Span::new(start.start, self.tokens[self.pos - 1].span.end);
+        if var.is_some() && !(min == 1 && max == 1) {
+            return Err(ParseError::new(
+                "edge variables are not supported on variable-length hops",
+                span,
+            ));
+        }
+        if min > max {
+            return Err(ParseError::new(
+                format!("repetition range `*{min}..{max}` is empty (min exceeds max)"),
+                Span::new(start.start, bracket.end),
+            ));
+        }
+        Ok(HopPat {
+            var,
+            ty,
+            dir,
+            min,
+            max,
+            span,
+        })
+    }
+
+    /// Parses what follows `*`: nothing (→ `1..8`), `n`, `n..m`, or `..m`.
+    fn range(&mut self) -> Result<(usize, usize), ParseError> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::Int(_)) => {
+                let (min, span) = self.int("a repetition bound")?;
+                if min < 0 {
+                    return Err(ParseError::new(
+                        "repetition bounds must be non-negative",
+                        span,
+                    ));
+                }
+                if self.eat(&Tok::DotDot) {
+                    match self.peek().map(|t| &t.tok) {
+                        Some(Tok::Int(_)) => {
+                            let (max, span) = self.int("a repetition upper bound")?;
+                            if max < 0 {
+                                return Err(ParseError::new(
+                                    "repetition bounds must be non-negative",
+                                    span,
+                                ));
+                            }
+                            Ok((min as usize, max as usize))
+                        }
+                        _ => Err(ParseError::new(
+                            "unbounded repetition is not supported; give an explicit upper bound (e.g. `*1..5`)",
+                            self.here(),
+                        )),
+                    }
+                } else {
+                    Ok((min as usize, min as usize))
+                }
+            }
+            Some(Tok::DotDot) => {
+                self.pos += 1;
+                let (max, span) = self.int("a repetition upper bound")?;
+                if max < 0 {
+                    return Err(ParseError::new(
+                        "repetition bounds must be non-negative",
+                        span,
+                    ));
+                }
+                Ok((1, max as usize))
+            }
+            _ => Ok((1, DEFAULT_VARLEN_MAX)),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        if self.eat(&Tok::Dash) {
+            let (value, span) = self.int("an integer after `-`")?;
+            let negated = value
+                .checked_neg()
+                .ok_or_else(|| ParseError::new("integer literal is out of range", span))?;
+            return Ok(Literal::Int(negated));
+        }
+        match self.advance() {
+            Some(Token {
+                tok: Tok::Str(s), ..
+            }) => Ok(Literal::Str(s)),
+            Some(Token {
+                tok: Tok::Int(i), ..
+            }) => Ok(Literal::Int(i)),
+            Some(Token {
+                tok: Tok::Ident(name),
+                span,
+            }) => {
+                if name.eq_ignore_ascii_case("TRUE") {
+                    Ok(Literal::Bool(true))
+                } else if name.eq_ignore_ascii_case("FALSE") {
+                    Ok(Literal::Bool(false))
+                } else {
+                    Err(ParseError::new(
+                        format!(
+                            "expected a literal (string, integer, TRUE, or FALSE), found `{name}`"
+                        ),
+                        span,
+                    ))
+                }
+            }
+            Some(t) => Err(ParseError::new(
+                format!("expected a literal, found {}", describe(&t.tok)),
+                t.span,
+            )),
+            None => Err(ParseError::new(
+                "expected a literal, found end of query",
+                self.eof_span(),
+            )),
+        }
+    }
+
+    fn projection(&mut self) -> Result<Projection, ParseError> {
+        let (var, span) = self.ident("a variable in RETURN")?;
+        if self.eat(&Tok::Dot) {
+            let (prop, pspan) = self.ident("a property name after `.`")?;
+            return Ok(Projection {
+                var,
+                prop: Some(prop),
+                span: Span::new(span.start, pspan.end),
+            });
+        }
+        Ok(Projection {
+            var,
+            prop: None,
+            span,
+        })
+    }
+
+    // WHERE expressions: OR < AND < NOT/atom.
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.unary_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        if self.eat(&Tok::LParen) {
+            let inner = self.expr()?;
+            self.expect(&Tok::RParen, "to close the group")?;
+            return Ok(inner);
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let (var, vspan) = self.ident("a comparison like `m.NAME = \"...\"`")?;
+        self.expect(&Tok::Dot, "after the variable in a comparison")?;
+        let (prop, _) = self.ident("a property name after `.`")?;
+        let op = self.cmp_op()?;
+        let rhs = self.literal()?;
+        let end = self
+            .tokens
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span.end)
+            .unwrap_or(vspan.end);
+        Ok(Expr::Cmp(Cmp {
+            var,
+            prop,
+            op,
+            rhs,
+            span: Span::new(vspan.start, end),
+        }))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        if self.eat_keyword("CONTAINS") {
+            return Ok(CmpOp::Contains);
+        }
+        if self.eat_keyword("STARTS") {
+            self.expect_keyword("WITH")?;
+            return Ok(CmpOp::StartsWith);
+        }
+        if self.eat_keyword("ENDS") {
+            self.expect_keyword("WITH")?;
+            return Ok(CmpOp::EndsWith);
+        }
+        match self.advance() {
+            Some(Token { tok: Tok::Eq, .. }) => Ok(CmpOp::Eq),
+            Some(Token { tok: Tok::Ne, .. }) => Ok(CmpOp::Ne),
+            Some(Token { tok: Tok::Lt, .. }) => Ok(CmpOp::Lt),
+            Some(Token { tok: Tok::Le, .. }) => Ok(CmpOp::Le),
+            Some(Token { tok: Tok::Gt, .. }) => Ok(CmpOp::Gt),
+            Some(Token { tok: Tok::Ge, .. }) => Ok(CmpOp::Ge),
+            Some(t) => Err(ParseError::new(
+                format!(
+                    "expected a comparison operator (=, <>, <, <=, >, >=, CONTAINS, STARTS WITH, ENDS WITH), found {}",
+                    describe(&t.tok)
+                ),
+                t.span,
+            )),
+            None => Err(ParseError::new(
+                "expected a comparison operator, found end of query",
+                self.eof_span(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_flagship_example() {
+        let q = parse(
+            "MATCH (m:Method {NAME: \"readObject\"})-[:CALL*1..5]->(s:Method) \
+             WHERE s.IS_SINK = TRUE RETURN m.SIGNATURE, s.SIGNATURE LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.pattern.nodes.len(), 2);
+        assert_eq!(q.pattern.hops.len(), 1);
+        let hop = &q.pattern.hops[0];
+        assert_eq!(hop.ty, "CALL");
+        assert_eq!((hop.min, hop.max), (1, 5));
+        assert_eq!(hop.dir, HopDir::Out);
+        assert_eq!(q.returns.len(), 2);
+        assert_eq!(q.limit, Some(10));
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_incoming_and_undirected_hops() {
+        let q = parse("MATCH (a)<-[:ALIAS]-(b)-[:HAS]-(c) RETURN a").unwrap();
+        assert_eq!(q.pattern.hops[0].dir, HopDir::In);
+        assert_eq!(q.pattern.hops[1].dir, HopDir::Both);
+    }
+
+    #[test]
+    fn bare_star_defaults_to_bounded() {
+        let q = parse("MATCH (a)-[:CALL*]->(b) RETURN a").unwrap();
+        assert_eq!(
+            (q.pattern.hops[0].min, q.pattern.hops[0].max),
+            (1, DEFAULT_VARLEN_MAX)
+        );
+        let q = parse("MATCH (a)-[:CALL*..3]->(b) RETURN a").unwrap();
+        assert_eq!((q.pattern.hops[0].min, q.pattern.hops[0].max), (1, 3));
+        let q = parse("MATCH (a)-[:CALL*2]->(b) RETURN a").unwrap();
+        assert_eq!((q.pattern.hops[0].min, q.pattern.hops[0].max), (2, 2));
+    }
+
+    #[test]
+    fn rejects_unbounded_repetition() {
+        let err = parse("MATCH (a)-[:CALL*1..]->(b) RETURN a").unwrap_err();
+        assert!(err.message.contains("explicit upper bound"));
+    }
+
+    #[test]
+    fn rejects_edge_variable_on_varlen_hop() {
+        let err = parse("MATCH (a)-[e:CALL*1..3]->(b) RETURN e").unwrap_err();
+        assert!(err.message.contains("edge variables"));
+    }
+
+    #[test]
+    fn rejects_untyped_edge() {
+        let err = parse("MATCH (a)-[]->(b) RETURN a").unwrap_err();
+        assert!(err.message.contains("edge patterns must name a type"));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("match (m:Method) where m.NAME = \"x\" return m limit 1").unwrap();
+        assert_eq!(q.limit, Some(1));
+    }
+
+    #[test]
+    fn where_precedence_binds_and_tighter_than_or() {
+        let q = parse("MATCH (m) WHERE m.A = 1 OR m.B = 2 AND m.C = 3 RETURN m").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Or(_, right) => assert!(matches!(*right, Expr::And(_, _))),
+            other => panic!("expected OR at the root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn print_reparse_roundtrips_the_flagship() {
+        let src = "MATCH (m:Method {NAME: \"readObject\"})-[:CALL*1..5]->(s:Method) \
+                   WHERE (s.IS_SINK = TRUE AND (NOT s.NAME ENDS WITH \"X\")) \
+                   RETURN m.SIGNATURE, s.SIGNATURE LIMIT 10";
+        let mut first = parse(src).unwrap();
+        let printed = first.to_string();
+        let mut second = parse(&printed).unwrap();
+        first.strip_spans();
+        second.strip_spans();
+        assert_eq!(first, second, "printed form was: {printed}");
+    }
+}

@@ -1,0 +1,434 @@
+//! Lowers a parsed TQL query onto the `tabby_graph` pattern backend.
+//!
+//! The planner resolves names against the target graph's interners,
+//! pushes WHERE equality conjuncts into node patterns (so they
+//! participate in index anchoring), scores both ends of the pattern
+//! chain by estimated candidate count, and reverses the chain when the
+//! right end is the cheaper anchor — the textual query's variables keep
+//! their meaning through [`Plan::node_of`]/[`Plan::edge_of`].
+
+use std::collections::HashMap;
+
+use tabby_graph::query::{Match, NodePattern, Query as GraphQuery};
+use tabby_graph::{Direction, EdgeId, EdgeType, Graph, NodeId, PropKey, Value};
+
+use crate::ast::{Cmp, CmpOp, Expr, HopDir, Literal, Pattern, Projection, TqlQuery};
+use crate::error::ParseError;
+
+/// What a TQL variable is bound to, in original (textual) pattern order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarBinding {
+    /// The j-th node pattern of the MATCH clause.
+    Node(usize),
+    /// The h-th hop of the MATCH clause (single-step hops only).
+    Edge(usize),
+}
+
+/// An executable plan for one TQL query against one graph.
+pub struct Plan {
+    /// The lowered pattern query (in plan order, possibly reversed).
+    pub query: GraphQuery,
+    /// True when the pattern chain was reversed for anchor selectivity.
+    pub reversed: bool,
+    /// Number of node patterns in the MATCH clause.
+    pub node_count: usize,
+    /// Variable bindings, in original pattern order.
+    pub vars: HashMap<String, VarBinding>,
+    /// Property keys referenced by WHERE/RETURN, resolved against the
+    /// graph (`None` = the key does not exist in this graph).
+    pub prop_keys: HashMap<String, Option<PropKey>>,
+    /// The WHERE clause, evaluated per match.
+    pub where_clause: Option<Expr>,
+    /// Projected columns.
+    pub returns: Vec<Projection>,
+    /// LIMIT from the query text.
+    pub limit: Option<usize>,
+    /// Non-fatal notes (unknown labels/types, anchor choice).
+    pub warnings: Vec<String>,
+    /// True when the pattern can never match this graph (unknown label,
+    /// edge type, or property key in a node pattern).
+    pub empty: bool,
+    /// True when any hop is variable-length (worth freezing a CSR
+    /// snapshot for).
+    pub has_varlen: bool,
+    /// Human-readable anchor description for EXPLAIN-style output.
+    pub anchor: String,
+}
+
+impl Plan {
+    /// The node bound to original pattern position `j` in `m`.
+    pub fn node_of(&self, m: &Match, j: usize) -> NodeId {
+        let pos = if self.reversed {
+            self.node_count - 1 - j
+        } else {
+            j
+        };
+        m.binding(pos)
+    }
+
+    /// The edge bound to original hop `h` in `m`, for single-step hops.
+    pub fn edge_of(&self, m: &Match, h: usize) -> Option<EdgeId> {
+        let hops = self.node_count - 1;
+        let pos = if self.reversed { hops - 1 - h } else { h };
+        m.hop_edge(pos)
+    }
+
+    /// The edge types the plan traverses (for CSR freezing).
+    pub fn edge_types(&self) -> Vec<EdgeType> {
+        self.query.edge_types()
+    }
+}
+
+fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
+}
+
+/// Top-level AND-chain equality comparisons — the conjuncts safe to push
+/// into node patterns (they must hold for every returned row).
+fn eq_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Cmp>) {
+    match expr {
+        Expr::Cmp(cmp) if cmp.op == CmpOp::Eq => out.push(cmp),
+        Expr::Cmp(_) => {}
+        Expr::And(a, b) => {
+            eq_conjuncts(a, out);
+            eq_conjuncts(b, out);
+        }
+        Expr::Or(_, _) | Expr::Not(_) => {}
+    }
+}
+
+/// Collects every `var.PROP` reference in an expression.
+fn cmp_refs<'e>(expr: &'e Expr, out: &mut Vec<&'e Cmp>) {
+    match expr {
+        Expr::Cmp(cmp) => out.push(cmp),
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            cmp_refs(a, out);
+            cmp_refs(b, out);
+        }
+        Expr::Not(inner) => cmp_refs(inner, out),
+    }
+}
+
+/// Plans `ast` against `graph`. Errors carry the source span of the
+/// offending variable; data-level misses (a label or property the graph
+/// has never seen) produce an empty plan with a warning instead.
+pub fn plan(graph: &Graph, ast: &TqlQuery) -> Result<Plan, ParseError> {
+    let pattern = &ast.pattern;
+    let mut vars: HashMap<String, VarBinding> = HashMap::new();
+    for (j, node) in pattern.nodes.iter().enumerate() {
+        if let Some(name) = &node.var {
+            if vars.insert(name.clone(), VarBinding::Node(j)).is_some() {
+                return Err(ParseError::new(
+                    format!("variable `{name}` is bound more than once"),
+                    node.span,
+                ));
+            }
+        }
+    }
+    for (h, hop) in pattern.hops.iter().enumerate() {
+        if let Some(name) = &hop.var {
+            if vars.insert(name.clone(), VarBinding::Edge(h)).is_some() {
+                return Err(ParseError::new(
+                    format!("variable `{name}` is bound more than once"),
+                    hop.span,
+                ));
+            }
+        }
+    }
+    // Every variable the query reads must be bound by the pattern.
+    for proj in &ast.returns {
+        if !vars.contains_key(&proj.var) {
+            return Err(ParseError::new(
+                format!("unknown variable `{}` in RETURN", proj.var),
+                proj.span,
+            ));
+        }
+    }
+    let mut where_cmps = Vec::new();
+    if let Some(expr) = &ast.where_clause {
+        cmp_refs(expr, &mut where_cmps);
+        for cmp in &where_cmps {
+            if !vars.contains_key(&cmp.var) {
+                return Err(ParseError::new(
+                    format!("unknown variable `{}` in WHERE", cmp.var),
+                    cmp.span,
+                ));
+            }
+        }
+    }
+
+    let mut warnings = Vec::new();
+    let mut empty = false;
+
+    // Resolve every property name WHERE/RETURN mentions, once.
+    let mut prop_keys: HashMap<String, Option<PropKey>> = HashMap::new();
+    for name in where_cmps
+        .iter()
+        .map(|c| c.prop.as_str())
+        .chain(ast.returns.iter().filter_map(|p| p.prop.as_deref()))
+    {
+        if !prop_keys.contains_key(name) {
+            let key = graph.get_prop_key(name);
+            if key.is_none() {
+                warnings.push(format!(
+                    "property `{name}` does not exist in this graph; comparisons on it never match and projections of it are null"
+                ));
+            }
+            prop_keys.insert(name.to_owned(), key);
+        }
+    }
+
+    // Per-node constraint lists: the pattern's own props plus pushed-down
+    // WHERE equality conjuncts on that node's variable.
+    let mut node_props: Vec<Vec<(PropKey, Value)>> = Vec::with_capacity(pattern.nodes.len());
+    let mut node_labels = Vec::with_capacity(pattern.nodes.len());
+    for node in &pattern.nodes {
+        let label = match &node.label {
+            Some(name) => match graph.get_label(name) {
+                Some(label) => Some(label),
+                None => {
+                    warnings.push(format!(
+                        "label `{name}` does not exist in this graph; the pattern cannot match"
+                    ));
+                    empty = true;
+                    None
+                }
+            },
+            None => None,
+        };
+        node_labels.push(label);
+        let mut props = Vec::new();
+        for (key_name, lit) in &node.props {
+            match graph.get_prop_key(key_name) {
+                Some(key) => props.push((key, literal_value(lit))),
+                None => {
+                    warnings.push(format!(
+                        "property `{key_name}` does not exist in this graph; the pattern cannot match"
+                    ));
+                    empty = true;
+                }
+            }
+        }
+        node_props.push(props);
+    }
+    if let Some(expr) = &ast.where_clause {
+        let mut pushable = Vec::new();
+        eq_conjuncts(expr, &mut pushable);
+        for cmp in pushable {
+            if let (Some(VarBinding::Node(j)), Some(Some(key))) =
+                (vars.get(&cmp.var), prop_keys.get(&cmp.prop))
+            {
+                node_props[*j].push((*key, literal_value(&cmp.rhs)));
+            }
+        }
+    }
+
+    // Resolve edge types.
+    let mut hop_types = Vec::with_capacity(pattern.hops.len());
+    for hop in &pattern.hops {
+        match graph.get_edge_type(&hop.ty) {
+            Some(ty) => hop_types.push(Some(ty)),
+            None => {
+                warnings.push(format!(
+                    "edge type `{}` does not exist in this graph; the pattern cannot match",
+                    hop.ty
+                ));
+                empty = true;
+                hop_types.push(None);
+            }
+        }
+    }
+
+    let build_pat = |j: usize| -> NodePattern {
+        let mut pat = match node_labels[j] {
+            Some(label) => NodePattern::label(label),
+            None => NodePattern::any(),
+        };
+        for (key, value) in &node_props[j] {
+            pat = pat.prop(*key, value.clone());
+        }
+        pat
+    };
+
+    // Anchor choice: start from whichever end of the chain is cheaper.
+    let n = pattern.nodes.len();
+    let (reversed, anchor) = if empty || n == 1 {
+        (
+            false,
+            describe_anchor(graph, &build_pat(0), &pattern.nodes[0], false),
+        )
+    } else {
+        let head = build_pat(0).estimated_candidates(graph);
+        let tail = build_pat(n - 1).estimated_candidates(graph);
+        if tail < head {
+            (
+                true,
+                format!(
+                    "{} (pattern reversed: {tail} right-end candidates vs {head} left-end)",
+                    describe_anchor(graph, &build_pat(n - 1), &pattern.nodes[n - 1], true)
+                ),
+            )
+        } else {
+            (
+                false,
+                format!(
+                    "{} ({head} left-end candidates vs {tail} right-end)",
+                    describe_anchor(graph, &build_pat(0), &pattern.nodes[0], false)
+                ),
+            )
+        }
+    };
+
+    // Assemble the backend query in plan order.
+    let order: Vec<usize> = if reversed {
+        (0..n).rev().collect()
+    } else {
+        (0..n).collect()
+    };
+    let mut query = GraphQuery::new(build_pat(order[0]));
+    if !empty {
+        for step in 0..pattern.hops.len() {
+            // Hop between plan positions `step` and `step + 1`.
+            let h = if reversed {
+                pattern.hops.len() - 1 - step
+            } else {
+                step
+            };
+            let hop = &pattern.hops[h];
+            let ty = hop_types[h].expect("non-empty plan has resolved types");
+            let direction = match (hop.dir, reversed) {
+                (HopDir::Out, false) | (HopDir::In, true) => Direction::Outgoing,
+                (HopDir::In, false) | (HopDir::Out, true) => Direction::Incoming,
+                (HopDir::Both, _) => Direction::Both,
+            };
+            query = query.repeat(ty, direction, hop.min, hop.max, build_pat(order[step + 1]));
+        }
+    }
+
+    Ok(Plan {
+        query,
+        reversed,
+        node_count: n,
+        vars,
+        prop_keys,
+        where_clause: ast.where_clause.clone(),
+        returns: ast.returns.clone(),
+        limit: ast.limit,
+        warnings,
+        empty,
+        has_varlen: pattern.hops.iter().any(|h| !h.is_single()),
+        anchor,
+    })
+}
+
+fn describe_anchor(
+    graph: &Graph,
+    pat: &NodePattern,
+    node: &crate::ast::NodePat,
+    reversed: bool,
+) -> String {
+    let which = if reversed { "right end" } else { "left end" };
+    let how = if pat.is_indexed(graph) {
+        "index lookup"
+    } else if node.label.is_some() {
+        "label scan"
+    } else {
+        "full scan"
+    };
+    format!("anchor: {which} via {how}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Methods m0..m3 in a CALL chain, NAME indexed.
+    fn fixture() -> Graph {
+        let mut g = Graph::new();
+        let method = g.label("Method");
+        let call = g.edge_type("CALL");
+        let name = g.prop_key("NAME");
+        g.create_index(method, name);
+        let nodes: Vec<NodeId> = (0..4).map(|_| g.add_node(method)).collect();
+        for (i, n) in nodes.iter().enumerate() {
+            g.set_node_prop(*n, name, Value::from(format!("m{i}")));
+        }
+        for w in nodes.windows(2) {
+            g.add_edge(call, w[0], w[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn reverses_when_right_end_is_selective() {
+        let g = fixture();
+        let ast =
+            parse("MATCH (a:Method)-[:CALL*1..3]->(b:Method {NAME: \"m3\"}) RETURN a").unwrap();
+        let plan = plan(&g, &ast).unwrap();
+        assert!(plan.reversed, "anchor: {}", plan.anchor);
+        let rows: Vec<_> = plan
+            .query
+            .stream(&g, tabby_graph::query::ExecBudget::default())
+            .collect();
+        // Three paths end at m3 (from m0, m1, m2); planned start is m3.
+        assert_eq!(rows.len(), 3);
+        for m in &rows {
+            // Original variable `b` is pattern position 1 → still m3.
+            let b = plan.node_of(m, 1);
+            assert_eq!(
+                g.node_prop(b, g.get_prop_key("NAME").unwrap()),
+                Some(&Value::from("m3"))
+            );
+        }
+    }
+
+    #[test]
+    fn keeps_forward_when_left_end_is_selective() {
+        let g = fixture();
+        let ast = parse("MATCH (a:Method {NAME: \"m0\"})-[:CALL]->(b) RETURN b").unwrap();
+        let plan = plan(&g, &ast).unwrap();
+        assert!(!plan.reversed);
+    }
+
+    #[test]
+    fn where_equality_pushdown_anchors_the_pattern() {
+        let g = fixture();
+        let ast = parse("MATCH (a:Method)-[:CALL]->(b) WHERE a.NAME = \"m0\" RETURN b").unwrap();
+        let plan = plan(&g, &ast).unwrap();
+        assert!(!plan.reversed);
+        assert!(
+            plan.anchor.contains("index lookup"),
+            "anchor: {}",
+            plan.anchor
+        );
+    }
+
+    #[test]
+    fn unknown_label_plans_empty_with_warning() {
+        let g = fixture();
+        let ast = parse("MATCH (a:Clazz) RETURN a").unwrap();
+        let plan = plan(&g, &ast).unwrap();
+        assert!(plan.empty);
+        assert!(plan.warnings.iter().any(|w| w.contains("Clazz")));
+    }
+
+    #[test]
+    fn unknown_return_variable_is_an_error() {
+        let g = fixture();
+        let ast = parse("MATCH (a:Method) RETURN zz").unwrap();
+        let err = plan(&g, &ast).unwrap_err();
+        assert!(err.message.contains("zz"));
+    }
+
+    #[test]
+    fn duplicate_variable_is_an_error() {
+        let g = fixture();
+        let ast = parse("MATCH (a:Method)-[:CALL]->(a:Method) RETURN a").unwrap();
+        assert!(plan(&g, &ast).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Parser golden tests: every malformed query must produce a stable,
+//! helpful message anchored to the right span.
+
+use tabby_query::{parse, ParseError};
+
+struct Golden {
+    src: &'static str,
+    message_contains: &'static str,
+    span: (usize, usize),
+}
+
+fn parse_err(src: &str) -> ParseError {
+    match parse(src) {
+        Ok(q) => panic!("expected a parse error for {src:?}, got {q}"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn golden_errors() {
+    let cases = [
+        Golden {
+            src: "FETCH (m) RETURN m",
+            message_contains: "expected `MATCH`, found `FETCH`",
+            span: (0, 5),
+        },
+        Golden {
+            src: "MATCH m RETURN m",
+            message_contains: "expected `(` to start a node pattern",
+            span: (6, 7),
+        },
+        Golden {
+            src: "MATCH (m:Method RETURN m",
+            message_contains: "expected `)` to close the node pattern, found `RETURN`",
+            span: (16, 22),
+        },
+        Golden {
+            src: "MATCH (m) RETURN",
+            message_contains: "expected a variable in RETURN, found end of query",
+            span: (16, 16),
+        },
+        Golden {
+            src: "MATCH (a)-[]->(b) RETURN a",
+            message_contains: "edge patterns must name a type",
+            span: (11, 12),
+        },
+        Golden {
+            src: "MATCH (a)-[:CALL*1..]->(b) RETURN a",
+            message_contains: "explicit upper bound",
+            span: (20, 21),
+        },
+        Golden {
+            src: "MATCH (a)-[:CALL*5..2]->(b) RETURN a",
+            message_contains: "`*5..2` is empty",
+            span: (9, 22),
+        },
+        Golden {
+            src: "MATCH (a)-[e:CALL*1..3]->(b) RETURN e",
+            message_contains: "edge variables are not supported on variable-length hops",
+            span: (9, 25),
+        },
+        Golden {
+            src: "MATCH (a)<-[:CALL]->(b) RETURN a",
+            message_contains: "cannot point both ways",
+            span: (9, 20),
+        },
+        Golden {
+            src: "MATCH (m) WHERE m.NAME ~ \"x\" RETURN m",
+            message_contains: "unexpected character `~`",
+            span: (23, 24),
+        },
+        Golden {
+            src: "MATCH (m) WHERE m.NAME = RETURN m",
+            message_contains: "expected a literal",
+            span: (25, 31),
+        },
+        Golden {
+            src: "MATCH (m) WHERE m.NAME STARTS \"x\" RETURN m",
+            message_contains: "expected `WITH`",
+            span: (30, 33),
+        },
+        Golden {
+            src: "MATCH (m) RETURN m LIMIT x",
+            message_contains: "expected a row count after LIMIT, found `x`",
+            span: (25, 26),
+        },
+        Golden {
+            src: "MATCH (m {NAME \"x\"}) RETURN m",
+            message_contains: "expected `:` after the property name",
+            span: (15, 18),
+        },
+        Golden {
+            src: "MATCH (m) RETURN m extra",
+            message_contains: "unexpected trailing `extra`",
+            span: (19, 24),
+        },
+        Golden {
+            src: "MATCH (m {NAME: \"unterminated}) RETURN m",
+            message_contains: "unterminated string literal",
+            span: (16, 40),
+        },
+    ];
+    for case in cases {
+        let err = parse_err(case.src);
+        assert!(
+            err.message.contains(case.message_contains),
+            "for {:?}: message {:?} does not contain {:?}",
+            case.src,
+            err.message,
+            case.message_contains
+        );
+        assert_eq!(
+            (err.span.start, err.span.end),
+            case.span,
+            "for {:?}: wrong span (message: {})",
+            case.src,
+            err.message
+        );
+    }
+}
+
+#[test]
+fn render_draws_a_caret_under_the_span() {
+    let src = "MATCH (m:Method RETURN m";
+    let err = parse_err(src);
+    let rendered = err.render(src);
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].starts_with("error: "));
+    assert_eq!(lines[1], format!("  {src}"));
+    // Caret under "RETURN" (columns 16..22, plus the two-space indent).
+    assert_eq!(lines[2], format!("  {}{}", " ".repeat(16), "^".repeat(6)));
+}
+
+#[test]
+fn empty_input_reports_missing_match() {
+    let err = parse_err("");
+    assert!(err.message.contains("expected `MATCH`"));
+    assert_eq!((err.span.start, err.span.end), (0, 0));
+}

@@ -1,0 +1,329 @@
+//! Executor oracle tests: TQL answers over the workloads scenes must
+//! equal the same question asked directly of the `GraphStore` API
+//! (index lookups, `edges_of`, and a handwritten path DFS).
+//!
+//! Rows are compared as sorted multisets — TQL emits one row per match
+//! in depth-first order, the oracle in whatever order the store yields.
+
+use serde_json::Value as Json;
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_graph::{Direction, EdgeType, Graph, Label, NodeId, Value};
+use tabby_pathfinder::{SinkCatalog, SourceCatalog};
+use tabby_query::builtins;
+use tabby_query::{run_query, value_to_json, ExecConfig, QueryOutput};
+use tabby_workloads::scenes;
+
+fn build_annotated(scene: &scenes::Scene) -> Cpg {
+    let mut cpg = Cpg::build(&scene.component.program, AnalysisConfig::default());
+    SinkCatalog::paper().annotate(&mut cpg);
+    SourceCatalog::native_serialization().annotate(&mut cpg);
+    cpg
+}
+
+fn run(graph: &Graph, text: &str) -> QueryOutput {
+    let out = run_query(graph, text, &ExecConfig::default())
+        .unwrap_or_else(|e| panic!("query failed: {e}\n  {text}"));
+    assert!(!out.truncated, "oracle queries must not truncate: {text}");
+    out
+}
+
+fn sorted(rows: &[Vec<Json>]) -> Vec<String> {
+    let mut keys: Vec<String> = rows
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn str_prop(graph: &Graph, node: NodeId, key: &str) -> Json {
+    let k = graph.get_prop_key(key).expect("schema key");
+    match graph.node_prop(node, k) {
+        Some(v) => value_to_json(v),
+        None => Json::Null,
+    }
+}
+
+/// The method name with the largest outgoing-CALL fan-out — a
+/// deterministic, scene-independent anchor for the hop oracles.
+fn busiest_name(graph: &Graph) -> Option<String> {
+    let method = graph.get_label("Method")?;
+    let call = graph.get_edge_type("CALL")?;
+    let name_key = graph.get_prop_key("NAME")?;
+    graph
+        .nodes_with_label(method)
+        .into_iter()
+        .max_by_key(|&n| {
+            (
+                graph.edges_of(n, Direction::Outgoing, Some(call)).len(),
+                // Tie-break on id so the choice is stable.
+                std::cmp::Reverse(n.index()),
+            )
+        })
+        .and_then(|n| graph.node_prop(n, name_key))
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
+}
+
+#[test]
+fn name_anchor_matches_store_index() {
+    for scene in scenes::smoke() {
+        let cpg = build_annotated(&scene);
+        let g = &cpg.graph;
+        let Some(name) = busiest_name(g) else {
+            continue;
+        };
+        let out = run(
+            g,
+            &format!("MATCH (m:Method {{NAME: \"{name}\"}}) RETURN m.SIGNATURE"),
+        );
+        let expected: Vec<Vec<Json>> = g
+            .nodes_by(
+                cpg.schema.method_label,
+                cpg.schema.name,
+                &Value::from(name.as_str()),
+            )
+            .into_iter()
+            .map(|n| vec![str_prop(g, n, "SIGNATURE")])
+            .collect();
+        assert!(
+            !expected.is_empty(),
+            "{}: anchor name vanished",
+            scene.component.name
+        );
+        assert_eq!(
+            sorted(&out.rows),
+            sorted(&expected),
+            "{}",
+            scene.component.name
+        );
+    }
+}
+
+#[test]
+fn sink_builtin_matches_store_scan() {
+    for scene in scenes::smoke() {
+        let cpg = build_annotated(&scene);
+        let g = &cpg.graph;
+        let text = builtins::find("sinks").unwrap().instantiate(&[]).unwrap();
+        let out = run(g, &text);
+        let is_sink = g.get_prop_key("IS_SINK").expect("annotated");
+        let expected: Vec<Vec<Json>> = g
+            .nodes_with_label(cpg.schema.method_label)
+            .into_iter()
+            .filter(|&n| g.node_prop(n, is_sink) == Some(&Value::Bool(true)))
+            .map(|n| vec![str_prop(g, n, "SIGNATURE"), str_prop(g, n, "SINK_CATEGORY")])
+            .collect();
+        assert!(
+            !expected.is_empty(),
+            "{}: no sinks annotated",
+            scene.component.name
+        );
+        assert_eq!(
+            sorted(&out.rows),
+            sorted(&expected),
+            "{}",
+            scene.component.name
+        );
+    }
+}
+
+#[test]
+fn source_builtin_matches_store_scan() {
+    for scene in scenes::smoke() {
+        let cpg = build_annotated(&scene);
+        let g = &cpg.graph;
+        let text = builtins::find("sources").unwrap().instantiate(&[]).unwrap();
+        let out = run(g, &text);
+        let is_source = g.get_prop_key("IS_SOURCE").expect("annotated");
+        let expected: Vec<Vec<Json>> = g
+            .nodes_with_label(cpg.schema.method_label)
+            .into_iter()
+            .filter(|&n| g.node_prop(n, is_source) == Some(&Value::Bool(true)))
+            .map(|n| vec![str_prop(g, n, "SIGNATURE"), str_prop(g, n, "CLASS_NAME")])
+            .collect();
+        assert!(
+            !expected.is_empty(),
+            "{}: no sources annotated",
+            scene.component.name
+        );
+        assert_eq!(
+            sorted(&out.rows),
+            sorted(&expected),
+            "{}",
+            scene.component.name
+        );
+    }
+}
+
+#[test]
+fn single_call_hop_matches_edges_of() {
+    for scene in scenes::smoke() {
+        let cpg = build_annotated(&scene);
+        let g = &cpg.graph;
+        let Some(name) = busiest_name(g) else {
+            continue;
+        };
+        let out = run(
+            g,
+            &format!(
+                "MATCH (a:Method {{NAME: \"{name}\"}})-[:CALL]->(b:Method) RETURN b.SIGNATURE"
+            ),
+        );
+        let mut expected: Vec<Vec<Json>> = Vec::new();
+        for a in g.nodes_by(
+            cpg.schema.method_label,
+            cpg.schema.name,
+            &Value::from(name.as_str()),
+        ) {
+            for e in g.edges_of(a, Direction::Outgoing, Some(cpg.schema.call)) {
+                let (_, b) = g.endpoints(e);
+                // The matcher walks simple paths, so a self-call is no row.
+                if b == a || g.node_label(b) != cpg.schema.method_label {
+                    continue;
+                }
+                expected.push(vec![str_prop(g, b, "SIGNATURE")]);
+            }
+        }
+        assert_eq!(
+            sorted(&out.rows),
+            sorted(&expected),
+            "{}",
+            scene.component.name
+        );
+    }
+}
+
+/// Reference DFS: all simple paths of `min..=max` edges of type `ty` out
+/// of `start`, yielding each accepted endpoint once per path (matching
+/// the one-row-per-match semantics of the executor).
+fn reference_paths(
+    g: &Graph,
+    ty: EdgeType,
+    end_label: Label,
+    start: NodeId,
+    min: usize,
+    max: usize,
+) -> Vec<NodeId> {
+    fn go(
+        g: &Graph,
+        ty: EdgeType,
+        end_label: Label,
+        path: &mut Vec<NodeId>,
+        steps: usize,
+        min: usize,
+        max: usize,
+        out: &mut Vec<NodeId>,
+    ) {
+        let end = *path.last().unwrap();
+        if steps >= min && g.node_label(end) == end_label {
+            out.push(end);
+        }
+        if steps == max {
+            return;
+        }
+        for e in g.edges_of(end, Direction::Outgoing, Some(ty)) {
+            let (_, to) = g.endpoints(e);
+            if path.contains(&to) {
+                continue;
+            }
+            path.push(to);
+            go(g, ty, end_label, path, steps + 1, min, max, out);
+            path.pop();
+        }
+    }
+    let mut out = Vec::new();
+    go(g, ty, end_label, &mut vec![start], 0, min, max, &mut out);
+    out
+}
+
+#[test]
+fn varlen_call_paths_match_reference_dfs() {
+    for scene in scenes::smoke() {
+        let cpg = build_annotated(&scene);
+        let g = &cpg.graph;
+        let Some(name) = busiest_name(g) else {
+            continue;
+        };
+        let out = run(
+            g,
+            &format!(
+                "MATCH (a:Method {{NAME: \"{name}\"}})-[:CALL*1..3]->(b:Method) RETURN b.SIGNATURE"
+            ),
+        );
+        let mut expected: Vec<Vec<Json>> = Vec::new();
+        for a in g.nodes_by(
+            cpg.schema.method_label,
+            cpg.schema.name,
+            &Value::from(name.as_str()),
+        ) {
+            for b in reference_paths(g, cpg.schema.call, cpg.schema.method_label, a, 1, 3) {
+                expected.push(vec![str_prop(g, b, "SIGNATURE")]);
+            }
+        }
+        assert_eq!(
+            sorted(&out.rows),
+            sorted(&expected),
+            "{} (anchor {name})",
+            scene.component.name
+        );
+    }
+}
+
+#[test]
+fn pp_into_builtin_matches_edge_scan() {
+    for scene in scenes::smoke() {
+        let cpg = build_annotated(&scene);
+        let g = &cpg.graph;
+        let Some(name) = busiest_name(g) else {
+            continue;
+        };
+        let text = builtins::find("pp-into")
+            .unwrap()
+            .instantiate(&[name.clone()])
+            .unwrap();
+        let out = run(g, &text);
+        let mut expected: Vec<Vec<Json>> = Vec::new();
+        for m in g.nodes_by(
+            cpg.schema.method_label,
+            cpg.schema.name,
+            &Value::from(name.as_str()),
+        ) {
+            for e in g.edges_of(m, Direction::Incoming, Some(cpg.schema.call)) {
+                let (c, _) = g.endpoints(e);
+                if c == m || g.node_label(c) != cpg.schema.method_label {
+                    continue;
+                }
+                let pp = match g.edge_prop(e, cpg.schema.polluted_position) {
+                    Some(v) => value_to_json(v),
+                    None => Json::Null,
+                };
+                expected.push(vec![str_prop(g, c, "SIGNATURE"), pp]);
+            }
+        }
+        assert_eq!(
+            sorted(&out.rows),
+            sorted(&expected),
+            "{} (anchor {name})",
+            scene.component.name
+        );
+    }
+}
+
+#[test]
+fn varlen_budget_reports_truncation_instead_of_hanging() {
+    let scene = &scenes::smoke()[0];
+    let cpg = build_annotated(scene);
+    let cfg = ExecConfig {
+        max_expansions: 16,
+        ..ExecConfig::default()
+    };
+    let out = run_query(
+        &cpg.graph,
+        "MATCH (a:Method)-[:CALL*1..8]->(b:Method) RETURN b.SIGNATURE",
+        &cfg,
+    )
+    .unwrap();
+    assert!(out.truncated, "a 16-expansion budget must truncate");
+    assert!(out.expansions <= 16 + 1);
+}

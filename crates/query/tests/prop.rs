@@ -1,0 +1,181 @@
+//! Property tests: pretty-printing a parsed TQL query reparses to the
+//! same AST (up to spans), and the printer is canonical (printing the
+//! reparse reproduces the printed text byte-for-byte). Also fuzzes the
+//! parser with arbitrary input to check it never panics.
+
+use proptest::prelude::*;
+use tabby_query::ast::{
+    Cmp, CmpOp, Expr, HopDir, HopPat, Literal, NodePat, Pattern, Projection, TqlQuery,
+};
+use tabby_query::error::Span;
+use tabby_query::parse;
+
+/// Keywords the parser claims case-insensitively; generated identifiers
+/// must avoid them or the roundtrip would legitimately change shape.
+const KEYWORDS: &[&str] = &[
+    "match", "where", "return", "limit", "and", "or", "not", "true", "false", "contains", "starts",
+    "ends", "with",
+];
+
+fn is_keyword(name: &str) -> bool {
+    KEYWORDS.iter().any(|k| name.eq_ignore_ascii_case(k))
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_$]{0,7}".prop_filter("keyword", |s| !is_keyword(s))
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Printable ASCII plus the escapable control characters.
+        "[ -~\n\t]{0,12}".prop_map(Literal::Str),
+        // i64::MIN is excluded: `-9223372036854775808` re-lexes as an
+        // out-of-range positive literal before the unary minus applies.
+        any::<i64>()
+            .prop_filter("i64::MIN", |i| *i != i64::MIN)
+            .prop_map(Literal::Int),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn node_pat() -> impl Strategy<Value = NodePat> {
+    (
+        proptest::option::of(ident()),
+        proptest::option::of(ident()),
+        proptest::collection::vec((ident(), literal()), 0..3),
+    )
+        .prop_map(|(var, label, props)| NodePat {
+            var,
+            label,
+            props,
+            span: Span::ZERO,
+        })
+}
+
+fn hop_dir() -> impl Strategy<Value = HopDir> {
+    prop_oneof![Just(HopDir::Out), Just(HopDir::In), Just(HopDir::Both)]
+}
+
+fn hop_pat() -> impl Strategy<Value = HopPat> {
+    (ident(), hop_dir(), 0usize..=3)
+        .prop_flat_map(|(ty, dir, min)| (Just(ty), Just(dir), Just(min), min..=min + 3))
+        .prop_flat_map(|(ty, dir, min, max)| {
+            // Edge variables are only legal on single-step hops.
+            let var = if min == 1 && max == 1 {
+                proptest::option::of(ident()).boxed()
+            } else {
+                Just(None).boxed()
+            };
+            (Just(ty), Just(dir), Just(min), Just(max), var)
+        })
+        .prop_map(|(ty, dir, min, max, var)| HopPat {
+            var,
+            ty,
+            dir,
+            min,
+            max,
+            span: Span::ZERO,
+        })
+}
+
+fn pattern() -> impl Strategy<Value = Pattern> {
+    (
+        node_pat(),
+        proptest::collection::vec((hop_pat(), node_pat()), 0..3),
+    )
+        .prop_map(|(head, rest)| {
+            let mut nodes = vec![head];
+            let mut hops = Vec::new();
+            for (hop, node) in rest {
+                hops.push(hop);
+                nodes.push(node);
+            }
+            Pattern { nodes, hops }
+        })
+}
+
+fn cmp() -> impl Strategy<Value = Expr> {
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Contains),
+        Just(CmpOp::StartsWith),
+        Just(CmpOp::EndsWith),
+    ];
+    (ident(), ident(), op, literal()).prop_map(|(var, prop, op, rhs)| {
+        Expr::Cmp(Cmp {
+            var,
+            prop,
+            op,
+            rhs,
+            span: Span::ZERO,
+        })
+    })
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    cmp().prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn projection() -> impl Strategy<Value = Projection> {
+    (ident(), proptest::option::of(ident())).prop_map(|(var, prop)| Projection {
+        var,
+        prop,
+        span: Span::ZERO,
+    })
+}
+
+fn tql_query() -> impl Strategy<Value = TqlQuery> {
+    (
+        pattern(),
+        proptest::option::of(expr()),
+        proptest::collection::vec(projection(), 1..3),
+        proptest::option::of(0usize..=50),
+    )
+        .prop_map(|(pattern, where_clause, returns, limit)| TqlQuery {
+            pattern,
+            where_clause,
+            returns,
+            limit,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The printer is the inverse of the parser: parse(print(ast)) == ast.
+    #[test]
+    fn print_then_reparse_is_identity(ast in tql_query()) {
+        let printed = ast.to_string();
+        let mut reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form failed to parse: {e}\n  {printed}"));
+        reparsed.strip_spans();
+        prop_assert_eq!(&reparsed, &ast, "printed form was: {}", printed);
+        // The printer is canonical, so a second print is a fixed point.
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// Arbitrary input never panics the lexer or parser.
+    #[test]
+    fn parser_never_panics(src in "[ -~\n\t]{0,60}") {
+        let _ = parse(&src);
+    }
+
+    /// Parsing real-looking query prefixes never panics either.
+    #[test]
+    fn parser_never_panics_on_query_like_input(
+        src in "(MATCH|match)?[ ]?[(){}\\[\\]:,.*<>=!a-zA-Z0-9_\" -]{0,50}"
+    ) {
+        let _ = parse(&src);
+    }
+}

@@ -5,26 +5,27 @@
 //! connection open and frame lines themselves; the protocol is plain
 //! JSON-lines either way.
 
-use crate::protocol::{Request, Response, ScanRequestOptions};
+use crate::protocol::{
+    encode_request, QueryRequestOptions, Request, Response, ScanRequestOptions, PROTOCOL_VERSION,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-/// Sends one request to the daemon at `addr` and waits for its reply.
-///
-/// # Errors
-///
-/// Fails on connection, encoding, transport, or reply-decoding errors —
-/// all as human-readable strings. A daemon-side failure is *not* an
-/// error here: it comes back as a [`Response`] with `ok == false`.
-pub fn request(addr: &str, req: &Request) -> Result<Response, String> {
+/// Opens a connection, sends one versioned request line, and returns a
+/// buffered reader positioned at the daemon's first reply line.
+fn send(addr: &str, req: &Request) -> Result<BufReader<TcpStream>, String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut line = serde_json::to_string(req).map_err(|e| format!("encode request: {e}"))?;
+    let mut line = encode_request(req)?;
     line.push('\n');
     stream
         .write_all(line.as_bytes())
         .map_err(|e| format!("send request: {e}"))?;
-    let mut reader = BufReader::new(stream);
+    Ok(BufReader::new(stream))
+}
+
+/// Reads one reply line, or errors on a closed connection.
+fn read_reply_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
     let mut reply = String::new();
     let n = reader
         .read_line(&mut reply)
@@ -32,7 +33,128 @@ pub fn request(addr: &str, req: &Request) -> Result<Response, String> {
     if n == 0 {
         return Err("connection closed before reply".to_owned());
     }
-    serde_json::from_str(reply.trim()).map_err(|e| format!("malformed reply: {e}"))
+    Ok(reply)
+}
+
+/// Sends one request to the daemon at `addr` and waits for its reply.
+///
+/// # Errors
+///
+/// Fails on connection, encoding, transport, reply-decoding, or protocol
+/// version-mismatch errors — all as human-readable strings. A daemon-side
+/// failure is *not* an error here: it comes back as a [`Response`] with
+/// `ok == false`.
+pub fn request(addr: &str, req: &Request) -> Result<Response, String> {
+    let mut reader = send(addr, req)?;
+    let reply = read_reply_line(&mut reader)?;
+    let reply: Response =
+        serde_json::from_str(reply.trim()).map_err(|e| format!("malformed reply: {e}"))?;
+    check_reply_version(&reply)?;
+    Ok(reply)
+}
+
+/// A daemon speaking another protocol version gets rejected client-side
+/// too, so a stale client can't silently misread newer replies.
+fn check_reply_version(reply: &Response) -> Result<(), String> {
+    if reply.v == PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(format!(
+            "protocol version mismatch: daemon replied v{}, this client speaks v{PROTOCOL_VERSION}",
+            reply.v
+        ))
+    }
+}
+
+/// A fully-read `query` reply: the header plus every streamed row and the
+/// trailer's accounting.
+#[derive(Debug)]
+pub struct QueryReply {
+    /// The header response (columns, warnings, anchor, stats — or the
+    /// failure, in which case `rows` is empty).
+    pub header: Response,
+    /// Streamed rows, in arrival order.
+    pub rows: Vec<Vec<serde_json::Value>>,
+    /// True when a budget truncated the row stream.
+    pub truncated: bool,
+    /// Edge expansions the daemon-side search performed.
+    pub expansions: u64,
+}
+
+/// Submits a TQL query over `paths` and reads the streamed reply to its
+/// trailer: header line, `{"row": [...]}` lines, `{"done": ...}` line.
+///
+/// # Errors
+///
+/// Same failure modes as [`request`], plus a truncated stream (connection
+/// dropped before the trailer). A daemon-side failure (bad path, parse
+/// error) is not an `Err`: it is a header with `ok == false`.
+pub fn query(
+    addr: &str,
+    paths: Vec<String>,
+    query: &str,
+    options: &QueryRequestOptions,
+) -> Result<QueryReply, String> {
+    let mut reader = send(
+        addr,
+        &Request::Query {
+            id: None,
+            paths,
+            query: query.to_owned(),
+            options: options.clone(),
+        },
+    )?;
+    let header = read_reply_line(&mut reader)?;
+    let header: Response =
+        serde_json::from_str(header.trim()).map_err(|e| format!("malformed reply: {e}"))?;
+    check_reply_version(&header)?;
+    if !header.ok {
+        return Ok(QueryReply {
+            header,
+            rows: Vec::new(),
+            truncated: false,
+            expansions: 0,
+        });
+    }
+    let mut rows = Vec::new();
+    loop {
+        let line = read_reply_line(&mut reader)
+            .map_err(|e| format!("query stream ended before its trailer: {e}"))?;
+        let value: serde_json::Value =
+            serde_json::from_str(line.trim()).map_err(|e| format!("malformed row line: {e}"))?;
+        if let Some(row) = value.get("row") {
+            let cells = row
+                .as_array()
+                .cloned()
+                .ok_or_else(|| format!("row line is not an array: {value}"))?;
+            rows.push(cells);
+        } else if value.get("done").is_some() {
+            let truncated = value
+                .get("truncated")
+                .and_then(serde_json::Value::as_bool)
+                .unwrap_or(false);
+            let expansions = value
+                .get("expansions")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0);
+            let reported = value.get("rows").and_then(serde_json::Value::as_u64);
+            if reported.is_some_and(|n| n != rows.len() as u64) {
+                return Err(format!(
+                    "query stream dropped rows: trailer says {}, received {}",
+                    reported.unwrap_or(0),
+                    rows.len()
+                ));
+            }
+            return Ok(QueryReply {
+                header,
+                rows,
+                truncated,
+                expansions,
+            });
+        } else {
+            return Err(format!("unexpected line in query stream: {value}"));
+        }
+    }
 }
 
 /// Convenience wrapper: submits a scan of `paths` and returns the reply.

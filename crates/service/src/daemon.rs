@@ -17,8 +17,10 @@
 //! the stop flag within one read timeout, and [`Daemon::run`] joins the
 //! workers before returning.
 
-use crate::engine::{Engine, JobOutcome};
-use crate::protocol::{DaemonInfo, Request, Response, ScanRequestOptions};
+use crate::engine::{Engine, JobOutcome, QueryOutcome};
+use crate::protocol::{
+    parse_request, DaemonInfo, QueryRequestOptions, Request, Response, ScanRequestOptions,
+};
 use crate::signal;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::io::{ErrorKind, Read, Write};
@@ -79,13 +81,36 @@ impl Default for ServiceConfig {
     }
 }
 
-/// One queued scan job, carrying its reply channel.
+/// What one queued job should do once a worker picks it up.
+enum JobKind {
+    Scan(ScanRequestOptions),
+    Query {
+        query: String,
+        options: QueryRequestOptions,
+    },
+}
+
+/// A finished job's payload, matching its [`JobKind`].
+enum Outcome {
+    Scan(JobOutcome),
+    Query(QueryOutcome),
+}
+
+impl Outcome {
+    fn stats_mut(&mut self) -> &mut crate::protocol::JobStats {
+        match self {
+            Outcome::Scan(o) => &mut o.stats,
+            Outcome::Query(o) => &mut o.stats,
+        }
+    }
+}
+
+/// One queued job, carrying its reply channel.
 struct Job {
-    id: Option<String>,
     paths: Vec<String>,
-    options: ScanRequestOptions,
+    kind: JobKind,
     enqueued: Instant,
-    reply: Sender<Result<JobOutcome, String>>,
+    reply: Sender<Result<Outcome, String>>,
 }
 
 /// State shared by the accept loop, connection threads, and workers.
@@ -253,15 +278,26 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
     while let Ok(job) = rx.recv() {
         let queue_ms = job.enqueued.elapsed().as_millis() as u64;
         let deadline = Instant::now() + shared.config.job_timeout;
+        let Job {
+            paths, kind, reply, ..
+        } = job;
         // One job panicking must not take the worker (and with it a slot of
         // the pool) down: contain it, report a structured error, move on.
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.engine.run_scan(&job.paths, &job.options, deadline)
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &kind {
+            JobKind::Scan(options) => shared
+                .engine
+                .run_scan(&paths, options, deadline)
+                .map(Outcome::Scan),
+            JobKind::Query { query, options } => shared
+                .engine
+                .run_query(&paths, query, options, deadline)
+                .map(Outcome::Query),
         }));
         let result = match run {
             Ok(Ok(mut outcome)) => {
-                outcome.stats.queue_ms = queue_ms;
-                outcome.stats.total_ms += queue_ms;
+                let stats = outcome.stats_mut();
+                stats.queue_ms = queue_ms;
+                stats.total_ms += queue_ms;
                 shared.jobs_done.fetch_add(1, Ordering::Relaxed);
                 Ok(outcome)
             }
@@ -276,7 +312,7 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
         };
         // A client that gave up (timeout, closed connection) is not an
         // error worth tearing the worker down for.
-        let _ = job.reply.send(result);
+        let _ = reply.send(result);
     }
 }
 
@@ -303,8 +339,7 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
             if text.is_empty() {
                 continue;
             }
-            let reply = handle_line(shared, text);
-            if write_reply(&mut stream, &reply).is_err() {
+            if respond(shared, text, &mut stream).is_err() {
                 return;
             }
         }
@@ -320,49 +355,95 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-fn handle_line(shared: &Shared, line: &str) -> Response {
-    let req: Request = match serde_json::from_str(line) {
+/// Handles one request line, writing one reply line — or, for `query`,
+/// a header line, one `{"row": [...]}` line per row, and a `{"done": ...}`
+/// trailer, all on the same connection. Returns `Err` only on socket
+/// failures (which end the connection).
+fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+    let req = match parse_request(line) {
         Ok(r) => r,
-        Err(e) => return Response::failure(None, format!("malformed request: {e}")),
+        Err(e) => return write_line(stream, &Response::failure(None, e)),
     };
     match req {
-        Request::Ping { id } => Response::ack(id),
+        Request::Ping { id } => write_line(stream, &Response::ack(id)),
         Request::Stats { id } => {
             let (cached_classes, cached_jobs, cached_cpgs) = shared.engine.cache_counts();
-            Response::info(
-                id,
-                DaemonInfo {
-                    uptime_ms: shared.started.elapsed().as_millis() as u64,
-                    workers: shared.config.workers,
-                    queue_capacity: shared.config.queue_capacity,
-                    jobs_done: shared.jobs_done.load(Ordering::Relaxed),
-                    jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
-                    jobs_rejected: shared.jobs_rejected.load(Ordering::Relaxed),
-                    cached_classes,
-                    cached_jobs,
-                    cached_cpgs,
-                },
+            write_line(
+                stream,
+                &Response::info(
+                    id,
+                    DaemonInfo {
+                        uptime_ms: shared.started.elapsed().as_millis() as u64,
+                        workers: shared.config.workers,
+                        queue_capacity: shared.config.queue_capacity,
+                        jobs_done: shared.jobs_done.load(Ordering::Relaxed),
+                        jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
+                        jobs_rejected: shared.jobs_rejected.load(Ordering::Relaxed),
+                        cached_classes,
+                        cached_jobs,
+                        cached_cpgs,
+                    },
+                ),
             )
         }
         Request::Shutdown { id } => {
             shared.begin_shutdown();
-            Response::ack(id)
+            write_line(stream, &Response::ack(id))
         }
-        Request::Scan { id, paths, options } => submit_scan(shared, id, paths, options),
+        Request::Scan { id, paths, options } => {
+            let reply = match submit_job(shared, paths, JobKind::Scan(options)) {
+                Ok(Outcome::Scan(out)) => {
+                    Response::scan(id, out.chains, out.stats, out.diagnostics)
+                }
+                Ok(Outcome::Query(_)) => Response::failure(id, "internal: job kind mismatch"),
+                Err(e) => Response::failure(id, e),
+            };
+            write_line(stream, &reply)
+        }
+        Request::Query {
+            id,
+            paths,
+            query,
+            options,
+        } => match submit_job(shared, paths, JobKind::Query { query, options }) {
+            Ok(Outcome::Query(out)) => {
+                let header = Response::query_header(
+                    id,
+                    out.output.columns,
+                    out.output.warnings,
+                    out.output.anchor,
+                    out.stats,
+                );
+                write_line(stream, &header)?;
+                for row in &out.output.rows {
+                    write_line(stream, &serde_json::json!({ "row": row }))?;
+                }
+                write_line(
+                    stream,
+                    &serde_json::json!({
+                        "done": true,
+                        "rows": out.output.rows.len(),
+                        "truncated": out.output.truncated,
+                        "expansions": out.output.expansions,
+                    }),
+                )
+            }
+            Ok(Outcome::Scan(_)) => write_line(
+                stream,
+                &Response::failure(id, "internal: job kind mismatch"),
+            ),
+            Err(e) => write_line(stream, &Response::failure(id, e)),
+        },
     }
 }
 
-fn submit_scan(
-    shared: &Shared,
-    id: Option<String>,
-    paths: Vec<String>,
-    options: ScanRequestOptions,
-) -> Response {
+/// Enqueues one job and waits for its outcome; `Err` carries the message
+/// for a `Response::failure` reply.
+fn submit_job(shared: &Shared, paths: Vec<String>, kind: JobKind) -> Result<Outcome, String> {
     let (reply_tx, reply_rx) = bounded(1);
     let job = Job {
-        id: id.clone(),
         paths,
-        options,
+        kind,
         enqueued: Instant::now(),
         reply: reply_tx,
     };
@@ -370,30 +451,27 @@ fn submit_scan(
         let guard = shared.queue.lock().expect("queue poisoned");
         match guard.as_ref() {
             Some(tx) => tx.try_send(job),
-            None => return Response::failure(id, "daemon is shutting down"),
+            None => return Err("daemon is shutting down".to_owned()),
         }
     };
     match sent {
         Ok(()) => {}
         Err(TrySendError::Full(_)) => {
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            return Response::failure(id, "queue full");
+            return Err("queue full".to_owned());
         }
-        Err(TrySendError::Disconnected(_)) => {
-            return Response::failure(id, "daemon is shutting down")
-        }
+        Err(TrySendError::Disconnected(_)) => return Err("daemon is shutting down".to_owned()),
     }
     // Grace beyond the job's own deadline so a worker-side timeout error
     // normally wins over this transport-level one.
     match reply_rx.recv_timeout(shared.config.job_timeout + Duration::from_millis(250)) {
-        Ok(Ok(outcome)) => Response::scan(id, outcome.chains, outcome.stats, outcome.diagnostics),
-        Ok(Err(e)) => Response::failure(id, e),
-        Err(_) => Response::failure(id, "job timed out"),
+        Ok(result) => result,
+        Err(_) => Err("job timed out".to_owned()),
     }
 }
 
-fn write_reply(stream: &mut TcpStream, reply: &Response) -> std::io::Result<()> {
-    let mut line = serde_json::to_vec(reply).map_err(std::io::Error::other)?;
+fn write_line<T: serde::Serialize>(stream: &mut TcpStream, value: &T) -> std::io::Result<()> {
+    let mut line = serde_json::to_vec(value).map_err(std::io::Error::other)?;
     line.push(b'\n');
     stream.write_all(&line)
 }
@@ -444,13 +522,82 @@ mod tests {
         let reply: Response = serde_json::from_str(line.trim()).unwrap();
         assert!(!reply.ok);
         assert!(reply.error.unwrap().contains("malformed"));
-        // Same connection still works.
+        // An unversioned (protocol v1) request is rejected with guidance …
         stream.write_all(b"{\"cmd\":\"ping\"}\n").unwrap();
+        line.clear();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        let reply: Response = serde_json::from_str(line.trim()).unwrap();
+        assert!(!reply.ok);
+        assert!(reply.error.unwrap().contains("unversioned request"));
+        // … and the same connection still works for a versioned one.
+        stream.write_all(b"{\"v\":2,\"cmd\":\"ping\"}\n").unwrap();
         line.clear();
         std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
         let reply: Response = serde_json::from_str(line.trim()).unwrap();
         assert!(reply.ok);
         handle.stop();
+    }
+
+    #[test]
+    fn query_round_trip_streams_rows() {
+        use tabby_ir::compile::compile_program;
+        use tabby_ir::{JType, ProgramBuilder};
+        let dir = std::env::temp_dir().join(format!(
+            "tabby-daemon-query-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("q.A");
+        cb.serializable_in_place();
+        let mut mb = cb.method("m1", vec![], JType::Void);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        for (name, bytes) in compile_program(&pb.build()) {
+            std::fs::write(dir.join(format!("{name}.class")), bytes).unwrap();
+        }
+
+        let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+        let addr = handle.addr().to_string();
+        let paths = vec![dir.to_string_lossy().into_owned()];
+        let reply = client::query(
+            &addr,
+            paths.clone(),
+            "MATCH (m:Method) RETURN m.NAME",
+            &QueryRequestOptions::default(),
+        )
+        .unwrap();
+        assert!(reply.header.ok, "{:?}", reply.header.error);
+        assert_eq!(
+            reply.header.columns.as_deref(),
+            Some(&["m.NAME".to_owned()][..])
+        );
+        assert!(!reply.truncated);
+        assert!(
+            reply.rows.iter().any(|r| r[0] == serde_json::json!("m1")),
+            "rows: {:?}",
+            reply.rows
+        );
+        // A parse error comes back as a failure header; the daemon and the
+        // connection both survive.
+        let bad = client::query(
+            &addr,
+            paths,
+            "MATCH m RETURN m",
+            &QueryRequestOptions::default(),
+        )
+        .unwrap();
+        assert!(!bad.header.ok);
+        assert!(
+            bad.header.error.unwrap().contains("error: "),
+            "caret render"
+        );
+        assert!(bad.rows.is_empty());
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,11 +23,11 @@
 //! and their Actions — cannot be affected by any change outside its cone.
 
 use crate::cache::{CachedChains, CachedClass, CachedCpg, ComponentState, ScanCache};
-use crate::protocol::{JobStats, ScanRequestOptions};
+use crate::protocol::{JobStats, QueryRequestOptions, ScanRequestOptions};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tabby_core::{
     summarize_program_incremental_contained, AnalysisConfig, Cpg, CpgSchema, MethodSummary,
     ScanDiagnostics, SkippedClass,
@@ -39,6 +39,7 @@ use tabby_pathfinder::{
     find_chains_raw_detailed, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
     TriggerCondition,
 };
+use tabby_query::{ExecConfig, QueryOutput};
 
 /// The result of one scan job.
 #[derive(Debug)]
@@ -50,6 +51,23 @@ pub struct JobOutcome {
     /// What was skipped, quarantined, or truncated (empty for a clean,
     /// complete scan).
     pub diagnostics: ScanDiagnostics,
+}
+
+/// The result of one TQL query job.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Columns, rows, truncation flags, and planner notes.
+    pub output: QueryOutput,
+    /// Timing and cache-effectiveness stats.
+    pub stats: JobStats,
+    /// CPG-phase diagnostics (lift quarantines, summarize truncations).
+    pub diagnostics: ScanDiagnostics,
+}
+
+/// Mutable per-job accounting threaded through the CPG resolution tiers.
+struct JobTrace<'a> {
+    stats: &'a mut JobStats,
+    diagnostics: &'a mut ScanDiagnostics,
 }
 
 /// The daemon's scan engine: analysis configuration plus the shared cache.
@@ -141,60 +159,12 @@ impl Engine {
             c
         };
 
-        // ----- collect, read, hash ----------------------------------------
-        let mut files = Vec::new();
-        for p in paths {
-            collect_class_files(Path::new(p), &mut files)?;
-        }
-        files.sort();
-        files.dedup();
-        if files.is_empty() {
-            return Err(format!(
-                "no .class files found under the given paths: {}",
-                paths.join(", ")
-            ));
-        }
-        let mut blobs = Vec::with_capacity(files.len());
-        for f in &files {
-            let bytes = std::fs::read(f).map_err(|e| format!("{}: {e}", f.display()))?;
-            let hash = content_hash64(&bytes);
-            blobs.push((bytes, hash));
-        }
-
-        // ----- cache keys --------------------------------------------------
-        let mut content: Vec<u64> = blobs.iter().map(|(_, h)| *h).collect();
-        content.sort_unstable();
-        content.dedup();
-        let cpg_key = {
-            let mut k = Fnv64::new();
-            for h in &content {
-                k.write_u64(*h);
-            }
-            k.write_u64(self.analysis_fp);
-            k.write_u64(u64::from(options.extended));
-            // Strict and tolerant scans of the same bytes can include
-            // different classes, so they must never share cache entries.
-            k.write_u64(u64::from(options.strict));
-            k.finish()
-        };
-        let chains_key = {
-            let mut k = Fnv64::new();
-            k.write_u64(cpg_key);
-            k.write_u64(options.depth as u64);
-            k.finish()
-        };
-        let component_key = {
-            let mut k = Fnv64::new();
-            for f in &files {
-                k.write(f.to_string_lossy().as_bytes());
-                k.write(&[0]);
-            }
-            k.write_u64(self.analysis_fp);
-            k.finish()
-        };
-        // Note that `chains_key` deliberately excludes `search_threads` and
-        // `tc_memo`: only complete (non-truncated) chain sets are cached,
-        // and complete sets are invariant to both knobs — they are
+        // ----- collect, read, hash, key -----------------------------------
+        let input = collect_and_hash(paths)?;
+        let keys = self.job_keys(&input, options);
+        // Note that the chains key deliberately excludes `search_threads`
+        // and `tc_memo`: only complete (non-truncated) chain sets are
+        // cached, and complete sets are invariant to both knobs — they are
         // byte-identical across every thread count and memo setting.
         let search_cfg = SearchConfig {
             max_depth: options.depth,
@@ -206,8 +176,8 @@ impl Engine {
 
         // ----- tier 1: chain cache ----------------------------------------
         if !options.fresh && !faulty {
-            if let Some(cached) = self.lock_cache().get_chains(chains_key) {
-                stats.classes = content.len();
+            if let Some(cached) = self.lock_cache().get_chains(keys.chains) {
+                stats.classes = input.content.len();
                 stats.job_cache_hit = true;
                 stats.cache_hit_ratio = 1.0;
                 stats.total_ms = ms_since(started);
@@ -217,57 +187,193 @@ impl Engine {
                     diagnostics: cached.diagnostics,
                 });
             }
+        }
 
-            // ----- tier 2: CPG cache (search only) ------------------------
-            let cached = self.lock_cache().get_cpg(cpg_key);
-            if let Some(cpg) = cached {
-                let t = Instant::now();
-                let schema = CpgSchema::lookup(&cpg.graph)
-                    .ok_or("cached CPG is missing its schema vocabulary")?;
-                let sinks: Vec<(NodeId, TriggerCondition)> = cpg
-                    .sinks
-                    .iter()
-                    .map(|(n, tc, _)| (NodeId(*n), tc.iter().copied().collect()))
-                    .collect();
-                let categories: Vec<(NodeId, String)> = cpg
-                    .sinks
-                    .iter()
-                    .map(|(n, _, cat)| (NodeId(*n), cat.clone()))
-                    .collect();
-                let sources: HashSet<NodeId> = cpg.sources.iter().map(|&n| NodeId(n)).collect();
-                let search = find_chains_raw_detailed(
-                    &cpg.graph,
-                    &schema,
-                    sinks,
-                    categories,
-                    &sources,
-                    &search_cfg,
-                );
-                stats.search_ms = ms_since(t);
-                stats.classes = content.len();
-                stats.cpg_cache_hit = true;
-                stats.cache_hit_ratio = 1.0;
-                diagnostics.merge(cpg.diagnostics.clone());
-                diagnostics.search_truncated = search.truncated;
-                diagnostics.search_expansions = search.expansions;
-                diagnostics.search_memo_hits = search.memo_hits;
-                // A truncated search is deadline-dependent, not
-                // content-addressed — never serve it to a later job.
-                if !search.truncated {
-                    self.lock_cache().put_chains(
-                        chains_key,
-                        &CachedChains {
-                            chains: search.chains.clone(),
-                            diagnostics: diagnostics.clone(),
-                        },
-                    );
-                }
-                stats.total_ms = ms_since(started);
-                return Ok(JobOutcome {
-                    chains: search.chains,
-                    stats,
-                    diagnostics,
-                });
+        // ----- tiers 2–4: CPG cache, incremental, or cold build -----------
+        let cpg = self.resolve_cpg(
+            &input,
+            &keys,
+            options,
+            &config,
+            deadline,
+            &mut JobTrace {
+                stats: &mut stats,
+                diagnostics: &mut diagnostics,
+            },
+        )?;
+
+        // ----- search ------------------------------------------------------
+        let t_search = Instant::now();
+        let schema =
+            CpgSchema::lookup(&cpg.graph).ok_or("resolved CPG is missing its schema vocabulary")?;
+        let sinks: Vec<(NodeId, TriggerCondition)> = cpg
+            .sinks
+            .iter()
+            .map(|(n, tc, _)| (NodeId(*n), tc.iter().copied().collect()))
+            .collect();
+        let categories: Vec<(NodeId, String)> = cpg
+            .sinks
+            .iter()
+            .map(|(n, _, cat)| (NodeId(*n), cat.clone()))
+            .collect();
+        let sources: HashSet<NodeId> = cpg.sources.iter().map(|&n| NodeId(n)).collect();
+        let search = find_chains_raw_detailed(
+            &cpg.graph,
+            &schema,
+            sinks,
+            categories,
+            &sources,
+            &search_cfg,
+        );
+        stats.search_ms = ms_since(t_search);
+        diagnostics.search_truncated = search.truncated;
+        diagnostics.search_expansions = search.expansions;
+        diagnostics.search_memo_hits = search.memo_hits;
+        // A truncated search is deadline-dependent, not content-addressed —
+        // never serve it to a later job. Faulty jobs never write caches.
+        if !faulty && !search.truncated {
+            self.lock_cache().put_chains(
+                keys.chains,
+                &CachedChains {
+                    chains: search.chains.clone(),
+                    diagnostics: diagnostics.clone(),
+                },
+            );
+        }
+        stats.total_ms = ms_since(started);
+        Ok(JobOutcome {
+            chains: search.chains,
+            stats,
+            diagnostics,
+        })
+    }
+
+    /// Runs one TQL query job against the CPG for `paths`. The CPG
+    /// resolves through the same content-addressed cache tiers as a scan,
+    /// so a query right after a scan of the same bytes costs only the
+    /// pattern search.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the same path/lift errors as [`Engine::run_scan`], and on
+    /// TQL parse errors (rendered with a caret pointing at the offending
+    /// span). Budget overruns are not errors: the output is marked
+    /// truncated instead.
+    pub fn run_query(
+        &self,
+        paths: &[String],
+        query: &str,
+        options: &QueryRequestOptions,
+        deadline: Instant,
+    ) -> Result<QueryOutcome, String> {
+        let started = Instant::now();
+        let mut stats = JobStats::default();
+        let mut diagnostics = ScanDiagnostics::default();
+        // A query needs exactly the CPG a default scan would build; only
+        // the source catalog (extended) and cache policy (fresh) carry
+        // over, so scans and queries share cache entries.
+        let scan_options = ScanRequestOptions {
+            extended: options.extended,
+            fresh: options.fresh,
+            ..ScanRequestOptions::default()
+        };
+        let input = collect_and_hash(paths)?;
+        let keys = self.job_keys(&input, &scan_options);
+        let cpg = self.resolve_cpg(
+            &input,
+            &keys,
+            &scan_options,
+            &self.config,
+            deadline,
+            &mut JobTrace {
+                stats: &mut stats,
+                diagnostics: &mut diagnostics,
+            },
+        )?;
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let cfg = ExecConfig {
+            max_rows: options.max_rows,
+            max_expansions: options.max_expansions,
+            timeout: Some(match options.timeout_ms {
+                Some(ms) => remaining.min(Duration::from_millis(ms)),
+                None => remaining,
+            }),
+        };
+        let t_query = Instant::now();
+        let output =
+            tabby_query::run_query(&cpg.graph, query, &cfg).map_err(|e| e.render(query))?;
+        stats.search_ms = ms_since(t_query);
+        stats.total_ms = ms_since(started);
+        Ok(QueryOutcome {
+            output,
+            stats,
+            diagnostics,
+        })
+    }
+
+    /// Derives the three cache keys for one job. The CPG and chain keys
+    /// are content-addressed; the component key is deliberately path-keyed
+    /// so incremental state follows the component, not the bytes.
+    fn job_keys(&self, input: &JobInput, options: &ScanRequestOptions) -> JobKeys {
+        let cpg = {
+            let mut k = Fnv64::new();
+            for h in &input.content {
+                k.write_u64(*h);
+            }
+            k.write_u64(self.analysis_fp);
+            k.write_u64(u64::from(options.extended));
+            // Strict and tolerant scans of the same bytes can include
+            // different classes, so they must never share cache entries.
+            k.write_u64(u64::from(options.strict));
+            k.finish()
+        };
+        let chains = {
+            let mut k = Fnv64::new();
+            k.write_u64(cpg);
+            k.write_u64(options.depth as u64);
+            k.finish()
+        };
+        let component = {
+            let mut k = Fnv64::new();
+            for f in &input.files {
+                k.write(f.to_string_lossy().as_bytes());
+                k.write(&[0]);
+            }
+            k.write_u64(self.analysis_fp);
+            k.finish()
+        };
+        JobKeys {
+            cpg,
+            chains,
+            component,
+        }
+    }
+
+    /// Resolves the annotated CPG for one job: serve the content-addressed
+    /// CPG cache when allowed, otherwise lift (per-class cache), summarize
+    /// (incrementally when a prior component state exists), build,
+    /// annotate, and populate the caches. Both the backwards chain search
+    /// and TQL queries run over the returned value, so the two job kinds
+    /// can never disagree about the graph they saw.
+    fn resolve_cpg(
+        &self,
+        input: &JobInput,
+        keys: &JobKeys,
+        options: &ScanRequestOptions,
+        config: &AnalysisConfig,
+        deadline: Instant,
+        trace: &mut JobTrace<'_>,
+    ) -> Result<Arc<CachedCpg>, String> {
+        let faulty = options.inject_fault.is_some();
+
+        // ----- tier 2: CPG cache ------------------------------------------
+        if !options.fresh && !faulty {
+            if let Some(cpg) = self.lock_cache().get_cpg(keys.cpg) {
+                trace.stats.classes = input.content.len();
+                trace.stats.cpg_cache_hit = true;
+                trace.stats.cache_hit_ratio = 1.0;
+                trace.diagnostics.merge(cpg.diagnostics.clone());
+                return Ok(cpg);
             }
         }
         check_deadline(deadline, "cache lookup")?;
@@ -280,9 +386,9 @@ impl Engine {
         let t_lift = Instant::now();
         let (program, class_hashes) = {
             let mut cache = self.lock_cache();
-            let mut resolved = Vec::with_capacity(blobs.len());
+            let mut resolved = Vec::with_capacity(input.blobs.len());
             let mut seen = HashSet::new();
-            for ((bytes, hash), path) in blobs.iter().zip(&files) {
+            for ((bytes, hash), path) in input.blobs.iter().zip(&input.files) {
                 if !seen.insert(*hash) {
                     continue;
                 }
@@ -306,7 +412,7 @@ impl Engine {
                 ));
                 let failure = match attempt {
                     Ok(Ok((fqcn, class))) => {
-                        stats.classes_lifted += 1;
+                        trace.stats.classes_lifted += 1;
                         cache.put_class(
                             *hash,
                             CachedClass {
@@ -326,7 +432,7 @@ impl Engine {
                 if options.strict {
                     return Err(format!("{}: {}", path.display(), failure.1));
                 }
-                diagnostics.skipped_classes.push(SkippedClass {
+                trace.diagnostics.skipped_classes.push(SkippedClass {
                     source: path.display().to_string(),
                     class_name: failure.0,
                     byte_hash: *hash,
@@ -347,50 +453,53 @@ impl Engine {
             }
             (pb.build(), class_hashes)
         };
-        stats.lift_ms = ms_since(t_lift);
-        stats.classes = program.classes().len();
+        trace.stats.lift_ms = ms_since(t_lift);
+        trace.stats.classes = program.classes().len();
         check_deadline(deadline, "lift")?;
 
         // ----- summarize (incremental when a prior state exists) ----------
         let t_sum = Instant::now();
-        stats.methods = program
+        trace.stats.methods = program
             .method_ids()
             .filter(|id| program.method(*id).body.is_some())
             .count();
         let prior = if options.fresh || faulty {
             None
         } else {
-            self.lock_cache().get_component(component_key)
+            self.lock_cache().get_component(keys.component)
         };
         let seed = match &prior {
             Some(state) => remap_clean_summaries(state, &program, &class_hashes),
             None => HashMap::new(),
         };
-        stats.methods_summarized = stats.methods - seed.len();
-        stats.cache_hit_ratio = if stats.methods == 0 {
+        trace.stats.methods_summarized = trace.stats.methods - seed.len();
+        trace.stats.cache_hit_ratio = if trace.stats.methods == 0 {
             0.0
         } else {
-            seed.len() as f64 / stats.methods as f64
+            seed.len() as f64 / trace.stats.methods as f64
         };
         let outcome = summarize_program_incremental_contained(
             &program,
-            &config,
+            config,
             self.analysis_threads,
             &HashSet::new(),
             &seed,
             Some(deadline),
         );
-        diagnostics.fixpoint_truncations += outcome.fixpoint_truncations();
-        diagnostics.quarantined_methods.extend(outcome.quarantined);
-        stats.summarize_waves = outcome.scheduler.waves;
-        stats.summarize_largest_scc = outcome.scheduler.largest_scc;
-        stats.summaries_computed = outcome.scheduler.summaries_computed;
-        diagnostics.summarize_waves = outcome.scheduler.waves;
-        diagnostics.summarize_largest_scc = outcome.scheduler.largest_scc;
-        diagnostics.summaries_computed = outcome.scheduler.summaries_computed;
-        diagnostics.methods_with_bodies = outcome.scheduler.methods_with_bodies;
+        trace.diagnostics.fixpoint_truncations += outcome.fixpoint_truncations();
+        trace
+            .diagnostics
+            .quarantined_methods
+            .extend(outcome.quarantined);
+        trace.stats.summarize_waves = outcome.scheduler.waves;
+        trace.stats.summarize_largest_scc = outcome.scheduler.largest_scc;
+        trace.stats.summaries_computed = outcome.scheduler.summaries_computed;
+        trace.diagnostics.summarize_waves = outcome.scheduler.waves;
+        trace.diagnostics.summarize_largest_scc = outcome.scheduler.largest_scc;
+        trace.diagnostics.summaries_computed = outcome.scheduler.summaries_computed;
+        trace.diagnostics.methods_with_bodies = outcome.scheduler.methods_with_bodies;
         let summaries = outcome.summaries;
-        stats.summarize_ms = ms_since(t_sum);
+        trace.stats.summarize_ms = ms_since(t_sum);
         check_deadline(deadline, "summarize")?;
 
         // ----- build + annotate -------------------------------------------
@@ -404,58 +513,34 @@ impl Engine {
         };
         let sink_nodes = sink_catalog.annotate(&mut cpg);
         let source_nodes = source_catalog.annotate(&mut cpg);
-        stats.build_ms = ms_since(t_build);
+        trace.stats.build_ms = ms_since(t_build);
         check_deadline(deadline, "build")?;
 
-        // ----- search ------------------------------------------------------
-        let t_search = Instant::now();
-        let sinks_tc: Vec<(NodeId, TriggerCondition)> = sink_nodes
-            .iter()
-            .map(|(n, s)| (*n, s.trigger_condition.iter().copied().collect()))
-            .collect();
-        let categories: Vec<(NodeId, String)> = sink_nodes
-            .iter()
-            .map(|(n, s)| (*n, s.category.as_str().to_owned()))
-            .collect();
-        let search = find_chains_raw_detailed(
-            &cpg.graph,
-            &cpg.schema,
-            sinks_tc,
-            categories,
-            &source_nodes,
-            &search_cfg,
-        );
-        stats.search_ms = ms_since(t_search);
-        // Phase diagnostics so far cover lift + summarize; the CPG cache
-        // entry stores exactly those (search degradation is per-query).
-        let phase_diagnostics = diagnostics.clone();
-        diagnostics.search_truncated = search.truncated;
-        diagnostics.search_expansions = search.expansions;
-        diagnostics.search_memo_hits = search.memo_hits;
-        let chains = search.chains;
-
-        // ----- populate caches --------------------------------------------
+        // ----- assemble + populate caches ---------------------------------
+        // Diagnostics so far cover lift + summarize; the CPG cache entry
+        // stores exactly those (search degradation is per-query).
+        let phase_diagnostics = trace.diagnostics.clone();
+        let class_order: Vec<Symbol> = program.classes().iter().map(|c| c.name).collect();
+        let mut sources: Vec<u32> = source_nodes.iter().map(|n| n.0).collect();
+        sources.sort_unstable();
+        let cached_cpg = Arc::new(CachedCpg {
+            graph: cpg.graph,
+            sinks: sink_nodes
+                .iter()
+                .map(|(n, s)| {
+                    (
+                        n.0,
+                        s.trigger_condition.clone(),
+                        s.category.as_str().to_owned(),
+                    )
+                })
+                .collect(),
+            sources,
+            diagnostics: phase_diagnostics,
+        });
         // Fault-injected jobs produced deliberately wrong summaries; keep
         // them out of every cache tier.
         if !faulty {
-            let class_order: Vec<Symbol> = program.classes().iter().map(|c| c.name).collect();
-            let mut sources: Vec<u32> = source_nodes.iter().map(|n| n.0).collect();
-            sources.sort_unstable();
-            let cached_cpg = CachedCpg {
-                graph: cpg.graph,
-                sinks: sink_nodes
-                    .iter()
-                    .map(|(n, s)| {
-                        (
-                            n.0,
-                            s.trigger_condition.clone(),
-                            s.category.as_str().to_owned(),
-                        )
-                    })
-                    .collect(),
-                sources,
-                diagnostics: phase_diagnostics,
-            };
             // Budget-truncated summaries are deadline artifacts — drop them
             // from the seed state so the next scan recomputes them.
             let complete_summaries: HashMap<MethodId, MethodSummary> = summaries
@@ -464,30 +549,16 @@ impl Engine {
                 .collect();
             let mut cache = self.lock_cache();
             cache.put_component(
-                component_key,
+                keys.component,
                 ComponentState {
                     class_hashes,
                     class_order,
                     summaries: complete_summaries,
                 },
             );
-            cache.put_cpg(cpg_key, Arc::new(cached_cpg));
-            if !search.truncated {
-                cache.put_chains(
-                    chains_key,
-                    &CachedChains {
-                        chains: chains.clone(),
-                        diagnostics: diagnostics.clone(),
-                    },
-                );
-            }
+            cache.put_cpg(keys.cpg, Arc::clone(&cached_cpg));
         }
-        stats.total_ms = ms_since(started);
-        Ok(JobOutcome {
-            chains,
-            stats,
-            diagnostics,
-        })
+        Ok(cached_cpg)
     }
 }
 
@@ -502,10 +573,80 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
+/// The resolved input of one job: every `.class` file under the requested
+/// paths, with its bytes and content hash (`blobs[i]` belongs to
+/// `files[i]`).
+struct JobInput {
+    files: Vec<PathBuf>,
+    blobs: Vec<(Vec<u8>, u64)>,
+    /// Distinct content hashes, sorted — the job's content address.
+    content: Vec<u64>,
+}
+
+/// The three cache keys derived from one job's input and options.
+struct JobKeys {
+    cpg: u64,
+    chains: u64,
+    component: u64,
+}
+
+/// Walks the requested paths into a [`JobInput`]. An input with no
+/// `.class` files at all is an error, and if the walk saw `.jar` archives
+/// along the way the error says how to unpack them instead of reporting a
+/// bare "nothing found".
+fn collect_and_hash(paths: &[String]) -> Result<JobInput, String> {
+    let mut files = Vec::new();
+    let mut jars = Vec::new();
+    for p in paths {
+        collect_class_files(Path::new(p), &mut files, &mut jars)?;
+    }
+    files.sort();
+    files.dedup();
+    if files.is_empty() {
+        jars.sort();
+        jars.dedup();
+        if !jars.is_empty() {
+            let listed: Vec<String> = jars.iter().map(|j| j.display().to_string()).collect();
+            return Err(format!(
+                "no .class files found, but the walk found {} .jar archive(s): jars are \
+                 unsupported and must be unpacked (e.g. with `unzip` or `jar xf`) before \
+                 scanning the extracted .class files ({})",
+                jars.len(),
+                listed.join(", ")
+            ));
+        }
+        return Err(format!(
+            "no .class files found under the given paths: {}",
+            paths.join(", ")
+        ));
+    }
+    let mut blobs = Vec::with_capacity(files.len());
+    for f in &files {
+        let bytes = std::fs::read(f).map_err(|e| format!("{}: {e}", f.display()))?;
+        let hash = content_hash64(&bytes);
+        blobs.push((bytes, hash));
+    }
+    let mut content: Vec<u64> = blobs.iter().map(|(_, h)| *h).collect();
+    content.sort_unstable();
+    content.dedup();
+    Ok(JobInput {
+        files,
+        blobs,
+        content,
+    })
+}
+
 /// Recursively collects `.class` files. Unlike a best-effort walk, every
 /// explicitly named path must exist and be a directory or a `.class` file —
-/// a typo'd path is an error, not an empty scan.
-fn collect_class_files(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+/// a typo'd path is an error, not an empty scan. `.jar` archives met inside
+/// a directory are recorded in `jars` for diagnostics; an explicitly named
+/// jar is rejected outright with unpacking guidance.
+fn collect_class_files(
+    path: &Path,
+    out: &mut Vec<PathBuf>,
+    jars: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let is_jar = |p: &Path| p.extension().is_some_and(|e| e.eq_ignore_ascii_case("jar"));
     let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
     if meta.is_dir() {
         let entries = std::fs::read_dir(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -520,13 +661,22 @@ fn collect_class_files(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String
         children.sort();
         for child in children {
             // Inside a directory the walk is selective, not strict: only
-            // subdirectories and `.class` files are visited.
+            // subdirectories and `.class` files are visited; jars are
+            // noted so an otherwise-empty walk can explain itself.
             if child.is_dir() || child.extension().is_some_and(|e| e == "class") {
-                collect_class_files(&child, out)?;
+                collect_class_files(&child, out, jars)?;
+            } else if is_jar(&child) {
+                jars.push(child);
             }
         }
     } else if path.extension().is_some_and(|e| e == "class") {
         out.push(path.to_path_buf());
+    } else if is_jar(path) {
+        return Err(format!(
+            "{}: jars are unsupported and must be unpacked (e.g. with `unzip` or `jar xf`) \
+             before scanning the extracted .class files",
+            path.display()
+        ));
     } else {
         return Err(format!(
             "{}: not a .class file or a directory",
@@ -920,6 +1070,90 @@ mod tests {
         assert!(warm.stats.job_cache_hit);
         assert!(warm.diagnostics.quarantined_methods.is_empty());
         assert_eq!(warm.chains, clean.chains);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jar_input_explains_unpacking() {
+        let dir = temp_dir("jar");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("app.jar"), b"PK\x03\x04").unwrap();
+        let engine = Engine::new(None, 8, 1);
+        // A directory holding only a jar: the walk names the jar and says
+        // how to proceed instead of a bare "no classes found".
+        let err = engine
+            .run_scan(
+                &[dir.to_string_lossy().into_owned()],
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .unwrap_err();
+        assert!(
+            err.contains("jars are unsupported and must be unpacked"),
+            "{err}"
+        );
+        assert!(err.contains("app.jar"), "{err}");
+        // Naming the jar directly gets the same guidance.
+        let err = engine
+            .run_scan(
+                &[dir.join("app.jar").to_string_lossy().into_owned()],
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .unwrap_err();
+        assert!(
+            err.contains("jars are unsupported and must be unpacked"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_reuses_the_scan_cpg_cache() {
+        let dir = temp_dir("query");
+        write_corpus(&dir, false);
+        let engine = Engine::new(None, 8, 1);
+        let paths = [dir.to_string_lossy().into_owned()];
+        scan(&engine, &dir);
+        // The scan populated the CPG cache; a default-options query over
+        // the same bytes resolves it without re-analyzing anything.
+        let out = engine
+            .run_query(
+                &paths,
+                "MATCH (m:Method {NAME: \"m1\"}) RETURN m.CLASS_NAME",
+                &QueryRequestOptions::default(),
+                far_deadline(),
+            )
+            .expect("query succeeds");
+        assert!(out.stats.cpg_cache_hit);
+        assert_eq!(out.output.columns, vec!["m.CLASS_NAME"]);
+        assert!(!out.output.truncated);
+        let mut classes: Vec<String> = out
+            .output
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_owned())
+            .collect();
+        classes.sort();
+        assert_eq!(classes, vec!["t.A", "t.B", "t.C"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_parse_error_is_rendered_with_a_caret() {
+        let dir = temp_dir("query-err");
+        write_corpus(&dir, false);
+        let engine = Engine::new(None, 8, 1);
+        let err = engine
+            .run_query(
+                &[dir.to_string_lossy().into_owned()],
+                "MATCH m RETURN m",
+                &QueryRequestOptions::default(),
+                far_deadline(),
+            )
+            .unwrap_err();
+        assert!(err.starts_with("error: "), "{err}");
+        assert!(err.contains('^'), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -23,9 +23,16 @@
 //! milliseconds, and the summarize-cache hit ratio — so cache behavior is
 //! observable, not inferred.
 //!
-//! The CLI front-ends are `tabby serve` and `tabby submit`; the protocol
-//! itself is plain enough for `nc` (see the repository README, "Running as
-//! a service").
+//! Besides scans, the daemon serves **TQL queries** (`"cmd": "query"`)
+//! against the same content-addressed CPG cache: the reply is a header
+//! line followed by one `{"row": [...]}` line per result row and a
+//! `{"done": ...}` trailer carrying truncation accounting. Requests are
+//! versioned (`"v"`): the daemon rejects other protocol versions with a
+//! clear error instead of guessing ([`protocol::PROTOCOL_VERSION`]).
+//!
+//! The CLI front-ends are `tabby serve`, `tabby submit`, and
+//! `tabby submit --query`; the protocol itself is plain enough for `nc`
+//! (see the repository README, "Running as a service").
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,8 +45,11 @@ pub mod protocol;
 pub mod signal;
 
 pub use cache::{CachedChains, CachedClass, CachedCpg, ComponentState, ScanCache};
-pub use client::{request, submit, submit_with_retry, RetryPolicy};
+pub use client::{query, request, submit, submit_with_retry, QueryReply, RetryPolicy};
 pub use daemon::{Daemon, DaemonHandle, ServiceConfig};
-pub use engine::{Engine, JobOutcome};
-pub use protocol::{DaemonInfo, JobStats, Request, Response, ScanRequestOptions};
+pub use engine::{Engine, JobOutcome, QueryOutcome};
+pub use protocol::{
+    encode_request, parse_request, DaemonInfo, JobStats, QueryRequestOptions, Request, Response,
+    ScanRequestOptions, PROTOCOL_VERSION,
+};
 pub use signal::{install_handlers, termination_requested};

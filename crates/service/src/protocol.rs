@@ -11,6 +11,59 @@ use serde::{Deserialize, Serialize};
 use tabby_core::ScanDiagnostics;
 use tabby_pathfinder::GadgetChain;
 
+/// The protocol version this build speaks. Every request must carry it in
+/// a top-level `"v"` field and every response echoes it, so a client and a
+/// daemon from different releases fail loudly instead of misinterpreting
+/// each other. v1 was the unversioned scan-only protocol; v2 added the
+/// `"v"` field and the `query` command.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Parses one request line, enforcing the protocol version.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, a missing `"v"`
+/// field (an unversioned v1 client), or a version mismatch.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| format!("malformed request: {e}"))?;
+    match value.get("v") {
+        None => {
+            return Err(format!(
+                "unversioned request: this daemon speaks protocol v{PROTOCOL_VERSION} and \
+                 every request must carry \"v\":{PROTOCOL_VERSION} (unversioned v1 clients \
+                 must upgrade)"
+            ))
+        }
+        Some(v) => match v.as_u64() {
+            Some(n) if n == u64::from(PROTOCOL_VERSION) => {}
+            Some(n) => {
+                return Err(format!(
+                    "protocol version mismatch: request is v{n}, daemon speaks v{PROTOCOL_VERSION}"
+                ))
+            }
+            None => return Err(format!(
+                "protocol version mismatch: \"v\" must be the integer {PROTOCOL_VERSION}, got {v}"
+            )),
+        },
+    }
+    serde_json::from_value(value).map_err(|e| format!("malformed request: {e}"))
+}
+
+/// Attaches the protocol version to a request and serializes it to one
+/// JSON line (without the trailing newline).
+///
+/// # Errors
+///
+/// Propagates serialization failures as strings.
+pub fn encode_request(req: &Request) -> Result<String, String> {
+    let mut value = serde_json::to_value(req).map_err(|e| format!("encode request: {e}"))?;
+    if let Some(obj) = value.as_object_mut() {
+        obj.insert("v".to_owned(), serde_json::json!(PROTOCOL_VERSION));
+    }
+    serde_json::to_string(&value).map_err(|e| format!("encode request: {e}"))
+}
+
 /// Default chain-search depth (the paper's Algorithm 3 default).
 fn default_depth() -> usize {
     12
@@ -38,6 +91,23 @@ pub enum Request {
         /// Scan options; every field has a default.
         #[serde(default)]
         options: ScanRequestOptions,
+    },
+    /// Run one TQL query against the (content-addressed, cached) CPG of
+    /// the given paths. The reply is a header [`Response`] carrying the
+    /// column names, then one `{"row":[...]}` line per result row, then a
+    /// `{"done":true,...}` trailer — JSON-lines streaming, same framing as
+    /// everything else.
+    Query {
+        /// Optional correlation id, echoed in the header reply.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<String>,
+        /// Paths (files or directories) to collect `.class` files from.
+        paths: Vec<String>,
+        /// The TQL query text.
+        query: String,
+        /// Query options; every field has a default.
+        #[serde(default)]
+        options: QueryRequestOptions,
     },
     /// Liveness probe.
     Ping {
@@ -106,6 +176,50 @@ impl Default for ScanRequestOptions {
             inject_fault: None,
             search_threads: None,
             tc_memo: true,
+        }
+    }
+}
+
+/// Default row cap of a [`Request::Query`].
+fn default_max_rows() -> usize {
+    10_000
+}
+
+/// Default expansion budget of a [`Request::Query`].
+fn default_max_expansions() -> usize {
+    2_000_000
+}
+
+/// Options of a [`Request::Query`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryRequestOptions {
+    /// Use the extended source catalog when annotating the CPG (matches
+    /// the scan option of the same name; changes `IS_SOURCE` tagging).
+    #[serde(default)]
+    pub extended: bool,
+    /// Bypass cache *reads* (the resolved CPG is still cached).
+    #[serde(default)]
+    pub fresh: bool,
+    /// Maximum rows returned; overflow sets `truncated` in the trailer.
+    #[serde(default = "default_max_rows")]
+    pub max_rows: usize,
+    /// Maximum edge expansions in the pattern search.
+    #[serde(default = "default_max_expansions")]
+    pub max_expansions: usize,
+    /// Optional executor wall-clock budget in milliseconds (the job's own
+    /// deadline still applies on top).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for QueryRequestOptions {
+    fn default() -> Self {
+        QueryRequestOptions {
+            extended: false,
+            fresh: false,
+            max_rows: default_max_rows(),
+            max_expansions: default_max_expansions(),
+            timeout_ms: None,
         }
     }
 }
@@ -185,10 +299,15 @@ pub struct DaemonInfo {
     pub cached_cpgs: usize,
 }
 
-/// A daemon reply. Exactly one line of JSON per request; `ok` tells the
-/// client whether to look at the payload fields or at `error`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// A daemon reply. One line of JSON per request (queries follow the header
+/// with row and trailer lines); `ok` tells the client whether to look at
+/// the payload fields or at `error`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Response {
+    /// Protocol version of the daemon that produced this reply. Replies
+    /// missing the field deserialize as `0` — an unversioned v1 daemon.
+    #[serde(default)]
+    pub v: u32,
     /// Echo of the request's correlation id, if any.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub id: Option<String>,
@@ -210,6 +329,33 @@ pub struct Response {
     /// Daemon-wide stats (stats replies only).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub daemon: Option<DaemonInfo>,
+    /// Column headers (query header replies only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub columns: Option<Vec<String>>,
+    /// Planner warnings — unknown names, anchor notes (query headers only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub warnings: Option<Vec<String>>,
+    /// Human-readable anchor description (query headers only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub anchor: Option<String>,
+}
+
+impl Default for Response {
+    fn default() -> Self {
+        Response {
+            v: PROTOCOL_VERSION,
+            id: None,
+            ok: false,
+            error: None,
+            chains: None,
+            stats: None,
+            diagnostics: None,
+            daemon: None,
+            columns: None,
+            warnings: None,
+            anchor: None,
+        }
+    }
 }
 
 impl Response {
@@ -263,6 +409,30 @@ impl Response {
             ..Response::default()
         }
     }
+
+    /// The header reply of a successful query; row and trailer lines
+    /// follow on the same connection.
+    pub fn query_header(
+        id: Option<String>,
+        columns: Vec<String>,
+        warnings: Vec<String>,
+        anchor: String,
+        stats: JobStats,
+    ) -> Self {
+        Response {
+            id,
+            ok: true,
+            columns: Some(columns),
+            warnings: if warnings.is_empty() {
+                None
+            } else {
+                Some(warnings)
+            },
+            anchor: Some(anchor),
+            stats: Some(stats),
+            ..Response::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,9 +450,10 @@ mod tests {
                 ..ScanRequestOptions::default()
             },
         };
-        let line = serde_json::to_string(&req).unwrap();
+        let line = encode_request(&req).unwrap();
         assert!(line.contains("\"cmd\":\"scan\""));
-        let back: Request = serde_json::from_str(&line).unwrap();
+        assert!(line.contains("\"v\":2"));
+        let back = parse_request(&line).unwrap();
         match back {
             Request::Scan { id, paths, options } => {
                 assert_eq!(id.as_deref(), Some("job-1"));
@@ -296,7 +467,7 @@ mod tests {
 
     #[test]
     fn scan_options_default_when_absent() {
-        let req: Request = serde_json::from_str(r#"{"cmd":"scan","paths":["a.class"]}"#).unwrap();
+        let req = parse_request(r#"{"v":2,"cmd":"scan","paths":["a.class"]}"#).unwrap();
         match req {
             Request::Scan { id, options, .. } => {
                 assert!(id.is_none());
@@ -308,9 +479,63 @@ mod tests {
     }
 
     #[test]
+    fn query_request_round_trips_with_default_options() {
+        let req = parse_request(
+            r#"{"v":2,"cmd":"query","paths":["/tmp/app"],"query":"MATCH (m) RETURN m"}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Query {
+                id,
+                paths,
+                query,
+                options,
+            } => {
+                assert!(id.is_none());
+                assert_eq!(paths, vec!["/tmp/app".to_owned()]);
+                assert_eq!(query, "MATCH (m) RETURN m");
+                assert_eq!(options, QueryRequestOptions::default());
+                assert_eq!(options.max_rows, 10_000);
+            }
+            other => panic!("unexpected request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unversioned_request_is_rejected_with_a_clear_message() {
+        let err = parse_request(r#"{"cmd":"ping"}"#).unwrap_err();
+        assert!(err.contains("unversioned request"), "{err}");
+        assert!(err.contains("v2"), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_names_both_versions() {
+        let err = parse_request(r#"{"v":1,"cmd":"ping"}"#).unwrap_err();
+        assert!(err.contains("request is v1"), "{err}");
+        assert!(err.contains("daemon speaks v2"), "{err}");
+        let err = parse_request(r#"{"v":"two","cmd":"ping"}"#).unwrap_err();
+        assert!(err.contains("must be the integer 2"), "{err}");
+    }
+
+    #[test]
     fn unknown_command_is_a_parse_error() {
-        assert!(serde_json::from_str::<Request>(r#"{"cmd":"explode"}"#).is_err());
-        assert!(serde_json::from_str::<Request>("not json").is_err());
+        assert!(parse_request(r#"{"v":2,"cmd":"explode"}"#)
+            .unwrap_err()
+            .contains("malformed request"));
+        assert!(parse_request("not json")
+            .unwrap_err()
+            .contains("malformed request"));
+    }
+
+    #[test]
+    fn responses_carry_the_protocol_version() {
+        let line = serde_json::to_string(&Response::ack(None)).unwrap();
+        assert!(line.contains("\"v\":2"), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.v, PROTOCOL_VERSION);
+        // An unversioned (v1) reply deserializes as v = 0.
+        let old: Response = serde_json::from_str(r#"{"ok":true}"#).unwrap();
+        assert_eq!(old.v, 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`graph`] | embedded property graph + traversal (Neo4j role) |
 //! | [`core`] | controllability analysis + CPG construction (§III-B/C) |
 //! | [`pathfinder`] | sink/source catalogs + chain search (§III-D) |
+//! | [`query`] | TQL, a textual CPG query language (Cypher role, §III-E) |
 //! | [`baselines`] | GadgetInspector / Serianalyzer comparison detectors |
 //! | [`workloads`] | synthetic evaluation corpora with ground truth |
 //! | [`service`] | persistent scan daemon with content-addressed caching |
@@ -80,6 +81,7 @@ pub use tabby_core as core;
 pub use tabby_graph as graph;
 pub use tabby_ir as ir;
 pub use tabby_pathfinder as pathfinder;
+pub use tabby_query as query;
 pub use tabby_service as service;
 pub use tabby_workloads as workloads;
 

@@ -3,9 +3,10 @@
 //! ```text
 //! tabby scan <path>...        scan .class files (or directories of them)
 //! tabby demo                  scan the bundled JDK model (finds URLDNS)
+//! tabby query [<path>...]     run TQL queries against a CPG (-e, REPL, --demo)
 //! tabby sinks                 print the sink catalog (Table VII)
 //! tabby serve                 run the persistent scan daemon
-//! tabby submit <path>...      submit a scan to a running daemon
+//! tabby submit <path>...      submit a scan (or --query) to a running daemon
 //! ```
 //!
 //! Options for `scan`/`demo`:
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "scan" => cmd_scan(rest),
         "demo" => cmd_demo(rest),
+        "query" => cmd_query(rest),
         "sinks" => cmd_sinks(rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
@@ -58,9 +60,10 @@ tabby — automated gadget-chain detection for Java deserialization
 USAGE:
     tabby scan [OPTIONS] <path>...   scan .class files / directories
     tabby demo [OPTIONS]             scan the bundled JDK model
+    tabby query [OPTIONS] [<path>...] run TQL queries against a CPG
     tabby sinks                      print the sink catalog (Table VII)
     tabby serve [OPTIONS]            run the persistent scan daemon
-    tabby submit [OPTIONS] <path>... submit a scan to a running daemon
+    tabby submit [OPTIONS] <path>... submit a scan (or --query) to a daemon
 
 OPTIONS (scan/demo):
     --depth <n>           maximum chain length (default 12)
@@ -76,6 +79,24 @@ OPTIONS (scan/demo):
     --json                emit chains as JSON
     --save-cpg <file>     persist the code property graph as JSON
     --dot <file>          export the code property graph as Graphviz DOT
+
+OPTIONS (query):
+    -e <query>            run one TQL query and exit (default: read queries
+                          from stdin, one per line)
+    --builtin <name>      run a built-in named query (`--arg` supplies its
+                          arguments, in order)
+    --arg <value>         argument for --builtin (repeatable)
+    --builtins            list the built-in queries and exit
+    --demo                query the bundled JDK model instead of class files
+    --extended            extended source catalog for IS_SOURCE tagging
+    --strict              fail on the first malformed class
+    --jobs <n>            analysis worker threads (default: available parallelism)
+    --max-rows <n>        row budget (default 10000; overflow sets truncated)
+    --max-expansions <n>  edge-expansion budget (default 2000000)
+    --timeout-ms <n>      wall-clock budget for one query
+
+    Rows stream to stdout as JSON lines; columns, warnings, and the
+    truncation footer go to stderr.
 
 OPTIONS (serve):
     --addr <ip:port>      listen address (default 127.0.0.1:7433)
@@ -93,7 +114,15 @@ OPTIONS (submit):
     --no-tc-memo          disable the TC-dominance search memo
     --no-retry            fail immediately on connection refused / queue full
                           instead of retrying with backoff
-    --json                emit chains as JSON";
+    --json                emit chains as JSON
+    --query <tql>         run a TQL query against the daemon's cached CPG for
+                          <path>... instead of a scan (rows stream as JSON lines)
+    --builtin <name>      like --query, but a built-in named query (`--arg`
+                          supplies its arguments; `tabby query --builtins` lists)
+    --arg <value>         argument for --builtin (repeatable)
+    --max-rows <n>        query row budget (default 10000)
+    --max-expansions <n>  query edge-expansion budget (default 2000000)
+    --timeout-ms <n>      query wall-clock budget";
 
 #[derive(Default)]
 struct CliOptions {
@@ -181,15 +210,80 @@ fn scan_options(cli: &CliOptions) -> Result<ScanOptions, String> {
     Ok(options)
 }
 
-fn collect_class_files(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+fn collect_class_files(
+    path: &Path,
+    out: &mut Vec<PathBuf>,
+    jars: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
     if path.is_dir() {
         for entry in std::fs::read_dir(path)? {
-            collect_class_files(&entry?.path(), out)?;
+            collect_class_files(&entry?.path(), out, jars)?;
         }
     } else if path.extension().and_then(|e| e.to_str()) == Some("class") {
         out.push(path.to_owned());
+    } else if path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("jar"))
+    {
+        // Remembered so an otherwise-empty walk can explain itself: a jar
+        // full of classes is the most common "why did it find nothing" case.
+        jars.push(path.to_owned());
     }
     Ok(())
+}
+
+/// The error for a walk that found jars but no loose classes. The same
+/// wording is used by the scan daemon (`tabby submit`).
+fn no_classes_error(command: &str, searched: &[PathBuf], jars: &[PathBuf]) -> String {
+    let searched: Vec<String> = searched.iter().map(|p| p.display().to_string()).collect();
+    if jars.is_empty() {
+        return format!(
+            "{command}: no .class files found under: {}",
+            searched.join(", ")
+        );
+    }
+    let jars: Vec<String> = jars.iter().map(|p| p.display().to_string()).collect();
+    format!(
+        "{command}: no .class files found, but the walk found {} .jar archive(s) ({}): \
+         jars are unsupported and must be unpacked (e.g. with `unzip` or `jar xf`) \
+         before scanning the extracted .class files",
+        jars.len(),
+        jars.join(", ")
+    )
+}
+
+/// Walks `paths` for `.class` files, with a clear error for nonexistent
+/// inputs and for jar-only inputs.
+fn gather_class_files(command: &str, paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut jars = Vec::new();
+    for path in paths {
+        // A nonexistent input must be a clear error, not a silent empty
+        // scan: the walk below skips non-`.class` names without checking
+        // that they exist.
+        if let Err(e) = std::fs::metadata(path) {
+            return Err(format!("{command}: {}: {e}", path.display()));
+        }
+        if let Err(e) = collect_class_files(path, &mut files, &mut jars) {
+            return Err(format!("{command}: {}: {e}", path.display()));
+        }
+    }
+    if files.is_empty() {
+        return Err(no_classes_error(command, paths, &jars));
+    }
+    Ok(files)
+}
+
+/// Reads every collected file into memory.
+fn read_blobs(command: &str, files: &[PathBuf]) -> Result<Vec<Vec<u8>>, String> {
+    let mut blobs = Vec::with_capacity(files.len());
+    for file in files {
+        match std::fs::read(file) {
+            Ok(bytes) => blobs.push(bytes),
+            Err(e) => return Err(format!("{command}: {}: {e}", file.display())),
+        }
+    }
+    Ok(blobs)
 }
 
 fn cmd_scan(args: &[String]) -> ExitCode {
@@ -204,36 +298,21 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         eprintln!("scan: no input paths\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    let mut files = Vec::new();
-    for path in &cli.paths {
-        // A nonexistent input must be a clear error, not a silent empty
-        // scan: the walk below skips non-`.class` names without checking
-        // that they exist.
-        if let Err(e) = std::fs::metadata(path) {
-            eprintln!("scan: {}: {e}", path.display());
+    let files = match gather_class_files("scan", &cli.paths) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
-        if let Err(e) = collect_class_files(path, &mut files) {
-            eprintln!("scan: {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-    }
-    if files.is_empty() {
-        let searched: Vec<String> = cli.paths.iter().map(|p| p.display().to_string()).collect();
-        eprintln!("scan: no .class files found under: {}", searched.join(", "));
-        return ExitCode::FAILURE;
-    }
+    };
     eprintln!("loading {} class file(s)…", files.len());
-    let mut blobs = Vec::with_capacity(files.len());
-    for file in &files {
-        match std::fs::read(file) {
-            Ok(bytes) => blobs.push(bytes),
-            Err(e) => {
-                eprintln!("scan: {}: {e}", file.display());
-                return ExitCode::FAILURE;
-            }
+    let blobs = match read_blobs("scan", &files) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-    }
+    };
     let options = match scan_options(&cli) {
         Ok(o) => o,
         Err(e) => {
@@ -275,6 +354,276 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     };
     let report = tabby::scan(&program, &options);
     emit(&cli, report)
+}
+
+#[derive(Default)]
+struct QueryCli {
+    query: Option<String>,
+    builtin: Option<String>,
+    builtin_args: Vec<String>,
+    list_builtins: bool,
+    demo: bool,
+    extended: bool,
+    strict: bool,
+    jobs: Option<usize>,
+    max_rows: Option<usize>,
+    max_expansions: Option<usize>,
+    timeout_ms: Option<u64>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_query_options(args: &[String]) -> Result<QueryCli, String> {
+    let mut options = QueryCli::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-e" | "--query" => {
+                options.query = Some(it.next().ok_or("-e needs a query")?.clone());
+            }
+            "--builtin" => {
+                options.builtin = Some(it.next().ok_or("--builtin needs a name")?.clone());
+            }
+            "--arg" => {
+                options
+                    .builtin_args
+                    .push(it.next().ok_or("--arg needs a value")?.clone());
+            }
+            "--builtins" => options.list_builtins = true,
+            "--demo" => options.demo = true,
+            "--extended" => options.extended = true,
+            "--strict" => options.strict = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
+                options.jobs = Some(n.max(1));
+            }
+            "--max-rows" => {
+                let v = it.next().ok_or("--max-rows needs a value")?;
+                options.max_rows = Some(v.parse().map_err(|_| format!("bad row budget {v:?}"))?);
+            }
+            "--max-expansions" => {
+                let v = it.next().ok_or("--max-expansions needs a value")?;
+                options.max_expansions = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad expansion budget {v:?}"))?,
+                );
+            }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                options.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout {v:?}"))?);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown query option {other:?}"));
+            }
+            path => options.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(options)
+}
+
+fn print_builtins() {
+    println!("{:<14} {:<18} description", "builtin", "args");
+    for b in tabby::query::builtins::BUILTINS {
+        println!("{:<14} {:<18} {}", b.name, b.args.join(", "), b.description);
+    }
+}
+
+/// Resolves `--builtin`/`-e` into query text; `None` means REPL mode.
+fn resolve_query_text(cli: &QueryCli) -> Result<Option<String>, String> {
+    if let Some(name) = &cli.builtin {
+        let builtin = tabby::query::builtins::find(name).ok_or_else(|| {
+            format!("unknown builtin {name:?} (`tabby query --builtins` lists them)")
+        })?;
+        return builtin.instantiate(&cli.builtin_args).map(Some);
+    }
+    if !cli.builtin_args.is_empty() {
+        return Err("--arg without --builtin".to_owned());
+    }
+    Ok(cli.query.clone())
+}
+
+/// Builds the annotated CPG a query session runs against: the bundled JDK
+/// model with `--demo`, otherwise the lifted `.class` inputs. Sink and
+/// source tagging matches what a scan would apply, so the `sinks` /
+/// `sources` builtins answer the same way here and in `tabby scan` output.
+fn build_query_cpg(cli: &QueryCli) -> Result<Cpg, String> {
+    let program = if cli.demo {
+        if !cli.paths.is_empty() {
+            return Err("query: --demo takes no paths".to_owned());
+        }
+        let mut pb = tabby::ir::ProgramBuilder::new();
+        tabby::workloads::jdk::add_jdk_model(&mut pb);
+        pb.build()
+    } else {
+        if cli.paths.is_empty() {
+            return Err("query: no input paths (scan a directory of .class files, \
+                 or pass --demo for the bundled JDK model)"
+                .to_owned());
+        }
+        let files = gather_class_files("query", &cli.paths)?;
+        let blobs = read_blobs("query", &files)?;
+        if cli.strict {
+            tabby::ir::lift::lift_program(&blobs).map_err(|e| format!("query: {e}"))?
+        } else {
+            let outcome = tabby::ir::lift::lift_program_tolerant(&blobs);
+            if !outcome.skipped.is_empty() {
+                eprintln!(
+                    "warning: skipped {} malformed class(es); query runs over the survivors",
+                    outcome.skipped.len()
+                );
+            }
+            outcome.program
+        }
+    };
+    let jobs = cli.jobs.unwrap_or_else(default_jobs);
+    let mut cpg = Cpg::build_parallel(&program, AnalysisConfig::default(), jobs);
+    SinkCatalog::paper().annotate(&mut cpg);
+    let sources = if cli.extended {
+        SourceCatalog::extended()
+    } else {
+        SourceCatalog::default()
+    };
+    sources.annotate(&mut cpg);
+    Ok(cpg)
+}
+
+/// Runs one query and streams its rows: JSON lines on stdout, everything
+/// else (columns, warnings, truncation accounting) on stderr.
+fn run_and_print_query(
+    graph: &tabby::graph::Graph,
+    text: &str,
+    cfg: &tabby::query::ExecConfig,
+) -> Result<(), String> {
+    let out = tabby::query::run_query(graph, text, cfg).map_err(|e| e.render(text))?;
+    for warning in &out.warnings {
+        eprintln!("warning: {warning}");
+    }
+    eprintln!(
+        "columns: {} (anchor: {})",
+        out.columns.join(", "),
+        out.anchor
+    );
+    for row in &out.rows {
+        println!("{}", serde_json::Value::Array(row.clone()));
+    }
+    eprintln!(
+        "{} row(s), {} expansion(s){}",
+        out.rows.len(),
+        out.expansions,
+        if out.truncated {
+            " — truncated by budget"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    let cli = match parse_query_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.list_builtins {
+        print_builtins();
+        return ExitCode::SUCCESS;
+    }
+    let text = match resolve_query_text(&cli) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cpg = match build_query_cpg(&cli) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = tabby::query::ExecConfig {
+        max_rows: cli.max_rows.unwrap_or(10_000),
+        max_expansions: cli.max_expansions.unwrap_or(2_000_000),
+        timeout: cli.timeout_ms.map(std::time::Duration::from_millis),
+    };
+    if let Some(text) = text {
+        // One-shot: a parse/plan error is a failing exit code.
+        return match run_and_print_query(&cpg.graph, &text, &cfg) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // REPL: one query per stdin line; errors are printed and the loop
+    // continues, so an interactive typo never ends the session.
+    use std::io::{BufRead, IsTerminal, Write};
+    let interactive = std::io::stdin().is_terminal();
+    if interactive {
+        eprintln!(
+            "{} nodes, {} edges; one TQL query per line (:builtins lists named \
+             queries, :quit exits)",
+            cpg.graph.node_count(),
+            cpg.graph.edge_count()
+        );
+    }
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            eprint!("tql> ");
+            let _ = std::io::stderr().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("query: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ":quit" | ":q" | ":exit" => break,
+            ":builtins" => {
+                print_builtins();
+                continue;
+            }
+            _ => {}
+        }
+        let text = if let Some(rest) = line.strip_prefix(":builtin ") {
+            let mut words = rest.split_whitespace().map(str::to_owned);
+            let Some(name) = words.next() else {
+                eprintln!("query: :builtin needs a name");
+                continue;
+            };
+            let args: Vec<String> = words.collect();
+            match tabby::query::builtins::find(&name)
+                .ok_or_else(|| format!("unknown builtin {name:?}"))
+                .and_then(|b| b.instantiate(&args))
+            {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("query: {e}");
+                    continue;
+                }
+            }
+        } else {
+            line.to_owned()
+        };
+        if let Err(e) = run_and_print_query(&cpg.graph, &text, &cfg) {
+            eprintln!("{e}");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Prints a human-readable account of everything the scan skipped,
@@ -414,6 +763,12 @@ struct SubmitOptions {
     scan: tabby::service::ScanRequestOptions,
     json: bool,
     retry: bool,
+    query: Option<String>,
+    builtin: Option<String>,
+    builtin_args: Vec<String>,
+    max_rows: Option<usize>,
+    max_expansions: Option<usize>,
+    timeout_ms: Option<u64>,
     paths: Vec<PathBuf>,
 }
 
@@ -423,6 +778,12 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
         scan: tabby::service::ScanRequestOptions::default(),
         json: false,
         retry: true,
+        query: None,
+        builtin: None,
+        builtin_args: Vec::new(),
+        max_rows: None,
+        max_expansions: None,
+        timeout_ms: None,
         paths: Vec::new(),
     };
     let mut it = args.iter();
@@ -446,6 +807,32 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
             "--no-tc-memo" => options.scan.tc_memo = false,
             "--no-retry" => options.retry = false,
             "--json" => options.json = true,
+            "--query" => {
+                options.query = Some(it.next().ok_or("--query needs a query")?.clone());
+            }
+            "--builtin" => {
+                options.builtin = Some(it.next().ok_or("--builtin needs a name")?.clone());
+            }
+            "--arg" => {
+                options
+                    .builtin_args
+                    .push(it.next().ok_or("--arg needs a value")?.clone());
+            }
+            "--max-rows" => {
+                let v = it.next().ok_or("--max-rows needs a value")?;
+                options.max_rows = Some(v.parse().map_err(|_| format!("bad row budget {v:?}"))?);
+            }
+            "--max-expansions" => {
+                let v = it.next().ok_or("--max-expansions needs a value")?;
+                options.max_expansions = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad expansion budget {v:?}"))?,
+                );
+            }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                options.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout {v:?}"))?);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown submit option {other:?}"));
             }
@@ -478,6 +865,13 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if options.query.is_some() || options.builtin.is_some() {
+        return submit_query(&options, paths);
+    }
+    if !options.builtin_args.is_empty() {
+        eprintln!("submit: --arg without --builtin");
+        return ExitCode::FAILURE;
     }
     let policy = if options.retry {
         tabby::service::RetryPolicy::default()
@@ -548,6 +942,99 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     } else {
         ExitCode::from(2)
     }
+}
+
+/// The `tabby submit --query` / `--builtin` path: one TQL query against
+/// the daemon's cached CPG for the given component, rows streamed to
+/// stdout as JSON lines.
+fn submit_query(options: &SubmitOptions, paths: Vec<String>) -> ExitCode {
+    if options.query.is_some() && options.builtin.is_some() {
+        eprintln!("submit: --query and --builtin are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    let text = if let Some(name) = &options.builtin {
+        match tabby::query::builtins::find(name)
+            .ok_or_else(|| {
+                format!("unknown builtin {name:?} (`tabby query --builtins` lists them)")
+            })
+            .and_then(|b| b.instantiate(&options.builtin_args))
+        {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if !options.builtin_args.is_empty() {
+        eprintln!("submit: --arg without --builtin");
+        return ExitCode::FAILURE;
+    } else {
+        options
+            .query
+            .clone()
+            .expect("caller checked query presence")
+    };
+    let qopts = tabby::service::QueryRequestOptions {
+        extended: options.scan.extended,
+        fresh: options.scan.fresh,
+        max_rows: options.max_rows.unwrap_or(10_000),
+        max_expansions: options.max_expansions.unwrap_or(2_000_000),
+        timeout_ms: options.timeout_ms,
+    };
+    let reply = match tabby::service::query(&options.addr, paths, &text, &qopts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !reply.header.ok {
+        eprintln!(
+            "submit: {}",
+            reply
+                .header
+                .error
+                .as_deref()
+                .unwrap_or("unknown daemon error")
+        );
+        return ExitCode::FAILURE;
+    }
+    for warning in reply.header.warnings.as_deref().unwrap_or_default() {
+        eprintln!("warning: {warning}");
+    }
+    eprintln!(
+        "columns: {} (anchor: {})",
+        reply
+            .header
+            .columns
+            .as_deref()
+            .unwrap_or_default()
+            .join(", "),
+        reply.header.anchor.as_deref().unwrap_or("?")
+    );
+    for row in &reply.rows {
+        println!("{}", serde_json::Value::Array(row.clone()));
+    }
+    let stats = reply.header.stats.clone().unwrap_or_default();
+    eprintln!(
+        "{} row(s), {} expansion(s){}; queue {} ms, search {} ms, total {} ms{}",
+        reply.rows.len(),
+        reply.expansions,
+        if reply.truncated {
+            " — truncated by budget"
+        } else {
+            ""
+        },
+        stats.queue_ms,
+        stats.search_ms,
+        stats.total_ms,
+        if stats.cpg_cache_hit {
+            " (CPG cached)"
+        } else {
+            ""
+        }
+    );
+    ExitCode::SUCCESS
 }
 
 fn cmd_sinks(args: &[String]) -> ExitCode {

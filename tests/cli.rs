@@ -136,6 +136,97 @@ fn custom_sink_catalog_from_json() {
 }
 
 #[test]
+fn scan_jar_only_input_explains_unpacking() {
+    let dir = std::env::temp_dir().join("tabby-cli-test-jar-only");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("app.jar"), b"PK\x03\x04not really").unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["scan", dir.to_str().unwrap()])
+        .output()
+        .expect("run tabby scan on a jar-only directory");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("jars are unsupported and must be unpacked"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("app.jar"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_demo_one_shot_streams_json_rows() {
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args([
+            "query",
+            "--demo",
+            "-e",
+            "MATCH (m:Method {NAME: \"readObject\"}) RETURN m.CLASS_NAME",
+        ])
+        .output()
+        .expect("run tabby query --demo");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let rows: Vec<serde_json::Value> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each stdout line is a JSON row"))
+        .collect();
+    assert!(
+        rows.iter().any(|r| r[0] == "java.util.HashMap"),
+        "stdout: {stdout}"
+    );
+    // The accounting goes to stderr, keeping stdout pipeable.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("row(s)"), "stderr: {stderr}");
+}
+
+#[test]
+fn query_builtin_by_name_runs() {
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["query", "--demo", "--builtin", "sources"])
+        .output()
+        .expect("run tabby query --builtin sources");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("readObject"), "stdout: {stdout}");
+}
+
+#[test]
+fn query_parse_error_prints_a_caret() {
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["query", "--demo", "-e", "MATCH m RETURN m"])
+        .output()
+        .expect("run tabby query with a bad query");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error: "), "stderr: {stderr}");
+    assert!(stderr.contains('^'), "stderr: {stderr}");
+}
+
+#[test]
+fn query_builtins_lists_named_queries() {
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["query", "--builtins"])
+        .output()
+        .expect("run tabby query --builtins");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("sinks"), "stdout: {stdout}");
+    assert!(stdout.contains("alias-fanout"), "stdout: {stdout}");
+}
+
+#[test]
 fn bad_sink_catalog_is_rejected() {
     let file = std::env::temp_dir().join("tabby-cli-bad-sinks.json");
     std::fs::write(&file, b"{not json").unwrap();

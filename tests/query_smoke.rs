@@ -1,0 +1,168 @@
+//! Query smoke tests: every built-in named query must answer identically
+//! through the one-shot CLI (`tabby query -e`) and the daemon round-trip
+//! (`"cmd": "query"` against the cached CPG), and budgeted queries must
+//! truncate instead of hanging.
+//!
+//! Rows are compared as sorted JSON strings: node numbering (and hence row
+//! order) legitimately differs between the two paths, the projected cells
+//! must not.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use tabby::ir::compile::compile_program;
+use tabby::ir::ProgramBuilder;
+use tabby::query::builtins::{Builtin, BUILTINS};
+use tabby::service::{self, Daemon, QueryRequestOptions, ServiceConfig};
+use tabby::workloads::jdk::add_jdk_model;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tabby-query-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_jdk_corpus(dir: &Path) {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let program = pb.build();
+    for (name, bytes) in compile_program(&program) {
+        let file = dir.join(format!("{}.class", name.replace('.', "_")));
+        std::fs::write(file, bytes).unwrap();
+    }
+}
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+/// A fixed argument per builtin parameter; `readObject` exists in the JDK
+/// model, so arg-taking builtins exercise non-empty matches too.
+fn smoke_args(builtin: &Builtin) -> Vec<String> {
+    builtin
+        .args
+        .iter()
+        .map(|_| "readObject".to_owned())
+        .collect()
+}
+
+/// Runs `tabby query -e <text>` over `dir` and returns its stdout rows,
+/// sorted.
+fn cli_rows(dir: &Path, text: &str) -> Vec<String> {
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["query", "-e", text, dir.to_str().unwrap()])
+        .output()
+        .expect("run tabby query");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "query {text:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let mut rows: Vec<String> = String::from_utf8_lossy(&output.stdout)
+        .lines()
+        .map(|line| {
+            let row: serde_json::Value = serde_json::from_str(line).expect("stdout row is JSON");
+            assert!(row.is_array(), "row line is not a JSON array: {line}");
+            row.to_string()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn every_builtin_agrees_between_cli_and_daemon() {
+    let dir = temp_dir("builtins");
+    write_jdk_corpus(&dir);
+    let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let paths = vec![dir.to_string_lossy().into_owned()];
+
+    for builtin in BUILTINS {
+        let text = builtin.instantiate(&smoke_args(builtin)).unwrap();
+        let one_shot = cli_rows(&dir, &text);
+        let reply =
+            service::query(&addr, paths.clone(), &text, &QueryRequestOptions::default()).unwrap();
+        assert!(
+            reply.header.ok,
+            "builtin {} failed in the daemon: {:?}",
+            builtin.name, reply.header.error
+        );
+        assert!(!reply.truncated, "builtin {} truncated", builtin.name);
+        let mut daemon: Vec<String> = reply
+            .rows
+            .iter()
+            .map(|row| serde_json::Value::Array(row.clone()).to_string())
+            .collect();
+        daemon.sort();
+        assert_eq!(
+            one_shot, daemon,
+            "builtin {} diverged between `tabby query` and the daemon",
+            builtin.name
+        );
+    }
+
+    // The model is annotated the same way a scan would be, so the paper's
+    // tagging builtins must actually match something.
+    let sinks = cli_rows(&dir, &BUILTINS[0].instantiate(&[]).unwrap());
+    assert!(!sinks.is_empty(), "the JDK model contains annotated sinks");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tiny_expansion_budget_truncates_instead_of_hanging() {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let cpg = tabby::core::Cpg::build(&pb.build(), tabby::core::AnalysisConfig::default());
+
+    let cfg = tabby::query::ExecConfig {
+        max_rows: 10_000,
+        max_expansions: 5,
+        timeout: None,
+    };
+    let out = tabby::query::run_query(
+        &cpg.graph,
+        "MATCH (a:Method)-[:CALL*1..8]->(b:Method) RETURN a.NAME, b.NAME",
+        &cfg,
+    )
+    .unwrap();
+    assert!(out.truncated, "a 5-expansion budget must truncate");
+    assert!(out.expansions <= 5, "the budget is a cap, not a hint");
+}
+
+#[test]
+fn daemon_honors_query_budgets_end_to_end() {
+    let dir = temp_dir("budget");
+    write_jdk_corpus(&dir);
+    let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let paths = vec![dir.to_string_lossy().into_owned()];
+
+    let reply = service::query(
+        &addr,
+        paths,
+        "MATCH (a:Method)-[:CALL*1..8]->(b:Method) RETURN a.NAME, b.NAME",
+        &QueryRequestOptions {
+            max_expansions: 5,
+            ..QueryRequestOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        reply.header.ok,
+        "budgeted query failed: {:?}",
+        reply.header.error
+    );
+    assert!(reply.truncated, "the trailer must surface the truncation");
+    assert!(reply.expansions <= 5, "the budget is a cap, not a hint");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -220,7 +220,7 @@ fn raw_json_lines_protocol_round_trips() {
     let mut line = String::new();
 
     stream
-        .write_all(b"{\"cmd\":\"ping\",\"id\":\"p-1\"}\n")
+        .write_all(b"{\"v\":2,\"cmd\":\"ping\",\"id\":\"p-1\"}\n")
         .unwrap();
     reader.read_line(&mut line).unwrap();
     let reply: Response = serde_json::from_str(line.trim()).unwrap();
@@ -235,8 +235,17 @@ fn raw_json_lines_protocol_round_trips() {
     assert!(!reply.ok);
     assert!(reply.error.unwrap().contains("malformed"));
 
+    // An unversioned request (the pre-v2 protocol) is rejected with
+    // guidance, not guessed at.
     line.clear();
-    stream.write_all(b"{\"cmd\":\"stats\"}\n").unwrap();
+    stream.write_all(b"{\"cmd\":\"ping\"}\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let reply: Response = serde_json::from_str(line.trim()).unwrap();
+    assert!(!reply.ok);
+    assert!(reply.error.unwrap().contains("unversioned request"));
+
+    line.clear();
+    stream.write_all(b"{\"v\":2,\"cmd\":\"stats\"}\n").unwrap();
     reader.read_line(&mut line).unwrap();
     let reply: Response = serde_json::from_str(line.trim()).unwrap();
     assert!(reply.ok);
@@ -263,7 +272,7 @@ fn full_queue_rejects_and_stalled_jobs_time_out() {
 
     // With no workers the first job occupies the queue's only slot.
     let mut stream = TcpStream::connect(handle.addr()).unwrap();
-    let req = serde_json::to_string(&Request::Scan {
+    let req = service::encode_request(&Request::Scan {
         id: Some("stalled".to_owned()),
         paths: vec![path.clone()],
         options: ScanRequestOptions::default(),
