@@ -26,15 +26,22 @@
 //! writes `BENCH_query.json` (or `--out`). Exit status is nonzero if any
 //! query's rows differ across repeats or any query truncates under the
 //! default budgets — CI runs this on the smoke scenes as a query gate.
+//!
+//! `diff` measures differential scanning on the activation scenes —
+//! registered snapshots + `diff_snapshots` against the cold full scan of
+//! v2 it replaces — and writes `BENCH_diff.json` (or `--out`). Exit status
+//! is nonzero if any scene's diff misreports the planted activation or
+//! fails to beat its cold scan — CI runs this on the smoke scenes as the
+//! differential-scanning gate.
 
 use tabby_bench::{
-    run_query_bench, run_search_bench, run_summarize_bench, QueryBenchConfig, SearchBenchConfig,
-    SummarizeBenchConfig,
+    run_diff_bench, run_query_bench, run_search_bench, run_summarize_bench, DiffBenchConfig,
+    QueryBenchConfig, SearchBenchConfig, SummarizeBenchConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench <search|summarize|query> [--scenes smoke|full] [--only NAME,NAME] \
+        "usage: bench <search|summarize|query|diff> [--scenes smoke|full] [--only NAME,NAME] \
          [--repeat N] [--out PATH]"
     );
     std::process::exit(2);
@@ -98,7 +105,52 @@ fn main() {
         Some("search") => cmd_search(&args[1..]),
         Some("summarize") => cmd_summarize(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn cmd_diff(args: &[String]) {
+    let common = parse_common(args, "BENCH_diff.json", 3);
+    let config = DiffBenchConfig {
+        smoke: common.smoke,
+        only: common.only,
+        repeat: common.repeat,
+    };
+
+    let report = run_diff_bench(&config);
+    for scene in &report.results {
+        println!(
+            "{:<15} {:>4} classes  cold scan v2 {:>8.3}s  diff {:>8.4}s  x{:<8.1}  \
+             {} activated, {} near-chain(s)  {}",
+            scene.scene,
+            scene.classes,
+            scene.cold_scan_v2_wall_s,
+            scene.diff_wall_s,
+            scene.speedup_diff_vs_cold,
+            scene.activated,
+            scene.near_chains,
+            if !scene.correct {
+                "WRONG"
+            } else if !scene.diff_faster_than_cold {
+                "SLOWER"
+            } else {
+                "ok"
+            },
+        );
+        println!(
+            "  one-time registration: v1 {:>8.3}s, v2 {:>8.3}s",
+            scene.snapshot_v1_wall_s, scene.snapshot_v2_wall_s
+        );
+    }
+    write_report(&report, &common.out);
+    if !report.all_correct {
+        eprintln!("FAIL: a scene's diff misreported its planted activation");
+        std::process::exit(1);
+    }
+    if !report.all_faster {
+        eprintln!("FAIL: a scene's diff did not beat its cold full scan");
+        std::process::exit(1);
     }
 }
 

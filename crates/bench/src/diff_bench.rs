@@ -1,0 +1,264 @@
+//! The differential-scanning benchmark: on each Sleeping-Giants activation
+//! scene, compare answering "did the version bump activate a chain?" via
+//! `tabby diff` (two registered snapshots, no re-scan) against the cold
+//! full scan of v2 it replaces.
+//!
+//! Registration itself costs one scan per version — the point of the
+//! registry is that every *subsequent* differential question (CI gating an
+//! upgrade, the daemon's watch mode re-checking a corpus) is answered from
+//! the snapshots alone. The report therefore times three things per scene:
+//! the one-time snapshot cost of each version, the pure diff (load both
+//! snapshots from disk, compute activations and near-chains), and the cold
+//! scan baseline. Wall times are the minimum over `repeat` runs.
+//!
+//! Correctness is asserted alongside timing: the diff must report exactly
+//! the scene's planted chain (zero false activations) and surface the
+//! permanently dormant twin as a near-chain — a wrong answer makes the
+//! timing meaningless.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+use tabby_core::{AnalysisConfig, Cpg, ScanDiagnostics};
+use tabby_ir::compile::compile_program;
+use tabby_pathfinder::{
+    find_gadget_chains, NearChainConfig, SearchConfig, SinkCatalog, SourceCatalog,
+};
+use tabby_registry::{diff_snapshots, hash_inputs, DiffReport, Registry, Snapshot};
+use tabby_workloads::{activation_scenes, activation_scenes_smoke, ActivationScene, Component};
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct DiffBenchConfig {
+    /// Use the smoke-sized activation scenes (CI) instead of full size.
+    pub smoke: bool,
+    /// Restrict to these scene names (empty = all).
+    pub only: Vec<String>,
+    /// Timed runs per measurement; the minimum wall time is reported.
+    pub repeat: usize,
+}
+
+impl Default for DiffBenchConfig {
+    fn default() -> Self {
+        DiffBenchConfig {
+            smoke: false,
+            only: Vec::new(),
+            repeat: 3,
+        }
+    }
+}
+
+/// One scene's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SceneDiffBench {
+    /// Scene name (also the registry corpus name).
+    pub scene: String,
+    /// Classes per version.
+    pub classes: usize,
+    /// Cold full scan of v2 (CPG build + annotate + search), seconds.
+    pub cold_scan_v2_wall_s: f64,
+    /// One-time cost of scanning + registering v1, seconds.
+    pub snapshot_v1_wall_s: f64,
+    /// One-time cost of scanning + registering v2, seconds.
+    pub snapshot_v2_wall_s: f64,
+    /// The differential question itself: load both snapshots from disk and
+    /// diff them (activations + near-chains), seconds.
+    pub diff_wall_s: f64,
+    /// `cold_scan_v2_wall_s / diff_wall_s`.
+    pub speedup_diff_vs_cold: f64,
+    /// Newly activated chains the diff reported.
+    pub activated: usize,
+    /// Near-chains the diff reported.
+    pub near_chains: usize,
+    /// The diff reported exactly the planted chain and the dormant twin.
+    pub correct: bool,
+    /// The diff beat the cold scan.
+    pub diff_faster_than_cold: bool,
+}
+
+/// The full report, serialized to `BENCH_diff.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiffBenchReport {
+    /// `"smoke"` or `"full"`.
+    pub scenes: String,
+    /// Timed runs per measurement.
+    pub repeat: usize,
+    /// Per-scene measurements.
+    pub results: Vec<SceneDiffBench>,
+    /// Every scene's diff reported exactly its planted activation.
+    pub all_correct: bool,
+    /// Every scene's diff beat its cold v2 scan.
+    pub all_faster: bool,
+}
+
+fn scan_component(
+    component: &Component,
+    search: &SearchConfig,
+) -> (Cpg, Vec<tabby_pathfinder::GadgetChain>) {
+    let mut cpg = Cpg::build(&component.program, AnalysisConfig::default());
+    let chains = find_gadget_chains(
+        &mut cpg,
+        &SinkCatalog::paper(),
+        &SourceCatalog::native_serialization(),
+        search,
+    );
+    (cpg, chains)
+}
+
+fn snapshot_component(
+    scene: &ActivationScene,
+    component: &Component,
+    version: u32,
+    search: &SearchConfig,
+) -> Snapshot {
+    let classes = compile_program(&component.program);
+    let class_hashes = hash_inputs(
+        classes
+            .iter()
+            .map(|(name, bytes)| (name.as_str(), bytes.as_slice())),
+    );
+    let (mut cpg, chains) = scan_component(component, search);
+    Snapshot::from_cpg(
+        &scene.name,
+        version,
+        &mut cpg,
+        &SinkCatalog::paper(),
+        &SourceCatalog::native_serialization(),
+        &chains,
+        &ScanDiagnostics::default(),
+        class_hashes,
+        search.max_depth,
+    )
+    .expect("activation scenes scan cleanly")
+}
+
+fn diff_is_correct(scene: &ActivationScene, report: &DiffReport) -> bool {
+    let (source, sink) = &scene.activated;
+    report.activated.len() == 1
+        && report.activated[0].chain.source() == *source
+        && report.activated[0].chain.sink() == *sink
+        && report.near_chains.iter().any(|n| {
+            n.signatures
+                .first()
+                .is_some_and(|s| *s == scene.dormant_source)
+        })
+}
+
+/// Benchmarks one activation scene inside `registry_root`.
+pub fn bench_diff_scene(
+    scene: &ActivationScene,
+    registry_root: &std::path::Path,
+    repeat: usize,
+) -> SceneDiffBench {
+    let repeat = repeat.max(1);
+    let search = SearchConfig::default();
+    let classes = compile_program(&scene.v1.program).len();
+
+    // One-time registration of both versions (timed once each — this is
+    // amortized over every later diff, but reported honestly).
+    let registry = Registry::open(registry_root).expect("registry opens");
+    let t = Instant::now();
+    let v1 = snapshot_component(scene, &scene.v1, 1, &search);
+    registry.save(&v1).expect("save v1");
+    let snapshot_v1_wall_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let v2 = snapshot_component(scene, &scene.v2, 2, &search);
+    registry.save(&v2).expect("save v2");
+    let snapshot_v2_wall_s = t.elapsed().as_secs_f64();
+    drop((v1, v2));
+
+    // The baseline: a cold full scan of v2, as a non-differential pipeline
+    // would run on every upgrade check.
+    let mut cold_scan_v2_wall_s = f64::INFINITY;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        let (_cpg, chains) = scan_component(&scene.v2, &search);
+        std::hint::black_box(chains);
+        cold_scan_v2_wall_s = cold_scan_v2_wall_s.min(t.elapsed().as_secs_f64());
+    }
+
+    // The differential path: load both snapshots from disk, diff.
+    let near = NearChainConfig {
+        max_depth: search.max_depth,
+        ..NearChainConfig::default()
+    };
+    let mut diff_wall_s = f64::INFINITY;
+    let mut last: Option<DiffReport> = None;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        let old = registry.load(&scene.name, 1).expect("load v1");
+        let new = registry.load(&scene.name, 2).expect("load v2");
+        let report = diff_snapshots(&old, &new, &near);
+        diff_wall_s = diff_wall_s.min(t.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    let report = last.expect("repeat >= 1");
+
+    let correct = diff_is_correct(scene, &report);
+    SceneDiffBench {
+        scene: scene.name.clone(),
+        classes,
+        cold_scan_v2_wall_s,
+        snapshot_v1_wall_s,
+        snapshot_v2_wall_s,
+        diff_wall_s,
+        speedup_diff_vs_cold: cold_scan_v2_wall_s / diff_wall_s.max(1e-9),
+        activated: report.activated.len(),
+        near_chains: report.near_chains.len(),
+        correct,
+        diff_faster_than_cold: diff_wall_s < cold_scan_v2_wall_s,
+    }
+}
+
+/// Runs the configured scenes in a temporary registry and assembles the
+/// report.
+pub fn run_diff_bench(config: &DiffBenchConfig) -> DiffBenchReport {
+    let scenes = if config.smoke {
+        activation_scenes_smoke()
+    } else {
+        activation_scenes()
+    };
+    let root: PathBuf =
+        std::env::temp_dir().join(format!("tabby-bench-diff-registry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut results = Vec::new();
+    for scene in &scenes {
+        if !config.only.is_empty() && !config.only.iter().any(|n| n == &scene.name) {
+            continue;
+        }
+        results.push(bench_diff_scene(scene, &root, config.repeat));
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    DiffBenchReport {
+        scenes: if config.smoke { "smoke" } else { "full" }.to_owned(),
+        repeat: config.repeat,
+        all_correct: results.iter().all(|r| r.correct),
+        all_faster: results.iter().all(|r| r.diff_faster_than_cold),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenes_diff_correctly_and_beat_the_cold_scan() {
+        let config = DiffBenchConfig {
+            smoke: true,
+            only: vec!["PivotExec".to_owned()],
+            repeat: 1,
+        };
+        let report = run_diff_bench(&config);
+        assert_eq!(report.results.len(), 1);
+        let scene = &report.results[0];
+        assert!(scene.correct, "diff misreported the activation: {scene:?}");
+        assert_eq!(scene.activated, 1);
+        assert!(scene.near_chains >= 1);
+        assert!(
+            scene.diff_faster_than_cold,
+            "diff {}s vs cold scan {}s",
+            scene.diff_wall_s, scene.cold_scan_v2_wall_s
+        );
+    }
+}

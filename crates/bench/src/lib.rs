@@ -9,16 +9,22 @@
 //! summarization scheduler against the shard baseline and emits
 //! `BENCH_summarize.json`; its `query` subcommand ([`query_bench`])
 //! measures every TQL builtin against the annotated scene CPGs and emits
-//! `BENCH_query.json`.
+//! `BENCH_query.json`; its `diff` subcommand ([`diff_bench`]) measures
+//! differential scanning (registered snapshots + `diff`) against the cold
+//! full scan it replaces and emits `BENCH_diff.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod diff_bench;
 pub mod query_bench;
 pub mod runner;
 pub mod search_bench;
 pub mod summarize_bench;
 
+pub use diff_bench::{
+    bench_diff_scene, run_diff_bench, DiffBenchConfig, DiffBenchReport, SceneDiffBench,
+};
 pub use query_bench::{
     bench_queries_on_scene, run_query_bench, QueryBenchConfig, QueryBenchReport, QueryResult,
     SceneQueryBench,

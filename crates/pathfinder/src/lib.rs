@@ -49,12 +49,14 @@
 #![warn(rust_2018_idioms)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod near;
 mod parallel;
 pub mod report;
 pub mod search;
 pub mod sinks;
 pub mod sources;
 
+pub use near::{find_near_chains, BlockedEdge, NearChain, NearChainConfig, NearChainOutcome};
 pub use report::AuditReport;
 pub use search::{
     canonical_chain_order, find_chains_raw, find_chains_raw_detailed,

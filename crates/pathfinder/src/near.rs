@@ -1,0 +1,423 @@
+//! Near-chain detection: sink-backward paths one blocked edge away from a
+//! source.
+//!
+//! A gadget chain dies when some CALL edge's Polluted_Position maps a
+//! required Trigger_Condition position to ∞ (Formula 4 returns nothing —
+//! the Expander's rejection branch). A *near-chain* is a backward path
+//! that reaches a source anyway after forgiving **exactly one** such
+//! rejection, remembering which edge was forgiven and which TC position
+//! blocked it. These are the dormant chains of the *Sleeping Giants*
+//! threat model: one upstream code change — a helper that starts
+//! forwarding its argument, an added override — completes them, so a
+//! version-to-version diff wants them named, not silently dropped.
+//!
+//! The relaxation runs as a bounded sequential pass over the same frozen
+//! [`CsrSnapshot`](tabby_graph::CsrSnapshot) the chain search uses
+//! (depth, expansion, and result budgets), and its output is canonically
+//! ordered — byte-identical across runs regardless of how the chain sets
+//! feeding a diff were computed.
+
+use crate::search::{freeze_cpg, traverse_tc, TriggerCondition, ALIAS_LAYER, CALL_LAYER};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use tabby_core::CpgSchema;
+use tabby_graph::{Direction, Graph, NodeId};
+
+/// Budgets for the near-chain relaxation pass.
+#[derive(Debug, Clone)]
+pub struct NearChainConfig {
+    /// Maximum path length in edges (as [`crate::SearchConfig::max_depth`]).
+    pub max_depth: usize,
+    /// Stop after this many near-chains.
+    pub max_results: usize,
+    /// Abort after this many edge expansions — the relaxed walk explores
+    /// unconstrained callers past the forgiven edge, so the budget is what
+    /// keeps the pass "bounded".
+    pub max_expansions: usize,
+    /// Follow ALIAS edges (TC passes through unchanged, never blocked).
+    pub use_alias_edges: bool,
+}
+
+impl Default for NearChainConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            max_results: 1_000,
+            max_expansions: 2_000_000,
+            use_alias_edges: true,
+        }
+    }
+}
+
+/// The one forgiven CALL edge of a near-chain, and why it blocks.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockedEdge {
+    /// The caller side of the blocked CALL edge (`Class.method`).
+    pub caller: String,
+    /// The callee side (`Class.method`).
+    pub callee: String,
+    /// The smallest Trigger_Condition position the edge's
+    /// Polluted_Position maps to ∞ (0 = receiver, i = parameter *i*).
+    pub position: u16,
+}
+
+/// A would-be gadget chain blocked by exactly one uncontrollable edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NearChain {
+    /// Method signatures from would-be source to sink.
+    pub signatures: Vec<String>,
+    /// The sink's exploit-effect category.
+    pub sink_category: String,
+    /// The forgiven edge and its blocking TC position.
+    pub blocked: BlockedEdge,
+}
+
+impl std::fmt::Display for NearChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "(near-chain, {})", self.sink_category)?;
+        for sig in &self.signatures {
+            writeln!(f, "  {sig}()")?;
+        }
+        write!(
+            f,
+            "  blocked at {} -> {} (TC position {} maps to \u{221e})",
+            self.blocked.caller, self.blocked.callee, self.blocked.position
+        )
+    }
+}
+
+/// The result of a near-chain pass, including whether it ran to completion.
+#[derive(Debug, Clone)]
+pub struct NearChainOutcome {
+    /// Near-chains in canonical order (signatures, category, blocked edge).
+    pub near_chains: Vec<NearChain>,
+    /// True when the expansion budget cut the walk short.
+    pub truncated: bool,
+    /// Edge expansions performed.
+    pub expansions: usize,
+}
+
+/// Formula 4 with one forgiveness: positions that map stay in the TC;
+/// blocked positions are dropped and the smallest is reported.
+fn traverse_tc_relaxed(tc: &TriggerCondition, pp: &[i64]) -> (TriggerCondition, Option<u16>) {
+    let mut next = TriggerCondition::new();
+    let mut blocked: Option<u16> = None;
+    for &pos in tc {
+        let w = pp.get(pos as usize).copied().unwrap_or(-1);
+        if w < 0 {
+            if blocked.is_none() {
+                blocked = Some(pos);
+            }
+        } else {
+            next.insert(w as u16);
+        }
+    }
+    (next, blocked)
+}
+
+struct State {
+    node: NodeId,
+    tc: TriggerCondition,
+    /// The forgiven edge, once spent: `(caller, callee, position)`.
+    blocked: Option<(NodeId, NodeId, u16)>,
+    /// Sink-first path.
+    path: Vec<NodeId>,
+}
+
+/// Finds near-chains: backward walks from each sink that reach a source
+/// after forgiving exactly one Formula-4 rejection. Complete (zero
+/// rejection) chains are *not* reported — they belong to the ordinary
+/// chain search.
+pub fn find_near_chains(
+    graph: &Graph,
+    schema: &CpgSchema,
+    sinks: Vec<(NodeId, TriggerCondition)>,
+    sink_categories: Vec<(NodeId, String)>,
+    sources: &HashSet<NodeId>,
+    config: &NearChainConfig,
+) -> NearChainOutcome {
+    let csr = freeze_cpg(graph, schema);
+    let mut expansions = 0usize;
+    let mut truncated = false;
+    // Sink-first raw hits with their forgiven edge.
+    let mut raw: Vec<(Vec<NodeId>, (NodeId, NodeId, u16))> = Vec::new();
+
+    'sinks: for (sink, tc0) in &sinks {
+        let mut stack = vec![State {
+            node: *sink,
+            tc: tc0.clone(),
+            blocked: None,
+            path: vec![*sink],
+        }];
+        while let Some(st) = stack.pop() {
+            if st.path.len() > 1 && sources.contains(&st.node) {
+                // Algorithm 3's IncludeAndPrune, filtered to one-violation
+                // paths: zero violations is a real chain, not a near-chain.
+                if let Some(b) = st.blocked {
+                    raw.push((st.path, b));
+                }
+                continue;
+            }
+            if st.path.len() - 1 >= config.max_depth {
+                continue;
+            }
+            for (_e, caller, pp) in csr.neighbors(CALL_LAYER, st.node, Direction::Incoming) {
+                expansions += 1;
+                if expansions > config.max_expansions {
+                    truncated = true;
+                    break 'sinks;
+                }
+                if st.path.contains(&caller) {
+                    continue;
+                }
+                let mut path = st.path.clone();
+                path.push(caller);
+                match traverse_tc(&st.tc, pp) {
+                    Some(next) => stack.push(State {
+                        node: caller,
+                        tc: next,
+                        blocked: st.blocked,
+                        path,
+                    }),
+                    None => {
+                        if st.blocked.is_none() {
+                            let (next, pos) = traverse_tc_relaxed(&st.tc, pp);
+                            if let Some(pos) = pos {
+                                stack.push(State {
+                                    node: caller,
+                                    tc: next,
+                                    blocked: Some((caller, st.node, pos)),
+                                    path,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            if config.use_alias_edges {
+                for (_e, other, _) in csr.neighbors(ALIAS_LAYER, st.node, Direction::Both) {
+                    expansions += 1;
+                    if expansions > config.max_expansions {
+                        truncated = true;
+                        break 'sinks;
+                    }
+                    if st.path.contains(&other) {
+                        continue;
+                    }
+                    let mut path = st.path.clone();
+                    path.push(other);
+                    stack.push(State {
+                        node: other,
+                        tc: st.tc.clone(),
+                        blocked: st.blocked,
+                        path,
+                    });
+                }
+            }
+        }
+    }
+
+    let describe = |n: NodeId| {
+        let class = graph
+            .node_prop(n, schema.class_name)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        let name = graph
+            .node_prop(n, schema.name)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        format!("{class}.{name}")
+    };
+    let category_of = |sink: NodeId| {
+        sink_categories
+            .iter()
+            .find(|(n, _)| *n == sink)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_default()
+    };
+
+    let mut near_chains: Vec<NearChain> = raw
+        .into_iter()
+        .map(|(path, (caller, callee, position))| {
+            let sink = path.first().copied().unwrap_or(NodeId(0));
+            let mut nodes = path;
+            nodes.reverse();
+            NearChain {
+                signatures: nodes.iter().map(|&n| describe(n)).collect(),
+                sink_category: category_of(sink),
+                blocked: BlockedEdge {
+                    caller: describe(caller),
+                    callee: describe(callee),
+                    position,
+                },
+            }
+        })
+        .collect();
+    near_chains.sort_by(|a, b| {
+        a.signatures
+            .cmp(&b.signatures)
+            .then_with(|| a.sink_category.cmp(&b.sink_category))
+            .then_with(|| a.blocked.cmp(&b.blocked))
+    });
+    near_chains.dedup();
+    near_chains.truncate(config.max_results);
+    NearChainOutcome {
+        near_chains,
+        truncated,
+        expansions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_graph::Value;
+
+    /// `H -CALL-> C -CALL-> A` where the C→A edge maps the required
+    /// position to ∞, plus `S -CALL-> C` giving a second (complete) route
+    /// from source S2... kept minimal: one dormant route, one live route.
+    fn dormant_graph() -> (Graph, CpgSchema, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let schema = CpgSchema::install(&mut g);
+        let names = ["A", "C", "H", "L"];
+        let nodes: Vec<NodeId> = names
+            .iter()
+            .map(|n| {
+                let node = g.add_node(schema.method_label);
+                g.set_node_prop(node, schema.name, Value::from(*n));
+                g.set_node_prop(node, schema.class_name, Value::from("near"));
+                node
+            })
+            .collect();
+        let idx = |n: &str| nodes[names.iter().position(|x| *x == n).unwrap()];
+        let mut call = |from: &str, to: &str, pp: Vec<i64>| {
+            let e = g.add_edge(schema.call, idx(from), idx(to));
+            g.set_edge_prop(e, schema.polluted_position, Value::IntList(pp));
+        };
+        // The dormant route: C sanitizes the value before calling A.
+        call("C", "A", vec![-1, -1]);
+        // H (a source) calls C, taint flows.
+        call("H", "C", vec![0, 1]);
+        // The live route: L (a source) calls A with taint intact.
+        call("L", "A", vec![-1, 1]);
+        (g, schema, nodes)
+    }
+
+    fn run(config: &NearChainConfig) -> NearChainOutcome {
+        let (g, schema, nodes) = dormant_graph();
+        let sink = nodes[0]; // A
+        let sources = HashSet::from([nodes[2], nodes[3]]); // H, L
+        find_near_chains(
+            &g,
+            &schema,
+            vec![(sink, TriggerCondition::from([1u16]))],
+            vec![(sink, "EXEC".to_owned())],
+            &sources,
+            config,
+        )
+    }
+
+    #[test]
+    fn dormant_route_is_a_near_chain_with_named_position() {
+        let outcome = run(&NearChainConfig::default());
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.near_chains.len(), 1);
+        let nc = &outcome.near_chains[0];
+        assert_eq!(nc.signatures, vec!["near.H", "near.C", "near.A"]);
+        assert_eq!(nc.sink_category, "EXEC");
+        assert_eq!(nc.blocked.caller, "near.C");
+        assert_eq!(nc.blocked.callee, "near.A");
+        assert_eq!(nc.blocked.position, 1);
+    }
+
+    #[test]
+    fn complete_chains_are_not_reported_as_near_chains() {
+        let outcome = run(&NearChainConfig::default());
+        // L -> A is a real chain (zero violations): absent here.
+        assert!(outcome
+            .near_chains
+            .iter()
+            .all(|nc| nc.signatures != vec!["near.L", "near.A"]));
+    }
+
+    #[test]
+    fn expansion_budget_truncates() {
+        let outcome = run(&NearChainConfig {
+            max_expansions: 1,
+            ..NearChainConfig::default()
+        });
+        assert!(outcome.truncated);
+    }
+
+    #[test]
+    fn depth_bound_cuts_the_walk() {
+        let outcome = run(&NearChainConfig {
+            max_depth: 1,
+            ..NearChainConfig::default()
+        });
+        assert!(outcome.near_chains.is_empty());
+    }
+
+    #[test]
+    fn violation_at_the_upstream_hop_is_forgiven() {
+        let (g, schema, idx) = ladder(&[vec![-1, 1], vec![-1, -1]]);
+        let outcome = find_near_chains(
+            &g,
+            &schema,
+            vec![(idx[0], TriggerCondition::from([1u16]))],
+            vec![(idx[0], "EXEC".to_owned())],
+            &HashSet::from([idx[2]]),
+            &NearChainConfig::default(),
+        );
+        // The first hop survives intact and the second blocks: exactly one
+        // violation, so the route is a near chain blocked at its top edge.
+        assert_eq!(outcome.near_chains.len(), 1);
+        assert_eq!(outcome.near_chains[0].blocked.caller, "lad.M2");
+        assert_eq!(outcome.near_chains[0].blocked.callee, "lad.M1");
+    }
+
+    #[test]
+    fn two_violations_are_not_forgiven() {
+        // Sink TC {0,1}. Hop one kills position 1 (forgiven, TC becomes
+        // {0}); hop two kills the surviving position 0 — a second
+        // violation, so the route is rejected outright.
+        let (g, schema, idx) = ladder(&[vec![0, -1], vec![-1]]);
+        let outcome = find_near_chains(
+            &g,
+            &schema,
+            vec![(idx[0], TriggerCondition::from([0u16, 1]))],
+            vec![(idx[0], "EXEC".to_owned())],
+            &HashSet::from([idx[2]]),
+            &NearChainConfig::default(),
+        );
+        assert!(outcome.near_chains.is_empty());
+    }
+
+    /// `M2 -CALL-> M1 -CALL-> M0` with the given PPs (`pps[0]` on the
+    /// M1→M0 edge); returns the node ids `[M0, M1, M2]`.
+    fn ladder(pps: &[Vec<i64>]) -> (Graph, CpgSchema, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let schema = CpgSchema::install(&mut g);
+        let nodes: Vec<NodeId> = (0..=pps.len())
+            .map(|i| {
+                let node = g.add_node(schema.method_label);
+                g.set_node_prop(node, schema.name, Value::from(format!("M{i}").as_str()));
+                g.set_node_prop(node, schema.class_name, Value::from("lad"));
+                node
+            })
+            .collect();
+        for (i, pp) in pps.iter().enumerate() {
+            let e = g.add_edge(schema.call, nodes[i + 1], nodes[i]);
+            g.set_edge_prop(e, schema.polluted_position, Value::IntList(pp.clone()));
+        }
+        (g, schema, nodes)
+    }
+
+    #[test]
+    fn display_names_the_blocking_position() {
+        let outcome = run(&NearChainConfig::default());
+        let text = outcome.near_chains[0].to_string();
+        assert!(text.contains("near.H()"));
+        assert!(text.contains("TC position 1"));
+    }
+}

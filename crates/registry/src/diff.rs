@@ -1,0 +1,389 @@
+//! The diff engine: compares two snapshots of one corpus and explains
+//! what changed in gadget-chain terms.
+//!
+//! Everything here is pure snapshot arithmetic — no corpus re-scan. The
+//! symbolic edge sets diff directly; newly activated chains are the chain
+//! set difference attributed to the added/changed edges lying on them; and
+//! near-chains come from the pathfinder's bounded relaxation pass run over
+//! the search projection rebuilt from the *new* snapshot
+//! ([`Snapshot::rebuild_search_graph`]). That makes `tabby diff` both
+//! deterministic and much cheaper than a cold scan of v(N+1).
+
+use crate::snapshot::{EdgeKind, Snapshot, SymbolicEdge};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use tabby_pathfinder::{find_near_chains, GadgetChain, NearChain, NearChainConfig};
+
+/// A chain present in the new snapshot but not the old, with the edge
+/// delta that completed it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivatedChain {
+    /// The newly reachable chain.
+    pub chain: GadgetChain,
+    /// Added or changed edges of the delta that lie on the chain — the
+    /// specific code change that completed it. Empty only if the chain
+    /// appeared without any edge on it changing (e.g. a sink/source
+    /// annotation change).
+    pub completing_edges: Vec<SymbolicEdge>,
+}
+
+impl std::fmt::Display for ActivatedChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.chain)?;
+        for edge in &self.completing_edges {
+            write!(f, "\n  completed by: {edge}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What changed between `old` and `new`, in gadget-chain terms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// `corpus@vN` of the old side.
+    pub old_ref: String,
+    /// `corpus@vN` of the new side.
+    pub new_ref: String,
+    /// True when both snapshots reference byte-identical corpus content
+    /// (same content key) — every other field is then trivially empty.
+    pub identical: bool,
+    /// Edges present only in the new snapshot (includes the new side of
+    /// payload changes).
+    pub added_edges: Vec<SymbolicEdge>,
+    /// Edges present only in the old snapshot (includes the old side of
+    /// payload changes).
+    pub removed_edges: Vec<SymbolicEdge>,
+    /// Methods whose summary digest changed, plus methods only in one
+    /// side. Sorted.
+    pub changed_methods: Vec<String>,
+    /// Chains reachable in new but not old, with edge attribution.
+    pub activated: Vec<ActivatedChain>,
+    /// Chains reachable in old but not new.
+    pub resolved: Vec<GadgetChain>,
+    /// Near-chains of the new snapshot: one forgiven edge away from a
+    /// source, blocking Trigger_Condition position named.
+    pub near_chains: Vec<NearChain>,
+    /// True when the near-chain pass hit its expansion budget.
+    pub near_truncated: bool,
+}
+
+impl DiffReport {
+    /// True when no chain became newly reachable — the "safe to upgrade"
+    /// signal CI gates on (exit code 0 vs 2).
+    pub fn is_clean(&self) -> bool {
+        self.activated.is_empty()
+    }
+}
+
+impl std::fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "diff {} -> {}", self.old_ref, self.new_ref)?;
+        if self.identical {
+            return write!(f, "  corpus content identical; nothing to report");
+        }
+        writeln!(
+            f,
+            "  edges: +{} -{}  methods changed: {}",
+            self.added_edges.len(),
+            self.removed_edges.len(),
+            self.changed_methods.len()
+        )?;
+        writeln!(
+            f,
+            "  newly activated chains: {}  resolved chains: {}  near-chains: {}{}",
+            self.activated.len(),
+            self.resolved.len(),
+            self.near_chains.len(),
+            if self.near_truncated {
+                " (truncated)"
+            } else {
+                ""
+            }
+        )?;
+        for a in &self.activated {
+            writeln!(f, "{a}")?;
+        }
+        for c in &self.resolved {
+            writeln!(f, "(resolved) {c}")?;
+        }
+        for n in &self.near_chains {
+            writeln!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Chain identity across independently built graphs: node ids are not
+/// stable, signatures and category are.
+fn chain_key(c: &GadgetChain) -> (&[String], &str) {
+    (&c.signatures, &c.sink_category)
+}
+
+fn class_of(sig: &str) -> &str {
+    sig.rfind('.').map(|i| &sig[..i]).unwrap_or(sig)
+}
+
+/// True when `edge` (an added/changed edge of the delta) lies on the
+/// consecutive signature pair `(a, b)` of a chain running source → sink:
+/// CALL edges match in chain direction, ALIAS in either orientation, and
+/// EXTEND/INTERFACE when they connect the two methods' classes (the class
+/// hierarchy change that rebinds a virtual call).
+fn edge_on_pair(edge: &SymbolicEdge, a: &str, b: &str) -> bool {
+    match edge.kind {
+        EdgeKind::Call => edge.from == a && edge.to == b,
+        EdgeKind::Alias => (edge.from == a && edge.to == b) || (edge.from == b && edge.to == a),
+        // Hierarchy edges attribute only when they connect the two
+        // methods' classes directly; looser matching over-attributes.
+        EdgeKind::Extend | EdgeKind::Interface => {
+            let (ca, cb) = (class_of(a), class_of(b));
+            (edge.from == ca && edge.to == cb) || (edge.from == cb && edge.to == ca)
+        }
+    }
+}
+
+/// Diffs `old` against `new` (two snapshots of the same corpus) and runs
+/// the near-chain relaxation over the new snapshot's search projection.
+pub fn diff_snapshots(old: &Snapshot, new: &Snapshot, near: &NearChainConfig) -> DiffReport {
+    let mut report = DiffReport {
+        old_ref: old.reference(),
+        new_ref: new.reference(),
+        identical: old.content_key == new.content_key,
+        added_edges: Vec::new(),
+        removed_edges: Vec::new(),
+        changed_methods: Vec::new(),
+        activated: Vec::new(),
+        resolved: Vec::new(),
+        near_chains: Vec::new(),
+        near_truncated: false,
+    };
+    if report.identical {
+        return report;
+    }
+
+    let old_edges: BTreeSet<&SymbolicEdge> = old.edges.iter().collect();
+    let new_edges: BTreeSet<&SymbolicEdge> = new.edges.iter().collect();
+    report.added_edges = new_edges
+        .difference(&old_edges)
+        .map(|e| (*e).clone())
+        .collect();
+    report.removed_edges = old_edges
+        .difference(&new_edges)
+        .map(|e| (*e).clone())
+        .collect();
+
+    let mut changed: BTreeSet<&str> = BTreeSet::new();
+    for (method, digest) in &new.summary_digests {
+        if old.summary_digests.get(method) != Some(digest) {
+            changed.insert(method);
+        }
+    }
+    for method in old.summary_digests.keys() {
+        if !new.summary_digests.contains_key(method) {
+            changed.insert(method);
+        }
+    }
+    report.changed_methods = changed.into_iter().map(str::to_owned).collect();
+
+    let old_chains: BTreeSet<(&[String], &str)> = old.chains.iter().map(chain_key).collect();
+    let new_chains: BTreeSet<(&[String], &str)> = new.chains.iter().map(chain_key).collect();
+    for chain in &new.chains {
+        if old_chains.contains(&chain_key(chain)) {
+            continue;
+        }
+        let completing_edges: Vec<SymbolicEdge> = report
+            .added_edges
+            .iter()
+            .filter(|e| {
+                chain
+                    .signatures
+                    .windows(2)
+                    .any(|pair| edge_on_pair(e, &pair[0], &pair[1]))
+            })
+            .cloned()
+            .collect();
+        report.activated.push(ActivatedChain {
+            chain: chain.clone(),
+            completing_edges,
+        });
+    }
+    report.resolved = old
+        .chains
+        .iter()
+        .filter(|c| !new_chains.contains(&chain_key(c)))
+        .cloned()
+        .collect();
+
+    let (graph, schema, sinks, categories, sources) = new.rebuild_search_graph();
+    let outcome = find_near_chains(&graph, &schema, sinks, categories, &sources, near);
+    report.near_chains = outcome.near_chains;
+    report.near_truncated = outcome.truncated;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SinkEntry;
+    use std::collections::BTreeMap;
+
+    fn call(from: &str, to: &str, pp: &[i64]) -> SymbolicEdge {
+        SymbolicEdge {
+            kind: EdgeKind::Call,
+            from: from.to_owned(),
+            to: to.to_owned(),
+            payload: pp.to_vec(),
+        }
+    }
+
+    fn chain(sigs: &[&str], category: &str) -> GadgetChain {
+        GadgetChain {
+            signatures: sigs.iter().map(|s| (*s).to_owned()).collect(),
+            sink_category: category.to_owned(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// A corpus hand-assembled at the snapshot level: v1 has the sink call
+    /// but the pivot sanitizes (PP all-∞ on the pivot→helper hop), v2
+    /// forwards the payload. v1 also carries a permanently dormant route.
+    fn version(v: u32, pivot_forwards: bool) -> Snapshot {
+        let pivot = "t.Pivot.readObject";
+        let helper = "t.Helper.run";
+        let sink = "java.lang.Runtime.exec";
+        let dormant = "t.Dormant.readObject";
+        let pivot_pp: &[i64] = if pivot_forwards { &[0, 1] } else { &[-1, -1] };
+        let edges = vec![
+            call(pivot, helper, pivot_pp),
+            call(helper, sink, &[-1, 1]),
+            call(dormant, helper, &[-1, -1]),
+        ];
+        let methods: Vec<String> = [pivot, helper, sink, dormant]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let summary_digests: BTreeMap<String, u64> = methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                // The pivot's digest flips with its PP; others are stable.
+                let d = if m == pivot && pivot_forwards {
+                    1000
+                } else {
+                    i as u64
+                };
+                (m.clone(), d)
+            })
+            .collect();
+        let chains = if pivot_forwards {
+            vec![chain(&[pivot, helper, sink], "EXEC")]
+        } else {
+            Vec::new()
+        };
+        Snapshot {
+            format: crate::snapshot::SNAPSHOT_FORMAT,
+            corpus: "t".to_owned(),
+            version: v,
+            content_key: format!("{:016x}", u64::from(v)),
+            class_hashes: BTreeMap::new(),
+            depth: 12,
+            methods,
+            edges,
+            sinks: vec![SinkEntry {
+                method: sink.to_owned(),
+                trigger_condition: vec![1],
+                category: "EXEC".to_owned(),
+            }],
+            sources: vec![pivot.to_owned(), dormant.to_owned()],
+            chains,
+            summary_digests,
+            diagnostics: Default::default(),
+        }
+    }
+
+    #[test]
+    fn activation_is_attributed_to_the_changed_edge() {
+        let v1 = version(1, false);
+        let v2 = version(2, true);
+        let report = diff_snapshots(&v1, &v2, &NearChainConfig::default());
+        assert!(!report.identical);
+        assert!(!report.is_clean());
+        assert_eq!(report.activated.len(), 1, "{report}");
+        let a = &report.activated[0];
+        assert_eq!(a.chain.source(), "t.Pivot.readObject");
+        assert_eq!(a.chain.sink(), "java.lang.Runtime.exec");
+        assert_eq!(a.completing_edges.len(), 1, "{report}");
+        assert_eq!(a.completing_edges[0].from, "t.Pivot.readObject");
+        assert_eq!(a.completing_edges[0].to, "t.Helper.run");
+        assert_eq!(a.completing_edges[0].payload, vec![0, 1]);
+        assert!(report.resolved.is_empty());
+        // Methods changed: exactly the pivot.
+        assert_eq!(
+            report.changed_methods,
+            vec!["t.Pivot.readObject".to_owned()]
+        );
+        // The changed edge shows up as one removed + one added.
+        assert_eq!(report.added_edges.len(), 1);
+        assert_eq!(report.removed_edges.len(), 1);
+    }
+
+    #[test]
+    fn dormant_route_surfaces_as_a_near_chain_with_named_position() {
+        let v1 = version(1, false);
+        let v2 = version(2, true);
+        let report = diff_snapshots(&v1, &v2, &NearChainConfig::default());
+        let near: Vec<&NearChain> = report
+            .near_chains
+            .iter()
+            .filter(|n| n.signatures.first().map(String::as_str) == Some("t.Dormant.readObject"))
+            .collect();
+        assert_eq!(near.len(), 1, "{report}");
+        assert_eq!(near[0].blocked.caller, "t.Dormant.readObject");
+        assert_eq!(near[0].blocked.callee, "t.Helper.run");
+        assert_eq!(near[0].blocked.position, 1);
+    }
+
+    #[test]
+    fn reverse_diff_reports_the_chain_as_resolved() {
+        let v1 = version(1, false);
+        let v2 = version(2, true);
+        let report = diff_snapshots(&v2, &v1, &NearChainConfig::default());
+        assert!(report.is_clean());
+        assert_eq!(report.activated.len(), 0);
+        assert_eq!(report.resolved.len(), 1);
+        assert_eq!(report.resolved[0].source(), "t.Pivot.readObject");
+    }
+
+    #[test]
+    fn identical_content_short_circuits() {
+        let v1 = version(1, false);
+        let mut v1b = version(2, true);
+        v1b.content_key = v1.content_key.clone();
+        let report = diff_snapshots(&v1, &v1b, &NearChainConfig::default());
+        assert!(report.identical);
+        assert!(report.is_clean());
+        assert!(report.added_edges.is_empty());
+        assert!(report.near_chains.is_empty());
+    }
+
+    #[test]
+    fn self_diff_is_a_no_op_for_activations() {
+        let v2 = version(2, true);
+        let report = diff_snapshots(&v2, &v2, &NearChainConfig::default());
+        assert!(report.identical);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn report_display_names_the_completing_edge() {
+        let v1 = version(1, false);
+        let v2 = version(2, true);
+        let report = diff_snapshots(&v1, &v2, &NearChainConfig::default());
+        let text = report.to_string();
+        assert!(text.contains("newly activated chains: 1"), "{text}");
+        assert!(
+            text.contains("completed by: CALL t.Pivot.readObject -> t.Helper.run"),
+            "{text}"
+        );
+        assert!(text.contains("maps to \u{221e}"), "{text}");
+    }
+}

@@ -1,0 +1,54 @@
+//! # tabby-registry — versioned scan snapshots and differential detection
+//!
+//! The production story for gadget-chain detection is not one-shot scans
+//! but watching dependency bumps: *Sleeping Giants*-style attacks complete
+//! a dormant chain with a small, innocuous-looking change, and the signal
+//! lives in the *delta* between two corpus versions, not in either version
+//! alone. This crate gives the one-shot pipeline a memory:
+//!
+//! - [`Snapshot`] — one scan of one corpus version, reduced to its
+//!   symbolic search projection: content-addressed corpus key, method
+//!   signatures, CALL/ALIAS/EXTEND/INTERFACE edges with Polluted_Position
+//!   payloads, annotated sinks/sources, the canonical chain set,
+//!   per-method summary digests, and the scan's diagnostics. Degraded
+//!   scans are refused at build time ([`Snapshot::build`]) — diffing a
+//!   lower-bound chain set fabricates activations.
+//! - [`Registry`] — the on-disk store: `<root>/<corpus>/v<N>.json`,
+//!   immutable once written, addressed as `corpus@vN`
+//!   ([`parse_corpus_ref`]).
+//! - [`diff_snapshots`] — the diff engine: newly **activated** chains
+//!   (present in v(N+1), absent in vN) attributed to the added/changed
+//!   edges that completed them, **resolved** chains, and **near-chains**
+//!   — paths one forgiven edge short of a source, with the blocking
+//!   Trigger_Condition position named, via
+//!   [`tabby_pathfinder::find_near_chains`] over the rebuilt projection.
+//!
+//! # Examples
+//!
+//! ```
+//! use tabby_registry::{diff_snapshots, parse_corpus_ref, Registry};
+//! use tabby_pathfinder::NearChainConfig;
+//!
+//! let root = std::env::temp_dir().join(format!("tabby-reg-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&root);
+//! let registry = Registry::open(&root).unwrap();
+//! assert!(registry.corpora().unwrap().is_empty());
+//! let r = parse_corpus_ref("commons@v3").unwrap();
+//! assert_eq!(r.corpus, "commons");
+//! assert_eq!(r.version, Some(3));
+//! # let _ = std::fs::remove_dir_all(&root);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod diff;
+pub mod snapshot;
+pub mod store;
+
+pub use diff::{diff_snapshots, ActivatedChain, DiffReport};
+pub use snapshot::{
+    corpus_content_key, hash_inputs, EdgeKind, SinkEntry, Snapshot, SymbolicEdge, SNAPSHOT_FORMAT,
+};
+pub use store::{parse_corpus_ref, CorpusRef, Registry};

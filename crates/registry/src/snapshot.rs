@@ -1,0 +1,555 @@
+//! The snapshot data model: one scan of one corpus version, reduced to the
+//! symbolic facts a later diff needs.
+//!
+//! A snapshot never stores the CPG itself — it stores a *content-addressed
+//! reference* to it (the same FNV key the service cache uses) plus the
+//! search-relevant projection: method signatures, CALL/ALIAS/EXTEND/
+//! INTERFACE edges with their Polluted_Position payloads, annotated sinks
+//! and sources, the canonical chain set, per-method summary digests, and
+//! the scan's [`ScanDiagnostics`]. Node ids are deliberately absent —
+//! they are not stable across builds — so everything is keyed by
+//! `Class.method` signature, the same identity
+//! [`tabby_pathfinder::canonical_chain_order`] dedups chains by.
+//!
+//! Snapshots of degraded scans are refused at construction
+//! ([`Snapshot::build`]): a diff against a partial chain set would report
+//! phantom activations, so the registry follows the service cache's
+//! "never cache faulty results" rule.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use tabby_core::{Cpg, CpgSchema, ScanDiagnostics};
+use tabby_graph::{content_hash64, Fnv64, Graph, NodeId, Value};
+use tabby_pathfinder::{
+    canonical_chain_order, GadgetChain, SinkCatalog, SourceCatalog, TriggerCondition,
+};
+
+/// On-disk snapshot format version.
+pub const SNAPSHOT_FORMAT: u32 = 1;
+
+/// The CPG edge families a snapshot records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Hash)]
+pub enum EdgeKind {
+    /// PCG `CALL` edge (carries a Polluted_Position payload).
+    Call,
+    /// MAG `ALIAS` edge.
+    Alias,
+    /// ORG `EXTEND` edge.
+    Extend,
+    /// ORG `INTERFACE` edge.
+    Interface,
+}
+
+impl std::fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EdgeKind::Call => "CALL",
+            EdgeKind::Alias => "ALIAS",
+            EdgeKind::Extend => "EXTEND",
+            EdgeKind::Interface => "INTERFACE",
+        })
+    }
+}
+
+/// One CPG edge, identified symbolically (signatures, not node ids) so it
+/// compares across independently built graphs of different corpus versions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Hash)]
+pub struct SymbolicEdge {
+    /// Edge family.
+    pub kind: EdgeKind,
+    /// Source endpoint (`Class.method` for CALL/ALIAS, class name for
+    /// EXTEND/INTERFACE).
+    pub from: String,
+    /// Target endpoint.
+    pub to: String,
+    /// The Polluted_Position payload (CALL edges; empty otherwise). Part
+    /// of the edge identity: a PP change is a *changed* edge.
+    pub payload: Vec<i64>,
+}
+
+impl std::fmt::Display for SymbolicEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} -> {}", self.kind, self.from, self.to)?;
+        if !self.payload.is_empty() {
+            write!(f, " PP{:?}", self.payload)?;
+        }
+        Ok(())
+    }
+}
+
+/// An annotated sink method, by signature.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SinkEntry {
+    /// `Class.method`.
+    pub method: String,
+    /// The sink's Trigger_Condition positions.
+    pub trigger_condition: Vec<u16>,
+    /// Exploit-effect category (Table VII).
+    pub category: String,
+}
+
+/// One versioned scan snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// On-disk format version ([`SNAPSHOT_FORMAT`]).
+    pub format: u32,
+    /// Corpus name (the part before `@` in `corpus@v1`).
+    pub corpus: String,
+    /// Version number (the `1` in `corpus@v1`).
+    pub version: u32,
+    /// Content-addressed CPG reference: FNV-1a over the sorted
+    /// `(file, content hash)` pairs — the same key the service's CPG cache
+    /// files use, so a daemon can locate the cached CPG for a snapshot.
+    pub content_key: String,
+    /// Per-input content hashes (input name → FNV-1a of its bytes).
+    pub class_hashes: BTreeMap<String, u64>,
+    /// Search depth the chain set was computed at.
+    pub depth: usize,
+    /// Every method signature in the CPG, sorted.
+    pub methods: Vec<String>,
+    /// Every CALL/ALIAS/EXTEND/INTERFACE edge, sorted.
+    pub edges: Vec<SymbolicEdge>,
+    /// Annotated sinks, sorted by method signature.
+    pub sinks: Vec<SinkEntry>,
+    /// Annotated source signatures, sorted.
+    pub sources: Vec<String>,
+    /// The canonical chain set of the scan.
+    pub chains: Vec<GadgetChain>,
+    /// Per-method summary digest: FNV-1a over the method's outgoing
+    /// CALL/ALIAS edges (targets + payloads) — two versions disagree on a
+    /// method exactly when its observable summary changed.
+    pub summary_digests: BTreeMap<String, u64>,
+    /// Diagnostics of the scan that produced this snapshot (always clean:
+    /// degraded scans are refused).
+    pub diagnostics: ScanDiagnostics,
+}
+
+fn describe(graph: &Graph, schema: &CpgSchema, n: NodeId) -> String {
+    let name = graph
+        .node_prop(n, schema.name)
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    match graph
+        .node_prop(n, schema.class_name)
+        .and_then(Value::as_str)
+    {
+        Some(class) => format!("{class}.{name}"),
+        None => name.to_owned(),
+    }
+}
+
+/// The content-addressed corpus key: FNV-1a over the sorted
+/// `(name, content hash)` pairs.
+pub fn corpus_content_key(class_hashes: &BTreeMap<String, u64>) -> String {
+    let mut h = Fnv64::new();
+    for (name, hash) in class_hashes {
+        h.write(name.as_bytes()).write_u64(*hash);
+    }
+    format!("{:016x}", h.finish())
+}
+
+/// Hashes raw input blobs into the `class_hashes` map [`Snapshot::build`]
+/// expects (name → FNV-1a of bytes).
+pub fn hash_inputs<'a>(
+    inputs: impl IntoIterator<Item = (&'a str, &'a [u8])>,
+) -> BTreeMap<String, u64> {
+    inputs
+        .into_iter()
+        .map(|(name, bytes)| (name.to_owned(), content_hash64(bytes)))
+        .collect()
+}
+
+impl Snapshot {
+    /// The `corpus@vN` reference of this snapshot.
+    pub fn reference(&self) -> String {
+        format!("{}@v{}", self.corpus, self.version)
+    }
+
+    /// Why a scan with these diagnostics cannot be snapshotted, if it
+    /// cannot: truncated searches and quarantined/skipped inputs make the
+    /// chain set a lower bound, and diffing lower bounds fabricates
+    /// activations. `None` means the scan is clean.
+    pub fn reject_reason(diagnostics: &ScanDiagnostics) -> Option<String> {
+        if diagnostics.is_degraded() {
+            Some(format!(
+                "refusing to snapshot a degraded scan ({}): a partial chain set \
+                 would make every later diff report phantom activations",
+                diagnostics.summary()
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Builds a snapshot from a completed scan.
+    ///
+    /// `sinks` and `sources` are the annotated node sets the search ran
+    /// over (`(node, trigger condition, category)` / node), `chains` its
+    /// canonical result, and `class_hashes` the per-input content hashes
+    /// (see [`hash_inputs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Snapshot::reject_reason`] message when `diagnostics`
+    /// records a degraded scan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        corpus: &str,
+        version: u32,
+        graph: &Graph,
+        schema: &CpgSchema,
+        sinks: &[(NodeId, Vec<u16>, String)],
+        sources: &[NodeId],
+        chains: &[GadgetChain],
+        diagnostics: &ScanDiagnostics,
+        class_hashes: BTreeMap<String, u64>,
+        depth: usize,
+    ) -> Result<Snapshot, String> {
+        if let Some(reason) = Snapshot::reject_reason(diagnostics) {
+            return Err(reason);
+        }
+        let mut methods: BTreeSet<String> = BTreeSet::new();
+        for n in graph.nodes_with_label(schema.method_label) {
+            methods.insert(describe(graph, schema, n));
+        }
+        let mut edges: BTreeSet<SymbolicEdge> = BTreeSet::new();
+        // Outgoing CALL/ALIAS facts per method, for the summary digests.
+        let mut outgoing: HashMap<String, Vec<(EdgeKind, String, Vec<i64>)>> = HashMap::new();
+        for e in graph.edge_ids() {
+            let ty = graph.edge_ty(e);
+            let kind = if ty == schema.call {
+                EdgeKind::Call
+            } else if ty == schema.alias {
+                EdgeKind::Alias
+            } else if ty == schema.extend {
+                EdgeKind::Extend
+            } else if ty == schema.interface {
+                EdgeKind::Interface
+            } else {
+                continue; // HAS containment is derivable from `methods`.
+            };
+            let (from, to) = graph.endpoints(e);
+            let payload: Vec<i64> = if kind == EdgeKind::Call {
+                graph
+                    .edge_prop(e, schema.polluted_position)
+                    .and_then(Value::as_int_list)
+                    .unwrap_or(&[])
+                    .to_vec()
+            } else {
+                Vec::new()
+            };
+            let from_sig = describe(graph, schema, from);
+            let to_sig = describe(graph, schema, to);
+            if matches!(kind, EdgeKind::Call | EdgeKind::Alias) {
+                outgoing.entry(from_sig.clone()).or_default().push((
+                    kind,
+                    to_sig.clone(),
+                    payload.clone(),
+                ));
+            }
+            edges.insert(SymbolicEdge {
+                kind,
+                from: from_sig,
+                to: to_sig,
+                payload,
+            });
+        }
+        let summary_digests: BTreeMap<String, u64> = methods
+            .iter()
+            .map(|m| {
+                let mut facts = outgoing.remove(m).unwrap_or_default();
+                facts.sort();
+                let mut h = Fnv64::new();
+                for (kind, to, payload) in &facts {
+                    h.write(kind.to_string().as_bytes()).write(to.as_bytes());
+                    for &w in payload {
+                        h.write_u64(w as u64);
+                    }
+                    h.write_u64(payload.len() as u64);
+                }
+                (m.clone(), h.finish())
+            })
+            .collect();
+        let mut sink_entries: Vec<SinkEntry> = sinks
+            .iter()
+            .map(|(n, tc, category)| SinkEntry {
+                method: describe(graph, schema, *n),
+                trigger_condition: tc.clone(),
+                category: category.clone(),
+            })
+            .collect();
+        sink_entries.sort();
+        sink_entries.dedup();
+        let mut source_sigs: Vec<String> = sources
+            .iter()
+            .map(|n| describe(graph, schema, *n))
+            .collect();
+        source_sigs.sort();
+        source_sigs.dedup();
+        let mut chains = chains.to_vec();
+        canonical_chain_order(&mut chains);
+        Ok(Snapshot {
+            format: SNAPSHOT_FORMAT,
+            corpus: corpus.to_owned(),
+            version,
+            content_key: corpus_content_key(&class_hashes),
+            class_hashes,
+            depth,
+            methods: methods.into_iter().collect(),
+            edges: edges.into_iter().collect(),
+            sinks: sink_entries,
+            sources: source_sigs,
+            chains,
+            summary_digests,
+            diagnostics: diagnostics.clone(),
+        })
+    }
+
+    /// Builds a snapshot from a completed scan's CPG by re-annotating the
+    /// sink/source catalogs (annotation is idempotent, so this is safe on a
+    /// CPG the search already ran over). Convenience wrapper around
+    /// [`Snapshot::build`] with the same degraded-scan rejection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Snapshot::reject_reason`] message when `diagnostics`
+    /// records a degraded scan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_cpg(
+        corpus: &str,
+        version: u32,
+        cpg: &mut Cpg,
+        sink_catalog: &SinkCatalog,
+        source_catalog: &SourceCatalog,
+        chains: &[GadgetChain],
+        diagnostics: &ScanDiagnostics,
+        class_hashes: BTreeMap<String, u64>,
+        depth: usize,
+    ) -> Result<Snapshot, String> {
+        let sink_nodes = sink_catalog.annotate(cpg);
+        let sinks: Vec<(NodeId, Vec<u16>, String)> = sink_nodes
+            .iter()
+            .map(|(n, spec)| {
+                (
+                    *n,
+                    spec.trigger_condition.clone(),
+                    spec.category.as_str().to_owned(),
+                )
+            })
+            .collect();
+        let sources: Vec<NodeId> = source_catalog.annotate(cpg).into_iter().collect();
+        Snapshot::build(
+            corpus,
+            version,
+            &cpg.graph,
+            &cpg.schema,
+            &sinks,
+            &sources,
+            chains,
+            diagnostics,
+            class_hashes,
+            depth,
+        )
+    }
+
+    /// Rebuilds the searchable projection of the snapshot: a graph with one
+    /// method node per signature and the CALL/ALIAS edges (Polluted_Position
+    /// restored), plus the annotated sink/source node sets — enough for the
+    /// pathfinder's near-chain relaxation to run without re-scanning the
+    /// corpus. EXTEND/INTERFACE edges are not materialized (the backward
+    /// search never crosses them).
+    #[allow(clippy::type_complexity)]
+    pub fn rebuild_search_graph(
+        &self,
+    ) -> (
+        Graph,
+        CpgSchema,
+        Vec<(NodeId, TriggerCondition)>,
+        Vec<(NodeId, String)>,
+        HashSet<NodeId>,
+    ) {
+        let mut graph = Graph::new();
+        let schema = CpgSchema::install(&mut graph);
+        let mut by_sig: HashMap<&str, NodeId> = HashMap::new();
+        let intern = |graph: &mut Graph, sig: &str| {
+            // Split `Class.method` at the last dot; bare names (EXTEND
+            // endpoints never land here) keep the whole string as name.
+            let node = graph.add_node(schema.method_label);
+            let (class, name) = match sig.rfind('.') {
+                Some(i) => (&sig[..i], &sig[i + 1..]),
+                None => ("", sig),
+            };
+            graph.set_node_prop(node, schema.class_name, Value::from(class));
+            graph.set_node_prop(node, schema.name, Value::from(name));
+            node
+        };
+        for sig in &self.methods {
+            let node = intern(&mut graph, sig);
+            by_sig.insert(sig.as_str(), node);
+        }
+        // Edges referencing endpoints absent from `methods` are skipped
+        // defensively (`methods` covers phantoms at build time).
+        for edge in &self.edges {
+            let layer = match edge.kind {
+                EdgeKind::Call => schema.call,
+                EdgeKind::Alias => schema.alias,
+                EdgeKind::Extend | EdgeKind::Interface => continue,
+            };
+            let (from, to) = match (
+                by_sig.get(edge.from.as_str()).copied(),
+                by_sig.get(edge.to.as_str()).copied(),
+            ) {
+                (Some(f), Some(t)) => (f, t),
+                _ => continue,
+            };
+            let e = graph.add_edge(layer, from, to);
+            if edge.kind == EdgeKind::Call {
+                graph.set_edge_prop(
+                    e,
+                    schema.polluted_position,
+                    Value::IntList(edge.payload.clone()),
+                );
+            }
+        }
+        let sinks: Vec<(NodeId, TriggerCondition)> = self
+            .sinks
+            .iter()
+            .filter_map(|s| {
+                by_sig
+                    .get(s.method.as_str())
+                    .map(|n| (*n, s.trigger_condition.iter().copied().collect()))
+            })
+            .collect();
+        let categories: Vec<(NodeId, String)> = self
+            .sinks
+            .iter()
+            .filter_map(|s| {
+                by_sig
+                    .get(s.method.as_str())
+                    .map(|n| (*n, s.category.clone()))
+            })
+            .collect();
+        let sources: HashSet<NodeId> = self
+            .sources
+            .iter()
+            .filter_map(|s| by_sig.get(s.as_str()).copied())
+            .collect();
+        (graph, schema, sinks, categories, sources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_core::QuarantinedMethod;
+
+    fn tiny_graph() -> (Graph, CpgSchema, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let schema = CpgSchema::install(&mut g);
+        let mk = |g: &mut Graph, class: &str, name: &str| {
+            let n = g.add_node(schema.method_label);
+            g.set_node_prop(n, schema.name, Value::from(name));
+            g.set_node_prop(n, schema.class_name, Value::from(class));
+            n
+        };
+        let sink = mk(&mut g, "java.lang.Runtime", "exec");
+        let mid = mk(&mut g, "t.Helper", "run");
+        let src = mk(&mut g, "t.Pivot", "readObject");
+        let e = g.add_edge(schema.call, mid, sink);
+        g.set_edge_prop(e, schema.polluted_position, Value::IntList(vec![-1, 1]));
+        let e = g.add_edge(schema.call, src, mid);
+        g.set_edge_prop(e, schema.polluted_position, Value::IntList(vec![0, 1]));
+        (g, schema, vec![sink, mid, src])
+    }
+
+    fn build(diagnostics: &ScanDiagnostics) -> Result<Snapshot, String> {
+        let (g, schema, nodes) = tiny_graph();
+        Snapshot::build(
+            "demo",
+            1,
+            &g,
+            &schema,
+            &[(nodes[0], vec![1], "EXEC".to_owned())],
+            &[nodes[2]],
+            &[],
+            diagnostics,
+            BTreeMap::from([("A.class".to_owned(), 7u64)]),
+            12,
+        )
+    }
+
+    #[test]
+    fn clean_scan_snapshots_with_sorted_projection() {
+        let snap = build(&ScanDiagnostics::default()).expect("clean scan snapshots");
+        assert_eq!(snap.reference(), "demo@v1");
+        assert_eq!(snap.methods.len(), 3);
+        assert!(snap.methods.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(snap.edges.len(), 2);
+        assert_eq!(snap.sinks[0].method, "java.lang.Runtime.exec");
+        assert_eq!(snap.sources, vec!["t.Pivot.readObject".to_owned()]);
+        assert_eq!(snap.summary_digests.len(), 3);
+        // Methods with no outgoing edges share the empty digest; methods
+        // with different callees do not.
+        assert_ne!(
+            snap.summary_digests["t.Helper.run"],
+            snap.summary_digests["t.Pivot.readObject"]
+        );
+    }
+
+    #[test]
+    fn degraded_scan_is_refused() {
+        let mut diagnostics = ScanDiagnostics::default();
+        diagnostics.quarantined_methods.push(QuarantinedMethod {
+            method: "t.Bad.m".to_owned(),
+            error: "panic".to_owned(),
+        });
+        let err = build(&diagnostics).expect_err("degraded scan must be refused");
+        assert!(
+            err.contains("refusing to snapshot a degraded scan"),
+            "{err}"
+        );
+        assert!(err.contains("degraded"), "{err}");
+    }
+
+    #[test]
+    fn truncated_search_is_refused() {
+        let diagnostics = ScanDiagnostics {
+            search_truncated: true,
+            ..ScanDiagnostics::default()
+        };
+        let err = build(&diagnostics).expect_err("truncated search must be refused");
+        assert!(err.contains("refusing to snapshot"), "{err}");
+    }
+
+    #[test]
+    fn rebuild_round_trips_the_search_projection() {
+        let snap = build(&ScanDiagnostics::default()).expect("snapshot");
+        let (graph, schema, sinks, categories, sources) = snap.rebuild_search_graph();
+        assert_eq!(graph.node_count(), 3);
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(categories[0].1, "EXEC");
+        assert_eq!(sources.len(), 1);
+        // The chain search over the rebuilt projection finds the chain the
+        // original graph contains.
+        let chains = tabby_pathfinder::find_chains_raw(
+            &graph,
+            &schema,
+            sinks,
+            categories,
+            &sources,
+            &tabby_pathfinder::SearchConfig::default(),
+        );
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].source(), "t.Pivot.readObject");
+        assert_eq!(chains[0].sink(), "java.lang.Runtime.exec");
+    }
+
+    #[test]
+    fn content_key_is_order_independent_and_content_sensitive() {
+        let a = BTreeMap::from([("a".to_owned(), 1u64), ("b".to_owned(), 2u64)]);
+        let b = BTreeMap::from([("b".to_owned(), 2u64), ("a".to_owned(), 1u64)]);
+        assert_eq!(corpus_content_key(&a), corpus_content_key(&b));
+        let c = BTreeMap::from([("a".to_owned(), 1u64), ("b".to_owned(), 3u64)]);
+        assert_ne!(corpus_content_key(&a), corpus_content_key(&c));
+    }
+}

@@ -1,0 +1,324 @@
+//! The on-disk registry: named corpora, each a directory of versioned
+//! snapshot files.
+//!
+//! Layout is deliberately boring and inspectable:
+//!
+//! ```text
+//! <root>/
+//!   <corpus>/
+//!     v1.json
+//!     v2.json
+//! ```
+//!
+//! Writes go through a temp-file + rename so a crashed `tabby snapshot`
+//! never leaves a half-written version behind, and saving an existing
+//! version is an error — snapshots are immutable once registered.
+
+use crate::snapshot::{Snapshot, SNAPSHOT_FORMAT};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A `corpus@vN` reference split into its parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusRef {
+    /// Corpus name.
+    pub corpus: String,
+    /// Version number, or `None` for a bare `corpus` reference (meaning
+    /// "latest" on read, "next" on write).
+    pub version: Option<u32>,
+}
+
+impl std::fmt::Display for CorpusRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.version {
+            Some(v) => write!(f, "{}@v{}", self.corpus, v),
+            None => f.write_str(&self.corpus),
+        }
+    }
+}
+
+/// Parses `corpus` / `corpus@vN` references. Corpus names may not be
+/// empty, contain path separators, or start with a dot.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed part.
+pub fn parse_corpus_ref(text: &str) -> Result<CorpusRef, String> {
+    let (corpus, version) = match text.split_once('@') {
+        Some((corpus, tag)) => {
+            let digits = tag.strip_prefix('v').ok_or_else(|| {
+                format!("malformed version tag {tag:?}: expected v<N> (as in demo@v2)")
+            })?;
+            let version: u32 = digits.parse().map_err(|_| {
+                format!("malformed version tag {tag:?}: expected v<N> (as in demo@v2)")
+            })?;
+            if version == 0 {
+                return Err("version numbers start at v1".to_owned());
+            }
+            (corpus, Some(version))
+        }
+        None => (text, None),
+    };
+    if corpus.is_empty() {
+        return Err("empty corpus name".to_owned());
+    }
+    if corpus.starts_with('.') || corpus.contains('/') || corpus.contains('\\') {
+        return Err(format!(
+            "corpus name {corpus:?} may not start with '.' or contain path separators"
+        ));
+    }
+    Ok(CorpusRef {
+        corpus: corpus.to_owned(),
+        version,
+    })
+}
+
+/// A registry rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    root: PathBuf,
+}
+
+impl Registry {
+    /// Opens (creating if absent) a registry rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message if the root cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Registry, String> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| format!("cannot create registry root {}: {e}", root.display()))?;
+        Ok(Registry { root })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn version_path(&self, corpus: &str, version: u32) -> PathBuf {
+        self.root.join(corpus).join(format!("v{version}.json"))
+    }
+
+    /// Registered corpus names, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message if the root cannot be listed.
+    pub fn corpora(&self) -> Result<Vec<String>, String> {
+        let mut names = Vec::new();
+        let entries = fs::read_dir(&self.root)
+            .map_err(|e| format!("cannot list registry root {}: {e}", self.root.display()))?;
+        for entry in entries.flatten() {
+            if entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Registered versions of `corpus`, ascending. Empty when the corpus
+    /// is unknown.
+    pub fn versions(&self, corpus: &str) -> Vec<u32> {
+        let mut versions = Vec::new();
+        if let Ok(entries) = fs::read_dir(self.root.join(corpus)) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(v) = name
+                    .strip_prefix('v')
+                    .and_then(|rest| rest.strip_suffix(".json"))
+                    .and_then(|digits| digits.parse::<u32>().ok())
+                {
+                    versions.push(v);
+                }
+            }
+        }
+        versions.sort_unstable();
+        versions
+    }
+
+    /// The highest registered version of `corpus`, if any.
+    pub fn latest_version(&self, corpus: &str) -> Option<u32> {
+        self.versions(corpus).into_iter().next_back()
+    }
+
+    /// Persists a snapshot as `corpus@v{snapshot.version}`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the version already exists (snapshots are immutable) or
+    /// on I/O failure; a failed write leaves no partial file behind.
+    pub fn save(&self, snapshot: &Snapshot) -> Result<PathBuf, String> {
+        let path = self.version_path(&snapshot.corpus, snapshot.version);
+        if path.exists() {
+            return Err(format!(
+                "{} already exists: snapshots are immutable, bump the version instead",
+                snapshot.reference()
+            ));
+        }
+        let dir = self.root.join(&snapshot.corpus);
+        fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create corpus dir {}: {e}", dir.display()))?;
+        let body = serde_json::to_vec_pretty(snapshot)
+            .map_err(|e| format!("cannot serialize snapshot: {e}"))?;
+        let tmp = dir.join(format!(".v{}.json.tmp", snapshot.version));
+        {
+            let mut f = fs::File::create(&tmp)
+                .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+            f.write_all(&body)
+                .and_then(|()| f.sync_all())
+                .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            format!("cannot publish {}: {e}", path.display())
+        })?;
+        Ok(path)
+    }
+
+    /// Loads `corpus@v{version}`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the snapshot is missing, unreadable, or written by an
+    /// incompatible format version.
+    pub fn load(&self, corpus: &str, version: u32) -> Result<Snapshot, String> {
+        let path = self.version_path(corpus, version);
+        let body = fs::read(&path).map_err(|e| {
+            format!(
+                "no snapshot {corpus}@v{version} in {}: {e}",
+                self.root.display()
+            )
+        })?;
+        let snapshot: Snapshot = serde_json::from_slice(&body)
+            .map_err(|e| format!("corrupt snapshot {}: {e}", path.display()))?;
+        if snapshot.format != SNAPSHOT_FORMAT {
+            return Err(format!(
+                "snapshot {} has format v{}, this build reads v{}",
+                path.display(),
+                snapshot.format,
+                SNAPSHOT_FORMAT
+            ));
+        }
+        Ok(snapshot)
+    }
+
+    /// Resolves a [`CorpusRef`] to a snapshot; a bare `corpus` reference
+    /// loads the latest version.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the corpus has no versions or the load fails.
+    pub fn load_ref(&self, reference: &CorpusRef) -> Result<Snapshot, String> {
+        let version = match reference.version {
+            Some(v) => v,
+            None => self.latest_version(&reference.corpus).ok_or_else(|| {
+                format!(
+                    "corpus {:?} has no snapshots in {}",
+                    reference.corpus,
+                    self.root.display()
+                )
+            })?,
+        };
+        self.load(&reference.corpus, version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tabby-registry-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(corpus: &str, version: u32) -> Snapshot {
+        Snapshot {
+            format: SNAPSHOT_FORMAT,
+            corpus: corpus.to_owned(),
+            version,
+            content_key: format!("{version:016x}"),
+            class_hashes: Default::default(),
+            depth: 12,
+            methods: vec!["a.B.c".to_owned()],
+            edges: Vec::new(),
+            sinks: Vec::new(),
+            sources: Vec::new(),
+            chains: Vec::new(),
+            summary_digests: Default::default(),
+            diagnostics: Default::default(),
+        }
+    }
+
+    #[test]
+    fn parse_accepts_bare_and_versioned_refs() {
+        let r = parse_corpus_ref("demo").expect("bare ref");
+        assert_eq!(r.corpus, "demo");
+        assert_eq!(r.version, None);
+        let r = parse_corpus_ref("demo@v12").expect("versioned ref");
+        assert_eq!(r.version, Some(12));
+        assert_eq!(r.to_string(), "demo@v12");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_refs() {
+        for bad in [
+            "", "demo@", "demo@2", "demo@vx", "demo@v0", "../x@v1", ".hidden",
+        ] {
+            assert!(parse_corpus_ref(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_and_versions_sort() {
+        let root = temp_root("roundtrip");
+        let reg = Registry::open(&root).expect("open");
+        reg.save(&sample("demo", 2)).expect("save v2");
+        reg.save(&sample("demo", 1)).expect("save v1");
+        reg.save(&sample("demo", 10)).expect("save v10");
+        assert_eq!(reg.versions("demo"), vec![1, 2, 10]);
+        assert_eq!(reg.latest_version("demo"), Some(10));
+        assert_eq!(reg.corpora().expect("corpora"), vec!["demo".to_owned()]);
+        let loaded = reg.load("demo", 2).expect("load");
+        assert_eq!(loaded.reference(), "demo@v2");
+        assert_eq!(loaded.methods, vec!["a.B.c".to_owned()]);
+        let latest = reg
+            .load_ref(&parse_corpus_ref("demo").expect("ref"))
+            .expect("load latest");
+        assert_eq!(latest.version, 10);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn existing_versions_are_immutable() {
+        let root = temp_root("immutable");
+        let reg = Registry::open(&root).expect("open");
+        reg.save(&sample("demo", 1)).expect("save");
+        let err = reg
+            .save(&sample("demo", 1))
+            .expect_err("second save must fail");
+        assert!(err.contains("immutable"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_and_format_mismatched_snapshots_error() {
+        let root = temp_root("missing");
+        let reg = Registry::open(&root).expect("open");
+        assert!(reg.load("demo", 1).is_err());
+        let mut future = sample("demo", 1);
+        future.format = SNAPSHOT_FORMAT + 1;
+        reg.save(&future).expect("save");
+        let err = reg.load("demo", 1).expect_err("format mismatch must fail");
+        assert!(err.contains("format"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

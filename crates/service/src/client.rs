@@ -177,6 +177,35 @@ pub fn submit(
     )
 }
 
+/// Convenience wrapper: submits a differential scan of `paths` against
+/// the registry at `registry_root`, registering the result as the next
+/// version of `corpus`. With `watch`, the daemon also re-diffs whenever
+/// the corpus content changes on disk.
+///
+/// # Errors
+///
+/// Same failure modes as [`request`].
+pub fn diff(
+    addr: &str,
+    paths: Vec<String>,
+    registry_root: &str,
+    corpus: &str,
+    watch: bool,
+    options: ScanRequestOptions,
+) -> Result<Response, String> {
+    request(
+        addr,
+        &Request::Diff {
+            id: None,
+            paths,
+            registry: registry_root.to_owned(),
+            corpus: corpus.to_owned(),
+            options,
+            watch,
+        },
+    )
+}
+
 /// Bounded-retry policy for [`submit_with_retry`]: exponential backoff
 /// with jitter, applied only to *transient* failures (connection refused,
 /// `"queue full"` rejections). Permanent failures — bad paths, malformed

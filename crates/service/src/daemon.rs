@@ -17,7 +17,7 @@
 //! the stop flag within one read timeout, and [`Daemon::run`] joins the
 //! workers before returning.
 
-use crate::engine::{Engine, JobOutcome, QueryOutcome};
+use crate::engine::{DiffJobOutcome, Engine, JobOutcome, QueryOutcome};
 use crate::protocol::{
     parse_request, DaemonInfo, QueryRequestOptions, Request, Response, ScanRequestOptions,
 };
@@ -64,6 +64,9 @@ pub struct ServiceConfig {
     /// per CPU core; a request can override per job). Defaults to 1 for
     /// the same reason as `analysis_threads`.
     pub search_threads: usize,
+    /// How often the watch thread re-fingerprints registered corpora
+    /// (metadata only — no bytes are read until a change is seen).
+    pub watch_poll: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -77,6 +80,7 @@ impl Default for ServiceConfig {
             cache_capacity: 32,
             analysis_threads: 1,
             search_threads: 1,
+            watch_poll: Duration::from_millis(500),
         }
     }
 }
@@ -88,12 +92,18 @@ enum JobKind {
         query: String,
         options: QueryRequestOptions,
     },
+    Diff {
+        registry: String,
+        corpus: String,
+        options: ScanRequestOptions,
+    },
 }
 
 /// A finished job's payload, matching its [`JobKind`].
 enum Outcome {
     Scan(JobOutcome),
     Query(QueryOutcome),
+    Diff(DiffJobOutcome),
 }
 
 impl Outcome {
@@ -101,6 +111,7 @@ impl Outcome {
         match self {
             Outcome::Scan(o) => &mut o.stats,
             Outcome::Query(o) => &mut o.stats,
+            Outcome::Diff(o) => &mut o.stats,
         }
     }
 }
@@ -111,6 +122,19 @@ struct Job {
     kind: JobKind,
     enqueued: Instant,
     reply: Sender<Result<Outcome, String>>,
+    /// True for jobs the watch thread submitted (counted separately; their
+    /// reply receiver is already dropped).
+    watch: bool,
+}
+
+/// One corpus registered for watch-mode re-diffing.
+struct WatchEntry {
+    paths: Vec<String>,
+    registry: String,
+    corpus: String,
+    options: ScanRequestOptions,
+    /// Metadata fingerprint of the watched paths at last poll/submission.
+    fingerprint: u64,
 }
 
 /// State shared by the accept loop, connection threads, and workers.
@@ -121,6 +145,8 @@ struct Shared {
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
+    watch_diffs: AtomicU64,
+    watches: Mutex<Vec<WatchEntry>>,
     /// `None` once shutdown begins: dropping the sender is what lets
     /// workers drain the queue and exit.
     queue: Mutex<Option<Sender<Job>>>,
@@ -164,6 +190,8 @@ impl Daemon {
             jobs_done: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            watch_diffs: AtomicU64::new(0),
+            watches: Mutex::new(Vec::new()),
             queue: Mutex::new(Some(tx)),
             started: Instant::now(),
         });
@@ -202,6 +230,13 @@ impl Daemon {
             workers.push(handle);
         }
         drop(jobs_rx);
+        let watcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tabby-watch".to_owned())
+                .spawn(move || watch_loop(&shared))
+                .expect("spawn watch thread")
+        };
         loop {
             if shared.stop.load(Ordering::SeqCst) || signal::termination_requested() {
                 shared.begin_shutdown();
@@ -223,6 +258,7 @@ impl Daemon {
                 Err(_) => std::thread::sleep(ACCEPT_POLL),
             }
         }
+        let _ = watcher.join();
         for w in workers {
             let _ = w.join();
         }
@@ -279,7 +315,11 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
         let queue_ms = job.enqueued.elapsed().as_millis() as u64;
         let deadline = Instant::now() + shared.config.job_timeout;
         let Job {
-            paths, kind, reply, ..
+            paths,
+            kind,
+            reply,
+            watch,
+            ..
         } = job;
         // One job panicking must not take the worker (and with it a slot of
         // the pool) down: contain it, report a structured error, move on.
@@ -292,6 +332,14 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
                 .engine
                 .run_query(&paths, query, options, deadline)
                 .map(Outcome::Query),
+            JobKind::Diff {
+                registry,
+                corpus,
+                options,
+            } => shared
+                .engine
+                .run_diff(&paths, registry, corpus, options, deadline)
+                .map(Outcome::Diff),
         }));
         let result = match run {
             Ok(Ok(mut outcome)) => {
@@ -299,6 +347,9 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
                 stats.queue_ms = queue_ms;
                 stats.total_ms += queue_ms;
                 shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+                if watch {
+                    shared.watch_diffs.fetch_add(1, Ordering::Relaxed);
+                }
                 Ok(outcome)
             }
             Ok(Err(e)) => {
@@ -313,6 +364,125 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
         // A client that gave up (timeout, closed connection) is not an
         // error worth tearing the worker down for.
         let _ = reply.send(result);
+    }
+}
+
+/// Metadata fingerprint of the `.class` files under `paths`: FNV-1a over
+/// the sorted `(path, len, mtime)` triples. Cheap enough to poll — no file
+/// contents are read — and any content change necessarily changes it
+/// (writes bump mtime even when the length is preserved).
+fn fs_fingerprint(paths: &[String]) -> u64 {
+    use tabby_graph::Fnv64;
+    fn walk(path: &std::path::Path, facts: &mut Vec<(String, u64, u64)>) {
+        let Ok(meta) = std::fs::metadata(path) else {
+            return;
+        };
+        if meta.is_dir() {
+            let Ok(entries) = std::fs::read_dir(path) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                walk(&entry.path(), facts);
+            }
+        } else if path.extension().is_some_and(|e| e == "class") {
+            let mtime = meta
+                .modified()
+                .ok()
+                .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .map_or(0, |d| d.as_nanos() as u64);
+            facts.push((path.to_string_lossy().into_owned(), meta.len(), mtime));
+        }
+    }
+    let mut facts = Vec::new();
+    for p in paths {
+        walk(std::path::Path::new(p), &mut facts);
+    }
+    facts.sort();
+    let mut h = Fnv64::new();
+    for (path, len, mtime) in &facts {
+        h.write(path.as_bytes()).write_u64(*len).write_u64(*mtime);
+    }
+    h.write_u64(facts.len() as u64);
+    h.finish()
+}
+
+/// Registers (or refreshes) a watch on `(registry, corpus)`. The stored
+/// fingerprint is taken *now*, after the triggering diff job ran, so the
+/// watch fires only on changes past this point.
+fn register_watch(
+    shared: &Shared,
+    paths: Vec<String>,
+    registry: String,
+    corpus: String,
+    options: ScanRequestOptions,
+) {
+    let fingerprint = fs_fingerprint(&paths);
+    let mut watches = shared.watches.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(entry) = watches
+        .iter_mut()
+        .find(|w| w.registry == registry && w.corpus == corpus)
+    {
+        entry.paths = paths;
+        entry.options = options;
+        entry.fingerprint = fingerprint;
+    } else {
+        watches.push(WatchEntry {
+            paths,
+            registry,
+            corpus,
+            options,
+            fingerprint,
+        });
+    }
+}
+
+/// The watch thread: every `watch_poll`, re-fingerprint each registered
+/// corpus and submit an internal diff job (fire-and-forget, through the
+/// same bounded queue and worker pool as client jobs) for each one whose
+/// content changed. The engine's own identical-content short-circuit makes
+/// a spurious wakeup cheap.
+fn watch_loop(shared: &Shared) {
+    let mut since_poll = Duration::ZERO;
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(ACCEPT_POLL);
+        since_poll += ACCEPT_POLL;
+        if since_poll < shared.config.watch_poll {
+            continue;
+        }
+        since_poll = Duration::ZERO;
+        let mut watches = shared.watches.lock().unwrap_or_else(|e| e.into_inner());
+        for w in watches.iter_mut() {
+            let fingerprint = fs_fingerprint(&w.paths);
+            if fingerprint == w.fingerprint {
+                continue;
+            }
+            let (reply_tx, _reply_rx) = bounded(1);
+            let job = Job {
+                paths: w.paths.clone(),
+                kind: JobKind::Diff {
+                    registry: w.registry.clone(),
+                    corpus: w.corpus.clone(),
+                    options: w.options.clone(),
+                },
+                enqueued: Instant::now(),
+                reply: reply_tx,
+                watch: true,
+            };
+            let sent = {
+                let guard = shared.queue.lock().expect("queue poisoned");
+                match guard.as_ref() {
+                    Some(tx) => tx.try_send(job).is_ok(),
+                    None => return,
+                }
+            };
+            // Advance only once the job is queued: a full queue retries the
+            // same change on the next poll instead of silently losing it.
+            // (A duplicate submission is harmless either way — the engine's
+            // identical-content short-circuit makes it a no-op.)
+            if sent {
+                w.fingerprint = fingerprint;
+            }
+        }
     }
 }
 
@@ -368,6 +538,11 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
         Request::Ping { id } => write_line(stream, &Response::ack(id)),
         Request::Stats { id } => {
             let (cached_classes, cached_jobs, cached_cpgs) = shared.engine.cache_counts();
+            let watched_corpora = shared
+                .watches
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len();
             write_line(
                 stream,
                 &Response::info(
@@ -382,6 +557,8 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
                         cached_classes,
                         cached_jobs,
                         cached_cpgs,
+                        watched_corpora,
+                        watch_diffs: shared.watch_diffs.load(Ordering::Relaxed),
                     },
                 ),
             )
@@ -395,7 +572,38 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
                 Ok(Outcome::Scan(out)) => {
                     Response::scan(id, out.chains, out.stats, out.diagnostics)
                 }
-                Ok(Outcome::Query(_)) => Response::failure(id, "internal: job kind mismatch"),
+                Ok(_) => Response::failure(id, "internal: job kind mismatch"),
+                Err(e) => Response::failure(id, e),
+            };
+            write_line(stream, &reply)
+        }
+        Request::Diff {
+            id,
+            paths,
+            registry,
+            corpus,
+            options,
+            watch,
+        } => {
+            let reply = match submit_job(
+                shared,
+                paths.clone(),
+                JobKind::Diff {
+                    registry: registry.clone(),
+                    corpus: corpus.clone(),
+                    options: options.clone(),
+                },
+            ) {
+                Ok(Outcome::Diff(out)) => {
+                    // Watches register only after a successful diff: a bad
+                    // path or malformed corpus name must fail loudly once,
+                    // not spin silently in the watch thread.
+                    if watch {
+                        register_watch(shared, paths, registry, corpus, options);
+                    }
+                    Response::diff_reply(id, out.diff, out.stats, out.diagnostics)
+                }
+                Ok(_) => Response::failure(id, "internal: job kind mismatch"),
                 Err(e) => Response::failure(id, e),
             };
             write_line(stream, &reply)
@@ -428,7 +636,7 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
                     }),
                 )
             }
-            Ok(Outcome::Scan(_)) => write_line(
+            Ok(_) => write_line(
                 stream,
                 &Response::failure(id, "internal: job kind mismatch"),
             ),
@@ -446,6 +654,7 @@ fn submit_job(shared: &Shared, paths: Vec<String>, kind: JobKind) -> Result<Outc
         kind,
         enqueued: Instant::now(),
         reply: reply_tx,
+        watch: false,
     };
     let sent = {
         let guard = shared.queue.lock().expect("queue poisoned");
@@ -529,8 +738,17 @@ mod tests {
         let reply: Response = serde_json::from_str(line.trim()).unwrap();
         assert!(!reply.ok);
         assert!(reply.error.unwrap().contains("unversioned request"));
-        // … and the same connection still works for a versioned one.
+        // … a v2 (pre-diff) client gets the structured mismatch error …
         stream.write_all(b"{\"v\":2,\"cmd\":\"ping\"}\n").unwrap();
+        line.clear();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        let reply: Response = serde_json::from_str(line.trim()).unwrap();
+        assert!(!reply.ok);
+        let error = reply.error.unwrap();
+        assert!(error.contains("request is v2"), "{error}");
+        assert!(error.contains("daemon speaks v3"), "{error}");
+        // … and the same connection still works for a current-version one.
+        stream.write_all(b"{\"v\":3,\"cmd\":\"ping\"}\n").unwrap();
         line.clear();
         std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
         let reply: Response = serde_json::from_str(line.trim()).unwrap();
@@ -665,6 +883,74 @@ mod tests {
         assert_eq!(daemon.jobs_done, 1);
         handle.stop();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_round_trip_and_watch_mode_rediffs_on_change() {
+        use tabby_ir::compile::compile_program;
+        use tabby_ir::{JType, ProgramBuilder};
+        let tag = format!("{}-{:?}", std::process::id(), std::thread::current().id());
+        let dir = std::env::temp_dir().join(format!("tabby-daemon-watch-{tag}"));
+        let reg = std::env::temp_dir().join(format!("tabby-daemon-watch-reg-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&reg);
+        std::fs::create_dir_all(&dir).unwrap();
+        let write_corpus = |with_extra: bool| {
+            let mut pb = ProgramBuilder::new();
+            let mut cb = pb.class("w.A");
+            cb.serializable_in_place();
+            let mut mb = cb.method("m1", vec![], JType::Void);
+            mb.ret_void();
+            mb.finish();
+            if with_extra {
+                let mut m2 = cb.method("m2", vec![], JType::Void);
+                m2.ret_void();
+                m2.finish();
+            }
+            cb.finish();
+            for (name, bytes) in compile_program(&pb.build()) {
+                std::fs::write(dir.join(format!("{name}.class")), bytes).unwrap();
+            }
+        };
+        write_corpus(false);
+        let mut config = test_config();
+        config.watch_poll = Duration::from_millis(50);
+        let handle = Daemon::spawn(config).expect("spawn daemon");
+        let addr = handle.addr().to_string();
+        let paths = vec![dir.to_string_lossy().into_owned()];
+        let reg_root = reg.to_string_lossy().into_owned();
+        let reply = client::diff(
+            &addr,
+            paths.clone(),
+            &reg_root,
+            "watched",
+            true,
+            ScanRequestOptions::default(),
+        )
+        .unwrap();
+        assert!(reply.ok, "{:?}", reply.error);
+        let outcome = reply.diff.expect("diff payload");
+        assert!(outcome.baseline);
+        assert_eq!(outcome.new_ref, "watched@v1");
+        let stats = client::request(&addr, &Request::Stats { id: None }).unwrap();
+        assert_eq!(stats.daemon.unwrap().watched_corpora, 1);
+        // Change the corpus on disk; the watch thread must notice and
+        // register + diff v2 without any further client request.
+        write_corpus(true);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let stats = client::request(&addr, &Request::Stats { id: None }).unwrap();
+            if stats.daemon.unwrap().watch_diffs >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "watch diff never fired");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let registry = tabby_registry::Registry::open(&reg).unwrap();
+        assert_eq!(registry.latest_version("watched"), Some(2));
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&reg);
     }
 
     #[test]

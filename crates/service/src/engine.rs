@@ -23,8 +23,8 @@
 //! and their Actions — cannot be affected by any change outside its cone.
 
 use crate::cache::{CachedChains, CachedClass, CachedCpg, ComponentState, ScanCache};
-use crate::protocol::{JobStats, QueryRequestOptions, ScanRequestOptions};
-use std::collections::{HashMap, HashSet};
+use crate::protocol::{DiffOutcome, JobStats, QueryRequestOptions, ScanRequestOptions};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -36,10 +36,11 @@ use tabby_graph::{content_hash64, Fnv64, NodeId};
 use tabby_ir::lift::lift_class;
 use tabby_ir::{ClassId, MethodId, Program, ProgramBuilder, Symbol};
 use tabby_pathfinder::{
-    find_chains_raw_detailed, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
-    TriggerCondition,
+    find_chains_raw_detailed, GadgetChain, NearChainConfig, SearchConfig, SinkCatalog,
+    SourceCatalog, TriggerCondition,
 };
 use tabby_query::{ExecConfig, QueryOutput};
+use tabby_registry::{corpus_content_key, diff_snapshots, parse_corpus_ref, Registry, Snapshot};
 
 /// The result of one scan job.
 #[derive(Debug)]
@@ -50,6 +51,18 @@ pub struct JobOutcome {
     pub stats: JobStats,
     /// What was skipped, quarantined, or truncated (empty for a clean,
     /// complete scan).
+    pub diagnostics: ScanDiagnostics,
+}
+
+/// The result of one differential-scan job.
+#[derive(Debug)]
+pub struct DiffJobOutcome {
+    /// What was registered and what changed.
+    pub diff: DiffOutcome,
+    /// Timing and cache-effectiveness stats of the underlying scan.
+    pub stats: JobStats,
+    /// CPG/search-phase diagnostics of the underlying scan (a degraded
+    /// scan never gets this far: snapshotting it is refused).
     pub diagnostics: ScanDiagnostics,
 }
 
@@ -306,6 +319,182 @@ impl Engine {
         stats.total_ms = ms_since(started);
         Ok(QueryOutcome {
             output,
+            stats,
+            diagnostics,
+        })
+    }
+
+    /// Runs one differential-scan job: scans `paths` through the same
+    /// cache tiers as [`Engine::run_scan`], registers the result as the
+    /// next version of `corpus` in the registry at `registry_root`, and
+    /// diffs it against the previously registered latest version.
+    ///
+    /// Three shapes of outcome:
+    ///
+    /// - **baseline** — the corpus had no snapshots; the scan is saved as
+    ///   `v1` and there is nothing to diff;
+    /// - **identical** — the paths' content hashes match the latest
+    ///   version's; nothing is scanned, registered, or diffed (this check
+    ///   runs *before* the scan, so an unchanged corpus costs only file
+    ///   reads — the watch thread's steady state);
+    /// - **diffed** — the scan is saved as the next version and compared
+    ///   to the previous latest, near-chain relaxation included.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the same path/lift errors as [`Engine::run_scan`], on a
+    /// versioned corpus reference (the daemon assigns versions), on
+    /// registry I/O errors, and on degraded scans — a truncated or
+    /// quarantined chain set is refused at snapshot time so later diffs
+    /// can never report phantom activations.
+    pub fn run_diff(
+        &self,
+        paths: &[String],
+        registry_root: &str,
+        corpus: &str,
+        options: &ScanRequestOptions,
+        deadline: Instant,
+    ) -> Result<DiffJobOutcome, String> {
+        let started = Instant::now();
+        let reference = parse_corpus_ref(corpus)?;
+        if reference.version.is_some() {
+            return Err(format!(
+                "diff jobs take a bare corpus name (the daemon assigns the next \
+                 version), got {corpus:?}"
+            ));
+        }
+        if options.inject_fault.is_some() {
+            return Err("diff jobs do not support fault injection".to_owned());
+        }
+        let corpus = reference.corpus.as_str();
+        let registry = Registry::open(PathBuf::from(registry_root))?;
+        let mut stats = JobStats::default();
+        let mut diagnostics = ScanDiagnostics::default();
+        let input = collect_and_hash(paths)?;
+        let class_hashes: BTreeMap<String, u64> = input
+            .files
+            .iter()
+            .zip(&input.blobs)
+            .map(|(f, (_, h))| (f.to_string_lossy().into_owned(), *h))
+            .collect();
+        let content_key = corpus_content_key(&class_hashes);
+        let previous = match registry.latest_version(corpus) {
+            Some(v) => Some(registry.load(corpus, v)?),
+            None => None,
+        };
+        if let Some(prev) = &previous {
+            if prev.content_key == content_key {
+                stats.classes = input.content.len();
+                stats.total_ms = ms_since(started);
+                return Ok(DiffJobOutcome {
+                    diff: DiffOutcome {
+                        baseline: false,
+                        identical: true,
+                        old_ref: Some(prev.reference()),
+                        new_ref: prev.reference(),
+                        report: None,
+                    },
+                    stats,
+                    diagnostics,
+                });
+            }
+        }
+
+        // ----- scan (shared cache tiers) + search --------------------------
+        let keys = self.job_keys(&input, options);
+        let search_cfg = SearchConfig {
+            max_depth: options.depth,
+            deadline: Some(deadline),
+            search_threads: options.search_threads.unwrap_or(self.search_threads),
+            tc_memo: options.tc_memo,
+            ..SearchConfig::default()
+        };
+        let cpg = self.resolve_cpg(
+            &input,
+            &keys,
+            options,
+            &self.config,
+            deadline,
+            &mut JobTrace {
+                stats: &mut stats,
+                diagnostics: &mut diagnostics,
+            },
+        )?;
+        let t_search = Instant::now();
+        let schema =
+            CpgSchema::lookup(&cpg.graph).ok_or("resolved CPG is missing its schema vocabulary")?;
+        let sinks: Vec<(NodeId, TriggerCondition)> = cpg
+            .sinks
+            .iter()
+            .map(|(n, tc, _)| (NodeId(*n), tc.iter().copied().collect()))
+            .collect();
+        let categories: Vec<(NodeId, String)> = cpg
+            .sinks
+            .iter()
+            .map(|(n, _, cat)| (NodeId(*n), cat.clone()))
+            .collect();
+        let sources: HashSet<NodeId> = cpg.sources.iter().map(|&n| NodeId(n)).collect();
+        let search = find_chains_raw_detailed(
+            &cpg.graph,
+            &schema,
+            sinks,
+            categories,
+            &sources,
+            &search_cfg,
+        );
+        stats.search_ms = ms_since(t_search);
+        diagnostics.search_truncated = search.truncated;
+        diagnostics.search_expansions = search.expansions;
+        diagnostics.search_memo_hits = search.memo_hits;
+        if !search.truncated {
+            self.lock_cache().put_chains(
+                keys.chains,
+                &CachedChains {
+                    chains: search.chains.clone(),
+                    diagnostics: diagnostics.clone(),
+                },
+            );
+        }
+
+        // ----- snapshot + register + diff ----------------------------------
+        let snapshot_sinks: Vec<(NodeId, Vec<u16>, String)> = cpg
+            .sinks
+            .iter()
+            .map(|(n, tc, cat)| (NodeId(*n), tc.clone(), cat.clone()))
+            .collect();
+        let snapshot_sources: Vec<NodeId> = cpg.sources.iter().map(|&n| NodeId(n)).collect();
+        let version = previous.as_ref().map_or(1, |p| p.version + 1);
+        // Degraded scans are refused here: the registry never holds a
+        // partial chain set a later diff could misread as activations.
+        let snapshot = Snapshot::build(
+            corpus,
+            version,
+            &cpg.graph,
+            &schema,
+            &snapshot_sinks,
+            &snapshot_sources,
+            &search.chains,
+            &diagnostics,
+            class_hashes,
+            options.depth,
+        )?;
+        registry.save(&snapshot)?;
+        let report = previous.as_ref().map(|prev| {
+            let near = NearChainConfig {
+                max_depth: options.depth,
+                ..NearChainConfig::default()
+            };
+            diff_snapshots(prev, &snapshot, &near)
+        });
+        stats.total_ms = ms_since(started);
+        Ok(DiffJobOutcome {
+            diff: DiffOutcome {
+                baseline: previous.is_none(),
+                identical: false,
+                old_ref: previous.as_ref().map(Snapshot::reference),
+                new_ref: snapshot.reference(),
+                report,
+            },
             stats,
             diagnostics,
         })
@@ -1155,6 +1344,75 @@ mod tests {
         assert!(err.starts_with("error: "), "{err}");
         assert!(err.contains('^'), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_registers_baseline_then_short_circuits_then_diffs() {
+        let dir = temp_dir("diff");
+        let reg = temp_dir("diff-reg");
+        write_corpus(&dir, false);
+        let engine = Engine::new(None, 8, 1);
+        let paths = [dir.to_string_lossy().into_owned()];
+        let reg_root = reg.to_string_lossy().into_owned();
+        // A plain scan first, so the diff's CPG resolution is a cache hit —
+        // the diff verb rides the same content-addressed tiers.
+        scan(&engine, &dir);
+        let first = engine
+            .run_diff(
+                &paths,
+                &reg_root,
+                "demo",
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .expect("baseline diff succeeds");
+        assert!(first.diff.baseline);
+        assert!(!first.diff.identical);
+        assert_eq!(first.diff.new_ref, "demo@v1");
+        assert!(first.diff.report.is_none());
+        assert!(first.stats.cpg_cache_hit, "diff reuses the scan's CPG");
+        // Unchanged content: nothing scanned, registered, or diffed.
+        let same = engine
+            .run_diff(
+                &paths,
+                &reg_root,
+                "demo",
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .expect("identical diff succeeds");
+        assert!(same.diff.identical);
+        assert_eq!(same.diff.new_ref, "demo@v1");
+        // Changed content: v2 registered and compared against v1.
+        write_corpus(&dir, true);
+        let changed = engine
+            .run_diff(
+                &paths,
+                &reg_root,
+                "demo",
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .expect("changed diff succeeds");
+        assert!(!changed.diff.baseline);
+        assert_eq!(changed.diff.old_ref.as_deref(), Some("demo@v1"));
+        assert_eq!(changed.diff.new_ref, "demo@v2");
+        let report = changed.diff.report.expect("report present");
+        assert!(!report.identical);
+        assert!(report.activated.is_empty(), "no chains in this corpus");
+        // Versioned references are the CLI's job, not the daemon's.
+        let err = engine
+            .run_diff(
+                &paths,
+                &reg_root,
+                "demo@v9",
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .unwrap_err();
+        assert!(err.contains("bare corpus name"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&reg);
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //! versioned (`"v"`): the daemon rejects other protocol versions with a
 //! clear error instead of guessing ([`protocol::PROTOCOL_VERSION`]).
 //!
+//! Protocol v3 adds **differential scanning** (`"cmd": "diff"`): the
+//! daemon scans the paths, registers the result as the next version of a
+//! named corpus in a [`tabby_registry::Registry`], and replies with the
+//! chain-level diff against the previous version — newly activated
+//! chains with edge attribution, plus near-chains one edge short of
+//! activating. Identical content short-circuits before any scan work.
+//! With `"watch": true` the daemon re-fingerprints the corpus paths on a
+//! poll cadence ([`ServiceConfig::watch_poll`]) and re-diffs through the
+//! same worker queue whenever the content changes.
+//!
 //! The CLI front-ends are `tabby serve`, `tabby submit`, and
 //! `tabby submit --query`; the protocol itself is plain enough for `nc`
 //! (see the repository README, "Running as a service").
@@ -45,11 +55,11 @@ pub mod protocol;
 pub mod signal;
 
 pub use cache::{CachedChains, CachedClass, CachedCpg, ComponentState, ScanCache};
-pub use client::{query, request, submit, submit_with_retry, QueryReply, RetryPolicy};
+pub use client::{diff, query, request, submit, submit_with_retry, QueryReply, RetryPolicy};
 pub use daemon::{Daemon, DaemonHandle, ServiceConfig};
-pub use engine::{Engine, JobOutcome, QueryOutcome};
+pub use engine::{DiffJobOutcome, Engine, JobOutcome, QueryOutcome};
 pub use protocol::{
-    encode_request, parse_request, DaemonInfo, JobStats, QueryRequestOptions, Request, Response,
-    ScanRequestOptions, PROTOCOL_VERSION,
+    encode_request, parse_request, DaemonInfo, DiffOutcome, JobStats, QueryRequestOptions, Request,
+    Response, ScanRequestOptions, PROTOCOL_VERSION,
 };
 pub use signal::{install_handlers, termination_requested};

@@ -10,13 +10,15 @@
 use serde::{Deserialize, Serialize};
 use tabby_core::ScanDiagnostics;
 use tabby_pathfinder::GadgetChain;
+use tabby_registry::DiffReport;
 
 /// The protocol version this build speaks. Every request must carry it in
 /// a top-level `"v"` field and every response echoes it, so a client and a
 /// daemon from different releases fail loudly instead of misinterpreting
 /// each other. v1 was the unversioned scan-only protocol; v2 added the
-/// `"v"` field and the `query` command.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `"v"` field and the `query` command; v3 added the `diff` command
+/// (differential scanning against a snapshot registry) and watch mode.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Parses one request line, enforcing the protocol version.
 ///
@@ -42,9 +44,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     "protocol version mismatch: request is v{n}, daemon speaks v{PROTOCOL_VERSION}"
                 ))
             }
-            None => return Err(format!(
+            None => {
+                return Err(format!(
                 "protocol version mismatch: \"v\" must be the integer {PROTOCOL_VERSION}, got {v}"
-            )),
+            ))
+            }
         },
     }
     serde_json::from_value(value).map_err(|e| format!("malformed request: {e}"))
@@ -108,6 +112,31 @@ pub enum Request {
         /// Query options; every field has a default.
         #[serde(default)]
         options: QueryRequestOptions,
+    },
+    /// Differential scan: scan `paths` (through the same cache tiers as a
+    /// plain scan), register the result as the next version of `corpus` in
+    /// the snapshot registry rooted at `registry`, and diff it against the
+    /// previously registered latest version. The reply carries a
+    /// [`DiffOutcome`]: the first scan of a corpus registers the `v1`
+    /// baseline, unchanged content is a no-op, and everything else reports
+    /// newly activated chains and near-chains.
+    Diff {
+        /// Optional correlation id, echoed in the reply.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<String>,
+        /// Paths (files or directories) to collect `.class` files from.
+        paths: Vec<String>,
+        /// Snapshot-registry root directory (daemon-side path).
+        registry: String,
+        /// Bare corpus name (the daemon assigns the next version number).
+        corpus: String,
+        /// Scan options; every field has a default.
+        #[serde(default)]
+        options: ScanRequestOptions,
+        /// Register this corpus for watch mode: the daemon polls the paths
+        /// and re-runs the diff whenever their content changes.
+        #[serde(default)]
+        watch: bool,
     },
     /// Liveness probe.
     Ping {
@@ -276,6 +305,29 @@ pub struct JobStats {
     pub summaries_computed: usize,
 }
 
+/// What a [`Request::Diff`] did to the registry, reported in every
+/// successful diff reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffOutcome {
+    /// True when this was the corpus's first snapshot: the scan was
+    /// registered as `v1` and there was nothing to diff against.
+    pub baseline: bool,
+    /// True when the paths' content matched the latest registered version:
+    /// nothing was registered and nothing diffed (the watch thread's
+    /// steady state).
+    pub identical: bool,
+    /// `corpus@vN` of the previous latest version, when one existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub old_ref: Option<String>,
+    /// `corpus@vN` this scan now corresponds to (newly registered, or the
+    /// unchanged latest on an identical run).
+    pub new_ref: String,
+    /// The differential report, present exactly when a previous version
+    /// existed and the content changed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub report: Option<DiffReport>,
+}
+
 /// Daemon-wide statistics, returned by [`Request::Stats`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DaemonInfo {
@@ -297,6 +349,12 @@ pub struct DaemonInfo {
     pub cached_jobs: usize,
     /// Assembled CPGs in the per-job cache.
     pub cached_cpgs: usize,
+    /// Corpora registered for watch mode.
+    #[serde(default)]
+    pub watched_corpora: usize,
+    /// Watch-triggered diff jobs completed since startup.
+    #[serde(default)]
+    pub watch_diffs: u64,
 }
 
 /// A daemon reply. One line of JSON per request (queries follow the header
@@ -338,6 +396,9 @@ pub struct Response {
     /// Human-readable anchor description (query headers only).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub anchor: Option<String>,
+    /// Registry outcome (diff replies only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub diff: Option<DiffOutcome>,
 }
 
 impl Default for Response {
@@ -354,6 +415,7 @@ impl Default for Response {
             columns: None,
             warnings: None,
             anchor: None,
+            diff: None,
         }
     }
 }
@@ -390,6 +452,28 @@ impl Response {
             id,
             ok: true,
             chains: Some(chains),
+            stats: Some(stats),
+            diagnostics: if diagnostics.is_degraded() {
+                Some(diagnostics)
+            } else {
+                None
+            },
+            ..Response::default()
+        }
+    }
+
+    /// A successful diff reply. Like scan replies, a clean underlying scan
+    /// omits the diagnostics field entirely.
+    pub fn diff_reply(
+        id: Option<String>,
+        diff: DiffOutcome,
+        stats: JobStats,
+        diagnostics: ScanDiagnostics,
+    ) -> Self {
+        Response {
+            id,
+            ok: true,
+            diff: Some(diff),
             stats: Some(stats),
             diagnostics: if diagnostics.is_degraded() {
                 Some(diagnostics)
@@ -452,7 +536,7 @@ mod tests {
         };
         let line = encode_request(&req).unwrap();
         assert!(line.contains("\"cmd\":\"scan\""));
-        assert!(line.contains("\"v\":2"));
+        assert!(line.contains("\"v\":3"));
         let back = parse_request(&line).unwrap();
         match back {
             Request::Scan { id, paths, options } => {
@@ -467,7 +551,7 @@ mod tests {
 
     #[test]
     fn scan_options_default_when_absent() {
-        let req = parse_request(r#"{"v":2,"cmd":"scan","paths":["a.class"]}"#).unwrap();
+        let req = parse_request(r#"{"v":3,"cmd":"scan","paths":["a.class"]}"#).unwrap();
         match req {
             Request::Scan { id, options, .. } => {
                 assert!(id.is_none());
@@ -481,7 +565,7 @@ mod tests {
     #[test]
     fn query_request_round_trips_with_default_options() {
         let req = parse_request(
-            r#"{"v":2,"cmd":"query","paths":["/tmp/app"],"query":"MATCH (m) RETURN m"}"#,
+            r#"{"v":3,"cmd":"query","paths":["/tmp/app"],"query":"MATCH (m) RETURN m"}"#,
         )
         .unwrap();
         match req {
@@ -505,21 +589,26 @@ mod tests {
     fn unversioned_request_is_rejected_with_a_clear_message() {
         let err = parse_request(r#"{"cmd":"ping"}"#).unwrap_err();
         assert!(err.contains("unversioned request"), "{err}");
-        assert!(err.contains("v2"), "{err}");
+        assert!(err.contains("v3"), "{err}");
     }
 
     #[test]
     fn version_mismatch_names_both_versions() {
         let err = parse_request(r#"{"v":1,"cmd":"ping"}"#).unwrap_err();
         assert!(err.contains("request is v1"), "{err}");
-        assert!(err.contains("daemon speaks v2"), "{err}");
+        assert!(err.contains("daemon speaks v3"), "{err}");
+        // A v2 client (pre-diff protocol) hitting a v3 daemon gets the
+        // same structured rejection, not a guessy partial parse.
+        let err = parse_request(r#"{"v":2,"cmd":"ping"}"#).unwrap_err();
+        assert!(err.contains("request is v2"), "{err}");
+        assert!(err.contains("daemon speaks v3"), "{err}");
         let err = parse_request(r#"{"v":"two","cmd":"ping"}"#).unwrap_err();
-        assert!(err.contains("must be the integer 2"), "{err}");
+        assert!(err.contains("must be the integer 3"), "{err}");
     }
 
     #[test]
     fn unknown_command_is_a_parse_error() {
-        assert!(parse_request(r#"{"v":2,"cmd":"explode"}"#)
+        assert!(parse_request(r#"{"v":3,"cmd":"explode"}"#)
             .unwrap_err()
             .contains("malformed request"));
         assert!(parse_request("not json")
@@ -530,7 +619,7 @@ mod tests {
     #[test]
     fn responses_carry_the_protocol_version() {
         let line = serde_json::to_string(&Response::ack(None)).unwrap();
-        assert!(line.contains("\"v\":2"), "{line}");
+        assert!(line.contains("\"v\":3"), "{line}");
         let back: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(back.v, PROTOCOL_VERSION);
         // An unversioned (v1) reply deserializes as v = 0.
@@ -561,6 +650,56 @@ mod tests {
         assert!(line.contains("\"search_truncated\":true"));
         let back: Response = serde_json::from_str(&line).unwrap();
         assert!(back.diagnostics.unwrap().search_truncated);
+    }
+
+    #[test]
+    fn diff_request_round_trips_with_defaults() {
+        let req = parse_request(
+            r#"{"v":3,"cmd":"diff","paths":["/tmp/app"],"registry":"/tmp/reg","corpus":"demo"}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Diff {
+                id,
+                paths,
+                registry,
+                corpus,
+                options,
+                watch,
+            } => {
+                assert!(id.is_none());
+                assert_eq!(paths, vec!["/tmp/app".to_owned()]);
+                assert_eq!(registry, "/tmp/reg");
+                assert_eq!(corpus, "demo");
+                assert_eq!(options, ScanRequestOptions::default());
+                assert!(!watch);
+            }
+            other => panic!("unexpected request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diff_reply_carries_the_outcome() {
+        let outcome = DiffOutcome {
+            baseline: true,
+            identical: false,
+            old_ref: None,
+            new_ref: "demo@v1".to_owned(),
+            report: None,
+        };
+        let reply = Response::diff_reply(
+            Some("d-1".into()),
+            outcome,
+            JobStats::default(),
+            ScanDiagnostics::default(),
+        );
+        let line = serde_json::to_string(&reply).unwrap();
+        assert!(line.contains("\"baseline\":true"), "{line}");
+        assert!(!line.contains("old_ref"), "baseline omits old_ref: {line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        let diff = back.diff.expect("diff payload");
+        assert_eq!(diff.new_ref, "demo@v1");
+        assert!(diff.report.is_none());
     }
 
     #[test]

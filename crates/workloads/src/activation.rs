@@ -1,0 +1,239 @@
+//! Activation scenes: two versions of one synthetic library, where the
+//! version bump completes a dormant gadget chain.
+//!
+//! *Sleeping Giants* (see PAPERS.md) shows that a gadget chain can be
+//! introduced by a small, innocuous-looking change — a helper that stops
+//! sanitizing, a delegate that starts forwarding — rather than by any new
+//! obviously dangerous code. These scenes reproduce that shape for the
+//! differential scanner: **v1** carries the whole chain skeleton but the
+//! pivot routes its payload through a sanitizing callee (Tabby's Action
+//! analysis prunes the route, Polluted_Position all-∞), and **v2** changes
+//! only that one method so the payload flows through. Both versions also
+//! carry a *permanently* dormant twin (sanitized in v1 and v2 alike) — the
+//! near-chain the diff should flag as one edge away from activating — plus
+//! chain-free search-web and recursion-web bulk so the scan does
+//! paper-shaped work.
+//!
+//! Ground truth: v1 has no effective chains; v2 has exactly the planted
+//! one. `tabby diff v1 v2` must therefore report exactly one newly
+//! activated chain (zero false activations — the FPR gate) and at least
+//! one near-chain rooted at the dormant twin.
+
+use crate::component::Component;
+use crate::gadget_kit::{add_gadget, Sink, Trigger, Twist};
+use crate::jdk::add_jdk_model;
+use crate::recursion::{add_recursion_web, RecursionWebConfig};
+use crate::search_web::{add_search_web, SearchWebConfig};
+use crate::truth::{GroundTruth, TruthChain};
+use tabby_ir::ProgramBuilder;
+
+/// One activation scene: the same library at two versions.
+#[derive(Debug)]
+pub struct ActivationScene {
+    /// Scene name (also the suggested registry corpus name).
+    pub name: String,
+    /// Package prefix owning the scene's classes.
+    pub pkg: String,
+    /// The library before the bump: chain skeleton present, pivot
+    /// sanitizes, ground truth empty.
+    pub v1: Component,
+    /// The library after the bump: pivot forwards, ground truth carries
+    /// exactly the planted chain.
+    pub v2: Component,
+    /// The `(source, sink)` pair the bump activates.
+    pub activated: (String, String),
+    /// Source signature of the permanently dormant twin — the expected
+    /// near-chain root in both versions.
+    pub dormant_source: String,
+}
+
+struct SceneSpec {
+    name: &'static str,
+    pkg: &'static str,
+    trigger: Trigger,
+    sink: Sink,
+}
+
+fn build_version(spec: &SceneSpec, pivot_twist: Twist, smoke: bool) -> ProgramBuilder {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    let pivot = format!("{}.Pivot", spec.pkg);
+    let dormant = format!("{}.Dormant", spec.pkg);
+    add_gadget(&mut pb, &pivot, spec.trigger, &spec.sink, pivot_twist);
+    // The permanently dormant twin: sanitized in every version.
+    add_gadget(
+        &mut pb,
+        &dormant,
+        Trigger::ReadObject,
+        &spec.sink,
+        Twist::Sanitized,
+    );
+    // Chain-free bulk so snapshot/diff timings measure paper-shaped work.
+    let web = if smoke {
+        SearchWebConfig::smoke()
+    } else {
+        SearchWebConfig {
+            levels: 6,
+            width: 8,
+            fanin: 3,
+        }
+    };
+    add_search_web(&mut pb, spec.pkg, &web);
+    let rec = if smoke {
+        RecursionWebConfig::smoke()
+    } else {
+        RecursionWebConfig {
+            cliques: 6,
+            clique_size: 6,
+        }
+    };
+    add_recursion_web(&mut pb, spec.pkg, &rec);
+    pb
+}
+
+fn build_scene(spec: &SceneSpec, smoke: bool) -> ActivationScene {
+    let pivot = format!("{}.Pivot", spec.pkg);
+    let sink_sig = spec.sink.signature();
+    // The trigger decides the chain's source (e.g. ToString chains start at
+    // BadAttributeValueExpException.readObject, not at the pivot class).
+    let source = spec
+        .trigger
+        .sources(&pivot)
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| format!("{pivot}.readObject"));
+
+    let v1_program = build_version(spec, Twist::Sanitized, smoke).build();
+    let v2_program = build_version(spec, Twist::Plain, smoke).build();
+
+    let packages: Vec<&str> = vec![spec.pkg];
+    let v1 = Component::new(
+        &format!("{}(v1)", spec.name),
+        v1_program,
+        GroundTruth::default(),
+        &packages,
+    )
+    .with_notes("pre-bump: pivot sanitizes its payload; no effective chains");
+    let v2 = Component::new(
+        &format!("{}(v2)", spec.name),
+        v2_program,
+        GroundTruth::new(vec![TruthChain::known(&source, &sink_sig)]),
+        &packages,
+    )
+    .with_notes("post-bump: the pivot forwards its payload; the planted chain is live");
+
+    ActivationScene {
+        name: spec.name.to_owned(),
+        pkg: spec.pkg.to_owned(),
+        v1,
+        v2,
+        activated: (source, sink_sig),
+        dormant_source: format!("{}.Dormant.readObject", spec.pkg),
+    }
+}
+
+fn specs() -> Vec<SceneSpec> {
+    vec![
+        SceneSpec {
+            name: "PivotExec",
+            pkg: "act.exec",
+            trigger: Trigger::ReadObject,
+            sink: Sink::Exec,
+        },
+        SceneSpec {
+            name: "StringerLookup",
+            pkg: "act.lookup",
+            trigger: Trigger::ToString,
+            sink: Sink::Lookup,
+        },
+        SceneSpec {
+            name: "QueueForName",
+            pkg: "act.forname",
+            trigger: Trigger::Compare,
+            sink: Sink::ForName,
+        },
+    ]
+}
+
+/// All activation scenes, at full size.
+pub fn activation_scenes() -> Vec<ActivationScene> {
+    specs().iter().map(|s| build_scene(s, false)).collect()
+}
+
+/// The same scenes with smoke-sized bulk webs, for CI.
+pub fn activation_scenes_smoke() -> Vec<ActivationScene> {
+    specs().iter().map(|s| build_scene(s, true)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_core::{AnalysisConfig, Cpg};
+    use tabby_pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog};
+
+    fn chains_of(component: &Component) -> Vec<tabby_pathfinder::GadgetChain> {
+        let mut cpg = Cpg::build(&component.program, AnalysisConfig::default());
+        let chains = find_gadget_chains(
+            &mut cpg,
+            &SinkCatalog::paper(),
+            &SourceCatalog::native_serialization(),
+            &SearchConfig::default(),
+        );
+        component.filter_chains(chains)
+    }
+
+    #[test]
+    fn v1_is_chain_free_and_v2_has_exactly_the_planted_chain() {
+        for scene in activation_scenes_smoke() {
+            let v1 = chains_of(&scene.v1);
+            let counts = scene.v1.truth.evaluate(&v1);
+            assert_eq!(
+                counts.result, 0,
+                "{}: v1 must be dormant, got {v1:?}",
+                scene.name
+            );
+
+            let v2 = chains_of(&scene.v2);
+            let counts = scene.v2.truth.evaluate(&v2);
+            assert_eq!(
+                counts.known, 1,
+                "{}: planted chain missing in v2",
+                scene.name
+            );
+            assert_eq!(
+                counts.fake, 0,
+                "{}: false activation in v2: {v2:?}",
+                scene.name
+            );
+            assert_eq!(counts.fpr(), Some(0.0), "{}", scene.name);
+            assert_eq!(counts.fnr(), Some(0.0), "{}", scene.name);
+            let (source, sink) = &scene.activated;
+            assert!(
+                v2.iter().any(|c| c.source() == source && c.sink() == sink),
+                "{}: expected {source} -> {sink} in {v2:?}",
+                scene.name
+            );
+        }
+    }
+
+    #[test]
+    fn dormant_twin_stays_dormant_in_both_versions() {
+        let scene = &activation_scenes_smoke()[0];
+        for component in [&scene.v1, &scene.v2] {
+            let chains = chains_of(component);
+            assert!(
+                chains.iter().all(|c| c.source() != scene.dormant_source),
+                "dormant twin activated in {}: {chains:?}",
+                component.name
+            );
+        }
+    }
+
+    #[test]
+    fn versions_differ_only_in_the_owned_package() {
+        let scene = &activation_scenes_smoke()[0];
+        assert_eq!(scene.pkg, "act.exec");
+        assert_eq!(scene.activated.0, "act.exec.Pivot.readObject");
+        assert_eq!(scene.activated.1, "java.lang.Runtime.exec");
+    }
+}

@@ -13,6 +13,8 @@
 //!   twist) components are assembled from;
 //! - [`components`]: one module per Table IX row;
 //! - [`scenes`]: the Table X development-environment scenes;
+//! - [`activation`]: two-version scenes where a dependency bump completes a
+//!   dormant chain (the differential-scanning ground truth);
 //! - [`random_lib`]: the scalable random-library generator for Table VIII;
 //! - [`search_web`]: layered caller lattices above real sinks that give the
 //!   backward search paper-shaped work without adding any chains;
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod activation;
 pub mod component;
 pub mod components;
 pub mod gadget_kit;
@@ -36,6 +39,7 @@ pub mod scenes;
 pub mod search_web;
 pub mod truth;
 
+pub use activation::{activation_scenes, activation_scenes_smoke, ActivationScene};
 pub use component::Component;
 pub use gadget_kit::{Sink, Trigger, Twist};
 pub use recursion::{add_recursion_web, RecursionWebConfig};

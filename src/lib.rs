@@ -21,6 +21,7 @@
 //! | [`baselines`] | GadgetInspector / Serianalyzer comparison detectors |
 //! | [`workloads`] | synthetic evaluation corpora with ground truth |
 //! | [`service`] | persistent scan daemon with content-addressed caching |
+//! | [`registry`] | versioned snapshot store + differential chain detection |
 //!
 //! # Quick start
 //!
@@ -82,6 +83,7 @@ pub use tabby_graph as graph;
 pub use tabby_ir as ir;
 pub use tabby_pathfinder as pathfinder;
 pub use tabby_query as query;
+pub use tabby_registry as registry;
 pub use tabby_service as service;
 pub use tabby_workloads as workloads;
 
@@ -177,6 +179,34 @@ pub fn scan(program: &Program, options: &ScanOptions) -> ScanReport {
         cpg,
         diagnostics,
     }
+}
+
+/// Wraps a finished [`ScanReport`] into a [`registry::Snapshot`] using the
+/// scan's own catalogs and search depth, ready for [`registry::Registry::save`].
+///
+/// # Errors
+///
+/// Refuses degraded scans (see [`registry::Snapshot::build`]): a truncated
+/// or quarantined chain set would make later diffs report phantom
+/// activations.
+pub fn snapshot_scan(
+    corpus: &str,
+    version: u32,
+    report: &mut ScanReport,
+    options: &ScanOptions,
+    class_hashes: std::collections::BTreeMap<String, u64>,
+) -> Result<registry::Snapshot, String> {
+    registry::Snapshot::from_cpg(
+        corpus,
+        version,
+        &mut report.cpg,
+        &options.sinks,
+        &options.sources,
+        &report.chains,
+        &report.diagnostics,
+        class_hashes,
+        options.search.max_depth,
+    )
 }
 
 /// Lifts `.class` byte blobs and scans the resulting program.

@@ -7,6 +7,8 @@
 //! tabby sinks                 print the sink catalog (Table VII)
 //! tabby serve                 run the persistent scan daemon
 //! tabby submit <path>...      submit a scan (or --query) to a running daemon
+//! tabby snapshot <path>...    scan and register a versioned corpus snapshot
+//! tabby diff <old> <new>      diff two snapshots (activated + near-chains)
 //! ```
 //!
 //! Options for `scan`/`demo`:
@@ -43,6 +45,8 @@ fn main() -> ExitCode {
         "sinks" => cmd_sinks(rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
+        "snapshot" => cmd_snapshot(rest),
+        "diff" => cmd_diff(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -64,6 +68,11 @@ USAGE:
     tabby sinks                      print the sink catalog (Table VII)
     tabby serve [OPTIONS]            run the persistent scan daemon
     tabby submit [OPTIONS] <path>... submit a scan (or --query) to a daemon
+    tabby snapshot --as <corpus[@vN]> [OPTIONS] <path>...
+                                     scan .class files and register the result
+                                     as a versioned snapshot
+    tabby diff [OPTIONS] <corpus[@vN]> <corpus[@vM]>
+                                     diff two registered snapshots
 
 OPTIONS (scan/demo):
     --depth <n>           maximum chain length (default 12)
@@ -79,6 +88,22 @@ OPTIONS (scan/demo):
     --json                emit chains as JSON
     --save-cpg <file>     persist the code property graph as JSON
     --dot <file>          export the code property graph as Graphviz DOT
+
+OPTIONS (snapshot/diff):
+    --registry <dir>      registry root (default .tabby-registry)
+    --as <corpus[@vN]>    (snapshot) corpus name and optional version; a bare
+                          name registers the next version (v1 for a new corpus)
+    --json                (diff) emit the diff report as JSON
+
+    `snapshot` refuses degraded scans (skipped/quarantined classes or a
+    truncated search): diffing a partial chain set would fabricate
+    activations. Fix the corpus or raise the budgets, then re-snapshot.
+
+    `diff` exit codes, for CI gating of library upgrades:
+        0   no newly activated chains
+        2   newly activated chain(s) reported
+        1   error (unknown corpus/version, malformed reference, I/O)
+    A bare corpus reference resolves to its latest registered version.
 
 OPTIONS (query):
     -e <query>            run one TQL query and exit (default: read queries
@@ -103,6 +128,7 @@ OPTIONS (serve):
     --workers <n>         scan worker threads (default: available parallelism)
     --search-threads <n>  default per-job chain-search threads (default 1)
     --cache-dir <dir>     persist chain/CPG cache entries under <dir>
+    --watch-poll-ms <n>   watched-corpus re-fingerprint cadence (default 500)
 
 OPTIONS (submit):
     --addr <ip:port>      daemon address (default 127.0.0.1:7433)
@@ -122,7 +148,15 @@ OPTIONS (submit):
     --arg <value>         argument for --builtin (repeatable)
     --max-rows <n>        query row budget (default 10000)
     --max-expansions <n>  query edge-expansion budget (default 2000000)
-    --timeout-ms <n>      query wall-clock budget";
+    --timeout-ms <n>      query wall-clock budget
+    --diff <corpus>       differential scan: the daemon registers the result
+                          as the next version of <corpus> and replies with the
+                          diff against the previous one (exit codes as `diff`;
+                          identical content short-circuits without scanning)
+    --registry <dir>      registry root for --diff (default .tabby-registry,
+                          resolved client-side to an absolute path)
+    --watch               with --diff: the daemon keeps watching the paths and
+                          re-diffs whenever the corpus content changes";
 
 #[derive(Default)]
 struct CliOptions {
@@ -136,6 +170,8 @@ struct CliOptions {
     save_cpg: Option<PathBuf>,
     dot: Option<PathBuf>,
     sinks: Option<PathBuf>,
+    registry: Option<PathBuf>,
+    corpus: Option<String>,
     paths: Vec<PathBuf>,
 }
 
@@ -177,6 +213,14 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             "--sinks" => {
                 let v = it.next().ok_or("--sinks needs a path")?;
                 options.sinks = Some(PathBuf::from(v));
+            }
+            "--registry" => {
+                let v = it.next().ok_or("--registry needs a path")?;
+                options.registry = Some(PathBuf::from(v));
+            }
+            "--as" => {
+                let v = it.next().ok_or("--as needs a corpus reference")?;
+                options.corpus = Some(v.clone());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}"));
@@ -354,6 +398,185 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     };
     let report = tabby::scan(&program, &options);
     emit(&cli, report)
+}
+
+/// `tabby snapshot --as <corpus[@vN]> <path>...` — scan and register.
+fn cmd_snapshot(args: &[String]) -> ExitCode {
+    let cli = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(corpus_ref) = cli.corpus.clone() else {
+        eprintln!("snapshot: --as <corpus[@vN]> is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let reference = match tabby::registry::parse_corpus_ref(&corpus_ref) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.paths.is_empty() {
+        eprintln!("snapshot: no input paths\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let registry_root = cli
+        .registry
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(".tabby-registry"));
+    let registry = match tabby::registry::Registry::open(&registry_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let version = reference.version.unwrap_or_else(|| {
+        registry
+            .latest_version(&reference.corpus)
+            .map_or(1, |v| v + 1)
+    });
+    let files = match gather_class_files("snapshot", &cli.paths) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "snapshotting {} class file(s) as {}@v{version}…",
+        files.len(),
+        reference.corpus
+    );
+    let blobs = match read_blobs("snapshot", &files) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names: Vec<String> = files
+        .iter()
+        .map(|f| f.to_string_lossy().into_owned())
+        .collect();
+    let class_hashes = tabby::registry::hash_inputs(
+        names
+            .iter()
+            .map(String::as_str)
+            .zip(blobs.iter().map(Vec::as_slice)),
+    );
+    let options = match scan_options(&cli) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut report = match tabby::scan_class_bytes(&blobs, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.diagnostics.is_degraded() {
+        print_degradation(&report.diagnostics);
+    }
+    let snapshot = match tabby::snapshot_scan(
+        &reference.corpus,
+        version,
+        &mut report,
+        &options,
+        class_hashes,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match registry.save(&snapshot) {
+        Ok(path) => {
+            eprintln!(
+                "registered {} ({} chain(s), {} method(s), content key {}) at {}",
+                snapshot.reference(),
+                snapshot.chains.len(),
+                snapshot.methods.len(),
+                snapshot.content_key,
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `tabby diff <old> <new>` — pure snapshot comparison; exit 0 = no new
+/// chains, 2 = newly activated chains, 1 = error.
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let cli = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let refs: Vec<String> = cli
+        .paths
+        .iter()
+        .map(|p| p.to_string_lossy().into_owned())
+        .collect();
+    let [old_text, new_text] = refs.as_slice() else {
+        eprintln!("diff: expected exactly two corpus references (e.g. demo@v1 demo@v2)\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let registry_root = cli
+        .registry
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(".tabby-registry"));
+    let registry = match tabby::registry::Registry::open(&registry_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let load = |text: &str| -> Result<tabby::registry::Snapshot, String> {
+        let reference = tabby::registry::parse_corpus_ref(text)?;
+        registry.load_ref(&reference)
+    };
+    let (old, new) = match (load(old_text), load(new_text)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let near = tabby::pathfinder::NearChainConfig {
+        max_depth: cli.depth.unwrap_or(new.depth),
+        ..tabby::pathfinder::NearChainConfig::default()
+    };
+    let report = tabby::registry::diff_snapshots(&old, &new, &near);
+    if cli.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("diff report serializes")
+        );
+    } else {
+        println!("{report}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
 }
 
 #[derive(Default)]
@@ -728,6 +951,11 @@ fn parse_serve_config(args: &[String]) -> Result<tabby::service::ServiceConfig, 
                 let v = it.next().ok_or("--search-threads needs a value")?;
                 config.search_threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
             }
+            "--watch-poll-ms" => {
+                let v = it.next().ok_or("--watch-poll-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad poll interval {v:?}"))?;
+                config.watch_poll = std::time::Duration::from_millis(ms.max(1));
+            }
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
@@ -769,6 +997,9 @@ struct SubmitOptions {
     max_rows: Option<usize>,
     max_expansions: Option<usize>,
     timeout_ms: Option<u64>,
+    diff: Option<String>,
+    registry: Option<PathBuf>,
+    watch: bool,
     paths: Vec<PathBuf>,
 }
 
@@ -784,6 +1015,9 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
         max_rows: None,
         max_expansions: None,
         timeout_ms: None,
+        diff: None,
+        registry: None,
+        watch: false,
         paths: Vec::new(),
     };
     let mut it = args.iter();
@@ -833,6 +1067,13 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
                 let v = it.next().ok_or("--timeout-ms needs a value")?;
                 options.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout {v:?}"))?);
             }
+            "--diff" => {
+                options.diff = Some(it.next().ok_or("--diff needs a corpus name")?.clone());
+            }
+            "--registry" => {
+                options.registry = Some(PathBuf::from(it.next().ok_or("--registry needs a path")?));
+            }
+            "--watch" => options.watch = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown submit option {other:?}"));
             }
@@ -867,7 +1108,18 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         }
     }
     if options.query.is_some() || options.builtin.is_some() {
+        if options.diff.is_some() {
+            eprintln!("submit: --diff and --query/--builtin are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
         return submit_query(&options, paths);
+    }
+    if let Some(corpus) = options.diff.clone() {
+        return submit_diff(&options, paths, &corpus);
+    }
+    if options.watch {
+        eprintln!("submit: --watch requires --diff <corpus>");
+        return ExitCode::FAILURE;
     }
     if !options.builtin_args.is_empty() {
         eprintln!("submit: --arg without --builtin");
@@ -941,6 +1193,84 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
+    }
+}
+
+/// The `tabby submit --diff <corpus>` path: the daemon scans the paths,
+/// registers the result as the next version of `corpus` in the registry,
+/// and replies with the diff against the previous version. Exit codes
+/// mirror `tabby diff`: 0 = no newly activated chains (including the
+/// baseline and identical-content cases), 2 = activation(s), 1 = error.
+fn submit_diff(options: &SubmitOptions, paths: Vec<String>, corpus: &str) -> ExitCode {
+    let registry_root = options
+        .registry
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(".tabby-registry"));
+    // The daemon may run in another working directory: make the registry
+    // path absolute client-side so both sides agree on where it lives.
+    if let Err(e) = std::fs::create_dir_all(&registry_root) {
+        eprintln!("submit: create registry {}: {e}", registry_root.display());
+        return ExitCode::FAILURE;
+    }
+    let registry_root = match std::fs::canonicalize(&registry_root) {
+        Ok(abs) => abs.to_string_lossy().into_owned(),
+        Err(e) => {
+            eprintln!("submit: {}: {e}", registry_root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match tabby::service::diff(
+        &options.addr,
+        paths,
+        &registry_root,
+        corpus,
+        options.watch,
+        options.scan.clone(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !response.ok {
+        eprintln!(
+            "submit: {}",
+            response.error.as_deref().unwrap_or("unknown daemon error")
+        );
+        return ExitCode::FAILURE;
+    }
+    let Some(outcome) = response.diff else {
+        eprintln!("submit: daemon reply carried no diff payload");
+        return ExitCode::FAILURE;
+    };
+    if options.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome).expect("diff outcome serializes")
+        );
+    } else if outcome.baseline {
+        println!(
+            "registered baseline {} — nothing to diff against yet",
+            outcome.new_ref
+        );
+    } else if outcome.identical {
+        println!(
+            "{} is identical to {} — no new version registered",
+            outcome.new_ref,
+            outcome.old_ref.as_deref().unwrap_or("the previous version")
+        );
+    } else if let Some(report) = &outcome.report {
+        println!("{report}");
+    }
+    if options.watch {
+        eprintln!("daemon is watching this corpus; it re-diffs on content change");
+    }
+    let activated = outcome.report.as_ref().is_some_and(|r| !r.is_clean());
+    if activated {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

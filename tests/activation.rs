@@ -1,0 +1,123 @@
+//! The Sleeping-Giants activation gate: on every activation scene,
+//! `diff(v1, v2)` must report **exactly** the planted chain (zero false
+//! activations, zero misses) and surface the permanently dormant twin as
+//! a near-chain with its blocking Trigger_Condition position named.
+
+use tabby::ir::compile::compile_program;
+use tabby::pathfinder::NearChainConfig;
+use tabby::registry::{diff_snapshots, hash_inputs, Snapshot};
+use tabby::workloads::{activation_scenes_smoke, ActivationScene, Component};
+use tabby::{scan, snapshot_scan, ScanOptions};
+
+fn snapshot_of(scene: &ActivationScene, component: &Component, version: u32) -> Snapshot {
+    let classes = compile_program(&component.program);
+    let class_hashes = hash_inputs(
+        classes
+            .iter()
+            .map(|(name, bytes)| (name.as_str(), bytes.as_slice())),
+    );
+    let options = ScanOptions::default();
+    let mut report = scan(&component.program, &options);
+    snapshot_scan(&scene.name, version, &mut report, &options, class_hashes)
+        .expect("activation scenes scan cleanly")
+}
+
+#[test]
+fn every_scene_diffs_to_exactly_the_planted_activation() {
+    for scene in activation_scenes_smoke() {
+        let v1 = snapshot_of(&scene, &scene.v1, 1);
+        let v2 = snapshot_of(&scene, &scene.v2, 2);
+        let report = diff_snapshots(&v1, &v2, &NearChainConfig::default());
+
+        assert!(!report.identical, "{}: versions differ", scene.name);
+        assert!(!report.is_clean(), "{}: the bump must activate", scene.name);
+
+        // FPR gate: exactly one activation, and it is the planted chain.
+        let (source, sink) = &scene.activated;
+        assert_eq!(
+            report.activated.len(),
+            1,
+            "{}: false activation(s): {:?}",
+            scene.name,
+            report.activated
+        );
+        let activated = &report.activated[0];
+        assert_eq!(activated.chain.source(), *source, "{}", scene.name);
+        assert_eq!(activated.chain.sink(), *sink, "{}", scene.name);
+        // The activation is attributed to the change that completed it.
+        assert!(
+            !activated.completing_edges.is_empty(),
+            "{}: activation without edge attribution",
+            scene.name
+        );
+        assert!(
+            report.resolved.is_empty(),
+            "{}: nothing should deactivate: {:?}",
+            scene.name,
+            report.resolved
+        );
+        // The changed method belongs to the scene's own package.
+        assert!(
+            report
+                .changed_methods
+                .iter()
+                .any(|m| m.starts_with(&scene.pkg)),
+            "{}: changed methods {:?} outside {}",
+            scene.name,
+            report.changed_methods,
+            scene.pkg
+        );
+
+        // FNR gate on the near-chain side: the dormant twin surfaces as a
+        // near-chain rooted at its source, with the blocking TC position.
+        let twin: Vec<_> = report
+            .near_chains
+            .iter()
+            .filter(|n| {
+                n.signatures
+                    .first()
+                    .is_some_and(|s| *s == scene.dormant_source)
+            })
+            .collect();
+        assert!(
+            !twin.is_empty(),
+            "{}: dormant twin missing from near-chains: {:?}",
+            scene.name,
+            report.near_chains
+        );
+        for near in twin {
+            assert!(
+                !near.blocked.caller.is_empty() && !near.blocked.callee.is_empty(),
+                "{}: near-chain must name the blocked edge",
+                scene.name
+            );
+            let rendered = near.to_string();
+            assert!(
+                rendered.contains("TC position"),
+                "{}: blocking Trigger_Condition position must be named: {rendered}",
+                scene.name
+            );
+        }
+    }
+}
+
+#[test]
+fn reversing_the_diff_reports_the_chain_as_resolved() {
+    let scenes = activation_scenes_smoke();
+    let scene = &scenes[0];
+    let v1 = snapshot_of(scene, &scene.v1, 1);
+    let v2 = snapshot_of(scene, &scene.v2, 2);
+    // Downgrade direction: the chain present in v2 disappears in v1.
+    let report = diff_snapshots(&v2, &v1, &NearChainConfig::default());
+    assert!(report.activated.is_empty(), "{:?}", report.activated);
+    assert!(report.is_clean(), "a downgrade activates nothing");
+    let (source, sink) = &scene.activated;
+    assert!(
+        report
+            .resolved
+            .iter()
+            .any(|c| c.source() == *source && c.sink() == *sink),
+        "the planted chain must show up as resolved: {:?}",
+        report.resolved
+    );
+}

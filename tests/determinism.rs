@@ -132,6 +132,51 @@ fn wave_summaries_are_byte_identical_on_every_smoke_scene() {
     }
 }
 
+/// The differential scanner inherits the same contract: the serialized
+/// diff report between two snapshot versions is byte-identical whether
+/// the underlying chain searches ran at 1, 2, or 8 threads. This is what
+/// lets `tabby diff` output gate CI without keying on the search
+/// configuration that produced the snapshots.
+#[test]
+fn diff_reports_are_byte_identical_across_search_thread_counts() {
+    use tabby::pathfinder::NearChainConfig;
+    use tabby::registry::{diff_snapshots, hash_inputs};
+    use tabby::workloads::activation_scenes_smoke;
+
+    let scenes = activation_scenes_smoke();
+    let scene = &scenes[0];
+    let snapshot = |component: &tabby::workloads::Component, version, threads| {
+        let classes = tabby::ir::compile::compile_program(&component.program);
+        let class_hashes = hash_inputs(
+            classes
+                .iter()
+                .map(|(name, bytes)| (name.as_str(), bytes.as_slice())),
+        );
+        let mut options = tabby::ScanOptions::default();
+        options.search.search_threads = threads;
+        let mut report = tabby::scan(&component.program, &options);
+        tabby::snapshot_scan(&scene.name, version, &mut report, &options, class_hashes)
+            .expect("clean snapshot")
+    };
+    let mut want: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let v1 = snapshot(&scene.v1, 1, threads);
+        let v2 = snapshot(&scene.v2, 2, threads);
+        let report = diff_snapshots(&v1, &v2, &NearChainConfig::default());
+        let got = serde_json::to_string(&report).expect("diff report serializes");
+        match &want {
+            None => {
+                assert!(!report.is_clean(), "the scene must activate");
+                want = Some(got);
+            }
+            Some(want) => assert_eq!(
+                &got, want,
+                "{threads} search threads changed the diff output"
+            ),
+        }
+    }
+}
+
 /// The memo only ever *removes* work: with it on, a complete single-thread
 /// search expands no more states than the reference walk, and on scenes
 /// with a search web it prunes a strictly positive number of states.

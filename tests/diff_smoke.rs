@@ -1,0 +1,142 @@
+//! Black-box `tabby snapshot` / `tabby diff` exit-code contract, the one
+//! CI pipelines gate library upgrades on:
+//!
+//! - `diff` exits 0 when no chain newly activates,
+//! - 2 when one does,
+//! - 1 on errors (unknown versions, malformed references),
+//! - and `snapshot` refuses degraded corpora with exit 1.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use tabby::ir::compile::compile_program;
+use tabby::workloads::activation_scenes_smoke;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tabby-diff-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_classes(dir: &Path, program: &tabby::ir::Program) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let _ = std::fs::remove_file(entry.unwrap().path());
+    }
+    for (name, bytes) in compile_program(program) {
+        let file = dir.join(format!("{}.class", name.replace('.', "_")));
+        std::fs::write(file, bytes).unwrap();
+    }
+}
+
+fn tabby(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(args)
+        .output()
+        .expect("run tabby")
+}
+
+#[test]
+fn snapshot_then_diff_gates_on_the_planted_activation() {
+    let corpus_dir = temp_dir("corpus");
+    let registry = temp_dir("registry");
+    let scenes = activation_scenes_smoke();
+    let scene = &scenes[0];
+    let reg = registry.to_str().unwrap();
+    let dir = corpus_dir.to_str().unwrap();
+
+    // Register both versions.
+    write_classes(&corpus_dir, &scene.v1.program);
+    let out = tabby(&["snapshot", "--as", "smoke", "--registry", reg, dir]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "snapshot v1: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    write_classes(&corpus_dir, &scene.v2.program);
+    let out = tabby(&["snapshot", "--as", "smoke", "--registry", reg, dir]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "snapshot v2: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Upgrade direction: exactly the planted chain activates → exit 2.
+    let out = tabby(&["diff", "--registry", reg, "smoke@v1", "smoke@v2"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(2), "stdout: {stdout}");
+    let (source, sink) = &scene.activated;
+    assert!(stdout.contains(source.as_str()), "stdout: {stdout}");
+    assert!(stdout.contains(sink.as_str()), "stdout: {stdout}");
+    // The near-chain section names the blocking TC position.
+    assert!(stdout.contains("near-chain"), "stdout: {stdout}");
+    assert!(stdout.contains("TC position"), "stdout: {stdout}");
+
+    // Self-diff and downgrade direction are clean → exit 0.
+    let out = tabby(&["diff", "--registry", reg, "smoke@v2", "smoke@v2"]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = tabby(&["diff", "--registry", reg, "smoke@v2", "smoke@v1"]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Bare references resolve to the latest version (v2 here).
+    let out = tabby(&["diff", "--registry", reg, "smoke@v1", "smoke"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Errors → exit 1 with a reason.
+    let out = tabby(&["diff", "--registry", reg, "smoke@v1", "smoke@v9"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!out.stderr.is_empty());
+    let out = tabby(&["diff", "--registry", reg, "smoke@v1", "smoke@bogus"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tabby(&["diff", "--registry", reg, "smoke@v1"]);
+    assert_eq!(out.status.code(), Some(1), "one reference is an error");
+
+    // JSON output parses and carries the activation.
+    let out = tabby(&["diff", "--json", "--registry", reg, "smoke@v1", "smoke@v2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("diff JSON parses");
+    assert_eq!(
+        report["activated"].as_array().map(Vec::len),
+        Some(1),
+        "{report}"
+    );
+
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_dir_all(&registry);
+}
+
+#[test]
+fn snapshot_refuses_a_degraded_corpus() {
+    let corpus_dir = temp_dir("degraded");
+    let registry = temp_dir("degraded-reg");
+    let scenes = activation_scenes_smoke();
+    write_classes(&corpus_dir, &scenes[0].v1.program);
+    // One malformed class degrades the scan; the snapshot must refuse it
+    // rather than persist a partial chain set that later diffs would
+    // misread as activations.
+    std::fs::write(corpus_dir.join("junk.class"), b"\xCA\xFE\xBA\xBEnope").unwrap();
+    let out = tabby(&[
+        "snapshot",
+        "--as",
+        "deg",
+        "--registry",
+        registry.to_str().unwrap(),
+        corpus_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("degraded"), "stderr: {stderr}");
+    // Nothing was registered.
+    let reopened = tabby(&[
+        "diff",
+        "--registry",
+        registry.to_str().unwrap(),
+        "deg@v1",
+        "deg@v1",
+    ]);
+    assert_eq!(reopened.status.code(), Some(1));
+
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_dir_all(&registry);
+}

@@ -1,0 +1,121 @@
+//! Registry round-trips: snapshots survive the disk, versions are
+//! immutable, degraded scans are refused at snapshot time, and re-diffing
+//! a reloaded snapshot against its in-memory original is a no-op.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use tabby::ir::compile::compile_program;
+use tabby::pathfinder::NearChainConfig;
+use tabby::registry::{diff_snapshots, hash_inputs, parse_corpus_ref, Registry, Snapshot};
+use tabby::workloads::activation_scenes_smoke;
+use tabby::{scan, snapshot_scan, ScanOptions};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tabby-registry-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Scans one component of the first smoke activation scene and wraps it
+/// into a snapshot.
+fn scene_snapshot(corpus: &str, version: u32, v2: bool) -> Snapshot {
+    let scenes = activation_scenes_smoke();
+    let scene = &scenes[0];
+    let component = if v2 { &scene.v2 } else { &scene.v1 };
+    let classes = compile_program(&component.program);
+    let class_hashes = hash_inputs(
+        classes
+            .iter()
+            .map(|(name, bytes)| (name.as_str(), bytes.as_slice())),
+    );
+    let options = ScanOptions::default();
+    let mut report = scan(&component.program, &options);
+    snapshot_scan(corpus, version, &mut report, &options, class_hashes).expect("clean snapshot")
+}
+
+#[test]
+fn snapshot_reload_rediff_is_a_no_op() {
+    let root = temp_dir("round-trip");
+    let registry = Registry::open(&root).unwrap();
+    let v1 = scene_snapshot("rt", 1, false);
+    let v2 = scene_snapshot("rt", 2, true);
+    registry.save(&v1).unwrap();
+    registry.save(&v2).unwrap();
+
+    // Reload both and re-diff: the report must serialize byte-identically
+    // to the in-memory diff — persistence loses nothing the diff reads.
+    let near = NearChainConfig::default();
+    let want = serde_json::to_string(&diff_snapshots(&v1, &v2, &near)).unwrap();
+    let r1 = registry.load("rt", 1).unwrap();
+    let r2 = registry.load("rt", 2).unwrap();
+    let got = serde_json::to_string(&diff_snapshots(&r1, &r2, &near)).unwrap();
+    assert_eq!(got, want, "reload changed the diff");
+
+    // A version diffed against itself is clean and changeless.
+    let self_diff = diff_snapshots(&r2, &r2, &near);
+    assert!(self_diff.identical);
+    assert!(self_diff.is_clean());
+    assert!(self_diff.added_edges.is_empty());
+    assert!(self_diff.activated.is_empty());
+
+    // Versions list ascending; latest resolves.
+    assert_eq!(registry.latest_version("rt"), Some(2));
+    assert_eq!(registry.latest_version("missing"), None);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn registered_versions_are_immutable() {
+    let root = temp_dir("immutable");
+    let registry = Registry::open(&root).unwrap();
+    let v1 = scene_snapshot("frozen", 1, false);
+    registry.save(&v1).unwrap();
+    let err = registry.save(&v1).unwrap_err();
+    assert!(
+        err.contains("frozen@v1"),
+        "immutability error must name the version: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn degraded_scans_are_refused_at_snapshot_time() {
+    let scenes = activation_scenes_smoke();
+    let component = &scenes[0].v1;
+    let options = ScanOptions::default();
+    let mut report = scan(&component.program, &options);
+    // Simulate a quarantined class: the scan survived, but its chain set
+    // is not trustworthy enough to diff against.
+    report
+        .diagnostics
+        .skipped_classes
+        .push(tabby::core::SkippedClass {
+            source: "blob[0]".to_owned(),
+            class_name: Some("bad.Class".to_owned()),
+            byte_hash: 0,
+            error: "truncated constant pool".to_owned(),
+        });
+    let err = snapshot_scan("deg", 1, &mut report, &options, BTreeMap::new()).unwrap_err();
+    assert!(
+        err.contains("degraded") || err.contains("skipped"),
+        "rejection must say why: {err}"
+    );
+}
+
+#[test]
+fn corpus_refs_parse_and_reject_clearly() {
+    let bare = parse_corpus_ref("demo").unwrap();
+    assert_eq!(bare.corpus, "demo");
+    assert_eq!(bare.version, None);
+
+    let pinned = parse_corpus_ref("demo@v12").unwrap();
+    assert_eq!(pinned.corpus, "demo");
+    assert_eq!(pinned.version, Some(12));
+
+    for bad in ["", "@v1", "demo@", "demo@v", "demo@vx", "demo@1@v2"] {
+        assert!(parse_corpus_ref(bad).is_err(), "{bad:?} must be rejected");
+    }
+}

@@ -220,12 +220,26 @@ fn raw_json_lines_protocol_round_trips() {
     let mut line = String::new();
 
     stream
-        .write_all(b"{\"v\":2,\"cmd\":\"ping\",\"id\":\"p-1\"}\n")
+        .write_all(b"{\"v\":3,\"cmd\":\"ping\",\"id\":\"p-1\"}\n")
         .unwrap();
     reader.read_line(&mut line).unwrap();
     let reply: Response = serde_json::from_str(line.trim()).unwrap();
     assert!(reply.ok);
     assert_eq!(reply.id.as_deref(), Some("p-1"));
+
+    // A v2 client against a v3 daemon gets a structured version-mismatch
+    // error naming both versions, not a guess.
+    line.clear();
+    stream
+        .write_all(b"{\"v\":2,\"cmd\":\"ping\",\"id\":\"old\"}\n")
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let reply: Response = serde_json::from_str(line.trim()).unwrap();
+    assert!(!reply.ok);
+    assert_eq!(reply.id.as_deref(), Some("old"));
+    let error = reply.error.unwrap();
+    assert!(error.contains("request is v2"), "{error}");
+    assert!(error.contains("daemon speaks v3"), "{error}");
 
     // Malformed input gets an error reply; the connection stays usable.
     line.clear();
@@ -245,7 +259,7 @@ fn raw_json_lines_protocol_round_trips() {
     assert!(reply.error.unwrap().contains("unversioned request"));
 
     line.clear();
-    stream.write_all(b"{\"v\":2,\"cmd\":\"stats\"}\n").unwrap();
+    stream.write_all(b"{\"v\":3,\"cmd\":\"stats\"}\n").unwrap();
     reader.read_line(&mut line).unwrap();
     let reply: Response = serde_json::from_str(line.trim()).unwrap();
     assert!(reply.ok);
@@ -253,6 +267,93 @@ fn raw_json_lines_protocol_round_trips() {
     assert_eq!(daemon.workers, 2);
 
     handle.stop();
+}
+
+#[test]
+fn daemon_diff_reports_exactly_the_planted_activation() {
+    let dir = temp_dir("diff-corpus");
+    let reg = temp_dir("diff-registry");
+    let scenes = tabby::workloads::activation_scenes_smoke();
+    let scene = &scenes[0];
+    let write = |program: &tabby::ir::Program| {
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let _ = std::fs::remove_file(entry.unwrap().path());
+        }
+        for (name, bytes) in compile_program(program) {
+            let file = dir.join(format!("{}.class", name.replace('.', "_")));
+            std::fs::write(file, bytes).unwrap();
+        }
+    };
+    write(&scene.v1.program);
+
+    let handle = Daemon::spawn(test_config()).expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let paths = vec![dir.to_string_lossy().into_owned()];
+    let reg_root = reg.to_string_lossy().into_owned();
+    let diff = |watch| {
+        service::diff(
+            &addr,
+            paths.clone(),
+            &reg_root,
+            &scene.name,
+            watch,
+            ScanRequestOptions::default(),
+        )
+        .unwrap()
+    };
+
+    // First diff registers the baseline; there is nothing to compare yet.
+    let reply = diff(false);
+    assert!(reply.ok, "baseline diff failed: {:?}", reply.error);
+    let outcome = reply.diff.expect("diff payload");
+    assert!(outcome.baseline);
+    assert_eq!(outcome.new_ref, format!("{}@v1", scene.name));
+    assert!(outcome.report.is_none());
+
+    // Unchanged content short-circuits before any scan work.
+    let reply = diff(false);
+    assert!(reply.ok, "{:?}", reply.error);
+    let outcome = reply.diff.expect("diff payload");
+    assert!(outcome.identical, "re-diff of identical content");
+    assert_eq!(outcome.new_ref, format!("{}@v1", scene.name));
+
+    // The version bump: only the pivot's sanitizing callee changes.
+    write(&scene.v2.program);
+    let reply = diff(false);
+    assert!(reply.ok, "post-bump diff failed: {:?}", reply.error);
+    let outcome = reply.diff.expect("diff payload");
+    assert!(!outcome.baseline && !outcome.identical);
+    assert_eq!(
+        outcome.old_ref.as_deref(),
+        Some(format!("{}@v1", scene.name).as_str())
+    );
+    assert_eq!(outcome.new_ref, format!("{}@v2", scene.name));
+    let report = outcome.report.expect("diff report");
+    let (source, sink) = &scene.activated;
+    assert_eq!(
+        report.activated.len(),
+        1,
+        "exactly the planted chain must activate: {:?}",
+        report.activated
+    );
+    assert_eq!(report.activated[0].chain.source(), *source);
+    assert_eq!(report.activated[0].chain.sink(), *sink);
+    assert!(
+        !report.activated[0].completing_edges.is_empty(),
+        "the activation must be attributed to the completing edge(s)"
+    );
+    assert!(
+        report.near_chains.iter().any(|n| n
+            .signatures
+            .first()
+            .is_some_and(|s| *s == scene.dormant_source)),
+        "the dormant twin must surface as a near-chain: {:?}",
+        report.near_chains
+    );
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&reg);
 }
 
 #[test]
