@@ -155,16 +155,19 @@ pub fn bench_diff_scene(
     let classes = compile_program(&scene.v1.program).len();
 
     // One-time registration of both versions (timed once each — this is
-    // amortized over every later diff, but reported honestly).
+    // amortized over every later diff, but reported honestly). Versions
+    // are minted through the atomic `save_next` path, so the bench times
+    // the same durable (fsync'd, envelope-wrapped) write the daemon pays.
     let registry = Registry::open(registry_root).expect("registry opens");
     let t = Instant::now();
-    let v1 = snapshot_component(scene, &scene.v1, 1, &search);
-    registry.save(&v1).expect("save v1");
+    let mut v1 = snapshot_component(scene, &scene.v1, 1, &search);
+    registry.save_next(&mut v1).expect("register v1");
     let snapshot_v1_wall_s = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let v2 = snapshot_component(scene, &scene.v2, 2, &search);
-    registry.save(&v2).expect("save v2");
+    let mut v2 = snapshot_component(scene, &scene.v2, 2, &search);
+    registry.save_next(&mut v2).expect("register v2");
     let snapshot_v2_wall_s = t.elapsed().as_secs_f64();
+    assert_eq!((v1.version, v2.version), (1, 2), "fresh corpus mints 1, 2");
     drop((v1, v2));
 
     // The baseline: a cold full scan of v2, as a non-differential pipeline

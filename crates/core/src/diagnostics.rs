@@ -36,6 +36,33 @@ pub struct QuarantinedMethod {
     pub error: String,
 }
 
+/// What happened to a persisted artifact that misbehaved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ArtifactFaultKind {
+    /// A corrupt on-disk artifact (bad envelope checksum, truncation,
+    /// format skew) was moved to the `quarantine/` sibling directory and
+    /// the result recomputed from scratch.
+    Quarantined,
+    /// A best-effort persist failed (e.g. disk full); the in-memory result
+    /// is unaffected but the artifact was not cached to disk.
+    WriteFailed,
+}
+
+/// One persisted-artifact fault encountered while serving a scan: a
+/// corrupt cache/registry file quarantined on read, or a failed disk
+/// write. Informational — the served result is recomputed and complete,
+/// so these do **not** make a scan [`ScanDiagnostics::is_degraded`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactFault {
+    /// The artifact's on-disk path.
+    pub path: String,
+    /// Whether it was quarantined on read or failed to write.
+    pub kind: ArtifactFaultKind,
+    /// Human-readable cause (envelope verification error, I/O error).
+    pub detail: String,
+}
+
 /// Everything a scan gave up on: the degraded-mode report.
 ///
 /// All-empty/false means the scan was complete and exact; anything else
@@ -84,6 +111,11 @@ pub struct ScanDiagnostics {
     /// `summaries_computed`. Informational; not a degradation.
     #[serde(default, skip_serializing_if = "is_zero")]
     pub methods_with_bodies: usize,
+    /// Persisted artifacts quarantined or left unwritten while serving
+    /// this scan. Informational; not a degradation — the served chain set
+    /// is recomputed and complete.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub artifact_faults: Vec<ArtifactFault>,
 }
 
 fn is_zero(n: &usize) -> bool {
@@ -118,13 +150,17 @@ impl ScanDiagnostics {
         self.summarize_largest_scc = self.summarize_largest_scc.max(other.summarize_largest_scc);
         self.summaries_computed += other.summaries_computed;
         self.methods_with_bodies += other.methods_with_bodies;
+        self.artifact_faults.extend(other.artifact_faults);
     }
 
     /// One-line human summary, e.g.
     /// `degraded: 2 classes skipped, 1 method quarantined, search truncated`.
     pub fn summary(&self) -> String {
         if !self.is_degraded() {
-            return "complete".to_owned();
+            if self.artifact_faults.is_empty() {
+                return "complete".to_owned();
+            }
+            return format!("complete ({} artifact faults)", self.artifact_faults.len());
         }
         let mut parts = Vec::new();
         if !self.skipped_classes.is_empty() {

@@ -1,0 +1,635 @@
+//! Crash-safe on-disk artifact envelope.
+//!
+//! Every artifact Tabby persists — service-cache chain sets and CPGs,
+//! registry snapshots, pin lists — is wrapped in one fixed binary envelope
+//! so a reader can tell a complete, untampered artifact from a torn write,
+//! bit rot, or a blob written by an incompatible build *before* handing the
+//! payload to a parser:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic          b"TBE\0"
+//! 4       2     format version u16 LE ([`ENVELOPE_VERSION`])
+//! 6       2     payload kind   u16 LE (caller-chosen artifact tag)
+//! 8       8     payload length u64 LE
+//! 16      8     FNV-64 checksum of the payload, u64 LE
+//! 24      —     payload bytes
+//! ```
+//!
+//! Writes are durable: the envelope goes to a unique temp file that is
+//! fsync'd before an atomic publish (rename, or `link` for create-new
+//! semantics), and the parent directory is fsync'd after the publish so the
+//! directory entry itself survives power loss. Verification failures are
+//! never fatal and never served — callers use [`quarantine_file`] to move
+//! the bad file into a `quarantine/` sibling directory and recompute.
+//!
+//! The module also hosts the chaos-test [`Fault`] plan: a process-global
+//! queue of injectable persistence faults (torn write at byte N, `ENOSPC`,
+//! fsync failure) that the writer consults, so `tests/chaos.rs` can
+//! deterministically simulate crashes without killing the process.
+
+use std::collections::VecDeque;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tabby_graph::Fnv64;
+
+/// The four magic bytes opening every envelope.
+pub const ENVELOPE_MAGIC: [u8; 4] = *b"TBE\0";
+/// Envelope format version this build writes and reads.
+pub const ENVELOPE_VERSION: u16 = 1;
+/// Total header size in bytes; the payload starts here.
+pub const ENVELOPE_HEADER_LEN: usize = 24;
+/// Byte offset of the format-version field (u16 LE) within the header.
+pub const ENVELOPE_VERSION_OFFSET: usize = 4;
+/// Name of the sibling directory corrupt artifacts are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Artifact kind tags (the `kind` header field). Purely a cross-wiring
+/// guard: reading a chains blob as a CPG fails cleanly instead of feeding
+/// one parser another artifact's JSON.
+pub mod kind {
+    /// Service-cache gadget-chain set.
+    pub const CHAINS: u16 = 1;
+    /// Service-cache serialized CPG.
+    pub const CPG: u16 = 2;
+    /// Registry snapshot.
+    pub const SNAPSHOT: u16 = 3;
+    /// Registry per-corpus pin list.
+    pub const PINS: u16 = 4;
+}
+
+/// How [`write_envelope`] publishes the temp file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Publish {
+    /// `rename(tmp, path)`: replaces any existing file. For caches, where
+    /// concurrent writers of the same key race benignly (same content).
+    Overwrite,
+    /// `link(tmp, path)`: fails with [`EnvelopeError::AlreadyExists`] if
+    /// the target exists. For immutable registry versions, where two
+    /// writers must never mint the same `corpus@vN`.
+    CreateNew,
+}
+
+/// Why an envelope read or write failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// The file does not exist — a normal cache miss, not a fault.
+    Missing,
+    /// The file exists but does not start with the envelope magic; it may
+    /// be a legacy plain-JSON artifact the caller can still parse.
+    NotAnEnvelope,
+    /// The file starts with the magic but fails verification: truncated
+    /// header, length mismatch, or checksum mismatch.
+    Corrupt(String),
+    /// The envelope was written by a different envelope format version.
+    WrongVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Version this build reads.
+        expected: u16,
+    },
+    /// The envelope holds a different artifact kind than the caller asked
+    /// for.
+    WrongKind {
+        /// Kind tag found in the header.
+        found: u16,
+        /// Kind tag the caller expected.
+        expected: u16,
+    },
+    /// Create-new publish found the target already present.
+    AlreadyExists,
+    /// An underlying I/O failure (including injected faults).
+    Io(String),
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Missing => f.write_str("no such artifact"),
+            EnvelopeError::NotAnEnvelope => f.write_str("not an envelope (no magic)"),
+            EnvelopeError::Corrupt(reason) => write!(f, "corrupt envelope: {reason}"),
+            EnvelopeError::WrongVersion { found, expected } => {
+                write!(f, "envelope format v{found}, this build reads v{expected}")
+            }
+            EnvelopeError::WrongKind { found, expected } => {
+                write!(
+                    f,
+                    "envelope holds artifact kind {found}, expected {expected}"
+                )
+            }
+            EnvelopeError::AlreadyExists => f.write_str("target already exists"),
+            EnvelopeError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl EnvelopeError {
+    /// True for verification failures that should quarantine the file
+    /// (as opposed to a miss, an I/O error, or a publish race).
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            EnvelopeError::NotAnEnvelope
+                | EnvelopeError::Corrupt(_)
+                | EnvelopeError::WrongVersion { .. }
+                | EnvelopeError::WrongKind { .. }
+        )
+    }
+}
+
+/// Serializes `payload` into envelope bytes (header + payload).
+pub fn encode_envelope(kind: u16, payload: &[u8]) -> Vec<u8> {
+    let mut hasher = Fnv64::new();
+    hasher.write(payload);
+    let checksum = hasher.finish();
+    let mut out = Vec::with_capacity(ENVELOPE_HEADER_LEN + payload.len());
+    out.extend_from_slice(&ENVELOPE_MAGIC);
+    out.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies envelope `bytes` and returns the payload slice.
+///
+/// # Errors
+///
+/// [`EnvelopeError::NotAnEnvelope`] when the magic is absent (legacy
+/// plain-JSON files land here), otherwise the specific verification
+/// failure.
+pub fn decode_envelope(bytes: &[u8], expected_kind: u16) -> Result<&[u8], EnvelopeError> {
+    if bytes.len() < ENVELOPE_MAGIC.len() || bytes[..ENVELOPE_MAGIC.len()] != ENVELOPE_MAGIC {
+        return Err(EnvelopeError::NotAnEnvelope);
+    }
+    if bytes.len() < ENVELOPE_HEADER_LEN {
+        return Err(EnvelopeError::Corrupt(format!(
+            "truncated header: {} of {ENVELOPE_HEADER_LEN} bytes",
+            bytes.len()
+        )));
+    }
+    let u16_at = |off: usize| u16::from_le_bytes([bytes[off], bytes[off + 1]]);
+    let u64_at = |off: usize| {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[off..off + 8]);
+        u64::from_le_bytes(raw)
+    };
+    let version = u16_at(ENVELOPE_VERSION_OFFSET);
+    if version != ENVELOPE_VERSION {
+        return Err(EnvelopeError::WrongVersion {
+            found: version,
+            expected: ENVELOPE_VERSION,
+        });
+    }
+    let kind = u16_at(6);
+    if kind != expected_kind {
+        return Err(EnvelopeError::WrongKind {
+            found: kind,
+            expected: expected_kind,
+        });
+    }
+    let len = u64_at(8) as usize;
+    let payload = &bytes[ENVELOPE_HEADER_LEN..];
+    if payload.len() != len {
+        return Err(EnvelopeError::Corrupt(format!(
+            "payload length {} does not match header ({len})",
+            payload.len()
+        )));
+    }
+    let mut hasher = Fnv64::new();
+    hasher.write(payload);
+    let checksum = hasher.finish();
+    let expected = u64_at(16);
+    if checksum != expected {
+        return Err(EnvelopeError::Corrupt(format!(
+            "checksum {checksum:016x} does not match header {expected:016x}"
+        )));
+    }
+    Ok(payload)
+}
+
+/// Reads and verifies the envelope at `path`, returning the payload.
+///
+/// # Errors
+///
+/// [`EnvelopeError::Missing`] when the file does not exist; otherwise the
+/// verification or I/O failure.
+pub fn read_envelope(path: &Path, expected_kind: u16) -> Result<Vec<u8>, EnvelopeError> {
+    let bytes = fs::read(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            EnvelopeError::Missing
+        } else {
+            EnvelopeError::Io(format!("cannot read {}: {e}", path.display()))
+        }
+    })?;
+    decode_envelope(&bytes, expected_kind).map(<[u8]>::to_vec)
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_owned());
+    let unique = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    path.with_file_name(format!(".{name}.{}-{unique}.tmp", std::process::id()))
+}
+
+fn fsync_parent(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        // Directory fsync makes the new directory entry itself durable;
+        // without it a power loss can forget the rename.
+        fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Durably writes `payload` wrapped in an envelope to `path`.
+///
+/// The bytes go to a unique dot-prefixed `*.tmp` sibling, are fsync'd, and
+/// are then atomically published per `publish`; finally the parent
+/// directory is fsync'd. A failed write cleans up its temp file — except a
+/// simulated crash ([`Fault::TornWrite`]), which deliberately leaves the
+/// partial temp behind, exactly as a real power loss would.
+///
+/// # Errors
+///
+/// [`EnvelopeError::AlreadyExists`] when `publish` is
+/// [`Publish::CreateNew`] and the target exists; [`EnvelopeError::Io`] on
+/// any I/O failure (including injected faults).
+pub fn write_envelope(
+    path: &Path,
+    kind: u16,
+    payload: &[u8],
+    publish: Publish,
+) -> Result<(), EnvelopeError> {
+    let bytes = encode_envelope(kind, payload);
+    let tmp = tmp_path(path);
+    let fault = take_fault(path);
+    match fault {
+        Some(Fault::TornWrite { at_byte }) => {
+            // Simulated crash mid-write: some prefix of the temp file
+            // reaches disk, the process "dies" before rename — the partial
+            // temp file stays behind for the recovery sweep to find.
+            let n = at_byte.min(bytes.len());
+            let torn = fs::File::create(&tmp).and_then(|mut f| {
+                f.write_all(&bytes[..n])?;
+                f.sync_all()
+            });
+            return Err(EnvelopeError::Io(match torn {
+                Ok(()) => format!("simulated crash after {n} bytes (torn write)"),
+                Err(e) => format!("simulated crash (torn write): {e}"),
+            }));
+        }
+        Some(Fault::Enospc) => {
+            let _ = fs::remove_file(&tmp);
+            return Err(EnvelopeError::Io(
+                "No space left on device (simulated ENOSPC)".to_owned(),
+            ));
+        }
+        Some(Fault::FsyncFail) => {
+            let write = fs::File::create(&tmp).and_then(|mut f| f.write_all(&bytes));
+            let _ = write;
+            let _ = fs::remove_file(&tmp);
+            return Err(EnvelopeError::Io("fsync failed (simulated)".to_owned()));
+        }
+        None => {}
+    }
+    let written = fs::File::create(&tmp).and_then(|mut f| {
+        f.write_all(&bytes)?;
+        f.sync_all()
+    });
+    if let Err(e) = written {
+        let _ = fs::remove_file(&tmp);
+        return Err(EnvelopeError::Io(format!(
+            "cannot write {}: {e}",
+            tmp.display()
+        )));
+    }
+    match publish {
+        Publish::Overwrite => {
+            if let Err(e) = fs::rename(&tmp, path) {
+                let _ = fs::remove_file(&tmp);
+                return Err(EnvelopeError::Io(format!(
+                    "cannot publish {}: {e}",
+                    path.display()
+                )));
+            }
+        }
+        Publish::CreateNew => {
+            // hard_link fails atomically when the target exists, closing
+            // the check-then-rename race rename() would leave open.
+            let linked = fs::hard_link(&tmp, path);
+            let _ = fs::remove_file(&tmp);
+            match linked {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    return Err(EnvelopeError::AlreadyExists);
+                }
+                Err(e) => {
+                    return Err(EnvelopeError::Io(format!(
+                        "cannot publish {}: {e}",
+                        path.display()
+                    )));
+                }
+            }
+        }
+    }
+    if let Err(e) = fsync_parent(path) {
+        return Err(EnvelopeError::Io(format!(
+            "cannot fsync parent of {}: {e}",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
+/// Moves a corrupt artifact into the `quarantine/` directory next to it,
+/// returning the new path. Creating the directory is lazy; an existing
+/// quarantined file of the same name is overwritten (same artifact,
+/// re-corrupted). Falls back to deleting the file if the move fails, so a
+/// corrupt artifact is never left in place to be re-served.
+///
+/// # Errors
+///
+/// Returns a message when the file can be neither moved nor removed.
+pub fn quarantine_file(path: &Path) -> Result<PathBuf, String> {
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    let qdir = parent.join(QUARANTINE_DIR);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_owned());
+    let dest = qdir.join(&name);
+    let moved = fs::create_dir_all(&qdir).and_then(|()| fs::rename(path, &dest));
+    match moved {
+        Ok(()) => Ok(dest),
+        Err(move_err) => match fs::remove_file(path) {
+            Ok(()) => Ok(dest),
+            Err(rm_err) => Err(format!(
+                "cannot quarantine {}: move failed ({move_err}), remove failed ({rm_err})",
+                path.display()
+            )),
+        },
+    }
+}
+
+/// True for the dot-prefixed `*.tmp` siblings [`write_envelope`] stages
+/// through — what a crash-recovery sweep should delete.
+pub fn is_orphan_tmp(name: &str) -> bool {
+    name.starts_with('.') && name.ends_with(".tmp")
+}
+
+/// Removes orphaned write-staging temp files under `dir` (non-recursive).
+/// Returns how many were removed. Missing or unreadable directories count
+/// as zero orphans — recovery never fails an open.
+pub fn sweep_orphan_tmps(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if is_orphan_tmp(name) && fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// One injectable persistence fault for the chaos harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The write dies after `at_byte` bytes reach the temp file: no
+    /// publish, the partial temp is left behind (simulated power loss).
+    TornWrite {
+        /// How many bytes of header+payload reach disk before the "crash".
+        at_byte: usize,
+    },
+    /// The write fails as if the disk were full; cleanup runs and the
+    /// error surfaces to the caller.
+    Enospc,
+    /// The data fsync fails; cleanup runs and the error surfaces.
+    FsyncFail,
+}
+
+struct PlannedFault {
+    path_contains: String,
+    fault: Fault,
+}
+
+static FAULT_PLAN: Mutex<VecDeque<PlannedFault>> = Mutex::new(VecDeque::new());
+
+fn fault_plan() -> std::sync::MutexGuard<'static, VecDeque<PlannedFault>> {
+    FAULT_PLAN.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms one fault: the next [`write_envelope`] whose target path contains
+/// `path_contains` suffers `fault` (and the fault is consumed). Chaos
+/// tests scope faults to their own temp directories via the substring so
+/// parallel tests don't trip each other's plans.
+pub fn inject_write_fault(path_contains: &str, fault: Fault) {
+    fault_plan().push_back(PlannedFault {
+        path_contains: path_contains.to_owned(),
+        fault,
+    });
+}
+
+/// Disarms all pending faults whose path filter contains `path_contains`
+/// (an empty string clears everything). Returns how many were removed.
+pub fn clear_write_faults(path_contains: &str) -> usize {
+    let mut plan = fault_plan();
+    let before = plan.len();
+    plan.retain(|p| !p.path_contains.contains(path_contains));
+    before - plan.len()
+}
+
+/// How many injected faults are still armed (any filter).
+pub fn pending_write_faults() -> usize {
+    fault_plan().len()
+}
+
+fn take_fault(path: &Path) -> Option<Fault> {
+    let mut plan = fault_plan();
+    if plan.is_empty() {
+        return None;
+    }
+    let text = path.to_string_lossy();
+    let idx = plan.iter().position(|p| text.contains(&p.path_contains))?;
+    plan.remove(idx).map(|p| p.fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tabby-envelope-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_payload() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("artifact.tbe");
+        write_envelope(&path, kind::CHAINS, b"[1,2,3]", Publish::Overwrite).expect("write");
+        let payload = read_envelope(&path, kind::CHAINS).expect("read");
+        assert_eq!(payload, b"[1,2,3]");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_reads_as_missing() {
+        let dir = temp_dir("missing");
+        assert_eq!(
+            read_envelope(&dir.join("nope.tbe"), kind::CHAINS),
+            Err(EnvelopeError::Missing)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_json_is_not_an_envelope() {
+        let dir = temp_dir("legacy");
+        let path = dir.join("legacy.json");
+        fs::write(&path, b"[\"legacy\"]").expect("write");
+        assert_eq!(
+            read_envelope(&path, kind::CHAINS),
+            Err(EnvelopeError::NotAnEnvelope)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_bitflip_and_version_skew_are_detected() {
+        let dir = temp_dir("verify");
+        let path = dir.join("artifact.tbe");
+        write_envelope(&path, kind::CHAINS, b"payload bytes", Publish::Overwrite).expect("write");
+        let valid = fs::read(&path).expect("read back");
+
+        // Truncated mid-payload: length mismatch.
+        let err = decode_envelope(&valid[..valid.len() - 3], kind::CHAINS).expect_err("truncated");
+        assert!(matches!(err, EnvelopeError::Corrupt(_)), "{err:?}");
+
+        // Truncated mid-header.
+        let err = decode_envelope(&valid[..10], kind::CHAINS).expect_err("short header");
+        assert!(matches!(err, EnvelopeError::Corrupt(_)), "{err:?}");
+
+        // One payload bit flipped: checksum mismatch.
+        let mut flipped = valid.clone();
+        flipped[ENVELOPE_HEADER_LEN + 2] ^= 0x40;
+        let err = decode_envelope(&flipped, kind::CHAINS).expect_err("bit flip");
+        assert!(matches!(err, EnvelopeError::Corrupt(_)), "{err:?}");
+
+        // Future format version.
+        let mut future = valid.clone();
+        future[ENVELOPE_VERSION_OFFSET] = (ENVELOPE_VERSION + 1) as u8;
+        let err = decode_envelope(&future, kind::CHAINS).expect_err("future version");
+        assert_eq!(
+            err,
+            EnvelopeError::WrongVersion {
+                found: ENVELOPE_VERSION + 1,
+                expected: ENVELOPE_VERSION
+            }
+        );
+
+        // Wrong artifact kind.
+        let err = decode_envelope(&valid, kind::CPG).expect_err("kind mismatch");
+        assert_eq!(
+            err,
+            EnvelopeError::WrongKind {
+                found: kind::CHAINS,
+                expected: kind::CPG
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_new_publish_is_immutable() {
+        let dir = temp_dir("createnew");
+        let path = dir.join("v1.json");
+        write_envelope(&path, kind::SNAPSHOT, b"one", Publish::CreateNew).expect("first");
+        let err = write_envelope(&path, kind::SNAPSHOT, b"two", Publish::CreateNew)
+            .expect_err("second must fail");
+        assert_eq!(err, EnvelopeError::AlreadyExists);
+        assert_eq!(
+            read_envelope(&path, kind::SNAPSHOT).expect("read"),
+            b"one".to_vec()
+        );
+        // No temp debris either way.
+        assert_eq!(sweep_orphan_tmps(&dir), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_partial_tmp_and_no_published_file() {
+        let dir = temp_dir("torn");
+        let path = dir.join("chains").join("artifact.tbe");
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        inject_write_fault(&dir.to_string_lossy(), Fault::TornWrite { at_byte: 7 });
+        let err = write_envelope(&path, kind::CHAINS, b"payload", Publish::Overwrite)
+            .expect_err("torn write must fail");
+        assert!(matches!(err, EnvelopeError::Io(_)), "{err:?}");
+        assert!(!path.exists(), "torn write must not publish");
+        // Exactly the 7-byte partial temp file is left behind...
+        let orphans = sweep_orphan_tmps(path.parent().expect("parent"));
+        assert_eq!(orphans, 1, "partial temp survives the crash");
+        // ...and the fault was consumed: the retry succeeds.
+        write_envelope(&path, kind::CHAINS, b"payload", Publish::Overwrite).expect("retry");
+        assert_eq!(
+            read_envelope(&path, kind::CHAINS).expect("read"),
+            b"payload".to_vec()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_fails_clean_without_debris() {
+        let dir = temp_dir("enospc");
+        let path = dir.join("artifact.tbe");
+        inject_write_fault(&dir.to_string_lossy(), Fault::Enospc);
+        let err = write_envelope(&path, kind::CHAINS, b"payload", Publish::Overwrite)
+            .expect_err("enospc must fail");
+        assert!(format!("{err}").contains("No space left"), "{err:?}");
+        assert!(!path.exists());
+        assert_eq!(sweep_orphan_tmps(&dir), 0, "ENOSPC cleanup leaves no temp");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_file_into_sibling_dir() {
+        let dir = temp_dir("quarantine");
+        let path = dir.join("bad.tbe");
+        fs::write(&path, b"garbage").expect("write");
+        let dest = quarantine_file(&path).expect("quarantine");
+        assert!(!path.exists());
+        assert_eq!(dest, dir.join(QUARANTINE_DIR).join("bad.tbe"));
+        assert_eq!(fs::read(&dest).expect("read"), b"garbage");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_filters_scope_to_matching_paths() {
+        let dir = temp_dir("filters");
+        inject_write_fault("no-such-path-substring", Fault::Enospc);
+        let path = dir.join("artifact.tbe");
+        write_envelope(&path, kind::CHAINS, b"x", Publish::Overwrite)
+            .expect("non-matching fault must not fire");
+        assert_eq!(clear_write_faults("no-such-path-substring"), 1);
+        assert_eq!(pending_write_faults(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

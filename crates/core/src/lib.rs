@@ -44,6 +44,7 @@ pub mod config;
 pub mod controllability;
 pub mod cpg;
 pub mod diagnostics;
+pub mod envelope;
 pub mod parallel;
 pub mod weight;
 
@@ -52,7 +53,13 @@ pub use callgraph::{StaticCallGraph, WaveSchedule};
 pub use config::AnalysisConfig;
 pub use controllability::{Analyzer, AnalyzerStats, CallSite, LocalMap, MethodSummary};
 pub use cpg::{Cpg, CpgSchema, CpgStats};
-pub use diagnostics::{QuarantinedMethod, ScanDiagnostics, SkippedClass};
+pub use diagnostics::{
+    ArtifactFault, ArtifactFaultKind, QuarantinedMethod, ScanDiagnostics, SkippedClass,
+};
+pub use envelope::{
+    decode_envelope, encode_envelope, quarantine_file, read_envelope, write_envelope,
+    EnvelopeError, Fault, Publish, ENVELOPE_MAGIC, ENVELOPE_VERSION, QUARANTINE_DIR,
+};
 pub use parallel::{
     canonical_summary_dump, summarize_program, summarize_program_contained,
     summarize_program_incremental, summarize_program_incremental_contained,

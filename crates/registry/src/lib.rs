@@ -15,7 +15,11 @@
 //!   lower-bound chain set fabricates activations.
 //! - [`Registry`] — the on-disk store: `<root>/<corpus>/v<N>.json`,
 //!   immutable once written, addressed as `corpus@vN`
-//!   ([`parse_corpus_ref`]).
+//!   ([`parse_corpus_ref`]). Snapshots are wrapped in the checksummed
+//!   crash-safe envelope (`tabby_core::envelope`), verified on read
+//!   (corrupt files are quarantined, never served), recovered on open,
+//!   and garbage-collected by size budget ([`Registry::gc`]) with
+//!   keep-latest-K and pinning ([`Registry::pin`]) exemptions.
 //! - [`diff_snapshots`] — the diff engine: newly **activated** chains
 //!   (present in v(N+1), absent in vN) attributed to the added/changed
 //!   edges that completed them, **resolved** chains, and **near-chains**
@@ -51,4 +55,4 @@ pub use diff::{diff_snapshots, ActivatedChain, DiffReport};
 pub use snapshot::{
     corpus_content_key, hash_inputs, EdgeKind, SinkEntry, Snapshot, SymbolicEdge, SNAPSHOT_FORMAT,
 };
-pub use store::{parse_corpus_ref, CorpusRef, Registry};
+pub use store::{parse_corpus_ref, CorpusRef, GcPolicy, GcReport, RecoveryReport, Registry};

@@ -6,18 +6,34 @@
 //! ```text
 //! <root>/
 //!   <corpus>/
-//!     v1.json
+//!     v1.json           (envelope-wrapped JSON snapshot)
 //!     v2.json
+//!     pins.json         (GC-exempt version list)
+//!     quarantine/       (corrupt files moved aside, never served)
 //! ```
 //!
-//! Writes go through a temp-file + rename so a crashed `tabby snapshot`
-//! never leaves a half-written version behind, and saving an existing
-//! version is an error — snapshots are immutable once registered.
+//! Every write goes through the crash-safe checksummed envelope
+//! (`tabby_core::envelope`): fsync'd temp file, atomic publish, parent-dir
+//! fsync. Version files publish with *create-new* semantics (`link`), so
+//! two concurrent writers can never mint the same `corpus@vN` — snapshots
+//! are immutable once registered, and [`Registry::save_next`] retries with
+//! the next free version on a lost race. Opening a registry runs a
+//! crash-recovery sweep: orphaned write-staging `*.tmp` files are deleted
+//! and version files that fail envelope verification are moved to the
+//! corpus's `quarantine/` directory, rolling `latest_version` back to the
+//! newest intact snapshot. Pre-envelope plain-JSON snapshots remain
+//! readable.
+//!
+//! [`Registry::gc`] enforces a size budget: oldest unprotected versions go
+//! first, the newest `keep_latest` per corpus and every pinned version
+//! ([`Registry::pin`]) are exempt.
 
 use crate::snapshot::{Snapshot, SNAPSHOT_FORMAT};
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use tabby_core::envelope::{
+    self, kind, quarantine_file, read_envelope, write_envelope, EnvelopeError, Publish,
+};
 
 /// A `corpus@vN` reference split into its parts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +90,37 @@ pub fn parse_corpus_ref(text: &str) -> Result<CorpusRef, String> {
     })
 }
 
+/// What the crash-recovery sweep found and fixed on open.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Orphaned write-staging temp files deleted.
+    pub removed_tmps: usize,
+    /// Version files that failed envelope verification, moved to their
+    /// corpus's `quarantine/` directory (`latest_version` rolls back past
+    /// them).
+    pub quarantined: Vec<PathBuf>,
+}
+
+/// Size-budget garbage collection policy for [`Registry::gc`].
+#[derive(Debug, Clone, Copy)]
+pub struct GcPolicy {
+    /// Target total size of all version files, in bytes.
+    pub budget_bytes: u64,
+    /// The newest K versions of every corpus are always kept.
+    pub keep_latest: usize,
+}
+
+/// What [`Registry::gc`] removed and kept.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Removed snapshots as `corpus@vN` references, oldest first.
+    pub removed: Vec<String>,
+    /// Bytes freed by the removals.
+    pub bytes_freed: u64,
+    /// Bytes still held by version files after the sweep.
+    pub bytes_kept: u64,
+}
+
 /// A registry rooted at one directory.
 #[derive(Debug, Clone)]
 pub struct Registry {
@@ -81,7 +128,8 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// Opens (creating if absent) a registry rooted at `root`.
+    /// Opens (creating if absent) a registry rooted at `root`, running the
+    /// crash-recovery sweep ([`Registry::recover`]) before returning.
     ///
     /// # Errors
     ///
@@ -90,7 +138,9 @@ impl Registry {
         let root = root.into();
         fs::create_dir_all(&root)
             .map_err(|e| format!("cannot create registry root {}: {e}", root.display()))?;
-        Ok(Registry { root })
+        let registry = Registry { root };
+        let _ = registry.recover();
+        Ok(registry)
     }
 
     /// The registry's root directory.
@@ -100,6 +150,56 @@ impl Registry {
 
     fn version_path(&self, corpus: &str, version: u32) -> PathBuf {
         self.root.join(corpus).join(format!("v{version}.json"))
+    }
+
+    fn pins_path(&self, corpus: &str) -> PathBuf {
+        self.root.join(corpus).join("pins.json")
+    }
+
+    /// Crash-recovery sweep: deletes orphaned write-staging `*.tmp` files
+    /// in every corpus directory and quarantines version files that fail
+    /// envelope verification (bit rot, truncation, format skew), so
+    /// [`Registry::latest_version`] rolls back to the newest intact
+    /// snapshot. Pre-envelope plain-JSON files are left for [`load`] to
+    /// verify. Never fails — recovery is best-effort by design.
+    ///
+    /// [`load`]: Registry::load
+    pub fn recover(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return report;
+        };
+        for entry in entries.flatten() {
+            if !entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                continue;
+            }
+            let corpus_dir = entry.path();
+            report.removed_tmps += envelope::sweep_orphan_tmps(&corpus_dir);
+            let Ok(files) = fs::read_dir(&corpus_dir) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let name = file.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if parse_version_file(name).is_none() {
+                    continue;
+                }
+                let path = file.path();
+                let Ok(bytes) = fs::read(&path) else { continue };
+                match envelope::decode_envelope(&bytes, kind::SNAPSHOT) {
+                    Ok(_) => {}
+                    // Legacy plain JSON: verified (and quarantined if
+                    // corrupt) on load, not here.
+                    Err(EnvelopeError::NotAnEnvelope) => {}
+                    Err(_) => {
+                        if let Ok(dest) = quarantine_file(&path) {
+                            report.quarantined.push(dest);
+                        }
+                    }
+                }
+            }
+        }
+        report
     }
 
     /// Registered corpus names, sorted.
@@ -130,11 +230,7 @@ impl Registry {
             for entry in entries.flatten() {
                 let name = entry.file_name();
                 let Some(name) = name.to_str() else { continue };
-                if let Some(v) = name
-                    .strip_prefix('v')
-                    .and_then(|rest| rest.strip_suffix(".json"))
-                    .and_then(|digits| digits.parse::<u32>().ok())
-                {
+                if let Some(v) = parse_version_file(name) {
                     versions.push(v);
                 }
             }
@@ -148,7 +244,10 @@ impl Registry {
         self.versions(corpus).into_iter().next_back()
     }
 
-    /// Persists a snapshot as `corpus@v{snapshot.version}`.
+    /// Persists a snapshot as `corpus@v{snapshot.version}`, durably: the
+    /// envelope-wrapped body is fsync'd to a temp file, published with
+    /// create-new semantics (two racing writers cannot both mint the same
+    /// version), and the directory entry is fsync'd.
     ///
     /// # Errors
     ///
@@ -156,48 +255,100 @@ impl Registry {
     /// on I/O failure; a failed write leaves no partial file behind.
     pub fn save(&self, snapshot: &Snapshot) -> Result<PathBuf, String> {
         let path = self.version_path(&snapshot.corpus, snapshot.version);
-        if path.exists() {
-            return Err(format!(
-                "{} already exists: snapshots are immutable, bump the version instead",
-                snapshot.reference()
-            ));
-        }
         let dir = self.root.join(&snapshot.corpus);
         fs::create_dir_all(&dir)
             .map_err(|e| format!("cannot create corpus dir {}: {e}", dir.display()))?;
         let body = serde_json::to_vec_pretty(snapshot)
             .map_err(|e| format!("cannot serialize snapshot: {e}"))?;
-        let tmp = dir.join(format!(".v{}.json.tmp", snapshot.version));
-        {
-            let mut f = fs::File::create(&tmp)
-                .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-            f.write_all(&body)
-                .and_then(|()| f.sync_all())
-                .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        match write_envelope(&path, kind::SNAPSHOT, &body, Publish::CreateNew) {
+            Ok(()) => Ok(path),
+            Err(EnvelopeError::AlreadyExists) => Err(format!(
+                "{} already exists: snapshots are immutable, bump the version instead",
+                snapshot.reference()
+            )),
+            Err(e) => Err(format!("cannot save {}: {e}", snapshot.reference())),
         }
-        fs::rename(&tmp, &path).map_err(|e| {
-            let _ = fs::remove_file(&tmp);
-            format!("cannot publish {}: {e}", path.display())
-        })?;
-        Ok(path)
     }
 
-    /// Loads `corpus@v{version}`.
+    /// Persists `snapshot` at the next free version of its corpus,
+    /// retrying past concurrent writers: on a lost publish race the
+    /// version is bumped and the save retried, so two `tabby snapshot`
+    /// processes registering simultaneously mint distinct versions.
+    /// `snapshot.version` is updated to the version actually minted
+    /// (always ≥ its value on entry).
     ///
     /// # Errors
     ///
-    /// Errors when the snapshot is missing, unreadable, or written by an
-    /// incompatible format version.
+    /// Errors on I/O or serialization failure, or when the retry budget is
+    /// exhausted (pathological: dozens of concurrent writers).
+    pub fn save_next(&self, snapshot: &mut Snapshot) -> Result<PathBuf, String> {
+        let floor = snapshot.version.max(1);
+        let next = self
+            .latest_version(&snapshot.corpus)
+            .map_or(floor, |latest| floor.max(latest + 1));
+        snapshot.version = next;
+        for _ in 0..64 {
+            match self.save(snapshot) {
+                Ok(path) => return Ok(path),
+                Err(e) if e.contains("immutable") => {
+                    snapshot.version += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(format!(
+            "cannot register {}: lost the publish race 64 times",
+            snapshot.corpus
+        ))
+    }
+
+    /// Loads `corpus@v{version}`, verifying the envelope. A snapshot that
+    /// fails verification is quarantined (moved to the corpus's
+    /// `quarantine/` directory) so it is never served and never considered
+    /// by [`Registry::latest_version`] again. Pre-envelope plain-JSON
+    /// snapshots load transparently.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the snapshot is missing, corrupt (naming the quarantine
+    /// location), or written by an incompatible format version.
     pub fn load(&self, corpus: &str, version: u32) -> Result<Snapshot, String> {
         let path = self.version_path(corpus, version);
-        let body = fs::read(&path).map_err(|e| {
-            format!(
-                "no snapshot {corpus}@v{version} in {}: {e}",
-                self.root.display()
-            )
-        })?;
-        let snapshot: Snapshot = serde_json::from_slice(&body)
-            .map_err(|e| format!("corrupt snapshot {}: {e}", path.display()))?;
+        let body = match read_envelope(&path, kind::SNAPSHOT) {
+            Ok(payload) => payload,
+            Err(EnvelopeError::Missing) => {
+                return Err(format!(
+                    "no snapshot {corpus}@v{version} in {}",
+                    self.root.display()
+                ));
+            }
+            Err(EnvelopeError::NotAnEnvelope) => {
+                fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?
+            }
+            Err(e) if e.is_corruption() => {
+                let where_to = quarantine_file(&path)
+                    .map(|dest| format!("quarantined at {}", dest.display()))
+                    .unwrap_or_else(|q| q);
+                return Err(format!(
+                    "corrupt snapshot {corpus}@v{version} ({e}); {where_to}"
+                ));
+            }
+            Err(e) => {
+                return Err(format!("cannot read {}: {e}", path.display()));
+            }
+        };
+        let snapshot: Snapshot = match serde_json::from_slice(&body) {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                let where_to = quarantine_file(&path)
+                    .map(|dest| format!("quarantined at {}", dest.display()))
+                    .unwrap_or_else(|q| q);
+                return Err(format!(
+                    "corrupt snapshot {}: {e}; {where_to}",
+                    path.display()
+                ));
+            }
+        };
         if snapshot.format != SNAPSHOT_FORMAT {
             return Err(format!(
                 "snapshot {} has format v{}, this build reads v{}",
@@ -228,6 +379,128 @@ impl Registry {
         };
         self.load(&reference.corpus, version)
     }
+
+    // ----- pins -------------------------------------------------------------
+
+    /// Pinned (GC-exempt) versions of `corpus`, ascending.
+    pub fn pinned(&self, corpus: &str) -> Vec<u32> {
+        let path = self.pins_path(corpus);
+        let body = match read_envelope(&path, kind::PINS) {
+            Ok(payload) => payload,
+            Err(EnvelopeError::NotAnEnvelope) => match fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(_) => return Vec::new(),
+            },
+            Err(_) => return Vec::new(),
+        };
+        let mut pins: Vec<u32> = serde_json::from_slice(&body).unwrap_or_default();
+        pins.sort_unstable();
+        pins.dedup();
+        pins
+    }
+
+    fn write_pins(&self, corpus: &str, pins: &[u32]) -> Result<(), String> {
+        let dir = self.root.join(corpus);
+        fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create corpus dir {}: {e}", dir.display()))?;
+        let body = serde_json::to_vec(pins).map_err(|e| format!("cannot serialize pins: {e}"))?;
+        write_envelope(
+            &self.pins_path(corpus),
+            kind::PINS,
+            &body,
+            Publish::Overwrite,
+        )
+        .map_err(|e| format!("cannot write pins for {corpus}: {e}"))
+    }
+
+    /// Pins `corpus@v{version}`: [`Registry::gc`] will never remove it.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the version is not registered or the pin list cannot be
+    /// written.
+    pub fn pin(&self, corpus: &str, version: u32) -> Result<(), String> {
+        if !self.versions(corpus).contains(&version) {
+            return Err(format!("cannot pin {corpus}@v{version}: not registered"));
+        }
+        let mut pins = self.pinned(corpus);
+        if !pins.contains(&version) {
+            pins.push(version);
+            pins.sort_unstable();
+            self.write_pins(corpus, &pins)?;
+        }
+        Ok(())
+    }
+
+    /// Removes a pin; a no-op when the version was not pinned.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the pin list cannot be written.
+    pub fn unpin(&self, corpus: &str, version: u32) -> Result<(), String> {
+        let mut pins = self.pinned(corpus);
+        let before = pins.len();
+        pins.retain(|&v| v != version);
+        if pins.len() != before {
+            self.write_pins(corpus, &pins)?;
+        }
+        Ok(())
+    }
+
+    // ----- size-budget GC ---------------------------------------------------
+
+    /// Removes the oldest unprotected snapshots until the registry's
+    /// version files fit `policy.budget_bytes`. Protected and never
+    /// removed: the newest `policy.keep_latest` versions of every corpus,
+    /// and every pinned version. Candidates are removed oldest first (by
+    /// file modification time, then reference).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message if the root cannot be listed.
+    pub fn gc(&self, policy: &GcPolicy) -> Result<GcReport, String> {
+        let mut report = GcReport::default();
+        let mut candidates: Vec<(std::time::SystemTime, String, u32, u64, PathBuf)> = Vec::new();
+        let mut total: u64 = 0;
+        for corpus in self.corpora()? {
+            let versions = self.versions(&corpus);
+            let keep_from = versions.len().saturating_sub(policy.keep_latest.max(1));
+            let protected: Vec<u32> = versions[keep_from..].to_vec();
+            let pinned = self.pinned(&corpus);
+            for &v in &versions {
+                let path = self.version_path(&corpus, v);
+                let Ok(meta) = fs::metadata(&path) else {
+                    continue;
+                };
+                total += meta.len();
+                if protected.contains(&v) || pinned.contains(&v) {
+                    continue;
+                }
+                let modified = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                candidates.push((modified, corpus.clone(), v, meta.len(), path));
+            }
+        }
+        candidates.sort();
+        for (_, corpus, version, len, path) in candidates {
+            if total <= policy.budget_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                report.bytes_freed += len;
+                report.removed.push(format!("{corpus}@v{version}"));
+            }
+        }
+        report.bytes_kept = total;
+        Ok(report)
+    }
+}
+
+/// Parses `v<N>.json` file names to their version number.
+fn parse_version_file(name: &str) -> Option<u32> {
+    name.strip_prefix('v')
+        .and_then(|rest| rest.strip_suffix(".json"))
+        .and_then(|digits| digits.parse::<u32>().ok())
 }
 
 #[cfg(test)]
@@ -235,7 +508,11 @@ mod tests {
     use super::*;
 
     fn temp_root(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("tabby-registry-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!(
+            "tabby-registry-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -310,6 +587,20 @@ mod tests {
     }
 
     #[test]
+    fn save_next_skips_past_taken_versions() {
+        let root = temp_root("savenext");
+        let reg = Registry::open(&root).expect("open");
+        reg.save(&sample("demo", 1)).expect("save v1");
+        reg.save(&sample("demo", 2)).expect("save v2");
+        let mut racing = sample("demo", 1);
+        let path = reg.save_next(&mut racing).expect("save_next");
+        assert_eq!(racing.version, 3, "advances past both registered versions");
+        assert!(path.ends_with("demo/v3.json"), "{}", path.display());
+        assert_eq!(reg.latest_version("demo"), Some(3));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn missing_and_format_mismatched_snapshots_error() {
         let root = temp_root("missing");
         let reg = Registry::open(&root).expect("open");
@@ -319,6 +610,103 @@ mod tests {
         reg.save(&future).expect("save");
         let err = reg.load("demo", 1).expect_err("format mismatch must fail");
         assert!(err.contains("format"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn legacy_plain_json_snapshots_still_load() {
+        let root = temp_root("legacy");
+        let reg = Registry::open(&root).expect("open");
+        let dir = root.join("demo");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let body = serde_json::to_vec_pretty(&sample("demo", 1)).expect("serialize");
+        fs::write(dir.join("v1.json"), body).expect("write legacy");
+        let loaded = reg.load("demo", 1).expect("legacy load");
+        assert_eq!(loaded.reference(), "demo@v1");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined_and_latest_rolls_back() {
+        let root = temp_root("rollback");
+        let reg = Registry::open(&root).expect("open");
+        reg.save(&sample("demo", 1)).expect("save v1");
+        reg.save(&sample("demo", 2)).expect("save v2");
+        // Bit-rot v2 on disk.
+        let v2 = root.join("demo").join("v2.json");
+        let mut raw = fs::read(&v2).expect("read v2");
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        fs::write(&v2, &raw).expect("re-write corrupted");
+
+        // Re-open: the recovery sweep quarantines it and v1 is latest again.
+        let reg = Registry::open(&root).expect("re-open");
+        assert_eq!(reg.latest_version("demo"), Some(1));
+        assert!(!v2.exists(), "corrupt version moved out of the corpus");
+        assert!(
+            root.join("demo")
+                .join(envelope::QUARANTINE_DIR)
+                .join("v2.json")
+                .exists(),
+            "corrupt version lands in quarantine/"
+        );
+        // v1 is intact and still served.
+        assert_eq!(reg.load("demo", 1).expect("load v1").version, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recovery_sweep_deletes_orphaned_tmps() {
+        let root = temp_root("tmps");
+        let reg = Registry::open(&root).expect("open");
+        reg.save(&sample("demo", 1)).expect("save");
+        let orphan = root.join("demo").join(".v2.json.tmp");
+        fs::write(&orphan, b"half a snapshot").expect("write orphan");
+        let report = reg.recover();
+        assert_eq!(report.removed_tmps, 1);
+        assert!(!orphan.exists());
+        assert_eq!(reg.latest_version("demo"), Some(1));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_keeps_latest_and_pinned_versions() {
+        let root = temp_root("gc");
+        let reg = Registry::open(&root).expect("open");
+        for v in 1..=5 {
+            reg.save(&sample("demo", v)).expect("save");
+        }
+        reg.pin("demo", 2).expect("pin v2");
+        let report = reg
+            .gc(&GcPolicy {
+                budget_bytes: 0,
+                keep_latest: 1,
+            })
+            .expect("gc");
+        assert_eq!(
+            report.removed,
+            vec![
+                "demo@v1".to_owned(),
+                "demo@v3".to_owned(),
+                "demo@v4".to_owned()
+            ],
+            "pinned v2 and latest v5 survive a zero budget"
+        );
+        assert_eq!(reg.versions("demo"), vec![2, 5]);
+        assert!(report.bytes_freed > 0);
+        assert!(report.bytes_kept > 0);
+        // Pinning an unknown version is refused.
+        assert!(reg.pin("demo", 9).is_err());
+        // Unpinning frees it for the next sweep.
+        reg.unpin("demo", 2).expect("unpin");
+        let report = reg
+            .gc(&GcPolicy {
+                budget_bytes: 0,
+                keep_latest: 1,
+            })
+            .expect("gc again");
+        assert_eq!(report.removed, vec!["demo@v2".to_owned()]);
+        assert_eq!(reg.versions("demo"), vec![5]);
         let _ = fs::remove_dir_all(&root);
     }
 }

@@ -18,17 +18,29 @@
 //! set, used to re-summarize only changed classes and their
 //! reverse-dependency cone (see `engine`).
 //!
-//! Chain sets and CPGs persist to `cache_dir` (when configured) as JSON:
-//! `chains/<key>.json` and `cpgs/<key>.json`, written atomically via a
-//! temp file + rename. Per-class IR and method summaries are memory-only —
+//! Chain sets and CPGs persist to `cache_dir` (when configured) inside the
+//! crash-safe checksummed envelope (`tabby_core::envelope`): JSON payloads
+//! at `chains/<key>.tbe` and `cpgs/<key>.tbe`, written durably via an
+//! fsync'd temp file + rename. Reads verify the envelope; anything that
+//! fails verification is moved into a `quarantine/` sibling directory,
+//! recorded as an [`ArtifactFault`], and treated as a miss — corruption is
+//! recomputed, never served. Legacy pre-envelope `<key>.json` files are
+//! still readable. Per-class IR and method summaries are memory-only —
 //! they embed interner symbols that are only meaningful within the owning
 //! daemon process.
+//!
+//! When a disk size budget is set, each persist is followed by an
+//! oldest-first sweep of the `chains/` and `cpgs/` files until the cache
+//! directory fits the budget again.
 
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use tabby_core::{MethodSummary, ScanDiagnostics};
+use tabby_core::envelope::{
+    self, kind, quarantine_file, read_envelope, write_envelope, EnvelopeError, Publish,
+};
+use tabby_core::{ArtifactFault, ArtifactFaultKind, MethodSummary, ScanDiagnostics};
 use tabby_graph::Graph;
 use tabby_ir::{Class, Interner, MethodId, Symbol};
 use tabby_pathfinder::GadgetChain;
@@ -103,6 +115,11 @@ pub struct ScanCache {
     components_order: VecDeque<u64>,
     dir: Option<PathBuf>,
     capacity: usize,
+    disk_budget: Option<u64>,
+    faults: Vec<ArtifactFault>,
+    quarantined_total: u64,
+    write_failures_total: u64,
+    disk_evictions_total: u64,
 }
 
 impl ScanCache {
@@ -110,12 +127,18 @@ impl ScanCache {
     /// entries get 1024× that), persisting job-level entries under `dir`
     /// when given. The directory (with its `chains/` and `cpgs/`
     /// subdirectories) is created eagerly; creation failure disables
-    /// persistence rather than failing the daemon.
+    /// persistence rather than failing the daemon. Opening also runs a
+    /// crash-recovery sweep: orphaned write-staging `*.tmp` files left by
+    /// a killed process are deleted.
     pub fn new(dir: Option<PathBuf>, capacity: usize) -> Self {
         let dir = dir.filter(|d| {
             std::fs::create_dir_all(d.join("chains")).is_ok()
                 && std::fs::create_dir_all(d.join("cpgs")).is_ok()
         });
+        if let Some(d) = &dir {
+            envelope::sweep_orphan_tmps(&d.join("chains"));
+            envelope::sweep_orphan_tmps(&d.join("cpgs"));
+        }
         ScanCache {
             interner: Interner::default(),
             classes: HashMap::new(),
@@ -128,7 +151,70 @@ impl ScanCache {
             components_order: VecDeque::new(),
             dir,
             capacity: capacity.max(1),
+            disk_budget: None,
+            faults: Vec::new(),
+            quarantined_total: 0,
+            write_failures_total: 0,
+            disk_evictions_total: 0,
         }
+    }
+
+    /// Sets (or clears) the on-disk size budget in bytes. When set, every
+    /// persist is followed by an oldest-first eviction sweep over the
+    /// `chains/` and `cpgs/` files until the total fits the budget.
+    pub fn set_disk_budget(&mut self, budget_bytes: Option<u64>) {
+        self.disk_budget = budget_bytes;
+    }
+
+    /// Drains the artifact faults (quarantines, failed writes) recorded
+    /// since the last drain. The engine folds these into the current job's
+    /// [`ScanDiagnostics`] while holding the cache lock, so faults are
+    /// attributed to the job whose cache traffic caused them.
+    pub fn take_artifact_faults(&mut self) -> Vec<ArtifactFault> {
+        std::mem::take(&mut self.faults)
+    }
+
+    /// Total corrupt artifacts quarantined since this cache was opened.
+    pub fn artifacts_quarantined(&self) -> u64 {
+        self.quarantined_total
+    }
+
+    /// Total failed artifact writes since this cache was opened.
+    pub fn artifact_write_failures(&self) -> u64 {
+        self.write_failures_total
+    }
+
+    /// Total files evicted from disk by the size budget.
+    pub fn disk_evictions(&self) -> u64 {
+        self.disk_evictions_total
+    }
+
+    fn record_fault(&mut self, path: &Path, fault_kind: ArtifactFaultKind, detail: String) {
+        match fault_kind {
+            ArtifactFaultKind::Quarantined => self.quarantined_total += 1,
+            ArtifactFaultKind::WriteFailed => self.write_failures_total += 1,
+        }
+        // Bounded so an endlessly failing disk cannot grow the daemon.
+        if self.faults.len() < 256 {
+            self.faults.push(ArtifactFault {
+                path: path.display().to_string(),
+                kind: fault_kind,
+                detail,
+            });
+        }
+    }
+
+    /// Quarantines `path` and records the fault. The file is moved (or,
+    /// failing that, removed), so the same corrupt artifact is never seen
+    /// — and never re-quarantined — on a later read: the next persist
+    /// writes a fresh valid envelope at the original path.
+    fn quarantine(&mut self, path: &Path, detail: String) {
+        let outcome = quarantine_file(path);
+        let detail = match outcome {
+            Ok(dest) => format!("{detail}; moved to {}", dest.display()),
+            Err(e) => format!("{detail}; {e}"),
+        };
+        self.record_fault(path, ArtifactFaultKind::Quarantined, detail);
     }
 
     /// A snapshot of the shared interner. Append-only, so symbols interned
@@ -167,33 +253,72 @@ impl ScanCache {
     // ----- level 2: chains + CPGs ------------------------------------------
 
     /// Looks up a cached chain set (with its diagnostics), falling back to
-    /// disk. Disk entries written before diagnostics existed (a bare chain
-    /// array) load as clean scans.
+    /// disk. The envelope is verified on the way in: a corrupt file is
+    /// quarantined, recorded as an [`ArtifactFault`], and reported as a
+    /// miss so the engine recomputes. Legacy pre-envelope `<key>.json`
+    /// entries (including the oldest bare-chain-array form) still load.
     pub fn get_chains(&mut self, key: u64) -> Option<CachedChains> {
         if let Some(c) = self.chains.get(&key) {
             return Some(c.clone());
         }
-        let path = self.dir.as_ref()?.join("chains").join(file_name(key));
-        let bytes = std::fs::read(path).ok()?;
-        let entry: CachedChains = serde_json::from_slice(&bytes)
-            .or_else(|_| {
-                serde_json::from_slice::<Vec<GadgetChain>>(&bytes).map(|chains| CachedChains {
-                    chains,
-                    diagnostics: ScanDiagnostics::default(),
-                })
-            })
-            .ok()?;
+        let dir = self.dir.clone()?;
+        let path = dir.join("chains").join(envelope_file_name(key));
+        let payload = match read_envelope(&path, kind::CHAINS) {
+            Ok(payload) => Some(payload),
+            Err(EnvelopeError::Missing) => None,
+            Err(e) if e.is_corruption() => {
+                self.quarantine(&path, e.to_string());
+                None
+            }
+            Err(_) => None, // transient read failure: treat as a miss
+        };
+        let entry: CachedChains = match payload {
+            Some(payload) => match serde_json::from_slice(&payload) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    // Checksum held but the payload does not parse: a blob
+                    // from a build with an incompatible schema.
+                    self.quarantine(&path, format!("unparseable payload: {e}"));
+                    return None;
+                }
+            },
+            None => {
+                // Legacy pre-envelope file, kept readable for caches
+                // written by older builds.
+                let legacy = dir.join("chains").join(legacy_file_name(key));
+                let bytes = std::fs::read(&legacy).ok()?;
+                match serde_json::from_slice(&bytes).or_else(|_| {
+                    serde_json::from_slice::<Vec<GadgetChain>>(&bytes).map(|chains| CachedChains {
+                        chains,
+                        diagnostics: ScanDiagnostics::default(),
+                    })
+                }) {
+                    Ok(entry) => entry,
+                    Err(e) => {
+                        self.quarantine(&legacy, format!("unparseable legacy entry: {e}"));
+                        return None;
+                    }
+                }
+            }
+        };
         self.insert_chains_mem(key, entry.clone());
         Some(entry)
     }
 
-    /// Caches a chain set in memory and (best-effort) on disk.
+    /// Caches a chain set in memory and on disk. The disk write is durable
+    /// (checksummed envelope, fsync'd temp + rename) but still best-effort:
+    /// a failure is recorded as an [`ArtifactFault`] diagnostic instead of
+    /// failing the job, and leaves no temp debris behind.
     pub fn put_chains(&mut self, key: u64, entry: &CachedChains) {
         self.insert_chains_mem(key, entry.clone());
-        if let Some(dir) = &self.dir {
+        if let Some(dir) = self.dir.clone() {
             if let Ok(bytes) = serde_json::to_vec(entry) {
-                write_atomic(&dir.join("chains").join(file_name(key)), &bytes);
+                let path = dir.join("chains").join(envelope_file_name(key));
+                if let Err(e) = write_envelope(&path, kind::CHAINS, &bytes, Publish::Overwrite) {
+                    self.record_fault(&path, ArtifactFaultKind::WriteFailed, e.to_string());
+                }
             }
+            self.enforce_disk_budget();
         }
     }
 
@@ -211,26 +336,51 @@ impl ScanCache {
     }
 
     /// Looks up a cached CPG, falling back to disk (rebuilding the graph's
-    /// transient state after deserialization).
+    /// transient state after deserialization). Envelope verification and
+    /// quarantine mirror [`ScanCache::get_chains`]; legacy `<key>.json`
+    /// files still load.
     pub fn get_cpg(&mut self, key: u64) -> Option<Arc<CachedCpg>> {
         if let Some(c) = self.cpgs.get(&key) {
             return Some(Arc::clone(c));
         }
-        let path = self.dir.as_ref()?.join("cpgs").join(file_name(key));
-        let bytes = std::fs::read(path).ok()?;
-        let mut cached: CachedCpg = serde_json::from_slice(&bytes).ok()?;
+        let dir = self.dir.clone()?;
+        let path = dir.join("cpgs").join(envelope_file_name(key));
+        let (bytes, src) = match read_envelope(&path, kind::CPG) {
+            Ok(payload) => (payload, path),
+            Err(EnvelopeError::Missing) => {
+                let legacy = dir.join("cpgs").join(legacy_file_name(key));
+                (std::fs::read(&legacy).ok()?, legacy)
+            }
+            Err(e) if e.is_corruption() => {
+                self.quarantine(&path, e.to_string());
+                return None;
+            }
+            Err(_) => return None,
+        };
+        let mut cached: CachedCpg = match serde_json::from_slice(&bytes) {
+            Ok(cached) => cached,
+            Err(e) => {
+                self.quarantine(&src, format!("unparseable payload: {e}"));
+                return None;
+            }
+        };
         cached.graph.rebuild_after_deserialize();
         let cached = Arc::new(cached);
         self.insert_cpg_mem(key, Arc::clone(&cached));
         Some(cached)
     }
 
-    /// Caches an assembled CPG in memory and (best-effort) on disk.
+    /// Caches an assembled CPG in memory and on disk (durable envelope
+    /// write; failures become [`ArtifactFault`] diagnostics).
     pub fn put_cpg(&mut self, key: u64, cpg: Arc<CachedCpg>) {
-        if let Some(dir) = &self.dir {
+        if let Some(dir) = self.dir.clone() {
             if let Ok(bytes) = serde_json::to_vec(cpg.as_ref()) {
-                write_atomic(&dir.join("cpgs").join(file_name(key)), &bytes);
+                let path = dir.join("cpgs").join(envelope_file_name(key));
+                if let Err(e) = write_envelope(&path, kind::CPG, &bytes, Publish::Overwrite) {
+                    self.record_fault(&path, ArtifactFaultKind::WriteFailed, e.to_string());
+                }
             }
+            self.enforce_disk_budget();
         }
         self.insert_cpg_mem(key, cpg);
     }
@@ -285,20 +435,56 @@ impl ScanCache {
     pub fn cached_cpgs(&self) -> usize {
         self.cpgs.len()
     }
-}
 
-fn file_name(key: u64) -> String {
-    format!("{key:016x}.json")
-}
+    // ----- disk size budget -------------------------------------------------
 
-/// Best-effort atomic write: temp file in the same directory, then rename.
-/// Concurrent writers of the same key write identical content (the key is
-/// a content hash), so the race is benign.
-fn write_atomic(path: &std::path::Path, bytes: &[u8]) {
-    let tmp = path.with_extension("json.tmp");
-    if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_err() {
-        let _ = std::fs::remove_file(&tmp);
+    /// Evicts persisted artifacts, oldest first (by modification time),
+    /// until the `chains/` + `cpgs/` files fit the configured budget.
+    /// Quarantined files are not part of the budget — they are debris for
+    /// a human to inspect, already off the serving path.
+    fn enforce_disk_budget(&mut self) {
+        let (Some(budget), Some(dir)) = (self.disk_budget, self.dir.clone()) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        let mut total: u64 = 0;
+        for sub in ["chains", "cpgs"] {
+            let Ok(entries) = std::fs::read_dir(dir.join(sub)) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let Ok(meta) = entry.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                let modified = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                total += meta.len();
+                files.push((modified, meta.len(), entry.path()));
+            }
+        }
+        if total <= budget {
+            return;
+        }
+        files.sort();
+        for (_, len, path) in files {
+            if total <= budget {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.disk_evictions_total += 1;
+            }
+        }
     }
+}
+
+fn envelope_file_name(key: u64) -> String {
+    format!("{key:016x}.tbe")
+}
+
+/// Pre-envelope cache files: plain JSON, still readable.
+fn legacy_file_name(key: u64) -> String {
+    format!("{key:016x}.json")
 }
 
 #[cfg(test)]
@@ -366,12 +552,132 @@ mod tests {
         std::fs::create_dir_all(dir.join("chains")).unwrap();
         // Simulate a pre-diagnostics cache file: a bare chain array.
         let legacy = serde_json::to_vec(&chain("old").chains).unwrap();
-        std::fs::write(dir.join("chains").join(super::file_name(9)), legacy).unwrap();
+        std::fs::write(dir.join("chains").join(super::legacy_file_name(9)), legacy).unwrap();
         let mut cache = ScanCache::new(Some(dir.clone()), 4);
         let got = cache.get_chains(9).expect("legacy entry still loads");
         assert_eq!(got.chains[0].signatures, vec!["old".to_owned()]);
         assert!(!got.diagnostics.is_degraded());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn temp_cache_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tabby-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_entries_are_enveloped_and_verified() {
+        let dir = temp_cache_dir("envelope");
+        {
+            let mut cache = ScanCache::new(Some(dir.clone()), 4);
+            cache.put_chains(11, &chain("wrapped"));
+            assert!(cache.take_artifact_faults().is_empty(), "clean write");
+        }
+        let path = dir.join("chains").join(super::envelope_file_name(11));
+        let raw = std::fs::read(&path).expect("envelope file on disk");
+        assert_eq!(&raw[..4], b"TBE\0", "file carries the envelope magic");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_quarantines_exactly_once() {
+        let dir = temp_cache_dir("corrupt");
+        {
+            let mut cache = ScanCache::new(Some(dir.clone()), 4);
+            cache.put_chains(13, &chain("victim"));
+        }
+        // Flip one payload bit on disk.
+        let path = dir.join("chains").join(super::envelope_file_name(13));
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x20;
+        std::fs::write(&path, &raw).unwrap();
+
+        let mut fresh = ScanCache::new(Some(dir.clone()), 4);
+        assert!(
+            fresh.get_chains(13).is_none(),
+            "corruption must read as a miss, never be served"
+        );
+        let faults = fresh.take_artifact_faults();
+        assert_eq!(faults.len(), 1, "{faults:?}");
+        assert_eq!(faults[0].kind, ArtifactFaultKind::Quarantined);
+        assert!(!path.exists(), "corrupt file moved out of the way");
+        assert!(
+            dir.join("chains")
+                .join(envelope::QUARANTINE_DIR)
+                .join(super::envelope_file_name(13))
+                .exists(),
+            "corrupt file lands in quarantine/"
+        );
+        assert_eq!(fresh.artifacts_quarantined(), 1);
+
+        // The second read is a plain miss: nothing left to quarantine.
+        assert!(fresh.get_chains(13).is_none());
+        assert!(fresh.take_artifact_faults().is_empty(), "quarantined once");
+        assert_eq!(fresh.artifacts_quarantined(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_disk_write_surfaces_as_diagnostic_without_debris() {
+        let dir = temp_cache_dir("writefail");
+        let mut cache = ScanCache::new(Some(dir.clone()), 4);
+        envelope::inject_write_fault(&dir.to_string_lossy(), envelope::Fault::Enospc);
+        cache.put_chains(17, &chain("unwritten"));
+        let faults = cache.take_artifact_faults();
+        assert_eq!(faults.len(), 1, "{faults:?}");
+        assert_eq!(faults[0].kind, ArtifactFaultKind::WriteFailed);
+        assert!(faults[0].detail.contains("No space left"), "{faults:?}");
+        // The in-memory entry is unaffected; no temp debris on disk.
+        assert!(cache.get_chains(17).is_some());
+        assert_eq!(envelope::sweep_orphan_tmps(&dir.join("chains")), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_write_staging_tmps() {
+        let dir = temp_cache_dir("sweep");
+        std::fs::create_dir_all(dir.join("chains")).unwrap();
+        std::fs::create_dir_all(dir.join("cpgs")).unwrap();
+        let orphan = dir.join("chains").join(".deadbeef.tbe.1-1.tmp");
+        std::fs::write(&orphan, b"partial").unwrap();
+        let _ = ScanCache::new(Some(dir.clone()), 4);
+        assert!(!orphan.exists(), "open must clean up crash debris");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_budget_evicts_oldest_artifacts() {
+        let dir = temp_cache_dir("budget");
+        let mut cache = ScanCache::new(Some(dir.clone()), 64);
+        cache.set_disk_budget(Some(1)); // pathological: nothing fits
+        cache.put_chains(1, &chain("a"));
+        cache.put_chains(2, &chain("b"));
+        assert!(cache.disk_evictions() >= 1, "budget must evict");
+        let remaining: u64 = std::fs::read_dir(dir.join("chains"))
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.metadata().ok())
+            .filter(|m| m.is_file())
+            .map(|m| m.len())
+            .sum();
+        assert!(
+            remaining <= chain_file_upper_bound(),
+            "at most one artifact can linger right after its own write"
+        );
+        // Memory serving is unaffected by disk eviction.
+        assert!(cache.get_chains(1).is_some());
+        assert!(cache.get_chains(2).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn chain_file_upper_bound() -> u64 {
+        4096
     }
 
     #[test]

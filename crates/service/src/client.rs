@@ -269,15 +269,19 @@ fn transient_transport_error(err: &str) -> bool {
     err.starts_with("connect ")
 }
 
-/// Whether a daemon reply is a transient rejection (the queue was full —
-/// capacity frees up as workers drain jobs).
+/// Whether a daemon reply is a transient rejection worth backing off on:
+/// any reply with the v4 `busy` flag (full queue, per-client cap), plus
+/// the exact `"queue full"` error text older daemons send without it.
 fn transient_rejection(resp: &Response) -> bool {
-    !resp.ok && resp.error.as_deref() == Some("queue full")
+    !resp.ok && (resp.busy || resp.error.as_deref() == Some("queue full"))
 }
 
 /// Like [`submit`], but retries transient failures — connection refused
-/// and `"queue full"` rejections — under the given policy. Everything else
-/// returns on the first attempt.
+/// and `busy`/`"queue full"` rejections — under the given policy. When a
+/// busy reply carries a `retry_after_ms` hint, the client sleeps at least
+/// that long (plus jitter) before retrying, even if the policy's own
+/// backoff is shorter; the daemon knows its queue better than we do.
+/// Everything else returns on the first attempt.
 ///
 /// # Errors
 ///
@@ -291,13 +295,20 @@ pub fn submit_with_retry(
 ) -> Result<Response, String> {
     let attempts = policy.attempts.max(1);
     let mut last_err = String::new();
+    let mut retry_after: Option<Duration> = None;
     for attempt in 1..=attempts {
         if attempt > 1 {
-            std::thread::sleep(policy.delay(attempt - 1));
+            let mut delay = policy.delay(attempt - 1);
+            if let Some(hinted) = retry_after.take() {
+                let hinted = hinted + jitter(hinted / 4);
+                delay = delay.max(hinted);
+            }
+            std::thread::sleep(delay);
         }
         match submit(addr, paths.clone(), options.clone()) {
             Ok(resp) if transient_rejection(&resp) && attempt < attempts => {
-                last_err = "queue full".to_owned();
+                retry_after = resp.retry_after_ms.map(Duration::from_millis);
+                last_err = resp.error.unwrap_or_else(|| "busy".to_owned());
             }
             Ok(resp) => return Ok(resp),
             Err(e) if transient_transport_error(&e) && attempt < attempts => {
@@ -336,6 +347,11 @@ mod tests {
         ));
         assert!(!transient_transport_error("read reply: broken pipe"));
         assert!(transient_rejection(&Response::failure(None, "queue full")));
+        assert!(transient_rejection(&Response::busy(
+            None,
+            "client has 8 jobs in flight",
+            250
+        )));
         assert!(!transient_rejection(&Response::failure(None, "bad path")));
         assert!(!transient_rejection(&Response::ack(None)));
     }

@@ -23,8 +23,9 @@ use crate::protocol::{
 };
 use crate::signal;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -67,6 +68,17 @@ pub struct ServiceConfig {
     /// How often the watch thread re-fingerprints registered corpora
     /// (metadata only — no bytes are read until a change is seen).
     pub watch_poll: Duration,
+    /// Per-client (peer IP) cap on jobs simultaneously queued or running;
+    /// submissions beyond it get a `busy` rejection so one greedy client
+    /// cannot monopolize the queue. Watch-thread jobs are exempt.
+    pub per_client_inflight: usize,
+    /// Size budget in bytes for the on-disk artifact cache (`None` means
+    /// unbounded); oldest entries are evicted once the total exceeds it.
+    pub cache_budget_bytes: Option<u64>,
+    /// Size budget in bytes for snapshot registries written by diff jobs
+    /// (`None` means unbounded); enforced after each snapshot save with
+    /// keep-latest and pin exemptions.
+    pub registry_budget_bytes: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +93,9 @@ impl Default for ServiceConfig {
             analysis_threads: 1,
             search_threads: 1,
             watch_poll: Duration::from_millis(500),
+            per_client_inflight: 8,
+            cache_budget_bytes: None,
+            registry_budget_bytes: None,
         }
     }
 }
@@ -146,6 +161,13 @@ struct Shared {
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
     watch_diffs: AtomicU64,
+    /// Total worker-side compute milliseconds across finished jobs; with
+    /// `jobs_done + jobs_failed` it yields the average job latency that
+    /// sizes the `retry_after_ms` hint on busy rejections.
+    job_ms_total: AtomicU64,
+    /// Jobs currently queued or running, per client IP — the basis of the
+    /// `per_client_inflight` fairness cap.
+    inflight: Mutex<HashMap<IpAddr, usize>>,
     watches: Mutex<Vec<WatchEntry>>,
     /// `None` once shutdown begins: dropping the sender is what lets
     /// workers drain the queue and exit.
@@ -182,7 +204,9 @@ impl Daemon {
             config.cache_capacity,
             config.analysis_threads,
         )
-        .with_search_threads(config.search_threads);
+        .with_search_threads(config.search_threads)
+        .with_cache_budget(config.cache_budget_bytes)
+        .with_registry_budget(config.registry_budget_bytes);
         let shared = Arc::new(Shared {
             engine,
             config,
@@ -191,6 +215,8 @@ impl Daemon {
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
             watch_diffs: AtomicU64::new(0),
+            job_ms_total: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
             watches: Mutex::new(Vec::new()),
             queue: Mutex::new(Some(tx)),
             started: Instant::now(),
@@ -313,7 +339,8 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
     // naturally drain whatever was accepted before shutdown.
     while let Ok(job) = rx.recv() {
         let queue_ms = job.enqueued.elapsed().as_millis() as u64;
-        let deadline = Instant::now() + shared.config.job_timeout;
+        let compute_started = Instant::now();
+        let deadline = compute_started + shared.config.job_timeout;
         let Job {
             paths,
             kind,
@@ -341,6 +368,10 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
                 .run_diff(&paths, registry, corpus, options, deadline)
                 .map(Outcome::Diff),
         }));
+        shared.job_ms_total.fetch_add(
+            compute_started.elapsed().as_millis() as u64,
+            Ordering::Relaxed,
+        );
         let result = match run {
             Ok(Ok(mut outcome)) => {
                 let stats = outcome.stats_mut();
@@ -499,6 +530,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 
 fn handle_conn(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -509,7 +541,7 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
             if text.is_empty() {
                 continue;
             }
-            if respond(shared, text, &mut stream).is_err() {
+            if respond(shared, peer, text, &mut stream).is_err() {
                 return;
             }
         }
@@ -529,7 +561,12 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
 /// a header line, one `{"row": [...]}` line per row, and a `{"done": ...}`
 /// trailer, all on the same connection. Returns `Err` only on socket
 /// failures (which end the connection).
-fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+fn respond(
+    shared: &Shared,
+    peer: Option<IpAddr>,
+    line: &str,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
     let req = match parse_request(line) {
         Ok(r) => r,
         Err(e) => return write_line(stream, &Response::failure(None, e)),
@@ -538,6 +575,8 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
         Request::Ping { id } => write_line(stream, &Response::ack(id)),
         Request::Stats { id } => {
             let (cached_classes, cached_jobs, cached_cpgs) = shared.engine.cache_counts();
+            let (artifacts_quarantined, artifact_write_failures, cache_disk_evictions) =
+                shared.engine.persistence_stats();
             let watched_corpora = shared
                 .watches
                 .lock()
@@ -559,6 +598,9 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
                         cached_cpgs,
                         watched_corpora,
                         watch_diffs: shared.watch_diffs.load(Ordering::Relaxed),
+                        artifacts_quarantined,
+                        artifact_write_failures,
+                        cache_disk_evictions,
                     },
                 ),
             )
@@ -568,12 +610,12 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
             write_line(stream, &Response::ack(id))
         }
         Request::Scan { id, paths, options } => {
-            let reply = match submit_job(shared, paths, JobKind::Scan(options)) {
+            let reply = match submit_job(shared, peer, paths, JobKind::Scan(options)) {
                 Ok(Outcome::Scan(out)) => {
                     Response::scan(id, out.chains, out.stats, out.diagnostics)
                 }
                 Ok(_) => Response::failure(id, "internal: job kind mismatch"),
-                Err(e) => Response::failure(id, e),
+                Err(rejection) => reject_reply(id, rejection),
             };
             write_line(stream, &reply)
         }
@@ -587,6 +629,7 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
         } => {
             let reply = match submit_job(
                 shared,
+                peer,
                 paths.clone(),
                 JobKind::Diff {
                     registry: registry.clone(),
@@ -604,7 +647,7 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
                     Response::diff_reply(id, out.diff, out.stats, out.diagnostics)
                 }
                 Ok(_) => Response::failure(id, "internal: job kind mismatch"),
-                Err(e) => Response::failure(id, e),
+                Err(rejection) => reject_reply(id, rejection),
             };
             write_line(stream, &reply)
         }
@@ -613,7 +656,7 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
             paths,
             query,
             options,
-        } => match submit_job(shared, paths, JobKind::Query { query, options }) {
+        } => match submit_job(shared, peer, paths, JobKind::Query { query, options }) {
             Ok(Outcome::Query(out)) => {
                 let header = Response::query_header(
                     id,
@@ -640,14 +683,93 @@ fn respond(shared: &Shared, line: &str, stream: &mut TcpStream) -> std::io::Resu
                 stream,
                 &Response::failure(id, "internal: job kind mismatch"),
             ),
-            Err(e) => write_line(stream, &Response::failure(id, e)),
+            Err(rejection) => write_line(stream, &reject_reply(id, rejection)),
         },
     }
 }
 
-/// Enqueues one job and waits for its outcome; `Err` carries the message
-/// for a `Response::failure` reply.
-fn submit_job(shared: &Shared, paths: Vec<String>, kind: JobKind) -> Result<Outcome, String> {
+/// Why a submission did not produce an outcome.
+enum Rejection {
+    /// Load shedding (full queue or per-client cap): the daemon is healthy,
+    /// the job was never admitted, and a retry after `retry_after_ms` is
+    /// expected to succeed. Serialized via [`Response::busy`].
+    Busy { error: String, retry_after_ms: u64 },
+    /// A hard failure (job error, timeout, shutdown in progress).
+    Failure(String),
+}
+
+/// Backoff hint for busy rejections: the observed average job compute
+/// time — a proxy for how soon a queue slot frees — clamped to a sane
+/// window. Before any job has finished there is nothing to observe, so a
+/// modest fixed hint is used.
+fn retry_hint(shared: &Shared) -> u64 {
+    let finished =
+        shared.jobs_done.load(Ordering::Relaxed) + shared.jobs_failed.load(Ordering::Relaxed);
+    if finished == 0 {
+        return 250;
+    }
+    (shared.job_ms_total.load(Ordering::Relaxed) / finished).clamp(100, 10_000)
+}
+
+/// RAII hold on one per-client in-flight slot; dropping it releases the
+/// slot even on panic/early-return paths.
+struct InflightSlot<'a> {
+    shared: &'a Shared,
+    peer: Option<IpAddr>,
+}
+
+impl<'a> InflightSlot<'a> {
+    fn acquire(shared: &'a Shared, peer: Option<IpAddr>) -> Result<InflightSlot<'a>, Rejection> {
+        let Some(ip) = peer else {
+            // No peer address (shouldn't happen on TCP) — don't penalize.
+            return Ok(InflightSlot { shared, peer: None });
+        };
+        let cap = shared.config.per_client_inflight.max(1);
+        let mut map = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        let count = map.entry(ip).or_insert(0);
+        if *count >= cap {
+            drop(map);
+            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::Busy {
+                error: format!("client has {cap} jobs in flight"),
+                retry_after_ms: retry_hint(shared),
+            });
+        }
+        *count += 1;
+        Ok(InflightSlot {
+            shared,
+            peer: Some(ip),
+        })
+    }
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        if let Some(ip) = self.peer {
+            let mut map = self
+                .shared
+                .inflight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(n) = map.get_mut(&ip) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    map.remove(&ip);
+                }
+            }
+        }
+    }
+}
+
+/// Enqueues one job and waits for its outcome; `Err` carries either a
+/// structured busy rejection or the message for a `Response::failure`.
+fn submit_job(
+    shared: &Shared,
+    peer: Option<IpAddr>,
+    paths: Vec<String>,
+    kind: JobKind,
+) -> Result<Outcome, Rejection> {
+    let _slot = InflightSlot::acquire(shared, peer)?;
     let (reply_tx, reply_rx) = bounded(1);
     let job = Job {
         paths,
@@ -660,22 +782,38 @@ fn submit_job(shared: &Shared, paths: Vec<String>, kind: JobKind) -> Result<Outc
         let guard = shared.queue.lock().expect("queue poisoned");
         match guard.as_ref() {
             Some(tx) => tx.try_send(job),
-            None => return Err("daemon is shutting down".to_owned()),
+            None => return Err(Rejection::Failure("daemon is shutting down".to_owned())),
         }
     };
     match sent {
         Ok(()) => {}
         Err(TrySendError::Full(_)) => {
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            return Err("queue full".to_owned());
+            return Err(Rejection::Busy {
+                error: "queue full".to_owned(),
+                retry_after_ms: retry_hint(shared),
+            });
         }
-        Err(TrySendError::Disconnected(_)) => return Err("daemon is shutting down".to_owned()),
+        Err(TrySendError::Disconnected(_)) => {
+            return Err(Rejection::Failure("daemon is shutting down".to_owned()))
+        }
     }
     // Grace beyond the job's own deadline so a worker-side timeout error
     // normally wins over this transport-level one.
     match reply_rx.recv_timeout(shared.config.job_timeout + Duration::from_millis(250)) {
-        Ok(result) => result,
-        Err(_) => Err("job timed out".to_owned()),
+        Ok(result) => result.map_err(Rejection::Failure),
+        Err(_) => Err(Rejection::Failure("job timed out".to_owned())),
+    }
+}
+
+/// Renders a [`Rejection`] as its wire reply.
+fn reject_reply(id: Option<String>, rejection: Rejection) -> Response {
+    match rejection {
+        Rejection::Busy {
+            error,
+            retry_after_ms,
+        } => Response::busy(id, error, retry_after_ms),
+        Rejection::Failure(e) => Response::failure(id, e),
     }
 }
 
@@ -746,9 +884,9 @@ mod tests {
         assert!(!reply.ok);
         let error = reply.error.unwrap();
         assert!(error.contains("request is v2"), "{error}");
-        assert!(error.contains("daemon speaks v3"), "{error}");
+        assert!(error.contains("daemon speaks v4"), "{error}");
         // … and the same connection still works for a current-version one.
-        stream.write_all(b"{\"v\":3,\"cmd\":\"ping\"}\n").unwrap();
+        stream.write_all(b"{\"v\":4,\"cmd\":\"ping\"}\n").unwrap();
         line.clear();
         std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
         let reply: Response = serde_json::from_str(line.trim()).unwrap();
@@ -951,6 +1089,55 @@ mod tests {
         handle.stop();
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&reg);
+    }
+
+    #[test]
+    fn per_client_inflight_cap_sheds_with_busy_and_retry_hint() {
+        let mut config = test_config();
+        config.workers = 0;
+        config.queue_capacity = 4;
+        config.per_client_inflight = 1;
+        config.job_timeout = Duration::from_millis(300);
+        let handle = Daemon::spawn(config).expect("spawn daemon");
+        let addr = handle.addr().to_string();
+        // With no workers, the first job holds this client's only
+        // in-flight slot even though the queue has room for more.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let req = crate::protocol::encode_request(&crate::protocol::Request::Scan {
+            id: Some("held".to_owned()),
+            paths: vec!["/no/such/path".to_owned()],
+            options: ScanRequestOptions::default(),
+        })
+        .unwrap();
+        stream.write_all(format!("{req}\n").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // A second submission from the same client IP is shed with the
+        // structured busy contract, not queued and not a hard failure.
+        let shed = client::submit(
+            &addr,
+            vec!["/no/such/path".to_owned()],
+            ScanRequestOptions::default(),
+        )
+        .unwrap();
+        assert!(!shed.ok);
+        assert!(shed.busy, "cap rejection must set busy: {shed:?}");
+        assert!(shed.retry_after_ms.is_some(), "busy carries a hint");
+        assert!(
+            shed.error.as_deref().unwrap_or("").contains("in flight"),
+            "{:?}",
+            shed.error
+        );
+        // The held job's connection resolves (transport timeout), freeing
+        // the slot; the same client is admitted again afterwards.
+        let mut reader = std::io::BufReader::new(stream);
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        let reply: Response = serde_json::from_str(line.trim()).unwrap();
+        assert!(!reply.ok);
+        assert!(!reply.busy, "a timeout is a failure, not load shedding");
+        let stats = client::request(&addr, &Request::Stats { id: None }).unwrap();
+        assert_eq!(stats.daemon.unwrap().jobs_rejected, 1);
+        handle.stop();
     }
 
     #[test]

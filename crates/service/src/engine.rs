@@ -95,6 +95,9 @@ pub struct Engine {
     /// Fingerprint of the analysis configuration, folded into every cache
     /// key so a config change can never serve stale entries.
     analysis_fp: u64,
+    /// Size budget for registries written by diff jobs; enforced with
+    /// [`Registry::gc`] after each snapshot save when set.
+    registry_budget: Option<u64>,
 }
 
 impl Engine {
@@ -112,6 +115,7 @@ impl Engine {
             analysis_threads: analysis_threads.max(1),
             search_threads: 1,
             analysis_fp,
+            registry_budget: None,
         }
     }
 
@@ -120,6 +124,22 @@ impl Engine {
     #[must_use]
     pub fn with_search_threads(mut self, search_threads: usize) -> Engine {
         self.search_threads = search_threads;
+        self
+    }
+
+    /// Sets a size budget in bytes for the on-disk artifact cache; the
+    /// oldest entries are evicted when a write pushes the total over it.
+    #[must_use]
+    pub fn with_cache_budget(self, budget_bytes: Option<u64>) -> Engine {
+        self.lock_cache().set_disk_budget(budget_bytes);
+        self
+    }
+
+    /// Sets a size budget in bytes for registries written by diff jobs;
+    /// [`Registry::gc`] runs after each snapshot save when set.
+    #[must_use]
+    pub fn with_registry_budget(mut self, budget_bytes: Option<u64>) -> Engine {
+        self.registry_budget = budget_bytes;
         self
     }
 
@@ -138,6 +158,17 @@ impl Engine {
             cache.cached_classes(),
             cache.cached_jobs(),
             cache.cached_cpgs(),
+        )
+    }
+
+    /// Lifetime persistence-health counters:
+    /// `(artifacts quarantined, artifact write failures, disk evictions)`.
+    pub fn persistence_stats(&self) -> (u64, u64, u64) {
+        let cache = self.lock_cache();
+        (
+            cache.artifacts_quarantined(),
+            cache.artifact_write_failures(),
+            cache.disk_evictions(),
         )
     }
 
@@ -164,6 +195,19 @@ impl Engine {
         if options.inject_fault.as_deref() == Some("job") {
             panic!("injected fault in job execution");
         }
+        // A `sleep:<ms>` fault stalls the job while staying responsive to
+        // its deadline — the lever the overload and timeout tests use to
+        // hold queue slots for a controlled time.
+        if let Some(ms) = options
+            .inject_fault
+            .as_deref()
+            .and_then(|f| f.strip_prefix("sleep:"))
+        {
+            let total = ms
+                .parse::<u64>()
+                .map_err(|e| format!("bad sleep fault {ms:?}: {e}"))?;
+            sleep_fault(total, deadline)?;
+        }
         let config = {
             let mut c = self.config.clone();
             if let Some(f) = &options.inject_fault {
@@ -189,15 +233,30 @@ impl Engine {
 
         // ----- tier 1: chain cache ----------------------------------------
         if !options.fresh && !faulty {
-            if let Some(cached) = self.lock_cache().get_chains(keys.chains) {
+            // Artifact faults (a corrupt entry quarantined by this lookup)
+            // are drained under the same lock so they attribute to this
+            // job, not whichever job happens to lock the cache next.
+            let cached = {
+                let mut cache = self.lock_cache();
+                let cached = cache.get_chains(keys.chains);
+                diagnostics
+                    .artifact_faults
+                    .extend(cache.take_artifact_faults());
+                cached
+            };
+            if let Some(cached) = cached {
                 stats.classes = input.content.len();
                 stats.job_cache_hit = true;
                 stats.cache_hit_ratio = 1.0;
                 stats.total_ms = ms_since(started);
+                let mut served = cached.diagnostics;
+                served
+                    .artifact_faults
+                    .extend(std::mem::take(&mut diagnostics.artifact_faults));
                 return Ok(JobOutcome {
                     chains: cached.chains,
                     stats,
-                    diagnostics: cached.diagnostics,
+                    diagnostics: served,
                 });
             }
         }
@@ -245,13 +304,22 @@ impl Engine {
         // A truncated search is deadline-dependent, not content-addressed —
         // never serve it to a later job. Faulty jobs never write caches.
         if !faulty && !search.truncated {
-            self.lock_cache().put_chains(
+            // Artifact faults are this job's events, not a property of the
+            // chain set — strip them from the stored entry so cache hits
+            // don't replay them, then drain any fault the write itself hit.
+            let mut stored = diagnostics.clone();
+            stored.artifact_faults.clear();
+            let mut cache = self.lock_cache();
+            cache.put_chains(
                 keys.chains,
                 &CachedChains {
                     chains: search.chains.clone(),
-                    diagnostics: diagnostics.clone(),
+                    diagnostics: stored,
                 },
             );
+            diagnostics
+                .artifact_faults
+                .extend(cache.take_artifact_faults());
         }
         stats.total_ms = ms_since(started);
         Ok(JobOutcome {
@@ -447,13 +515,19 @@ impl Engine {
         diagnostics.search_expansions = search.expansions;
         diagnostics.search_memo_hits = search.memo_hits;
         if !search.truncated {
-            self.lock_cache().put_chains(
+            let mut stored = diagnostics.clone();
+            stored.artifact_faults.clear();
+            let mut cache = self.lock_cache();
+            cache.put_chains(
                 keys.chains,
                 &CachedChains {
                     chains: search.chains.clone(),
-                    diagnostics: diagnostics.clone(),
+                    diagnostics: stored,
                 },
             );
+            diagnostics
+                .artifact_faults
+                .extend(cache.take_artifact_faults());
         }
 
         // ----- snapshot + register + diff ----------------------------------
@@ -466,7 +540,7 @@ impl Engine {
         let version = previous.as_ref().map_or(1, |p| p.version + 1);
         // Degraded scans are refused here: the registry never holds a
         // partial chain set a later diff could misread as activations.
-        let snapshot = Snapshot::build(
+        let mut snapshot = Snapshot::build(
             corpus,
             version,
             &cpg.graph,
@@ -478,7 +552,16 @@ impl Engine {
             class_hashes,
             options.depth,
         )?;
-        registry.save(&snapshot)?;
+        // `save_next` re-derives the version under the registry's atomic
+        // publish, so two concurrent diff jobs of the same corpus cannot
+        // mint the same `corpus@vN` — a lost race becomes a version bump.
+        registry.save_next(&mut snapshot)?;
+        if let Some(budget) = self.registry_budget {
+            registry.gc(&tabby_registry::GcPolicy {
+                budget_bytes: budget,
+                keep_latest: 2,
+            })?;
+        }
         let report = previous.as_ref().map(|prev| {
             let near = NearChainConfig {
                 max_depth: options.depth,
@@ -557,7 +640,16 @@ impl Engine {
 
         // ----- tier 2: CPG cache ------------------------------------------
         if !options.fresh && !faulty {
-            if let Some(cpg) = self.lock_cache().get_cpg(keys.cpg) {
+            let cpg = {
+                let mut cache = self.lock_cache();
+                let cpg = cache.get_cpg(keys.cpg);
+                trace
+                    .diagnostics
+                    .artifact_faults
+                    .extend(cache.take_artifact_faults());
+                cpg
+            };
+            if let Some(cpg) = cpg {
                 trace.stats.classes = input.content.len();
                 trace.stats.cpg_cache_hit = true;
                 trace.stats.cache_hit_ratio = 1.0;
@@ -707,8 +799,13 @@ impl Engine {
 
         // ----- assemble + populate caches ---------------------------------
         // Diagnostics so far cover lift + summarize; the CPG cache entry
-        // stores exactly those (search degradation is per-query).
-        let phase_diagnostics = trace.diagnostics.clone();
+        // stores exactly those (search degradation is per-query, and
+        // artifact faults are this job's events, never replayed to hits).
+        let phase_diagnostics = {
+            let mut d = trace.diagnostics.clone();
+            d.artifact_faults.clear();
+            d
+        };
         let class_order: Vec<Symbol> = program.classes().iter().map(|c| c.name).collect();
         let mut sources: Vec<u32> = source_nodes.iter().map(|n| n.0).collect();
         sources.sort_unstable();
@@ -746,6 +843,10 @@ impl Engine {
                 },
             );
             cache.put_cpg(keys.cpg, Arc::clone(&cached_cpg));
+            trace
+                .diagnostics
+                .artifact_faults
+                .extend(cache.take_artifact_faults());
         }
         Ok(cached_cpg)
     }
@@ -1000,6 +1101,18 @@ fn check_deadline(deadline: Instant, phase: &str) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// The `sleep:<ms>` injected fault: stalls the job in small slices so its
+/// deadline still cuts it short with the structured timeout error instead
+/// of an unkillable hang.
+fn sleep_fault(total_ms: u64, deadline: Instant) -> Result<(), String> {
+    let end = Instant::now() + Duration::from_millis(total_ms);
+    while Instant::now() < end {
+        check_deadline(deadline, "injected sleep")?;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

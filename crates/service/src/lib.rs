@@ -40,6 +40,18 @@
 //! poll cadence ([`ServiceConfig::watch_poll`]) and re-diffs through the
 //! same worker queue whenever the content changes.
 //!
+//! Protocol v4 adds the **overload contract**: a submission the daemon
+//! does not admit — full queue, or one client exceeding its
+//! [`ServiceConfig::per_client_inflight`] cap — is answered with
+//! `busy: true` and a `retry_after_ms` hint sized from observed job
+//! latency; [`client::submit_with_retry`] honors the hint with jittered
+//! exponential backoff. Persisted artifacts (cache entries, registry
+//! snapshots) are wrapped in `tabby_core::envelope`'s checksummed format:
+//! corrupt files are quarantined and recomputed, never served, and each
+//! such event is reported through the reply's diagnostics and the
+//! `stats` counters (`artifacts_quarantined`, `artifact_write_failures`,
+//! `cache_disk_evictions`).
+//!
 //! The CLI front-ends are `tabby serve`, `tabby submit`, and
 //! `tabby submit --query`; the protocol itself is plain enough for `nc`
 //! (see the repository README, "Running as a service").

@@ -17,8 +17,11 @@ use tabby_registry::DiffReport;
 /// daemon from different releases fail loudly instead of misinterpreting
 /// each other. v1 was the unversioned scan-only protocol; v2 added the
 /// `"v"` field and the `query` command; v3 added the `diff` command
-/// (differential scanning against a snapshot registry) and watch mode.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// (differential scanning against a snapshot registry) and watch mode;
+/// v4 added the overload contract — `busy` rejections carrying a
+/// `retry_after_ms` backoff hint (full queue or per-client in-flight cap)
+/// that well-behaved clients honor — and artifact-fault diagnostics.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Parses one request line, enforcing the protocol version.
 ///
@@ -77,6 +80,11 @@ fn default_depth() -> usize {
 /// subtrees, so the chain set is unchanged and the search is never slower.
 fn default_tc_memo() -> bool {
     true
+}
+
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 /// A client request, tagged by `cmd`.
@@ -341,7 +349,8 @@ pub struct DaemonInfo {
     pub jobs_done: u64,
     /// Jobs that failed (bad paths, timeouts, lift errors).
     pub jobs_failed: u64,
-    /// Jobs rejected because the queue was full.
+    /// Jobs rejected by load shedding: full queue or per-client in-flight
+    /// cap (each such rejection is a `busy` reply with a retry hint).
     pub jobs_rejected: u64,
     /// Lifted classes in the content-addressed class cache.
     pub cached_classes: usize,
@@ -355,6 +364,17 @@ pub struct DaemonInfo {
     /// Watch-triggered diff jobs completed since startup.
     #[serde(default)]
     pub watch_diffs: u64,
+    /// Corrupt persisted artifacts quarantined since startup (envelope
+    /// verification failures moved to `quarantine/` and recomputed).
+    #[serde(default)]
+    pub artifacts_quarantined: u64,
+    /// Failed artifact disk writes since startup (the results were still
+    /// served from memory).
+    #[serde(default)]
+    pub artifact_write_failures: u64,
+    /// Cache files evicted from disk by the size budget since startup.
+    #[serde(default)]
+    pub cache_disk_evictions: u64,
 }
 
 /// A daemon reply. One line of JSON per request (queries follow the header
@@ -374,6 +394,15 @@ pub struct Response {
     /// Human-readable failure description when `ok` is false.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
+    /// True when the failure is load shedding (full queue or per-client
+    /// in-flight cap): the daemon is healthy, the job was simply not
+    /// admitted, and the same request will succeed once load drains.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub busy: bool,
+    /// Suggested client backoff before retrying a `busy` rejection, in
+    /// milliseconds (derived from observed job latency and queue depth).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retry_after_ms: Option<u64>,
     /// Found gadget chains (scan replies only).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub chains: Option<Vec<GadgetChain>>,
@@ -408,6 +437,8 @@ impl Default for Response {
             id: None,
             ok: false,
             error: None,
+            busy: false,
+            retry_after_ms: None,
             chains: None,
             stats: None,
             diagnostics: None,
@@ -440,8 +471,22 @@ impl Response {
         }
     }
 
+    /// A load-shedding rejection: the daemon is healthy but did not admit
+    /// the job; the client should back off `retry_after_ms` and retry.
+    pub fn busy(id: Option<String>, error: impl Into<String>, retry_after_ms: u64) -> Self {
+        Response {
+            id,
+            ok: false,
+            error: Some(error.into()),
+            busy: true,
+            retry_after_ms: Some(retry_after_ms),
+            ..Response::default()
+        }
+    }
+
     /// A successful scan reply. A clean, complete scan omits the
-    /// diagnostics field entirely.
+    /// diagnostics field entirely; degraded scans and scans that hit
+    /// persisted-artifact faults (quarantines, failed writes) carry it.
     pub fn scan(
         id: Option<String>,
         chains: Vec<GadgetChain>,
@@ -453,11 +498,7 @@ impl Response {
             ok: true,
             chains: Some(chains),
             stats: Some(stats),
-            diagnostics: if diagnostics.is_degraded() {
-                Some(diagnostics)
-            } else {
-                None
-            },
+            diagnostics: reportable(diagnostics),
             ..Response::default()
         }
     }
@@ -475,11 +516,7 @@ impl Response {
             ok: true,
             diff: Some(diff),
             stats: Some(stats),
-            diagnostics: if diagnostics.is_degraded() {
-                Some(diagnostics)
-            } else {
-                None
-            },
+            diagnostics: reportable(diagnostics),
             ..Response::default()
         }
     }
@@ -519,6 +556,16 @@ impl Response {
     }
 }
 
+/// Diagnostics worth sending: a degradation, or informational artifact
+/// faults (corruption quarantined / write failed) the operator should see.
+fn reportable(diagnostics: ScanDiagnostics) -> Option<ScanDiagnostics> {
+    if diagnostics.is_degraded() || !diagnostics.artifact_faults.is_empty() {
+        Some(diagnostics)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,7 +598,7 @@ mod tests {
 
     #[test]
     fn scan_options_default_when_absent() {
-        let req = parse_request(r#"{"v":3,"cmd":"scan","paths":["a.class"]}"#).unwrap();
+        let req = parse_request(r#"{"v":4,"cmd":"scan","paths":["a.class"]}"#).unwrap();
         match req {
             Request::Scan { id, options, .. } => {
                 assert!(id.is_none());
@@ -565,7 +612,7 @@ mod tests {
     #[test]
     fn query_request_round_trips_with_default_options() {
         let req = parse_request(
-            r#"{"v":3,"cmd":"query","paths":["/tmp/app"],"query":"MATCH (m) RETURN m"}"#,
+            r#"{"v":4,"cmd":"query","paths":["/tmp/app"],"query":"MATCH (m) RETURN m"}"#,
         )
         .unwrap();
         match req {
@@ -589,26 +636,26 @@ mod tests {
     fn unversioned_request_is_rejected_with_a_clear_message() {
         let err = parse_request(r#"{"cmd":"ping"}"#).unwrap_err();
         assert!(err.contains("unversioned request"), "{err}");
-        assert!(err.contains("v3"), "{err}");
+        assert!(err.contains("v4"), "{err}");
     }
 
     #[test]
     fn version_mismatch_names_both_versions() {
         let err = parse_request(r#"{"v":1,"cmd":"ping"}"#).unwrap_err();
         assert!(err.contains("request is v1"), "{err}");
-        assert!(err.contains("daemon speaks v3"), "{err}");
+        assert!(err.contains("daemon speaks v4"), "{err}");
         // A v2 client (pre-diff protocol) hitting a v3 daemon gets the
         // same structured rejection, not a guessy partial parse.
         let err = parse_request(r#"{"v":2,"cmd":"ping"}"#).unwrap_err();
         assert!(err.contains("request is v2"), "{err}");
-        assert!(err.contains("daemon speaks v3"), "{err}");
+        assert!(err.contains("daemon speaks v4"), "{err}");
         let err = parse_request(r#"{"v":"two","cmd":"ping"}"#).unwrap_err();
-        assert!(err.contains("must be the integer 3"), "{err}");
+        assert!(err.contains("must be the integer 4"), "{err}");
     }
 
     #[test]
     fn unknown_command_is_a_parse_error() {
-        assert!(parse_request(r#"{"v":3,"cmd":"explode"}"#)
+        assert!(parse_request(r#"{"v":4,"cmd":"explode"}"#)
             .unwrap_err()
             .contains("malformed request"));
         assert!(parse_request("not json")
@@ -655,7 +702,7 @@ mod tests {
     #[test]
     fn diff_request_round_trips_with_defaults() {
         let req = parse_request(
-            r#"{"v":3,"cmd":"diff","paths":["/tmp/app"],"registry":"/tmp/reg","corpus":"demo"}"#,
+            r#"{"v":4,"cmd":"diff","paths":["/tmp/app"],"registry":"/tmp/reg","corpus":"demo"}"#,
         )
         .unwrap();
         match req {

@@ -92,7 +92,14 @@ OPTIONS (scan/demo):
 OPTIONS (snapshot/diff):
     --registry <dir>      registry root (default .tabby-registry)
     --as <corpus[@vN]>    (snapshot) corpus name and optional version; a bare
-                          name registers the next version (v1 for a new corpus)
+                          name registers the next version (v1 for a new corpus),
+                          atomically even against concurrent writers
+    --pin                 (snapshot) pin the registered version: size-budget
+                          GC never removes it
+    --registry-budget-bytes <n>
+                          (snapshot) after registering, garbage-collect the
+                          registry down to <n> bytes (newest versions and
+                          pinned versions are kept)
     --json                (diff) emit the diff report as JSON
 
     `snapshot` refuses degraded scans (skipped/quarantined classes or a
@@ -128,6 +135,16 @@ OPTIONS (serve):
     --workers <n>         scan worker threads (default: available parallelism)
     --search-threads <n>  default per-job chain-search threads (default 1)
     --cache-dir <dir>     persist chain/CPG cache entries under <dir>
+    --cache-budget-bytes <n>
+                          evict the oldest on-disk cache entries once their
+                          total size exceeds <n> bytes
+    --registry-budget-bytes <n>
+                          garbage-collect diff-job registries down to <n>
+                          bytes after each snapshot (keeps the newest and
+                          pinned versions)
+    --per-client-inflight <n>
+                          max queued+running jobs per client IP before
+                          submissions get a busy rejection (default 8)
     --watch-poll-ms <n>   watched-corpus re-fingerprint cadence (default 500)
 
 OPTIONS (submit):
@@ -172,6 +189,8 @@ struct CliOptions {
     sinks: Option<PathBuf>,
     registry: Option<PathBuf>,
     corpus: Option<String>,
+    pin: bool,
+    registry_budget: Option<u64>,
     paths: Vec<PathBuf>,
 }
 
@@ -221,6 +240,12 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             "--as" => {
                 let v = it.next().ok_or("--as needs a corpus reference")?;
                 options.corpus = Some(v.clone());
+            }
+            "--pin" => options.pin = true,
+            "--registry-budget-bytes" => {
+                let v = it.next().ok_or("--registry-budget-bytes needs a value")?;
+                options.registry_budget =
+                    Some(v.parse().map_err(|_| format!("bad byte budget {v:?}"))?);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}"));
@@ -486,7 +511,7 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
     if report.diagnostics.is_degraded() {
         print_degradation(&report.diagnostics);
     }
-    let snapshot = match tabby::snapshot_scan(
+    let mut snapshot = match tabby::snapshot_scan(
         &reference.corpus,
         version,
         &mut report,
@@ -499,7 +524,15 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match registry.save(&snapshot) {
+    // An explicit `@vN` means exactly that version (and fails on a taken
+    // slot); a bare name takes the next free version atomically, so two
+    // concurrent snapshot runs can never mint the same reference.
+    let saved = if reference.version.is_some() {
+        registry.save(&snapshot)
+    } else {
+        registry.save_next(&mut snapshot)
+    };
+    match saved {
         Ok(path) => {
             eprintln!(
                 "registered {} ({} chain(s), {} method(s), content key {}) at {}",
@@ -509,13 +542,41 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
                 snapshot.content_key,
                 path.display()
             );
-            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("snapshot: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
     }
+    if cli.pin {
+        if let Err(e) = registry.pin(&snapshot.corpus, snapshot.version) {
+            eprintln!("snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("pinned {} (exempt from GC)", snapshot.reference());
+    }
+    if let Some(budget) = cli.registry_budget {
+        match registry.gc(&tabby::registry::GcPolicy {
+            budget_bytes: budget,
+            keep_latest: 2,
+        }) {
+            Ok(report) => {
+                if !report.removed.is_empty() {
+                    eprintln!(
+                        "gc removed {} snapshot(s) ({} bytes freed, {} kept)",
+                        report.removed.len(),
+                        report.bytes_freed,
+                        report.bytes_kept
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("snapshot: gc: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// `tabby diff <old> <new>` — pure snapshot comparison; exit 0 = no new
@@ -955,6 +1016,21 @@ fn parse_serve_config(args: &[String]) -> Result<tabby::service::ServiceConfig, 
                 let v = it.next().ok_or("--watch-poll-ms needs a value")?;
                 let ms: u64 = v.parse().map_err(|_| format!("bad poll interval {v:?}"))?;
                 config.watch_poll = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--cache-budget-bytes" => {
+                let v = it.next().ok_or("--cache-budget-bytes needs a value")?;
+                config.cache_budget_bytes =
+                    Some(v.parse().map_err(|_| format!("bad byte budget {v:?}"))?);
+            }
+            "--registry-budget-bytes" => {
+                let v = it.next().ok_or("--registry-budget-bytes needs a value")?;
+                config.registry_budget_bytes =
+                    Some(v.parse().map_err(|_| format!("bad byte budget {v:?}"))?);
+            }
+            "--per-client-inflight" => {
+                let v = it.next().ok_or("--per-client-inflight needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad job cap {v:?}"))?;
+                config.per_client_inflight = n.max(1);
             }
             other => return Err(format!("unknown serve option {other:?}")),
         }

@@ -1,0 +1,324 @@
+//! Chaos harness: injected persistence faults (torn writes, ENOSPC) and
+//! daemon restarts must never lose correctness — a post-crash restart
+//! serves byte-identical chains, corrupt or partial artifacts are swept
+//! or quarantined, and a load-shed client that honors the backoff hint
+//! eventually succeeds.
+//!
+//! Fault injection goes through `tabby::core::envelope`'s process-global
+//! plan; every fault here is scoped to a test-unique temp-dir substring so
+//! parallel tests cannot trip each other's plans.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use tabby::core::envelope::{clear_write_faults, inject_write_fault, Fault};
+use tabby::ir::compile::compile_program;
+use tabby::ir::ProgramBuilder;
+use tabby::service::{
+    self, Daemon, Engine, Request, RetryPolicy, ScanRequestOptions, ServiceConfig,
+};
+use tabby::workloads::jdk::add_jdk_model;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tabby-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_jdk_corpus(dir: &Path) {
+    let mut pb = ProgramBuilder::new();
+    add_jdk_model(&mut pb);
+    for (name, bytes) in compile_program(&pb.build()) {
+        std::fs::write(dir.join(format!("{}.class", name.replace('.', "_"))), bytes).unwrap();
+    }
+}
+
+fn far_deadline() -> Instant {
+    Instant::now() + Duration::from_secs(300)
+}
+
+fn chain_key(chains: &[tabby::pathfinder::GadgetChain]) -> Vec<Vec<String>> {
+    let mut v: Vec<Vec<String>> = chains.iter().map(|c| c.signatures.clone()).collect();
+    v.sort();
+    v
+}
+
+/// Files under `dir` whose name marks them as envelope temp files.
+fn orphan_tmps(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            out.extend(orphan_tmps(&p));
+        } else if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.starts_with('.') && n.contains(".tmp"))
+        {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// A write "crash" mid-artifact (power loss simulation): the job still
+/// succeeds and reports the failed persist as an artifact fault, the
+/// partial temp file is left behind, and a restart sweeps it and
+/// recomputes byte-identical chains.
+#[test]
+fn torn_write_survives_restart_with_identical_chains() {
+    let classes = temp_dir("torn-classes");
+    write_jdk_corpus(&classes);
+    let cache = temp_dir("torn-cache");
+    let tag = cache.to_string_lossy().into_owned();
+    let paths = vec![classes.to_string_lossy().into_owned()];
+
+    // One scan persists a CPG and a chains artifact; kill both writes a
+    // few bytes in.
+    inject_write_fault(&tag, Fault::TornWrite { at_byte: 9 });
+    inject_write_fault(&tag, Fault::TornWrite { at_byte: 9 });
+    let crashed = Engine::new(Some(cache.clone()), 8, 1)
+        .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+        .expect("a failed persist must not fail the job");
+    clear_write_faults(&tag);
+    assert!(!crashed.chains.is_empty());
+    assert!(
+        !crashed.diagnostics.artifact_faults.is_empty(),
+        "torn writes surface as artifact faults"
+    );
+    let partials = orphan_tmps(&cache);
+    assert!(!partials.is_empty(), "the torn write leaves a partial temp");
+
+    // Restart: the orphan sweep removes the partials, the scan recomputes
+    // (nothing valid was published), and this time the persist lands.
+    let restarted = Engine::new(Some(cache.clone()), 8, 1)
+        .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+        .expect("restart scan");
+    assert_eq!(chain_key(&restarted.chains), chain_key(&crashed.chains));
+    assert!(
+        orphan_tmps(&cache).is_empty(),
+        "restart sweeps orphan temps"
+    );
+
+    // Second restart: now the artifacts are on disk and valid — the job
+    // cache serves them with zero faults.
+    let warm = Engine::new(Some(cache.clone()), 8, 1)
+        .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+        .expect("warm scan");
+    assert_eq!(chain_key(&warm.chains), chain_key(&crashed.chains));
+    assert!(warm.diagnostics.artifact_faults.is_empty());
+    assert!(
+        warm.stats.job_cache_hit,
+        "restart serves from the disk cache"
+    );
+
+    let _ = std::fs::remove_dir_all(&classes);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// A full disk (ENOSPC) degrades persistence, never the answer: the scan
+/// succeeds with the write failure on record, and once space is back a
+/// restarted engine heals the cache.
+#[test]
+fn enospc_is_reported_and_healed_after_restart() {
+    let classes = temp_dir("enospc-classes");
+    write_jdk_corpus(&classes);
+    let cache = temp_dir("enospc-cache");
+    let tag = cache.to_string_lossy().into_owned();
+    let paths = vec![classes.to_string_lossy().into_owned()];
+
+    inject_write_fault(&tag, Fault::Enospc);
+    inject_write_fault(&tag, Fault::Enospc);
+    let engine = Engine::new(Some(cache.clone()), 8, 1);
+    let full = engine
+        .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+        .expect("ENOSPC must not fail the job");
+    clear_write_faults(&tag);
+    assert!(!full.chains.is_empty());
+    assert!(full
+        .diagnostics
+        .artifact_faults
+        .iter()
+        .any(|f| f.detail.contains("ENOSPC") || f.detail.contains("No space")));
+    let (_, write_failures, _) = engine.persistence_stats();
+    assert!(write_failures >= 1, "the daemon-visible counter moved");
+    assert!(
+        orphan_tmps(&cache).is_empty(),
+        "ENOSPC cleanup leaves no temp"
+    );
+
+    // Space is back: a restarted engine recomputes and persists; the one
+    // after that serves the healed cache.
+    let healed = Engine::new(Some(cache.clone()), 8, 1)
+        .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+        .expect("healing scan");
+    assert_eq!(chain_key(&healed.chains), chain_key(&full.chains));
+    let warm = Engine::new(Some(cache.clone()), 8, 1)
+        .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+        .expect("warm scan");
+    assert!(warm.stats.job_cache_hit);
+    assert!(warm.diagnostics.artifact_faults.is_empty());
+
+    let _ = std::fs::remove_dir_all(&classes);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// ENOSPC while minting a registry version fails that diff job with a
+/// clear error — a snapshot is never half-registered — and the next
+/// attempt registers cleanly.
+#[test]
+fn enospc_during_snapshot_registration_fails_cleanly_then_recovers() {
+    let classes = temp_dir("regspc-classes");
+    write_jdk_corpus(&classes);
+    let reg = temp_dir("regspc-root");
+    let tag = reg.to_string_lossy().into_owned();
+    let paths = vec![classes.to_string_lossy().into_owned()];
+    let reg_root = reg.to_string_lossy().into_owned();
+    let engine = Engine::new(None, 8, 1);
+
+    inject_write_fault(&tag, Fault::Enospc);
+    let failed = engine.run_diff(
+        &paths,
+        &reg_root,
+        "spc",
+        &ScanRequestOptions::default(),
+        far_deadline(),
+    );
+    clear_write_faults(&tag);
+    let error = failed.expect_err("registration must fail, not half-register");
+    assert!(
+        error.contains("No space") || error.contains("ENOSPC"),
+        "{error}"
+    );
+    assert!(!reg.join("spc").join("v1.json").exists());
+
+    let recovered = engine
+        .run_diff(
+            &paths,
+            &reg_root,
+            "spc",
+            &ScanRequestOptions::default(),
+            far_deadline(),
+        )
+        .expect("retry registers cleanly");
+    assert!(recovered.diff.baseline);
+    assert_eq!(recovered.diff.new_ref, "spc@v1");
+    assert!(reg.join("spc").join("v1.json").exists());
+
+    let _ = std::fs::remove_dir_all(&classes);
+    let _ = std::fs::remove_dir_all(&reg);
+}
+
+/// A daemon restart over the same cache directory serves byte-identical
+/// chains from disk — persistence survives the process.
+#[test]
+fn daemon_restart_serves_byte_identical_chains_from_disk() {
+    let classes = temp_dir("restart-classes");
+    write_jdk_corpus(&classes);
+    let cache = temp_dir("restart-cache");
+    let paths = vec![classes.to_string_lossy().into_owned()];
+
+    let config = || ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        cache_dir: Some(cache.clone()),
+        ..ServiceConfig::default()
+    };
+    let first = Daemon::spawn(config()).expect("spawn daemon");
+    let cold = service::submit(
+        &first.addr().to_string(),
+        paths.clone(),
+        ScanRequestOptions::default(),
+    )
+    .unwrap();
+    assert!(cold.ok, "{:?}", cold.error);
+    let cold_chains = cold.chains.expect("cold chains");
+    first.stop();
+
+    let second = Daemon::spawn(config()).expect("respawn daemon");
+    let warm = service::submit(
+        &second.addr().to_string(),
+        paths,
+        ScanRequestOptions::default(),
+    )
+    .unwrap();
+    assert!(warm.ok, "{:?}", warm.error);
+    assert_eq!(
+        warm.chains.expect("warm chains"),
+        cold_chains,
+        "the restarted daemon serves the identical chain set"
+    );
+    assert!(
+        warm.stats.expect("warm stats").job_cache_hit,
+        "the restarted daemon hits the persisted cache, not a recompute"
+    );
+    second.stop();
+
+    let _ = std::fs::remove_dir_all(&classes);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// An overloaded daemon sheds a client with `busy` + `retry_after_ms`; a
+/// client that honors the hint through `submit_with_retry` eventually
+/// succeeds once the backlog drains.
+#[test]
+fn shed_client_that_retries_eventually_succeeds() {
+    let classes = temp_dir("shed-classes");
+    write_jdk_corpus(&classes);
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_capacity: 1,
+        job_timeout: Duration::from_secs(10),
+        ..ServiceConfig::default()
+    };
+    let handle = Daemon::spawn(config).expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let path = classes.to_string_lossy().into_owned();
+
+    // Two slow jobs: one occupies the single worker, one fills the queue's
+    // only slot. The raw streams stay open but unread so the submissions
+    // stand while we hammer the daemon from the well-behaved client.
+    let mut held = Vec::new();
+    for i in 0..2 {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let req = service::encode_request(&Request::Scan {
+            id: Some(format!("slow-{i}")),
+            paths: vec![path.clone()],
+            options: ScanRequestOptions {
+                inject_fault: Some("sleep:700".to_owned()),
+                ..ScanRequestOptions::default()
+            },
+        })
+        .unwrap();
+        stream.write_all(format!("{req}\n").as_bytes()).unwrap();
+        held.push(stream);
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // The first attempt is shed (queue full, busy, hint). Retrying with
+    // backoff rides out the ~1.4s backlog and completes.
+    let policy = RetryPolicy {
+        attempts: 10,
+        base_delay: Duration::from_millis(100),
+        max_delay: Duration::from_secs(1),
+    };
+    let reply =
+        service::submit_with_retry(&addr, vec![path], ScanRequestOptions::default(), &policy)
+            .expect("the retrying client eventually gets through");
+    assert!(reply.ok, "{:?}", reply.error);
+    assert!(!reply.busy);
+    assert!(!reply.chains.expect("chains").is_empty());
+
+    let stats = service::request(&addr, &Request::Stats { id: None }).unwrap();
+    let daemon = stats.daemon.expect("daemon info");
+    assert!(daemon.jobs_rejected >= 1, "at least one attempt was shed");
+    drop(held);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&classes);
+}

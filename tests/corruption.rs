@@ -172,3 +172,236 @@ fn random_manglings_never_panic_and_never_blame_bystanders() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// On-disk artifact corruption: the checksummed envelope must catch torn,
+// bit-flipped, and format-skewed cache/registry files, quarantine them
+// exactly once, and recompute — corruption never crashes and is never served.
+// ---------------------------------------------------------------------------
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use tabby::service::{Engine, ScanRequestOptions};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tabby-corruption-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_corpus_dir(dir: &Path) {
+    for (name, bytes) in corpus() {
+        std::fs::write(dir.join(format!("{}.class", name.replace('.', "_"))), bytes).unwrap();
+    }
+}
+
+fn far_deadline() -> Instant {
+    Instant::now() + Duration::from_secs(300)
+}
+
+fn scan_chains(
+    engine: &Engine,
+    paths: &[String],
+) -> (Vec<GadgetChain>, tabby::core::ScanDiagnostics) {
+    let out = engine
+        .run_scan(paths, &ScanRequestOptions::default(), far_deadline())
+        .expect("scan succeeds");
+    (out.chains, out.diagnostics)
+}
+
+/// Every regular file under `dir` (recursive), skipping quarantine dirs.
+fn artifact_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "quarantine") {
+                continue;
+            }
+            out.extend(artifact_files(&p));
+        } else {
+            out.push(p);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn quarantined_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "quarantine") {
+                let Ok(q) = std::fs::read_dir(&p) else {
+                    continue;
+                };
+                out.extend(q.flatten().map(|e| e.path()).filter(|e| e.is_file()));
+            } else {
+                out.extend(quarantined_files(&p));
+            }
+        }
+    }
+    out
+}
+
+/// Bit-flipped, truncated, and version-skewed on-disk cache envelopes: each
+/// corruption is detected on read, quarantined exactly once, and the scan
+/// recomputes byte-identical chains.
+#[test]
+fn corrupt_disk_cache_envelopes_quarantine_once_and_recompute() {
+    let classes = temp_dir("cache-classes");
+    write_corpus_dir(&classes);
+    let paths = vec![classes.to_string_lossy().into_owned()];
+
+    // Corruption modes: payload bit-flip, torn write (truncation), and a
+    // format-version skew (byte at the envelope's version offset).
+    let corruptions: [(&str, fn(&mut Vec<u8>)); 3] = [
+        ("bitflip", |b: &mut Vec<u8>| {
+            let mid = b.len() / 2;
+            b[mid] ^= 0x40;
+        }),
+        ("truncate", |b: &mut Vec<u8>| {
+            let keep = b.len() / 3;
+            b.truncate(keep);
+        }),
+        ("version-skew", |b: &mut Vec<u8>| {
+            // Envelope header: magic (0..4), format version u16 at offset 4.
+            b[4] ^= 0xFF;
+        }),
+    ];
+    for (tag, corrupt) in corruptions {
+        let cache = temp_dir(&format!("cache-{tag}"));
+        let cold_engine = Engine::new(Some(cache.clone()), 8, 1);
+        let (cold_chains, cold_diag) = scan_chains(&cold_engine, &paths);
+        assert!(!cold_chains.is_empty(), "{tag}: URLDNS chain expected");
+        assert!(
+            cold_diag.artifact_faults.is_empty(),
+            "{tag}: clean cold scan"
+        );
+        let files = artifact_files(&cache);
+        assert!(!files.is_empty(), "{tag}: scan persisted artifacts");
+        for f in &files {
+            let mut bytes = std::fs::read(f).unwrap();
+            corrupt(&mut bytes);
+            std::fs::write(f, bytes).unwrap();
+        }
+
+        // A fresh engine over the same cache dir: every read fails envelope
+        // verification, quarantines the file, and recomputes.
+        let warm_engine = Engine::new(Some(cache.clone()), 8, 1);
+        let (warm_chains, warm_diag) = scan_chains(&warm_engine, &paths);
+        assert_eq!(
+            chain_key(&warm_chains),
+            chain_key(&cold_chains),
+            "{tag}: corruption must never change the served chains"
+        );
+        assert!(
+            !warm_diag.artifact_faults.is_empty(),
+            "{tag}: quarantine events surface as artifact faults"
+        );
+        assert!(
+            !warm_diag.is_degraded(),
+            "{tag}: recompute is not degradation"
+        );
+        let quarantined = quarantined_files(&cache);
+        assert_eq!(
+            quarantined.len(),
+            files.len(),
+            "{tag}: every corrupt artifact lands in quarantine/ exactly once"
+        );
+
+        // The recompute rewrote valid envelopes: a third engine serves the
+        // cache cleanly and nothing new is quarantined.
+        let third_engine = Engine::new(Some(cache.clone()), 8, 1);
+        let (again_chains, again_diag) = scan_chains(&third_engine, &paths);
+        assert_eq!(chain_key(&again_chains), chain_key(&cold_chains), "{tag}");
+        assert!(
+            again_diag.artifact_faults.is_empty(),
+            "{tag}: second pass is clean — quarantined exactly once"
+        );
+        assert_eq!(quarantined_files(&cache).len(), quarantined.len(), "{tag}");
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+    let _ = std::fs::remove_dir_all(&classes);
+}
+
+/// A bit-rotted registry snapshot fails envelope verification on the next
+/// open: the version is quarantined, `latest` rolls back, and the next diff
+/// job re-registers cleanly against the surviving baseline.
+#[test]
+fn corrupt_registry_snapshot_rolls_back_latest_and_quarantines() {
+    let classes = temp_dir("reg-classes");
+    write_corpus_dir(&classes);
+    let reg = temp_dir("reg-root");
+    let paths = vec![classes.to_string_lossy().into_owned()];
+    let reg_root = reg.to_string_lossy().into_owned();
+    let engine = Engine::new(None, 8, 1);
+    let diff = |engine: &Engine| {
+        engine
+            .run_diff(
+                &paths,
+                &reg_root,
+                "rotted",
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .expect("diff succeeds")
+    };
+
+    let baseline = diff(&engine);
+    assert!(baseline.diff.baseline);
+    assert_eq!(baseline.diff.new_ref, "rotted@v1");
+    // Grow the corpus with a fresh noise class so v2 registers.
+    let mut pb = ProgramBuilder::new();
+    let mut cb = pb.class("noise.Extra").serializable();
+    let string = cb.object_type("java.lang.String");
+    let mut mb = cb.method("describe", vec![], string);
+    mb.ret(mb.c_null());
+    mb.finish();
+    cb.finish();
+    for (name, bytes) in tabby::ir::compile::compile_program(&pb.build()) {
+        std::fs::write(
+            classes.join(format!("{}.class", name.replace('.', "_"))),
+            bytes,
+        )
+        .unwrap();
+    }
+    let second = diff(&engine);
+    assert!(!second.diff.baseline && !second.diff.identical);
+    assert_eq!(second.diff.new_ref, "rotted@v2");
+
+    // Bit-rot v2's version file. The next registry open detects it,
+    // quarantines it, and latest rolls back to v1.
+    let v2 = reg.join("rotted").join("v2.json");
+    let mut bytes = std::fs::read(&v2).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&v2, bytes).unwrap();
+    let registry = tabby::registry::Registry::open(&reg).unwrap();
+    assert_eq!(registry.latest_version("rotted"), Some(1));
+    assert!(!v2.exists(), "the corrupt file is moved, not served");
+    let quarantined = quarantined_files(&reg);
+    assert_eq!(quarantined.len(), 1, "{quarantined:?}");
+
+    // The next diff of the same content re-registers v2 against v1 — the
+    // rolled-back baseline — instead of crashing or serving rot.
+    let recovered = diff(&engine);
+    assert!(!recovered.diff.baseline);
+    assert_eq!(recovered.diff.old_ref.as_deref(), Some("rotted@v1"));
+    assert_eq!(recovered.diff.new_ref, "rotted@v2");
+    assert!(recovered.diff.report.is_some());
+    let _ = std::fs::remove_dir_all(&classes);
+    let _ = std::fs::remove_dir_all(&reg);
+}

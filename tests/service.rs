@@ -220,14 +220,14 @@ fn raw_json_lines_protocol_round_trips() {
     let mut line = String::new();
 
     stream
-        .write_all(b"{\"v\":3,\"cmd\":\"ping\",\"id\":\"p-1\"}\n")
+        .write_all(b"{\"v\":4,\"cmd\":\"ping\",\"id\":\"p-1\"}\n")
         .unwrap();
     reader.read_line(&mut line).unwrap();
     let reply: Response = serde_json::from_str(line.trim()).unwrap();
     assert!(reply.ok);
     assert_eq!(reply.id.as_deref(), Some("p-1"));
 
-    // A v2 client against a v3 daemon gets a structured version-mismatch
+    // A v2 client against a v4 daemon gets a structured version-mismatch
     // error naming both versions, not a guess.
     line.clear();
     stream
@@ -239,7 +239,7 @@ fn raw_json_lines_protocol_round_trips() {
     assert_eq!(reply.id.as_deref(), Some("old"));
     let error = reply.error.unwrap();
     assert!(error.contains("request is v2"), "{error}");
-    assert!(error.contains("daemon speaks v3"), "{error}");
+    assert!(error.contains("daemon speaks v4"), "{error}");
 
     // Malformed input gets an error reply; the connection stays usable.
     line.clear();
@@ -259,7 +259,7 @@ fn raw_json_lines_protocol_round_trips() {
     assert!(reply.error.unwrap().contains("unversioned request"));
 
     line.clear();
-    stream.write_all(b"{\"v\":3,\"cmd\":\"stats\"}\n").unwrap();
+    stream.write_all(b"{\"v\":4,\"cmd\":\"stats\"}\n").unwrap();
     reader.read_line(&mut line).unwrap();
     let reply: Response = serde_json::from_str(line.trim()).unwrap();
     assert!(reply.ok);
@@ -382,10 +382,18 @@ fn full_queue_rejects_and_stalled_jobs_time_out() {
     stream.write_all(format!("{req}\n").as_bytes()).unwrap();
     std::thread::sleep(Duration::from_millis(100));
 
-    // The second submission is rejected immediately, not queued behind it.
+    // The second submission is rejected immediately, not queued behind it —
+    // and under the v4 overload contract the rejection is structured: the
+    // busy flag plus a retry_after_ms backoff hint, same error text.
     let rejected = service::submit(&addr, vec![path], ScanRequestOptions::default()).unwrap();
     assert!(!rejected.ok);
     assert_eq!(rejected.error.as_deref(), Some("queue full"));
+    assert!(rejected.busy, "queue-full rejection sets busy");
+    assert!(
+        rejected.retry_after_ms.is_some_and(|ms| ms > 0),
+        "busy rejection carries a backoff hint: {:?}",
+        rejected.retry_after_ms
+    );
 
     // The stalled job's connection gets a timeout reply, not a hang.
     let mut reader = BufReader::new(stream);
@@ -399,6 +407,49 @@ fn full_queue_rejects_and_stalled_jobs_time_out() {
     // Daemon-wide counters saw the rejection.
     let stats = service::request(&addr, &Request::Stats { id: None }).unwrap();
     assert_eq!(stats.daemon.expect("daemon info").jobs_rejected, 1);
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn job_timeout_returns_structured_error_and_worker_survives() {
+    let dir = temp_dir("timeout");
+    write_chain_corpus(&dir, false);
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        job_timeout: Duration::from_millis(300),
+        ..ServiceConfig::default()
+    };
+    let handle = Daemon::spawn(config).expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    let path = dir.to_string_lossy().into_owned();
+
+    // A job stalled well past its deadline (the injected sleep checks the
+    // deadline in slices) gets a structured timeout error, not a hang and
+    // not a dead worker.
+    let stalled = service::submit(
+        &addr,
+        vec![path.clone()],
+        ScanRequestOptions {
+            inject_fault: Some("sleep:10000".to_owned()),
+            ..ScanRequestOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!stalled.ok);
+    let error = stalled.error.expect("timeout error");
+    assert!(error.contains("timed out"), "{error}");
+    assert!(!stalled.busy, "a timeout is a failure, not load shedding");
+
+    // The single worker survived and serves the next job normally.
+    let next = service::submit(&addr, vec![path], ScanRequestOptions::default()).unwrap();
+    assert!(next.ok, "worker survived the timeout: {:?}", next.error);
+    let stats = service::request(&addr, &Request::Stats { id: None }).unwrap();
+    let daemon = stats.daemon.expect("daemon info");
+    assert_eq!(daemon.jobs_failed, 1);
+    assert_eq!(daemon.jobs_done, 1);
 
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
