@@ -119,6 +119,7 @@ impl GadgetInspector {
                         chains.push(GadgetChain {
                             signatures,
                             sink_category: spec.category.as_str().to_owned(),
+                            tier: None,
                             nodes: vec![],
                         });
                         continue;

@@ -124,6 +124,7 @@ impl Serianalyzer {
                     chains.push(crate::GadgetChain {
                         signatures,
                         sink_category: category.clone(),
+                        tier: None,
                         nodes: vec![],
                     });
                     if self.config.stop_at_first_entry {

@@ -33,16 +33,24 @@
 //! is nonzero if any scene's diff misreports the planted activation or
 //! fails to beat its cold scan — CI runs this on the smoke scenes as the
 //! differential-scanning gate.
+//!
+//! `witness` measures the post-search witness pass — plan synthesis and
+//! interpreter execution over every reported chain — on the Table X scenes
+//! and writes `BENCH_witness.json` (or `--out`): witnessed-per-second and
+//! the tier distribution. Exit status is nonzero if any oracle-ineffective
+//! chain comes back `witnessed`, any oracle-effective chain does not, or
+//! any interpretation panics — CI runs this on the smoke scenes as the
+//! exploitability gate.
 
 use tabby_bench::{
-    run_diff_bench, run_query_bench, run_search_bench, run_summarize_bench, DiffBenchConfig,
-    QueryBenchConfig, SearchBenchConfig, SummarizeBenchConfig,
+    run_diff_bench, run_query_bench, run_search_bench, run_summarize_bench, run_witness_bench,
+    DiffBenchConfig, QueryBenchConfig, SearchBenchConfig, SummarizeBenchConfig, WitnessBenchConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench <search|summarize|query|diff> [--scenes smoke|full] [--only NAME,NAME] \
-         [--repeat N] [--out PATH]"
+        "usage: bench <search|summarize|query|diff|witness> [--scenes smoke|full] \
+         [--only NAME,NAME] [--repeat N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -106,7 +114,50 @@ fn main() {
         Some("summarize") => cmd_summarize(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("witness") => cmd_witness(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn cmd_witness(args: &[String]) {
+    let common = parse_common(args, "BENCH_witness.json", 3);
+    let config = WitnessBenchConfig {
+        smoke: common.smoke,
+        only: common.only,
+        repeat: common.repeat,
+    };
+
+    let report = run_witness_bench(&config);
+    for scene in &report.results {
+        println!(
+            "{:<13} {:>4} chains  search {:>8.3}s  witness {:>8.4}s  \
+             {:>8.1} witnessed/s  {} witnessed / {} plan-found / {} static-only  {}",
+            scene.scene,
+            scene.chains,
+            scene.search_wall_s,
+            scene.witness_wall_s,
+            scene.witnessed_per_s,
+            scene.witnessed,
+            scene.plan_found,
+            scene.static_only,
+            if !scene.no_fake_witnessed {
+                "FAKE-WITNESSED"
+            } else if !scene.all_effective_witnessed {
+                "MISSED"
+            } else if scene.failures > 0 {
+                "PANICKED"
+            } else {
+                "ok"
+            },
+        );
+    }
+    write_report(&report, &common.out);
+    if !report.all_clean {
+        eprintln!(
+            "FAIL: a scene witnessed an oracle-ineffective chain, missed an effective one, \
+             or panicked"
+        );
+        std::process::exit(1);
     }
 }
 

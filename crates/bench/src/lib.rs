@@ -11,7 +11,10 @@
 //! measures every TQL builtin against the annotated scene CPGs and emits
 //! `BENCH_query.json`; its `diff` subcommand ([`diff_bench`]) measures
 //! differential scanning (registered snapshots + `diff`) against the cold
-//! full scan it replaces and emits `BENCH_diff.json`.
+//! full scan it replaces and emits `BENCH_diff.json`; its `witness`
+//! subcommand ([`witness_bench`]) measures the post-search witness pass
+//! (plan synthesis + interpreter execution, scored against the PoC
+//! oracle) and emits `BENCH_witness.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,6 +24,7 @@ pub mod query_bench;
 pub mod runner;
 pub mod search_bench;
 pub mod summarize_bench;
+pub mod witness_bench;
 
 pub use diff_bench::{
     bench_diff_scene, run_diff_bench, DiffBenchConfig, DiffBenchReport, SceneDiffBench,
@@ -39,4 +43,8 @@ pub use search_bench::{
 pub use summarize_bench::{
     bench_summarize_scene, run_summarize_bench, SceneSummarizeBench, SummarizeBenchConfig,
     SummarizeBenchReport, SummarizeVariantResult,
+};
+pub use witness_bench::{
+    bench_witness_scene, run_witness_bench, SceneWitnessBench, WitnessBenchConfig,
+    WitnessBenchReport,
 };

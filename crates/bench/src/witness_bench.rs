@@ -1,0 +1,197 @@
+//! The witness-stage benchmark: on each Table X scene, time the post-search
+//! witness pass (plan synthesis + interpreter execution over every reported
+//! chain) and score its tiers against the PoC oracle.
+//!
+//! Timing reports witnessed-chains-per-second and the tier distribution;
+//! wall times are the minimum over `repeat` runs. Correctness is asserted
+//! alongside timing, in both directions:
+//!
+//! - **no fake witnesses** — a chain the oracle judges ineffective must
+//!   never come back tier `witnessed` (the hard false-positive gate CI
+//!   blocks on);
+//! - **no missed witnesses** — every oracle-effective chain must witness
+//!   (the interpreter keeps up with the search's true positives).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tabby_core::{AnalysisConfig, Cpg};
+use tabby_pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog, WitnessTier};
+use tabby_witness::{witness_chains, WitnessConfig};
+use tabby_workloads::scenes::{self, Scene};
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct WitnessBenchConfig {
+    /// Use the smoke-sized scenes (CI) instead of full size.
+    pub smoke: bool,
+    /// Restrict to these scene names (empty = all).
+    pub only: Vec<String>,
+    /// Timed runs per measurement; the minimum wall time is reported.
+    pub repeat: usize,
+}
+
+impl Default for WitnessBenchConfig {
+    fn default() -> Self {
+        WitnessBenchConfig {
+            smoke: false,
+            only: Vec::new(),
+            repeat: 3,
+        }
+    }
+}
+
+/// One scene's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SceneWitnessBench {
+    /// Scene name.
+    pub scene: String,
+    /// Classes in the scene program.
+    pub classes: usize,
+    /// Chains the search reported (after the scene's package filter).
+    pub chains: usize,
+    /// Chains confirmed by execution.
+    pub witnessed: usize,
+    /// Chains with a plan that execution did not confirm.
+    pub plan_found: usize,
+    /// Chains that could not be concretized.
+    pub static_only: usize,
+    /// Contained interpreter panics (must be 0).
+    pub failures: usize,
+    /// Search wall seconds (context; not part of the witness timing).
+    pub search_wall_s: f64,
+    /// Witness pass wall seconds (plan + execute every chain).
+    pub witness_wall_s: f64,
+    /// `witnessed / witness_wall_s`.
+    pub witnessed_per_s: f64,
+    /// No oracle-ineffective chain came back `witnessed`.
+    pub no_fake_witnessed: bool,
+    /// Every oracle-effective chain came back `witnessed`.
+    pub all_effective_witnessed: bool,
+}
+
+/// The full report, serialized to `BENCH_witness.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WitnessBenchReport {
+    /// `"smoke"` or `"full"`.
+    pub scenes: String,
+    /// Timed runs per measurement.
+    pub repeat: usize,
+    /// Per-scene measurements.
+    pub results: Vec<SceneWitnessBench>,
+    /// Every scene passed both oracle gates with zero contained panics.
+    pub all_clean: bool,
+}
+
+/// Benchmarks the witness pass on one scene.
+pub fn bench_witness_scene(scene: &Scene, repeat: usize) -> SceneWitnessBench {
+    let repeat = repeat.max(1);
+    let component = &scene.component;
+    let program = &component.program;
+    let catalog = SinkCatalog::paper();
+
+    let t = Instant::now();
+    let mut cpg = Cpg::build(program, AnalysisConfig::default());
+    let found = find_gadget_chains(
+        &mut cpg,
+        &catalog,
+        &SourceCatalog::native_serialization(),
+        &SearchConfig::default(),
+    );
+    let found = component.filter_chains(found);
+    let search_wall_s = t.elapsed().as_secs_f64();
+
+    let effective: Vec<bool> = found
+        .iter()
+        .map(|c| tabby_workloads::oracle::chain_is_effective(program, &cpg, c))
+        .collect();
+
+    let mut witness_wall_s = f64::INFINITY;
+    let mut chains = Vec::new();
+    let mut stats = tabby_witness::WitnessStats::default();
+    for _ in 0..repeat {
+        let mut run = found.clone();
+        let t = Instant::now();
+        let run_stats = witness_chains(program, &catalog, &mut run, &WitnessConfig::default());
+        witness_wall_s = witness_wall_s.min(t.elapsed().as_secs_f64());
+        chains = run;
+        stats = run_stats;
+    }
+
+    let no_fake_witnessed = chains
+        .iter()
+        .zip(&effective)
+        .all(|(c, eff)| *eff || c.tier != Some(WitnessTier::Witnessed));
+    let all_effective_witnessed = chains
+        .iter()
+        .zip(&effective)
+        .all(|(c, eff)| !*eff || c.tier == Some(WitnessTier::Witnessed));
+
+    SceneWitnessBench {
+        scene: component.name.clone(),
+        classes: program.classes().len(),
+        chains: chains.len(),
+        witnessed: stats.witnessed,
+        plan_found: stats.plan_found,
+        static_only: stats.static_only,
+        failures: stats.failures,
+        search_wall_s,
+        witness_wall_s,
+        witnessed_per_s: stats.witnessed as f64 / witness_wall_s.max(1e-9),
+        no_fake_witnessed,
+        all_effective_witnessed,
+    }
+}
+
+/// Runs the configured scenes and assembles the report.
+pub fn run_witness_bench(config: &WitnessBenchConfig) -> WitnessBenchReport {
+    let scenes = if config.smoke {
+        scenes::smoke()
+    } else {
+        scenes::all()
+    };
+    let mut results = Vec::new();
+    for scene in &scenes {
+        if !config.only.is_empty() && !config.only.iter().any(|n| n == &scene.component.name) {
+            continue;
+        }
+        results.push(bench_witness_scene(scene, config.repeat));
+    }
+    WitnessBenchReport {
+        scenes: if config.smoke { "smoke" } else { "full" }.to_owned(),
+        repeat: config.repeat,
+        all_clean: results
+            .iter()
+            .all(|r| r.no_fake_witnessed && r.all_effective_witnessed && r.failures == 0),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scene_witnesses_cleanly() {
+        let config = WitnessBenchConfig {
+            smoke: true,
+            only: vec!["JDK8".to_owned()],
+            repeat: 1,
+        };
+        let report = run_witness_bench(&config);
+        assert_eq!(report.results.len(), 1);
+        let scene = &report.results[0];
+        assert!(scene.chains > 0, "smoke scene reports chains");
+        assert!(scene.witnessed > 0, "smoke scene witnesses chains");
+        assert!(scene.no_fake_witnessed, "fake chain witnessed: {scene:?}");
+        assert!(
+            scene.all_effective_witnessed,
+            "effective chain missed: {scene:?}"
+        );
+        assert_eq!(scene.failures, 0);
+        assert_eq!(
+            scene.chains,
+            scene.witnessed + scene.plan_found + scene.static_only
+        );
+        assert!(report.all_clean);
+    }
+}

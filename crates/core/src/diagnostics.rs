@@ -116,6 +116,19 @@ pub struct ScanDiagnostics {
     /// is recomputed and complete.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub artifact_faults: Vec<ArtifactFault>,
+    /// Chains the witness stage confirmed by interpretation (`witnessed`).
+    /// Informational; not a degradation.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub chains_witnessed: usize,
+    /// Chains with a synthesized plan that execution did not confirm
+    /// (`plan-found`). Informational; not a degradation.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub chains_plan_found: usize,
+    /// Chains whose witness interpretation panicked and was contained
+    /// (degraded to `static-only`). Informational — the chain set itself is
+    /// unaffected, only its ranking is coarser.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub witness_failures: usize,
 }
 
 fn is_zero(n: &usize) -> bool {
@@ -151,6 +164,9 @@ impl ScanDiagnostics {
         self.summaries_computed += other.summaries_computed;
         self.methods_with_bodies += other.methods_with_bodies;
         self.artifact_faults.extend(other.artifact_faults);
+        self.chains_witnessed += other.chains_witnessed;
+        self.chains_plan_found += other.chains_plan_found;
+        self.witness_failures += other.witness_failures;
     }
 
     /// One-line human summary, e.g.

@@ -55,6 +55,7 @@ pub mod report;
 pub mod search;
 pub mod sinks;
 pub mod sources;
+pub mod tier;
 
 pub use near::{find_near_chains, BlockedEdge, NearChain, NearChainConfig, NearChainOutcome};
 pub use report::AuditReport;
@@ -66,3 +67,4 @@ pub use search::{
 };
 pub use sinks::{SinkCatalog, SinkCategory, SinkSpec};
 pub use sources::{SourceCatalog, SourceSpec};
+pub use tier::WitnessTier;

@@ -63,6 +63,7 @@ mod tests {
             chains: vec![GadgetChain {
                 signatures: vec!["a.A.readObject".into(), "b.B.exec".into()],
                 sink_category: "EXEC".into(),
+                tier: None,
                 nodes: vec![],
             }],
             graph_size: (10, 20),

@@ -10,6 +10,7 @@
 
 use crate::sinks::{SinkCatalog, SinkSpec};
 use crate::sources::SourceCatalog;
+use crate::tier::WitnessTier;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashSet};
 use tabby_core::{Cpg, CpgSchema};
@@ -92,6 +93,11 @@ pub struct GadgetChain {
     pub signatures: Vec<String>,
     /// The sink's exploit-effect category.
     pub sink_category: String,
+    /// Exploitability tier assigned by the post-search witness stage, when
+    /// it ran (`None` on plain static scans — omitted from JSON so output
+    /// stays byte-identical with witnessing off).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tier: Option<WitnessTier>,
     /// Graph nodes from source to sink.
     #[serde(skip)]
     pub nodes: Vec<NodeId>,
@@ -564,6 +570,7 @@ fn assemble_chains(
         chains.push(GadgetChain {
             signatures,
             sink_category: category_of(sink),
+            tier: None,
             nodes,
         });
     }
@@ -899,6 +906,7 @@ mod tests {
         let chain = |sig: &[&str], node_ids: &[u32]| GadgetChain {
             signatures: sig.iter().map(|s| (*s).to_owned()).collect(),
             sink_category: "EXEC".to_owned(),
+            tier: None,
             nodes: node_ids.iter().map(|&i| NodeId(i)).collect(),
         };
         let mut chains = vec![
@@ -921,6 +929,7 @@ mod tests {
                 "c.Sink.exec".to_owned(),
             ],
             sink_category: "EXEC".to_owned(),
+            tier: None,
             nodes: vec![],
         };
         let text = chain.to_string();

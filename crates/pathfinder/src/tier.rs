@@ -1,0 +1,72 @@
+//! Exploitability tiers assigned by the post-search witness stage.
+//!
+//! The static search reports every chain whose accumulated
+//! Trigger_Condition is satisfiable symbolically; the witness stage
+//! (`tabby-witness`) re-ranks that output by how far a concrete execution
+//! attempt got. The tier lives here, next to [`crate::GadgetChain`], so the
+//! chain type can carry it without `tabby-pathfinder` depending on the
+//! interpreter.
+
+use serde::{Deserialize, Serialize};
+
+/// How far the witness stage got with a chain, from strongest to weakest
+/// evidence. The derived `Ord` follows declaration order, so
+/// `Witnessed > PlanFound > StaticOnly` — a *promotion* is an increase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum WitnessTier {
+    /// No witness plan could be synthesized (unresolvable signatures, sink
+    /// absent from the catalog, or the interpreter panicked) — the chain
+    /// rests on static evidence alone.
+    StaticOnly,
+    /// A concrete plan (alias choices + field assignments) was synthesized,
+    /// but executing it did not confirm the sink call with the polluted
+    /// positions live (dead guard, step budget, lost taint).
+    PlanFound,
+    /// The interpreter executed the plan and reached the sink statement
+    /// with every Trigger_Condition position carrying attacker-controlled
+    /// data.
+    Witnessed,
+}
+
+impl WitnessTier {
+    /// The tier's report label (matches the serde encoding).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WitnessTier::Witnessed => "witnessed",
+            WitnessTier::PlanFound => "plan-found",
+            WitnessTier::StaticOnly => "static-only",
+        }
+    }
+}
+
+impl std::fmt::Display for WitnessTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion_order() {
+        assert!(WitnessTier::Witnessed > WitnessTier::PlanFound);
+        assert!(WitnessTier::PlanFound > WitnessTier::StaticOnly);
+    }
+
+    #[test]
+    fn serde_uses_kebab_labels() {
+        for tier in [
+            WitnessTier::Witnessed,
+            WitnessTier::PlanFound,
+            WitnessTier::StaticOnly,
+        ] {
+            let json = serde_json::to_string(&tier).unwrap();
+            assert_eq!(json, format!("\"{}\"", tier.as_str()));
+            let back: WitnessTier = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, tier);
+        }
+    }
+}

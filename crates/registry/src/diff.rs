@@ -11,8 +11,8 @@
 
 use crate::snapshot::{EdgeKind, Snapshot, SymbolicEdge};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
-use tabby_pathfinder::{find_near_chains, GadgetChain, NearChain, NearChainConfig};
+use std::collections::{BTreeMap, BTreeSet};
+use tabby_pathfinder::{find_near_chains, GadgetChain, NearChain, NearChainConfig, WitnessTier};
 
 /// A chain present in the new snapshot but not the old, with the edge
 /// delta that completed it.
@@ -34,6 +34,28 @@ impl std::fmt::Display for ActivatedChain {
             write!(f, "\n  completed by: {edge}")?;
         }
         Ok(())
+    }
+}
+
+/// A chain present in both snapshots whose witness tier went *up* — e.g. a
+/// statically known chain whose latest version now executes all the way to
+/// its sink (`plan-found` → `witnessed`). No new chain appeared, but an
+/// existing one became more exploitable, so promotions make a diff
+/// non-clean just like activations do. Chains missing a tier (snapshotted
+/// without `--witness`) count as `static-only`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierPromotion {
+    /// The promoted chain, as recorded in the new snapshot.
+    pub chain: GadgetChain,
+    /// Its effective tier in the old snapshot.
+    pub from: WitnessTier,
+    /// Its effective tier in the new snapshot (`from < to` always holds).
+    pub to: WitnessTier,
+}
+
+impl std::fmt::Display for TierPromotion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(promoted {} -> {}) {}", self.from, self.to, self.chain)
     }
 }
 
@@ -60,6 +82,11 @@ pub struct DiffReport {
     pub activated: Vec<ActivatedChain>,
     /// Chains reachable in old but not new.
     pub resolved: Vec<GadgetChain>,
+    /// Chains present in both snapshots whose witness tier increased
+    /// (requires both versions to have been snapshotted with the witness
+    /// stage on; absent tiers count as `static-only`).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tier_promotions: Vec<TierPromotion>,
     /// Near-chains of the new snapshot: one forgiven edge away from a
     /// source, blocking Trigger_Condition position named.
     pub near_chains: Vec<NearChain>,
@@ -68,10 +95,11 @@ pub struct DiffReport {
 }
 
 impl DiffReport {
-    /// True when no chain became newly reachable — the "safe to upgrade"
-    /// signal CI gates on (exit code 0 vs 2).
+    /// True when no chain became newly reachable and no existing chain's
+    /// witness tier increased — the "safe to upgrade" signal CI gates on
+    /// (exit code 0 vs 2).
     pub fn is_clean(&self) -> bool {
-        self.activated.is_empty()
+        self.activated.is_empty() && self.tier_promotions.is_empty()
     }
 }
 
@@ -100,8 +128,14 @@ impl std::fmt::Display for DiffReport {
                 ""
             }
         )?;
+        if !self.tier_promotions.is_empty() {
+            writeln!(f, "  tier promotions: {}", self.tier_promotions.len())?;
+        }
         for a in &self.activated {
             writeln!(f, "{a}")?;
+        }
+        for p in &self.tier_promotions {
+            writeln!(f, "{p}")?;
         }
         for c in &self.resolved {
             writeln!(f, "(resolved) {c}")?;
@@ -117,6 +151,12 @@ impl std::fmt::Display for DiffReport {
 /// stable, signatures and category are.
 fn chain_key(c: &GadgetChain) -> (&[String], &str) {
     (&c.signatures, &c.sink_category)
+}
+
+/// The tier a chain is compared at: a chain snapshotted without the
+/// witness stage has no tier and counts as `static-only`, the floor.
+fn effective_tier(c: &GadgetChain) -> WitnessTier {
+    c.tier.unwrap_or(WitnessTier::StaticOnly)
 }
 
 fn class_of(sig: &str) -> &str {
@@ -153,6 +193,7 @@ pub fn diff_snapshots(old: &Snapshot, new: &Snapshot, near: &NearChainConfig) ->
         changed_methods: Vec::new(),
         activated: Vec::new(),
         resolved: Vec::new(),
+        tier_promotions: Vec::new(),
         near_chains: Vec::new(),
         near_truncated: false,
     };
@@ -184,10 +225,24 @@ pub fn diff_snapshots(old: &Snapshot, new: &Snapshot, near: &NearChainConfig) ->
     }
     report.changed_methods = changed.into_iter().map(str::to_owned).collect();
 
-    let old_chains: BTreeSet<(&[String], &str)> = old.chains.iter().map(chain_key).collect();
+    let old_chains: BTreeMap<(&[String], &str), WitnessTier> = old
+        .chains
+        .iter()
+        .map(|c| (chain_key(c), effective_tier(c)))
+        .collect();
     let new_chains: BTreeSet<(&[String], &str)> = new.chains.iter().map(chain_key).collect();
     for chain in &new.chains {
-        if old_chains.contains(&chain_key(chain)) {
+        if let Some(&old_tier) = old_chains.get(&chain_key(chain)) {
+            // The chain survived the upgrade; report it if its witness
+            // tier went up (a static finding became an executable one).
+            let new_tier = effective_tier(chain);
+            if new_tier > old_tier {
+                report.tier_promotions.push(TierPromotion {
+                    chain: chain.clone(),
+                    from: old_tier,
+                    to: new_tier,
+                });
+            }
             continue;
         }
         let completing_edges: Vec<SymbolicEdge> = report
@@ -239,6 +294,7 @@ mod tests {
         GadgetChain {
             signatures: sigs.iter().map(|s| (*s).to_owned()).collect(),
             sink_category: category.to_owned(),
+            tier: None,
             nodes: Vec::new(),
         }
     }
@@ -370,6 +426,36 @@ mod tests {
         let v2 = version(2, true);
         let report = diff_snapshots(&v2, &v2, &NearChainConfig::default());
         assert!(report.identical);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn tier_promotion_is_reported_and_makes_the_diff_dirty() {
+        // Same chain in both versions; only the witness tier moves.
+        let mut v2 = version(2, true);
+        let mut v3 = version(3, true);
+        v2.chains[0].tier = Some(WitnessTier::PlanFound);
+        v3.chains[0].tier = Some(WitnessTier::Witnessed);
+        let report = diff_snapshots(&v2, &v3, &NearChainConfig::default());
+        assert!(report.activated.is_empty(), "{report}");
+        assert_eq!(report.tier_promotions.len(), 1, "{report}");
+        let p = &report.tier_promotions[0];
+        assert_eq!(p.from, WitnessTier::PlanFound);
+        assert_eq!(p.to, WitnessTier::Witnessed);
+        assert_eq!(p.chain.source(), "t.Pivot.readObject");
+        assert!(!report.is_clean(), "a promotion is an escalation");
+        let text = report.to_string();
+        assert!(text.contains("tier promotions: 1"), "{text}");
+        assert!(text.contains("promoted plan-found -> witnessed"), "{text}");
+        // An untiered old snapshot counts as static-only: moving to a
+        // tiered one still reports the climb …
+        v2.chains[0].tier = None;
+        let report = diff_snapshots(&v2, &v3, &NearChainConfig::default());
+        assert_eq!(report.tier_promotions.len(), 1);
+        assert_eq!(report.tier_promotions[0].from, WitnessTier::StaticOnly);
+        // … while a demotion (or equal tier) reports nothing.
+        let report = diff_snapshots(&v3, &v2, &NearChainConfig::default());
+        assert!(report.tier_promotions.is_empty(), "{report}");
         assert!(report.is_clean());
     }
 

@@ -51,7 +51,7 @@ pub mod diff;
 pub mod snapshot;
 pub mod store;
 
-pub use diff::{diff_snapshots, ActivatedChain, DiffReport};
+pub use diff::{diff_snapshots, ActivatedChain, DiffReport, TierPromotion};
 pub use snapshot::{
     corpus_content_key, hash_inputs, EdgeKind, SinkEntry, Snapshot, SymbolicEdge, SNAPSHOT_FORMAT,
 };

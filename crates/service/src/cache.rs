@@ -496,6 +496,7 @@ mod tests {
             chains: vec![GadgetChain {
                 signatures: vec![sig.to_owned()],
                 sink_category: "EXEC".to_owned(),
+                tier: None,
                 nodes: Vec::new(),
             }],
             diagnostics: ScanDiagnostics::default(),

@@ -248,13 +248,21 @@ impl Engine {
                 stats.classes = input.content.len();
                 stats.job_cache_hit = true;
                 stats.cache_hit_ratio = 1.0;
-                stats.total_ms = ms_since(started);
                 let mut served = cached.diagnostics;
                 served
                     .artifact_faults
                     .extend(std::mem::take(&mut diagnostics.artifact_faults));
+                // The chain cache stores tier-free chains (the witness flag
+                // is excluded from job keys: it never changes the chain
+                // set), so witnessing runs post-hoc even on a hit. The
+                // per-class cache makes the re-lift nearly free.
+                let mut chains = cached.chains;
+                if options.witness {
+                    self.apply_witness(&input, &mut chains, &mut stats, &mut served);
+                }
+                stats.total_ms = ms_since(started);
                 return Ok(JobOutcome {
-                    chains: cached.chains,
+                    chains,
                     stats,
                     diagnostics: served,
                 });
@@ -321,9 +329,15 @@ impl Engine {
                 .artifact_faults
                 .extend(cache.take_artifact_faults());
         }
+        // Witness *after* the cache write: stored chain sets stay tier-free
+        // so witness and non-witness jobs can share them.
+        let mut chains = search.chains;
+        if options.witness {
+            self.apply_witness(&input, &mut chains, &mut stats, &mut diagnostics);
+        }
         stats.total_ms = ms_since(started);
         Ok(JobOutcome {
-            chains: search.chains,
+            chains,
             stats,
             diagnostics,
         })
@@ -530,6 +544,15 @@ impl Engine {
                 .extend(cache.take_artifact_faults());
         }
 
+        // ----- witness (tiers recorded in the snapshot) --------------------
+        // Runs after the cache write (stored chain sets stay tier-free) and
+        // before the snapshot build, so registered versions carry tiers and
+        // later diffs can report tier promotions.
+        let mut chains = search.chains;
+        if options.witness {
+            self.apply_witness(&input, &mut chains, &mut stats, &mut diagnostics);
+        }
+
         // ----- snapshot + register + diff ----------------------------------
         let snapshot_sinks: Vec<(NodeId, Vec<u16>, String)> = cpg
             .sinks
@@ -547,7 +570,7 @@ impl Engine {
             &schema,
             &snapshot_sinks,
             &snapshot_sources,
-            &search.chains,
+            &chains,
             &diagnostics,
             class_hashes,
             options.depth,
@@ -581,6 +604,82 @@ impl Engine {
             stats,
             diagnostics,
         })
+    }
+
+    /// Runs the witness stage over `chains` in place: re-lifts the job's
+    /// classes through the per-class cache (the chain search works on the
+    /// CPG and never keeps the IR around) and tiers every chain. Witness
+    /// counters land in the diagnostics, time in `stats.witness_ms`.
+    fn apply_witness(
+        &self,
+        input: &JobInput,
+        chains: &mut [GadgetChain],
+        stats: &mut JobStats,
+        diagnostics: &mut ScanDiagnostics,
+    ) {
+        let t_witness = Instant::now();
+        let program = self.lift_for_witness(input);
+        let witness_stats = tabby_witness::witness_chains(
+            &program,
+            &SinkCatalog::paper(),
+            chains,
+            &tabby_witness::WitnessConfig::default(),
+        );
+        diagnostics.chains_witnessed = witness_stats.witnessed;
+        diagnostics.chains_plan_found = witness_stats.plan_found;
+        diagnostics.witness_failures = witness_stats.failures;
+        stats.witness_ms = ms_since(t_witness);
+    }
+
+    /// Lifts the job's classes into a [`Program`] for the witness stage,
+    /// riding the per-class cache (on a warm cache this is lookups plus
+    /// assembly, no parsing). Lift failures are skipped silently here: the
+    /// scan itself already recorded them as skipped classes, or rejected
+    /// the job outright in strict mode. Class ordering and name dedup
+    /// mirror [`Engine::resolve_cpg`], so `MethodId`s line up with the
+    /// scanned program.
+    fn lift_for_witness(&self, input: &JobInput) -> Program {
+        let mut cache = self.lock_cache();
+        let mut resolved = Vec::with_capacity(input.blobs.len());
+        let mut seen = HashSet::new();
+        for (bytes, hash) in &input.blobs {
+            if !seen.insert(*hash) {
+                continue;
+            }
+            if let Some(c) = cache.get_class(*hash) {
+                resolved.push((c.fqcn.clone(), c.class.clone()));
+                continue;
+            }
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || -> Result<(String, tabby_ir::Class), ()> {
+                    let cf = tabby_classfile::parse_class(bytes).map_err(|_| ())?;
+                    let interner = cache.interner_mut();
+                    let class = lift_class(interner, &cf).map_err(|_| ())?;
+                    let fqcn = interner.resolve(class.name).to_owned();
+                    Ok((fqcn, class))
+                },
+            ));
+            if let Ok(Ok((fqcn, class))) = attempt {
+                cache.put_class(
+                    *hash,
+                    CachedClass {
+                        fqcn: fqcn.clone(),
+                        class: class.clone(),
+                    },
+                );
+                resolved.push((fqcn, class));
+            }
+        }
+        resolved.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut pb = ProgramBuilder::with_interner(cache.interner_snapshot());
+        let mut seen_names: HashSet<String> = HashSet::new();
+        for (fqcn, class) in resolved {
+            if !seen_names.insert(fqcn) {
+                continue;
+            }
+            pb.push_class(class);
+        }
+        pb.build()
     }
 
     /// Derives the three cache keys for one job. The CPG and chain keys
@@ -1526,6 +1625,78 @@ mod tests {
         assert!(err.contains("bare corpus name"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&reg);
+    }
+
+    /// One serializable class with a real chain:
+    /// `t.Evil.readObject` → `Runtime.exec(this.cmd)`.
+    fn chainful_corpus() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("t.Evil");
+        cb.serializable_in_place();
+        let string = cb.object_type("java.lang.String");
+        let ois = cb.object_type("java.io.ObjectInputStream");
+        let runtime = cb.object_type("java.lang.Runtime");
+        let process = cb.object_type("java.lang.Process");
+        cb.field("cmd", string.clone());
+        let mut mb = cb.method("readObject", vec![ois], JType::Void);
+        let this = mb.this();
+        let cmd = mb.fresh();
+        mb.get_field(cmd, this, "t.Evil", "cmd", string.clone());
+        let rt = mb.fresh();
+        let get_rt = mb.sig("java.lang.Runtime", "getRuntime", &[], runtime);
+        mb.call_static(Some(rt), get_rt, &[]);
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string.clone()], process);
+        mb.call_virtual(None, rt, exec, &[cmd.into()]);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        pb.build()
+    }
+
+    #[test]
+    fn witness_tiers_apply_post_hoc_on_cache_hits() {
+        use tabby_pathfinder::WitnessTier;
+        let dir = temp_dir("witness");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, bytes) in compile_program(&chainful_corpus()) {
+            std::fs::write(dir.join(format!("{name}.class")), bytes).unwrap();
+        }
+        let engine = Engine::new(None, 8, 1);
+        let paths = [dir.to_string_lossy().into_owned()];
+        let witness_opts = ScanRequestOptions {
+            witness: true,
+            ..ScanRequestOptions::default()
+        };
+        let cold = engine
+            .run_scan(&paths, &witness_opts, far_deadline())
+            .expect("witness scan succeeds");
+        assert!(!cold.chains.is_empty(), "the planted chain is found");
+        assert!(
+            cold.chains
+                .iter()
+                .all(|c| c.tier == Some(WitnessTier::Witnessed)),
+            "the planted chain executes to its sink: {:?}",
+            cold.chains
+        );
+        assert_eq!(cold.diagnostics.chains_witnessed, cold.chains.len());
+        // A plain scan shares the cache entry (the witness flag is not in
+        // the job key) and comes back tier-free.
+        let plain = engine
+            .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+            .expect("plain scan succeeds");
+        assert!(plain.stats.job_cache_hit);
+        assert!(plain.chains.iter().all(|c| c.tier.is_none()));
+        // A witness scan over the same cache hit re-tiers post-hoc and is
+        // byte-identical to the cold witness scan.
+        let warm = engine
+            .run_scan(&paths, &witness_opts, far_deadline())
+            .expect("warm witness scan succeeds");
+        assert!(warm.stats.job_cache_hit);
+        assert_eq!(
+            serde_json::to_string(&warm.chains).unwrap(),
+            serde_json::to_string(&cold.chains).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

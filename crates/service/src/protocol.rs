@@ -20,8 +20,12 @@ use tabby_registry::DiffReport;
 /// (differential scanning against a snapshot registry) and watch mode;
 /// v4 added the overload contract — `busy` rejections carrying a
 /// `retry_after_ms` backoff hint (full queue or per-client in-flight cap)
-/// that well-behaved clients honor — and artifact-fault diagnostics.
-pub const PROTOCOL_VERSION: u32 = 4;
+/// that well-behaved clients honor — and artifact-fault diagnostics; v5
+/// added the witness stage: [`ScanRequestOptions::witness`] asks the daemon
+/// to tier every chain (`witnessed` > `plan-found` > `static-only`). Like
+/// `search_threads`, the flag is excluded from job cache keys — the chain
+/// *set* is unchanged, so witnessing runs post-hoc even on a cache hit.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Parses one request line, enforcing the protocol version.
 ///
@@ -201,6 +205,13 @@ pub struct ScanRequestOptions {
     /// unmemoized walk; the chain set is identical either way.
     #[serde(default = "default_tc_memo")]
     pub tc_memo: bool,
+    /// Run the post-search witness stage: synthesize a concrete plan per
+    /// chain, execute it in the IR interpreter, and tier every chain
+    /// (`witnessed` > `plan-found` > `static-only`). Like `search_threads`
+    /// and `tc_memo`, this does not change the chain *set*, so it is
+    /// excluded from job cache keys and applied post-hoc on cache hits.
+    #[serde(default)]
+    pub witness: bool,
 }
 
 impl Default for ScanRequestOptions {
@@ -213,6 +224,7 @@ impl Default for ScanRequestOptions {
             inject_fault: None,
             search_threads: None,
             tc_memo: true,
+            witness: false,
         }
     }
 }
@@ -276,6 +288,10 @@ pub struct JobStats {
     pub build_ms: u64,
     /// Milliseconds spent in the backwards chain search.
     pub search_ms: u64,
+    /// Milliseconds spent in the witness stage (0 unless the request set
+    /// [`ScanRequestOptions::witness`]).
+    #[serde(default)]
+    pub witness_ms: u64,
     /// End-to-end milliseconds including queue wait.
     pub total_ms: u64,
     /// Distinct classes in the scanned component.
@@ -583,7 +599,10 @@ mod tests {
         };
         let line = encode_request(&req).unwrap();
         assert!(line.contains("\"cmd\":\"scan\""));
-        assert!(line.contains("\"v\":3"));
+        assert!(
+            line.contains(&format!("\"v\":{PROTOCOL_VERSION}")),
+            "{line}"
+        );
         let back = parse_request(&line).unwrap();
         match back {
             Request::Scan { id, paths, options } => {
@@ -598,12 +617,13 @@ mod tests {
 
     #[test]
     fn scan_options_default_when_absent() {
-        let req = parse_request(r#"{"v":4,"cmd":"scan","paths":["a.class"]}"#).unwrap();
+        let req = parse_request(r#"{"v":5,"cmd":"scan","paths":["a.class"]}"#).unwrap();
         match req {
             Request::Scan { id, options, .. } => {
                 assert!(id.is_none());
                 assert_eq!(options, ScanRequestOptions::default());
                 assert_eq!(options.depth, 12);
+                assert!(!options.witness, "witness defaults off when absent");
             }
             other => panic!("unexpected request: {other:?}"),
         }
@@ -612,7 +632,7 @@ mod tests {
     #[test]
     fn query_request_round_trips_with_default_options() {
         let req = parse_request(
-            r#"{"v":4,"cmd":"query","paths":["/tmp/app"],"query":"MATCH (m) RETURN m"}"#,
+            r#"{"v":5,"cmd":"query","paths":["/tmp/app"],"query":"MATCH (m) RETURN m"}"#,
         )
         .unwrap();
         match req {
@@ -636,26 +656,26 @@ mod tests {
     fn unversioned_request_is_rejected_with_a_clear_message() {
         let err = parse_request(r#"{"cmd":"ping"}"#).unwrap_err();
         assert!(err.contains("unversioned request"), "{err}");
-        assert!(err.contains("v4"), "{err}");
+        assert!(err.contains("v5"), "{err}");
     }
 
     #[test]
     fn version_mismatch_names_both_versions() {
         let err = parse_request(r#"{"v":1,"cmd":"ping"}"#).unwrap_err();
         assert!(err.contains("request is v1"), "{err}");
-        assert!(err.contains("daemon speaks v4"), "{err}");
-        // A v2 client (pre-diff protocol) hitting a v3 daemon gets the
+        assert!(err.contains("daemon speaks v5"), "{err}");
+        // A v4 client (pre-witness protocol) hitting a v5 daemon gets the
         // same structured rejection, not a guessy partial parse.
-        let err = parse_request(r#"{"v":2,"cmd":"ping"}"#).unwrap_err();
-        assert!(err.contains("request is v2"), "{err}");
-        assert!(err.contains("daemon speaks v4"), "{err}");
+        let err = parse_request(r#"{"v":4,"cmd":"ping"}"#).unwrap_err();
+        assert!(err.contains("request is v4"), "{err}");
+        assert!(err.contains("daemon speaks v5"), "{err}");
         let err = parse_request(r#"{"v":"two","cmd":"ping"}"#).unwrap_err();
-        assert!(err.contains("must be the integer 4"), "{err}");
+        assert!(err.contains("must be the integer 5"), "{err}");
     }
 
     #[test]
     fn unknown_command_is_a_parse_error() {
-        assert!(parse_request(r#"{"v":4,"cmd":"explode"}"#)
+        assert!(parse_request(r#"{"v":5,"cmd":"explode"}"#)
             .unwrap_err()
             .contains("malformed request"));
         assert!(parse_request("not json")
@@ -666,7 +686,10 @@ mod tests {
     #[test]
     fn responses_carry_the_protocol_version() {
         let line = serde_json::to_string(&Response::ack(None)).unwrap();
-        assert!(line.contains("\"v\":3"), "{line}");
+        assert!(
+            line.contains(&format!("\"v\":{PROTOCOL_VERSION}")),
+            "{line}"
+        );
         let back: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(back.v, PROTOCOL_VERSION);
         // An unversioned (v1) reply deserializes as v = 0.
@@ -702,7 +725,7 @@ mod tests {
     #[test]
     fn diff_request_round_trips_with_defaults() {
         let req = parse_request(
-            r#"{"v":4,"cmd":"diff","paths":["/tmp/app"],"registry":"/tmp/reg","corpus":"demo"}"#,
+            r#"{"v":5,"cmd":"diff","paths":["/tmp/app"],"registry":"/tmp/reg","corpus":"demo"}"#,
         )
         .unwrap();
         match req {

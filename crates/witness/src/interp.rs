@@ -1,0 +1,537 @@
+//! A small-step interpreter over the lifted IR.
+//!
+//! The interpreter executes a witness plan concretely: it runs the entry
+//! method on an attacker-built receiver, follows the chain hop-by-hop
+//! through resolved call sites (dispatching each alias run to the plan's
+//! chosen override), and checks at the sink call site whether the positions
+//! named by the sink's Trigger_Condition actually carry attacker taint.
+//!
+//! Everything the attacker cannot determine is a *chameleon*: a fresh
+//! opaque object whose fields materialize on demand — tainted when the plan
+//! assigns that field, absent otherwise. Calls that leave the chain are
+//! havocked (a fresh value tainted iff any input was), never stepped into,
+//! so execution cost stays proportional to the chain, not the program.
+//!
+//! The interpreter is total by construction: a step budget and a recursion
+//! cap bound runaway loops, unmodeled statements fall back to conservative
+//! no-ops, and the driver wraps each chain in panic containment consistent
+//! with the degraded-mode semantics used elsewhere in the pipeline.
+
+use crate::plan::Resolved;
+use crate::WitnessConfig;
+use std::collections::HashMap;
+use tabby_ir::{
+    BinOp, CmpOp, Condition, Expr, FieldRef, Hierarchy, IdentityRef, InvokeExpr, InvokeKind, Local,
+    MethodId, Operand, Place, Program, Stmt, Symbol, UnOp,
+};
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Halt {
+    /// The sink call site was reached with every Trigger_Condition position
+    /// carrying attacker taint.
+    Witnessed,
+    /// The sink call site was reached, but some required position was clean.
+    Unpolluted,
+    /// The entry returned without ever reaching the sink.
+    Finished,
+    /// An explicit `throw` ended the execution.
+    Thrown,
+    /// Step budget or recursion cap exhausted.
+    Budget,
+}
+
+/// Stop reasons propagated through call frames as `Err`.
+enum Stop {
+    Witnessed,
+    Unpolluted,
+    Thrown,
+    Budget,
+}
+
+/// A concrete-enough runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    /// The null reference.
+    Null,
+    /// An integral constant (booleans included).
+    Int(i64),
+    /// A value we track taint for but not structure (strings, floats, …).
+    Opaque,
+    /// A heap object.
+    Ref(usize),
+}
+
+/// A tainted value: the value plus whether the attacker controls it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TV {
+    v: Val,
+    t: bool,
+}
+
+impl TV {
+    const NULL: TV = TV {
+        v: Val::Null,
+        t: false,
+    };
+}
+
+/// A heap object. `tainted` marks attacker-built objects: loading a
+/// plan-assigned field from one materializes attacker data.
+struct Obj {
+    fields: HashMap<(Symbol, Symbol), TV>,
+    elems: Vec<TV>,
+    tainted: bool,
+}
+
+/// Upper bound on materialized array storage, to keep a hostile index from
+/// ballooning the heap.
+const MAX_ELEMS: usize = 4096;
+
+struct Interp<'a> {
+    program: &'a Program,
+    hierarchy: &'a Hierarchy<'a>,
+    resolved: &'a Resolved,
+    /// Sorted `(class, field)` pairs the plan assigns.
+    assignments: &'a [(String, String)],
+    heap: Vec<Obj>,
+    statics: HashMap<(Symbol, Symbol), TV>,
+    steps: usize,
+    step_budget: usize,
+    max_depth: usize,
+}
+
+/// Executes a resolved plan and reports how it halted.
+pub(crate) fn run(
+    program: &Program,
+    hierarchy: &Hierarchy<'_>,
+    resolved: &Resolved,
+    assignments: &[(String, String)],
+    config: &WitnessConfig,
+) -> Halt {
+    let mut interp = Interp {
+        program,
+        hierarchy,
+        resolved,
+        assignments,
+        heap: Vec::new(),
+        statics: HashMap::new(),
+        steps: 0,
+        step_budget: config.step_budget,
+        max_depth: config.max_call_depth,
+    };
+    let entry = program.method(resolved.entry);
+    let this = if entry.is_static() {
+        None
+    } else {
+        Some(interp.fresh(true))
+    };
+    let args: Vec<TV> = (0..entry.params.len())
+        .map(|_| interp.fresh(true))
+        .collect();
+    // The entry's own alias run is already "executed" by entering it: the
+    // cursor starts past the run so the first call out of the entry body is
+    // matched against the next logical hop.
+    let cursor = resolved.run_end[0];
+    match interp.exec_method(resolved.entry, this, &args, cursor, 0) {
+        Ok(_) => Halt::Finished,
+        Err(Stop::Witnessed) => Halt::Witnessed,
+        Err(Stop::Unpolluted) => Halt::Unpolluted,
+        Err(Stop::Thrown) => Halt::Thrown,
+        Err(Stop::Budget) => Halt::Budget,
+    }
+}
+
+fn get_local(locals: &[TV], l: Local) -> TV {
+    locals.get(l.0 as usize).copied().unwrap_or(TV::NULL)
+}
+
+fn set_local(locals: &mut Vec<TV>, l: Local, v: TV) {
+    let i = l.0 as usize;
+    if i >= locals.len() {
+        locals.resize(i + 1, TV::NULL);
+    }
+    locals[i] = v;
+}
+
+impl<'a> Interp<'a> {
+    /// Allocates a fresh chameleon object.
+    fn fresh(&mut self, tainted: bool) -> TV {
+        self.heap.push(Obj {
+            fields: HashMap::new(),
+            elems: Vec::new(),
+            tainted,
+        });
+        TV {
+            v: Val::Ref(self.heap.len() - 1),
+            t: tainted,
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), Stop> {
+        self.steps += 1;
+        if self.steps > self.step_budget {
+            Err(Stop::Budget)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether the plan assigns attacker data to `field`.
+    fn assigned(&self, field: &FieldRef) -> bool {
+        let key = (
+            self.program.name(field.class),
+            self.program.name(field.name),
+        );
+        self.assignments
+            .binary_search_by(|(c, f)| (c.as_str(), f.as_str()).cmp(&key))
+            .is_ok()
+    }
+
+    /// Whether a call site's resolved target is chain hop `idx`, using the
+    /// same resolution the search used to label the hop: resolve against the
+    /// declared owner's hierarchy, falling back to the phantom name.
+    fn matches_hop(&self, inv: &InvokeExpr, idx: usize) -> bool {
+        let (class, name) = &self.resolved.pairs[idx];
+        let p = self.program;
+        if p.name(inv.callee.name) != name {
+            return false;
+        }
+        if let Some(cid) = p.class_by_name(inv.callee.class) {
+            if let Some(mid) =
+                self.hierarchy
+                    .resolve_method(cid, inv.callee.name, inv.callee.params.len())
+            {
+                return p.name(p.class(mid.class).name) == class;
+            }
+        }
+        p.name(inv.callee.class) == class
+    }
+
+    fn operand(&self, locals: &[TV], op: &Operand) -> TV {
+        match op {
+            Operand::Local(l) => get_local(locals, *l),
+            Operand::Const(c) => match c {
+                tabby_ir::Constant::Int(v) => TV {
+                    v: Val::Int(*v),
+                    t: false,
+                },
+                tabby_ir::Constant::Null => TV::NULL,
+                _ => TV {
+                    v: Val::Opaque,
+                    t: false,
+                },
+            },
+        }
+    }
+
+    fn exec_method(
+        &mut self,
+        mid: MethodId,
+        this: Option<TV>,
+        args: &[TV],
+        cursor: usize,
+        depth: usize,
+    ) -> Result<Option<TV>, Stop> {
+        if depth > self.max_depth {
+            return Err(Stop::Budget);
+        }
+        let method = self.program.method(mid);
+        let Some(body) = &method.body else {
+            return Ok(None);
+        };
+        let mut locals = vec![TV::NULL; body.locals as usize];
+        let mut pc = 0usize;
+        while pc < body.stmts.len() {
+            self.tick()?;
+            match &body.stmts[pc] {
+                Stmt::Identity { local, source } => {
+                    let v = match source {
+                        IdentityRef::This => this.unwrap_or(TV::NULL),
+                        IdentityRef::Param(i) => args.get(*i as usize).copied().unwrap_or(TV::NULL),
+                        IdentityRef::CaughtException => TV::NULL,
+                    };
+                    set_local(&mut locals, *local, v);
+                }
+                Stmt::Assign { place, rhs } => {
+                    let v = self.eval(&mut locals, rhs, cursor, depth)?;
+                    self.store(&mut locals, place, v);
+                }
+                Stmt::Invoke(inv) => {
+                    self.invoke(&locals, inv, cursor, depth)?;
+                }
+                Stmt::Return(op) => {
+                    return Ok(op.as_ref().map(|o| self.operand(&locals, o)));
+                }
+                Stmt::If { cond, target } => {
+                    if self.decide(&locals, cond) {
+                        pc = body.target(*target);
+                        continue;
+                    }
+                }
+                Stmt::Goto(l) => {
+                    pc = body.target(*l);
+                    continue;
+                }
+                Stmt::Switch {
+                    key,
+                    cases,
+                    default,
+                } => {
+                    let k = self.operand(&locals, key);
+                    let label = match k.v {
+                        Val::Int(v) => cases
+                            .iter()
+                            .find(|(c, _)| *c == v)
+                            .map(|(_, l)| *l)
+                            .unwrap_or(*default),
+                        _ => *default,
+                    };
+                    pc = body.target(label);
+                    continue;
+                }
+                Stmt::Throw(_) => return Err(Stop::Thrown),
+                Stmt::Ret(_) => return Ok(None),
+                Stmt::EnterMonitor(_) | Stmt::ExitMonitor(_) | Stmt::Nop | Stmt::Breakpoint => {}
+            }
+            pc += 1;
+        }
+        Ok(None)
+    }
+
+    /// Evaluates a call: the sink check happens here, on-chain calls step
+    /// into the plan's chosen override, everything else is havocked.
+    fn invoke(
+        &mut self,
+        locals: &[TV],
+        inv: &InvokeExpr,
+        cursor: usize,
+        depth: usize,
+    ) -> Result<TV, Stop> {
+        self.tick()?;
+        let base = inv.base.as_ref().map(|o| self.operand(locals, o));
+        let args: Vec<TV> = inv.args.iter().map(|o| self.operand(locals, o)).collect();
+        let next = cursor + 1;
+        if inv.kind != InvokeKind::Dynamic
+            && next < self.resolved.pairs.len()
+            && self.matches_hop(inv, next)
+        {
+            let end = self.resolved.run_end[next];
+            if end == self.resolved.pairs.len() - 1 {
+                // Sink arrival: check the Trigger_Condition concretely.
+                let polluted = self.resolved.trigger_condition.iter().all(|&pos| {
+                    if pos == 0 {
+                        base.map(|b| b.t).unwrap_or(false)
+                    } else {
+                        args.get(pos as usize - 1).map(|a| a.t).unwrap_or(false)
+                    }
+                });
+                return Err(if polluted {
+                    Stop::Witnessed
+                } else {
+                    Stop::Unpolluted
+                });
+            }
+            if let Some(mid) = self.resolved.chosen[next] {
+                let callee = self.program.method(mid);
+                let this = if callee.is_static() { None } else { base };
+                let ret = self.exec_method(mid, this, &args, end, depth + 1)?;
+                return Ok(ret.unwrap_or(TV::NULL));
+            }
+            // No element of the run has a body (fully phantom dispatch):
+            // fall through to havoc.
+        }
+        let tainted = base.map(|b| b.t).unwrap_or(false) || args.iter().any(|a| a.t);
+        Ok(self.fresh(tainted))
+    }
+
+    fn eval(
+        &mut self,
+        locals: &mut Vec<TV>,
+        expr: &Expr,
+        cursor: usize,
+        depth: usize,
+    ) -> Result<TV, Stop> {
+        Ok(match expr {
+            Expr::Use(op) => self.operand(locals, op),
+            Expr::Load(place) => self.load(locals, place),
+            Expr::New(_) => self.fresh(false),
+            Expr::NewArray { len, .. } => {
+                let n = match self.operand(locals, len).v {
+                    Val::Int(n) if n >= 0 => (n as usize).min(MAX_ELEMS),
+                    _ => 0,
+                };
+                let tv = self.fresh(false);
+                if let Val::Ref(i) = tv.v {
+                    self.heap[i].elems = vec![TV::NULL; n];
+                }
+                tv
+            }
+            Expr::Cast { value, .. } => self.operand(locals, value),
+            Expr::InstanceOf { value, .. } => TV {
+                v: Val::Opaque,
+                t: self.operand(locals, value).t,
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.operand(locals, lhs);
+                let r = self.operand(locals, rhs);
+                let v = match (l.v, r.v) {
+                    (Val::Int(a), Val::Int(b)) => Val::Int(binop(*op, a, b)),
+                    _ => Val::Opaque,
+                };
+                TV { v, t: l.t || r.t }
+            }
+            Expr::Unary { op, value } => {
+                let x = self.operand(locals, value);
+                let v = match (op, x.v) {
+                    (UnOp::Neg, Val::Int(a)) => Val::Int(a.wrapping_neg()),
+                    _ => Val::Opaque,
+                };
+                TV { v, t: x.t }
+            }
+            Expr::ArrayLength(op) => {
+                let x = self.operand(locals, op);
+                let v = match x.v {
+                    Val::Ref(i) => Val::Int(self.heap[i].elems.len() as i64),
+                    _ => Val::Opaque,
+                };
+                TV { v, t: x.t }
+            }
+            Expr::Invoke(inv) => self.invoke(locals, inv, cursor, depth)?,
+        })
+    }
+
+    fn load(&mut self, locals: &[TV], place: &Place) -> TV {
+        match place {
+            Place::Local(l) => get_local(locals, *l),
+            Place::InstanceField { base, field } => {
+                let b = get_local(locals, *base);
+                if let Val::Ref(i) = b.v {
+                    let key = (field.class, field.name);
+                    if let Some(v) = self.heap[i].fields.get(&key) {
+                        return *v;
+                    }
+                    if self.heap[i].tainted && self.assigned(field) {
+                        // Materialize the attacker-assigned field once per
+                        // object, so repeated loads see the same value.
+                        let v = self.fresh(true);
+                        self.heap[i].fields.insert(key, v);
+                        return v;
+                    }
+                }
+                TV::NULL
+            }
+            Place::StaticField(f) => {
+                let key = (f.class, f.name);
+                if let Some(v) = self.statics.get(&key) {
+                    return *v;
+                }
+                // Statics are environment-provided and never attacker data.
+                let v = self.fresh(false);
+                self.statics.insert(key, v);
+                v
+            }
+            Place::ArrayElem { base, index } => {
+                let b = get_local(locals, *base);
+                let idx = self.operand(locals, index);
+                if let Val::Ref(i) = b.v {
+                    if let Val::Int(n) = idx.v {
+                        if n >= 0 && (n as usize) < self.heap[i].elems.len() {
+                            return self.heap[i].elems[n as usize];
+                        }
+                    }
+                    if self.heap[i].tainted {
+                        // Unmaterialized slot of an attacker-built array.
+                        return self.fresh(true);
+                    }
+                }
+                TV::NULL
+            }
+        }
+    }
+
+    fn store(&mut self, locals: &mut Vec<TV>, place: &Place, v: TV) {
+        match place {
+            Place::Local(l) => set_local(locals, *l, v),
+            Place::InstanceField { base, field } => {
+                if let Val::Ref(i) = get_local(locals, *base).v {
+                    self.heap[i].fields.insert((field.class, field.name), v);
+                }
+            }
+            Place::StaticField(f) => {
+                self.statics.insert((f.class, f.name), v);
+            }
+            Place::ArrayElem { base, index } => {
+                let idx = self.operand(locals, index);
+                if let (Val::Ref(i), Val::Int(n)) = (get_local(locals, *base).v, idx.v) {
+                    if n >= 0 && (n as usize) < MAX_ELEMS {
+                        let elems = &mut self.heap[i].elems;
+                        if elems.len() <= n as usize {
+                            elems.resize(n as usize + 1, TV::NULL);
+                        }
+                        elems[n as usize] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decides a branch condition. Undecidable comparisons (opaque values)
+    /// conservatively fall through, matching the straight-line reading the
+    /// effectiveness oracle uses.
+    fn decide(&self, locals: &[TV], cond: &Condition) -> bool {
+        let l = self.operand(locals, &cond.lhs);
+        let r = self.operand(locals, &cond.rhs);
+        match (l.v, r.v) {
+            (Val::Int(a), Val::Int(b)) => match cond.op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            },
+            (Val::Null, Val::Null) => matches!(cond.op, CmpOp::Eq),
+            (Val::Null, Val::Ref(_)) | (Val::Ref(_), Val::Null) => matches!(cond.op, CmpOp::Ne),
+            (Val::Ref(a), Val::Ref(b)) => match cond.op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+fn binop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::Shr => a.wrapping_shr(b as u32),
+        BinOp::Ushr => ((a as u64).wrapping_shr(b as u32)) as i64,
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Cmp => match a.cmp(&b) {
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+            std::cmp::Ordering::Greater => 1,
+        },
+    }
+}

@@ -1,0 +1,466 @@
+//! Witness synthesis for reported gadget chains (the post-search stage).
+//!
+//! The static search reports chains whose accumulated Trigger_Condition is
+//! satisfiable, but "satisfiable on paper" and "the sink actually fires" are
+//! different claims. This crate closes the gap: for each reported chain it
+//! synthesizes a **witness plan** — the concrete subclass chosen at every
+//! ALIAS edge and the field assignments the crafted object graph must carry
+//! — and then *executes* the plan in a small-step interpreter over the
+//! lifted IR, confirming that the sink statement is reached with the
+//! polluted argument in place.
+//!
+//! The result is a three-level exploitability ranking:
+//!
+//! | tier | meaning |
+//! |------|---------|
+//! | [`WitnessTier::Witnessed`] | interpreter reached the sink with taint on every Trigger_Condition position |
+//! | [`WitnessTier::PlanFound`] | a concrete plan exists, but execution did not confirm the sink (dead guard, clean argument, budget) |
+//! | [`WitnessTier::StaticOnly`] | no plan could be concretized (phantom entry, unknown sink, interpreter failure) |
+//!
+//! Witnessing is a pure function of the program and the chain's signature
+//! list, so tiers are deterministic across search-thread counts and cache
+//! configurations. Interpreter panics are contained per chain — consistent
+//! with the pipeline's degraded-mode semantics — and degrade that chain to
+//! `static-only` without failing the scan.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod interp;
+mod plan;
+
+pub use plan::{AliasChoice, FieldAssignment, WitnessPlan};
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use tabby_ir::{Hierarchy, Program};
+use tabby_pathfinder::{GadgetChain, SinkCatalog, WitnessTier};
+
+/// Execution limits for the witness interpreter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WitnessConfig {
+    /// Maximum interpreter steps per chain before giving up.
+    pub step_budget: usize,
+    /// Maximum call-frame depth per chain.
+    pub max_call_depth: usize,
+}
+
+impl Default for WitnessConfig {
+    fn default() -> Self {
+        Self {
+            step_budget: 200_000,
+            max_call_depth: 256,
+        }
+    }
+}
+
+/// Aggregate outcome of witnessing a batch of chains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessStats {
+    /// Chains confirmed by execution.
+    pub witnessed: usize,
+    /// Chains with a plan that execution did not confirm.
+    pub plan_found: usize,
+    /// Chains that could not be concretized.
+    pub static_only: usize,
+    /// Chains whose interpretation panicked (contained; degraded to
+    /// `static-only`).
+    pub failures: usize,
+}
+
+impl WitnessStats {
+    /// Accumulates another batch's counters.
+    pub fn merge(&mut self, other: &WitnessStats) {
+        self.witnessed += other.witnessed;
+        self.plan_found += other.plan_found;
+        self.static_only += other.static_only;
+        self.failures += other.failures;
+    }
+
+    /// Total chains processed.
+    pub fn total(&self) -> usize {
+        self.witnessed + self.plan_found + self.static_only
+    }
+}
+
+/// Computes the tier of one signature list (no panic containment).
+fn tier_of(
+    program: &Program,
+    hierarchy: &Hierarchy<'_>,
+    sinks: &SinkCatalog,
+    signatures: &[String],
+    config: &WitnessConfig,
+) -> WitnessTier {
+    let Some(resolved) = plan::resolve(program, hierarchy, sinks, signatures) else {
+        return WitnessTier::StaticOnly;
+    };
+    let assignments = plan::scan_assignments(program, &resolved);
+    match interp::run(program, hierarchy, &resolved, &assignments, config) {
+        interp::Halt::Witnessed => WitnessTier::Witnessed,
+        _ => WitnessTier::PlanFound,
+    }
+}
+
+/// Witnesses every chain in place: synthesizes a plan, executes it, and
+/// stores the resulting tier on each [`GadgetChain`].
+///
+/// Tiers are memoized per signature list, and each computation runs under
+/// panic containment: a chain whose interpretation panics is recorded as
+/// [`WitnessTier::StaticOnly`] and counted in [`WitnessStats::failures`]
+/// instead of failing the scan.
+pub fn witness_chains(
+    program: &Program,
+    sinks: &SinkCatalog,
+    chains: &mut [GadgetChain],
+    config: &WitnessConfig,
+) -> WitnessStats {
+    let hierarchy = Hierarchy::new(program);
+    let mut memo: HashMap<Vec<String>, (WitnessTier, bool)> = HashMap::new();
+    let mut stats = WitnessStats::default();
+    for chain in chains.iter_mut() {
+        let (tier, failed) = match memo.get(&chain.signatures) {
+            Some(v) => *v,
+            None => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    tier_of(program, &hierarchy, sinks, &chain.signatures, config)
+                }));
+                let v = match outcome {
+                    Ok(tier) => (tier, false),
+                    Err(_) => (WitnessTier::StaticOnly, true),
+                };
+                memo.insert(chain.signatures.clone(), v);
+                v
+            }
+        };
+        if failed {
+            stats.failures += 1;
+        }
+        match tier {
+            WitnessTier::Witnessed => stats.witnessed += 1,
+            WitnessTier::PlanFound => stats.plan_found += 1,
+            WitnessTier::StaticOnly => stats.static_only += 1,
+        }
+        chain.tier = Some(tier);
+    }
+    stats
+}
+
+/// Computes the tier of a single chain given by its signature list.
+///
+/// Unlike [`witness_chains`] this does not contain panics; use it where a
+/// malformed-IR panic should surface (tests, debugging).
+pub fn witness_signatures(
+    program: &Program,
+    sinks: &SinkCatalog,
+    signatures: &[String],
+    config: &WitnessConfig,
+) -> WitnessTier {
+    let hierarchy = Hierarchy::new(program);
+    tier_of(program, &hierarchy, sinks, signatures, config)
+}
+
+/// Synthesizes the witness plan for a chain without executing it.
+///
+/// Returns `None` when the chain cannot be concretized (it would be tiered
+/// [`WitnessTier::StaticOnly`]).
+pub fn synthesize_plan(
+    program: &Program,
+    sinks: &SinkCatalog,
+    signatures: &[String],
+) -> Option<WitnessPlan> {
+    let hierarchy = Hierarchy::new(program);
+    let resolved = plan::resolve(program, &hierarchy, sinks, signatures)?;
+    Some(plan::render(program, &resolved))
+}
+
+/// Executes a (possibly modified) plan against a chain and reports the tier.
+///
+/// The plan's `field_assignments` override the synthesized set, which makes
+/// the monotonicity property directly testable: removing an assignment can
+/// only demote the outcome, never promote it.
+pub fn execute_plan(
+    program: &Program,
+    sinks: &SinkCatalog,
+    signatures: &[String],
+    plan: &WitnessPlan,
+    config: &WitnessConfig,
+) -> WitnessTier {
+    let hierarchy = Hierarchy::new(program);
+    let Some(resolved) = plan::resolve(program, &hierarchy, sinks, signatures) else {
+        return WitnessTier::StaticOnly;
+    };
+    let mut assignments: Vec<(String, String)> = plan
+        .field_assignments
+        .iter()
+        .map(|f| (f.class.clone(), f.field.clone()))
+        .collect();
+    assignments.sort();
+    assignments.dedup();
+    match interp::run(program, &hierarchy, &resolved, &assignments, config) {
+        interp::Halt::Witnessed => WitnessTier::Witnessed,
+        _ => WitnessTier::PlanFound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabby_ir::{CmpOp, JType, ProgramBuilder};
+
+    fn sigs(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    /// `t.Evil.readObject` reads `this.cmd` and passes it to `Runtime.exec`.
+    fn direct_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("t.Evil").serializable();
+        let string = cb.object_type("java.lang.String");
+        cb.field("cmd", string.clone());
+        let mut mb = cb.method("readObject", vec![], JType::Void);
+        let this = mb.this();
+        let cmd = mb.fresh();
+        mb.get_field(cmd, this, "t.Evil", "cmd", string.clone());
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+        mb.call_virtual(None, rt, exec, &[cmd.into()]);
+        mb.finish();
+        cb.finish();
+        pb.build()
+    }
+
+    #[test]
+    fn direct_chain_is_witnessed() {
+        let p = direct_program();
+        let catalog = SinkCatalog::paper();
+        let chain = sigs(&["t.Evil.readObject", "java.lang.Runtime.exec"]);
+        let tier = witness_signatures(&p, &catalog, &chain, &WitnessConfig::default());
+        assert_eq!(tier, WitnessTier::Witnessed);
+        let plan = synthesize_plan(&p, &catalog, &chain).expect("plan");
+        assert_eq!(plan.entry, "t.Evil.readObject");
+        assert_eq!(plan.field_assignments.len(), 1);
+        assert_eq!(plan.field_assignments[0].class, "t.Evil");
+        assert_eq!(plan.field_assignments[0].field, "cmd");
+        assert!(plan.alias_choices.is_empty());
+    }
+
+    #[test]
+    fn removing_the_field_assignment_demotes() {
+        let p = direct_program();
+        let catalog = SinkCatalog::paper();
+        let chain = sigs(&["t.Evil.readObject", "java.lang.Runtime.exec"]);
+        let mut plan = synthesize_plan(&p, &catalog, &chain).expect("plan");
+        plan.field_assignments.clear();
+        let tier = execute_plan(&p, &catalog, &chain, &plan, &WitnessConfig::default());
+        assert_eq!(tier, WitnessTier::PlanFound);
+    }
+
+    #[test]
+    fn dead_guard_is_plan_found() {
+        // flag = 0; if (flag == 0) goto skip; exec(cmd); skip: return.
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("t.Guarded").serializable();
+        let string = cb.object_type("java.lang.String");
+        cb.field("cmd", string.clone());
+        let mut mb = cb.method("readObject", vec![], JType::Void);
+        let this = mb.this();
+        let cmd = mb.fresh();
+        mb.get_field(cmd, this, "t.Guarded", "cmd", string.clone());
+        let flag = mb.fresh();
+        mb.copy(flag, mb.c_int(0));
+        let skip = mb.fresh_label();
+        mb.if_(CmpOp::Eq, flag, mb.c_int(0), skip);
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+        mb.call_virtual(None, rt, exec, &[cmd.into()]);
+        mb.place(skip);
+        mb.nop();
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let chain = sigs(&["t.Guarded.readObject", "java.lang.Runtime.exec"]);
+        let tier = witness_signatures(&p, &SinkCatalog::paper(), &chain, &WitnessConfig::default());
+        assert_eq!(tier, WitnessTier::PlanFound);
+    }
+
+    #[test]
+    fn clean_argument_is_plan_found() {
+        // The sink is reached, but with a constant — not attacker data.
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("t.Clean").serializable();
+        let string = cb.object_type("java.lang.String");
+        let mut mb = cb.method("readObject", vec![], JType::Void);
+        let fixed = mb.fresh();
+        let lit = mb.c_str("ls");
+        mb.copy(fixed, lit);
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+        mb.call_virtual(None, rt, exec, &[fixed.into()]);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let chain = sigs(&["t.Clean.readObject", "java.lang.Runtime.exec"]);
+        let tier = witness_signatures(&p, &SinkCatalog::paper(), &chain, &WitnessConfig::default());
+        assert_eq!(tier, WitnessTier::PlanFound);
+    }
+
+    /// Entry → abstract `t.Base.m` → override `t.Impl.m` → exec.
+    fn alias_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("t.Base").abstract_();
+        let obj = cb.object_type("java.lang.Object");
+        cb.method("m", vec![obj], JType::Void).abstract_().finish();
+        cb.finish();
+        let mut cb = pb.class("t.Impl").extends("t.Base").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        let mut mb = cb.method("m", vec![obj], JType::Void);
+        let x = mb.param(0);
+        let s = mb.fresh();
+        mb.cast(s, string.clone(), x);
+        let rt = mb.fresh();
+        mb.copy(rt, mb.c_null());
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+        mb.call_virtual(None, rt, exec, &[s.into()]);
+        mb.finish();
+        cb.finish();
+        let mut cb = pb.class("t.Entry").serializable();
+        let obj = cb.object_type("java.lang.Object");
+        let base_ty = cb.object_type("t.Base");
+        cb.field("delegate", base_ty.clone());
+        cb.field("payload", obj.clone());
+        let mut mb = cb.method("readObject", vec![], JType::Void);
+        let this = mb.this();
+        let d = mb.fresh();
+        mb.get_field(d, this, "t.Entry", "delegate", base_ty);
+        let payload = mb.fresh();
+        mb.get_field(payload, this, "t.Entry", "payload", obj.clone());
+        let m = mb.sig("t.Base", "m", &[obj], JType::Void);
+        mb.call_virtual(None, d, m, &[payload.into()]);
+        mb.finish();
+        cb.finish();
+        pb.build()
+    }
+
+    #[test]
+    fn alias_run_dispatches_to_chosen_override() {
+        let p = alias_program();
+        let catalog = SinkCatalog::paper();
+        let chain = sigs(&[
+            "t.Entry.readObject",
+            "t.Base.m",
+            "t.Impl.m",
+            "java.lang.Runtime.exec",
+        ]);
+        let tier = witness_signatures(&p, &catalog, &chain, &WitnessConfig::default());
+        assert_eq!(tier, WitnessTier::Witnessed);
+        let plan = synthesize_plan(&p, &catalog, &chain).expect("plan");
+        assert_eq!(plan.alias_choices.len(), 1);
+        assert_eq!(plan.alias_choices[0].declared, "t.Base.m");
+        assert_eq!(plan.alias_choices[0].chosen, "t.Impl.m");
+    }
+
+    #[test]
+    fn unknown_sink_is_static_only() {
+        let p = direct_program();
+        let chain = sigs(&["t.Evil.readObject", "t.NoSuch.frob"]);
+        let tier = witness_signatures(&p, &SinkCatalog::paper(), &chain, &WitnessConfig::default());
+        assert_eq!(tier, WitnessTier::StaticOnly);
+    }
+
+    #[test]
+    fn missing_entry_body_is_static_only() {
+        let p = direct_program();
+        let chain = sigs(&["t.Phantom.readObject", "java.lang.Runtime.exec"]);
+        let tier = witness_signatures(&p, &SinkCatalog::paper(), &chain, &WitnessConfig::default());
+        assert_eq!(tier, WitnessTier::StaticOnly);
+    }
+
+    #[test]
+    fn infinite_loop_hits_the_budget() {
+        let mut pb = ProgramBuilder::new();
+        pb.class("java.io.Serializable").interface().finish();
+        let mut cb = pb.class("t.Loop").serializable();
+        let string = cb.object_type("java.lang.String");
+        cb.field("cmd", string.clone());
+        let mut mb = cb.method("readObject", vec![], JType::Void);
+        let this = mb.this();
+        let cmd = mb.fresh();
+        mb.get_field(cmd, this, "t.Loop", "cmd", string.clone());
+        let spin = mb.fresh_label();
+        mb.place(spin);
+        mb.goto(spin);
+        mb.finish();
+        cb.finish();
+        let p = pb.build();
+        let chain = sigs(&["t.Loop.readObject", "java.lang.Runtime.exec"]);
+        let config = WitnessConfig {
+            step_budget: 1_000,
+            ..WitnessConfig::default()
+        };
+        let tier = witness_signatures(&p, &SinkCatalog::paper(), &chain, &config);
+        assert_eq!(tier, WitnessTier::PlanFound);
+    }
+
+    #[test]
+    fn witness_chains_tiers_in_place_and_counts() {
+        let p = direct_program();
+        let mut chains = vec![
+            GadgetChain {
+                signatures: sigs(&["t.Evil.readObject", "java.lang.Runtime.exec"]),
+                sink_category: "EXEC".to_owned(),
+                tier: None,
+                nodes: vec![],
+            },
+            GadgetChain {
+                signatures: sigs(&["t.Phantom.readObject", "java.lang.Runtime.exec"]),
+                sink_category: "EXEC".to_owned(),
+                tier: None,
+                nodes: vec![],
+            },
+        ];
+        let stats = witness_chains(
+            &p,
+            &SinkCatalog::paper(),
+            &mut chains,
+            &WitnessConfig::default(),
+        );
+        assert_eq!(chains[0].tier, Some(WitnessTier::Witnessed));
+        assert_eq!(chains[1].tier, Some(WitnessTier::StaticOnly));
+        assert_eq!(stats.witnessed, 1);
+        assert_eq!(stats.static_only, 1);
+        assert_eq!(stats.plan_found, 0);
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = WitnessStats {
+            witnessed: 1,
+            plan_found: 2,
+            static_only: 3,
+            failures: 1,
+        };
+        let b = WitnessStats {
+            witnessed: 4,
+            plan_found: 0,
+            static_only: 1,
+            failures: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.witnessed, 5);
+        assert_eq!(a.plan_found, 2);
+        assert_eq!(a.static_only, 4);
+        assert_eq!(a.failures, 1);
+        assert_eq!(a.total(), 12);
+    }
+}

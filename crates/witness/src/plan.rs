@@ -1,0 +1,242 @@
+//! Witness-plan synthesis: concretizing a reported chain.
+//!
+//! A reported chain is a list of method signatures (`Class.method`,
+//! source-first). Between a call site and the override that actually runs,
+//! the search may have crossed ALIAS edges, so consecutive hops can name the
+//! *same* logical dispatch: the declared method followed by the override the
+//! attacker selects by choosing a concrete subclass. Plan synthesis groups
+//! those hops into **alias runs**, picks the concrete override for each run
+//! (overriding-guided: the deepest element that has a body is the one whose
+//! code keeps the polluted value flowing), and collects the instance fields
+//! the entry object must carry so the accumulated Trigger_Condition is
+//! satisfiable — exactly the data a PoC generator would need.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use tabby_ir::{ClassId, Expr, Hierarchy, MethodId, Place, Program, Stmt};
+use tabby_pathfinder::SinkCatalog;
+
+/// The concrete subclass chosen at one ALIAS run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AliasChoice {
+    /// The declared method the call site names (`Class.method`).
+    pub declared: String,
+    /// The override the plan instantiates (`Class.method`).
+    pub chosen: String,
+}
+
+/// An instance field the crafted object graph must populate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FieldAssignment {
+    /// Declaring class of the field (dotted binary name).
+    pub class: String,
+    /// Field name.
+    pub field: String,
+}
+
+/// A synthesized witness plan: everything needed to concretize one chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessPlan {
+    /// The concrete entry method executed first (`Class.method`).
+    pub entry: String,
+    /// Subclass choice per ALIAS run, in chain order.
+    pub alias_choices: Vec<AliasChoice>,
+    /// Fields the entry object graph must carry attacker data in, sorted.
+    pub field_assignments: Vec<FieldAssignment>,
+}
+
+/// One chain hop, parsed and resolved against the program.
+struct Hop {
+    /// Class part of the signature.
+    class: String,
+    /// Method-name part of the signature.
+    name: String,
+    /// The class, when loaded.
+    class_id: Option<ClassId>,
+    /// Arities of the declared methods named [`Hop::name`] in the class.
+    arities: BTreeSet<usize>,
+}
+
+/// A chain resolved far enough to execute: hop grouping, the concrete
+/// override per run, and the sink's Trigger_Condition.
+pub(crate) struct Resolved {
+    /// `(class, name)` per hop, for call-site matching without allocation.
+    pub pairs: Vec<(String, String)>,
+    /// Concrete entry method (the chosen override of the first run).
+    pub entry: MethodId,
+    /// `run_end[i]`: last hop of the alias run beginning at hop `i`.
+    pub run_end: Vec<usize>,
+    /// `chosen[i]`: the body-bearing method executed for the run starting at
+    /// hop `i`, when any element of that run has a body.
+    pub chosen: Vec<Option<MethodId>>,
+    /// The sink's Trigger_Condition (0 = receiver, i = parameter *i*).
+    pub trigger_condition: Vec<u16>,
+}
+
+fn parse_hop(program: &Program, sig: &str) -> Option<Hop> {
+    let (class, name) = sig.rsplit_once('.')?;
+    let class_id = program.class_by_str(class);
+    let mut arities = BTreeSet::new();
+    if let Some(cid) = class_id {
+        for m in &program.class(cid).methods {
+            if program.name(m.name) == name {
+                arities.insert(m.params.len());
+            }
+        }
+    }
+    Some(Hop {
+        class: class.to_owned(),
+        name: name.to_owned(),
+        class_id,
+        arities,
+    })
+}
+
+/// Whether hops `a` and `b` are two faces of one dispatch (an ALIAS pair):
+/// same method name, hierarchy-related classes, compatible arity.
+fn alias_linked(hierarchy: &Hierarchy<'_>, a: &Hop, b: &Hop) -> bool {
+    if a.name != b.name {
+        return false;
+    }
+    let (Some(ca), Some(cb)) = (a.class_id, b.class_id) else {
+        return false;
+    };
+    if !hierarchy.is_subtype_of(ca, cb) && !hierarchy.is_subtype_of(cb, ca) {
+        return false;
+    }
+    a.arities.intersection(&b.arities).next().is_some()
+}
+
+/// The body-bearing method executed for the run `hops[start..=end]`: the
+/// deepest override with code. Scanning back-to-front keeps the choice
+/// deterministic and prefers the most-derived implementation.
+fn choose(program: &Program, hops: &[Hop], start: usize, end: usize) -> Option<MethodId> {
+    for hop in hops[start..=end].iter().rev() {
+        let Some(cid) = hop.class_id else { continue };
+        let found = program
+            .class(cid)
+            .methods
+            .iter()
+            .position(|m| program.name(m.name) == hop.name && m.body.is_some());
+        if let Some(index) = found {
+            return Some(MethodId {
+                class: cid,
+                index: index as u32,
+            });
+        }
+    }
+    None
+}
+
+/// Resolves a signature list into an executable [`Resolved`] plan skeleton.
+///
+/// Returns `None` — the chain stays `static-only` — when the chain is too
+/// short, a signature does not parse, the final hop is not in the sink
+/// catalog, the entry run has no concrete body, or the entry run swallows
+/// the whole chain (nothing left to call).
+pub(crate) fn resolve(
+    program: &Program,
+    hierarchy: &Hierarchy<'_>,
+    sinks: &SinkCatalog,
+    signatures: &[String],
+) -> Option<Resolved> {
+    if signatures.len() < 2 {
+        return None;
+    }
+    let hops: Vec<Hop> = signatures
+        .iter()
+        .map(|s| parse_hop(program, s))
+        .collect::<Option<_>>()?;
+    let last = hops.len() - 1;
+    let sink = sinks
+        .entries()
+        .iter()
+        .find(|s| s.class == hops[last].class && s.method == hops[last].name)?;
+    // run_end, computed back-to-front from the pairwise alias links.
+    let mut run_end = vec![0usize; hops.len()];
+    run_end[last] = last;
+    for i in (0..last).rev() {
+        run_end[i] = if alias_linked(hierarchy, &hops[i], &hops[i + 1]) {
+            run_end[i + 1]
+        } else {
+            i
+        };
+    }
+    if run_end[0] == last {
+        // The whole chain collapsed into one alias run: there is no call
+        // step left to execute, so nothing can be witnessed.
+        return None;
+    }
+    let chosen: Vec<Option<MethodId>> = (0..hops.len())
+        .map(|i| choose(program, &hops, i, run_end[i]))
+        .collect();
+    let entry = chosen[0].filter(|mid| program.method(*mid).body.is_some())?;
+    Some(Resolved {
+        pairs: hops.into_iter().map(|h| (h.class, h.name)).collect(),
+        entry,
+        run_end,
+        chosen,
+        trigger_condition: sink.trigger_condition.clone(),
+    })
+}
+
+/// The instance fields loaded by any body the plan may execute. These are
+/// the slots the crafted object graph must populate: during execution, a
+/// load of one of these fields from an attacker-built object materializes a
+/// fresh attacker-controlled value.
+pub(crate) fn scan_assignments(program: &Program, resolved: &Resolved) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for mid in resolved.chosen.iter().flatten() {
+        let Some(body) = &program.method(*mid).body else {
+            continue;
+        };
+        for stmt in &body.stmts {
+            if let Stmt::Assign {
+                rhs: Expr::Load(Place::InstanceField { field, .. }),
+                ..
+            } = stmt
+            {
+                out.push((
+                    program.name(field.class).to_owned(),
+                    program.name(field.name).to_owned(),
+                ));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Renders the user-facing [`WitnessPlan`] from a resolved skeleton.
+pub(crate) fn render(program: &Program, resolved: &Resolved) -> WitnessPlan {
+    let sig_of = |mid: MethodId| {
+        format!(
+            "{}.{}",
+            program.name(program.class(mid.class).name),
+            program.name(program.method(mid).name)
+        )
+    };
+    let mut alias_choices = Vec::new();
+    let mut i = 0usize;
+    while i < resolved.pairs.len() {
+        let end = resolved.run_end[i];
+        if end > i {
+            if let Some(mid) = resolved.chosen[i] {
+                alias_choices.push(AliasChoice {
+                    declared: format!("{}.{}", resolved.pairs[i].0, resolved.pairs[i].1),
+                    chosen: sig_of(mid),
+                });
+            }
+        }
+        i = end + 1;
+    }
+    WitnessPlan {
+        entry: sig_of(resolved.entry),
+        alias_choices,
+        field_assignments: scan_assignments(program, resolved)
+            .into_iter()
+            .map(|(class, field)| FieldAssignment { class, field })
+            .collect(),
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the witness stage's two core soundness claims:
+//!
+//! 1. **Ineffective chains never witness.** A chain whose sink argument is
+//!    sanitized (replaced by a constant) or whose sink sits behind a dead
+//!    guard — the ⊥-Trigger_Condition shapes — must never come back tier
+//!    `witnessed`, at any relay depth or field count.
+//! 2. **Plan monotonicity.** Removing field assignments from a synthesized
+//!    plan can only demote the execution outcome, never promote it: fewer
+//!    polluted fields means less taint, and the interpreter must respect
+//!    that ordering for every subset.
+//!
+//! Programs are generated structurally — relay depth, guard/sanitize
+//! toggles, and the number of serialized fields all vary — so the
+//! interpreter is exercised across call/return, dispatch, and taint
+//! plumbing rather than on one fixed gadget.
+
+use proptest::prelude::*;
+use tabby_ir::{CmpOp, JType, MethodBuilder, Program, ProgramBuilder};
+use tabby_pathfinder::{SinkCatalog, WitnessTier};
+use tabby_witness::{execute_plan, synthesize_plan, witness_signatures, WitnessConfig};
+
+/// Emits the sink tail of a method: optionally sanitize the argument,
+/// optionally hide the call behind a guard that constant-folds to "skip".
+fn emit_sink(mb: &mut MethodBuilder<'_, '_>, guard: bool, sanitize: bool, arg: tabby_ir::Local) {
+    let string = mb.object_type("java.lang.String");
+    let arg = if sanitize {
+        let clean = mb.fresh();
+        let lit = mb.c_str("ls");
+        mb.copy(clean, lit);
+        clean
+    } else {
+        arg
+    };
+    let skip = mb.fresh_label();
+    if guard {
+        let flag = mb.fresh();
+        mb.copy(flag, mb.c_int(0));
+        mb.if_(CmpOp::Eq, flag, mb.c_int(0), skip);
+    }
+    let rt = mb.fresh();
+    mb.copy(rt, mb.c_null());
+    let exec = mb.sig("java.lang.Runtime", "exec", &[string], JType::Void);
+    mb.call_virtual(None, rt, exec, &[arg.into()]);
+    if guard {
+        mb.place(skip);
+        mb.nop();
+    }
+}
+
+/// Builds `t.Entry.readObject -> step0 -> ... -> step{hops-1} -> exec`
+/// with `nfields` serialized String fields, the first of which carries the
+/// payload. Returns the program and the chain's signature list.
+fn build(hops: usize, guard: bool, sanitize: bool, nfields: usize) -> (Program, Vec<String>) {
+    let mut pb = ProgramBuilder::new();
+    pb.class("java.io.Serializable").interface().finish();
+    let mut cb = pb.class("t.Entry").serializable();
+    let string = cb.object_type("java.lang.String");
+    for i in 0..nfields {
+        cb.field(&format!("f{i}"), string.clone());
+    }
+    let mut mb = cb.method("readObject", vec![], JType::Void);
+    let this = mb.this();
+    let mut payload = None;
+    for i in 0..nfields {
+        let l = mb.fresh();
+        mb.get_field(l, this, "t.Entry", &format!("f{i}"), string.clone());
+        if i == 0 {
+            payload = Some(l);
+        }
+    }
+    let payload = payload.expect("at least one field");
+    if hops == 0 {
+        emit_sink(&mut mb, guard, sanitize, payload);
+    } else {
+        let step = mb.sig("t.Entry", "step0", &[string.clone()], JType::Void);
+        mb.call_virtual(None, this, step, &[payload.into()]);
+    }
+    mb.finish();
+    for j in 0..hops {
+        let mut mb = cb.method(&format!("step{j}"), vec![string.clone()], JType::Void);
+        let this = mb.this();
+        let x = mb.param(0);
+        if j + 1 == hops {
+            emit_sink(&mut mb, guard, sanitize, x);
+        } else {
+            let next = mb.sig(
+                "t.Entry",
+                &format!("step{}", j + 1),
+                &[string.clone()],
+                JType::Void,
+            );
+            mb.call_virtual(None, this, next, &[x.into()]);
+        }
+        mb.finish();
+    }
+    cb.finish();
+    let mut signatures = vec!["t.Entry.readObject".to_owned()];
+    for j in 0..hops {
+        signatures.push(format!("t.Entry.step{j}"));
+    }
+    signatures.push("java.lang.Runtime.exec".to_owned());
+    (pb.build(), signatures)
+}
+
+proptest! {
+    /// Sanitized or guarded chains are ⊥-TC: a plan exists (the shape is
+    /// right) but execution must not confirm the sink. Unmodified chains
+    /// must witness — the interpreter has no excuse at these sizes.
+    #[test]
+    fn ineffective_chains_never_witness(
+        hops in 0usize..3,
+        guard in any::<bool>(),
+        sanitize in any::<bool>(),
+        nfields in 1usize..4,
+    ) {
+        let (program, signatures) = build(hops, guard, sanitize, nfields);
+        let tier = witness_signatures(
+            &program,
+            &SinkCatalog::paper(),
+            &signatures,
+            &WitnessConfig::default(),
+        );
+        if guard || sanitize {
+            prop_assert_eq!(tier, WitnessTier::PlanFound);
+        } else {
+            prop_assert_eq!(tier, WitnessTier::Witnessed);
+        }
+    }
+
+    /// Executing a plan with any subset of its field assignments never
+    /// out-ranks the full plan, and dropping the payload-bearing
+    /// assignment specifically must forfeit `witnessed`.
+    #[test]
+    fn removing_plan_assignments_never_promotes(
+        hops in 0usize..3,
+        nfields in 1usize..4,
+        mask in any::<u8>(),
+    ) {
+        let (program, signatures) = build(hops, false, false, nfields);
+        let catalog = SinkCatalog::paper();
+        let config = WitnessConfig::default();
+        let full_plan =
+            synthesize_plan(&program, &catalog, &signatures).expect("effective chain has a plan");
+        let full = execute_plan(&program, &catalog, &signatures, &full_plan, &config);
+        prop_assert_eq!(full, WitnessTier::Witnessed);
+
+        let mut subset = full_plan.clone();
+        subset.field_assignments = full_plan
+            .field_assignments
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 8)) != 0)
+            .map(|(_, f)| f.clone())
+            .collect();
+        let sub = execute_plan(&program, &catalog, &signatures, &subset, &config);
+        prop_assert!(sub <= full, "subset plan out-ranked the full plan: {sub} > {full}");
+        let payload_kept = subset
+            .field_assignments
+            .iter()
+            .any(|f| f.class == "t.Entry" && f.field == "f0");
+        if payload_kept {
+            prop_assert_eq!(sub, WitnessTier::Witnessed);
+        } else {
+            prop_assert_ne!(sub, WitnessTier::Witnessed);
+        }
+    }
+}

@@ -174,6 +174,7 @@ mod tests {
         GadgetChain {
             signatures: vec![source.to_owned(), "mid.M.m".to_owned(), sink.to_owned()],
             sink_category: "EXEC".to_owned(),
+            tier: None,
             nodes: vec![],
         }
     }

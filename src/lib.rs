@@ -17,6 +17,7 @@
 //! | [`graph`] | embedded property graph + traversal (Neo4j role) |
 //! | [`core`] | controllability analysis + CPG construction (§III-B/C) |
 //! | [`pathfinder`] | sink/source catalogs + chain search (§III-D) |
+//! | [`witness`] | post-search witness synthesis + IR interpreter (exploitability tiers) |
 //! | [`query`] | TQL, a textual CPG query language (Cypher role, §III-E) |
 //! | [`baselines`] | GadgetInspector / Serianalyzer comparison detectors |
 //! | [`workloads`] | synthetic evaluation corpora with ground truth |
@@ -85,6 +86,7 @@ pub use tabby_pathfinder as pathfinder;
 pub use tabby_query as query;
 pub use tabby_registry as registry;
 pub use tabby_service as service;
+pub use tabby_witness as witness;
 pub use tabby_workloads as workloads;
 
 use tabby_core::{summarize_program_contained, AnalysisConfig, Cpg, ScanDiagnostics, SkippedClass};
@@ -92,13 +94,17 @@ use tabby_ir::Program;
 use tabby_pathfinder::{
     find_gadget_chains_detailed, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog,
 };
+use tabby_witness::WitnessConfig;
 
 /// Commonly used items for building programs and scanning them.
 pub mod prelude {
     pub use crate::{scan, scan_class_bytes, ScanOptions, ScanReport};
     pub use tabby_core::{AnalysisConfig, Cpg, ScanDiagnostics};
     pub use tabby_ir::{JType, ProgramBuilder};
-    pub use tabby_pathfinder::{GadgetChain, SearchConfig, SinkCatalog, SourceCatalog};
+    pub use tabby_pathfinder::{
+        GadgetChain, SearchConfig, SinkCatalog, SourceCatalog, WitnessTier,
+    };
+    pub use tabby_witness::{WitnessConfig, WitnessPlan, WitnessStats};
 }
 
 /// End-to-end scan configuration.
@@ -118,6 +124,12 @@ pub struct ScanOptions {
     /// Fail fast on the first malformed class or analysis fault instead of
     /// quarantining it and continuing in degraded mode.
     pub strict: bool,
+    /// Run the post-search witness stage: synthesize a concrete plan per
+    /// chain, execute it in the IR interpreter, and tier every chain
+    /// (`witnessed` > `plan-found` > `static-only`).
+    pub witness: bool,
+    /// Interpreter limits for the witness stage.
+    pub witness_config: WitnessConfig,
 }
 
 impl Default for ScanOptions {
@@ -129,6 +141,8 @@ impl Default for ScanOptions {
             sources: SourceCatalog::default(),
             jobs: 1,
             strict: false,
+            witness: false,
+            witness_config: WitnessConfig::default(),
         }
     }
 }
@@ -174,8 +188,20 @@ pub fn scan(program: &Program, options: &ScanOptions) -> ScanReport {
     diagnostics.search_truncated = search.truncated;
     diagnostics.search_expansions = search.expansions;
     diagnostics.search_memo_hits = search.memo_hits;
+    let mut chains = search.chains;
+    if options.witness {
+        let stats = tabby_witness::witness_chains(
+            program,
+            &options.sinks,
+            &mut chains,
+            &options.witness_config,
+        );
+        diagnostics.chains_witnessed = stats.witnessed;
+        diagnostics.chains_plan_found = stats.plan_found;
+        diagnostics.witness_failures = stats.failures;
+    }
     ScanReport {
-        chains: search.chains,
+        chains,
         cpg,
         diagnostics,
     }

@@ -19,6 +19,7 @@
 //! --jobs <n>            analysis worker threads (default: available parallelism)
 //! --search-threads <n>  chain-search worker threads (0 = one per core)
 //! --no-tc-memo          disable the TC-dominance search memo
+//! --witness             execute a synthesized witness per chain and rank by tier
 //! --sinks <file>        custom sink catalog (JSON; `tabby sinks --json` emits one)
 //! --json                emit the chains as JSON
 //! --save-cpg <file>     persist the code property graph as JSON
@@ -82,6 +83,11 @@ OPTIONS (scan/demo):
                           core; the chain set is identical at any count)
     --no-tc-memo          disable the TC-dominance search memo (same chains,
                           more expansions — for benchmarking)
+    --witness             run the post-search witness stage: synthesize a
+                          concrete plan per chain, execute it in the IR
+                          interpreter, and tier every chain
+                          (witnessed > plan-found > static-only); the exit
+                          code becomes 3 when any chain is witnessed
     --sinks <file>        custom sink catalog (JSON; see `tabby sinks --json`)
     --strict              fail on the first malformed class instead of
                           quarantining it and scanning the survivors
@@ -100,6 +106,9 @@ OPTIONS (snapshot/diff):
                           (snapshot) after registering, garbage-collect the
                           registry down to <n> bytes (newest versions and
                           pinned versions are kept)
+    --witness             (snapshot) tier chains before registering, so later
+                          diffs can report tier *promotions* (a chain going
+                          plan-found -> witnessed across versions)
     --json                (diff) emit the diff report as JSON
 
     `snapshot` refuses degraded scans (skipped/quarantined classes or a
@@ -155,6 +164,8 @@ OPTIONS (submit):
     --strict              fail the job on the first malformed class
     --search-threads <n>  chain-search threads for this job (0 = one per core)
     --no-tc-memo          disable the TC-dominance search memo
+    --witness             run the witness stage on the daemon: each chain
+                          comes back tiered; exit 3 when any is witnessed
     --no-retry            fail immediately on connection refused / queue full
                           instead of retrying with backoff
     --json                emit chains as JSON
@@ -184,6 +195,7 @@ struct CliOptions {
     search_threads: Option<usize>,
     no_tc_memo: bool,
     strict: bool,
+    witness: bool,
     save_cpg: Option<PathBuf>,
     dot: Option<PathBuf>,
     sinks: Option<PathBuf>,
@@ -221,6 +233,7 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
                     Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
             }
             "--no-tc-memo" => options.no_tc_memo = true,
+            "--witness" => options.witness = true,
             "--save-cpg" => {
                 let v = it.next().ok_or("--save-cpg needs a path")?;
                 options.save_cpg = Some(PathBuf::from(v));
@@ -267,6 +280,7 @@ fn scan_options(cli: &CliOptions) -> Result<ScanOptions, String> {
     options.search.tc_memo = !cli.no_tc_memo;
     options.jobs = cli.jobs.unwrap_or_else(default_jobs);
     options.strict = cli.strict;
+    options.witness = cli.witness;
     if cli.extended {
         options.sources = SourceCatalog::extended();
     }
@@ -978,15 +992,53 @@ fn emit(cli: &CliOptions, report: ScanReport) -> ExitCode {
             report.diagnostics.summarize_largest_scc,
             report.chains.len()
         );
+        if cli.witness {
+            eprintln!(
+                "witness: {} witnessed, {} plan-found, {} static-only\n",
+                report.diagnostics.chains_witnessed,
+                report.diagnostics.chains_plan_found,
+                report
+                    .chains
+                    .len()
+                    .saturating_sub(report.diagnostics.chains_witnessed)
+                    .saturating_sub(report.diagnostics.chains_plan_found)
+            );
+        }
         for (i, chain) in report.chains.iter().enumerate() {
-            println!("--- chain #{} [{}] ---", i + 1, chain.sink_category);
-            println!("{chain}\n");
+            print_chain(i, chain);
         }
     }
-    if report.chains.is_empty() {
+    chain_exit_code(&report.chains)
+}
+
+/// Prints one chain in the human format, with its witness tier (when the
+/// witness stage ran) appended to the header line.
+fn print_chain(i: usize, chain: &GadgetChain) {
+    match chain.tier {
+        Some(tier) => println!(
+            "--- chain #{} [{}] [{}] ---",
+            i + 1,
+            chain.sink_category,
+            tier
+        ),
+        None => println!("--- chain #{} [{}] ---", i + 1, chain.sink_category),
+    }
+    println!("{chain}\n");
+}
+
+/// Exit-code policy shared by `scan`/`demo`/`submit`: 0 = no chains,
+/// 2 = chains found, 3 = at least one chain *witnessed* (interpreter
+/// confirmed the sink is reached with the polluted argument) — the
+/// strongest signal, for CI gates that only block on executable chains.
+fn chain_exit_code(chains: &[GadgetChain]) -> ExitCode {
+    if chains.is_empty() {
         ExitCode::SUCCESS
+    } else if chains
+        .iter()
+        .any(|c| c.tier == Some(WitnessTier::Witnessed))
+    {
+        ExitCode::from(3)
     } else {
-        // Nonzero exit when chains are found, for CI gating.
         ExitCode::from(2)
     }
 }
@@ -1115,6 +1167,7 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
                     Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
             }
             "--no-tc-memo" => options.scan.tc_memo = false,
+            "--witness" => options.scan.witness = true,
             "--no-retry" => options.retry = false,
             "--json" => options.json = true,
             "--query" => {
@@ -1261,15 +1314,10 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             );
         }
         for (i, chain) in chains.iter().enumerate() {
-            println!("--- chain #{} [{}] ---", i + 1, chain.sink_category);
-            println!("{chain}\n");
+            print_chain(i, chain);
         }
     }
-    if chains.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(2)
-    }
+    chain_exit_code(&chains)
 }
 
 /// The `tabby submit --diff <corpus>` path: the daemon scans the paths,

@@ -177,6 +177,50 @@ fn diff_reports_are_byte_identical_across_search_thread_counts() {
     }
 }
 
+/// The witness stage inherits the same contract: chain tiers — and the
+/// whole serialized chain list that carries them — are byte-identical
+/// whether the underlying search ran at 1, 2, or 8 threads, memo on or
+/// off. Witnessing is a pure function of (program, chain signatures), so
+/// any divergence here means the search fed it different chains or the
+/// planner/interpreter picked up nondeterministic state.
+#[test]
+fn witness_tiers_are_byte_identical_across_search_configs() {
+    for scene in scenes::smoke() {
+        let program = &scene.component.program;
+        let mut want: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            for tc_memo in [true, false] {
+                let mut options = tabby::ScanOptions::default();
+                options.search.search_threads = threads;
+                options.search.tc_memo = tc_memo;
+                options.witness = true;
+                let report = tabby::scan(program, &options);
+                assert!(
+                    report.chains.iter().all(|c| c.tier.is_some()),
+                    "{}: {threads} threads, memo {tc_memo}: untiered chain",
+                    scene.component.name
+                );
+                let got = serde_json::to_string(&report.chains).expect("chains serialize");
+                match &want {
+                    None => {
+                        assert!(
+                            !report.chains.is_empty(),
+                            "{}: smoke scene finds no chains",
+                            scene.component.name
+                        );
+                        want = Some(got);
+                    }
+                    Some(want) => assert_eq!(
+                        &got, want,
+                        "{}: {threads} threads, memo {tc_memo} changed witness output",
+                        scene.component.name
+                    ),
+                }
+            }
+        }
+    }
+}
+
 /// The memo only ever *removes* work: with it on, a complete single-thread
 /// search expands no more states than the reference walk, and on scenes
 /// with a search web it prunes a strictly positive number of states.

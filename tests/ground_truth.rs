@@ -11,7 +11,9 @@
 
 use tabby::core::{AnalysisConfig, Cpg};
 use tabby::pathfinder::{find_gadget_chains, SearchConfig, SinkCatalog, SourceCatalog};
+use tabby::prelude::{ScanOptions, WitnessTier};
 use tabby::workloads::components;
+use tabby::workloads::ChainClass;
 
 /// Components above this size are left to the release-mode bench tests.
 const MAX_CLASSES: usize = 100;
@@ -62,4 +64,63 @@ fn every_known_chain_is_found_and_fps_stay_at_baseline() {
         }
     }
     assert!(scored > 0, "no small components with paper rows to score");
+}
+
+/// The exploitability gate over the same corpus: every dataset-known
+/// (Table IX) chain must come back tier `witnessed` — the interpreter
+/// drives it all the way to its sink with the polluted argument — and no
+/// manifest-fake chain may ever witness. This is a *hard* false-positive
+/// bound: the static search is allowed `fake <= paper.tb.fake` above, but
+/// the witness stage must score those fakes below `witnessed` without
+/// exception.
+#[test]
+fn known_chains_witness_and_planted_fakes_never_witness() {
+    let options = ScanOptions {
+        witness: true,
+        ..ScanOptions::default()
+    };
+    let mut known_witnessed = 0;
+    let mut fakes_demoted = 0;
+    for component in components::all() {
+        if component.program.classes().len() > MAX_CLASSES {
+            continue;
+        }
+        if component.paper.is_none() {
+            continue;
+        }
+        let report = tabby::scan(&component.program, &options);
+        for chain in component.filter_chains(report.chains) {
+            let tier = chain.tier.expect("witness scan tiers every chain");
+            match component.truth.classify(&chain) {
+                ChainClass::Known => {
+                    known_witnessed += 1;
+                    assert_eq!(
+                        tier,
+                        WitnessTier::Witnessed,
+                        "{}: Table IX chain not witnessed: {chain}",
+                        component.name
+                    );
+                }
+                ChainClass::Unknown => {
+                    assert_eq!(
+                        tier,
+                        WitnessTier::Witnessed,
+                        "{}: planted effective chain not witnessed: {chain}",
+                        component.name
+                    );
+                }
+                ChainClass::Fake => {
+                    fakes_demoted += 1;
+                    assert_ne!(
+                        tier,
+                        WitnessTier::Witnessed,
+                        "{}: fake chain witnessed: {chain}",
+                        component.name
+                    );
+                }
+            }
+        }
+    }
+    assert!(known_witnessed > 0, "no known chains were scored");
+    assert!(fakes_demoted > 0, "no fake chains were scored");
 }

@@ -1,0 +1,143 @@
+//! Interpreter conformance over the gadget-kit component corpus.
+//!
+//! Every Table IX component is scanned standalone with the witness stage
+//! on, and each reported chain's tier is checked against the component's
+//! `truth.rs` manifest:
+//!
+//! - **effective** chains (dataset-known or planted-unknown) must execute
+//!   all the way to their sink — tier `witnessed`;
+//! - **fake** chains (guarded, sanitized, or otherwise ineffective) must
+//!   NOT witness — the hard false-positive gate. `plan-found` is fine (a
+//!   plan can exist without executing); `witnessed` is a bug.
+//!
+//! This is the executable-semantics twin of `ground_truth.rs`: that test
+//! checks the *search* found the right chain set; this one checks the
+//! *interpreter* agrees with the manifest about which of them actually
+//! run.
+
+use tabby::prelude::*;
+use tabby::workloads::components;
+use tabby::workloads::ChainClass;
+
+/// Components above this size are left to the release-mode bench runner.
+const MAX_CLASSES: usize = 100;
+
+#[test]
+fn effective_chains_witness_and_fake_chains_never_do() {
+    let options = ScanOptions {
+        witness: true,
+        ..ScanOptions::default()
+    };
+    let mut checked_effective = 0;
+    let mut checked_fake = 0;
+    for component in components::all() {
+        if component.program.classes().len() > MAX_CLASSES {
+            continue;
+        }
+        let report = tabby::scan(&component.program, &options);
+        assert!(
+            !report.diagnostics.is_degraded(),
+            "{}: degraded scan",
+            component.name
+        );
+        assert_eq!(
+            report.diagnostics.witness_failures, 0,
+            "{}: interpreter panicked on some chain",
+            component.name
+        );
+        let chains = component.filter_chains(report.chains);
+        for chain in &chains {
+            let tier = chain.tier.expect("witnessed scans tier every chain");
+            match component.truth.classify(chain) {
+                ChainClass::Known | ChainClass::Unknown => {
+                    checked_effective += 1;
+                    assert_eq!(
+                        tier,
+                        WitnessTier::Witnessed,
+                        "{}: effective chain failed to witness: {chain}",
+                        component.name
+                    );
+                }
+                ChainClass::Fake => {
+                    checked_fake += 1;
+                    assert_ne!(
+                        tier,
+                        WitnessTier::Witnessed,
+                        "{}: fake chain witnessed (interpreter false positive): {chain}",
+                        component.name
+                    );
+                }
+            }
+        }
+    }
+    assert!(checked_effective > 0, "no effective chains were checked");
+    assert!(checked_fake > 0, "no fake chains were checked");
+}
+
+/// The witness stage never changes the chain *set* — only annotates it.
+/// Scanning with and without the stage must yield signature-identical
+/// chains in identical order.
+#[test]
+fn witnessing_never_adds_or_removes_or_reorders_chains() {
+    for component in components::all() {
+        if component.program.classes().len() > MAX_CLASSES {
+            continue;
+        }
+        let plain = tabby::scan(&component.program, &ScanOptions::default());
+        let tiered = tabby::scan(
+            &component.program,
+            &ScanOptions {
+                witness: true,
+                ..ScanOptions::default()
+            },
+        );
+        assert_eq!(
+            plain.chains.len(),
+            tiered.chains.len(),
+            "{}",
+            component.name
+        );
+        for (p, t) in plain.chains.iter().zip(&tiered.chains) {
+            assert_eq!(p.signatures, t.signatures, "{}", component.name);
+            assert_eq!(p.sink_category, t.sink_category, "{}", component.name);
+            assert!(p.tier.is_none(), "{}", component.name);
+            assert!(t.tier.is_some(), "{}", component.name);
+        }
+    }
+}
+
+/// Tier counters in the diagnostics must agree with the per-chain tiers.
+#[test]
+fn diagnostics_counters_match_the_tier_distribution() {
+    for component in components::all() {
+        if component.program.classes().len() > MAX_CLASSES {
+            continue;
+        }
+        let report = tabby::scan(
+            &component.program,
+            &ScanOptions {
+                witness: true,
+                ..ScanOptions::default()
+            },
+        );
+        let count = |tier: WitnessTier| {
+            report
+                .chains
+                .iter()
+                .filter(|c| c.tier == Some(tier))
+                .count()
+        };
+        assert_eq!(
+            report.diagnostics.chains_witnessed,
+            count(WitnessTier::Witnessed),
+            "{}",
+            component.name
+        );
+        assert_eq!(
+            report.diagnostics.chains_plan_found,
+            count(WitnessTier::PlanFound),
+            "{}",
+            component.name
+        );
+    }
+}
