@@ -41,15 +41,23 @@
 //! chain comes back `witnessed`, any oracle-effective chain does not, or
 //! any interpretation panics — CI runs this on the smoke scenes as the
 //! exploitability gate.
+//!
+//! `coldstart` measures time-to-first-query-row from a warm disk cache —
+//! the mmap'd flat CPG against the serde decode (and the cold rebuild)
+//! it replaces, per scene — and writes `BENCH_coldstart.json` (or
+//! `--out`). Exit status is nonzero if any path at any thread count
+//! produces a chain set that diverges from the cold-scan reference — CI
+//! runs this on the smoke scenes as the mapped-artifact fidelity gate.
 
 use tabby_bench::{
-    run_diff_bench, run_query_bench, run_search_bench, run_summarize_bench, run_witness_bench,
-    DiffBenchConfig, QueryBenchConfig, SearchBenchConfig, SummarizeBenchConfig, WitnessBenchConfig,
+    run_coldstart_bench, run_diff_bench, run_query_bench, run_search_bench, run_summarize_bench,
+    run_witness_bench, ColdstartBenchConfig, DiffBenchConfig, QueryBenchConfig, SearchBenchConfig,
+    SummarizeBenchConfig, WitnessBenchConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench <search|summarize|query|diff|witness> [--scenes smoke|full] \
+        "usage: bench <search|summarize|query|diff|witness|coldstart> [--scenes smoke|full] \
          [--only NAME,NAME] [--repeat N] [--out PATH]"
     );
     std::process::exit(2);
@@ -115,7 +123,56 @@ fn main() {
         Some("query") => cmd_query(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("witness") => cmd_witness(&args[1..]),
+        Some("coldstart") => cmd_coldstart(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn cmd_coldstart(args: &[String]) {
+    let common = parse_common(args, "BENCH_coldstart.json", 5);
+    let config = ColdstartBenchConfig {
+        smoke: common.smoke,
+        only: common.only,
+        repeat: common.repeat,
+    };
+
+    let report = run_coldstart_bench(&config);
+    for scene in &report.results {
+        println!(
+            "{:<13} {:>4} classes  {:>4} chains  cold {:>8.4}s  serde {:>8.4}s  \
+             mmap {:>8.5}s ({} bytes mapped)  x{:<8.1} vs serde  x{:<8.1} vs cold  {}",
+            scene.scene,
+            scene.classes,
+            scene.chains,
+            scene.cold_wall_s,
+            scene.serde_wall_s,
+            scene.mmap_wall_s,
+            scene.flat_bytes,
+            scene.mmap_speedup_vs_serde,
+            scene.mmap_speedup_vs_cold,
+            if scene.all_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+        for v in &scene.mmap_variants {
+            println!(
+                "  mmap @ {} thread(s)  {:>8.5}s  {}",
+                v.threads,
+                v.wall_s,
+                if v.identical { "identical" } else { "DIVERGED" },
+            );
+        }
+    }
+    println!(
+        "worst-case mmap speedup vs serde decode: x{:.1}",
+        report.min_mmap_speedup_vs_serde
+    );
+    write_report(&report, &common.out);
+    if !report.all_identical {
+        eprintln!("FAIL: a warm-cache path diverged from the cold-scan reference");
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,361 @@
+//! The `bench coldstart` runner: time-to-first-query-row from a warm disk
+//! cache, emitting `BENCH_coldstart.json`.
+//!
+//! A daemon that restarts (or a second worker process attaching to a
+//! shared cache directory) has three ways to serve the first scan of a
+//! corpus it has already seen, and this benchmark times all three from the
+//! same warmed cache:
+//!
+//! - **mmap** — open the flat artifact (`flat/<key>.tbe`) with one `mmap`,
+//!   validate the envelope checksum and flat header, borrow the stored CSR
+//!   arrays as a search snapshot, and run the chain search zero-copy
+//!   (engine tier 1.5);
+//! - **serde** — read the serde artifact (`cpgs/<key>.tbe`), JSON-decode
+//!   the property graph, rebuild its indexes, and search (engine tier 2,
+//!   which freezes a CSR snapshot internally);
+//! - **cold** — rebuild the CPG from the program and search (engine
+//!   tier 4), as a cache-less pipeline would.
+//!
+//! Correctness is the point, not just speed: the flat arrays are the CSR
+//! arrays `CsrSnapshot::freeze` would build, so all three paths must
+//! produce byte-identical chain JSON — the mmap path is checked at 1, 2,
+//! and 8 search threads, and any divergence fails the run. Wall times are
+//! the minimum over `repeat` runs; every timed run opens a fresh cache
+//! handle so nothing is served from memory.
+
+use serde::Serialize;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+use tabby_core::{AnalysisConfig, Cpg, CpgSchema, ScanDiagnostics};
+use tabby_graph::{content_hash64, EdgeType, NodeId};
+use tabby_pathfinder::{
+    find_chains_raw_detailed, find_chains_snapshot_detailed, SearchConfig, SinkCatalog,
+    SourceCatalog, TriggerCondition,
+};
+use tabby_service::{CachedCpg, ScanCache};
+use tabby_workloads::scenes::Scene;
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct ColdstartBenchConfig {
+    /// Use the ~12×-smaller smoke scenes (CI) instead of the full ones.
+    pub smoke: bool,
+    /// Case-insensitive substring filters on scene names; empty = all.
+    pub only: Vec<String>,
+    /// Timed runs per path; the minimum wall time is reported.
+    pub repeat: usize,
+}
+
+impl Default for ColdstartBenchConfig {
+    fn default() -> Self {
+        ColdstartBenchConfig {
+            smoke: false,
+            only: Vec::new(),
+            repeat: 5,
+        }
+    }
+}
+
+/// One mmap-path measurement at a fixed search-thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct MmapVariant {
+    /// Search worker threads.
+    pub threads: usize,
+    /// Best open-to-chains wall time over the repeats, in seconds.
+    pub wall_s: f64,
+    /// Chain JSON is byte-identical to the cold-scan reference.
+    pub identical: bool,
+}
+
+/// One scene's cold-start measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct SceneColdstart {
+    /// Scene name (Table X row).
+    pub scene: String,
+    /// Classes in the scene program.
+    pub classes: usize,
+    /// Chains the reference cold scan finds.
+    pub chains: usize,
+    /// Size of the flat artifact the mmap path keeps mapped, in bytes.
+    pub flat_bytes: u64,
+    /// Cold path (CPG build + annotate + search), seconds.
+    pub cold_wall_s: f64,
+    /// Serde path (envelope read + JSON decode + index rebuild + search),
+    /// seconds.
+    pub serde_wall_s: f64,
+    /// Mmap path (map + validate + borrow snapshot + search) at one search
+    /// thread — the apples-to-apples figure against `serde_wall_s`.
+    pub mmap_wall_s: f64,
+    /// The mmap path at every checked thread count.
+    pub mmap_variants: Vec<MmapVariant>,
+    /// The serde path reproduced the cold reference byte-for-byte.
+    pub serde_identical: bool,
+    /// `serde_wall_s / mmap_wall_s` — what skipping the JSON decode and
+    /// graph rebuild buys at equal thread count.
+    pub mmap_speedup_vs_serde: f64,
+    /// `cold_wall_s / mmap_wall_s`.
+    pub mmap_speedup_vs_cold: f64,
+    /// Every path and thread count reproduced the reference exactly.
+    pub all_identical: bool,
+}
+
+/// The `BENCH_coldstart.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ColdstartBenchReport {
+    /// `"smoke"` or `"full"`.
+    pub scenes: String,
+    /// Timed runs per path.
+    pub repeat: usize,
+    /// Per-scene measurements.
+    pub results: Vec<SceneColdstart>,
+    /// Every scene's every path matched its cold reference byte-for-byte.
+    pub all_identical: bool,
+    /// Worst-case `mmap_speedup_vs_serde` across the scenes.
+    pub min_mmap_speedup_vs_serde: f64,
+}
+
+/// Thread counts the mmap path is checked at (the serde and cold baselines
+/// run at one thread, matching `mmap_wall_s`).
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn search_cfg(threads: usize) -> SearchConfig {
+    // Complete search (no expansion budget, memo off) so the byte-identity
+    // check compares full chain sets, not truncation artifacts.
+    SearchConfig {
+        max_expansions: usize::MAX,
+        search_threads: threads,
+        tc_memo: false,
+        ..SearchConfig::default()
+    }
+}
+
+/// Builds and annotates the scene's CPG in the serializable cache form the
+/// daemon persists — the same assembly `Engine::resolve_cpg` performs.
+fn build_cached(program: &tabby_ir::Program) -> CachedCpg {
+    let mut cpg = Cpg::build(program, AnalysisConfig::default());
+    let sink_nodes = SinkCatalog::paper().annotate(&mut cpg);
+    let source_nodes = SourceCatalog::native_serialization().annotate(&mut cpg);
+    let mut sources: Vec<u32> = source_nodes.iter().map(|n| n.0).collect();
+    sources.sort_unstable();
+    CachedCpg {
+        graph: cpg.graph,
+        sinks: sink_nodes
+            .iter()
+            .map(|(n, s)| {
+                (
+                    n.0,
+                    s.trigger_condition.clone(),
+                    s.category.as_str().to_owned(),
+                )
+            })
+            .collect(),
+        sources,
+        diagnostics: ScanDiagnostics::default(),
+    }
+}
+
+/// Benchmarks one scene inside `root` (a cache directory shared with no
+/// other scene key).
+pub fn bench_coldstart_scene(scene: &Scene, root: &Path, repeat: usize) -> SceneColdstart {
+    let repeat = repeat.max(1);
+    let program = &scene.component.program;
+    let key = content_hash64(scene.component.name.as_bytes());
+
+    // Warm the disk cache once through the same persist path the daemon
+    // uses: `put_cpg` writes both the serde artifact (`cpgs/<key>.tbe`)
+    // and its flat mmap-able twin (`flat/<key>.tbe`).
+    {
+        let mut cache = ScanCache::new(Some(root.to_path_buf()), 8);
+        cache.put_cpg(key, Arc::new(build_cached(program)));
+    }
+
+    // The cold baseline, which also mints the byte-identity reference.
+    let cfg1 = search_cfg(1);
+    let mut cold_wall_s = f64::INFINITY;
+    let mut reference = None;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        let mut cpg = Cpg::build(program, AnalysisConfig::default());
+        let sink_nodes = SinkCatalog::paper().annotate(&mut cpg);
+        let source_nodes = SourceCatalog::native_serialization().annotate(&mut cpg);
+        let sinks: Vec<(NodeId, TriggerCondition)> = sink_nodes
+            .iter()
+            .map(|(n, s)| (*n, s.trigger_condition.iter().copied().collect()))
+            .collect();
+        let categories: Vec<(NodeId, String)> = sink_nodes
+            .iter()
+            .map(|(n, s)| (*n, s.category.as_str().to_owned()))
+            .collect();
+        let sources: HashSet<NodeId> = source_nodes;
+        let out =
+            find_chains_raw_detailed(&cpg.graph, &cpg.schema, sinks, categories, &sources, &cfg1);
+        cold_wall_s = cold_wall_s.min(t.elapsed().as_secs_f64());
+        reference = Some(out);
+    }
+    let reference = reference.expect("repeat >= 1");
+    let reference_json = serde_json::to_string(&reference.chains).expect("chains serialize");
+
+    // The serde path: every repeat opens a fresh cache handle so the
+    // envelope read, JSON decode, and index rebuild are all paid.
+    let mut serde_wall_s = f64::INFINITY;
+    let mut serde_identical = true;
+    for _ in 0..repeat {
+        let mut cache = ScanCache::new(Some(root.to_path_buf()), 8);
+        let t = Instant::now();
+        let cached = cache.get_cpg(key).expect("warmed serde artifact loads");
+        let schema = CpgSchema::lookup(&cached.graph).expect("cached CPG carries its schema");
+        let sinks: Vec<(NodeId, TriggerCondition)> = cached
+            .sinks
+            .iter()
+            .map(|(n, tc, _)| (NodeId(*n), tc.iter().copied().collect()))
+            .collect();
+        let categories: Vec<(NodeId, String)> = cached
+            .sinks
+            .iter()
+            .map(|(n, _, cat)| (NodeId(*n), cat.clone()))
+            .collect();
+        let sources: HashSet<NodeId> = cached.sources.iter().map(|&n| NodeId(n)).collect();
+        let out =
+            find_chains_raw_detailed(&cached.graph, &schema, sinks, categories, &sources, &cfg1);
+        serde_wall_s = serde_wall_s.min(t.elapsed().as_secs_f64());
+        serde_identical =
+            serde_json::to_string(&out.chains).expect("chains serialize") == reference_json;
+    }
+
+    // The mmap path, at every thread count.
+    let mut flat_bytes = 0;
+    let mut mmap_variants = Vec::with_capacity(THREADS.len());
+    for threads in THREADS {
+        let cfg = search_cfg(threads);
+        let mut wall_s = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..repeat {
+            let mut cache = ScanCache::new(Some(root.to_path_buf()), 8);
+            let t = Instant::now();
+            let flat = cache.get_flat(key).expect("warmed flat artifact maps");
+            let csr = flat
+                .cpg
+                .snapshot(&[EdgeType(flat.meta.call_ty), EdgeType(flat.meta.alias_ty)]);
+            let sinks: Vec<(NodeId, TriggerCondition)> = flat
+                .meta
+                .sinks
+                .iter()
+                .map(|(n, tc, _)| (NodeId(*n), tc.iter().copied().collect()))
+                .collect();
+            let categories: Vec<(NodeId, String)> = flat
+                .meta
+                .sinks
+                .iter()
+                .map(|(n, _, cat)| (NodeId(*n), cat.clone()))
+                .collect();
+            let sources: HashSet<NodeId> = flat.meta.sources.iter().map(|&n| NodeId(n)).collect();
+            let describe = |n: NodeId| {
+                format!(
+                    "{}.{}",
+                    flat.cpg.node_class(n).unwrap_or("?"),
+                    flat.cpg.node_name(n).unwrap_or("?")
+                )
+            };
+            let out =
+                find_chains_snapshot_detailed(&csr, &describe, sinks, categories, &sources, &cfg);
+            wall_s = wall_s.min(t.elapsed().as_secs_f64());
+            identical =
+                serde_json::to_string(&out.chains).expect("chains serialize") == reference_json;
+            flat_bytes = flat.bytes();
+        }
+        mmap_variants.push(MmapVariant {
+            threads,
+            wall_s,
+            identical,
+        });
+    }
+
+    let mmap_wall_s = mmap_variants
+        .iter()
+        .find(|v| v.threads == 1)
+        .map_or(f64::INFINITY, |v| v.wall_s);
+    let all_identical = serde_identical && mmap_variants.iter().all(|v| v.identical);
+    SceneColdstart {
+        scene: scene.component.name.clone(),
+        classes: program.classes().len(),
+        chains: reference.chains.len(),
+        flat_bytes,
+        cold_wall_s,
+        serde_wall_s,
+        mmap_wall_s,
+        mmap_speedup_vs_serde: serde_wall_s / mmap_wall_s.max(1e-9),
+        mmap_speedup_vs_cold: cold_wall_s / mmap_wall_s.max(1e-9),
+        mmap_variants,
+        serde_identical,
+        all_identical,
+    }
+}
+
+/// Runs the configured scenes in a temporary cache directory and assembles
+/// the report.
+pub fn run_coldstart_bench(config: &ColdstartBenchConfig) -> ColdstartBenchReport {
+    let scenes = if config.smoke {
+        tabby_workloads::scenes::smoke()
+    } else {
+        tabby_workloads::scenes::all()
+    };
+    let keep = |name: &str| {
+        config.only.is_empty()
+            || config
+                .only
+                .iter()
+                .any(|f| name.to_lowercase().contains(&f.to_lowercase()))
+    };
+    let root: PathBuf =
+        std::env::temp_dir().join(format!("tabby-bench-coldstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let results: Vec<SceneColdstart> = scenes
+        .iter()
+        .filter(|s| keep(&s.component.name))
+        .map(|s| bench_coldstart_scene(s, &root, config.repeat))
+        .collect();
+    let _ = std::fs::remove_dir_all(&root);
+    ColdstartBenchReport {
+        scenes: if config.smoke { "smoke" } else { "full" }.to_owned(),
+        repeat: config.repeat,
+        all_identical: results.iter().all(|r| r.all_identical),
+        min_mmap_speedup_vs_serde: results
+            .iter()
+            .map(|r| r.mmap_speedup_vs_serde)
+            .fold(f64::INFINITY, f64::min),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_coldstart_is_identical_across_all_three_paths() {
+        let report = run_coldstart_bench(&ColdstartBenchConfig {
+            smoke: true,
+            only: vec!["Jetty".to_owned()],
+            repeat: 1,
+        });
+        assert_eq!(report.results.len(), 1);
+        let scene = &report.results[0];
+        assert_eq!(scene.scene, "Jetty");
+        assert!(scene.chains > 0, "reference scan found no chains");
+        assert!(scene.flat_bytes > 0, "flat artifact was not mapped");
+        assert!(scene.serde_identical, "{scene:?}");
+        assert_eq!(scene.mmap_variants.len(), THREADS.len());
+        assert!(scene.all_identical, "{scene:?}");
+        assert!(report.all_identical);
+        // The mapped open skips the JSON decode and graph rebuild entirely,
+        // so even the smallest smoke scene must come out ahead.
+        assert!(
+            scene.mmap_speedup_vs_serde > 1.0,
+            "mmap {}s vs serde {}s",
+            scene.mmap_wall_s,
+            scene.serde_wall_s
+        );
+    }
+}

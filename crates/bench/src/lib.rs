@@ -14,11 +14,15 @@
 //! full scan it replaces and emits `BENCH_diff.json`; its `witness`
 //! subcommand ([`witness_bench`]) measures the post-search witness pass
 //! (plan synthesis + interpreter execution, scored against the PoC
-//! oracle) and emits `BENCH_witness.json`.
+//! oracle) and emits `BENCH_witness.json`; its `coldstart` subcommand
+//! ([`coldstart_bench`]) measures time-to-first-query-row from a warm
+//! disk cache — the mmap'd flat CPG against the serde decode and the cold
+//! rebuild it replaces — and emits `BENCH_coldstart.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod coldstart_bench;
 pub mod diff_bench;
 pub mod query_bench;
 pub mod runner;
@@ -26,6 +30,10 @@ pub mod search_bench;
 pub mod summarize_bench;
 pub mod witness_bench;
 
+pub use coldstart_bench::{
+    bench_coldstart_scene, run_coldstart_bench, ColdstartBenchConfig, ColdstartBenchReport,
+    MmapVariant, SceneColdstart,
+};
 pub use diff_bench::{
     bench_diff_scene, run_diff_bench, DiffBenchConfig, DiffBenchReport, SceneDiffBench,
 };

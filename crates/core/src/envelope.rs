@@ -59,6 +59,8 @@ pub mod kind {
     pub const SNAPSHOT: u16 = 3;
     /// Registry per-corpus pin list.
     pub const PINS: u16 = 4;
+    /// Service-cache flat (offset-based, mmap-able) CPG.
+    pub const FLAT_CPG: u16 = 5;
 }
 
 /// How [`write_envelope`] publishes the temp file.

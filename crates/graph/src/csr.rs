@@ -18,51 +18,131 @@
 //! [`Graph::edge_ids`]), so a traversal ported from `edges_of` onto the
 //! snapshot expands in the identical order — byte-identical results.
 //!
-//! The snapshot borrows nothing and is never cached or serialized; it is
-//! rebuilt from the graph for every search that wants one.
+//! A snapshot has two backings behind one API:
+//!
+//! - **Owned** — built by [`CsrSnapshot::freeze`] from a live [`Graph`];
+//!   the arrays are heap `Vec`s.
+//! - **Mapped** — borrowed from an on-disk flat CPG artifact opened by
+//!   [`crate::flat::FlatCpg`]; the arrays are slices straight into the
+//!   memory mapping (kept alive by an `Arc`), so opening a cached graph
+//!   and searching it involves no deserialization at all.
+//!
+//! Both backings yield entries in the same order from the same graph, so
+//! search results are byte-identical regardless of which one served them.
 
 use crate::store::{Direction, EdgeId, EdgeType, Graph, NodeId, PropKey};
 use crate::value::Value;
 
+/// An error surfaced while freezing CSR adjacency, instead of a panic:
+/// a graph too large for the u32-indexed CSR layout degrades (callers
+/// fall back to store-backed expansion or report a truncated scan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// One layer holds more than `u32::MAX` adjacency entries.
+    EdgeOverflow {
+        /// The entry count that did not fit.
+        entries: usize,
+    },
+    /// The decoded payload arena holds more than `u32::MAX` words.
+    PayloadOverflow {
+        /// The word count that did not fit.
+        words: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::EdgeOverflow { entries } => write!(
+                f,
+                "CSR layer has {entries} adjacency entries, more than the \
+                 u32 index space"
+            ),
+            GraphError::PayloadOverflow { words } => write!(
+                f,
+                "CSR payload arena has {words} words, more than the u32 \
+                 index space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// One adjacency entry: the edge, the node at its far end, and the span of
 /// its pre-decoded payload in the snapshot's arena.
-type Entry = (EdgeId, NodeId, u32, u32);
+///
+/// The layout is part of the on-disk flat CPG format: 16 bytes, four
+/// little-endian `u32`s, no padding, every bit pattern valid — so a mapped
+/// file region can be reinterpreted as `&[Entry]` without copying.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Entry {
+    pub(crate) edge: u32,
+    pub(crate) node: u32,
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+}
+
+// The flat format casts mapped bytes to `&[Entry]`; these hold that cast
+// sound (no padding, 4-byte alignment satisfied by the 8-aligned sections).
+const _: () = assert!(std::mem::size_of::<Entry>() == 16);
+const _: () = assert!(std::mem::align_of::<Entry>() == 4);
 
 /// CSR adjacency for one edge type in one direction.
 #[derive(Debug, Clone)]
-struct CsrDir {
+pub(crate) struct CsrDir {
     /// `offsets[i]..offsets[i + 1]` indexes `entries` for node *i*;
     /// `len == node_count + 1`.
-    offsets: Vec<u32>,
-    entries: Vec<Entry>,
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) entries: Vec<Entry>,
 }
 
 impl CsrDir {
-    fn flatten(per_node: Vec<Vec<Entry>>) -> Self {
+    fn flatten(per_node: Vec<Vec<Entry>>) -> Result<Self, GraphError> {
         let mut offsets = Vec::with_capacity(per_node.len() + 1);
         let mut entries = Vec::new();
         offsets.push(0);
         for list in per_node {
             entries.extend(list);
-            offsets.push(u32::try_from(entries.len()).expect("edge overflow"));
+            let end = u32::try_from(entries.len()).map_err(|_| GraphError::EdgeOverflow {
+                entries: entries.len(),
+            })?;
+            offsets.push(end);
         }
-        CsrDir { offsets, entries }
-    }
-
-    fn slice(&self, node: NodeId) -> &[Entry] {
-        let i = node.index();
-        if i + 1 >= self.offsets.len() {
-            return &[];
-        }
-        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        Ok(CsrDir { offsets, entries })
     }
 }
 
 /// Forward (outgoing) and reverse (incoming) adjacency for one edge type.
 #[derive(Debug, Clone)]
-struct CsrLayer {
-    fwd: CsrDir,
-    rev: CsrDir,
+pub(crate) struct CsrLayer {
+    pub(crate) fwd: CsrDir,
+    pub(crate) rev: CsrDir,
+}
+
+/// Where a snapshot's arrays live.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Heap arrays built by [`CsrSnapshot::freeze`].
+    Owned {
+        layers: Vec<CsrLayer>,
+        /// Arena of decoded payload lists; entries carry `(start, len)`
+        /// spans.
+        payload: Vec<i64>,
+    },
+    /// Slices into a memory-mapped flat CPG artifact.
+    Mapped(crate::flat::MappedCsr),
+}
+
+/// Shared slice-window logic: the adjacency of one node in one direction.
+#[inline]
+fn slice_of<'a>(offsets: &'a [u32], entries: &'a [Entry], node: NodeId) -> &'a [Entry] {
+    let i = node.index();
+    if i + 1 >= offsets.len() {
+        return &[];
+    }
+    &entries[offsets[i] as usize..offsets[i + 1] as usize]
 }
 
 /// A frozen per-edge-type adjacency snapshot of a [`Graph`] with
@@ -70,9 +150,7 @@ struct CsrLayer {
 #[derive(Debug, Clone)]
 pub struct CsrSnapshot {
     types: Vec<EdgeType>,
-    layers: Vec<CsrLayer>,
-    /// Arena of decoded payload lists; entries carry `(start, len)` spans.
-    payload: Vec<i64>,
+    backing: Backing,
 }
 
 impl CsrSnapshot {
@@ -81,7 +159,16 @@ impl CsrSnapshot {
     /// [`Value::as_int_list`] into the arena; edges without the property
     /// (or with a non-int-list value) get an empty slice — the same view
     /// `edge_prop(..).and_then(as_int_list).unwrap_or(&[])` produces.
-    pub fn freeze(graph: &Graph, types: &[EdgeType], payload_key: Option<PropKey>) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeOverflow`] / [`GraphError::PayloadOverflow`] when
+    /// a layer or the payload arena outgrows the u32 index space.
+    pub fn freeze(
+        graph: &Graph,
+        types: &[EdgeType],
+        payload_key: Option<PropKey>,
+    ) -> Result<Self, GraphError> {
         let n = graph.node_count();
         let mut payload: Vec<i64> = Vec::new();
         let mut layers = Vec::with_capacity(types.len());
@@ -93,27 +180,85 @@ impl CsrSnapshot {
                     continue;
                 }
                 let (from, to) = graph.endpoints(e);
-                let span = payload_key
+                let span = match payload_key
                     .and_then(|k| graph.edge_prop(e, k))
                     .and_then(Value::as_int_list)
-                    .map(|list| {
-                        let start = u32::try_from(payload.len()).expect("payload overflow");
+                {
+                    Some(list) => {
+                        let start = u32::try_from(payload.len()).map_err(|_| {
+                            GraphError::PayloadOverflow {
+                                words: payload.len(),
+                            }
+                        })?;
                         payload.extend_from_slice(list);
-                        (start, u32::try_from(list.len()).expect("payload overflow"))
-                    })
-                    .unwrap_or((0, 0));
-                fwd[from.index()].push((e, to, span.0, span.1));
-                rev[to.index()].push((e, from, span.0, span.1));
+                        let len = u32::try_from(list.len())
+                            .map_err(|_| GraphError::PayloadOverflow { words: list.len() })?;
+                        (start, len)
+                    }
+                    None => (0, 0),
+                };
+                fwd[from.index()].push(Entry {
+                    edge: e.0,
+                    node: to.0,
+                    start: span.0,
+                    len: span.1,
+                });
+                rev[to.index()].push(Entry {
+                    edge: e.0,
+                    node: from.0,
+                    start: span.0,
+                    len: span.1,
+                });
             }
             layers.push(CsrLayer {
-                fwd: CsrDir::flatten(fwd),
-                rev: CsrDir::flatten(rev),
+                fwd: CsrDir::flatten(fwd)?,
+                rev: CsrDir::flatten(rev)?,
             });
         }
-        CsrSnapshot {
+        Ok(CsrSnapshot {
             types: types.to_vec(),
-            layers,
-            payload,
+            backing: Backing::Owned { layers, payload },
+        })
+    }
+
+    /// Wraps mapped flat-file arrays as a snapshot (zero-copy open path);
+    /// called by [`crate::flat::FlatCpg::snapshot`].
+    pub(crate) fn from_mapped(types: Vec<EdgeType>, mapped: crate::flat::MappedCsr) -> Self {
+        CsrSnapshot {
+            types,
+            backing: Backing::Mapped(mapped),
+        }
+    }
+
+    /// `true` when the arrays live in a memory-mapped artifact rather than
+    /// on the heap.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    /// `(offsets, entries)` of one layer in one direction, whichever
+    /// backing serves them.
+    #[inline]
+    pub(crate) fn dir_raw(&self, layer: usize, forward: bool) -> (&[u32], &[Entry]) {
+        match &self.backing {
+            Backing::Owned { layers, .. } => {
+                let d = if forward {
+                    &layers[layer].fwd
+                } else {
+                    &layers[layer].rev
+                };
+                (&d.offsets, &d.entries)
+            }
+            Backing::Mapped(m) => m.dir_raw(layer, forward),
+        }
+    }
+
+    /// The shared decoded-payload arena.
+    #[inline]
+    pub(crate) fn payload_arena(&self) -> &[i64] {
+        match &self.backing {
+            Backing::Owned { payload, .. } => payload,
+            Backing::Mapped(m) => m.payload_arena(),
         }
     }
 
@@ -134,30 +279,35 @@ impl CsrSnapshot {
         node: NodeId,
         direction: Direction,
     ) -> impl Iterator<Item = (EdgeId, NodeId, &[i64])> + '_ {
-        let l = &self.layers[layer];
+        let (fo, fe) = self.dir_raw(layer, true);
+        let (ro, re) = self.dir_raw(layer, false);
+        let payload = self.payload_arena();
         let fwd: &[Entry] = match direction {
-            Direction::Outgoing | Direction::Both => l.fwd.slice(node),
+            Direction::Outgoing | Direction::Both => slice_of(fo, fe, node),
             Direction::Incoming => &[],
         };
         let rev: &[Entry] = match direction {
-            Direction::Incoming | Direction::Both => l.rev.slice(node),
+            Direction::Incoming | Direction::Both => slice_of(ro, re, node),
             Direction::Outgoing => &[],
         };
-        fwd.iter()
-            .chain(rev.iter())
-            .map(move |&(e, n, start, len)| {
-                (
-                    e,
-                    n,
-                    &self.payload[start as usize..(start as usize + len as usize)],
-                )
-            })
+        fwd.iter().chain(rev.iter()).map(move |e| {
+            (
+                EdgeId(e.edge),
+                NodeId(e.node),
+                &payload[e.start as usize..(e.start as usize + e.len as usize)],
+            )
+        })
     }
 
     /// Total adjacency entries in one layer (each edge appears once
     /// forward and once reverse).
     pub fn layer_len(&self, layer: usize) -> usize {
-        self.layers[layer].fwd.entries.len()
+        self.dir_raw(layer, true).1.len()
+    }
+
+    /// The edge types this snapshot froze, in layer order.
+    pub(crate) fn frozen_types(&self) -> &[EdgeType] {
+        &self.types
     }
 }
 
@@ -188,7 +338,7 @@ mod tests {
     #[test]
     fn entry_order_matches_edges_of() {
         let (g, call, alias, pp, nodes) = sample();
-        let csr = CsrSnapshot::freeze(&g, &[call, alias], Some(pp));
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], Some(pp)).unwrap();
         let cl = csr.layer_of(call).unwrap();
         let al = csr.layer_of(alias).unwrap();
         for &n in &nodes {
@@ -205,7 +355,7 @@ mod tests {
     #[test]
     fn neighbors_match_other_node() {
         let (g, call, alias, pp, nodes) = sample();
-        let csr = CsrSnapshot::freeze(&g, &[call, alias], Some(pp));
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], Some(pp)).unwrap();
         for &n in &nodes {
             for layer in [0usize, 1] {
                 for (e, nb, _) in csr.neighbors(layer, n, Direction::Both) {
@@ -218,7 +368,7 @@ mod tests {
     #[test]
     fn payload_matches_decoded_edge_prop() {
         let (g, call, alias, pp, nodes) = sample();
-        let csr = CsrSnapshot::freeze(&g, &[call, alias], Some(pp));
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], Some(pp)).unwrap();
         let cl = csr.layer_of(call).unwrap();
         for &n in &nodes {
             for (e, _, payload) in csr.neighbors(cl, n, Direction::Both) {
@@ -234,7 +384,7 @@ mod tests {
     #[test]
     fn absent_payload_key_yields_empty_slices() {
         let (g, call, alias, _pp, nodes) = sample();
-        let csr = CsrSnapshot::freeze(&g, &[call, alias], None);
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], None).unwrap();
         for &n in &nodes {
             for (_, _, payload) in csr.neighbors(0, n, Direction::Both) {
                 assert!(payload.is_empty());
@@ -245,7 +395,7 @@ mod tests {
     #[test]
     fn unknown_type_has_no_layer() {
         let (g, call, _alias, _pp, _nodes) = sample();
-        let csr = CsrSnapshot::freeze(&g, &[call], None);
+        let csr = CsrSnapshot::freeze(&g, &[call], None).unwrap();
         assert_eq!(csr.layer_of(call), Some(0));
         assert_eq!(csr.layer_of(EdgeType(99)), None);
         assert_eq!(csr.layer_len(0), 5);
@@ -254,7 +404,7 @@ mod tests {
     #[test]
     fn out_of_range_node_is_empty() {
         let (g, call, _alias, _pp, _nodes) = sample();
-        let csr = CsrSnapshot::freeze(&g, &[call], None);
+        let csr = CsrSnapshot::freeze(&g, &[call], None).unwrap();
         assert_eq!(csr.neighbors(0, NodeId(1000), Direction::Both).count(), 0);
     }
 }

@@ -1,0 +1,941 @@
+//! The offset-based, mmap-able on-disk CPG format.
+//!
+//! The serde representation of a [`Graph`] is a construction format: every
+//! cache hit pays a full `serde_json` parse — O(graph) allocation and
+//! decoding — before the first adjacency lookup. This module defines a
+//! *flat* artifact that a worker opens with one `mmap` and queries in
+//! place:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │ header (128 B): version, endian tag, node/type counts, offsets   │
+//! │ type table: type_count × u32 edge-type ids                       │
+//! │ layer directory: per type, fwd/rev {offsets_off, entries_off,    │
+//! │                  entries_len} (u64 each)                         │
+//! │ per type × direction: offsets  (node_count+1 × u32, CSR)         │
+//! │                       entries  (n × 16 B Entry, CSR)             │
+//! │ payload arena: pre-decoded Polluted_Position words (i64)         │
+//! │ string table: (count+1) × u32 offsets + UTF-8 blob               │
+//! │ node columns: NAME / CLASS_NAME string indices (u32, MAX=absent) │
+//! │ meta blob: caller-opaque bytes (sinks, sources, diagnostics)     │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Every section is 8-byte aligned, every array is little-endian, and the
+//! per-layer arrays mirror [`CsrSnapshot::freeze`]'s `CsrDir` layout
+//! exactly — entries appear in edge-insertion order — so a search run off
+//! the mapping expands in the identical order and returns byte-identical
+//! results. The artifact is wrapped in the checksummed `tabby_core`
+//! envelope *by the caller* (this crate sits below `tabby_core` in the
+//! dependency order): the caller verifies the envelope over the raw file
+//! bytes and hands [`FlatCpg::from_buf`] the payload range.
+//!
+//! [`MappedBuf`] does the mapping itself with a raw `mmap(2)` call against
+//! the C library the Rust runtime already links on Unix — no new
+//! dependencies — and falls back to an 8-aligned heap read everywhere
+//! else (or when `mmap` fails). Big-endian hosts are refused at open and
+//! degrade to the serde path.
+
+use crate::csr::{CsrSnapshot, Entry, GraphError};
+use crate::store::{EdgeType, Graph, NodeId, PropKey};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::io::Read;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Version of the flat layout described in the module docs. Bumped on any
+/// incompatible change; readers refuse other versions and fall back to the
+/// serde artifact.
+pub const FLAT_FORMAT_VERSION: u64 = 1;
+
+/// Little-endian sentinel: reads back as itself only when writer and
+/// reader agree on byte order.
+const ENDIAN_TAG: u64 = 0x0102_0304_0506_0708;
+
+/// Fixed header size in bytes (16 u64 fields).
+const HEADER_LEN: usize = 128;
+
+/// Column sentinel for "node has no such property".
+const NO_STRING: u32 = u32::MAX;
+
+/// An error opening or validating a flat CPG artifact. Every variant is a
+/// *fallback* signal, not a fatal one: callers degrade to the serde
+/// artifact or a cold build.
+#[derive(Debug)]
+pub enum FlatError {
+    /// The file could not be read or mapped.
+    Io(std::io::Error),
+    /// The payload does not parse as the flat layout (bad lengths,
+    /// misaligned sections, out-of-bounds directory entries).
+    Format(String),
+    /// The payload declares a flat format version this reader does not
+    /// speak.
+    VersionSkew {
+        /// The version the file declares.
+        found: u64,
+        /// The version this reader implements.
+        supported: u64,
+    },
+    /// The host cannot use the zero-copy path (big-endian byte order).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for FlatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlatError::Io(e) => write!(f, "flat CPG I/O error: {e}"),
+            FlatError::Format(m) => write!(f, "malformed flat CPG: {m}"),
+            FlatError::VersionSkew { found, supported } => write!(
+                f,
+                "flat CPG format version {found} (this reader supports {supported})"
+            ),
+            FlatError::Unsupported(m) => write!(f, "flat CPG unsupported here: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlatError {}
+
+impl From<std::io::Error> for FlatError {
+    fn from(e: std::io::Error) -> Self {
+        FlatError::Io(e)
+    }
+}
+
+impl FlatError {
+    /// `true` when the artifact itself is damaged or incompatible (worth
+    /// quarantining), as opposed to a host limitation.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, FlatError::Format(_) | FlatError::VersionSkew { .. })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MappedBuf: one read-only mapping (or an aligned heap copy) of a file.
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// The bytes of one artifact, either memory-mapped read-only or copied
+/// into an 8-byte-aligned heap buffer (the fallback when `mmap` is
+/// unavailable or fails). Either way [`MappedBuf::as_bytes`] starts on an
+/// 8-byte boundary, which the flat layout's section alignment relies on.
+pub struct MappedBuf {
+    inner: Inner,
+}
+
+enum Inner {
+    /// A `PROT_READ`/`MAP_PRIVATE` mapping; unmapped on drop.
+    #[cfg(unix)]
+    Mmap { ptr: *mut u8, len: usize },
+    /// Heap copy held in `u64`s so the base is 8-aligned; `len` is the
+    /// byte length (the final word may be partially used).
+    Heap { words: Vec<u64>, len: usize },
+}
+
+// SAFETY: the buffer is read-only for its entire lifetime (PROT_READ
+// mapping or never-mutated heap words) and the raw pointer is owned
+// exclusively by this value (unmapped exactly once, on drop).
+unsafe impl Send for MappedBuf {}
+// SAFETY: shared access is read-only; see above.
+unsafe impl Sync for MappedBuf {}
+
+impl std::fmt::Debug for MappedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedBuf")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl MappedBuf {
+    /// Opens `path` read-only, preferring one `mmap(2)` of the whole file
+    /// and falling back to an aligned heap read (empty files, non-Unix
+    /// hosts, or a failed map).
+    pub fn open(path: &Path) -> Result<MappedBuf, std::io::Error> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            if len > 0 {
+                // SAFETY: mapping `len` bytes of an open fd read-only;
+                // the pointer (checked against MAP_FAILED) stays valid
+                // until the munmap in Drop, and the fd may close freely
+                // after mmap returns.
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr != usize::MAX as *mut std::ffi::c_void && !ptr.is_null() {
+                    return Ok(MappedBuf {
+                        inner: Inner::Mmap {
+                            ptr: ptr.cast::<u8>(),
+                            len,
+                        },
+                    });
+                }
+            }
+            return Self::read_heap(file, len);
+        }
+        #[cfg(not(unix))]
+        {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            Self::read_heap(file, len)
+        }
+    }
+
+    fn read_heap(mut file: std::fs::File, len: usize) -> Result<MappedBuf, std::io::Error> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        if len > 0 {
+            // SAFETY: viewing the zero-initialized u64 buffer as bytes;
+            // `len <= words.len() * 8` by construction.
+            let dst =
+                unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), len) };
+            file.read_exact(dst)?;
+        }
+        Ok(MappedBuf {
+            inner: Inner::Heap { words, len },
+        })
+    }
+
+    /// The file bytes. The returned slice starts 8-byte aligned.
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; no mutable aliases exist.
+            Inner::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Heap { words, len } => {
+                // SAFETY: `len <= words.len() * 8`; u64s viewed as bytes.
+                unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), *len) }
+            }
+        }
+    }
+
+    /// Byte length of the artifact.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mmap { len, .. } => *len,
+            Inner::Heap { len, .. } => *len,
+        }
+    }
+
+    /// `true` when the artifact is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when backed by a real memory mapping (false for the heap
+    /// fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mmap { .. } => true,
+            Inner::Heap { .. } => false,
+        }
+    }
+}
+
+impl Drop for MappedBuf {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mmap { ptr, len } = self.inner {
+            // SAFETY: exactly this mapping was created in `open`; after
+            // drop no slice borrowed from it can be alive.
+            unsafe {
+                sys::munmap(ptr.cast::<std::ffi::c_void>(), len);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mapped CSR views handed to CsrSnapshot.
+// ---------------------------------------------------------------------------
+
+/// One direction of one layer inside the mapping: absolute byte offsets
+/// plus element counts, validated (bounds + alignment) at open.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MappedDir {
+    offsets_off: usize,
+    /// u32 count (`node_count + 1`, or 0 for an empty layer).
+    offsets_len: usize,
+    entries_off: usize,
+    /// Entry count.
+    entries_len: usize,
+}
+
+/// The mapped arrays backing a [`CsrSnapshot`]: per-layer CSR directories
+/// plus the shared payload arena, all slices into one [`MappedBuf`].
+#[derive(Debug, Clone)]
+pub(crate) struct MappedCsr {
+    buf: Arc<MappedBuf>,
+    layers: Vec<(MappedDir, MappedDir)>,
+    payload_off: usize,
+    payload_words: usize,
+}
+
+impl MappedCsr {
+    #[inline]
+    fn u32s(&self, off: usize, len: usize) -> &[u32] {
+        // SAFETY: off/len were bounds- and alignment-checked against the
+        // buffer at open; the buffer is immutable and outlives the borrow.
+        unsafe { std::slice::from_raw_parts(self.buf.as_bytes().as_ptr().add(off).cast(), len) }
+    }
+
+    #[inline]
+    pub(crate) fn dir_raw(&self, layer: usize, forward: bool) -> (&[u32], &[Entry]) {
+        let d = if forward {
+            self.layers[layer].0
+        } else {
+            self.layers[layer].1
+        };
+        let offsets = self.u32s(d.offsets_off, d.offsets_len);
+        // SAFETY: Entry is #[repr(C)], 16 bytes, no padding, any bit
+        // pattern valid; offset/len checked at open; 8-aligned sections
+        // satisfy its 4-byte alignment.
+        let entries = unsafe {
+            std::slice::from_raw_parts(
+                self.buf
+                    .as_bytes()
+                    .as_ptr()
+                    .add(d.entries_off)
+                    .cast::<Entry>(),
+                d.entries_len,
+            )
+        };
+        (offsets, entries)
+    }
+
+    #[inline]
+    pub(crate) fn payload_arena(&self) -> &[i64] {
+        // SAFETY: checked at open; 8-aligned.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.buf
+                    .as_bytes()
+                    .as_ptr()
+                    .add(self.payload_off)
+                    .cast::<i64>(),
+                self.payload_words,
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder.
+// ---------------------------------------------------------------------------
+
+/// Little-endian serializer with 8-byte section alignment.
+struct FlatWriter {
+    out: Vec<u8>,
+}
+
+impl FlatWriter {
+    fn align8(&mut self) {
+        while self.out.len() % 8 != 0 {
+            self.out.push(0);
+        }
+    }
+
+    fn put_u64_at(&mut self, at: usize, v: u64) {
+        self.out[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32s(&mut self, vs: &[u32]) {
+        self.out.reserve(vs.len() * 4);
+        for v in vs {
+            self.out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Encodes `graph` into the flat payload (no envelope). `payload_key` is
+/// the pre-decoded edge payload (Polluted_Position); `name_key` /
+/// `class_key` fill the node NAME / CLASS_NAME columns used to describe
+/// chain steps without the serde graph; `meta` is stored verbatim for the
+/// caller (sink/source/diagnostics summary).
+///
+/// Layers are written for every edge type present in the graph, in
+/// ascending type-id order, each one byte-for-byte the `CsrDir` arrays
+/// [`CsrSnapshot::freeze`] builds for that type.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] when the graph outgrows the u32-indexed CSR
+/// layout.
+pub fn encode_flat_cpg(
+    graph: &Graph,
+    payload_key: Option<PropKey>,
+    name_key: Option<PropKey>,
+    class_key: Option<PropKey>,
+    meta: &[u8],
+) -> Result<Vec<u8>, GraphError> {
+    // Every edge type with at least one edge, ascending by id; a type
+    // absent here has no edges, which readers model as an empty layer.
+    let mut types: Vec<EdgeType> = graph
+        .edge_type_histogram()
+        .iter()
+        .filter_map(|(name, _)| graph.get_edge_type(name))
+        .collect();
+    types.sort_unstable_by_key(|t| t.0);
+    types.dedup();
+
+    let snapshot = CsrSnapshot::freeze(graph, &types, payload_key)?;
+    let n = graph.node_count();
+
+    // String table: dedup every NAME/CLASS_NAME value once.
+    let mut strings: Vec<&str> = Vec::new();
+    let mut string_ids: HashMap<&str, u32> = HashMap::new();
+    let mut column =
+        |key: Option<PropKey>, strings: &mut Vec<&str>, ids: &mut HashMap<&str, u32>| {
+            let mut col = vec![NO_STRING; n];
+            if let Some(key) = key {
+                for (i, slot) in col.iter_mut().enumerate() {
+                    let node = NodeId(i as u32);
+                    if let Some(s) = graph.node_prop(node, key).and_then(Value::as_str) {
+                        let id = *ids.entry(s).or_insert_with(|| {
+                            strings.push(s);
+                            (strings.len() - 1) as u32
+                        });
+                        *slot = id;
+                    }
+                }
+            }
+            col
+        };
+    let names = column(name_key, &mut strings, &mut string_ids);
+    let classes = column(class_key, &mut strings, &mut string_ids);
+
+    let mut w = FlatWriter {
+        out: vec![0u8; HEADER_LEN],
+    };
+
+    // Type table.
+    let type_ids: Vec<u32> = types.iter().map(|t| u32::from(t.0)).collect();
+    let types_off = w.out.len();
+    w.put_u32s(&type_ids);
+    w.align8();
+
+    // Layer directory placeholder (6 u64 per type), patched below.
+    let layers_off = w.out.len();
+    w.out.extend(std::iter::repeat(0u8).take(types.len() * 48));
+
+    // Per-layer arrays, in the exact CsrDir layout freeze produced.
+    let mut dir_entries: Vec<u64> = Vec::with_capacity(types.len() * 6);
+    for layer in 0..types.len() {
+        for forward in [true, false] {
+            let (offsets, entries) = snapshot.dir_raw(layer, forward);
+            w.align8();
+            let offsets_off = w.out.len();
+            w.put_u32s(offsets);
+            w.align8();
+            let entries_off = w.out.len();
+            for e in entries {
+                w.put_u32s(&[e.edge, e.node, e.start, e.len]);
+            }
+            dir_entries.extend([offsets_off as u64, entries_off as u64, entries.len() as u64]);
+        }
+    }
+    for (i, v) in dir_entries.iter().enumerate() {
+        w.put_u64_at(layers_off + i * 8, *v);
+    }
+
+    // Payload arena.
+    w.align8();
+    let payload_off = w.out.len();
+    let payload = snapshot.payload_arena();
+    w.out.reserve(payload.len() * 8);
+    for v in payload {
+        w.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    // String table: (count + 1) u32 offsets into the blob, then the blob.
+    w.align8();
+    let strings_off = w.out.len();
+    let mut blob_offsets: Vec<u32> = Vec::with_capacity(strings.len() + 1);
+    let mut blob: Vec<u8> = Vec::new();
+    blob_offsets.push(0);
+    for s in &strings {
+        blob.extend_from_slice(s.as_bytes());
+        blob_offsets.push(blob.len() as u32);
+    }
+    w.put_u32s(&blob_offsets);
+    w.out.extend_from_slice(&blob);
+
+    // Node columns.
+    w.align8();
+    let names_off = w.out.len();
+    w.put_u32s(&names);
+    w.align8();
+    let classes_off = w.out.len();
+    w.put_u32s(&classes);
+
+    // Meta blob.
+    w.align8();
+    let meta_off = w.out.len();
+    w.out.extend_from_slice(meta);
+    w.align8();
+
+    // Header.
+    let total = w.out.len() as u64;
+    for (i, v) in [
+        FLAT_FORMAT_VERSION,
+        ENDIAN_TAG,
+        n as u64,
+        types.len() as u64,
+        types_off as u64,
+        layers_off as u64,
+        payload_off as u64,
+        payload.len() as u64,
+        strings_off as u64,
+        strings.len() as u64,
+        names_off as u64,
+        classes_off as u64,
+        meta_off as u64,
+        meta.len() as u64,
+        total,
+        0,
+    ]
+    .iter()
+    .enumerate()
+    {
+        w.put_u64_at(i * 8, *v);
+    }
+    Ok(w.out)
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+/// One opened flat CPG artifact: the mapping plus the validated section
+/// directory. Cheap to clone-share behind an `Arc`; every accessor is a
+/// pointer offset into the mapping.
+#[derive(Debug)]
+pub struct FlatCpg {
+    buf: Arc<MappedBuf>,
+    node_count: usize,
+    types: Vec<EdgeType>,
+    layers: Vec<(MappedDir, MappedDir)>,
+    payload_off: usize,
+    payload_words: usize,
+    strings_off: usize,
+    string_count: usize,
+    names_off: usize,
+    classes_off: usize,
+    meta: Range<usize>,
+}
+
+/// Bounds/alignment validator over one payload window.
+struct Check<'a> {
+    bytes: &'a [u8],
+    base: usize,
+    end: usize,
+}
+
+impl Check<'_> {
+    fn u64_at(&self, field: usize) -> Result<u64, FlatError> {
+        let at = self.base + field * 8;
+        if at + 8 > self.end {
+            return Err(FlatError::Format("header out of bounds".into()));
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[at..at + 8]);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Validates a section of `len` elements of `size` bytes at absolute
+    /// offset `off` (relative to payload base), returning the absolute
+    /// buffer offset.
+    fn section(&self, off: u64, len: usize, size: usize, what: &str) -> Result<usize, FlatError> {
+        let off = usize::try_from(off)
+            .ok()
+            .and_then(|o| self.base.checked_add(o))
+            .ok_or_else(|| FlatError::Format(format!("{what} offset overflow")))?;
+        let bytes = len
+            .checked_mul(size)
+            .ok_or_else(|| FlatError::Format(format!("{what} length overflow")))?;
+        if off % size.min(8) != 0 {
+            return Err(FlatError::Format(format!("{what} misaligned")));
+        }
+        if off.checked_add(bytes).map_or(true, |e| e > self.end) {
+            return Err(FlatError::Format(format!("{what} out of bounds")));
+        }
+        Ok(off)
+    }
+}
+
+impl FlatCpg {
+    /// Validates the flat payload occupying `payload` inside `buf` (the
+    /// caller already verified the enclosing checksummed envelope) and
+    /// returns the zero-copy handle.
+    ///
+    /// # Errors
+    ///
+    /// [`FlatError::VersionSkew`] on an unknown format version,
+    /// [`FlatError::Unsupported`] on big-endian hosts, and
+    /// [`FlatError::Format`] on structural damage.
+    pub fn from_buf(buf: Arc<MappedBuf>, payload: Range<usize>) -> Result<FlatCpg, FlatError> {
+        if cfg!(target_endian = "big") {
+            return Err(FlatError::Unsupported(
+                "zero-copy flat CPGs are little-endian".into(),
+            ));
+        }
+        let bytes = buf.as_bytes();
+        if payload.start % 8 != 0 {
+            return Err(FlatError::Format("payload base misaligned".into()));
+        }
+        if payload.end > bytes.len() || payload.start > payload.end {
+            return Err(FlatError::Format("payload range out of bounds".into()));
+        }
+        if payload.len() < HEADER_LEN {
+            return Err(FlatError::Format("payload shorter than header".into()));
+        }
+        let c = Check {
+            bytes,
+            base: payload.start,
+            end: payload.end,
+        };
+        let version = c.u64_at(0)?;
+        if version != FLAT_FORMAT_VERSION {
+            return Err(FlatError::VersionSkew {
+                found: version,
+                supported: FLAT_FORMAT_VERSION,
+            });
+        }
+        if c.u64_at(1)? != ENDIAN_TAG {
+            return Err(FlatError::Format("endian tag mismatch".into()));
+        }
+        let node_count = c.u64_at(2)? as usize;
+        let type_count = c.u64_at(3)? as usize;
+        if c.u64_at(14)? as usize != payload.len() {
+            return Err(FlatError::Format("declared length mismatch".into()));
+        }
+
+        let types_off = c.section(c.u64_at(4)?, type_count, 4, "type table")?;
+        let layers_off = c.section(c.u64_at(5)?, type_count * 6, 8, "layer directory")?;
+        let payload_words = c.u64_at(7)? as usize;
+        let payload_off = c.section(c.u64_at(6)?, payload_words, 8, "payload arena")?;
+        let string_count = c.u64_at(9)? as usize;
+        let strings_off = c.section(c.u64_at(8)?, string_count + 1, 4, "string offsets")?;
+        let names_off = c.section(c.u64_at(10)?, node_count, 4, "name column")?;
+        let classes_off = c.section(c.u64_at(11)?, node_count, 4, "class column")?;
+        let meta_len = c.u64_at(13)? as usize;
+        let meta_off = c.section(c.u64_at(12)?, meta_len, 1, "meta blob")?;
+
+        let mut types = Vec::with_capacity(type_count);
+        for i in 0..type_count {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[types_off + i * 4..types_off + i * 4 + 4]);
+            let id = u32::from_le_bytes(b);
+            let id = u16::try_from(id)
+                .map_err(|_| FlatError::Format("edge type id out of range".into()))?;
+            types.push(EdgeType(id));
+        }
+
+        let mut layers = Vec::with_capacity(type_count);
+        for i in 0..type_count {
+            let mut dirs = [MappedDir::default(); 2];
+            for (d, dir) in dirs.iter_mut().enumerate() {
+                let at = layers_off + (i * 6 + d * 3) * 8;
+                let read = |k: usize| {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&bytes[at + k * 8..at + k * 8 + 8]);
+                    u64::from_le_bytes(b)
+                };
+                let entries_len = read(2) as usize;
+                let offsets_len = if node_count == 0 { 1 } else { node_count + 1 };
+                let offsets_off = c.section(read(0), offsets_len, 4, "CSR offsets")?;
+                let entries_off = c.section(read(1), entries_len, 16, "CSR entries")?;
+                *dir = MappedDir {
+                    offsets_off,
+                    offsets_len,
+                    entries_off,
+                    entries_len,
+                };
+            }
+            layers.push((dirs[0], dirs[1]));
+        }
+
+        // The string blob sits right after the offsets array; its end is
+        // implied by the last offset. Bound it.
+        let blob_base = strings_off + (string_count + 1) * 4;
+        let last = {
+            let at = strings_off + string_count * 4;
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[at..at + 4]);
+            u32::from_le_bytes(b) as usize
+        };
+        if blob_base + last > payload.end {
+            return Err(FlatError::Format("string blob out of bounds".into()));
+        }
+
+        Ok(FlatCpg {
+            buf,
+            node_count,
+            types,
+            layers,
+            payload_off,
+            payload_words,
+            strings_off,
+            string_count,
+            names_off,
+            classes_off,
+            meta: meta_off..meta_off + meta_len,
+        })
+    }
+
+    /// Nodes in the stored graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Bytes of the underlying artifact (mapping size, for budgets).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// `true` when served by a real `mmap` rather than the heap fallback.
+    pub fn is_mmap(&self) -> bool {
+        self.buf.is_mapped()
+    }
+
+    /// The caller-opaque meta blob stored at encode time.
+    pub fn meta(&self) -> &[u8] {
+        &self.buf.as_bytes()[self.meta.clone()]
+    }
+
+    /// A zero-copy [`CsrSnapshot`] over the requested edge `types`, layer
+    /// *i* serving `types[i]` exactly like [`CsrSnapshot::freeze`] would.
+    /// A type with no edges in the stored graph yields an empty layer.
+    pub fn snapshot(&self, types: &[EdgeType]) -> CsrSnapshot {
+        let layers = types
+            .iter()
+            .map(|ty| match self.types.iter().position(|t| t == ty) {
+                Some(i) => self.layers[i],
+                None => (MappedDir::default(), MappedDir::default()),
+            })
+            .collect();
+        CsrSnapshot::from_mapped(
+            types.to_vec(),
+            MappedCsr {
+                buf: Arc::clone(&self.buf),
+                layers,
+                payload_off: self.payload_off,
+                payload_words: self.payload_words,
+            },
+        )
+    }
+
+    /// Every edge type stored in the artifact, ascending by id.
+    pub fn stored_types(&self) -> &[EdgeType] {
+        &self.types
+    }
+
+    fn string(&self, id: u32) -> Option<&str> {
+        if id == NO_STRING || (id as usize) >= self.string_count {
+            return None;
+        }
+        let bytes = self.buf.as_bytes();
+        let at = self.strings_off + (id as usize) * 4;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&bytes[at..at + 4]);
+        let start = u32::from_le_bytes(b) as usize;
+        b.copy_from_slice(&bytes[at + 4..at + 8]);
+        let end = u32::from_le_bytes(b) as usize;
+        let blob = self.strings_off + (self.string_count + 1) * 4;
+        std::str::from_utf8(&bytes[blob + start..blob + end]).ok()
+    }
+
+    fn column(&self, off: usize, node: NodeId) -> Option<&str> {
+        let i = node.index();
+        if i >= self.node_count {
+            return None;
+        }
+        let at = off + i * 4;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.buf.as_bytes()[at..at + 4]);
+        self.string(u32::from_le_bytes(b))
+    }
+
+    /// The node's NAME column value, if present at encode time.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.column(self.names_off, node)
+    }
+
+    /// The node's CLASS_NAME column value, if present at encode time.
+    pub fn node_class(&self, node: NodeId) -> Option<&str> {
+        self.column(self.classes_off, node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Direction;
+
+    fn sample() -> (Graph, EdgeType, EdgeType, PropKey, PropKey, PropKey) {
+        let mut g = Graph::new();
+        let method = g.label("Method");
+        let call = g.edge_type("CALL");
+        let alias = g.edge_type("ALIAS");
+        let pp = g.prop_key("PP");
+        let name = g.prop_key("NAME");
+        let class = g.prop_key("CLASS_NAME");
+        let nodes: Vec<NodeId> = (0..5).map(|_| g.add_node(method)).collect();
+        for (i, &n) in nodes.iter().enumerate() {
+            g.set_node_prop(n, name, Value::from(format!("m{i}").as_str()));
+            if i != 3 {
+                g.set_node_prop(n, class, Value::from("t.C"));
+            }
+        }
+        let e = g.add_edge(call, nodes[1], nodes[0]);
+        g.set_edge_prop(e, pp, Value::IntList(vec![-1, 0, 2]));
+        g.add_edge(alias, nodes[2], nodes[0]);
+        let e = g.add_edge(call, nodes[2], nodes[1]);
+        g.set_edge_prop(e, pp, Value::IntList(vec![1]));
+        g.add_edge(call, nodes[4], nodes[2]);
+        g.add_edge(call, nodes[0], nodes[0]);
+        (g, call, alias, pp, name, class)
+    }
+
+    fn write_and_open(payload: &[u8]) -> (FlatCpg, std::path::PathBuf) {
+        let path = std::env::temp_dir().join(format!(
+            "tabby-flat-test-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, payload).unwrap();
+        let buf = Arc::new(MappedBuf::open(&path).unwrap());
+        let len = buf.len();
+        let flat = FlatCpg::from_buf(buf, 0..len).unwrap();
+        (flat, path)
+    }
+
+    #[test]
+    fn mapped_snapshot_matches_frozen_snapshot() {
+        let (g, call, alias, pp, name, class) = sample();
+        let payload = encode_flat_cpg(&g, Some(pp), Some(name), Some(class), b"meta!").unwrap();
+        let (flat, path) = write_and_open(&payload);
+        assert_eq!(flat.meta(), b"meta!");
+        assert_eq!(flat.node_count(), g.node_count());
+
+        let frozen = CsrSnapshot::freeze(&g, &[call, alias], Some(pp)).unwrap();
+        let mapped = flat.snapshot(&[call, alias]);
+        assert!(mapped.is_mapped() || !flat.is_mmap());
+        for n in g.node_ids() {
+            for dir in [Direction::Outgoing, Direction::Incoming, Direction::Both] {
+                for layer in [0usize, 1] {
+                    let want: Vec<_> = frozen.neighbors(layer, n, dir).collect();
+                    let got: Vec<_> = mapped.neighbors(layer, n, dir).collect();
+                    assert_eq!(got, want, "node {n:?} dir {dir:?} layer {layer}");
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn node_columns_round_trip() {
+        let (g, _, _, pp, name, class) = sample();
+        let payload = encode_flat_cpg(&g, Some(pp), Some(name), Some(class), b"").unwrap();
+        let (flat, path) = write_and_open(&payload);
+        for n in g.node_ids() {
+            let want_name = g.node_prop(n, name).and_then(Value::as_str);
+            let want_class = g.node_prop(n, class).and_then(Value::as_str);
+            assert_eq!(flat.node_name(n), want_name, "node {n:?}");
+            assert_eq!(flat.node_class(n), want_class, "node {n:?}");
+        }
+        assert_eq!(flat.node_name(NodeId(999)), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn absent_type_is_an_empty_layer() {
+        let (g, call, _, pp, _, _) = sample();
+        let payload = encode_flat_cpg(&g, Some(pp), None, None, b"").unwrap();
+        let (flat, path) = write_and_open(&payload);
+        let ghost = EdgeType(200);
+        let mapped = flat.snapshot(&[ghost, call]);
+        assert_eq!(mapped.layer_of(ghost), Some(0));
+        assert_eq!(mapped.layer_len(0), 0);
+        for n in g.node_ids() {
+            assert_eq!(mapped.neighbors(0, n, Direction::Both).count(), 0);
+        }
+        assert!(mapped.layer_len(1) > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_skew_and_truncation_are_refused() {
+        let (g, _, _, pp, _, _) = sample();
+        let mut payload = encode_flat_cpg(&g, Some(pp), None, None, b"m").unwrap();
+
+        // Truncation.
+        let path = std::env::temp_dir().join(format!(
+            "tabby-flat-trunc-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, &payload[..payload.len() / 2]).unwrap();
+        let buf = Arc::new(MappedBuf::open(&path).unwrap());
+        let len = buf.len();
+        let err = FlatCpg::from_buf(buf, 0..len).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+
+        // Version skew.
+        payload[0..8].copy_from_slice(&99u64.to_le_bytes());
+        std::fs::write(&path, &payload).unwrap();
+        let buf = Arc::new(MappedBuf::open(&path).unwrap());
+        let len = buf.len();
+        match FlatCpg::from_buf(buf, 0..len) {
+            Err(FlatError::VersionSkew { found: 99, .. }) => {}
+            other => panic!("expected version skew, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::new();
+        let payload = encode_flat_cpg(&g, None, None, None, b"").unwrap();
+        let (flat, path) = write_and_open(&payload);
+        assert_eq!(flat.node_count(), 0);
+        assert!(flat.stored_types().is_empty());
+        let snap = flat.snapshot(&[EdgeType(0)]);
+        assert_eq!(snap.layer_len(0), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -38,13 +38,15 @@
 
 pub mod algo;
 pub mod csr;
+pub mod flat;
 pub mod hash;
 pub mod query;
 pub mod store;
 pub mod traversal;
 pub mod value;
 
-pub use csr::CsrSnapshot;
+pub use csr::{CsrSnapshot, GraphError};
+pub use flat::{encode_flat_cpg, FlatCpg, FlatError, MappedBuf, FLAT_FORMAT_VERSION};
 pub use hash::{content_hash64, Fnv64};
 pub use query::{ExecBudget, Match, NodePattern, Query, QueryStats, QueryStream};
 pub use store::{Direction, EdgeId, EdgeType, Graph, Label, NodeId, PropKey};

@@ -763,7 +763,7 @@ mod tests {
         let l = g.get_label("Method").unwrap();
         let call = g.get_edge_type("CALL").unwrap();
         let alias = g.get_edge_type("ALIAS").unwrap();
-        let csr = CsrSnapshot::freeze(&g, &[call, alias], None);
+        let csr = CsrSnapshot::freeze(&g, &[call, alias], None).unwrap();
         let q = Query::new(NodePattern::label(l))
             .repeat(call, Direction::Outgoing, 0, 2, NodePattern::any())
             .repeat(alias, Direction::Incoming, 0, 1, NodePattern::any());

@@ -1,9 +1,15 @@
 //! Property-based tests for the property-graph substrate.
 
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tabby_graph::{
-    follow, Direction, Evaluation, Graph, NodeId, Path, Traversal, Uniqueness, Value,
+    encode_flat_cpg, follow, CsrSnapshot, Direction, EdgeId, Evaluation, FlatCpg, Graph, MappedBuf,
+    NodeId, Path, Traversal, Uniqueness, Value,
 };
+
+/// Unique temp-file suffix per proptest case (cases run concurrently).
+static FLAT_CASE: AtomicU64 = AtomicU64::new(0);
 
 proptest! {
     #[test]
@@ -119,6 +125,79 @@ proptest! {
         let second = serde_json::to_vec(&back).unwrap();
         prop_assert_eq!(&second, &first, "re-serialization after rebuild drifted");
         prop_assert_eq!(back.content_hash(), g.content_hash());
+    }
+
+    #[test]
+    fn flat_round_trip_matches_frozen_csr(
+        calls in prop::collection::vec((0u32..14, 0u32..14), 0..50),
+        aliases in prop::collection::vec((0u32..14, 0u32..14), 0..30),
+        named in prop::collection::vec((0u32..14, 0u8..6), 0..30),
+    ) {
+        // The flat on-disk layout promises its per-type arrays are exactly
+        // the arrays `CsrSnapshot::freeze` builds, so a mapped graph and a
+        // frozen graph must agree on every neighbor list, payload span,
+        // and interned node string — for any graph shape.
+        let mut g = Graph::new();
+        let l = g.label("Method");
+        let call = g.edge_type("CALL");
+        let alias = g.edge_type("ALIAS");
+        let pp = g.prop_key("POLLUTED_POSITION");
+        let name = g.prop_key("NAME");
+        let class = g.prop_key("CLASS_NAME");
+        let nodes: Vec<NodeId> = (0..14).map(|_| g.add_node(l)).collect();
+        for (i, (a, b)) in calls.iter().enumerate() {
+            let e = g.add_edge(call, nodes[*a as usize], nodes[*b as usize]);
+            g.set_edge_prop(e, pp, Value::IntList(vec![i as i64, -1]));
+        }
+        for (a, b) in &aliases {
+            g.add_edge(alias, nodes[*a as usize], nodes[*b as usize]);
+        }
+        for (n, which) in &named {
+            let node = nodes[*n as usize];
+            if which % 2 == 0 {
+                g.set_node_prop(node, name, Value::from(format!("m{n}")));
+            }
+            if which % 3 == 0 {
+                g.set_node_prop(node, class, Value::from(format!("com.example.C{n}")));
+            }
+        }
+
+        let meta = br#"{"provenance":"prop"}"#;
+        let bytes = encode_flat_cpg(&g, Some(pp), Some(name), Some(class), meta).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "tabby-flat-prop-{}-{}.bin",
+            std::process::id(),
+            FLAT_CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+        let buf = Arc::new(MappedBuf::open(&path).unwrap());
+        let _ = std::fs::remove_file(&path);
+        let flat = FlatCpg::from_buf(buf, 0..bytes.len()).unwrap();
+
+        prop_assert_eq!(flat.meta(), &meta[..]);
+        prop_assert_eq!(flat.node_count(), g.node_count());
+        let types = [call, alias];
+        let frozen = CsrSnapshot::freeze(&g, &types, Some(pp)).unwrap();
+        let mapped = flat.snapshot(&types);
+        for layer in 0..types.len() {
+            for &n in &nodes {
+                for dir in [Direction::Outgoing, Direction::Incoming, Direction::Both] {
+                    let want: Vec<(EdgeId, NodeId, Vec<i64>)> = frozen
+                        .neighbors(layer, n, dir)
+                        .map(|(e, m, p)| (e, m, p.to_vec()))
+                        .collect();
+                    let got: Vec<(EdgeId, NodeId, Vec<i64>)> = mapped
+                        .neighbors(layer, n, dir)
+                        .map(|(e, m, p)| (e, m, p.to_vec()))
+                        .collect();
+                    prop_assert_eq!(want, got, "layer {} node {:?} {:?}", layer, n, dir);
+                }
+            }
+        }
+        for &n in &nodes {
+            prop_assert_eq!(flat.node_name(n), g.node_prop(n, name).and_then(Value::as_str));
+            prop_assert_eq!(flat.node_class(n), g.node_prop(n, class).and_then(Value::as_str));
+        }
     }
 
     #[test]

@@ -61,9 +61,9 @@ pub use near::{find_near_chains, BlockedEdge, NearChain, NearChainConfig, NearCh
 pub use report::AuditReport;
 pub use search::{
     canonical_chain_order, find_chains_raw, find_chains_raw_detailed,
-    find_chains_reference_detailed, find_gadget_chains, find_gadget_chains_detailed,
-    find_gadget_chains_reference_detailed, traverse_tc, ChainFinder, GadgetChain, SearchConfig,
-    SearchOutcome, TriggerCondition,
+    find_chains_reference_detailed, find_chains_snapshot_detailed, find_gadget_chains,
+    find_gadget_chains_detailed, find_gadget_chains_reference_detailed, traverse_tc, ChainFinder,
+    GadgetChain, SearchConfig, SearchOutcome, TriggerCondition, ALIAS_LAYER, CALL_LAYER,
 };
 pub use sinks::{SinkCatalog, SinkCategory, SinkSpec};
 pub use sources::{SourceCatalog, SourceSpec};

@@ -136,7 +136,15 @@ pub fn find_near_chains(
     sources: &HashSet<NodeId>,
     config: &NearChainConfig,
 ) -> NearChainOutcome {
-    let csr = freeze_cpg(graph, schema);
+    let Ok(csr) = freeze_cpg(graph, schema) else {
+        // A graph too large for the u32 CSR index space: report an empty,
+        // truncated pass instead of panicking.
+        return NearChainOutcome {
+            near_chains: Vec::new(),
+            truncated: true,
+            expansions: 0,
+        };
+    };
     let mut expansions = 0usize;
     let mut truncated = false;
     // Sink-first raw hits with their forgiven edge.

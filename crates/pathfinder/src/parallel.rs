@@ -376,10 +376,31 @@ pub(crate) fn search(
 ) -> EngineOutcome {
     // Freeze the CSR snapshot once per search; it is derived from the
     // mutable graph, shared read-only by every worker, and dropped when the
-    // search returns (never cached across searches).
-    let csr = freeze_cpg(graph, schema);
+    // search returns (never cached across searches). A graph too large for
+    // the u32 CSR index space degrades to an empty truncated outcome.
+    let Ok(csr) = freeze_cpg(graph, schema) else {
+        return EngineOutcome {
+            hits: Vec::new(),
+            expansions: 0,
+            memo_hits: 0,
+            truncated: true,
+        };
+    };
+    search_snapshot(&csr, sinks, sources, config)
+}
+
+/// Runs the parallel engine over a caller-provided snapshot (e.g. one
+/// borrowed zero-copy from a mapped flat CPG). Identical semantics to
+/// [`search`] from the freeze onward — same work units, same memo, same
+/// canonical chain set.
+pub(crate) fn search_snapshot(
+    csr: &CsrSnapshot,
+    sinks: &[(NodeId, TriggerCondition)],
+    sources: &HashSet<NodeId>,
+    config: &SearchConfig,
+) -> EngineOutcome {
     let threads = effective_threads(config.search_threads);
-    run_with_threads(&csr, sinks, sources, config, threads)
+    run_with_threads(csr, sinks, sources, config, threads)
 }
 
 fn run_with_threads(

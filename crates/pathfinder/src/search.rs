@@ -15,7 +15,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashSet};
 use tabby_core::{Cpg, CpgSchema};
 use tabby_graph::{
-    CsrSnapshot, Direction, Evaluation, Expansion, Graph, NodeId, Path, Traversal, Uniqueness,
+    CsrSnapshot, Direction, Evaluation, Expansion, Graph, GraphError, NodeId, Path, Traversal,
+    Uniqueness,
 };
 
 /// A Trigger_Condition: the set of call positions (0 = receiver,
@@ -156,22 +157,39 @@ pub fn traverse_tc(tc: &TriggerCondition, pp: &[i64]) -> Option<TriggerCondition
     Some(next)
 }
 
-/// Layer index of the CALL edge type in a [`freeze_cpg`] snapshot.
-pub(crate) const CALL_LAYER: usize = 0;
-/// Layer index of the ALIAS edge type in a [`freeze_cpg`] snapshot.
-pub(crate) const ALIAS_LAYER: usize = 1;
+/// Layer index of the CALL edge type in a search snapshot — callers of
+/// [`find_chains_snapshot_detailed`] must freeze CALL as layer 0.
+pub const CALL_LAYER: usize = 0;
+/// Layer index of the ALIAS edge type in a search snapshot — layer 1.
+pub const ALIAS_LAYER: usize = 1;
 
 /// Freezes the CSR view of a CPG graph that the search hot loops run on:
 /// CALL and ALIAS adjacency with the Polluted_Position payload pre-decoded
-/// into a flat arena. Derived once per search and dropped with it, never
-/// cached — the mutable [`Graph`] stays the construction and serialization
-/// format.
-pub(crate) fn freeze_cpg(graph: &Graph, schema: &CpgSchema) -> CsrSnapshot {
+/// into a flat arena. Derived once per search and dropped with it (the
+/// service layer may instead hand the engines a pre-built mapped snapshot
+/// via [`find_chains_snapshot_detailed`]) — the mutable [`Graph`] stays the
+/// construction and serialization format.
+///
+/// Fails only when an adjacency layer overflows the u32 CSR index space
+/// (> 4 billion directed entries); callers degrade to an empty truncated
+/// outcome rather than panicking.
+pub(crate) fn freeze_cpg(graph: &Graph, schema: &CpgSchema) -> Result<CsrSnapshot, GraphError> {
     CsrSnapshot::freeze(
         graph,
         &[schema.call, schema.alias],
         Some(schema.polluted_position),
     )
+}
+
+/// An empty outcome marked truncated — what every engine returns when the
+/// graph is too large to freeze (a valid "found nothing, gave up" answer).
+fn overflow_outcome() -> SearchOutcome {
+    SearchOutcome {
+        chains: Vec::new(),
+        truncated: true,
+        expansions: 0,
+        memo_hits: 0,
+    }
 }
 
 /// The gadget-chain finder over a CPG (the *tabby-path-finder* role).
@@ -341,6 +359,52 @@ pub fn find_chains_raw_detailed(
     }
 }
 
+/// Searches a pre-built CSR snapshot directly — the zero-copy entry the
+/// service layer uses when a corpus's CPG is already on disk in the flat
+/// mmap format: no [`Graph`] is reconstructed, adjacency and the pre-decoded
+/// Polluted_Position arena are read straight off the mapping.
+///
+/// `csr` must follow the search layer convention ([`CALL_LAYER`] = CALL,
+/// [`ALIAS_LAYER`] = ALIAS, payload = Polluted_Position) — exactly what
+/// [`freeze_cpg`] builds and what `FlatCpg::snapshot(&[call, alias])`
+/// reorders a stored flat graph into. `describe` renders a node's
+/// `Class.method` signature (from the flat node columns, or any other
+/// source); it is only called on nodes of found chains, never in the hot
+/// loop.
+///
+/// Dispatch mirrors [`find_chains_raw_detailed`] — the work-sharded engine
+/// for `NodePath` uniqueness, the sequential CSR traversal otherwise — so
+/// the outcome is byte-identical to a search over the graph the snapshot
+/// was frozen from, which the determinism battery and the flat round-trip
+/// tests assert.
+pub fn find_chains_snapshot_detailed(
+    csr: &CsrSnapshot,
+    describe: &dyn Fn(NodeId) -> String,
+    sinks: Vec<(NodeId, TriggerCondition)>,
+    sink_categories: Vec<(NodeId, String)>,
+    sources: &HashSet<NodeId>,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    if config.uniqueness != Uniqueness::NodePath {
+        return find_chains_traversal_snapshot(
+            csr,
+            describe,
+            sinks,
+            sink_categories,
+            sources,
+            config,
+        );
+    }
+    let outcome = crate::parallel::search_snapshot(csr, &sinks, sources, config);
+    let chains = assemble_chains_with(describe, &sink_categories, outcome.hits, config.max_results);
+    SearchOutcome {
+        chains,
+        truncated: outcome.truncated,
+        expansions: outcome.expansions,
+        memo_hits: outcome.memo_hits,
+    }
+}
+
 /// The sequential reference engine: the Expander/Evaluator traversal of
 /// Algorithms 2–3, verbatim, with no memoization and no work sharding.
 /// The determinism battery and `bench search` compare the parallel engine
@@ -443,8 +507,26 @@ fn find_chains_traversal_csr(
     sources: &HashSet<NodeId>,
     config: &SearchConfig,
 ) -> SearchOutcome {
-    let csr = freeze_cpg(graph, schema);
-    let csr_ref = &csr;
+    let Ok(csr) = freeze_cpg(graph, schema) else {
+        return overflow_outcome();
+    };
+    let describe = graph_describe(graph, schema);
+    find_chains_traversal_snapshot(&csr, &describe, sinks, sink_categories, sources, config)
+}
+
+/// The same sequential traversal over a caller-provided snapshot. The
+/// `&Graph` handed to [`Traversal`] is a throwaway empty graph: the
+/// expander and evaluator only consult the captured CSR, so the traversal
+/// never touches it.
+fn find_chains_traversal_snapshot(
+    csr: &CsrSnapshot,
+    describe: &dyn Fn(NodeId) -> String,
+    sinks: Vec<(NodeId, TriggerCondition)>,
+    sink_categories: Vec<(NodeId, String)>,
+    sources: &HashSet<NodeId>,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    let csr_ref = csr;
     let use_alias = config.use_alias_edges;
     let max_depth = config.max_depth;
     let sources_for_eval = sources.clone();
@@ -491,13 +573,14 @@ fn find_chains_traversal_csr(
         .max_results(config.max_results)
         .max_expansions(config.max_expansions)
         .deadline(config.deadline);
-    let (results, stats) = traversal.run_many_with_stats(graph, sinks);
+    let dummy = Graph::new();
+    let (results, stats) = traversal.run_many_with_stats(&dummy, sinks);
 
     let raw: Vec<Vec<NodeId>> = results
         .into_iter()
         .map(|(path, _tc)| path.nodes().to_vec())
         .collect();
-    let chains = assemble_chains(graph, schema, &sink_categories, raw, config.max_results);
+    let chains = assemble_chains_with(describe, &sink_categories, raw, config.max_results);
     SearchOutcome {
         chains,
         truncated: stats.truncated,
@@ -529,11 +612,44 @@ pub fn canonical_chain_order(chains: &mut Vec<GadgetChain>) {
     });
 }
 
+/// The `Class.method` description of a node, read from the graph's
+/// property maps — the describe closure of the graph-backed engines.
+fn graph_describe<'g>(graph: &'g Graph, schema: &'g CpgSchema) -> impl Fn(NodeId) -> String + 'g {
+    move |n: NodeId| {
+        let class = graph
+            .node_prop(n, schema.class_name)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        let name = graph
+            .node_prop(n, schema.name)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        format!("{class}.{name}")
+    }
+}
+
 /// Turns raw sink-first node paths into source-first [`GadgetChain`]s in
 /// canonical order — the single assembly point shared by both engines.
 fn assemble_chains(
     graph: &Graph,
     schema: &CpgSchema,
+    sink_categories: &[(NodeId, String)],
+    raw: Vec<Vec<NodeId>>,
+    max_results: usize,
+) -> Vec<GadgetChain> {
+    assemble_chains_with(
+        &graph_describe(graph, schema),
+        sink_categories,
+        raw,
+        max_results,
+    )
+}
+
+/// [`assemble_chains`] with the node-description source abstracted, so the
+/// snapshot-based entry can render signatures from flat node columns
+/// without a [`Graph`] in hand.
+fn assemble_chains_with(
+    describe: &dyn Fn(NodeId) -> String,
     sink_categories: &[(NodeId, String)],
     raw: Vec<Vec<NodeId>>,
     max_results: usize,
@@ -544,17 +660,6 @@ fn assemble_chains(
             .find(|(n, _)| *n == sink)
             .map(|(_, c)| c.clone())
             .unwrap_or_default()
-    };
-    let describe = |n: NodeId| {
-        let class = graph
-            .node_prop(n, schema.class_name)
-            .and_then(|v| v.as_str())
-            .unwrap_or("?");
-        let name = graph
-            .node_prop(n, schema.name)
-            .and_then(|v| v.as_str())
-            .unwrap_or("?");
-        format!("{class}.{name}")
     };
 
     let mut chains = Vec::new();
@@ -899,6 +1004,50 @@ mod tests {
         assert!(with_memo.memo_hits > 0);
         assert_eq!(without.memo_hits, 0);
         assert!(with_memo.expansions < without.expansions);
+    }
+
+    #[test]
+    fn snapshot_entry_matches_graph_entry_on_fig6() {
+        let (g, schema, nodes) = fig6();
+        let sink = nodes[0];
+        let source = nodes[6];
+        let sinks = vec![(sink, TriggerCondition::from([1u16]))];
+        let cats = vec![(sink, "EXEC".to_owned())];
+        let sources = HashSet::from([source]);
+        let csr = freeze_cpg(&g, &schema).unwrap();
+        let describe = graph_describe(&g, &schema);
+        for uniqueness in [
+            Uniqueness::None,
+            Uniqueness::NodePath,
+            Uniqueness::NodeGlobal,
+        ] {
+            let config = SearchConfig {
+                uniqueness,
+                ..SearchConfig::default()
+            };
+            let want = find_chains_raw_detailed(
+                &g,
+                &schema,
+                sinks.clone(),
+                cats.clone(),
+                &sources,
+                &config,
+            );
+            let got = find_chains_snapshot_detailed(
+                &csr,
+                &describe,
+                sinks.clone(),
+                cats.clone(),
+                &sources,
+                &config,
+            );
+            assert_eq!(
+                serde_json::to_string(&got.chains).unwrap(),
+                serde_json::to_string(&want.chains).unwrap(),
+                "uniqueness={uniqueness:?}"
+            );
+            assert_eq!(got.truncated, want.truncated);
+        }
     }
 
     #[test]

@@ -278,10 +278,30 @@ fn compare(value: &Value, op: CmpOp, rhs: &Literal) -> bool {
 /// CSR snapshot for variable-length patterns. This is the entry point the
 /// CLI and the daemon share, so both paths produce identical rows.
 pub fn run_query(graph: &Graph, text: &str, cfg: &ExecConfig) -> Result<QueryOutput, ParseError> {
+    run_query_with(graph, text, cfg, |types| {
+        // Freeze failure (u32 CSR overflow) falls back to graph-backed
+        // expansion, which produces identical rows.
+        CsrSnapshot::freeze(graph, types, None).ok()
+    })
+}
+
+/// [`run_query`] with the variable-length-hop snapshot source abstracted:
+/// `snapshot_for` receives the edge types the plan expands over and may
+/// return a pre-built [`CsrSnapshot`] — the daemon hands one borrowed
+/// zero-copy from a mapped flat CPG, skipping the per-query freeze. A
+/// `None` return falls back to graph-backed expansion; rows are identical
+/// either way (the snapshot preserves `edges_of` order), which the flat
+/// round-trip tests assert.
+pub fn run_query_with(
+    graph: &Graph,
+    text: &str,
+    cfg: &ExecConfig,
+    snapshot_for: impl FnOnce(&[tabby_graph::EdgeType]) -> Option<CsrSnapshot>,
+) -> Result<QueryOutput, ParseError> {
     let ast = parse(text)?;
     let plan = plan(graph, &ast)?;
     let csr = if plan.has_varlen && !plan.empty {
-        Some(CsrSnapshot::freeze(graph, &plan.edge_types(), None))
+        snapshot_for(&plan.edge_types())
     } else {
         None
     };

@@ -50,6 +50,8 @@ pub mod plan;
 
 pub use ast::TqlQuery;
 pub use error::{ParseError, Span};
-pub use exec::{columns, rows, run_query, value_to_json, ExecConfig, QueryOutput, RowIter};
+pub use exec::{
+    columns, rows, run_query, run_query_with, value_to_json, ExecConfig, QueryOutput, RowIter,
+};
 pub use parser::parse;
 pub use plan::{plan, Plan, VarBinding};

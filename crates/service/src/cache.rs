@@ -29,19 +29,29 @@
 //! they embed interner symbols that are only meaningful within the owning
 //! daemon process.
 //!
+//! Alongside each serde CPG, a **flat mmap-able twin** is persisted at
+//! `flat/<key>.tbe` (envelope kind `FLAT_CPG` wrapping the
+//! `tabby_graph::flat` layout): per-edge-type CSR arrays, the pre-decoded
+//! Polluted_Position arena, interned NAME/CLASS_NAME columns, and a meta
+//! blob carrying the sink/source annotation ([`FlatMeta`]). A later
+//! process opens it with one `mmap` ([`ScanCache::get_flat`]) and serves
+//! chain searches zero-copy, with no JSON decode and no CSR freeze. Open
+//! mappings are LRU-bounded by a byte budget ([`ScanCache::set_map_budget`]).
+//!
 //! When a disk size budget is set, each persist is followed by an
-//! oldest-first sweep of the `chains/` and `cpgs/` files until the cache
-//! directory fits the budget again.
+//! oldest-first sweep of the `chains/`, `cpgs/`, and `flat/` files until
+//! the cache directory fits the budget again.
 
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tabby_core::envelope::{
-    self, kind, quarantine_file, read_envelope, write_envelope, EnvelopeError, Publish,
+    self, decode_envelope, kind, quarantine_file, read_envelope, write_envelope, EnvelopeError,
+    Publish, ENVELOPE_HEADER_LEN,
 };
 use tabby_core::{ArtifactFault, ArtifactFaultKind, MethodSummary, ScanDiagnostics};
-use tabby_graph::Graph;
+use tabby_graph::{encode_flat_cpg, FlatCpg, Graph, MappedBuf};
 use tabby_ir::{Class, Interner, MethodId, Symbol};
 use tabby_pathfinder::GadgetChain;
 
@@ -86,6 +96,42 @@ pub struct CachedCpg {
     pub diagnostics: ScanDiagnostics,
 }
 
+/// The sink/source annotation and provenance a flat CPG artifact carries
+/// in its meta blob, so a mapped graph can serve a chain search with no
+/// [`Graph`] reconstruction at all.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatMeta {
+    /// Annotated sink nodes: `(node id, Trigger_Condition, category)`.
+    pub sinks: Vec<(u32, Vec<u16>, String)>,
+    /// Annotated source nodes.
+    pub sources: Vec<u32>,
+    /// Lift/summarize-phase diagnostics of the originating scan.
+    #[serde(default)]
+    pub diagnostics: ScanDiagnostics,
+    /// CALL edge-type id in the stored graph's type space.
+    pub call_ty: u16,
+    /// ALIAS edge-type id in the stored graph's type space.
+    pub alias_ty: u16,
+}
+
+/// One flat CPG held open by the daemon: the zero-copy view plus its
+/// decoded meta and the instant it was mapped (for age reporting).
+pub struct MappedFlat {
+    /// The validated flat view over the mapping.
+    pub cpg: FlatCpg,
+    /// Sink/source annotation decoded once at open.
+    pub meta: FlatMeta,
+    /// When this entry was mapped.
+    pub opened_at: std::time::Instant,
+}
+
+impl MappedFlat {
+    /// Bytes of the underlying file this entry keeps mapped.
+    pub fn bytes(&self) -> u64 {
+        self.cpg.mapped_bytes()
+    }
+}
+
 /// Per-component summary state from the previous scan of the same path
 /// set: everything needed to reuse clean methods' summaries in the next
 /// scan.
@@ -113,6 +159,9 @@ pub struct ScanCache {
     cpgs_order: VecDeque<u64>,
     components: HashMap<u64, Arc<ComponentState>>,
     components_order: VecDeque<u64>,
+    maps: HashMap<u64, Arc<MappedFlat>>,
+    maps_order: VecDeque<u64>,
+    map_budget: u64,
     dir: Option<PathBuf>,
     capacity: usize,
     disk_budget: Option<u64>,
@@ -120,7 +169,20 @@ pub struct ScanCache {
     quarantined_total: u64,
     write_failures_total: u64,
     disk_evictions_total: u64,
+    map_hits_total: u64,
+    map_misses_total: u64,
+    maps_evicted_total: u64,
+    chain_hits_total: u64,
+    chain_misses_total: u64,
+    cpg_hits_total: u64,
+    cpg_misses_total: u64,
 }
+
+/// Default byte budget for concurrently mapped flat CPGs (1 GiB). Virtual
+/// address space, not resident memory — the kernel pages the mapping in
+/// and out on demand — but bounded so a daemon watching many corpora does
+/// not accumulate mappings without limit.
+pub const DEFAULT_MAP_BUDGET: u64 = 1 << 30;
 
 impl ScanCache {
     /// Creates a cache holding at most `capacity` per-job entries (class
@@ -134,10 +196,12 @@ impl ScanCache {
         let dir = dir.filter(|d| {
             std::fs::create_dir_all(d.join("chains")).is_ok()
                 && std::fs::create_dir_all(d.join("cpgs")).is_ok()
+                && std::fs::create_dir_all(d.join("flat")).is_ok()
         });
         if let Some(d) = &dir {
             envelope::sweep_orphan_tmps(&d.join("chains"));
             envelope::sweep_orphan_tmps(&d.join("cpgs"));
+            envelope::sweep_orphan_tmps(&d.join("flat"));
         }
         ScanCache {
             interner: Interner::default(),
@@ -149,6 +213,9 @@ impl ScanCache {
             cpgs_order: VecDeque::new(),
             components: HashMap::new(),
             components_order: VecDeque::new(),
+            maps: HashMap::new(),
+            maps_order: VecDeque::new(),
+            map_budget: DEFAULT_MAP_BUDGET,
             dir,
             capacity: capacity.max(1),
             disk_budget: None,
@@ -156,7 +223,23 @@ impl ScanCache {
             quarantined_total: 0,
             write_failures_total: 0,
             disk_evictions_total: 0,
+            map_hits_total: 0,
+            map_misses_total: 0,
+            maps_evicted_total: 0,
+            chain_hits_total: 0,
+            chain_misses_total: 0,
+            cpg_hits_total: 0,
+            cpg_misses_total: 0,
         }
+    }
+
+    /// Sets the byte budget for concurrently mapped flat CPGs. Oldest
+    /// mappings are dropped (unmapped) once the live total exceeds it; the
+    /// newest entry is always kept so the current job can still run
+    /// zero-copy.
+    pub fn set_map_budget(&mut self, budget_bytes: u64) {
+        self.map_budget = budget_bytes.max(1);
+        self.enforce_map_budget();
     }
 
     /// Sets (or clears) the on-disk size budget in bytes. When set, every
@@ -258,6 +341,16 @@ impl ScanCache {
     /// miss so the engine recomputes. Legacy pre-envelope `<key>.json`
     /// entries (including the oldest bare-chain-array form) still load.
     pub fn get_chains(&mut self, key: u64) -> Option<CachedChains> {
+        let got = self.get_chains_inner(key);
+        if got.is_some() {
+            self.chain_hits_total += 1;
+        } else {
+            self.chain_misses_total += 1;
+        }
+        got
+    }
+
+    fn get_chains_inner(&mut self, key: u64) -> Option<CachedChains> {
         if let Some(c) = self.chains.get(&key) {
             return Some(c.clone());
         }
@@ -284,15 +377,22 @@ impl ScanCache {
             },
             None => {
                 // Legacy pre-envelope file, kept readable for caches
-                // written by older builds.
+                // written by older builds. The oldest form is a bare chain
+                // array, every later one a `CachedChains` object — probe
+                // the first JSON token once and parse exactly once instead
+                // of parsing the whole payload twice on every legacy hit.
                 let legacy = dir.join("chains").join(legacy_file_name(key));
                 let bytes = std::fs::read(&legacy).ok()?;
-                match serde_json::from_slice(&bytes).or_else(|_| {
+                let first = bytes.iter().copied().find(|b| !b.is_ascii_whitespace());
+                let parsed = if first == Some(b'[') {
                     serde_json::from_slice::<Vec<GadgetChain>>(&bytes).map(|chains| CachedChains {
                         chains,
                         diagnostics: ScanDiagnostics::default(),
                     })
-                }) {
+                } else {
+                    serde_json::from_slice::<CachedChains>(&bytes)
+                };
+                match parsed {
                     Ok(entry) => entry,
                     Err(e) => {
                         self.quarantine(&legacy, format!("unparseable legacy entry: {e}"));
@@ -340,6 +440,16 @@ impl ScanCache {
     /// quarantine mirror [`ScanCache::get_chains`]; legacy `<key>.json`
     /// files still load.
     pub fn get_cpg(&mut self, key: u64) -> Option<Arc<CachedCpg>> {
+        let got = self.get_cpg_inner(key);
+        if got.is_some() {
+            self.cpg_hits_total += 1;
+        } else {
+            self.cpg_misses_total += 1;
+        }
+        got
+    }
+
+    fn get_cpg_inner(&mut self, key: u64) -> Option<Arc<CachedCpg>> {
         if let Some(c) = self.cpgs.get(&key) {
             return Some(Arc::clone(c));
         }
@@ -371,7 +481,10 @@ impl ScanCache {
     }
 
     /// Caches an assembled CPG in memory and on disk (durable envelope
-    /// write; failures become [`ArtifactFault`] diagnostics).
+    /// write; failures become [`ArtifactFault`] diagnostics). Alongside the
+    /// serde CPG a flat mmap-able artifact is written under `flat/`, so the
+    /// next process serving this key opens it with one `mmap` instead of a
+    /// full JSON decode.
     pub fn put_cpg(&mut self, key: u64, cpg: Arc<CachedCpg>) {
         if let Some(dir) = self.dir.clone() {
             if let Ok(bytes) = serde_json::to_vec(cpg.as_ref()) {
@@ -380,9 +493,178 @@ impl ScanCache {
                     self.record_fault(&path, ArtifactFaultKind::WriteFailed, e.to_string());
                 }
             }
+            self.persist_flat(key, cpg.as_ref());
             self.enforce_disk_budget();
         }
         self.insert_cpg_mem(key, cpg);
+    }
+
+    /// Writes the flat mmap-able twin of a cached CPG. Best-effort like
+    /// every persist: a graph the flat layout cannot hold (no CALL/ALIAS
+    /// types, u32 overflow) or a failed write leaves only the serde
+    /// artifact, which keeps serving the key.
+    fn persist_flat(&mut self, key: u64, cpg: &CachedCpg) {
+        let Some(dir) = self.dir.clone() else { return };
+        let g = &cpg.graph;
+        let (Some(call), Some(alias)) = (g.get_edge_type("CALL"), g.get_edge_type("ALIAS")) else {
+            return;
+        };
+        let meta = FlatMeta {
+            sinks: cpg.sinks.clone(),
+            sources: cpg.sources.clone(),
+            diagnostics: cpg.diagnostics.clone(),
+            call_ty: call.0,
+            alias_ty: alias.0,
+        };
+        let Ok(meta_bytes) = serde_json::to_vec(&meta) else {
+            return;
+        };
+        let Ok(payload) = encode_flat_cpg(
+            g,
+            g.get_prop_key("POLLUTED_POSITION"),
+            g.get_prop_key("NAME"),
+            g.get_prop_key("CLASS_NAME"),
+            &meta_bytes,
+        ) else {
+            return;
+        };
+        let path = dir.join("flat").join(envelope_file_name(key));
+        if let Err(e) = write_envelope(&path, kind::FLAT_CPG, &payload, Publish::Overwrite) {
+            self.record_fault(&path, ArtifactFaultKind::WriteFailed, e.to_string());
+        }
+        // Any open mapping of this key is now stale; drop it so the next
+        // get_flat re-opens the fresh artifact.
+        if self.maps.remove(&key).is_some() {
+            self.maps_order.retain(|k| *k != key);
+        }
+    }
+
+    /// Opens (or returns the already-open) flat mmap view of a cached CPG.
+    ///
+    /// A hit costs one `mmap` + header validation on first open and a map
+    /// lookup afterwards — no JSON decode, no graph reconstruction, no CSR
+    /// freeze. Corruption at any layer (envelope checksum, flat header,
+    /// unparseable meta) quarantines the file exactly once and reports a
+    /// miss, mirroring [`ScanCache::get_cpg`]; the engine then falls back
+    /// to the serde artifact or recomputes.
+    pub fn get_flat(&mut self, key: u64) -> Option<Arc<MappedFlat>> {
+        if let Some(m) = self.maps.get(&key) {
+            self.map_hits_total += 1;
+            return Some(Arc::clone(m));
+        }
+        self.map_misses_total += 1;
+        let dir = self.dir.clone()?;
+        let path = dir.join("flat").join(envelope_file_name(key));
+        let buf = match MappedBuf::open(&path) {
+            Ok(buf) => Arc::new(buf),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(_) => return None, // transient read failure: treat as a miss
+        };
+        let payload_len = match decode_envelope(buf.as_bytes(), kind::FLAT_CPG) {
+            Ok(payload) => payload.len(),
+            Err(e) if e.is_corruption() => {
+                self.quarantine(&path, e.to_string());
+                return None;
+            }
+            Err(_) => return None,
+        };
+        let payload = ENVELOPE_HEADER_LEN..ENVELOPE_HEADER_LEN + payload_len;
+        let cpg = match FlatCpg::from_buf(buf, payload) {
+            Ok(cpg) => cpg,
+            Err(e) => {
+                if e.is_corruption() {
+                    self.quarantine(&path, e.to_string());
+                }
+                return None;
+            }
+        };
+        let meta: FlatMeta = match serde_json::from_slice(cpg.meta()) {
+            Ok(meta) => meta,
+            Err(e) => {
+                drop(cpg); // unmap before moving the file aside
+                self.quarantine(&path, format!("unparseable flat meta: {e}"));
+                return None;
+            }
+        };
+        let entry = Arc::new(MappedFlat {
+            cpg,
+            meta,
+            opened_at: std::time::Instant::now(),
+        });
+        self.maps.insert(key, Arc::clone(&entry));
+        self.maps_order.push_back(key);
+        self.enforce_map_budget();
+        Some(entry)
+    }
+
+    /// Drops open mappings, oldest first, until the live total fits the
+    /// budget. The newest entry always survives (a single oversized graph
+    /// must still be servable). Dropping the `Arc` here unmaps lazily: a
+    /// search still holding the entry keeps its pages valid until it ends.
+    fn enforce_map_budget(&mut self) {
+        while self.maps.len() > 1 && self.bytes_mapped() > self.map_budget {
+            let Some(old) = self.maps_order.pop_front() else {
+                break;
+            };
+            if self.maps.remove(&old).is_some() {
+                self.maps_evicted_total += 1;
+            }
+        }
+    }
+
+    /// Total bytes of all flat CPG files currently mapped.
+    pub fn bytes_mapped(&self) -> u64 {
+        self.maps.values().map(|m| m.bytes()).sum()
+    }
+
+    /// Flat-map cache hits since this cache was opened.
+    pub fn map_hits(&self) -> u64 {
+        self.map_hits_total
+    }
+
+    /// Flat-map cache misses (including first opens) since open.
+    pub fn map_misses(&self) -> u64 {
+        self.map_misses_total
+    }
+
+    /// Mappings dropped by the map byte budget since open.
+    pub fn maps_evicted(&self) -> u64 {
+        self.maps_evicted_total
+    }
+
+    /// Chain-set cache hits (memory or disk) since this cache was opened.
+    pub fn chain_hits(&self) -> u64 {
+        self.chain_hits_total
+    }
+
+    /// Chain-set cache misses since this cache was opened.
+    pub fn chain_misses(&self) -> u64 {
+        self.chain_misses_total
+    }
+
+    /// CPG cache hits (memory or disk) since this cache was opened.
+    pub fn cpg_hits(&self) -> u64 {
+        self.cpg_hits_total
+    }
+
+    /// CPG cache misses since this cache was opened.
+    pub fn cpg_misses(&self) -> u64 {
+        self.cpg_misses_total
+    }
+
+    /// Age in milliseconds of every open mapping, keyed by the cache key's
+    /// hex form — the "per-corpus map age" of the daemon stats surface.
+    pub fn map_ages_ms(&self) -> Vec<(String, u64)> {
+        self.maps_order
+            .iter()
+            .filter_map(|key| {
+                let m = self.maps.get(key)?;
+                Some((
+                    format!("{key:016x}"),
+                    m.opened_at.elapsed().as_millis() as u64,
+                ))
+            })
+            .collect()
     }
 
     fn insert_cpg_mem(&mut self, key: u64, cpg: Arc<CachedCpg>) {
@@ -436,10 +718,16 @@ impl ScanCache {
         self.cpgs.len()
     }
 
+    /// Flat CPG mappings currently open.
+    pub fn open_maps(&self) -> usize {
+        self.maps.len()
+    }
+
     // ----- disk size budget -------------------------------------------------
 
     /// Evicts persisted artifacts, oldest first (by modification time),
-    /// until the `chains/` + `cpgs/` files fit the configured budget.
+    /// until the `chains/` + `cpgs/` + `flat/` files fit the configured
+    /// budget.
     /// Quarantined files are not part of the budget — they are debris for
     /// a human to inspect, already off the serving path.
     fn enforce_disk_budget(&mut self) {
@@ -448,7 +736,7 @@ impl ScanCache {
         };
         let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
         let mut total: u64 = 0;
-        for sub in ["chains", "cpgs"] {
+        for sub in ["chains", "cpgs", "flat"] {
             let Ok(entries) = std::fs::read_dir(dir.join(sub)) else {
                 continue;
             };

@@ -68,9 +68,12 @@ pub struct ServiceConfig {
     /// How often the watch thread re-fingerprints registered corpora
     /// (metadata only — no bytes are read until a change is seen).
     pub watch_poll: Duration,
-    /// Per-client (peer IP) cap on jobs simultaneously queued or running;
-    /// submissions beyond it get a `busy` rejection so one greedy client
-    /// cannot monopolize the queue. Watch-thread jobs are exempt.
+    /// Per-client (peer IP) ceiling on jobs simultaneously queued or
+    /// running; submissions beyond it get a `busy` rejection so one greedy
+    /// client cannot monopolize the queue. Under multi-tenant pressure the
+    /// *effective* cap is lower: each client is admitted at most its fair
+    /// share of the queue (`queue_capacity / active clients`, floor 1).
+    /// Watch-thread jobs are exempt.
     pub per_client_inflight: usize,
     /// Size budget in bytes for the on-disk artifact cache (`None` means
     /// unbounded); oldest entries are evicted once the total exceeds it.
@@ -79,6 +82,10 @@ pub struct ServiceConfig {
     /// (`None` means unbounded); enforced after each snapshot save with
     /// keep-latest and pin exemptions.
     pub registry_budget_bytes: Option<u64>,
+    /// Byte budget for memory-mapped flat CPG artifacts kept open across
+    /// jobs (`None` uses [`crate::cache::DEFAULT_MAP_BUDGET`], 1 GiB);
+    /// the oldest mappings are dropped once the live total exceeds it.
+    pub map_budget_bytes: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +103,7 @@ impl Default for ServiceConfig {
             per_client_inflight: 8,
             cache_budget_bytes: None,
             registry_budget_bytes: None,
+            map_budget_bytes: None,
         }
     }
 }
@@ -199,7 +207,7 @@ impl Daemon {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let (tx, rx) = bounded(config.queue_capacity.max(1));
-        let engine = Engine::new(
+        let mut engine = Engine::new(
             config.cache_dir.clone(),
             config.cache_capacity,
             config.analysis_threads,
@@ -207,6 +215,9 @@ impl Daemon {
         .with_search_threads(config.search_threads)
         .with_cache_budget(config.cache_budget_bytes)
         .with_registry_budget(config.registry_budget_bytes);
+        if let Some(budget) = config.map_budget_bytes {
+            engine = engine.with_map_budget(budget);
+        }
         let shared = Arc::new(Shared {
             engine,
             config,
@@ -577,11 +588,21 @@ fn respond(
             let (cached_classes, cached_jobs, cached_cpgs) = shared.engine.cache_counts();
             let (artifacts_quarantined, artifact_write_failures, cache_disk_evictions) =
                 shared.engine.persistence_stats();
+            let (chain_cache_hits, chain_cache_misses, cpg_cache_hits, cpg_cache_misses) =
+                shared.engine.cache_traffic();
+            let (map_hits, map_misses, bytes_mapped, maps_evicted, open_maps) =
+                shared.engine.map_stats();
             let watched_corpora = shared
                 .watches
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .len();
+            let queue_depth = shared
+                .queue
+                .lock()
+                .expect("queue poisoned")
+                .as_ref()
+                .map_or(0, Sender::len);
             write_line(
                 stream,
                 &Response::info(
@@ -601,6 +622,18 @@ fn respond(
                         artifacts_quarantined,
                         artifact_write_failures,
                         cache_disk_evictions,
+                        queue_depth,
+                        chain_cache_hits,
+                        chain_cache_misses,
+                        cpg_cache_hits,
+                        cpg_cache_misses,
+                        map_hits,
+                        map_misses,
+                        bytes_mapped,
+                        open_maps,
+                        maps_evicted,
+                        map_ages_ms: shared.engine.map_ages_ms(),
+                        ns_per_expansion: shared.engine.ns_per_expansion(),
                     },
                 ),
             )
@@ -724,14 +757,25 @@ impl<'a> InflightSlot<'a> {
             // No peer address (shouldn't happen on TCP) — don't penalize.
             return Ok(InflightSlot { shared, peer: None });
         };
-        let cap = shared.config.per_client_inflight.max(1);
         let mut map = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        // Fair-share admission: the configured cap is a ceiling, but no
+        // client is admitted beyond its share of the bounded queue split
+        // across the clients currently holding slots. One tenant on an
+        // idle daemon gets the full ceiling; many concurrent tenants
+        // converge to an equal split (floor 1, so progress is always
+        // possible).
+        let active = map.len() + usize::from(!map.contains_key(&ip));
+        let share = (shared.config.queue_capacity / active.max(1)).max(1);
+        let cap = shared.config.per_client_inflight.max(1).min(share);
         let count = map.entry(ip).or_insert(0);
         if *count >= cap {
             drop(map);
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
             return Err(Rejection::Busy {
-                error: format!("client has {cap} jobs in flight"),
+                error: format!(
+                    "client has {cap} jobs in flight (fair share of the queue \
+                     across active clients)"
+                ),
                 retry_after_ms: retry_hint(shared),
             });
         }
@@ -855,7 +899,73 @@ mod tests {
         let daemon = stats.daemon.expect("daemon info");
         assert_eq!(daemon.workers, 1);
         assert_eq!(daemon.queue_capacity, 4);
+        assert_eq!(daemon.queue_depth, 0, "idle daemon has an empty queue");
+        assert_eq!(daemon.bytes_mapped, 0, "nothing mapped before any scan");
+        assert_eq!(daemon.open_maps, 0);
         handle.stop();
+    }
+
+    #[test]
+    fn repeat_scan_with_cold_memory_serves_from_the_flat_mapping() {
+        use tabby_ir::compile::compile_program;
+        use tabby_ir::{JType, ProgramBuilder};
+        let tag = format!("{}-{:?}", std::process::id(), std::thread::current().id());
+        let dir = std::env::temp_dir().join(format!("tabby-daemon-map-{tag}"));
+        let cache = std::env::temp_dir().join(format!("tabby-daemon-map-cache-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&cache);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("m.A");
+        cb.serializable_in_place();
+        let mut mb = cb.method("m1", vec![], JType::Void);
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+        for (name, bytes) in compile_program(&pb.build()) {
+            std::fs::write(dir.join(format!("{name}.class")), bytes).unwrap();
+        }
+        let paths = vec![dir.to_string_lossy().into_owned()];
+
+        // Daemon 1 scans cold and persists the flat artifact next to the
+        // serde CPG.
+        let mut config = test_config();
+        config.cache_dir = Some(cache.clone());
+        let handle = Daemon::spawn(config.clone()).expect("spawn daemon");
+        let addr = handle.addr().to_string();
+        let first = client::submit(&addr, paths.clone(), ScanRequestOptions::default()).unwrap();
+        assert!(first.ok, "{:?}", first.error);
+        let first_stats = first.stats.clone().unwrap();
+        assert!(!first_stats.cpg_map_hit, "cold scan builds, not maps");
+        handle.stop();
+
+        // Daemon 2 shares only the disk cache (fresh memory). A scan at a
+        // *different* depth misses the chain cache, then runs zero-copy
+        // off the mapped flat artifact — same chains, no rebuild.
+        let handle = Daemon::spawn(config).expect("spawn daemon");
+        let addr = handle.addr().to_string();
+        let second = client::submit(
+            &addr,
+            paths,
+            ScanRequestOptions {
+                depth: 7,
+                ..ScanRequestOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(second.ok, "{:?}", second.error);
+        let stats = second.stats.unwrap();
+        assert!(stats.cpg_map_hit, "restart + new depth must hit the map");
+        assert!(stats.map_bytes > 0, "mapped artifact has a size");
+        assert_eq!(second.chains, first.chains, "mapped search is identical");
+        let info = client::request(&addr, &Request::Stats { id: None }).unwrap();
+        let daemon = info.daemon.unwrap();
+        assert_eq!(daemon.open_maps, 1);
+        assert!(daemon.bytes_mapped > 0);
+        assert_eq!(daemon.map_ages_ms.len(), 1);
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&cache);
     }
 
     #[test]
@@ -884,9 +994,9 @@ mod tests {
         assert!(!reply.ok);
         let error = reply.error.unwrap();
         assert!(error.contains("request is v2"), "{error}");
-        assert!(error.contains("daemon speaks v4"), "{error}");
+        assert!(error.contains("daemon speaks v6"), "{error}");
         // … and the same connection still works for a current-version one.
-        stream.write_all(b"{\"v\":4,\"cmd\":\"ping\"}\n").unwrap();
+        stream.write_all(b"{\"v\":6,\"cmd\":\"ping\"}\n").unwrap();
         line.clear();
         std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
         let reply: Response = serde_json::from_str(line.trim()).unwrap();

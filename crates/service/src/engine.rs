@@ -22,22 +22,23 @@
 //! references, a clean method's summary — including its resolved callees
 //! and their Actions — cannot be affected by any change outside its cone.
 
-use crate::cache::{CachedChains, CachedClass, CachedCpg, ComponentState, ScanCache};
+use crate::cache::{CachedChains, CachedClass, CachedCpg, ComponentState, MappedFlat, ScanCache};
 use crate::protocol::{DiffOutcome, JobStats, QueryRequestOptions, ScanRequestOptions};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use tabby_core::{
     summarize_program_incremental_contained, AnalysisConfig, Cpg, CpgSchema, MethodSummary,
     ScanDiagnostics, SkippedClass,
 };
-use tabby_graph::{content_hash64, Fnv64, NodeId};
+use tabby_graph::{content_hash64, CsrSnapshot, EdgeType, Fnv64, NodeId};
 use tabby_ir::lift::lift_class;
 use tabby_ir::{ClassId, MethodId, Program, ProgramBuilder, Symbol};
 use tabby_pathfinder::{
-    find_chains_raw_detailed, GadgetChain, NearChainConfig, SearchConfig, SinkCatalog,
-    SourceCatalog, TriggerCondition,
+    find_chains_raw_detailed, find_chains_snapshot_detailed, GadgetChain, NearChainConfig,
+    SearchConfig, SinkCatalog, SourceCatalog, TriggerCondition,
 };
 use tabby_query::{ExecConfig, QueryOutput};
 use tabby_registry::{corpus_content_key, diff_snapshots, parse_corpus_ref, Registry, Snapshot};
@@ -98,6 +99,13 @@ pub struct Engine {
     /// Size budget for registries written by diff jobs; enforced with
     /// [`Registry::gc`] after each snapshot save when set.
     registry_budget: Option<u64>,
+    /// Lifetime nanoseconds spent in the backwards chain search, across
+    /// graph-backed and mapped searches alike. Paired with
+    /// [`Engine::search_expansions`] it yields the daemon's
+    /// `ns_per_expansion` health metric.
+    search_nanos: AtomicU64,
+    /// Lifetime edge expansions performed by the chain search.
+    search_expansions: AtomicU64,
 }
 
 impl Engine {
@@ -116,6 +124,8 @@ impl Engine {
             search_threads: 1,
             analysis_fp,
             registry_budget: None,
+            search_nanos: AtomicU64::new(0),
+            search_expansions: AtomicU64::new(0),
         }
     }
 
@@ -140,6 +150,15 @@ impl Engine {
     #[must_use]
     pub fn with_registry_budget(mut self, budget_bytes: Option<u64>) -> Engine {
         self.registry_budget = budget_bytes;
+        self
+    }
+
+    /// Sets a size budget in bytes for memory-mapped flat CPG artifacts
+    /// kept open at once; the oldest mappings are dropped (files stay on
+    /// disk) when a new map pushes the total over it.
+    #[must_use]
+    pub fn with_map_budget(self, budget_bytes: u64) -> Engine {
+        self.lock_cache().set_map_budget(budget_bytes);
         self
     }
 
@@ -170,6 +189,55 @@ impl Engine {
             cache.artifact_write_failures(),
             cache.disk_evictions(),
         )
+    }
+
+    /// Lifetime cache-traffic counters:
+    /// `(chain hits, chain misses, CPG hits, CPG misses)`.
+    pub fn cache_traffic(&self) -> (u64, u64, u64, u64) {
+        let cache = self.lock_cache();
+        (
+            cache.chain_hits(),
+            cache.chain_misses(),
+            cache.cpg_hits(),
+            cache.cpg_misses(),
+        )
+    }
+
+    /// Mapped-artifact health: `(map hits, map misses, bytes mapped,
+    /// mappings evicted, open maps)`.
+    pub fn map_stats(&self) -> (u64, u64, u64, u64, usize) {
+        let cache = self.lock_cache();
+        (
+            cache.map_hits(),
+            cache.map_misses(),
+            cache.bytes_mapped(),
+            cache.maps_evicted(),
+            cache.open_maps(),
+        )
+    }
+
+    /// Age in milliseconds of every currently open mapping, keyed by the
+    /// artifact's content hash (hex), oldest first.
+    pub fn map_ages_ms(&self) -> Vec<(String, u64)> {
+        self.lock_cache().map_ages_ms()
+    }
+
+    /// Mean nanoseconds per chain-search edge expansion across the
+    /// engine's lifetime (0 before the first search).
+    pub fn ns_per_expansion(&self) -> u64 {
+        let expansions = self.search_expansions.load(Ordering::Relaxed);
+        if expansions == 0 {
+            return 0;
+        }
+        self.search_nanos.load(Ordering::Relaxed) / expansions
+    }
+
+    /// Folds one chain search into the lifetime `ns_per_expansion` metric.
+    fn record_search(&self, elapsed: Duration, expansions: usize) {
+        self.search_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.search_expansions
+            .fetch_add(expansions as u64, Ordering::Relaxed);
     }
 
     /// Runs one scan job to completion (or until `deadline`).
@@ -269,6 +337,36 @@ impl Engine {
             }
         }
 
+        // ----- tier 1.5: memory-mapped flat CPG ---------------------------
+        // A persisted flat artifact lets the search run zero-copy off the
+        // mapping: no serde decode, no graph rebuild, no CSR freeze. The
+        // chain set is byte-identical to the graph-backed search (the flat
+        // arrays *are* the frozen CSR arrays), so this is purely a latency
+        // tier. Witnessing still works post-hoc — it re-lifts from the
+        // input bytes, not from the CPG.
+        if !options.fresh && !faulty {
+            let flat = {
+                let mut cache = self.lock_cache();
+                let flat = cache.get_flat(keys.cpg);
+                diagnostics
+                    .artifact_faults
+                    .extend(cache.take_artifact_faults());
+                flat
+            };
+            if let Some(flat) = flat {
+                return self.scan_mapped(
+                    &flat,
+                    &input,
+                    &keys,
+                    options,
+                    &search_cfg,
+                    stats,
+                    diagnostics,
+                    started,
+                );
+            }
+        }
+
         // ----- tiers 2–4: CPG cache, incremental, or cold build -----------
         let cpg = self.resolve_cpg(
             &input,
@@ -306,6 +404,7 @@ impl Engine {
             &search_cfg,
         );
         stats.search_ms = ms_since(t_search);
+        self.record_search(t_search.elapsed(), search.expansions);
         diagnostics.search_truncated = search.truncated;
         diagnostics.search_expansions = search.expansions;
         diagnostics.search_memo_hits = search.memo_hits;
@@ -334,6 +433,90 @@ impl Engine {
         let mut chains = search.chains;
         if options.witness {
             self.apply_witness(&input, &mut chains, &mut stats, &mut diagnostics);
+        }
+        stats.total_ms = ms_since(started);
+        Ok(JobOutcome {
+            chains,
+            stats,
+            diagnostics,
+        })
+    }
+
+    /// Tier 1.5 of [`Engine::run_scan`]: the backwards chain search run
+    /// zero-copy off a memory-mapped flat CPG artifact. The mapped arrays
+    /// are byte-for-byte the CSR arrays `CsrSnapshot::freeze` would build
+    /// from the decoded graph, so the chain set is identical to the
+    /// graph-backed tiers — only the decode/rebuild/freeze cost is gone.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_mapped(
+        &self,
+        flat: &MappedFlat,
+        input: &JobInput,
+        keys: &JobKeys,
+        options: &ScanRequestOptions,
+        search_cfg: &SearchConfig,
+        mut stats: JobStats,
+        mut diagnostics: ScanDiagnostics,
+        started: Instant,
+    ) -> Result<JobOutcome, String> {
+        stats.classes = input.content.len();
+        stats.cpg_map_hit = true;
+        stats.cache_hit_ratio = 1.0;
+        stats.map_bytes = flat.bytes();
+        stats.map_age_ms = flat.opened_at.elapsed().as_millis() as u64;
+        diagnostics.merge(flat.meta.diagnostics.clone());
+
+        let t_search = Instant::now();
+        // CALL must be layer 0 and ALIAS layer 1 — the contract of
+        // `find_chains_snapshot_detailed` (`CALL_LAYER` / `ALIAS_LAYER`).
+        let csr = flat
+            .cpg
+            .snapshot(&[EdgeType(flat.meta.call_ty), EdgeType(flat.meta.alias_ty)]);
+        let sinks: Vec<(NodeId, TriggerCondition)> = flat
+            .meta
+            .sinks
+            .iter()
+            .map(|(n, tc, _)| (NodeId(*n), tc.iter().copied().collect()))
+            .collect();
+        let categories: Vec<(NodeId, String)> = flat
+            .meta
+            .sinks
+            .iter()
+            .map(|(n, _, cat)| (NodeId(*n), cat.clone()))
+            .collect();
+        let sources: HashSet<NodeId> = flat.meta.sources.iter().map(|&n| NodeId(n)).collect();
+        let describe = |n: NodeId| {
+            format!(
+                "{}.{}",
+                flat.cpg.node_class(n).unwrap_or("?"),
+                flat.cpg.node_name(n).unwrap_or("?")
+            )
+        };
+        let search =
+            find_chains_snapshot_detailed(&csr, &describe, sinks, categories, &sources, search_cfg);
+        stats.search_ms = ms_since(t_search);
+        self.record_search(t_search.elapsed(), search.expansions);
+        diagnostics.search_truncated = search.truncated;
+        diagnostics.search_expansions = search.expansions;
+        diagnostics.search_memo_hits = search.memo_hits;
+        if !search.truncated {
+            let mut stored = diagnostics.clone();
+            stored.artifact_faults.clear();
+            let mut cache = self.lock_cache();
+            cache.put_chains(
+                keys.chains,
+                &CachedChains {
+                    chains: search.chains.clone(),
+                    diagnostics: stored,
+                },
+            );
+            diagnostics
+                .artifact_faults
+                .extend(cache.take_artifact_faults());
+        }
+        let mut chains = search.chains;
+        if options.witness {
+            self.apply_witness(input, &mut chains, &mut stats, &mut diagnostics);
         }
         stats.total_ms = ms_since(started);
         Ok(JobOutcome {
@@ -394,9 +577,31 @@ impl Engine {
                 None => remaining,
             }),
         };
+        // Variable-length pattern expansion runs over a CSR snapshot; when
+        // the component's flat artifact is mapped, hand the executor views
+        // straight into the mapping instead of freezing fresh arrays from
+        // the decoded graph. Row output is identical either way.
+        let flat = if options.fresh {
+            None
+        } else {
+            let mut cache = self.lock_cache();
+            let flat = cache.get_flat(keys.cpg);
+            diagnostics
+                .artifact_faults
+                .extend(cache.take_artifact_faults());
+            flat
+        };
+        if let Some(f) = &flat {
+            stats.cpg_map_hit = true;
+            stats.map_bytes = f.bytes();
+            stats.map_age_ms = f.opened_at.elapsed().as_millis() as u64;
+        }
         let t_query = Instant::now();
-        let output =
-            tabby_query::run_query(&cpg.graph, query, &cfg).map_err(|e| e.render(query))?;
+        let output = tabby_query::run_query_with(&cpg.graph, query, &cfg, |types| match &flat {
+            Some(f) => Some(f.cpg.snapshot(types)),
+            None => CsrSnapshot::freeze(&cpg.graph, types, None).ok(),
+        })
+        .map_err(|e| e.render(query))?;
         stats.search_ms = ms_since(t_query);
         stats.total_ms = ms_since(started);
         Ok(QueryOutcome {
@@ -525,6 +730,7 @@ impl Engine {
             &search_cfg,
         );
         stats.search_ms = ms_since(t_search);
+        self.record_search(t_search.elapsed(), search.expansions);
         diagnostics.search_truncated = search.truncated;
         diagnostics.search_expansions = search.expansions;
         diagnostics.search_memo_hits = search.memo_hits;

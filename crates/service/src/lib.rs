@@ -66,7 +66,10 @@ pub mod engine;
 pub mod protocol;
 pub mod signal;
 
-pub use cache::{CachedChains, CachedClass, CachedCpg, ComponentState, ScanCache};
+pub use cache::{
+    CachedChains, CachedClass, CachedCpg, ComponentState, FlatMeta, MappedFlat, ScanCache,
+    DEFAULT_MAP_BUDGET,
+};
 pub use client::{diff, query, request, submit, submit_with_retry, QueryReply, RetryPolicy};
 pub use daemon::{Daemon, DaemonHandle, ServiceConfig};
 pub use engine::{DiffJobOutcome, Engine, JobOutcome, QueryOutcome};

@@ -25,7 +25,12 @@ use tabby_registry::DiffReport;
 /// to tier every chain (`witnessed` > `plan-found` > `static-only`). Like
 /// `search_threads`, the flag is excluded from job cache keys — the chain
 /// *set* is unchanged, so witnessing runs post-hoc even on a cache hit.
-pub const PROTOCOL_VERSION: u32 = 5;
+/// v6 added the mapped-artifact surface: [`JobStats`] reports when a scan
+/// ran zero-copy off a memory-mapped flat CPG (`cpg_map_hit`, `map_bytes`,
+/// `map_age_ms`), and [`DaemonInfo`] carries the fleet-health metrics —
+/// queue depth, per-tier cache hit/miss counters, `bytes_mapped`, open-map
+/// ages, and `ns_per_expansion`.
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// Parses one request line, enforcing the protocol version.
 ///
@@ -314,6 +319,19 @@ pub struct JobStats {
     /// The assembled CPG was served from the per-job cache; only the chain
     /// search ran.
     pub cpg_cache_hit: bool,
+    /// The job ran zero-copy off a memory-mapped flat CPG artifact: no
+    /// serde decode, no graph rebuild, no CSR freeze — the search (or
+    /// query expansion) read the mapped arrays directly.
+    #[serde(default)]
+    pub cpg_map_hit: bool,
+    /// Size in bytes of the mapped artifact backing this job (0 unless
+    /// `cpg_map_hit`).
+    #[serde(default)]
+    pub map_bytes: u64,
+    /// Milliseconds the backing mapping had been open when this job used
+    /// it (0 unless `cpg_map_hit`; 0 also on the first use after open).
+    #[serde(default)]
+    pub map_age_ms: u64,
     /// Topological waves the SCC-wave summarization scheduler ran (0 when
     /// summarization was skipped entirely — a job or CPG cache hit, or a
     /// warm re-scan with nothing dirty).
@@ -391,6 +409,46 @@ pub struct DaemonInfo {
     /// Cache files evicted from disk by the size budget since startup.
     #[serde(default)]
     pub cache_disk_evictions: u64,
+    /// Jobs currently waiting in the queue (admitted, not yet started).
+    #[serde(default)]
+    pub queue_depth: usize,
+    /// Chain-set cache hits (memory or disk) since startup.
+    #[serde(default)]
+    pub chain_cache_hits: u64,
+    /// Chain-set cache misses since startup.
+    #[serde(default)]
+    pub chain_cache_misses: u64,
+    /// CPG cache hits (memory or disk) since startup.
+    #[serde(default)]
+    pub cpg_cache_hits: u64,
+    /// CPG cache misses since startup.
+    #[serde(default)]
+    pub cpg_cache_misses: u64,
+    /// Flat-map hits (an already-open mapping served a job) since startup.
+    #[serde(default)]
+    pub map_hits: u64,
+    /// Flat-map misses (no open mapping; includes first opens) since
+    /// startup.
+    #[serde(default)]
+    pub map_misses: u64,
+    /// Total bytes of flat CPG artifacts currently memory-mapped.
+    #[serde(default)]
+    pub bytes_mapped: u64,
+    /// Flat CPG mappings currently open.
+    #[serde(default)]
+    pub open_maps: usize,
+    /// Mappings dropped by the map byte budget since startup.
+    #[serde(default)]
+    pub maps_evicted: u64,
+    /// Age in milliseconds of every open mapping, keyed by the artifact's
+    /// content hash (hex), oldest first.
+    #[serde(default)]
+    pub map_ages_ms: Vec<(String, u64)>,
+    /// Mean nanoseconds per chain-search edge expansion since startup
+    /// (0 before the first search) — the daemon's search-throughput
+    /// health metric.
+    #[serde(default)]
+    pub ns_per_expansion: u64,
 }
 
 /// A daemon reply. One line of JSON per request (queries follow the header
@@ -617,7 +675,7 @@ mod tests {
 
     #[test]
     fn scan_options_default_when_absent() {
-        let req = parse_request(r#"{"v":5,"cmd":"scan","paths":["a.class"]}"#).unwrap();
+        let req = parse_request(r#"{"v":6,"cmd":"scan","paths":["a.class"]}"#).unwrap();
         match req {
             Request::Scan { id, options, .. } => {
                 assert!(id.is_none());
@@ -632,7 +690,7 @@ mod tests {
     #[test]
     fn query_request_round_trips_with_default_options() {
         let req = parse_request(
-            r#"{"v":5,"cmd":"query","paths":["/tmp/app"],"query":"MATCH (m) RETURN m"}"#,
+            r#"{"v":6,"cmd":"query","paths":["/tmp/app"],"query":"MATCH (m) RETURN m"}"#,
         )
         .unwrap();
         match req {
@@ -656,26 +714,26 @@ mod tests {
     fn unversioned_request_is_rejected_with_a_clear_message() {
         let err = parse_request(r#"{"cmd":"ping"}"#).unwrap_err();
         assert!(err.contains("unversioned request"), "{err}");
-        assert!(err.contains("v5"), "{err}");
+        assert!(err.contains("v6"), "{err}");
     }
 
     #[test]
     fn version_mismatch_names_both_versions() {
         let err = parse_request(r#"{"v":1,"cmd":"ping"}"#).unwrap_err();
         assert!(err.contains("request is v1"), "{err}");
-        assert!(err.contains("daemon speaks v5"), "{err}");
-        // A v4 client (pre-witness protocol) hitting a v5 daemon gets the
-        // same structured rejection, not a guessy partial parse.
-        let err = parse_request(r#"{"v":4,"cmd":"ping"}"#).unwrap_err();
-        assert!(err.contains("request is v4"), "{err}");
-        assert!(err.contains("daemon speaks v5"), "{err}");
+        assert!(err.contains("daemon speaks v6"), "{err}");
+        // A v5 client (pre-map-metrics protocol) hitting a v6 daemon gets
+        // the same structured rejection, not a guessy partial parse.
+        let err = parse_request(r#"{"v":5,"cmd":"ping"}"#).unwrap_err();
+        assert!(err.contains("request is v5"), "{err}");
+        assert!(err.contains("daemon speaks v6"), "{err}");
         let err = parse_request(r#"{"v":"two","cmd":"ping"}"#).unwrap_err();
-        assert!(err.contains("must be the integer 5"), "{err}");
+        assert!(err.contains("must be the integer 6"), "{err}");
     }
 
     #[test]
     fn unknown_command_is_a_parse_error() {
-        assert!(parse_request(r#"{"v":5,"cmd":"explode"}"#)
+        assert!(parse_request(r#"{"v":6,"cmd":"explode"}"#)
             .unwrap_err()
             .contains("malformed request"));
         assert!(parse_request("not json")
@@ -725,7 +783,7 @@ mod tests {
     #[test]
     fn diff_request_round_trips_with_defaults() {
         let req = parse_request(
-            r#"{"v":5,"cmd":"diff","paths":["/tmp/app"],"registry":"/tmp/reg","corpus":"demo"}"#,
+            r#"{"v":6,"cmd":"diff","paths":["/tmp/app"],"registry":"/tmp/reg","corpus":"demo"}"#,
         )
         .unwrap();
         match req {

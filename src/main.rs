@@ -151,13 +151,21 @@ OPTIONS (serve):
                           garbage-collect diff-job registries down to <n>
                           bytes after each snapshot (keeps the newest and
                           pinned versions)
+    --map-budget-bytes <n>
+                          drop the oldest memory-mapped flat CPG artifacts
+                          once the live mappings exceed <n> bytes
+                          (default 1 GiB)
     --per-client-inflight <n>
-                          max queued+running jobs per client IP before
-                          submissions get a busy rejection (default 8)
+                          ceiling on queued+running jobs per client IP
+                          (default 8); under load each client is further
+                          capped at its fair share of the queue
     --watch-poll-ms <n>   watched-corpus re-fingerprint cadence (default 500)
 
 OPTIONS (submit):
     --addr <ip:port>      daemon address (default 127.0.0.1:7433)
+    --stats               print daemon-wide statistics (queue depth, cache
+                          hit rates, mapped bytes, map ages, ns/expansion)
+                          and exit; takes no paths
     --depth <n>           maximum chain length (default 12)
     --extended            extended source catalog
     --fresh               bypass daemon cache reads (results are still cached)
@@ -1084,6 +1092,11 @@ fn parse_serve_config(args: &[String]) -> Result<tabby::service::ServiceConfig, 
                 let n: usize = v.parse().map_err(|_| format!("bad job cap {v:?}"))?;
                 config.per_client_inflight = n.max(1);
             }
+            "--map-budget-bytes" => {
+                let v = it.next().ok_or("--map-budget-bytes needs a value")?;
+                config.map_budget_bytes =
+                    Some(v.parse().map_err(|_| format!("bad byte budget {v:?}"))?);
+            }
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
@@ -1119,6 +1132,7 @@ struct SubmitOptions {
     scan: tabby::service::ScanRequestOptions,
     json: bool,
     retry: bool,
+    stats: bool,
     query: Option<String>,
     builtin: Option<String>,
     builtin_args: Vec<String>,
@@ -1137,6 +1151,7 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
         scan: tabby::service::ScanRequestOptions::default(),
         json: false,
         retry: true,
+        stats: false,
         query: None,
         builtin: None,
         builtin_args: Vec::new(),
@@ -1169,6 +1184,7 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
             "--no-tc-memo" => options.scan.tc_memo = false,
             "--witness" => options.scan.witness = true,
             "--no-retry" => options.retry = false,
+            "--stats" => options.stats = true,
             "--json" => options.json = true,
             "--query" => {
                 options.query = Some(it.next().ok_or("--query needs a query")?.clone());
@@ -1220,6 +1236,9 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if options.stats {
+        return submit_stats(&options);
+    }
     if options.paths.is_empty() {
         eprintln!("submit: no input paths\n{USAGE}");
         return ExitCode::FAILURE;
@@ -1298,12 +1317,20 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             stats.cache_hit_ratio * 100.0,
             if stats.job_cache_hit {
                 " (chains cached)"
+            } else if stats.cpg_map_hit {
+                " (CPG mapped)"
             } else if stats.cpg_cache_hit {
                 " (CPG cached)"
             } else {
                 ""
             }
         );
+        if stats.cpg_map_hit {
+            eprintln!(
+                "search ran zero-copy off a {} byte mapping (open {} ms)",
+                stats.map_bytes, stats.map_age_ms
+            );
+        }
         if stats.summarize_waves > 0 {
             eprintln!(
                 "summarized {} of {} method(s) in {} wave(s) (largest SCC {})",
@@ -1318,6 +1345,85 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         }
     }
     chain_exit_code(&chains)
+}
+
+/// The `tabby submit --stats` path: fetch and print daemon-wide
+/// statistics — queue and worker occupancy, per-tier cache hit rates,
+/// mapped-artifact health, and search throughput.
+fn submit_stats(options: &SubmitOptions) -> ExitCode {
+    let reply = match tabby::service::request(
+        &options.addr,
+        &tabby::service::Request::Stats { id: None },
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(daemon) = reply.daemon else {
+        eprintln!("submit: stats reply carried no daemon payload");
+        return ExitCode::FAILURE;
+    };
+    if options.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&daemon).expect("daemon info serializes")
+        );
+        return ExitCode::SUCCESS;
+    }
+    let ratio = |hits: u64, misses: u64| -> String {
+        let total = hits + misses;
+        if total == 0 {
+            "n/a".to_owned()
+        } else {
+            format!("{:.0}%", hits as f64 * 100.0 / total as f64)
+        }
+    };
+    println!(
+        "uptime {} ms; {} worker(s); queue {}/{}; jobs {} done, {} failed, {} rejected",
+        daemon.uptime_ms,
+        daemon.workers,
+        daemon.queue_depth,
+        daemon.queue_capacity,
+        daemon.jobs_done,
+        daemon.jobs_failed,
+        daemon.jobs_rejected
+    );
+    println!(
+        "cache: {} class(es), {} chain set(s), {} CPG(s); hit rates: chains {} ({}H/{}M), \
+         CPGs {} ({}H/{}M)",
+        daemon.cached_classes,
+        daemon.cached_jobs,
+        daemon.cached_cpgs,
+        ratio(daemon.chain_cache_hits, daemon.chain_cache_misses),
+        daemon.chain_cache_hits,
+        daemon.chain_cache_misses,
+        ratio(daemon.cpg_cache_hits, daemon.cpg_cache_misses),
+        daemon.cpg_cache_hits,
+        daemon.cpg_cache_misses
+    );
+    println!(
+        "maps: {} open, {} bytes mapped, hit rate {} ({}H/{}M), {} evicted",
+        daemon.open_maps,
+        daemon.bytes_mapped,
+        ratio(daemon.map_hits, daemon.map_misses),
+        daemon.map_hits,
+        daemon.map_misses,
+        daemon.maps_evicted
+    );
+    for (key, age_ms) in &daemon.map_ages_ms {
+        println!("  map {key}: open {age_ms} ms");
+    }
+    println!(
+        "persistence: {} quarantined, {} write failure(s), {} disk eviction(s)",
+        daemon.artifacts_quarantined, daemon.artifact_write_failures, daemon.cache_disk_evictions
+    );
+    println!(
+        "search: {} ns/expansion; watch: {} corpora, {} diffs",
+        daemon.ns_per_expansion, daemon.watched_corpora, daemon.watch_diffs
+    );
+    ExitCode::SUCCESS
 }
 
 /// The `tabby submit --diff <corpus>` path: the daemon scans the paths,

@@ -337,6 +337,111 @@ fn corrupt_disk_cache_envelopes_quarantine_once_and_recompute() {
     let _ = std::fs::remove_dir_all(&classes);
 }
 
+/// The memory-mapped flat tier: truncation, a payload bit-flip, and a
+/// flat-header version skew (a *valid* envelope whose payload declares a
+/// newer flat format) each quarantine the flat artifact exactly once and
+/// fall back to the serde twin, which serves byte-identical chains.
+#[test]
+fn corrupt_flat_artifact_falls_back_to_serde_twin_and_quarantines_once() {
+    use tabby::core::envelope::{kind, read_envelope, write_envelope, Publish};
+    use tabby::graph::FLAT_FORMAT_VERSION;
+
+    let classes = temp_dir("flat-classes");
+    write_corpus_dir(&classes);
+    let paths = vec![classes.to_string_lossy().into_owned()];
+
+    fn clear_chains(cache: &Path) {
+        for f in artifact_files(&cache.join("chains")) {
+            std::fs::remove_file(f).unwrap();
+        }
+    }
+
+    let corruptions: [(&str, fn(&Path)); 3] = [
+        ("truncate", |f: &Path| {
+            let mut b = std::fs::read(f).unwrap();
+            let keep = b.len() / 3;
+            b.truncate(keep);
+            std::fs::write(f, b).unwrap();
+        }),
+        ("bitflip", |f: &Path| {
+            let mut b = std::fs::read(f).unwrap();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x20;
+            std::fs::write(f, b).unwrap();
+        }),
+        ("version-skew", |f: &Path| {
+            // The envelope checksum passes; the flat header's format
+            // version (first u64 of the payload) is from the future.
+            let mut payload = read_envelope(f, kind::FLAT_CPG).unwrap();
+            payload[..8].copy_from_slice(&(FLAT_FORMAT_VERSION + 1).to_le_bytes());
+            write_envelope(f, kind::FLAT_CPG, &payload, Publish::Overwrite).unwrap();
+        }),
+    ];
+
+    for (tag, corrupt) in corruptions {
+        let cache = temp_dir(&format!("flat-{tag}"));
+        let cold_engine = Engine::new(Some(cache.clone()), 8, 1);
+        let (cold_chains, _) = scan_chains(&cold_engine, &paths);
+        assert!(!cold_chains.is_empty(), "{tag}: URLDNS chain expected");
+
+        // Drop the chain-cache entries so a repeat scan reaches the mapped
+        // tier, and confirm the intact flat artifact serves it.
+        clear_chains(&cache);
+        let mapped_engine = Engine::new(Some(cache.clone()), 8, 1);
+        let mapped = mapped_engine
+            .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+            .expect("mapped scan succeeds");
+        assert!(
+            mapped.stats.cpg_map_hit,
+            "{tag}: intact flat artifact serves the scan"
+        );
+        assert_eq!(chain_key(&mapped.chains), chain_key(&cold_chains), "{tag}");
+
+        // Corrupt only the flat artifact; the serde twin stays valid.
+        let flats = artifact_files(&cache.join("flat"));
+        assert_eq!(flats.len(), 1, "{tag}: one flat artifact per corpus");
+        corrupt(&flats[0]);
+        clear_chains(&cache);
+
+        let warm_engine = Engine::new(Some(cache.clone()), 8, 1);
+        let warm = warm_engine
+            .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+            .expect("fallback scan succeeds");
+        assert!(
+            !warm.stats.cpg_map_hit,
+            "{tag}: a corrupt mapping must never serve"
+        );
+        assert_eq!(
+            chain_key(&warm.chains),
+            chain_key(&cold_chains),
+            "{tag}: the serde twin serves byte-identical chains"
+        );
+        assert!(
+            !warm.diagnostics.artifact_faults.is_empty(),
+            "{tag}: the quarantine surfaces as an artifact fault"
+        );
+        assert!(!warm.diagnostics.is_degraded(), "{tag}");
+        assert_eq!(
+            quarantined_files(&cache).len(),
+            1,
+            "{tag}: the flat artifact lands in quarantine/ exactly once"
+        );
+
+        // A third engine serves the rewritten chain cache cleanly: the
+        // fault does not repeat and nothing new is quarantined.
+        let third = Engine::new(Some(cache.clone()), 8, 1);
+        let (again, diag) = scan_chains(&third, &paths);
+        assert_eq!(chain_key(&again), chain_key(&cold_chains), "{tag}");
+        assert!(
+            diag.artifact_faults.is_empty(),
+            "{tag}: quarantined exactly once, never re-reported"
+        );
+        assert_eq!(quarantined_files(&cache).len(), 1, "{tag}");
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+    let _ = std::fs::remove_dir_all(&classes);
+}
+
 /// A bit-rotted registry snapshot fails envelope verification on the next
 /// open: the version is quarantined, `latest` rolls back, and the next diff
 /// job re-registers cleanly against the surviving baseline.
