@@ -1,4 +1,4 @@
-//! Benchmark driver. Three subcommands:
+//! Benchmark driver. Subcommands:
 //!
 //! ```text
 //! cargo run -p tabby-bench --release --bin bench -- search \
@@ -48,17 +48,27 @@
 //! `--out`). Exit status is nonzero if any path at any thread count
 //! produces a chain set that diverges from the cold-scan reference — CI
 //! runs this on the smoke scenes as the mapped-artifact fidelity gate.
+//!
+//! `ingest` generates nested-jar and war corpora (the full tier includes
+//! the ≥100k-class stress scene), streams each archive through the
+//! bounded-memory lift, and writes `BENCH_ingest.json` — classes lifted
+//! per second, archive-open latency, and peak batch bytes. Exit status
+//! is nonzero if any scene's archive chains diverge from its unpacked
+//! reference tree, or if any lift's peak batch memory exceeds the
+//! budget (blob memory growing with corpus size) — CI runs this on the
+//! smoke scenes as the ingestion gate.
 
 use tabby_bench::{
-    run_coldstart_bench, run_diff_bench, run_query_bench, run_search_bench, run_summarize_bench,
-    run_witness_bench, ColdstartBenchConfig, DiffBenchConfig, QueryBenchConfig, SearchBenchConfig,
-    SummarizeBenchConfig, WitnessBenchConfig,
+    run_coldstart_bench, run_diff_bench, run_ingest_bench, run_query_bench, run_search_bench,
+    run_summarize_bench, run_witness_bench, ColdstartBenchConfig, DiffBenchConfig,
+    IngestBenchConfig, QueryBenchConfig, SearchBenchConfig, SummarizeBenchConfig,
+    WitnessBenchConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench <search|summarize|query|diff|witness|coldstart> [--scenes smoke|full] \
-         [--only NAME,NAME] [--repeat N] [--out PATH]"
+        "usage: bench <search|summarize|query|diff|witness|coldstart|ingest> \
+         [--scenes smoke|full] [--only NAME,NAME] [--repeat N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -124,7 +134,70 @@ fn main() {
         Some("diff") => cmd_diff(&args[1..]),
         Some("witness") => cmd_witness(&args[1..]),
         Some("coldstart") => cmd_coldstart(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn cmd_ingest(args: &[String]) {
+    let common = parse_common(args, "BENCH_ingest.json", 3);
+    let config = IngestBenchConfig {
+        smoke: common.smoke,
+        only: common.only,
+        repeat: common.repeat,
+    };
+
+    let report = run_ingest_bench(&config);
+    for scene in &report.results {
+        println!(
+            "{:<12} {:<10} {:>7} classes  {:>9} archive bytes  open {:>8.2}ms  \
+             lift {:>8.3}s  {:>9.0} classes/s",
+            scene.scene,
+            scene.layout,
+            scene.classes,
+            scene.archive_bytes,
+            scene.open_latency_ms,
+            scene.lift_wall_s,
+            scene.classes_per_s,
+        );
+        println!(
+            "  peak batch {:>8} / budget {} bytes over {} batches ({} inflated)  \
+             rss hwm {}  {}  chains jar/tree {}/{}  {}",
+            scene.peak_batch_bytes,
+            scene.batch_budget_bytes,
+            scene.batches,
+            scene.bytes_inflated,
+            scene
+                .peak_rss_bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "n/a".to_owned()),
+            if scene.bounded {
+                "bounded"
+            } else {
+                "UNBOUNDED"
+            },
+            scene.chains_archive,
+            scene.chains_tree,
+            if scene.identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+    println!(
+        "max peak over all scenes: {} bytes (budget {})",
+        report.max_peak_batch_bytes,
+        tabby_bench::ingest_bench::BENCH_BATCH_BYTES
+    );
+    write_report(&report, &common.out);
+    if !report.all_identical {
+        eprintln!("FAIL: an archive scan's chains diverged from its unpacked tree");
+        std::process::exit(1);
+    }
+    if !report.all_bounded {
+        eprintln!("FAIL: a lift's peak batch memory exceeded the budget (O(corpus) blob memory)");
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,251 @@
+//! `bench ingest` — the corpus-scale streaming-ingestion benchmark.
+//!
+//! Generates nested-jar and war corpora with [`tabby_ingest::generate`]
+//! (the full tier includes the ≥100k-class stress scene), streams each
+//! archive through the bounded-memory lift, and scores three things:
+//!
+//! 1. **Throughput** — classes lifted per second and archive-open
+//!    latency, per scene.
+//! 2. **Boundedness** — `peak_batch_bytes` must stay within the batch
+//!    budget (plus one blob of slack) *at every corpus size*: the 100k
+//!    scene and the 1k scene run under the same budget, so a growing
+//!    peak would be O(corpus) memory and fails the gate. The process
+//!    RSS high watermark is reported alongside as the external witness.
+//! 3. **Fidelity** — the chains found in the archive must be identical
+//!    to the chains found in the unpacked reference tree; any
+//!    divergence fails the gate (CI runs the smoke tier exactly for
+//!    this).
+
+use std::time::Instant;
+
+use serde::Serialize;
+use tabby_core::{collect_inputs, AnalysisConfig, Cpg};
+use tabby_ingest::stream::peak_rss_bytes;
+use tabby_ingest::{generate, lift_corpus, CorpusLayout, CorpusSpec, IngestLimits, StreamedLift};
+use tabby_pathfinder::{find_gadget_chains, GadgetChain, SearchConfig, SinkCatalog, SourceCatalog};
+
+/// Batch budget every scene lifts under: small enough that even the
+/// smoke corpora flush repeatedly, so the bound is exercised — not
+/// vacuously satisfied by a single batch.
+pub const BENCH_BATCH_BYTES: u64 = 256 << 10;
+
+/// Slack the peak may overshoot the budget by: the flush triggers on
+/// *crossing* the budget, so the peak can exceed it by at most one
+/// class blob.
+pub const BENCH_BATCH_SLACK: u64 = 64 << 10;
+
+/// Knobs for [`run_ingest_bench`].
+#[derive(Debug, Clone, Default)]
+pub struct IngestBenchConfig {
+    /// Only the reduced scenes (the CI tier); `false` adds the
+    /// ≥100k-class stress scene.
+    pub smoke: bool,
+    /// Restrict to scenes whose name matches (empty = all).
+    pub only: Vec<String>,
+    /// Lift repetitions per scene (best wall time wins).
+    pub repeat: usize,
+}
+
+/// One scene's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct SceneIngestBench {
+    /// Scene name.
+    pub scene: String,
+    /// Archive layout (`nested-jar` / `war` / `flat-jar`).
+    pub layout: String,
+    /// Filler + gadget classes generated.
+    pub classes: usize,
+    /// Top-level archive size on disk.
+    pub archive_bytes: u64,
+    /// Archives opened while planning (top-level + nested).
+    pub archives_opened: usize,
+    /// Wall milliseconds spent opening + exploding archives.
+    pub open_latency_ms: f64,
+    /// Best lift wall seconds over the repeats.
+    pub lift_wall_s: f64,
+    /// Classes lifted per second at the best wall time.
+    pub classes_per_s: f64,
+    /// Budget the lift ran under.
+    pub batch_budget_bytes: u64,
+    /// Largest number of blob bytes held at once.
+    pub peak_batch_bytes: u64,
+    /// Batches flushed.
+    pub batches: usize,
+    /// Total bytes inflated over the run (the O(corpus) quantity the
+    /// peak must stay independent of).
+    pub bytes_inflated: u64,
+    /// Process RSS high watermark after this scene, if the platform
+    /// exposes it (monotone across scenes — an upper envelope).
+    pub peak_rss_bytes: Option<u64>,
+    /// `peak_batch_bytes ≤ budget + slack`.
+    pub bounded: bool,
+    /// Chains found in the archive.
+    pub chains_archive: usize,
+    /// Chains found in the unpacked reference tree.
+    pub chains_tree: usize,
+    /// Archive chains byte-identical to tree chains.
+    pub identical: bool,
+}
+
+/// The whole report, serialized to `BENCH_ingest.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestBenchReport {
+    /// Per-scene results.
+    pub results: Vec<SceneIngestBench>,
+    /// Every scene's archive chains matched its tree chains.
+    pub all_identical: bool,
+    /// Every scene's peak stayed within budget + slack.
+    pub all_bounded: bool,
+    /// Largest peak over all scenes — with `all_bounded`, the witness
+    /// that memory did not grow with corpus size.
+    pub max_peak_batch_bytes: u64,
+}
+
+struct SceneSpec {
+    name: &'static str,
+    classes: usize,
+    chunk: usize,
+    layout: CorpusLayout,
+}
+
+fn scenes(smoke: bool) -> Vec<SceneSpec> {
+    let mut specs = vec![
+        SceneSpec {
+            name: "nested-2k",
+            classes: 2_000,
+            chunk: 256,
+            layout: CorpusLayout::NestedJar,
+        },
+        SceneSpec {
+            name: "war-1k",
+            classes: 1_000,
+            chunk: 200,
+            layout: CorpusLayout::War,
+        },
+    ];
+    if !smoke {
+        specs.push(SceneSpec {
+            name: "nested-100k",
+            classes: 100_000,
+            chunk: 4_096,
+            layout: CorpusLayout::NestedJar,
+        });
+    }
+    specs
+}
+
+fn layout_name(layout: &CorpusLayout) -> &'static str {
+    match layout {
+        CorpusLayout::FlatJar => "flat-jar",
+        CorpusLayout::NestedJar => "nested-jar",
+        CorpusLayout::War => "war",
+    }
+}
+
+fn chains_of(lift: &StreamedLift) -> Vec<GadgetChain> {
+    let mut cpg = Cpg::build(&lift.program, AnalysisConfig::default());
+    find_gadget_chains(
+        &mut cpg,
+        &SinkCatalog::paper(),
+        &SourceCatalog::native_serialization(),
+        &SearchConfig::default(),
+    )
+}
+
+/// Benchmarks one generated scene; panics on generation/lift failure
+/// (a bench environment problem, not a measurement).
+pub fn bench_ingest_scene(spec_name: &str, spec: &CorpusSpec, repeat: usize) -> SceneIngestBench {
+    let scratch = std::env::temp_dir().join(format!(
+        "tabby-bench-ingest-{spec_name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("bench scratch dir");
+    let corpus = generate(&scratch, spec).expect("corpus generates");
+    let archive_bytes = std::fs::metadata(&corpus.archive)
+        .expect("archive written")
+        .len();
+
+    let limits = IngestLimits {
+        batch_bytes: BENCH_BATCH_BYTES,
+        ..IngestLimits::default()
+    };
+    let archive_inputs =
+        collect_inputs(std::slice::from_ref(&corpus.archive), true).expect("archive inputs");
+
+    let mut best: Option<(f64, StreamedLift)> = None;
+    for _ in 0..repeat.max(1) {
+        let start = Instant::now();
+        let lift = lift_corpus(&archive_inputs, &limits, true).expect("archive lifts");
+        let wall = start.elapsed().as_secs_f64();
+        if best.as_ref().map(|(w, _)| wall < *w).unwrap_or(true) {
+            best = Some((wall, lift));
+        }
+    }
+    let (lift_wall_s, lift) = best.expect("at least one repeat");
+    let stats = lift.stats.clone();
+
+    let tree_inputs =
+        collect_inputs(std::slice::from_ref(&corpus.tree), true).expect("tree inputs");
+    let tree_lift = lift_corpus(&tree_inputs, &limits, true).expect("tree lifts");
+
+    let archive_chains = chains_of(&lift);
+    let tree_chains = chains_of(&tree_lift);
+    let identical = serde_json::to_string(&archive_chains).expect("chains serialize")
+        == serde_json::to_string(&tree_chains).expect("chains serialize");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    SceneIngestBench {
+        scene: spec_name.to_owned(),
+        layout: layout_name(&spec.layout).to_owned(),
+        classes: corpus.classes,
+        archive_bytes,
+        archives_opened: stats.archives_opened,
+        open_latency_ms: stats.open_latency_ns as f64 / 1e6,
+        lift_wall_s,
+        classes_per_s: if lift_wall_s > 0.0 {
+            stats.classes_lifted as f64 / lift_wall_s
+        } else {
+            f64::INFINITY
+        },
+        batch_budget_bytes: limits.batch_bytes,
+        peak_batch_bytes: stats.peak_batch_bytes,
+        batches: stats.batches,
+        bytes_inflated: stats.bytes_inflated,
+        peak_rss_bytes: peak_rss_bytes(),
+        bounded: stats.peak_batch_bytes <= limits.batch_bytes + BENCH_BATCH_SLACK,
+        chains_archive: archive_chains.len(),
+        chains_tree: tree_chains.len(),
+        identical,
+    }
+}
+
+/// Runs every (selected) scene and folds the gates.
+pub fn run_ingest_bench(config: &IngestBenchConfig) -> IngestBenchReport {
+    let mut results = Vec::new();
+    for spec in scenes(config.smoke) {
+        if !config.only.is_empty() && !config.only.iter().any(|o| o == spec.name) {
+            continue;
+        }
+        let corpus_spec = CorpusSpec {
+            classes: spec.classes,
+            chunk: spec.chunk,
+            layout: spec.layout,
+        };
+        results.push(bench_ingest_scene(spec.name, &corpus_spec, config.repeat));
+    }
+    let all_identical = results.iter().all(|r| r.identical);
+    let all_bounded = results.iter().all(|r| r.bounded);
+    let max_peak_batch_bytes = results
+        .iter()
+        .map(|r| r.peak_batch_bytes)
+        .max()
+        .unwrap_or(0);
+    IngestBenchReport {
+        results,
+        all_identical,
+        all_bounded,
+        max_peak_batch_bytes,
+    }
+}

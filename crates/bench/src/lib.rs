@@ -17,13 +17,19 @@
 //! oracle) and emits `BENCH_witness.json`; its `coldstart` subcommand
 //! ([`coldstart_bench`]) measures time-to-first-query-row from a warm
 //! disk cache — the mmap'd flat CPG against the serde decode and the cold
-//! rebuild it replaces — and emits `BENCH_coldstart.json`.
+//! rebuild it replaces — and emits `BENCH_coldstart.json`; its `ingest`
+//! subcommand ([`ingest_bench`]) streams generated nested-jar and war
+//! corpora (up to the ≥100k-class stress scene) through the
+//! bounded-memory archive lift and emits `BENCH_ingest.json` — classes
+//! lifted per second, archive-open latency, and the peak-batch-bytes
+//! boundedness and jar-vs-tree chain-fidelity gates.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod coldstart_bench;
 pub mod diff_bench;
+pub mod ingest_bench;
 pub mod query_bench;
 pub mod runner;
 pub mod search_bench;
@@ -36,6 +42,9 @@ pub use coldstart_bench::{
 };
 pub use diff_bench::{
     bench_diff_scene, run_diff_bench, DiffBenchConfig, DiffBenchReport, SceneDiffBench,
+};
+pub use ingest_bench::{
+    bench_ingest_scene, run_ingest_bench, IngestBenchConfig, IngestBenchReport, SceneIngestBench,
 };
 pub use query_bench::{
     bench_queries_on_scene, run_query_bench, QueryBenchConfig, QueryBenchReport, QueryResult,

@@ -26,6 +26,23 @@ pub struct SkippedClass {
     pub error: String,
 }
 
+/// One duplicate class dropped by JVM-style first-wins classpath
+/// resolution during archive ingestion. Informational — shadowing is
+/// normal on real classpaths (fat jars routinely carry duplicate
+/// `module-info` or shaded copies), so this does **not** make a scan
+/// [`ScanDiagnostics::is_degraded`]; it is surfaced so "why didn't my
+/// patched class take effect" has an answer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowedClass {
+    /// Class-relative path, e.g. `com/example/Foo.class`.
+    pub class: String,
+    /// Provenance of the copy that won (first on the classpath), e.g.
+    /// `app.war!/WEB-INF/classes/com/example/Foo.class`.
+    pub kept: String,
+    /// Provenance of the dropped copy.
+    pub shadowed: String,
+}
+
 /// One method whose summarization panicked and was replaced by a sound
 /// identity summary.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -116,6 +133,10 @@ pub struct ScanDiagnostics {
     /// is recomputed and complete.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub artifact_faults: Vec<ArtifactFault>,
+    /// Duplicate classes dropped by first-wins classpath resolution while
+    /// exploding archives. Informational; not a degradation.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub shadowed_classes: Vec<ShadowedClass>,
     /// Chains the witness stage confirmed by interpretation (`witnessed`).
     /// Informational; not a degradation.
     #[serde(default, skip_serializing_if = "is_zero")]
@@ -164,6 +185,7 @@ impl ScanDiagnostics {
         self.summaries_computed += other.summaries_computed;
         self.methods_with_bodies += other.methods_with_bodies;
         self.artifact_faults.extend(other.artifact_faults);
+        self.shadowed_classes.extend(other.shadowed_classes);
         self.chains_witnessed += other.chains_witnessed;
         self.chains_plan_found += other.chains_plan_found;
         self.witness_failures += other.witness_failures;

@@ -1,0 +1,186 @@
+//! Shared input classification for scan entry points.
+//!
+//! The CLI (`tabby scan/snapshot/query/submit`) and the daemon engine used
+//! to carry two hand-rolled copies of "walk these paths, find `.class`
+//! files, complain about jars" whose wording and semantics drifted. This
+//! module is the single source of truth: both sides classify paths the
+//! same way, both collect the same `(class files, archives)` split, and
+//! the legacy jar-rejection message — still reachable through
+//! `--no-archives` for callers that want pre-ingestion behavior — has
+//! exactly one home.
+
+use std::path::{Path, PathBuf};
+
+/// Archive extensions treated as zip containers (case-insensitive).
+pub const ARCHIVE_EXTENSIONS: [&str; 3] = ["jar", "war", "zip"];
+
+/// How one filesystem path participates in a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// A loose `.class` file.
+    ClassFile,
+    /// A zip container (`.jar`, `.war`, `.zip`) for the ingest pipeline.
+    Archive,
+    /// A directory to walk recursively.
+    Directory,
+    /// Anything else (skipped or rejected depending on the caller).
+    Other,
+}
+
+/// True when the file name has an archive extension.
+pub fn is_archive_name(path: &Path) -> bool {
+    path.extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| ARCHIVE_EXTENSIONS.iter().any(|a| e.eq_ignore_ascii_case(a)))
+}
+
+/// True when the file name has a `.class` extension.
+pub fn is_class_name(path: &Path) -> bool {
+    path.extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.eq_ignore_ascii_case("class"))
+}
+
+/// Classifies a path by name and directory-ness. `is_dir` is passed in so
+/// callers that already statted the path do not pay a second syscall.
+pub fn classify(path: &Path, is_dir: bool) -> InputKind {
+    if is_dir {
+        InputKind::Directory
+    } else if is_class_name(path) {
+        InputKind::ClassFile
+    } else if is_archive_name(path) {
+        InputKind::Archive
+    } else {
+        InputKind::Other
+    }
+}
+
+/// The `(class files, archives)` split of an input walk, in sorted
+/// deterministic order.
+#[derive(Debug, Default, Clone)]
+pub struct CollectedInputs {
+    /// Loose `.class` files, explicit or found under directories.
+    pub class_files: Vec<PathBuf>,
+    /// Archives, explicit or found under directories, for the ingest
+    /// pipeline (or for the legacy rejection under `--no-archives`).
+    pub archives: Vec<PathBuf>,
+}
+
+impl CollectedInputs {
+    /// True when the walk found nothing scannable at all.
+    pub fn is_empty(&self) -> bool {
+        self.class_files.is_empty() && self.archives.is_empty()
+    }
+}
+
+/// Recursively collects `.class` files and archives under `paths`.
+///
+/// Every explicitly named path must exist — a typo is an error, not an
+/// empty scan. Directory walks are sorted for determinism and selective:
+/// subdirectories, `.class` files, and archives are visited, everything
+/// else is skipped. For explicitly named files that are neither classes
+/// nor archives, `strict` decides between a structured error (the daemon
+/// contract) and silently skipping (the CLI's historical behavior).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending path.
+pub fn collect_inputs(paths: &[PathBuf], strict: bool) -> Result<CollectedInputs, String> {
+    let mut out = CollectedInputs::default();
+    for path in paths {
+        let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        match classify(path, meta.is_dir()) {
+            InputKind::Directory => walk_dir(path, &mut out)?,
+            InputKind::ClassFile => out.class_files.push(path.clone()),
+            InputKind::Archive => out.archives.push(path.clone()),
+            InputKind::Other => {
+                if strict {
+                    return Err(format!(
+                        "{}: not a .class file, archive (.jar/.war/.zip), or directory",
+                        path.display()
+                    ));
+                }
+            }
+        }
+    }
+    out.class_files.sort();
+    out.class_files.dedup();
+    out.archives.sort();
+    out.archives.dedup();
+    Ok(out)
+}
+
+fn walk_dir(dir: &Path, out: &mut CollectedInputs) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut children = Vec::new();
+    for entry in entries {
+        children.push(entry.map_err(|e| format!("{}: {e}", dir.display()))?.path());
+    }
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            walk_dir(&child, out)?;
+        } else if is_class_name(&child) {
+            out.class_files.push(child);
+        } else if is_archive_name(&child) {
+            out.archives.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// The pre-ingestion jar-rejection message, kept verbatim for
+/// `--no-archives` callers and for tests that pin the wording.
+pub fn archives_unsupported_error(archives: &[PathBuf]) -> String {
+    let listed: Vec<String> = archives.iter().map(|p| p.display().to_string()).collect();
+    format!(
+        "found {} archive(s) ({}): jars are unsupported and must be unpacked (e.g. with \
+         `unzip` or `jar xf`) before scanning the extracted .class files \
+         (archive ingestion disabled by --no-archives)",
+        archives.len(),
+        listed.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_extension() {
+        assert_eq!(classify(Path::new("A.class"), false), InputKind::ClassFile);
+        assert_eq!(classify(Path::new("a.jar"), false), InputKind::Archive);
+        assert_eq!(classify(Path::new("A.WAR"), false), InputKind::Archive);
+        assert_eq!(classify(Path::new("a.zip"), false), InputKind::Archive);
+        assert_eq!(classify(Path::new("a.txt"), false), InputKind::Other);
+        assert_eq!(classify(Path::new("a.jar"), true), InputKind::Directory);
+    }
+
+    #[test]
+    fn walk_splits_classes_and_archives() {
+        let dir = std::env::temp_dir().join(format!("tabby-input-test-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("A.class"), b"x").unwrap();
+        std::fs::write(dir.join("sub/lib.jar"), b"x").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"x").unwrap();
+        let got = collect_inputs(&[dir.clone()], true).unwrap();
+        assert_eq!(got.class_files.len(), 1);
+        assert_eq!(got.archives.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_path_is_an_error() {
+        let err = collect_inputs(&[PathBuf::from("/nonexistent/x.class")], false).unwrap_err();
+        assert!(err.contains("/nonexistent/x.class"), "{err}");
+    }
+
+    #[test]
+    fn legacy_rejection_wording_is_stable() {
+        let msg = archives_unsupported_error(&[PathBuf::from("a.jar")]);
+        assert!(
+            msg.contains("jars are unsupported and must be unpacked"),
+            "{msg}"
+        );
+    }
+}

@@ -45,6 +45,7 @@ pub mod controllability;
 pub mod cpg;
 pub mod diagnostics;
 pub mod envelope;
+pub mod input;
 pub mod parallel;
 pub mod weight;
 
@@ -54,11 +55,16 @@ pub use config::AnalysisConfig;
 pub use controllability::{Analyzer, AnalyzerStats, CallSite, LocalMap, MethodSummary};
 pub use cpg::{Cpg, CpgSchema, CpgStats};
 pub use diagnostics::{
-    ArtifactFault, ArtifactFaultKind, QuarantinedMethod, ScanDiagnostics, SkippedClass,
+    ArtifactFault, ArtifactFaultKind, QuarantinedMethod, ScanDiagnostics, ShadowedClass,
+    SkippedClass,
 };
 pub use envelope::{
     decode_envelope, encode_envelope, quarantine_file, read_envelope, write_envelope,
     EnvelopeError, Fault, Publish, ENVELOPE_MAGIC, ENVELOPE_VERSION, QUARANTINE_DIR,
+};
+pub use input::{
+    archives_unsupported_error, classify, collect_inputs, is_archive_name, is_class_name,
+    CollectedInputs, InputKind, ARCHIVE_EXTENSIONS,
 };
 pub use parallel::{
     canonical_summary_dump, summarize_program, summarize_program_contained,

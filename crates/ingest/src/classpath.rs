@@ -1,0 +1,343 @@
+//! Recursive archive explosion into a classpath assembly.
+//!
+//! One top-level jar/war is flattened into an ordered list of class
+//! entries with full provenance (`app.war!/WEB-INF/lib/a.jar!/com/F.class`)
+//! and a *fetch chain* of entry indices so bytes can be re-read lazily
+//! without holding the whole archive inflated. Precedence follows the
+//! JVM's first-wins rule in the order a servlet container or Spring Boot
+//! launcher would build the classpath:
+//!
+//! 1. the archive's own `.class` entries, in central-directory order —
+//!    this covers loose classes, `WEB-INF/classes/…`, and
+//!    `BOOT-INF/classes/…` (the container prefixes are stripped for the
+//!    duplicate-resolution key);
+//! 2. nested archives (`WEB-INF/lib/*.jar`, `BOOT-INF/lib/*.jar`, plain
+//!    nested `*.jar`), sorted by entry name for determinism, each exploded
+//!    recursively up to [`crate::IngestLimits::max_nesting_depth`].
+//!
+//! Duplicate class paths are resolved first-wins; every shadowed copy is
+//! surfaced as a [`ShadowedClass`] diagnostic rather than silently
+//! dropped. The whole-archive *declared* inflated total is summed from
+//! central directories (no inflation needed) and checked against the bomb
+//! budget before any class bytes are produced.
+
+use std::collections::HashMap;
+use std::io::{Cursor, Read, Seek};
+
+use tabby_core::ShadowedClass;
+
+use crate::zip::ZipReader;
+use crate::{IngestError, IngestLimits};
+
+/// Container prefixes stripped from entry names to form the
+/// class-relative dedup key.
+const CLASS_ROOTS: [&str; 2] = ["WEB-INF/classes/", "BOOT-INF/classes/"];
+
+/// One class discovered inside an archive.
+#[derive(Debug, Clone)]
+pub struct ArchiveClass {
+    /// Full provenance, e.g. `app.war!/WEB-INF/lib/a.jar!/com/F.class`.
+    pub provenance: String,
+    /// Class-relative path (container prefixes stripped), the
+    /// duplicate-resolution key, e.g. `com/F.class`.
+    pub class_path: String,
+    /// Declared uncompressed size.
+    pub size: u64,
+    /// Entry-index chain from the top-level archive: `chain[0]` indexes
+    /// the top-level central directory; each further index is inside the
+    /// nested archive selected by the previous link.
+    pub chain: Vec<usize>,
+}
+
+/// A fully exploded archive: ordered, deduplicated class list plus the
+/// shadowing report and bomb-budget accounting.
+#[derive(Debug, Default)]
+pub struct ExplodedArchive {
+    /// Classes in classpath order, first-wins deduplicated.
+    pub classes: Vec<ArchiveClass>,
+    /// Duplicates dropped by first-wins resolution.
+    pub shadowed: Vec<ShadowedClass>,
+    /// Sum of declared uncompressed sizes over every entry, recursively.
+    pub declared_total: u64,
+    /// Archives opened (1 + nested), for stats.
+    pub archives_opened: usize,
+}
+
+/// Strips the container class-root prefix, if any, to form the dedup key.
+pub fn class_relative_path(entry_name: &str) -> &str {
+    for root in CLASS_ROOTS {
+        if let Some(rest) = entry_name.strip_prefix(root) {
+            return rest;
+        }
+    }
+    entry_name
+}
+
+/// True for entry names the explosion recurses into.
+fn is_nested_archive(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.ends_with(".jar") || lower.ends_with(".war") || lower.ends_with(".zip")
+}
+
+/// Reads nested-archive entry `index` out of `zip` and opens it as a zip.
+pub fn open_nested<R: Read + Seek>(
+    zip: &mut ZipReader<R>,
+    index: usize,
+    display: &str,
+    limits: &IngestLimits,
+) -> Result<ZipReader<Cursor<Vec<u8>>>, IngestError> {
+    let bytes = zip
+        .read_entry(index, limits)
+        .map_err(|source| IngestError::Zip {
+            archive: display.to_owned(),
+            source,
+        })?;
+    ZipReader::open(Cursor::new(bytes)).map_err(|source| IngestError::Zip {
+        archive: display.to_owned(),
+        source,
+    })
+}
+
+/// Explodes an already-open archive. `display` names it in provenance
+/// strings and errors (for the top level this is the filesystem path).
+pub fn explode<R: Read + Seek>(
+    zip: &mut ZipReader<R>,
+    display: &str,
+    limits: &IngestLimits,
+) -> Result<ExplodedArchive, IngestError> {
+    let mut out = ExplodedArchive::default();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    visit(
+        zip,
+        display,
+        limits,
+        1,
+        &mut Vec::new(),
+        &mut out,
+        &mut seen,
+    )?;
+    Ok(out)
+}
+
+/// Recursive walk. `chain_prefix` is the entry-index chain that selected
+/// the current archive; `depth` counts archives (top level = 1).
+fn visit<R: Read + Seek>(
+    zip: &mut ZipReader<R>,
+    display: &str,
+    limits: &IngestLimits,
+    depth: u32,
+    chain_prefix: &mut Vec<usize>,
+    out: &mut ExplodedArchive,
+    seen: &mut HashMap<String, usize>,
+) -> Result<(), IngestError> {
+    out.archives_opened += 1;
+    // Declared-total bomb budget, checked from the central directory
+    // before any entry is inflated.
+    let declared: u64 = zip
+        .entries()
+        .iter()
+        .map(|e| e.uncompressed_size)
+        .fold(0u64, u64::saturating_add);
+    out.declared_total = out.declared_total.saturating_add(declared);
+    if out.declared_total > limits.max_inflated_total {
+        return Err(IngestError::TotalBudget {
+            archive: display.to_owned(),
+            declared: out.declared_total,
+            limit: limits.max_inflated_total,
+        });
+    }
+
+    // Pass 1: this archive's own classes, central-directory order.
+    for (index, entry) in zip.entries().iter().enumerate() {
+        if entry.is_dir() || !entry.name.ends_with(".class") {
+            continue;
+        }
+        let class_path = class_relative_path(&entry.name).to_owned();
+        let provenance = format!("{display}!/{}", entry.name);
+        let mut chain = chain_prefix.clone();
+        chain.push(index);
+        record_class(
+            out,
+            seen,
+            ArchiveClass {
+                provenance,
+                class_path,
+                size: entry.uncompressed_size,
+                chain,
+            },
+        );
+    }
+
+    // Pass 2: nested archives, sorted by name for determinism.
+    let mut nested: Vec<(String, usize)> = zip
+        .entries()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !e.is_dir() && is_nested_archive(&e.name))
+        .map(|(i, e)| (e.name.clone(), i))
+        .collect();
+    nested.sort();
+    for (name, index) in nested {
+        if depth + 1 > limits.max_nesting_depth {
+            return Err(IngestError::DepthExceeded {
+                archive: format!("{display}!/{name}"),
+                depth: depth + 1,
+                limit: limits.max_nesting_depth,
+            });
+        }
+        let nested_display = format!("{display}!/{name}");
+        let mut inner = open_nested(zip, index, display, limits)?;
+        chain_prefix.push(index);
+        visit(
+            &mut inner,
+            &nested_display,
+            limits,
+            depth + 1,
+            chain_prefix,
+            out,
+            seen,
+        )?;
+        chain_prefix.pop();
+    }
+    Ok(())
+}
+
+/// First-wins insert with shadow reporting.
+fn record_class(out: &mut ExplodedArchive, seen: &mut HashMap<String, usize>, class: ArchiveClass) {
+    match seen.get(&class.class_path) {
+        Some(&winner) => out.shadowed.push(ShadowedClass {
+            class: class.class_path,
+            kept: out.classes[winner].provenance.clone(),
+            shadowed: class.provenance,
+        }),
+        None => {
+            seen.insert(class.class_path.clone(), out.classes.len());
+            out.classes.push(class);
+        }
+    }
+}
+
+/// Convenience: resolve error-wrapping for top-level opens.
+pub fn open_archive_file(
+    path: &std::path::Path,
+) -> Result<ZipReader<std::io::BufReader<std::fs::File>>, IngestError> {
+    let file = std::fs::File::open(path).map_err(|source| IngestError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    ZipReader::open(std::io::BufReader::new(file)).map_err(|source| IngestError::Zip {
+        archive: path.display().to_string(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zip::build_zip;
+
+    fn limits() -> IngestLimits {
+        IngestLimits::default()
+    }
+
+    fn explode_bytes(bytes: Vec<u8>, display: &str) -> Result<ExplodedArchive, IngestError> {
+        let mut zip = ZipReader::open(Cursor::new(bytes)).map_err(|source| IngestError::Zip {
+            archive: display.to_owned(),
+            source,
+        })?;
+        explode(&mut zip, display, &limits())
+    }
+
+    #[test]
+    fn war_layout_precedence_and_shadowing() {
+        // The same class in WEB-INF/classes and in a lib jar: classes/ wins.
+        let lib = build_zip(&[("com/A.class", b"from-lib"), ("com/B.class", b"lib-b")]).unwrap();
+        let war = build_zip(&[
+            ("WEB-INF/classes/com/A.class", b"from-classes"),
+            ("WEB-INF/lib/util.jar", &lib),
+        ])
+        .unwrap();
+        let exploded = explode_bytes(war, "app.war").unwrap();
+        let paths: Vec<&str> = exploded
+            .classes
+            .iter()
+            .map(|c| c.class_path.as_str())
+            .collect();
+        assert_eq!(paths, ["com/A.class", "com/B.class"]);
+        assert_eq!(
+            exploded.classes[0].provenance,
+            "app.war!/WEB-INF/classes/com/A.class"
+        );
+        assert_eq!(
+            exploded.classes[1].provenance,
+            "app.war!/WEB-INF/lib/util.jar!/com/B.class"
+        );
+        assert_eq!(exploded.shadowed.len(), 1);
+        assert_eq!(exploded.shadowed[0].class, "com/A.class");
+        assert!(exploded.shadowed[0].shadowed.contains("util.jar"));
+    }
+
+    #[test]
+    fn nested_jar_chains_resolve() {
+        let inner = build_zip(&[("x/Y.class", b"yy")]).unwrap();
+        let outer = build_zip(&[("a/B.class", b"bb"), ("libs/inner.jar", &inner)]).unwrap();
+        let exploded = explode_bytes(outer.clone(), "fat.jar").unwrap();
+        assert_eq!(exploded.classes.len(), 2);
+        // Fetch through the chain and check bytes.
+        let mut zip = ZipReader::open(Cursor::new(outer)).unwrap();
+        let y = &exploded.classes[1];
+        assert_eq!(y.class_path, "x/Y.class");
+        assert_eq!(y.chain.len(), 2);
+        let mut nested = open_nested(&mut zip, y.chain[0], "fat.jar", &limits()).unwrap();
+        assert_eq!(nested.read_entry(y.chain[1], &limits()).unwrap(), b"yy");
+    }
+
+    #[test]
+    fn depth_bomb_rejected() {
+        // jar in jar in jar in jar in jar: depth 5 > default limit 4.
+        let mut archive = build_zip(&[("leaf/Z.class", b"z")]).unwrap();
+        for level in 0..4 {
+            archive = build_zip(&[(&format!("l{level}.jar"), &archive)]).unwrap();
+        }
+        match explode_bytes(archive, "deep.jar") {
+            Err(IngestError::DepthExceeded { depth, limit, .. }) => {
+                assert_eq!(limit, 4);
+                assert_eq!(depth, 5);
+            }
+            other => panic!("expected depth rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declared_total_budget_rejected() {
+        let body = vec![0u8; 1 << 20];
+        let jar = build_zip(&[("big/A.class", &body), ("big/B.class", &body)]).unwrap();
+        let tight = IngestLimits {
+            max_inflated_total: 1 << 20,
+            ..IngestLimits::default()
+        };
+        let mut zip = ZipReader::open(Cursor::new(jar)).unwrap();
+        match explode(&mut zip, "big.jar", &tight) {
+            Err(IngestError::TotalBudget {
+                declared, limit, ..
+            }) => {
+                assert!(declared > limit);
+            }
+            other => panic!("expected total-budget rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boot_inf_prefix_stripped_for_dedup() {
+        let jar = build_zip(&[
+            ("BOOT-INF/classes/com/C.class", b"boot"),
+            ("com/C.class", b"root"),
+        ])
+        .unwrap();
+        let exploded = explode_bytes(jar, "boot.jar").unwrap();
+        // Central-directory order: BOOT-INF entry first, so it wins.
+        assert_eq!(exploded.classes.len(), 1);
+        assert_eq!(exploded.classes[0].class_path, "com/C.class");
+        assert_eq!(exploded.shadowed.len(), 1);
+    }
+}

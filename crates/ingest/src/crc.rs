@@ -1,0 +1,52 @@
+//! CRC-32 (IEEE 802.3, the zip polynomial), table-driven.
+//!
+//! Zip central-directory entries carry a CRC-32 of the *uncompressed*
+//! data; [`crate::zip::ZipReader::read_entry`] verifies it after
+//! decompression so a torn or bit-rotted entry is a structured error, not
+//! silently-wrong class bytes.
+
+/// The reflected polynomial used by zip/gzip/PNG.
+const POLY: u32 = 0xedb8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (init `0xffff_ffff`, final xor `0xffff_ffff`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    crc ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal raw-DEFLATE *encoders* used by the zip writer and by tests.
+//!
+//! We never need general-purpose compression — corpora are packed with
+//! stored entries for byte-fidelity — but two tiny encoders earn their
+//! keep: [`deflate_stored`] wraps bytes in stored blocks so the reader's
+//! method-8 path gets exercised end-to-end, and [`deflate_run`] emits a
+//! fixed-Huffman run of one repeated byte, which is how the corruption
+//! tests craft *genuine* compression-ratio bombs (16 MiB from ~100 KiB)
+//! without shipping a bomb fixture in the repo.
+
+/// MSB-first code emitter on top of an LSB-first bit stream — deflate
+/// packs header fields LSB-first but Huffman codes MSB-first.
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    acc_bits: u32,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
+    /// Writes `n` bits of `value` LSB-first (header fields, extra bits).
+    fn bits(&mut self, value: u32, n: u32) {
+        self.acc |= value << self.acc_bits;
+        self.acc_bits += n;
+        while self.acc_bits >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.acc_bits -= 8;
+        }
+    }
+
+    /// Writes an `n`-bit Huffman code MSB-first.
+    fn code(&mut self, code: u32, n: u32) {
+        for shift in (0..n).rev() {
+            self.bits((code >> shift) & 1, 1);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.acc_bits > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+        }
+        self.out
+    }
+}
+
+/// Fixed-Huffman code for a literal/length symbol (RFC 1951 §3.2.6).
+fn fixed_litlen(sym: u32) -> (u32, u32) {
+    match sym {
+        0..=143 => (0x30 + sym, 8),
+        144..=255 => (0x190 + (sym - 144), 9),
+        256..=279 => (sym - 256, 7),
+        _ => (0xc0 + (sym - 280), 8),
+    }
+}
+
+/// Wraps `data` in stored (BTYPE=00) blocks — "compressed" method-8 data
+/// that inflates back to exactly `data`.
+pub fn deflate_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 5 + data.len() / 0xffff * 5);
+    let mut chunks = data.chunks(0xffff).peekable();
+    // An empty input still needs one final stored block.
+    if data.is_empty() {
+        return vec![0x01, 0x00, 0x00, 0xff, 0xff];
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        out.push(u8::from(last));
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// Emits a fixed-Huffman (BTYPE=01) stream that inflates to `count`
+/// copies of `byte`. Compression is extreme — each 258-byte repeat costs
+/// 13 bits — which is exactly what a ratio-bomb test needs.
+pub fn deflate_run(byte: u8, count: usize) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    // BFINAL=1, BTYPE=01.
+    w.bits(1, 1);
+    w.bits(1, 2);
+    let mut remaining = count;
+    if remaining > 0 {
+        // Seed literal for the back-reference to copy from.
+        let (code, n) = fixed_litlen(u32::from(byte));
+        w.code(code, n);
+        remaining -= 1;
+    }
+    // Symbol 285 = length 258, distance symbol 0 = distance 1 (5-bit code
+    // 00000): copies the seed byte forward 258 bytes at a time.
+    while remaining >= 258 {
+        let (code, n) = fixed_litlen(285);
+        w.code(code, n);
+        w.code(0, 5);
+        remaining -= 258;
+    }
+    // Tail shorter than the minimum match: plain literals.
+    for _ in 0..remaining {
+        let (code, n) = fixed_litlen(u32::from(byte));
+        w.code(code, n);
+    }
+    // End of block (symbol 256).
+    let (code, n) = fixed_litlen(256);
+    w.code(code, n);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate;
+
+    #[test]
+    fn stored_empty_round_trip() {
+        assert_eq!(inflate(&deflate_stored(b""), 1 << 10).unwrap(), b"");
+    }
+
+    #[test]
+    fn stored_multi_block_round_trip() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(inflate(&deflate_stored(&data), 1 << 20).unwrap(), data);
+    }
+
+    #[test]
+    fn run_ratio_exceeds_one_hundred() {
+        let compressed = deflate_run(0, 16 << 20);
+        let ratio = (16u64 << 20) / compressed.len() as u64;
+        assert!(ratio > 100, "ratio only {ratio}");
+    }
+}

@@ -1,0 +1,307 @@
+//! Synthetic corpus generation for ingest tests and `bench ingest`.
+//!
+//! Packs assembler-produced `.class` bytes (via the IR builder DSL +
+//! `tabby-ir`'s compiler, which drives `tabby-classfile`'s `ClassAsm`)
+//! into generated archives at corpus scale. Generation itself is
+//! streaming: classes are built and compiled in chunks, each chunk is
+//! written straight into a nested part-jar and to the unpacked reference
+//! tree, and dropped — so the generator can emit 100k+ classes without
+//! itself holding the corpus in memory.
+//!
+//! Every corpus plants one known gadget pair (the paper's Fig. 1
+//! `EvilObjectA -> EvilObjectB -> Runtime.exec` shape) so archive and
+//! tree scans have a non-empty chain set to compare byte-for-byte.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use tabby_ir::compile::compile_program;
+use tabby_ir::{JType, ProgramBuilder};
+
+use crate::zip::{ZipError, ZipWriter};
+
+/// Archive layout to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusLayout {
+    /// One flat jar with every class at the root (≤ 65535 classes).
+    FlatJar,
+    /// An outer jar with `lib/part-NNN.jar` nested jars — the fat-jar
+    /// shape, and the only way past zip's 65535-entry ceiling.
+    NestedJar,
+    /// A war: gadget classes under `WEB-INF/classes/`, filler chunks as
+    /// `WEB-INF/lib/part-NNN.jar`.
+    War,
+}
+
+/// What to generate.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Filler classes (the planted gadget pair adds 2 more).
+    pub classes: usize,
+    /// Classes per chunk (= per nested part-jar). Bounds generator
+    /// memory and keeps every jar far under the 65535-entry ceiling.
+    pub chunk: usize,
+    /// Archive shape.
+    pub layout: CorpusLayout,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            classes: 1000,
+            chunk: 2000,
+            layout: CorpusLayout::NestedJar,
+        }
+    }
+}
+
+/// A generated corpus: the archive and its unpacked reference tree.
+#[derive(Debug)]
+pub struct GeneratedCorpus {
+    /// The generated `.jar`/`.war`.
+    pub archive: PathBuf,
+    /// Directory holding the same classes as loose `.class` files.
+    pub tree: PathBuf,
+    /// Total classes emitted (filler + gadget pair).
+    pub classes: usize,
+}
+
+/// Builds the planted Fig.-1 gadget pair in `pkg`.
+fn gadget_pair(pb: &mut ProgramBuilder, pkg: &str) {
+    let a_name = format!("{pkg}.EvilObjectA");
+    let b_name = format!("{pkg}.EvilObjectB");
+    {
+        let mut cb = pb.class(&a_name).serializable();
+        let object = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        let ois = cb.object_type("java.io.ObjectInputStream");
+        cb.field("val1", object.clone());
+        let mut mb = cb.method("readObject", vec![ois], JType::Void);
+        let this = mb.this();
+        let val = mb.fresh();
+        mb.get_field(val, this, &a_name, "val1", object.clone());
+        let to_string = mb.sig("java.lang.Object", "toString", &[], string);
+        mb.call_virtual(None, val, to_string, &[]);
+        mb.finish();
+        cb.finish();
+    }
+    {
+        let mut cb = pb.class(&b_name).serializable();
+        let object = cb.object_type("java.lang.Object");
+        let string = cb.object_type("java.lang.String");
+        let runtime = cb.object_type("java.lang.Runtime");
+        let process = cb.object_type("java.lang.Process");
+        cb.field("val2", object.clone());
+        let mut mb = cb.method("toString", vec![], string.clone());
+        let this = mb.this();
+        let val2 = mb.fresh();
+        mb.get_field(val2, this, &b_name, "val2", object);
+        let ts = mb.sig("java.lang.Object", "toString", &[], string.clone());
+        let cmd = mb.fresh();
+        mb.call_virtual(Some(cmd), val2, ts, &[]);
+        let rt = mb.fresh();
+        let get_rt = mb.sig("java.lang.Runtime", "getRuntime", &[], runtime);
+        mb.call_static(Some(rt), get_rt, &[]);
+        let exec = mb.sig("java.lang.Runtime", "exec", &[string], process);
+        mb.call_virtual(None, rt, exec, &[cmd.into()]);
+        mb.ret(mb.c_null());
+        mb.finish();
+        cb.finish();
+    }
+}
+
+/// One chain-free filler class with a small real body (field load +
+/// virtual call) so the analysis does non-trivial work per class.
+fn filler_class(pb: &mut ProgramBuilder, index: usize) {
+    let name = format!("gen.p{}.Filler{index}", index % 97);
+    let mut cb = pb.class(&name);
+    let object = cb.object_type("java.lang.Object");
+    let string = cb.object_type("java.lang.String");
+    cb.field("member", object.clone());
+    let mut mb = cb.method("describe", vec![], string.clone());
+    let this = mb.this();
+    let v = mb.fresh();
+    mb.get_field(v, this, &name, "member", object);
+    let ts = mb.sig("java.lang.Object", "toString", &[], string);
+    let out = mb.fresh();
+    mb.call_virtual(Some(out), v, ts, &[]);
+    mb.ret(out);
+    mb.finish();
+    cb.finish();
+}
+
+/// FQCN → archive entry name.
+fn entry_name(fqcn: &str) -> String {
+    format!("{}.class", fqcn.replace('.', "/"))
+}
+
+/// Compiles classes `range` (plus the gadget pair when `with_gadgets`)
+/// into `(entry_name, bytes)` pairs.
+fn compile_chunk(range: std::ops::Range<usize>, with_gadgets: bool) -> Vec<(String, Vec<u8>)> {
+    let mut pb = ProgramBuilder::new();
+    if with_gadgets {
+        gadget_pair(&mut pb, "gen.gadget");
+    }
+    for i in range {
+        filler_class(&mut pb, i);
+    }
+    let program = pb.build();
+    compile_program(&program)
+        .into_iter()
+        .map(|(fqcn, bytes)| (entry_name(&fqcn), bytes))
+        .collect()
+}
+
+/// Writes `entries` as an in-memory stored jar.
+fn pack_jar(entries: &[(String, Vec<u8>)]) -> Result<Vec<u8>, ZipError> {
+    let mut w = ZipWriter::new(Vec::new());
+    for (name, bytes) in entries {
+        w.add_stored(name, bytes)?;
+    }
+    w.finish()
+}
+
+/// Writes `entries` into the reference tree as loose files.
+fn write_tree(tree: &Path, entries: &[(String, Vec<u8>)]) -> std::io::Result<()> {
+    for (name, bytes) in entries {
+        let path = tree.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, bytes)?;
+    }
+    Ok(())
+}
+
+fn zip_io(e: ZipError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Generates the corpus under `dir` (creating `dir/corpus.{jar,war}` and
+/// `dir/tree/`). Deterministic: same spec, same bytes.
+///
+/// # Errors
+///
+/// I/O failures, or a [`CorpusLayout::FlatJar`] spec too large for one
+/// jar.
+pub fn generate(dir: &Path, spec: &CorpusSpec) -> std::io::Result<GeneratedCorpus> {
+    let tree = dir.join("tree");
+    std::fs::create_dir_all(&tree)?;
+    let archive = dir.join(match spec.layout {
+        CorpusLayout::War => "corpus.war",
+        _ => "corpus.jar",
+    });
+    let file = std::fs::File::create(&archive)?;
+    let mut outer = ZipWriter::new(std::io::BufWriter::new(file));
+
+    let chunk = spec.chunk.max(1);
+    let mut total = 0usize;
+    let mut part = 0usize;
+    let mut start = 0usize;
+    loop {
+        let end = (start + chunk).min(spec.classes);
+        let with_gadgets = part == 0;
+        let entries = compile_chunk(start..end, with_gadgets);
+        total += entries.len();
+        write_tree(&tree, &entries)?;
+        match spec.layout {
+            CorpusLayout::FlatJar => {
+                for (name, bytes) in &entries {
+                    outer.add_stored(name, bytes).map_err(zip_io)?;
+                }
+            }
+            CorpusLayout::NestedJar => {
+                let jar = pack_jar(&entries).map_err(zip_io)?;
+                outer
+                    .add_stored(&format!("lib/part-{part:03}.jar"), &jar)
+                    .map_err(zip_io)?;
+            }
+            CorpusLayout::War => {
+                if with_gadgets {
+                    // Gadgets ride in WEB-INF/classes; filler in lib jars.
+                    let (gadgets, filler): (Vec<_>, Vec<_>) = entries
+                        .into_iter()
+                        .partition(|(name, _)| name.starts_with("gen/gadget/"));
+                    for (name, bytes) in &gadgets {
+                        outer
+                            .add_stored(&format!("WEB-INF/classes/{name}"), bytes)
+                            .map_err(zip_io)?;
+                    }
+                    let jar = pack_jar(&filler).map_err(zip_io)?;
+                    outer
+                        .add_stored(&format!("WEB-INF/lib/part-{part:03}.jar"), &jar)
+                        .map_err(zip_io)?;
+                } else {
+                    let jar = pack_jar(&entries).map_err(zip_io)?;
+                    outer
+                        .add_stored(&format!("WEB-INF/lib/part-{part:03}.jar"), &jar)
+                        .map_err(zip_io)?;
+                }
+            }
+        }
+        part += 1;
+        start = end;
+        if start >= spec.classes {
+            break;
+        }
+    }
+    let mut inner = outer.finish().map_err(zip_io)?;
+    inner.flush()?;
+    Ok(GeneratedCorpus {
+        archive,
+        tree,
+        classes: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::lift_corpus;
+    use crate::IngestLimits;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tabby-gen-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn lifted_class_count(paths: &[PathBuf]) -> usize {
+        let inputs = tabby_core::collect_inputs(paths, true).unwrap();
+        let lifted = lift_corpus(&inputs, &IngestLimits::default(), false).unwrap();
+        assert!(lifted.skipped.is_empty(), "skipped: {:?}", lifted.skipped);
+        lifted.program.classes().len()
+    }
+
+    #[test]
+    fn nested_jar_and_tree_hold_the_same_classes() {
+        let dir = temp_dir("nested");
+        let spec = CorpusSpec {
+            classes: 50,
+            chunk: 16,
+            layout: CorpusLayout::NestedJar,
+        };
+        let corpus = generate(&dir, &spec).unwrap();
+        assert_eq!(corpus.classes, 52); // 50 filler + gadget pair
+        assert_eq!(lifted_class_count(&[corpus.archive.clone()]), 52);
+        assert_eq!(lifted_class_count(&[corpus.tree.clone()]), 52);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn war_layout_lifts_identically() {
+        let dir = temp_dir("war");
+        let spec = CorpusSpec {
+            classes: 30,
+            chunk: 10,
+            layout: CorpusLayout::War,
+        };
+        let corpus = generate(&dir, &spec).unwrap();
+        assert!(corpus.archive.ends_with("corpus.war"));
+        assert_eq!(
+            lifted_class_count(&[corpus.archive.clone()]),
+            lifted_class_count(&[corpus.tree.clone()])
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,388 @@
+//! Raw DEFLATE (RFC 1951) decompression with a hard output budget.
+//!
+//! Zip method 8 stores raw deflate streams (no zlib header). This decoder
+//! is deliberately small and allocation-light — stored blocks, fixed
+//! Huffman, and dynamic Huffman, decoded with the canonical
+//! count/first/index walk (the `puff` algorithm) — because its one job is
+//! lifting class files out of jars, and its one hard requirement is that a
+//! compression bomb can never inflate past the caller's budget: the
+//! `max_out` cap is enforced on every produced byte, mid-stream, so a
+//! 10 GB bomb aborts after `max_out` bytes, not after 10 GB.
+
+/// Why a deflate stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InflateError {
+    /// The stream ended mid-block.
+    UnexpectedEof,
+    /// Structurally invalid data (bad block type, over-subscribed Huffman
+    /// code, distance past the start of output, …).
+    Malformed(&'static str),
+    /// The output grew past the caller's budget. Carries the number of
+    /// bytes produced when the cap was hit.
+    OutputBudget(u64),
+}
+
+impl std::fmt::Display for InflateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InflateError::UnexpectedEof => write!(f, "deflate stream ended unexpectedly"),
+            InflateError::Malformed(what) => write!(f, "malformed deflate stream: {what}"),
+            InflateError::OutputBudget(produced) => {
+                write!(f, "inflated output exceeded its budget at {produced} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+const MAX_BITS: usize = 15;
+/// Literal/length alphabet size.
+const MAX_LCODES: usize = 286;
+/// Distance alphabet size.
+const MAX_DCODES: usize = 30;
+
+/// Length-symbol (257..=285) base lengths.
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+/// Length-symbol extra bits.
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Distance-symbol base distances.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+/// Distance-symbol extra bits.
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Order the code-length code lengths are transmitted in.
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// A canonical Huffman code: symbol counts per bit length plus the symbols
+/// sorted by (length, symbol) — everything the count/first/index decode
+/// walk needs.
+struct Huffman {
+    count: [u16; MAX_BITS + 1],
+    symbol: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds the canonical code for `lengths` (0 = symbol unused).
+    fn new(lengths: &[u8]) -> Result<Huffman, InflateError> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &len in lengths {
+            count[len as usize] += 1;
+        }
+        if count[0] as usize == lengths.len() {
+            return Err(InflateError::Malformed("Huffman code with no symbols"));
+        }
+        // Over-subscription check (an incomplete code is tolerated only for
+        // the degenerate one-symbol distance codes; strictness here matches
+        // zlib's default).
+        let mut left = 1i32;
+        for len in 1..=MAX_BITS {
+            left <<= 1;
+            left -= i32::from(count[len]);
+            if left < 0 {
+                return Err(InflateError::Malformed("over-subscribed Huffman code"));
+            }
+        }
+        let mut offsets = [0u16; MAX_BITS + 1];
+        for len in 1..MAX_BITS {
+            offsets[len + 1] = offsets[len] + count[len];
+        }
+        let mut symbol = vec![0u16; lengths.len()];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbol[offsets[len as usize] as usize] = sym as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        Ok(Huffman { count, symbol })
+    }
+}
+
+/// LSB-first bit reader over the compressed slice.
+struct Bits<'a> {
+    data: &'a [u8],
+    /// Next byte index.
+    pos: usize,
+    /// Bit accumulator and its fill level.
+    acc: u32,
+    acc_bits: u32,
+}
+
+impl<'a> Bits<'a> {
+    fn new(data: &'a [u8]) -> Bits<'a> {
+        Bits {
+            data,
+            pos: 0,
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
+    /// Reads `n` bits (n ≤ 16), LSB first.
+    fn bits(&mut self, n: u32) -> Result<u32, InflateError> {
+        while self.acc_bits < n {
+            let byte = *self.data.get(self.pos).ok_or(InflateError::UnexpectedEof)?;
+            self.acc |= u32::from(byte) << self.acc_bits;
+            self.acc_bits += 8;
+            self.pos += 1;
+        }
+        let out = self.acc & ((1u32 << n) - 1);
+        self.acc >>= n;
+        self.acc_bits -= n;
+        Ok(out)
+    }
+
+    /// Decodes one symbol of `h` bit-by-bit (codes are MSB-first in the
+    /// stream).
+    fn decode(&mut self, h: &Huffman) -> Result<u16, InflateError> {
+        let mut code = 0u32;
+        let mut first = 0u32;
+        let mut index = 0u32;
+        for len in 1..=MAX_BITS {
+            code |= self.bits(1)?;
+            let cnt = u32::from(h.count[len]);
+            if code < first + cnt {
+                return Ok(h.symbol[(index + (code - first)) as usize]);
+            }
+            index += cnt;
+            first += cnt;
+            first <<= 1;
+            code <<= 1;
+        }
+        Err(InflateError::Malformed("code longer than 15 bits"))
+    }
+
+    /// Discards partial bits and returns the current byte offset (stored
+    /// blocks are byte-aligned).
+    fn align(&mut self) -> usize {
+        // Any buffered whole bytes move the logical position back.
+        let buffered = (self.acc_bits / 8) as usize;
+        self.acc = 0;
+        self.acc_bits = 0;
+        self.pos - buffered
+    }
+}
+
+/// Appends one output byte, enforcing the budget.
+#[inline]
+fn push(out: &mut Vec<u8>, max_out: u64, byte: u8) -> Result<(), InflateError> {
+    if out.len() as u64 >= max_out {
+        return Err(InflateError::OutputBudget(out.len() as u64));
+    }
+    out.push(byte);
+    Ok(())
+}
+
+/// Decompresses a raw deflate stream, producing at most `max_out` bytes.
+///
+/// # Errors
+///
+/// [`InflateError::OutputBudget`] the moment output would exceed
+/// `max_out`; [`InflateError::Malformed`] / [`InflateError::UnexpectedEof`]
+/// on structurally bad data.
+pub fn inflate(data: &[u8], max_out: u64) -> Result<Vec<u8>, InflateError> {
+    let mut bits = Bits::new(data);
+    let mut out = Vec::new();
+    loop {
+        let last = bits.bits(1)? == 1;
+        match bits.bits(2)? {
+            0 => {
+                // Stored block: LEN / NLEN then raw bytes.
+                let at = bits.align();
+                let header = data.get(at..at + 4).ok_or(InflateError::UnexpectedEof)?;
+                let len = u16::from_le_bytes([header[0], header[1]]) as usize;
+                let nlen = u16::from_le_bytes([header[2], header[3]]);
+                if nlen != !u16::from_le_bytes([header[0], header[1]]) {
+                    return Err(InflateError::Malformed("stored block LEN/NLEN mismatch"));
+                }
+                let payload = data
+                    .get(at + 4..at + 4 + len)
+                    .ok_or(InflateError::UnexpectedEof)?;
+                for &b in payload {
+                    push(&mut out, max_out, b)?;
+                }
+                bits.pos = at + 4 + len;
+            }
+            1 => {
+                let (litlen, dist) = fixed_tables();
+                inflate_block(&mut bits, &litlen, &dist, &mut out, max_out)?;
+            }
+            2 => {
+                let (litlen, dist) = dynamic_tables(&mut bits)?;
+                inflate_block(&mut bits, &litlen, &dist, &mut out, max_out)?;
+            }
+            _ => return Err(InflateError::Malformed("reserved block type 11")),
+        }
+        if last {
+            return Ok(out);
+        }
+    }
+}
+
+/// The fixed-Huffman tables of BTYPE=01.
+fn fixed_tables() -> (Huffman, Huffman) {
+    let mut lengths = [0u8; 288];
+    for (sym, len) in lengths.iter_mut().enumerate() {
+        *len = match sym {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let litlen = Huffman::new(&lengths).unwrap_or_else(|_| unreachable!("fixed code is valid"));
+    let dist =
+        Huffman::new(&[5u8; 30]).unwrap_or_else(|_| unreachable!("fixed distance code is valid"));
+    (litlen, dist)
+}
+
+/// Reads the dynamic-Huffman header of BTYPE=10.
+fn dynamic_tables(bits: &mut Bits<'_>) -> Result<(Huffman, Huffman), InflateError> {
+    let hlit = bits.bits(5)? as usize + 257;
+    let hdist = bits.bits(5)? as usize + 1;
+    let hclen = bits.bits(4)? as usize + 4;
+    if hlit > MAX_LCODES || hdist > MAX_DCODES {
+        return Err(InflateError::Malformed("too many litlen/dist codes"));
+    }
+    let mut clen_lengths = [0u8; 19];
+    for &slot in CLEN_ORDER.iter().take(hclen) {
+        clen_lengths[slot] = bits.bits(3)? as u8;
+    }
+    let clen = Huffman::new(&clen_lengths)?;
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let sym = bits.decode(&clen)?;
+        match sym {
+            0..=15 => {
+                lengths[i] = sym as u8;
+                i += 1;
+            }
+            16 => {
+                if i == 0 {
+                    return Err(InflateError::Malformed("repeat with no previous length"));
+                }
+                let prev = lengths[i - 1];
+                let n = 3 + bits.bits(2)? as usize;
+                for _ in 0..n {
+                    if i >= lengths.len() {
+                        return Err(InflateError::Malformed("length repeat overflows"));
+                    }
+                    lengths[i] = prev;
+                    i += 1;
+                }
+            }
+            17 | 18 => {
+                let n = if sym == 17 {
+                    3 + bits.bits(3)? as usize
+                } else {
+                    11 + bits.bits(7)? as usize
+                };
+                if i + n > lengths.len() {
+                    return Err(InflateError::Malformed("zero repeat overflows"));
+                }
+                i += n;
+            }
+            _ => return Err(InflateError::Malformed("bad code-length symbol")),
+        }
+    }
+    if lengths[256] == 0 {
+        return Err(InflateError::Malformed("no end-of-block code"));
+    }
+    let litlen = Huffman::new(&lengths[..hlit])?;
+    let dist = Huffman::new(&lengths[hlit..])?;
+    Ok((litlen, dist))
+}
+
+/// Decodes one compressed block's symbols into `out`.
+fn inflate_block(
+    bits: &mut Bits<'_>,
+    litlen: &Huffman,
+    dist: &Huffman,
+    out: &mut Vec<u8>,
+    max_out: u64,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = bits.decode(litlen)?;
+        match sym {
+            0..=255 => push(out, max_out, sym as u8)?,
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (sym - 257) as usize;
+                let len =
+                    LENGTH_BASE[idx] as usize + bits.bits(u32::from(LENGTH_EXTRA[idx]))? as usize;
+                let dsym = bits.decode(dist)? as usize;
+                if dsym >= MAX_DCODES {
+                    return Err(InflateError::Malformed("bad distance symbol"));
+                }
+                let distance =
+                    DIST_BASE[dsym] as usize + bits.bits(u32::from(DIST_EXTRA[dsym]))? as usize;
+                if distance > out.len() {
+                    return Err(InflateError::Malformed("distance past start of output"));
+                }
+                for _ in 0..len {
+                    let byte = out[out.len() - distance];
+                    push(out, max_out, byte)?;
+                }
+            }
+            _ => return Err(InflateError::Malformed("bad literal/length symbol")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::{deflate_run, deflate_stored};
+
+    #[test]
+    fn stored_round_trip() {
+        let data = b"hello stored world".to_vec();
+        let compressed = deflate_stored(&data);
+        assert_eq!(inflate(&compressed, 1 << 20).unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_run_round_trip() {
+        for count in [1usize, 2, 3, 257, 258, 259, 300, 1000, 10_000] {
+            let compressed = deflate_run(0x41, count);
+            let out = inflate(&compressed, 1 << 24).unwrap();
+            assert_eq!(out.len(), count, "count {count}");
+            assert!(out.iter().all(|&b| b == 0x41));
+        }
+    }
+
+    #[test]
+    fn budget_stops_bombs_mid_stream() {
+        // 16 MiB of zeros from a few tens of KB of compressed data; a
+        // 1 MiB budget must abort long before the full expansion.
+        let bomb = deflate_run(0, 16 << 20);
+        assert!(bomb.len() < 256 << 10, "bomb is small: {}", bomb.len());
+        match inflate(&bomb, 1 << 20) {
+            Err(InflateError::OutputBudget(produced)) => assert_eq!(produced, 1 << 20),
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_eof() {
+        let compressed = deflate_run(7, 1000);
+        let truncated = &compressed[..compressed.len() / 2];
+        assert!(matches!(
+            inflate(truncated, 1 << 20),
+            Err(InflateError::UnexpectedEof) | Err(InflateError::Malformed(_))
+        ));
+    }
+}

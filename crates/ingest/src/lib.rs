@@ -1,0 +1,162 @@
+//! # tabby-ingest — streaming jar/war ingestion with bounded-memory lift
+//!
+//! Real-world Java corpora ship as archives: jars, Spring Boot fat jars
+//! (`BOOT-INF/classes` + `BOOT-INF/lib/*.jar`), and wars
+//! (`WEB-INF/classes` + `WEB-INF/lib/*.jar`). This crate turns those into
+//! lifted [`tabby_ir::Program`]s without ever unpacking to disk and
+//! without holding the inflated corpus in memory:
+//!
+//! - [`zip`] — an in-house central-directory zip reader (stored + DEFLATE
+//!   via [`inflate`], CRC-verified) with hard guards against zip-slip
+//!   names, compression-ratio and total-size bombs, and encrypted/zip64
+//!   inputs, plus the unvalidating writer the tests and the corpus
+//!   generator use;
+//! - [`classpath`] — recursive explosion of nested archives into a
+//!   classpath assembly with JVM-style first-wins duplicate resolution,
+//!   shadowed copies surfaced as [`tabby_core::ShadowedClass`]
+//!   diagnostics;
+//! - [`stream`] — the bounded-memory lift driver: blobs are fetched in
+//!   batches of at most [`IngestLimits::batch_bytes`], lifted with the
+//!   same per-class quarantine as `lift_program_tolerant`, and dropped —
+//!   peak blob memory is O(batch), never O(corpus);
+//! - [`gen`] — deterministic corpus generation (≥100k synthetic classes
+//!   packed into generated nested jars/wars) for `bench ingest` and the
+//!   proptest battery.
+//!
+//! Gadget Inspector's "2 GB heap to scan a war" is the anti-goal; the
+//! `bench ingest` gate holds [`stream::IngestStats::peak_batch_bytes`]
+//! under a fixed budget independent of corpus size.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod classpath;
+pub mod crc;
+pub mod deflate;
+pub mod gen;
+pub mod inflate;
+pub mod stream;
+pub mod zip;
+
+pub use classpath::{class_relative_path, explode, ArchiveClass, ExplodedArchive};
+pub use gen::{generate, CorpusLayout, CorpusSpec, GeneratedCorpus};
+pub use stream::{
+    lift_corpus, lift_plan, plan_corpus, BlobSource, CorpusEntry, CorpusPlan, CorpusReader,
+    IngestStats, StreamedLift,
+};
+pub use zip::{ZipEntry, ZipError, ZipReader, ZipWriter};
+
+/// Hostile-input and memory budgets for the whole ingest pipeline.
+///
+/// Defaults are generous for legitimate corpora and lethal for bombs.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IngestLimits {
+    /// Largest single entry (declared uncompressed), bytes.
+    pub max_entry_inflated: u64,
+    /// Whole-corpus declared inflated total, bytes (summed recursively
+    /// over every central directory before anything is inflated).
+    pub max_inflated_total: u64,
+    /// Declared `uncompressed / compressed` ratio past which a DEFLATE
+    /// entry is treated as a zip bomb…
+    pub max_compression_ratio: u64,
+    /// …but only for entries declaring more than this many bytes (tiny
+    /// highly-compressible files are legitimate).
+    pub ratio_floor_bytes: u64,
+    /// Archive-in-archive nesting depth (top level = 1).
+    pub max_nesting_depth: u32,
+    /// Streaming lift: flush the batch once it holds this many blob
+    /// bytes. The bounded-memory guarantee is O(this), not O(corpus).
+    pub batch_bytes: u64,
+    /// Streaming lift: flush the batch at this many classes even if tiny.
+    pub batch_classes: usize,
+}
+
+impl Default for IngestLimits {
+    fn default() -> Self {
+        IngestLimits {
+            max_entry_inflated: 64 << 20,
+            max_inflated_total: 4 << 30,
+            max_compression_ratio: 100,
+            ratio_floor_bytes: 4 << 20,
+            max_nesting_depth: 4,
+            batch_bytes: 32 << 20,
+            batch_classes: 4096,
+        }
+    }
+}
+
+/// A structured ingest failure. Archive problems always name the archive
+/// (with full `outer!/inner` provenance for nested ones).
+#[derive(Debug)]
+pub enum IngestError {
+    /// A zip-level failure inside `archive`.
+    Zip {
+        /// Provenance of the failing archive.
+        archive: String,
+        /// The underlying container error.
+        source: ZipError,
+    },
+    /// Nesting exceeded [`IngestLimits::max_nesting_depth`].
+    DepthExceeded {
+        /// Provenance of the archive that would have been opened.
+        archive: String,
+        /// The depth it would have reached.
+        depth: u32,
+        /// The configured ceiling.
+        limit: u32,
+    },
+    /// Declared inflated total exceeded [`IngestLimits::max_inflated_total`].
+    TotalBudget {
+        /// The archive whose central directory pushed past the budget.
+        archive: String,
+        /// Declared total at the point of rejection.
+        declared: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// Filesystem-level failure.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Strict mode: the first class that failed to parse or lift.
+    StrictLift {
+        /// Provenance of the failing class.
+        source: String,
+        /// The parse/lift error.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Zip { archive, source } => write!(f, "{archive}: {source}"),
+            IngestError::DepthExceeded {
+                archive,
+                depth,
+                limit,
+            } => write!(
+                f,
+                "{archive}: archive nesting depth {depth} exceeds the limit of {limit} (depth bomb?)"
+            ),
+            IngestError::TotalBudget {
+                archive,
+                declared,
+                limit,
+            } => write!(
+                f,
+                "{archive}: declared inflated total {declared} bytes exceeds the {limit}-byte corpus budget (zip bomb?)"
+            ),
+            IngestError::Io { path, source } => write!(f, "{path}: {source}"),
+            IngestError::StrictLift { source, error } => {
+                write!(f, "{source}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}

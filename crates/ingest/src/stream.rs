@@ -1,0 +1,563 @@
+//! Streaming bounded-memory lift over a mixed corpus of loose class
+//! files and archives.
+//!
+//! The memory contract: class bytes are inflated in batches of at most
+//! [`crate::IngestLimits::batch_bytes`] / `batch_classes`, lifted into
+//! the shared [`ProgramBuilder`], and dropped before the next batch is
+//! read — peak *blob* memory is O(batch), never O(corpus), no matter how
+//! many classes the archives hold. [`IngestStats::peak_batch_bytes`] is
+//! the driver-measured witness of that bound and is what `bench ingest`
+//! gates on.
+//!
+//! Per-class fault isolation mirrors `lift_program_tolerant` exactly —
+//! parse/lift errors and panics quarantine one class with a
+//! [`SkippedClass`] diagnostic (the `source` is the full archive
+//! provenance) and the scan continues over the survivors.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Cursor};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tabby_classfile::ClassFile;
+use tabby_core::{CollectedInputs, ScanDiagnostics, ShadowedClass, SkippedClass};
+use tabby_graph::content_hash64;
+use tabby_ir::builder::ProgramBuilder;
+use tabby_ir::lift::lift_class;
+use tabby_ir::model::{Class, Program};
+
+use crate::classpath::{explode, open_archive_file, open_nested};
+use crate::zip::ZipReader;
+use crate::{IngestError, IngestLimits};
+
+/// Where one planned class's bytes come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobSource {
+    /// A loose `.class` file on disk.
+    Loose(PathBuf),
+    /// An entry inside a (possibly nested) archive; `chain` as in
+    /// [`crate::classpath::ArchiveClass::chain`].
+    Archive {
+        /// Top-level archive path on disk.
+        archive: PathBuf,
+        /// Entry-index chain from the top-level central directory.
+        chain: Vec<usize>,
+    },
+}
+
+/// One class the corpus plan will lift.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Display/provenance string (file path, or `jar!/entry` chain).
+    pub display: String,
+    /// Known or declared byte size (0 when unknown for loose files).
+    pub size: u64,
+    /// How to fetch the bytes.
+    pub source: BlobSource,
+}
+
+/// The resolved work-list for a corpus: every class to lift, in
+/// classpath order, with archive duplicates already resolved first-wins.
+#[derive(Debug, Default)]
+pub struct CorpusPlan {
+    /// Classes in lift order: loose files first (sorted), then each
+    /// archive (sorted) exploded in classpath order.
+    pub entries: Vec<CorpusEntry>,
+    /// Duplicates dropped by first-wins resolution, across all archives.
+    pub shadowed: Vec<ShadowedClass>,
+    /// Archives opened while planning (top-level + nested).
+    pub archives_opened: usize,
+    /// Wall-clock nanoseconds spent opening + exploding archives.
+    pub open_latency_ns: u64,
+}
+
+/// Builds the work-list: loose class files pass through unchanged (legacy
+/// semantics, no dedup), archives are exploded with JVM-style first-wins
+/// resolution applied *across* archives in sorted order.
+pub fn plan_corpus(
+    inputs: &CollectedInputs,
+    limits: &IngestLimits,
+) -> Result<CorpusPlan, IngestError> {
+    let mut plan = CorpusPlan::default();
+    for file in &inputs.class_files {
+        let size = std::fs::metadata(file).map(|m| m.len()).unwrap_or(0);
+        plan.entries.push(CorpusEntry {
+            display: file.display().to_string(),
+            size,
+            source: BlobSource::Loose(file.clone()),
+        });
+    }
+    // Cross-archive first-wins: the key is the class-relative path.
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for archive in &inputs.archives {
+        let started = Instant::now();
+        let display = archive.display().to_string();
+        let mut zip = open_archive_file(archive)?;
+        let exploded = explode(&mut zip, &display, limits)?;
+        plan.archives_opened += exploded.archives_opened;
+        plan.shadowed.extend(exploded.shadowed);
+        for class in exploded.classes {
+            match seen.get(&class.class_path) {
+                Some(&winner) => plan.shadowed.push(ShadowedClass {
+                    class: class.class_path,
+                    kept: plan.entries[winner].display.clone(),
+                    shadowed: class.provenance,
+                }),
+                None => {
+                    seen.insert(class.class_path, plan.entries.len());
+                    plan.entries.push(CorpusEntry {
+                        display: class.provenance,
+                        size: class.size,
+                        source: BlobSource::Archive {
+                            archive: archive.clone(),
+                            chain: class.chain,
+                        },
+                    });
+                }
+            }
+        }
+        plan.open_latency_ns += started.elapsed().as_nanos() as u64;
+    }
+    Ok(plan)
+}
+
+/// Lazily fetches planned blobs, caching the open top-level archive and
+/// the innermost nested-archive cursor. Plan order keeps entries of the
+/// same archive (and the same nested jar) contiguous, so consecutive
+/// fetches almost always hit the cache instead of re-opening.
+pub struct CorpusReader {
+    limits: IngestLimits,
+    top: Option<(PathBuf, ZipReader<BufReader<std::fs::File>>)>,
+    nested: Option<(PathBuf, Vec<usize>, ZipReader<Cursor<Vec<u8>>>)>,
+    /// Archives opened while fetching (cache misses), for stats.
+    pub reopens: usize,
+}
+
+impl CorpusReader {
+    /// A reader enforcing `limits` on every fetched entry.
+    pub fn new(limits: IngestLimits) -> CorpusReader {
+        CorpusReader {
+            limits,
+            top: None,
+            nested: None,
+            reopens: 0,
+        }
+    }
+
+    /// Reads one blob, opening (and caching) archives as needed.
+    pub fn fetch(&mut self, source: &BlobSource) -> Result<Vec<u8>, IngestError> {
+        match source {
+            BlobSource::Loose(path) => std::fs::read(path).map_err(|source| IngestError::Io {
+                path: path.display().to_string(),
+                source,
+            }),
+            BlobSource::Archive { archive, chain } => self.fetch_archive(archive, chain),
+        }
+    }
+
+    fn fetch_archive(
+        &mut self,
+        archive: &PathBuf,
+        chain: &[usize],
+    ) -> Result<Vec<u8>, IngestError> {
+        if self.top.as_ref().map(|(p, _)| p) != Some(archive) {
+            let zip = open_archive_file(archive)?;
+            self.reopens += 1;
+            self.top = Some((archive.clone(), zip));
+            self.nested = None;
+        }
+        let display = archive.display().to_string();
+        let (leaf, prefix) = match chain.split_last() {
+            Some(split) => split,
+            None => {
+                return Err(IngestError::Io {
+                    path: display,
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "empty fetch chain",
+                    ),
+                })
+            }
+        };
+        let Some((_, top)) = self.top.as_mut() else {
+            unreachable!("top archive cached above");
+        };
+        if prefix.is_empty() {
+            return top
+                .read_entry(*leaf, &self.limits)
+                .map_err(|source| IngestError::Zip {
+                    archive: display,
+                    source,
+                });
+        }
+        let cache_hit = self
+            .nested
+            .as_ref()
+            .is_some_and(|(p, pre, _)| p == archive && pre == prefix);
+        if !cache_hit {
+            // Walk the prefix from the top-level archive down.
+            let mut inner = open_nested(top, prefix[0], &display, &self.limits)?;
+            self.reopens += 1;
+            let mut inner_display = format!("{display}!/#{}", prefix[0]);
+            for &link in &prefix[1..] {
+                inner = open_nested(&mut inner, link, &inner_display, &self.limits)?;
+                self.reopens += 1;
+                inner_display = format!("{inner_display}!/#{link}");
+            }
+            self.nested = Some((archive.clone(), prefix.to_vec(), inner));
+        }
+        let Some((_, _, nested)) = self.nested.as_mut() else {
+            unreachable!("nested archive cached above");
+        };
+        nested
+            .read_entry(*leaf, &self.limits)
+            .map_err(|source| IngestError::Zip {
+                archive: display,
+                source,
+            })
+    }
+}
+
+/// Streaming-ingest counters, serialized into `BENCH_ingest.json` and
+/// surfaced by the CLI on `-v`.
+#[derive(Debug, Default, Clone, serde::Serialize, serde::Deserialize)]
+pub struct IngestStats {
+    /// Archives opened while planning (top-level + nested).
+    pub archives_opened: usize,
+    /// Classes in the plan (after first-wins dedup).
+    pub classes_planned: usize,
+    /// Classes lifted into the program.
+    pub classes_lifted: usize,
+    /// Classes quarantined by parse/lift faults.
+    pub classes_skipped: usize,
+    /// Duplicate classes dropped first-wins.
+    pub shadowed_classes: usize,
+    /// Total class bytes fetched/inflated over the whole run.
+    pub bytes_inflated: u64,
+    /// Largest number of blob bytes held in memory at once — the
+    /// bounded-memory witness; stays ≤ the batch budget regardless of
+    /// corpus size.
+    pub peak_batch_bytes: u64,
+    /// Lift batches flushed.
+    pub batches: usize,
+    /// Nanoseconds spent opening + exploding archives while planning.
+    pub open_latency_ns: u64,
+    /// Archive (re)opens during the fetch phase (cache misses).
+    pub fetch_reopens: usize,
+}
+
+/// A streamed lift's result: the program plus everything the scan layer
+/// folds into [`ScanDiagnostics`].
+#[derive(Debug)]
+pub struct StreamedLift {
+    /// Program built from the surviving classes.
+    pub program: Program,
+    /// Quarantined classes, `source` = full provenance.
+    pub skipped: Vec<SkippedClass>,
+    /// First-wins shadowing report.
+    pub shadowed: Vec<ShadowedClass>,
+    /// FNV-1a content hash per fetched class, keyed by provenance — the
+    /// same `(name, hash)` shape `tabby-registry`'s `hash_inputs`
+    /// produces, so archive corpora snapshot and diff like loose trees.
+    pub class_hashes: Vec<(String, u64)>,
+    /// Driver counters.
+    pub stats: IngestStats,
+}
+
+impl StreamedLift {
+    /// Folds the lift-phase results into a scan diagnostics report.
+    pub fn diagnostics(&self) -> ScanDiagnostics {
+        ScanDiagnostics {
+            skipped_classes: self.skipped.clone(),
+            shadowed_classes: self.shadowed.clone(),
+            ..ScanDiagnostics::default()
+        }
+    }
+}
+
+/// Lifts a planned corpus in bounded batches.
+///
+/// `strict` fails fast on the first quarantined class instead of
+/// continuing degraded (the CLI's `--strict` contract).
+pub fn lift_plan(
+    plan: CorpusPlan,
+    limits: &IngestLimits,
+    strict: bool,
+) -> Result<StreamedLift, IngestError> {
+    let mut reader = CorpusReader::new(limits.clone());
+    let mut pb = ProgramBuilder::new();
+    let mut skipped: Vec<SkippedClass> = Vec::new();
+    let mut class_hashes: Vec<(String, u64)> = Vec::new();
+    let mut stats = IngestStats {
+        archives_opened: plan.archives_opened,
+        classes_planned: plan.entries.len(),
+        shadowed_classes: plan.shadowed.len(),
+        open_latency_ns: plan.open_latency_ns,
+        ..IngestStats::default()
+    };
+
+    let mut batch: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut batch_bytes = 0u64;
+    // First definition of a name wins even across packaging (a loose
+    // file next to an archive carrying the same class, or two entry
+    // paths whose bytecode declares the same FQCN) — later copies are
+    // reported as shadowed, exactly like plan-time path duplicates.
+    let mut seen_fqcn: HashMap<String, String> = HashMap::new();
+    let mut lift_shadowed: Vec<ShadowedClass> = Vec::new();
+    let mut flush = |batch: &mut Vec<(String, Vec<u8>)>,
+                     batch_bytes: &mut u64,
+                     pb: &mut ProgramBuilder,
+                     skipped: &mut Vec<SkippedClass>,
+                     class_hashes: &mut Vec<(String, u64)>,
+                     seen_fqcn: &mut HashMap<String, String>,
+                     lift_shadowed: &mut Vec<ShadowedClass>,
+                     stats: &mut IngestStats|
+     -> Result<(), IngestError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        stats.batches += 1;
+        stats.peak_batch_bytes = stats.peak_batch_bytes.max(*batch_bytes);
+        for (display, bytes) in batch.drain(..) {
+            let byte_hash = content_hash64(&bytes);
+            class_hashes.push((display.clone(), byte_hash));
+            match lift_one(pb, &bytes) {
+                Ok(class) => {
+                    let fqcn = pb.interner_mut().resolve(class.name).to_owned();
+                    match seen_fqcn.get(&fqcn) {
+                        Some(kept) => lift_shadowed.push(ShadowedClass {
+                            class: fqcn,
+                            kept: kept.clone(),
+                            shadowed: display.clone(),
+                        }),
+                        None => {
+                            seen_fqcn.insert(fqcn, display.clone());
+                            pb.push_class(class);
+                            stats.classes_lifted += 1;
+                        }
+                    }
+                }
+                Err(error) => {
+                    let diag = SkippedClass {
+                        source: display.clone(),
+                        class_name: error.0,
+                        byte_hash,
+                        error: error.1.clone(),
+                    };
+                    if strict {
+                        return Err(IngestError::StrictLift {
+                            source: display,
+                            error: error.1,
+                        });
+                    }
+                    skipped.push(diag);
+                    stats.classes_skipped += 1;
+                }
+            }
+        }
+        *batch_bytes = 0;
+        Ok(())
+    };
+
+    for entry in &plan.entries {
+        let bytes = reader.fetch(&entry.source)?;
+        stats.bytes_inflated += bytes.len() as u64;
+        batch_bytes += bytes.len() as u64;
+        batch.push((entry.display.clone(), bytes));
+        if batch_bytes >= limits.batch_bytes || batch.len() >= limits.batch_classes {
+            flush(
+                &mut batch,
+                &mut batch_bytes,
+                &mut pb,
+                &mut skipped,
+                &mut class_hashes,
+                &mut seen_fqcn,
+                &mut lift_shadowed,
+                &mut stats,
+            )?;
+        }
+    }
+    flush(
+        &mut batch,
+        &mut batch_bytes,
+        &mut pb,
+        &mut skipped,
+        &mut class_hashes,
+        &mut seen_fqcn,
+        &mut lift_shadowed,
+        &mut stats,
+    )?;
+    stats.fetch_reopens = reader.reopens;
+
+    let mut shadowed = plan.shadowed;
+    shadowed.extend(lift_shadowed);
+    stats.shadowed_classes = shadowed.len();
+
+    Ok(StreamedLift {
+        program: pb.build(),
+        skipped,
+        shadowed,
+        class_hashes,
+        stats,
+    })
+}
+
+/// One-call convenience: plan + lift.
+pub fn lift_corpus(
+    inputs: &CollectedInputs,
+    limits: &IngestLimits,
+    strict: bool,
+) -> Result<StreamedLift, IngestError> {
+    let plan = plan_corpus(inputs, limits)?;
+    lift_plan(plan, limits, strict)
+}
+
+/// Parse + lift one blob with panic containment, mirroring
+/// `lift_program_tolerant`'s per-class quarantine exactly.
+fn lift_one(pb: &mut ProgramBuilder, bytes: &[u8]) -> Result<Class, (Option<String>, String)> {
+    let interner = pb.interner_mut();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<Class, (Option<String>, String)> {
+            let cf: ClassFile =
+                tabby_classfile::parse_class(bytes).map_err(|e| (None, e.to_string()))?;
+            let name = cf.name().ok();
+            lift_class(interner, &cf).map_err(|e| (name.clone(), e.to_string()))
+        },
+    ));
+    match attempt {
+        Ok(done) => done,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "opaque panic payload".to_owned()
+            };
+            Err((None, format!("panic while lifting: {msg}")))
+        }
+    }
+}
+
+/// Best-effort peak-RSS (VmHWM) in bytes from `/proc/self/status`.
+/// Informational — the gated bound is [`IngestStats::peak_batch_bytes`].
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zip::build_zip;
+
+    fn write_jar(dir: &std::path::Path, name: &str, entries: &[(&str, &[u8])]) -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, build_zip(entries).unwrap()).unwrap();
+        path
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tabby-stream-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn plan_orders_loose_then_archives() {
+        let dir = temp_dir("plan");
+        std::fs::write(dir.join("Loose.class"), b"\xca\xfe\xba\xbe").unwrap();
+        write_jar(&dir, "a.jar", &[("p/Q.class", b"qq")]);
+        let inputs = tabby_core::collect_inputs(&[dir.clone()], true).unwrap();
+        let plan = plan_corpus(&inputs, &IngestLimits::default()).unwrap();
+        assert_eq!(plan.entries.len(), 2);
+        assert!(matches!(plan.entries[0].source, BlobSource::Loose(_)));
+        assert!(matches!(plan.entries[1].source, BlobSource::Archive { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cross_archive_first_wins() {
+        let dir = temp_dir("xarch");
+        write_jar(&dir, "a.jar", &[("p/Q.class", b"from-a")]);
+        write_jar(&dir, "b.jar", &[("p/Q.class", b"from-b")]);
+        let inputs = tabby_core::collect_inputs(&[dir.clone()], true).unwrap();
+        let plan = plan_corpus(&inputs, &IngestLimits::default()).unwrap();
+        assert_eq!(plan.entries.len(), 1);
+        assert!(plan.entries[0]
+            .display
+            .starts_with(dir.join("a.jar").display().to_string().as_str()));
+        assert_eq!(plan.shadowed.len(), 1);
+        assert!(plan.shadowed[0].shadowed.contains("b.jar"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_class_bytes_are_quarantined_with_provenance() {
+        let dir = temp_dir("quarantine");
+        let jar = write_jar(
+            &dir,
+            "bad.jar",
+            &[("not/AClass.class", b"not a class file")],
+        );
+        let inputs = tabby_core::collect_inputs(&[jar.clone()], true).unwrap();
+        let lifted = lift_corpus(&inputs, &IngestLimits::default(), false).unwrap();
+        assert_eq!(lifted.stats.classes_lifted, 0);
+        assert_eq!(lifted.skipped.len(), 1);
+        assert!(
+            lifted.skipped[0]
+                .source
+                .ends_with("bad.jar!/not/AClass.class"),
+            "{}",
+            lifted.skipped[0].source
+        );
+        // Strict mode turns the same input into a hard error.
+        assert!(matches!(
+            lift_corpus(&inputs, &IngestLimits::default(), true),
+            Err(IngestError::StrictLift { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batching_bounds_peak_bytes() {
+        let dir = temp_dir("batch");
+        // 64 entries of 1 KiB with a 4 KiB budget: peak batch stays ≤ one
+        // entry over budget, far below the 64 KiB corpus total.
+        let body = vec![0u8; 1024];
+        let entries: Vec<(String, Vec<u8>)> = (0..64)
+            .map(|i| (format!("p/C{i}.class"), body.clone()))
+            .collect();
+        let refs: Vec<(&str, &[u8])> = entries
+            .iter()
+            .map(|(n, b)| (n.as_str(), b.as_slice()))
+            .collect();
+        let jar = write_jar(&dir, "many.jar", &refs);
+        let inputs = tabby_core::collect_inputs(&[jar], true).unwrap();
+        let limits = IngestLimits {
+            batch_bytes: 4096,
+            ..IngestLimits::default()
+        };
+        let lifted = lift_corpus(&inputs, &limits, false).unwrap();
+        assert_eq!(lifted.stats.classes_planned, 64);
+        assert!(
+            lifted.stats.batches >= 16,
+            "batches {}",
+            lifted.stats.batches
+        );
+        assert!(
+            lifted.stats.peak_batch_bytes <= limits.batch_bytes + 1024,
+            "peak {} vs budget {}",
+            lifted.stats.peak_batch_bytes,
+            limits.batch_bytes
+        );
+        assert_eq!(lifted.stats.bytes_inflated, 64 * 1024);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,657 @@
+//! In-house zip/jar container support: a central-directory reader with
+//! hostile-input guards, and a writer used by the corpus generator and
+//! the corruption tests.
+//!
+//! The reader trusts nothing: entry names are validated against zip-slip
+//! shapes when the archive is opened, per-entry inflation is capped by
+//! the caller's [`crate::IngestLimits`], declared compression ratios
+//! beyond the budget are rejected *before* any inflation happens, and
+//! every decompressed entry is CRC-checked against the central directory.
+//! Zip64 archives (>65535 entries or >4 GiB members) are rejected with a
+//! distinct error rather than misparsed — corpora that large are packed
+//! as nested jars, which is also what real fat jars and wars do.
+//!
+//! The writer is intentionally *unvalidating*: tests use it to craft
+//! archives with `../../evil.class` names, wrong CRCs, and genuine
+//! ratio bombs, which the reader must then refuse.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use crate::crc::crc32;
+use crate::inflate::{inflate, InflateError};
+use crate::IngestLimits;
+
+const EOCD_SIG: u32 = 0x0605_4b50;
+const CDIR_SIG: u32 = 0x0201_4b50;
+const LOCAL_SIG: u32 = 0x0403_4b50;
+/// EOCD fixed part is 22 bytes; the comment can add up to 65535 more.
+const EOCD_SCAN_MAX: u64 = 22 + 65_535;
+
+/// Structured failure opening or reading a zip archive. Every variant
+/// names the entry where applicable so daemon clients can report exactly
+/// which member of a corpus was hostile or corrupt.
+#[derive(Debug)]
+pub enum ZipError {
+    /// No end-of-central-directory record — not a zip, or truncated
+    /// before the EOCD.
+    MissingEndOfCentralDirectory,
+    /// The central directory is cut short or structurally invalid.
+    TruncatedCentralDirectory(&'static str),
+    /// Zip64 features (>65535 entries, >4 GiB members, multi-disk) are
+    /// deliberately unsupported; pack large corpora as nested jars.
+    Zip64Unsupported(&'static str),
+    /// Entry uses traditional or strong encryption.
+    Encrypted { name: String },
+    /// Compression method other than stored (0) or DEFLATE (8).
+    UnsupportedMethod { name: String, method: u16 },
+    /// Entry name would escape the archive root when treated as a path.
+    SlipPath { name: String },
+    /// Declared uncompressed size exceeds the per-entry budget.
+    EntryTooLarge { name: String, size: u64, limit: u64 },
+    /// Declared compression ratio exceeds the bomb budget.
+    RatioBomb {
+        name: String,
+        compressed: u64,
+        inflated: u64,
+        limit: u64,
+    },
+    /// The deflate stream was malformed or inflated past its declared
+    /// size.
+    Inflate { name: String, source: InflateError },
+    /// Decompressed bytes do not match the central-directory CRC-32.
+    CrcMismatch {
+        name: String,
+        expected: u32,
+        actual: u32,
+    },
+    /// Stored entry whose compressed and uncompressed sizes disagree, a
+    /// bad local-header signature, or similar structural damage.
+    Malformed { name: String, what: &'static str },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ZipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipError::MissingEndOfCentralDirectory => {
+                write!(f, "no end-of-central-directory record (not a zip, or truncated)")
+            }
+            ZipError::TruncatedCentralDirectory(what) => {
+                write!(f, "truncated central directory: {what}")
+            }
+            ZipError::Zip64Unsupported(what) => {
+                write!(f, "zip64 unsupported ({what}); pack large corpora as nested jars")
+            }
+            ZipError::Encrypted { name } => write!(f, "entry '{name}' is encrypted"),
+            ZipError::UnsupportedMethod { name, method } => {
+                write!(f, "entry '{name}' uses unsupported compression method {method}")
+            }
+            ZipError::SlipPath { name } => {
+                write!(f, "entry '{name}' has a path-traversal (zip-slip) name")
+            }
+            ZipError::EntryTooLarge { name, size, limit } => write!(
+                f,
+                "entry '{name}' declares {size} bytes, over the {limit}-byte per-entry budget"
+            ),
+            ZipError::RatioBomb {
+                name,
+                compressed,
+                inflated,
+                limit,
+            } => write!(
+                f,
+                "entry '{name}' declares a {compressed}->{inflated} byte expansion, over the {limit}:1 ratio budget (zip bomb?)"
+            ),
+            ZipError::Inflate { name, source } => {
+                write!(f, "entry '{name}' failed to decompress: {source}")
+            }
+            ZipError::CrcMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "entry '{name}' CRC mismatch: central directory says {expected:#010x}, data hashes to {actual:#010x}"
+            ),
+            ZipError::Malformed { name, what } => write!(f, "entry '{name}' is malformed: {what}"),
+            ZipError::Io(e) => write!(f, "archive I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ZipError {}
+
+impl From<std::io::Error> for ZipError {
+    fn from(e: std::io::Error) -> ZipError {
+        ZipError::Io(e)
+    }
+}
+
+/// One central-directory entry.
+#[derive(Debug, Clone)]
+pub struct ZipEntry {
+    /// Entry name exactly as stored (forward-slash separated).
+    pub name: String,
+    /// 0 = stored, 8 = DEFLATE.
+    pub method: u16,
+    pub compressed_size: u64,
+    pub uncompressed_size: u64,
+    pub crc32: u32,
+    /// Offset of the local file header.
+    local_header_offset: u64,
+}
+
+impl ZipEntry {
+    /// Directory entries carry no data.
+    pub fn is_dir(&self) -> bool {
+        self.name.ends_with('/')
+    }
+}
+
+/// Rejects entry names that would escape the archive root if treated as
+/// relative paths: absolute paths, `..` components, backslashes, drive
+/// letters, and NUL bytes. We never extract to disk, but a corpus that
+/// ships such names is hostile and the whole archive is refused.
+pub fn validate_entry_name(name: &str) -> Result<(), &'static str> {
+    if name.is_empty() {
+        return Err("empty name");
+    }
+    if name.contains('\0') {
+        return Err("NUL byte in name");
+    }
+    if name.contains('\\') {
+        return Err("backslash in name");
+    }
+    if name.starts_with('/') {
+        return Err("absolute path");
+    }
+    let bytes = name.as_bytes();
+    if bytes.len() >= 2 && bytes[1] == b':' && bytes[0].is_ascii_alphabetic() {
+        return Err("drive-letter path");
+    }
+    if name.split('/').any(|component| component == "..") {
+        return Err("'..' path component");
+    }
+    Ok(())
+}
+
+/// Reads a whole archive's central directory up front, then serves entry
+/// bodies on demand with all guards applied.
+pub struct ZipReader<R: Read + Seek> {
+    reader: R,
+    entries: Vec<ZipEntry>,
+}
+
+fn le16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+fn le32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+impl<R: Read + Seek> ZipReader<R> {
+    /// Parses the EOCD and central directory, validating every entry
+    /// name and compression declaration. Returns a structured error on
+    /// anything hostile or unsupported; nothing is decompressed yet.
+    pub fn open(mut reader: R) -> Result<ZipReader<R>, ZipError> {
+        let file_len = reader.seek(SeekFrom::End(0))?;
+        let scan_len = file_len.min(EOCD_SCAN_MAX);
+        if file_len < 22 {
+            return Err(ZipError::MissingEndOfCentralDirectory);
+        }
+        reader.seek(SeekFrom::Start(file_len - scan_len))?;
+        let mut tail = vec![0u8; scan_len as usize];
+        reader.read_exact(&mut tail)?;
+        // The EOCD signature is unique enough to scan for backwards; the
+        // last occurrence that leaves room for the fixed record wins.
+        let eocd_at = (0..=tail.len().saturating_sub(22))
+            .rev()
+            .find(|&i| le32(&tail, i) == EOCD_SIG)
+            .ok_or(ZipError::MissingEndOfCentralDirectory)?;
+        let eocd = &tail[eocd_at..];
+        let disk_number = le16(eocd, 4);
+        let cd_disk = le16(eocd, 6);
+        if disk_number != 0 || cd_disk != 0 {
+            return Err(ZipError::Zip64Unsupported("multi-disk archive"));
+        }
+        let entry_count = le16(eocd, 10);
+        let cd_size = u64::from(le32(eocd, 12));
+        let cd_offset = u64::from(le32(eocd, 16));
+        if entry_count == 0xffff || cd_size == 0xffff_ffff || cd_offset == 0xffff_ffff {
+            return Err(ZipError::Zip64Unsupported("zip64 end-of-central-directory"));
+        }
+        if cd_offset
+            .checked_add(cd_size)
+            .map_or(true, |end| end > file_len)
+        {
+            return Err(ZipError::TruncatedCentralDirectory(
+                "directory extends past end of file",
+            ));
+        }
+        reader.seek(SeekFrom::Start(cd_offset))?;
+        let mut cd = vec![0u8; cd_size as usize];
+        reader.read_exact(&mut cd)?;
+
+        let mut entries = Vec::with_capacity(entry_count as usize);
+        let mut at = 0usize;
+        for _ in 0..entry_count {
+            if at + 46 > cd.len() {
+                return Err(ZipError::TruncatedCentralDirectory(
+                    "entry header cut short",
+                ));
+            }
+            if le32(&cd, at) != CDIR_SIG {
+                return Err(ZipError::TruncatedCentralDirectory("bad entry signature"));
+            }
+            let flags = le16(&cd, at + 8);
+            let method = le16(&cd, at + 10);
+            let crc = le32(&cd, at + 16);
+            let compressed_size = u64::from(le32(&cd, at + 20));
+            let uncompressed_size = u64::from(le32(&cd, at + 24));
+            let name_len = le16(&cd, at + 28) as usize;
+            let extra_len = le16(&cd, at + 30) as usize;
+            let comment_len = le16(&cd, at + 32) as usize;
+            let local_header_offset = u64::from(le32(&cd, at + 42));
+            if at + 46 + name_len > cd.len() {
+                return Err(ZipError::TruncatedCentralDirectory("entry name cut short"));
+            }
+            let name = String::from_utf8_lossy(&cd[at + 46..at + 46 + name_len]).into_owned();
+            if compressed_size == 0xffff_ffff
+                || uncompressed_size == 0xffff_ffff
+                || local_header_offset == 0xffff_ffff
+            {
+                return Err(ZipError::Zip64Unsupported("zip64 entry sizes"));
+            }
+            if flags & 0x0001 != 0 || flags & 0x0040 != 0 {
+                return Err(ZipError::Encrypted { name });
+            }
+            if method != 0 && method != 8 {
+                return Err(ZipError::UnsupportedMethod { name, method });
+            }
+            if validate_entry_name(&name).is_err() && !name.ends_with('/') {
+                return Err(ZipError::SlipPath { name });
+            }
+            // Directory names still must not traverse.
+            if name.ends_with('/') && validate_entry_name(name.trim_end_matches('/')).is_err() {
+                return Err(ZipError::SlipPath { name });
+            }
+            entries.push(ZipEntry {
+                name,
+                method,
+                compressed_size,
+                uncompressed_size,
+                crc32: crc,
+                local_header_offset,
+            });
+            at += 46 + name_len + extra_len + comment_len;
+        }
+        Ok(ZipReader { reader, entries })
+    }
+
+    /// Central-directory entries in archive order.
+    pub fn entries(&self) -> &[ZipEntry] {
+        &self.entries
+    }
+
+    /// Reads and decompresses entry `index`, enforcing the per-entry
+    /// size budget, the compression-ratio budget, and the CRC.
+    pub fn read_entry(&mut self, index: usize, limits: &IngestLimits) -> Result<Vec<u8>, ZipError> {
+        let entry = self.entries[index].clone();
+        if entry.uncompressed_size > limits.max_entry_inflated {
+            return Err(ZipError::EntryTooLarge {
+                name: entry.name,
+                size: entry.uncompressed_size,
+                limit: limits.max_entry_inflated,
+            });
+        }
+        // Ratio check on the *declared* sizes, before touching the data:
+        // only meaningful past a floor so tiny highly-compressible files
+        // (a 40-byte manifest deflating to 8 bytes) are not flagged.
+        if entry.method == 8
+            && entry.uncompressed_size > limits.ratio_floor_bytes
+            && entry.uncompressed_size > entry.compressed_size.max(1) * limits.max_compression_ratio
+        {
+            return Err(ZipError::RatioBomb {
+                name: entry.name,
+                compressed: entry.compressed_size,
+                inflated: entry.uncompressed_size,
+                limit: limits.max_compression_ratio,
+            });
+        }
+        self.reader
+            .seek(SeekFrom::Start(entry.local_header_offset))?;
+        let mut local = [0u8; 30];
+        self.reader.read_exact(&mut local)?;
+        if le32(&local, 0) != LOCAL_SIG {
+            return Err(ZipError::Malformed {
+                name: entry.name,
+                what: "bad local header signature",
+            });
+        }
+        // Local name/extra lengths can differ from the central directory
+        // (extra fields often do); re-read them to find the data start.
+        let local_name_len = u64::from(le16(&local, 26));
+        let local_extra_len = u64::from(le16(&local, 28));
+        self.reader
+            .seek(SeekFrom::Current((local_name_len + local_extra_len) as i64))?;
+        let mut compressed = vec![0u8; entry.compressed_size as usize];
+        self.reader.read_exact(&mut compressed)?;
+
+        let data = match entry.method {
+            0 => {
+                if entry.compressed_size != entry.uncompressed_size {
+                    return Err(ZipError::Malformed {
+                        name: entry.name,
+                        what: "stored entry with mismatched sizes",
+                    });
+                }
+                compressed
+            }
+            8 => {
+                // Cap at the declared size: a stream producing more is
+                // lying about its expansion (bomb shape) and errors out.
+                let out = inflate(&compressed, entry.uncompressed_size).map_err(|source| {
+                    ZipError::Inflate {
+                        name: entry.name.clone(),
+                        source,
+                    }
+                })?;
+                if out.len() as u64 != entry.uncompressed_size {
+                    return Err(ZipError::Malformed {
+                        name: entry.name,
+                        what: "inflated size differs from declared size",
+                    });
+                }
+                out
+            }
+            _ => unreachable!("open() rejects other methods"),
+        };
+        let actual = crc32(&data);
+        if actual != entry.crc32 {
+            return Err(ZipError::CrcMismatch {
+                name: entry.name,
+                expected: entry.crc32,
+                actual,
+            });
+        }
+        Ok(data)
+    }
+
+    /// Consumes the reader, returning the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.reader
+    }
+}
+
+/// Streaming zip writer. Entry names are *not* validated — the
+/// corruption tests rely on writing hostile archives the reader must
+/// refuse. `raw` variants let tests inject arbitrary compressed bytes
+/// and CRC values.
+pub struct ZipWriter<W: Write> {
+    writer: W,
+    offset: u64,
+    central: Vec<u8>,
+    count: u64,
+}
+
+impl<W: Write> ZipWriter<W> {
+    pub fn new(writer: W) -> ZipWriter<W> {
+        ZipWriter {
+            writer,
+            offset: 0,
+            central: Vec::new(),
+            count: 0,
+        }
+    }
+
+    /// Adds an entry with method 0 (stored) — byte-identical on read.
+    pub fn add_stored(&mut self, name: &str, data: &[u8]) -> Result<(), ZipError> {
+        self.add_raw(name, 0, data, data.len() as u64, crc32(data))
+    }
+
+    /// Adds an entry with method 8 and caller-supplied raw deflate data,
+    /// declared uncompressed size, and CRC. No consistency is enforced.
+    pub fn add_deflate_raw(
+        &mut self,
+        name: &str,
+        raw: &[u8],
+        uncompressed_size: u64,
+        crc: u32,
+    ) -> Result<(), ZipError> {
+        self.add_raw(name, 8, raw, uncompressed_size, crc)
+    }
+
+    fn add_raw(
+        &mut self,
+        name: &str,
+        method: u16,
+        data: &[u8],
+        uncompressed_size: u64,
+        crc: u32,
+    ) -> Result<(), ZipError> {
+        if self.count >= 65_535 {
+            return Err(ZipError::Zip64Unsupported("more than 65535 entries"));
+        }
+        if data.len() as u64 > u64::from(u32::MAX) || uncompressed_size > u64::from(u32::MAX) {
+            return Err(ZipError::Zip64Unsupported("entry larger than 4 GiB"));
+        }
+        let name_bytes = name.as_bytes();
+        if name_bytes.len() > 65_535 {
+            return Err(ZipError::Zip64Unsupported("entry name too long"));
+        }
+        let header_offset = self.offset;
+        let mut local = Vec::with_capacity(30 + name_bytes.len());
+        local.extend_from_slice(&LOCAL_SIG.to_le_bytes());
+        local.extend_from_slice(&20u16.to_le_bytes()); // version needed
+        local.extend_from_slice(&0u16.to_le_bytes()); // flags
+        local.extend_from_slice(&method.to_le_bytes());
+        local.extend_from_slice(&0u16.to_le_bytes()); // mod time
+        local.extend_from_slice(&0u16.to_le_bytes()); // mod date
+        local.extend_from_slice(&crc.to_le_bytes());
+        local.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        local.extend_from_slice(&(uncompressed_size as u32).to_le_bytes());
+        local.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+        local.extend_from_slice(&0u16.to_le_bytes()); // extra len
+        local.extend_from_slice(name_bytes);
+        self.writer.write_all(&local)?;
+        self.writer.write_all(data)?;
+        self.offset += local.len() as u64 + data.len() as u64;
+
+        self.central.extend_from_slice(&CDIR_SIG.to_le_bytes());
+        self.central.extend_from_slice(&20u16.to_le_bytes()); // version made by
+        self.central.extend_from_slice(&20u16.to_le_bytes()); // version needed
+        self.central.extend_from_slice(&0u16.to_le_bytes()); // flags
+        self.central.extend_from_slice(&method.to_le_bytes());
+        self.central.extend_from_slice(&0u16.to_le_bytes()); // mod time
+        self.central.extend_from_slice(&0u16.to_le_bytes()); // mod date
+        self.central.extend_from_slice(&crc.to_le_bytes());
+        self.central
+            .extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.central
+            .extend_from_slice(&(uncompressed_size as u32).to_le_bytes());
+        self.central
+            .extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+        self.central.extend_from_slice(&0u16.to_le_bytes()); // extra len
+        self.central.extend_from_slice(&0u16.to_le_bytes()); // comment len
+        self.central.extend_from_slice(&0u16.to_le_bytes()); // disk number
+        self.central.extend_from_slice(&0u16.to_le_bytes()); // internal attrs
+        self.central.extend_from_slice(&0u32.to_le_bytes()); // external attrs
+        self.central
+            .extend_from_slice(&(header_offset as u32).to_le_bytes());
+        self.central.extend_from_slice(name_bytes);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Writes the central directory and EOCD, returning the underlying
+    /// writer.
+    pub fn finish(mut self) -> Result<W, ZipError> {
+        let cd_offset = self.offset;
+        self.writer.write_all(&self.central)?;
+        let mut eocd = Vec::with_capacity(22);
+        eocd.extend_from_slice(&EOCD_SIG.to_le_bytes());
+        eocd.extend_from_slice(&0u16.to_le_bytes()); // this disk
+        eocd.extend_from_slice(&0u16.to_le_bytes()); // cd disk
+        eocd.extend_from_slice(&(self.count as u16).to_le_bytes());
+        eocd.extend_from_slice(&(self.count as u16).to_le_bytes());
+        eocd.extend_from_slice(&(self.central.len() as u32).to_le_bytes());
+        eocd.extend_from_slice(&(cd_offset as u32).to_le_bytes());
+        eocd.extend_from_slice(&0u16.to_le_bytes()); // comment len
+        self.writer.write_all(&eocd)?;
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+/// Builds an in-memory zip from `(name, bytes)` pairs, stored entries.
+pub fn build_zip(entries: &[(&str, &[u8])]) -> Result<Vec<u8>, ZipError> {
+    let mut w = ZipWriter::new(Vec::new());
+    for (name, data) in entries {
+        w.add_stored(name, data)?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::{deflate_run, deflate_stored};
+    use std::io::Cursor;
+
+    fn limits() -> IngestLimits {
+        IngestLimits::default()
+    }
+
+    #[test]
+    fn stored_round_trip() {
+        let bytes = build_zip(&[("a.txt", b"alpha"), ("dir/b.bin", &[0u8, 1, 2, 255])]).unwrap();
+        let mut r = ZipReader::open(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.entries().len(), 2);
+        assert_eq!(r.entries()[0].name, "a.txt");
+        assert_eq!(r.read_entry(0, &limits()).unwrap(), b"alpha");
+        assert_eq!(r.read_entry(1, &limits()).unwrap(), vec![0u8, 1, 2, 255]);
+    }
+
+    #[test]
+    fn deflate_entry_round_trip() {
+        let data = b"the quick brown fox".repeat(100);
+        let raw = deflate_stored(&data);
+        let mut w = ZipWriter::new(Vec::new());
+        w.add_deflate_raw("c.bin", &raw, data.len() as u64, crc32(&data))
+            .unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = ZipReader::open(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.read_entry(0, &limits()).unwrap(), data);
+    }
+
+    #[test]
+    fn bad_crc_is_structured() {
+        let mut w = ZipWriter::new(Vec::new());
+        let raw = deflate_stored(b"payload");
+        w.add_deflate_raw("x.class", &raw, 7, 0xdead_beef).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = ZipReader::open(Cursor::new(bytes)).unwrap();
+        match r.read_entry(0, &limits()) {
+            Err(ZipError::CrcMismatch { name, .. }) => assert_eq!(name, "x.class"),
+            other => panic!("expected CRC mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slip_name_rejected_at_open() {
+        let bytes = build_zip(&[("../../evil.class", b"boom")]).unwrap();
+        match ZipReader::open(Cursor::new(bytes)) {
+            Err(ZipError::SlipPath { name }) => assert_eq!(name, "../../evil.class"),
+            other => panic!("expected slip rejection, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn absolute_and_backslash_names_rejected() {
+        for evil in ["/etc/passwd", "a\\b.class", "C:boot.ini"] {
+            let bytes = build_zip(&[(evil, b"x")]).unwrap();
+            assert!(
+                matches!(
+                    ZipReader::open(Cursor::new(bytes)),
+                    Err(ZipError::SlipPath { .. })
+                ),
+                "{evil} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_bomb_rejected_before_inflation() {
+        let inflated_size = 16u64 << 20;
+        let raw = deflate_run(0, inflated_size as usize);
+        let mut w = ZipWriter::new(Vec::new());
+        let body = vec![0u8; inflated_size as usize];
+        w.add_deflate_raw("bomb.class", &raw, inflated_size, crc32(&body))
+            .unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = ZipReader::open(Cursor::new(bytes)).unwrap();
+        match r.read_entry(0, &limits()) {
+            Err(ZipError::RatioBomb { name, .. }) => assert_eq!(name, "bomb.class"),
+            other => panic!("expected ratio bomb rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lying_stream_is_rejected() {
+        // Declares 10 bytes but the stream inflates to 1000.
+        let raw = deflate_run(1, 1000);
+        let mut w = ZipWriter::new(Vec::new());
+        w.add_deflate_raw("liar.class", &raw, 10, 0).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = ZipReader::open(Cursor::new(bytes)).unwrap();
+        assert!(matches!(
+            r.read_entry(0, &limits()),
+            Err(ZipError::Inflate {
+                source: InflateError::OutputBudget(_),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_central_directory_is_structured() {
+        let bytes = build_zip(&[("a.class", b"abc")]).unwrap();
+        let eocd_start = bytes.len() - 22;
+
+        // EOCD claims a directory that runs past the end of the file.
+        let mut oversize = bytes.clone();
+        oversize[eocd_start + 12..eocd_start + 16].copy_from_slice(&0x00ff_ffffu32.to_le_bytes());
+        assert!(matches!(
+            ZipReader::open(Cursor::new(oversize)),
+            Err(ZipError::TruncatedCentralDirectory(_))
+        ));
+
+        // First central-directory byte mangled: bad entry signature.
+        let cd_offset =
+            u32::from_le_bytes(bytes[eocd_start + 16..eocd_start + 20].try_into().unwrap())
+                as usize;
+        let mut badsig = bytes.clone();
+        badsig[cd_offset] ^= 0xff;
+        assert!(matches!(
+            ZipReader::open(Cursor::new(badsig)),
+            Err(ZipError::TruncatedCentralDirectory("bad entry signature"))
+        ));
+    }
+
+    #[test]
+    fn not_a_zip_is_structured() {
+        assert!(matches!(
+            ZipReader::open(Cursor::new(b"PK\x03\x04not really".to_vec())),
+            Err(ZipError::MissingEndOfCentralDirectory)
+        ));
+    }
+
+    #[test]
+    fn empty_archive_opens() {
+        let bytes = build_zip(&[]).unwrap();
+        let r = ZipReader::open(Cursor::new(bytes)).unwrap();
+        assert!(r.entries().is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the archive pipeline: anything the writer packs,
+//! the reader hands back byte-identical; and a corpus lifted out of a
+//! generated jar is the same program as the corpus lifted from the
+//! equivalent unpacked tree.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::path::PathBuf;
+use tabby_core::collect_inputs;
+use tabby_ingest::zip::{build_zip, ZipReader};
+use tabby_ingest::{lift_corpus, IngestLimits, StreamedLift};
+use tabby_ir::compile::compile_program;
+use tabby_ir::{JType, Program, ProgramBuilder};
+
+/// Valid class-entry names: 1–3 lowercase path components, `.class` leaf.
+fn entry_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{1,8}(/[a-z]{1,8}){0,2}\\.class").expect("valid regex")
+}
+
+/// A deterministic little program: `n` serializable classes, each with a
+/// `run()` method, chained by virtual calls so the lift exercises call
+/// resolution, not just parsing.
+fn make_program(seed: u64, n: usize) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let names: Vec<String> = (0..n).map(|i| format!("p{seed}.C{i}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        let mut cb = pb.class(name);
+        cb.serializable_in_place();
+        let obj = cb.object_type("java.lang.Object");
+        let mut mb = cb.method("run", vec![obj.clone()], JType::Void);
+        if let Some(next) = names.get(i + 1) {
+            let sig = mb.sig(next, "run", &[obj.clone()], JType::Void);
+            let recv = mb.fresh();
+            mb.new_with_ctor(recv, next, &[], &[]);
+            let arg = mb.param(0);
+            mb.call_virtual(None, recv, sig, &[arg.into()]);
+        }
+        mb.ret_void();
+        mb.finish();
+        cb.finish();
+    }
+    pb.build()
+}
+
+/// Collision-free scratch directory.
+fn scratch(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tabby-ingest-prop-{tag}-{seed}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Stable fingerprint of a lifted program: sorted FQCNs with their
+/// method names. Identical fingerprints mean the same classes lifted
+/// with the same members, independent of input packaging.
+fn fingerprint(lift: &StreamedLift) -> Vec<(String, Vec<String>)> {
+    let program = &lift.program;
+    let interner = program.interner();
+    let mut out: Vec<(String, Vec<String>)> = program
+        .classes()
+        .iter()
+        .map(|c| {
+            let mut methods: Vec<String> = c
+                .methods
+                .iter()
+                .map(|m| interner.resolve(m.name).to_owned())
+                .collect();
+            methods.sort();
+            (interner.resolve(c.name).to_owned(), methods)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Writer → reader round trip: every packed entry reads back
+    /// byte-identical, in order, under the default limits.
+    #[test]
+    fn packed_entries_read_back_byte_identical(
+        entries in proptest::collection::btree_map(
+            entry_name(),
+            proptest::collection::vec(any::<u8>(), 0..2048),
+            1..16,
+        )
+    ) {
+        let refs: Vec<(&str, &[u8])> = entries
+            .iter()
+            .map(|(n, b)| (n.as_str(), b.as_slice()))
+            .collect();
+        let bytes = build_zip(&refs).expect("writable entries");
+        let mut reader = ZipReader::open(Cursor::new(bytes)).expect("reopens");
+        prop_assert_eq!(reader.entries().len(), entries.len());
+        let limits = IngestLimits::default();
+        for (i, (name, data)) in entries.iter().enumerate() {
+            prop_assert_eq!(&reader.entries()[i].name, name);
+            prop_assert_eq!(&reader.read_entry(i, &limits).expect("readable"), data);
+        }
+    }
+
+    /// Assembler classes packed into a jar lift to the same program as
+    /// the identical bytes written as a loose `.class` tree — same
+    /// classes, same methods, same quarantine count, same byte hashes.
+    #[test]
+    fn jar_lift_matches_tree_lift(seed in 0u64..512, n in 1usize..5) {
+        let compiled = compile_program(&make_program(seed, n));
+        prop_assert_eq!(compiled.len(), n);
+
+        let root = scratch("jar-vs-tree", seed);
+        let tree = root.join("tree");
+        std::fs::create_dir_all(&tree).expect("tree dir");
+        let mut entries: Vec<(String, Vec<u8>)> = Vec::new();
+        for (name, bytes) in &compiled {
+            let leaf = format!("{}.class", name.replace('.', "_"));
+            std::fs::write(tree.join(&leaf), bytes).expect("tree class");
+            entries.push((leaf, bytes.clone()));
+        }
+        entries.sort();
+        let refs: Vec<(&str, &[u8])> = entries
+            .iter()
+            .map(|(l, b)| (l.as_str(), b.as_slice()))
+            .collect();
+        let jar = root.join("corpus.jar");
+        std::fs::write(&jar, build_zip(&refs).expect("packable")).expect("jar");
+
+        let limits = IngestLimits::default();
+        let from_tree = lift_corpus(
+            &collect_inputs(std::slice::from_ref(&tree), true).expect("tree inputs"),
+            &limits,
+            true,
+        )
+        .expect("tree lifts");
+        let from_jar = lift_corpus(
+            &collect_inputs(std::slice::from_ref(&jar), true).expect("jar inputs"),
+            &limits,
+            true,
+        )
+        .expect("jar lifts");
+
+        prop_assert_eq!(fingerprint(&from_tree), fingerprint(&from_jar));
+        prop_assert_eq!(from_tree.skipped.len(), 0);
+        prop_assert_eq!(from_jar.skipped.len(), 0);
+        prop_assert_eq!(from_jar.stats.classes_lifted, n);
+        // Same bytes under different provenance labels: the hash
+        // multisets agree even though the labels cannot.
+        let mut tree_hashes: Vec<u64> =
+            from_tree.class_hashes.iter().map(|(_, h)| *h).collect();
+        let mut jar_hashes: Vec<u64> =
+            from_jar.class_hashes.iter().map(|(_, h)| *h).collect();
+        tree_hashes.sort_unstable();
+        jar_hashes.sort_unstable();
+        prop_assert_eq!(tree_hashes, jar_hashes);
+        // Jar provenance is `corpus.jar!/entry` for every class.
+        for (label, _) in &from_jar.class_hashes {
+            prop_assert!(label.contains("corpus.jar!/"), "label: {label}");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

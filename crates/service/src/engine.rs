@@ -25,15 +25,16 @@
 use crate::cache::{CachedChains, CachedClass, CachedCpg, ComponentState, MappedFlat, ScanCache};
 use crate::protocol::{DiffOutcome, JobStats, QueryRequestOptions, ScanRequestOptions};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use tabby_core::{
-    summarize_program_incremental_contained, AnalysisConfig, Cpg, CpgSchema, MethodSummary,
-    ScanDiagnostics, SkippedClass,
+    archives_unsupported_error, collect_inputs, summarize_program_incremental_contained,
+    AnalysisConfig, Cpg, CpgSchema, MethodSummary, ScanDiagnostics, ShadowedClass, SkippedClass,
 };
 use tabby_graph::{content_hash64, CsrSnapshot, EdgeType, Fnv64, NodeId};
+use tabby_ingest::{plan_corpus, BlobSource, CorpusReader, IngestLimits};
 use tabby_ir::lift::lift_class;
 use tabby_ir::{ClassId, MethodId, Program, ProgramBuilder, Symbol};
 use tabby_pathfinder::{
@@ -285,7 +286,10 @@ impl Engine {
         };
 
         // ----- collect, read, hash, key -----------------------------------
-        let input = collect_and_hash(paths)?;
+        let input = collect_and_hash(paths, options.no_archives)?;
+        // Shadowing is derived fresh from the input plan on every job and
+        // never replayed from a cache tier.
+        diagnostics.shadowed_classes = input.shadowed.clone();
         let keys = self.job_keys(&input, options);
         // Note that the chains key deliberately excludes `search_threads`
         // and `tc_memo`: only complete (non-truncated) chain sets are
@@ -320,6 +324,7 @@ impl Engine {
                 served
                     .artifact_faults
                     .extend(std::mem::take(&mut diagnostics.artifact_faults));
+                served.shadowed_classes = std::mem::take(&mut diagnostics.shadowed_classes);
                 // The chain cache stores tier-free chains (the witness flag
                 // is excluded from job keys: it never changes the chain
                 // set), so witnessing runs post-hoc even on a hit. The
@@ -414,8 +419,10 @@ impl Engine {
             // Artifact faults are this job's events, not a property of the
             // chain set — strip them from the stored entry so cache hits
             // don't replay them, then drain any fault the write itself hit.
+            // Shadowing likewise re-derives per job from the input plan.
             let mut stored = diagnostics.clone();
             stored.artifact_faults.clear();
+            stored.shadowed_classes.clear();
             let mut cache = self.lock_cache();
             cache.put_chains(
                 keys.chains,
@@ -502,6 +509,7 @@ impl Engine {
         if !search.truncated {
             let mut stored = diagnostics.clone();
             stored.artifact_faults.clear();
+            stored.shadowed_classes.clear();
             let mut cache = self.lock_cache();
             cache.put_chains(
                 keys.chains,
@@ -555,7 +563,8 @@ impl Engine {
             fresh: options.fresh,
             ..ScanRequestOptions::default()
         };
-        let input = collect_and_hash(paths)?;
+        let input = collect_and_hash(paths, false)?;
+        diagnostics.shadowed_classes = input.shadowed.clone();
         let keys = self.job_keys(&input, &scan_options);
         let cpg = self.resolve_cpg(
             &input,
@@ -657,12 +666,15 @@ impl Engine {
         let registry = Registry::open(PathBuf::from(registry_root))?;
         let mut stats = JobStats::default();
         let mut diagnostics = ScanDiagnostics::default();
-        let input = collect_and_hash(paths)?;
+        let input = collect_and_hash(paths, options.no_archives)?;
+        diagnostics.shadowed_classes = input.shadowed.clone();
+        // Snapshot hashes key on provenance labels: for archive corpora
+        // each class hashes under its `archive!/entry` chain, so version
+        // diffs track archive content exactly like loose trees.
         let class_hashes: BTreeMap<String, u64> = input
-            .files
+            .entries
             .iter()
-            .zip(&input.blobs)
-            .map(|(f, (_, h))| (f.to_string_lossy().into_owned(), *h))
+            .map(|e| (e.label.clone(), e.hash))
             .collect();
         let content_key = corpus_content_key(&class_hashes);
         let previous = match registry.latest_version(corpus) {
@@ -737,6 +749,7 @@ impl Engine {
         if !search.truncated {
             let mut stored = diagnostics.clone();
             stored.artifact_faults.clear();
+            stored.shadowed_classes.clear();
             let mut cache = self.lock_cache();
             cache.put_chains(
                 keys.chains,
@@ -846,19 +859,23 @@ impl Engine {
     /// scanned program.
     fn lift_for_witness(&self, input: &JobInput) -> Program {
         let mut cache = self.lock_cache();
-        let mut resolved = Vec::with_capacity(input.blobs.len());
+        let mut reader = CorpusReader::new(IngestLimits::default());
+        let mut resolved = Vec::with_capacity(input.entries.len());
         let mut seen = HashSet::new();
-        for (bytes, hash) in &input.blobs {
-            if !seen.insert(*hash) {
+        for entry in &input.entries {
+            if !seen.insert(entry.hash) {
                 continue;
             }
-            if let Some(c) = cache.get_class(*hash) {
+            if let Some(c) = cache.get_class(entry.hash) {
                 resolved.push((c.fqcn.clone(), c.class.clone()));
                 continue;
             }
+            let Ok(bytes) = reader.fetch(&entry.source) else {
+                continue;
+            };
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                 || -> Result<(String, tabby_ir::Class), ()> {
-                    let cf = tabby_classfile::parse_class(bytes).map_err(|_| ())?;
+                    let cf = tabby_classfile::parse_class(&bytes).map_err(|_| ())?;
                     let interner = cache.interner_mut();
                     let class = lift_class(interner, &cf).map_err(|_| ())?;
                     let fqcn = interner.resolve(class.name).to_owned();
@@ -867,7 +884,7 @@ impl Engine {
             ));
             if let Ok(Ok((fqcn, class))) = attempt {
                 cache.put_class(
-                    *hash,
+                    entry.hash,
                     CachedClass {
                         fqcn: fqcn.clone(),
                         class: class.clone(),
@@ -912,8 +929,8 @@ impl Engine {
         };
         let component = {
             let mut k = Fnv64::new();
-            for f in &input.files {
-                k.write(f.to_string_lossy().as_bytes());
+            for e in &input.entries {
+                k.write(e.label.as_bytes());
                 k.write(&[0]);
             }
             k.write_u64(self.analysis_fp);
@@ -972,21 +989,29 @@ impl Engine {
         let t_lift = Instant::now();
         let (program, class_hashes) = {
             let mut cache = self.lock_cache();
-            let mut resolved = Vec::with_capacity(input.blobs.len());
+            // Bytes are fetched lazily, one entry at a time, and only on a
+            // per-class-cache miss — a warm daemon never re-inflates an
+            // unchanged archive entry, and a cold one holds one blob at a
+            // time, not the corpus.
+            let mut reader = CorpusReader::new(IngestLimits::default());
+            let mut resolved = Vec::with_capacity(input.entries.len());
             let mut seen = HashSet::new();
-            for ((bytes, hash), path) in input.blobs.iter().zip(&input.files) {
-                if !seen.insert(*hash) {
+            for entry in &input.entries {
+                if !seen.insert(entry.hash) {
                     continue;
                 }
                 if !options.fresh {
-                    if let Some(c) = cache.get_class(*hash) {
-                        resolved.push((c.fqcn.clone(), *hash, c.class.clone()));
+                    if let Some(c) = cache.get_class(entry.hash) {
+                        resolved.push((c.fqcn.clone(), entry.hash, c.class.clone()));
                         continue;
                     }
                 }
+                let bytes = reader
+                    .fetch(&entry.source)
+                    .map_err(|e| format!("{}: {e}", entry.label))?;
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                     || -> Result<(String, tabby_ir::Class), (Option<String>, String)> {
-                        let cf = tabby_classfile::parse_class(bytes)
+                        let cf = tabby_classfile::parse_class(&bytes)
                             .map_err(|e| (None, format!("{e:?}")))?;
                         let name = cf.name().ok();
                         let interner = cache.interner_mut();
@@ -1000,13 +1025,13 @@ impl Engine {
                     Ok(Ok((fqcn, class))) => {
                         trace.stats.classes_lifted += 1;
                         cache.put_class(
-                            *hash,
+                            entry.hash,
                             CachedClass {
                                 fqcn: fqcn.clone(),
                                 class: class.clone(),
                             },
                         );
-                        resolved.push((fqcn, *hash, class));
+                        resolved.push((fqcn, entry.hash, class));
                         continue;
                     }
                     Ok(Err((class_name, error))) => (class_name, error),
@@ -1016,12 +1041,12 @@ impl Engine {
                     ),
                 };
                 if options.strict {
-                    return Err(format!("{}: {}", path.display(), failure.1));
+                    return Err(format!("{}: {}", entry.label, failure.1));
                 }
                 trace.diagnostics.skipped_classes.push(SkippedClass {
-                    source: path.display().to_string(),
+                    source: entry.label.clone(),
                     class_name: failure.0,
-                    byte_hash: *hash,
+                    byte_hash: entry.hash,
                     error: failure.1,
                 });
             }
@@ -1105,10 +1130,12 @@ impl Engine {
         // ----- assemble + populate caches ---------------------------------
         // Diagnostics so far cover lift + summarize; the CPG cache entry
         // stores exactly those (search degradation is per-query, and
-        // artifact faults are this job's events, never replayed to hits).
+        // artifact faults are this job's events, never replayed to hits;
+        // shadowing re-derives from each job's own input plan).
         let phase_diagnostics = {
             let mut d = trace.diagnostics.clone();
             d.artifact_faults.clear();
+            d.shadowed_classes.clear();
             d
         };
         let class_order: Vec<Symbol> = program.classes().iter().map(|c| c.name).collect();
@@ -1168,14 +1195,27 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// The resolved input of one job: every `.class` file under the requested
-/// paths, with its bytes and content hash (`blobs[i]` belongs to
-/// `files[i]`).
+/// The resolved input of one job: every class under the requested paths —
+/// loose `.class` files plus every entry of every archive, exploded
+/// through the shared ingest planner — with its provenance label and
+/// content hash. Blobs are *not* held here: the lift stage re-fetches
+/// bytes lazily (and only on per-class-cache misses) through a
+/// [`CorpusReader`], so job memory stays bounded regardless of corpus
+/// size.
 struct JobInput {
-    files: Vec<PathBuf>,
-    blobs: Vec<(Vec<u8>, u64)>,
+    entries: Vec<JobEntry>,
     /// Distinct content hashes, sorted — the job's content address.
     content: Vec<u64>,
+    /// First-wins duplicate-resolution report from archive explosion.
+    shadowed: Vec<ShadowedClass>,
+}
+
+/// One planned class: provenance label (a file path, or an
+/// `archive!/entry` chain), content hash, and how to re-fetch the bytes.
+struct JobEntry {
+    label: String,
+    hash: u64,
+    source: BlobSource,
 }
 
 /// The three cache keys derived from one job's input and options.
@@ -1185,100 +1225,48 @@ struct JobKeys {
     component: u64,
 }
 
-/// Walks the requested paths into a [`JobInput`]. An input with no
-/// `.class` files at all is an error, and if the walk saw `.jar` archives
-/// along the way the error says how to unpack them instead of reporting a
-/// bare "nothing found".
-fn collect_and_hash(paths: &[String]) -> Result<JobInput, String> {
-    let mut files = Vec::new();
-    let mut jars = Vec::new();
-    for p in paths {
-        collect_class_files(Path::new(p), &mut files, &mut jars)?;
+/// Walks the requested paths through the shared input classifier
+/// ([`collect_inputs`]) into a [`JobInput`]. Archives — jars, wars,
+/// nested fat jars — are exploded by the ingest planner and their entries
+/// hashed in one bounded streaming pass, so the daemon's content key
+/// covers archive entries exactly like loose files. `no_archives`
+/// restores the legacy pre-ingestion rejection. An input with nothing
+/// scannable at all is an error, as is a hostile archive (zip-slip,
+/// compression-ratio / total-size / depth bombs, bad CRCs) — rejected
+/// here with a structured message, before anything touches a cache tier.
+fn collect_and_hash(paths: &[String], no_archives: bool) -> Result<JobInput, String> {
+    let path_bufs: Vec<PathBuf> = paths.iter().map(PathBuf::from).collect();
+    let inputs = collect_inputs(&path_bufs, true)?;
+    if no_archives && !inputs.archives.is_empty() {
+        return Err(archives_unsupported_error(&inputs.archives));
     }
-    files.sort();
-    files.dedup();
-    if files.is_empty() {
-        jars.sort();
-        jars.dedup();
-        if !jars.is_empty() {
-            let listed: Vec<String> = jars.iter().map(|j| j.display().to_string()).collect();
-            return Err(format!(
-                "no .class files found, but the walk found {} .jar archive(s): jars are \
-                 unsupported and must be unpacked (e.g. with `unzip` or `jar xf`) before \
-                 scanning the extracted .class files ({})",
-                jars.len(),
-                listed.join(", ")
-            ));
-        }
+    if inputs.is_empty() {
         return Err(format!(
-            "no .class files found under the given paths: {}",
+            "no .class files or archives found under the given paths: {}",
             paths.join(", ")
         ));
     }
-    let mut blobs = Vec::with_capacity(files.len());
-    for f in &files {
-        let bytes = std::fs::read(f).map_err(|e| format!("{}: {e}", f.display()))?;
-        let hash = content_hash64(&bytes);
-        blobs.push((bytes, hash));
+    let limits = IngestLimits::default();
+    let plan = plan_corpus(&inputs, &limits).map_err(|e| e.to_string())?;
+    let mut reader = CorpusReader::new(limits);
+    let mut entries = Vec::with_capacity(plan.entries.len());
+    for planned in plan.entries {
+        // Fetch, hash, drop: one entry's bytes in memory at a time.
+        let bytes = reader.fetch(&planned.source).map_err(|e| e.to_string())?;
+        entries.push(JobEntry {
+            label: planned.display,
+            hash: content_hash64(&bytes),
+            source: planned.source,
+        });
     }
-    let mut content: Vec<u64> = blobs.iter().map(|(_, h)| *h).collect();
+    let mut content: Vec<u64> = entries.iter().map(|e| e.hash).collect();
     content.sort_unstable();
     content.dedup();
     Ok(JobInput {
-        files,
-        blobs,
+        entries,
         content,
+        shadowed: plan.shadowed,
     })
-}
-
-/// Recursively collects `.class` files. Unlike a best-effort walk, every
-/// explicitly named path must exist and be a directory or a `.class` file —
-/// a typo'd path is an error, not an empty scan. `.jar` archives met inside
-/// a directory are recorded in `jars` for diagnostics; an explicitly named
-/// jar is rejected outright with unpacking guidance.
-fn collect_class_files(
-    path: &Path,
-    out: &mut Vec<PathBuf>,
-    jars: &mut Vec<PathBuf>,
-) -> Result<(), String> {
-    let is_jar = |p: &Path| p.extension().is_some_and(|e| e.eq_ignore_ascii_case("jar"));
-    let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    if meta.is_dir() {
-        let entries = std::fs::read_dir(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let mut children = Vec::new();
-        for entry in entries {
-            children.push(
-                entry
-                    .map_err(|e| format!("{}: {e}", path.display()))?
-                    .path(),
-            );
-        }
-        children.sort();
-        for child in children {
-            // Inside a directory the walk is selective, not strict: only
-            // subdirectories and `.class` files are visited; jars are
-            // noted so an otherwise-empty walk can explain itself.
-            if child.is_dir() || child.extension().is_some_and(|e| e == "class") {
-                collect_class_files(&child, out, jars)?;
-            } else if is_jar(&child) {
-                jars.push(child);
-            }
-        }
-    } else if path.extension().is_some_and(|e| e == "class") {
-        out.push(path.to_path_buf());
-    } else if is_jar(path) {
-        return Err(format!(
-            "{}: jars are unsupported and must be unpacked (e.g. with `unzip` or `jar xf`) \
-             before scanning the extracted .class files",
-            path.display()
-        ));
-    } else {
-        return Err(format!(
-            "{}: not a .class file or a directory",
-            path.display()
-        ));
-    }
-    Ok(())
 }
 
 /// Remaps the previous scan's summaries into the new program, keeping only
@@ -1423,6 +1411,7 @@ fn sleep_fault(total_ms: u64, deadline: Instant) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
     use std::time::Duration;
     use tabby_ir::{compile::compile_program, JType, ProgramBuilder};
 
@@ -1686,12 +1675,17 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("app.jar"), b"PK\x03\x04").unwrap();
         let engine = Engine::new(None, 8, 1);
-        // A directory holding only a jar: the walk names the jar and says
-        // how to proceed instead of a bare "no classes found".
+        let no_archives = ScanRequestOptions {
+            no_archives: true,
+            ..ScanRequestOptions::default()
+        };
+        // With archive ingestion disabled, a directory holding only a jar
+        // names the jar and says how to proceed instead of a bare "no
+        // classes found".
         let err = engine
             .run_scan(
                 &[dir.to_string_lossy().into_owned()],
-                &ScanRequestOptions::default(),
+                &no_archives,
                 far_deadline(),
             )
             .unwrap_err();
@@ -1704,13 +1698,69 @@ mod tests {
         let err = engine
             .run_scan(
                 &[dir.join("app.jar").to_string_lossy().into_owned()],
-                &ScanRequestOptions::default(),
+                &no_archives,
                 far_deadline(),
             )
             .unwrap_err();
         assert!(
             err.contains("jars are unsupported and must be unpacked"),
             "{err}"
+        );
+        // With ingestion enabled (the default), the truncated jar is a
+        // structured archive error, not a "go unpack it" hint.
+        let err = engine
+            .run_scan(
+                &[dir.join("app.jar").to_string_lossy().into_owned()],
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .unwrap_err();
+        assert!(err.contains("end-of-central-directory"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jar_corpus_scans_identically_to_the_unpacked_tree() {
+        let dir = temp_dir("jar-eq");
+        let tree = dir.join("tree");
+        write_corpus(&tree, false);
+        let mut entries: Vec<(String, Vec<u8>)> = Vec::new();
+        for (name, bytes) in compile_program(&corpus(false)) {
+            entries.push((format!("{name}.class"), bytes));
+        }
+        let refs: Vec<(&str, &[u8])> = entries
+            .iter()
+            .map(|(n, b)| (n.as_str(), b.as_slice()))
+            .collect();
+        let jar_path = dir.join("app.jar");
+        std::fs::write(&jar_path, tabby_ingest::zip::build_zip(&refs).unwrap()).unwrap();
+        let engine = Engine::new(None, 8, 1);
+        let from_tree = scan(&engine, &tree);
+        let from_jar = engine
+            .run_scan(
+                &[jar_path.to_string_lossy().into_owned()],
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .expect("jar scan succeeds");
+        // Same bytes → same content key → the jar scan is a tier-1 hit with
+        // byte-identical chains.
+        assert!(from_jar.stats.job_cache_hit);
+        assert_eq!(
+            serde_json::to_string(&from_jar.chains).unwrap(),
+            serde_json::to_string(&from_tree.chains).unwrap()
+        );
+        // A fresh engine produces the same chains from the jar alone.
+        let cold = Engine::new(None, 8, 1)
+            .run_scan(
+                &[jar_path.to_string_lossy().into_owned()],
+                &ScanRequestOptions::default(),
+                far_deadline(),
+            )
+            .expect("cold jar scan succeeds");
+        assert_eq!(
+            serde_json::to_string(&cold.chains).unwrap(),
+            serde_json::to_string(&from_tree.chains).unwrap()
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -30,7 +30,12 @@ use tabby_registry::DiffReport;
 /// `map_age_ms`), and [`DaemonInfo`] carries the fleet-health metrics —
 /// queue depth, per-tier cache hit/miss counters, `bytes_mapped`, open-map
 /// ages, and `ns_per_expansion`.
-pub const PROTOCOL_VERSION: u32 = 6;
+/// v7 added archive ingestion: scan/query/diff paths may name `.jar`,
+/// `.war`, and `.zip` archives (including nested fat jars and wars), the
+/// content key covers every archive entry, diagnostics report shadowed
+/// duplicate classes, and [`ScanRequestOptions::no_archives`] restores the
+/// pre-v7 rejection of archive inputs.
+pub const PROTOCOL_VERSION: u32 = 7;
 
 /// Parses one request line, enforcing the protocol version.
 ///
@@ -217,6 +222,10 @@ pub struct ScanRequestOptions {
     /// excluded from job cache keys and applied post-hoc on cache hits.
     #[serde(default)]
     pub witness: bool,
+    /// Reject `.jar`/`.war`/`.zip` inputs with the pre-v7 "unpack it first"
+    /// error instead of streaming them through the archive ingester.
+    #[serde(default)]
+    pub no_archives: bool,
 }
 
 impl Default for ScanRequestOptions {
@@ -230,6 +239,7 @@ impl Default for ScanRequestOptions {
             search_threads: None,
             tc_memo: true,
             witness: false,
+            no_archives: false,
         }
     }
 }

@@ -81,6 +81,7 @@ pub use tabby_baselines as baselines;
 pub use tabby_classfile as classfile;
 pub use tabby_core as core;
 pub use tabby_graph as graph;
+pub use tabby_ingest as ingest;
 pub use tabby_ir as ir;
 pub use tabby_pathfinder as pathfinder;
 pub use tabby_query as query;
@@ -266,4 +267,33 @@ pub fn scan_class_bytes(
         })
         .collect();
     Ok(report)
+}
+
+/// Lifts a mixed corpus — loose `.class` files plus jars/wars — with the
+/// streaming bounded-memory ingest driver, then scans it.
+///
+/// Archives are never unpacked to disk: entries are inflated in batches
+/// of at most [`ingest::IngestLimits::batch_bytes`], so peak blob memory
+/// is O(batch), not O(corpus). Duplicate classes across the assembled
+/// classpath resolve JVM-style first-wins; the shadowed copies are
+/// reported in [`ScanReport::diagnostics`] (informational, not
+/// degradation). Malformed classes quarantine with their full
+/// `archive!/entry` provenance unless [`ScanOptions::strict`] is set.
+///
+/// # Errors
+///
+/// Structured [`ingest::IngestError`]s: hostile archives (zip-slip names,
+/// compression-ratio / total-size / nesting-depth bombs, bad CRCs), I/O
+/// failures, and — in strict mode — the first class that fails to lift.
+pub fn scan_corpus(
+    inputs: &core::CollectedInputs,
+    limits: &ingest::IngestLimits,
+    options: &ScanOptions,
+) -> Result<(ScanReport, ingest::IngestStats), ingest::IngestError> {
+    let lifted = ingest::lift_corpus(inputs, limits, options.strict)?;
+    let stats = lifted.stats.clone();
+    let mut report = scan(&lifted.program, options);
+    report.diagnostics.skipped_classes = lifted.skipped;
+    report.diagnostics.shadowed_classes = lifted.shadowed;
+    Ok((report, stats))
 }

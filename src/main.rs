@@ -1,7 +1,7 @@
 //! The `tabby` command-line scanner.
 //!
 //! ```text
-//! tabby scan <path>...        scan .class files (or directories of them)
+//! tabby scan <path>...        scan .class files, jars/wars, or directories
 //! tabby demo                  scan the bundled JDK model (finds URLDNS)
 //! tabby query [<path>...]     run TQL queries against a CPG (-e, REPL, --demo)
 //! tabby sinks                 print the sink catalog (Table VII)
@@ -29,7 +29,7 @@
 //! The daemon protocol, its options, and the cache layout are documented in
 //! the repository README under "Running as a service".
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use tabby::prelude::*;
 
@@ -63,7 +63,9 @@ const USAGE: &str = "\
 tabby — automated gadget-chain detection for Java deserialization
 
 USAGE:
-    tabby scan [OPTIONS] <path>...   scan .class files / directories
+    tabby scan [OPTIONS] <path>...   scan .class files, archives (.jar/.war/
+                                     .zip, including nested fat jars and
+                                     wars), or directories of either
     tabby demo [OPTIONS]             scan the bundled JDK model
     tabby query [OPTIONS] [<path>...] run TQL queries against a CPG
     tabby sinks                      print the sink catalog (Table VII)
@@ -91,6 +93,9 @@ OPTIONS (scan/demo):
     --sinks <file>        custom sink catalog (JSON; see `tabby sinks --json`)
     --strict              fail on the first malformed class instead of
                           quarantining it and scanning the survivors
+    --no-archives         reject jar/war/zip inputs with the pre-ingestion
+                          error instead of streaming them (scan/snapshot/
+                          query/submit)
     --json                emit chains as JSON
     --save-cpg <file>     persist the code property graph as JSON
     --dot <file>          export the code property graph as Graphviz DOT
@@ -174,6 +179,8 @@ OPTIONS (submit):
     --no-tc-memo          disable the TC-dominance search memo
     --witness             run the witness stage on the daemon: each chain
                           comes back tiered; exit 3 when any is witnessed
+    --no-archives         reject jar/war/zip inputs (checked client-side and
+                          enforced by the daemon) instead of streaming them
     --no-retry            fail immediately on connection refused / queue full
                           instead of retrying with backoff
     --json                emit chains as JSON
@@ -203,6 +210,7 @@ struct CliOptions {
     search_threads: Option<usize>,
     no_tc_memo: bool,
     strict: bool,
+    no_archives: bool,
     witness: bool,
     save_cpg: Option<PathBuf>,
     dot: Option<PathBuf>,
@@ -230,6 +238,7 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             "--extended" => options.extended = true,
             "--json" => options.json = true,
             "--strict" => options.strict = true,
+            "--no-archives" => options.no_archives = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
@@ -301,68 +310,31 @@ fn scan_options(cli: &CliOptions) -> Result<ScanOptions, String> {
     Ok(options)
 }
 
-fn collect_class_files(
-    path: &Path,
-    out: &mut Vec<PathBuf>,
-    jars: &mut Vec<PathBuf>,
-) -> std::io::Result<()> {
-    if path.is_dir() {
-        for entry in std::fs::read_dir(path)? {
-            collect_class_files(&entry?.path(), out, jars)?;
-        }
-    } else if path.extension().and_then(|e| e.to_str()) == Some("class") {
-        out.push(path.to_owned());
-    } else if path
-        .extension()
-        .is_some_and(|e| e.eq_ignore_ascii_case("jar"))
-    {
-        // Remembered so an otherwise-empty walk can explain itself: a jar
-        // full of classes is the most common "why did it find nothing" case.
-        jars.push(path.to_owned());
+/// Walks `paths` into the shared `(class files, archives)` split
+/// ([`tabby::core::collect_inputs`]) with a clear error for nonexistent
+/// inputs, for walks that find nothing scannable, and — under
+/// `--no-archives` — the legacy pre-ingestion jar rejection.
+fn gather_inputs(
+    command: &str,
+    paths: &[PathBuf],
+    no_archives: bool,
+) -> Result<tabby::core::CollectedInputs, String> {
+    let inputs =
+        tabby::core::collect_inputs(paths, false).map_err(|e| format!("{command}: {e}"))?;
+    if no_archives && !inputs.archives.is_empty() {
+        return Err(format!(
+            "{command}: {}",
+            tabby::core::archives_unsupported_error(&inputs.archives)
+        ));
     }
-    Ok(())
-}
-
-/// The error for a walk that found jars but no loose classes. The same
-/// wording is used by the scan daemon (`tabby submit`).
-fn no_classes_error(command: &str, searched: &[PathBuf], jars: &[PathBuf]) -> String {
-    let searched: Vec<String> = searched.iter().map(|p| p.display().to_string()).collect();
-    if jars.is_empty() {
-        return format!(
-            "{command}: no .class files found under: {}",
+    if inputs.is_empty() {
+        let searched: Vec<String> = paths.iter().map(|p| p.display().to_string()).collect();
+        return Err(format!(
+            "{command}: no .class files or archives (.jar/.war/.zip) found under: {}",
             searched.join(", ")
-        );
+        ));
     }
-    let jars: Vec<String> = jars.iter().map(|p| p.display().to_string()).collect();
-    format!(
-        "{command}: no .class files found, but the walk found {} .jar archive(s) ({}): \
-         jars are unsupported and must be unpacked (e.g. with `unzip` or `jar xf`) \
-         before scanning the extracted .class files",
-        jars.len(),
-        jars.join(", ")
-    )
-}
-
-/// Walks `paths` for `.class` files, with a clear error for nonexistent
-/// inputs and for jar-only inputs.
-fn gather_class_files(command: &str, paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
-    let mut files = Vec::new();
-    let mut jars = Vec::new();
-    for path in paths {
-        // A nonexistent input must be a clear error, not a silent empty
-        // scan: the walk below skips non-`.class` names without checking
-        // that they exist.
-        if let Err(e) = std::fs::metadata(path) {
-            return Err(format!("{command}: {}: {e}", path.display()));
-        }
-        if let Err(e) = collect_class_files(path, &mut files, &mut jars) {
-            return Err(format!("{command}: {}: {e}", path.display()));
-        }
-    }
-    if files.is_empty() {
-        return Err(no_classes_error(command, paths, &jars));
-    }
-    Ok(files)
+    Ok(inputs)
 }
 
 /// Reads every collected file into memory.
@@ -389,16 +361,8 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         eprintln!("scan: no input paths\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    let files = match gather_class_files("scan", &cli.paths) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!("loading {} class file(s)…", files.len());
-    let blobs = match read_blobs("scan", &files) {
-        Ok(b) => b,
+    let inputs = match gather_inputs("scan", &cli.paths, cli.no_archives) {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -411,11 +375,47 @@ fn cmd_scan(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match tabby::scan_class_bytes(&blobs, &options) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("scan: {e}");
-            return ExitCode::FAILURE;
+    let report = if inputs.archives.is_empty() {
+        // Pure `.class` corpora keep the historical in-memory path (and
+        // its `blob[i]` quarantine labels).
+        eprintln!("loading {} class file(s)…", inputs.class_files.len());
+        let blobs = match read_blobs("scan", &inputs.class_files) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match tabby::scan_class_bytes(&blobs, &options) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("scan: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!(
+            "streaming {} class file(s) and {} archive(s)…",
+            inputs.class_files.len(),
+            inputs.archives.len()
+        );
+        match tabby::scan_corpus(&inputs, &tabby::ingest::IngestLimits::default(), &options) {
+            Ok((report, stats)) => {
+                eprintln!(
+                    "ingest: {} class(es) from {} archive(s) in {} batch(es); \
+                     peak batch {} bytes, {} shadowed duplicate(s)",
+                    stats.classes_planned,
+                    stats.archives_opened,
+                    stats.batches,
+                    stats.peak_batch_bytes,
+                    stats.shadowed_classes
+                );
+                report
+            }
+            Err(e) => {
+                eprintln!("scan: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     emit(&cli, report)
@@ -487,35 +487,13 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
             .latest_version(&reference.corpus)
             .map_or(1, |v| v + 1)
     });
-    let files = match gather_class_files("snapshot", &cli.paths) {
-        Ok(f) => f,
+    let inputs = match gather_inputs("snapshot", &cli.paths, cli.no_archives) {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "snapshotting {} class file(s) as {}@v{version}…",
-        files.len(),
-        reference.corpus
-    );
-    let blobs = match read_blobs("snapshot", &files) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let names: Vec<String> = files
-        .iter()
-        .map(|f| f.to_string_lossy().into_owned())
-        .collect();
-    let class_hashes = tabby::registry::hash_inputs(
-        names
-            .iter()
-            .map(String::as_str)
-            .zip(blobs.iter().map(Vec::as_slice)),
-    );
     let options = match scan_options(&cli) {
         Ok(o) => o,
         Err(e) => {
@@ -523,12 +501,65 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut report = match tabby::scan_class_bytes(&blobs, &options) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("snapshot: {e}");
-            return ExitCode::FAILURE;
-        }
+    let (mut report, class_hashes) = if inputs.archives.is_empty() {
+        eprintln!(
+            "snapshotting {} class file(s) as {}@v{version}…",
+            inputs.class_files.len(),
+            reference.corpus
+        );
+        let blobs = match read_blobs("snapshot", &inputs.class_files) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let names: Vec<String> = inputs
+            .class_files
+            .iter()
+            .map(|f| f.to_string_lossy().into_owned())
+            .collect();
+        let class_hashes = tabby::registry::hash_inputs(
+            names
+                .iter()
+                .map(String::as_str)
+                .zip(blobs.iter().map(Vec::as_slice)),
+        );
+        let report = match tabby::scan_class_bytes(&blobs, &options) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (report, class_hashes)
+    } else {
+        eprintln!(
+            "snapshotting {} class file(s) and {} archive(s) as {}@v{version}…",
+            inputs.class_files.len(),
+            inputs.archives.len(),
+            reference.corpus
+        );
+        // Stream the archives; each class hashes under its full
+        // `archive!/entry` provenance, so the snapshot's content key
+        // tracks archive content exactly like a loose tree's.
+        let lifted = match tabby::ingest::lift_corpus(
+            &inputs,
+            &tabby::ingest::IngestLimits::default(),
+            options.strict,
+        ) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let class_hashes: std::collections::BTreeMap<String, u64> =
+            lifted.class_hashes.iter().cloned().collect();
+        let mut report = tabby::scan(&lifted.program, &options);
+        report.diagnostics.skipped_classes = lifted.skipped;
+        report.diagnostics.shadowed_classes = lifted.shadowed;
+        (report, class_hashes)
     };
     if report.diagnostics.is_degraded() {
         print_degradation(&report.diagnostics);
@@ -671,6 +702,7 @@ struct QueryCli {
     demo: bool,
     extended: bool,
     strict: bool,
+    no_archives: bool,
     jobs: Option<usize>,
     max_rows: Option<usize>,
     max_expansions: Option<usize>,
@@ -698,6 +730,7 @@ fn parse_query_options(args: &[String]) -> Result<QueryCli, String> {
             "--demo" => options.demo = true,
             "--extended" => options.extended = true,
             "--strict" => options.strict = true,
+            "--no-archives" => options.no_archives = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
@@ -762,23 +795,39 @@ fn build_query_cpg(cli: &QueryCli) -> Result<Cpg, String> {
         pb.build()
     } else {
         if cli.paths.is_empty() {
-            return Err("query: no input paths (scan a directory of .class files, \
-                 or pass --demo for the bundled JDK model)"
+            return Err("query: no input paths (scan a directory of .class files \
+                 or a jar/war, or pass --demo for the bundled JDK model)"
                 .to_owned());
         }
-        let files = gather_class_files("query", &cli.paths)?;
-        let blobs = read_blobs("query", &files)?;
-        if cli.strict {
-            tabby::ir::lift::lift_program(&blobs).map_err(|e| format!("query: {e}"))?
+        let inputs = gather_inputs("query", &cli.paths, cli.no_archives)?;
+        if inputs.archives.is_empty() {
+            let blobs = read_blobs("query", &inputs.class_files)?;
+            if cli.strict {
+                tabby::ir::lift::lift_program(&blobs).map_err(|e| format!("query: {e}"))?
+            } else {
+                let outcome = tabby::ir::lift::lift_program_tolerant(&blobs);
+                if !outcome.skipped.is_empty() {
+                    eprintln!(
+                        "warning: skipped {} malformed class(es); query runs over the survivors",
+                        outcome.skipped.len()
+                    );
+                }
+                outcome.program
+            }
         } else {
-            let outcome = tabby::ir::lift::lift_program_tolerant(&blobs);
-            if !outcome.skipped.is_empty() {
+            let lifted = tabby::ingest::lift_corpus(
+                &inputs,
+                &tabby::ingest::IngestLimits::default(),
+                cli.strict,
+            )
+            .map_err(|e| format!("query: {e}"))?;
+            if !lifted.skipped.is_empty() {
                 eprintln!(
                     "warning: skipped {} malformed class(es); query runs over the survivors",
-                    outcome.skipped.len()
+                    lifted.skipped.len()
                 );
             }
-            outcome.program
+            lifted.program
         }
     };
     let jobs = cli.jobs.unwrap_or_else(default_jobs);
@@ -1183,6 +1232,7 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
             }
             "--no-tc-memo" => options.scan.tc_memo = false,
             "--witness" => options.scan.witness = true,
+            "--no-archives" => options.scan.no_archives = true,
             "--no-retry" => options.retry = false,
             "--stats" => options.stats = true,
             "--json" => options.json = true,
@@ -1253,6 +1303,25 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                 eprintln!("submit: {}: {e}", p.display());
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    // Classify client-side with the same helper the daemon uses, so a bad
+    // input (or an archive under --no-archives) fails here with the same
+    // wording instead of a round trip.
+    let path_bufs: Vec<PathBuf> = paths.iter().map(PathBuf::from).collect();
+    match tabby::core::collect_inputs(&path_bufs, false) {
+        Ok(inputs) => {
+            if options.scan.no_archives && !inputs.archives.is_empty() {
+                eprintln!(
+                    "submit: {}",
+                    tabby::core::archives_unsupported_error(&inputs.archives)
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if options.query.is_some() || options.builtin.is_some() {

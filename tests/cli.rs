@@ -136,15 +136,37 @@ fn custom_sink_catalog_from_json() {
 }
 
 #[test]
-fn scan_jar_only_input_explains_unpacking() {
+fn scan_corrupt_jar_is_a_structured_archive_error() {
     let dir = std::env::temp_dir().join("tabby-cli-test-jar-only");
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     std::fs::write(dir.join("app.jar"), b"PK\x03\x04not really").unwrap();
+    // Archives are first-class inputs now: a broken one fails with the zip
+    // reader's diagnosis, not a "go unpack it" hint.
     let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
         .args(["scan", dir.to_str().unwrap()])
         .output()
         .expect("run tabby scan on a jar-only directory");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("end-of-central-directory"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("app.jar"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scan_no_archives_restores_the_unpacking_hint() {
+    let dir = std::env::temp_dir().join("tabby-cli-test-jar-noarch");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("app.jar"), b"PK\x03\x04not really").unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["scan", "--no-archives", dir.to_str().unwrap()])
+        .output()
+        .expect("run tabby scan --no-archives on a jar-only directory");
     assert_eq!(output.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
@@ -153,6 +175,45 @@ fn scan_jar_only_input_explains_unpacking() {
     );
     assert!(stderr.contains("app.jar"), "stderr: {stderr}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scan_jar_matches_the_unpacked_tree() {
+    let root = std::env::temp_dir().join("tabby-cli-test-jar-eq");
+    let _ = std::fs::remove_dir_all(&root);
+    let tree = root.join("tree");
+    write_corpus(&tree);
+    // Pack the identical bytes into a jar and scan both ways.
+    let mut entries: Vec<(String, Vec<u8>)> = Vec::new();
+    for f in std::fs::read_dir(&tree).unwrap() {
+        let f = f.unwrap();
+        entries.push((
+            f.file_name().to_string_lossy().into_owned(),
+            std::fs::read(f.path()).unwrap(),
+        ));
+    }
+    entries.sort();
+    let refs: Vec<(&str, &[u8])> = entries
+        .iter()
+        .map(|(n, b)| (n.as_str(), b.as_slice()))
+        .collect();
+    let jar = root.join("corpus.jar");
+    std::fs::write(&jar, tabby::ingest::zip::build_zip(&refs).unwrap()).unwrap();
+    let from_tree = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["scan", "--json", tree.to_str().unwrap()])
+        .output()
+        .expect("scan the unpacked tree");
+    let from_jar = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(["scan", "--json", jar.to_str().unwrap()])
+        .output()
+        .expect("scan the jar");
+    assert_eq!(from_jar.status.code(), from_tree.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&from_jar.stdout),
+        String::from_utf8_lossy(&from_tree.stdout),
+        "jar scan must emit byte-identical chains"
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]

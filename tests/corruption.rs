@@ -510,3 +510,141 @@ fn corrupt_registry_snapshot_rolls_back_latest_and_quarantines() {
     let _ = std::fs::remove_dir_all(&classes);
     let _ = std::fs::remove_dir_all(&reg);
 }
+
+// ---------------------------------------------------------------------------
+// Hostile and corrupt archives: every shape is a structured error that names
+// the archive, nothing lands in any cache tier, and the same path scans
+// cleanly once the archive is repaired — no negative caching.
+// ---------------------------------------------------------------------------
+
+/// Truncated central directory, a bad entry CRC, a zip-slip name, a
+/// nested-jar depth bomb, and a compression-ratio bomb, each served to the
+/// engine as a real on-disk jar.
+#[test]
+fn hostile_archives_fail_structured_and_are_never_cached() {
+    use tabby::ingest::crc::crc32;
+    use tabby::ingest::deflate::{deflate_run, deflate_stored};
+    use tabby::ingest::zip::{build_zip, ZipWriter};
+
+    // A legitimate payload class, for cases that need plausible contents.
+    let class = corpus()
+        .into_iter()
+        .find(|(name, _)| name == "noise.Junk0")
+        .map(|(_, bytes)| bytes)
+        .expect("corpus has noise classes");
+
+    // (tag, archive bytes, substring the structured error must contain)
+    let mut cases: Vec<(&str, Vec<u8>, &str)> = Vec::new();
+
+    // Truncated central directory: first directory byte mangled.
+    let mut truncated = build_zip(&[("noise/Junk0.class", &class)]).unwrap();
+    let eocd = truncated.len() - 22;
+    let cd_offset =
+        u32::from_le_bytes(truncated[eocd + 16..eocd + 20].try_into().unwrap()) as usize;
+    truncated[cd_offset] ^= 0xff;
+    cases.push(("truncated-cd", truncated, "truncated central directory"));
+
+    // Entry whose data does not hash to the directory's CRC-32.
+    let mut w = ZipWriter::new(Vec::new());
+    w.add_deflate_raw(
+        "noise/Junk0.class",
+        &deflate_stored(&class),
+        class.len() as u64,
+        0xdead_beef,
+    )
+    .unwrap();
+    cases.push(("bad-crc", w.finish().unwrap(), "CRC mismatch"));
+
+    // Path-traversal entry name.
+    cases.push((
+        "zip-slip",
+        build_zip(&[("../../evil.class", b"boom")]).unwrap(),
+        "path-traversal (zip-slip)",
+    ));
+
+    // jar-in-jar-in-jar-in-jar-in-jar: depth 5 over the default limit of 4.
+    let mut deep = build_zip(&[("noise/Junk0.class", class.as_slice())]).unwrap();
+    for level in 0..4 {
+        deep = build_zip(&[(&format!("lib/l{level}.jar"), deep.as_slice())]).unwrap();
+    }
+    cases.push(("depth-bomb", deep, "nesting depth"));
+
+    // A 16 MiB run of zeros deflating from a few hundred bytes: the
+    // declared ratio alone trips the budget before any inflation.
+    let inflated = 16usize << 20;
+    let zeros = vec![0u8; inflated];
+    let mut w = ZipWriter::new(Vec::new());
+    w.add_deflate_raw(
+        "bomb.class",
+        &deflate_run(0, inflated),
+        inflated as u64,
+        crc32(&zeros),
+    )
+    .unwrap();
+    cases.push(("ratio-bomb", w.finish().unwrap(), "ratio budget"));
+
+    for (tag, bytes, needle) in cases {
+        let dir = temp_dir(&format!("hostile-{tag}"));
+        let cache = temp_dir(&format!("hostile-cache-{tag}"));
+        let jar = dir.join("evil.jar");
+        std::fs::write(&jar, &bytes).unwrap();
+        let paths = vec![jar.to_string_lossy().into_owned()];
+        let engine = Engine::new(Some(cache.clone()), 8, 1);
+
+        let err = engine
+            .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+            .expect_err("hostile archive must be rejected");
+        assert!(err.contains(needle), "{tag}: {err}");
+        assert!(
+            err.contains("evil.jar"),
+            "{tag}: error names the archive: {err}"
+        );
+        // The rejection happened before any cache tier was touched.
+        assert!(
+            artifact_files(&cache).is_empty(),
+            "{tag}: a rejected archive must never persist artifacts"
+        );
+
+        // Deterministic: the retry fails identically (nothing was poisoned,
+        // nothing was negatively cached).
+        let again = engine
+            .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+            .expect_err("still rejected");
+        assert_eq!(err, again, "{tag}");
+
+        // Repair the archive in place: the same path now scans cleanly.
+        std::fs::write(&jar, build_zip(&[("noise/Junk0.class", &class)]).unwrap()).unwrap();
+        let ok = engine
+            .run_scan(&paths, &ScanRequestOptions::default(), far_deadline())
+            .expect("repaired archive scans");
+        assert!(ok.chains.is_empty(), "{tag}: noise class has no chains");
+        assert!(!ok.diagnostics.is_degraded(), "{tag}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+}
+
+/// The same hostile shapes through the library entry point: `scan_corpus`
+/// returns the structured [`tabby::ingest::IngestError`], never a panic and
+/// never a degraded report.
+#[test]
+fn hostile_archives_error_through_the_library_entry_point() {
+    use tabby::ingest::zip::build_zip;
+
+    let dir = temp_dir("hostile-lib");
+    let jar = dir.join("slip.jar");
+    std::fs::write(&jar, build_zip(&[("../../evil.class", b"x")]).unwrap()).unwrap();
+    let inputs = tabby::core::collect_inputs(std::slice::from_ref(&jar), true).unwrap();
+    assert_eq!(inputs.archives.len(), 1);
+    let err = tabby::scan_corpus(
+        &inputs,
+        &tabby::ingest::IngestLimits::default(),
+        &ScanOptions::default(),
+    )
+    .expect_err("zip-slip rejected");
+    let message = err.to_string();
+    assert!(message.contains("path-traversal"), "{message}");
+    assert!(message.contains("slip.jar"), "{message}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

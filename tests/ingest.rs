@@ -1,0 +1,253 @@
+//! End-to-end archive ingestion: generated jar and war corpora must scan
+//! byte-identically to their unpacked reference trees, through the CLI
+//! binary and through the daemon engine with every cache tier live, and
+//! the streaming lift must stay inside its batch budget.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+use tabby::ingest::{generate, CorpusLayout, CorpusSpec, IngestLimits};
+use tabby::service::{Engine, ScanRequestOptions};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tabby-ingest-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn scan_json(path: &Path, extra: &[&str]) -> (Option<i32>, String, String) {
+    let mut args = vec!["scan", "--json"];
+    args.extend_from_slice(extra);
+    args.push(path.to_str().unwrap());
+    let out = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args(&args)
+        .output()
+        .expect("run tabby scan --json");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn far_deadline() -> Instant {
+    Instant::now() + Duration::from_secs(300)
+}
+
+#[test]
+fn nested_jar_scans_byte_identically_to_its_tree_via_cli() {
+    let dir = temp_dir("cli-nested");
+    let corpus = generate(
+        &dir,
+        &CorpusSpec {
+            classes: 120,
+            chunk: 48,
+            layout: CorpusLayout::NestedJar,
+        },
+    )
+    .unwrap();
+    let (jar_code, jar_chains, jar_log) = scan_json(&corpus.archive, &[]);
+    let (tree_code, tree_chains, _) = scan_json(&corpus.tree, &[]);
+    // The planted Fig.-1 gadget pair is found either way: exit 2.
+    assert_eq!(jar_code, Some(2), "stderr: {jar_log}");
+    assert_eq!(tree_code, Some(2));
+    assert_eq!(
+        jar_chains, tree_chains,
+        "archive and tree scans must emit byte-identical chains"
+    );
+    // The archive path reports its streaming stats.
+    assert!(jar_log.contains("ingest:"), "stderr: {jar_log}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn war_scans_byte_identically_to_its_tree_via_cli() {
+    let dir = temp_dir("cli-war");
+    let corpus = generate(
+        &dir,
+        &CorpusSpec {
+            classes: 60,
+            chunk: 25,
+            layout: CorpusLayout::War,
+        },
+    )
+    .unwrap();
+    assert!(corpus.archive.ends_with("corpus.war"));
+    let (war_code, war_chains, war_log) = scan_json(&corpus.archive, &[]);
+    let (tree_code, tree_chains, _) = scan_json(&corpus.tree, &[]);
+    assert_eq!(war_code, Some(2), "stderr: {war_log}");
+    assert_eq!(war_code, tree_code);
+    assert_eq!(war_chains, tree_chains);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mixed_loose_and_archive_inputs_scan_together() {
+    let dir = temp_dir("cli-mixed");
+    let corpus = generate(
+        &dir,
+        &CorpusSpec {
+            classes: 20,
+            chunk: 10,
+            layout: CorpusLayout::NestedJar,
+        },
+    )
+    .unwrap();
+    // Naming the tree AND the jar feeds every class twice; JVM-style
+    // first-wins dedup keeps the loose copies, shadows the archive
+    // copies, and the chain output is identical to scanning either alone.
+    let out = Command::new(env!("CARGO_BIN_EXE_tabby"))
+        .args([
+            "scan",
+            "--json",
+            corpus.tree.to_str().unwrap(),
+            corpus.archive.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run tabby scan over tree + jar");
+    assert_eq!(out.status.code(), Some(2));
+    let (tree_code, tree_chains, _) = scan_json(&corpus.tree, &[]);
+    assert_eq!(tree_code, Some(2));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        tree_chains,
+        "duplicates must shadow, not duplicate chains"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_serves_archives_through_every_cache_tier() {
+    let dir = temp_dir("daemon-tiers");
+    let corpus = generate(
+        &dir,
+        &CorpusSpec {
+            classes: 80,
+            chunk: 32,
+            layout: CorpusLayout::NestedJar,
+        },
+    )
+    .unwrap();
+    let cache = temp_dir("daemon-tiers-cache");
+    let engine = Engine::new(Some(cache.clone()), 64, 1);
+    let jar = [corpus.archive.to_string_lossy().into_owned()];
+    let tree = [corpus.tree.to_string_lossy().into_owned()];
+
+    // Cold scan of the jar: full pipeline, chains found.
+    let cold = engine
+        .run_scan(&jar, &ScanRequestOptions::default(), far_deadline())
+        .expect("cold jar scan");
+    assert!(!cold.chains.is_empty(), "planted gadget pair found");
+    assert!(!cold.stats.job_cache_hit);
+    assert!(!cold.diagnostics.is_degraded());
+
+    // The unpacked tree carries the same bytes: content-keyed tier 1 hit
+    // with byte-identical chains — the cache cannot tell packaging apart.
+    let from_tree = engine
+        .run_scan(&tree, &ScanRequestOptions::default(), far_deadline())
+        .expect("tree scan");
+    assert!(
+        from_tree.stats.job_cache_hit,
+        "same bytes, same content key"
+    );
+    assert_eq!(
+        serde_json::to_string(&from_tree.chains).unwrap(),
+        serde_json::to_string(&cold.chains).unwrap()
+    );
+
+    // Warm jar rescan: tier 1 again.
+    let warm = engine
+        .run_scan(&jar, &ScanRequestOptions::default(), far_deadline())
+        .expect("warm jar scan");
+    assert!(warm.stats.job_cache_hit);
+
+    // Depth change: tier 1 misses, the CPG tier (in-memory or mapped)
+    // serves without re-lifting the archive.
+    let deep = engine
+        .run_scan(
+            &jar,
+            &ScanRequestOptions {
+                depth: 9,
+                ..ScanRequestOptions::default()
+            },
+            far_deadline(),
+        )
+        .expect("depth-change scan");
+    assert!(!deep.stats.job_cache_hit);
+    assert!(
+        deep.stats.cpg_cache_hit || deep.stats.cpg_map_hit,
+        "depth change must reuse the cached CPG"
+    );
+    assert_eq!(deep.stats.classes_lifted, 0, "no archive re-lift on a hit");
+
+    // Diff jobs: the registry content key covers archive entries, so the
+    // same jar registers once and then short-circuits as identical.
+    let reg = temp_dir("daemon-tiers-reg");
+    let reg_root = reg.to_string_lossy().into_owned();
+    let first = engine
+        .run_diff(
+            &jar,
+            &reg_root,
+            "archived",
+            &ScanRequestOptions::default(),
+            far_deadline(),
+        )
+        .expect("baseline diff");
+    assert!(first.diff.baseline);
+    assert_eq!(first.diff.new_ref, "archived@v1");
+    let second = engine
+        .run_diff(
+            &jar,
+            &reg_root,
+            "archived",
+            &ScanRequestOptions::default(),
+            far_deadline(),
+        )
+        .expect("identical diff");
+    assert!(second.diff.identical, "unchanged archive short-circuits");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_dir_all(&reg);
+}
+
+#[test]
+fn streaming_lift_stays_inside_the_batch_budget() {
+    let dir = temp_dir("bounded");
+    let corpus = generate(
+        &dir,
+        &CorpusSpec {
+            classes: 400,
+            chunk: 100,
+            layout: CorpusLayout::NestedJar,
+        },
+    )
+    .unwrap();
+    let budget = 64u64 << 10;
+    let limits = IngestLimits {
+        batch_bytes: budget,
+        ..IngestLimits::default()
+    };
+    let inputs = tabby::core::collect_inputs(std::slice::from_ref(&corpus.archive), true).unwrap();
+    let lifted = tabby::ingest::lift_corpus(&inputs, &limits, true).unwrap();
+    assert_eq!(lifted.program.classes().len(), corpus.classes);
+    assert!(
+        lifted.stats.batches > 1,
+        "a corpus larger than one batch must flush repeatedly: {:?}",
+        lifted.stats
+    );
+    // The flush triggers on crossing the budget, so the peak can overshoot
+    // by at most one class blob — a few hundred bytes here.
+    assert!(
+        lifted.stats.peak_batch_bytes <= budget + (16 << 10),
+        "peak {} exceeds budget {budget}",
+        lifted.stats.peak_batch_bytes
+    );
+    assert!(lifted.stats.bytes_inflated > lifted.stats.peak_batch_bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
